@@ -1,0 +1,93 @@
+//! Experiments E-T53-1 and E-T53-2 (Theorem 5.3): the certainty problem.
+//!
+//! * `datalog_gtable` — Thm 5.3(1): certainty of transitive-closure facts on random
+//!   g-tables via naive evaluation (PTIME).
+//! * `conp_hard` — Thm 5.3(2): the 3DNF-tautology reduction to `CERT(1, FO)` on a
+//!   Codd-table (coNP-complete).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pw_core::{CDatabase, View};
+use pw_decide::{certainty, Budget};
+use pw_query::{DatalogProgram, Query, QueryDef};
+use pw_reductions::certainty_hardness::taut_cert_fo;
+use pw_relational::Instance;
+use pw_workloads::{member_instance, random_etable, TableParams};
+use std::time::Duration;
+
+fn configure() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(600))
+        .warm_up_time(Duration::from_millis(150))
+}
+
+fn bench_datalog_gtable(c: &mut Criterion) {
+    let mut group = c.benchmark_group("certainty/datalog_gtable");
+    let query = Query::single(
+        "TC",
+        QueryDef::Datalog(DatalogProgram::transitive_closure("R", "TC")),
+    );
+    for rows in [32usize, 64, 128] {
+        let params = TableParams {
+            rows,
+            arity: 2,
+            constants: rows / 2,
+            null_density: 0.3,
+            seed: 51,
+        };
+        let db = CDatabase::single(random_etable("R", &params));
+        // Ask about an edge fact that is literally in a member world: certainly reachable
+        // facts are a subset of these, so the answer mixes yes and no cases.
+        let world = member_instance(&db, &params);
+        let mut facts = Instance::new();
+        if let Some((_, rel)) = world.iter().next() {
+            if let Some(fact) = rel.iter().next() {
+                facts.insert_fact("TC", fact.clone()).expect("arity 2");
+            }
+        }
+        let view = View::new(query.clone(), db);
+        group.bench_with_input(BenchmarkId::new("rows", rows), &rows, |b, _| {
+            b.iter(|| certainty::decide(&view, &facts, Budget::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_hard(c: &mut Criterion) {
+    use pw_solvers::{Clause, DnfFormula, Literal};
+    let mut group = c.benchmark_group("certainty/fo_reduction");
+    // Families of single-literal DNF clauses: `occurrences` is the number of literal
+    // occurrences, which is exactly the number of nulls the coNP search quantifies over —
+    // the growth from one point to the next is clearly super-polynomial while the absolute
+    // times stay benchable.
+    for occurrences in [1usize, 2, 3] {
+        let formula = DnfFormula::new(
+            occurrences,
+            (0..occurrences).map(|i| Clause::new([Literal { var: i, positive: i % 2 == 0 }])),
+        );
+        let reduction = taut_cert_fo(&formula);
+        group.bench_with_input(
+            BenchmarkId::new("occurrences", occurrences),
+            &occurrences,
+            |b, _| {
+                b.iter(|| {
+                    certainty::decide(&reduction.view, &reduction.facts, Budget(1_000_000_000))
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_datalog_gtable(c);
+    bench_hard(c);
+}
+
+criterion_group! {
+    name = certainty_benches;
+    config = configure();
+    targets = benches
+}
+criterion_main!(certainty_benches);

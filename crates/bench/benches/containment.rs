@@ -1,0 +1,168 @@
+//! Experiments E-F2, E-T41, E-T42-1, E-T42-4 (Fig. 2 and Theorems 4.1 / 4.2): containment.
+//!
+//! * `freeze_into_tables` — Thm 4.1(3): g-table ⊆ Codd-table via freezing + matching
+//!   (the PTIME region of Fig. 2).
+//! * `freeze_into_etables` — Thm 4.1(2): g-table ⊆ e-table (one NP membership call).
+//! * `ablation_forall_exists` — ablation A-3: the Π₂ᵖ procedure of Prop. 2.1(1) on the same
+//!   easy inputs, showing what the freeze technique buys.
+//! * `pi2_hard` — Thm 4.2(1): the ∀∃3CNF reduction into table ⊆ i-table (the Π₂ᵖ cell).
+//! * `conp_hard` — Thm 4.2(4): the 3DNF-tautology reduction into view ⊆ table.
+//! * `view_cells` — Thm 4.2(2,3,5): the ∀∃3CNF reductions into the remaining Π₂ᵖ cells of
+//!   Fig. 2 (table ⊆ view, c-table ⊆ e-table, view ⊆ e-table).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pw_core::{CDatabase, View};
+use pw_decide::{containment, Budget};
+use pw_reductions::containment_hardness::{ae3cnf_cont_itable, dnf_taut_cont_view_table};
+use pw_reductions::containment_views::{
+    ae3cnf_cont_ctable_into_etable, ae3cnf_cont_view_into_etable, ae3cnf_cont_views_of_tables,
+};
+use pw_workloads::{random_3dnf, random_codd_table, random_etable, random_forall_exists, random_gtable, TableParams};
+use std::time::Duration;
+
+fn configure() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(600))
+        .warm_up_time(Duration::from_millis(150))
+}
+
+fn bench_freeze(c: &mut Criterion) {
+    let mut group = c.benchmark_group("containment/freeze");
+    for rows in [32usize, 128, 512] {
+        let left_params = TableParams::with_rows(rows, 31);
+        let right_params = TableParams::with_rows(rows, 32);
+        let left = CDatabase::single(random_gtable("R", &left_params));
+        let right_codd = CDatabase::single(random_codd_table("R", &right_params));
+        group.bench_with_input(BenchmarkId::new("into_tables", rows), &rows, |b, _| {
+            b.iter(|| containment::freeze(&left, &right_codd, Budget::default()).unwrap())
+        });
+        let right_etable = CDatabase::single(random_etable("R", &right_params));
+        group.bench_with_input(BenchmarkId::new("into_etables", rows), &rows, |b, _| {
+            b.iter(|| containment::freeze(&left, &right_etable, Budget(1_000_000_000)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_ablation_forall_exists(c: &mut Criterion) {
+    let mut group = c.benchmark_group("containment/ablation_forall_exists");
+    for rows in [2usize, 4, 6] {
+        let left_params = TableParams {
+            rows,
+            arity: 2,
+            constants: 4,
+            null_density: 0.4,
+            seed: 33,
+        };
+        let right_params = TableParams {
+            seed: 34,
+            ..left_params
+        };
+        let left = View::identity(CDatabase::single(random_codd_table("R", &left_params)));
+        let right = View::identity(CDatabase::single(random_codd_table("R", &right_params)));
+        group.bench_with_input(BenchmarkId::new("rows", rows), &rows, |b, _| {
+            b.iter(|| containment::forall_exists(&left, &right, Budget(1_000_000_000)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_hard(c: &mut Criterion) {
+    let mut group = c.benchmark_group("containment/hard_reductions");
+    for universals in [1usize, 2, 3] {
+        let instance = random_forall_exists(universals, 2, 4, 5);
+        let reduction = ae3cnf_cont_itable(&instance);
+        group.bench_with_input(
+            BenchmarkId::new("ae3cnf_itable", universals),
+            &universals,
+            |b, _| {
+                b.iter(|| {
+                    containment::decide(&reduction.left, &reduction.right, Budget(1_000_000_000))
+                        .unwrap()
+                })
+            },
+        );
+    }
+    for clauses in [3usize, 5, 7] {
+        let formula = random_3dnf(clauses, clauses, 6);
+        let reduction = dnf_taut_cont_view_table(&formula);
+        group.bench_with_input(BenchmarkId::new("dnf_view_table", clauses), &clauses, |b, _| {
+            b.iter(|| {
+                containment::decide(&reduction.left, &reduction.right, Budget(1_000_000_000))
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Theorem 4.2(2,3,5): the remaining Π₂ᵖ containment cells of Fig. 2, reached through views
+/// and e-tables.  The ∀∃3CNF family is the same as for `ae3cnf_itable`; growth with the
+/// number of universal variables is the exponential signature of the Π₂ᵖ cells.
+fn bench_view_cells(c: &mut Criterion) {
+    let mut group = c.benchmark_group("containment/view_cells");
+    for universals in [1usize, 2] {
+        let instance = random_forall_exists(universals, 1, 3, 7);
+        let table_vs_view = ae3cnf_cont_views_of_tables(&instance);
+        group.bench_with_input(
+            BenchmarkId::new("t42_2_table_in_view", universals),
+            &universals,
+            |b, _| {
+                b.iter(|| {
+                    containment::decide(
+                        &table_vs_view.left,
+                        &table_vs_view.right,
+                        Budget(1_000_000_000),
+                    )
+                    .unwrap()
+                })
+            },
+        );
+        let ctable_vs_etable = ae3cnf_cont_ctable_into_etable(&instance);
+        group.bench_with_input(
+            BenchmarkId::new("t42_3_ctable_in_etable", universals),
+            &universals,
+            |b, _| {
+                b.iter(|| {
+                    containment::decide(
+                        &ctable_vs_etable.left,
+                        &ctable_vs_etable.right,
+                        Budget(1_000_000_000),
+                    )
+                    .unwrap()
+                })
+            },
+        );
+        let view_vs_etable = ae3cnf_cont_view_into_etable(&instance);
+        group.bench_with_input(
+            BenchmarkId::new("t42_5_view_in_etable", universals),
+            &universals,
+            |b, _| {
+                b.iter(|| {
+                    containment::decide(
+                        &view_vs_etable.left,
+                        &view_vs_etable.right,
+                        Budget(1_000_000_000),
+                    )
+                    .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_freeze(c);
+    bench_ablation_forall_exists(c);
+    bench_hard(c);
+    bench_view_cells(c);
+}
+
+criterion_group! {
+    name = containment_benches;
+    config = configure();
+    targets = benches
+}
+criterion_main!(containment_benches);

@@ -1,0 +1,88 @@
+//! Experiments E-T31-1 … E-T31-4 and E-F3 (Theorem 3.1, Fig. 3): the membership problem.
+//!
+//! * `codd_matching` — the PTIME matching algorithm on random Codd-tables (Thm 3.1(1)),
+//!   swept over the row count.
+//! * `ablation_backtracking_on_codd` — ablation A-1: the generic NP backtracking on the
+//!   same easy inputs, to show what the matching algorithm buys.
+//! * `etable_hard` / `itable_hard` / `view_hard` — the 3-colourability reductions of
+//!   Thm 3.1(2,3,4) on planted-colourable graphs of growing size (NP-complete cells).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pw_core::CDatabase;
+use pw_decide::{membership, Budget};
+use pw_reductions::membership_hardness::{three_col_etable, three_col_itable, three_col_view};
+use pw_workloads::{member_instance, planted_three_colorable, random_codd_table, TableParams};
+use std::time::Duration;
+
+fn configure() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(600))
+        .warm_up_time(Duration::from_millis(150))
+}
+
+fn bench_codd_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("membership/codd_matching");
+    for rows in [64usize, 256, 1024] {
+        let params = TableParams::with_rows(rows, 11);
+        let db = CDatabase::single(random_codd_table("R", &params));
+        let yes = member_instance(&db, &params);
+        group.bench_with_input(BenchmarkId::new("member", rows), &rows, |b, _| {
+            b.iter(|| membership::codd_matching(&db, &yes))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ablation_backtracking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("membership/ablation_backtracking_on_codd");
+    // The generic NP search degrades very quickly on inputs the matching algorithm handles
+    // in microseconds — that is the point of the ablation — so the sweep stays small.
+    for rows in [8usize, 16, 32] {
+        let params = TableParams::with_rows(rows, 11);
+        let db = CDatabase::single(random_codd_table("R", &params));
+        let yes = member_instance(&db, &params);
+        group.bench_with_input(BenchmarkId::new("member", rows), &rows, |b, _| {
+            b.iter(|| membership::backtracking(&db, &yes, Budget(1_000_000_000)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_hard_families(c: &mut Criterion) {
+    let mut group = c.benchmark_group("membership/three_colorability_reductions");
+    for vertices in [5usize, 7, 9] {
+        let graph = planted_three_colorable(vertices, 0.7, 3);
+        let e = three_col_etable(&graph);
+        group.bench_with_input(BenchmarkId::new("etable", vertices), &vertices, |b, _| {
+            b.iter(|| membership::decide(&e.view.db, &e.instance, Budget(1_000_000_000)).unwrap())
+        });
+        let i = three_col_itable(&graph);
+        group.bench_with_input(BenchmarkId::new("itable", vertices), &vertices, |b, _| {
+            b.iter(|| membership::decide(&i.view.db, &i.instance, Budget(1_000_000_000)).unwrap())
+        });
+    }
+    for vertices in [4usize, 5] {
+        let graph = planted_three_colorable(vertices, 0.7, 3);
+        let v = three_col_view(&graph);
+        group.bench_with_input(BenchmarkId::new("view", vertices), &vertices, |b, _| {
+            b.iter(|| {
+                membership::view_membership(&v.view, &v.instance, Budget(1_000_000_000)).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_codd_matching(c);
+    bench_ablation_backtracking(c);
+    bench_hard_families(c);
+}
+
+criterion_group! {
+    name = membership_benches;
+    config = configure();
+    targets = benches
+}
+criterion_main!(membership_benches);

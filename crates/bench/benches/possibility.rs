@@ -1,0 +1,171 @@
+//! Experiments E-T51-1 … E-T52-3 (Theorems 5.1 and 5.2): the possibility problem.
+//!
+//! * `codd_matching` — Thm 5.1(1): unbounded possibility on Codd-tables (PTIME matching).
+//! * `bounded_ctable_algebra` — Thm 5.2(1): bounded possibility for a fixed positive
+//!   existential query on c-tables via the c-table algebra, swept over the table size.
+//! * `ablation_enumeration` — ablation A-2: deciding the same bounded questions by
+//!   exhaustive world enumeration (the Prop. 2.1 fallback), to show what the algebra buys.
+//! * `hard reductions` — Thm 5.1(2,3): 3CNF-SAT → unbounded possibility on e-/i-tables;
+//!   Thm 5.2(2,3): 3DNF-non-tautology → `POSS(1, FO)` and 3CNF-SAT → `POSS(1, DATALOG)`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pw_core::{CDatabase, View};
+use pw_decide::{possibility, Budget};
+use pw_query::{qatom, ConjunctiveQuery, QTerm, Query, QueryDef, Ucq};
+use pw_reductions::possibility_hardness::{
+    nontaut_poss_fo, sat_poss_datalog, sat_poss_etable, sat_poss_itable,
+};
+use pw_relational::Instance;
+use pw_workloads::{member_instance, random_3cnf, random_ctable, random_codd_table, TableParams};
+use std::time::Duration;
+
+fn configure() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(600))
+        .warm_up_time(Duration::from_millis(150))
+}
+
+/// A two-fact pattern drawn from a guaranteed member world of the database.
+fn small_pattern(db: &CDatabase, params: &TableParams) -> Instance {
+    let world = member_instance(db, params);
+    let mut out = Instance::new();
+    for (name, rel) in world.iter() {
+        for fact in rel.iter().take(2) {
+            out.insert_fact(name.clone(), fact.clone()).expect("same arity");
+        }
+    }
+    out
+}
+
+fn bench_codd_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("possibility/codd_matching");
+    for rows in [64usize, 256, 1024] {
+        let params = TableParams::with_rows(rows, 41);
+        let db = CDatabase::single(random_codd_table("R", &params));
+        let facts = member_instance(&db, &params);
+        group.bench_with_input(BenchmarkId::new("unbounded", rows), &rows, |b, _| {
+            b.iter(|| possibility::codd_matching(&db, &facts))
+        });
+    }
+    group.finish();
+}
+
+fn bench_bounded_algebra(c: &mut Criterion) {
+    let mut group = c.benchmark_group("possibility/bounded_ctable_algebra");
+    let query = Query::single(
+        "Q",
+        QueryDef::Ucq(Ucq::single(ConjunctiveQuery::new(
+            [QTerm::var("a"), QTerm::var("c")],
+            [qatom!("R"; "a", "b", "c")],
+        ))),
+    );
+    for rows in [32usize, 128, 512] {
+        let params = TableParams::with_rows(rows, 42);
+        let db = CDatabase::single(random_ctable("R", &params));
+        let facts = {
+            // Project the two-fact pattern through the query shape (first and third column).
+            let pattern = small_pattern(&db, &params);
+            let mut out = Instance::new();
+            for (_, rel) in pattern.iter() {
+                for fact in rel.iter() {
+                    out.insert_fact(
+                        "Q",
+                        pw_relational::Tuple::new([fact[0].clone(), fact[2].clone()]),
+                    )
+                    .expect("arity 2");
+                }
+            }
+            out
+        };
+        let view = View::new(query.clone(), db);
+        group.bench_with_input(BenchmarkId::new("rows", rows), &rows, |b, _| {
+            b.iter(|| possibility::decide(&view, &facts, Budget(1_000_000_000)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_ablation_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("possibility/ablation_world_enumeration");
+    for rows in [2usize, 4, 6] {
+        let params = TableParams {
+            rows,
+            arity: 2,
+            constants: 4,
+            null_density: 0.5,
+            seed: 43,
+        };
+        let db = CDatabase::single(random_codd_table("R", &params));
+        let facts = small_pattern(&db, &params);
+        let view = View::identity(db);
+        group.bench_with_input(BenchmarkId::new("rows", rows), &rows, |b, _| {
+            b.iter(|| possibility::by_enumeration(&view, &facts, Budget(1_000_000_000)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_hard(c: &mut Criterion) {
+    let mut group = c.benchmark_group("possibility/hard_reductions");
+    for vars in [4usize, 6, 8] {
+        // Keep the benchmark on satisfiable ("yes") instances so its running time reflects
+        // witness search rather than unbounded exhaustion; the unsatisfiable side is
+        // exercised by the unit tests and the `experiments` binary.
+        let formula = (0u64..)
+            .map(|s| random_3cnf(vars, vars * 3, 8 + s))
+            .find(|f| f.solve().is_sat())
+            .expect("a satisfiable formula exists");
+        let e = sat_poss_etable(&formula);
+        group.bench_with_input(BenchmarkId::new("sat_etable", vars), &vars, |b, _| {
+            b.iter(|| possibility::decide(&e.view, &e.facts, Budget(1_000_000_000)).unwrap())
+        });
+        let i = sat_poss_itable(&formula);
+        group.bench_with_input(BenchmarkId::new("sat_itable", vars), &vars, |b, _| {
+            b.iter(|| possibility::decide(&i.view, &i.facts, Budget(1_000_000_000)).unwrap())
+        });
+    }
+    for occurrences in [1usize, 2, 3] {
+        use pw_solvers::{Clause, DnfFormula, Literal};
+        let formula = DnfFormula::new(
+            occurrences,
+            (0..occurrences).map(|i| Clause::new([Literal { var: i, positive: true }])),
+        );
+        let reduction = nontaut_poss_fo(&formula);
+        group.bench_with_input(
+            BenchmarkId::new("nontaut_fo_occurrences", occurrences),
+            &occurrences,
+            |b, _| {
+                b.iter(|| {
+                    possibility::decide(&reduction.view, &reduction.facts, Budget(1_000_000_000))
+                        .unwrap()
+                })
+            },
+        );
+    }
+    for vars in [2usize, 3] {
+        let formula = random_3cnf(vars, 3, 10);
+        let reduction = sat_poss_datalog(&formula);
+        group.bench_with_input(BenchmarkId::new("sat_datalog", vars), &vars, |b, _| {
+            b.iter(|| {
+                possibility::decide(&reduction.view, &reduction.facts, Budget(1_000_000_000))
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_codd_matching(c);
+    bench_bounded_algebra(c);
+    bench_ablation_enumeration(c);
+    bench_hard(c);
+}
+
+criterion_group! {
+    name = possibility_benches;
+    config = configure();
+    targets = benches
+}
+criterion_main!(possibility_benches);

@@ -1,0 +1,115 @@
+//! Substrate ablations (A-4 and supporting micro-benchmarks): the building blocks whose
+//! cost underlies every decision procedure.
+//!
+//! * Datalog naive vs. semi-naive fixpoint (ablation A-4).
+//! * Hopcroft–Karp matching on the bipartite graphs produced by the membership algorithm.
+//! * Conjunction satisfiability (the PTIME condition check of Section 2.2).
+//! * The c-table algebra itself (the polynomial conversion behind Theorems 3.2(2)/5.2(1)).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pw_condition::{Atom, Conjunction, VarGen};
+use pw_core::{algebra::eval_ucq, CDatabase};
+use pw_query::{qatom, ConjunctiveQuery, DatalogProgram, QTerm, Ucq};
+use pw_query::datalog::FixpointStrategy;
+use pw_relational::{Instance, Relation, Tuple};
+use pw_solvers::matching::{maximum_matching, BipartiteGraph};
+use pw_workloads::{random_ctable, TableParams};
+use std::time::Duration;
+
+fn configure() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(600))
+        .warm_up_time(Duration::from_millis(150))
+}
+
+fn chain_instance(n: i64) -> Instance {
+    let mut r = Relation::empty(2);
+    for i in 0..n {
+        r.insert(Tuple::new([i.into(), (i + 1).into()])).unwrap();
+    }
+    Instance::single("E", r)
+}
+
+fn bench_datalog(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrates/datalog_fixpoint");
+    let program = DatalogProgram::transitive_closure("E", "TC");
+    for n in [16i64, 32, 64] {
+        let instance = chain_instance(n);
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| program.eval_with(&instance, FixpointStrategy::Naive))
+        });
+        group.bench_with_input(BenchmarkId::new("semi_naive", n), &n, |b, _| {
+            b.iter(|| program.eval_with(&instance, FixpointStrategy::SemiNaive))
+        });
+    }
+    group.finish();
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrates/bipartite_matching");
+    for n in [64usize, 256, 1024] {
+        // A dense-ish random-free bipartite graph: left i connects to right (i+k) mod n for
+        // a handful of offsets, which has a perfect matching.
+        let mut g = BipartiteGraph::new(n, n);
+        for i in 0..n {
+            for k in 0..4 {
+                g.add_edge(i, (i + k * 7) % n);
+            }
+        }
+        group.bench_with_input(BenchmarkId::new("hopcroft_karp", n), &n, |b, _| {
+            b.iter(|| maximum_matching(&g).cardinality())
+        });
+    }
+    group.finish();
+}
+
+fn bench_conditions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrates/condition_satisfiability");
+    for atoms in [64usize, 256, 1024] {
+        let mut vars = VarGen::new();
+        let xs: Vec<_> = (0..atoms + 1).map(|_| vars.fresh()).collect();
+        let mut conj = Conjunction::truth();
+        for i in 0..atoms {
+            if i % 3 == 0 {
+                conj.push(Atom::neq(xs[i], xs[i + 1]));
+            } else {
+                conj.push(Atom::eq(xs[i], xs[i + 1]));
+            }
+        }
+        group.bench_with_input(BenchmarkId::new("atoms", atoms), &atoms, |b, _| {
+            b.iter(|| conj.is_satisfiable())
+        });
+    }
+    group.finish();
+}
+
+fn bench_ctable_algebra(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrates/ctable_algebra");
+    let query = Ucq::single(ConjunctiveQuery::new(
+        [QTerm::var("a"), QTerm::var("c")],
+        [qatom!("R"; "a", "b", "c")],
+    ));
+    for rows in [64usize, 256, 1024] {
+        let params = TableParams::with_rows(rows, 61);
+        let db = CDatabase::single(random_ctable("R", &params));
+        group.bench_with_input(BenchmarkId::new("project", rows), &rows, |b, _| {
+            b.iter(|| eval_ucq(&query, &db, "Q").unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_datalog(c);
+    bench_matching(c);
+    bench_conditions(c);
+    bench_ctable_algebra(c);
+}
+
+criterion_group! {
+    name = substrate_benches;
+    config = configure();
+    targets = benches
+}
+criterion_main!(substrate_benches);

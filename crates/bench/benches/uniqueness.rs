@@ -1,0 +1,102 @@
+//! Experiments E-T32-1 … E-T32-4 (Theorem 3.2): the uniqueness problem.
+//!
+//! * `gtable` — the PTIME normalisation algorithm of Thm 3.2(1) on random g-tables.
+//! * `pos_exist_etable` — the PTIME c-table-algebra algorithm of Thm 3.2(2) on random
+//!   e-tables with a fixed projection query.
+//! * `ctable_hard` — the 3DNF-tautology reduction of Thm 3.2(3) (coNP-complete).
+//! * `view_hard` — the non-3-colourability reduction of Thm 3.2(4) (coNP-complete).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pw_core::{CDatabase, View};
+use pw_decide::{uniqueness, Budget};
+use pw_query::{qatom, ConjunctiveQuery, QTerm, Query, QueryDef, Ucq};
+use pw_reductions::uniqueness_hardness::{dnf_taut_uniq_ctable, non3col_uniq_view};
+use pw_workloads::{
+    member_instance, planted_three_colorable, random_3dnf, random_etable, random_gtable,
+    TableParams,
+};
+use std::time::Duration;
+
+fn configure() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(600))
+        .warm_up_time(Duration::from_millis(150))
+}
+
+fn bench_gtable(c: &mut Criterion) {
+    let mut group = c.benchmark_group("uniqueness/gtable_normalization");
+    for rows in [64usize, 256, 1024] {
+        let params = TableParams::with_rows(rows, 21);
+        let db = CDatabase::single(random_gtable("R", &params));
+        let instance = member_instance(&db, &params);
+        let view = View::identity(db);
+        group.bench_with_input(BenchmarkId::new("rows", rows), &rows, |b, _| {
+            b.iter(|| uniqueness::decide(&view, &instance, Budget::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_pos_exist_etable(c: &mut Criterion) {
+    let mut group = c.benchmark_group("uniqueness/pos_exist_etable");
+    let query = Query::single(
+        "Q",
+        QueryDef::Ucq(Ucq::single(ConjunctiveQuery::new(
+            [QTerm::var("a")],
+            [qatom!("R"; "a", "b", "c")],
+        ))),
+    );
+    for rows in [32usize, 128, 512] {
+        let params = TableParams::with_rows(rows, 22);
+        let db = CDatabase::single(random_etable("R", &params));
+        let view = View::new(query.clone(), db);
+        let instance = view
+            .enumerate_worlds(1, [])
+            .ok()
+            .and_then(|w| w.into_iter().next())
+            .unwrap_or_default();
+        group.bench_with_input(BenchmarkId::new("rows", rows), &rows, |b, _| {
+            b.iter(|| uniqueness::decide(&view, &instance, Budget::default()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_hard(c: &mut Criterion) {
+    let mut group = c.benchmark_group("uniqueness/hard_reductions");
+    for clauses in [4usize, 6, 8] {
+        let formula = random_3dnf(clauses, clauses, 7);
+        let reduction = dnf_taut_uniq_ctable(&formula);
+        group.bench_with_input(BenchmarkId::new("dnf_ctable", clauses), &clauses, |b, _| {
+            b.iter(|| {
+                uniqueness::decide(&reduction.view, &reduction.instance, Budget(1_000_000_000))
+                    .unwrap()
+            })
+        });
+    }
+    for vertices in [4usize, 5, 6] {
+        let graph = planted_three_colorable(vertices, 0.7, 9);
+        let reduction = non3col_uniq_view(&graph);
+        group.bench_with_input(BenchmarkId::new("non3col_view", vertices), &vertices, |b, _| {
+            b.iter(|| {
+                uniqueness::decide(&reduction.view, &reduction.instance, Budget(1_000_000_000))
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_gtable(c);
+    bench_pos_exist_etable(c);
+    bench_hard(c);
+}
+
+criterion_group! {
+    name = uniqueness_benches;
+    config = configure();
+    targets = benches
+}
+criterion_main!(uniqueness_benches);

@@ -1,0 +1,463 @@
+//! Condition atoms and conjunctions.
+
+use crate::unionfind::TermUnionFind;
+use crate::{Term, Variable};
+use pw_relational::Constant;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// An equality or inequality atom over terms.
+///
+/// The paper's atoms are `x = y`, `x = c`, `x ≠ y`, `x ≠ c`; we allow constants on both
+/// sides as well (`c = c'` is simply true or false), which makes substitution closed.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Atom {
+    /// The two terms must be equal.
+    Eq(Term, Term),
+    /// The two terms must differ.
+    Neq(Term, Term),
+}
+
+impl Atom {
+    /// `x = y` style constructor accepting anything convertible into terms.
+    pub fn eq(a: impl Into<Term>, b: impl Into<Term>) -> Atom {
+        Atom::Eq(a.into(), b.into())
+    }
+
+    /// `x ≠ y` style constructor.
+    pub fn neq(a: impl Into<Term>, b: impl Into<Term>) -> Atom {
+        Atom::Neq(a.into(), b.into())
+    }
+
+    /// The always-true atom, encoded as the paper suggests (`x = x`, here `0 = 0`).
+    pub fn truth() -> Atom {
+        Atom::Eq(Term::constant(0), Term::constant(0))
+    }
+
+    /// The always-false atom (`x ≠ x`, here `0 ≠ 0`).
+    pub fn falsity() -> Atom {
+        Atom::Neq(Term::constant(0), Term::constant(0))
+    }
+
+    /// The two operand terms.
+    pub fn terms(&self) -> (&Term, &Term) {
+        match self {
+            Atom::Eq(a, b) | Atom::Neq(a, b) => (a, b),
+        }
+    }
+
+    /// Is this an equality atom?
+    pub fn is_equality(&self) -> bool {
+        matches!(self, Atom::Eq(..))
+    }
+
+    /// Variables mentioned by the atom.
+    pub fn variables(&self) -> impl Iterator<Item = Variable> + '_ {
+        let (a, b) = self.terms();
+        a.as_var().into_iter().chain(b.as_var())
+    }
+
+    /// Evaluate under a *total* assignment of constants to the atom's variables.
+    /// Returns `None` if some variable is unassigned.
+    pub fn eval(&self, lookup: &impl Fn(Variable) -> Option<Constant>) -> Option<bool> {
+        let value = |t: &Term| -> Option<Constant> {
+            match t {
+                Term::Const(c) => Some(c.clone()),
+                Term::Var(v) => lookup(*v),
+            }
+        };
+        let (a, b) = self.terms();
+        let (va, vb) = (value(a)?, value(b)?);
+        Some(match self {
+            Atom::Eq(..) => va == vb,
+            Atom::Neq(..) => va != vb,
+        })
+    }
+
+    /// Replace variable `v` by `t` in both operands.
+    pub fn substitute(&self, v: Variable, t: &Term) -> Atom {
+        match self {
+            Atom::Eq(a, b) => Atom::Eq(a.substitute(v, t), b.substitute(v, t)),
+            Atom::Neq(a, b) => Atom::Neq(a.substitute(v, t), b.substitute(v, t)),
+        }
+    }
+
+    /// Trivial truth value, when decidable without knowing variable values:
+    /// `Some(true)` / `Some(false)` for ground or reflexive atoms, `None` otherwise.
+    pub fn trivial_value(&self) -> Option<bool> {
+        let (a, b) = self.terms();
+        match (a, b) {
+            (Term::Const(x), Term::Const(y)) => Some(match self {
+                Atom::Eq(..) => x == y,
+                Atom::Neq(..) => x != y,
+            }),
+            _ if a == b => Some(self.is_equality()),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Debug for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Atom::Eq(a, b) => write!(f, "{a} = {b}"),
+            Atom::Neq(a, b) => write!(f, "{a} ≠ {b}"),
+        }
+    }
+}
+
+/// A conjunction of atoms — the only connective the paper's conditions use.
+///
+/// The empty conjunction is *true*.
+#[derive(Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Conjunction {
+    atoms: Vec<Atom>,
+}
+
+impl Conjunction {
+    /// The empty (true) conjunction.
+    pub fn truth() -> Self {
+        Conjunction::default()
+    }
+
+    /// A conjunction that is unsatisfiable.
+    pub fn falsity() -> Self {
+        Conjunction {
+            atoms: vec![Atom::falsity()],
+        }
+    }
+
+    /// Build from atoms.
+    pub fn new(atoms: impl IntoIterator<Item = Atom>) -> Self {
+        Conjunction {
+            atoms: atoms.into_iter().collect(),
+        }
+    }
+
+    /// Build a conjunction with a single atom.
+    pub fn single(atom: Atom) -> Self {
+        Conjunction { atoms: vec![atom] }
+    }
+
+    /// The atoms, in insertion order.
+    pub fn atoms(&self) -> &[Atom] {
+        &self.atoms
+    }
+
+    /// Number of atoms.
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Whether this is the empty (true) conjunction.
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// Append an atom.
+    pub fn push(&mut self, atom: Atom) {
+        self.atoms.push(atom);
+    }
+
+    /// Conjoin with another conjunction.
+    pub fn and(&self, other: &Conjunction) -> Conjunction {
+        let mut atoms = self.atoms.clone();
+        atoms.extend(other.atoms.iter().cloned());
+        Conjunction { atoms }
+    }
+
+    /// All variables mentioned.
+    pub fn variables(&self) -> BTreeSet<Variable> {
+        self.atoms.iter().flat_map(Atom::variables).collect()
+    }
+
+    /// All constants mentioned.
+    pub fn constants(&self) -> BTreeSet<Constant> {
+        self.atoms
+            .iter()
+            .flat_map(|a| {
+                let (x, y) = a.terms();
+                x.as_const().cloned().into_iter().chain(y.as_const().cloned())
+            })
+            .collect()
+    }
+
+    /// Whether the conjunction contains only equality atoms (e-table global condition).
+    pub fn is_equalities_only(&self) -> bool {
+        self.atoms.iter().all(Atom::is_equality)
+    }
+
+    /// Whether the conjunction contains only inequality atoms (i-table global condition).
+    pub fn is_inequalities_only(&self) -> bool {
+        self.atoms.iter().all(|a| !a.is_equality())
+    }
+
+    /// PTIME satisfiability (union–find over equalities, then inequality checks).
+    pub fn is_satisfiable(&self) -> bool {
+        let mut uf = TermUnionFind::new();
+        for atom in &self.atoms {
+            if let Atom::Eq(a, b) = atom {
+                if !uf.union_terms(a, b) {
+                    return false;
+                }
+            }
+        }
+        for atom in &self.atoms {
+            if let Atom::Neq(a, b) = atom {
+                if uf.same_class(a, b) {
+                    return false;
+                }
+                // Two classes bound to the same constant are also equal.
+                if let (Some(ca), Some(cb)) = (uf.constant_of(a), uf.constant_of(b)) {
+                    if ca == cb {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Evaluate under a total assignment; `None` if a variable is unassigned.
+    pub fn eval(&self, lookup: &impl Fn(Variable) -> Option<Constant>) -> Option<bool> {
+        let mut all = true;
+        for atom in &self.atoms {
+            match atom.eval(lookup) {
+                Some(true) => {}
+                Some(false) => all = false,
+                None => return None,
+            }
+        }
+        Some(all)
+    }
+
+    /// Replace variable `v` by term `t` everywhere.
+    pub fn substitute(&self, v: Variable, t: &Term) -> Conjunction {
+        Conjunction {
+            atoms: self.atoms.iter().map(|a| a.substitute(v, t)).collect(),
+        }
+    }
+
+    /// The constant each variable is *forced* to equal by this conjunction, if any.
+    ///
+    /// Used by the g-table uniqueness algorithm of Theorem 3.2(1): "if it follows from the
+    /// global condition that a variable equals a constant, then the variable is replaced by
+    /// that constant".  Returns `None` if the conjunction is unsatisfiable.
+    pub fn forced_constants(&self) -> Option<Vec<(Variable, Constant)>> {
+        if !self.is_satisfiable() {
+            return None;
+        }
+        let mut uf = TermUnionFind::new();
+        for atom in &self.atoms {
+            if let Atom::Eq(a, b) = atom {
+                // Satisfiability above guarantees these unions succeed.
+                uf.union_terms(a, b);
+            }
+        }
+        let mut out = Vec::new();
+        for v in self.variables() {
+            if let Some(c) = uf.constant_of(&Term::Var(v)) {
+                out.push((v, c));
+            }
+        }
+        Some(out)
+    }
+
+    /// Does this conjunction logically imply `other`?
+    ///
+    /// Sound and complete for the equality fragment (an implied equality must follow from
+    /// the union–find closure); an inequality is implied when its two sides are forced to
+    /// distinct constants or when the conjunction is unsatisfiable.  This is sufficient for
+    /// the normalisation performed by the decision procedures; it is *not* used where full
+    /// inequality reasoning would be needed.
+    pub fn implies(&self, other: &Conjunction) -> bool {
+        if !self.is_satisfiable() {
+            return true;
+        }
+        let mut uf = TermUnionFind::new();
+        for atom in &self.atoms {
+            if let Atom::Eq(a, b) = atom {
+                uf.union_terms(a, b);
+            }
+        }
+        for atom in &other.atoms {
+            let (a, b) = atom.terms();
+            match atom {
+                Atom::Eq(..) => {
+                    if !uf.same_class(a, b) {
+                        return false;
+                    }
+                }
+                Atom::Neq(..) => {
+                    // Implied if terms are bound to distinct constants, or if conjoining the
+                    // equality a = b with self is unsatisfiable.
+                    let with_eq = self.and(&Conjunction::single(Atom::Eq(a.clone(), b.clone())));
+                    if with_eq.is_satisfiable() {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+impl FromIterator<Atom> for Conjunction {
+    fn from_iter<T: IntoIterator<Item = Atom>>(iter: T) -> Self {
+        Conjunction::new(iter)
+    }
+}
+
+impl fmt::Debug for Conjunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Conjunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.atoms.is_empty() {
+            return write!(f, "true");
+        }
+        for (i, a) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VarGen;
+
+    #[test]
+    fn satisfiability_of_pure_equalities() {
+        let mut g = VarGen::new();
+        let (x, y, z) = (g.fresh(), g.fresh(), g.fresh());
+        let c = Conjunction::new([Atom::eq(x, y), Atom::eq(y, z), Atom::eq(z, 5)]);
+        assert!(c.is_satisfiable());
+        let c2 = c.and(&Conjunction::single(Atom::eq(x, 6)));
+        assert!(!c2.is_satisfiable(), "x forced to both 5 and 6");
+    }
+
+    #[test]
+    fn satisfiability_with_inequalities() {
+        let mut g = VarGen::new();
+        let (x, y) = (g.fresh(), g.fresh());
+        assert!(Conjunction::new([Atom::neq(x, y)]).is_satisfiable());
+        assert!(!Conjunction::new([Atom::eq(x, y), Atom::neq(x, y)]).is_satisfiable());
+        assert!(!Conjunction::new([Atom::eq(x, 1), Atom::eq(y, 1), Atom::neq(x, y)])
+            .is_satisfiable());
+        assert!(Conjunction::new([Atom::eq(x, 1), Atom::eq(y, 2), Atom::neq(x, y)])
+            .is_satisfiable());
+        assert!(!Conjunction::new([Atom::neq(x, x)]).is_satisfiable());
+    }
+
+    #[test]
+    fn truth_and_falsity() {
+        assert!(Conjunction::truth().is_satisfiable());
+        assert!(Conjunction::truth().is_empty());
+        assert!(!Conjunction::falsity().is_satisfiable());
+        assert_eq!(Atom::truth().trivial_value(), Some(true));
+        assert_eq!(Atom::falsity().trivial_value(), Some(false));
+    }
+
+    #[test]
+    fn eval_under_total_assignment() {
+        let mut g = VarGen::new();
+        let (x, y) = (g.fresh(), g.fresh());
+        let c = Conjunction::new([Atom::eq(x, 1), Atom::neq(x, y)]);
+        let lookup = |v: Variable| -> Option<Constant> {
+            if v == x {
+                Some(Constant::int(1))
+            } else if v == y {
+                Some(Constant::int(2))
+            } else {
+                None
+            }
+        };
+        assert_eq!(c.eval(&lookup), Some(true));
+        let lookup_bad = |v: Variable| -> Option<Constant> {
+            if v == x || v == y {
+                Some(Constant::int(1))
+            } else {
+                None
+            }
+        };
+        assert_eq!(c.eval(&lookup_bad), Some(false));
+        let partial = |v: Variable| -> Option<Constant> {
+            if v == x {
+                Some(Constant::int(1))
+            } else {
+                None
+            }
+        };
+        assert_eq!(c.eval(&partial), None);
+    }
+
+    #[test]
+    fn forced_constants_follow_equality_chains() {
+        let mut g = VarGen::new();
+        let (x, y, z) = (g.fresh(), g.fresh(), g.fresh());
+        let c = Conjunction::new([Atom::eq(x, y), Atom::eq(y, 3), Atom::neq(z, 1)]);
+        let forced = c.forced_constants().unwrap();
+        assert!(forced.contains(&(x, Constant::int(3))));
+        assert!(forced.contains(&(y, Constant::int(3))));
+        assert!(!forced.iter().any(|(v, _)| *v == z));
+        assert_eq!(Conjunction::falsity().forced_constants(), None);
+    }
+
+    #[test]
+    fn implication() {
+        let mut g = VarGen::new();
+        let (x, y, z) = (g.fresh(), g.fresh(), g.fresh());
+        let c = Conjunction::new([Atom::eq(x, y), Atom::eq(y, z)]);
+        assert!(c.implies(&Conjunction::single(Atom::eq(x, z))));
+        assert!(!c.implies(&Conjunction::single(Atom::eq(x, 1))));
+        let d = Conjunction::new([Atom::eq(x, 1), Atom::eq(y, 2)]);
+        assert!(d.implies(&Conjunction::single(Atom::neq(x, y))));
+        assert!(Conjunction::falsity().implies(&Conjunction::single(Atom::eq(x, 1))));
+    }
+
+    #[test]
+    fn classification_helpers() {
+        let mut g = VarGen::new();
+        let (x, y) = (g.fresh(), g.fresh());
+        assert!(Conjunction::new([Atom::eq(x, y)]).is_equalities_only());
+        assert!(!Conjunction::new([Atom::eq(x, y)]).is_inequalities_only());
+        assert!(Conjunction::new([Atom::neq(x, y)]).is_inequalities_only());
+        assert!(Conjunction::truth().is_equalities_only());
+        assert!(Conjunction::truth().is_inequalities_only());
+    }
+
+    #[test]
+    fn substitution_and_display() {
+        let mut g = VarGen::new();
+        let (x, y) = (g.fresh(), g.fresh());
+        let c = Conjunction::new([Atom::eq(x, y)]);
+        let c2 = c.substitute(x, &Term::constant(7));
+        assert_eq!(c2.atoms()[0], Atom::eq(7, y));
+        assert!(c.to_string().contains('='));
+        assert_eq!(Conjunction::truth().to_string(), "true");
+        assert!(Conjunction::new([Atom::neq(x, y)]).to_string().contains('≠'));
+    }
+
+    #[test]
+    fn variables_and_constants_are_collected() {
+        let mut g = VarGen::new();
+        let (x, y) = (g.fresh(), g.fresh());
+        let c = Conjunction::new([Atom::eq(x, 3), Atom::neq(y, "a")]);
+        assert_eq!(c.variables().len(), 2);
+        assert_eq!(c.constants().len(), 2);
+    }
+}

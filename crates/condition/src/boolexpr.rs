@@ -1,0 +1,320 @@
+//! Positive boolean combinations of condition atoms.
+//!
+//! c-table *local conditions* are conjunctions of atoms, but two places in the paper need
+//! richer (still negation-free) formulas:
+//!
+//! * the c-table algebra of Imieliński–Lipski generates local conditions "with both ors and
+//!   ands" during query evaluation (Theorem 3.2(2), remark (*)), which are then put in
+//!   disjunctive normal form; and
+//! * projection/union of c-tables naturally produces disjunctions of the conditions of the
+//!   merged tuples.
+//!
+//! [`BoolExpr`] is that formula language: atoms, conjunction, disjunction and the two
+//! constants.  Negation is deliberately absent — the paper's conditions never need it
+//! (inequality is an atom, not a negation).
+
+use crate::{Atom, Conjunction, Term, Variable};
+use pw_relational::Constant;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A negation-free boolean combination of condition atoms.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum BoolExpr {
+    /// The constant true.
+    True,
+    /// The constant false.
+    False,
+    /// A single atom.
+    Atom(Atom),
+    /// Conjunction of sub-expressions (empty = true).
+    And(Vec<BoolExpr>),
+    /// Disjunction of sub-expressions (empty = false).
+    Or(Vec<BoolExpr>),
+}
+
+impl BoolExpr {
+    /// Lift a conjunction of atoms.
+    pub fn from_conjunction(c: &Conjunction) -> BoolExpr {
+        if c.is_empty() {
+            BoolExpr::True
+        } else {
+            BoolExpr::And(c.atoms().iter().cloned().map(BoolExpr::Atom).collect())
+        }
+    }
+
+    /// Conjunction of two expressions with light simplification.
+    pub fn and(self, other: BoolExpr) -> BoolExpr {
+        match (self, other) {
+            (BoolExpr::False, _) | (_, BoolExpr::False) => BoolExpr::False,
+            (BoolExpr::True, e) | (e, BoolExpr::True) => e,
+            (BoolExpr::And(mut a), BoolExpr::And(b)) => {
+                a.extend(b);
+                BoolExpr::And(a)
+            }
+            (BoolExpr::And(mut a), e) => {
+                a.push(e);
+                BoolExpr::And(a)
+            }
+            (e, BoolExpr::And(mut b)) => {
+                b.insert(0, e);
+                BoolExpr::And(b)
+            }
+            (a, b) => BoolExpr::And(vec![a, b]),
+        }
+    }
+
+    /// Disjunction of two expressions with light simplification.
+    pub fn or(self, other: BoolExpr) -> BoolExpr {
+        match (self, other) {
+            (BoolExpr::True, _) | (_, BoolExpr::True) => BoolExpr::True,
+            (BoolExpr::False, e) | (e, BoolExpr::False) => e,
+            (BoolExpr::Or(mut a), BoolExpr::Or(b)) => {
+                a.extend(b);
+                BoolExpr::Or(a)
+            }
+            (BoolExpr::Or(mut a), e) => {
+                a.push(e);
+                BoolExpr::Or(a)
+            }
+            (e, BoolExpr::Or(mut b)) => {
+                b.insert(0, e);
+                BoolExpr::Or(b)
+            }
+            (a, b) => BoolExpr::Or(vec![a, b]),
+        }
+    }
+
+    /// All variables mentioned.
+    pub fn variables(&self) -> BTreeSet<Variable> {
+        let mut out = BTreeSet::new();
+        self.collect_variables(&mut out);
+        out
+    }
+
+    fn collect_variables(&self, out: &mut BTreeSet<Variable>) {
+        match self {
+            BoolExpr::True | BoolExpr::False => {}
+            BoolExpr::Atom(a) => out.extend(a.variables()),
+            BoolExpr::And(es) | BoolExpr::Or(es) => {
+                for e in es {
+                    e.collect_variables(out);
+                }
+            }
+        }
+    }
+
+    /// Evaluate under a total assignment; `None` if a relevant variable is unassigned.
+    pub fn eval(&self, lookup: &impl Fn(Variable) -> Option<Constant>) -> Option<bool> {
+        match self {
+            BoolExpr::True => Some(true),
+            BoolExpr::False => Some(false),
+            BoolExpr::Atom(a) => a.eval(lookup),
+            BoolExpr::And(es) => {
+                let mut acc = true;
+                for e in es {
+                    acc &= e.eval(lookup)?;
+                }
+                Some(acc)
+            }
+            BoolExpr::Or(es) => {
+                let mut acc = false;
+                for e in es {
+                    acc |= e.eval(lookup)?;
+                }
+                Some(acc)
+            }
+        }
+    }
+
+    /// Replace a variable by a term everywhere.
+    pub fn substitute(&self, v: Variable, t: &Term) -> BoolExpr {
+        match self {
+            BoolExpr::True => BoolExpr::True,
+            BoolExpr::False => BoolExpr::False,
+            BoolExpr::Atom(a) => BoolExpr::Atom(a.substitute(v, t)),
+            BoolExpr::And(es) => BoolExpr::And(es.iter().map(|e| e.substitute(v, t)).collect()),
+            BoolExpr::Or(es) => BoolExpr::Or(es.iter().map(|e| e.substitute(v, t)).collect()),
+        }
+    }
+
+    /// Disjunctive normal form: a list of conjunctions whose disjunction is equivalent to
+    /// the expression.  Unsatisfiable disjuncts are dropped; an empty list means *false*.
+    ///
+    /// Worst-case exponential in the formula size, but the formulas produced by a *fixed*
+    /// query are of bounded size (the argument used in Theorem 3.2(2) step (c)), so the
+    /// data-complexity of callers stays polynomial.
+    pub fn to_dnf(&self) -> Vec<Conjunction> {
+        let disjuncts = self.dnf_raw();
+        disjuncts
+            .into_iter()
+            .filter(Conjunction::is_satisfiable)
+            .collect()
+    }
+
+    fn dnf_raw(&self) -> Vec<Conjunction> {
+        match self {
+            BoolExpr::True => vec![Conjunction::truth()],
+            BoolExpr::False => vec![],
+            BoolExpr::Atom(a) => match a.trivial_value() {
+                Some(true) => vec![Conjunction::truth()],
+                Some(false) => vec![],
+                None => vec![Conjunction::single(a.clone())],
+            },
+            BoolExpr::Or(es) => es.iter().flat_map(BoolExpr::dnf_raw).collect(),
+            BoolExpr::And(es) => {
+                let mut acc = vec![Conjunction::truth()];
+                for e in es {
+                    let rhs = e.dnf_raw();
+                    let mut next = Vec::with_capacity(acc.len() * rhs.len().max(1));
+                    for a in &acc {
+                        for b in &rhs {
+                            next.push(a.and(b));
+                        }
+                    }
+                    acc = next;
+                    if acc.is_empty() {
+                        break;
+                    }
+                }
+                acc
+            }
+        }
+    }
+
+    /// Whether some assignment satisfies the expression (via DNF + conjunction SAT).
+    pub fn is_satisfiable(&self) -> bool {
+        !self.to_dnf().is_empty()
+    }
+}
+
+impl From<Atom> for BoolExpr {
+    fn from(value: Atom) -> Self {
+        BoolExpr::Atom(value)
+    }
+}
+
+impl From<Conjunction> for BoolExpr {
+    fn from(value: Conjunction) -> Self {
+        BoolExpr::from_conjunction(&value)
+    }
+}
+
+impl fmt::Debug for BoolExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for BoolExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoolExpr::True => write!(f, "true"),
+            BoolExpr::False => write!(f, "false"),
+            BoolExpr::Atom(a) => write!(f, "{a}"),
+            BoolExpr::And(es) => {
+                write!(f, "(")?;
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∧ ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+            BoolExpr::Or(es) => {
+                write!(f, "(")?;
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∨ ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VarGen;
+
+    #[test]
+    fn and_or_simplify_constants() {
+        let a = BoolExpr::Atom(Atom::eq(1, 1));
+        assert_eq!(BoolExpr::True.and(a.clone()), a);
+        assert_eq!(BoolExpr::False.and(a.clone()), BoolExpr::False);
+        assert_eq!(BoolExpr::False.or(a.clone()), a);
+        assert_eq!(BoolExpr::True.or(a), BoolExpr::True);
+    }
+
+    #[test]
+    fn dnf_of_conjunction_of_disjunctions() {
+        let mut g = VarGen::new();
+        let (x, y) = (g.fresh(), g.fresh());
+        // (x=1 ∨ x=2) ∧ (y=3)
+        let e = BoolExpr::Atom(Atom::eq(x, 1))
+            .or(BoolExpr::Atom(Atom::eq(x, 2)))
+            .and(BoolExpr::Atom(Atom::eq(y, 3)));
+        let dnf = e.to_dnf();
+        assert_eq!(dnf.len(), 2);
+        assert!(dnf.iter().all(|c| c.len() == 2));
+    }
+
+    #[test]
+    fn dnf_drops_unsatisfiable_disjuncts() {
+        let mut g = VarGen::new();
+        let x = g.fresh();
+        // (x=1 ∧ x=2) ∨ (x=3)
+        let e = BoolExpr::Atom(Atom::eq(x, 1))
+            .and(BoolExpr::Atom(Atom::eq(x, 2)))
+            .or(BoolExpr::Atom(Atom::eq(x, 3)));
+        let dnf = e.to_dnf();
+        assert_eq!(dnf.len(), 1);
+        assert!(e.is_satisfiable());
+        let contradiction = BoolExpr::Atom(Atom::eq(x, 1)).and(BoolExpr::Atom(Atom::neq(x, 1)));
+        assert!(!contradiction.is_satisfiable());
+        assert!(contradiction.to_dnf().is_empty());
+    }
+
+    #[test]
+    fn eval_and_substitute() {
+        let mut g = VarGen::new();
+        let (x, y) = (g.fresh(), g.fresh());
+        let e = BoolExpr::Atom(Atom::eq(x, 1)).or(BoolExpr::Atom(Atom::eq(y, 2)));
+        let lookup = |v: Variable| -> Option<Constant> {
+            if v == x {
+                Some(Constant::int(9))
+            } else if v == y {
+                Some(Constant::int(2))
+            } else {
+                None
+            }
+        };
+        assert_eq!(e.eval(&lookup), Some(true));
+        let e2 = e.substitute(y, &Term::constant(5));
+        assert_eq!(e2.eval(&lookup), Some(false));
+        assert_eq!(e.variables().len(), 2);
+    }
+
+    #[test]
+    fn conversion_from_conjunction() {
+        let mut g = VarGen::new();
+        let x = g.fresh();
+        let c = Conjunction::new([Atom::eq(x, 1), Atom::neq(x, 2)]);
+        let e: BoolExpr = c.clone().into();
+        assert_eq!(e.to_dnf(), vec![c]);
+        assert_eq!(BoolExpr::from_conjunction(&Conjunction::truth()), BoolExpr::True);
+    }
+
+    #[test]
+    fn display_nested() {
+        let mut g = VarGen::new();
+        let x = g.fresh();
+        let e = BoolExpr::Atom(Atom::eq(x, 1)).or(BoolExpr::Atom(Atom::neq(x, 2)));
+        let s = e.to_string();
+        assert!(s.contains('∨'));
+    }
+}

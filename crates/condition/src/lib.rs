@@ -1,0 +1,34 @@
+//! # `pw-condition` — symbolic conditions over null values
+//!
+//! Section 2.2 of the paper augments tables with *conditions*: conjunctions of equality
+//! atoms (`x = y`, `x = c`) and inequality atoms (`x ≠ y`, `x ≠ c`) over variables (nulls)
+//! and constants.  Conditions appear in two places:
+//!
+//! * a **global condition** φ_T attached to a whole table (g-/i-/e-tables), and
+//! * a **local condition** φ_t attached to each tuple of a c-table.
+//!
+//! This crate provides:
+//!
+//! * [`Variable`]s and [`Term`]s (variable or constant),
+//! * [`Atom`]s and [`Conjunction`]s with PTIME satisfiability ([`Conjunction::is_satisfiable`])
+//!   via union–find — exactly the check the paper notes "can be done in PTIME because a
+//!   global condition is a conjunction",
+//! * [`BoolExpr`] — positive boolean combinations of atoms with conversion to disjunctive
+//!   normal form, needed by the uniqueness algorithm of Theorem 3.2(2) (step (c)) and by the
+//!   c-table algebra, and
+//! * [`ConstraintSet`] — an incremental union–find based constraint store used by the
+//!   backtracking decision procedures of `pw-decide` (partial valuations with equality
+//!   propagation and inequality checking).
+
+pub mod atom;
+pub mod boolexpr;
+pub mod solve;
+pub mod term;
+pub mod unionfind;
+pub mod variable;
+
+pub use atom::{Atom, Conjunction};
+pub use boolexpr::BoolExpr;
+pub use solve::ConstraintSet;
+pub use term::Term;
+pub use variable::{VarGen, Variable};

@@ -1,0 +1,250 @@
+//! Incremental constraint store for partial valuations.
+//!
+//! The backtracking decision procedures of `pw-decide` build a valuation piece by piece:
+//! "this table row maps onto that instance fact" induces a batch of equalities between the
+//! row's terms and the fact's constants; global and local conditions add further equalities
+//! and inequalities.  [`ConstraintSet`] maintains the conjunction collected so far and
+//! answers consistency queries in (amortised) near-linear time; it is cloned at choice
+//! points, which keeps the implementation simple and is cheap at the sizes the hard cases
+//! can reach anyway (they are NP-/Π₂ᵖ-hard, the cost is in the search tree, not the store).
+
+use crate::unionfind::TermUnionFind;
+use crate::{Atom, Conjunction, Term, Variable};
+use pw_relational::Constant;
+use std::collections::BTreeSet;
+
+/// A set of equality/inequality constraints with incremental consistency checking.
+#[derive(Clone, Debug, Default)]
+pub struct ConstraintSet {
+    uf: TermUnionFind,
+    /// Inequality constraints recorded so far (checked on every mutation).
+    disequalities: Vec<(Term, Term)>,
+    /// Whether an inconsistency has already been detected.
+    contradictory: bool,
+}
+
+impl ConstraintSet {
+    /// An empty, consistent store.
+    pub fn new() -> Self {
+        ConstraintSet::default()
+    }
+
+    /// Whether the constraints collected so far are consistent.
+    ///
+    /// Consistency here means: no equality chain identifies two distinct constants and no
+    /// recorded inequality has both sides in the same equality class.  For conjunctions of
+    /// equality/inequality atoms over an infinite domain this is exactly satisfiability.
+    pub fn is_consistent(&mut self) -> bool {
+        if self.contradictory {
+            return false;
+        }
+        // Re-validate disequalities against the current classes.
+        for i in 0..self.disequalities.len() {
+            let (a, b) = self.disequalities[i].clone();
+            if self.uf.same_class(&a, &b) {
+                self.contradictory = true;
+                return false;
+            }
+            if let (Some(ca), Some(cb)) = (self.uf.constant_of(&a), self.uf.constant_of(&b)) {
+                if ca == cb {
+                    self.contradictory = true;
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Assert `a = b`.  Returns the new consistency status.
+    pub fn assert_eq(&mut self, a: &Term, b: &Term) -> bool {
+        if self.contradictory {
+            return false;
+        }
+        if !self.uf.union_terms(a, b) {
+            self.contradictory = true;
+            return false;
+        }
+        self.is_consistent()
+    }
+
+    /// Assert `a ≠ b`.  Returns the new consistency status.
+    pub fn assert_neq(&mut self, a: &Term, b: &Term) -> bool {
+        if self.contradictory {
+            return false;
+        }
+        self.disequalities.push((a.clone(), b.clone()));
+        self.is_consistent()
+    }
+
+    /// Assert a whole atom.
+    pub fn assert_atom(&mut self, atom: &Atom) -> bool {
+        match atom {
+            Atom::Eq(a, b) => self.assert_eq(a, b),
+            Atom::Neq(a, b) => self.assert_neq(a, b),
+        }
+    }
+
+    /// Assert every atom of a conjunction.
+    pub fn assert_conjunction(&mut self, c: &Conjunction) -> bool {
+        for atom in c.atoms() {
+            if !self.assert_atom(atom) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Bind a variable to a constant (`v = c`).
+    pub fn bind(&mut self, v: Variable, c: &Constant) -> bool {
+        self.assert_eq(&Term::Var(v), &Term::Const(c.clone()))
+    }
+
+    /// The constant the variable is currently forced to, if any.
+    pub fn value_of(&mut self, v: Variable) -> Option<Constant> {
+        self.uf.constant_of(&Term::Var(v))
+    }
+
+    /// Whether two terms are currently known equal.
+    pub fn known_equal(&mut self, a: &Term, b: &Term) -> bool {
+        self.uf.same_class(a, b)
+    }
+
+    /// Whether two terms are currently known distinct (bound to different constants or
+    /// separated by a recorded inequality whose sides are in their classes).
+    pub fn known_distinct(&mut self, a: &Term, b: &Term) -> bool {
+        if let (Some(ca), Some(cb)) = (self.uf.constant_of(a), self.uf.constant_of(b)) {
+            if ca != cb {
+                return true;
+            }
+        }
+        for i in 0..self.disequalities.len() {
+            let (x, y) = self.disequalities[i].clone();
+            let direct = self.uf.same_class(&x, a) && self.uf.same_class(&y, b);
+            let flipped = self.uf.same_class(&x, b) && self.uf.same_class(&y, a);
+            if direct || flipped {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Extend to a *total* valuation of `vars`: every unbound variable is assigned a fresh
+    /// constant not in `avoid` (fresh constants are pairwise distinct).  Returns `None` when
+    /// the store is inconsistent.
+    ///
+    /// This realises the paper's observation that only valuations into Δ ∪ Δ′ matter: bound
+    /// variables take their forced value from Δ (or a previously chosen fresh value), and
+    /// every remaining variable can safely take a brand-new constant.
+    pub fn complete_valuation(
+        &mut self,
+        vars: impl IntoIterator<Item = Variable>,
+        avoid: &BTreeSet<Constant>,
+    ) -> Option<Vec<(Variable, Constant)>> {
+        if !self.is_consistent() {
+            return None;
+        }
+        let vars: Vec<Variable> = vars.into_iter().collect();
+        let mut used: BTreeSet<Constant> = avoid.clone();
+        // Account for constants already forced, so fresh values do not collide with them.
+        for &v in &vars {
+            if let Some(c) = self.value_of(v) {
+                used.insert(c);
+            }
+        }
+        let mut out = Vec::with_capacity(vars.len());
+        let mut scratch = self.clone();
+        for v in vars {
+            let value = match scratch.value_of(v) {
+                Some(c) => c,
+                None => {
+                    let fresh = Constant::fresh(&used, used.len());
+                    // Binding a fresh constant can conflict only through recorded
+                    // inequalities against other fresh constants, which cannot happen since
+                    // fresh constants are pairwise distinct; still, keep the store honest.
+                    if !scratch.bind(v, &fresh) {
+                        return None;
+                    }
+                    fresh
+                }
+            };
+            used.insert(value.clone());
+            out.push((v, value));
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VarGen;
+
+    #[test]
+    fn equality_then_conflicting_binding_is_inconsistent() {
+        let mut g = VarGen::new();
+        let (x, y) = (g.fresh(), g.fresh());
+        let mut cs = ConstraintSet::new();
+        assert!(cs.assert_eq(&Term::Var(x), &Term::Var(y)));
+        assert!(cs.bind(x, &Constant::int(1)));
+        assert_eq!(cs.value_of(y), Some(Constant::int(1)));
+        assert!(!cs.bind(y, &Constant::int(2)));
+        assert!(!cs.is_consistent());
+    }
+
+    #[test]
+    fn disequality_violation_detected_later() {
+        let mut g = VarGen::new();
+        let (x, y) = (g.fresh(), g.fresh());
+        let mut cs = ConstraintSet::new();
+        assert!(cs.assert_neq(&Term::Var(x), &Term::Var(y)));
+        assert!(cs.bind(x, &Constant::int(1)));
+        assert!(!cs.bind(y, &Constant::int(1)));
+    }
+
+    #[test]
+    fn known_distinct_via_constants_and_disequalities() {
+        let mut g = VarGen::new();
+        let (x, y, z) = (g.fresh(), g.fresh(), g.fresh());
+        let mut cs = ConstraintSet::new();
+        cs.bind(x, &Constant::int(1));
+        cs.bind(y, &Constant::int(2));
+        assert!(cs.known_distinct(&Term::Var(x), &Term::Var(y)));
+        assert!(!cs.known_distinct(&Term::Var(x), &Term::Var(z)));
+        cs.assert_neq(&Term::Var(z), &Term::Var(x));
+        assert!(cs.known_distinct(&Term::Var(z), &Term::Var(x)));
+    }
+
+    #[test]
+    fn assert_conjunction_short_circuits() {
+        let mut g = VarGen::new();
+        let x = g.fresh();
+        let mut cs = ConstraintSet::new();
+        let c = Conjunction::new([Atom::eq(x, 1), Atom::eq(x, 2)]);
+        assert!(!cs.assert_conjunction(&c));
+        assert!(!cs.is_consistent());
+    }
+
+    #[test]
+    fn complete_valuation_assigns_fresh_distinct_values() {
+        let mut g = VarGen::new();
+        let (x, y, z) = (g.fresh(), g.fresh(), g.fresh());
+        let mut cs = ConstraintSet::new();
+        cs.bind(x, &Constant::int(1));
+        cs.assert_neq(&Term::Var(y), &Term::Var(z));
+        let avoid: BTreeSet<Constant> = [Constant::int(1)].into();
+        let val = cs.complete_valuation([x, y, z], &avoid).unwrap();
+        assert_eq!(val[0].1, Constant::int(1));
+        assert_ne!(val[1].1, val[2].1, "fresh values are pairwise distinct");
+        assert_ne!(val[1].1, Constant::int(1));
+    }
+
+    #[test]
+    fn complete_valuation_fails_on_inconsistent_store() {
+        let mut g = VarGen::new();
+        let x = g.fresh();
+        let mut cs = ConstraintSet::new();
+        cs.bind(x, &Constant::int(1));
+        cs.bind(x, &Constant::int(2));
+        assert!(cs.complete_valuation([x], &BTreeSet::new()).is_none());
+    }
+}

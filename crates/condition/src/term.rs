@@ -1,0 +1,136 @@
+//! Terms: a variable or a constant, the entries of tables and of condition atoms.
+
+use crate::Variable;
+use pw_relational::Constant;
+use std::fmt;
+
+/// A table entry or condition operand: either a null ([`Variable`]) or a [`Constant`].
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// A variable (null value).
+    Var(Variable),
+    /// A constant.
+    Const(Constant),
+}
+
+impl Term {
+    /// Is this term a variable?
+    pub fn is_var(&self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+
+    /// Is this term a constant?
+    pub fn is_const(&self) -> bool {
+        matches!(self, Term::Const(_))
+    }
+
+    /// The variable, if this term is one.
+    pub fn as_var(&self) -> Option<Variable> {
+        match self {
+            Term::Var(v) => Some(*v),
+            Term::Const(_) => None,
+        }
+    }
+
+    /// The constant, if this term is one.
+    pub fn as_const(&self) -> Option<&Constant> {
+        match self {
+            Term::Var(_) => None,
+            Term::Const(c) => Some(c),
+        }
+    }
+
+    /// Build a constant term from anything convertible into [`Constant`].
+    pub fn constant(c: impl Into<Constant>) -> Term {
+        Term::Const(c.into())
+    }
+
+    /// Substitute: if this term is the variable `v`, replace it by `replacement`.
+    pub fn substitute(&self, v: Variable, replacement: &Term) -> Term {
+        match self {
+            Term::Var(w) if *w == v => replacement.clone(),
+            other => other.clone(),
+        }
+    }
+}
+
+impl From<Variable> for Term {
+    fn from(value: Variable) -> Self {
+        Term::Var(value)
+    }
+}
+
+impl From<Constant> for Term {
+    fn from(value: Constant) -> Self {
+        Term::Const(value)
+    }
+}
+
+impl From<i64> for Term {
+    fn from(value: i64) -> Self {
+        Term::Const(Constant::Int(value))
+    }
+}
+
+impl From<i32> for Term {
+    fn from(value: i32) -> Self {
+        Term::Const(Constant::Int(i64::from(value)))
+    }
+}
+
+impl From<&str> for Term {
+    fn from(value: &str) -> Self {
+        Term::Const(Constant::str(value))
+    }
+}
+
+impl fmt::Debug for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VarGen;
+
+    #[test]
+    fn accessors_and_conversions() {
+        let mut g = VarGen::new();
+        let x = g.fresh();
+        let tv: Term = x.into();
+        let tc: Term = 5i64.into();
+        let ts: Term = "a".into();
+        assert!(tv.is_var());
+        assert!(tc.is_const());
+        assert_eq!(tv.as_var(), Some(x));
+        assert_eq!(tc.as_const(), Some(&Constant::int(5)));
+        assert_eq!(ts.as_const(), Some(&Constant::str("a")));
+        assert_eq!(tv.as_const(), None);
+        assert_eq!(tc.as_var(), None);
+    }
+
+    #[test]
+    fn substitution_replaces_only_the_target_variable() {
+        let mut g = VarGen::new();
+        let x = g.fresh();
+        let y = g.fresh();
+        let t = Term::Var(x);
+        assert_eq!(t.substitute(x, &Term::constant(3)), Term::constant(3));
+        assert_eq!(t.substitute(y, &Term::constant(3)), Term::Var(x));
+        assert_eq!(
+            Term::constant(7).substitute(x, &Term::Var(y)),
+            Term::constant(7)
+        );
+    }
+}

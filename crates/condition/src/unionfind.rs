@@ -1,0 +1,160 @@
+//! A small union–find (disjoint set) structure over [`Term`]s.
+//!
+//! Conjunction satisfiability (Section 2.2: "this can be checked in PTIME because a global
+//! condition is a conjunction") reduces to:
+//!
+//! 1. union the two sides of every equality atom,
+//! 2. fail if two *distinct constants* end up in the same class,
+//! 3. fail if an inequality atom has both sides in the same class.
+//!
+//! The structure interns terms on demand; constants in the same class are detected by
+//! storing, per class root, the unique constant (if any) known to belong to the class.
+
+use crate::Term;
+use pw_relational::Constant;
+use std::collections::HashMap;
+
+/// Union–find over interned terms with per-class constant tracking.
+#[derive(Clone, Debug, Default)]
+pub struct TermUnionFind {
+    index: HashMap<Term, usize>,
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+    /// For each node (valid at roots): the constant this class is bound to, if any.
+    constant: Vec<Option<Constant>>,
+}
+
+impl TermUnionFind {
+    /// Create an empty structure.
+    pub fn new() -> Self {
+        TermUnionFind::default()
+    }
+
+    /// Intern a term, returning its node index.
+    pub fn intern(&mut self, t: &Term) -> usize {
+        if let Some(&i) = self.index.get(t) {
+            return i;
+        }
+        let i = self.parent.len();
+        self.parent.push(i);
+        self.rank.push(0);
+        self.constant.push(t.as_const().cloned());
+        self.index.insert(t.clone(), i);
+        i
+    }
+
+    /// Find with path compression.
+    pub fn find(&mut self, mut i: usize) -> usize {
+        while self.parent[i] != i {
+            self.parent[i] = self.parent[self.parent[i]];
+            i = self.parent[i];
+        }
+        i
+    }
+
+    /// Union the classes of two terms.  Returns `false` — meaning *inconsistent* — when the
+    /// merge would identify two distinct constants.
+    pub fn union_terms(&mut self, a: &Term, b: &Term) -> bool {
+        let ia = self.intern(a);
+        let ib = self.intern(b);
+        self.union(ia, ib)
+    }
+
+    /// Union two interned nodes; `false` on constant clash.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return true;
+        }
+        let merged_const = match (&self.constant[ra], &self.constant[rb]) {
+            (Some(x), Some(y)) if x != y => return false,
+            (Some(x), _) => Some(x.clone()),
+            (_, Some(y)) => Some(y.clone()),
+            (None, None) => None,
+        };
+        let (hi, lo) = if self.rank[ra] >= self.rank[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[lo] = hi;
+        if self.rank[hi] == self.rank[lo] {
+            self.rank[hi] += 1;
+        }
+        self.constant[hi] = merged_const;
+        true
+    }
+
+    /// Are the two terms known to be in the same class?  (Terms never seen before are
+    /// interned and therefore trivially in distinct singleton classes.)
+    pub fn same_class(&mut self, a: &Term, b: &Term) -> bool {
+        let ia = self.intern(a);
+        let ib = self.intern(b);
+        self.find(ia) == self.find(ib)
+    }
+
+    /// The constant the class of `t` is bound to, if any.
+    pub fn constant_of(&mut self, t: &Term) -> Option<Constant> {
+        let i = self.intern(t);
+        let r = self.find(i);
+        self.constant[r].clone()
+    }
+
+    /// Number of interned terms.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether no terms have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{VarGen, Variable};
+
+    fn vars(n: usize) -> Vec<Variable> {
+        let mut g = VarGen::new();
+        (0..n).map(|_| g.fresh()).collect()
+    }
+
+    #[test]
+    fn transitive_equality_is_detected() {
+        let v = vars(3);
+        let mut uf = TermUnionFind::new();
+        assert!(uf.union_terms(&Term::Var(v[0]), &Term::Var(v[1])));
+        assert!(uf.union_terms(&Term::Var(v[1]), &Term::Var(v[2])));
+        assert!(uf.same_class(&Term::Var(v[0]), &Term::Var(v[2])));
+        assert!(!uf.is_empty());
+        assert_eq!(uf.len(), 3);
+    }
+
+    #[test]
+    fn constant_clash_is_reported() {
+        let v = vars(1);
+        let mut uf = TermUnionFind::new();
+        assert!(uf.union_terms(&Term::Var(v[0]), &Term::constant(1)));
+        assert!(!uf.union_terms(&Term::Var(v[0]), &Term::constant(2)));
+    }
+
+    #[test]
+    fn constant_of_propagates_through_unions() {
+        let v = vars(2);
+        let mut uf = TermUnionFind::new();
+        uf.union_terms(&Term::Var(v[0]), &Term::Var(v[1]));
+        assert_eq!(uf.constant_of(&Term::Var(v[1])), None);
+        uf.union_terms(&Term::Var(v[0]), &Term::constant(9));
+        assert_eq!(uf.constant_of(&Term::Var(v[1])), Some(Constant::int(9)));
+    }
+
+    #[test]
+    fn distinct_constants_live_in_distinct_classes() {
+        let mut uf = TermUnionFind::new();
+        assert!(!uf.same_class(&Term::constant(1), &Term::constant(2)));
+        assert!(uf.same_class(&Term::constant(1), &Term::constant(1)));
+    }
+}

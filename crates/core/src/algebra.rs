@@ -1,0 +1,406 @@
+//! The c-table algebra: evaluating positive existential queries directly on c-tables.
+//!
+//! Imieliński and Lipski showed that c-tables form a *representation system* for relational
+//! algebra: for a positive existential query `q` and a c-table database `𝒯` one can compute,
+//! in time polynomial in `|𝒯|` for fixed `q`, a c-table `q(𝒯)` with
+//! `rep(q(𝒯)) = { q(I) | I ∈ rep(𝒯) }`.  The paper uses this fact twice:
+//!
+//! * Theorem 3.2(2): uniqueness of positive existential views of e-tables is in PTIME — the
+//!   algorithm starts by computing the equivalent c-table (step (a));
+//! * Theorem 5.2(1): bounded possibility for positive existential queries on c-tables is in
+//!   PTIME — "the idea is to transform the given positive existential view of a c-table into
+//!   another equivalent c-table, that is not bigger than a polynomial of the size of the
+//!   input".
+//!
+//! [`eval_ucq`] implements the construction for unions of conjunctive queries (with optional
+//! ≠ side conditions, which become inequality atoms in the local conditions).
+
+use crate::table::{CTable, CTuple};
+use crate::CDatabase;
+use pw_condition::{Atom, Conjunction, Term};
+use pw_query::{ConjunctiveQuery, QTerm, Ucq};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors raised by the c-table algebra.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AlgebraError {
+    /// The query references a relation that is not a table of the database.
+    UnknownRelation(String),
+    /// The query uses a relation with an arity different from the table's.
+    ArityMismatch {
+        /// Relation name.
+        relation: String,
+        /// Arity of the c-table.
+        table: usize,
+        /// Arity used in the query.
+        query: usize,
+    },
+}
+
+impl fmt::Display for AlgebraError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlgebraError::UnknownRelation(r) => write!(f, "query references unknown table {r:?}"),
+            AlgebraError::ArityMismatch {
+                relation,
+                table,
+                query,
+            } => write!(
+                f,
+                "arity mismatch on {relation:?}: table has {table}, query uses {query}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AlgebraError {}
+
+/// Evaluate a union of conjunctive queries on a c-table database, producing a c-table
+/// `out` (named `output_name`) such that `rep(out ⊕ globals) = { q(I) | I ∈ rep(db) }`,
+/// where the global condition of `out` is the conjunction of all the database's global
+/// conditions (so that the result is a self-contained c-table).
+pub fn eval_ucq(q: &Ucq, db: &CDatabase, output_name: &str) -> Result<CTable, AlgebraError> {
+    // Combined global condition of the whole database.
+    let mut global = Conjunction::truth();
+    for t in db.tables() {
+        global = global.and(t.global_condition());
+    }
+
+    let mut out_tuples: Vec<CTuple> = Vec::new();
+    for cq in q.disjuncts() {
+        eval_cq_into(cq, db, &mut out_tuples)?;
+    }
+
+    CTable::new(output_name, q.arity(), global, out_tuples)
+        .map_err(|_| unreachable!("head arity is uniform by Ucq construction"))
+}
+
+/// Evaluate a single conjunctive query, appending the produced conditional tuples.
+fn eval_cq_into(
+    cq: &ConjunctiveQuery,
+    db: &CDatabase,
+    out: &mut Vec<CTuple>,
+) -> Result<(), AlgebraError> {
+    // Resolve the tables for each body atom up front.
+    let mut atom_tables: Vec<&CTable> = Vec::with_capacity(cq.body.len());
+    for atom in &cq.body {
+        let table = db
+            .table(&atom.relation)
+            .ok_or_else(|| AlgebraError::UnknownRelation(atom.relation.clone()))?;
+        if table.arity() != atom.arity() {
+            return Err(AlgebraError::ArityMismatch {
+                relation: atom.relation.clone(),
+                table: table.arity(),
+                query: atom.arity(),
+            });
+        }
+        atom_tables.push(table);
+    }
+
+    // Iterate over every combination of rows, one per body atom.
+    let mut choice = vec![0usize; cq.body.len()];
+    if atom_tables.iter().any(|t| t.is_empty()) && !cq.body.is_empty() {
+        return Ok(());
+    }
+    loop {
+        build_candidate(cq, &atom_tables, &choice, out);
+
+        // Advance the mixed-radix counter over row choices.
+        if choice.is_empty() {
+            break; // A body-less query contributes a single (unconditional) head tuple.
+        }
+        let mut pos = 0;
+        loop {
+            choice[pos] += 1;
+            if choice[pos] < atom_tables[pos].len() {
+                break;
+            }
+            choice[pos] = 0;
+            pos += 1;
+            if pos == choice.len() {
+                return Ok(());
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Build the conditional tuple for one choice of rows, if its condition is satisfiable.
+fn build_candidate(
+    cq: &ConjunctiveQuery,
+    atom_tables: &[&CTable],
+    choice: &[usize],
+    out: &mut Vec<CTuple>,
+) {
+    let mut condition = Conjunction::truth();
+    let mut binding: BTreeMap<&str, Term> = BTreeMap::new();
+
+    for ((atom, table), &row_idx) in cq.body.iter().zip(atom_tables).zip(choice) {
+        let row = &table.tuples()[row_idx];
+        // The chosen row must itself be present: conjoin its local condition.
+        condition = condition.and(&row.condition);
+        for (qterm, rterm) in atom.terms.iter().zip(&row.terms) {
+            match qterm {
+                QTerm::Const(c) => {
+                    // The row term must equal the query constant.
+                    match rterm {
+                        Term::Const(rc) if rc == c => {}
+                        _ => condition.push(Atom::Eq(rterm.clone(), Term::Const(c.clone()))),
+                    }
+                }
+                QTerm::Var(name) => match binding.get(name.as_str()) {
+                    None => {
+                        binding.insert(name.as_str(), rterm.clone());
+                    }
+                    Some(bound) => {
+                        if bound != rterm {
+                            condition.push(Atom::Eq(bound.clone(), rterm.clone()));
+                        }
+                    }
+                },
+            }
+        }
+    }
+
+    // ≠ side conditions become inequality atoms over the bound terms.
+    let resolve = |t: &QTerm| -> Option<Term> {
+        match t {
+            QTerm::Const(c) => Some(Term::Const(c.clone())),
+            QTerm::Var(v) => binding.get(v.as_str()).cloned(),
+        }
+    };
+    for (a, b) in &cq.neq {
+        match (resolve(a), resolve(b)) {
+            (Some(ta), Some(tb)) => condition.push(Atom::Neq(ta, tb)),
+            // Unsafe queries are rejected by `Ucq::new`; reaching here means the query was
+            // built without validation — treat the unresolvable condition as false.
+            _ => return,
+        }
+    }
+
+    // Drop candidates whose condition is already unsatisfiable on its own (a cheap,
+    // semantics-preserving pruning — such a tuple can never materialise).
+    if !condition.is_satisfiable() {
+        return;
+    }
+
+    // Head terms.
+    let head_terms: Option<Vec<Term>> = cq.head.iter().map(&resolve).collect();
+    let Some(head_terms) = head_terms else {
+        return;
+    };
+
+    out.push(CTuple::with_condition(head_terms, condition));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rep::ValuationIter;
+    use pw_condition::{VarGen, Variable};
+    use pw_query::qatom;
+    use pw_relational::domain::fresh_constants;
+    use pw_relational::{Constant, Relation};
+    use std::collections::BTreeSet;
+
+    /// Check the representation-system property `rep(out) = { q(I) | I ∈ rep(db) }`
+    /// restricted to a common evaluation domain large enough to be conclusive (all
+    /// constants of the database, the query and the result, plus one spare value per
+    /// variable of either side).
+    fn assert_representation_system(q: &Ucq, db: &CDatabase, out: &CTable) {
+        let mut delta: BTreeSet<Constant> = db.constants();
+        delta.extend(out.constants());
+        delta.extend(q.constants());
+        let spare = db.variables().len().max(out.variables().len());
+        let fresh = fresh_constants(&delta, spare);
+        let domain: Vec<Constant> = delta.into_iter().chain(fresh).collect();
+
+        let view_worlds: BTreeSet<Relation> =
+            ValuationIter::new(db.variables().into_iter().collect(), domain.clone())
+                .filter_map(|v| v.world_of(db))
+                .map(|world| q.eval(&world))
+                .collect();
+
+        let out_db = CDatabase::single(out.clone());
+        let out_worlds: BTreeSet<Relation> =
+            ValuationIter::new(out.variables().into_iter().collect(), domain)
+                .filter_map(|v| v.world_of(&out_db))
+                .map(|w| w.relation_or_empty(out.name(), out.arity()))
+                .collect();
+
+        assert_eq!(view_worlds, out_worlds);
+    }
+
+    fn fresh_vars(n: usize) -> Vec<Variable> {
+        let mut g = VarGen::new();
+        (0..n).map(|_| g.fresh()).collect()
+    }
+
+    #[test]
+    fn projection_on_a_codd_table_is_a_representation_system() {
+        let v = fresh_vars(2);
+        // T = {(1, x), (y, 2)}
+        let t = CTable::codd(
+            "T",
+            2,
+            [
+                vec![Term::constant(1), Term::Var(v[0])],
+                vec![Term::Var(v[1]), Term::constant(2)],
+            ],
+        )
+        .unwrap();
+        let db = CDatabase::single(t);
+        // q(a) :- T(a, b)
+        let q = Ucq::single(ConjunctiveQuery::new(
+            [QTerm::var("a")],
+            [qatom!("T"; "a", "b")],
+        ));
+        let out = eval_ucq(&q, &db, "Q").unwrap();
+        assert_eq!(out.arity(), 1);
+        assert_representation_system(&q, &db, &out);
+    }
+
+    #[test]
+    fn join_induces_equality_conditions() {
+        let v = fresh_vars(2);
+        // R = {(1, x)}, S = {(y, 3)}
+        let r = CTable::codd("R", 2, [vec![Term::constant(1), Term::Var(v[0])]]).unwrap();
+        let s = CTable::codd("S", 2, [vec![Term::Var(v[1]), Term::constant(3)]]).unwrap();
+        let db = CDatabase::new([r, s]);
+        // q(a, c) :- R(a, b), S(b, c)   — joins on b, forcing x = y.
+        let q = Ucq::single(ConjunctiveQuery::new(
+            [QTerm::var("a"), QTerm::var("c")],
+            [qatom!("R"; "a", "b"), qatom!("S"; "b", "c")],
+        ));
+        let out = eval_ucq(&q, &db, "Q").unwrap();
+        assert_eq!(out.tuples().len(), 1);
+        assert!(!out.tuples()[0].has_trivial_condition());
+        assert_representation_system(&q, &db, &out);
+    }
+
+    #[test]
+    fn union_and_constants_in_the_query() {
+        let v = fresh_vars(1);
+        let t = CTable::codd(
+            "T",
+            2,
+            [
+                vec![Term::constant(0), Term::Var(v[0])],
+                vec![Term::constant(1), Term::constant(2)],
+            ],
+        )
+        .unwrap();
+        let db = CDatabase::single(t);
+        // q(b) :- T(0, b)  ∪  q(b) :- T(b, 2)
+        let q = Ucq::new([
+            ConjunctiveQuery::new([QTerm::var("b")], [qatom!("T"; 0, "b")]),
+            ConjunctiveQuery::new([QTerm::var("b")], [qatom!("T"; "b", 2)]),
+        ])
+        .unwrap();
+        let out = eval_ucq(&q, &db, "Q").unwrap();
+        assert_representation_system(&q, &db, &out);
+    }
+
+    #[test]
+    fn inequality_side_conditions_become_local_inequalities() {
+        let v = fresh_vars(1);
+        let t = CTable::codd(
+            "T",
+            1,
+            [vec![Term::Var(v[0])], vec![Term::constant(5)]],
+        )
+        .unwrap();
+        let db = CDatabase::single(t);
+        // q(a) :- T(a), a ≠ 5
+        let q = Ucq::single(
+            ConjunctiveQuery::new([QTerm::var("a")], [qatom!("T"; "a")]).with_neq("a", 5),
+        );
+        let out = eval_ucq(&q, &db, "Q").unwrap();
+        // The row for the constant 5 is pruned (condition 5 ≠ 5 unsatisfiable).
+        assert_eq!(out.tuples().len(), 1);
+        assert_representation_system(&q, &db, &out);
+    }
+
+    #[test]
+    fn queries_over_ctables_conjoin_local_conditions() {
+        let v = fresh_vars(1);
+        let x = v[0];
+        // c-table: row (1) holds when x = 0, row (2) holds when x ≠ 0.
+        let t = CTable::new(
+            "T",
+            1,
+            Conjunction::truth(),
+            [
+                CTuple::with_condition([Term::constant(1)], Conjunction::new([Atom::eq(x, 0)])),
+                CTuple::with_condition([Term::constant(2)], Conjunction::new([Atom::neq(x, 0)])),
+            ],
+        )
+        .unwrap();
+        let db = CDatabase::single(t);
+        // q(a, b) :- T(a), T(b)  — pairs of simultaneously-present facts.
+        let q = Ucq::single(ConjunctiveQuery::new(
+            [QTerm::var("a"), QTerm::var("b")],
+            [qatom!("T"; "a"), qatom!("T"; "b")],
+        ));
+        let out = eval_ucq(&q, &db, "Q").unwrap();
+        // (1,2) and (2,1) require x = 0 ∧ x ≠ 0 and are pruned.
+        assert_eq!(out.tuples().len(), 2);
+        assert_representation_system(&q, &db, &out);
+    }
+
+    #[test]
+    fn global_conditions_are_carried_to_the_result() {
+        let v = fresh_vars(1);
+        let x = v[0];
+        let t = CTable::g_table(
+            "T",
+            1,
+            Conjunction::new([Atom::neq(x, 9)]),
+            [vec![Term::Var(x)]],
+        )
+        .unwrap();
+        let db = CDatabase::single(t);
+        let q = Ucq::single(ConjunctiveQuery::new([QTerm::var("a")], [qatom!("T"; "a")]));
+        let out = eval_ucq(&q, &db, "Q").unwrap();
+        assert_eq!(out.global_condition().len(), 1);
+        assert_representation_system(&q, &db, &out);
+    }
+
+    #[test]
+    fn errors_on_unknown_relation_and_arity_mismatch() {
+        let t = CTable::codd("T", 1, [vec![Term::constant(1)]]).unwrap();
+        let db = CDatabase::single(t);
+        let q = Ucq::single(ConjunctiveQuery::new([QTerm::var("a")], [qatom!("S"; "a")]));
+        assert_eq!(
+            eval_ucq(&q, &db, "Q").unwrap_err(),
+            AlgebraError::UnknownRelation("S".into())
+        );
+        let q2 = Ucq::single(ConjunctiveQuery::new(
+            [QTerm::var("a")],
+            [qatom!("T"; "a", "b")],
+        ));
+        assert!(matches!(
+            eval_ucq(&q2, &db, "Q").unwrap_err(),
+            AlgebraError::ArityMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn result_size_is_polynomial_in_rows_for_fixed_query() {
+        // |out| ≤ (rows per atom)^(number of atoms); for a fixed 2-atom query over n rows
+        // this is ≤ n², and pruning usually keeps it smaller.
+        let mut g = VarGen::new();
+        let rows: Vec<Vec<Term>> = (0..10)
+            .map(|i| vec![Term::constant(i), Term::Var(g.fresh())])
+            .collect();
+        let t = CTable::codd("T", 2, rows).unwrap();
+        let db = CDatabase::single(t);
+        let q = Ucq::single(ConjunctiveQuery::new(
+            [QTerm::var("a"), QTerm::var("c")],
+            [qatom!("T"; "a", "b"), qatom!("T"; "b", "c")],
+        ));
+        let out = eval_ucq(&q, &db, "Q").unwrap();
+        assert!(out.tuples().len() <= 100);
+    }
+}

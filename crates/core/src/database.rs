@@ -1,0 +1,180 @@
+//! C-table databases: the paper's n-vectors of c-tables.
+
+use crate::table::{CTable, TableClass};
+use pw_condition::Variable;
+use pw_relational::Constant;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// An incomplete-information database: a vector of named c-tables.
+///
+/// Section 2.2 generalises the single-table definitions to n-vectors of c-tables whose
+/// variable sets are pairwise disjoint; relationships between tables are established
+/// through the conditions.  We do not *enforce* disjointness — sharing a variable between
+/// tables is a convenient (and semantically equivalent) shorthand for equating two
+/// variables in a global condition — but [`CDatabase::tables_share_variables`] reports it
+/// so callers that care (e.g. the classification used in benchmarks) can check.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct CDatabase {
+    tables: Vec<CTable>,
+}
+
+impl CDatabase {
+    /// Build a database from tables.
+    pub fn new(tables: impl IntoIterator<Item = CTable>) -> Self {
+        CDatabase {
+            tables: tables.into_iter().collect(),
+        }
+    }
+
+    /// A database with a single table.
+    pub fn single(table: CTable) -> Self {
+        CDatabase {
+            tables: vec![table],
+        }
+    }
+
+    /// The tables.
+    pub fn tables(&self) -> &[CTable] {
+        &self.tables
+    }
+
+    /// Number of tables.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Total number of rows across tables (the database "size" for data-complexity sweeps).
+    pub fn row_count(&self) -> usize {
+        self.tables.iter().map(CTable::len).sum()
+    }
+
+    /// Look up a table by name.
+    pub fn table(&self, name: &str) -> Option<&CTable> {
+        self.tables.iter().find(|t| t.name() == name)
+    }
+
+    /// All variables across tables and conditions.
+    pub fn variables(&self) -> BTreeSet<Variable> {
+        self.tables.iter().flat_map(CTable::variables).collect()
+    }
+
+    /// All constants across tables and conditions — the Δ of Proposition 2.1.
+    pub fn constants(&self) -> BTreeSet<Constant> {
+        self.tables.iter().flat_map(CTable::constants).collect()
+    }
+
+    /// The loosest class among the member tables (a database of one c-table and one
+    /// Codd-table must be treated as a c-table database).
+    pub fn classify(&self) -> TableClass {
+        self.tables
+            .iter()
+            .map(CTable::classify)
+            .max()
+            .unwrap_or(TableClass::Codd)
+    }
+
+    /// Whether two tables share a variable (see the type-level comment).
+    pub fn tables_share_variables(&self) -> bool {
+        let mut seen: BTreeSet<Variable> = BTreeSet::new();
+        for t in &self.tables {
+            let vars = t.variables();
+            if vars.iter().any(|v| seen.contains(v)) {
+                return true;
+            }
+            seen.extend(vars);
+        }
+        false
+    }
+
+    /// The schema: `(name, arity)` pairs in table order.
+    pub fn schema(&self) -> Vec<(String, usize)> {
+        self.tables
+            .iter()
+            .map(|t| (t.name().to_owned(), t.arity()))
+            .collect()
+    }
+
+    /// Whether the conjunction of all global conditions is satisfiable.  When it is not,
+    /// the represented set of worlds is empty (Section 2.2: "Δ is the empty set iff the
+    /// global condition is unsatisfiable") — checkable in PTIME.
+    pub fn has_satisfiable_globals(&self) -> bool {
+        let mut combined = pw_condition::Conjunction::truth();
+        for t in &self.tables {
+            combined = combined.and(t.global_condition());
+        }
+        combined.is_satisfiable()
+    }
+}
+
+impl FromIterator<CTable> for CDatabase {
+    fn from_iter<T: IntoIterator<Item = CTable>>(iter: T) -> Self {
+        CDatabase::new(iter)
+    }
+}
+
+impl fmt::Display for CDatabase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for t in &self.tables {
+            write!(f, "{t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pw_condition::{Atom, Conjunction, Term, VarGen};
+
+    #[test]
+    fn accessors_and_classification() {
+        let mut g = VarGen::new();
+        let (x, y) = (g.fresh(), g.fresh());
+        let codd = CTable::codd("R", 1, [vec![Term::Var(x)]]).unwrap();
+        let itab = CTable::i_table(
+            "S",
+            1,
+            Conjunction::new([Atom::neq(y, 0)]),
+            [vec![Term::Var(y)]],
+        )
+        .unwrap();
+        let db = CDatabase::new([codd, itab]);
+        assert_eq!(db.table_count(), 2);
+        assert_eq!(db.row_count(), 2);
+        assert_eq!(db.classify(), TableClass::ITable);
+        assert!(db.table("R").is_some());
+        assert!(db.table("Nope").is_none());
+        assert_eq!(db.variables().len(), 2);
+        assert_eq!(db.constants(), [Constant::int(0)].into());
+        assert_eq!(db.schema(), vec![("R".to_owned(), 1), ("S".to_owned(), 1)]);
+        assert!(!db.tables_share_variables());
+        assert!(db.has_satisfiable_globals());
+    }
+
+    #[test]
+    fn shared_variables_and_unsatisfiable_globals_are_detected() {
+        let mut g = VarGen::new();
+        let x = g.fresh();
+        let a = CTable::codd("R", 1, [vec![Term::Var(x)]]).unwrap();
+        let b = CTable::g_table(
+            "S",
+            1,
+            Conjunction::new([Atom::eq(x, 1), Atom::neq(x, 1)]),
+            [vec![Term::Var(x)]],
+        )
+        .unwrap();
+        let db = CDatabase::new([a, b]);
+        assert!(db.tables_share_variables());
+        assert!(!db.has_satisfiable_globals());
+        assert_eq!(db.classify(), TableClass::GTable);
+    }
+
+    #[test]
+    fn empty_database_defaults() {
+        let db = CDatabase::default();
+        assert_eq!(db.table_count(), 0);
+        assert_eq!(db.classify(), TableClass::Codd);
+        assert!(db.has_satisfiable_globals());
+    }
+}

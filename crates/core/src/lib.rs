@@ -1,0 +1,53 @@
+//! # `pw-core` — conditional tables and possible-world semantics
+//!
+//! This crate is the paper's primary contribution, implemented as a library:
+//!
+//! * the **table hierarchy** of Section 2.2 — Codd-tables, e-tables, i-tables, g-tables and
+//!   c-tables ([`CTable`], [`TableClass`]), assembled into databases ([`CDatabase`]);
+//! * **valuations** and the `rep(·)` semantics mapping a c-table database to the set of
+//!   possible worlds it represents ([`Valuation`], [`rep`]);
+//! * the **c-table algebra** (after Imieliński–Lipski): evaluation of positive existential
+//!   queries directly on c-tables, producing a c-table that represents exactly the image of
+//!   the represented worlds ([`algebra::eval_ucq`]) — the "representation system" property
+//!   that powers the PTIME upper bounds of Theorems 3.2(2) and 5.2(1);
+//! * **views**: a query applied to a c-table database, the paper's most general
+//!   representation of a set of possible worlds ([`View`]);
+//! * the worked examples of **Fig. 1** ([`paper`]), used by the quickstart example and the
+//!   figure-reproduction tests.
+//!
+//! ```
+//! use pw_core::{CTable, CTuple, CDatabase};
+//! use pw_condition::{Atom, Conjunction, Term, VarGen};
+//!
+//! // The i-table Tc of Fig. 1:  rows (0,1,x), (y,z,1), (2,0,v) with global x≠0 ∧ y≠z.
+//! let mut vars = VarGen::new();
+//! let (x, y, z, v) = (vars.named("x"), vars.named("y"), vars.named("z"), vars.named("v"));
+//! let table = CTable::new(
+//!     "T",
+//!     3,
+//!     Conjunction::new([Atom::neq(x, 0), Atom::neq(y, z)]),
+//!     vec![
+//!         CTuple::of_terms([Term::constant(0), Term::constant(1), Term::Var(x)]),
+//!         CTuple::of_terms([Term::Var(y), Term::Var(z), Term::constant(1)]),
+//!         CTuple::of_terms([Term::constant(2), Term::constant(0), Term::Var(v)]),
+//!     ],
+//! ).unwrap();
+//! let db = CDatabase::new([table]);
+//! let worlds = pw_core::rep::PossibleWorlds::new(&db).enumerate(10_000).unwrap();
+//! assert!(!worlds.is_empty());
+//! ```
+
+pub mod algebra;
+pub mod database;
+pub mod paper;
+pub mod rep;
+pub mod simplify;
+pub mod table;
+pub mod valuation;
+pub mod view;
+
+pub use database::CDatabase;
+pub use simplify::{simplify_database, simplify_table};
+pub use table::{CTable, CTuple, TableClass, TableError};
+pub use valuation::Valuation;
+pub use view::View;

@@ -1,0 +1,197 @@
+//! The worked example of Fig. 1: one table for every level of the hierarchy.
+//!
+//! Fig. 1 of the paper shows five representations of sets of instances:
+//!
+//! * `Ta` — a **table** (Codd-table) with rows `(0,1,x)`, `(y,z,1)`, `(2,0,v)`;
+//! * `Tb` — an **e-table** with rows `(0,1,x)`, `(x,z,1)`, `(2,0,z)` (the variable
+//!   repetitions encode equalities);
+//! * `Tc` — an **i-table**: the rows of `Ta` plus the global condition `x ≠ 0 ∧ y ≠ z`;
+//! * `Td` — a **g-table**: the rows of `Tb` plus the global condition `x ≠ z`;
+//! * `Te` — a **c-table** of arity 2 with global condition `x ≠ 1 ∧ y ≠ 2` and rows
+//!   `(0,1) ‖ z = z`, `(0,x) ‖ y = 0`, `(y,x) ‖ x ≠ y`.
+//!
+//! Example 2.1 instantiates them with the valuation σ = {x↦2, y↦3, z↦0, v↦5}.
+//! These constructors are used by the quickstart example and by the Fig. 1 reproduction
+//! test.
+
+use crate::{CTable, CTuple, Valuation};
+use pw_condition::{Atom, Conjunction, Term, VarGen, Variable};
+
+/// The five Fig. 1 representations, their shared variables, and the valuation of
+/// Example 2.1.
+#[derive(Debug, Clone)]
+pub struct Fig1 {
+    /// The table (Codd-table) Ta.
+    pub ta: CTable,
+    /// The e-table Tb.
+    pub tb: CTable,
+    /// The i-table Tc.
+    pub tc: CTable,
+    /// The g-table Td.
+    pub td: CTable,
+    /// The c-table Te.
+    pub te: CTable,
+    /// The variable named `x`.
+    pub x: Variable,
+    /// The variable named `y`.
+    pub y: Variable,
+    /// The variable named `z`.
+    pub z: Variable,
+    /// The variable named `v`.
+    pub v: Variable,
+    /// The valuation σ of Example 2.1 (x↦2, y↦3, z↦0, v↦5).
+    pub sigma: Valuation,
+}
+
+/// Build the Fig. 1 tables.
+pub fn fig1() -> Fig1 {
+    let mut vars = VarGen::new();
+    let x = vars.named("x");
+    let y = vars.named("y");
+    let z = vars.named("z");
+    let v = vars.named("v");
+
+    let ta = CTable::codd(
+        "Ta",
+        3,
+        [
+            vec![Term::constant(0), Term::constant(1), Term::Var(x)],
+            vec![Term::Var(y), Term::Var(z), Term::constant(1)],
+            vec![Term::constant(2), Term::constant(0), Term::Var(v)],
+        ],
+    )
+    .expect("Ta is a valid Codd-table");
+
+    let tb = CTable::e_table(
+        "Tb",
+        3,
+        [
+            vec![Term::constant(0), Term::constant(1), Term::Var(x)],
+            vec![Term::Var(x), Term::Var(z), Term::constant(1)],
+            vec![Term::constant(2), Term::constant(0), Term::Var(z)],
+        ],
+    )
+    .expect("Tb is a valid e-table");
+
+    let tc = CTable::i_table(
+        "Tc",
+        3,
+        Conjunction::new([Atom::neq(x, 0), Atom::neq(y, z)]),
+        [
+            vec![Term::constant(0), Term::constant(1), Term::Var(x)],
+            vec![Term::Var(y), Term::Var(z), Term::constant(1)],
+            vec![Term::constant(2), Term::constant(0), Term::Var(v)],
+        ],
+    )
+    .expect("Tc is a valid i-table");
+
+    let td = CTable::g_table(
+        "Td",
+        3,
+        Conjunction::new([Atom::neq(x, z)]),
+        [
+            vec![Term::constant(0), Term::constant(1), Term::Var(x)],
+            vec![Term::Var(x), Term::Var(z), Term::constant(1)],
+            vec![Term::constant(2), Term::constant(0), Term::Var(z)],
+        ],
+    )
+    .expect("Td is a valid g-table");
+
+    let te = CTable::new(
+        "Te",
+        2,
+        Conjunction::new([Atom::neq(x, 1), Atom::neq(y, 2)]),
+        [
+            CTuple::with_condition(
+                [Term::constant(0), Term::constant(1)],
+                Conjunction::new([Atom::eq(z, z)]),
+            ),
+            CTuple::with_condition(
+                [Term::constant(0), Term::Var(x)],
+                Conjunction::new([Atom::eq(y, 0)]),
+            ),
+            CTuple::with_condition(
+                [Term::Var(y), Term::Var(x)],
+                Conjunction::new([Atom::neq(x, y)]),
+            ),
+        ],
+    )
+    .expect("Te is a valid c-table");
+
+    let sigma = Valuation::from_pairs([
+        (x, 2.into()),
+        (y, 3.into()),
+        (z, 0.into()),
+        (v, 5.into()),
+    ]);
+
+    Fig1 {
+        ta,
+        tb,
+        tc,
+        td,
+        te,
+        x,
+        y,
+        z,
+        v,
+        sigma,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CDatabase, TableClass};
+    use pw_relational::tup;
+
+    #[test]
+    fn classifications_match_fig1() {
+        let f = fig1();
+        assert_eq!(f.ta.classify(), TableClass::Codd);
+        assert_eq!(f.tb.classify(), TableClass::ETable);
+        assert_eq!(f.tc.classify(), TableClass::ITable);
+        assert_eq!(f.td.classify(), TableClass::GTable);
+        assert_eq!(f.te.classify(), TableClass::CTable);
+    }
+
+    #[test]
+    fn example_2_1_valuation_instantiates_ta() {
+        let f = fig1();
+        // σ(Ta) = {(0,1,2), (3,0,1), (2,0,5)}
+        let world = f
+            .sigma
+            .world_of(&CDatabase::single(f.ta.clone()))
+            .expect("tables have no conditions, every valuation works");
+        let rel = world.relation("Ta").unwrap();
+        assert!(rel.contains(&tup![0, 1, 2]));
+        assert!(rel.contains(&tup![3, 0, 1]));
+        assert!(rel.contains(&tup![2, 0, 5]));
+        assert_eq!(rel.len(), 3);
+    }
+
+    #[test]
+    fn example_2_1_valuation_satisfies_tc_and_td() {
+        let f = fig1();
+        // σ satisfies x ≠ 0 ∧ y ≠ z (x=2, y=3, z=0) and x ≠ z (2 ≠ 0).
+        assert_eq!(f.sigma.satisfies(f.tc.global_condition()), Some(true));
+        assert_eq!(f.sigma.satisfies(f.td.global_condition()), Some(true));
+        let world = f.sigma.world_of(&CDatabase::single(f.td.clone())).unwrap();
+        let rel = world.relation("Td").unwrap();
+        assert!(rel.contains(&tup![0, 1, 2]));
+        assert!(rel.contains(&tup![2, 0, 1]));
+        assert!(rel.contains(&tup![2, 0, 0]));
+    }
+
+    #[test]
+    fn te_local_conditions_select_rows() {
+        let f = fig1();
+        // Under σ (x=2, y=3): global x≠1 ∧ y≠2 holds; row 1 (z=z) always in; row 2 needs
+        // y=0 (fails); row 3 needs x≠y (2≠3 holds) giving (3, 2).
+        let world = f.sigma.world_of(&CDatabase::single(f.te.clone())).unwrap();
+        let rel = world.relation("Te").unwrap();
+        assert!(rel.contains(&tup![0, 1]));
+        assert!(rel.contains(&tup![3, 2]));
+        assert_eq!(rel.len(), 2);
+    }
+}

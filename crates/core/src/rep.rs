@@ -1,0 +1,327 @@
+//! The `rep(·)` semantics: enumerating the possible worlds of a c-table database.
+//!
+//! The crucial observation of Proposition 2.1 is that although a database with variables
+//! represents infinitely many worlds (one per valuation), only valuations into Δ ∪ Δ′
+//! matter, where Δ is the set of constants appearing in the input and Δ′ is a set of fresh
+//! constants with one member per variable: every other valuation is isomorphic to one of
+//! these.  [`PossibleWorlds`] enumerates exactly those valuations and collects the distinct
+//! worlds they produce.
+//!
+//! The number of such valuations is `|Δ ∪ Δ′|^|vars|` — exponential in the database size —
+//! so enumeration is guarded by an explicit budget and is intended for the small instances
+//! of cross-validation tests (and for the ablation benchmarks that demonstrate *why* the
+//! polynomial algorithms of `pw-decide` matter).
+
+use crate::{CDatabase, Valuation};
+use pw_condition::Variable;
+use pw_relational::domain::fresh_constants;
+use pw_relational::{Constant, Instance};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Error returned when an enumeration would exceed its budget.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EnumerationTooLarge {
+    /// Number of valuations that would have to be enumerated.
+    pub valuations: u128,
+    /// The budget that was given.
+    pub budget: usize,
+}
+
+impl fmt::Display for EnumerationTooLarge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "possible-world enumeration needs {} valuations, budget is {}",
+            self.valuations, self.budget
+        )
+    }
+}
+
+impl std::error::Error for EnumerationTooLarge {}
+
+/// An iterator over all valuations of `vars` into `domain` (|domain|^|vars| of them).
+#[derive(Clone, Debug)]
+pub struct ValuationIter {
+    vars: Vec<Variable>,
+    domain: Vec<Constant>,
+    /// Mixed-radix counter; `None` once exhausted.
+    counter: Option<Vec<usize>>,
+}
+
+impl ValuationIter {
+    /// Create the iterator.  An empty domain with a non-empty variable set yields no
+    /// valuations; an empty variable set yields exactly the empty valuation.
+    pub fn new(vars: Vec<Variable>, domain: Vec<Constant>) -> Self {
+        let counter = if vars.is_empty() {
+            Some(Vec::new())
+        } else if domain.is_empty() {
+            None
+        } else {
+            Some(vec![0; vars.len()])
+        };
+        ValuationIter {
+            vars,
+            domain,
+            counter,
+        }
+    }
+
+    /// Total number of valuations this iterator will yield.
+    pub fn total(&self) -> u128 {
+        if self.vars.is_empty() {
+            1
+        } else {
+            (self.domain.len() as u128).pow(self.vars.len() as u32)
+        }
+    }
+}
+
+impl Iterator for ValuationIter {
+    type Item = Valuation;
+
+    fn next(&mut self) -> Option<Valuation> {
+        let counter = self.counter.as_mut()?;
+        let valuation = Valuation::from_pairs(
+            self.vars
+                .iter()
+                .zip(counter.iter())
+                .map(|(&v, &i)| (v, self.domain[i].clone())),
+        );
+        // Advance the mixed-radix counter.
+        if counter.is_empty() {
+            self.counter = None;
+        } else {
+            let mut pos = 0;
+            loop {
+                counter[pos] += 1;
+                if counter[pos] < self.domain.len() {
+                    break;
+                }
+                counter[pos] = 0;
+                pos += 1;
+                if pos == counter.len() {
+                    self.counter = None;
+                    break;
+                }
+            }
+        }
+        Some(valuation)
+    }
+}
+
+/// The possible-worlds view of a database: Δ ∪ Δ′ construction plus bounded enumeration.
+#[derive(Clone, Debug)]
+pub struct PossibleWorlds<'a> {
+    db: &'a CDatabase,
+    extra_constants: BTreeSet<Constant>,
+}
+
+impl<'a> PossibleWorlds<'a> {
+    /// Start from a database.
+    pub fn new(db: &'a CDatabase) -> Self {
+        PossibleWorlds {
+            db,
+            extra_constants: BTreeSet::new(),
+        }
+    }
+
+    /// Add constants to Δ (e.g. the constants of an instance we are comparing against, or
+    /// of a query — required for the soundness of the Δ ∪ Δ′ restriction in the decision
+    /// problems).
+    pub fn with_extra_constants(mut self, extra: impl IntoIterator<Item = Constant>) -> Self {
+        self.extra_constants.extend(extra);
+        self
+    }
+
+    /// The variables to valuate.
+    pub fn variables(&self) -> Vec<Variable> {
+        self.db.variables().into_iter().collect()
+    }
+
+    /// The evaluation domain Δ ∪ Δ′.
+    pub fn domain(&self) -> Vec<Constant> {
+        let mut delta: BTreeSet<Constant> = self.db.constants();
+        delta.extend(self.extra_constants.iter().cloned());
+        let vars = self.db.variables();
+        let fresh = fresh_constants(&delta, vars.len());
+        delta.into_iter().chain(fresh).collect()
+    }
+
+    /// Iterator over all candidate valuations (all functions from variables to Δ ∪ Δ′).
+    pub fn valuations(&self) -> ValuationIter {
+        ValuationIter::new(self.variables(), self.domain())
+    }
+
+    /// Number of candidate valuations.
+    pub fn valuation_count(&self) -> u128 {
+        self.valuations().total()
+    }
+
+    /// Enumerate the distinct possible worlds, refusing if more than `budget` valuations
+    /// would be needed.
+    pub fn enumerate(&self, budget: usize) -> Result<BTreeSet<Instance>, EnumerationTooLarge> {
+        let iter = self.valuations();
+        let total = iter.total();
+        if total > budget as u128 {
+            return Err(EnumerationTooLarge {
+                valuations: total,
+                budget,
+            });
+        }
+        let mut worlds = BTreeSet::new();
+        for valuation in iter {
+            if let Some(world) = valuation.world_of(self.db) {
+                worlds.insert(world);
+            }
+        }
+        Ok(worlds)
+    }
+
+    /// Number of distinct worlds (bounded enumeration).
+    pub fn world_count(&self, budget: usize) -> Result<usize, EnumerationTooLarge> {
+        Ok(self.enumerate(budget)?.len())
+    }
+
+    /// PTIME check: is the represented set empty?  (Iff some global condition is
+    /// unsatisfiable — Section 2.2.)
+    pub fn is_empty_rep(&self) -> bool {
+        !self.db.has_satisfiable_globals()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CTable, CTuple};
+    use pw_condition::{Atom, Conjunction, Term, VarGen};
+    use pw_relational::tup;
+
+    #[test]
+    fn valuation_iter_counts_and_yields_all_combinations() {
+        let mut g = VarGen::new();
+        let (x, y) = (g.fresh(), g.fresh());
+        let domain = vec![Constant::int(0), Constant::int(1), Constant::int(2)];
+        let iter = ValuationIter::new(vec![x, y], domain);
+        assert_eq!(iter.total(), 9);
+        let all: Vec<Valuation> = iter.collect();
+        assert_eq!(all.len(), 9);
+        let distinct: BTreeSet<String> = all.iter().map(ToString::to_string).collect();
+        assert_eq!(distinct.len(), 9);
+    }
+
+    #[test]
+    fn valuation_iter_edge_cases() {
+        let empty_vars = ValuationIter::new(vec![], vec![Constant::int(1)]);
+        assert_eq!(empty_vars.total(), 1);
+        assert_eq!(empty_vars.count(), 1);
+        let mut g = VarGen::new();
+        let x = g.fresh();
+        let empty_domain = ValuationIter::new(vec![x], vec![]);
+        assert_eq!(empty_domain.count(), 0);
+    }
+
+    #[test]
+    fn codd_table_worlds_include_fresh_values() {
+        let mut g = VarGen::new();
+        let x = g.fresh();
+        // T = {(x, 1)}: the worlds are {(c, 1)} for c in Δ ∪ Δ′ = {1, ⊥}.
+        let t = CTable::codd("T", 2, [vec![Term::Var(x), Term::constant(1)]]).unwrap();
+        let db = CDatabase::single(t);
+        let pw = PossibleWorlds::new(&db);
+        assert_eq!(pw.valuation_count(), 2);
+        let worlds = pw.enumerate(100).unwrap();
+        assert_eq!(worlds.len(), 2);
+        assert!(worlds
+            .iter()
+            .any(|w| w.contains_fact("T", &tup![1, 1])));
+    }
+
+    #[test]
+    fn conditions_prune_worlds() {
+        let mut g = VarGen::new();
+        let x = g.fresh();
+        // T = {(x)} with global x ≠ 1 and Δ = {1}: only the fresh value survives.
+        let t = CTable::g_table(
+            "T",
+            1,
+            Conjunction::new([Atom::neq(x, 1)]),
+            [vec![Term::Var(x)]],
+        )
+        .unwrap();
+        let db = CDatabase::single(t);
+        let worlds = PossibleWorlds::new(&db).enumerate(100).unwrap();
+        assert_eq!(worlds.len(), 1);
+        assert!(!worlds.iter().next().unwrap().contains_fact("T", &tup![1]));
+    }
+
+    #[test]
+    fn local_conditions_can_drop_tuples() {
+        let mut g = VarGen::new();
+        let x = g.fresh();
+        // c-table: row (1) with condition x = 0; worlds: {(1)} when x=0, {} otherwise.
+        let t = CTable::new(
+            "T",
+            1,
+            Conjunction::truth(),
+            [CTuple::with_condition(
+                [Term::constant(1)],
+                Conjunction::new([Atom::eq(x, 0)]),
+            )],
+        )
+        .unwrap();
+        let db = CDatabase::single(t);
+        let worlds = PossibleWorlds::new(&db)
+            .with_extra_constants([Constant::int(0)])
+            .enumerate(100)
+            .unwrap();
+        assert_eq!(worlds.len(), 2);
+        assert!(worlds.iter().any(|w| w.relation("T").unwrap().is_empty()));
+        assert!(worlds.iter().any(|w| w.contains_fact("T", &tup![1])));
+    }
+
+    #[test]
+    fn budget_is_respected() {
+        let mut g = VarGen::new();
+        let vars: Vec<_> = (0..8).map(|_| g.fresh()).collect();
+        let rows: Vec<Vec<Term>> = vars.iter().map(|&v| vec![Term::Var(v)]).collect();
+        let t = CTable::codd("T", 1, rows).unwrap();
+        let db = CDatabase::single(t);
+        let pw = PossibleWorlds::new(&db);
+        // 8 fresh constants, 8 variables → 8^8 = 16,777,216 valuations.
+        let err = pw.enumerate(1000).unwrap_err();
+        assert_eq!(err.valuations, 16_777_216);
+        assert_eq!(err.budget, 1000);
+    }
+
+    #[test]
+    fn empty_rep_detection() {
+        let mut g = VarGen::new();
+        let x = g.fresh();
+        let t = CTable::g_table(
+            "T",
+            1,
+            Conjunction::new([Atom::eq(x, 1), Atom::neq(x, 1)]),
+            [vec![Term::Var(x)]],
+        )
+        .unwrap();
+        let db = CDatabase::single(t);
+        let pw = PossibleWorlds::new(&db);
+        assert!(pw.is_empty_rep());
+        assert!(pw.enumerate(100).unwrap().is_empty());
+    }
+
+    #[test]
+    fn extra_constants_enlarge_the_domain() {
+        let mut g = VarGen::new();
+        let x = g.fresh();
+        let t = CTable::codd("T", 1, [vec![Term::Var(x)]]).unwrap();
+        let db = CDatabase::single(t);
+        let base = PossibleWorlds::new(&db).domain().len();
+        let extended = PossibleWorlds::new(&db)
+            .with_extra_constants([Constant::int(7), Constant::int(8)])
+            .domain()
+            .len();
+        assert_eq!(extended, base + 2);
+    }
+}

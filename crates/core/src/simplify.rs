@@ -1,0 +1,310 @@
+//! Semantics-preserving simplification of c-tables.
+//!
+//! A c-table produced by the algebra ([`crate::algebra::eval_ucq`]) or assembled from user
+//! input often carries redundancy: rows whose local condition can never hold together with
+//! the global condition, local atoms already guaranteed by the global condition, trivially
+//! true atoms, and duplicate or subsumed rows.  [`simplify_table`] removes all of these
+//! while representing **exactly the same set of possible worlds** — it is a normalisation,
+//! not an approximation.
+//!
+//! The paper itself performs the same kind of rewriting in passing: Theorem 3.2(1) "assumes
+//! that if it follows from the global condition that a variable equals a constant, then the
+//! variable is replaced by that constant in the table" (that part is
+//! [`CTable::normalize_equalities`]), and the PTIME emptiness checks of Section 2.2 amount
+//! to the satisfiability tests used here.  Keeping tables small also matters practically:
+//! every decision procedure of `pw-decide` backtracks over rows, so dropping rows that can
+//! never materialise shrinks the search space for free.
+
+use crate::table::{CTable, CTuple};
+use crate::CDatabase;
+use pw_condition::{Atom, Conjunction};
+
+/// Simplify one c-table without changing the set of worlds it represents.
+///
+/// The rewriting steps, each individually rep-preserving:
+///
+/// 1. return `None` when the global condition is unsatisfiable (the represented set of
+///    worlds is empty — the caller decides how to surface that);
+/// 2. drop trivially true atoms (`c = c`, `x = x`, `c ≠ c'`) from the global condition;
+/// 3. drop rows whose local condition is unsatisfiable together with the global condition
+///    (they can never produce a fact);
+/// 4. drop local atoms that are trivially true or already implied by the global condition
+///    (only valuations satisfying the global condition matter);
+/// 5. merge rows with identical terms when one local condition implies the other (the fact
+///    is produced when *either* condition holds, so the weaker condition wins); exact
+///    duplicates are a special case.
+pub fn simplify_table(table: &CTable) -> Option<CTable> {
+    if !table.global_condition().is_satisfiable() {
+        return None;
+    }
+    let global = Conjunction::new(
+        table
+            .global_condition()
+            .atoms()
+            .iter()
+            .filter(|a| a.trivial_value() != Some(true))
+            .cloned(),
+    );
+
+    let mut rows: Vec<CTuple> = Vec::new();
+    for row in table.tuples() {
+        if !global.and(&row.condition).is_satisfiable() {
+            continue;
+        }
+        let condition = Conjunction::new(
+            row.condition
+                .atoms()
+                .iter()
+                .filter(|a| a.trivial_value() != Some(true))
+                .filter(|a| !implied_by(&global, a))
+                .cloned(),
+        );
+        rows.push(CTuple::with_condition(row.terms.clone(), condition));
+    }
+
+    // Subsumption between rows with identical terms: keep the weaker (more often true)
+    // condition.  Quadratic in the number of rows, which is fine for the table sizes the
+    // decision procedures can handle anyway.
+    let mut kept: Vec<CTuple> = Vec::new();
+    'rows: for row in rows {
+        for existing in &mut kept {
+            if existing.terms != row.terms {
+                continue;
+            }
+            if row.condition.implies(&existing.condition) {
+                // `existing` already fires whenever `row` would.
+                continue 'rows;
+            }
+            if existing.condition.implies(&row.condition) {
+                // `row` is the weaker of the two: it replaces `existing`.
+                *existing = row;
+                continue 'rows;
+            }
+        }
+        kept.push(row);
+    }
+
+    Some(
+        CTable::new(table.name(), table.arity(), global, kept)
+            .expect("terms are copied unchanged, so the arity cannot change"),
+    )
+}
+
+/// Does the (satisfiable) conjunction imply a single atom?
+fn implied_by(global: &Conjunction, atom: &Atom) -> bool {
+    global.implies(&Conjunction::single(atom.clone()))
+}
+
+/// Simplify every table of a database.
+///
+/// Returns `None` when **any** global condition is unsatisfiable: a valuation must satisfy
+/// all of them at once, so a single contradiction empties the whole representation.
+pub fn simplify_database(db: &CDatabase) -> Option<CDatabase> {
+    let mut tables = Vec::with_capacity(db.table_count());
+    for table in db.tables() {
+        tables.push(simplify_table(table)?);
+    }
+    Some(CDatabase::new(tables))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rep::PossibleWorlds;
+    use pw_condition::{Term, VarGen};
+    use pw_relational::Constant;
+    use std::collections::BTreeSet;
+
+    fn assert_same_rep(before: &CTable, after: &CTable) {
+        // Compare over a shared evaluation domain: both tables' constants plus one spare
+        // value per variable of the *original* (the simplified table never has more).
+        let shared: BTreeSet<Constant> = before.constants().into_iter().chain(after.constants()).collect();
+        let db_before = CDatabase::single(before.clone());
+        let db_after = CDatabase::single(after.clone());
+        let worlds_before = PossibleWorlds::new(&db_before)
+            .with_extra_constants(shared.clone())
+            .enumerate(200_000)
+            .unwrap();
+        let worlds_after = PossibleWorlds::new(&db_after)
+            .with_extra_constants(shared)
+            .enumerate(200_000)
+            .unwrap();
+        assert_eq!(worlds_before, worlds_after);
+    }
+
+    #[test]
+    fn unsatisfiable_global_condition_yields_none() {
+        let mut g = VarGen::new();
+        let x = g.fresh();
+        let t = CTable::g_table(
+            "T",
+            1,
+            Conjunction::new([Atom::eq(x, 1), Atom::neq(x, 1)]),
+            [vec![Term::Var(x)]],
+        )
+        .unwrap();
+        assert!(simplify_table(&t).is_none());
+        assert!(simplify_database(&CDatabase::single(t)).is_none());
+    }
+
+    #[test]
+    fn contradictory_rows_are_dropped() {
+        let mut g = VarGen::new();
+        let x = g.fresh();
+        let t = CTable::new(
+            "T",
+            1,
+            Conjunction::new([Atom::eq(x, 1)]),
+            [
+                CTuple::with_condition([Term::constant(7)], Conjunction::new([Atom::neq(x, 1)])),
+                CTuple::of_terms([Term::constant(8)]),
+            ],
+        )
+        .unwrap();
+        let s = simplify_table(&t).unwrap();
+        assert_eq!(s.len(), 1, "the x ≠ 1 row can never fire under the global x = 1");
+        assert_eq!(s.tuples()[0].terms, vec![Term::constant(8)]);
+        assert_same_rep(&t, &s);
+    }
+
+    #[test]
+    fn local_atoms_implied_by_the_global_condition_are_removed() {
+        let mut g = VarGen::new();
+        let (x, y) = (g.fresh(), g.fresh());
+        let t = CTable::new(
+            "T",
+            1,
+            Conjunction::new([Atom::eq(x, 3)]),
+            [CTuple::with_condition(
+                [Term::Var(y)],
+                Conjunction::new([Atom::eq(x, 3), Atom::neq(y, 0)]),
+            )],
+        )
+        .unwrap();
+        let s = simplify_table(&t).unwrap();
+        assert_eq!(s.tuples()[0].condition.len(), 1);
+        assert_eq!(s.tuples()[0].condition.atoms()[0], Atom::neq(y, 0));
+        assert_same_rep(&t, &s);
+    }
+
+    #[test]
+    fn trivially_true_atoms_disappear_everywhere() {
+        let mut g = VarGen::new();
+        let x = g.fresh();
+        let t = CTable::new(
+            "T",
+            1,
+            Conjunction::new([Atom::eq(Term::constant(1), Term::constant(1)), Atom::neq(x, 0)]),
+            [CTuple::with_condition(
+                [Term::Var(x)],
+                Conjunction::new([Atom::eq(x, x), Atom::neq(Term::constant(1), Term::constant(2))]),
+            )],
+        )
+        .unwrap();
+        let s = simplify_table(&t).unwrap();
+        assert_eq!(s.global_condition().len(), 1);
+        assert!(s.tuples()[0].has_trivial_condition());
+        assert_same_rep(&t, &s);
+    }
+
+    #[test]
+    fn duplicate_and_subsumed_rows_are_merged() {
+        let mut g = VarGen::new();
+        let x = g.fresh();
+        let unconditional = CTuple::of_terms([Term::constant(5)]);
+        let conditional = CTuple::with_condition(
+            [Term::constant(5)],
+            Conjunction::new([Atom::eq(x, 0)]),
+        );
+        // Exact duplicate + a conditional row producing the same fact: one row survives,
+        // with the weakest (here: trivial) condition.
+        let t = CTable::new(
+            "T",
+            1,
+            Conjunction::truth(),
+            [conditional.clone(), unconditional.clone(), unconditional.clone()],
+        )
+        .unwrap();
+        let s = simplify_table(&t).unwrap();
+        assert_eq!(s.len(), 1);
+        assert!(s.tuples()[0].has_trivial_condition());
+        assert_same_rep(&t, &s);
+
+        // Order independence: the unconditional row first gives the same result.
+        let t2 = CTable::new(
+            "T",
+            1,
+            Conjunction::truth(),
+            [unconditional, conditional],
+        )
+        .unwrap();
+        let s2 = simplify_table(&t2).unwrap();
+        assert_eq!(s2.len(), 1);
+        assert!(s2.tuples()[0].has_trivial_condition());
+    }
+
+    #[test]
+    fn incomparable_conditions_on_the_same_terms_are_both_kept() {
+        let mut g = VarGen::new();
+        let x = g.fresh();
+        let t = CTable::new(
+            "T",
+            1,
+            Conjunction::truth(),
+            [
+                CTuple::with_condition([Term::constant(5)], Conjunction::new([Atom::eq(x, 0)])),
+                CTuple::with_condition([Term::constant(5)], Conjunction::new([Atom::eq(x, 1)])),
+            ],
+        )
+        .unwrap();
+        let s = simplify_table(&t).unwrap();
+        assert_eq!(s.len(), 2, "neither condition implies the other");
+        assert_same_rep(&t, &s);
+    }
+
+    #[test]
+    fn algebra_output_shrinks_but_keeps_its_worlds() {
+        // A join whose candidates include contradictory combinations: the algebra emits
+        // them pruned already, but a second conjunct through the global condition still
+        // leaves implied atoms for simplify to clean up.
+        let mut g = VarGen::new();
+        let x = g.fresh();
+        let t = CTable::g_table(
+            "R",
+            2,
+            Conjunction::new([Atom::eq(x, 1)]),
+            [
+                vec![Term::constant(1), Term::Var(x)],
+                vec![Term::Var(x), Term::constant(2)],
+            ],
+        )
+        .unwrap();
+        let db = CDatabase::single(t);
+        let q = pw_query::Ucq::single(pw_query::ConjunctiveQuery::new(
+            [pw_query::QTerm::var("a"), pw_query::QTerm::var("b")],
+            [pw_query::qatom!("R"; "a", "b")],
+        ));
+        let out = crate::algebra::eval_ucq(&q, &db, "Q").unwrap();
+        let s = simplify_table(&out).unwrap();
+        assert!(s.len() <= out.len());
+        assert_same_rep(&out, &s);
+    }
+
+    #[test]
+    fn database_simplification_covers_all_tables() {
+        let mut g = VarGen::new();
+        let x = g.fresh();
+        let a = CTable::new(
+            "A",
+            1,
+            Conjunction::new([Atom::eq(x, 1)]),
+            [CTuple::with_condition([Term::Var(x)], Conjunction::new([Atom::neq(x, 1)]))],
+        )
+        .unwrap();
+        let b = CTable::codd("B", 1, [vec![Term::constant(3)]]).unwrap();
+        let db = CDatabase::new([a, b]);
+        let s = simplify_database(&db).unwrap();
+        assert_eq!(s.table("A").unwrap().len(), 0);
+        assert_eq!(s.table("B").unwrap().len(), 1);
+    }
+}

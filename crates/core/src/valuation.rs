@@ -1,0 +1,236 @@
+//! Valuations: total assignments of constants to variables.
+//!
+//! Section 2.2: "A valuation σ is a function from variables and constants to constants,
+//! such that σ(c) = c for each constant c."  Applying a satisfying valuation to a c-table
+//! yields one possible world (Definition of `rep`).
+
+use crate::table::{CTable, CTuple};
+use crate::CDatabase;
+use pw_condition::{BoolExpr, Conjunction, Term, Variable};
+use pw_relational::{Constant, Instance, Relation, Tuple};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A (finite) valuation: variables not in the map are considered *unassigned*, and
+/// applying the valuation to a term containing one is an error surfaced as `None`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Valuation {
+    map: BTreeMap<Variable, Constant>,
+}
+
+impl Valuation {
+    /// The empty valuation.
+    pub fn new() -> Self {
+        Valuation::default()
+    }
+
+    /// Build from pairs.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (Variable, Constant)>) -> Self {
+        Valuation {
+            map: pairs.into_iter().collect(),
+        }
+    }
+
+    /// Assign a variable.
+    pub fn assign(&mut self, v: Variable, c: impl Into<Constant>) -> &mut Self {
+        self.map.insert(v, c.into());
+        self
+    }
+
+    /// Look up a variable.
+    pub fn get(&self, v: Variable) -> Option<&Constant> {
+        self.map.get(&v)
+    }
+
+    /// Number of assigned variables.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no variable is assigned.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterate over assignments.
+    pub fn iter(&self) -> impl Iterator<Item = (&Variable, &Constant)> {
+        self.map.iter()
+    }
+
+    /// σ(t) for a term.
+    pub fn apply_term(&self, t: &Term) -> Option<Constant> {
+        match t {
+            Term::Const(c) => Some(c.clone()),
+            Term::Var(v) => self.map.get(v).cloned(),
+        }
+    }
+
+    /// Whether the valuation satisfies a conjunction of atoms.  Returns `None` when some
+    /// variable of the condition is unassigned.
+    pub fn satisfies(&self, condition: &Conjunction) -> Option<bool> {
+        condition.eval(&|v| self.map.get(&v).cloned())
+    }
+
+    /// Whether the valuation satisfies a boolean combination of atoms.
+    pub fn satisfies_bool(&self, condition: &BoolExpr) -> Option<bool> {
+        condition.eval(&|v| self.map.get(&v).cloned())
+    }
+
+    /// σ(t) for a c-table row: the fact it becomes.  `None` if a term variable is
+    /// unassigned.
+    pub fn apply_tuple(&self, t: &CTuple) -> Option<Tuple> {
+        t.terms
+            .iter()
+            .map(|term| self.apply_term(term))
+            .collect::<Option<Vec<Constant>>>()
+            .map(Tuple::new)
+    }
+
+    /// σ(T) for a c-table, *assuming* σ satisfies the global condition: the relation
+    /// containing σ(t) for every row whose local condition σ satisfies.
+    ///
+    /// Returns `None` when a needed variable is unassigned; callers check the global
+    /// condition separately (see [`Valuation::world_of`]).
+    pub fn apply_table(&self, table: &CTable) -> Option<Relation> {
+        let mut rel = Relation::empty(table.arity());
+        for row in table.tuples() {
+            match self.satisfies(&row.condition)? {
+                true => {
+                    let fact = self.apply_tuple(row)?;
+                    rel.insert(fact).expect("row arity equals table arity");
+                }
+                false => {}
+            }
+        }
+        Some(rel)
+    }
+
+    /// The possible world σ(𝒟) of a database under this valuation, or `None` if σ does not
+    /// satisfy every global condition (no world arises from σ) or leaves a variable
+    /// unassigned.
+    pub fn world_of(&self, db: &CDatabase) -> Option<Instance> {
+        for table in db.tables() {
+            if self.satisfies(table.global_condition())? != true {
+                return None;
+            }
+        }
+        let mut instance = Instance::new();
+        for table in db.tables() {
+            instance.insert_relation(table.name().to_owned(), self.apply_table(table)?);
+        }
+        Some(instance)
+    }
+}
+
+impl FromIterator<(Variable, Constant)> for Valuation {
+    fn from_iter<T: IntoIterator<Item = (Variable, Constant)>>(iter: T) -> Self {
+        Valuation::from_pairs(iter)
+    }
+}
+
+impl fmt::Display for Valuation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (v, c)) in self.map.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v} ↦ {c}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pw_condition::{Atom, VarGen};
+    use pw_relational::tup;
+
+    #[test]
+    fn apply_term_and_tuple() {
+        let mut g = VarGen::new();
+        let x = g.fresh();
+        let mut val = Valuation::new();
+        val.assign(x, 5);
+        assert_eq!(val.apply_term(&Term::Var(x)), Some(Constant::int(5)));
+        assert_eq!(val.apply_term(&Term::constant(9)), Some(Constant::int(9)));
+        let row = CTuple::of_terms([Term::Var(x), Term::constant(1)]);
+        assert_eq!(val.apply_tuple(&row), Some(tup![5, 1]));
+        let y = g.fresh();
+        let row2 = CTuple::of_terms([Term::Var(y)]);
+        assert_eq!(val.apply_tuple(&row2), None);
+    }
+
+    #[test]
+    fn satisfies_conditions() {
+        let mut g = VarGen::new();
+        let (x, y) = (g.fresh(), g.fresh());
+        let mut val = Valuation::new();
+        val.assign(x, 1).assign(y, 2);
+        assert_eq!(val.satisfies(&Conjunction::new([Atom::neq(x, y)])), Some(true));
+        assert_eq!(val.satisfies(&Conjunction::new([Atom::eq(x, y)])), Some(false));
+        let z = g.fresh();
+        assert_eq!(val.satisfies(&Conjunction::new([Atom::eq(z, 1)])), None);
+    }
+
+    #[test]
+    fn apply_table_filters_by_local_condition() {
+        let mut g = VarGen::new();
+        let x = g.fresh();
+        let table = CTable::new(
+            "T",
+            1,
+            Conjunction::truth(),
+            [
+                CTuple::with_condition([Term::constant(1)], Conjunction::new([Atom::eq(x, 0)])),
+                CTuple::with_condition([Term::constant(2)], Conjunction::new([Atom::neq(x, 0)])),
+            ],
+        )
+        .unwrap();
+        let mut val = Valuation::new();
+        val.assign(x, 0);
+        let rel = val.apply_table(&table).unwrap();
+        assert!(rel.contains(&tup![1]));
+        assert!(!rel.contains(&tup![2]));
+    }
+
+    #[test]
+    fn world_of_respects_global_condition() {
+        let mut g = VarGen::new();
+        let x = g.fresh();
+        let table = CTable::g_table(
+            "T",
+            1,
+            Conjunction::new([Atom::neq(x, 0)]),
+            [vec![Term::Var(x)]],
+        )
+        .unwrap();
+        let db = CDatabase::new([table]);
+        let mut bad = Valuation::new();
+        bad.assign(x, 0);
+        assert_eq!(bad.world_of(&db), None);
+        let mut good = Valuation::new();
+        good.assign(x, 3);
+        let world = good.world_of(&db).unwrap();
+        assert!(world.contains_fact("T", &tup![3]));
+    }
+
+    #[test]
+    fn duplicate_rows_collapse_in_the_world() {
+        let mut g = VarGen::new();
+        let (x, y) = (g.fresh(), g.fresh());
+        let table = CTable::codd(
+            "T",
+            1,
+            [vec![Term::Var(x)], vec![Term::Var(y)]],
+        )
+        .unwrap();
+        let db = CDatabase::new([table]);
+        let val = Valuation::from_pairs([(x, Constant::int(1)), (y, Constant::int(1))]);
+        let world = val.world_of(&db).unwrap();
+        assert_eq!(world.relation("T").unwrap().len(), 1, "two rows map to the same fact");
+        assert_eq!(val.len(), 2);
+        assert!(!val.is_empty());
+    }
+}

@@ -1,0 +1,177 @@
+//! Views: a query program applied to a c-table database.
+//!
+//! The paper's most general representation of a set of possible worlds is
+//! `q(Δ) = { q(I) | I ∈ rep(𝒯) }` for a QPTIME query `q` and a c-table database `𝒯`
+//! (Section 2.2, "Definition q(Δ)").  [`View`] packages the pair and offers:
+//!
+//! * bounded enumeration of the represented output worlds (for cross-validation and
+//!   ablation benchmarks), and
+//! * conversion to an equivalent c-table database via the c-table algebra when the query is
+//!   a vector of (≠-extended) positive existential queries — the polynomial path used by
+//!   Theorems 3.2(2) and 5.2(1).
+
+use crate::algebra::{eval_ucq, AlgebraError};
+use crate::rep::{EnumerationTooLarge, PossibleWorlds};
+use crate::CDatabase;
+use pw_query::{Query, QueryClass, QueryDef};
+use pw_relational::{Constant, Instance};
+use std::collections::BTreeSet;
+
+/// A view: `query` applied to every possible world of `db`.
+#[derive(Clone, Debug)]
+pub struct View {
+    /// The query program (fixed parameter in the data-complexity sense).
+    pub query: Query,
+    /// The c-table database (the data).
+    pub db: CDatabase,
+}
+
+impl View {
+    /// Build a view.
+    pub fn new(query: Query, db: CDatabase) -> Self {
+        View { query, db }
+    }
+
+    /// The identity view of a database (represents exactly `rep(db)`).
+    pub fn identity(db: CDatabase) -> Self {
+        View {
+            query: Query::identity(db.schema()),
+            db,
+        }
+    }
+
+    /// The class of the underlying query.
+    pub fn query_class(&self) -> QueryClass {
+        self.query.class()
+    }
+
+    /// Enumerate the distinct output worlds `{ q(I) | I ∈ rep(db) }` with a valuation
+    /// budget (exponential — for small inputs only).
+    pub fn enumerate_worlds(
+        &self,
+        budget: usize,
+        extra_constants: impl IntoIterator<Item = Constant>,
+    ) -> Result<BTreeSet<Instance>, EnumerationTooLarge> {
+        let worlds = PossibleWorlds::new(&self.db)
+            .with_extra_constants(extra_constants)
+            .enumerate(budget)?;
+        Ok(worlds.into_iter().map(|w| self.query.eval(&w)).collect())
+    }
+
+    /// When every output of the query is a union of conjunctive queries, compute an
+    /// equivalent c-table database via the c-table algebra (polynomial for a fixed query).
+    /// Returns `None` when some output is not UCQ-shaped (identity outputs are converted
+    /// by copying the corresponding table).
+    pub fn to_ctables(&self) -> Option<Result<CDatabase, AlgebraError>> {
+        let mut tables = Vec::new();
+        for (name, def) in self.query.outputs() {
+            match def {
+                QueryDef::Ucq(ucq) => match eval_ucq(ucq, &self.db, name) {
+                    Ok(t) => tables.push(t),
+                    Err(e) => return Some(Err(e)),
+                },
+                QueryDef::Identity { relation, .. } => match self.db.table(relation) {
+                    Some(t) => tables.push(t.renamed(name.clone())),
+                    None => return Some(Err(AlgebraError::UnknownRelation(relation.clone()))),
+                },
+                _ => return None,
+            }
+        }
+        Some(Ok(CDatabase::new(tables)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CTable;
+    use pw_condition::{Term, VarGen};
+    use pw_query::{qatom, ConjunctiveQuery, FoQuery, Formula, QTerm, Ucq};
+    use pw_relational::tup;
+
+    fn simple_db() -> CDatabase {
+        let mut g = VarGen::new();
+        let x = g.fresh();
+        CDatabase::single(
+            CTable::codd(
+                "T",
+                2,
+                [
+                    vec![Term::constant(1), Term::Var(x)],
+                    vec![Term::constant(2), Term::constant(3)],
+                ],
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn identity_view_enumerates_rep() {
+        let db = simple_db();
+        let view = View::identity(db);
+        assert_eq!(view.query_class(), QueryClass::Identity);
+        let worlds = view.enumerate_worlds(1000, []).unwrap();
+        // x ranges over {1, 2, 3, ⊥}: four distinct worlds (x=3 collides with nothing else).
+        assert_eq!(worlds.len(), 4);
+    }
+
+    #[test]
+    fn ucq_view_converts_to_ctables_and_agrees_with_enumeration() {
+        let db = simple_db();
+        let q = Query::single(
+            "Q",
+            QueryDef::Ucq(Ucq::single(ConjunctiveQuery::new(
+                [QTerm::var("b")],
+                [qatom!("T"; "a", "b")],
+            ))),
+        );
+        let view = View::new(q, db.clone());
+        // Use a common evaluation domain on both sides: the database constants are passed
+        // as extra constants to the converted side (whose own constant set may be smaller),
+        // and both sides have the same number of variables, hence the same fresh constants.
+        let shared = db.constants();
+        let direct = view.enumerate_worlds(1000, shared.clone()).unwrap();
+        let ctables = view.to_ctables().unwrap().unwrap();
+        let via_algebra = View::identity(ctables)
+            .enumerate_worlds(1000, shared)
+            .unwrap();
+        let project = |s: &BTreeSet<Instance>| -> BTreeSet<pw_relational::Relation> {
+            s.iter().map(|i| i.relation_or_empty("Q", 1)).collect()
+        };
+        assert_eq!(project(&direct), project(&via_algebra));
+    }
+
+    #[test]
+    fn non_ucq_views_cannot_be_converted() {
+        let db = simple_db();
+        let q = Query::single(
+            "Q",
+            QueryDef::Fo(FoQuery::boolean(
+                1,
+                Formula::exists(["a"], Formula::atom("T", [QTerm::var("a"), QTerm::var("a")])),
+            )),
+        );
+        let view = View::new(q, db);
+        assert!(view.to_ctables().is_none());
+        assert_eq!(view.query_class(), QueryClass::FirstOrder);
+        // Still enumerable the slow way.
+        let worlds = view.enumerate_worlds(1000, []).unwrap();
+        assert!(worlds
+            .iter()
+            .any(|w| w.contains_fact("Q", &tup![1])) || worlds.iter().all(|w| w.relation_or_empty("Q", 1).is_empty()));
+    }
+
+    #[test]
+    fn identity_outputs_inside_a_query_are_copied() {
+        let db = simple_db();
+        let q = Query::identity([("T".to_owned(), 2)]);
+        let view = View::new(q, db.clone());
+        let converted = view.to_ctables().unwrap().unwrap();
+        assert_eq!(converted.table("T").unwrap().tuples().len(), 2);
+        let missing = Query::identity([("Nope".to_owned(), 1)]);
+        assert!(matches!(
+            View::new(missing, db).to_ctables(),
+            Some(Err(AlgebraError::UnknownRelation(_)))
+        ));
+    }
+}

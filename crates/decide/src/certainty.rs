@@ -1,0 +1,321 @@
+//! The certainty problem `CERT(k, q)` / `CERT(*, q)`: are all facts of a given set true in
+//! every possible world of the view?
+//!
+//! * [`naive_gtable`] — Theorem 5.3(1) (due to Imieliński–Lipski and Vardi): for DATALOG
+//!   (and a fortiori positive existential) queries on g-tables the certain answers are
+//!   computed by treating the matrix of the g-table as a complete database — nulls become
+//!   distinct fresh constants — and keeping the ground facts of the query answer.
+//! * [`complement_search`] — the general coNP procedure for conditional tables (identity or
+//!   UCQ-convertible views): a fact is certain iff no valuation makes every row miss it.
+//! * [`by_enumeration`] — the fallback for first order views (coNP-complete already on
+//!   Codd-tables, Theorem 5.3(2)).
+//!
+//! `CERT(*, q)` is answered by iterating `CERT(1, q)` over the facts — the polynomial-time
+//! equivalence of Proposition 2.1(6).
+
+use crate::common::{
+    evaluation_delta, for_each_canonical_valuation, freeze_database, normalize_database, Budget,
+    BudgetExceeded, Strategy,
+};
+use crate::search::exists_world_missing_fact;
+use pw_core::{CDatabase, TableClass, View};
+use pw_query::QueryClass;
+use pw_relational::Instance;
+
+/// Decide `CERT(·, q)`: is every fact of `facts` true in every world of the view?
+pub fn decide(view: &View, facts: &Instance, budget: Budget) -> Result<bool, BudgetExceeded> {
+    match strategy(view) {
+        Strategy::NaiveEvaluation => Ok(naive_gtable(view, facts)
+            .expect("strategy selection guarantees applicability")),
+        Strategy::Backtracking => {
+            let db = match view.to_ctables() {
+                Some(Ok(db)) => db,
+                Some(Err(_)) => return Ok(false),
+                None => unreachable!("strategy selection guarantees convertibility"),
+            };
+            complement_search(&db, facts, budget)
+        }
+        _ => by_enumeration(view, facts, budget),
+    }
+}
+
+/// The strategy [`decide`] will use.
+pub fn strategy(view: &View) -> Strategy {
+    let monotone = matches!(
+        view.query.class(),
+        QueryClass::Identity | QueryClass::PositiveExistential | QueryClass::Datalog
+    );
+    if monotone && view.db.classify() <= TableClass::GTable {
+        Strategy::NaiveEvaluation
+    } else if view.to_ctables().is_some() {
+        Strategy::Backtracking
+    } else {
+        Strategy::WorldEnumeration
+    }
+}
+
+/// Theorem 5.3(1): certainty for monotone (identity / positive existential / DATALOG)
+/// queries on g-tables via naive evaluation.
+///
+/// Returns `None` when the preconditions do not hold (non-monotone query or a database
+/// with local conditions).
+pub fn naive_gtable(view: &View, facts: &Instance) -> Option<bool> {
+    let monotone = matches!(
+        view.query.class(),
+        QueryClass::Identity | QueryClass::PositiveExistential | QueryClass::Datalog
+    );
+    if !monotone || view.db.classify() > TableClass::GTable {
+        return None;
+    }
+    let Some(normalized) = normalize_database(&view.db) else {
+        // Unsatisfiable global condition: there are no worlds, so every fact is vacuously
+        // certain.
+        return Some(true);
+    };
+    let (frozen, fresh) = freeze_database(&normalized, &facts.active_domain());
+    let answer = view.query.eval(&frozen);
+    for (name, rel) in facts.iter() {
+        for fact in rel.iter() {
+            let ground = fact.iter().all(|c| !fresh.contains(c));
+            if !ground || !answer.contains_fact(name, fact) {
+                return Some(false);
+            }
+        }
+    }
+    Some(true)
+}
+
+/// The general coNP procedure for conditional tables: every fact must be produced in every
+/// world, i.e. for no fact may there exist a valuation under which all rows miss it.
+pub fn complement_search(
+    db: &CDatabase,
+    facts: &Instance,
+    budget: Budget,
+) -> Result<bool, BudgetExceeded> {
+    if !db.has_satisfiable_globals() {
+        return Ok(true); // no worlds: vacuously certain
+    }
+    let mut counter = budget.counter();
+    for (name, rel) in facts.iter() {
+        for fact in rel.iter() {
+            if exists_world_missing_fact(db, name, fact, &mut counter)? {
+                return Ok(false);
+            }
+        }
+    }
+    Ok(true)
+}
+
+/// Generic fallback: canonical-valuation enumeration — look for a world missing some fact.
+pub fn by_enumeration(
+    view: &View,
+    facts: &Instance,
+    budget: Budget,
+) -> Result<bool, BudgetExceeded> {
+    if !view.db.has_satisfiable_globals() {
+        return Ok(true);
+    }
+    let vars: Vec<_> = view.db.variables().into_iter().collect();
+    let mut delta = evaluation_delta(&view.db, facts.active_domain());
+    delta.extend(view.query.constants());
+    let mut counter = budget.counter();
+    let counterexample = for_each_canonical_valuation(&vars, &delta, &mut counter, |valuation| {
+        let world = valuation.world_of(&view.db)?;
+        let output = view.query.eval(&world);
+        (!facts.is_subinstance_of(&output)).then_some(())
+    })?;
+    Ok(counterexample.is_none())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pw_condition::{Atom, Conjunction, Term, VarGen};
+    use pw_core::{CTable, CTuple};
+    use pw_query::{qatom, ConjunctiveQuery, DatalogProgram, FoQuery, Formula, QTerm, Query, QueryDef, Ucq};
+    use pw_relational::rel;
+
+    fn budget() -> Budget {
+        Budget(1_000_000)
+    }
+
+    #[test]
+    fn ground_facts_are_certain_variables_are_not() {
+        let mut g = VarGen::new();
+        let x = g.fresh();
+        let t = CTable::codd("R", 1, [vec![Term::constant(1)], vec![Term::Var(x)]]).unwrap();
+        let view = View::identity(CDatabase::single(t));
+        assert_eq!(strategy(&view), Strategy::NaiveEvaluation);
+        assert!(decide(&view, &Instance::single("R", rel![[1]]), budget()).unwrap());
+        assert!(!decide(&view, &Instance::single("R", rel![[2]]), budget()).unwrap());
+    }
+
+    #[test]
+    fn naive_evaluation_for_positive_query_on_etable() {
+        let mut g = VarGen::new();
+        let x = g.fresh();
+        // T = {(1, x), (x, 2)}; q(a, c) :- T(a, b), T(b, c).
+        // The join succeeds in every world through b = x, so (1, 2) is certain.
+        let t = CTable::e_table(
+            "T",
+            2,
+            [
+                vec![Term::constant(1), Term::Var(x)],
+                vec![Term::Var(x), Term::constant(2)],
+            ],
+        )
+        .unwrap();
+        let q = Query::single(
+            "Q",
+            QueryDef::Ucq(Ucq::single(ConjunctiveQuery::new(
+                [QTerm::var("a"), QTerm::var("c")],
+                [qatom!("T"; "a", "b"), qatom!("T"; "b", "c")],
+            ))),
+        );
+        let view = View::new(q, CDatabase::single(t));
+        assert_eq!(strategy(&view), Strategy::NaiveEvaluation);
+        assert!(decide(&view, &Instance::single("Q", rel![[1, 2]]), budget()).unwrap());
+        assert!(!decide(&view, &Instance::single("Q", rel![[2, 1]]), budget()).unwrap());
+        // Cross-check against enumeration.
+        assert!(by_enumeration(&view, &Instance::single("Q", rel![[1, 2]]), budget()).unwrap());
+        assert!(!by_enumeration(&view, &Instance::single("Q", rel![[2, 1]]), budget()).unwrap());
+    }
+
+    #[test]
+    fn datalog_certainty_on_gtables() {
+        let mut g = VarGen::new();
+        let x = g.fresh();
+        // Edges {(1, 2), (2, x), (x, 4)}: (1, 4) is certainly reachable (through 2 and x),
+        // but (1, 3) is not.
+        let t = CTable::e_table(
+            "E",
+            2,
+            [
+                vec![Term::constant(1), Term::constant(2)],
+                vec![Term::constant(2), Term::Var(x)],
+                vec![Term::Var(x), Term::constant(4)],
+            ],
+        )
+        .unwrap();
+        let q = Query::single(
+            "TC",
+            QueryDef::Datalog(DatalogProgram::transitive_closure("E", "TC")),
+        );
+        let view = View::new(q, CDatabase::single(t));
+        assert_eq!(strategy(&view), Strategy::NaiveEvaluation);
+        assert!(decide(&view, &Instance::single("TC", rel![[1, 4]]), budget()).unwrap());
+        assert!(!decide(&view, &Instance::single("TC", rel![[1, 3]]), budget()).unwrap());
+        // CERT(*, q): both facts at once.
+        assert!(decide(&view, &Instance::single("TC", rel![[1, 2], [1, 4]]), budget()).unwrap());
+        assert!(!decide(&view, &Instance::single("TC", rel![[1, 2], [1, 3]]), budget()).unwrap());
+    }
+
+    #[test]
+    fn ctable_certainty_uses_the_complement_search() {
+        let mut g = VarGen::new();
+        let x = g.fresh();
+        // (7) is present both when x = 0 and when x ≠ 0 → certain, via two rows.
+        let t = CTable::new(
+            "R",
+            1,
+            Conjunction::truth(),
+            [
+                CTuple::with_condition([Term::constant(7)], Conjunction::new([Atom::eq(x, 0)])),
+                CTuple::with_condition([Term::constant(7)], Conjunction::new([Atom::neq(x, 0)])),
+            ],
+        )
+        .unwrap();
+        let view = View::identity(CDatabase::single(t.clone()));
+        assert_eq!(strategy(&view), Strategy::Backtracking);
+        assert!(decide(&view, &Instance::single("R", rel![[7]]), budget()).unwrap());
+        // Removing one of the rows breaks certainty.
+        let partial = CTable::new(
+            "R",
+            1,
+            Conjunction::truth(),
+            [CTuple::with_condition(
+                [Term::constant(7)],
+                Conjunction::new([Atom::eq(x, 0)]),
+            )],
+        )
+        .unwrap();
+        let view2 = View::identity(CDatabase::single(partial));
+        assert!(!decide(&view2, &Instance::single("R", rel![[7]]), budget()).unwrap());
+    }
+
+    #[test]
+    fn fo_certainty_falls_back_to_enumeration() {
+        let mut g = VarGen::new();
+        let x = g.fresh();
+        // T = {(x)}; q = {1 | ∃a T(a) ∧ a ≠ 5}: not certain (x may be 5).
+        let t = CTable::codd("T", 1, [vec![Term::Var(x)]]).unwrap();
+        let q = Query::single(
+            "Q",
+            QueryDef::Fo(FoQuery::boolean(
+                1,
+                Formula::exists(
+                    ["a"],
+                    Formula::and([Formula::atom("T", [QTerm::var("a")]), Formula::neq("a", 5)]),
+                ),
+            )),
+        );
+        let view = View::new(q, CDatabase::single(t));
+        assert_eq!(strategy(&view), Strategy::WorldEnumeration);
+        assert!(!decide(&view, &Instance::single("Q", rel![[1]]), budget()).unwrap());
+
+        // With the query ∃a T(a) (no ≠) the fact 1 is certain: every world has some element.
+        let q2 = Query::single(
+            "Q",
+            QueryDef::Fo(FoQuery::boolean(
+                1,
+                Formula::exists(["a"], Formula::atom("T", [QTerm::var("a")])),
+            )),
+        );
+        let mut g2 = VarGen::new();
+        let x2 = g2.fresh();
+        let t2 = CTable::codd("T", 1, [vec![Term::Var(x2)]]).unwrap();
+        let view2 = View::new(q2, CDatabase::single(t2));
+        assert!(decide(&view2, &Instance::single("Q", rel![[1]]), budget()).unwrap());
+    }
+
+    #[test]
+    fn empty_representation_is_vacuously_certain() {
+        let mut g = VarGen::new();
+        let x = g.fresh();
+        let unsat = CTable::g_table(
+            "R",
+            1,
+            Conjunction::new([Atom::eq(x, 1), Atom::neq(x, 1)]),
+            [vec![Term::Var(x)]],
+        )
+        .unwrap();
+        let view = View::identity(CDatabase::single(unsat));
+        assert!(decide(&view, &Instance::single("R", rel![[9]]), budget()).unwrap());
+    }
+
+    #[test]
+    fn naive_and_complement_agree_on_gtables() {
+        let mut g = VarGen::new();
+        let (x, y) = (g.fresh(), g.fresh());
+        let t = CTable::g_table(
+            "R",
+            1,
+            Conjunction::new([Atom::neq(x, y)]),
+            [vec![Term::Var(x)], vec![Term::Var(y)], vec![Term::constant(3)]],
+        )
+        .unwrap();
+        let db = CDatabase::single(t);
+        let view = View::identity(db.clone());
+        for facts in [
+            Instance::single("R", rel![[3]]),
+            Instance::single("R", rel![[1]]),
+            Instance::single("R", rel![[3], [1]]),
+        ] {
+            let fast = naive_gtable(&view, &facts).unwrap();
+            let slow = complement_search(&db, &facts, budget()).unwrap();
+            let slowest = by_enumeration(&view, &facts, budget()).unwrap();
+            assert_eq!(fast, slow, "naive vs complement on {facts}");
+            assert_eq!(fast, slowest, "naive vs enumeration on {facts}");
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! The containment problem `CONT(q₀, q)`: is every world of the left view also a world of
+//! the right view?
+//!
+//! * [`freeze`] — the homomorphism technique of Theorem 4.1(2,3): for a g-table left-hand
+//!   side and an e-table (or Codd-table) right-hand side, `rep(𝒯₀) ⊆ rep(𝒯)` iff the frozen
+//!   instance K₀ (every null replaced by a distinct fresh constant) is a member of
+//!   `rep(𝒯)`.  With a Codd-table right-hand side the membership test is the matching
+//!   algorithm and the whole procedure is polynomial; with an e-table it is an NP call.
+//! * [`forall_exists`] — the general Π₂ᵖ procedure of Proposition 2.1(1): for every
+//!   canonical valuation σ₀ of the left database, `q₀(σ₀(𝒯₀))` must be a member of the
+//!   right view.
+//! * [`decide`] — dispatch following Fig. 2.
+
+use crate::common::{
+    evaluation_delta, for_each_canonical_valuation, freeze_database, normalize_database, Budget,
+    BudgetExceeded, Strategy,
+};
+use crate::membership;
+use pw_core::{CDatabase, TableClass, View};
+use pw_relational::Instance;
+
+/// Decide `CONT(q₀, q)`: `rep(view0) ⊆ rep(view)`.
+pub fn decide(view0: &View, view: &View, budget: Budget) -> Result<bool, BudgetExceeded> {
+    match strategy(view0, view) {
+        Strategy::Freeze => freeze(&view0.db, &view.db, budget),
+        _ => forall_exists(view0, view, budget),
+    }
+}
+
+/// The strategy [`decide`] will use for a pair of views (mirrors the upper-bound regions of
+/// Fig. 2).
+pub fn strategy(view0: &View, view: &View) -> Strategy {
+    let identity = view0.query.is_identity() && view.query.is_identity();
+    if identity
+        && view0.db.classify() <= TableClass::GTable
+        && view.db.classify() <= TableClass::ETable
+    {
+        Strategy::Freeze
+    } else {
+        Strategy::WorldEnumeration
+    }
+}
+
+/// Theorem 4.1(2,3): containment of a g-table database in an e-table (or Codd-table)
+/// database via the freeze construction.
+///
+/// The left database is first normalised (equalities folded in).  If its global condition
+/// is unsatisfiable the left representation is empty and containment holds trivially.
+/// Otherwise every remaining null is replaced by a distinct fresh constant, and the
+/// resulting complete instance K₀ is tested for membership on the right — matching for
+/// Codd-tables (PTIME overall), backtracking for e-tables (an NP call, as Theorem 4.1(2)
+/// promises).
+pub fn freeze(db0: &CDatabase, db: &CDatabase, budget: Budget) -> Result<bool, BudgetExceeded> {
+    let Some(normalized) = normalize_database(db0) else {
+        return Ok(true); // rep(db0) = ∅ ⊆ anything
+    };
+    let (k0, _fresh) = freeze_database(&normalized, &db.constants());
+    membership::decide(db, &k0, budget)
+}
+
+/// Proposition 2.1(1): the general Π₂ᵖ procedure.  Every canonical valuation σ₀ of the left
+/// database yields a world `q₀(σ₀(𝒯₀))` that must be a member of the right view; Δ is the
+/// union of the constants of both inputs (plus both queries, via the instances produced).
+pub fn forall_exists(view0: &View, view: &View, budget: Budget) -> Result<bool, BudgetExceeded> {
+    if !view0.db.has_satisfiable_globals() {
+        return Ok(true);
+    }
+    let vars: Vec<_> = view0.db.variables().into_iter().collect();
+    let mut delta = evaluation_delta(&view0.db, view.db.constants());
+    delta.extend(view0.query.constants());
+    delta.extend(view.query.constants());
+    let mut counter = budget.counter();
+    // Find a counterexample world of the left view that is not a member of the right view.
+    let counterexample = for_each_canonical_valuation(&vars, &delta, &mut counter, |valuation| {
+        let world = valuation.world_of(&view0.db)?;
+        let left_output: Instance = view0.query.eval(&world);
+        match membership::view_membership(view, &left_output, budget) {
+            Ok(true) => None,
+            Ok(false) => Some(Ok(())),
+            Err(e) => Some(Err(e)),
+        }
+    })?;
+    match counterexample {
+        Some(Err(e)) => Err(e),
+        Some(Ok(())) => Ok(false),
+        None => Ok(true),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pw_condition::{Atom, Conjunction, Term, VarGen};
+    use pw_core::CTable;
+    use pw_query::{qatom, ConjunctiveQuery, QTerm, Query, QueryDef, Ucq};
+
+    fn budget() -> Budget {
+        Budget(1_000_000)
+    }
+
+    #[test]
+    fn instance_contained_in_codd_table() {
+        let mut g = VarGen::new();
+        let x = g.fresh();
+        // 𝒯₀ = ground {(1, 2)};  𝒯 = {(1, x)}: contained.
+        let left = CTable::codd("R", 2, [vec![Term::constant(1), Term::constant(2)]]).unwrap();
+        let right = CTable::codd("R", 2, [vec![Term::constant(1), Term::Var(x)]]).unwrap();
+        let v0 = View::identity(CDatabase::single(left));
+        let v = View::identity(CDatabase::single(right));
+        assert_eq!(strategy(&v0, &v), Strategy::Freeze);
+        assert!(decide(&v0, &v, budget()).unwrap());
+        assert!(
+            !decide(&v, &v0, budget()).unwrap(),
+            "the table represents worlds the single instance does not"
+        );
+    }
+
+    #[test]
+    fn codd_table_contained_in_wider_codd_table() {
+        let mut g = VarGen::new();
+        let (x, y, z) = (g.fresh(), g.fresh(), g.fresh());
+        // 𝒯₀ = {(1, x)}  ⊆  𝒯 = {(y, z)}: every world of 𝒯₀ is a world of 𝒯.
+        let left = CTable::codd("R", 2, [vec![Term::constant(1), Term::Var(x)]]).unwrap();
+        let right = CTable::codd("R", 2, [vec![Term::Var(y), Term::Var(z)]]).unwrap();
+        let v0 = View::identity(CDatabase::single(left));
+        let v = View::identity(CDatabase::single(right));
+        assert!(decide(&v0, &v, budget()).unwrap());
+        assert!(!decide(&v, &v0, budget()).unwrap());
+    }
+
+    #[test]
+    fn freeze_agrees_with_forall_exists_on_small_cases() {
+        let mut g = VarGen::new();
+        let (x, y) = (g.fresh(), g.fresh());
+        let cases: Vec<(CDatabase, CDatabase)> = vec![
+            (
+                CDatabase::single(
+                    CTable::g_table("R", 1, Conjunction::new([Atom::eq(x, 1)]), [vec![Term::Var(x)]]).unwrap(),
+                ),
+                CDatabase::single(CTable::codd("R", 1, [vec![Term::constant(1)]]).unwrap()),
+            ),
+            (
+                CDatabase::single(CTable::codd("R", 1, [vec![Term::Var(x)]]).unwrap()),
+                CDatabase::single(CTable::codd("R", 1, [vec![Term::constant(1)]]).unwrap()),
+            ),
+            (
+                CDatabase::single(CTable::codd("R", 2, [vec![Term::Var(x), Term::Var(y)]]).unwrap()),
+                CDatabase::single(
+                    CTable::e_table("R", 2, [vec![Term::Var(x), Term::Var(x)]]).unwrap(),
+                ),
+            ),
+            (
+                CDatabase::single(
+                    CTable::e_table("R", 2, [vec![Term::Var(x), Term::Var(x)]]).unwrap(),
+                ),
+                CDatabase::single(CTable::codd("R", 2, [vec![Term::Var(x), Term::Var(y)]]).unwrap()),
+            ),
+        ];
+        for (db0, db) in cases {
+            let v0 = View::identity(db0.clone());
+            let v = View::identity(db.clone());
+            let fast = freeze(&db0, &db, budget()).unwrap();
+            let slow = forall_exists(&v0, &v, budget()).unwrap();
+            assert_eq!(fast, slow, "freeze vs ∀∃ on {db0} ⊆ {db}");
+        }
+    }
+
+    #[test]
+    fn empty_left_representation_is_contained_in_everything() {
+        let mut g = VarGen::new();
+        let x = g.fresh();
+        let unsat = CTable::g_table(
+            "R",
+            1,
+            Conjunction::new([Atom::eq(x, 1), Atom::neq(x, 1)]),
+            [vec![Term::Var(x)]],
+        )
+        .unwrap();
+        let left = CDatabase::single(unsat);
+        let right = CDatabase::single(CTable::codd("R", 1, [vec![Term::constant(9)]]).unwrap());
+        assert!(freeze(&left, &right, budget()).unwrap());
+        assert!(
+            decide(&View::identity(left), &View::identity(right), budget()).unwrap()
+        );
+    }
+
+    #[test]
+    fn containment_with_views_uses_the_general_procedure() {
+        let mut g = VarGen::new();
+        let x = g.fresh();
+        // Left: q0 projects the first column of T = {(1, x)} → worlds {{(1)}}.
+        // Right: the Codd-table {(y)} represents all single-fact (and with y colliding,
+        // nothing else) unary relations, so containment holds.
+        let t0 = CTable::codd("T", 2, [vec![Term::constant(1), Term::Var(x)]]).unwrap();
+        let q0 = Query::single(
+            "Q",
+            QueryDef::Ucq(Ucq::single(ConjunctiveQuery::new(
+                [QTerm::var("a")],
+                [qatom!("T"; "a", "b")],
+            ))),
+        );
+        let left = View::new(q0, CDatabase::single(t0));
+
+        let y = g.fresh();
+        let right_table = CTable::codd("Q", 1, [vec![Term::Var(y)]]).unwrap();
+        let right = View::identity(CDatabase::single(right_table));
+        assert_eq!(strategy(&left, &right), Strategy::WorldEnumeration);
+        assert!(decide(&left, &right, budget()).unwrap());
+        // The reverse fails: the right view also represents {(2)}, which the left cannot be.
+        assert!(!decide(&right, &left, budget()).unwrap());
+    }
+
+    #[test]
+    fn itable_right_hand_side_goes_through_the_general_procedure() {
+        let mut g = VarGen::new();
+        let (x, y) = (g.fresh(), g.fresh());
+        // 𝒯₀ = {(x)} (all single- or no-fact worlds); 𝒯 = {(y)} with y ≠ 1.
+        let left = CDatabase::single(CTable::codd("R", 1, [vec![Term::Var(x)]]).unwrap());
+        let right = CDatabase::single(
+            CTable::i_table("R", 1, Conjunction::new([Atom::neq(y, 1)]), [vec![Term::Var(y)]])
+                .unwrap(),
+        );
+        let v0 = View::identity(left);
+        let v = View::identity(right);
+        assert_eq!(strategy(&v0, &v), Strategy::WorldEnumeration);
+        assert!(!decide(&v0, &v, budget()).unwrap(), "the world {{(1)}} is not representable on the right");
+        assert!(decide(&v, &v0, budget()).unwrap());
+    }
+}

@@ -1,0 +1,581 @@
+//! The membership problem `MEMB(q)`: is a given complete instance one of the possible
+//! worlds represented by (a view of) a c-table database?
+//!
+//! * [`codd_matching`] — the PTIME algorithm of Theorem 3.1(1) for Codd-tables, a literal
+//!   implementation of the paper's reduction to maximum bipartite matching (steps a–e).
+//! * [`backtracking`] — a complete NP procedure for arbitrary c-tables: assign every row
+//!   either to a fact of the instance or to "absent" (falsifying one atom of its local
+//!   condition), propagating equality/inequality constraints through a union–find store.
+//! * [`view_membership`] — `MEMB(q)` for views.  When `q` is a vector of (≠-extended)
+//!   positive existential queries the view is first converted to an equivalent c-table
+//!   database with the c-table algebra and [`backtracking`] is used; otherwise the
+//!   canonical-valuation enumeration of Proposition 2.1 decides the problem.
+//! * [`decide`] — the dispatching entry point that picks the strategy the paper's upper
+//!   bounds prescribe.
+
+use crate::common::{
+    evaluation_delta, for_each_canonical_valuation, Budget, BudgetCounter, BudgetExceeded,
+    Strategy,
+};
+use pw_condition::{Atom, ConstraintSet, Term};
+use pw_core::{CDatabase, CTable, TableClass, View};
+use pw_relational::{Instance, Tuple};
+use pw_solvers::matching::{maximum_matching, BipartiteGraph};
+use std::collections::BTreeSet;
+
+/// Decide `MEMB(-)`: is `instance` in `rep(db)`?  Dispatches to the matching algorithm for
+/// Codd-table databases and to the backtracking procedure otherwise.
+pub fn decide(db: &CDatabase, instance: &Instance, budget: Budget) -> Result<bool, BudgetExceeded> {
+    match strategy(db) {
+        Strategy::CoddMatching => Ok(codd_matching(db, instance)),
+        _ => backtracking(db, instance, budget),
+    }
+}
+
+/// The strategy [`decide`] will use for a database.
+pub fn strategy(db: &CDatabase) -> Strategy {
+    if db.classify() == TableClass::Codd && !db.tables_share_variables() {
+        Strategy::CoddMatching
+    } else {
+        Strategy::Backtracking
+    }
+}
+
+/// Quick structural check shared by all algorithms: the instance may not populate relations
+/// the database does not have, and arities must agree.
+fn schema_compatible(db: &CDatabase, instance: &Instance) -> bool {
+    for (name, rel) in instance.iter() {
+        if rel.is_empty() {
+            continue;
+        }
+        match db.table(name) {
+            Some(t) if t.arity() == rel.arity() => {}
+            _ => return false,
+        }
+    }
+    true
+}
+
+/// Theorem 3.1(1): membership for Codd-tables via maximum bipartite matching.
+///
+/// For every table independently (Codd-tables have no conditions and no shared variables):
+/// left vertices are the instance facts `uᵢ`, right vertices the table rows `vⱼ`, with an
+/// edge when some valuation maps the row onto the fact.  The instance is a possible world
+/// iff (c) every row is connected to at least one fact and (e) a maximum matching saturates
+/// the facts.
+pub fn codd_matching(db: &CDatabase, instance: &Instance) -> bool {
+    if !schema_compatible(db, instance) {
+        return false;
+    }
+    for table in db.tables() {
+        let rel = instance.relation_or_empty(table.name(), table.arity());
+        let facts: Vec<&Tuple> = rel.iter().collect();
+        // Step (a): the two node sets.  Steps (b)-(c): edges and the "every row connected"
+        // check.  Step (d)-(e): maximum matching must have cardinality n = #facts.
+        let mut graph = BipartiteGraph::new(facts.len(), table.len());
+        for (j, row) in table.tuples().iter().enumerate() {
+            let mut connected = false;
+            for (i, fact) in facts.iter().enumerate() {
+                if row_unifies_with_fact(row.terms.as_slice(), fact) {
+                    graph.add_edge(i, j);
+                    connected = true;
+                }
+            }
+            if !connected {
+                // Step (c): a row that cannot be instantiated to any fact of the instance
+                // would necessarily produce a fact outside it.
+                return false;
+            }
+        }
+        if table.is_empty() && !facts.is_empty() {
+            return false;
+        }
+        let matching = maximum_matching(&graph);
+        if matching.cardinality() != facts.len() {
+            return false;
+        }
+    }
+    true
+}
+
+/// Can some valuation map this (Codd) row onto the fact?  Because every variable occurs at
+/// most once in a Codd-table, positions are independent: constants must match literally and
+/// variables can take any value.
+fn row_unifies_with_fact(terms: &[Term], fact: &Tuple) -> bool {
+    terms.len() == fact.arity()
+        && terms.iter().zip(fact.iter()).all(|(t, c)| match t {
+            Term::Const(tc) => tc == c,
+            Term::Var(_) => true,
+        })
+}
+
+/// A complete NP procedure for `MEMB(-)` on arbitrary c-table databases.
+///
+/// Every row is either mapped onto an instance fact of its relation — adding the equalities
+/// `term_i = fact_i` and the row's local condition to the constraint store — or declared
+/// absent by falsifying one atom of its local condition.  A candidate assignment is a
+/// witness when the store stays satisfiable and every instance fact is covered by at least
+/// one row.  The search is exponential in the worst case (the problem is NP-complete
+/// already for e-tables and i-tables, Theorem 3.1(2,3)) but the constraint propagation
+/// prunes heavily on practical inputs.
+pub fn backtracking(
+    db: &CDatabase,
+    instance: &Instance,
+    budget: Budget,
+) -> Result<bool, BudgetExceeded> {
+    if !schema_compatible(db, instance) {
+        return Ok(false);
+    }
+    let mut base = ConstraintSet::new();
+    for table in db.tables() {
+        if !base.assert_conjunction(table.global_condition()) {
+            return Ok(false);
+        }
+    }
+
+    // Flatten rows and facts.
+    struct RowRef<'a> {
+        table: &'a CTable,
+        row_idx: usize,
+    }
+    let mut rows: Vec<RowRef<'_>> = Vec::new();
+    for table in db.tables() {
+        for row_idx in 0..table.len() {
+            rows.push(RowRef { table, row_idx });
+        }
+    }
+    // Facts per table, with a global index for coverage tracking.
+    let mut fact_lists: Vec<(&str, Vec<Tuple>)> = Vec::new();
+    for table in db.tables() {
+        let rel = instance.relation_or_empty(table.name(), table.arity());
+        fact_lists.push((table.name(), rel.iter().cloned().collect()));
+    }
+    let total_facts: usize = fact_lists.iter().map(|(_, f)| f.len()).sum();
+
+    let mut counter = budget.counter();
+    let mut coverage: Vec<Vec<usize>> = fact_lists
+        .iter()
+        .map(|(_, facts)| vec![0usize; facts.len()])
+        .collect();
+
+    fn table_index(db: &CDatabase, name: &str) -> usize {
+        db.tables().iter().position(|t| t.name() == name).unwrap()
+    }
+
+    fn search(
+        db: &CDatabase,
+        rows: &[RowRef<'_>],
+        fact_lists: &[(&str, Vec<Tuple>)],
+        coverage: &mut Vec<Vec<usize>>,
+        covered_count: usize,
+        total_facts: usize,
+        depth: usize,
+        store: &ConstraintSet,
+        counter: &mut BudgetCounter,
+    ) -> Result<bool, BudgetExceeded> {
+        counter.tick()?;
+        if depth == rows.len() {
+            return Ok(covered_count == total_facts);
+        }
+        // Pruning: each remaining row covers at most one uncovered fact.
+        if total_facts - covered_count > rows.len() - depth {
+            return Ok(false);
+        }
+        let row_ref = &rows[depth];
+        let row = &row_ref.table.tuples()[row_ref.row_idx];
+        let t_idx = table_index(db, row_ref.table.name());
+        let facts = &fact_lists[t_idx].1;
+
+        // Option 1: map the row onto a fact of its relation.
+        for (f_idx, fact) in facts.iter().enumerate() {
+            let mut store2 = store.clone();
+            let mut ok = store2.assert_conjunction(&row.condition);
+            if ok {
+                for (term, value) in row.terms.iter().zip(fact.iter()) {
+                    if !store2.assert_eq(term, &Term::Const(value.clone())) {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if !ok {
+                continue;
+            }
+            coverage[t_idx][f_idx] += 1;
+            let newly_covered = coverage[t_idx][f_idx] == 1;
+            let result = search(
+                db,
+                rows,
+                fact_lists,
+                coverage,
+                covered_count + usize::from(newly_covered),
+                total_facts,
+                depth + 1,
+                &store2,
+                counter,
+            )?;
+            coverage[t_idx][f_idx] -= 1;
+            if result {
+                return Ok(true);
+            }
+        }
+
+        // Option 2: the row is absent — some atom of its local condition is falsified.
+        // (A row with the trivial condition `true` can never be absent.)
+        for atom in row.condition.atoms() {
+            let mut store2 = store.clone();
+            let negated_ok = match atom {
+                Atom::Eq(a, b) => store2.assert_neq(a, b),
+                Atom::Neq(a, b) => store2.assert_eq(a, b),
+            };
+            if !negated_ok {
+                continue;
+            }
+            let result = search(
+                db,
+                rows,
+                fact_lists,
+                coverage,
+                covered_count,
+                total_facts,
+                depth + 1,
+                &store2,
+                counter,
+            )?;
+            if result {
+                return Ok(true);
+            }
+        }
+
+        Ok(false)
+    }
+
+    search(
+        db,
+        &rows,
+        &fact_lists,
+        &mut coverage,
+        0,
+        total_facts,
+        0,
+        &base,
+        &mut counter,
+    )
+}
+
+/// `MEMB(q)` for a view.
+///
+/// If every output of the query is UCQ-shaped the view is converted to an equivalent
+/// c-table database (polynomial, Theorem 5.2(1)'s construction) and [`backtracking`]
+/// decides membership; otherwise we fall back to the canonical-valuation enumeration of
+/// Proposition 2.1: guess a valuation σ with values in Δ ∪ Δ′ and check `q(σ(𝒯)) = I₀`.
+pub fn view_membership(
+    view: &View,
+    instance: &Instance,
+    budget: Budget,
+) -> Result<bool, BudgetExceeded> {
+    if view.query.is_identity() {
+        // Identity views are plain databases up to output renaming.
+        if let Some(Ok(db)) = view.to_ctables() {
+            return decide(&db, instance, budget);
+        }
+    }
+    if let Some(converted) = view.to_ctables() {
+        match converted {
+            Ok(db) => return backtracking(&db, instance, budget),
+            Err(_) => return Ok(false),
+        }
+    }
+    // Generic fallback: enumerate canonical valuations.
+    let vars: Vec<_> = view.db.variables().into_iter().collect();
+    let mut delta = evaluation_delta(&view.db, instance.active_domain());
+    delta.extend(view.query.constants());
+    let mut counter = budget.counter();
+    let found = for_each_canonical_valuation(&vars, &delta, &mut counter, |valuation| {
+        let world = valuation.world_of(&view.db)?;
+        let output = view.query.eval(&world);
+        output.same_facts(instance).then_some(())
+    })?;
+    Ok(found.is_some())
+}
+
+/// The strategy [`view_membership`] will use.
+pub fn view_strategy(view: &View) -> Strategy {
+    if view.query.is_identity() {
+        strategy(&view.db)
+    } else if view.to_ctables().is_some() {
+        Strategy::Backtracking
+    } else {
+        Strategy::WorldEnumeration
+    }
+}
+
+/// Exhaustive reference implementation (for cross-validation tests): enumerate every
+/// possible world within a budget and compare.
+pub fn by_enumeration(
+    db: &CDatabase,
+    instance: &Instance,
+    budget: usize,
+) -> Result<bool, BudgetExceeded> {
+    let extra: BTreeSet<_> = instance.active_domain();
+    let worlds = pw_core::rep::PossibleWorlds::new(db)
+        .with_extra_constants(extra)
+        .enumerate(budget)
+        .map_err(|_| BudgetExceeded)?;
+    Ok(worlds.iter().any(|w| w.same_facts(instance)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pw_condition::{Conjunction, VarGen};
+    use pw_core::CTuple;
+    use pw_query::{qatom, ConjunctiveQuery, QTerm, Query, QueryDef, Ucq};
+    use pw_relational::rel;
+
+    fn budget() -> Budget {
+        Budget(1_000_000)
+    }
+
+    /// The Fig. 3 example: I₀ and T of arity 3, where I₀ ∈ rep(T).
+    fn fig3() -> (CDatabase, Instance) {
+        let mut g = VarGen::new();
+        let x: Vec<_> = (0..7).map(|_| g.fresh()).collect();
+        // T = {(x1,1,x2), (x3,2,3), (1,x4,x5), (1,2,3), (1,2,x6)}
+        let t = CTable::codd(
+            "R",
+            3,
+            [
+                vec![Term::Var(x[1]), Term::constant(1), Term::Var(x[2])],
+                vec![Term::Var(x[3]), Term::constant(2), Term::constant(3)],
+                vec![Term::constant(1), Term::Var(x[4]), Term::Var(x[5])],
+                vec![Term::constant(1), Term::constant(2), Term::constant(3)],
+                vec![Term::constant(1), Term::constant(2), Term::Var(x[6])],
+            ],
+        )
+        .unwrap();
+        // I0 = {(1,1,2), (3,2,3), (1,4,5), (1,2,3)}
+        let i0 = Instance::single("R", rel![[1, 1, 2], [3, 2, 3], [1, 4, 5], [1, 2, 3]]);
+        (CDatabase::single(t), i0)
+    }
+
+    #[test]
+    fn fig3_membership_holds_via_matching() {
+        let (db, i0) = fig3();
+        assert_eq!(strategy(&db), Strategy::CoddMatching);
+        assert!(codd_matching(&db, &i0));
+        assert!(decide(&db, &i0, budget()).unwrap());
+        // Cross-check against backtracking and enumeration.
+        assert!(backtracking(&db, &i0, budget()).unwrap());
+    }
+
+    #[test]
+    fn matching_rejects_non_members() {
+        let (db, _) = fig3();
+        // An instance with a fact no row can produce: every row requires either a leading 1
+        // or a fixed value in the second or third position, and (5, 9, 9) matches none.
+        let bad = Instance::single("R", rel![[5, 9, 9], [1, 2, 3], [3, 2, 3], [1, 1, 2]]);
+        assert!(!codd_matching(&db, &bad));
+        assert!(!backtracking(&db, &bad, budget()).unwrap());
+        // Too few facts: the all-constant row (1,2,3) forces that fact to be present.
+        let missing = Instance::single("R", rel![[1, 1, 2], [3, 2, 3], [1, 4, 5], [9, 9, 9]]);
+        assert!(!codd_matching(&db, &missing));
+    }
+
+    #[test]
+    fn matching_handles_fewer_facts_than_rows() {
+        let mut g = VarGen::new();
+        let (x, y) = (g.fresh(), g.fresh());
+        // T = {(x), (y), (1)}: worlds have between 1 and 3 facts and always contain (1).
+        let t = CTable::codd("R", 1, [vec![Term::Var(x)], vec![Term::Var(y)], vec![Term::constant(1)]]).unwrap();
+        let db = CDatabase::single(t);
+        assert!(codd_matching(&db, &Instance::single("R", rel![[1]])));
+        assert!(codd_matching(&db, &Instance::single("R", rel![[1], [2]])));
+        assert!(codd_matching(&db, &Instance::single("R", rel![[1], [2], [3]])));
+        assert!(!codd_matching(&db, &Instance::single("R", rel![[2], [3]])), "the constant row forces (1)");
+        assert!(!codd_matching(&db, &Instance::single("R", rel![[1], [2], [3], [4]])), "more facts than rows");
+    }
+
+    #[test]
+    fn matching_and_backtracking_agree_with_enumeration_on_codd_tables() {
+        let mut g = VarGen::new();
+        let (x, y) = (g.fresh(), g.fresh());
+        let t = CTable::codd(
+            "R",
+            2,
+            [
+                vec![Term::constant(0), Term::Var(x)],
+                vec![Term::Var(y), Term::constant(1)],
+            ],
+        )
+        .unwrap();
+        let db = CDatabase::single(t);
+        let candidates = [
+            Instance::single("R", rel![[0, 1]]),
+            Instance::single("R", rel![[0, 0], [0, 1]]),
+            Instance::single("R", rel![[0, 2], [3, 1]]),
+            Instance::single("R", rel![[0, 2], [3, 2]]),
+            Instance::single("R", rel![[1, 1]]),
+            Instance::new(),
+        ];
+        for inst in &candidates {
+            let reference = by_enumeration(&db, inst, 100_000).unwrap();
+            assert_eq!(codd_matching(&db, inst), reference, "matching vs enumeration on {inst}");
+            assert_eq!(
+                backtracking(&db, inst, budget()).unwrap(),
+                reference,
+                "backtracking vs enumeration on {inst}"
+            );
+        }
+    }
+
+    #[test]
+    fn etable_membership_requires_consistent_repeats() {
+        let mut g = VarGen::new();
+        let x = g.fresh();
+        // e-table: {(x, x)} — worlds are {(c, c)}.
+        let t = CTable::e_table("R", 2, [vec![Term::Var(x), Term::Var(x)]]).unwrap();
+        let db = CDatabase::single(t);
+        assert_eq!(strategy(&db), Strategy::Backtracking);
+        assert!(backtracking(&db, &Instance::single("R", rel![[3, 3]]), budget()).unwrap());
+        assert!(!backtracking(&db, &Instance::single("R", rel![[3, 4]]), budget()).unwrap());
+    }
+
+    #[test]
+    fn itable_membership_respects_global_inequalities() {
+        let mut g = VarGen::new();
+        let (x, y) = (g.fresh(), g.fresh());
+        let t = CTable::i_table(
+            "R",
+            1,
+            Conjunction::new([Atom::neq(x, y)]),
+            [vec![Term::Var(x)], vec![Term::Var(y)]],
+        )
+        .unwrap();
+        let db = CDatabase::single(t);
+        assert!(backtracking(&db, &Instance::single("R", rel![[1], [2]]), budget()).unwrap());
+        assert!(
+            !backtracking(&db, &Instance::single("R", rel![[1]]), budget()).unwrap(),
+            "x ≠ y forbids collapsing the two rows onto one fact"
+        );
+    }
+
+    #[test]
+    fn ctable_membership_uses_absence_branches() {
+        let mut g = VarGen::new();
+        let x = g.fresh();
+        // Row (1) present iff x = 0; row (2) present iff x ≠ 0.
+        let t = CTable::new(
+            "R",
+            1,
+            Conjunction::truth(),
+            [
+                CTuple::with_condition([Term::constant(1)], Conjunction::new([Atom::eq(x, 0)])),
+                CTuple::with_condition([Term::constant(2)], Conjunction::new([Atom::neq(x, 0)])),
+            ],
+        )
+        .unwrap();
+        let db = CDatabase::single(t);
+        assert!(backtracking(&db, &Instance::single("R", rel![[1]]), budget()).unwrap());
+        assert!(backtracking(&db, &Instance::single("R", rel![[2]]), budget()).unwrap());
+        assert!(
+            !backtracking(&db, &Instance::single("R", rel![[1], [2]]), budget()).unwrap(),
+            "the two rows are mutually exclusive"
+        );
+        assert!(
+            !backtracking(&db, &Instance::new(), budget()).unwrap(),
+            "one of the two rows is always present"
+        );
+    }
+
+    #[test]
+    fn schema_mismatches_are_rejected() {
+        let (db, _) = fig3();
+        let other = Instance::single("S", rel![[1]]);
+        assert!(!codd_matching(&db, &other));
+        assert!(!backtracking(&db, &other, budget()).unwrap());
+        let wrong_arity = Instance::single("R", rel![[1, 2]]);
+        assert!(!codd_matching(&db, &wrong_arity));
+    }
+
+    #[test]
+    fn view_membership_via_ctable_conversion() {
+        let mut g = VarGen::new();
+        let x = g.fresh();
+        // T = {(1, x)}, q(b) :- T(a, b).  Worlds of the view: {(c)} for any c.
+        let t = CTable::codd("T", 2, [vec![Term::constant(1), Term::Var(x)]]).unwrap();
+        let db = CDatabase::single(t);
+        let q = Query::single(
+            "Q",
+            QueryDef::Ucq(Ucq::single(ConjunctiveQuery::new(
+                [QTerm::var("b")],
+                [qatom!("T"; "a", "b")],
+            ))),
+        );
+        let view = View::new(q, db);
+        assert_eq!(view_strategy(&view), Strategy::Backtracking);
+        assert!(view_membership(&view, &Instance::single("Q", rel![[7]]), budget()).unwrap());
+        assert!(
+            !view_membership(&view, &Instance::single("Q", rel![[7], [8]]), budget()).unwrap(),
+            "a single row cannot produce two facts"
+        );
+    }
+
+    #[test]
+    fn view_membership_fo_fallback() {
+        use pw_query::{FoQuery, Formula};
+        let mut g = VarGen::new();
+        let x = g.fresh();
+        let t = CTable::codd("T", 1, [vec![Term::Var(x)], vec![Term::constant(1)]]).unwrap();
+        let db = CDatabase::single(t);
+        // q = {1 | ∃a T(a) ∧ a ≠ 1}: output {(1)} iff the world has an element other than 1.
+        let q = Query::single(
+            "Q",
+            QueryDef::Fo(FoQuery::boolean(
+                1,
+                Formula::exists(
+                    ["a"],
+                    Formula::and([
+                        Formula::atom("T", [QTerm::var("a")]),
+                        Formula::neq("a", 1),
+                    ]),
+                ),
+            )),
+        );
+        let view = View::new(q, db);
+        assert_eq!(view_strategy(&view), Strategy::WorldEnumeration);
+        assert!(view_membership(&view, &Instance::single("Q", rel![[1]]), budget()).unwrap());
+        let empty_output = Instance::single("Q", pw_relational::Relation::empty(1));
+        assert!(view_membership(&view, &empty_output, budget()).unwrap());
+        assert!(
+            !view_membership(&view, &Instance::single("Q", rel![[2]]), budget()).unwrap(),
+            "the boolean query only ever outputs (1)"
+        );
+    }
+
+    #[test]
+    fn budget_exceeded_is_reported() {
+        let (db, i0) = fig3();
+        assert_eq!(backtracking(&db, &i0, Budget(2)), Err(BudgetExceeded));
+    }
+
+    #[test]
+    fn empty_database_and_empty_instance() {
+        let db = CDatabase::default();
+        assert!(codd_matching(&db, &Instance::new()));
+        assert!(backtracking(&db, &Instance::new(), budget()).unwrap());
+        assert!(!codd_matching(&db, &Instance::single("R", rel![[1]])));
+    }
+
+    #[test]
+    fn tuple_check_no_fact_can_absorb_extra_rows_of_all_constants() {
+        // A table with a constant row not matched by the instance forces rejection even
+        // when all instance facts are coverable (step (c) of the paper's algorithm).
+        let mut g = VarGen::new();
+        let x = g.fresh();
+        let t = CTable::codd("R", 1, [vec![Term::Var(x)], vec![Term::constant(9)]]).unwrap();
+        let db = CDatabase::single(t);
+        assert!(!codd_matching(&db, &Instance::single("R", rel![[1]])));
+        assert!(codd_matching(&db, &Instance::single("R", rel![[1], [9]])));
+    }
+}

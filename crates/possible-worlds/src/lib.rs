@@ -1,0 +1,88 @@
+//! # `possible-worlds` — representation and querying of sets of possible worlds
+//!
+//! A Rust implementation of the incomplete-information database framework of
+//! S. Abiteboul, P. Kanellakis and G. Grahne, *On the Representation and Querying of Sets
+//! of Possible Worlds* (SIGMOD 1987 / Theoretical Computer Science 78, 1991).
+//!
+//! This facade crate re-exports the whole workspace under stable module names:
+//!
+//! * [`relational`] — complete information databases (constants, tuples, relations,
+//!   instances, relational algebra);
+//! * [`condition`] — null values and the equality/inequality conditions attached to tables;
+//! * [`query`] — positive existential (UCQ), relational algebra, first order and DATALOG
+//!   queries with PTIME data-complexity evaluation;
+//! * [`core`] — the table hierarchy (Codd-, e-, i-, g-, c-tables), valuations, `rep(·)`
+//!   possible-world semantics, the Imieliński–Lipski c-table algebra, and views;
+//! * [`decide`] — the decision procedures for membership, uniqueness, containment,
+//!   possibility and certainty, with the paper's polynomial algorithms where they exist;
+//! * [`solvers`] — bipartite matching, DPLL SAT, graph colouring and ∀∃3CNF solvers;
+//! * [`reductions`] — the paper's hardness reductions, theorem by theorem;
+//! * [`workloads`] — seeded random workload generators used by the benchmark harness.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use possible_worlds::prelude::*;
+//!
+//! // An HR database where Bob's department is unknown.
+//! let mut vars = VarGen::new();
+//! let dept = vars.named("bob_dept");
+//! let table = CTable::codd(
+//!     "works_in",
+//!     2,
+//!     [
+//!         vec![Term::from("alice"), Term::from("sales")],
+//!         vec![Term::from("bob"), Term::Var(dept)],
+//!     ],
+//! )
+//! .unwrap();
+//! let db = CDatabase::single(table);
+//!
+//! // "Is it possible that Bob works in sales?"  "Is it certain?"
+//! let view = View::identity(db);
+//! let bob_in_sales = Instance::single(
+//!     "works_in",
+//!     Relation::from_tuples(2, [Tuple::new(["bob".into(), "sales".into()])]),
+//! );
+//! assert!(possibility::decide(&view, &bob_in_sales, Budget::default()).unwrap());
+//! assert!(!certainty::decide(&view, &bob_in_sales, Budget::default()).unwrap());
+//! ```
+
+pub use pw_condition as condition;
+pub use pw_core as core;
+pub use pw_decide as decide;
+pub use pw_query as query;
+pub use pw_reductions as reductions;
+pub use pw_relational as relational;
+pub use pw_solvers as solvers;
+pub use pw_workloads as workloads;
+
+/// The most commonly used items, for glob import in examples and applications.
+pub mod prelude {
+    pub use pw_condition::{Atom, BoolExpr, Conjunction, ConstraintSet, Term, VarGen, Variable};
+    pub use pw_core::{
+        algebra::eval_ucq, rep::PossibleWorlds, simplify_database, simplify_table, CDatabase,
+        CTable, CTuple, TableClass, Valuation, View,
+    };
+    pub use pw_decide::{certainty, containment, membership, possibility, uniqueness};
+    pub use pw_decide::{Budget, BudgetExceeded, Strategy};
+    pub use pw_query::{
+        qatom, ConjunctiveQuery, DatalogProgram, DlAtom, DlRule, FoQuery, Formula, QTerm, Query,
+        QueryClass, QueryDef, RaExpr, Ucq,
+    };
+    pub use pw_relational::{rel, tup, Constant, Instance, Relation, Tuple};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_reexports_compose() {
+        let fig1 = crate::core::paper::fig1();
+        let db = CDatabase::single(fig1.tc);
+        let view = View::identity(db);
+        let worlds = view.enumerate_worlds(100_000, []).unwrap();
+        assert!(!worlds.is_empty());
+    }
+}

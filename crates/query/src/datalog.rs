@@ -1,0 +1,533 @@
+//! Pure DATALOG: fixpoints of positive existential queries.
+//!
+//! Section 2.1(3): "DATALOG queries are denoted here using fixpoints of positive
+//! existential queries, i.e., we only use 'pure' DATALOG queries without ≠."
+//!
+//! A [`DatalogProgram`] is a set of rules `H(ū) :- B₁(v̄₁), …, Bₖ(v̄ₖ)` without negation or
+//! ≠.  Evaluation computes the least fixpoint containing the EDB (the input instance) and
+//! returns the designated output relation.  Both naive and semi-naive evaluation are
+//! provided; they agree (a property the tests and an ablation bench exercise), semi-naive
+//! simply avoids re-deriving known facts.
+
+use crate::ucq::QTerm;
+use pw_relational::{Constant, Instance, Relation, Tuple};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// An atom in a Datalog rule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DlAtom {
+    /// Relation (EDB or IDB) name.
+    pub relation: String,
+    /// Argument terms.
+    pub terms: Vec<QTerm>,
+}
+
+impl DlAtom {
+    /// Build an atom.
+    pub fn new(relation: impl Into<String>, terms: impl IntoIterator<Item = QTerm>) -> Self {
+        DlAtom {
+            relation: relation.into(),
+            terms: terms.into_iter().collect(),
+        }
+    }
+
+    /// Arity.
+    pub fn arity(&self) -> usize {
+        self.terms.len()
+    }
+
+    fn variables(&self) -> impl Iterator<Item = &str> {
+        self.terms.iter().filter_map(QTerm::as_var)
+    }
+}
+
+impl fmt::Display for DlAtom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.relation)?;
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A Datalog rule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DlRule {
+    /// Head atom (an IDB relation).
+    pub head: DlAtom,
+    /// Body atoms.
+    pub body: Vec<DlAtom>,
+}
+
+impl DlRule {
+    /// Build a rule.
+    pub fn new(head: DlAtom, body: impl IntoIterator<Item = DlAtom>) -> Self {
+        DlRule {
+            head,
+            body: body.into_iter().collect(),
+        }
+    }
+
+    /// Safety: every head variable occurs in the body.
+    pub fn is_safe(&self) -> bool {
+        let body_vars: BTreeSet<&str> = self.body.iter().flat_map(DlAtom::variables).collect();
+        self.head.variables().all(|v| body_vars.contains(v))
+    }
+}
+
+impl fmt::Display for DlRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} :- ", self.head)?;
+        for (i, a) in self.body.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Errors raised when validating a Datalog program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DatalogError {
+    /// A rule has a head variable not bound in its body.
+    UnsafeRule(String),
+    /// A relation is used with two different arities.
+    InconsistentArity(String),
+    /// The output relation never appears in any rule head or body.
+    UnknownOutput(String),
+}
+
+impl fmt::Display for DatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatalogError::UnsafeRule(r) => write!(f, "unsafe rule: {r}"),
+            DatalogError::InconsistentArity(r) => {
+                write!(f, "relation {r:?} used with inconsistent arities")
+            }
+            DatalogError::UnknownOutput(r) => write!(f, "output relation {r:?} never mentioned"),
+        }
+    }
+}
+
+impl std::error::Error for DatalogError {}
+
+/// Which fixpoint algorithm to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum FixpointStrategy {
+    /// Re-evaluate every rule against the whole database each round.
+    Naive,
+    /// Only join against facts derived in the previous round (default).
+    #[default]
+    SemiNaive,
+}
+
+/// A pure Datalog program with a designated output relation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DatalogProgram {
+    rules: Vec<DlRule>,
+    output: String,
+    output_arity: usize,
+}
+
+impl DatalogProgram {
+    /// Build and validate a program.
+    pub fn new(
+        rules: impl IntoIterator<Item = DlRule>,
+        output: impl Into<String>,
+        output_arity: usize,
+    ) -> Result<Self, DatalogError> {
+        let rules: Vec<DlRule> = rules.into_iter().collect();
+        let output = output.into();
+        let mut arities: BTreeMap<&str, usize> = BTreeMap::new();
+        let mut mentioned = false;
+        for rule in &rules {
+            if !rule.is_safe() {
+                return Err(DatalogError::UnsafeRule(rule.to_string()));
+            }
+            for atom in std::iter::once(&rule.head).chain(rule.body.iter()) {
+                match arities.get(atom.relation.as_str()) {
+                    Some(&a) if a != atom.arity() => {
+                        return Err(DatalogError::InconsistentArity(atom.relation.clone()))
+                    }
+                    _ => {
+                        arities.insert(&atom.relation, atom.arity());
+                    }
+                }
+                if atom.relation == output {
+                    if atom.arity() != output_arity {
+                        return Err(DatalogError::InconsistentArity(output));
+                    }
+                    mentioned = true;
+                }
+            }
+        }
+        if !mentioned {
+            return Err(DatalogError::UnknownOutput(output));
+        }
+        Ok(DatalogProgram {
+            rules,
+            output,
+            output_arity,
+        })
+    }
+
+    /// The rules.
+    pub fn rules(&self) -> &[DlRule] {
+        &self.rules
+    }
+
+    /// Output relation name.
+    pub fn output(&self) -> &str {
+        &self.output
+    }
+
+    /// Output relation arity.
+    pub fn output_arity(&self) -> usize {
+        self.output_arity
+    }
+
+    /// IDB relation names (heads of rules).
+    pub fn idb_relations(&self) -> BTreeSet<&str> {
+        self.rules.iter().map(|r| r.head.relation.as_str()).collect()
+    }
+
+    /// All constants mentioned in the rules.
+    pub fn constants(&self) -> BTreeSet<Constant> {
+        self.rules
+            .iter()
+            .flat_map(|r| std::iter::once(&r.head).chain(r.body.iter()))
+            .flat_map(|a| a.terms.iter())
+            .filter_map(|t| match t {
+                QTerm::Const(c) => Some(c.clone()),
+                QTerm::Var(_) => None,
+            })
+            .collect()
+    }
+
+    /// Evaluate with the default (semi-naive) strategy and return the output relation.
+    pub fn eval(&self, instance: &Instance) -> Relation {
+        self.eval_with(instance, FixpointStrategy::SemiNaive)
+    }
+
+    /// Evaluate the least fixpoint and return the full instance (EDB ∪ IDB).
+    pub fn fixpoint(&self, instance: &Instance, strategy: FixpointStrategy) -> Instance {
+        match strategy {
+            FixpointStrategy::Naive => self.fixpoint_naive(instance),
+            FixpointStrategy::SemiNaive => self.fixpoint_semi_naive(instance),
+        }
+    }
+
+    /// Evaluate with an explicit strategy and return the output relation.
+    pub fn eval_with(&self, instance: &Instance, strategy: FixpointStrategy) -> Relation {
+        self.fixpoint(instance, strategy)
+            .relation_or_empty(&self.output, self.output_arity)
+    }
+
+    fn fixpoint_naive(&self, instance: &Instance) -> Instance {
+        let mut db = instance.clone();
+        loop {
+            let mut added = false;
+            for rule in &self.rules {
+                for fact in Self::rule_matches(rule, &db, None) {
+                    if db.insert_fact(rule.head.relation.clone(), fact).unwrap_or(false) {
+                        added = true;
+                    }
+                }
+            }
+            if !added {
+                return db;
+            }
+        }
+    }
+
+    fn fixpoint_semi_naive(&self, instance: &Instance) -> Instance {
+        let mut db = instance.clone();
+        // Round 0: fire every rule once against the EDB.
+        let mut delta: BTreeMap<String, Relation> = BTreeMap::new();
+        for rule in &self.rules {
+            for fact in Self::rule_matches(rule, &db, None) {
+                if db.insert_fact(rule.head.relation.clone(), fact.clone()).unwrap_or(false) {
+                    delta
+                        .entry(rule.head.relation.clone())
+                        .or_insert_with(|| Relation::empty(fact.arity()))
+                        .insert(fact)
+                        .expect("delta arity");
+                }
+            }
+        }
+        // Subsequent rounds: every derivation must use at least one delta fact.
+        while !delta.is_empty() {
+            let mut next_delta: BTreeMap<String, Relation> = BTreeMap::new();
+            for rule in &self.rules {
+                // For each body position, restrict that position to the delta of its
+                // relation (if any) while the others range over the full database.
+                for (pos, atom) in rule.body.iter().enumerate() {
+                    let Some(delta_rel) = delta.get(&atom.relation) else {
+                        continue;
+                    };
+                    if delta_rel.is_empty() {
+                        continue;
+                    }
+                    for fact in Self::rule_matches(rule, &db, Some((pos, delta_rel))) {
+                        if db
+                            .insert_fact(rule.head.relation.clone(), fact.clone())
+                            .unwrap_or(false)
+                        {
+                            next_delta
+                                .entry(rule.head.relation.clone())
+                                .or_insert_with(|| Relation::empty(fact.arity()))
+                                .insert(fact)
+                                .expect("delta arity");
+                        }
+                    }
+                }
+            }
+            delta = next_delta;
+        }
+        db
+    }
+
+    /// All head facts derivable by one application of `rule` against `db`.  When
+    /// `delta_at` is `Some((pos, rel))`, body atom `pos` ranges over `rel` instead of the
+    /// full relation (the semi-naive restriction).
+    fn rule_matches(
+        rule: &DlRule,
+        db: &Instance,
+        delta_at: Option<(usize, &Relation)>,
+    ) -> Vec<Tuple> {
+        let mut out = Vec::new();
+        let mut bindings: BTreeMap<&str, Constant> = BTreeMap::new();
+        Self::match_body(rule, db, delta_at, 0, &mut bindings, &mut out);
+        out
+    }
+
+    fn match_body<'r>(
+        rule: &'r DlRule,
+        db: &Instance,
+        delta_at: Option<(usize, &Relation)>,
+        depth: usize,
+        bindings: &mut BTreeMap<&'r str, Constant>,
+        out: &mut Vec<Tuple>,
+    ) {
+        if depth == rule.body.len() {
+            let fact: Tuple = rule
+                .head
+                .terms
+                .iter()
+                .map(|t| match t {
+                    QTerm::Const(c) => c.clone(),
+                    QTerm::Var(v) => bindings[v.as_str()].clone(),
+                })
+                .collect();
+            out.push(fact);
+            return;
+        }
+        let atom = &rule.body[depth];
+        let full;
+        let rel: &Relation = match delta_at {
+            Some((pos, delta_rel)) if pos == depth => delta_rel,
+            _ => {
+                full = db.relation_or_empty(&atom.relation, atom.arity());
+                &full
+            }
+        };
+        if rel.arity() != atom.arity() {
+            return;
+        }
+        'tuples: for fact in rel.iter() {
+            let mut newly_bound: Vec<&str> = Vec::new();
+            for (term, value) in atom.terms.iter().zip(fact.iter()) {
+                match term {
+                    QTerm::Const(c) => {
+                        if c != value {
+                            for v in newly_bound.drain(..) {
+                                bindings.remove(v);
+                            }
+                            continue 'tuples;
+                        }
+                    }
+                    QTerm::Var(v) => match bindings.get(v.as_str()) {
+                        Some(bound) if bound != value => {
+                            for v in newly_bound.drain(..) {
+                                bindings.remove(v);
+                            }
+                            continue 'tuples;
+                        }
+                        Some(_) => {}
+                        None => {
+                            bindings.insert(v.as_str(), value.clone());
+                            newly_bound.push(v.as_str());
+                        }
+                    },
+                }
+            }
+            Self::match_body(rule, db, delta_at, depth + 1, bindings, out);
+            for v in newly_bound {
+                bindings.remove(v);
+            }
+        }
+    }
+
+    /// The transitive closure program over an edge relation — the classic Datalog example
+    /// and the query family the paper mentions for POSS(1, transitive-closure).
+    ///
+    /// ```text
+    /// TC(x, y) :- E(x, y).
+    /// TC(x, z) :- TC(x, y), E(y, z).
+    /// ```
+    pub fn transitive_closure(edge: &str, output: &str) -> DatalogProgram {
+        let rules = vec![
+            DlRule::new(
+                DlAtom::new(output, [QTerm::var("x"), QTerm::var("y")]),
+                [DlAtom::new(edge, [QTerm::var("x"), QTerm::var("y")])],
+            ),
+            DlRule::new(
+                DlAtom::new(output, [QTerm::var("x"), QTerm::var("z")]),
+                [
+                    DlAtom::new(output, [QTerm::var("x"), QTerm::var("y")]),
+                    DlAtom::new(edge, [QTerm::var("y"), QTerm::var("z")]),
+                ],
+            ),
+        ];
+        DatalogProgram::new(rules, output, 2).expect("transitive closure is well formed")
+    }
+}
+
+impl fmt::Display for DatalogProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for rule in &self.rules {
+            writeln!(f, "{rule}.")?;
+        }
+        write!(f, "output: {}/{}", self.output, self.output_arity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pw_relational::rel;
+
+    fn chain(n: i64) -> Instance {
+        let mut r = Relation::empty(2);
+        for i in 0..n {
+            r.insert(pw_relational::tup![i, i + 1]).unwrap();
+        }
+        Instance::single("E", r)
+    }
+
+    #[test]
+    fn transitive_closure_of_a_chain() {
+        let prog = DatalogProgram::transitive_closure("E", "TC");
+        let tc = prog.eval(&chain(4));
+        // 4+3+2+1 = 10 pairs
+        assert_eq!(tc.len(), 10);
+        assert!(tc.contains(&pw_relational::tup![0, 4]));
+        assert!(!tc.contains(&pw_relational::tup![4, 0]));
+    }
+
+    #[test]
+    fn naive_and_semi_naive_agree() {
+        let prog = DatalogProgram::transitive_closure("E", "TC");
+        let mut inst = chain(5);
+        inst.insert_fact("E", pw_relational::tup![5, 0]).unwrap(); // close the cycle
+        let a = prog.eval_with(&inst, FixpointStrategy::Naive);
+        let b = prog.eval_with(&inst, FixpointStrategy::SemiNaive);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 36, "complete closure of a 6-cycle");
+    }
+
+    #[test]
+    fn constants_in_rules_restrict_matches() {
+        // Q(x) :- E(0, x)
+        let prog = DatalogProgram::new(
+            [DlRule::new(
+                DlAtom::new("Q", [QTerm::var("x")]),
+                [DlAtom::new("E", [QTerm::constant(0), QTerm::var("x")])],
+            )],
+            "Q",
+            1,
+        )
+        .unwrap();
+        assert_eq!(prog.eval(&chain(3)), rel![[1]]);
+    }
+
+    #[test]
+    fn validation_rejects_unsafe_and_inconsistent_programs() {
+        let unsafe_rule = DlRule::new(
+            DlAtom::new("Q", [QTerm::var("x"), QTerm::var("z")]),
+            [DlAtom::new("E", [QTerm::var("x"), QTerm::var("y")])],
+        );
+        assert!(matches!(
+            DatalogProgram::new([unsafe_rule], "Q", 2),
+            Err(DatalogError::UnsafeRule(_))
+        ));
+
+        let inconsistent = DlRule::new(
+            DlAtom::new("Q", [QTerm::var("x")]),
+            [
+                DlAtom::new("E", [QTerm::var("x"), QTerm::var("y")]),
+                DlAtom::new("E", [QTerm::var("x")]),
+            ],
+        );
+        assert!(matches!(
+            DatalogProgram::new([inconsistent], "Q", 1),
+            Err(DatalogError::InconsistentArity(_))
+        ));
+
+        let fine = DlRule::new(
+            DlAtom::new("Q", [QTerm::var("x")]),
+            [DlAtom::new("E", [QTerm::var("x"), QTerm::var("y")])],
+        );
+        assert!(matches!(
+            DatalogProgram::new([fine], "Nope", 1),
+            Err(DatalogError::UnknownOutput(_))
+        ));
+    }
+
+    #[test]
+    fn idb_relations_and_accessors() {
+        let prog = DatalogProgram::transitive_closure("E", "TC");
+        assert_eq!(prog.output(), "TC");
+        assert_eq!(prog.output_arity(), 2);
+        assert!(prog.idb_relations().contains("TC"));
+        assert_eq!(prog.rules().len(), 2);
+    }
+
+    #[test]
+    fn mutually_recursive_program() {
+        // Even/odd distance from node 0 along a chain.
+        // Even(x) :- Zero(x).      Odd(y) :- Even(x), E(x, y).     Even(y) :- Odd(x), E(x, y).
+        let rules = vec![
+            DlRule::new(
+                DlAtom::new("Even", [QTerm::var("x")]),
+                [DlAtom::new("Zero", [QTerm::var("x")])],
+            ),
+            DlRule::new(
+                DlAtom::new("Odd", [QTerm::var("y")]),
+                [
+                    DlAtom::new("Even", [QTerm::var("x")]),
+                    DlAtom::new("E", [QTerm::var("x"), QTerm::var("y")]),
+                ],
+            ),
+            DlRule::new(
+                DlAtom::new("Even", [QTerm::var("y")]),
+                [
+                    DlAtom::new("Odd", [QTerm::var("x")]),
+                    DlAtom::new("E", [QTerm::var("x"), QTerm::var("y")]),
+                ],
+            ),
+        ];
+        let prog = DatalogProgram::new(rules, "Even", 1).unwrap();
+        let mut inst = chain(6);
+        inst.insert_fact("Zero", pw_relational::tup![0]).unwrap();
+        let even = prog.eval(&inst);
+        assert_eq!(even, rel![[0], [2], [4], [6]]);
+    }
+}

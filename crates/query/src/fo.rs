@@ -1,0 +1,485 @@
+//! First order queries with active-domain semantics.
+//!
+//! The paper's first order queries are "formulas of first order logic with equality, i.e.
+//! ≠ can be used" (Section 2.1(2)).  We evaluate them under the standard *active domain*
+//! semantics: quantifiers range over the constants appearing in the instance or in the
+//! query.  For a fixed query this is PTIME in the size of the instance (data-complexity),
+//! and it is generic because the active domain is closed under constant renamings that fix
+//! the query constants.
+
+use crate::ucq::QTerm;
+use pw_relational::{Constant, Instance, Relation, Tuple};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A first order formula over relational atoms and (in)equalities.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Formula {
+    /// Relational atom `R(t₁,…,tₖ)`.
+    Atom(String, Vec<QTerm>),
+    /// Equality `a = b`.
+    Eq(QTerm, QTerm),
+    /// Negation.
+    Not(Box<Formula>),
+    /// Conjunction (empty = true).
+    And(Vec<Formula>),
+    /// Disjunction (empty = false).
+    Or(Vec<Formula>),
+    /// Existential quantification over the named variables.
+    Exists(Vec<String>, Box<Formula>),
+    /// Universal quantification over the named variables.
+    Forall(Vec<String>, Box<Formula>),
+}
+
+impl Formula {
+    /// `a ≠ b` as syntactic sugar for `¬(a = b)`.
+    pub fn neq(a: impl Into<QTerm>, b: impl Into<QTerm>) -> Formula {
+        Formula::Not(Box::new(Formula::Eq(a.into(), b.into())))
+    }
+
+    /// Relational atom helper.
+    pub fn atom(relation: impl Into<String>, terms: impl IntoIterator<Item = QTerm>) -> Formula {
+        Formula::Atom(relation.into(), terms.into_iter().collect())
+    }
+
+    /// Conjunction helper.
+    pub fn and(items: impl IntoIterator<Item = Formula>) -> Formula {
+        Formula::And(items.into_iter().collect())
+    }
+
+    /// Disjunction helper.
+    pub fn or(items: impl IntoIterator<Item = Formula>) -> Formula {
+        Formula::Or(items.into_iter().collect())
+    }
+
+    /// Existential quantification helper.
+    pub fn exists(vars: impl IntoIterator<Item = &'static str>, body: Formula) -> Formula {
+        Formula::Exists(vars.into_iter().map(str::to_owned).collect(), Box::new(body))
+    }
+
+    /// Universal quantification helper.
+    pub fn forall(vars: impl IntoIterator<Item = &'static str>, body: Formula) -> Formula {
+        Formula::Forall(vars.into_iter().map(str::to_owned).collect(), Box::new(body))
+    }
+
+    /// Free variables of the formula.
+    pub fn free_variables(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.collect_free(&mut BTreeSet::new(), &mut out);
+        out
+    }
+
+    fn collect_free(&self, bound: &mut BTreeSet<String>, out: &mut BTreeSet<String>) {
+        match self {
+            Formula::Atom(_, terms) => {
+                for t in terms {
+                    if let QTerm::Var(v) = t {
+                        if !bound.contains(v) {
+                            out.insert(v.clone());
+                        }
+                    }
+                }
+            }
+            Formula::Eq(a, b) => {
+                for t in [a, b] {
+                    if let QTerm::Var(v) = t {
+                        if !bound.contains(v) {
+                            out.insert(v.clone());
+                        }
+                    }
+                }
+            }
+            Formula::Not(f) => f.collect_free(bound, out),
+            Formula::And(fs) | Formula::Or(fs) => {
+                for f in fs {
+                    f.collect_free(bound, out);
+                }
+            }
+            Formula::Exists(vars, f) | Formula::Forall(vars, f) => {
+                let newly: Vec<String> =
+                    vars.iter().filter(|v| bound.insert((*v).clone())).cloned().collect();
+                f.collect_free(bound, out);
+                for v in newly {
+                    bound.remove(&v);
+                }
+            }
+        }
+    }
+
+    /// Constants mentioned by the formula.
+    pub fn constants(&self) -> BTreeSet<Constant> {
+        let mut out = BTreeSet::new();
+        self.collect_constants(&mut out);
+        out
+    }
+
+    fn collect_constants(&self, out: &mut BTreeSet<Constant>) {
+        match self {
+            Formula::Atom(_, terms) => {
+                for t in terms {
+                    if let QTerm::Const(c) = t {
+                        out.insert(c.clone());
+                    }
+                }
+            }
+            Formula::Eq(a, b) => {
+                for t in [a, b] {
+                    if let QTerm::Const(c) = t {
+                        out.insert(c.clone());
+                    }
+                }
+            }
+            Formula::Not(f) => f.collect_constants(out),
+            Formula::And(fs) | Formula::Or(fs) => {
+                for f in fs {
+                    f.collect_constants(out);
+                }
+            }
+            Formula::Exists(_, f) | Formula::Forall(_, f) => f.collect_constants(out),
+        }
+    }
+
+    fn holds(
+        &self,
+        instance: &Instance,
+        domain: &[Constant],
+        env: &mut BTreeMap<String, Constant>,
+    ) -> bool {
+        match self {
+            Formula::Atom(rel, terms) => {
+                let values: Option<Vec<Constant>> = terms
+                    .iter()
+                    .map(|t| match t {
+                        QTerm::Const(c) => Some(c.clone()),
+                        QTerm::Var(v) => env.get(v).cloned(),
+                    })
+                    .collect();
+                match values {
+                    Some(vals) => instance.contains_fact(rel, &Tuple::new(vals)),
+                    // An unbound variable in an atom means the formula is not range
+                    // restricted under the current environment; treat as false.
+                    None => false,
+                }
+            }
+            Formula::Eq(a, b) => {
+                let value = |t: &QTerm| match t {
+                    QTerm::Const(c) => Some(c.clone()),
+                    QTerm::Var(v) => env.get(v).cloned(),
+                };
+                match (value(a), value(b)) {
+                    (Some(x), Some(y)) => x == y,
+                    _ => false,
+                }
+            }
+            Formula::Not(f) => !f.holds(instance, domain, env),
+            Formula::And(fs) => fs.iter().all(|f| f.holds(instance, domain, env)),
+            Formula::Or(fs) => fs.iter().any(|f| f.holds(instance, domain, env)),
+            Formula::Exists(vars, f) => Self::quantify(vars, true, f, instance, domain, env),
+            Formula::Forall(vars, f) => Self::quantify(vars, false, f, instance, domain, env),
+        }
+    }
+
+    fn quantify(
+        vars: &[String],
+        existential: bool,
+        f: &Formula,
+        instance: &Instance,
+        domain: &[Constant],
+        env: &mut BTreeMap<String, Constant>,
+    ) -> bool {
+        fn rec(
+            vars: &[String],
+            idx: usize,
+            existential: bool,
+            f: &Formula,
+            instance: &Instance,
+            domain: &[Constant],
+            env: &mut BTreeMap<String, Constant>,
+        ) -> bool {
+            if idx == vars.len() {
+                return f.holds(instance, domain, env);
+            }
+            let var = &vars[idx];
+            let saved = env.get(var).cloned();
+            for c in domain {
+                env.insert(var.clone(), c.clone());
+                let sub = rec(vars, idx + 1, existential, f, instance, domain, env);
+                if sub == existential {
+                    restore(env, var, saved);
+                    return existential;
+                }
+            }
+            restore(env, var, saved);
+            !existential
+        }
+        fn restore(env: &mut BTreeMap<String, Constant>, var: &str, saved: Option<Constant>) {
+            match saved {
+                Some(v) => {
+                    env.insert(var.to_owned(), v);
+                }
+                None => {
+                    env.remove(var);
+                }
+            }
+        }
+        rec(vars, 0, existential, f, instance, domain, env)
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::Atom(r, ts) => {
+                write!(f, "{r}(")?;
+                for (i, t) in ts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Eq(a, b) => write!(f, "{a} = {b}"),
+            Formula::Not(inner) => write!(f, "¬{inner}"),
+            Formula::And(fs) => {
+                write!(f, "(")?;
+                for (i, x) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∧ ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Or(fs) => {
+                write!(f, "(")?;
+                for (i, x) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∨ ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Exists(vs, inner) => write!(f, "∃{} {inner}", vs.join(",")),
+            Formula::Forall(vs, inner) => write!(f, "∀{} {inner}", vs.join(",")),
+        }
+    }
+}
+
+/// A first order query `{ head | formula }` with active-domain evaluation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FoQuery {
+    /// Output terms; free variables of the head are enumerated over the active domain.
+    pub head: Vec<QTerm>,
+    /// The defining formula; its free variables must be exactly the head variables.
+    pub formula: Formula,
+}
+
+impl FoQuery {
+    /// Build a query.
+    pub fn new(head: impl IntoIterator<Item = QTerm>, formula: Formula) -> Self {
+        FoQuery {
+            head: head.into_iter().collect(),
+            formula,
+        }
+    }
+
+    /// A boolean query `{ c | formula }` that outputs the constant tuple `(c)` when the
+    /// (closed) formula holds — the shape used by the paper's reductions (`q′ = {1 | ψ}`).
+    pub fn boolean(output: impl Into<Constant>, formula: Formula) -> Self {
+        FoQuery {
+            head: vec![QTerm::Const(output.into())],
+            formula,
+        }
+    }
+
+    /// Output arity.
+    pub fn arity(&self) -> usize {
+        self.head.len()
+    }
+
+    /// All constants mentioned by the query (head and formula).
+    pub fn constants(&self) -> BTreeSet<Constant> {
+        let mut out = self.formula.constants();
+        for t in &self.head {
+            if let QTerm::Const(c) = t {
+                out.insert(c.clone());
+            }
+        }
+        out
+    }
+
+    /// Evaluate under active-domain semantics.
+    pub fn eval(&self, instance: &Instance) -> Relation {
+        let mut domain: BTreeSet<Constant> = instance.active_domain();
+        domain.extend(self.formula.constants());
+        for t in &self.head {
+            if let QTerm::Const(c) = t {
+                domain.insert(c.clone());
+            }
+        }
+        let domain: Vec<Constant> = domain.into_iter().collect();
+
+        let head_vars: Vec<String> = {
+            let mut seen = BTreeSet::new();
+            self.head
+                .iter()
+                .filter_map(|t| t.as_var().map(str::to_owned))
+                .filter(|v| seen.insert(v.clone()))
+                .collect()
+        };
+
+        let mut out = Relation::empty(self.arity());
+        let mut env: BTreeMap<String, Constant> = BTreeMap::new();
+        self.enumerate(instance, &domain, &head_vars, 0, &mut env, &mut out);
+        out
+    }
+
+    fn enumerate(
+        &self,
+        instance: &Instance,
+        domain: &[Constant],
+        head_vars: &[String],
+        idx: usize,
+        env: &mut BTreeMap<String, Constant>,
+        out: &mut Relation,
+    ) {
+        if idx == head_vars.len() {
+            if self.formula.holds(instance, domain, env) {
+                let tuple: Tuple = self
+                    .head
+                    .iter()
+                    .map(|t| match t {
+                        QTerm::Const(c) => c.clone(),
+                        QTerm::Var(v) => env[v].clone(),
+                    })
+                    .collect();
+                let _ = out.insert(tuple);
+            }
+            return;
+        }
+        for c in domain {
+            env.insert(head_vars[idx].clone(), c.clone());
+            self.enumerate(instance, domain, head_vars, idx + 1, env, out);
+        }
+        env.remove(&head_vars[idx]);
+    }
+}
+
+impl fmt::Display for FoQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{(")?;
+        for (i, t) in self.head.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ") | {}}}", self.formula)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pw_relational::rel;
+
+    fn graph() -> Instance {
+        Instance::single("E", rel![[1, 2], [2, 3], [3, 1], [4, 4]])
+    }
+
+    #[test]
+    fn existential_query_finds_two_step_paths() {
+        // {(x, z) | ∃y E(x,y) ∧ E(y,z)}
+        let q = FoQuery::new(
+            [QTerm::var("x"), QTerm::var("z")],
+            Formula::exists(
+                ["y"],
+                Formula::and([
+                    Formula::atom("E", [QTerm::var("x"), QTerm::var("y")]),
+                    Formula::atom("E", [QTerm::var("y"), QTerm::var("z")]),
+                ]),
+            ),
+        );
+        let ans = q.eval(&graph());
+        assert!(ans.contains(&pw_relational::tup![1, 3]));
+        assert!(ans.contains(&pw_relational::tup![4, 4]));
+        assert_eq!(ans.len(), 4);
+    }
+
+    #[test]
+    fn negation_finds_non_edges() {
+        // {(x) | ∃y E(x,y) ∧ ¬E(x,x)} — sources that are not self-loops
+        let q = FoQuery::new(
+            [QTerm::var("x")],
+            Formula::and([
+                Formula::exists(["y"], Formula::atom("E", [QTerm::var("x"), QTerm::var("y")])),
+                Formula::Not(Box::new(Formula::atom(
+                    "E",
+                    [QTerm::var("x"), QTerm::var("x")],
+                ))),
+            ]),
+        );
+        assert_eq!(q.eval(&graph()), rel![[1], [2], [3]]);
+    }
+
+    #[test]
+    fn universal_quantification_over_active_domain() {
+        // {(x) | ∀y (E(y,y) ∨ ¬E(x,y))} — x whose successors are all self-loops
+        let q = FoQuery::new(
+            [QTerm::var("x")],
+            Formula::forall(
+                ["y"],
+                Formula::or([
+                    Formula::atom("E", [QTerm::var("y"), QTerm::var("y")]),
+                    Formula::Not(Box::new(Formula::atom(
+                        "E",
+                        [QTerm::var("x"), QTerm::var("y")],
+                    ))),
+                ]),
+            ),
+        );
+        // 4 → 4 (self-loop) qualifies; vertices 1,2,3 have a non-self-loop successor; the
+        // remaining domain elements have no successors at all and qualify vacuously.
+        let ans = q.eval(&graph());
+        assert!(ans.contains(&pw_relational::tup![4]));
+        assert!(!ans.contains(&pw_relational::tup![1]));
+    }
+
+    #[test]
+    fn boolean_query_emits_constant_when_formula_holds() {
+        // {1 | ∃x E(x,x)}
+        let q = FoQuery::boolean(1, Formula::exists(["x"], Formula::atom("E", [QTerm::var("x"), QTerm::var("x")])));
+        assert_eq!(q.eval(&graph()), rel![[1]]);
+        let q2 = FoQuery::boolean(
+            1,
+            Formula::exists(["x"], Formula::and([
+                Formula::atom("E", [QTerm::var("x"), QTerm::var("x")]),
+                Formula::neq("x", 4),
+            ])),
+        );
+        assert!(q2.eval(&graph()).is_empty());
+    }
+
+    #[test]
+    fn free_variables_and_constants() {
+        let f = Formula::exists(
+            ["y"],
+            Formula::and([
+                Formula::atom("E", [QTerm::var("x"), QTerm::var("y")]),
+                Formula::neq("y", 7),
+            ]),
+        );
+        assert_eq!(f.free_variables(), ["x".to_owned()].into());
+        assert_eq!(f.constants(), [Constant::int(7)].into());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let q = FoQuery::boolean(1, Formula::neq("x", 0));
+        let s = q.to_string();
+        assert!(s.contains('¬'));
+        assert!(s.contains('|'));
+    }
+}

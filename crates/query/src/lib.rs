@@ -1,0 +1,34 @@
+//! # `pw-query` — the paper's query languages over complete information databases
+//!
+//! Section 2.1 of the paper works with QPTIME queries — computable, generic queries with
+//! polynomial-time data-complexity — and singles out three concrete subfamilies that every
+//! theorem refers to:
+//!
+//! 1. **positive existential queries** — project / natural join / union / renaming /
+//!    positive select; equivalently, unions of conjunctive queries.  Implemented as
+//!    [`Ucq`] (with an optional ≠ extension used by Theorem 3.2(4)) and as the ≠- and
+//!    difference-free fragment of [`RaExpr`];
+//! 2. **first order queries** — relational calculus with negation; implemented as
+//!    [`FoQuery`] with active-domain semantics and as full [`RaExpr`];
+//! 3. **DATALOG queries** — fixpoints of positive existential queries; implemented as
+//!    [`DatalogProgram`] with naive and semi-naive evaluation.
+//!
+//! [`Query`] is the umbrella type used by the decision procedures: a named vector of output
+//! relations, each defined in one of the languages above (the paper's queries of arity
+//! (a₁,…,aₙ) → (b₁,…,bₘ)), plus the identity query "−".
+//!
+//! All evaluators have PTIME data-complexity for a fixed query, and are *generic*
+//! (commute with renamings of constants) — properties exercised by this crate's tests.
+
+pub mod datalog;
+pub mod fo;
+pub mod ra;
+pub mod ucq;
+
+mod umbrella;
+
+pub use datalog::{DatalogProgram, DlAtom, DlRule};
+pub use fo::{FoQuery, Formula};
+pub use ra::RaExpr;
+pub use ucq::{ConjunctiveQuery, QTerm, QueryAtom, Ucq};
+pub use umbrella::{Query, QueryClass, QueryDef, QueryError};

@@ -1,0 +1,357 @@
+//! Relational algebra expressions.
+//!
+//! [`RaExpr`] is a positional algebra AST over named base relations.  Its ≠-free,
+//! difference-free fragment is exactly the positive existential queries (project, join,
+//! union, renaming, positive select — Section 2.1); adding [`RaExpr::Diff`] and ≠ selection
+//! predicates yields the full first order queries.
+
+use pw_relational::algebra::{self, Pred};
+use pw_relational::{Constant, Instance, Relation};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors raised during static arity inference of an [`RaExpr`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RaError {
+    /// Column index out of range for the operand arity.
+    ColumnOutOfRange {
+        /// The offending column.
+        column: usize,
+        /// The operand arity.
+        arity: usize,
+    },
+    /// Union/difference operands have different arities.
+    ArityMismatch(usize, usize),
+    /// A base relation is used with two different arities.
+    InconsistentBase(String),
+    /// A rename permutation has the wrong length.
+    BadRename {
+        /// Expected length (operand arity).
+        expected: usize,
+        /// Supplied length.
+        found: usize,
+    },
+}
+
+impl fmt::Display for RaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RaError::ColumnOutOfRange { column, arity } => {
+                write!(f, "column {column} out of range for arity {arity}")
+            }
+            RaError::ArityMismatch(a, b) => write!(f, "arity mismatch: {a} vs {b}"),
+            RaError::InconsistentBase(r) => {
+                write!(f, "base relation {r:?} used with inconsistent arities")
+            }
+            RaError::BadRename { expected, found } => {
+                write!(f, "rename permutation of length {found}, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RaError {}
+
+/// A relational algebra expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RaExpr {
+    /// A base relation with its declared arity.
+    Rel(String, usize),
+    /// A literal relation (useful for constant singleton relations in reductions).
+    Lit(Relation),
+    /// σ — selection by a list of predicates (conjunction).
+    Select(Box<RaExpr>, Vec<Pred>),
+    /// π — projection onto columns (may repeat / reorder).
+    Project(Box<RaExpr>, Vec<usize>),
+    /// × — cartesian product.
+    Product(Box<RaExpr>, Box<RaExpr>),
+    /// ⋈ — equi-join on (left column, right column) pairs; keeps all columns of both sides.
+    Join(Box<RaExpr>, Box<RaExpr>, Vec<(usize, usize)>),
+    /// ∪ — union.
+    Union(Box<RaExpr>, Box<RaExpr>),
+    /// − — difference (first order only).
+    Diff(Box<RaExpr>, Box<RaExpr>),
+    /// Renaming as a column permutation.
+    Rename(Box<RaExpr>, Vec<usize>),
+    /// Append constant columns.
+    ExtendConst(Box<RaExpr>, Vec<Constant>),
+}
+
+impl RaExpr {
+    /// Reference a base relation.
+    pub fn rel(name: impl Into<String>, arity: usize) -> RaExpr {
+        RaExpr::Rel(name.into(), arity)
+    }
+
+    /// σ helper.
+    pub fn select(self, preds: impl IntoIterator<Item = Pred>) -> RaExpr {
+        RaExpr::Select(Box::new(self), preds.into_iter().collect())
+    }
+
+    /// π helper.
+    pub fn project(self, cols: impl IntoIterator<Item = usize>) -> RaExpr {
+        RaExpr::Project(Box::new(self), cols.into_iter().collect())
+    }
+
+    /// × helper.
+    pub fn product(self, other: RaExpr) -> RaExpr {
+        RaExpr::Product(Box::new(self), Box::new(other))
+    }
+
+    /// ⋈ helper.
+    pub fn join(self, other: RaExpr, on: impl IntoIterator<Item = (usize, usize)>) -> RaExpr {
+        RaExpr::Join(Box::new(self), Box::new(other), on.into_iter().collect())
+    }
+
+    /// ∪ helper.
+    pub fn union(self, other: RaExpr) -> RaExpr {
+        RaExpr::Union(Box::new(self), Box::new(other))
+    }
+
+    /// − helper.
+    pub fn diff(self, other: RaExpr) -> RaExpr {
+        RaExpr::Diff(Box::new(self), Box::new(other))
+    }
+
+    /// Static arity inference; also validates column references and consistent base usage.
+    pub fn arity(&self) -> Result<usize, RaError> {
+        let mut bases: BTreeMap<String, usize> = BTreeMap::new();
+        self.arity_inner(&mut bases)
+    }
+
+    fn arity_inner(&self, bases: &mut BTreeMap<String, usize>) -> Result<usize, RaError> {
+        match self {
+            RaExpr::Rel(name, arity) => match bases.get(name) {
+                Some(&a) if a != *arity => Err(RaError::InconsistentBase(name.clone())),
+                _ => {
+                    bases.insert(name.clone(), *arity);
+                    Ok(*arity)
+                }
+            },
+            RaExpr::Lit(r) => Ok(r.arity()),
+            RaExpr::Select(e, preds) => {
+                let a = e.arity_inner(bases)?;
+                for p in preds {
+                    if p.max_col() >= a {
+                        return Err(RaError::ColumnOutOfRange {
+                            column: p.max_col(),
+                            arity: a,
+                        });
+                    }
+                }
+                Ok(a)
+            }
+            RaExpr::Project(e, cols) => {
+                let a = e.arity_inner(bases)?;
+                for &c in cols {
+                    if c >= a {
+                        return Err(RaError::ColumnOutOfRange { column: c, arity: a });
+                    }
+                }
+                Ok(cols.len())
+            }
+            RaExpr::Product(l, r) => Ok(l.arity_inner(bases)? + r.arity_inner(bases)?),
+            RaExpr::Join(l, r, on) => {
+                let la = l.arity_inner(bases)?;
+                let ra = r.arity_inner(bases)?;
+                for &(a, b) in on {
+                    if a >= la {
+                        return Err(RaError::ColumnOutOfRange { column: a, arity: la });
+                    }
+                    if b >= ra {
+                        return Err(RaError::ColumnOutOfRange { column: b, arity: ra });
+                    }
+                }
+                Ok(la + ra)
+            }
+            RaExpr::Union(l, r) | RaExpr::Diff(l, r) => {
+                let la = l.arity_inner(bases)?;
+                let ra = r.arity_inner(bases)?;
+                if la != ra {
+                    return Err(RaError::ArityMismatch(la, ra));
+                }
+                Ok(la)
+            }
+            RaExpr::Rename(e, perm) => {
+                let a = e.arity_inner(bases)?;
+                if perm.len() != a {
+                    return Err(RaError::BadRename {
+                        expected: a,
+                        found: perm.len(),
+                    });
+                }
+                for &c in perm {
+                    if c >= a {
+                        return Err(RaError::ColumnOutOfRange { column: c, arity: a });
+                    }
+                }
+                Ok(a)
+            }
+            RaExpr::ExtendConst(e, consts) => Ok(e.arity_inner(bases)? + consts.len()),
+        }
+    }
+
+    /// All constants mentioned by the expression (in literals, selection predicates and
+    /// constant-column extensions).  Decision procedures include these in the evaluation
+    /// domain Δ of Proposition 2.1.
+    pub fn constants(&self) -> std::collections::BTreeSet<Constant> {
+        let mut out = std::collections::BTreeSet::new();
+        self.collect_constants(&mut out);
+        out
+    }
+
+    fn collect_constants(&self, out: &mut std::collections::BTreeSet<Constant>) {
+        match self {
+            RaExpr::Rel(..) => {}
+            RaExpr::Lit(r) => out.extend(r.active_domain()),
+            RaExpr::Select(e, preds) => {
+                for p in preds {
+                    if let Pred::EqConst(_, c) | Pred::NeqConst(_, c) = p {
+                        out.insert(c.clone());
+                    }
+                }
+                e.collect_constants(out);
+            }
+            RaExpr::Project(e, _) | RaExpr::Rename(e, _) => e.collect_constants(out),
+            RaExpr::ExtendConst(e, consts) => {
+                out.extend(consts.iter().cloned());
+                e.collect_constants(out);
+            }
+            RaExpr::Product(l, r) | RaExpr::Join(l, r, _) | RaExpr::Union(l, r) | RaExpr::Diff(l, r) => {
+                l.collect_constants(out);
+                r.collect_constants(out);
+            }
+        }
+    }
+
+    /// Whether the expression is a positive existential query (no difference, no ≠).
+    pub fn is_positive_existential(&self) -> bool {
+        match self {
+            RaExpr::Rel(..) | RaExpr::Lit(_) => true,
+            RaExpr::Select(e, preds) => {
+                preds.iter().all(Pred::is_positive) && e.is_positive_existential()
+            }
+            RaExpr::Project(e, _) | RaExpr::Rename(e, _) | RaExpr::ExtendConst(e, _) => {
+                e.is_positive_existential()
+            }
+            RaExpr::Product(l, r) | RaExpr::Join(l, r, _) | RaExpr::Union(l, r) => {
+                l.is_positive_existential() && r.is_positive_existential()
+            }
+            RaExpr::Diff(..) => false,
+        }
+    }
+
+    /// Evaluate on an instance.  Well-formed expressions (checked by [`RaExpr::arity`])
+    /// cannot fail; a base relation missing from the instance evaluates to the empty
+    /// relation of its declared arity.
+    pub fn eval(&self, instance: &Instance) -> Relation {
+        match self {
+            RaExpr::Rel(name, arity) => instance.relation_or_empty(name, *arity),
+            RaExpr::Lit(r) => r.clone(),
+            RaExpr::Select(e, preds) => {
+                algebra::select(&e.eval(instance), preds).expect("validated select")
+            }
+            RaExpr::Project(e, cols) => {
+                algebra::project(&e.eval(instance), cols).expect("validated project")
+            }
+            RaExpr::Product(l, r) => {
+                algebra::product(&l.eval(instance), &r.eval(instance)).expect("product")
+            }
+            RaExpr::Join(l, r, on) => {
+                algebra::join(&l.eval(instance), &r.eval(instance), on).expect("validated join")
+            }
+            RaExpr::Union(l, r) => {
+                algebra::union(&l.eval(instance), &r.eval(instance)).expect("validated union")
+            }
+            RaExpr::Diff(l, r) => {
+                algebra::difference(&l.eval(instance), &r.eval(instance)).expect("validated diff")
+            }
+            RaExpr::Rename(e, perm) => {
+                algebra::rename(&e.eval(instance), perm).expect("validated rename")
+            }
+            RaExpr::ExtendConst(e, consts) => {
+                algebra::extend_constants(&e.eval(instance), consts).expect("extend")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pw_relational::{rel, tup};
+
+    fn inst() -> Instance {
+        let mut i = Instance::single("R", rel![[1, 2], [2, 3], [3, 3]]);
+        i.insert_relation("S", rel![[3], [4]]);
+        i
+    }
+
+    #[test]
+    fn arity_inference_and_validation() {
+        let e = RaExpr::rel("R", 2)
+            .join(RaExpr::rel("S", 1), [(1, 0)])
+            .project([0, 2]);
+        assert_eq!(e.arity(), Ok(2));
+        let bad = RaExpr::rel("R", 2).project([5]);
+        assert!(matches!(bad.arity(), Err(RaError::ColumnOutOfRange { .. })));
+        let mixed = RaExpr::rel("R", 2).union(RaExpr::rel("S", 1));
+        assert_eq!(mixed.arity(), Err(RaError::ArityMismatch(2, 1)));
+        let inconsistent = RaExpr::rel("R", 2).product(RaExpr::rel("R", 3));
+        assert!(matches!(inconsistent.arity(), Err(RaError::InconsistentBase(_))));
+        let bad_rename = RaExpr::Rename(Box::new(RaExpr::rel("R", 2)), vec![0]);
+        assert!(matches!(bad_rename.arity(), Err(RaError::BadRename { .. })));
+    }
+
+    #[test]
+    fn eval_join_select_project() {
+        // π_{0}(σ_{col0 ≠ col1}(R)) — endpoints of non-loop edges
+        let e = RaExpr::rel("R", 2)
+            .select([Pred::NeqCols(0, 1)])
+            .project([0]);
+        assert_eq!(e.eval(&inst()), rel![[1], [2]]);
+
+        // R ⋈_{1=0} S, keep R's columns
+        let j = RaExpr::rel("R", 2)
+            .join(RaExpr::rel("S", 1), [(1, 0)])
+            .project([0, 1]);
+        assert_eq!(j.eval(&inst()), rel![[2, 3], [3, 3]]);
+    }
+
+    #[test]
+    fn eval_union_diff_lit_extend() {
+        let u = RaExpr::rel("S", 1).union(RaExpr::Lit(rel![[9]]));
+        assert_eq!(u.eval(&inst()), rel![[3], [4], [9]]);
+        let d = RaExpr::rel("S", 1).diff(RaExpr::Lit(rel![[4]]));
+        assert_eq!(d.eval(&inst()), rel![[3]]);
+        let x = RaExpr::rel("S", 1);
+        let e = RaExpr::ExtendConst(Box::new(x), vec![Constant::int(0)]);
+        assert!(e.eval(&inst()).contains(&tup![3, 0]));
+    }
+
+    #[test]
+    fn positive_existential_classification() {
+        let pe = RaExpr::rel("R", 2)
+            .select([Pred::EqConst(0, Constant::int(1))])
+            .project([1])
+            .union(RaExpr::rel("S", 1));
+        assert!(pe.is_positive_existential());
+        let with_neq = RaExpr::rel("R", 2).select([Pred::NeqCols(0, 1)]);
+        assert!(!with_neq.is_positive_existential());
+        let with_diff = RaExpr::rel("S", 1).diff(RaExpr::rel("S", 1));
+        assert!(!with_diff.is_positive_existential());
+    }
+
+    #[test]
+    fn missing_base_relation_is_empty() {
+        let e = RaExpr::rel("Nope", 3);
+        assert_eq!(e.eval(&inst()), Relation::empty(3));
+    }
+
+    #[test]
+    fn rename_permutes_columns() {
+        let e = RaExpr::Rename(Box::new(RaExpr::rel("R", 2)), vec![1, 0]);
+        assert!(e.eval(&inst()).contains(&tup![2, 1]));
+        assert_eq!(e.arity(), Ok(2));
+    }
+}

@@ -1,0 +1,575 @@
+//! Unions of conjunctive queries (the positive existential queries), optionally with ≠.
+//!
+//! A conjunctive query is written rule-style:
+//!
+//! ```text
+//! ans(x, z) :- R(x, y), S(y, z), y ≠ 0
+//! ```
+//!
+//! A [`Ucq`] is a finite union of such queries with a common head arity.  Without ≠ atoms a
+//! UCQ is exactly a positive existential query (the paper's most practical family); with ≠
+//! atoms it is the "positive existential with ≠" family used in the lower bound of
+//! Theorem 3.2(4).
+
+use pw_relational::{Constant, Instance, Relation, Tuple};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A query term: a named query variable or a constant.
+///
+/// Query variables are plain strings and live in a different namespace from the null
+/// [`pw_condition::Variable`]s of tables.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum QTerm {
+    /// A query variable.
+    Var(String),
+    /// A constant.
+    Const(Constant),
+}
+
+impl QTerm {
+    /// Build a variable term.
+    pub fn var(name: impl Into<String>) -> QTerm {
+        QTerm::Var(name.into())
+    }
+
+    /// Build a constant term.
+    pub fn constant(c: impl Into<Constant>) -> QTerm {
+        QTerm::Const(c.into())
+    }
+
+    /// The variable name, if this is a variable.
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            QTerm::Var(v) => Some(v),
+            QTerm::Const(_) => None,
+        }
+    }
+}
+
+impl fmt::Debug for QTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for QTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QTerm::Var(v) => write!(f, "{v}"),
+            QTerm::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+impl From<&str> for QTerm {
+    fn from(value: &str) -> Self {
+        QTerm::Var(value.to_owned())
+    }
+}
+
+impl From<i64> for QTerm {
+    fn from(value: i64) -> Self {
+        QTerm::Const(Constant::Int(value))
+    }
+}
+
+impl From<i32> for QTerm {
+    fn from(value: i32) -> Self {
+        QTerm::Const(Constant::Int(i64::from(value)))
+    }
+}
+
+impl From<Constant> for QTerm {
+    fn from(value: Constant) -> Self {
+        QTerm::Const(value)
+    }
+}
+
+/// A relational atom `R(t₁, …, tₖ)` in a query body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryAtom {
+    /// Relation name.
+    pub relation: String,
+    /// Argument terms.
+    pub terms: Vec<QTerm>,
+}
+
+impl QueryAtom {
+    /// Build an atom.
+    pub fn new(relation: impl Into<String>, terms: impl IntoIterator<Item = QTerm>) -> Self {
+        QueryAtom {
+            relation: relation.into(),
+            terms: terms.into_iter().collect(),
+        }
+    }
+
+    /// Arity of the atom.
+    pub fn arity(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Variables of the atom.
+    pub fn variables(&self) -> impl Iterator<Item = &str> {
+        self.terms.iter().filter_map(QTerm::as_var)
+    }
+}
+
+impl fmt::Display for QueryAtom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.relation)?;
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Errors raised when validating a query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CqError {
+    /// A head variable does not occur in any body atom (unsafe query).
+    UnsafeHeadVariable(String),
+    /// A variable of a ≠ atom does not occur in any body atom.
+    UnsafeNeqVariable(String),
+    /// The same relation appears with two different arities inside the query.
+    InconsistentArity(String),
+    /// Two disjuncts of a UCQ have different head arities.
+    MixedHeadArity,
+}
+
+impl fmt::Display for CqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CqError::UnsafeHeadVariable(v) => write!(f, "unsafe head variable {v:?}"),
+            CqError::UnsafeNeqVariable(v) => write!(f, "unsafe variable {v:?} in ≠ atom"),
+            CqError::InconsistentArity(r) => {
+                write!(f, "relation {r:?} used with inconsistent arities")
+            }
+            CqError::MixedHeadArity => write!(f, "disjuncts have different head arities"),
+        }
+    }
+}
+
+impl std::error::Error for CqError {}
+
+/// A conjunctive query with optional inequality atoms.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConjunctiveQuery {
+    /// Output terms (variables or constants).
+    pub head: Vec<QTerm>,
+    /// Relational atoms.
+    pub body: Vec<QueryAtom>,
+    /// Inequality side conditions `a ≠ b`.
+    pub neq: Vec<(QTerm, QTerm)>,
+}
+
+impl ConjunctiveQuery {
+    /// Build a query from head terms and body atoms (no ≠ atoms).
+    pub fn new(
+        head: impl IntoIterator<Item = QTerm>,
+        body: impl IntoIterator<Item = QueryAtom>,
+    ) -> Self {
+        ConjunctiveQuery {
+            head: head.into_iter().collect(),
+            body: body.into_iter().collect(),
+            neq: Vec::new(),
+        }
+    }
+
+    /// Add an inequality side condition.
+    pub fn with_neq(mut self, a: impl Into<QTerm>, b: impl Into<QTerm>) -> Self {
+        self.neq.push((a.into(), b.into()));
+        self
+    }
+
+    /// Head arity.
+    pub fn arity(&self) -> usize {
+        self.head.len()
+    }
+
+    /// Whether the query is positive existential in the strict sense (no ≠ atoms).
+    pub fn is_positive(&self) -> bool {
+        self.neq.is_empty()
+    }
+
+    /// All body variables.
+    pub fn body_variables(&self) -> BTreeSet<&str> {
+        self.body.iter().flat_map(QueryAtom::variables).collect()
+    }
+
+    /// Safety / well-formedness check.
+    pub fn validate(&self) -> Result<(), CqError> {
+        let body_vars = self.body_variables();
+        for t in &self.head {
+            if let Some(v) = t.as_var() {
+                if !body_vars.contains(v) {
+                    return Err(CqError::UnsafeHeadVariable(v.to_owned()));
+                }
+            }
+        }
+        for (a, b) in &self.neq {
+            for t in [a, b] {
+                if let Some(v) = t.as_var() {
+                    if !body_vars.contains(v) {
+                        return Err(CqError::UnsafeNeqVariable(v.to_owned()));
+                    }
+                }
+            }
+        }
+        let mut arities: BTreeMap<&str, usize> = BTreeMap::new();
+        for atom in &self.body {
+            match arities.get(atom.relation.as_str()) {
+                Some(&a) if a != atom.arity() => {
+                    return Err(CqError::InconsistentArity(atom.relation.clone()))
+                }
+                _ => {
+                    arities.insert(&atom.relation, atom.arity());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluate on an instance, producing the set of head tuples.
+    pub fn eval(&self, instance: &Instance) -> Relation {
+        let mut out = Relation::empty(self.arity());
+        let mut bindings: BTreeMap<&str, Constant> = BTreeMap::new();
+        self.search(instance, 0, &mut bindings, &mut out);
+        out
+    }
+
+    fn search<'q>(
+        &'q self,
+        instance: &Instance,
+        depth: usize,
+        bindings: &mut BTreeMap<&'q str, Constant>,
+        out: &mut Relation,
+    ) {
+        if depth == self.body.len() {
+            if self.neq_satisfied(bindings) {
+                let tuple: Tuple = self
+                    .head
+                    .iter()
+                    .map(|t| Self::resolve(t, bindings).expect("validated head variable"))
+                    .collect();
+                let _ = out.insert(tuple);
+            }
+            return;
+        }
+        let atom = &self.body[depth];
+        let rel = instance.relation_or_empty(&atom.relation, atom.arity());
+        if rel.arity() != atom.arity() {
+            // Arity clash with the instance: the atom cannot match anything.
+            return;
+        }
+        'tuples: for fact in rel.iter() {
+            let mut newly_bound: Vec<&str> = Vec::new();
+            for (term, value) in atom.terms.iter().zip(fact.iter()) {
+                match term {
+                    QTerm::Const(c) => {
+                        if c != value {
+                            for v in newly_bound.drain(..) {
+                                bindings.remove(v);
+                            }
+                            continue 'tuples;
+                        }
+                    }
+                    QTerm::Var(v) => match bindings.get(v.as_str()) {
+                        Some(bound) if bound != value => {
+                            for v in newly_bound.drain(..) {
+                                bindings.remove(v);
+                            }
+                            continue 'tuples;
+                        }
+                        Some(_) => {}
+                        None => {
+                            bindings.insert(v.as_str(), value.clone());
+                            newly_bound.push(v.as_str());
+                        }
+                    },
+                }
+            }
+            self.search(instance, depth + 1, bindings, out);
+            for v in newly_bound {
+                bindings.remove(v);
+            }
+        }
+    }
+
+    fn resolve(term: &QTerm, bindings: &BTreeMap<&str, Constant>) -> Option<Constant> {
+        match term {
+            QTerm::Const(c) => Some(c.clone()),
+            QTerm::Var(v) => bindings.get(v.as_str()).cloned(),
+        }
+    }
+
+    fn neq_satisfied(&self, bindings: &BTreeMap<&str, Constant>) -> bool {
+        self.neq.iter().all(|(a, b)| {
+            match (Self::resolve(a, bindings), Self::resolve(b, bindings)) {
+                (Some(x), Some(y)) => x != y,
+                // Safety validation guarantees both sides are bound; treat anything else
+                // conservatively as failure.
+                _ => false,
+            }
+        })
+    }
+}
+
+impl fmt::Display for ConjunctiveQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ans(")?;
+        for (i, t) in self.head.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ") :- ")?;
+        for (i, a) in self.body.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        for (a, b) in &self.neq {
+            write!(f, ", {a} ≠ {b}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A union of conjunctive queries with a common head arity.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Ucq {
+    disjuncts: Vec<ConjunctiveQuery>,
+    arity: usize,
+}
+
+impl Ucq {
+    /// Build a UCQ; all disjuncts must share the same head arity.
+    pub fn new(disjuncts: impl IntoIterator<Item = ConjunctiveQuery>) -> Result<Self, CqError> {
+        let disjuncts: Vec<ConjunctiveQuery> = disjuncts.into_iter().collect();
+        let arity = disjuncts.first().map_or(0, ConjunctiveQuery::arity);
+        for d in &disjuncts {
+            if d.arity() != arity {
+                return Err(CqError::MixedHeadArity);
+            }
+            d.validate()?;
+        }
+        Ok(Ucq { disjuncts, arity })
+    }
+
+    /// Build a UCQ of a single conjunctive query.
+    pub fn single(cq: ConjunctiveQuery) -> Self {
+        Ucq::new([cq]).expect("single disjunct cannot mix arities")
+    }
+
+    /// Head arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// The disjuncts.
+    pub fn disjuncts(&self) -> &[ConjunctiveQuery] {
+        &self.disjuncts
+    }
+
+    /// Whether every disjunct is ≠-free (strict positive existential query).
+    pub fn is_positive(&self) -> bool {
+        self.disjuncts.iter().all(ConjunctiveQuery::is_positive)
+    }
+
+    /// Evaluate on an instance: union of the disjuncts' answers.
+    pub fn eval(&self, instance: &Instance) -> Relation {
+        let mut out = Relation::empty(self.arity);
+        for d in &self.disjuncts {
+            for t in d.eval(instance) {
+                let _ = out.insert(t);
+            }
+        }
+        out
+    }
+
+    /// All constants mentioned anywhere in the query (heads, bodies, ≠ atoms).
+    pub fn constants(&self) -> BTreeSet<Constant> {
+        let mut out = BTreeSet::new();
+        for d in &self.disjuncts {
+            for t in d
+                .head
+                .iter()
+                .chain(d.body.iter().flat_map(|a| a.terms.iter()))
+                .chain(d.neq.iter().flat_map(|(a, b)| [a, b]))
+            {
+                if let QTerm::Const(c) = t {
+                    out.insert(c.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Relation names referenced by the query, with their arities.
+    pub fn referenced_relations(&self) -> BTreeMap<String, usize> {
+        let mut out = BTreeMap::new();
+        for d in &self.disjuncts {
+            for a in &d.body {
+                out.insert(a.relation.clone(), a.arity());
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Ucq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, d) in self.disjuncts.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Convenience macro for query atoms: `qatom!("R"; "x", 1, "y")`.
+#[macro_export]
+macro_rules! qatom {
+    ($rel:expr $(; $($t:expr),* )?) => {
+        $crate::QueryAtom::new($rel, vec![$($($crate::QTerm::from($t)),*)?])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pw_relational::rel;
+
+    fn path_instance() -> Instance {
+        // R = {(1,2),(2,3),(3,4)}
+        Instance::single("R", rel![[1, 2], [2, 3], [3, 4]])
+    }
+
+    #[test]
+    fn single_atom_projection() {
+        let q = ConjunctiveQuery::new([QTerm::var("x")], [qatom!("R"; "x", "y")]);
+        let ans = q.eval(&path_instance());
+        assert_eq!(ans, rel![[1], [2], [3]]);
+    }
+
+    #[test]
+    fn join_via_shared_variable() {
+        // ans(x, z) :- R(x, y), R(y, z)
+        let q = ConjunctiveQuery::new(
+            [QTerm::var("x"), QTerm::var("z")],
+            [qatom!("R"; "x", "y"), qatom!("R"; "y", "z")],
+        );
+        let ans = q.eval(&path_instance());
+        assert_eq!(ans, rel![[1, 3], [2, 4]]);
+    }
+
+    #[test]
+    fn constants_in_body_and_head() {
+        // ans(0, y) :- R(2, y)
+        let q = ConjunctiveQuery::new(
+            [QTerm::constant(0), QTerm::var("y")],
+            [qatom!("R"; 2, "y")],
+        );
+        let ans = q.eval(&path_instance());
+        assert_eq!(ans, rel![[0, 3]]);
+    }
+
+    #[test]
+    fn neq_side_conditions_filter() {
+        // ans(x, z) :- R(x, y), R(y, z), x ≠ z  — on a path this changes nothing;
+        // ans(x, z) :- R(x, y), R(y, z), x ≠ 1  drops the tuple starting at 1.
+        let q = ConjunctiveQuery::new(
+            [QTerm::var("x"), QTerm::var("z")],
+            [qatom!("R"; "x", "y"), qatom!("R"; "y", "z")],
+        )
+        .with_neq("x", 1);
+        let ans = q.eval(&path_instance());
+        assert_eq!(ans, rel![[2, 4]]);
+        assert!(!q.is_positive());
+    }
+
+    #[test]
+    fn validation_catches_unsafe_queries() {
+        let unsafe_head =
+            ConjunctiveQuery::new([QTerm::var("z")], [qatom!("R"; "x", "y")]);
+        assert_eq!(
+            unsafe_head.validate(),
+            Err(CqError::UnsafeHeadVariable("z".into()))
+        );
+        let unsafe_neq = ConjunctiveQuery::new([QTerm::var("x")], [qatom!("R"; "x", "y")])
+            .with_neq("w", 1);
+        assert_eq!(
+            unsafe_neq.validate(),
+            Err(CqError::UnsafeNeqVariable("w".into()))
+        );
+        let inconsistent = ConjunctiveQuery::new(
+            [QTerm::var("x")],
+            [qatom!("R"; "x", "y"), qatom!("R"; "x")],
+        );
+        assert_eq!(
+            inconsistent.validate(),
+            Err(CqError::InconsistentArity("R".into()))
+        );
+    }
+
+    #[test]
+    fn ucq_unions_disjuncts_and_checks_arity() {
+        let d1 = ConjunctiveQuery::new([QTerm::var("x")], [qatom!("R"; "x", "y")]);
+        let d2 = ConjunctiveQuery::new([QTerm::var("y")], [qatom!("R"; "x", "y")]);
+        let q = Ucq::new([d1.clone(), d2]).unwrap();
+        let ans = q.eval(&path_instance());
+        assert_eq!(ans, rel![[1], [2], [3], [4]]);
+        assert!(q.is_positive());
+        assert_eq!(q.arity(), 1);
+        assert_eq!(q.referenced_relations().get("R"), Some(&2));
+
+        let bad = ConjunctiveQuery::new(
+            [QTerm::var("x"), QTerm::var("y")],
+            [qatom!("R"; "x", "y")],
+        );
+        assert_eq!(Ucq::new([d1, bad]).unwrap_err(), CqError::MixedHeadArity);
+    }
+
+    #[test]
+    fn empty_relation_yields_empty_answer() {
+        let q = ConjunctiveQuery::new([QTerm::var("x")], [qatom!("S"; "x")]);
+        assert!(q.eval(&path_instance()).is_empty());
+    }
+
+    #[test]
+    fn repeated_variable_in_atom_requires_equal_columns() {
+        // ans(x) :- R(x, x)
+        let q = ConjunctiveQuery::new([QTerm::var("x")], [qatom!("R"; "x", "x")]);
+        let mut inst = path_instance();
+        inst.insert_fact("R", pw_relational::tup![5, 5]).unwrap();
+        assert_eq!(q.eval(&inst), rel![[5]]);
+    }
+
+    #[test]
+    fn genericity_on_a_sample_renaming() {
+        let q = ConjunctiveQuery::new(
+            [QTerm::var("x"), QTerm::var("z")],
+            [qatom!("R"; "x", "y"), qatom!("R"; "y", "z")],
+        );
+        let inst = path_instance();
+        let renamed = inst.map_constants(|c| match c {
+            Constant::Int(i) => Constant::Int(i + 100),
+            c => c.clone(),
+        });
+        let lhs = q.eval(&renamed);
+        let rhs = q.eval(&inst).map_constants(|c| match c {
+            Constant::Int(i) => Constant::Int(i + 100),
+            c => c.clone(),
+        });
+        assert_eq!(lhs, rhs);
+    }
+}

@@ -1,0 +1,311 @@
+//! The umbrella [`Query`] type used by the decision procedures.
+//!
+//! A paper query has arity `(a₁,…,aₙ) → (b₁,…,bₘ)`: it maps an instance with `n` relations
+//! to an instance with `m` relations.  [`Query`] is therefore a *named vector of output
+//! definitions*, each given in one of the concrete languages of this crate, plus the
+//! identity query "−" that the paper writes `MEMB(-)`, `CONT(-,-)`, etc.
+
+use crate::datalog::DatalogProgram;
+use crate::fo::FoQuery;
+use crate::ra::RaExpr;
+use crate::ucq::Ucq;
+use pw_relational::{Instance, Relation};
+use std::fmt;
+
+/// Classification of a query into the paper's families, ordered from most restricted to
+/// most general.  The classification drives algorithm selection in `pw-decide`: e.g.
+/// bounded possibility is PTIME for [`QueryClass::PositiveExistential`] on c-tables
+/// (Theorem 5.2(1)) but NP-complete already for first order or Datalog queries on tables.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum QueryClass {
+    /// The identity query "−".
+    Identity,
+    /// Positive existential (project/join/union/rename/positive select; UCQ without ≠).
+    PositiveExistential,
+    /// Positive existential extended with ≠ atoms (Theorem 3.2(4)'s query family).
+    PositiveExistentialNeq,
+    /// Pure Datalog (fixpoints of positive existential queries).
+    Datalog,
+    /// Full first order (relational calculus with negation).
+    FirstOrder,
+}
+
+impl fmt::Display for QueryClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            QueryClass::Identity => "identity",
+            QueryClass::PositiveExistential => "positive existential",
+            QueryClass::PositiveExistentialNeq => "positive existential with ≠",
+            QueryClass::Datalog => "datalog",
+            QueryClass::FirstOrder => "first order",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Errors raised when assembling a [`Query`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QueryError {
+    /// An output definition failed its own validation.
+    Invalid(String),
+    /// Two outputs share the same name.
+    DuplicateOutput(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Invalid(m) => write!(f, "invalid query: {m}"),
+            QueryError::DuplicateOutput(n) => write!(f, "duplicate output relation {n:?}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// The definition of one output relation of a query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QueryDef {
+    /// Copy an input relation unchanged.
+    Identity {
+        /// Input relation to copy.
+        relation: String,
+        /// Its arity.
+        arity: usize,
+    },
+    /// A union of conjunctive queries (possibly with ≠).
+    Ucq(Ucq),
+    /// A relational algebra expression.
+    Ra(RaExpr),
+    /// A first order query.
+    Fo(FoQuery),
+    /// A Datalog program.
+    Datalog(DatalogProgram),
+}
+
+impl QueryDef {
+    /// The output arity of this definition.
+    pub fn arity(&self) -> usize {
+        match self {
+            QueryDef::Identity { arity, .. } => *arity,
+            QueryDef::Ucq(q) => q.arity(),
+            QueryDef::Ra(e) => e.arity().unwrap_or(0),
+            QueryDef::Fo(q) => q.arity(),
+            QueryDef::Datalog(p) => p.output_arity(),
+        }
+    }
+
+    /// The query class of this definition.
+    pub fn class(&self) -> QueryClass {
+        match self {
+            QueryDef::Identity { .. } => QueryClass::Identity,
+            QueryDef::Ucq(q) => {
+                if q.is_positive() {
+                    QueryClass::PositiveExistential
+                } else {
+                    QueryClass::PositiveExistentialNeq
+                }
+            }
+            QueryDef::Ra(e) => {
+                if e.is_positive_existential() {
+                    QueryClass::PositiveExistential
+                } else {
+                    QueryClass::FirstOrder
+                }
+            }
+            QueryDef::Fo(_) => QueryClass::FirstOrder,
+            QueryDef::Datalog(_) => QueryClass::Datalog,
+        }
+    }
+
+    /// All constants mentioned by the definition — part of the evaluation domain Δ used by
+    /// the decision procedures (Proposition 2.1).
+    pub fn constants(&self) -> std::collections::BTreeSet<pw_relational::Constant> {
+        match self {
+            QueryDef::Identity { .. } => std::collections::BTreeSet::new(),
+            QueryDef::Ucq(q) => q.constants(),
+            QueryDef::Ra(e) => e.constants(),
+            QueryDef::Fo(q) => q.constants(),
+            QueryDef::Datalog(p) => p.constants(),
+        }
+    }
+
+    /// Evaluate this definition on an instance.
+    pub fn eval(&self, instance: &Instance) -> Relation {
+        match self {
+            QueryDef::Identity { relation, arity } => instance.relation_or_empty(relation, *arity),
+            QueryDef::Ucq(q) => q.eval(instance),
+            QueryDef::Ra(e) => e.eval(instance),
+            QueryDef::Fo(q) => q.eval(instance),
+            QueryDef::Datalog(p) => p.eval(instance),
+        }
+    }
+}
+
+/// A query: a vector of named output relations, each defined by a [`QueryDef`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Query {
+    outputs: Vec<(String, QueryDef)>,
+}
+
+impl Query {
+    /// Build a query from `(output name, definition)` pairs.
+    pub fn new(
+        outputs: impl IntoIterator<Item = (String, QueryDef)>,
+    ) -> Result<Self, QueryError> {
+        let outputs: Vec<(String, QueryDef)> = outputs.into_iter().collect();
+        let mut seen = std::collections::BTreeSet::new();
+        for (name, def) in &outputs {
+            if !seen.insert(name.clone()) {
+                return Err(QueryError::DuplicateOutput(name.clone()));
+            }
+            if let QueryDef::Ra(e) = def {
+                e.arity()
+                    .map_err(|err| QueryError::Invalid(err.to_string()))?;
+            }
+        }
+        Ok(Query { outputs })
+    }
+
+    /// The identity query over the given `(relation, arity)` schema — the paper's "−".
+    pub fn identity(schema: impl IntoIterator<Item = (String, usize)>) -> Self {
+        Query {
+            outputs: schema
+                .into_iter()
+                .map(|(relation, arity)| {
+                    (
+                        relation.clone(),
+                        QueryDef::Identity { relation, arity },
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// A query with a single output relation.
+    pub fn single(name: impl Into<String>, def: QueryDef) -> Self {
+        Query {
+            outputs: vec![(name.into(), def)],
+        }
+    }
+
+    /// The outputs.
+    pub fn outputs(&self) -> &[(String, QueryDef)] {
+        &self.outputs
+    }
+
+    /// Whether this is the identity query.
+    pub fn is_identity(&self) -> bool {
+        self.class() == QueryClass::Identity
+    }
+
+    /// The query class: the most general class among the outputs.
+    pub fn class(&self) -> QueryClass {
+        self.outputs
+            .iter()
+            .map(|(_, d)| d.class())
+            .max()
+            .unwrap_or(QueryClass::Identity)
+    }
+
+    /// All constants mentioned by any output definition.
+    pub fn constants(&self) -> std::collections::BTreeSet<pw_relational::Constant> {
+        self.outputs
+            .iter()
+            .flat_map(|(_, d)| d.constants())
+            .collect()
+    }
+
+    /// Evaluate: produce the output instance.
+    pub fn eval(&self, instance: &Instance) -> Instance {
+        Instance::from_relations(
+            self.outputs
+                .iter()
+                .map(|(name, def)| (name.clone(), def.eval(instance))),
+        )
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, (name, def)) in self.outputs.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{name}/{} := {}", def.arity(), def.class())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ucq::{ConjunctiveQuery, QTerm};
+    use crate::{qatom, Formula};
+    use pw_relational::rel;
+
+    fn inst() -> Instance {
+        Instance::single("E", rel![[1, 2], [2, 3]])
+    }
+
+    #[test]
+    fn identity_query_copies_relations() {
+        let q = Query::identity([("E".to_owned(), 2)]);
+        assert!(q.is_identity());
+        assert_eq!(q.class(), QueryClass::Identity);
+        assert!(q.eval(&inst()).same_facts(&inst()));
+    }
+
+    #[test]
+    fn multi_output_query_and_classification() {
+        let q1 = QueryDef::Ucq(Ucq::single(ConjunctiveQuery::new(
+            [QTerm::var("x")],
+            [qatom!("E"; "x", "y")],
+        )));
+        let q2 = QueryDef::Fo(FoQuery::boolean(
+            1,
+            Formula::exists(["x"], Formula::atom("E", [QTerm::var("x"), QTerm::var("x")])),
+        ));
+        let q = Query::new([("Sources".to_owned(), q1), ("HasLoop".to_owned(), q2)]).unwrap();
+        assert_eq!(q.class(), QueryClass::FirstOrder);
+        let out = q.eval(&inst());
+        assert_eq!(out.relation("Sources").unwrap(), &rel![[1], [2]]);
+        assert!(out.relation("HasLoop").unwrap().is_empty());
+    }
+
+    #[test]
+    fn duplicate_outputs_are_rejected() {
+        let def = QueryDef::Identity {
+            relation: "E".into(),
+            arity: 2,
+        };
+        let err = Query::new([("A".to_owned(), def.clone()), ("A".to_owned(), def)]).unwrap_err();
+        assert_eq!(err, QueryError::DuplicateOutput("A".into()));
+    }
+
+    #[test]
+    fn class_ordering_reflects_generality() {
+        assert!(QueryClass::Identity < QueryClass::PositiveExistential);
+        assert!(QueryClass::PositiveExistential < QueryClass::PositiveExistentialNeq);
+        assert!(QueryClass::PositiveExistentialNeq < QueryClass::Datalog);
+        assert!(QueryClass::Datalog < QueryClass::FirstOrder);
+    }
+
+    #[test]
+    fn datalog_output_class_and_eval() {
+        let q = Query::single("TC", QueryDef::Datalog(DatalogProgram::transitive_closure("E", "TC")));
+        assert_eq!(q.class(), QueryClass::Datalog);
+        let out = q.eval(&inst());
+        assert_eq!(out.relation("TC").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn invalid_ra_is_rejected_at_construction() {
+        let bad = QueryDef::Ra(RaExpr::rel("E", 2).project([7]));
+        assert!(matches!(
+            Query::new([("Out".to_owned(), bad)]),
+            Err(QueryError::Invalid(_))
+        ));
+    }
+}

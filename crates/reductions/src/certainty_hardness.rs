@@ -1,0 +1,96 @@
+//! Theorem 5.3(2): 3DNF tautology reduces to `CERT(1, q)` for a fixed first order query on
+//! a Codd-table.
+//!
+//! The construction reuses the table and the formula ψ of Theorem 5.2(2) (see
+//! [`crate::possibility_hardness`]): with `q′ = {1 | ψ}`, the fact `(1)` is *certain* iff
+//! every valuation of the literal-value nulls either fails to encode a truth assignment or
+//! encodes one that satisfies the DNF — i.e. iff the DNF is a tautology.
+
+use crate::possibility_hardness::{theorem_52_2_psi, theorem_52_2_table};
+use crate::CertaintyInstance;
+use pw_core::View;
+use pw_query::{FoQuery, Query, QueryDef};
+use pw_relational::{rel, Instance};
+use pw_solvers::DnfFormula;
+
+/// Theorem 5.3(2): 3DNF tautology → `CERT(1, q′)` on a Codd-table, with `q′ = {1 | ψ}`.
+pub fn taut_cert_fo(formula: &DnfFormula) -> CertaintyInstance {
+    let query = Query::single("Q", QueryDef::Fo(FoQuery::boolean(1, theorem_52_2_psi())));
+    CertaintyInstance {
+        view: View::new(query, theorem_52_2_table(formula)),
+        facts: Instance::single("Q", rel![[1]]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pw_decide::{certainty, possibility, Budget};
+    use pw_solvers::{Clause, Literal};
+
+    fn lit(v: usize, s: bool) -> Literal {
+        Literal { var: v, positive: s }
+    }
+
+    fn budget() -> Budget {
+        Budget(20_000_000)
+    }
+
+    fn small_dnf_formulas() -> Vec<(DnfFormula, &'static str)> {
+        vec![
+            (
+                DnfFormula::new(1, [Clause::new([lit(0, true)]), Clause::new([lit(0, false)])]),
+                "x ∨ ¬x — tautology",
+            ),
+            (
+                DnfFormula::new(2, [Clause::new([lit(0, true), lit(1, false)])]),
+                "x ∧ ¬y — not a tautology",
+            ),
+            (
+                DnfFormula::new(
+                    2,
+                    [
+                        Clause::new([lit(0, true)]),
+                        Clause::new([lit(0, false)]),
+                        Clause::new([lit(1, true)]),
+                    ],
+                ),
+                "x ∨ ¬x ∨ y — tautology",
+            ),
+        ]
+    }
+
+    #[test]
+    fn certainty_reduction_matches_the_tautology_solver() {
+        for (formula, label) in small_dnf_formulas() {
+            let expected = formula.is_tautology();
+            let reduction = taut_cert_fo(&formula);
+            let answer = certainty::decide(&reduction.view, &reduction.facts, budget()).unwrap();
+            assert_eq!(answer, expected, "CERT(1, FO) reduction on {label}");
+        }
+    }
+
+    #[test]
+    fn certainty_and_possibility_duality_on_the_same_table() {
+        // CERT(1, {1 | ψ}) answers "tautology"; POSS(1, {1 | ¬ψ}) answers "non-tautology";
+        // on any formula exactly one of them is true.
+        use crate::possibility_hardness::nontaut_poss_fo;
+        for (formula, label) in small_dnf_formulas() {
+            let cert = taut_cert_fo(&formula);
+            let poss = nontaut_poss_fo(&formula);
+            let certain = certainty::decide(&cert.view, &cert.facts, budget()).unwrap();
+            let possible = possibility::decide(&poss.view, &poss.facts, budget()).unwrap();
+            assert_ne!(certain, possible, "duality on {label}");
+        }
+    }
+
+    #[test]
+    fn construction_shares_the_theorem_52_table() {
+        let formula = DnfFormula::paper_fig5();
+        let reduction = taut_cert_fo(&formula);
+        let table = reduction.view.db.table("R").unwrap();
+        assert_eq!(table.len(), 15, "one row per literal occurrence");
+        assert_eq!(table.variables().len(), 15);
+        assert_eq!(reduction.view.query.class(), pw_query::QueryClass::FirstOrder);
+    }
+}

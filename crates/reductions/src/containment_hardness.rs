@@ -1,0 +1,323 @@
+//! Theorem 4.2(1,4): the containment lower bounds.
+//!
+//! * [`ae3cnf_cont_itable`] — ∀∃3CNF reduces to `CONT(-, -)` with a Codd-table on the left
+//!   and an i-table on the right (Theorem 4.2(1), the Fig. 7 construction) — the
+//!   Π₂ᵖ-complete cell of Fig. 2 reached with "a very small amount of expressibility".
+//! * [`dnf_taut_cont_view_table`] — 3DNF tautology reduces to `CONT(q₀, -)` with a positive
+//!   existential view of Codd-tables on the left and a Codd-table on the right
+//!   (Theorem 4.2(4), the Fig. 9 construction).
+
+use crate::ContainmentInstance;
+use pw_condition::{Atom, Conjunction, Term, VarGen, Variable};
+use pw_core::{CDatabase, CTable, View};
+use pw_query::{qatom, ConjunctiveQuery, QTerm, Query, QueryDef, Ucq};
+use pw_solvers::qbf::ForallExists3Cnf;
+use pw_solvers::{DnfFormula, Literal};
+
+/// The 0/1 triples with at least one 1 — shared by both tables of the Fig. 7 construction
+/// (they encode "the clause has a satisfied literal").
+fn nonzero_bool_triples() -> Vec<(i64, i64, i64)> {
+    let mut out = Vec::new();
+    for a in 0..=1i64 {
+        for b in 0..=1i64 {
+            for c in 0..=1i64 {
+                if a + b + c != 0 {
+                    out.push((a, b, c));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Theorem 4.2(1): ∀∃3CNF → `CONT(-, -)` with a Codd-table 𝒯₀ ⊆ an i-table (𝒯, φ_T), both
+/// of arity 4 (the construction of Fig. 7).
+///
+/// Left-hand side (one world per assignment of the universal variables): for each
+/// universal variable `xᵢ` the rows `(0, zᵢ, i, i)` and `(1, 0, i, i)` — the value of the
+/// null `zᵢ` encodes `xᵢ` (5 = true, 6 = false, anything else = unconstrained) — plus the
+/// fixed block of non-zero boolean triples tagged 0.
+///
+/// Right-hand side: rows `(uᵢ, wᵢ, i, i)` and `(vᵢ, yᵢ, i, i)` that must reproduce the two
+/// facts of index `i` (the inequalities `wᵢ ≠ 5`, `yᵢ ≠ 6` force `uᵢ` to be the truth value
+/// of `xᵢ` and `vᵢ` its complement), the same fixed block, and one row
+/// `(r_{k,1}, r_{k,2}, r_{k,3}, 0)` per clause whose image must be a non-zero triple — the
+/// clause's literal values — with inequalities tying the `r_{k,j}` to the variables' truth
+/// values (`r ≠ vₗ` for a positive literal of `xₗ`, `r ≠ uₗ` for a negative one, and
+/// `r ≠ r'` for complementary occurrences).
+pub fn ae3cnf_cont_itable(instance: &ForallExists3Cnf) -> ContainmentInstance {
+    let n = instance.universal_vars;
+    let total = instance.num_vars();
+    let mut vars = VarGen::new();
+
+    // ---- Left: the Codd-table 𝒯₀. ----
+    let z: Vec<Variable> = (0..n).map(|i| vars.named(format!("z{i}"))).collect();
+    let mut left_rows: Vec<Vec<Term>> = Vec::new();
+    for i in 0..n {
+        let idx = Term::constant(i as i64 + 10); // indices 10, 11, … keep clear of 0/1/5/6
+        left_rows.push(vec![Term::constant(0), Term::Var(z[i]), idx.clone(), idx.clone()]);
+        left_rows.push(vec![Term::constant(1), Term::constant(0), idx.clone(), idx]);
+    }
+    for (a, b, c) in nonzero_bool_triples() {
+        left_rows.push(vec![
+            Term::constant(a),
+            Term::constant(b),
+            Term::constant(c),
+            Term::constant(0),
+        ]);
+    }
+    let left_table = CTable::codd("T", 4, left_rows).expect("left rows use distinct nulls");
+
+    // ---- Right: the i-table (𝒯, φ_T). ----
+    // u_l / v_l exist for every variable (universal and existential); w_i / y_i only for
+    // universal ones (they appear in the table rows).
+    let u: Vec<Variable> = (0..total).map(|l| vars.named(format!("u{l}"))).collect();
+    let v: Vec<Variable> = (0..total).map(|l| vars.named(format!("v{l}"))).collect();
+    let w: Vec<Variable> = (0..n).map(|i| vars.named(format!("w{i}"))).collect();
+    let y: Vec<Variable> = (0..n).map(|i| vars.named(format!("y{i}"))).collect();
+    let r: Vec<Vec<Variable>> = (0..instance.clauses.len())
+        .map(|k| {
+            (0..3)
+                .map(|j| vars.named(format!("r{k}_{j}")))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+
+    let mut right_rows: Vec<Vec<Term>> = Vec::new();
+    for i in 0..n {
+        let idx = Term::constant(i as i64 + 10);
+        right_rows.push(vec![Term::Var(u[i]), Term::Var(w[i]), idx.clone(), idx.clone()]);
+        right_rows.push(vec![Term::Var(v[i]), Term::Var(y[i]), idx.clone(), idx]);
+    }
+    for (a, b, c) in nonzero_bool_triples() {
+        right_rows.push(vec![
+            Term::constant(a),
+            Term::constant(b),
+            Term::constant(c),
+            Term::constant(0),
+        ]);
+    }
+    for (k, _clause) in instance.clauses.iter().enumerate() {
+        right_rows.push(vec![
+            Term::Var(r[k][0]),
+            Term::Var(r[k][1]),
+            Term::Var(r[k][2]),
+            Term::constant(0),
+        ]);
+    }
+
+    let mut condition = Conjunction::truth();
+    for i in 0..n {
+        condition.push(Atom::neq(w[i], 5));
+        condition.push(Atom::neq(y[i], 6));
+    }
+    // Complementary literal occurrences must take different values.
+    let literal_at = |k: usize, j: usize| -> Literal { instance.clauses[k].literals()[j] };
+    for k in 0..instance.clauses.len() {
+        for j in 0..3 {
+            for k2 in 0..instance.clauses.len() {
+                for j2 in 0..3 {
+                    let (l1, l2) = (literal_at(k, j), literal_at(k2, j2));
+                    if l1.var == l2.var && l1.positive && !l2.positive {
+                        condition.push(Atom::neq(r[k][j], r[k2][j2]));
+                    }
+                }
+            }
+        }
+    }
+    // Tie literal values to the variable encoding.
+    for k in 0..instance.clauses.len() {
+        for j in 0..3 {
+            let lit = literal_at(k, j);
+            if lit.positive {
+                condition.push(Atom::neq(r[k][j], v[lit.var]));
+            } else {
+                condition.push(Atom::neq(r[k][j], u[lit.var]));
+            }
+        }
+    }
+
+    let right_table =
+        CTable::i_table("T", 4, condition, right_rows).expect("right-hand side is an i-table");
+
+    ContainmentInstance {
+        left: View::identity(CDatabase::single(left_table)),
+        right: View::identity(CDatabase::single(right_table)),
+    }
+}
+
+/// Theorem 4.2(4): 3DNF tautology → `CONT(q₀, -)` with a positive existential view of
+/// Codd-tables on the left and a Codd-table on the right (the Fig. 9 construction).
+///
+/// Left database: `R₀` lists `(i, j, 1)` when `xⱼ` occurs in clause `i` and `(i, j, 0)`
+/// when `¬xⱼ` does; `S₀` holds one row `(j, uⱼ)` per variable with `uⱼ` a null encoding
+/// "xⱼ is false" as `uⱼ = 1`.  The query outputs the clauses containing a falsified
+/// literal, plus the constant 0.  The right-hand side is a Codd-table with `p` nulls —
+/// it represents every unary relation of at most `p` elements — so containment holds iff
+/// no assignment falsifies all `p` clauses, i.e. iff `H` is a tautology.
+pub fn dnf_taut_cont_view_table(formula: &DnfFormula) -> ContainmentInstance {
+    let p = formula.clauses.len();
+    let mut vars = VarGen::new();
+    let u: Vec<Variable> = (0..formula.num_vars)
+        .map(|j| vars.named(format!("u{j}")))
+        .collect();
+
+    // R0: ground incidence table (clause, variable, sign).
+    let mut r0_rows: Vec<Vec<Term>> = Vec::new();
+    for (i, clause) in formula.clauses.iter().enumerate() {
+        for lit in clause.literals() {
+            r0_rows.push(vec![
+                Term::constant(i as i64 + 1),
+                Term::constant(lit.var as i64 + 100),
+                Term::constant(i64::from(lit.positive)),
+            ]);
+        }
+    }
+    let r0 = CTable::codd("R0", 3, r0_rows).expect("R0 is ground");
+
+    // S0: one row per variable with its unknown "falsity" bit.
+    let s0_rows: Vec<Vec<Term>> = (0..formula.num_vars)
+        .map(|j| vec![Term::constant(j as i64 + 100), Term::Var(u[j])])
+        .collect();
+    let s0 = CTable::codd("S0", 2, s0_rows).expect("S0 uses distinct nulls");
+
+    // q0(x) = ∃ y z (R0(x, y, z) ∧ S0(y, z))  ∪  {0}.
+    let falsified = ConjunctiveQuery::new(
+        [QTerm::var("x")],
+        [qatom!("R0"; "x", "y", "z"), qatom!("S0"; "y", "z")],
+    );
+    let zero = ConjunctiveQuery::new([QTerm::constant(0)], []);
+    let q0 = Ucq::new([falsified, zero]).expect("q0 is well formed");
+    let left = View::new(
+        Query::single("Q", QueryDef::Ucq(q0)),
+        CDatabase::new([r0, s0]),
+    );
+
+    // Right: a Codd-table with p distinct nulls — all unary relations of size ≤ p.
+    let z: Vec<Variable> = (0..p).map(|k| vars.named(format!("z{k}"))).collect();
+    let right_rows: Vec<Vec<Term>> = z.iter().map(|&zk| vec![Term::Var(zk)]).collect();
+    let right_table = CTable::codd("Q", 1, right_rows).expect("right table is a Codd-table");
+    let right = View::identity(CDatabase::single(right_table));
+
+    ContainmentInstance { left, right }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pw_decide::{containment, Budget};
+    use pw_solvers::qbf::decide_forall_exists;
+    use pw_solvers::{Clause, Literal};
+
+    fn lit(v: usize, s: bool) -> Literal {
+        Literal { var: v, positive: s }
+    }
+
+    fn budget() -> Budget {
+        Budget(20_000_000)
+    }
+
+    fn small_qbf_instances() -> Vec<(ForallExists3Cnf, &'static str)> {
+        vec![
+            (
+                ForallExists3Cnf::new(
+                    1,
+                    1,
+                    [
+                        Clause::new([lit(0, true), lit(1, false), lit(1, false)]),
+                        Clause::new([lit(0, false), lit(1, true), lit(1, true)]),
+                    ],
+                ),
+                "∀x ∃y (x ∨ ¬y)(¬x ∨ y) — true",
+            ),
+            (
+                ForallExists3Cnf::new(
+                    1,
+                    1,
+                    [Clause::new([lit(0, true), lit(0, true), lit(0, true)])],
+                ),
+                "∀x ∃y (x) — false",
+            ),
+            (
+                ForallExists3Cnf::new(
+                    2,
+                    1,
+                    [
+                        Clause::new([lit(0, true), lit(1, true), lit(2, true)]),
+                        Clause::new([lit(0, false), lit(1, false), lit(2, false)]),
+                    ],
+                ),
+                "∀x1 x2 ∃y (x1∨x2∨y)(¬x1∨¬x2∨¬y) — true",
+            ),
+        ]
+    }
+
+    #[test]
+    fn ae3cnf_reduction_matches_the_qbf_solver() {
+        for (instance, label) in small_qbf_instances() {
+            let expected = decide_forall_exists(&instance);
+            let reduction = ae3cnf_cont_itable(&instance);
+            let answer =
+                containment::decide(&reduction.left, &reduction.right, budget()).unwrap();
+            assert_eq!(answer, expected, "CONT reduction on {label}");
+        }
+    }
+
+    #[test]
+    fn fig7_construction_shape() {
+        let instance = ForallExists3Cnf::paper_fig5();
+        let reduction = ae3cnf_cont_itable(&instance);
+        let left = reduction.left.db.table("T").unwrap();
+        let right = reduction.right.db.table("T").unwrap();
+        // Left: 2 rows per universal variable + 7 boolean triples.
+        assert_eq!(left.len(), 2 * 2 + 7);
+        assert_eq!(left.classify(), pw_core::TableClass::Codd);
+        // Right: 2 rows per universal variable + 7 triples + one row per clause.
+        assert_eq!(right.len(), 2 * 2 + 7 + 5);
+        assert_eq!(right.classify(), pw_core::TableClass::ITable);
+        // The condition contains w/y constraints and one inequality per literal occurrence.
+        assert!(right.global_condition().len() >= 2 * 2 + 15);
+    }
+
+    #[test]
+    fn dnf_taut_containment_reduction_matches_the_solver() {
+        let cases = vec![
+            (
+                DnfFormula::new(1, [Clause::new([lit(0, true)]), Clause::new([lit(0, false)])]),
+                "x ∨ ¬x — tautology",
+            ),
+            (
+                DnfFormula::new(2, [Clause::new([lit(0, true), lit(1, true)])]),
+                "x ∧ y — not a tautology",
+            ),
+            (
+                DnfFormula::new(
+                    2,
+                    [
+                        Clause::new([lit(0, true), lit(1, true)]),
+                        Clause::new([lit(0, false)]),
+                        Clause::new([lit(1, false)]),
+                    ],
+                ),
+                "(x∧y) ∨ ¬x ∨ ¬y — tautology",
+            ),
+        ];
+        for (formula, label) in cases {
+            let expected = formula.is_tautology();
+            let reduction = dnf_taut_cont_view_table(&formula);
+            let answer =
+                containment::decide(&reduction.left, &reduction.right, budget()).unwrap();
+            assert_eq!(answer, expected, "CONT(q0, -) reduction on {label}");
+        }
+    }
+
+    #[test]
+    fn fig9_construction_shape() {
+        let formula = DnfFormula::paper_fig5();
+        let reduction = dnf_taut_cont_view_table(&formula);
+        assert_eq!(reduction.left.db.table("R0").unwrap().len(), 15);
+        assert_eq!(reduction.left.db.table("S0").unwrap().len(), 5);
+        assert_eq!(reduction.right.db.table("Q").unwrap().len(), 5);
+        assert!(reduction.left.query.class() <= pw_query::QueryClass::PositiveExistential);
+    }
+}

@@ -1,0 +1,481 @@
+//! Theorem 4.2(2,3,5): the remaining Π₂ᵖ containment lower bounds, the ones involving views
+//! or e-tables on at least one side.
+//!
+//! * [`ae3cnf_cont_views_of_tables`] — ∀∃3CNF reduces to `CONT(-, q)` with Codd-tables on
+//!   the left and a positive existential view `q = (q₁, q₂)` of Codd-tables on the right
+//!   (Theorem 4.2(2), the Fig. 8 construction).
+//! * [`ae3cnf_cont_view_into_etable`] — ∀∃3CNF reduces to `CONT(q₀, -)` with a positive
+//!   existential view `q₀ = (q₀₁, q₀₂)` of Codd-tables on the left and e-tables on the right
+//!   (Theorem 4.2(5), the Fig. 10 construction).
+//! * [`ae3cnf_cont_ctable_into_etable`] — ∀∃3CNF reduces to `CONT(-, -)` with a c-table on
+//!   the left and e-tables on the right (Theorem 4.2(3)).  The paper obtains this case by
+//!   applying the c-table algebra of [10] to the left view of the 4.2(5) construction; we do
+//!   exactly that, via [`View::to_ctables`].
+//!
+//! All three constructions reduce from the same Π₂ᵖ-complete ∀∃3CNF problem, so their unit
+//! tests cross-validate the reductions (and the general containment procedure) against the
+//! ground-truth QBF solver of `pw-solvers` on small instances.
+
+use crate::ContainmentInstance;
+use pw_condition::{Term, VarGen, Variable};
+use pw_core::{CDatabase, CTable, View};
+use pw_query::{ConjunctiveQuery, QTerm, Query, QueryAtom, QueryDef, Ucq};
+use pw_solvers::qbf::ForallExists3Cnf;
+
+/// The constant used to encode propositional variable `l` (0-based) as a database constant.
+/// Kept disjoint from the clause indices `1..=p` and the boolean constants 0/1 so that the
+/// different namespaces of the constructions can never collide by accident; the paper's own
+/// examples overlap them, which is harmless but harder to read.
+fn var_const(l: usize) -> Term {
+    Term::constant(l as i64 + 100)
+}
+
+/// The constant used to encode clause `k` (0-based) as a database constant.
+fn clause_const(k: usize) -> Term {
+    Term::constant(k as i64 + 1)
+}
+
+/// Theorem 4.2(2): ∀∃3CNF → `CONT(-, q)` where the left-hand side is the pair of
+/// Codd-tables `(T₀(R₀), T₀(S₀))` and the right-hand side is the positive existential view
+/// `q = (q₁, q₂)` of the pair of Codd-tables `(T(R), T(S))` — the Fig. 8 construction.
+///
+/// * `T₀(R₀) = {(i, vᵢ)}` for every universal variable `xᵢ`, with `vᵢ` a fresh null whose
+///   value encodes the truth of `xᵢ` (1 = true, 0 = false, anything else = unconstrained).
+/// * `T₀(S₀) = {k | k ∈ [1..p]}` — ground, one fact per clause.
+/// * `T(R) = {(i, uᵢ)}` mirrors `R₀` with fresh nulls `uᵢ`.
+/// * `T(S) = {(k, z_{k,j}, l, 1)}` for a positive occurrence of `x_l` as the `j`th literal of
+///   clause `k` and `{(k, z_{k,j}, l, 0)}` for a negative one; the null `z_{k,j}` is the
+///   "this literal is satisfied" marker (1 = satisfied).
+/// * `q₁(x, y) = R(x, y)` copies the assignment, so containment forces `σ(uᵢ) = σ₀(vᵢ)`.
+/// * `q₂(x)` returns every clause with a satisfied marker — `∃y z S(x, 1, y, z)` — plus the
+///   poison constant 0 whenever the markers are inconsistent: a variable with both a
+///   positive and a negative occurrence marked, or a marked positive (negative) occurrence
+///   of a variable assigned 0 (1) in `R`.  Since the left output is exactly `{1, …, p}`,
+///   the poison can never be produced and every clause must be marked — i.e. satisfied.
+pub fn ae3cnf_cont_views_of_tables(instance: &ForallExists3Cnf) -> ContainmentInstance {
+    let n = instance.universal_vars;
+    let p = instance.clauses.len();
+    let mut vars = VarGen::new();
+
+    // ---- Left: (T₀(R₀), T₀(S₀)), both Codd-tables, under the identity. ----
+    let v: Vec<Variable> = (0..n).map(|i| vars.named(format!("v{i}"))).collect();
+    let r0_rows: Vec<Vec<Term>> = (0..n).map(|i| vec![var_const(i), Term::Var(v[i])]).collect();
+    let s0_rows: Vec<Vec<Term>> = (0..p).map(|k| vec![clause_const(k)]).collect();
+    let left = View::identity(CDatabase::new([
+        CTable::codd("Ro", 2, r0_rows).expect("R0 uses distinct nulls"),
+        CTable::codd("So", 1, s0_rows).expect("S0 is ground"),
+    ]));
+
+    // ---- Right: the view q = (q₁, q₂) of (T(R), T(S)). ----
+    let u: Vec<Variable> = (0..n).map(|i| vars.named(format!("u{i}"))).collect();
+    let r_rows: Vec<Vec<Term>> = (0..n).map(|i| vec![var_const(i), Term::Var(u[i])]).collect();
+    let mut s_rows: Vec<Vec<Term>> = Vec::new();
+    for (k, clause) in instance.clauses.iter().enumerate() {
+        for (j, lit) in clause.literals().iter().enumerate() {
+            let marker = vars.named(format!("z{k}_{j}"));
+            s_rows.push(vec![
+                clause_const(k),
+                Term::Var(marker),
+                var_const(lit.var),
+                Term::constant(i64::from(lit.positive)),
+            ]);
+        }
+    }
+    let db = CDatabase::new([
+        CTable::codd("R", 2, r_rows).expect("R uses distinct nulls"),
+        CTable::codd("S", 4, s_rows).expect("S uses distinct nulls"),
+    ]);
+
+    // q₁(x, y) :- R(x, y).
+    let q1 = Ucq::single(ConjunctiveQuery::new(
+        [QTerm::var("x"), QTerm::var("y")],
+        [QueryAtom::new("R", [QTerm::var("x"), QTerm::var("y")])],
+    ));
+    // q₂(x): the satisfied clauses plus the poison disjuncts.
+    let satisfied_clause = ConjunctiveQuery::new(
+        [QTerm::var("k")],
+        [QueryAtom::new(
+            "S",
+            [QTerm::var("k"), QTerm::constant(1), QTerm::var("y"), QTerm::var("s")],
+        )],
+    );
+    let both_signs_marked = ConjunctiveQuery::new(
+        [QTerm::constant(0)],
+        [
+            QueryAtom::new(
+                "S",
+                [QTerm::var("a"), QTerm::constant(1), QTerm::var("y"), QTerm::constant(0)],
+            ),
+            QueryAtom::new(
+                "S",
+                [QTerm::var("b"), QTerm::constant(1), QTerm::var("y"), QTerm::constant(1)],
+            ),
+        ],
+    );
+    let false_var_marked_positive = ConjunctiveQuery::new(
+        [QTerm::constant(0)],
+        [
+            QueryAtom::new("R", [QTerm::var("y"), QTerm::constant(0)]),
+            QueryAtom::new(
+                "S",
+                [QTerm::var("a"), QTerm::constant(1), QTerm::var("y"), QTerm::constant(1)],
+            ),
+        ],
+    );
+    let true_var_marked_negative = ConjunctiveQuery::new(
+        [QTerm::constant(0)],
+        [
+            QueryAtom::new("R", [QTerm::var("y"), QTerm::constant(1)]),
+            QueryAtom::new(
+                "S",
+                [QTerm::var("a"), QTerm::constant(1), QTerm::var("y"), QTerm::constant(0)],
+            ),
+        ],
+    );
+    let q2 = Ucq::new([
+        satisfied_clause,
+        both_signs_marked,
+        false_var_marked_positive,
+        true_var_marked_negative,
+    ])
+    .expect("q2 is a well-formed UCQ");
+
+    let query = Query::new([
+        ("Ro".to_owned(), QueryDef::Ucq(q1)),
+        ("So".to_owned(), QueryDef::Ucq(q2)),
+    ])
+    .expect("output names are distinct");
+
+    ContainmentInstance {
+        left,
+        right: View::new(query, db),
+    }
+}
+
+/// Theorem 4.2(5): ∀∃3CNF → `CONT(q₀, -)` where the left-hand side is the positive
+/// existential view `q₀ = (q₀₁, q₀₂)` of the pair of Codd-tables `(T₀(R₀), T₀(S₀))` and the
+/// right-hand side is the pair of e-tables `(T(R), T(S))` — the Fig. 10 construction.
+///
+/// * `T₀(R₀) = {(k, j, l) | k ∈ [1..p], j, l ∈ {0, 1}}` — ground, all four boolean pairs per
+///   clause.
+/// * `T₀(S₀) = {(i, yᵢ, zᵢ)}` for every universal variable, with fresh nulls `yᵢ, zᵢ`;
+///   `σ₀(yᵢ) = σ₀(zᵢ)` encodes "`xᵢ` is true".
+/// * `q₀₁(x, y, z) = R₀(x, y, z)` (named `R`), `q₀₂(x, w) = ∃y S₀(x, y, y) ∧ w = 1  ∨
+///   ∃y z S₀(x, y, z) ∧ w = 0` (named `S`).
+/// * `T(R)` holds, per clause `k`: a row `(k, u_l, 1)` for each positive literal `x_l`, a row
+///   `(k, u_l, 0)` for each negative literal, the ground rows `(k, 1, 0)` and `(k, 0, 1)`,
+///   and the diagonal row `(k, z_k, z_k)`.  Because the image of `T(R)` must be exactly the
+///   four boolean pairs of `R₀`, the diagonal null `z_k` covers one of `(k,0,0)/(k,1,1)` and
+///   a *satisfied literal* must cover the other.
+/// * `T(S)` holds `(i, uᵢ)` and `(i, 0)` per universal variable, forcing `σ(uᵢ)` to be the
+///   truth value encoded by `σ₀(yᵢ), σ₀(zᵢ)`.
+///
+/// The nulls `u_l` are shared between `T(R)` and `T(S)` exactly as in Fig. 10.
+pub fn ae3cnf_cont_view_into_etable(instance: &ForallExists3Cnf) -> ContainmentInstance {
+    let n = instance.universal_vars;
+    let total = instance.num_vars();
+    let p = instance.clauses.len();
+    let mut vars = VarGen::new();
+
+    // ---- Left: the view q₀ of (T₀(R₀), T₀(S₀)). ----
+    let mut r0_rows: Vec<Vec<Term>> = Vec::new();
+    for k in 0..p {
+        for j in 0..=1i64 {
+            for l in 0..=1i64 {
+                r0_rows.push(vec![clause_const(k), Term::constant(j), Term::constant(l)]);
+            }
+        }
+    }
+    let y: Vec<Variable> = (0..n).map(|i| vars.named(format!("y{i}"))).collect();
+    let z0: Vec<Variable> = (0..n).map(|i| vars.named(format!("z{i}"))).collect();
+    let s0_rows: Vec<Vec<Term>> = (0..n)
+        .map(|i| vec![var_const(i), Term::Var(y[i]), Term::Var(z0[i])])
+        .collect();
+    let left_db = CDatabase::new([
+        CTable::codd("Ro", 3, r0_rows).expect("R0 is ground"),
+        CTable::codd("So", 3, s0_rows).expect("S0 uses distinct nulls"),
+    ]);
+
+    // q₀₁ (output R) copies R₀; q₀₂ (output S) reads off the encoded truth values.
+    let q01 = Ucq::single(ConjunctiveQuery::new(
+        [QTerm::var("x"), QTerm::var("y"), QTerm::var("z")],
+        [QueryAtom::new(
+            "Ro",
+            [QTerm::var("x"), QTerm::var("y"), QTerm::var("z")],
+        )],
+    ));
+    let truthy = ConjunctiveQuery::new(
+        [QTerm::var("x"), QTerm::constant(1)],
+        [QueryAtom::new(
+            "So",
+            [QTerm::var("x"), QTerm::var("y"), QTerm::var("y")],
+        )],
+    );
+    let always_zero = ConjunctiveQuery::new(
+        [QTerm::var("x"), QTerm::constant(0)],
+        [QueryAtom::new(
+            "So",
+            [QTerm::var("x"), QTerm::var("y"), QTerm::var("z")],
+        )],
+    );
+    let q02 = Ucq::new([truthy, always_zero]).expect("q02 is a well-formed UCQ");
+    let q0 = Query::new([
+        ("R".to_owned(), QueryDef::Ucq(q01)),
+        ("S".to_owned(), QueryDef::Ucq(q02)),
+    ])
+    .expect("output names are distinct");
+    let left = View::new(q0, left_db);
+
+    // ---- Right: the e-tables (T(R), T(S)), sharing the u nulls. ----
+    let u: Vec<Variable> = (0..total).map(|l| vars.named(format!("u{l}"))).collect();
+    let z: Vec<Variable> = (0..p).map(|k| vars.named(format!("zc{k}"))).collect();
+    let mut r_rows: Vec<Vec<Term>> = Vec::new();
+    for (k, clause) in instance.clauses.iter().enumerate() {
+        for lit in clause.literals() {
+            r_rows.push(vec![
+                clause_const(k),
+                Term::Var(u[lit.var]),
+                Term::constant(i64::from(lit.positive)),
+            ]);
+        }
+        r_rows.push(vec![clause_const(k), Term::constant(1), Term::constant(0)]);
+        r_rows.push(vec![clause_const(k), Term::constant(0), Term::constant(1)]);
+        r_rows.push(vec![clause_const(k), Term::Var(z[k]), Term::Var(z[k])]);
+    }
+    let mut s_rows: Vec<Vec<Term>> = Vec::new();
+    for i in 0..n {
+        s_rows.push(vec![var_const(i), Term::Var(u[i])]);
+        s_rows.push(vec![var_const(i), Term::constant(0)]);
+    }
+    let right = View::identity(CDatabase::new([
+        CTable::e_table("R", 3, r_rows).expect("arity is uniform"),
+        CTable::e_table("S", 2, s_rows).expect("arity is uniform"),
+    ]));
+
+    ContainmentInstance { left, right }
+}
+
+/// Theorem 4.2(3): ∀∃3CNF → `CONT(-, -)` with a c-table database on the left and e-tables on
+/// the right.
+///
+/// The paper derives this case from 4.2(5) "and the technique of [10]": applying the c-table
+/// algebra to the left view of the Fig. 10 construction yields a c-table database
+/// representing the same set of worlds, so the containment question is unchanged.  We do
+/// exactly that — [`ae3cnf_cont_view_into_etable`] builds the 4.2(5) instance and
+/// [`View::to_ctables`] materialises its left view as c-tables (the `S` output picks up
+/// genuine local conditions from the `S₀(x, y, y)` join).
+pub fn ae3cnf_cont_ctable_into_etable(instance: &ForallExists3Cnf) -> ContainmentInstance {
+    let base = ae3cnf_cont_view_into_etable(instance);
+    let ctables = base
+        .left
+        .to_ctables()
+        .expect("the left query is a vector of UCQs")
+        .expect("the left query only references its own tables");
+    ContainmentInstance {
+        left: View::identity(ctables),
+        right: base.right,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pw_core::TableClass;
+    use pw_decide::{containment, Budget};
+    use pw_query::QueryClass;
+    use pw_solvers::qbf::decide_forall_exists;
+    use pw_solvers::{Clause, Literal};
+
+    fn lit(v: usize, s: bool) -> Literal {
+        Literal { var: v, positive: s }
+    }
+
+    fn budget() -> Budget {
+        Budget(50_000_000)
+    }
+
+    /// Tiny ∀∃3CNF instances (one universal variable) whose answers differ, used to check
+    /// the iff property of every construction against the ground-truth QBF solver.
+    fn tiny_qbf_instances() -> Vec<(ForallExists3Cnf, &'static str)> {
+        vec![
+            (
+                ForallExists3Cnf::new(
+                    1,
+                    1,
+                    [
+                        Clause::new([lit(0, true), lit(1, false), lit(1, false)]),
+                        Clause::new([lit(0, false), lit(1, true), lit(1, true)]),
+                    ],
+                ),
+                "∀x ∃y (x ∨ ¬y)(¬x ∨ y) — true",
+            ),
+            (
+                ForallExists3Cnf::new(
+                    1,
+                    1,
+                    [Clause::new([lit(0, true), lit(0, true), lit(0, true)])],
+                ),
+                "∀x ∃y (x) — false",
+            ),
+            (
+                ForallExists3Cnf::new(
+                    1,
+                    1,
+                    [
+                        Clause::new([lit(1, true), lit(1, true), lit(1, true)]),
+                        Clause::new([lit(0, true), lit(0, true), lit(1, false)]),
+                    ],
+                ),
+                "∀x ∃y (y)(x ∨ ¬y) — false",
+            ),
+            (
+                ForallExists3Cnf::new(
+                    1,
+                    1,
+                    [
+                        Clause::new([lit(0, true), lit(1, true), lit(1, true)]),
+                        Clause::new([lit(0, false), lit(1, true), lit(1, true)]),
+                    ],
+                ),
+                "∀x ∃y (x ∨ y)(¬x ∨ y) — true",
+            ),
+            (
+                ForallExists3Cnf::new(
+                    2,
+                    1,
+                    [
+                        Clause::new([lit(0, true), lit(1, true), lit(2, true)]),
+                        Clause::new([lit(0, false), lit(1, false), lit(2, false)]),
+                    ],
+                ),
+                "∀x1 x2 ∃y (x1∨x2∨y)(¬x1∨¬x2∨¬y) — true",
+            ),
+        ]
+    }
+
+    #[test]
+    fn theorem_42_2_reduction_matches_the_qbf_solver() {
+        for (instance, label) in tiny_qbf_instances() {
+            let expected = decide_forall_exists(&instance);
+            let reduction = ae3cnf_cont_views_of_tables(&instance);
+            let answer =
+                containment::decide(&reduction.left, &reduction.right, budget()).unwrap();
+            assert_eq!(answer, expected, "Thm 4.2(2) reduction on {label}");
+        }
+    }
+
+    #[test]
+    fn theorem_42_5_reduction_matches_the_qbf_solver() {
+        for (instance, label) in tiny_qbf_instances() {
+            let expected = decide_forall_exists(&instance);
+            let reduction = ae3cnf_cont_view_into_etable(&instance);
+            let answer =
+                containment::decide(&reduction.left, &reduction.right, budget()).unwrap();
+            assert_eq!(answer, expected, "Thm 4.2(5) reduction on {label}");
+        }
+    }
+
+    #[test]
+    fn theorem_42_3_reduction_matches_the_qbf_solver() {
+        for (instance, label) in tiny_qbf_instances() {
+            let expected = decide_forall_exists(&instance);
+            let reduction = ae3cnf_cont_ctable_into_etable(&instance);
+            let answer =
+                containment::decide(&reduction.left, &reduction.right, budget()).unwrap();
+            assert_eq!(answer, expected, "Thm 4.2(3) reduction on {label}");
+        }
+    }
+
+    #[test]
+    fn fig8_construction_shape() {
+        // The Fig. 8 instance is the Fig. 5 formula: n = 2 universal variables, p = 5
+        // clauses of 3 literals each.
+        let instance = ForallExists3Cnf::paper_fig5();
+        let reduction = ae3cnf_cont_views_of_tables(&instance);
+        let r0 = reduction.left.db.table("Ro").unwrap();
+        let s0 = reduction.left.db.table("So").unwrap();
+        assert_eq!(r0.len(), 2);
+        assert_eq!(s0.len(), 5);
+        assert_eq!(r0.classify(), TableClass::Codd);
+        assert_eq!(s0.classify(), TableClass::Codd);
+
+        let r = reduction.right.db.table("R").unwrap();
+        let s = reduction.right.db.table("S").unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(s.len(), 15, "one S row per literal occurrence");
+        assert_eq!(reduction.right.db.classify(), TableClass::Codd);
+        // The view's query is positive existential (no ≠, no negation, no recursion).
+        assert_eq!(
+            reduction.right.query_class(),
+            QueryClass::PositiveExistential
+        );
+    }
+
+    #[test]
+    fn fig10_construction_shape() {
+        let instance = ForallExists3Cnf::paper_fig5();
+        let reduction = ae3cnf_cont_view_into_etable(&instance);
+        let r0 = reduction.left.db.table("Ro").unwrap();
+        let s0 = reduction.left.db.table("So").unwrap();
+        assert_eq!(r0.len(), 4 * 5, "four boolean pairs per clause");
+        assert_eq!(s0.len(), 2, "one row per universal variable");
+        assert_eq!(
+            reduction.left.query_class(),
+            QueryClass::PositiveExistential
+        );
+
+        let r = reduction.right.db.table("R").unwrap();
+        let s = reduction.right.db.table("S").unwrap();
+        // Per clause: 3 literal rows + 2 ground rows + 1 diagonal row.
+        assert_eq!(r.len(), 5 * 6);
+        assert_eq!(s.len(), 2 * 2);
+        assert_eq!(r.classify(), TableClass::ETable);
+        // S has no repeated variable of its own but shares the u nulls with R, which is the
+        // point of the construction; per-table it is still (at most) an e-table.
+        assert!(s.classify() <= TableClass::ETable);
+        assert!(reduction.right.db.tables_share_variables());
+        assert!(reduction.right.query.is_identity());
+    }
+
+    #[test]
+    fn theorem_42_3_left_is_a_genuine_ctable() {
+        let instance = ForallExists3Cnf::paper_fig5();
+        let reduction = ae3cnf_cont_ctable_into_etable(&instance);
+        assert!(reduction.left.query.is_identity());
+        // The S output of the algebra carries local equality conditions (from the
+        // S₀(x, y, y) join), which is what makes the left database a c-table.
+        let s = reduction.left.db.table("S").unwrap();
+        assert_eq!(s.classify(), TableClass::CTable);
+        assert!(s.tuples().iter().any(|t| !t.has_trivial_condition()));
+        // The right-hand side is untouched.
+        assert_eq!(reduction.right.db.classify(), TableClass::ETable);
+    }
+
+    #[test]
+    fn theorem_42_3_left_represents_the_same_worlds_as_the_42_5_view() {
+        // rep(to_ctables(q₀(T₀))) must equal q₀(rep(T₀)) — spot-check on a tiny instance by
+        // enumerating both sides over a shared domain.
+        let instance = ForallExists3Cnf::new(
+            1,
+            0,
+            [Clause::new([lit(0, true), lit(0, true), lit(0, true)])],
+        );
+        let view_form = ae3cnf_cont_view_into_etable(&instance);
+        let ctable_form = ae3cnf_cont_ctable_into_etable(&instance);
+        let shared: Vec<_> = view_form
+            .left
+            .db
+            .constants()
+            .into_iter()
+            .chain(ctable_form.left.db.constants())
+            .collect();
+        let direct = view_form.left.enumerate_worlds(200_000, shared.clone()).unwrap();
+        let via_algebra = ctable_form.left.enumerate_worlds(200_000, shared).unwrap();
+        for world in &direct {
+            assert!(
+                via_algebra.contains(world),
+                "world missing from the c-table form: {world}"
+            );
+        }
+    }
+}

@@ -1,0 +1,449 @@
+//! Theorems 5.1(2,3) and 5.2(2,3): the possibility lower bounds.
+//!
+//! * [`sat_poss_etable`] / [`sat_poss_itable`] — 3CNF satisfiability reduces to unbounded
+//!   possibility on a single e-table / i-table (Fig. 11(b) / Fig. 11(a)).
+//! * [`nontaut_poss_fo`] — 3DNF non-tautology reduces to `POSS(1, q)` for a fixed first
+//!   order query on a Codd-table (Theorem 5.2(2)).
+//! * [`sat_poss_datalog`] — 3CNF satisfiability reduces to `POSS(1, q)` for a fixed DATALOG
+//!   query on Codd-tables (Theorem 5.2(3), the Fig. 12 gadget graph).
+
+use crate::PossibilityInstance;
+use pw_condition::{Atom, Conjunction, Term, VarGen, Variable};
+use pw_core::{CDatabase, CTable, View};
+use pw_query::{
+    DatalogProgram, DlAtom, DlRule, FoQuery, Formula, QTerm, Query, QueryDef,
+};
+use pw_relational::{rel, Constant, Instance, Relation, Tuple};
+use pw_solvers::{CnfFormula, DnfFormula};
+
+/// Theorem 5.1(2): 3CNF satisfiability → `POSS(*, -)` on a single e-table (Fig. 11(b)).
+///
+/// For each variable `xⱼ` the e-table holds the rows `(j, uⱼ, yⱼ)` and `(j, yⱼ, uⱼ)`, and
+/// for each clause `cᵢ` one row `(m+i, m+i, uⱼ)` per positive literal `xⱼ` and
+/// `(m+i, m+i, yⱼ)` per negative literal.  The fact set asks for `(j, 0, 1)`, `(j, 1, 0)`
+/// (forcing `{uⱼ, yⱼ} = {0, 1}`) and `(m+i, m+i, 1)` (forcing a true literal per clause).
+pub fn sat_poss_etable(formula: &CnfFormula) -> PossibilityInstance {
+    let m = formula.num_vars;
+    let mut vars = VarGen::new();
+    let u: Vec<Variable> = (0..m).map(|j| vars.named(format!("u{j}"))).collect();
+    let y: Vec<Variable> = (0..m).map(|j| vars.named(format!("y{j}"))).collect();
+
+    let mut rows: Vec<Vec<Term>> = Vec::new();
+    for j in 0..m {
+        let idx = Term::constant(j as i64 + 1);
+        rows.push(vec![idx.clone(), Term::Var(u[j]), Term::Var(y[j])]);
+        rows.push(vec![idx, Term::Var(y[j]), Term::Var(u[j])]);
+    }
+    for (i, clause) in formula.clauses.iter().enumerate() {
+        let idx = Term::constant((m + i) as i64 + 1);
+        for lit in clause.literals() {
+            let value = if lit.positive { u[lit.var] } else { y[lit.var] };
+            rows.push(vec![idx.clone(), idx.clone(), Term::Var(value)]);
+        }
+    }
+    let table = CTable::e_table("T", 3, rows).expect("e-table construction");
+
+    let mut facts = Relation::empty(3);
+    for j in 0..m {
+        let idx: Constant = (j as i64 + 1).into();
+        facts
+            .insert(Tuple::new([idx.clone(), 0.into(), 1.into()]))
+            .unwrap();
+        facts
+            .insert(Tuple::new([idx, 1.into(), 0.into()]))
+            .unwrap();
+    }
+    for i in 0..formula.clauses.len() {
+        let idx: Constant = ((m + i) as i64 + 1).into();
+        facts
+            .insert(Tuple::new([idx.clone(), idx, 1.into()]))
+            .unwrap();
+    }
+
+    PossibilityInstance {
+        view: View::identity(CDatabase::single(table)),
+        facts: Instance::single("T", facts),
+    }
+}
+
+/// Theorem 5.1(3): 3CNF satisfiability → `POSS(*, -)` on a single i-table (Fig. 11(a)).
+///
+/// One variable `x_{i,k}` per literal occurrence; the global condition separates
+/// complementary occurrences; the fact set asks every clause to have an occurrence with
+/// value 1.
+pub fn sat_poss_itable(formula: &CnfFormula) -> PossibilityInstance {
+    let mut vars = VarGen::new();
+    let occ: Vec<Vec<Variable>> = formula
+        .clauses
+        .iter()
+        .enumerate()
+        .map(|(i, clause)| {
+            (0..clause.len())
+                .map(|k| vars.named(format!("x{i}_{k}")))
+                .collect()
+        })
+        .collect();
+
+    let mut rows: Vec<Vec<Term>> = Vec::new();
+    for (i, clause) in formula.clauses.iter().enumerate() {
+        for k in 0..clause.len() {
+            rows.push(vec![Term::constant(i as i64 + 1), Term::Var(occ[i][k])]);
+        }
+    }
+    let mut condition = Conjunction::truth();
+    for (i, ci) in formula.clauses.iter().enumerate() {
+        for (k, li) in ci.literals().iter().enumerate() {
+            for (j, cj) in formula.clauses.iter().enumerate() {
+                for (l, lj) in cj.literals().iter().enumerate() {
+                    if li.var == lj.var && li.positive && !lj.positive {
+                        condition.push(Atom::neq(occ[i][k], occ[j][l]));
+                    }
+                }
+            }
+        }
+    }
+    let table = CTable::i_table("T", 2, condition, rows).expect("i-table construction");
+
+    let facts = Relation::from_tuples(
+        2,
+        (0..formula.clauses.len()).map(|i| Tuple::new([(i as i64 + 1).into(), 1.into()])),
+    );
+
+    PossibilityInstance {
+        view: View::identity(CDatabase::single(table)),
+        facts: Instance::single("T", facts),
+    }
+}
+
+/// The formula ψ of Theorem 5.2(2), reconstructed.
+///
+/// The table `T` of [`nontaut_poss_fo`] has one row `(i, z_{i,k}, j, s)` per literal
+/// occurrence: clause `i`, the unknown truth value `z_{i,k}` of the occurrence, the
+/// variable index `j`, and the sign `s` (1 for `xⱼ`, 0 for `¬xⱼ`).  ψ states that either
+/// the valuation of the `z` nulls does not encode a truth assignment, or the encoded
+/// assignment satisfies the DNF:
+///
+/// * some occurrence value is neither 0 nor 1, or
+/// * two occurrences of the same variable with the same sign get different values, or
+/// * two occurrences of the same variable with different signs get the same value, or
+/// * some clause has all its occurrences set to 1.
+///
+/// (The journal scan garbles the exact formula; this reconstruction satisfies the stated
+/// property — "ψ states that either σ(T) does not represent a truth assignment, or that
+/// truth assignment is satisfied by H" — and the iff tests below validate it.)
+pub fn theorem_52_2_psi() -> Formula {
+    let not_boolean = Formula::exists(
+        ["i", "y", "j", "s"],
+        Formula::and([
+            Formula::atom(
+                "R",
+                [QTerm::var("i"), QTerm::var("y"), QTerm::var("j"), QTerm::var("s")],
+            ),
+            Formula::neq("y", 0),
+            Formula::neq("y", 1),
+        ]),
+    );
+    let same_sign_conflict = Formula::exists(
+        ["i1", "y1", "i2", "y2", "j", "s"],
+        Formula::and([
+            Formula::atom(
+                "R",
+                [QTerm::var("i1"), QTerm::var("y1"), QTerm::var("j"), QTerm::var("s")],
+            ),
+            Formula::atom(
+                "R",
+                [QTerm::var("i2"), QTerm::var("y2"), QTerm::var("j"), QTerm::var("s")],
+            ),
+            Formula::neq("y1", "y2"),
+        ]),
+    );
+    let opposite_sign_conflict = Formula::exists(
+        ["i1", "y", "i2", "j"],
+        Formula::and([
+            Formula::atom(
+                "R",
+                [QTerm::var("i1"), QTerm::var("y"), QTerm::var("j"), QTerm::constant(1)],
+            ),
+            Formula::atom(
+                "R",
+                [QTerm::var("i2"), QTerm::var("y"), QTerm::var("j"), QTerm::constant(0)],
+            ),
+        ]),
+    );
+    let satisfied_clause = Formula::exists(
+        ["i"],
+        Formula::and([
+            Formula::exists(
+                ["y", "j", "s"],
+                Formula::atom(
+                    "R",
+                    [QTerm::var("i"), QTerm::var("y"), QTerm::var("j"), QTerm::var("s")],
+                ),
+            ),
+            Formula::forall(
+                ["y", "j", "s"],
+                Formula::or([
+                    Formula::Not(Box::new(Formula::atom(
+                        "R",
+                        [QTerm::var("i"), QTerm::var("y"), QTerm::var("j"), QTerm::var("s")],
+                    ))),
+                    Formula::Eq(QTerm::var("y"), QTerm::constant(1)),
+                ]),
+            ),
+        ]),
+    );
+    Formula::or([
+        not_boolean,
+        same_sign_conflict,
+        opposite_sign_conflict,
+        satisfied_clause,
+    ])
+}
+
+/// The table of Theorem 5.2(2)/5.3(2): one row per literal occurrence of the DNF.
+pub fn theorem_52_2_table(formula: &DnfFormula) -> CDatabase {
+    let mut vars = VarGen::new();
+    let mut rows: Vec<Vec<Term>> = Vec::new();
+    for (i, clause) in formula.clauses.iter().enumerate() {
+        for (k, lit) in clause.literals().iter().enumerate() {
+            let z = vars.named(format!("z{i}_{k}"));
+            rows.push(vec![
+                Term::constant(i as i64 + 1),
+                Term::Var(z),
+                Term::constant(lit.var as i64 + 100),
+                Term::constant(i64::from(lit.positive)),
+            ]);
+        }
+    }
+    let table = CTable::codd("R", 4, rows).expect("each z occurs once");
+    CDatabase::single(table)
+}
+
+/// Theorem 5.2(2): 3DNF non-tautology → `POSS(1, q)` for the first order query
+/// `q = {1 | ¬ψ}` on a Codd-table.  The fact `(1)` is possible iff some assignment
+/// falsifies every clause, i.e. iff `H` is not a tautology.
+pub fn nontaut_poss_fo(formula: &DnfFormula) -> PossibilityInstance {
+    let query = Query::single(
+        "Q",
+        QueryDef::Fo(FoQuery::boolean(
+            1,
+            Formula::Not(Box::new(theorem_52_2_psi())),
+        )),
+    );
+    PossibilityInstance {
+        view: View::new(query, theorem_52_2_table(formula)),
+        facts: Instance::single("Q", rel![[1]]),
+    }
+}
+
+/// Theorem 5.2(3): 3CNF satisfiability → `POSS(1, q)` for a fixed DATALOG query on
+/// Codd-tables (the Fig. 12 gadget).
+///
+/// The Datalog program derives `Q(x)` from `Q(x) :- R0(x)` and
+/// `Q(x) :- Q(y), Q(z), R1(y, x), R2(z, x)`.  The gadget graph forces a derivation of the
+/// goal node `1` to pick, per CNF variable, either the `tᵢ` or the `fᵢ` node (the value of
+/// the single null `xᵢ` per variable) and to traverse every clause node `hⱼ`, which is
+/// derivable only when the clause has a true literal.
+pub fn sat_poss_datalog(formula: &CnfFormula) -> PossibilityInstance {
+    let n = formula.num_vars;
+    let m = formula.clauses.len();
+    let mut vars = VarGen::new();
+    let x: Vec<Variable> = (0..n).map(|i| vars.named(format!("x{i}"))).collect();
+
+    // Node constants.
+    let a = Constant::str("a");
+    let t = |i: usize| Constant::Str(format!("t{i}"));
+    let f = |i: usize| Constant::Str(format!("f{i}"));
+    let anode = |i: usize| Constant::Str(format!("a{i}"));
+    let b = |i: usize| Constant::Str(format!("b{i}"));
+    let h = |j: usize| Constant::Str(format!("h{j}"));
+    let goal = Constant::int(1);
+
+    let r0 = CTable::codd("R0", 1, [vec![Term::Const(a.clone())]]).expect("R0");
+
+    let mut r1_rows: Vec<Vec<Term>> = Vec::new();
+    let mut r2_rows: Vec<Vec<Term>> = Vec::new();
+    let edge = |rows: &mut Vec<Vec<Term>>, from: Term, to: Term| rows.push(vec![from, to]);
+
+    for i in 0..n {
+        edge(&mut r1_rows, Term::Const(a.clone()), Term::Const(t(i)));
+        edge(&mut r1_rows, Term::Const(a.clone()), Term::Const(f(i)));
+        edge(&mut r1_rows, Term::Const(a.clone()), Term::Const(anode(i)));
+        edge(&mut r2_rows, Term::Const(t(i)), Term::Const(anode(i)));
+        edge(&mut r2_rows, Term::Const(f(i)), Term::Const(anode(i)));
+        edge(&mut r2_rows, Term::Const(anode(i)), Term::Const(b(i)));
+        if i + 1 < n {
+            edge(&mut r1_rows, Term::Const(b(i)), Term::Const(b(i + 1)));
+            edge(&mut r2_rows, Term::Const(anode(i)), Term::Var(x[i + 1]));
+        }
+    }
+    edge(&mut r1_rows, Term::Const(a.clone()), Term::Const(b(0)));
+    edge(&mut r2_rows, Term::Const(a.clone()), Term::Var(x[0]));
+    for (j, clause) in formula.clauses.iter().enumerate() {
+        for lit in clause.literals() {
+            let source = if lit.positive { t(lit.var) } else { f(lit.var) };
+            edge(&mut r1_rows, Term::Const(source), Term::Const(h(j)));
+        }
+        if j + 1 < m {
+            edge(&mut r2_rows, Term::Const(h(j)), Term::Const(h(j + 1)));
+        }
+    }
+    edge(&mut r2_rows, Term::Const(a.clone()), Term::Const(h(0)));
+    edge(&mut r1_rows, Term::Const(b(n - 1)), Term::Const(goal.clone()));
+    edge(&mut r2_rows, Term::Const(h(m - 1)), Term::Const(goal.clone()));
+
+    let r1 = CTable::codd("R1", 2, r1_rows).expect("R1");
+    let r2 = CTable::codd("R2", 2, r2_rows).expect("R2");
+
+    let program = DatalogProgram::new(
+        [
+            DlRule::new(
+                DlAtom::new("Q", [QTerm::var("x")]),
+                [DlAtom::new("R0", [QTerm::var("x")])],
+            ),
+            DlRule::new(
+                DlAtom::new("Q", [QTerm::var("x")]),
+                [
+                    DlAtom::new("Q", [QTerm::var("y")]),
+                    DlAtom::new("Q", [QTerm::var("z")]),
+                    DlAtom::new("R1", [QTerm::var("y"), QTerm::var("x")]),
+                    DlAtom::new("R2", [QTerm::var("z"), QTerm::var("x")]),
+                ],
+            ),
+        ],
+        "Q",
+        1,
+    )
+    .expect("the fixed Datalog program is well formed");
+
+    PossibilityInstance {
+        view: View::new(
+            Query::single("Q", QueryDef::Datalog(program)),
+            CDatabase::new([r0, r1, r2]),
+        ),
+        facts: Instance::single("Q", rel![[1]]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pw_decide::{possibility, Budget};
+    use pw_solvers::{paper_fig5_cnf, Clause, Literal};
+
+    fn lit(v: usize, s: bool) -> Literal {
+        Literal { var: v, positive: s }
+    }
+
+    fn budget() -> Budget {
+        Budget(20_000_000)
+    }
+
+    fn small_cnf_formulas() -> Vec<(CnfFormula, &'static str)> {
+        vec![
+            (
+                CnfFormula::new(2, [Clause::new([lit(0, true), lit(1, true)])]),
+                "x ∨ y — satisfiable",
+            ),
+            (
+                CnfFormula::new(
+                    1,
+                    [Clause::new([lit(0, true)]), Clause::new([lit(0, false)])],
+                ),
+                "x ∧ ¬x — unsatisfiable",
+            ),
+            (
+                CnfFormula::new(
+                    2,
+                    [
+                        Clause::new([lit(0, true), lit(1, true)]),
+                        Clause::new([lit(0, true), lit(1, false)]),
+                        Clause::new([lit(0, false), lit(1, true)]),
+                        Clause::new([lit(0, false), lit(1, false)]),
+                    ],
+                ),
+                "all sign patterns — unsatisfiable",
+            ),
+            (paper_fig5_cnf(), "the paper's Fig. 5 CNF — satisfiable"),
+        ]
+    }
+
+    #[test]
+    fn etable_and_itable_possibility_reductions_match_the_sat_solver() {
+        for (formula, label) in small_cnf_formulas() {
+            let expected = formula.solve().is_sat();
+            let e = sat_poss_etable(&formula);
+            assert_eq!(
+                possibility::decide(&e.view, &e.facts, budget()).unwrap(),
+                expected,
+                "e-table reduction on {label}"
+            );
+            let i = sat_poss_itable(&formula);
+            assert_eq!(
+                possibility::decide(&i.view, &i.facts, budget()).unwrap(),
+                expected,
+                "i-table reduction on {label}"
+            );
+        }
+    }
+
+    #[test]
+    fn fig11_construction_shapes() {
+        let formula = paper_fig5_cnf();
+        let e = sat_poss_etable(&formula);
+        // 2 rows per variable + one row per literal occurrence.
+        assert_eq!(e.view.db.table("T").unwrap().len(), 2 * 5 + 15);
+        assert_eq!(e.facts.fact_count(), 2 * 5 + 5);
+        let i = sat_poss_itable(&formula);
+        assert_eq!(i.view.db.table("T").unwrap().len(), 15);
+        assert_eq!(i.facts.fact_count(), 5);
+        assert!(i.view.db.table("T").unwrap().global_condition().len() > 0);
+    }
+
+    #[test]
+    fn fo_possibility_reduction_matches_the_tautology_solver() {
+        let cases = vec![
+            (
+                DnfFormula::new(1, [Clause::new([lit(0, true)]), Clause::new([lit(0, false)])]),
+                "x ∨ ¬x — tautology",
+            ),
+            (
+                DnfFormula::new(2, [Clause::new([lit(0, true), lit(1, false)])]),
+                "x ∧ ¬y — not a tautology",
+            ),
+        ];
+        for (formula, label) in cases {
+            let expected_possible = !formula.is_tautology();
+            let reduction = nontaut_poss_fo(&formula);
+            let answer = possibility::decide(&reduction.view, &reduction.facts, budget()).unwrap();
+            assert_eq!(answer, expected_possible, "POSS(1, FO) reduction on {label}");
+        }
+    }
+
+    #[test]
+    fn datalog_possibility_reduction_matches_the_sat_solver() {
+        for (formula, label) in small_cnf_formulas() {
+            if formula.num_vars > 2 || formula.clauses.len() > 4 {
+                continue; // the enumeration fallback is exponential; keep unit tests small
+            }
+            let expected = formula.solve().is_sat();
+            let reduction = sat_poss_datalog(&formula);
+            let answer = possibility::decide(&reduction.view, &reduction.facts, budget()).unwrap();
+            assert_eq!(answer, expected, "POSS(1, DATALOG) reduction on {label}");
+        }
+    }
+
+    #[test]
+    fn fig12_gadget_shape() {
+        let formula = paper_fig5_cnf();
+        let reduction = sat_poss_datalog(&formula);
+        let db = &reduction.view.db;
+        assert_eq!(db.table("R0").unwrap().len(), 1);
+        // R1: 3 edges per variable + chain edges b_i→b_{i+1} + a→b_0 + one edge per literal
+        // + b_n→1.
+        assert_eq!(db.table("R1").unwrap().len(), 3 * 5 + 4 + 1 + 15 + 1);
+        // R2: 3 edges per variable + x-edges + clause chain + a→h1 + h_m→1.
+        assert_eq!(db.table("R2").unwrap().len(), 3 * 5 + 5 + 4 + 1 + 1);
+        assert_eq!(db.variables().len(), 5);
+    }
+}

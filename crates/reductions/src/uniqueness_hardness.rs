@@ -1,0 +1,186 @@
+//! Theorem 3.2(3,4): 3DNF tautology reduces to `UNIQ(-)` on c-tables, and graph
+//! non-3-colourability reduces to `UNIQ(q₀)` for a positive existential query with ≠ on a
+//! Codd-table.
+
+use crate::UniquenessInstance;
+use pw_condition::{Atom, Conjunction, Term, VarGen, Variable};
+use pw_core::{CDatabase, CTable, CTuple, View};
+use pw_query::{qatom, ConjunctiveQuery, QTerm, Query, QueryDef, Ucq};
+use pw_relational::{rel, Instance};
+use pw_solvers::{DnfFormula, Graph};
+
+/// Theorem 3.2(3): 3DNF tautology → `UNIQ(-)` on a single c-table.
+///
+/// For each DNF clause `cᵢ = ℓ₁ ∧ ℓ₂ ∧ ℓ₃` the c-table has a unary row `(1)` with local
+/// condition `δ₁ ∧ δ₂ ∧ δ₃`, where `δₖ` is `uⱼ = 1` for the literal `xⱼ` and `uⱼ ≠ 1` for
+/// `¬xⱼ`.  A valuation of the `uⱼ` encodes a truth assignment, and the produced world is
+/// `{(1)}` exactly when some clause is satisfied; the world `{(1)}` is the *unique* world
+/// iff every assignment satisfies some clause, i.e. iff `H` is a tautology.
+pub fn dnf_taut_uniq_ctable(formula: &DnfFormula) -> UniquenessInstance {
+    let mut vars = VarGen::new();
+    let u: Vec<Variable> = (0..formula.num_vars)
+        .map(|j| vars.named(format!("u{j}")))
+        .collect();
+
+    let rows: Vec<CTuple> = formula
+        .clauses
+        .iter()
+        .map(|clause| {
+            let condition = Conjunction::new(clause.literals().iter().map(|lit| {
+                if lit.positive {
+                    Atom::eq(u[lit.var], 1)
+                } else {
+                    Atom::neq(u[lit.var], 1)
+                }
+            }));
+            CTuple::with_condition([Term::constant(1)], condition)
+        })
+        .collect();
+
+    let table = CTable::new("T", 1, Conjunction::truth(), rows).expect("unary rows");
+    UniquenessInstance {
+        view: View::identity(CDatabase::single(table)),
+        instance: Instance::single("T", rel![[1]]),
+    }
+}
+
+/// Theorem 3.2(4): graph non-3-colourability → `UNIQ(q₀)` for a positive existential query
+/// with ≠ applied to a Codd-table (the construction of Fig. 6).
+///
+/// The table holds one row `(1, a, b)` per edge and one row `(0, a, x_a)` per vertex — the
+/// third column of a `0`-row is the vertex's unknown colour.  The query outputs `(1)` when
+/// either some edge is monochromatic or some vertex has a non-colour value; `{(1)}` is the
+/// unique world of the view iff *no* valuation avoids both, i.e. iff the graph is not
+/// 3-colourable.
+pub fn non3col_uniq_view(graph: &Graph) -> UniquenessInstance {
+    let mut vars = VarGen::new();
+    let x: Vec<Variable> = (0..graph.vertex_count())
+        .map(|v| vars.named(format!("x{v}")))
+        .collect();
+
+    // Vertices are encoded as 10 + v to keep them distinct from the colours 1, 2, 3 and
+    // from the tags 0/1 (the paper overlaps these namespaces in its small example; the
+    // argument is unchanged).
+    let vertex = |v: usize| Term::constant(10 + v as i64);
+
+    let mut rows: Vec<Vec<Term>> = graph
+        .edges()
+        .map(|(a, b)| vec![Term::constant(1), vertex(a), vertex(b)])
+        .collect();
+    rows.extend(
+        (0..graph.vertex_count()).map(|a| vec![Term::constant(0), vertex(a), Term::Var(x[a])]),
+    );
+    let table = CTable::codd("R", 3, rows).expect("each colour variable occurs once");
+
+    // q₀ = {1 | ∃xyz[R(1xy) ∧ R(0xz) ∧ R(0yz)]  ∨  ∃yz[R(0yz) ∧ z≠1 ∧ z≠2 ∧ z≠3]}
+    let monochromatic_edge = ConjunctiveQuery::new(
+        [QTerm::constant(1)],
+        [
+            qatom!("R"; 1, "x", "y"),
+            qatom!("R"; 0, "x", "z"),
+            qatom!("R"; 0, "y", "z"),
+        ],
+    );
+    let non_color_value = ConjunctiveQuery::new(
+        [QTerm::constant(1)],
+        [qatom!("R"; 0, "y", "z")],
+    )
+    .with_neq("z", 1)
+    .with_neq("z", 2)
+    .with_neq("z", 3);
+    let q0 = Ucq::new([monochromatic_edge, non_color_value]).expect("q0 is well formed");
+
+    UniquenessInstance {
+        view: View::new(
+            Query::single("Q", QueryDef::Ucq(q0)),
+            CDatabase::single(table),
+        ),
+        instance: Instance::single("Q", rel![[1]]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::membership_hardness::small_test_graphs;
+    use pw_decide::{uniqueness, Budget};
+    use pw_solvers::coloring::is_three_colorable;
+    use pw_solvers::{Clause, Literal};
+
+    fn budget() -> Budget {
+        Budget(10_000_000)
+    }
+
+    fn small_dnf_formulas() -> Vec<(DnfFormula, &'static str)> {
+        let lit = |v: usize, s: bool| Literal { var: v, positive: s };
+        vec![
+            (
+                DnfFormula::new(1, [Clause::new([lit(0, true)]), Clause::new([lit(0, false)])]),
+                "x ∨ ¬x (tautology)",
+            ),
+            (
+                DnfFormula::new(2, [Clause::new([lit(0, true), lit(1, true)])]),
+                "x ∧ y (not a tautology)",
+            ),
+            (
+                DnfFormula::new(
+                    2,
+                    [
+                        Clause::new([lit(0, true), lit(1, true)]),
+                        Clause::new([lit(0, false)]),
+                        Clause::new([lit(1, false)]),
+                    ],
+                ),
+                "(x∧y) ∨ ¬x ∨ ¬y (tautology)",
+            ),
+            (DnfFormula::paper_fig5(), "the paper's Fig. 5 DNF"),
+        ]
+    }
+
+    #[test]
+    fn dnf_tautology_reduction_matches_the_solver() {
+        for (formula, label) in small_dnf_formulas() {
+            let expected = formula.is_tautology();
+            let reduction = dnf_taut_uniq_ctable(&formula);
+            let answer =
+                uniqueness::decide(&reduction.view, &reduction.instance, budget()).unwrap();
+            assert_eq!(answer, expected, "UNIQ reduction on {label}");
+        }
+    }
+
+    #[test]
+    fn dnf_reduction_produces_one_row_per_clause() {
+        let formula = DnfFormula::paper_fig5();
+        let reduction = dnf_taut_uniq_ctable(&formula);
+        let table = reduction.view.db.table("T").unwrap();
+        assert_eq!(table.len(), formula.clauses.len());
+        assert!(table.has_local_conditions());
+        assert_eq!(table.variables().len(), formula.num_vars);
+    }
+
+    #[test]
+    fn non_three_colorability_reduction_matches_the_solver() {
+        for (graph, label) in small_test_graphs() {
+            if graph.vertex_count() > 5 {
+                continue; // keep the coNP search small in unit tests
+            }
+            let expected = !is_three_colorable(&graph);
+            let reduction = non3col_uniq_view(&graph);
+            let answer =
+                uniqueness::decide(&reduction.view, &reduction.instance, budget()).unwrap();
+            assert_eq!(answer, expected, "UNIQ(q0) reduction on {label}");
+        }
+    }
+
+    #[test]
+    fn fig6_construction_shape() {
+        // Fig. 6: the table for the Fig. 4(a) graph has one row per edge plus one per
+        // vertex.
+        let g = Graph::paper_fig4a();
+        let reduction = non3col_uniq_view(&g);
+        let table = reduction.view.db.table("R").unwrap();
+        assert_eq!(table.len(), g.edge_count() + g.vertex_count());
+        assert_eq!(table.variables().len(), g.vertex_count());
+        assert_eq!(reduction.view.query.class(), pw_query::QueryClass::PositiveExistentialNeq);
+    }
+}

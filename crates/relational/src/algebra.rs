@@ -1,0 +1,264 @@
+//! Positional relational algebra over [`Relation`]s.
+//!
+//! These are the operators the paper lists for positive existential queries — project,
+//! natural (equi-)join, union, renaming, positive select — plus difference (needed for the
+//! first order queries), cartesian product and constant-column extension (needed to express
+//! the reductions' queries, which mention explicit constants like `0` and `1`).
+//!
+//! Every operator validates arities and returns [`ArityError`] on misuse; the query layer
+//! (`pw-query`) performs static arity inference so that well-formed query ASTs can never
+//! trigger these errors at evaluation time.
+
+use crate::{ArityError, Constant, Relation, Tuple};
+
+/// A selection predicate over tuple positions.
+///
+/// `EqConst`/`EqCols` are the paper's *positive* selections; the `Neq*` forms are only used
+/// by first-order queries and by the "positive existential with ≠" query of Theorem 3.2(4).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Pred {
+    /// Column `col` equals the constant.
+    EqConst(usize, Constant),
+    /// Columns are equal.
+    EqCols(usize, usize),
+    /// Column `col` differs from the constant.
+    NeqConst(usize, Constant),
+    /// Columns differ.
+    NeqCols(usize, usize),
+}
+
+impl Pred {
+    /// Largest column index mentioned by the predicate.
+    pub fn max_col(&self) -> usize {
+        match self {
+            Pred::EqConst(c, _) | Pred::NeqConst(c, _) => *c,
+            Pred::EqCols(a, b) | Pred::NeqCols(a, b) => (*a).max(*b),
+        }
+    }
+
+    /// Whether the predicate is *positive* (no ≠).
+    pub fn is_positive(&self) -> bool {
+        matches!(self, Pred::EqConst(..) | Pred::EqCols(..))
+    }
+
+    /// Evaluate the predicate on a tuple.
+    pub fn eval(&self, t: &Tuple) -> bool {
+        match self {
+            Pred::EqConst(c, k) => &t[*c] == k,
+            Pred::NeqConst(c, k) => &t[*c] != k,
+            Pred::EqCols(a, b) => t[*a] == t[*b],
+            Pred::NeqCols(a, b) => t[*a] != t[*b],
+        }
+    }
+}
+
+fn check_cols(arity: usize, max_col: usize, context: &'static str) -> Result<(), ArityError> {
+    if max_col >= arity {
+        Err(ArityError {
+            expected: arity,
+            found: max_col + 1,
+            context,
+        })
+    } else {
+        Ok(())
+    }
+}
+
+/// σ — keep the tuples satisfying *all* predicates.
+pub fn select(r: &Relation, preds: &[Pred]) -> Result<Relation, ArityError> {
+    for p in preds {
+        check_cols(r.arity(), p.max_col(), "select")?;
+    }
+    let mut out = Relation::empty(r.arity());
+    for t in r.iter() {
+        if preds.iter().all(|p| p.eval(t)) {
+            out.insert(t.clone()).expect("same arity");
+        }
+    }
+    Ok(out)
+}
+
+/// π — project onto the given columns (which may repeat or reorder).
+pub fn project(r: &Relation, cols: &[usize]) -> Result<Relation, ArityError> {
+    if let Some(&m) = cols.iter().max() {
+        check_cols(r.arity(), m, "project")?;
+    }
+    let mut out = Relation::empty(cols.len());
+    for t in r.iter() {
+        out.insert(t.project(cols)).expect("projected arity");
+    }
+    Ok(out)
+}
+
+/// × — cartesian product; the result has `l.arity() + r.arity()` columns.
+pub fn product(l: &Relation, r: &Relation) -> Result<Relation, ArityError> {
+    let mut out = Relation::empty(l.arity() + r.arity());
+    for a in l.iter() {
+        for b in r.iter() {
+            out.insert(a.concat(b)).expect("product arity");
+        }
+    }
+    Ok(out)
+}
+
+/// ⋈ — equi-join on the listed column pairs `(left column, right column)`.
+/// The result keeps all columns of both operands (like a product filtered by equality).
+pub fn join(l: &Relation, r: &Relation, on: &[(usize, usize)]) -> Result<Relation, ArityError> {
+    for &(a, b) in on {
+        check_cols(l.arity(), a, "join (left)")?;
+        check_cols(r.arity(), b, "join (right)")?;
+    }
+    let mut out = Relation::empty(l.arity() + r.arity());
+    for a in l.iter() {
+        for b in r.iter() {
+            if on.iter().all(|&(la, rb)| a[la] == b[rb]) {
+                out.insert(a.concat(b)).expect("join arity");
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// ∪ — union of two relations of the same arity.
+pub fn union(l: &Relation, r: &Relation) -> Result<Relation, ArityError> {
+    if l.arity() != r.arity() {
+        return Err(ArityError {
+            expected: l.arity(),
+            found: r.arity(),
+            context: "union",
+        });
+    }
+    let mut out = l.clone();
+    for t in r.iter() {
+        out.insert(t.clone()).expect("same arity");
+    }
+    Ok(out)
+}
+
+/// − — set difference of two relations of the same arity (first-order only).
+pub fn difference(l: &Relation, r: &Relation) -> Result<Relation, ArityError> {
+    if l.arity() != r.arity() {
+        return Err(ArityError {
+            expected: l.arity(),
+            found: r.arity(),
+            context: "difference",
+        });
+    }
+    let mut out = Relation::empty(l.arity());
+    for t in l.iter() {
+        if !r.contains(t) {
+            out.insert(t.clone()).expect("same arity");
+        }
+    }
+    Ok(out)
+}
+
+/// ∩ — intersection of two relations of the same arity.
+pub fn intersection(l: &Relation, r: &Relation) -> Result<Relation, ArityError> {
+    if l.arity() != r.arity() {
+        return Err(ArityError {
+            expected: l.arity(),
+            found: r.arity(),
+            context: "intersection",
+        });
+    }
+    let mut out = Relation::empty(l.arity());
+    for t in l.iter() {
+        if r.contains(t) {
+            out.insert(t.clone()).expect("same arity");
+        }
+    }
+    Ok(out)
+}
+
+/// Renaming, expressed as a column permutation; `perm[i]` is the source column for output
+/// column `i`.  A permutation-based renaming keeps the algebra positional.
+pub fn rename(r: &Relation, perm: &[usize]) -> Result<Relation, ArityError> {
+    if perm.len() != r.arity() {
+        return Err(ArityError {
+            expected: r.arity(),
+            found: perm.len(),
+            context: "rename",
+        });
+    }
+    project(r, perm)
+}
+
+/// Append constant columns to every tuple (used by reductions to emit literals such as 0/1).
+pub fn extend_constants(r: &Relation, consts: &[Constant]) -> Result<Relation, ArityError> {
+    let mut out = Relation::empty(r.arity() + consts.len());
+    for t in r.iter() {
+        out.insert(t.extend_with(consts)).expect("extended arity");
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{rel, tup};
+
+    fn r() -> Relation {
+        rel![[1, 2], [2, 2], [3, 4]]
+    }
+
+    #[test]
+    fn select_positive_and_negative() {
+        let eq = select(&r(), &[Pred::EqCols(0, 1)]).unwrap();
+        assert_eq!(eq, rel![[2, 2]]);
+        let neq = select(&r(), &[Pred::NeqCols(0, 1)]).unwrap();
+        assert_eq!(neq.len(), 2);
+        let by_const = select(&r(), &[Pred::EqConst(1, Constant::int(2))]).unwrap();
+        assert_eq!(by_const.len(), 2);
+        assert!(select(&r(), &[Pred::EqCols(0, 5)]).is_err());
+        assert!(Pred::EqCols(0, 1).is_positive());
+        assert!(!Pred::NeqConst(0, Constant::int(1)).is_positive());
+    }
+
+    #[test]
+    fn project_dedups() {
+        let p = project(&r(), &[1]).unwrap();
+        assert_eq!(p, rel![[2], [4]]);
+        assert!(project(&r(), &[9]).is_err());
+    }
+
+    #[test]
+    fn product_and_join() {
+        let s = rel![[2, 10], [4, 20]];
+        let prod = product(&r(), &s).unwrap();
+        assert_eq!(prod.len(), 6);
+        assert_eq!(prod.arity(), 4);
+        let j = join(&r(), &s, &[(1, 0)]).unwrap();
+        // (1,2)⋈(2,10), (2,2)⋈(2,10), (3,4)⋈(4,20)
+        assert_eq!(j.len(), 3);
+        assert!(j.contains(&tup![3, 4, 4, 20]));
+        assert!(join(&r(), &s, &[(5, 0)]).is_err());
+    }
+
+    #[test]
+    fn union_difference_intersection() {
+        let a = rel![[1, 2], [3, 4]];
+        let b = rel![[3, 4], [5, 6]];
+        assert_eq!(union(&a, &b).unwrap().len(), 3);
+        assert_eq!(difference(&a, &b).unwrap(), rel![[1, 2]]);
+        assert_eq!(intersection(&a, &b).unwrap(), rel![[3, 4]]);
+        let c = rel![[1]];
+        assert!(union(&a, &c).is_err());
+        assert!(difference(&a, &c).is_err());
+        assert!(intersection(&a, &c).is_err());
+    }
+
+    #[test]
+    fn rename_is_a_permutation_projection() {
+        let swapped = rename(&r(), &[1, 0]).unwrap();
+        assert!(swapped.contains(&tup![2, 1]));
+        assert!(rename(&r(), &[0]).is_err());
+    }
+
+    #[test]
+    fn extend_constants_appends_columns() {
+        let e = extend_constants(&rel![[1]], &[Constant::int(0), Constant::str("x")]).unwrap();
+        assert_eq!(e.arity(), 3);
+        assert!(e.contains(&tup![1, 0, "x"]));
+    }
+}

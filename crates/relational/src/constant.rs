@@ -1,0 +1,175 @@
+//! Constants: the elements of the countably infinite domain 𝒟 of Section 2.1.
+//!
+//! The paper only requires a countably infinite set of uninterpreted constants with
+//! equality.  For usability in examples we provide integers, strings and booleans; all
+//! comparisons are by value and there is no implicit coercion between variants.
+
+use std::fmt;
+
+/// A database constant.
+///
+/// Constants are totally ordered (variant first, then value) so that relations built from
+/// them have a canonical iteration order.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Constant {
+    /// A signed integer constant.
+    Int(i64),
+    /// A string constant.
+    Str(String),
+    /// A boolean constant.
+    Bool(bool),
+}
+
+impl Constant {
+    /// Build a string constant from anything string-like.
+    pub fn str(s: impl Into<String>) -> Self {
+        Constant::Str(s.into())
+    }
+
+    /// Build an integer constant.
+    pub const fn int(i: i64) -> Self {
+        Constant::Int(i)
+    }
+
+    /// Returns the integer value if this constant is an [`Constant::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Constant::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the string value if this constant is a [`Constant::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Constant::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A constant guaranteed to be distinct from every constant in `used`.
+    ///
+    /// This implements the paper's Δ′ device (proof of Proposition 2.1): fresh constants
+    /// outside the active domain, used to stand for "a value different from everything we
+    /// have seen".  Repeated calls with growing `used` sets yield pairwise-distinct fresh
+    /// constants.
+    pub fn fresh(used: &std::collections::BTreeSet<Constant>, seed: usize) -> Constant {
+        // Fresh constants are drawn from a dedicated namespace so they can never collide
+        // with user data accidentally; the loop guards against a user having used the
+        // namespace themselves.
+        let mut k = seed;
+        loop {
+            let cand = Constant::Str(format!("⊥{k}"));
+            if !used.contains(&cand) {
+                return cand;
+            }
+            k += 1;
+        }
+    }
+}
+
+impl fmt::Debug for Constant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Constant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Constant::Int(i) => write!(f, "{i}"),
+            Constant::Str(s) => write!(f, "{s}"),
+            Constant::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<i64> for Constant {
+    fn from(value: i64) -> Self {
+        Constant::Int(value)
+    }
+}
+
+impl From<i32> for Constant {
+    fn from(value: i32) -> Self {
+        Constant::Int(i64::from(value))
+    }
+}
+
+impl From<usize> for Constant {
+    fn from(value: usize) -> Self {
+        Constant::Int(value as i64)
+    }
+}
+
+impl From<&str> for Constant {
+    fn from(value: &str) -> Self {
+        Constant::Str(value.to_owned())
+    }
+}
+
+impl From<String> for Constant {
+    fn from(value: String) -> Self {
+        Constant::Str(value)
+    }
+}
+
+impl From<bool> for Constant {
+    fn from(value: bool) -> Self {
+        Constant::Bool(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn ordering_is_total_and_by_variant_then_value() {
+        let mut v = vec![
+            Constant::str("b"),
+            Constant::int(10),
+            Constant::Bool(true),
+            Constant::int(-3),
+            Constant::str("a"),
+        ];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![
+                Constant::int(-3),
+                Constant::int(10),
+                Constant::str("a"),
+                Constant::str("b"),
+                Constant::Bool(true),
+            ]
+        );
+    }
+
+    #[test]
+    fn fresh_constants_avoid_used_set() {
+        let mut used: BTreeSet<Constant> = (0..5).map(|i| Constant::Str(format!("⊥{i}"))).collect();
+        used.insert(Constant::int(1));
+        let f = Constant::fresh(&used, 0);
+        assert!(!used.contains(&f));
+        assert_eq!(f, Constant::str("⊥5"));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Constant::from(3i64), Constant::Int(3));
+        assert_eq!(Constant::from("x"), Constant::Str("x".into()));
+        assert_eq!(Constant::from(true), Constant::Bool(true));
+        assert_eq!(Constant::int(7).as_int(), Some(7));
+        assert_eq!(Constant::str("y").as_str(), Some("y"));
+        assert_eq!(Constant::str("y").as_int(), None);
+    }
+
+    #[test]
+    fn display_round_trips_reasonably() {
+        assert_eq!(Constant::int(42).to_string(), "42");
+        assert_eq!(Constant::str("ab").to_string(), "ab");
+        assert_eq!(Constant::Bool(false).to_string(), "false");
+    }
+}

@@ -1,0 +1,189 @@
+//! Active-domain and genericity utilities.
+//!
+//! QPTIME queries are *generic*: for all bijections ρ on the constant domain,
+//! `q(ρ(I)) = ρ(q(I))` (Section 2.1).  The helpers here build such bijections and check
+//! instance isomorphism, which the test-suite uses to validate that our query evaluators are
+//! generic and that the Δ ∪ Δ′ restriction of Proposition 2.1 is sound.
+
+use crate::{Constant, Instance};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A finite injective renaming of constants, standing for a bijection on the (infinite)
+/// domain that is the identity outside its support.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Renaming {
+    map: BTreeMap<Constant, Constant>,
+}
+
+impl Renaming {
+    /// The identity renaming.
+    pub fn identity() -> Self {
+        Renaming::default()
+    }
+
+    /// Build a renaming from explicit pairs.  Returns `None` if the mapping is not
+    /// injective (and therefore cannot extend to a bijection).
+    pub fn new(pairs: impl IntoIterator<Item = (Constant, Constant)>) -> Option<Self> {
+        let mut map = BTreeMap::new();
+        let mut image = BTreeSet::new();
+        for (from, to) in pairs {
+            if !image.insert(to.clone()) {
+                return None;
+            }
+            if map.insert(from, to).is_some() {
+                return None;
+            }
+        }
+        Some(Renaming { map })
+    }
+
+    /// A renaming sending the i-th constant of `from` to the i-th constant of `to`.
+    /// Panics if lengths differ; returns `None` when not injective.
+    pub fn zip(from: &[Constant], to: &[Constant]) -> Option<Self> {
+        assert_eq!(from.len(), to.len(), "Renaming::zip length mismatch");
+        Renaming::new(from.iter().cloned().zip(to.iter().cloned()))
+    }
+
+    /// Apply to a single constant (identity outside the support).
+    pub fn apply(&self, c: &Constant) -> Constant {
+        self.map.get(c).cloned().unwrap_or_else(|| c.clone())
+    }
+
+    /// Apply to an instance.
+    pub fn apply_instance(&self, i: &Instance) -> Instance {
+        i.map_constants(|c| self.apply(c))
+    }
+
+    /// The inverse renaming (well-defined because renamings are injective).
+    pub fn inverse(&self) -> Renaming {
+        Renaming {
+            map: self.map.iter().map(|(a, b)| (b.clone(), a.clone())).collect(),
+        }
+    }
+
+    /// Number of constants moved.
+    pub fn support_len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// Fresh constants Δ′ disjoint from `used`, one per requested slot.
+///
+/// This is the device in the proof of Proposition 2.1: "let Δ′ be a set of constants
+/// distinct from Δ, with the same cardinality as X".
+pub fn fresh_constants(used: &BTreeSet<Constant>, count: usize) -> Vec<Constant> {
+    let mut out = Vec::with_capacity(count);
+    let mut pool = used.clone();
+    for k in 0.. {
+        if out.len() == count {
+            break;
+        }
+        let c = Constant::fresh(&pool, k);
+        pool.insert(c.clone());
+        out.push(c);
+    }
+    out
+}
+
+/// Are two instances isomorphic, i.e. equal up to a bijective renaming of constants?
+///
+/// This is used only on the small instances of the cross-validation tests, so a simple
+/// backtracking search over constant bijections is sufficient.
+pub fn isomorphic(a: &Instance, b: &Instance) -> bool {
+    if a.relation_count() != b.relation_count() || a.fact_count() != b.fact_count() {
+        return false;
+    }
+    let names_a: Vec<&String> = a.relation_names().collect();
+    let names_b: Vec<&String> = b.relation_names().collect();
+    if names_a != names_b {
+        return false;
+    }
+    let dom_a: Vec<Constant> = a.active_domain().into_iter().collect();
+    let dom_b: Vec<Constant> = b.active_domain().into_iter().collect();
+    if dom_a.len() != dom_b.len() {
+        return false;
+    }
+    fn backtrack(
+        a: &Instance,
+        b: &Instance,
+        dom_a: &[Constant],
+        dom_b: &[Constant],
+        idx: usize,
+        used: &mut Vec<bool>,
+        map: &mut BTreeMap<Constant, Constant>,
+    ) -> bool {
+        if idx == dom_a.len() {
+            let renaming = Renaming {
+                map: map.clone(),
+            };
+            return renaming.apply_instance(a) == *b;
+        }
+        for (j, target) in dom_b.iter().enumerate() {
+            if used[j] {
+                continue;
+            }
+            used[j] = true;
+            map.insert(dom_a[idx].clone(), target.clone());
+            if backtrack(a, b, dom_a, dom_b, idx + 1, used, map) {
+                return true;
+            }
+            map.remove(&dom_a[idx]);
+            used[j] = false;
+        }
+        false
+    }
+    let mut used = vec![false; dom_b.len()];
+    let mut map = BTreeMap::new();
+    backtrack(a, b, &dom_a, &dom_b, 0, &mut used, &mut map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rel;
+
+    #[test]
+    fn renaming_rejects_non_injective_maps() {
+        assert!(Renaming::new([
+            (Constant::int(1), Constant::int(5)),
+            (Constant::int(2), Constant::int(5)),
+        ])
+        .is_none());
+        let r = Renaming::new([(Constant::int(1), Constant::int(5))]).unwrap();
+        assert_eq!(r.apply(&Constant::int(1)), Constant::int(5));
+        assert_eq!(r.apply(&Constant::int(9)), Constant::int(9));
+        assert_eq!(r.inverse().apply(&Constant::int(5)), Constant::int(1));
+        assert_eq!(r.support_len(), 1);
+    }
+
+    #[test]
+    fn fresh_constants_are_distinct_and_unused() {
+        let used: BTreeSet<Constant> = [Constant::int(1), Constant::str("⊥0")].into();
+        let fresh = fresh_constants(&used, 3);
+        assert_eq!(fresh.len(), 3);
+        let set: BTreeSet<_> = fresh.iter().cloned().collect();
+        assert_eq!(set.len(), 3);
+        assert!(set.intersection(&used).next().is_none());
+    }
+
+    #[test]
+    fn isomorphism_detects_renamed_instances() {
+        let a = Instance::single("R", rel![[1, 2], [2, 3]]);
+        let b = Instance::single("R", rel![[10, 20], [20, 30]]);
+        let c = Instance::single("R", rel![[10, 20], [30, 20]]);
+        assert!(isomorphic(&a, &b));
+        assert!(!isomorphic(&a, &c), "different shape: chain vs. shared target");
+        let d = Instance::single("S", rel![[1, 2], [2, 3]]);
+        assert!(!isomorphic(&a, &d), "relation names must match");
+    }
+
+    #[test]
+    fn zip_builds_pointwise_renaming() {
+        let r = Renaming::zip(
+            &[Constant::int(1), Constant::int(2)],
+            &[Constant::str("a"), Constant::str("b")],
+        )
+        .unwrap();
+        assert_eq!(r.apply(&Constant::int(2)), Constant::str("b"));
+    }
+}

@@ -1,0 +1,270 @@
+//! Instances: complete information databases (named vectors of relations).
+
+use crate::{Constant, Relation, Tuple};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Error raised by instance-level operations when relation names or arities clash.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaError {
+    /// The named relation does not exist in the instance.
+    UnknownRelation(String),
+    /// A relation with this name already exists with a different arity.
+    ArityConflict {
+        /// Relation name.
+        name: String,
+        /// Arity already registered.
+        existing: usize,
+        /// Arity supplied.
+        supplied: usize,
+    },
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::UnknownRelation(n) => write!(f, "unknown relation {n:?}"),
+            SchemaError::ArityConflict {
+                name,
+                existing,
+                supplied,
+            } => write!(
+                f,
+                "arity conflict for relation {name:?}: existing {existing}, supplied {supplied}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+/// A complete information database: a finite map from relation names to [`Relation`]s.
+///
+/// The paper's instances are *vectors* of relations (R₁, …, Rₙ); we key them by name so
+/// queries and reductions can refer to relations symbolically ("R", "S", …), and we keep the
+/// map ordered so that instance equality is canonical.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Instance {
+    relations: BTreeMap<String, Relation>,
+}
+
+impl Instance {
+    /// The empty instance (no relations).
+    pub fn new() -> Self {
+        Instance::default()
+    }
+
+    /// Build an instance from `(name, relation)` pairs.
+    pub fn from_relations(rels: impl IntoIterator<Item = (String, Relation)>) -> Self {
+        Instance {
+            relations: rels.into_iter().collect(),
+        }
+    }
+
+    /// Build a single-relation instance (the common case in the paper's constructions).
+    pub fn single(name: impl Into<String>, relation: Relation) -> Self {
+        let mut i = Instance::new();
+        i.insert_relation(name, relation);
+        i
+    }
+
+    /// Insert (or replace) a relation under `name`.
+    pub fn insert_relation(&mut self, name: impl Into<String>, relation: Relation) {
+        self.relations.insert(name.into(), relation);
+    }
+
+    /// Insert a fact into the named relation, creating the relation if absent.
+    pub fn insert_fact(
+        &mut self,
+        name: impl Into<String>,
+        fact: Tuple,
+    ) -> Result<bool, SchemaError> {
+        let name = name.into();
+        match self.relations.get_mut(&name) {
+            Some(rel) => {
+                if rel.arity() != fact.arity() {
+                    return Err(SchemaError::ArityConflict {
+                        name,
+                        existing: rel.arity(),
+                        supplied: fact.arity(),
+                    });
+                }
+                Ok(rel.insert(fact).expect("arity checked above"))
+            }
+            None => {
+                let mut rel = Relation::empty(fact.arity());
+                rel.insert(fact).expect("fresh relation has matching arity");
+                self.relations.insert(name, rel);
+                Ok(true)
+            }
+        }
+    }
+
+    /// Look up a relation by name.
+    pub fn relation(&self, name: &str) -> Option<&Relation> {
+        self.relations.get(name)
+    }
+
+    /// Look up a relation, returning an empty relation of the given arity when the name is
+    /// absent.  Queries use this so that referencing an unpopulated EDB relation is not an
+    /// error.
+    pub fn relation_or_empty(&self, name: &str, arity: usize) -> Relation {
+        self.relations
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| Relation::empty(arity))
+    }
+
+    /// Iterate over `(name, relation)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Relation)> {
+        self.relations.iter()
+    }
+
+    /// Relation names in the instance.
+    pub fn relation_names(&self) -> impl Iterator<Item = &String> {
+        self.relations.keys()
+    }
+
+    /// Number of relations.
+    pub fn relation_count(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Total number of facts across all relations (the instance "size" used for
+    /// data-complexity sweeps).
+    pub fn fact_count(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+
+    /// Whether a specific fact is present in the named relation.
+    pub fn contains_fact(&self, name: &str, fact: &Tuple) -> bool {
+        self.relations.get(name).is_some_and(|r| r.contains(fact))
+    }
+
+    /// Componentwise containment: every relation of `self` is a subset of the relation of
+    /// the same name in `other` (missing relations count as empty).
+    pub fn is_subinstance_of(&self, other: &Instance) -> bool {
+        self.relations.iter().all(|(name, rel)| {
+            rel.is_empty()
+                || other
+                    .relations
+                    .get(name)
+                    .is_some_and(|orel| rel.is_subset(orel))
+        })
+    }
+
+    /// The active domain: all constants appearing in any relation.
+    pub fn active_domain(&self) -> BTreeSet<Constant> {
+        self.relations
+            .values()
+            .flat_map(Relation::active_domain)
+            .collect()
+    }
+
+    /// Apply a constant renaming to every relation (the ρ of the genericity condition).
+    pub fn map_constants(&self, mut f: impl FnMut(&Constant) -> Constant) -> Instance {
+        Instance {
+            relations: self
+                .relations
+                .iter()
+                .map(|(n, r)| (n.clone(), r.map_constants(&mut f)))
+                .collect(),
+        }
+    }
+
+    /// Equality up to empty relations: relations that are present but empty are ignored.
+    ///
+    /// The paper identifies an instance with the *set of facts* it holds; an empty relation
+    /// carries no facts, so `{R: {}, S: {(1)}}` and `{S: {(1)}}` describe the same world.
+    /// Views and decision procedures use this comparison.
+    pub fn same_facts(&self, other: &Instance) -> bool {
+        let non_empty = |i: &Instance| -> BTreeMap<String, Relation> {
+            i.relations
+                .iter()
+                .filter(|(_, r)| !r.is_empty())
+                .map(|(n, r)| (n.clone(), r.clone()))
+                .collect()
+        };
+        non_empty(self) == non_empty(other)
+    }
+}
+
+impl fmt::Debug for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Instance {{")?;
+        for (name, rel) in &self.relations {
+            writeln!(f, "  {name}/{}: {rel}", rel.arity())?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{rel, tup};
+
+    fn sample() -> Instance {
+        let mut i = Instance::new();
+        i.insert_relation("R", rel![[1, 2], [2, 3]]);
+        i.insert_relation("S", rel![[5]]);
+        i
+    }
+
+    #[test]
+    fn insert_fact_creates_and_checks_arity() {
+        let mut i = Instance::new();
+        assert!(i.insert_fact("R", tup![1, 2]).unwrap());
+        assert!(!i.insert_fact("R", tup![1, 2]).unwrap());
+        let err = i.insert_fact("R", tup![1]).unwrap_err();
+        assert!(matches!(err, SchemaError::ArityConflict { .. }));
+    }
+
+    #[test]
+    fn lookup_and_counts() {
+        let i = sample();
+        assert_eq!(i.relation_count(), 2);
+        assert_eq!(i.fact_count(), 3);
+        assert!(i.contains_fact("R", &tup![1, 2]));
+        assert!(!i.contains_fact("R", &tup![9, 9]));
+        assert!(i.relation("T").is_none());
+        assert_eq!(i.relation_or_empty("T", 4).arity(), 4);
+    }
+
+    #[test]
+    fn subinstance_and_same_facts() {
+        let i = sample();
+        let mut j = i.clone();
+        j.insert_fact("R", tup![7, 7]).unwrap();
+        assert!(i.is_subinstance_of(&j));
+        assert!(!j.is_subinstance_of(&i));
+
+        let mut with_empty = i.clone();
+        with_empty.insert_relation("Empty", Relation::empty(3));
+        assert!(with_empty.same_facts(&i));
+        assert_ne!(with_empty, i, "strict equality still sees the empty relation");
+    }
+
+    #[test]
+    fn active_domain_unions_relations() {
+        let dom = sample().active_domain();
+        assert_eq!(dom.len(), 4);
+        assert!(dom.contains(&Constant::int(5)));
+    }
+
+    #[test]
+    fn map_constants_applies_everywhere() {
+        let renamed = sample().map_constants(|c| match c {
+            Constant::Int(i) => Constant::Int(i * 10),
+            c => c.clone(),
+        });
+        assert!(renamed.contains_fact("S", &tup![50]));
+        assert!(renamed.contains_fact("R", &tup![20, 30]));
+    }
+}

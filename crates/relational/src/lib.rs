@@ -1,0 +1,39 @@
+//! # `pw-relational` — complete-information relational substrate
+//!
+//! This crate implements the *complete information database* model of Section 2.1 of
+//! Abiteboul, Kanellakis and Grahne, "On the Representation and Querying of Sets of Possible
+//! Worlds" (SIGMOD 1987 / TCS 78, 1991):
+//!
+//! * a countably infinite set of [`Constant`]s,
+//! * [`Tuple`]s (facts) over constants,
+//! * [`Relation`]s of a fixed arity — finite sets of facts,
+//! * [`Instance`]s — finite vectors of named relations, and
+//! * a positional relational algebra over relations ([`algebra`]).
+//!
+//! The incomplete-information layers (`pw-condition`, `pw-core`) are built on top of this
+//! substrate: a possible world *is* an [`Instance`] of this crate.
+//!
+//! ## Design notes
+//!
+//! * Relations are kept as ordered sets ([`std::collections::BTreeSet`]) so that equality,
+//!   hashing and iteration order are canonical.  The paper's problems (membership,
+//!   uniqueness, containment) all hinge on *set* equality of instances, so canonical forms
+//!   keep those comparisons cheap and deterministic.
+//! * The algebra is positional (columns are addressed by index).  This mirrors the paper's
+//!   use of tuple positions in its reductions and avoids carrying attribute names through
+//!   every operator.
+
+pub mod algebra;
+pub mod constant;
+pub mod domain;
+pub mod instance;
+pub mod relation;
+pub mod tuple;
+
+pub use constant::Constant;
+pub use instance::{Instance, SchemaError};
+pub use relation::{ArityError, Relation};
+pub use tuple::Tuple;
+
+/// Crate-wide result alias for arity-checked operations.
+pub type Result<T, E = ArityError> = std::result::Result<T, E>;

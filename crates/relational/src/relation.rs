@@ -1,0 +1,238 @@
+//! Relations: finite, arity-checked sets of facts.
+
+use crate::{Constant, Tuple};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Error raised when a tuple of the wrong width is inserted into a relation, or when an
+/// algebra operator is applied to relations of incompatible arities.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArityError {
+    /// Expected arity.
+    pub expected: usize,
+    /// Arity that was actually supplied.
+    pub found: usize,
+    /// Human-readable context for the failure.
+    pub context: &'static str,
+}
+
+impl fmt::Display for ArityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "arity mismatch in {}: expected {}, found {}",
+            self.context, self.expected, self.found
+        )
+    }
+}
+
+impl std::error::Error for ArityError {}
+
+/// A relation of fixed arity: a finite set of [`Tuple`]s.
+///
+/// The representation is a `BTreeSet`, so two relations containing the same facts compare
+/// equal regardless of insertion order, and iteration order is deterministic.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Relation {
+    arity: usize,
+    tuples: BTreeSet<Tuple>,
+}
+
+impl Relation {
+    /// Create an empty relation of the given arity.
+    pub fn empty(arity: usize) -> Self {
+        Relation {
+            arity,
+            tuples: BTreeSet::new(),
+        }
+    }
+
+    /// Create a relation from tuples, checking that all have the given arity.
+    pub fn new(arity: usize, tuples: impl IntoIterator<Item = Tuple>) -> Result<Self, ArityError> {
+        let mut r = Relation::empty(arity);
+        for t in tuples {
+            r.insert(t)?;
+        }
+        Ok(r)
+    }
+
+    /// Create a relation from tuples, panicking on arity mismatch.
+    ///
+    /// Intended for tests, examples and reductions where the arity is statically known.
+    pub fn from_tuples(arity: usize, tuples: impl IntoIterator<Item = Tuple>) -> Self {
+        Relation::new(arity, tuples).expect("tuple arity mismatch")
+    }
+
+    /// The relation's arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of facts.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the relation holds no facts.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Insert a fact, checking arity.
+    pub fn insert(&mut self, t: Tuple) -> Result<bool, ArityError> {
+        if t.arity() != self.arity {
+            return Err(ArityError {
+                expected: self.arity,
+                found: t.arity(),
+                context: "Relation::insert",
+            });
+        }
+        Ok(self.tuples.insert(t))
+    }
+
+    /// Whether the fact is present.
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.tuples.contains(t)
+    }
+
+    /// Iterate over the facts in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> + Clone {
+        self.tuples.iter()
+    }
+
+    /// Set-containment of relations (⊆). Relations of different arities are incomparable
+    /// unless one of them is empty.
+    pub fn is_subset(&self, other: &Relation) -> bool {
+        if self.is_empty() {
+            return true;
+        }
+        self.arity == other.arity && self.tuples.is_subset(&other.tuples)
+    }
+
+    /// All constants appearing in the relation (its active domain).
+    pub fn active_domain(&self) -> BTreeSet<Constant> {
+        self.tuples
+            .iter()
+            .flat_map(|t| t.iter().cloned())
+            .collect()
+    }
+
+    /// Apply a constant-renaming function to every fact, producing a new relation.
+    ///
+    /// Used by the genericity utilities ("for all bijections ρ on 𝒟, q(ρ(I)) = ρ(q(I))").
+    pub fn map_constants(&self, mut f: impl FnMut(&Constant) -> Constant) -> Relation {
+        Relation {
+            arity: self.arity,
+            tuples: self.tuples.iter().map(|t| t.map(&mut f)).collect(),
+        }
+    }
+}
+
+impl fmt::Debug for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, t) in self.tuples.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl<'a> IntoIterator for &'a Relation {
+    type Item = &'a Tuple;
+    type IntoIter = std::collections::btree_set::Iter<'a, Tuple>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.tuples.iter()
+    }
+}
+
+impl IntoIterator for Relation {
+    type Item = Tuple;
+    type IntoIter = std::collections::btree_set::IntoIter<Tuple>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.tuples.into_iter()
+    }
+}
+
+/// Convenience macro for building a [`Relation`] from rows of values convertible into
+/// [`Constant`].
+///
+/// ```
+/// use pw_relational::rel;
+/// let r = rel![[1, 2], [3, 4]];
+/// assert_eq!(r.arity(), 2);
+/// assert_eq!(r.len(), 2);
+/// ```
+#[macro_export]
+macro_rules! rel {
+    () => { $crate::Relation::empty(0) };
+    ($([$($x:expr),* $(,)?]),+ $(,)?) => {{
+        let rows = vec![$($crate::tup![$($x),*]),+];
+        let arity = rows[0].arity();
+        $crate::Relation::from_tuples(arity, rows)
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tup;
+
+    #[test]
+    fn insert_checks_arity() {
+        let mut r = Relation::empty(2);
+        assert!(r.insert(tup![1, 2]).unwrap());
+        assert!(!r.insert(tup![1, 2]).unwrap(), "duplicate insert is a no-op");
+        let err = r.insert(tup![1]).unwrap_err();
+        assert_eq!(err.expected, 2);
+        assert_eq!(err.found, 1);
+    }
+
+    #[test]
+    fn equality_ignores_insertion_order() {
+        let a = Relation::from_tuples(2, [tup![1, 2], tup![3, 4]]);
+        let b = Relation::from_tuples(2, [tup![3, 4], tup![1, 2]]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn subset_and_active_domain() {
+        let a = rel![[1, 2]];
+        let b = rel![[1, 2], [3, 4]];
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert!(Relation::empty(7).is_subset(&b), "empty relation is a subset of anything");
+        let dom = b.active_domain();
+        assert_eq!(dom.len(), 4);
+        assert!(dom.contains(&Constant::int(3)));
+    }
+
+    #[test]
+    fn map_constants_renames() {
+        let r = rel![[1, 2], [2, 3]];
+        let shifted = r.map_constants(|c| match c {
+            Constant::Int(i) => Constant::Int(i + 10),
+            other => other.clone(),
+        });
+        assert!(shifted.contains(&tup![11, 12]));
+        assert!(shifted.contains(&tup![12, 13]));
+        assert_eq!(shifted.len(), 2);
+    }
+
+    #[test]
+    fn display_is_set_notation() {
+        let r = rel![[1, 2]];
+        assert_eq!(r.to_string(), "{(1, 2)}");
+    }
+}

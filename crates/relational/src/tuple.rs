@@ -1,0 +1,205 @@
+//! Tuples (facts) over constants.
+
+use crate::Constant;
+use std::fmt;
+use std::ops::Index;
+
+/// A fact: an ordered list of constants.
+///
+/// The paper calls a tuple belonging to a relation a *fact*.  Tuples are immutable once
+/// built; all algebra operators produce new tuples.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Tuple(Vec<Constant>);
+
+impl Tuple {
+    /// Create a tuple from constants.
+    pub fn new(values: impl IntoIterator<Item = Constant>) -> Self {
+        Tuple(values.into_iter().collect())
+    }
+
+    /// The empty (arity-0) tuple.  The paper uses it to describe the representation of the
+    /// "relation with only the empty fact".
+    pub fn empty() -> Self {
+        Tuple(Vec::new())
+    }
+
+    /// Number of components.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether this is the empty tuple.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Component access.
+    pub fn get(&self, i: usize) -> Option<&Constant> {
+        self.0.get(i)
+    }
+
+    /// Iterate over components.
+    pub fn iter(&self) -> std::slice::Iter<'_, Constant> {
+        self.0.iter()
+    }
+
+    /// Borrow the components as a slice.
+    pub fn as_slice(&self) -> &[Constant] {
+        &self.0
+    }
+
+    /// Consume into the underlying vector.
+    pub fn into_vec(self) -> Vec<Constant> {
+        self.0
+    }
+
+    /// Project onto the given column indices (columns may repeat or reorder).
+    ///
+    /// # Panics
+    /// Panics if an index is out of bounds; algebra-level callers validate indices first.
+    pub fn project(&self, cols: &[usize]) -> Tuple {
+        Tuple(cols.iter().map(|&c| self.0[c].clone()).collect())
+    }
+
+    /// Concatenate two tuples (used by product/join).
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut v = Vec::with_capacity(self.0.len() + other.0.len());
+        v.extend_from_slice(&self.0);
+        v.extend_from_slice(&other.0);
+        Tuple(v)
+    }
+
+    /// Append extra constant columns.
+    pub fn extend_with(&self, extra: &[Constant]) -> Tuple {
+        let mut v = self.0.clone();
+        v.extend_from_slice(extra);
+        Tuple(v)
+    }
+
+    /// Apply a function to every constant, producing a new tuple.
+    pub fn map(&self, mut f: impl FnMut(&Constant) -> Constant) -> Tuple {
+        Tuple(self.0.iter().map(&mut f).collect())
+    }
+}
+
+impl Index<usize> for Tuple {
+    type Output = Constant;
+
+    fn index(&self, index: usize) -> &Self::Output {
+        &self.0[index]
+    }
+}
+
+impl FromIterator<Constant> for Tuple {
+    fn from_iter<T: IntoIterator<Item = Constant>>(iter: T) -> Self {
+        Tuple(iter.into_iter().collect())
+    }
+}
+
+impl<'a> IntoIterator for &'a Tuple {
+    type Item = &'a Constant;
+    type IntoIter = std::slice::Iter<'a, Constant>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+impl IntoIterator for Tuple {
+    type Item = Constant;
+    type IntoIter = std::vec::IntoIter<Constant>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.into_iter()
+    }
+}
+
+impl From<Vec<Constant>> for Tuple {
+    fn from(value: Vec<Constant>) -> Self {
+        Tuple(value)
+    }
+}
+
+impl fmt::Debug for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Convenience macro for building a [`Tuple`] from values convertible into [`Constant`].
+///
+/// ```
+/// use pw_relational::{tup, Constant};
+/// let t = tup![1, "a", 2];
+/// assert_eq!(t.arity(), 3);
+/// assert_eq!(t[1], Constant::str("a"));
+/// ```
+#[macro_export]
+macro_rules! tup {
+    ($($x:expr),* $(,)?) => {
+        $crate::Tuple::new(vec![$($crate::Constant::from($x)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t123() -> Tuple {
+        Tuple::new([Constant::int(1), Constant::int(2), Constant::int(3)])
+    }
+
+    #[test]
+    fn arity_and_index() {
+        let t = t123();
+        assert_eq!(t.arity(), 3);
+        assert_eq!(t[0], Constant::int(1));
+        assert_eq!(t.get(2), Some(&Constant::int(3)));
+        assert_eq!(t.get(3), None);
+        assert!(!t.is_empty());
+        assert!(Tuple::empty().is_empty());
+    }
+
+    #[test]
+    fn projection_reorders_and_duplicates() {
+        let t = t123();
+        assert_eq!(
+            t.project(&[2, 0, 0]),
+            Tuple::new([Constant::int(3), Constant::int(1), Constant::int(1)])
+        );
+    }
+
+    #[test]
+    fn concat_and_extend() {
+        let t = t123();
+        let u = Tuple::new([Constant::str("a")]);
+        assert_eq!(t.concat(&u).arity(), 4);
+        assert_eq!(t.extend_with(&[Constant::int(9)])[3], Constant::int(9));
+    }
+
+    #[test]
+    fn display_formats_as_paren_list() {
+        assert_eq!(t123().to_string(), "(1, 2, 3)");
+        assert_eq!(Tuple::empty().to_string(), "()");
+    }
+
+    #[test]
+    fn tup_macro_builds_mixed_tuples() {
+        let t = tup![1, "x", true];
+        assert_eq!(t.arity(), 3);
+        assert_eq!(t[2], Constant::Bool(true));
+    }
+}

@@ -1,0 +1,119 @@
+//! Graph k-colouring by backtracking with forward checking.
+//!
+//! Graph 3-colourability is the NP-complete source problem of the membership and
+//! uniqueness lower bounds (Theorems 3.1(2–4) and 3.2(4)).  The solver here provides
+//! ground truth for the reduction tests and labels for the workload generators; it is
+//! exponential in the worst case, as it must be.
+
+use crate::graph::Graph;
+
+/// Find a proper colouring of `g` with colours `0..k`, if one exists.
+pub fn color_graph(g: &Graph, k: usize) -> Option<Vec<usize>> {
+    let n = g.vertex_count();
+    if n == 0 {
+        return Some(Vec::new());
+    }
+    if k == 0 {
+        return None;
+    }
+    // Order vertices by degree (descending) — a simple but effective heuristic.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&v| std::cmp::Reverse(g.neighbors(v).len()));
+
+    let mut colors: Vec<Option<usize>> = vec![None; n];
+    if assign(g, k, &order, 0, &mut colors) {
+        Some(colors.into_iter().map(|c| c.unwrap_or(0)).collect())
+    } else {
+        None
+    }
+}
+
+fn assign(
+    g: &Graph,
+    k: usize,
+    order: &[usize],
+    idx: usize,
+    colors: &mut Vec<Option<usize>>,
+) -> bool {
+    if idx == order.len() {
+        return true;
+    }
+    let v = order[idx];
+    // Symmetry breaking: the first vertex only tries colour 0, the second at most 0/1, …
+    let max_color = k.min(idx + 1);
+    'colors: for c in 0..max_color {
+        for u in g.neighbors(v) {
+            if colors[u] == Some(c) {
+                continue 'colors;
+            }
+        }
+        colors[v] = Some(c);
+        if assign(g, k, order, idx + 1, colors) {
+            return true;
+        }
+        colors[v] = None;
+    }
+    false
+}
+
+/// Check that a colouring is proper.
+pub fn is_proper_coloring(g: &Graph, colors: &[usize], k: usize) -> bool {
+    if colors.len() != g.vertex_count() {
+        return false;
+    }
+    if colors.iter().any(|&c| c >= k) {
+        return false;
+    }
+    g.edges().all(|(a, b)| colors[a] != colors[b])
+}
+
+/// Convenience wrapper: is the graph 3-colourable?
+pub fn is_three_colorable(g: &Graph) -> bool {
+    color_graph(g, 3).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn odd_cycle_needs_three_colors() {
+        let c5 = Graph::cycle(5);
+        assert!(color_graph(&c5, 2).is_none());
+        let coloring = color_graph(&c5, 3).unwrap();
+        assert!(is_proper_coloring(&c5, &coloring, 3));
+        assert!(is_three_colorable(&c5));
+    }
+
+    #[test]
+    fn even_cycle_is_bipartite() {
+        let c6 = Graph::cycle(6);
+        let coloring = color_graph(&c6, 2).unwrap();
+        assert!(is_proper_coloring(&c6, &coloring, 2));
+    }
+
+    #[test]
+    fn complete_graph_chromatic_number() {
+        let k4 = Graph::complete(4);
+        assert!(color_graph(&k4, 3).is_none());
+        assert!(color_graph(&k4, 4).is_some());
+        assert!(!is_three_colorable(&k4));
+    }
+
+    #[test]
+    fn paper_fig4a_is_three_colorable() {
+        let g = Graph::paper_fig4a();
+        let coloring = color_graph(&g, 3).unwrap();
+        assert!(is_proper_coloring(&g, &coloring, 3));
+    }
+
+    #[test]
+    fn empty_and_edge_cases() {
+        assert_eq!(color_graph(&Graph::new(0), 3), Some(vec![]));
+        assert!(color_graph(&Graph::new(3), 1).is_some(), "no edges: one colour suffices");
+        assert!(color_graph(&Graph::complete(2), 0).is_none());
+        assert!(!is_proper_coloring(&Graph::complete(2), &[0], 3), "wrong length");
+        assert!(!is_proper_coloring(&Graph::complete(2), &[0, 5], 3), "colour out of range");
+        assert!(!is_proper_coloring(&Graph::complete(2), &[1, 1], 3), "monochromatic edge");
+    }
+}

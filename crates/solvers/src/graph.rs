@@ -1,0 +1,151 @@
+//! Simple undirected graphs.
+//!
+//! The lower-bound reductions of the paper (Theorems 3.1(2–4), 3.2(4)) start from the graph
+//! 3-colourability problem; this module provides the graph type those reductions and the
+//! workload generators share.  Vertices are `0..n`; edges are stored once with an arbitrary
+//! orientation (the paper likewise "picks an arbitrary orientation of the edges").
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// An undirected graph over vertices `0..n` without self-loops or parallel edges.
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct Graph {
+    vertices: usize,
+    edges: BTreeSet<(usize, usize)>,
+}
+
+impl Graph {
+    /// An empty graph on `n` vertices.
+    pub fn new(vertices: usize) -> Self {
+        Graph {
+            vertices,
+            edges: BTreeSet::new(),
+        }
+    }
+
+    /// Build a graph from an edge list.
+    pub fn from_edges(vertices: usize, edges: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        let mut g = Graph::new(vertices);
+        for (a, b) in edges {
+            g.add_edge(a, b);
+        }
+        g
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.vertices
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Add an (undirected) edge.  Self-loops and out-of-range endpoints are ignored; the
+    /// stored orientation is `(min, max)`.
+    pub fn add_edge(&mut self, a: usize, b: usize) -> bool {
+        if a == b || a >= self.vertices || b >= self.vertices {
+            return false;
+        }
+        self.edges.insert((a.min(b), a.max(b)))
+    }
+
+    /// Whether the edge is present.
+    pub fn has_edge(&self, a: usize, b: usize) -> bool {
+        self.edges.contains(&(a.min(b), a.max(b)))
+    }
+
+    /// The edges, each listed once with its stored orientation.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// Neighbours of a vertex.
+    pub fn neighbors(&self, v: usize) -> Vec<usize> {
+        self.edges
+            .iter()
+            .filter_map(|&(a, b)| {
+                if a == v {
+                    Some(b)
+                } else if b == v {
+                    Some(a)
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// The complete graph K_n.
+    pub fn complete(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                g.add_edge(i, j);
+            }
+        }
+        g
+    }
+
+    /// A cycle C_n.
+    pub fn cycle(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for i in 0..n {
+            g.add_edge(i, (i + 1) % n);
+        }
+        g
+    }
+
+    /// The example graph of Fig. 4(a) of the paper: vertices 1..5 (stored as 0..4), edges
+    /// {1-2, 2-3, 3-4, 4-1, 3-5}.
+    pub fn paper_fig4a() -> Graph {
+        Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 0), (2, 4)])
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Graph(n={}, m={}, edges={:?})",
+            self.vertices,
+            self.edges.len(),
+            self.edges
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_edge_normalises_and_rejects_loops() {
+        let mut g = Graph::new(3);
+        assert!(g.add_edge(2, 1));
+        assert!(!g.add_edge(1, 2), "same edge, other orientation");
+        assert!(!g.add_edge(1, 1), "self loop");
+        assert!(!g.add_edge(0, 5), "out of range");
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.has_edge(1, 2));
+        assert!(g.has_edge(2, 1));
+        assert!(!g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn neighbors_are_symmetric() {
+        let g = Graph::cycle(4);
+        assert_eq!(g.neighbors(0), vec![1, 3]);
+        assert_eq!(g.neighbors(2), vec![1, 3]);
+    }
+
+    #[test]
+    fn complete_and_cycle_sizes() {
+        assert_eq!(Graph::complete(5).edge_count(), 10);
+        assert_eq!(Graph::cycle(5).edge_count(), 5);
+        assert_eq!(Graph::paper_fig4a().edge_count(), 5);
+        assert_eq!(Graph::paper_fig4a().vertex_count(), 5);
+    }
+}

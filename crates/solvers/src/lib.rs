@@ -1,0 +1,33 @@
+//! # `pw-solvers` — combinatorial solvers used by the upper bounds and the reductions
+//!
+//! The paper's results lean on a handful of classic combinatorial problems:
+//!
+//! * **maximum bipartite matching** — the PTIME membership algorithm for Codd-tables
+//!   (Theorem 3.1(1)) reduces membership to finding a maximum matching; we implement
+//!   Hopcroft–Karp ([`matching`]);
+//! * **graph 3-colourability** — the NP-hard source problem for the membership and
+//!   uniqueness lower bounds (Theorems 3.1(2–4), 3.2(4)); [`coloring`] provides a
+//!   backtracking k-colouring solver used to generate labelled workloads and to
+//!   cross-validate the reductions;
+//! * **3CNF satisfiability and 3DNF tautology** — source problems for the possibility and
+//!   certainty lower bounds (Theorems 5.1–5.3); [`sat`] provides CNF/DNF types and a DPLL
+//!   solver;
+//! * **∀∃3CNF** — the Π₂ᵖ-complete source problem for the containment lower bounds
+//!   (Theorem 4.2); [`qbf`] decides it by enumerating universal assignments with the SAT
+//!   solver as oracle.
+//!
+//! These solvers are exact and exponential in the worst case (except matching); they are
+//! used on the *source* side of reductions — to label small instances with ground truth —
+//! and inside the PTIME membership algorithm (matching only).
+
+pub mod coloring;
+pub mod graph;
+pub mod matching;
+pub mod qbf;
+pub mod sat;
+
+pub use coloring::color_graph;
+pub use graph::Graph;
+pub use matching::{maximum_matching, BipartiteGraph};
+pub use qbf::{decide_forall_exists, ForallExists3Cnf};
+pub use sat::{paper_fig5_cnf, Clause, CnfFormula, DnfFormula, Literal, SatResult};

@@ -1,0 +1,235 @@
+//! Maximum bipartite matching (Hopcroft–Karp).
+//!
+//! Theorem 3.1(1) reduces membership for Codd-tables to maximum-cardinality bipartite
+//! matching: left vertices are the instance facts, right vertices the table rows, and an
+//! edge means the row can be instantiated to the fact.  Hopcroft–Karp runs in
+//! `O(E · √V)`, keeping the whole membership test polynomial.
+
+use std::collections::VecDeque;
+
+/// A bipartite graph with `left` and `right` vertex sets, represented by the adjacency
+/// lists of the left vertices.
+#[derive(Clone, Debug, Default)]
+pub struct BipartiteGraph {
+    left: usize,
+    right: usize,
+    adj: Vec<Vec<usize>>,
+}
+
+impl BipartiteGraph {
+    /// Create a graph with the given part sizes and no edges.
+    pub fn new(left: usize, right: usize) -> Self {
+        BipartiteGraph {
+            left,
+            right,
+            adj: vec![Vec::new(); left],
+        }
+    }
+
+    /// Number of left vertices.
+    pub fn left_count(&self) -> usize {
+        self.left
+    }
+
+    /// Number of right vertices.
+    pub fn right_count(&self) -> usize {
+        self.right
+    }
+
+    /// Add an edge between left vertex `l` and right vertex `r`.
+    ///
+    /// # Panics
+    /// Panics when an endpoint is out of range.
+    pub fn add_edge(&mut self, l: usize, r: usize) {
+        assert!(l < self.left, "left vertex out of range");
+        assert!(r < self.right, "right vertex out of range");
+        self.adj[l].push(r);
+    }
+
+    /// Neighbours of a left vertex.
+    pub fn neighbors(&self, l: usize) -> &[usize] {
+        &self.adj[l]
+    }
+
+    /// Total number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum()
+    }
+}
+
+/// The result of a maximum matching computation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Matching {
+    /// For each left vertex, the matched right vertex (if any).
+    pub pair_left: Vec<Option<usize>>,
+    /// For each right vertex, the matched left vertex (if any).
+    pub pair_right: Vec<Option<usize>>,
+}
+
+impl Matching {
+    /// The matching cardinality.
+    pub fn cardinality(&self) -> usize {
+        self.pair_left.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// Whether every left vertex is matched.
+    pub fn saturates_left(&self) -> bool {
+        self.pair_left.iter().all(Option::is_some)
+    }
+}
+
+/// Compute a maximum-cardinality matching with the Hopcroft–Karp algorithm.
+pub fn maximum_matching(g: &BipartiteGraph) -> Matching {
+    const INF: u32 = u32::MAX;
+    let n = g.left;
+    let mut pair_left: Vec<Option<usize>> = vec![None; g.left];
+    let mut pair_right: Vec<Option<usize>> = vec![None; g.right];
+    let mut dist: Vec<u32> = vec![INF; g.left];
+
+    // BFS phase: layer the graph from unmatched left vertices; returns true when an
+    // augmenting path exists.
+    fn bfs(
+        g: &BipartiteGraph,
+        pair_left: &[Option<usize>],
+        pair_right: &[Option<usize>],
+        dist: &mut [u32],
+    ) -> bool {
+        let mut queue = VecDeque::new();
+        for l in 0..g.left {
+            if pair_left[l].is_none() {
+                dist[l] = 0;
+                queue.push_back(l);
+            } else {
+                dist[l] = INF;
+            }
+        }
+        let mut found = false;
+        while let Some(l) = queue.pop_front() {
+            for &r in &g.adj[l] {
+                match pair_right[r] {
+                    None => found = true,
+                    Some(l2) => {
+                        if dist[l2] == INF {
+                            dist[l2] = dist[l] + 1;
+                            queue.push_back(l2);
+                        }
+                    }
+                }
+            }
+        }
+        found
+    }
+
+    // DFS phase: find augmenting paths along the BFS layering.
+    fn dfs(
+        g: &BipartiteGraph,
+        l: usize,
+        pair_left: &mut [Option<usize>],
+        pair_right: &mut [Option<usize>],
+        dist: &mut [u32],
+    ) -> bool {
+        for i in 0..g.adj[l].len() {
+            let r = g.adj[l][i];
+            let ok = match pair_right[r] {
+                None => true,
+                Some(l2) => {
+                    dist[l2] == dist[l].saturating_add(1)
+                        && dfs(g, l2, pair_left, pair_right, dist)
+                }
+            };
+            if ok {
+                pair_left[l] = Some(r);
+                pair_right[r] = Some(l);
+                return true;
+            }
+        }
+        dist[l] = INF;
+        false
+    }
+
+    while bfs(g, &pair_left, &pair_right, &mut dist) {
+        for l in 0..n {
+            if pair_left[l].is_none() {
+                dfs(g, l, &mut pair_left, &mut pair_right, &mut dist);
+            }
+        }
+    }
+
+    Matching {
+        pair_left,
+        pair_right,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_matching_on_identity_graph() {
+        let mut g = BipartiteGraph::new(4, 4);
+        for i in 0..4 {
+            g.add_edge(i, i);
+        }
+        let m = maximum_matching(&g);
+        assert_eq!(m.cardinality(), 4);
+        assert!(m.saturates_left());
+    }
+
+    #[test]
+    fn matching_respects_bottlenecks() {
+        // Three left vertices all only adjacent to right vertex 0.
+        let mut g = BipartiteGraph::new(3, 2);
+        g.add_edge(0, 0);
+        g.add_edge(1, 0);
+        g.add_edge(2, 0);
+        g.add_edge(2, 1);
+        let m = maximum_matching(&g);
+        assert_eq!(m.cardinality(), 2);
+        assert!(!m.saturates_left());
+    }
+
+    #[test]
+    fn augmenting_paths_are_found() {
+        // A graph where a greedy assignment can get stuck but an augmenting path fixes it:
+        // 0-{0}, 1-{0,1}, 2-{1,2}
+        let mut g = BipartiteGraph::new(3, 3);
+        g.add_edge(0, 0);
+        g.add_edge(1, 0);
+        g.add_edge(1, 1);
+        g.add_edge(2, 1);
+        g.add_edge(2, 2);
+        let m = maximum_matching(&g);
+        assert_eq!(m.cardinality(), 3);
+    }
+
+    #[test]
+    fn empty_graph_has_empty_matching() {
+        let g = BipartiteGraph::new(3, 3);
+        let m = maximum_matching(&g);
+        assert_eq!(m.cardinality(), 0);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn large_crown_graph_matches_fully() {
+        // K_{n,n} minus the identity still has a perfect matching for n ≥ 2.
+        let n = 50;
+        let mut g = BipartiteGraph::new(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    g.add_edge(i, j);
+                }
+            }
+        }
+        let m = maximum_matching(&g);
+        assert_eq!(m.cardinality(), n);
+        // Consistency of the two directions of the matching.
+        for (l, r) in m.pair_left.iter().enumerate() {
+            if let Some(r) = r {
+                assert_eq!(m.pair_right[*r], Some(l));
+            }
+        }
+    }
+}

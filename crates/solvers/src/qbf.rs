@@ -1,0 +1,223 @@
+//! The ∀∃3CNF problem (Π₂ᵖ-complete), source of the containment lower bounds.
+//!
+//! Theorem 4.2 reduces from the problem the paper states as:
+//!
+//! > **input**: two disjoint sets X and Y of variables, and a conjunction H of or-clauses
+//! > over X ∪ Y such that each clause has three literals.
+//! > **question**: does there exist, for each truth assignment of X, a truth assignment of
+//! > Y which makes H true?
+//!
+//! The decision procedure enumerates the 2^|X| universal assignments and calls the DPLL
+//! solver on the remaining existential formula — doubly exponential-free but still
+//! exponential, as a Π₂ᵖ-complete problem demands of an exact solver.
+
+use crate::sat::{Clause, CnfFormula, Literal};
+use std::fmt;
+
+/// A ∀∃3CNF instance: the first `universal_vars` variables are universally quantified,
+/// the remaining `existential_vars` are existentially quantified.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ForallExists3Cnf {
+    /// Number of universally quantified variables (indices `0..universal_vars`).
+    pub universal_vars: usize,
+    /// Number of existentially quantified variables
+    /// (indices `universal_vars..universal_vars + existential_vars`).
+    pub existential_vars: usize,
+    /// The matrix: a conjunction of or-clauses over all variables.
+    pub clauses: Vec<Clause>,
+}
+
+impl ForallExists3Cnf {
+    /// Build an instance.
+    pub fn new(
+        universal_vars: usize,
+        existential_vars: usize,
+        clauses: impl IntoIterator<Item = Clause>,
+    ) -> Self {
+        ForallExists3Cnf {
+            universal_vars,
+            existential_vars,
+            clauses: clauses.into_iter().collect(),
+        }
+    }
+
+    /// Total number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.universal_vars + self.existential_vars
+    }
+
+    /// The paper's Fig. 5 instance: X = {x₁, x₂}, Y = {x₃, x₄, x₅}, H the five clauses
+    /// (read as a CNF).  Variables are stored 0-based.
+    pub fn paper_fig5() -> ForallExists3Cnf {
+        let c = |lits: [(usize, bool); 3]| {
+            Clause::new(lits.iter().map(|&(v, s)| Literal { var: v, positive: s }))
+        };
+        ForallExists3Cnf::new(
+            2,
+            3,
+            [
+                c([(0, true), (1, true), (2, true)]),
+                c([(0, true), (1, false), (3, true)]),
+                c([(0, true), (3, true), (4, true)]),
+                c([(1, true), (0, false), (4, true)]),
+                c([(0, false), (1, false), (4, false)]),
+            ],
+        )
+    }
+}
+
+impl fmt::Display for ForallExists3Cnf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "∀x0..x{} ∃x{}..x{} : {} clauses",
+            self.universal_vars.saturating_sub(1),
+            self.universal_vars,
+            self.num_vars().saturating_sub(1),
+            self.clauses.len()
+        )
+    }
+}
+
+/// Decide a ∀∃3CNF instance: for every assignment of the universal variables, is the
+/// residual CNF over the existential variables satisfiable?
+pub fn decide_forall_exists(instance: &ForallExists3Cnf) -> bool {
+    let u = instance.universal_vars;
+    let e = instance.existential_vars;
+    assert!(u <= 24, "universal enumeration is for moderate instance sizes");
+
+    'universal: for bits in 0..(1usize << u) {
+        let universal: Vec<bool> = (0..u).map(|i| bits & (1 << i) != 0).collect();
+        // Build the residual formula over the existential variables only.
+        let mut residual_clauses: Vec<Clause> = Vec::new();
+        for clause in &instance.clauses {
+            let mut satisfied = false;
+            let mut remaining: Vec<Literal> = Vec::new();
+            for &lit in clause.literals() {
+                if lit.var < u {
+                    if lit.eval(&universal) {
+                        satisfied = true;
+                        break;
+                    }
+                    // Falsified universal literal: drop it.
+                } else {
+                    remaining.push(Literal {
+                        var: lit.var - u,
+                        positive: lit.positive,
+                    });
+                }
+            }
+            if satisfied {
+                continue;
+            }
+            if remaining.is_empty() {
+                // Clause falsified by the universal assignment alone: no existential
+                // assignment can rescue it.
+                return false;
+            }
+            residual_clauses.push(Clause::new(remaining));
+        }
+        let residual = CnfFormula::new(e, residual_clauses);
+        if residual.solve().is_sat() {
+            continue 'universal;
+        }
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(v: usize, s: bool) -> Literal {
+        Literal { var: v, positive: s }
+    }
+
+    #[test]
+    fn forall_x_exists_y_x_equals_y_is_true() {
+        // ∀x ∃y (x ∨ ¬y) ∧ (¬x ∨ y)  — y := x always works.
+        let inst = ForallExists3Cnf::new(
+            1,
+            1,
+            [
+                Clause::new([lit(0, true), lit(1, false)]),
+                Clause::new([lit(0, false), lit(1, true)]),
+            ],
+        );
+        assert!(decide_forall_exists(&inst));
+    }
+
+    #[test]
+    fn forall_x_x_alone_is_false() {
+        // ∀x ∃y (x): false — the universal assignment x=false falsifies the clause.
+        let inst = ForallExists3Cnf::new(1, 1, [Clause::new([lit(0, true)])]);
+        assert!(!decide_forall_exists(&inst));
+    }
+
+    #[test]
+    fn pure_existential_instance_degenerates_to_sat() {
+        let sat = ForallExists3Cnf::new(0, 2, [Clause::new([lit(0, true), lit(1, true)])]);
+        assert!(decide_forall_exists(&sat));
+        let unsat = ForallExists3Cnf::new(
+            0,
+            1,
+            [Clause::new([lit(0, true)]), Clause::new([lit(0, false)])],
+        );
+        assert!(!decide_forall_exists(&unsat));
+    }
+
+    #[test]
+    fn pure_universal_instance_requires_tautology() {
+        // ∀x (x ∨ ¬x) is true; ∀x (x) is false.
+        let taut = ForallExists3Cnf::new(1, 0, [Clause::new([lit(0, true), lit(0, false)])]);
+        assert!(decide_forall_exists(&taut));
+        let not_taut = ForallExists3Cnf::new(1, 0, [Clause::new([lit(0, true)])]);
+        assert!(!decide_forall_exists(&not_taut));
+    }
+
+    #[test]
+    fn paper_fig5_instance_decides() {
+        // The Fig. 5 ∀∃3CNF instance: check against brute force.
+        let inst = ForallExists3Cnf::paper_fig5();
+        let expected = brute_force(&inst);
+        assert_eq!(decide_forall_exists(&inst), expected);
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_structured_instances() {
+        // A family of small instances mixing forced and free clauses.
+        for seed in 0..16usize {
+            let clauses: Vec<Clause> = (0..4)
+                .map(|i| {
+                    let a = (seed + i) % 4;
+                    let b = (seed + 2 * i + 1) % 4;
+                    let c = (seed * 3 + i) % 4;
+                    Clause::new([
+                        lit(a, (seed + i) % 2 == 0),
+                        lit(b, (seed / 2 + i) % 2 == 0),
+                        lit(c, (seed / 4 + i) % 2 == 0),
+                    ])
+                })
+                .collect();
+            let inst = ForallExists3Cnf::new(2, 2, clauses);
+            assert_eq!(decide_forall_exists(&inst), brute_force(&inst), "seed {seed}");
+        }
+    }
+
+    /// Exhaustive double enumeration, for cross-checking.
+    fn brute_force(inst: &ForallExists3Cnf) -> bool {
+        let (u, e) = (inst.universal_vars, inst.existential_vars);
+        (0..(1usize << u)).all(|ub| {
+            (0..(1usize << e)).any(|eb| {
+                let assignment: Vec<bool> = (0..u)
+                    .map(|i| ub & (1 << i) != 0)
+                    .chain((0..e).map(|i| eb & (1 << i) != 0))
+                    .collect();
+                inst.clauses
+                    .iter()
+                    .all(|c| c.literals().iter().any(|l| l.eval(&assignment)))
+            })
+        })
+    }
+}

@@ -1,0 +1,447 @@
+//! Propositional CNF/DNF formulas and a DPLL satisfiability solver.
+//!
+//! The possibility and certainty lower bounds of the paper (Theorems 5.1–5.3, and the
+//! uniqueness bound 3.2(3)) reduce from 3CNF satisfiability and 3DNF tautology.  The
+//! workload generators use this module to create formulas and to label them with ground
+//! truth; the reduction tests use it to verify the iff-property of each construction.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A propositional literal: variable index plus sign.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Literal {
+    /// Variable index (0-based).
+    pub var: usize,
+    /// `true` for the positive literal `x`, `false` for `¬x`.
+    pub positive: bool,
+}
+
+impl Literal {
+    /// The positive literal of a variable.
+    pub fn pos(var: usize) -> Literal {
+        Literal { var, positive: true }
+    }
+
+    /// The negative literal of a variable.
+    pub fn neg(var: usize) -> Literal {
+        Literal {
+            var,
+            positive: false,
+        }
+    }
+
+    /// The complementary literal.
+    pub fn negated(self) -> Literal {
+        Literal {
+            var: self.var,
+            positive: !self.positive,
+        }
+    }
+
+    /// Evaluate under an assignment.
+    pub fn eval(self, assignment: &[bool]) -> bool {
+        assignment[self.var] == self.positive
+    }
+}
+
+impl fmt::Debug for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.positive {
+            write!(f, "x{}", self.var)
+        } else {
+            write!(f, "¬x{}", self.var)
+        }
+    }
+}
+
+/// A clause: a disjunction of literals (for CNF) or a conjunction (for DNF) — the
+/// interpretation is fixed by the containing formula type.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Clause(pub Vec<Literal>);
+
+impl Clause {
+    /// Build a clause.
+    pub fn new(lits: impl IntoIterator<Item = Literal>) -> Self {
+        Clause(lits.into_iter().collect())
+    }
+
+    /// The literals.
+    pub fn literals(&self) -> &[Literal] {
+        &self.0
+    }
+
+    /// Number of literals.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the clause has no literals.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl fmt::Debug for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+/// Result of a satisfiability call.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SatResult {
+    /// Satisfiable, with a witnessing assignment (indexed by variable).
+    Satisfiable(Vec<bool>),
+    /// Unsatisfiable.
+    Unsatisfiable,
+}
+
+impl SatResult {
+    /// Whether the formula was satisfiable.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SatResult::Satisfiable(_))
+    }
+
+    /// The witnessing assignment, if satisfiable.
+    pub fn assignment(&self) -> Option<&[bool]> {
+        match self {
+            SatResult::Satisfiable(a) => Some(a),
+            SatResult::Unsatisfiable => None,
+        }
+    }
+}
+
+/// A CNF formula: a conjunction of or-clauses over variables `0..num_vars`.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct CnfFormula {
+    /// Number of variables.
+    pub num_vars: usize,
+    /// The clauses.
+    pub clauses: Vec<Clause>,
+}
+
+impl CnfFormula {
+    /// Build a formula.
+    pub fn new(num_vars: usize, clauses: impl IntoIterator<Item = Clause>) -> Self {
+        CnfFormula {
+            num_vars,
+            clauses: clauses.into_iter().collect(),
+        }
+    }
+
+    /// Evaluate under a total assignment.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        self.clauses
+            .iter()
+            .all(|c| c.literals().iter().any(|l| l.eval(assignment)))
+    }
+
+    /// Decide satisfiability with DPLL (unit propagation + pure literal elimination).
+    pub fn solve(&self) -> SatResult {
+        // Partial assignment: None = unassigned.
+        let mut assignment: Vec<Option<bool>> = vec![None; self.num_vars];
+        if self.dpll(&mut assignment) {
+            let full: Vec<bool> = assignment.into_iter().map(|v| v.unwrap_or(false)).collect();
+            debug_assert!(self.eval(&full));
+            SatResult::Satisfiable(full)
+        } else {
+            SatResult::Unsatisfiable
+        }
+    }
+
+    /// Count satisfying assignments by exhaustive enumeration (exponential; used only by
+    /// tests and tiny cross-validation workloads).
+    pub fn count_models(&self) -> usize {
+        let n = self.num_vars;
+        assert!(n <= 24, "model counting is for small formulas only");
+        (0..(1usize << n))
+            .filter(|bits| {
+                let assignment: Vec<bool> = (0..n).map(|i| bits & (1 << i) != 0).collect();
+                self.eval(&assignment)
+            })
+            .count()
+    }
+
+    fn dpll(&self, assignment: &mut Vec<Option<bool>>) -> bool {
+        // Simplify: detect satisfied clauses, unit clauses and conflicts.
+        loop {
+            let mut unit: Option<Literal> = None;
+            for clause in &self.clauses {
+                let mut satisfied = false;
+                let mut unassigned: Vec<Literal> = Vec::new();
+                for &lit in clause.literals() {
+                    match assignment[lit.var] {
+                        Some(v) if v == lit.positive => {
+                            satisfied = true;
+                            break;
+                        }
+                        Some(_) => {}
+                        None => unassigned.push(lit),
+                    }
+                }
+                if satisfied {
+                    continue;
+                }
+                match unassigned.len() {
+                    0 => return false, // conflict
+                    1 => {
+                        unit = Some(unassigned[0]);
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            match unit {
+                Some(lit) => assignment[lit.var] = Some(lit.positive),
+                None => break,
+            }
+        }
+
+        // Pure literal elimination.
+        let mut occurs_pos = vec![false; self.num_vars];
+        let mut occurs_neg = vec![false; self.num_vars];
+        let mut all_satisfied = true;
+        for clause in &self.clauses {
+            let satisfied = clause
+                .literals()
+                .iter()
+                .any(|l| assignment[l.var] == Some(l.positive));
+            if satisfied {
+                continue;
+            }
+            all_satisfied = false;
+            for &lit in clause.literals() {
+                if assignment[lit.var].is_none() {
+                    if lit.positive {
+                        occurs_pos[lit.var] = true;
+                    } else {
+                        occurs_neg[lit.var] = true;
+                    }
+                }
+            }
+        }
+        if all_satisfied {
+            return true;
+        }
+        for v in 0..self.num_vars {
+            if assignment[v].is_none() && (occurs_pos[v] ^ occurs_neg[v]) {
+                assignment[v] = Some(occurs_pos[v]);
+            }
+        }
+
+        // Branch on the first unassigned variable occurring in an unsatisfied clause.
+        let branch_var = self.pick_branch_variable(assignment);
+        let Some(var) = branch_var else {
+            // Everything relevant assigned; check.
+            let full: Vec<bool> = assignment.iter().map(|v| v.unwrap_or(false)).collect();
+            return self.eval(&full);
+        };
+        for value in [true, false] {
+            let mut trial = assignment.clone();
+            trial[var] = Some(value);
+            if self.dpll(&mut trial) {
+                *assignment = trial;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn pick_branch_variable(&self, assignment: &[Option<bool>]) -> Option<usize> {
+        for clause in &self.clauses {
+            let satisfied = clause
+                .literals()
+                .iter()
+                .any(|l| assignment[l.var] == Some(l.positive));
+            if satisfied {
+                continue;
+            }
+            for &lit in clause.literals() {
+                if assignment[lit.var].is_none() {
+                    return Some(lit.var);
+                }
+            }
+        }
+        None
+    }
+
+    /// Variables actually used by the formula.
+    pub fn used_variables(&self) -> BTreeSet<usize> {
+        self.clauses
+            .iter()
+            .flat_map(|c| c.literals().iter().map(|l| l.var))
+            .collect()
+    }
+}
+
+/// A DNF formula: a disjunction of and-clauses over variables `0..num_vars`.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct DnfFormula {
+    /// Number of variables.
+    pub num_vars: usize,
+    /// The conjunctive clauses (disjuncts).
+    pub clauses: Vec<Clause>,
+}
+
+impl DnfFormula {
+    /// Build a formula.
+    pub fn new(num_vars: usize, clauses: impl IntoIterator<Item = Clause>) -> Self {
+        DnfFormula {
+            num_vars,
+            clauses: clauses.into_iter().collect(),
+        }
+    }
+
+    /// Evaluate under a total assignment.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        self.clauses
+            .iter()
+            .any(|c| c.literals().iter().all(|l| l.eval(assignment)))
+    }
+
+    /// Is the formula a tautology?  A DNF φ is a tautology iff ¬φ (a CNF) is unsatisfiable.
+    pub fn is_tautology(&self) -> bool {
+        let negated = CnfFormula::new(
+            self.num_vars,
+            self.clauses
+                .iter()
+                .map(|c| Clause::new(c.literals().iter().map(|l| l.negated()))),
+        );
+        !negated.solve().is_sat()
+    }
+
+    /// The paper's Fig. 5 example 3DNF formula (5 clauses over x₁…x₅, stored 0-based).
+    pub fn paper_fig5() -> DnfFormula {
+        let c = |lits: [(usize, bool); 3]| {
+            Clause::new(lits.iter().map(|&(v, s)| Literal { var: v, positive: s }))
+        };
+        DnfFormula::new(
+            5,
+            [
+                c([(0, true), (1, true), (2, true)]),
+                c([(0, true), (1, false), (3, true)]),
+                c([(0, true), (3, true), (4, true)]),
+                c([(1, true), (0, false), (4, true)]),
+                c([(0, false), (1, false), (4, false)]),
+            ],
+        )
+    }
+}
+
+/// The paper's Fig. 5 example 3CNF formula (the dual reading of the same clause list).
+pub fn paper_fig5_cnf() -> CnfFormula {
+    let c = |lits: [(usize, bool); 3]| {
+        Clause::new(lits.iter().map(|&(v, s)| Literal { var: v, positive: s }))
+    };
+    CnfFormula::new(
+        5,
+        [
+            c([(0, true), (1, true), (2, true)]),
+            c([(0, true), (1, false), (3, true)]),
+            c([(0, true), (3, true), (4, true)]),
+            c([(1, true), (0, false), (4, true)]),
+            c([(0, false), (1, false), (4, false)]),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(v: usize, s: bool) -> Literal {
+        Literal { var: v, positive: s }
+    }
+
+    #[test]
+    fn trivial_sat_and_unsat() {
+        let sat = CnfFormula::new(1, [Clause::new([lit(0, true)])]);
+        assert!(sat.solve().is_sat());
+        let unsat = CnfFormula::new(
+            1,
+            [Clause::new([lit(0, true)]), Clause::new([lit(0, false)])],
+        );
+        assert_eq!(unsat.solve(), SatResult::Unsatisfiable);
+        let empty_clause = CnfFormula::new(1, [Clause::new([])]);
+        assert!(!empty_clause.solve().is_sat());
+        let empty_formula = CnfFormula::new(0, []);
+        assert!(empty_formula.solve().is_sat());
+    }
+
+    #[test]
+    fn solver_agrees_with_enumeration_on_small_formulas() {
+        // A pigeonhole-ish formula: 3 vars, at least one true, at most one true pairwise.
+        let f = CnfFormula::new(
+            3,
+            [
+                Clause::new([lit(0, true), lit(1, true), lit(2, true)]),
+                Clause::new([lit(0, false), lit(1, false)]),
+                Clause::new([lit(0, false), lit(2, false)]),
+                Clause::new([lit(1, false), lit(2, false)]),
+            ],
+        );
+        assert_eq!(f.count_models(), 3);
+        let res = f.solve();
+        assert!(res.is_sat());
+        assert!(f.eval(res.assignment().unwrap()));
+    }
+
+    #[test]
+    fn unsat_formula_with_all_sign_patterns() {
+        // (x∨y)(x∨¬y)(¬x∨y)(¬x∨¬y) is unsatisfiable.
+        let f = CnfFormula::new(
+            2,
+            [
+                Clause::new([lit(0, true), lit(1, true)]),
+                Clause::new([lit(0, true), lit(1, false)]),
+                Clause::new([lit(0, false), lit(1, true)]),
+                Clause::new([lit(0, false), lit(1, false)]),
+            ],
+        );
+        assert!(!f.solve().is_sat());
+        assert_eq!(f.count_models(), 0);
+        assert_eq!(f.used_variables().len(), 2);
+    }
+
+    #[test]
+    fn dnf_tautology_detection() {
+        // x ∨ ¬x is a tautology.
+        let taut = DnfFormula::new(
+            1,
+            [Clause::new([lit(0, true)]), Clause::new([lit(0, false)])],
+        );
+        assert!(taut.is_tautology());
+        // A single conjunction is not (for ≥1 variable).
+        let not_taut = DnfFormula::new(2, [Clause::new([lit(0, true), lit(1, false)])]);
+        assert!(!not_taut.is_tautology());
+        assert!(not_taut.eval(&[true, false]));
+        assert!(!not_taut.eval(&[true, true]));
+    }
+
+    #[test]
+    fn paper_fig5_formulas() {
+        let dnf = DnfFormula::paper_fig5();
+        assert_eq!(dnf.clauses.len(), 5);
+        assert!(!dnf.is_tautology(), "the Fig. 5 DNF is not a tautology (e.g. all-false kills every clause except the last, which needs x5 false … check one witness)");
+        // Witness: x0=false, x1=true, x4=true falsifies clauses 1,2,3,5 and clause 4 needs ¬x0 ∧ x1 ∧ x4 — actually satisfied.
+        // Use a genuinely falsifying assignment: x0=false, x1=true, x2=false, x3=false, x4=false.
+        assert!(!dnf.eval(&[false, true, false, false, false]));
+        let cnf = paper_fig5_cnf();
+        assert!(cnf.solve().is_sat());
+    }
+
+    #[test]
+    fn literal_negation_round_trips() {
+        let l = lit(3, true);
+        assert_eq!(l.negated().negated(), l);
+        assert_eq!(l.to_string(), "x3");
+        assert_eq!(l.negated().to_string(), "¬x3");
+    }
+}

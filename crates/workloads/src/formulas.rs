@@ -1,0 +1,103 @@
+//! Random propositional formula generators (3CNF, 3DNF, ∀∃3CNF).
+
+use pw_solvers::qbf::ForallExists3Cnf;
+use pw_solvers::{Clause, CnfFormula, DnfFormula, Literal};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_clause(num_vars: usize, rng: &mut StdRng) -> Clause {
+    let mut vars = Vec::with_capacity(3);
+    while vars.len() < 3 {
+        let v = rng.gen_range(0..num_vars);
+        if !vars.contains(&v) || num_vars < 3 {
+            vars.push(v);
+        }
+    }
+    Clause::new(vars.into_iter().map(|v| Literal {
+        var: v,
+        positive: rng.gen_bool(0.5),
+    }))
+}
+
+/// A random 3CNF formula with `num_vars` variables and `num_clauses` clauses.  A
+/// clause/variable ratio around 4.2 produces the hardest instances; the benchmark sweeps
+/// use ratios on both sides of the threshold.
+pub fn random_3cnf(num_vars: usize, num_clauses: usize, seed: u64) -> CnfFormula {
+    assert!(num_vars > 0, "formulas need at least one variable");
+    let mut rng = StdRng::seed_from_u64(seed);
+    CnfFormula::new(
+        num_vars,
+        (0..num_clauses).map(|_| random_clause(num_vars, &mut rng)),
+    )
+}
+
+/// A random 3DNF formula with `num_vars` variables and `num_clauses` conjunctive clauses.
+pub fn random_3dnf(num_vars: usize, num_clauses: usize, seed: u64) -> DnfFormula {
+    assert!(num_vars > 0, "formulas need at least one variable");
+    let mut rng = StdRng::seed_from_u64(seed);
+    DnfFormula::new(
+        num_vars,
+        (0..num_clauses).map(|_| random_clause(num_vars, &mut rng)),
+    )
+}
+
+/// A random ∀∃3CNF instance with the given quantifier prefix sizes.
+pub fn random_forall_exists(
+    universal_vars: usize,
+    existential_vars: usize,
+    num_clauses: usize,
+    seed: u64,
+) -> ForallExists3Cnf {
+    let total = universal_vars + existential_vars;
+    assert!(total > 0, "formulas need at least one variable");
+    let mut rng = StdRng::seed_from_u64(seed);
+    ForallExists3Cnf::new(
+        universal_vars,
+        existential_vars,
+        (0..num_clauses).map(|_| random_clause(total, &mut rng)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formulas_are_deterministic_per_seed() {
+        assert_eq!(random_3cnf(6, 20, 1), random_3cnf(6, 20, 1));
+        assert_ne!(random_3cnf(6, 20, 1), random_3cnf(6, 20, 2));
+        assert_eq!(random_3dnf(6, 20, 1), random_3dnf(6, 20, 1));
+    }
+
+    #[test]
+    fn clause_shapes() {
+        let f = random_3cnf(10, 30, 3);
+        assert_eq!(f.clauses.len(), 30);
+        assert!(f.clauses.iter().all(|c| c.len() == 3));
+        assert!(f.used_variables().iter().all(|&v| v < 10));
+    }
+
+    #[test]
+    fn low_ratio_formulas_are_usually_satisfiable() {
+        let sat_count = (0..10)
+            .filter(|&seed| random_3cnf(12, 12, seed).solve().is_sat())
+            .count();
+        assert!(sat_count >= 8, "ratio 1.0 should be almost always satisfiable");
+    }
+
+    #[test]
+    fn high_ratio_formulas_are_usually_unsatisfiable() {
+        let unsat_count = (0..10)
+            .filter(|&seed| !random_3cnf(6, 60, seed).solve().is_sat())
+            .count();
+        assert!(unsat_count >= 8, "ratio 10 should be almost always unsatisfiable");
+    }
+
+    #[test]
+    fn forall_exists_prefix_sizes() {
+        let q = random_forall_exists(3, 4, 10, 5);
+        assert_eq!(q.universal_vars, 3);
+        assert_eq!(q.existential_vars, 4);
+        assert_eq!(q.clauses.len(), 10);
+    }
+}

@@ -1,0 +1,76 @@
+//! Random graph generators for the 3-colourability based workloads.
+
+use pw_solvers::Graph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An Erdős–Rényi graph G(n, p): each of the n·(n−1)/2 edges is present independently with
+/// probability `p`.
+pub fn random_graph(n: usize, p: f64, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                g.add_edge(i, j);
+            }
+        }
+    }
+    g
+}
+
+/// A graph with a *planted* proper 3-colouring: vertices are split into three colour
+/// classes and only cross-class edges are sampled, so the result is guaranteed
+/// 3-colourable (a "yes" instance for the membership reductions) while still being dense
+/// enough to be non-trivial.
+pub fn planted_three_colorable(n: usize, edge_probability: f64, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let colors: Vec<usize> = (0..n).map(|v| v % 3).collect();
+    let mut g = Graph::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if colors[i] != colors[j] && rng.gen_bool(edge_probability.clamp(0.0, 1.0)) {
+                g.add_edge(i, j);
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pw_solvers::coloring::is_three_colorable;
+
+    #[test]
+    fn random_graph_is_deterministic_per_seed() {
+        let a = random_graph(12, 0.4, 7);
+        let b = random_graph(12, 0.4, 7);
+        let c = random_graph(12, 0.4, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.vertex_count(), 12);
+    }
+
+    #[test]
+    fn edge_probability_extremes() {
+        assert_eq!(random_graph(6, 0.0, 1).edge_count(), 0);
+        assert_eq!(random_graph(6, 1.0, 1).edge_count(), 15);
+    }
+
+    #[test]
+    fn planted_graphs_are_three_colorable() {
+        for seed in 0..5 {
+            let g = planted_three_colorable(9, 0.8, seed);
+            assert!(is_three_colorable(&g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn planted_graphs_have_no_intra_class_edges() {
+        let g = planted_three_colorable(9, 1.0, 3);
+        for (a, b) in g.edges() {
+            assert_ne!(a % 3, b % 3);
+        }
+    }
+}

@@ -1,0 +1,326 @@
+//! Random table and instance generators for the PTIME cells of the classification.
+//!
+//! Each generator produces a table of the requested class with a controllable number of
+//! rows, arity, constant-pool size and null density; [`member_instance`] draws a valuation
+//! at random and applies it, producing a guaranteed "yes" instance for the membership /
+//! possibility problems, while [`non_member_instance`] perturbs such an instance until it
+//! (very likely) falls outside the representation.
+
+use pw_condition::{Atom, Conjunction, Term, VarGen, Variable};
+use pw_core::{CDatabase, CTable, CTuple, Valuation};
+use pw_relational::{Constant, Instance};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters shared by the table generators.
+#[derive(Clone, Copy, Debug)]
+pub struct TableParams {
+    /// Number of rows.
+    pub rows: usize,
+    /// Arity of the table.
+    pub arity: usize,
+    /// Size of the constant pool (constants are the integers `0..constants`).
+    pub constants: usize,
+    /// Probability that a cell holds a null rather than a constant.
+    pub null_density: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TableParams {
+    fn default() -> Self {
+        TableParams {
+            rows: 64,
+            arity: 3,
+            constants: 16,
+            null_density: 0.3,
+            seed: 0,
+        }
+    }
+}
+
+impl TableParams {
+    /// Convenience constructor used by the benchmark sweeps: everything default except the
+    /// row count and seed.
+    pub fn with_rows(rows: usize, seed: u64) -> Self {
+        TableParams {
+            rows,
+            seed,
+            ..TableParams::default()
+        }
+    }
+}
+
+fn random_constant(rng: &mut StdRng, params: &TableParams) -> Constant {
+    Constant::Int(rng.gen_range(0..params.constants as i64))
+}
+
+/// A random Codd-table: each cell is independently a fresh null (with probability
+/// `null_density`) or a random constant.
+pub fn random_codd_table(name: &str, params: &TableParams) -> CTable {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut vars = VarGen::new();
+    let rows: Vec<Vec<Term>> = (0..params.rows)
+        .map(|_| {
+            (0..params.arity)
+                .map(|_| {
+                    if rng.gen_bool(params.null_density) {
+                        Term::Var(vars.fresh())
+                    } else {
+                        Term::Const(random_constant(&mut rng, params))
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    CTable::codd(name, params.arity, rows).expect("fresh nulls never repeat")
+}
+
+/// A random e-table: like a Codd-table but nulls are drawn from a small pool so that
+/// repetitions (equalities folded into the table) actually occur.
+pub fn random_etable(name: &str, params: &TableParams) -> CTable {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut vars = VarGen::new();
+    let pool: Vec<Variable> = (0..(params.rows / 2).max(1)).map(|_| vars.fresh()).collect();
+    let rows: Vec<Vec<Term>> = (0..params.rows)
+        .map(|_| {
+            (0..params.arity)
+                .map(|_| {
+                    if rng.gen_bool(params.null_density) {
+                        Term::Var(pool[rng.gen_range(0..pool.len())])
+                    } else {
+                        Term::Const(random_constant(&mut rng, params))
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    CTable::e_table(name, params.arity, rows).expect("arity is uniform")
+}
+
+/// A random i-table: a Codd-table plus a global condition of random inequalities between
+/// its nulls (and occasionally a constant).
+pub fn random_itable(name: &str, params: &TableParams) -> CTable {
+    let codd = random_codd_table(name, params);
+    let mut rng = StdRng::seed_from_u64(params.seed.wrapping_add(1));
+    let nulls: Vec<Variable> = codd.variables().into_iter().collect();
+    let mut condition = Conjunction::truth();
+    if nulls.len() >= 2 {
+        let atoms = (nulls.len() / 2).max(1);
+        for _ in 0..atoms {
+            let a = nulls[rng.gen_range(0..nulls.len())];
+            if rng.gen_bool(0.5) {
+                let b = nulls[rng.gen_range(0..nulls.len())];
+                if a != b {
+                    condition.push(Atom::neq(a, b));
+                }
+            } else {
+                condition.push(Atom::neq(a, random_constant(&mut rng, params)));
+            }
+        }
+    }
+    CTable::i_table(
+        name,
+        params.arity,
+        condition,
+        codd.tuples().iter().map(|t| t.terms.clone()),
+    )
+    .expect("rows come from a Codd-table and the condition is inequalities-only")
+}
+
+/// A random g-table: an e-table plus a global condition mixing a few equalities (between
+/// nulls and constants) and inequalities.
+pub fn random_gtable(name: &str, params: &TableParams) -> CTable {
+    let etable = random_etable(name, params);
+    let mut rng = StdRng::seed_from_u64(params.seed.wrapping_add(2));
+    let nulls: Vec<Variable> = etable.variables().into_iter().collect();
+    let mut condition = Conjunction::truth();
+    for _ in 0..(nulls.len() / 4).max(1) {
+        if nulls.is_empty() {
+            break;
+        }
+        let a = nulls[rng.gen_range(0..nulls.len())];
+        let c = random_constant(&mut rng, params);
+        if rng.gen_bool(0.5) {
+            condition.push(Atom::eq(a, c));
+        } else {
+            condition.push(Atom::neq(a, c));
+        }
+    }
+    CTable::g_table(
+        name,
+        params.arity,
+        condition,
+        etable.tuples().iter().map(|t| t.terms.clone()),
+    )
+    .expect("rows come from an e-table")
+}
+
+/// A random c-table: a g-table whose rows additionally carry local conditions comparing a
+/// designated "switch" null against constants.
+pub fn random_ctable(name: &str, params: &TableParams) -> CTable {
+    let gtable = random_gtable(name, params);
+    let mut rng = StdRng::seed_from_u64(params.seed.wrapping_add(3));
+    let mut vars = VarGen::new();
+    let switches: Vec<Variable> = (0..3).map(|_| vars.fresh()).collect();
+    let rows: Vec<CTuple> = gtable
+        .tuples()
+        .iter()
+        .map(|row| {
+            if rng.gen_bool(0.5) {
+                let s = switches[rng.gen_range(0..switches.len())];
+                let c = random_constant(&mut rng, params);
+                let atom = if rng.gen_bool(0.5) {
+                    Atom::eq(s, c)
+                } else {
+                    Atom::neq(s, c)
+                };
+                CTuple::with_condition(row.terms.clone(), Conjunction::single(atom))
+            } else {
+                row.clone()
+            }
+        })
+        .collect();
+    CTable::new(
+        name,
+        params.arity,
+        gtable.global_condition().clone(),
+        rows,
+    )
+    .expect("arity unchanged")
+}
+
+/// A guaranteed member of `rep(db)`: apply a random valuation that satisfies the global
+/// conditions (nulls forced by equalities take their forced value, everything else is
+/// drawn from the constant pool, retrying on conflicts with inequalities).
+pub fn member_instance(db: &CDatabase, params: &TableParams) -> Instance {
+    let mut rng = StdRng::seed_from_u64(params.seed.wrapping_add(7));
+    let nulls: Vec<Variable> = db.variables().into_iter().collect();
+    // Rejection-sample valuations until the global conditions hold; the generators above
+    // keep conditions loose enough that this terminates quickly.
+    for attempt in 0..1000 {
+        let valuation = Valuation::from_pairs(nulls.iter().map(|&v| {
+            (
+                v,
+                Constant::Int(rng.gen_range(0..(params.constants as i64 + attempt))),
+            )
+        }));
+        if let Some(world) = valuation.world_of(db) {
+            return world;
+        }
+    }
+    // Fall back to the frozen instance (always a member when conditions are inequalities).
+    let fresh_base = params.constants as i64 + 1000;
+    let valuation = Valuation::from_pairs(
+        nulls
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, Constant::Int(fresh_base + i as i64))),
+    );
+    valuation
+        .world_of(db)
+        .expect("distinct fresh values satisfy inequality-style conditions")
+}
+
+/// An instance that is (very likely) *not* a member: a member instance with one fact's
+/// first component replaced by a constant outside the generator's pool.
+pub fn non_member_instance(db: &CDatabase, params: &TableParams) -> Instance {
+    let member = member_instance(db, params);
+    let mut out = Instance::new();
+    let poison = Constant::Int(-1);
+    for (name, rel) in member.iter() {
+        let mut new_rel = pw_relational::Relation::empty(rel.arity());
+        for (i, fact) in rel.iter().enumerate() {
+            let fact = if i == 0 && rel.arity() > 0 {
+                let mut values: Vec<Constant> = fact.iter().cloned().collect();
+                values[0] = poison.clone();
+                pw_relational::Tuple::new(values)
+            } else {
+                fact.clone()
+            };
+            new_rel.insert(fact).expect("arity preserved");
+        }
+        out.insert_relation(name.clone(), new_rel);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pw_core::TableClass;
+    use pw_decide::{membership, Budget};
+
+    fn params(rows: usize, seed: u64) -> TableParams {
+        TableParams {
+            rows,
+            arity: 3,
+            constants: 8,
+            null_density: 0.3,
+            seed,
+        }
+    }
+
+    #[test]
+    fn generators_produce_the_requested_classes() {
+        let p = params(24, 1);
+        assert_eq!(random_codd_table("T", &p).classify(), TableClass::Codd);
+        assert!(random_etable("T", &p).classify() <= TableClass::ETable);
+        assert_eq!(random_itable("T", &p).classify(), TableClass::ITable);
+        assert!(random_gtable("T", &p).classify() <= TableClass::GTable);
+        let c = random_ctable("T", &p);
+        assert_eq!(c.classify(), TableClass::CTable);
+        assert_eq!(c.len(), 24);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        // Variable ids are allocated from a process-wide counter, so two runs of the same
+        // generator can never be `==`; determinism means the tables agree up to which fresh
+        // nulls were handed out, i.e. they are alpha-equivalent.
+        let p = params(16, 9);
+        assert!(random_codd_table("T", &p).alpha_equivalent(&random_codd_table("T", &p)));
+        assert!(random_etable("T", &p).alpha_equivalent(&random_etable("T", &p)));
+        assert!(random_itable("T", &p).alpha_equivalent(&random_itable("T", &p)));
+        assert!(random_gtable("T", &p).alpha_equivalent(&random_gtable("T", &p)));
+        assert!(random_ctable("T", &p).alpha_equivalent(&random_ctable("T", &p)));
+        // Different seeds give structurally different tables.
+        let q = params(16, 10);
+        assert!(!random_codd_table("T", &p).alpha_equivalent(&random_codd_table("T", &q)));
+    }
+
+    #[test]
+    fn member_instances_are_members() {
+        for seed in 0..3 {
+            let p = params(12, seed);
+            let db = CDatabase::single(random_codd_table("T", &p));
+            let instance = member_instance(&db, &p);
+            assert!(membership::decide(&db, &instance, Budget::default()).unwrap());
+            let db_i = CDatabase::single(random_itable("T", &p));
+            let instance_i = member_instance(&db_i, &p);
+            assert!(membership::decide(&db_i, &instance_i, Budget::default()).unwrap());
+        }
+    }
+
+    #[test]
+    fn non_member_instances_are_rejected_for_codd_tables() {
+        // The poison constant −1 is outside the generator pool and cannot be produced by
+        // any constant cell; with nulls present it *could* still be absorbed, so we only
+        // check the fully-ground case deterministically.
+        let p = TableParams {
+            null_density: 0.0,
+            ..params(12, 4)
+        };
+        let db = CDatabase::single(random_codd_table("T", &p));
+        let bad = non_member_instance(&db, &p);
+        assert!(!membership::decide(&db, &bad, Budget::default()).unwrap());
+    }
+
+    #[test]
+    fn member_instance_respects_global_conditions() {
+        let p = params(10, 11);
+        let db = CDatabase::single(random_gtable("T", &p));
+        let instance = member_instance(&db, &p);
+        assert!(membership::decide(&db, &instance, Budget::default()).unwrap());
+    }
+}

@@ -1,0 +1,139 @@
+//! A miniature, fast version of the Fig. 2 complexity matrix: for each pair of
+//! representations it reports which algorithm the containment dispatcher selects and the
+//! paper's complexity class for that cell.  (The full timed sweep lives in the
+//! `fig2-matrix` binary of the `pw-bench` crate; this example only needs the library.)
+//!
+//! Run with `cargo run --example complexity_matrix`.
+
+use possible_worlds::prelude::*;
+use possible_worlds::workloads::{
+    random_codd_table, random_ctable, random_etable, random_gtable, random_itable, TableParams,
+};
+
+fn build(kind: &str, rows: usize, seed: u64) -> View {
+    let params = TableParams {
+        rows,
+        arity: 2,
+        constants: 6,
+        null_density: 0.4,
+        seed,
+    };
+    let table = match kind {
+        "instance" => random_codd_table(
+            "R",
+            &TableParams {
+                null_density: 0.0,
+                ..params
+            },
+        ),
+        "table" => random_codd_table("R", &params),
+        "e-table" => random_etable("R", &params),
+        "i-table" => random_itable("R", &params),
+        "g-table" => random_gtable("R", &params),
+        "c-table" => random_ctable("R", &params),
+        _ => unreachable!(),
+    };
+    if kind == "view" {
+        unreachable!("views are built separately");
+    }
+    View::identity(CDatabase::single(table))
+}
+
+fn build_view(rows: usize, seed: u64) -> View {
+    let params = TableParams {
+        rows,
+        arity: 2,
+        constants: 6,
+        null_density: 0.4,
+        seed,
+    };
+    let base = random_codd_table("T", &params);
+    let q = Query::single(
+        "R",
+        QueryDef::Ucq(Ucq::single(ConjunctiveQuery::new(
+            [QTerm::var("a"), QTerm::var("b")],
+            [qatom!("T"; "a", "b")],
+        ))),
+    );
+    View::new(q, CDatabase::single(base))
+}
+
+fn expected_class(row: &str, col: &str) -> &'static str {
+    let row_simple = matches!(row, "instance" | "table" | "e-table" | "i-table" | "g-table");
+    match col {
+        "instance" | "table" => {
+            if row_simple {
+                "PTIME"
+            } else {
+                "coNP"
+            }
+        }
+        "e-table" => {
+            if row_simple {
+                "NP"
+            } else {
+                "Π₂ᵖ"
+            }
+        }
+        _ => {
+            if row == "instance" {
+                "NP"
+            } else {
+                "Π₂ᵖ"
+            }
+        }
+    }
+}
+
+fn main() {
+    let kinds = ["instance", "table", "e-table", "i-table", "g-table", "c-table", "view"];
+    println!("CONT(row ⊆ column): paper class / selected algorithm (Fig. 2)\n");
+    print!("{:<10}", "");
+    for col in kinds {
+        print!("| {col:<28}");
+    }
+    println!();
+    println!("{}", "-".repeat(10 + 30 * kinds.len()));
+    for row in kinds {
+        print!("{row:<10}");
+        let left = if row == "view" {
+            build_view(8, 1)
+        } else {
+            build(row, 8, 1)
+        };
+        for col in kinds {
+            let right = if col == "view" {
+                build_view(8, 2)
+            } else {
+                build(col, 8, 2)
+            };
+            let strategy = containment::strategy(&left, &right);
+            print!("| {:<28}", format!("{} [{strategy}]", expected_class(row, col)));
+        }
+        println!();
+    }
+    println!();
+    println!("Reading: freeze = the Theorem 4.1 homomorphism technique (polynomial or one NP");
+    println!("membership call); world-enumeration = the Proposition 2.1(1) ∀∃ procedure used");
+    println!("for the cells the lower bounds of Theorem 4.2 prove hard.");
+
+    // One concrete decision per region, so the example actually runs the procedures.
+    let budget = Budget(10_000_000);
+    let t_left = build("table", 6, 11);
+    let t_right = build("table", 6, 12);
+    println!(
+        "\nSample PTIME cell  (table ⊆ table):     answer = {:?}",
+        containment::decide(&t_left, &t_right, budget)
+    );
+    let e_right = build("e-table", 6, 13);
+    println!(
+        "Sample NP cell     (table ⊆ e-table):   answer = {:?}",
+        containment::decide(&t_left, &e_right, budget)
+    );
+    let i_right = build("i-table", 4, 14);
+    let small_left = build("table", 4, 15);
+    println!(
+        "Sample Π₂ᵖ cell    (table ⊆ i-table):   answer = {:?}",
+        containment::decide(&small_left, &i_right, budget)
+    );
+}

@@ -1,0 +1,107 @@
+//! An HR database with unknown values — the motivating scenario for null values.
+//!
+//! Employees have a department and a manager, but for recent hires one or both are still
+//! unknown.  We model the database as a c-table database, then answer the questions a user
+//! would actually ask: which facts are certain, which are merely possible, and what does a
+//! fixed query (a join) certainly return?
+//!
+//! Run with `cargo run --example hr_incomplete`.
+
+use possible_worlds::prelude::*;
+
+fn main() {
+    let mut vars = VarGen::new();
+    // Unknowns: Bob's department, Carol's manager, Dana's department and manager.
+    let bob_dept = vars.named("bob_dept");
+    let carol_mgr = vars.named("carol_mgr");
+    let dana_dept = vars.named("dana_dept");
+    let dana_mgr = vars.named("dana_mgr");
+
+    // works_in(employee, department) — a g-table: we at least know Dana is not in sales
+    // (her badge does not open that floor), and Bob's department is Dana's department
+    // (they were hired into the same team).
+    let works_in = CTable::g_table(
+        "works_in",
+        2,
+        Conjunction::new([
+            Atom::neq(dana_dept, "sales"),
+            Atom::eq(bob_dept, dana_dept),
+        ]),
+        [
+            vec![Term::from("alice"), Term::from("sales")],
+            vec![Term::from("bob"), Term::Var(bob_dept)],
+            vec![Term::from("carol"), Term::from("engineering")],
+            vec![Term::from("dana"), Term::Var(dana_dept)],
+        ],
+    )
+    .expect("well-formed g-table");
+
+    // reports_to(employee, manager) — a c-table: Carol's manager is Eve *if* Carol is in
+    // engineering (which she is — the condition shows how local conditions tie facts to
+    // other unknowns in general).
+    let reports_to = CTable::new(
+        "reports_to",
+        2,
+        Conjunction::truth(),
+        [
+            CTuple::of_terms([Term::from("alice"), Term::from("frank")]),
+            CTuple::with_condition(
+                [Term::from("carol"), Term::Var(carol_mgr)],
+                Conjunction::new([Atom::eq(carol_mgr, "eve")]),
+            ),
+            CTuple::of_terms([Term::from("dana"), Term::Var(dana_mgr)]),
+        ],
+    )
+    .expect("well-formed c-table");
+
+    let db = CDatabase::new([works_in, reports_to]);
+    println!("The HR database:\n{db}");
+    println!("Classification: {}\n", db.classify());
+
+    let view = View::identity(db.clone());
+    let budget = Budget::default();
+
+    // ---- Possible vs. certain facts. ----
+    let ask = |label: &str, relation: &str, row: Vec<Constant>| {
+        let fact = Instance::single(relation, Relation::from_tuples(2, [Tuple::new(row)]));
+        let possible = possibility::decide(&view, &fact, budget).unwrap();
+        let certain = certainty::decide(&view, &fact, budget).unwrap();
+        println!("{label:<45} possible: {possible:<5}  certain: {certain}");
+    };
+    ask("Bob works in sales?", "works_in", vec!["bob".into(), "sales".into()]);
+    ask("Dana works in sales?", "works_in", vec!["dana".into(), "sales".into()]);
+    ask("Alice works in sales?", "works_in", vec!["alice".into(), "sales".into()]);
+    ask("Carol reports to Eve?", "reports_to", vec!["carol".into(), "eve".into()]);
+    ask("Dana reports to Frank?", "reports_to", vec!["dana".into(), "frank".into()]);
+
+    // ---- A fixed query: who certainly shares a department with Bob? ----
+    // colleagues(x) :- works_in(x, d), works_in("bob", d)
+    // ("bob" is a constant, so it is spelled with QTerm::constant; bare string literals in
+    // the qatom! macro denote query variables.)
+    let colleagues = Query::single(
+        "colleagues",
+        QueryDef::Ucq(Ucq::single(ConjunctiveQuery::new(
+            [QTerm::var("x")],
+            [
+                qatom!("works_in"; "x", "d"),
+                possible_worlds::query::QueryAtom::new(
+                    "works_in",
+                    [QTerm::constant("bob"), QTerm::var("d")],
+                ),
+            ],
+        ))),
+    );
+    let query_view = View::new(colleagues, db);
+    for person in ["alice", "bob", "carol", "dana"] {
+        let fact = Instance::single(
+            "colleagues",
+            Relation::from_tuples(1, [Tuple::new([person.into()])]),
+        );
+        let possible = possibility::decide(&query_view, &fact, budget).unwrap();
+        let certain = certainty::decide(&query_view, &fact, budget).unwrap();
+        println!("{person:<8} is a colleague of Bob —  possible: {possible:<5}  certain: {certain}");
+    }
+
+    // Dana is a certain colleague of Bob (their departments are equated by the global
+    // condition), Alice only a possible one (only if Bob happens to be in sales).
+}

@@ -1,0 +1,64 @@
+//! Quickstart: the Fig. 1 representation hierarchy, possible worlds, and the five decision
+//! problems on a single page.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use possible_worlds::core::paper::fig1;
+use possible_worlds::prelude::*;
+
+fn main() {
+    // ---- Fig. 1: one table per level of the hierarchy. ----
+    let fig = fig1();
+    println!("The Fig. 1 representations and their classes:");
+    for table in [&fig.ta, &fig.tb, &fig.tc, &fig.td, &fig.te] {
+        println!("{table}");
+    }
+
+    // ---- Example 2.1: applying the valuation σ = {x↦2, y↦3, z↦0, v↦5}. ----
+    let db = CDatabase::single(fig.tc.clone());
+    let world = fig.sigma.world_of(&db).expect("σ satisfies x ≠ 0 ∧ y ≠ z");
+    println!("σ(Tc) = {}", world.relation("Tc").unwrap());
+
+    // ---- rep(·): enumerate the possible worlds of the i-table Tc. ----
+    let worlds = PossibleWorlds::new(&db).enumerate(100_000).unwrap();
+    println!("Tc represents {} distinct worlds over Δ ∪ Δ′.", worlds.len());
+
+    // ---- Querying: is a fact possible?  certain? ----
+    let view = View::identity(db);
+    let wanted = Instance::single("Tc", rel![[0, 1, 2]]);
+    let budget = Budget::default();
+    println!(
+        "(0,1,2) possible in Tc?   {}",
+        possibility::decide(&view, &wanted, budget).unwrap()
+    );
+    println!(
+        "(0,1,2) certain in Tc?    {}",
+        certainty::decide(&view, &wanted, budget).unwrap()
+    );
+
+    // ---- Membership and uniqueness. ----
+    println!(
+        "Is σ(Tc) a possible world of Tc?  {}",
+        membership::decide(&view.db, &world, budget).unwrap()
+    );
+    println!(
+        "Is rep(Tc) the singleton {{σ(Tc)}}?  {}",
+        uniqueness::decide(&view, &world, budget).unwrap()
+    );
+
+    // ---- Containment: the i-table Tc is contained in the plain table Ta. ----
+    let ta_view = View::identity(CDatabase::single(fig.ta.renamed("Tc")));
+    println!(
+        "rep(Tc) ⊆ rep(Ta)?  {}",
+        containment::decide(&view, &ta_view, budget).unwrap()
+    );
+
+    // ---- A positive existential query evaluated directly on the c-table Te. ----
+    let te_db = CDatabase::single(fig.te.clone());
+    let q = Ucq::single(ConjunctiveQuery::new(
+        [QTerm::var("a")],
+        [qatom!("Te"; "a", "b")],
+    ));
+    let q_te = eval_ucq(&q, &te_db, "FirstColumn").unwrap();
+    println!("q(Te) as a c-table (the representation-system property):\n{q_te}");
+}

@@ -1,0 +1,320 @@
+//! Property-based tests (proptest) for the core invariants:
+//!
+//! * conjunction satisfiability agrees with brute-force evaluation over a small domain;
+//! * the matching-based membership algorithm agrees with the backtracking one on random
+//!   Codd-tables (Theorem 3.1(1) vs. the generic NP procedure);
+//! * a world produced by applying a random valuation is always a member, possible and
+//!   query-monotone;
+//! * naive and semi-naive Datalog evaluation agree on random edge relations;
+//! * c-table simplification preserves the represented set of worlds, is idempotent and
+//!   never grows the table.
+
+use possible_worlds::prelude::*;
+use possible_worlds::query::datalog::FixpointStrategy;
+use proptest::prelude::*;
+// Both preludes export a `Strategy` name (the decision-procedure enum and the proptest
+// trait); bring the trait into scope anonymously so `.prop_map` et al. resolve.
+use proptest::strategy::Strategy as _;
+
+fn small_budget() -> Budget {
+    Budget(5_000_000)
+}
+
+/// Strategy: a conjunction over `nvars` variables and constants 0..3, up to `natoms` atoms.
+fn conjunction_strategy(nvars: usize, natoms: usize) -> impl proptest::strategy::Strategy<Value = (Vec<Variable>, Conjunction)> {
+    let mut gen = VarGen::new();
+    let vars: Vec<Variable> = (0..nvars).map(|_| gen.fresh()).collect();
+    let vars_for_atoms = vars.clone();
+    let atom = (0..4usize, 0..4usize, 0..4i64, any::<bool>(), any::<bool>()).prop_map(
+        move |(a, b, c, use_const, eq)| {
+            let left = Term::Var(vars_for_atoms[a % vars_for_atoms.len()]);
+            let right = if use_const {
+                Term::constant(c)
+            } else {
+                Term::Var(vars_for_atoms[b % vars_for_atoms.len()])
+            };
+            if eq {
+                Atom::Eq(left, right)
+            } else {
+                Atom::Neq(left, right)
+            }
+        },
+    );
+    proptest::collection::vec(atom, 0..natoms)
+        .prop_map(move |atoms| (vars.clone(), Conjunction::new(atoms)))
+}
+
+/// Brute force: is the conjunction satisfiable with variable values drawn from 0..=k?
+/// (For equality/inequality constraints a domain as large as the number of variables plus
+/// the mentioned constants is always sufficient.)
+fn brute_force_satisfiable(vars: &[Variable], conj: &Conjunction) -> bool {
+    let domain: Vec<Constant> = (0..(vars.len() as i64 + 4)).map(Constant::Int).collect();
+    fn rec(
+        vars: &[Variable],
+        idx: usize,
+        domain: &[Constant],
+        assignment: &mut Vec<(Variable, Constant)>,
+        conj: &Conjunction,
+    ) -> bool {
+        if idx == vars.len() {
+            let lookup = |v: Variable| {
+                assignment
+                    .iter()
+                    .find(|(w, _)| *w == v)
+                    .map(|(_, c)| c.clone())
+            };
+            return conj.eval(&lookup) == Some(true);
+        }
+        for c in domain {
+            assignment.push((vars[idx], c.clone()));
+            if rec(vars, idx + 1, domain, assignment, conj) {
+                return true;
+            }
+            assignment.pop();
+        }
+        false
+    }
+    rec(vars, 0, &domain, &mut Vec::new(), conj)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn conjunction_satisfiability_matches_brute_force((vars, conj) in conjunction_strategy(4, 6)) {
+        prop_assert_eq!(conj.is_satisfiable(), brute_force_satisfiable(&vars, &conj));
+    }
+}
+
+/// Strategy: a random Codd-table of arity 2 plus a candidate instance over constants 0..4.
+fn codd_and_instance() -> impl proptest::strategy::Strategy<Value = (CDatabase, Instance)> {
+    let row = (0..5i64, 0..5i64, any::<bool>(), any::<bool>());
+    let rows = proptest::collection::vec(row, 1..5);
+    let facts = proptest::collection::vec((0..5i64, 0..5i64), 0..4);
+    (rows, facts).prop_map(|(rows, facts)| {
+        let mut gen = VarGen::new();
+        let table_rows: Vec<Vec<Term>> = rows
+            .into_iter()
+            .map(|(a, b, var_a, var_b)| {
+                vec![
+                    if var_a { Term::Var(gen.fresh()) } else { Term::constant(a) },
+                    if var_b { Term::Var(gen.fresh()) } else { Term::constant(b) },
+                ]
+            })
+            .collect();
+        let table = CTable::codd("R", 2, table_rows).expect("fresh nulls");
+        let rel = Relation::from_tuples(2, facts.into_iter().map(|(a, b)| tup![a, b]));
+        (CDatabase::single(table), Instance::single("R", rel))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn matching_and_backtracking_membership_agree((db, instance) in codd_and_instance()) {
+        let fast = membership::codd_matching(&db, &instance);
+        let slow = membership::backtracking(&db, &instance, small_budget()).unwrap();
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn possibility_is_implied_by_membership((db, instance) in codd_and_instance()) {
+        let member = membership::codd_matching(&db, &instance);
+        let possible = possibility::codd_matching(&db, &instance);
+        if member {
+            prop_assert!(possible, "a world trivially contains itself");
+        }
+    }
+
+    #[test]
+    fn applied_valuations_always_yield_members((db, _instance) in codd_and_instance()) {
+        // Build a valuation sending every null to a value in 0..5 and check the produced
+        // world is a member and every single fact of it is possible and (if the table rows
+        // are all ground) certain.
+        let vars: Vec<Variable> = db.variables().into_iter().collect();
+        let valuation = Valuation::from_pairs(vars.iter().enumerate().map(|(i, &v)| (v, Constant::Int((i % 5) as i64))));
+        let world = valuation.world_of(&db).expect("Codd-tables have no conditions");
+        prop_assert!(membership::codd_matching(&db, &world));
+        prop_assert!(possibility::codd_matching(&db, &world));
+    }
+}
+
+/// Strategy: a random edge relation over 0..6.
+fn edges() -> impl proptest::strategy::Strategy<Value = Instance> {
+    proptest::collection::vec((0..6i64, 0..6i64), 0..12).prop_map(|pairs| {
+        let rel = Relation::from_tuples(2, pairs.into_iter().map(|(a, b)| tup![a, b]));
+        Instance::single("E", rel)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn naive_and_semi_naive_datalog_agree(instance in edges()) {
+        let program = DatalogProgram::transitive_closure("E", "TC");
+        let naive = program.eval_with(&instance, FixpointStrategy::Naive);
+        let semi = program.eval_with(&instance, FixpointStrategy::SemiNaive);
+        prop_assert_eq!(naive, semi);
+    }
+
+    #[test]
+    fn transitive_closure_is_monotone(instance in edges()) {
+        // Adding an edge never removes a closure fact — the monotonicity underlying the
+        // certain-answer algorithm of Theorem 5.3(1).
+        let program = DatalogProgram::transitive_closure("E", "TC");
+        let base = program.eval(&instance);
+        let mut bigger = instance.clone();
+        bigger.insert_fact("E", tup![0, 5]).unwrap();
+        let extended = program.eval(&bigger);
+        prop_assert!(base.is_subset(&extended));
+    }
+}
+
+/// Strategy: a small c-table over one switch variable plus a UCQ projection, for checking
+/// the representation-system property of the c-table algebra end to end.
+fn small_ctable() -> impl proptest::strategy::Strategy<Value = CDatabase> {
+    let row = (0..3i64, 0..3i64, 0..3u8);
+    proptest::collection::vec(row, 1..4).prop_map(|rows| {
+        let mut gen = VarGen::new();
+        let switch = gen.fresh();
+        let tuples: Vec<CTuple> = rows
+            .into_iter()
+            .map(|(a, b, kind)| match kind {
+                0 => CTuple::of_terms([Term::constant(a), Term::constant(b)]),
+                1 => CTuple::with_condition(
+                    [Term::constant(a), Term::Var(switch)],
+                    Conjunction::new([Atom::eq(switch, b)]),
+                ),
+                _ => CTuple::with_condition(
+                    [Term::constant(a), Term::constant(b)],
+                    Conjunction::new([Atom::neq(switch, b)]),
+                ),
+            })
+            .collect();
+        CDatabase::single(CTable::new("T", 2, Conjunction::truth(), tuples).unwrap())
+    })
+}
+
+/// Strategy: a small c-table with a global condition, repeated nulls and local conditions —
+/// enough structure for simplification to have something to do.
+fn conditioned_ctable() -> impl proptest::strategy::Strategy<Value = CTable> {
+    let row = (0..3i64, 0..3i64, 0..5u8, 0..3i64);
+    let global_kind = 0..3u8;
+    (proptest::collection::vec(row, 1..5), global_kind).prop_map(|(rows, global_kind)| {
+        let mut gen = VarGen::new();
+        let (x, y) = (gen.fresh(), gen.fresh());
+        let global = match global_kind {
+            0 => Conjunction::truth(),
+            1 => Conjunction::new([Atom::eq(x, 1)]),
+            _ => Conjunction::new([Atom::neq(x, 2)]),
+        };
+        let tuples: Vec<CTuple> = rows
+            .into_iter()
+            .map(|(a, b, kind, c)| match kind {
+                0 => CTuple::of_terms([Term::constant(a), Term::constant(b)]),
+                1 => CTuple::of_terms([Term::Var(x), Term::constant(b)]),
+                2 => CTuple::with_condition(
+                    [Term::constant(a), Term::Var(y)],
+                    Conjunction::new([Atom::eq(x, c)]),
+                ),
+                3 => CTuple::with_condition(
+                    [Term::constant(a), Term::constant(b)],
+                    Conjunction::new([Atom::neq(x, c), Atom::eq(x, x)]),
+                ),
+                _ => CTuple::with_condition(
+                    [Term::Var(x), Term::Var(y)],
+                    Conjunction::new([Atom::eq(y, c)]),
+                ),
+            })
+            .collect();
+        CTable::new("T", 2, global, tuples).unwrap()
+    })
+}
+
+/// Enumerate the worlds of a single table over a shared domain (the given constants plus
+/// the enumerator's fresh padding).
+fn worlds_of(
+    table: &CTable,
+    shared: &std::collections::BTreeSet<Constant>,
+) -> std::collections::BTreeSet<Instance> {
+    let db = CDatabase::single(table.clone());
+    PossibleWorlds::new(&db)
+        .with_extra_constants(shared.iter().cloned())
+        .enumerate(500_000)
+        .expect("the generated tables are tiny")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn simplification_preserves_the_represented_worlds(table in conditioned_ctable()) {
+        let shared: std::collections::BTreeSet<Constant> = table.constants();
+        match simplify_table(&table) {
+            None => {
+                // An unsatisfiable global condition means the representation is empty.
+                prop_assert!(!table.global_condition().is_satisfiable());
+            }
+            Some(simplified) => {
+                prop_assert!(simplified.len() <= table.len());
+                prop_assert_eq!(worlds_of(&table, &shared), worlds_of(&simplified, &shared));
+                // Idempotence: a second pass changes nothing (up to variable identity,
+                // which simplification never touches, so plain equality applies).
+                let twice = simplify_table(&simplified).expect("already satisfiable");
+                prop_assert_eq!(&twice, &simplified);
+            }
+        }
+    }
+
+    #[test]
+    fn simplification_commutes_with_membership(table in conditioned_ctable()) {
+        // Decision procedures answer identically on the original and simplified table.
+        let Some(simplified) = simplify_table(&table) else { return Ok(()); };
+        let db = CDatabase::single(table);
+        let sdb = CDatabase::single(simplified);
+        let vars: Vec<Variable> = db.variables().into_iter().collect();
+        let valuation = Valuation::from_pairs(vars.iter().enumerate().map(|(i, &v)| (v, Constant::Int((i % 3) as i64))));
+        if let Some(world) = valuation.world_of(&db) {
+            prop_assert!(membership::decide(&sdb, &world, small_budget()).unwrap());
+        }
+        let outside = Instance::single("T", Relation::from_tuples(2, [tup![9, 9]]));
+        prop_assert_eq!(
+            possibility::decide(&View::identity(db), &outside, small_budget()).unwrap(),
+            possibility::decide(&View::identity(sdb), &outside, small_budget()).unwrap()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn ctable_algebra_certain_and_possible_answers_agree_with_enumeration(db in small_ctable()) {
+        let q = Ucq::single(ConjunctiveQuery::new(
+            [QTerm::var("a")],
+            [qatom!("T"; "a", "b")],
+        ));
+        let view = View::new(Query::single("Q", QueryDef::Ucq(q.clone())), db.clone());
+        // Reference answers by full enumeration of the view.
+        let worlds = view.enumerate_worlds(100_000, []).unwrap();
+        let all_answers: Vec<Relation> = worlds
+            .iter()
+            .map(|w| w.relation_or_empty("Q", 1))
+            .collect();
+        for value in 0..3i64 {
+            let fact = Instance::single("Q", Relation::from_tuples(1, [tup![value]]));
+            let expected_possible = all_answers.iter().any(|r| r.contains(&tup![value]));
+            let expected_certain = all_answers.iter().all(|r| r.contains(&tup![value]));
+            prop_assert_eq!(
+                possibility::decide(&view, &fact, small_budget()).unwrap(),
+                expected_possible
+            );
+            prop_assert_eq!(
+                certainty::decide(&view, &fact, small_budget()).unwrap(),
+                expected_certain
+            );
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Proposition 2.1 cross-checks: on small random databases, the specialised decision
+//! procedures must agree with brute-force possible-world enumeration over Δ ∪ Δ′.
+
+use possible_worlds::prelude::*;
+use possible_worlds::workloads::{
+    member_instance, non_member_instance, random_codd_table, random_ctable, random_etable,
+    random_gtable, random_itable, TableParams,
+};
+
+fn small_params(seed: u64) -> TableParams {
+    TableParams {
+        rows: 4,
+        arity: 2,
+        constants: 3,
+        null_density: 0.4,
+        seed,
+    }
+}
+
+fn budget() -> Budget {
+    Budget(20_000_000)
+}
+
+/// Brute-force membership: enumerate all worlds and compare.
+fn membership_by_enumeration(db: &CDatabase, instance: &Instance) -> bool {
+    PossibleWorlds::new(db)
+        .with_extra_constants(instance.active_domain())
+        .enumerate(5_000_000)
+        .expect("small instances enumerate within budget")
+        .iter()
+        .any(|w| w.same_facts(instance))
+}
+
+/// Brute-force possibility.
+fn possibility_by_enumeration(db: &CDatabase, facts: &Instance) -> bool {
+    PossibleWorlds::new(db)
+        .with_extra_constants(facts.active_domain())
+        .enumerate(5_000_000)
+        .expect("small instances enumerate within budget")
+        .iter()
+        .any(|w| facts.is_subinstance_of(w))
+}
+
+/// Brute-force certainty.
+fn certainty_by_enumeration(db: &CDatabase, facts: &Instance) -> bool {
+    PossibleWorlds::new(db)
+        .with_extra_constants(facts.active_domain())
+        .enumerate(5_000_000)
+        .expect("small instances enumerate within budget")
+        .iter()
+        .all(|w| facts.is_subinstance_of(w))
+}
+
+fn generators_with(p: &TableParams) -> Vec<(&'static str, CDatabase)> {
+    vec![
+        ("codd", CDatabase::single(random_codd_table("R", p))),
+        ("e-table", CDatabase::single(random_etable("R", p))),
+        ("i-table", CDatabase::single(random_itable("R", p))),
+        ("g-table", CDatabase::single(random_gtable("R", p))),
+        ("c-table", CDatabase::single(random_ctable("R", p))),
+    ]
+}
+
+fn generators(seed: u64) -> Vec<(&'static str, CDatabase)> {
+    generators_with(&small_params(seed))
+}
+
+#[test]
+fn membership_agrees_with_enumeration_on_all_classes() {
+    for seed in 0..4 {
+        let p = small_params(seed);
+        for (label, db) in generators(seed) {
+            for candidate in [member_instance(&db, &p), non_member_instance(&db, &p)] {
+                let fast = membership::decide(&db, &candidate, budget()).unwrap();
+                let slow = membership_by_enumeration(&db, &candidate);
+                assert_eq!(fast, slow, "membership mismatch on {label} seed {seed}");
+            }
+        }
+    }
+}
+
+#[test]
+fn possibility_and_certainty_agree_with_enumeration_on_all_classes() {
+    for seed in 0..4 {
+        let p = small_params(seed);
+        for (label, db) in generators(seed) {
+            let view = View::identity(db.clone());
+            let world = member_instance(&db, &p);
+            // Take a single fact of the member world as the pattern P.
+            let mut pattern = Instance::new();
+            if let Some((name, rel)) = world.iter().next() {
+                if let Some(fact) = rel.iter().next() {
+                    pattern.insert_fact(name.clone(), fact.clone()).unwrap();
+                }
+            }
+            let fast_poss = possibility::decide(&view, &pattern, budget()).unwrap();
+            let slow_poss = possibility_by_enumeration(&db, &pattern);
+            assert_eq!(fast_poss, slow_poss, "possibility mismatch on {label} seed {seed}");
+
+            let fast_cert = certainty::decide(&view, &pattern, budget()).unwrap();
+            let slow_cert = certainty_by_enumeration(&db, &pattern);
+            assert_eq!(fast_cert, slow_cert, "certainty mismatch on {label} seed {seed}");
+
+            // Certainty implies possibility (the paper's remark in Section 1.2).
+            if fast_cert {
+                assert!(fast_poss, "certain but not possible on {label} seed {seed}");
+            }
+        }
+    }
+}
+
+#[test]
+fn uniqueness_agrees_with_enumeration_on_all_classes() {
+    for seed in 0..4 {
+        let p = small_params(seed);
+        for (label, db) in generators(seed) {
+            let view = View::identity(db.clone());
+            let candidate = member_instance(&db, &p);
+            let fast = uniqueness::decide(&view, &candidate, budget()).unwrap();
+            let worlds = PossibleWorlds::new(&db)
+                .with_extra_constants(candidate.active_domain())
+                .enumerate(5_000_000)
+                .unwrap();
+            let slow = worlds.len() == 1 && worlds.iter().next().unwrap().same_facts(&candidate);
+            assert_eq!(fast, slow, "uniqueness mismatch on {label} seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn containment_agrees_with_enumeration_on_small_pairs() {
+    for seed in 0..3 {
+        // Containment squares the enumeration cost (worlds of the left times worlds of the
+        // right), so this cross-check uses even smaller databases than the other tests.
+        let tiny = TableParams {
+            rows: 3,
+            arity: 2,
+            constants: 2,
+            null_density: 0.3,
+            seed,
+        };
+        let dbs = generators_with(&tiny);
+        for (label_left, left) in &dbs {
+            for (label_right, right) in &dbs {
+                let lv = View::identity(left.clone());
+                let rv = View::identity(right.clone());
+                let fast = containment::decide(&lv, &rv, budget()).unwrap();
+                // Brute force: every world of the left must appear among the right's worlds.
+                let shared: Vec<Constant> = left
+                    .constants()
+                    .into_iter()
+                    .chain(right.constants())
+                    .collect();
+                let left_worlds = PossibleWorlds::new(left)
+                    .with_extra_constants(shared.clone())
+                    .enumerate(5_000_000)
+                    .unwrap();
+                // Enumerate the right-hand side's worlds once over the *joint* active domain
+                // (both sides' constants plus enough fresh values for either side's nulls,
+                // which `with_extra_constants` + the Δ′ padding of the enumerator provide);
+                // re-running a per-world membership enumeration here squares the cost.
+                let right_domain: Vec<Constant> = shared
+                    .iter()
+                    .cloned()
+                    .chain(left_worlds.iter().flat_map(|w| w.active_domain()))
+                    .collect();
+                let right_worlds = PossibleWorlds::new(right)
+                    .with_extra_constants(right_domain)
+                    .enumerate(5_000_000)
+                    .unwrap();
+                let slow = left_worlds
+                    .iter()
+                    .all(|w| right_worlds.iter().any(|r| r.same_facts(w)));
+                assert_eq!(
+                    fast, slow,
+                    "containment mismatch: {label_left} ⊆ {label_right}, seed {seed}"
+                );
+            }
+        }
+    }
+}
