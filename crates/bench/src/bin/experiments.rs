@@ -32,15 +32,21 @@ fn section(id: &str, claim: &str, expectation: &str, sweep: &Sweep) {
 }
 
 fn main() {
-    println!("possible-worlds — experiment harness (paper: Abiteboul–Kanellakis–Grahne 1987/1991)\n");
+    println!(
+        "possible-worlds — experiment harness (paper: Abiteboul–Kanellakis–Grahne 1987/1991)\n"
+    );
 
     // ---- E-T31-1 / E-F3: membership on Codd-tables (PTIME). ----
-    let sweep = Sweep::run("MEMB(-), Codd-tables, matching algorithm", [64, 256, 1024, 4096], |n| {
-        let params = TableParams::with_rows(n, 1);
-        let db = CDatabase::single(random_codd_table("R", &params));
-        let inst = member_instance(&db, &params);
-        membership::codd_matching(&db, &inst)
-    });
+    let sweep = Sweep::run(
+        "MEMB(-), Codd-tables, matching algorithm",
+        [64, 256, 1024, 4096],
+        |n| {
+            let params = TableParams::with_rows(n, 1);
+            let db = CDatabase::single(random_codd_table("R", &params));
+            let inst = member_instance(&db, &params);
+            membership::codd_matching(&db, &inst)
+        },
+    );
     section(
         "E-T31-1",
         "Theorem 3.1(1): MEMB(-) ∈ PTIME for tables",
@@ -49,35 +55,67 @@ fn main() {
     );
 
     // ---- E-T31-2/3/4: membership hardness (NP). ----
-    let sweep = Sweep::run("MEMB(-), e-table 3-colourability reduction", [4, 6, 8, 10], |n| {
-        let g = planted_three_colorable(n, 0.7, 3);
-        let r = three_col_etable(&g);
-        membership::decide(&r.view.db, &r.instance, BIG).unwrap()
-    });
-    section("E-T31-2", "Theorem 3.1(2): MEMB(-) NP-complete for e-tables", "super-polynomial on hard families", &sweep);
+    let sweep = Sweep::run(
+        "MEMB(-), e-table 3-colourability reduction",
+        [4, 6, 8, 10],
+        |n| {
+            let g = planted_three_colorable(n, 0.7, 3);
+            let r = three_col_etable(&g);
+            membership::decide(&r.view.db, &r.instance, BIG).unwrap()
+        },
+    );
+    section(
+        "E-T31-2",
+        "Theorem 3.1(2): MEMB(-) NP-complete for e-tables",
+        "super-polynomial on hard families",
+        &sweep,
+    );
 
-    let sweep = Sweep::run("MEMB(-), i-table 3-colourability reduction", [4, 6, 8, 10], |n| {
-        let g = planted_three_colorable(n, 0.7, 3);
-        let r = three_col_itable(&g);
-        membership::decide(&r.view.db, &r.instance, BIG).unwrap()
-    });
-    section("E-T31-3", "Theorem 3.1(3): MEMB(-) NP-complete for i-tables", "super-polynomial on hard families", &sweep);
+    let sweep = Sweep::run(
+        "MEMB(-), i-table 3-colourability reduction",
+        [4, 6, 8, 10],
+        |n| {
+            let g = planted_three_colorable(n, 0.7, 3);
+            let r = three_col_itable(&g);
+            membership::decide(&r.view.db, &r.instance, BIG).unwrap()
+        },
+    );
+    section(
+        "E-T31-3",
+        "Theorem 3.1(3): MEMB(-) NP-complete for i-tables",
+        "super-polynomial on hard families",
+        &sweep,
+    );
 
     let sweep = Sweep::run("MEMB(q), view 3-colourability reduction", [3, 4, 5], |n| {
         let g = planted_three_colorable(n, 0.7, 3);
         let r = three_col_view(&g);
         membership::view_membership(&r.view, &r.instance, BIG).unwrap()
     });
-    section("E-T31-4", "Theorem 3.1(4): MEMB(q) NP-complete for views of tables", "super-polynomial", &sweep);
+    section(
+        "E-T31-4",
+        "Theorem 3.1(4): MEMB(q) NP-complete for views of tables",
+        "super-polynomial",
+        &sweep,
+    );
 
     // ---- E-T32-1/2: uniqueness upper bounds (PTIME). ----
-    let sweep = Sweep::run("UNIQ(-), g-tables, normalisation algorithm", [64, 256, 1024, 4096], |n| {
-        let params = TableParams::with_rows(n, 5);
-        let db = CDatabase::single(random_gtable("R", &params));
-        let inst = member_instance(&db, &params);
-        uniqueness::gtable_uniqueness(&db, &inst)
-    });
-    section("E-T32-1", "Theorem 3.2(1): UNIQ(-) ∈ PTIME for g-tables", "polynomial", &sweep);
+    let sweep = Sweep::run(
+        "UNIQ(-), g-tables, normalisation algorithm",
+        [64, 256, 1024, 4096],
+        |n| {
+            let params = TableParams::with_rows(n, 5);
+            let db = CDatabase::single(random_gtable("R", &params));
+            let inst = member_instance(&db, &params);
+            uniqueness::gtable_uniqueness(&db, &inst)
+        },
+    );
+    section(
+        "E-T32-1",
+        "Theorem 3.2(1): UNIQ(-) ∈ PTIME for g-tables",
+        "polynomial",
+        &sweep,
+    );
 
     let q_proj = Query::single(
         "Q",
@@ -91,75 +129,161 @@ fn main() {
         let db = CDatabase::single(random_etable("R", &params));
         uniqueness::pos_exist_etable(&q_proj, &db, &Instance::new()).unwrap_or(false)
     });
-    section("E-T32-2", "Theorem 3.2(2): UNIQ(q0) ∈ PTIME for pos. exist. queries on e-tables", "polynomial", &sweep);
+    section(
+        "E-T32-2",
+        "Theorem 3.2(2): UNIQ(q0) ∈ PTIME for pos. exist. queries on e-tables",
+        "polynomial",
+        &sweep,
+    );
 
     // ---- E-T32-3/4: uniqueness hardness (coNP). ----
-    let sweep = Sweep::run("UNIQ(-), 3DNF-tautology reduction (c-table)", [4, 6, 8, 10], |n| {
-        let f = random_3dnf(n, n, 7);
-        let r = dnf_taut_uniq_ctable(&f);
-        uniqueness::decide(&r.view, &r.instance, BIG).unwrap()
-    });
-    section("E-T32-3", "Theorem 3.2(3): UNIQ(-) coNP-complete for c-tables", "super-polynomial", &sweep);
+    let sweep = Sweep::run(
+        "UNIQ(-), 3DNF-tautology reduction (c-table)",
+        [4, 6, 8, 10],
+        |n| {
+            let f = random_3dnf(n, n, 7);
+            let r = dnf_taut_uniq_ctable(&f);
+            uniqueness::decide(&r.view, &r.instance, BIG).unwrap()
+        },
+    );
+    section(
+        "E-T32-3",
+        "Theorem 3.2(3): UNIQ(-) coNP-complete for c-tables",
+        "super-polynomial",
+        &sweep,
+    );
 
-    let sweep = Sweep::run("UNIQ(q0), non-3-colourability reduction (view)", [4, 5, 6], |n| {
-        let g = planted_three_colorable(n, 0.7, 9);
-        let r = non3col_uniq_view(&g);
-        uniqueness::decide(&r.view, &r.instance, BIG).unwrap()
-    });
-    section("E-T32-4", "Theorem 3.2(4): UNIQ(q0) coNP-complete for views of tables", "super-polynomial", &sweep);
+    let sweep = Sweep::run(
+        "UNIQ(q0), non-3-colourability reduction (view)",
+        [4, 5, 6],
+        |n| {
+            let g = planted_three_colorable(n, 0.7, 9);
+            let r = non3col_uniq_view(&g);
+            uniqueness::decide(&r.view, &r.instance, BIG).unwrap()
+        },
+    );
+    section(
+        "E-T32-4",
+        "Theorem 3.2(4): UNIQ(q0) coNP-complete for views of tables",
+        "super-polynomial",
+        &sweep,
+    );
 
     // ---- E-T41: containment upper bounds. ----
-    let sweep = Sweep::run("CONT(-, -), g-table ⊆ table via freeze + matching", [32, 128, 512, 2048], |n| {
-        let left = CDatabase::single(random_gtable("R", &TableParams::with_rows(n, 11)));
-        let right = CDatabase::single(random_codd_table("R", &TableParams::with_rows(n, 12)));
-        containment::freeze(&left, &right, Budget::default()).unwrap()
-    });
-    section("E-T41 (3)", "Theorem 4.1(3): CONT ∈ PTIME for g-tables ⊆ tables", "polynomial", &sweep);
+    let sweep = Sweep::run(
+        "CONT(-, -), g-table ⊆ table via freeze + matching",
+        [32, 128, 512, 2048],
+        |n| {
+            let left = CDatabase::single(random_gtable("R", &TableParams::with_rows(n, 11)));
+            let right = CDatabase::single(random_codd_table("R", &TableParams::with_rows(n, 12)));
+            containment::freeze(&left, &right, Budget::default()).unwrap()
+        },
+    );
+    section(
+        "E-T41 (3)",
+        "Theorem 4.1(3): CONT ∈ PTIME for g-tables ⊆ tables",
+        "polynomial",
+        &sweep,
+    );
 
-    let sweep = Sweep::run("CONT(-, -), g-table ⊆ e-table via freeze + NP membership", [16, 32, 64], |n| {
-        let left = CDatabase::single(random_gtable("R", &TableParams::with_rows(n, 13)));
-        let right = CDatabase::single(random_etable("R", &TableParams::with_rows(n, 14)));
-        containment::freeze(&left, &right, BIG).unwrap()
-    });
-    section("E-T41 (2)", "Theorem 4.1(2): CONT ∈ NP for g-tables ⊆ e-tables", "one NP call (fast on random, exponential in the worst case)", &sweep);
+    let sweep = Sweep::run(
+        "CONT(-, -), g-table ⊆ e-table via freeze + NP membership",
+        [16, 32, 64],
+        |n| {
+            let left = CDatabase::single(random_gtable("R", &TableParams::with_rows(n, 13)));
+            let right = CDatabase::single(random_etable("R", &TableParams::with_rows(n, 14)));
+            containment::freeze(&left, &right, BIG).unwrap()
+        },
+    );
+    section(
+        "E-T41 (2)",
+        "Theorem 4.1(2): CONT ∈ NP for g-tables ⊆ e-tables",
+        "one NP call (fast on random, exponential in the worst case)",
+        &sweep,
+    );
 
     // ---- E-T42-1 / E-T42-4: containment hardness. ----
-    let sweep = Sweep::run("CONT(-, -), ∀∃3CNF reduction (table ⊆ i-table)", [1, 2, 3], |n| {
-        let q = random_forall_exists(n, 2, 4, 5);
-        let r = ae3cnf_cont_itable(&q);
-        containment::decide(&r.left, &r.right, BIG).unwrap()
-    });
-    section("E-T42-1", "Theorem 4.2(1): CONT Π₂ᵖ-complete for table ⊆ i-table", "super-polynomial (doubly nested search)", &sweep);
+    let sweep = Sweep::run(
+        "CONT(-, -), ∀∃3CNF reduction (table ⊆ i-table)",
+        [1, 2, 3],
+        |n| {
+            let q = random_forall_exists(n, 2, 4, 5);
+            let r = ae3cnf_cont_itable(&q);
+            containment::decide(&r.left, &r.right, BIG).unwrap()
+        },
+    );
+    section(
+        "E-T42-1",
+        "Theorem 4.2(1): CONT Π₂ᵖ-complete for table ⊆ i-table",
+        "super-polynomial (doubly nested search)",
+        &sweep,
+    );
 
-    let sweep = Sweep::run("CONT(q0, -), 3DNF-tautology reduction (view ⊆ table)", [3, 5, 7], |n| {
-        let f = random_3dnf(n, n, 6);
-        let r = dnf_taut_cont_view_table(&f);
-        containment::decide(&r.left, &r.right, BIG).unwrap()
-    });
-    section("E-T42-4", "Theorem 4.2(4): CONT(q0,-) coNP-complete for views ⊆ tables", "super-polynomial", &sweep);
+    let sweep = Sweep::run(
+        "CONT(q0, -), 3DNF-tautology reduction (view ⊆ table)",
+        [3, 5, 7],
+        |n| {
+            let f = random_3dnf(n, n, 6);
+            let r = dnf_taut_cont_view_table(&f);
+            containment::decide(&r.left, &r.right, BIG).unwrap()
+        },
+    );
+    section(
+        "E-T42-4",
+        "Theorem 4.2(4): CONT(q0,-) coNP-complete for views ⊆ tables",
+        "super-polynomial",
+        &sweep,
+    );
 
     // ---- E-T51 / E-T52: possibility. ----
-    let sweep = Sweep::run("POSS(*, -), Codd-tables, matching", [64, 256, 1024, 4096], |n| {
-        let params = TableParams::with_rows(n, 41);
-        let db = CDatabase::single(random_codd_table("R", &params));
-        let facts = member_instance(&db, &params);
-        possibility::codd_matching(&db, &facts)
-    });
-    section("E-T51-1", "Theorem 5.1(1): POSS(*,-) ∈ PTIME for tables", "polynomial", &sweep);
+    let sweep = Sweep::run(
+        "POSS(*, -), Codd-tables, matching",
+        [64, 256, 1024, 4096],
+        |n| {
+            let params = TableParams::with_rows(n, 41);
+            let db = CDatabase::single(random_codd_table("R", &params));
+            let facts = member_instance(&db, &params);
+            possibility::codd_matching(&db, &facts)
+        },
+    );
+    section(
+        "E-T51-1",
+        "Theorem 5.1(1): POSS(*,-) ∈ PTIME for tables",
+        "polynomial",
+        &sweep,
+    );
 
-    let sweep = Sweep::run("POSS(*, -), 3CNF reduction on e-tables", [3, 4, 5, 6], |n| {
-        let f = random_3cnf(n, n * 3, 8);
-        let r = sat_poss_etable(&f);
-        possibility::decide(&r.view, &r.facts, BIG).unwrap()
-    });
-    section("E-T51-2", "Theorem 5.1(2): POSS(*,-) NP-complete for e-tables", "super-polynomial", &sweep);
+    let sweep = Sweep::run(
+        "POSS(*, -), 3CNF reduction on e-tables",
+        [3, 4, 5, 6],
+        |n| {
+            let f = random_3cnf(n, n * 3, 8);
+            let r = sat_poss_etable(&f);
+            possibility::decide(&r.view, &r.facts, BIG).unwrap()
+        },
+    );
+    section(
+        "E-T51-2",
+        "Theorem 5.1(2): POSS(*,-) NP-complete for e-tables",
+        "super-polynomial",
+        &sweep,
+    );
 
-    let sweep = Sweep::run("POSS(*, -), 3CNF reduction on i-tables", [3, 4, 5, 6], |n| {
-        let f = random_3cnf(n, n * 3, 8);
-        let r = sat_poss_itable(&f);
-        possibility::decide(&r.view, &r.facts, BIG).unwrap()
-    });
-    section("E-T51-3", "Theorem 5.1(3): POSS(*,-) NP-complete for i-tables", "super-polynomial", &sweep);
+    let sweep = Sweep::run(
+        "POSS(*, -), 3CNF reduction on i-tables",
+        [3, 4, 5, 6],
+        |n| {
+            let f = random_3cnf(n, n * 3, 8);
+            let r = sat_poss_itable(&f);
+            possibility::decide(&r.view, &r.facts, BIG).unwrap()
+        },
+    );
+    section(
+        "E-T51-3",
+        "Theorem 5.1(3): POSS(*,-) NP-complete for i-tables",
+        "super-polynomial",
+        &sweep,
+    );
 
     let q_pair = Query::single(
         "Q",
@@ -168,75 +292,125 @@ fn main() {
             [qatom!("R"; "a", "b", "c")],
         ))),
     );
-    let sweep = Sweep::run("POSS(k, q), pos. exist. on c-tables via the algebra", [32, 128, 512, 2048], |n| {
-        let params = TableParams::with_rows(n, 42);
-        let db = CDatabase::single(random_ctable("R", &params));
-        let world = member_instance(&db, &params);
-        let mut facts = Instance::new();
-        if let Some((_, rel)) = world.iter().next() {
-            for fact in rel.iter().take(2) {
-                facts
-                    .insert_fact("Q", pw_relational::Tuple::new([fact[0].clone(), fact[2].clone()]))
-                    .expect("arity 2");
+    let sweep = Sweep::run(
+        "POSS(k, q), pos. exist. on c-tables via the algebra",
+        [32, 128, 512, 2048],
+        |n| {
+            let params = TableParams::with_rows(n, 42);
+            let db = CDatabase::single(random_ctable("R", &params));
+            let world = member_instance(&db, &params);
+            let mut facts = Instance::new();
+            if let Some((_, rel)) = world.iter().next() {
+                for fact in rel.iter().take(2) {
+                    facts
+                        .insert_fact(
+                            "Q",
+                            pw_relational::Tuple::new([fact[0].clone(), fact[2].clone()]),
+                        )
+                        .expect("arity 2");
+                }
             }
-        }
-        let view = View::new(q_pair.clone(), db);
-        possibility::decide(&view, &facts, BIG).unwrap()
-    });
-    section("E-T52-1", "Theorem 5.2(1): POSS(k, q) ∈ PTIME for pos. exist. q on c-tables", "polynomial", &sweep);
+            let view = View::new(q_pair.clone(), db);
+            possibility::decide(&view, &facts, BIG).unwrap()
+        },
+    );
+    section(
+        "E-T52-1",
+        "Theorem 5.2(1): POSS(k, q) ∈ PTIME for pos. exist. q on c-tables",
+        "polynomial",
+        &sweep,
+    );
 
-    let sweep = Sweep::run("POSS(1, FO), 3DNF-non-tautology reduction", [1, 2, 3], |n| {
-        let f = DnfFormula::new(
-            n,
-            (0..n).map(|i| Clause::new([Literal { var: i, positive: true }])),
-        );
-        let r = pw_reductions::possibility_hardness::nontaut_poss_fo(&f);
-        possibility::decide(&r.view, &r.facts, BIG).unwrap()
-    });
-    section("E-T52-2", "Theorem 5.2(2): POSS(1, q) NP-complete for a first order q on tables", "super-polynomial", &sweep);
+    let sweep = Sweep::run(
+        "POSS(1, FO), 3DNF-non-tautology reduction",
+        [1, 2, 3],
+        |n| {
+            let f = DnfFormula::new(
+                n,
+                (0..n).map(|i| {
+                    Clause::new([Literal {
+                        var: i,
+                        positive: true,
+                    }])
+                }),
+            );
+            let r = pw_reductions::possibility_hardness::nontaut_poss_fo(&f);
+            possibility::decide(&r.view, &r.facts, BIG).unwrap()
+        },
+    );
+    section(
+        "E-T52-2",
+        "Theorem 5.2(2): POSS(1, q) NP-complete for a first order q on tables",
+        "super-polynomial",
+        &sweep,
+    );
 
     let sweep = Sweep::run("POSS(1, DATALOG), 3CNF reduction", [2, 3, 4], |n| {
         let f = random_3cnf(n, 3, 10);
         let r = sat_poss_datalog(&f);
         possibility::decide(&r.view, &r.facts, BIG).unwrap()
     });
-    section("E-T52-3", "Theorem 5.2(3): POSS(1, q) NP-complete for a DATALOG q on tables", "super-polynomial", &sweep);
+    section(
+        "E-T52-3",
+        "Theorem 5.2(3): POSS(1, q) NP-complete for a DATALOG q on tables",
+        "super-polynomial",
+        &sweep,
+    );
 
     // ---- E-T53: certainty. ----
     let tc = Query::single(
         "TC",
         QueryDef::Datalog(DatalogProgram::transitive_closure("R", "TC")),
     );
-    let sweep = Sweep::run("CERT(*, DATALOG) on g-tables via naive evaluation", [32, 64, 128, 256], |n| {
-        let params = TableParams {
-            rows: n,
-            arity: 2,
-            constants: n / 2,
-            null_density: 0.3,
-            seed: 51,
-        };
-        let db = CDatabase::single(random_etable("R", &params));
-        let world = member_instance(&db, &params);
-        let mut facts = Instance::new();
-        if let Some((_, rel)) = world.iter().next() {
-            if let Some(fact) = rel.iter().next() {
-                facts.insert_fact("TC", fact.clone()).expect("arity 2");
+    let sweep = Sweep::run(
+        "CERT(*, DATALOG) on g-tables via naive evaluation",
+        [32, 64, 128, 256],
+        |n| {
+            let params = TableParams {
+                rows: n,
+                arity: 2,
+                constants: n / 2,
+                null_density: 0.3,
+                seed: 51,
+            };
+            let db = CDatabase::single(random_etable("R", &params));
+            let world = member_instance(&db, &params);
+            let mut facts = Instance::new();
+            if let Some((_, rel)) = world.iter().next() {
+                if let Some(fact) = rel.iter().next() {
+                    facts.insert_fact("TC", fact.clone()).expect("arity 2");
+                }
             }
-        }
-        let view = View::new(tc.clone(), db);
-        certainty::decide(&view, &facts, Budget::default()).unwrap()
-    });
-    section("E-T53-1", "Theorem 5.3(1): CERT(*, DATALOG) ∈ PTIME for g-tables", "polynomial", &sweep);
+            let view = View::new(tc.clone(), db);
+            certainty::decide(&view, &facts, Budget::default()).unwrap()
+        },
+    );
+    section(
+        "E-T53-1",
+        "Theorem 5.3(1): CERT(*, DATALOG) ∈ PTIME for g-tables",
+        "polynomial",
+        &sweep,
+    );
 
     let sweep = Sweep::run("CERT(1, FO), 3DNF-tautology reduction", [1, 2, 3], |n| {
         let f = DnfFormula::new(
             n,
-            (0..n).map(|i| Clause::new([Literal { var: i, positive: i % 2 == 0 }])),
+            (0..n).map(|i| {
+                Clause::new([Literal {
+                    var: i,
+                    positive: i % 2 == 0,
+                }])
+            }),
         );
         let r = taut_cert_fo(&f);
         certainty::decide(&r.view, &r.facts, BIG).unwrap()
     });
-    section("E-T53-2", "Theorem 5.3(2): CERT(1, q) coNP-complete for a first order q on tables", "super-polynomial", &sweep);
+    section(
+        "E-T53-2",
+        "Theorem 5.3(2): CERT(1, q) coNP-complete for a first order q on tables",
+        "super-polynomial",
+        &sweep,
+    );
 
     println!("Done.  See EXPERIMENTS.md for the recorded paper-vs-measured discussion.");
 }

@@ -135,7 +135,11 @@ fn main() {
         print!("{:<10}", row.label());
         for col in Repr::ALL {
             let expected = Repr::expected_class(row, col);
-            let sizes: &[usize] = if expected == "PTIME" { &easy_sizes } else { &hard_sizes };
+            let sizes: &[usize] = if expected == "PTIME" {
+                &easy_sizes
+            } else {
+                &hard_sizes
+            };
             let strategy = containment::strategy(&row.build(4, 1), &col.build(4, 2));
             let sweep = measure_cell(row, col, sizes);
             let cell = format!(
@@ -159,7 +163,13 @@ fn main() {
     // caption): report their strategies too.
     println!("\nSpecial cases (membership = containment with a fixed left instance, uniqueness = ");
     println!("containment both ways against a single instance):");
-    for col in [Repr::Codd, Repr::ETable, Repr::ITable, Repr::CTable, Repr::ViewOfTable] {
+    for col in [
+        Repr::Codd,
+        Repr::ETable,
+        Repr::ITable,
+        Repr::CTable,
+        Repr::ViewOfTable,
+    ] {
         let view = col.build(16, 77);
         let memb = pw_decide::membership::view_strategy(&view);
         let uniq = pw_decide::uniqueness::strategy(&view);

@@ -1,0 +1,195 @@
+//! Measure the parallel decision engine against the sequential baseline on the worst-case
+//! exponential paths — the scenario the ROADMAP's "as fast as the hardware allows" goal is
+//! about.  Run with `cargo run --release --bin parallel-speedup`.
+//!
+//! Three scenarios, each printed as a threads → wall-clock table with the speedup over the
+//! single-threaded engine:
+//!
+//! 1. **exhaustive refutation** — a possibility (row-cover) question with *no* witness, so
+//!    every configuration explores the same complete tree: the cleanest measure of the
+//!    frontier + work-queue substrate;
+//! 2. **certainty forest** — `CERT(*, -)` over a conditional table, whose per-fact
+//!    complement searches are independent subtrees (parallelism across *and* within
+//!    facts);
+//! 3. **batch throughput** — the same database asked many possibility questions through
+//!    `pw_decide::batch::decide_all_with`, the front door that amortizes base-store
+//!    construction across requests.
+
+use pw_bench::compact;
+use pw_condition::{Atom, Conjunction, Term, VarGen, Variable};
+use pw_core::{CDatabase, CTable, CTuple, View};
+use pw_decide::batch::{decide_all_with, DecisionRequest};
+use pw_decide::engine::{Engine, EngineConfig};
+use pw_decide::{certainty, possibility, Budget};
+use pw_relational::{Instance, Relation, Tuple};
+use std::time::{Duration, Instant};
+
+const BUDGET: Budget = Budget(1_000_000_000);
+
+fn thread_counts() -> Vec<usize> {
+    let max = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let mut counts = vec![1, 2];
+    let mut t = 4;
+    while t <= max {
+        counts.push(t);
+        t *= 2;
+    }
+    counts.dedup();
+    counts
+}
+
+fn report(label: &str, rows: &[(usize, Duration, bool)]) {
+    println!("-- {label}");
+    let baseline = rows[0].1;
+    for (threads, elapsed, answer) in rows {
+        println!(
+            "   threads = {threads:>2}   {:>10}   speedup ×{:<5.2} answer = {answer}",
+            compact(*elapsed),
+            baseline.as_secs_f64() / elapsed.as_secs_f64().max(1e-9),
+        );
+    }
+    println!();
+}
+
+/// Scenario 1: an i-table with one more fact than rows — no witness, so the whole
+/// assignment tree (≈ rows! · e nodes) is explored by every configuration.
+fn exhaustive_refutation(rows: usize) {
+    let mut vars = VarGen::new();
+    let xs: Vec<Variable> = (0..rows).map(|_| vars.fresh()).collect();
+    let table = CTable::i_table(
+        "R",
+        1,
+        Conjunction::new([Atom::neq(xs[0], xs[1])]),
+        xs.iter().map(|&x| vec![Term::Var(x)]),
+    )
+    .unwrap();
+    let view = View::identity(CDatabase::single(table));
+    let mut rel = Relation::empty(1);
+    for i in 0..=rows as i64 {
+        rel.insert(Tuple::new([i.into()])).unwrap();
+    }
+    let facts = Instance::single("R", rel);
+
+    let measurements: Vec<(usize, Duration, bool)> = thread_counts()
+        .into_iter()
+        .map(|threads| {
+            let engine = Engine::new(EngineConfig::with_threads(threads, BUDGET));
+            let start = Instant::now();
+            let answer = possibility::decide_with(&view, &facts, &engine).unwrap();
+            (threads, start.elapsed(), answer)
+        })
+        .collect();
+    report(
+        &format!(
+            "POSS row-cover refutation ({rows} rows, {} facts, no witness)",
+            rows + 1
+        ),
+        &measurements,
+    );
+}
+
+/// Scenario 2: `CERT(*, -)` where every fact *is* certain, so every per-fact complement
+/// search must refute its entire reason tree: per fact, a forced row (pinned by the global
+/// condition) kills every branch, but only after the search has explored all reason
+/// combinations of the chaff rows before it.  The per-fact searches are independent
+/// subtrees of one forest.
+fn certainty_forest(chaff: usize, facts_n: usize) {
+    let mut vars = VarGen::new();
+    let switch = vars.fresh();
+    let mut rows = Vec::new();
+    // Chaff: free rows whose "why is this row missing the fact" choices all stay
+    // consistent — two positions plus one local-condition atom, three branches each.
+    for _ in 0..chaff {
+        let (y, z) = (vars.fresh(), vars.fresh());
+        rows.push(CTuple::with_condition(
+            [Term::Var(y), Term::Var(z)],
+            Conjunction::new([Atom::neq(switch, 999)]),
+        ));
+    }
+    // One forced row per fact: the global condition pins x_i = c_i, so the row always
+    // produces (c_i, c_i) and no reason branch survives — but the search discovers that
+    // only at the bottom of the chaff tree.
+    let mut global = Conjunction::truth();
+    for i in 0..facts_n as i64 {
+        let x = vars.fresh();
+        global.push(Atom::eq(x, i));
+        rows.push(CTuple::of_terms([Term::Var(x), Term::Var(x)]));
+    }
+    let table = CTable::new("R", 2, global, rows).unwrap();
+    let view = View::identity(CDatabase::single(table));
+    let mut rel = Relation::empty(2);
+    for i in 0..facts_n as i64 {
+        rel.insert(Tuple::new([i.into(), i.into()])).unwrap();
+    }
+    let facts = Instance::single("R", rel);
+
+    let measurements: Vec<(usize, Duration, bool)> = thread_counts()
+        .into_iter()
+        .map(|threads| {
+            let engine = Engine::new(EngineConfig::with_threads(threads, BUDGET));
+            let start = Instant::now();
+            let answer = certainty::decide_with(&view, &facts, &engine).unwrap();
+            (threads, start.elapsed(), answer)
+        })
+        .collect();
+    report(
+        &format!("CERT(*, -) forest ({facts_n} certain facts, {chaff} chaff rows each)"),
+        &measurements,
+    );
+}
+
+/// Scenario 3: one database, many possibility questions, through the batched front door.
+fn batch_throughput(rows: usize, requests_n: usize) {
+    let mut vars = VarGen::new();
+    let xs: Vec<Variable> = (0..rows).map(|_| vars.fresh()).collect();
+    let table = CTable::i_table(
+        "R",
+        1,
+        Conjunction::new([Atom::neq(xs[0], xs[1])]),
+        xs.iter().map(|&x| vec![Term::Var(x)]),
+    )
+    .unwrap();
+    let view = View::identity(CDatabase::single(table));
+    let requests: Vec<DecisionRequest> = (0..requests_n)
+        .map(|k| {
+            let mut rel = Relation::empty(1);
+            // Refutation instances again (rows + 1 facts), shifted per request so the
+            // stores differ while the database (and its base store) is shared.
+            for i in 0..=rows as i64 {
+                rel.insert(Tuple::new([(i + k as i64).into()])).unwrap();
+            }
+            DecisionRequest::Possibility {
+                view: view.clone(),
+                facts: Instance::single("R", rel),
+            }
+        })
+        .collect();
+
+    let measurements: Vec<(usize, Duration, bool)> = thread_counts()
+        .into_iter()
+        .map(|threads| {
+            let cfg = EngineConfig::with_threads(threads, BUDGET);
+            let start = Instant::now();
+            let outcomes = decide_all_with(&requests, &cfg);
+            let all_false = outcomes.iter().all(|o| o.answer == Ok(false));
+            (threads, start.elapsed(), all_false)
+        })
+        .collect();
+    report(
+        &format!(
+            "batch::decide_all ({requests_n} requests × {rows}-row refutations, shared database)"
+        ),
+        &measurements,
+    );
+}
+
+fn main() {
+    println!("parallel decision engine — wall-clock speedup over the sequential search");
+    println!(
+        "(available parallelism: {}; every row re-runs the same decision, answers must agree)\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+    exhaustive_refutation(9);
+    certainty_forest(8, 6);
+    batch_throughput(7, 32);
+}

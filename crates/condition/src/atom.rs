@@ -183,7 +183,10 @@ impl Conjunction {
             .iter()
             .flat_map(|a| {
                 let (x, y) = a.terms();
-                x.as_const().cloned().into_iter().chain(y.as_const().cloned())
+                x.as_const()
+                    .cloned()
+                    .into_iter()
+                    .chain(y.as_const().cloned())
             })
             .collect()
     }
@@ -356,10 +359,12 @@ mod tests {
         let (x, y) = (g.fresh(), g.fresh());
         assert!(Conjunction::new([Atom::neq(x, y)]).is_satisfiable());
         assert!(!Conjunction::new([Atom::eq(x, y), Atom::neq(x, y)]).is_satisfiable());
-        assert!(!Conjunction::new([Atom::eq(x, 1), Atom::eq(y, 1), Atom::neq(x, y)])
-            .is_satisfiable());
-        assert!(Conjunction::new([Atom::eq(x, 1), Atom::eq(y, 2), Atom::neq(x, y)])
-            .is_satisfiable());
+        assert!(
+            !Conjunction::new([Atom::eq(x, 1), Atom::eq(y, 1), Atom::neq(x, y)]).is_satisfiable()
+        );
+        assert!(
+            Conjunction::new([Atom::eq(x, 1), Atom::eq(y, 2), Atom::neq(x, y)]).is_satisfiable()
+        );
         assert!(!Conjunction::new([Atom::neq(x, x)]).is_satisfiable());
     }
 
@@ -449,7 +454,9 @@ mod tests {
         assert_eq!(c2.atoms()[0], Atom::eq(7, y));
         assert!(c.to_string().contains('='));
         assert_eq!(Conjunction::truth().to_string(), "true");
-        assert!(Conjunction::new([Atom::neq(x, y)]).to_string().contains('≠'));
+        assert!(Conjunction::new([Atom::neq(x, y)])
+            .to_string()
+            .contains('≠'));
     }
 
     #[test]

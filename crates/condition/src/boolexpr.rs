@@ -306,7 +306,10 @@ mod tests {
         let c = Conjunction::new([Atom::eq(x, 1), Atom::neq(x, 2)]);
         let e: BoolExpr = c.clone().into();
         assert_eq!(e.to_dnf(), vec![c]);
-        assert_eq!(BoolExpr::from_conjunction(&Conjunction::truth()), BoolExpr::True);
+        assert_eq!(
+            BoolExpr::from_conjunction(&Conjunction::truth()),
+            BoolExpr::True
+        );
     }
 
     #[test]

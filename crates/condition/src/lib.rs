@@ -18,10 +18,16 @@
 //!   c-table algebra, and
 //! * [`ConstraintSet`] — an incremental union–find based constraint store used by the
 //!   backtracking decision procedures of `pw-decide` (partial valuations with equality
-//!   propagation and inequality checking).
+//!   propagation and inequality checking), forkable in O(1) via
+//!   [`ConstraintSet::checkpoint`] / [`ConstraintSet::rollback`] (an undo trail), and
+//! * [`SatCache`] — a hash-consing, memoizing satisfiability cache shared by the parallel
+//!   decision engine of `pw-decide`.
+
+#![warn(missing_docs)]
 
 pub mod atom;
 pub mod boolexpr;
+pub mod cache;
 pub mod solve;
 pub mod term;
 pub mod unionfind;
@@ -29,6 +35,7 @@ pub mod variable;
 
 pub use atom::{Atom, Conjunction};
 pub use boolexpr::BoolExpr;
-pub use solve::ConstraintSet;
+pub use cache::{CacheStats, SatCache};
+pub use solve::{Checkpoint, ConstraintSet};
 pub use term::Term;
 pub use variable::{VarGen, Variable};

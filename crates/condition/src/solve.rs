@@ -4,11 +4,19 @@
 //! "this table row maps onto that instance fact" induces a batch of equalities between the
 //! row's terms and the fact's constants; global and local conditions add further equalities
 //! and inequalities.  [`ConstraintSet`] maintains the conjunction collected so far and
-//! answers consistency queries in (amortised) near-linear time; it is cloned at choice
-//! points, which keeps the implementation simple and is cheap at the sizes the hard cases
-//! can reach anyway (they are NP-/Π₂ᵖ-hard, the cost is in the search tree, not the store).
+//! answers consistency queries in (amortised) near-linear time.
+//!
+//! Searches fork the store at choice points.  Two mechanisms are offered:
+//!
+//! * [`ConstraintSet::checkpoint`] / [`ConstraintSet::rollback`] — an **undo trail**: O(1)
+//!   to fork, O(mutations-since-fork) to restore.  This is what the depth-first searches of
+//!   `pw-decide` use on their hot path.
+//! * `Clone` — a full copy of the *state* with an **empty undo history** (checkpoints from
+//!   the source do not transfer), used when a search node is shipped to another thread by
+//!   the parallel engine and by the legacy clone-per-choice-point searches, which never
+//!   roll back and must not pay for the trail.
 
-use crate::unionfind::TermUnionFind;
+use crate::unionfind::{TermUnionFind, UfMark};
 use crate::{Atom, Conjunction, Term, Variable};
 use pw_relational::Constant;
 use std::collections::BTreeSet;
@@ -23,10 +31,46 @@ pub struct ConstraintSet {
     contradictory: bool,
 }
 
+/// A restore point for a [`ConstraintSet`], produced by [`ConstraintSet::checkpoint`].
+///
+/// Checkpoints must be rolled back in LIFO order (innermost first), exactly like the
+/// choice points of a backtracking search.
+#[derive(Clone, Copy, Debug)]
+pub struct Checkpoint {
+    uf_mark: UfMark,
+    diseq_len: usize,
+    contradictory: bool,
+}
+
 impl ConstraintSet {
     /// An empty, consistent store.
     pub fn new() -> Self {
         ConstraintSet::default()
+    }
+
+    /// Record a restore point.  O(1).
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            uf_mark: self.uf.mark(),
+            diseq_len: self.disequalities.len(),
+            contradictory: self.contradictory,
+        }
+    }
+
+    /// Restore the store to the state it had when `cp` was taken, undoing every assertion
+    /// (and every internal path-compression write) made since.  Cost is proportional to the
+    /// number of mutations being undone, not to the size of the store.
+    pub fn rollback(&mut self, cp: Checkpoint) {
+        self.uf.undo_to(cp.uf_mark);
+        self.disequalities.truncate(cp.diseq_len);
+        self.contradictory = cp.contradictory;
+    }
+
+    /// Drop the undo history accumulated so far; all outstanding [`Checkpoint`]s become
+    /// invalid.  Clones already start with an empty history — this is for releasing trail
+    /// memory on a long-lived store between searches.
+    pub fn forget_history(&mut self) {
+        self.uf.forget_history();
     }
 
     /// Whether the constraints collected so far are consistent.
@@ -236,6 +280,51 @@ mod tests {
         assert_eq!(val[0].1, Constant::int(1));
         assert_ne!(val[1].1, val[2].1, "fresh values are pairwise distinct");
         assert_ne!(val[1].1, Constant::int(1));
+    }
+
+    #[test]
+    fn checkpoint_rollback_restores_consistency_and_bindings() {
+        let mut g = VarGen::new();
+        let (x, y) = (g.fresh(), g.fresh());
+        let mut cs = ConstraintSet::new();
+        assert!(cs.bind(x, &Constant::int(1)));
+
+        let cp = cs.checkpoint();
+        assert!(cs.assert_eq(&Term::Var(x), &Term::Var(y)));
+        assert_eq!(cs.value_of(y), Some(Constant::int(1)));
+        assert!(
+            !cs.assert_neq(&Term::Var(x), &Term::Var(y)),
+            "contradiction detected"
+        );
+        assert!(!cs.is_consistent());
+
+        cs.rollback(cp);
+        assert!(cs.is_consistent(), "contradiction unwound");
+        assert_eq!(
+            cs.value_of(x),
+            Some(Constant::int(1)),
+            "pre-checkpoint binding kept"
+        );
+        assert_eq!(cs.value_of(y), None, "post-checkpoint binding gone");
+        // The store is fully usable again after the rollback.
+        assert!(cs.bind(y, &Constant::int(2)));
+        assert!(cs.known_distinct(&Term::Var(x), &Term::Var(y)));
+    }
+
+    #[test]
+    fn nested_checkpoints_unwind_lifo() {
+        let mut g = VarGen::new();
+        let (x, y, z) = (g.fresh(), g.fresh(), g.fresh());
+        let mut cs = ConstraintSet::new();
+        let outer = cs.checkpoint();
+        cs.bind(x, &Constant::int(1));
+        let inner = cs.checkpoint();
+        cs.assert_eq(&Term::Var(y), &Term::Var(z));
+        cs.rollback(inner);
+        assert!(!cs.known_equal(&Term::Var(y), &Term::Var(z)));
+        assert_eq!(cs.value_of(x), Some(Constant::int(1)));
+        cs.rollback(outer);
+        assert_eq!(cs.value_of(x), None);
     }
 
     #[test]

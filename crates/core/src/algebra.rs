@@ -305,12 +305,7 @@ mod tests {
     #[test]
     fn inequality_side_conditions_become_local_inequalities() {
         let v = fresh_vars(1);
-        let t = CTable::codd(
-            "T",
-            1,
-            [vec![Term::Var(v[0])], vec![Term::constant(5)]],
-        )
-        .unwrap();
+        let t = CTable::codd("T", 1, [vec![Term::Var(v[0])], vec![Term::constant(5)]]).unwrap();
         let db = CDatabase::single(t);
         // q(a) :- T(a), a ≠ 5
         let q = Ucq::single(

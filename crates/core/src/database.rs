@@ -14,7 +14,7 @@ use std::fmt;
 /// tables is a convenient (and semantically equivalent) shorthand for equating two
 /// variables in a global condition — but [`CDatabase::tables_share_variables`] reports it
 /// so callers that care (e.g. the classification used in benchmarks) can check.
-#[derive(Clone, Debug, PartialEq, Eq, Default)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Default)]
 pub struct CDatabase {
     tables: Vec<CTable>,
 }

@@ -37,6 +37,8 @@
 //! assert!(!worlds.is_empty());
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod algebra;
 pub mod database;
 pub mod paper;

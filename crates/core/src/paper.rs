@@ -118,12 +118,7 @@ pub fn fig1() -> Fig1 {
     )
     .expect("Te is a valid c-table");
 
-    let sigma = Valuation::from_pairs([
-        (x, 2.into()),
-        (y, 3.into()),
-        (z, 0.into()),
-        (v, 5.into()),
-    ]);
+    let sigma = Valuation::from_pairs([(x, 2.into()), (y, 3.into()), (z, 0.into()), (v, 5.into())]);
 
     Fig1 {
         ta,

@@ -232,9 +232,7 @@ mod tests {
         assert_eq!(pw.valuation_count(), 2);
         let worlds = pw.enumerate(100).unwrap();
         assert_eq!(worlds.len(), 2);
-        assert!(worlds
-            .iter()
-            .any(|w| w.contains_fact("T", &tup![1, 1])));
+        assert!(worlds.iter().any(|w| w.contains_fact("T", &tup![1, 1])));
     }
 
     #[test]

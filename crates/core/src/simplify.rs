@@ -118,7 +118,11 @@ mod tests {
     fn assert_same_rep(before: &CTable, after: &CTable) {
         // Compare over a shared evaluation domain: both tables' constants plus one spare
         // value per variable of the *original* (the simplified table never has more).
-        let shared: BTreeSet<Constant> = before.constants().into_iter().chain(after.constants()).collect();
+        let shared: BTreeSet<Constant> = before
+            .constants()
+            .into_iter()
+            .chain(after.constants())
+            .collect();
         let db_before = CDatabase::single(before.clone());
         let db_after = CDatabase::single(after.clone());
         let worlds_before = PossibleWorlds::new(&db_before)
@@ -162,7 +166,11 @@ mod tests {
         )
         .unwrap();
         let s = simplify_table(&t).unwrap();
-        assert_eq!(s.len(), 1, "the x ≠ 1 row can never fire under the global x = 1");
+        assert_eq!(
+            s.len(),
+            1,
+            "the x ≠ 1 row can never fire under the global x = 1"
+        );
         assert_eq!(s.tuples()[0].terms, vec![Term::constant(8)]);
         assert_same_rep(&t, &s);
     }
@@ -194,10 +202,16 @@ mod tests {
         let t = CTable::new(
             "T",
             1,
-            Conjunction::new([Atom::eq(Term::constant(1), Term::constant(1)), Atom::neq(x, 0)]),
+            Conjunction::new([
+                Atom::eq(Term::constant(1), Term::constant(1)),
+                Atom::neq(x, 0),
+            ]),
             [CTuple::with_condition(
                 [Term::Var(x)],
-                Conjunction::new([Atom::eq(x, x), Atom::neq(Term::constant(1), Term::constant(2))]),
+                Conjunction::new([
+                    Atom::eq(x, x),
+                    Atom::neq(Term::constant(1), Term::constant(2)),
+                ]),
             )],
         )
         .unwrap();
@@ -212,17 +226,19 @@ mod tests {
         let mut g = VarGen::new();
         let x = g.fresh();
         let unconditional = CTuple::of_terms([Term::constant(5)]);
-        let conditional = CTuple::with_condition(
-            [Term::constant(5)],
-            Conjunction::new([Atom::eq(x, 0)]),
-        );
+        let conditional =
+            CTuple::with_condition([Term::constant(5)], Conjunction::new([Atom::eq(x, 0)]));
         // Exact duplicate + a conditional row producing the same fact: one row survives,
         // with the weakest (here: trivial) condition.
         let t = CTable::new(
             "T",
             1,
             Conjunction::truth(),
-            [conditional.clone(), unconditional.clone(), unconditional.clone()],
+            [
+                conditional.clone(),
+                unconditional.clone(),
+                unconditional.clone(),
+            ],
         )
         .unwrap();
         let s = simplify_table(&t).unwrap();
@@ -231,13 +247,7 @@ mod tests {
         assert_same_rep(&t, &s);
 
         // Order independence: the unconditional row first gives the same result.
-        let t2 = CTable::new(
-            "T",
-            1,
-            Conjunction::truth(),
-            [unconditional, conditional],
-        )
-        .unwrap();
+        let t2 = CTable::new("T", 1, Conjunction::truth(), [unconditional, conditional]).unwrap();
         let s2 = simplify_table(&t2).unwrap();
         assert_eq!(s2.len(), 1);
         assert!(s2.tuples()[0].has_trivial_condition());
@@ -298,7 +308,10 @@ mod tests {
             "A",
             1,
             Conjunction::new([Atom::eq(x, 1)]),
-            [CTuple::with_condition([Term::Var(x)], Conjunction::new([Atom::neq(x, 1)]))],
+            [CTuple::with_condition(
+                [Term::Var(x)],
+                Conjunction::new([Atom::neq(x, 1)]),
+            )],
         )
         .unwrap();
         let b = CTable::codd("B", 1, [vec![Term::constant(3)]]).unwrap();

@@ -35,7 +35,10 @@ impl fmt::Display for TableError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TableError::ArityMismatch { expected, found } => {
-                write!(f, "tuple arity {found} does not match table arity {expected}")
+                write!(
+                    f,
+                    "tuple arity {found} does not match table arity {expected}"
+                )
             }
             TableError::NotInClass { requested, reason } => {
                 write!(f, "table is not a valid {requested}: {reason}")
@@ -78,7 +81,7 @@ impl fmt::Display for TableClass {
 }
 
 /// A row of a c-table: a vector of terms plus a local condition.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct CTuple {
     /// The row's terms (constants and variables).
     pub terms: Vec<Term>,
@@ -96,10 +99,7 @@ impl CTuple {
     }
 
     /// A row with an explicit local condition.
-    pub fn with_condition(
-        terms: impl IntoIterator<Item = Term>,
-        condition: Conjunction,
-    ) -> Self {
+    pub fn with_condition(terms: impl IntoIterator<Item = Term>, condition: Conjunction) -> Self {
         CTuple {
             terms: terms.into_iter().collect(),
             condition,
@@ -162,7 +162,7 @@ impl fmt::Display for CTuple {
 /// Every level of the paper's hierarchy is a `CTable`; use [`CTable::classify`] to find the
 /// tightest class, or the restricted constructors ([`CTable::codd`], [`CTable::e_table`],
 /// [`CTable::i_table`], [`CTable::g_table`]) to enforce a level at construction time.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct CTable {
     name: String,
     arity: usize,
@@ -529,12 +529,15 @@ fn conjunctions_match(a: &Conjunction, b: &Conjunction, renaming: &mut VariableB
     if a.len() != b.len() {
         return false;
     }
-    a.atoms().iter().zip(b.atoms().iter()).all(|(x, y)| match (x, y) {
-        (Atom::Eq(x1, x2), Atom::Eq(y1, y2)) | (Atom::Neq(x1, x2), Atom::Neq(y1, y2)) => {
-            terms_match(x1, y1, renaming) && terms_match(x2, y2, renaming)
-        }
-        _ => false,
-    })
+    a.atoms()
+        .iter()
+        .zip(b.atoms().iter())
+        .all(|(x, y)| match (x, y) {
+            (Atom::Eq(x1, x2), Atom::Eq(y1, y2)) | (Atom::Neq(x1, x2), Atom::Neq(y1, y2)) => {
+                terms_match(x1, y1, renaming) && terms_match(x2, y2, renaming)
+            }
+            _ => false,
+        })
 }
 
 impl fmt::Display for CTable {
@@ -564,11 +567,7 @@ mod tests {
     fn codd_table_rejects_repeated_variables() {
         let mut g = VarGen::new();
         let x = g.fresh();
-        let ok = CTable::codd(
-            "T",
-            2,
-            [terms(&[Term::Var(x), Term::constant(1)])],
-        );
+        let ok = CTable::codd("T", 2, [terms(&[Term::Var(x), Term::constant(1)])]);
         assert!(ok.is_ok());
         assert_eq!(ok.unwrap().classify(), TableClass::Codd);
 
@@ -592,7 +591,13 @@ mod tests {
             [CTuple::of_terms([Term::constant(1)])],
         )
         .unwrap_err();
-        assert_eq!(err, TableError::ArityMismatch { expected: 2, found: 1 });
+        assert_eq!(
+            err,
+            TableError::ArityMismatch {
+                expected: 2,
+                found: 1
+            }
+        );
     }
 
     #[test]
@@ -684,10 +689,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(t.variables(), [x, y, z].into());
-        assert_eq!(
-            t.constants(),
-            [Constant::int(7), Constant::str("a")].into()
-        );
+        assert_eq!(t.constants(), [Constant::int(7), Constant::str("a")].into());
     }
 
     #[test]
@@ -757,10 +759,8 @@ mod tests {
         let (x, y, z) = (g.fresh(), g.fresh(), g.fresh());
         // (x, x) is not alpha-equivalent to (y, z): the repeated variable must map to a
         // repeated variable.
-        let repeated =
-            CTable::e_table("T", 2, [vec![Term::Var(x), Term::Var(x)]]).unwrap();
-        let distinct =
-            CTable::e_table("T", 2, [vec![Term::Var(y), Term::Var(z)]]).unwrap();
+        let repeated = CTable::e_table("T", 2, [vec![Term::Var(x), Term::Var(x)]]).unwrap();
+        let distinct = CTable::e_table("T", 2, [vec![Term::Var(y), Term::Var(z)]]).unwrap();
         assert!(!repeated.alpha_equivalent(&distinct));
         assert!(!distinct.alpha_equivalent(&repeated));
         // Different constants, names, or row counts are never alpha-equivalent.

@@ -168,8 +168,14 @@ mod tests {
         let (x, y) = (g.fresh(), g.fresh());
         let mut val = Valuation::new();
         val.assign(x, 1).assign(y, 2);
-        assert_eq!(val.satisfies(&Conjunction::new([Atom::neq(x, y)])), Some(true));
-        assert_eq!(val.satisfies(&Conjunction::new([Atom::eq(x, y)])), Some(false));
+        assert_eq!(
+            val.satisfies(&Conjunction::new([Atom::neq(x, y)])),
+            Some(true)
+        );
+        assert_eq!(
+            val.satisfies(&Conjunction::new([Atom::eq(x, y)])),
+            Some(false)
+        );
         let z = g.fresh();
         assert_eq!(val.satisfies(&Conjunction::new([Atom::eq(z, 1)])), None);
     }
@@ -220,16 +226,15 @@ mod tests {
     fn duplicate_rows_collapse_in_the_world() {
         let mut g = VarGen::new();
         let (x, y) = (g.fresh(), g.fresh());
-        let table = CTable::codd(
-            "T",
-            1,
-            [vec![Term::Var(x)], vec![Term::Var(y)]],
-        )
-        .unwrap();
+        let table = CTable::codd("T", 1, [vec![Term::Var(x)], vec![Term::Var(y)]]).unwrap();
         let db = CDatabase::new([table]);
         let val = Valuation::from_pairs([(x, Constant::int(1)), (y, Constant::int(1))]);
         let world = val.world_of(&db).unwrap();
-        assert_eq!(world.relation("T").unwrap().len(), 1, "two rows map to the same fact");
+        assert_eq!(
+            world.relation("T").unwrap().len(),
+            1,
+            "two rows map to the same fact"
+        );
         assert_eq!(val.len(), 2);
         assert!(!val.is_empty());
     }

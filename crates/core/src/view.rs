@@ -148,7 +148,10 @@ mod tests {
             "Q",
             QueryDef::Fo(FoQuery::boolean(
                 1,
-                Formula::exists(["a"], Formula::atom("T", [QTerm::var("a"), QTerm::var("a")])),
+                Formula::exists(
+                    ["a"],
+                    Formula::atom("T", [QTerm::var("a"), QTerm::var("a")]),
+                ),
             )),
         );
         let view = View::new(q, db);
@@ -156,9 +159,12 @@ mod tests {
         assert_eq!(view.query_class(), QueryClass::FirstOrder);
         // Still enumerable the slow way.
         let worlds = view.enumerate_worlds(1000, []).unwrap();
-        assert!(worlds
-            .iter()
-            .any(|w| w.contains_fact("Q", &tup![1])) || worlds.iter().all(|w| w.relation_or_empty("Q", 1).is_empty()));
+        assert!(
+            worlds.iter().any(|w| w.contains_fact("Q", &tup![1]))
+                || worlds
+                    .iter()
+                    .all(|w| w.relation_or_empty("Q", 1).is_empty())
+        );
     }
 
     #[test]

@@ -1,0 +1,264 @@
+//! The batched front door: decide many requests against (typically) one database in a
+//! single call, amortizing preprocessing and saturating the machine.
+//!
+//! A service built on this crate rarely asks one question at a time — it triages a queue
+//! of membership/possibility/certainty/… questions, most of them against the same database
+//! or a handful of databases.  [`decide_all`] accepts such a queue and:
+//!
+//! * builds one [`Engine`] for the whole batch, so the hash-consed condition-satisfiability
+//!   cache and the per-database **base stores** (all global conditions asserted into a
+//!   [`pw_condition::ConstraintSet`] once, then cloned per search) are shared by every
+//!   request — the preprocessing that a one-shot `decide` call repeats per question is paid
+//!   once per database here;
+//! * runs the requests on a worker pool, giving each request a proportional slice of the
+//!   thread budget: a batch of one request uses every thread *inside* the search (the
+//!   engine's frontier parallelism), a large batch runs many sequential searches
+//!   concurrently — both ends saturate the cores without oversubscribing them;
+//! * reports, next to every answer, the [`Strategy`] the dispatcher chose, exactly like
+//!   the single-shot entry points do for the benchmark harness.
+//!
+//! Answers are positionally aligned with the input slice and independent of the worker
+//! scheduling (see the determinism notes in [`crate::engine`]).
+
+use crate::common::{Budget, BudgetExceeded, Strategy};
+use crate::engine::{Engine, EngineConfig};
+use crate::{certainty, containment, membership, possibility, uniqueness};
+use pw_core::View;
+use pw_relational::Instance;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One decision question, phrased exactly like the single-shot entry points.
+#[derive(Clone, Debug)]
+pub enum DecisionRequest {
+    /// `MEMB(q)`: is `instance` a possible world of the view?
+    Membership {
+        /// The view whose represented worlds are asked about.
+        view: View,
+        /// The candidate world.
+        instance: Instance,
+    },
+    /// `UNIQ(q₀)`: is the represented set exactly `{instance}`?
+    Uniqueness {
+        /// The view whose represented worlds are asked about.
+        view: View,
+        /// The candidate unique world.
+        instance: Instance,
+    },
+    /// `CONT(q₀, q)`: is every world of `left` a world of `right`?
+    Containment {
+        /// The contained view.
+        left: View,
+        /// The containing view.
+        right: View,
+    },
+    /// `POSS(·, q)`: is some world containing all of `facts` possible?
+    Possibility {
+        /// The view whose represented worlds are asked about.
+        view: View,
+        /// The facts that must all hold in one world.
+        facts: Instance,
+    },
+    /// `CERT(·, q)`: do all of `facts` hold in every world?
+    Certainty {
+        /// The view whose represented worlds are asked about.
+        view: View,
+        /// The facts that must hold in every world.
+        facts: Instance,
+    },
+}
+
+impl DecisionRequest {
+    /// The strategy the dispatcher will choose for this request (same tables as the
+    /// per-problem `strategy` functions).
+    pub fn strategy(&self) -> Strategy {
+        match self {
+            DecisionRequest::Membership { view, .. } => membership::view_strategy(view),
+            DecisionRequest::Uniqueness { view, .. } => uniqueness::strategy(view),
+            DecisionRequest::Containment { left, right } => containment::strategy(left, right),
+            DecisionRequest::Possibility { view, .. } => possibility::strategy(view),
+            DecisionRequest::Certainty { view, .. } => certainty::strategy(view),
+        }
+    }
+
+    fn decide(&self, engine: &Engine) -> Result<bool, BudgetExceeded> {
+        match self {
+            DecisionRequest::Membership { view, instance } => {
+                membership::view_membership_with(view, instance, engine)
+            }
+            DecisionRequest::Uniqueness { view, instance } => {
+                uniqueness::decide_with(view, instance, engine)
+            }
+            DecisionRequest::Containment { left, right } => {
+                containment::decide_with(left, right, engine)
+            }
+            DecisionRequest::Possibility { view, facts } => {
+                possibility::decide_with(view, facts, engine)
+            }
+            DecisionRequest::Certainty { view, facts } => {
+                certainty::decide_with(view, facts, engine)
+            }
+        }
+    }
+}
+
+/// The answer to one [`DecisionRequest`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DecisionOutcome {
+    /// The decision, or [`BudgetExceeded`] when the request's search ran out of budget.
+    pub answer: Result<bool, BudgetExceeded>,
+    /// Which of the paper's algorithms decided (or attempted) the request.
+    pub strategy: Strategy,
+}
+
+/// Decide every request with all available cores and the default [`Budget`].
+pub fn decide_all(requests: &[DecisionRequest]) -> Vec<DecisionOutcome> {
+    decide_all_with(requests, &EngineConfig::parallel(Budget::default()))
+}
+
+/// Decide every request under an explicit configuration.  `cfg.threads` is the *total*
+/// thread budget of the batch; `cfg.budget` applies to each request's search
+/// independently (a slow request cannot starve the others of budget).
+pub fn decide_all_with(requests: &[DecisionRequest], cfg: &EngineConfig) -> Vec<DecisionOutcome> {
+    if requests.is_empty() {
+        return Vec::new();
+    }
+    // Split the thread budget: `workers` requests run concurrently, each with
+    // `threads_per_request` threads inside its own search.
+    let workers = cfg.threads.min(requests.len()).max(1);
+    let threads_per_request = (cfg.threads / workers).max(1);
+    let mut inner_cfg = *cfg;
+    inner_cfg.threads = threads_per_request;
+    let engine = Engine::new(inner_cfg);
+
+    if workers == 1 {
+        return requests
+            .iter()
+            .map(|request| DecisionOutcome {
+                answer: request.decide(&engine),
+                strategy: request.strategy(),
+            })
+            .collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<DecisionOutcome>>> =
+        requests.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(request) = requests.get(i) else {
+                    return;
+                };
+                let outcome = DecisionOutcome {
+                    answer: request.decide(&engine),
+                    strategy: request.strategy(),
+                };
+                *slots[i].lock().expect("outcome slot poisoned") = Some(outcome);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("outcome slot poisoned")
+                .expect("every request was decided")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pw_condition::{Atom, Conjunction, Term, VarGen};
+    use pw_core::{CDatabase, CTable, CTuple};
+    use pw_relational::rel;
+
+    fn demo_db() -> CDatabase {
+        let mut g = VarGen::new();
+        let x = g.fresh();
+        CDatabase::single(
+            CTable::new(
+                "R",
+                1,
+                Conjunction::truth(),
+                [
+                    CTuple::of_terms([Term::constant(1)]),
+                    CTuple::with_condition([Term::constant(2)], Conjunction::new([Atom::eq(x, 0)])),
+                ],
+            )
+            .unwrap(),
+        )
+    }
+
+    fn demo_requests() -> Vec<DecisionRequest> {
+        let view = View::identity(demo_db());
+        vec![
+            DecisionRequest::Possibility {
+                view: view.clone(),
+                facts: Instance::single("R", rel![[1], [2]]),
+            },
+            DecisionRequest::Certainty {
+                view: view.clone(),
+                facts: Instance::single("R", rel![[1]]),
+            },
+            DecisionRequest::Certainty {
+                view: view.clone(),
+                facts: Instance::single("R", rel![[2]]),
+            },
+            DecisionRequest::Membership {
+                view: view.clone(),
+                instance: Instance::single("R", rel![[1]]),
+            },
+            DecisionRequest::Uniqueness {
+                view: view.clone(),
+                instance: Instance::single("R", rel![[1]]),
+            },
+            DecisionRequest::Containment {
+                left: view.clone(),
+                right: view,
+            },
+        ]
+    }
+
+    fn expected() -> Vec<bool> {
+        // (1,2) possible; (1) certain; (2) not certain; {(1)} is a member; {(1)} is not
+        // the unique world; every view contains itself.
+        vec![true, true, false, true, false, true]
+    }
+
+    #[test]
+    fn batch_matches_single_shot_answers() {
+        let requests = demo_requests();
+        let outcomes = decide_all_with(&requests, &EngineConfig::sequential(Budget(1_000_000)));
+        let answers: Vec<bool> = outcomes.iter().map(|o| o.answer.unwrap()).collect();
+        assert_eq!(answers, expected());
+    }
+
+    #[test]
+    fn batch_is_schedule_independent() {
+        let requests = demo_requests();
+        for threads in [1, 2, 3, 8] {
+            let cfg = EngineConfig::with_threads(threads, Budget(1_000_000));
+            let outcomes = decide_all_with(&requests, &cfg);
+            let answers: Vec<bool> = outcomes.iter().map(|o| o.answer.unwrap()).collect();
+            assert_eq!(answers, expected(), "answers with {threads} threads");
+        }
+    }
+
+    #[test]
+    fn batch_reports_strategies() {
+        let requests = demo_requests();
+        let outcomes = decide_all(&requests);
+        assert_eq!(outcomes.len(), requests.len());
+        assert_eq!(outcomes[0].strategy, Strategy::Backtracking);
+        assert_eq!(outcomes[1].strategy, Strategy::Backtracking);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        assert!(decide_all(&[]).is_empty());
+    }
+}

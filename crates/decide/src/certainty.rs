@@ -14,28 +14,35 @@
 //! equivalence of Proposition 2.1(6).
 
 use crate::common::{
-    evaluation_delta, for_each_canonical_valuation, freeze_database, normalize_database, Budget,
-    BudgetExceeded, Strategy,
+    evaluation_delta, freeze_database, normalize_database, Budget, BudgetExceeded, Strategy,
 };
-use crate::search::exists_world_missing_fact;
+use crate::engine::{Engine, EngineConfig};
 use pw_core::{CDatabase, TableClass, View};
 use pw_query::QueryClass;
 use pw_relational::Instance;
 
 /// Decide `CERT(·, q)`: is every fact of `facts` true in every world of the view?
 pub fn decide(view: &View, facts: &Instance, budget: Budget) -> Result<bool, BudgetExceeded> {
+    decide_with(view, facts, &Engine::new(EngineConfig::sequential(budget)))
+}
+
+/// [`decide`] on an explicit [`Engine`]: the general (coNP) paths run on the engine's
+/// worker pool — the per-fact complement searches are independent subtrees, so a
+/// `CERT(*, q)` request parallelizes across facts as well as within each search.
+pub fn decide_with(view: &View, facts: &Instance, engine: &Engine) -> Result<bool, BudgetExceeded> {
     match strategy(view) {
-        Strategy::NaiveEvaluation => Ok(naive_gtable(view, facts)
-            .expect("strategy selection guarantees applicability")),
+        Strategy::NaiveEvaluation => {
+            Ok(naive_gtable(view, facts).expect("strategy selection guarantees applicability"))
+        }
         Strategy::Backtracking => {
             let db = match view.to_ctables() {
                 Some(Ok(db)) => db,
                 Some(Err(_)) => return Ok(false),
                 None => unreachable!("strategy selection guarantees convertibility"),
             };
-            complement_search(&db, facts, budget)
+            complement_search_with(&db, facts, engine)
         }
-        _ => by_enumeration(view, facts, budget),
+        _ => by_enumeration_with(view, facts, engine),
     }
 }
 
@@ -92,18 +99,40 @@ pub fn complement_search(
     facts: &Instance,
     budget: Budget,
 ) -> Result<bool, BudgetExceeded> {
-    if !db.has_satisfiable_globals() {
+    complement_search_with(db, facts, &Engine::new(EngineConfig::sequential(budget)))
+}
+
+/// [`complement_search`] on an explicit [`Engine`].
+pub fn complement_search_with(
+    db: &CDatabase,
+    facts: &Instance,
+    engine: &Engine,
+) -> Result<bool, BudgetExceeded> {
+    if !engine.has_satisfiable_globals(db) {
         return Ok(true); // no worlds: vacuously certain
     }
-    let mut counter = budget.counter();
-    for (name, rel) in facts.iter() {
-        for fact in rel.iter() {
-            if exists_world_missing_fact(db, name, fact, &mut counter)? {
-                return Ok(false);
-            }
-        }
+    Ok(!engine.exists_world_missing_any_fact(db, facts)?)
+}
+
+/// [`by_enumeration`] on an explicit [`Engine`] (parallel canonical-valuation
+/// enumeration).
+pub fn by_enumeration_with(
+    view: &View,
+    facts: &Instance,
+    engine: &Engine,
+) -> Result<bool, BudgetExceeded> {
+    if !view.db.has_satisfiable_globals() {
+        return Ok(true);
     }
-    Ok(true)
+    let vars: Vec<_> = view.db.variables().into_iter().collect();
+    let mut delta = evaluation_delta(&view.db, facts.active_domain());
+    delta.extend(view.query.constants());
+    let counterexample = engine.find_canonical_valuation(&vars, &delta, |valuation| {
+        let world = valuation.world_of(&view.db)?;
+        let output = view.query.eval(&world);
+        (!facts.is_subinstance_of(&output)).then_some(())
+    })?;
+    Ok(counterexample.is_none())
 }
 
 /// Generic fallback: canonical-valuation enumeration — look for a world missing some fact.
@@ -112,19 +141,7 @@ pub fn by_enumeration(
     facts: &Instance,
     budget: Budget,
 ) -> Result<bool, BudgetExceeded> {
-    if !view.db.has_satisfiable_globals() {
-        return Ok(true);
-    }
-    let vars: Vec<_> = view.db.variables().into_iter().collect();
-    let mut delta = evaluation_delta(&view.db, facts.active_domain());
-    delta.extend(view.query.constants());
-    let mut counter = budget.counter();
-    let counterexample = for_each_canonical_valuation(&vars, &delta, &mut counter, |valuation| {
-        let world = valuation.world_of(&view.db)?;
-        let output = view.query.eval(&world);
-        (!facts.is_subinstance_of(&output)).then_some(())
-    })?;
-    Ok(counterexample.is_none())
+    by_enumeration_with(view, facts, &Engine::new(EngineConfig::sequential(budget)))
 }
 
 #[cfg(test)]
@@ -132,7 +149,9 @@ mod tests {
     use super::*;
     use pw_condition::{Atom, Conjunction, Term, VarGen};
     use pw_core::{CTable, CTuple};
-    use pw_query::{qatom, ConjunctiveQuery, DatalogProgram, FoQuery, Formula, QTerm, Query, QueryDef, Ucq};
+    use pw_query::{
+        qatom, ConjunctiveQuery, DatalogProgram, FoQuery, Formula, QTerm, Query, QueryDef, Ucq,
+    };
     use pw_relational::rel;
 
     fn budget() -> Budget {
@@ -206,8 +225,18 @@ mod tests {
         assert!(decide(&view, &Instance::single("TC", rel![[1, 4]]), budget()).unwrap());
         assert!(!decide(&view, &Instance::single("TC", rel![[1, 3]]), budget()).unwrap());
         // CERT(*, q): both facts at once.
-        assert!(decide(&view, &Instance::single("TC", rel![[1, 2], [1, 4]]), budget()).unwrap());
-        assert!(!decide(&view, &Instance::single("TC", rel![[1, 2], [1, 3]]), budget()).unwrap());
+        assert!(decide(
+            &view,
+            &Instance::single("TC", rel![[1, 2], [1, 4]]),
+            budget()
+        )
+        .unwrap());
+        assert!(!decide(
+            &view,
+            &Instance::single("TC", rel![[1, 2], [1, 3]]),
+            budget()
+        )
+        .unwrap());
     }
 
     #[test]
@@ -301,7 +330,11 @@ mod tests {
             "R",
             1,
             Conjunction::new([Atom::neq(x, y)]),
-            [vec![Term::Var(x)], vec![Term::Var(y)], vec![Term::constant(3)]],
+            [
+                vec![Term::Var(x)],
+                vec![Term::Var(y)],
+                vec![Term::constant(3)],
+            ],
         )
         .unwrap();
         let db = CDatabase::single(t);

@@ -99,6 +99,12 @@ impl BudgetCounter {
     pub fn remaining(&self) -> u64 {
         self.remaining
     }
+
+    /// Write back the pool after a search ran against an engine-owned shared budget
+    /// seeded from this counter (see the wrappers in [`crate::search`]).
+    pub(crate) fn set_remaining(&mut self, remaining: u64) {
+        self.remaining = remaining;
+    }
 }
 
 /// Enumerate the *canonical* valuations of `vars` into Δ ∪ Δ′ and feed each to `visit`
@@ -131,9 +137,8 @@ pub fn for_each_canonical_valuation<R>(
     ) -> Result<Option<R>, BudgetExceeded> {
         if assignment.len() == vars.len() {
             budget.tick()?;
-            let valuation = Valuation::from_pairs(
-                vars.iter().copied().zip(assignment.iter().cloned()),
-            );
+            let valuation =
+                Valuation::from_pairs(vars.iter().copied().zip(assignment.iter().cloned()));
             return Ok(visit(&valuation));
         }
         // Known constants first …
@@ -159,15 +164,7 @@ pub fn for_each_canonical_valuation<R>(
         Ok(None)
     }
 
-    rec(
-        vars,
-        &delta,
-        &fresh,
-        &mut assignment,
-        0,
-        budget,
-        &mut visit,
-    )
+    rec(vars, &delta, &fresh, &mut assignment, 0, budget, &mut visit)
 }
 
 /// The evaluation domain Δ for a database plus extra constants (those of the instance,

@@ -12,18 +12,27 @@
 //! * [`decide`] — dispatch following Fig. 2.
 
 use crate::common::{
-    evaluation_delta, for_each_canonical_valuation, freeze_database, normalize_database, Budget,
-    BudgetExceeded, Strategy,
+    evaluation_delta, freeze_database, normalize_database, Budget, BudgetExceeded, Strategy,
 };
+use crate::engine::{Engine, EngineConfig};
 use crate::membership;
 use pw_core::{CDatabase, TableClass, View};
 use pw_relational::Instance;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Decide `CONT(q₀, q)`: `rep(view0) ⊆ rep(view)`.
 pub fn decide(view0: &View, view: &View, budget: Budget) -> Result<bool, BudgetExceeded> {
+    decide_with(view0, view, &Engine::new(EngineConfig::sequential(budget)))
+}
+
+/// [`decide`] on an explicit [`Engine`]: the ∀ half of the Π₂ᵖ procedure (the enumeration
+/// of the left view's canonical valuations) runs on the engine's worker pool; each
+/// worker's ∃ half (the membership call on the right) stays sequential, so the engine's
+/// threads are never oversubscribed.
+pub fn decide_with(view0: &View, view: &View, engine: &Engine) -> Result<bool, BudgetExceeded> {
     match strategy(view0, view) {
-        Strategy::Freeze => freeze(&view0.db, &view.db, budget),
-        _ => forall_exists(view0, view, budget),
+        Strategy::Freeze => freeze(&view0.db, &view.db, engine.config().budget),
+        _ => forall_exists_with(view0, view, engine),
     }
 }
 
@@ -62,6 +71,21 @@ pub fn freeze(db0: &CDatabase, db: &CDatabase, budget: Budget) -> Result<bool, B
 /// database yields a world `q₀(σ₀(𝒯₀))` that must be a member of the right view; Δ is the
 /// union of the constants of both inputs (plus both queries, via the instances produced).
 pub fn forall_exists(view0: &View, view: &View, budget: Budget) -> Result<bool, BudgetExceeded> {
+    forall_exists_with(view0, view, &Engine::new(EngineConfig::sequential(budget)))
+}
+
+/// [`forall_exists`] on an explicit [`Engine`] (parallel enumeration of the left
+/// valuations).
+///
+/// A genuine counterexample — a world of the left view that is *not* a member of the
+/// right — always wins over an inner membership search running out of budget, matching
+/// the engine's "a found witness beats budget exhaustion" rule: inner exhaustions are
+/// recorded on the side and only reported when no counterexample is found anywhere.
+pub fn forall_exists_with(
+    view0: &View,
+    view: &View,
+    engine: &Engine,
+) -> Result<bool, BudgetExceeded> {
     if !view0.db.has_satisfiable_globals() {
         return Ok(true);
     }
@@ -69,21 +93,28 @@ pub fn forall_exists(view0: &View, view: &View, budget: Budget) -> Result<bool, 
     let mut delta = evaluation_delta(&view0.db, view.db.constants());
     delta.extend(view0.query.constants());
     delta.extend(view.query.constants());
-    let mut counter = budget.counter();
-    // Find a counterexample world of the left view that is not a member of the right view.
-    let counterexample = for_each_canonical_valuation(&vars, &delta, &mut counter, |valuation| {
+    let budget = engine.config().budget;
+    let inner_exhausted = AtomicBool::new(false);
+    let counterexample = engine.find_canonical_valuation(&vars, &delta, |valuation| {
         let world = valuation.world_of(&view0.db)?;
         let left_output: Instance = view0.query.eval(&world);
         match membership::view_membership(view, &left_output, budget) {
             Ok(true) => None,
-            Ok(false) => Some(Ok(())),
-            Err(e) => Some(Err(e)),
+            Ok(false) => Some(()),
+            Err(BudgetExceeded) => {
+                // Not a witness: this world's membership is unresolved.  Keep searching —
+                // another world may be a definitive counterexample.
+                inner_exhausted.store(true, Ordering::Relaxed);
+                None
+            }
         }
     })?;
-    match counterexample {
-        Some(Err(e)) => Err(e),
-        Some(Ok(())) => Ok(false),
-        None => Ok(true),
+    if counterexample.is_some() {
+        Ok(false)
+    } else if inner_exhausted.load(Ordering::Relaxed) {
+        Err(BudgetExceeded)
+    } else {
+        Ok(true)
     }
 }
 
@@ -135,7 +166,13 @@ mod tests {
         let cases: Vec<(CDatabase, CDatabase)> = vec![
             (
                 CDatabase::single(
-                    CTable::g_table("R", 1, Conjunction::new([Atom::eq(x, 1)]), [vec![Term::Var(x)]]).unwrap(),
+                    CTable::g_table(
+                        "R",
+                        1,
+                        Conjunction::new([Atom::eq(x, 1)]),
+                        [vec![Term::Var(x)]],
+                    )
+                    .unwrap(),
                 ),
                 CDatabase::single(CTable::codd("R", 1, [vec![Term::constant(1)]]).unwrap()),
             ),
@@ -144,7 +181,9 @@ mod tests {
                 CDatabase::single(CTable::codd("R", 1, [vec![Term::constant(1)]]).unwrap()),
             ),
             (
-                CDatabase::single(CTable::codd("R", 2, [vec![Term::Var(x), Term::Var(y)]]).unwrap()),
+                CDatabase::single(
+                    CTable::codd("R", 2, [vec![Term::Var(x), Term::Var(y)]]).unwrap(),
+                ),
                 CDatabase::single(
                     CTable::e_table("R", 2, [vec![Term::Var(x), Term::Var(x)]]).unwrap(),
                 ),
@@ -153,7 +192,9 @@ mod tests {
                 CDatabase::single(
                     CTable::e_table("R", 2, [vec![Term::Var(x), Term::Var(x)]]).unwrap(),
                 ),
-                CDatabase::single(CTable::codd("R", 2, [vec![Term::Var(x), Term::Var(y)]]).unwrap()),
+                CDatabase::single(
+                    CTable::codd("R", 2, [vec![Term::Var(x), Term::Var(y)]]).unwrap(),
+                ),
             ),
         ];
         for (db0, db) in cases {
@@ -179,9 +220,7 @@ mod tests {
         let left = CDatabase::single(unsat);
         let right = CDatabase::single(CTable::codd("R", 1, [vec![Term::constant(9)]]).unwrap());
         assert!(freeze(&left, &right, budget()).unwrap());
-        assert!(
-            decide(&View::identity(left), &View::identity(right), budget()).unwrap()
-        );
+        assert!(decide(&View::identity(left), &View::identity(right), budget()).unwrap());
     }
 
     #[test]
@@ -217,13 +256,21 @@ mod tests {
         // 𝒯₀ = {(x)} (all single- or no-fact worlds); 𝒯 = {(y)} with y ≠ 1.
         let left = CDatabase::single(CTable::codd("R", 1, [vec![Term::Var(x)]]).unwrap());
         let right = CDatabase::single(
-            CTable::i_table("R", 1, Conjunction::new([Atom::neq(y, 1)]), [vec![Term::Var(y)]])
-                .unwrap(),
+            CTable::i_table(
+                "R",
+                1,
+                Conjunction::new([Atom::neq(y, 1)]),
+                [vec![Term::Var(y)]],
+            )
+            .unwrap(),
         );
         let v0 = View::identity(left);
         let v = View::identity(right);
         assert_eq!(strategy(&v0, &v), Strategy::WorldEnumeration);
-        assert!(!decide(&v0, &v, budget()).unwrap(), "the world {{(1)}} is not representable on the right");
+        assert!(
+            !decide(&v0, &v, budget()).unwrap(),
+            "the world {{(1)}} is not representable on the right"
+        );
         assert!(decide(&v, &v0, budget()).unwrap());
     }
 }

@@ -1,0 +1,1206 @@
+//! The parallel decision-engine substrate.
+//!
+//! The NP/coNP/Π₂ᵖ procedures of this crate are complete backtracking searches; on hard
+//! inputs they peg a single core while every other core idles.  This module extracts the
+//! valuation/constraint searches of [`crate::search`] and [`crate::common`] onto a shared
+//! substrate that can drive them with any number of worker threads:
+//!
+//! * **search nodes** carry a cheaply-forkable [`ConstraintSet`] (undo-trail based
+//!   checkpoint/rollback inside a worker, a real clone only when a node crosses threads);
+//! * an explicit **frontier**: the search tree is expanded breadth-first until there are
+//!   enough independent subtrees to keep every worker busy (`threads ×
+//!   frontier_per_thread`), then workers drain the frontier from a shared queue and solve
+//!   each subtree depth-first — a static approximation of work stealing that needs no
+//!   unsafe code and no extra dependencies (the container has no crates.io access, so
+//!   `rayon` is out of reach; `std::thread::scope` carries the load);
+//! * an **atomic shared budget** ([`SharedBudget`]) charged by all workers, so a budget
+//!   means the same total node count whether the search runs on 1 thread or 16;
+//! * **early-exit cancellation**: the first witness flips a flag that stops every other
+//!   worker at its next tick;
+//! * a memoized, hash-consed **condition-satisfiability cache**
+//!   ([`pw_condition::SatCache`]) shared by all searches of an [`Engine`], plus memoized
+//!   per-database **base stores** (the global conditions asserted once, then cloned), which
+//!   is what the batched front door ([`crate::batch`]) amortizes across requests.
+//!
+//! # Semantics under parallelism
+//!
+//! Every search here decides an *existential* question ("is there a valuation …?").  The
+//! engine guarantees, independently of thread count and scheduling:
+//!
+//! * `Ok(true)` and `Ok(false)` answers are **identical** to the sequential search's — a
+//!   witness exists or it does not, and the engine explores the same tree;
+//! * a found witness always wins over budget exhaustion: if any worker finds a witness the
+//!   result is `Ok(true)` even if another worker ran out of budget concurrently;
+//! * `Err(BudgetExceeded)` is reported **iff** the budget ran out before the tree was
+//!   exhausted and no witness was found.  For a tree with no witness this outcome is
+//!   deterministic (the tree size and the budget are both fixed numbers); when a witness
+//!   exists *and* the budget is within a few nodes of the exact sequential visit count,
+//!   scheduling decides whether the witness or the exhaustion is reached first — callers
+//!   that need bit-for-bit reproducibility at tight budgets run with `threads = 1`.
+
+use crate::common::{Budget, BudgetExceeded};
+use pw_condition::Variable;
+use pw_condition::{Atom, Conjunction, ConstraintSet, SatCache, Term};
+use pw_core::{CDatabase, CTable, Valuation};
+use pw_relational::{Constant, Instance, Tuple};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// How a general (worst-case exponential) decision procedure should be driven.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Worker threads.  `1` reproduces the sequential search exactly.
+    pub threads: usize,
+    /// Total node budget, shared by all workers.
+    pub budget: Budget,
+    /// Frontier size per worker before the parallel phase starts.  Larger values give
+    /// better load balance on skewed trees at the cost of more upfront breadth-first
+    /// expansion; 8 is a good default.
+    pub frontier_per_thread: usize,
+}
+
+impl EngineConfig {
+    /// A single-threaded configuration (identical behaviour to the legacy searches).
+    pub fn sequential(budget: Budget) -> Self {
+        EngineConfig {
+            threads: 1,
+            budget,
+            frontier_per_thread: 8,
+        }
+    }
+
+    /// Use every available core.
+    pub fn parallel(budget: Budget) -> Self {
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        Self::with_threads(threads, budget)
+    }
+
+    /// An explicit thread count.
+    pub fn with_threads(threads: usize, budget: Budget) -> Self {
+        EngineConfig {
+            threads: threads.max(1),
+            budget,
+            frontier_per_thread: 8,
+        }
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig::sequential(Budget::default())
+    }
+}
+
+/// An atomic search budget shared by all workers of a parallel search.
+///
+/// The semantics match [`crate::common::BudgetCounter`]: one unit per visited search node,
+/// and the search fails with [`BudgetExceeded`] when the pool is empty — except that here
+/// the pool is drained concurrently, so a budget bounds the *total* work across threads.
+#[derive(Debug)]
+pub struct SharedBudget {
+    remaining: AtomicU64,
+}
+
+impl SharedBudget {
+    /// A full pool.
+    pub fn new(budget: Budget) -> Self {
+        SharedBudget {
+            remaining: AtomicU64::new(budget.0),
+        }
+    }
+
+    /// Charge one unit.
+    pub fn tick(&self) -> Result<(), BudgetExceeded> {
+        self.remaining
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1))
+            .map(|_| ())
+            .map_err(|_| BudgetExceeded)
+    }
+
+    /// Unspent units.
+    pub fn remaining(&self) -> u64 {
+        self.remaining.load(Ordering::Relaxed)
+    }
+}
+
+/// Why a worker stopped early.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Stop {
+    /// The shared budget ran out.
+    Budget,
+    /// Another worker found a witness.
+    Cancelled,
+}
+
+/// Shared per-search state: the budget pool and the early-exit flag.
+pub(crate) struct Ctx {
+    budget: SharedBudget,
+    cancel: AtomicBool,
+}
+
+impl Ctx {
+    pub(crate) fn new(budget: Budget) -> Self {
+        Ctx {
+            budget: SharedBudget::new(budget),
+            cancel: AtomicBool::new(false),
+        }
+    }
+
+    /// Unspent budget units, for writing back into a legacy [`crate::common::BudgetCounter`].
+    pub(crate) fn budget_remaining(&self) -> u64 {
+        self.budget.remaining()
+    }
+
+    /// Charge one unit and poll for cancellation.
+    fn tick(&self) -> Result<(), Stop> {
+        if self.cancel.load(Ordering::Relaxed) {
+            return Err(Stop::Cancelled);
+        }
+        self.budget.tick().map_err(|_| Stop::Budget)
+    }
+}
+
+/// A search tree the engine can drive: breadth-first expansion for the frontier phase,
+/// depth-first completion for the worker phase.
+trait TreeSearch: Sync {
+    /// A search node: owns its constraint store / assignment, independent of siblings.
+    type Node: Send;
+
+    /// Expand `node` one level, pushing children onto `out`.  Returns `Ok(true)` iff the
+    /// node is an accepting leaf (children are then irrelevant).
+    fn expand(&self, node: Self::Node, out: &mut Vec<Self::Node>, ctx: &Ctx) -> Result<bool, Stop>;
+
+    /// Solve the subtree rooted at `node` to completion.
+    fn dfs(&self, node: Self::Node, ctx: &Ctx) -> Result<bool, Stop>;
+}
+
+/// Drive a [`TreeSearch`] from `root` under `cfg`: does a world/valuation accepted by the
+/// search exist?
+fn drive<S: TreeSearch>(
+    search: &S,
+    root: S::Node,
+    cfg: &EngineConfig,
+) -> Result<bool, BudgetExceeded> {
+    let ctx = Ctx::new(cfg.budget);
+    drive_ctx(search, root, cfg, &ctx)
+}
+
+/// [`drive`] against an externally owned context, so several searches can share one budget
+/// pool (the legacy `search.rs` entry points thread a single [`crate::common::BudgetCounter`]
+/// through consecutive searches this way).
+fn drive_ctx<S: TreeSearch>(
+    search: &S,
+    root: S::Node,
+    cfg: &EngineConfig,
+    ctx: &Ctx,
+) -> Result<bool, BudgetExceeded> {
+    if cfg.threads <= 1 {
+        return match search.dfs(root, ctx) {
+            Ok(found) => Ok(found),
+            Err(Stop::Budget) => Err(BudgetExceeded),
+            Err(Stop::Cancelled) => unreachable!("nothing cancels a single-threaded search"),
+        };
+    }
+
+    // Phase 1: breadth-first expansion until the frontier can feed every worker.
+    let target = cfg.threads * cfg.frontier_per_thread.max(1);
+    let mut frontier: VecDeque<S::Node> = VecDeque::from_iter([root]);
+    let mut children = Vec::new();
+    while frontier.len() < target {
+        let Some(node) = frontier.pop_front() else {
+            // The whole tree was expanded without meeting an accepting leaf.
+            return Ok(false);
+        };
+        children.clear();
+        match search.expand(node, &mut children, ctx) {
+            Ok(true) => return Ok(true),
+            Ok(false) => frontier.extend(children.drain(..)),
+            Err(Stop::Budget) => return Err(BudgetExceeded),
+            Err(Stop::Cancelled) => unreachable!("cancellation starts with the workers"),
+        }
+    }
+
+    // Phase 2: workers drain the frontier; LIFO pop keeps sibling subtrees together.
+    let queue: Mutex<VecDeque<S::Node>> = Mutex::new(frontier);
+    #[derive(PartialEq)]
+    enum Outcome {
+        Found,
+        Exhausted,
+        OutOfBudget,
+        Cancelled,
+    }
+    let outcomes: Vec<Outcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.threads)
+            .map(|_| {
+                let queue = &queue;
+                scope.spawn(move || loop {
+                    let node = queue.lock().expect("frontier queue poisoned").pop_back();
+                    let Some(node) = node else {
+                        return Outcome::Exhausted;
+                    };
+                    match search.dfs(node, ctx) {
+                        Ok(true) => {
+                            ctx.cancel.store(true, Ordering::Relaxed);
+                            return Outcome::Found;
+                        }
+                        Ok(false) => continue,
+                        Err(Stop::Budget) => return Outcome::OutOfBudget,
+                        Err(Stop::Cancelled) => return Outcome::Cancelled,
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+
+    if outcomes.iter().any(|o| *o == Outcome::Found) {
+        Ok(true)
+    } else if outcomes.iter().any(|o| *o == Outcome::OutOfBudget) {
+        Err(BudgetExceeded)
+    } else {
+        Ok(false)
+    }
+}
+
+/// Assert that the row instantiates to exactly `fact` and that its local condition holds.
+fn assert_row_produces(
+    store: &mut ConstraintSet,
+    row_terms: &[Term],
+    cond: &Conjunction,
+    fact: &Tuple,
+) -> bool {
+    if !store.assert_conjunction(cond) {
+        return false;
+    }
+    for (term, value) in row_terms.iter().zip(fact.iter()) {
+        if !store.assert_eq(term, &Term::Const(value.clone())) {
+            return false;
+        }
+    }
+    true
+}
+
+/// An instance holding exactly one fact, for the single-fact entry points.
+pub(crate) fn single_fact_instance(relation: &str, fact: &Tuple) -> Instance {
+    let mut single = Instance::new();
+    let mut rel = pw_relational::Relation::empty(fact.arity());
+    rel.insert(fact.clone()).expect("arity matches");
+    single.insert_relation(relation.to_owned(), rel);
+    single
+}
+
+// ---------------------------------------------------------------------------------------
+// The engine proper.
+// ---------------------------------------------------------------------------------------
+
+/// A decision engine: a thread/budget configuration plus the caches that amortize repeated
+/// work — the hash-consed condition-satisfiability cache and the per-database base stores.
+///
+/// Transient engines are created under the hood by the `decide_with` entry points of the
+/// problem modules; the batched front door ([`crate::batch::decide_all`]) keeps one engine
+/// for the whole batch so every request on the same database reuses the same preprocessing.
+#[derive(Debug, Default)]
+pub struct Engine {
+    cfg: EngineConfig,
+    sat_cache: SatCache,
+    /// Base stores (all global conditions asserted) memoized per database; `None` records
+    /// that the globals are jointly unsatisfiable, i.e. `rep(db) = ∅`.  Keyed by the
+    /// database *value* (structural hash + equality), so cloned databases share an entry
+    /// and distinct databases can never collide.
+    base_stores: Mutex<HashMap<CDatabase, Option<ConstraintSet>>>,
+}
+
+impl Engine {
+    /// An engine with the given configuration and empty caches.
+    pub fn new(cfg: EngineConfig) -> Self {
+        Engine {
+            cfg,
+            sat_cache: SatCache::new(),
+            base_stores: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The configuration the engine was built with.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// The shared condition-satisfiability cache.
+    pub fn sat_cache(&self) -> &SatCache {
+        &self.sat_cache
+    }
+
+    /// Are the global conditions of `db` jointly satisfiable?  Memoized (both through the
+    /// sat-cache, per condition, and through the base-store cache, per database).
+    pub fn has_satisfiable_globals(&self, db: &CDatabase) -> bool {
+        self.base_store(db).is_some()
+    }
+
+    /// The base constraint store of `db`: every table's global condition asserted.
+    /// `None` when the globals are jointly unsatisfiable (`rep(db) = ∅`).  Construction
+    /// happens once per distinct database per engine; callers get a cheap clone.
+    pub fn base_store(&self, db: &CDatabase) -> Option<ConstraintSet> {
+        {
+            let cache = self.base_stores.lock().expect("base-store cache poisoned");
+            if let Some(store) = cache.get(db) {
+                return store.clone();
+            }
+        }
+        // Construct outside the lock so a slow build never blocks unrelated lookups; a
+        // concurrent duplicate build is benign (first insert wins).
+        // The sat-cache pre-screens each table's condition, so repeated databases with a
+        // shared unsatisfiable condition are rejected without union-find work; the store
+        // construction below re-asserts the satisfiable ones.
+        let built = if db
+            .tables()
+            .iter()
+            .any(|t| !self.sat_cache.is_satisfiable(t.global_condition()))
+        {
+            None
+        } else {
+            let mut store = ConstraintSet::new();
+            let mut ok = true;
+            for table in db.tables() {
+                if !store.assert_conjunction(table.global_condition()) {
+                    ok = false;
+                    break;
+                }
+            }
+            ok.then_some(store)
+        };
+        let mut cache = self.base_stores.lock().expect("base-store cache poisoned");
+        cache.entry(db.clone()).or_insert(built).clone()
+    }
+
+    // -- the three constraint searches ---------------------------------------------------
+
+    /// Is there a valuation (satisfying the global conditions) under which every fact of
+    /// `facts` is produced by some row of its relation?  Parallel counterpart of
+    /// [`crate::search::exists_world_covering`].
+    pub fn exists_world_covering(
+        &self,
+        db: &CDatabase,
+        facts: &Instance,
+    ) -> Result<bool, BudgetExceeded> {
+        self.covering_ctx(db, facts, &Ctx::new(self.cfg.budget))
+    }
+
+    pub(crate) fn covering_ctx(
+        &self,
+        db: &CDatabase,
+        facts: &Instance,
+        ctx: &Ctx,
+    ) -> Result<bool, BudgetExceeded> {
+        for (name, rel) in facts.iter() {
+            if rel.is_empty() {
+                continue;
+            }
+            match db.table(name) {
+                Some(t) if t.arity() == rel.arity() => {}
+                _ => return Ok(false),
+            }
+        }
+        let Some(store) = self.base_store(db) else {
+            return Ok(false);
+        };
+        let work: Vec<(&CTable, Tuple)> = facts
+            .iter()
+            .flat_map(|(name, rel)| {
+                let table = db.table(name);
+                rel.iter()
+                    .filter_map(move |fact| table.map(|t| (t, fact.clone())))
+            })
+            .collect();
+        let search = CoverSearch { work };
+        let root = ChoiceNode {
+            store,
+            meta: CoverMeta {
+                depth: 0,
+                used: None,
+            },
+        };
+        drive_ctx(&Choices(&search), root, &self.cfg, ctx)
+    }
+
+    /// Is there a valuation under which **some** fact of `facts` is produced by no row of
+    /// its relation?  This is the complement question behind certainty (and half of
+    /// uniqueness); the per-fact searches are independent subtrees, so a multi-fact call
+    /// parallelizes across facts *and* within each fact's tree.
+    ///
+    /// Facts of relations the database does not have (or with the wrong arity) are missing
+    /// from every world, exactly as in the sequential search.
+    pub fn exists_world_missing_any_fact(
+        &self,
+        db: &CDatabase,
+        facts: &Instance,
+    ) -> Result<bool, BudgetExceeded> {
+        self.missing_any_ctx(db, facts, &Ctx::new(self.cfg.budget))
+    }
+
+    pub(crate) fn missing_any_ctx(
+        &self,
+        db: &CDatabase,
+        facts: &Instance,
+        ctx: &Ctx,
+    ) -> Result<bool, BudgetExceeded> {
+        let mut work: Vec<(&CTable, Tuple)> = Vec::new();
+        for (name, rel) in facts.iter() {
+            for fact in rel.iter() {
+                match db.table(name) {
+                    Some(t) if t.arity() == fact.arity() => work.push((t, fact.clone())),
+                    // No such relation: the fact is missing from every world.
+                    _ => return Ok(true),
+                }
+            }
+        }
+        if work.is_empty() {
+            return Ok(false);
+        }
+        let Some(base) = self.base_store(db) else {
+            // Empty representation: no world exists, hence no world missing a fact either
+            // (certainty is vacuously true); callers handle the empty rep separately.
+            return Ok(false);
+        };
+        let search = MissingSearch { work };
+        let driver = Choices(&search);
+        let forest = ForestSearch {
+            inner: &driver,
+            root_count: search.work.len(),
+            make_root: |fact_idx| {
+                Some(ChoiceNode {
+                    store: base.clone(),
+                    meta: MissingMeta {
+                        fact_idx,
+                        row_idx: 0,
+                    },
+                })
+            },
+        };
+        drive_ctx(&forest, ForestNode::Roots, &self.cfg, ctx)
+    }
+
+    /// Single-fact convenience wrapper for [`Engine::exists_world_missing_any_fact`].
+    pub fn exists_world_missing_fact(
+        &self,
+        db: &CDatabase,
+        relation: &str,
+        fact: &Tuple,
+    ) -> Result<bool, BudgetExceeded> {
+        self.exists_world_missing_any_fact(db, &single_fact_instance(relation, fact))
+    }
+
+    /// Is there a valuation under which some row produces a fact **outside** `instance`?
+    /// Parallel counterpart of [`crate::search::exists_world_with_fact_outside`]; the
+    /// per-row searches are independent subtrees.
+    pub fn exists_world_with_fact_outside(
+        &self,
+        db: &CDatabase,
+        instance: &Instance,
+    ) -> Result<bool, BudgetExceeded> {
+        self.fact_outside_ctx(db, instance, &Ctx::new(self.cfg.budget))
+    }
+
+    pub(crate) fn fact_outside_ctx(
+        &self,
+        db: &CDatabase,
+        instance: &Instance,
+        ctx: &Ctx,
+    ) -> Result<bool, BudgetExceeded> {
+        let Some(base) = self.base_store(db) else {
+            return Ok(false);
+        };
+        let mut rows = Vec::new();
+        let mut conditions = Vec::new();
+        let mut fact_lists: Vec<Vec<Tuple>> = Vec::new();
+        for table in db.tables() {
+            let rel = instance.relation_or_empty(table.name(), table.arity());
+            let facts: Vec<Tuple> = rel.iter().cloned().collect();
+            let list_idx = fact_lists.len();
+            fact_lists.push(facts);
+            for row in table.tuples() {
+                rows.push((row.terms.clone(), list_idx));
+                conditions.push(row.condition.clone());
+            }
+        }
+        let search = EscapeSearch { fact_lists, rows };
+        let driver = Choices(&search);
+        let forest = ForestSearch {
+            inner: &driver,
+            root_count: conditions.len(),
+            make_root: |row| {
+                // The row must be present (local condition holds) to escape.
+                let mut store = base.clone();
+                store
+                    .assert_conjunction(&conditions[row])
+                    .then_some(ChoiceNode {
+                        store,
+                        meta: EscapeMeta { row, fact_idx: 0 },
+                    })
+            },
+        };
+        drive_ctx(&forest, ForestNode::Roots, &self.cfg, ctx)
+    }
+
+    // -- canonical-valuation enumeration -------------------------------------------------
+
+    /// Enumerate the canonical valuations of `vars` into Δ ∪ Δ′ (exactly as
+    /// [`crate::common::for_each_canonical_valuation`]) and return the result of the first
+    /// `visit` call that produces `Some`.
+    ///
+    /// Under parallelism the valuation that "wins" is whichever worker reports first, so
+    /// callers must treat the witness as *a* witness, not *the lexicographically first*
+    /// witness; the decision (`Some` vs `None`) is schedule-independent.
+    pub fn find_canonical_valuation<R, F>(
+        &self,
+        vars: &[Variable],
+        delta: &BTreeSet<Constant>,
+        visit: F,
+    ) -> Result<Option<R>, BudgetExceeded>
+    where
+        R: Send,
+        F: Fn(&Valuation) -> Option<R> + Sync,
+    {
+        let fresh = pw_relational::domain::fresh_constants(delta, vars.len());
+        let search = EnumSearch {
+            vars,
+            delta: delta.iter().cloned().collect(),
+            fresh,
+            visit,
+            witness: Mutex::new(None),
+        };
+        let root = EnumNode {
+            assignment: Vec::new(),
+            fresh_used: 0,
+        };
+        let found = drive(&search, root, &self.cfg)?;
+        Ok(if found {
+            search.witness.into_inner().expect("witness mutex poisoned")
+        } else {
+            None
+        })
+    }
+}
+
+// -- choice searches: one branch definition for both engine phases ----------------------
+
+/// A search whose nodes pair a [`ConstraintSet`] with cheap metadata and whose branch set
+/// is defined **once**: the frontier expansion (store-cloning) and the worker DFS
+/// (checkpoint/rollback) both enumerate children through [`ChoiceSearch::try_branch`], so
+/// the two phases cannot drift apart — the "parallel answers equal sequential answers"
+/// invariant is pinned structurally, not by keeping two loops in sync by hand.
+///
+/// (The canonical-valuation enumerator is the one search not expressed this way: its
+/// state is a plain assignment vector, not a constraint store, and its two phases already
+/// share a single choice generator, `EnumSearch::choices`.)
+trait ChoiceSearch: Sync {
+    /// The store-independent part of a node (depth, indices, bookkeeping).
+    type Meta: Send + Clone;
+
+    /// Is this an accepting leaf?
+    fn is_leaf(&self, meta: &Self::Meta) -> bool;
+
+    /// Number of candidate branches at this (non-leaf) node.
+    fn branch_count(&self, meta: &Self::Meta) -> usize;
+
+    /// Apply branch `k` to the store: `Some(child meta)` if the store stays consistent,
+    /// `None` to prune.  On `None` the caller discards or rolls back the store.
+    fn try_branch(
+        &self,
+        store: &mut ConstraintSet,
+        meta: &Self::Meta,
+        k: usize,
+    ) -> Option<Self::Meta>;
+}
+
+struct ChoiceNode<M> {
+    store: ConstraintSet,
+    meta: M,
+}
+
+/// Adapter driving a [`ChoiceSearch`] as a [`TreeSearch`].
+struct Choices<'a, S>(&'a S);
+
+impl<S: ChoiceSearch> Choices<'_, S> {
+    fn rec(&self, store: &mut ConstraintSet, meta: &S::Meta, ctx: &Ctx) -> Result<bool, Stop> {
+        ctx.tick()?;
+        if self.0.is_leaf(meta) {
+            return Ok(true);
+        }
+        for k in 0..self.0.branch_count(meta) {
+            let cp = store.checkpoint();
+            if let Some(child) = self.0.try_branch(store, meta, k) {
+                if self.rec(store, &child, ctx)? {
+                    return Ok(true);
+                }
+            }
+            store.rollback(cp);
+        }
+        Ok(false)
+    }
+}
+
+impl<S: ChoiceSearch> TreeSearch for Choices<'_, S> {
+    type Node = ChoiceNode<S::Meta>;
+
+    fn expand(&self, node: Self::Node, out: &mut Vec<Self::Node>, ctx: &Ctx) -> Result<bool, Stop> {
+        ctx.tick()?;
+        if self.0.is_leaf(&node.meta) {
+            return Ok(true);
+        }
+        for k in 0..self.0.branch_count(&node.meta) {
+            let mut store = node.store.clone();
+            if let Some(meta) = self.0.try_branch(&mut store, &node.meta, k) {
+                out.push(ChoiceNode { store, meta });
+            }
+        }
+        Ok(false)
+    }
+
+    fn dfs(&self, mut node: Self::Node, ctx: &Ctx) -> Result<bool, Stop> {
+        self.rec(&mut node.store, &node.meta, ctx)
+    }
+}
+
+// -- covering search --------------------------------------------------------------------
+
+struct CoverSearch<'a> {
+    /// One entry per fact to cover: the table it must come from, and the fact.
+    work: Vec<(&'a CTable, Tuple)>,
+}
+
+#[derive(Clone)]
+struct CoverMeta {
+    depth: usize,
+    /// Rows already in use along this path — distinct facts must come from distinct
+    /// rows.  A persistent (Arc-linked) list: forking a node is O(1), the membership
+    /// scan is O(depth), exactly like the mutable push/pop stack of a plain DFS.
+    used: Option<Arc<UsedRow>>,
+}
+
+struct UsedRow {
+    /// Work item that claimed the row (identifies the table).
+    item: usize,
+    /// Row index within that table.
+    row: usize,
+    prev: Option<Arc<UsedRow>>,
+}
+
+impl CoverSearch<'_> {
+    /// Is work item `i` drawn from the same table as work item `j`?
+    fn same_table(&self, i: usize, j: usize) -> bool {
+        std::ptr::eq(self.work[i].0, self.work[j].0)
+    }
+
+    fn row_used(&self, used: &Option<Arc<UsedRow>>, depth: usize, row_idx: usize) -> bool {
+        let mut cursor = used;
+        while let Some(entry) = cursor {
+            if self.same_table(entry.item, depth) && entry.row == row_idx {
+                return true;
+            }
+            cursor = &entry.prev;
+        }
+        false
+    }
+}
+
+impl ChoiceSearch for CoverSearch<'_> {
+    type Meta = CoverMeta;
+
+    fn is_leaf(&self, meta: &CoverMeta) -> bool {
+        meta.depth == self.work.len()
+    }
+
+    fn branch_count(&self, meta: &CoverMeta) -> usize {
+        self.work[meta.depth].0.len()
+    }
+
+    fn try_branch(
+        &self,
+        store: &mut ConstraintSet,
+        meta: &CoverMeta,
+        row_idx: usize,
+    ) -> Option<CoverMeta> {
+        if self.row_used(&meta.used, meta.depth, row_idx) {
+            return None;
+        }
+        let (table, fact) = &self.work[meta.depth];
+        let row = &table.tuples()[row_idx];
+        if !assert_row_produces(store, &row.terms, &row.condition, fact) {
+            return None;
+        }
+        Some(CoverMeta {
+            depth: meta.depth + 1,
+            used: Some(Arc::new(UsedRow {
+                item: meta.depth,
+                row: row_idx,
+                prev: meta.used.clone(),
+            })),
+        })
+    }
+}
+
+// -- missing-fact search ----------------------------------------------------------------
+
+struct MissingSearch<'a> {
+    /// One entry per fact whose absence is sought: its table and the fact itself.
+    work: Vec<(&'a CTable, Tuple)>,
+}
+
+#[derive(Clone, Copy)]
+struct MissingMeta {
+    fact_idx: usize,
+    row_idx: usize,
+}
+
+impl ChoiceSearch for MissingSearch<'_> {
+    type Meta = MissingMeta;
+
+    fn is_leaf(&self, meta: &MissingMeta) -> bool {
+        meta.row_idx == self.work[meta.fact_idx].0.len()
+    }
+
+    /// Per row, a reason it does not produce the fact: one per position of the row
+    /// (differs from the fact there) followed by one per local-condition atom (falsified).
+    fn branch_count(&self, meta: &MissingMeta) -> usize {
+        let row = &self.work[meta.fact_idx].0.tuples()[meta.row_idx];
+        row.terms.len() + row.condition.len()
+    }
+
+    fn try_branch(
+        &self,
+        store: &mut ConstraintSet,
+        meta: &MissingMeta,
+        k: usize,
+    ) -> Option<MissingMeta> {
+        let (table, fact) = &self.work[meta.fact_idx];
+        let row = &table.tuples()[meta.row_idx];
+        let ok = if k < row.terms.len() {
+            // Reason 1: position k of the row differs from the fact.
+            store.assert_neq(&row.terms[k], &Term::Const(fact[k].clone()))
+        } else {
+            // Reason 2: atom k of the local condition is falsified.
+            match &row.condition.atoms()[k - row.terms.len()] {
+                Atom::Eq(a, b) => store.assert_neq(a, b),
+                Atom::Neq(a, b) => store.assert_eq(a, b),
+            }
+        };
+        ok.then_some(MissingMeta {
+            fact_idx: meta.fact_idx,
+            row_idx: meta.row_idx + 1,
+        })
+    }
+}
+
+// -- escape (fact outside the instance) search ------------------------------------------
+
+struct EscapeSearch {
+    /// Per originating table: the instance facts the row has to differ from.
+    fact_lists: Vec<Vec<Tuple>>,
+    /// The candidate rows: their terms and the fact list of their table.
+    rows: Vec<(Vec<Term>, usize)>,
+}
+
+#[derive(Clone, Copy)]
+struct EscapeMeta {
+    row: usize,
+    fact_idx: usize,
+}
+
+impl ChoiceSearch for EscapeSearch {
+    type Meta = EscapeMeta;
+
+    fn is_leaf(&self, meta: &EscapeMeta) -> bool {
+        let (_, fact_list) = self.rows[meta.row];
+        meta.fact_idx == self.fact_lists[fact_list].len()
+    }
+
+    /// One branch per position where the row could differ from the current fact.
+    fn branch_count(&self, meta: &EscapeMeta) -> usize {
+        self.rows[meta.row].0.len()
+    }
+
+    fn try_branch(
+        &self,
+        store: &mut ConstraintSet,
+        meta: &EscapeMeta,
+        k: usize,
+    ) -> Option<EscapeMeta> {
+        let (terms, fact_list) = &self.rows[meta.row];
+        let fact = &self.fact_lists[*fact_list][meta.fact_idx];
+        store
+            .assert_neq(&terms[k], &Term::Const(fact[k].clone()))
+            .then_some(EscapeMeta {
+                row: meta.row,
+                fact_idx: meta.fact_idx + 1,
+            })
+    }
+}
+
+// -- forests: several independent root subtrees in one search ---------------------------
+
+/// Wraps a [`TreeSearch`] so a *set* of roots (independent subtrees — one per fact, one
+/// per row, …) can be driven as a single search with one shared budget and one
+/// cancellation scope.
+///
+/// Roots are materialized **lazily** through `make_root` (which may return `None` to skip
+/// a seed, e.g. a row whose local condition contradicts the globals): a sequential drive
+/// that succeeds on the first subtree never pays for the stores of the remaining ones.
+/// A parallel drive materializes them when the super-root is expanded onto the frontier —
+/// that is the point of the frontier.
+struct ForestSearch<'a, S, F> {
+    inner: &'a S,
+    root_count: usize,
+    make_root: F,
+}
+
+enum ForestNode<N> {
+    /// The synthetic super-root: stands for all not-yet-materialized subtree roots.
+    Roots,
+    /// A node of one of the subtrees.
+    Inner(N),
+}
+
+impl<S, F> TreeSearch for ForestSearch<'_, S, F>
+where
+    S: TreeSearch,
+    F: Fn(usize) -> Option<S::Node> + Sync,
+{
+    type Node = ForestNode<S::Node>;
+
+    fn expand(&self, node: Self::Node, out: &mut Vec<Self::Node>, ctx: &Ctx) -> Result<bool, Stop> {
+        match node {
+            ForestNode::Roots => {
+                // The super-root fans out into the independent subtree roots.
+                out.extend(
+                    (0..self.root_count)
+                        .filter_map(|k| (self.make_root)(k))
+                        .map(ForestNode::Inner),
+                );
+                Ok(false)
+            }
+            ForestNode::Inner(n) => {
+                let mut inner_out = Vec::new();
+                let accepted = self.inner.expand(n, &mut inner_out, ctx)?;
+                out.extend(inner_out.into_iter().map(ForestNode::Inner));
+                Ok(accepted)
+            }
+        }
+    }
+
+    fn dfs(&self, node: Self::Node, ctx: &Ctx) -> Result<bool, Stop> {
+        match node {
+            ForestNode::Roots => {
+                for k in 0..self.root_count {
+                    let Some(root) = (self.make_root)(k) else {
+                        continue;
+                    };
+                    if self.inner.dfs(root, ctx)? {
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
+            }
+            ForestNode::Inner(n) => self.inner.dfs(n, ctx),
+        }
+    }
+}
+
+// -- canonical-valuation enumeration ----------------------------------------------------
+
+struct EnumSearch<'a, R, F> {
+    vars: &'a [Variable],
+    delta: Vec<Constant>,
+    fresh: Vec<Constant>,
+    visit: F,
+    witness: Mutex<Option<R>>,
+}
+
+#[derive(Clone)]
+struct EnumNode {
+    assignment: Vec<Constant>,
+    fresh_used: usize,
+}
+
+impl<R, F> EnumSearch<'_, R, F>
+where
+    R: Send,
+    F: Fn(&Valuation) -> Option<R> + Sync,
+{
+    /// Candidate values for the next variable given how many fresh constants are in use:
+    /// all of Δ, the fresh constants already used, and at most one new fresh constant.
+    fn choices(&self, fresh_used: usize) -> impl Iterator<Item = (Constant, usize)> + '_ {
+        let fresh_limit = (fresh_used + 1).min(self.fresh.len());
+        self.delta
+            .iter()
+            .cloned()
+            .map(move |c| (c, fresh_used))
+            .chain(
+                self.fresh[..fresh_limit]
+                    .iter()
+                    .enumerate()
+                    .map(move |(i, c)| (c.clone(), fresh_used.max(i + 1))),
+            )
+    }
+
+    fn visit_leaf(&self, assignment: &[Constant], ctx: &Ctx) -> Result<bool, Stop> {
+        ctx.tick()?;
+        let valuation =
+            Valuation::from_pairs(self.vars.iter().copied().zip(assignment.iter().cloned()));
+        if let Some(r) = (self.visit)(&valuation) {
+            let mut witness = self.witness.lock().expect("witness mutex poisoned");
+            witness.get_or_insert(r);
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    fn dfs_rec(
+        &self,
+        assignment: &mut Vec<Constant>,
+        fresh_used: usize,
+        ctx: &Ctx,
+    ) -> Result<bool, Stop> {
+        if assignment.len() == self.vars.len() {
+            return self.visit_leaf(assignment, ctx);
+        }
+        for (value, new_used) in self.choices(fresh_used) {
+            assignment.push(value);
+            let found = self.dfs_rec(assignment, new_used, ctx)?;
+            assignment.pop();
+            if found {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+}
+
+impl<R, F> TreeSearch for EnumSearch<'_, R, F>
+where
+    R: Send,
+    F: Fn(&Valuation) -> Option<R> + Sync,
+{
+    type Node = EnumNode;
+
+    fn expand(&self, node: EnumNode, out: &mut Vec<EnumNode>, ctx: &Ctx) -> Result<bool, Stop> {
+        if node.assignment.len() == self.vars.len() {
+            return self.visit_leaf(&node.assignment, ctx);
+        }
+        for (value, new_used) in self.choices(node.fresh_used) {
+            let mut assignment = node.assignment.clone();
+            assignment.push(value);
+            out.push(EnumNode {
+                assignment,
+                fresh_used: new_used,
+            });
+        }
+        Ok(false)
+    }
+
+    fn dfs(&self, mut node: EnumNode, ctx: &Ctx) -> Result<bool, Stop> {
+        self.dfs_rec(&mut node.assignment, node.fresh_used, ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pw_condition::VarGen;
+    use pw_core::CTuple;
+    use pw_relational::{rel, tup};
+
+    fn engines() -> Vec<Engine> {
+        vec![
+            Engine::new(EngineConfig::sequential(Budget(1_000_000))),
+            Engine::new(EngineConfig::with_threads(2, Budget(1_000_000))),
+            Engine::new(EngineConfig::with_threads(8, Budget(1_000_000))),
+        ]
+    }
+
+    #[test]
+    fn covering_agrees_across_thread_counts() {
+        let mut g = VarGen::new();
+        let (x, y) = (g.fresh(), g.fresh());
+        let t = CTable::codd(
+            "R",
+            2,
+            [
+                vec![Term::constant(1), Term::Var(x)],
+                vec![Term::Var(y), Term::constant(2)],
+            ],
+        )
+        .unwrap();
+        let db = CDatabase::single(t);
+        for engine in engines() {
+            assert!(engine
+                .exists_world_covering(&db, &Instance::single("R", rel![[1, 5]]))
+                .unwrap());
+            assert!(engine
+                .exists_world_covering(&db, &Instance::single("R", rel![[1, 5], [7, 2]]))
+                .unwrap());
+            assert!(!engine
+                .exists_world_covering(&db, &Instance::single("R", rel![[1, 5], [7, 2], [1, 6]]))
+                .unwrap());
+            assert!(!engine
+                .exists_world_covering(&db, &Instance::single("R", rel![[3, 4]]))
+                .unwrap());
+        }
+    }
+
+    #[test]
+    fn missing_fact_agrees_across_thread_counts() {
+        let mut g = VarGen::new();
+        let x = g.fresh();
+        let t = CTable::codd("R", 1, [vec![Term::constant(1)], vec![Term::Var(x)]]).unwrap();
+        let db = CDatabase::single(t);
+        for engine in engines() {
+            assert!(!engine
+                .exists_world_missing_fact(&db, "R", &tup![1])
+                .unwrap());
+            assert!(engine
+                .exists_world_missing_fact(&db, "R", &tup![2])
+                .unwrap());
+            assert!(engine
+                .exists_world_missing_fact(&db, "S", &tup![1])
+                .unwrap());
+        }
+    }
+
+    #[test]
+    fn fact_outside_agrees_across_thread_counts() {
+        let mut g = VarGen::new();
+        let x = g.fresh();
+        let t = CTable::codd("R", 1, [vec![Term::constant(1)], vec![Term::Var(x)]]).unwrap();
+        let db = CDatabase::single(t);
+        let ground = CDatabase::single(CTable::codd("R", 1, [vec![Term::constant(1)]]).unwrap());
+        for engine in engines() {
+            assert!(engine
+                .exists_world_with_fact_outside(&db, &Instance::single("R", rel![[1]]))
+                .unwrap());
+            assert!(!engine
+                .exists_world_with_fact_outside(&ground, &Instance::single("R", rel![[1]]))
+                .unwrap());
+        }
+    }
+
+    #[test]
+    fn conditional_rows_are_respected_in_parallel() {
+        let mut g = VarGen::new();
+        let x = g.fresh();
+        // Row (1) present iff x = 0; row (2) present iff x ≠ 0: mutually exclusive.
+        let t = CTable::new(
+            "R",
+            1,
+            Conjunction::truth(),
+            [
+                CTuple::with_condition([Term::constant(1)], Conjunction::new([Atom::eq(x, 0)])),
+                CTuple::with_condition([Term::constant(2)], Conjunction::new([Atom::neq(x, 0)])),
+            ],
+        )
+        .unwrap();
+        let db = CDatabase::single(t);
+        for engine in engines() {
+            assert!(engine
+                .exists_world_covering(&db, &Instance::single("R", rel![[1]]))
+                .unwrap());
+            assert!(!engine
+                .exists_world_covering(&db, &Instance::single("R", rel![[1], [2]]))
+                .unwrap());
+            // (1) is missing exactly when x ≠ 0.
+            assert!(engine
+                .exists_world_missing_fact(&db, "R", &tup![1])
+                .unwrap());
+        }
+    }
+
+    #[test]
+    fn canonical_enumeration_matches_sequential_count_semantics() {
+        // The parallel enumerator must see exactly the canonical valuations: witness
+        // existence must agree with the sequential enumerator on a predicate that holds
+        // for one specific canonical valuation only.
+        let mut g = VarGen::new();
+        let vars: Vec<Variable> = (0..3).map(|_| g.fresh()).collect();
+        let delta: BTreeSet<Constant> = [Constant::int(7)].into();
+        for engine in engines() {
+            // A witness that requires a *fresh* constant in second position.
+            let found = engine
+                .find_canonical_valuation(&vars, &delta, |v| {
+                    let second = v.get(vars[1])?;
+                    (*second != Constant::int(7)).then_some(second.clone())
+                })
+                .unwrap();
+            assert!(found.is_some(), "fresh-constant valuations are enumerated");
+            // An unsatisfiable predicate has no witness on any thread count.
+            let none = engine
+                .find_canonical_valuation(&vars, &delta, |_| None::<()>)
+                .unwrap();
+            assert!(none.is_none());
+        }
+    }
+
+    #[test]
+    fn budget_exceeded_is_deterministic_when_no_witness_exists() {
+        let mut g = VarGen::new();
+        let vars: Vec<Variable> = (0..8).map(|_| g.fresh()).collect();
+        let delta: BTreeSet<Constant> = (0..8).map(Constant::int).collect();
+        for threads in [1, 2, 8] {
+            let engine = Engine::new(EngineConfig::with_threads(threads, Budget(200)));
+            for _ in 0..3 {
+                let r = engine.find_canonical_valuation(&vars, &delta, |_| None::<()>);
+                assert_eq!(
+                    r.err(),
+                    Some(BudgetExceeded),
+                    "no witness + tree larger than budget ⇒ always BudgetExceeded ({threads} threads)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn base_store_is_memoized_per_database() {
+        let mut g = VarGen::new();
+        let x = g.fresh();
+        let t = CTable::g_table(
+            "R",
+            1,
+            Conjunction::new([Atom::eq(x, 1)]),
+            [vec![Term::Var(x)]],
+        )
+        .unwrap();
+        let db = CDatabase::single(t);
+        let clone = db.clone();
+        let engine = Engine::new(EngineConfig::sequential(Budget(1000)));
+        assert!(engine.base_store(&db).is_some());
+        let misses_before = engine.sat_cache().stats().misses;
+        // A *clone* of the database hits the same cache entry.
+        assert!(engine.base_store(&clone).is_some());
+        assert_eq!(engine.sat_cache().stats().misses, misses_before);
+    }
+
+    #[test]
+    fn unsatisfiable_globals_yield_no_base_store() {
+        let mut g = VarGen::new();
+        let x = g.fresh();
+        let t = CTable::g_table(
+            "R",
+            1,
+            Conjunction::new([Atom::eq(x, 1), Atom::neq(x, 1)]),
+            [vec![Term::Var(x)]],
+        )
+        .unwrap();
+        let db = CDatabase::single(t);
+        let engine = Engine::new(EngineConfig::parallel(Budget(1000)));
+        assert!(engine.base_store(&db).is_none());
+        assert!(!engine.has_satisfiable_globals(&db));
+        assert!(!engine
+            .exists_world_covering(&db, &Instance::single("R", rel![[1]]))
+            .unwrap());
+        assert!(!engine
+            .exists_world_missing_fact(&db, "R", &tup![1])
+            .unwrap());
+    }
+}

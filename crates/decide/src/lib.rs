@@ -19,13 +19,30 @@
 //! [`common::BudgetExceeded`] instead of running away — the exponential growth they exhibit
 //! on the reduction-generated workloads is precisely the behaviour the benchmark suite
 //! measures.
+//!
+//! ## Parallel execution
+//!
+//! The worst-case exponential paths run on a shared parallel substrate, [`engine`]:
+//! search nodes with cheaply-forkable constraint stores, an explicit frontier drained by
+//! `std::thread::scope` workers, an atomic shared budget and first-witness cancellation.
+//! Each problem module exposes a `decide_with(…, &Engine)` variant; the batched front
+//! door [`batch::decide_all`] decides many requests at once, amortizing per-database
+//! preprocessing through the engine's caches.  See `docs/BOOK.md` (section "The parallel
+//! engine") for the invariants — budget semantics and determinism of answers under
+//! parallelism.
 
+#![warn(missing_docs)]
+
+pub mod batch;
 pub mod certainty;
 pub mod common;
 pub mod containment;
+pub mod engine;
 pub mod membership;
 pub mod possibility;
 pub mod search;
 pub mod uniqueness;
 
+pub use batch::{decide_all, decide_all_with, DecisionOutcome, DecisionRequest};
 pub use common::{Budget, BudgetExceeded, Strategy};
+pub use engine::{Engine, EngineConfig, SharedBudget};

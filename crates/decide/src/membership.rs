@@ -13,10 +13,8 @@
 //! * [`decide`] — the dispatching entry point that picks the strategy the paper's upper
 //!   bounds prescribe.
 
-use crate::common::{
-    evaluation_delta, for_each_canonical_valuation, Budget, BudgetCounter, BudgetExceeded,
-    Strategy,
-};
+use crate::common::{evaluation_delta, Budget, BudgetCounter, BudgetExceeded, Strategy};
+use crate::engine::{Engine, EngineConfig};
 use pw_condition::{Atom, ConstraintSet, Term};
 use pw_core::{CDatabase, CTable, TableClass, View};
 use pw_relational::{Instance, Tuple};
@@ -274,24 +272,37 @@ pub fn view_membership(
     instance: &Instance,
     budget: Budget,
 ) -> Result<bool, BudgetExceeded> {
+    view_membership_with(
+        view,
+        instance,
+        &Engine::new(EngineConfig::sequential(budget)),
+    )
+}
+
+/// [`view_membership`] on an explicit [`Engine`]: the generic fallback (canonical
+/// valuation enumeration) runs on the engine's worker pool.  The identity and
+/// UCQ-convertible paths are a single NP backtracking call and stay sequential — inside a
+/// batch they already run concurrently with the other requests.
+pub fn view_membership_with(
+    view: &View,
+    instance: &Instance,
+    engine: &Engine,
+) -> Result<bool, BudgetExceeded> {
     if view.query.is_identity() {
-        // Identity views are plain databases up to output renaming.
         if let Some(Ok(db)) = view.to_ctables() {
-            return decide(&db, instance, budget);
+            return decide(&db, instance, engine.config().budget);
         }
     }
     if let Some(converted) = view.to_ctables() {
         match converted {
-            Ok(db) => return backtracking(&db, instance, budget),
+            Ok(db) => return backtracking(&db, instance, engine.config().budget),
             Err(_) => return Ok(false),
         }
     }
-    // Generic fallback: enumerate canonical valuations.
     let vars: Vec<_> = view.db.variables().into_iter().collect();
     let mut delta = evaluation_delta(&view.db, instance.active_domain());
     delta.extend(view.query.constants());
-    let mut counter = budget.counter();
-    let found = for_each_canonical_valuation(&vars, &delta, &mut counter, |valuation| {
+    let found = engine.find_canonical_valuation(&vars, &delta, |valuation| {
         let world = valuation.world_of(&view.db)?;
         let output = view.query.eval(&world);
         output.same_facts(instance).then_some(())
@@ -387,13 +398,31 @@ mod tests {
         let mut g = VarGen::new();
         let (x, y) = (g.fresh(), g.fresh());
         // T = {(x), (y), (1)}: worlds have between 1 and 3 facts and always contain (1).
-        let t = CTable::codd("R", 1, [vec![Term::Var(x)], vec![Term::Var(y)], vec![Term::constant(1)]]).unwrap();
+        let t = CTable::codd(
+            "R",
+            1,
+            [
+                vec![Term::Var(x)],
+                vec![Term::Var(y)],
+                vec![Term::constant(1)],
+            ],
+        )
+        .unwrap();
         let db = CDatabase::single(t);
         assert!(codd_matching(&db, &Instance::single("R", rel![[1]])));
         assert!(codd_matching(&db, &Instance::single("R", rel![[1], [2]])));
-        assert!(codd_matching(&db, &Instance::single("R", rel![[1], [2], [3]])));
-        assert!(!codd_matching(&db, &Instance::single("R", rel![[2], [3]])), "the constant row forces (1)");
-        assert!(!codd_matching(&db, &Instance::single("R", rel![[1], [2], [3], [4]])), "more facts than rows");
+        assert!(codd_matching(
+            &db,
+            &Instance::single("R", rel![[1], [2], [3]])
+        ));
+        assert!(
+            !codd_matching(&db, &Instance::single("R", rel![[2], [3]])),
+            "the constant row forces (1)"
+        );
+        assert!(
+            !codd_matching(&db, &Instance::single("R", rel![[1], [2], [3], [4]])),
+            "more facts than rows"
+        );
     }
 
     #[test]
@@ -420,7 +449,11 @@ mod tests {
         ];
         for inst in &candidates {
             let reference = by_enumeration(&db, inst, 100_000).unwrap();
-            assert_eq!(codd_matching(&db, inst), reference, "matching vs enumeration on {inst}");
+            assert_eq!(
+                codd_matching(&db, inst),
+                reference,
+                "matching vs enumeration on {inst}"
+            );
             assert_eq!(
                 backtracking(&db, inst, budget()).unwrap(),
                 reference,
@@ -535,10 +568,7 @@ mod tests {
                 1,
                 Formula::exists(
                     ["a"],
-                    Formula::and([
-                        Formula::atom("T", [QTerm::var("a")]),
-                        Formula::neq("a", 1),
-                    ]),
+                    Formula::and([Formula::atom("T", [QTerm::var("a")]), Formula::neq("a", 1)]),
                 ),
             )),
         );

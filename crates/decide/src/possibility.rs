@@ -11,9 +11,8 @@
 //! * [`by_enumeration`] — the fallback for first order / DATALOG views (NP-complete even on
 //!   Codd-tables, Theorem 5.2(2,3)).
 
-use crate::common::{
-    evaluation_delta, for_each_canonical_valuation, Budget, BudgetExceeded, Strategy,
-};
+use crate::common::{evaluation_delta, Budget, BudgetExceeded, Strategy};
+use crate::engine::{Engine, EngineConfig};
 use crate::search::exists_world_covering;
 use pw_core::{CDatabase, TableClass, View};
 use pw_relational::{Instance, Tuple};
@@ -24,6 +23,12 @@ use pw_solvers::matching::{maximum_matching, BipartiteGraph};
 /// paper is about what is considered part of the input (`k` fixed vs. unbounded), not about
 /// the question itself.
 pub fn decide(view: &View, facts: &Instance, budget: Budget) -> Result<bool, BudgetExceeded> {
+    decide_with(view, facts, &Engine::new(EngineConfig::sequential(budget)))
+}
+
+/// [`decide`] on an explicit [`Engine`]: the general (NP) paths run on the engine's worker
+/// pool with its shared budget, caches and early-exit cancellation.
+pub fn decide_with(view: &View, facts: &Instance, engine: &Engine) -> Result<bool, BudgetExceeded> {
     match strategy(view) {
         Strategy::CoddMatching => Ok(codd_matching(&view.db, facts)),
         Strategy::CTableAlgebra | Strategy::Backtracking => {
@@ -32,9 +37,9 @@ pub fn decide(view: &View, facts: &Instance, budget: Budget) -> Result<bool, Bud
                 Some(Err(_)) => return Ok(false),
                 None => unreachable!("strategy selection guarantees convertibility"),
             };
-            row_cover(&db, facts, budget)
+            engine.exists_world_covering(&db, facts)
         }
-        _ => by_enumeration(view, facts, budget),
+        _ => by_enumeration_with(view, facts, engine),
     }
 }
 
@@ -97,22 +102,31 @@ pub fn row_cover(db: &CDatabase, facts: &Instance, budget: Budget) -> Result<boo
     exists_world_covering(db, facts, &mut counter)
 }
 
+/// [`by_enumeration`] on an explicit [`Engine`] (parallel canonical-valuation
+/// enumeration).
+pub fn by_enumeration_with(
+    view: &View,
+    facts: &Instance,
+    engine: &Engine,
+) -> Result<bool, BudgetExceeded> {
+    let vars: Vec<_> = view.db.variables().into_iter().collect();
+    let mut delta = evaluation_delta(&view.db, facts.active_domain());
+    delta.extend(view.query.constants());
+    let found = engine.find_canonical_valuation(&vars, &delta, |valuation| {
+        let world = valuation.world_of(&view.db)?;
+        let output = view.query.eval(&world);
+        facts.is_subinstance_of(&output).then_some(())
+    })?;
+    Ok(found.is_some())
+}
+
 /// Generic fallback for first order and DATALOG views: canonical-valuation enumeration.
 pub fn by_enumeration(
     view: &View,
     facts: &Instance,
     budget: Budget,
 ) -> Result<bool, BudgetExceeded> {
-    let vars: Vec<_> = view.db.variables().into_iter().collect();
-    let mut delta = evaluation_delta(&view.db, facts.active_domain());
-    delta.extend(view.query.constants());
-    let mut counter = budget.counter();
-    let found = for_each_canonical_valuation(&vars, &delta, &mut counter, |valuation| {
-        let world = valuation.world_of(&view.db)?;
-        let output = view.query.eval(&world);
-        facts.is_subinstance_of(&output).then_some(())
-    })?;
-    Ok(found.is_some())
+    by_enumeration_with(view, facts, &Engine::new(EngineConfig::sequential(budget)))
 }
 
 #[cfg(test)]
@@ -144,7 +158,10 @@ mod tests {
         let view = View::identity(db.clone());
         assert_eq!(strategy(&view), Strategy::CoddMatching);
         assert!(codd_matching(&db, &Instance::single("R", rel![[1, 7]])));
-        assert!(codd_matching(&db, &Instance::single("R", rel![[1, 7], [9, 2]])));
+        assert!(codd_matching(
+            &db,
+            &Instance::single("R", rel![[1, 7], [9, 2]])
+        ));
         assert!(
             !codd_matching(&db, &Instance::single("R", rel![[1, 7], [1, 8]])),
             "two facts cannot both come from the single compatible row"
@@ -234,7 +251,12 @@ mod tests {
         let view = View::new(q, CDatabase::single(t));
         assert_eq!(strategy(&view), Strategy::CTableAlgebra);
         assert!(decide(&view, &Instance::single("Q", rel![[1, 9]]), budget()).unwrap());
-        assert!(decide(&view, &Instance::single("Q", rel![[1, 9], [2, 3]]), budget()).unwrap());
+        assert!(decide(
+            &view,
+            &Instance::single("Q", rel![[1, 9], [2, 3]]),
+            budget()
+        )
+        .unwrap());
         assert!(!decide(&view, &Instance::single("Q", rel![[3, 3]]), budget()).unwrap());
         // A join query: q2(a) :- T(a, b), T(b, c)  — possible only if x can chain onto a row.
         let q2 = Query::single(

@@ -1,5 +1,5 @@
 //! Constraint-propagating backtracking searches shared by the uniqueness, possibility and
-//! certainty procedures.
+//! certainty procedures — thin sequential façades over the [`crate::engine`] substrate.
 //!
 //! All three problems reduce (for c-table databases, i.e. identity or UCQ-convertible
 //! views) to satisfiability questions about the conditions attached to rows:
@@ -10,38 +10,33 @@
 //!   produced by any row ([`exists_world_missing_fact`]) or under which some row produces a
 //!   fact outside a given instance ([`exists_world_with_fact_outside`])?
 //!
-//! Each search asserts atoms into a [`ConstraintSet`] (union–find plus inequality watch
-//! list) and backtracks on inconsistency; the searches are exponential in the worst case,
-//! which is unavoidable — the corresponding decision problems are NP-/coNP-complete.
+//! The searches themselves live in [`crate::engine`]: each one asserts atoms into a
+//! [`pw_condition::ConstraintSet`] (union–find plus inequality watch list) and backtracks
+//! on inconsistency via undo-trail checkpoints.  The entry points here keep the historical
+//! sequential signatures — a `&mut BudgetCounter` threaded through consecutive searches —
+//! by seeding an engine context from the counter and writing the unspent budget back, so
+//! legacy callers and the parallel paths charge the same budget for the same tree.  The
+//! searches are exponential in the worst case, which is unavoidable — the corresponding
+//! decision problems are NP-/coNP-complete.
 
-use crate::common::{BudgetCounter, BudgetExceeded};
-use pw_condition::{Atom, ConstraintSet, Term};
-use pw_core::{CDatabase, CTable};
+use crate::common::{Budget, BudgetCounter, BudgetExceeded};
+use crate::engine::{Ctx, Engine, EngineConfig};
+use pw_core::CDatabase;
 use pw_relational::{Instance, Tuple};
 
-/// Assert all global conditions of the database; `None` means they are jointly
-/// unsatisfiable (the represented set of worlds is empty).
-fn base_store(db: &CDatabase) -> Option<ConstraintSet> {
-    let mut store = ConstraintSet::new();
-    for table in db.tables() {
-        if !store.assert_conjunction(table.global_condition()) {
-            return None;
-        }
-    }
-    Some(store)
-}
-
-/// Assert that the row instantiates to exactly `fact` and that its local condition holds.
-fn assert_row_produces(store: &mut ConstraintSet, row_terms: &[Term], cond: &pw_condition::Conjunction, fact: &Tuple) -> bool {
-    if !store.assert_conjunction(cond) {
-        return false;
-    }
-    for (term, value) in row_terms.iter().zip(fact.iter()) {
-        if !store.assert_eq(term, &Term::Const(value.clone())) {
-            return false;
-        }
-    }
-    true
+/// Run `f` against a transient single-threaded engine whose budget pool is seeded from
+/// `counter`; unspent budget is written back so multi-phase callers (e.g. the uniqueness
+/// complement) keep their historical shared-budget semantics.
+fn run_with_counter(
+    counter: &mut BudgetCounter,
+    f: impl FnOnce(&Engine, &Ctx) -> Result<bool, BudgetExceeded>,
+) -> Result<bool, BudgetExceeded> {
+    let budget = Budget(counter.remaining());
+    let engine = Engine::new(EngineConfig::sequential(budget));
+    let ctx = Ctx::new(budget);
+    let result = f(&engine, &ctx);
+    counter.set_remaining(ctx.budget_remaining());
+    result
 }
 
 /// Is there a valuation (satisfying the global conditions) under which every fact of
@@ -53,131 +48,28 @@ pub fn exists_world_covering(
     facts: &Instance,
     counter: &mut BudgetCounter,
 ) -> Result<bool, BudgetExceeded> {
-    // Facts in relations the database does not have can never be produced.
-    for (name, rel) in facts.iter() {
-        if rel.is_empty() {
-            continue;
-        }
-        match db.table(name) {
-            Some(t) if t.arity() == rel.arity() => {}
-            _ => return Ok(false),
-        }
-    }
-    let Some(store) = base_store(db) else {
-        return Ok(false);
-    };
-    // Flatten the facts into a work list of (table, fact) pairs.
-    let work: Vec<(&CTable, Tuple)> = facts
-        .iter()
-        .flat_map(|(name, rel)| {
-            let table = db.table(name);
-            rel.iter()
-                .filter_map(move |fact| table.map(|t| (t, fact.clone())))
-        })
-        .collect();
-    // Distinct facts must come from distinct rows (one row yields at most one fact), so we
-    // also track which rows are already in use per table.
-    fn search(
-        work: &[(&CTable, Tuple)],
-        depth: usize,
-        used_rows: &mut Vec<(String, usize)>,
-        store: &ConstraintSet,
-        counter: &mut BudgetCounter,
-    ) -> Result<bool, BudgetExceeded> {
-        counter.tick()?;
-        if depth == work.len() {
-            return Ok(true);
-        }
-        let (table, fact) = &work[depth];
-        for (row_idx, row) in table.tuples().iter().enumerate() {
-            if used_rows
-                .iter()
-                .any(|(name, idx)| name == table.name() && *idx == row_idx)
-            {
-                continue;
-            }
-            let mut store2 = store.clone();
-            if !assert_row_produces(&mut store2, &row.terms, &row.condition, fact) {
-                continue;
-            }
-            used_rows.push((table.name().to_owned(), row_idx));
-            let found = search(work, depth + 1, used_rows, &store2, counter)?;
-            used_rows.pop();
-            if found {
-                return Ok(true);
-            }
-        }
-        Ok(false)
-    }
-    let mut used_rows = Vec::new();
-    search(&work, 0, &mut used_rows, &store, counter)
+    run_with_counter(counter, |engine, ctx| engine.covering_ctx(db, facts, ctx))
 }
 
 /// Is there a valuation (satisfying the global conditions) under which **no** row of the
 /// named table produces `fact`?  Used as the complement of certainty and as half of the
 /// complement of uniqueness.
 ///
-/// For every row we must pick a reason it does not produce the fact: either one atom of its
-/// local condition is falsified, or one position of the row differs from the fact.
+/// For every row the search picks a reason it does not produce the fact: either one atom
+/// of its local condition is falsified, or one position of the row differs from the fact.
 pub fn exists_world_missing_fact(
     db: &CDatabase,
     relation: &str,
     fact: &Tuple,
     counter: &mut BudgetCounter,
 ) -> Result<bool, BudgetExceeded> {
-    let Some(table) = db.table(relation) else {
-        // The database has no such relation: no world ever contains the fact.
-        return Ok(true);
-    };
-    if table.arity() != fact.arity() {
-        return Ok(true);
-    }
-    let Some(store) = base_store(db) else {
-        // Empty representation: there is no world at all, hence no world missing the fact
-        // either.  Callers treat the empty rep separately; answering false keeps
-        // "certainty" vacuously true.
-        return Ok(false);
-    };
-
-    fn search(
-        table: &CTable,
-        fact: &Tuple,
-        row_idx: usize,
-        store: &ConstraintSet,
-        counter: &mut BudgetCounter,
-    ) -> Result<bool, BudgetExceeded> {
-        counter.tick()?;
-        if row_idx == table.len() {
-            return Ok(true);
-        }
-        let row = &table.tuples()[row_idx];
-        // Reason 1: some position of the row differs from the fact.
-        for (term, value) in row.terms.iter().zip(fact.iter()) {
-            let mut store2 = store.clone();
-            if !store2.assert_neq(term, &Term::Const(value.clone())) {
-                continue;
-            }
-            if search(table, fact, row_idx + 1, &store2, counter)? {
-                return Ok(true);
-            }
-        }
-        // Reason 2: some atom of the local condition is falsified.
-        for atom in row.condition.atoms() {
-            let mut store2 = store.clone();
-            let ok = match atom {
-                Atom::Eq(a, b) => store2.assert_neq(a, b),
-                Atom::Neq(a, b) => store2.assert_eq(a, b),
-            };
-            if !ok {
-                continue;
-            }
-            if search(table, fact, row_idx + 1, &store2, counter)? {
-                return Ok(true);
-            }
-        }
-        Ok(false)
-    }
-    search(table, fact, 0, &store, counter)
+    let mut single = Instance::new();
+    let mut rel = pw_relational::Relation::empty(fact.arity());
+    rel.insert(fact.clone()).expect("arity matches");
+    single.insert_relation(relation.to_owned(), rel);
+    run_with_counter(counter, |engine, ctx| {
+        engine.missing_any_ctx(db, &single, ctx)
+    })
 }
 
 /// Is there a valuation (satisfying the global conditions) under which some row produces a
@@ -187,58 +79,16 @@ pub fn exists_world_with_fact_outside(
     instance: &Instance,
     counter: &mut BudgetCounter,
 ) -> Result<bool, BudgetExceeded> {
-    let Some(store) = base_store(db) else {
-        return Ok(false);
-    };
-    for table in db.tables() {
-        let rel = instance.relation_or_empty(table.name(), table.arity());
-        let facts: Vec<&Tuple> = rel.iter().collect();
-        for row in table.tuples() {
-            // The row must be present (local condition holds) and differ from every fact.
-            let mut base = store.clone();
-            if !base.assert_conjunction(&row.condition) {
-                continue;
-            }
-            if escape_every_fact(&row.terms, &facts, 0, &base, counter)? {
-                return Ok(true);
-            }
-        }
-    }
-    Ok(false)
-}
-
-/// Recursive helper: make the row differ from each fact in turn (choosing a differing
-/// position per fact).
-fn escape_every_fact(
-    row_terms: &[Term],
-    facts: &[&Tuple],
-    idx: usize,
-    store: &ConstraintSet,
-    counter: &mut BudgetCounter,
-) -> Result<bool, BudgetExceeded> {
-    counter.tick()?;
-    if idx == facts.len() {
-        return Ok(true);
-    }
-    let fact = facts[idx];
-    for (term, value) in row_terms.iter().zip(fact.iter()) {
-        let mut store2 = store.clone();
-        if !store2.assert_neq(term, &Term::Const(value.clone())) {
-            continue;
-        }
-        if escape_every_fact(row_terms, facts, idx + 1, &store2, counter)? {
-            return Ok(true);
-        }
-    }
-    Ok(false)
+    run_with_counter(counter, |engine, ctx| {
+        engine.fact_outside_ctx(db, instance, ctx)
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::common::Budget;
-    use pw_condition::{Conjunction, VarGen};
-    use pw_core::CTuple;
+    use pw_condition::{Atom, Conjunction, Term, VarGen};
+    use pw_core::{CTable, CTuple};
     use pw_relational::{rel, tup};
 
     fn counter() -> BudgetCounter {
@@ -260,7 +110,10 @@ mod tests {
         .unwrap();
         let db = CDatabase::single(t);
         // {(1, 5)} is coverable by the first row.
-        assert!(exists_world_covering(&db, &Instance::single("R", rel![[1, 5]]), &mut counter()).unwrap());
+        assert!(
+            exists_world_covering(&db, &Instance::single("R", rel![[1, 5]]), &mut counter())
+                .unwrap()
+        );
         // {(1, 5), (7, 2)} needs both rows — fine.
         assert!(exists_world_covering(
             &db,
@@ -276,7 +129,10 @@ mod tests {
         )
         .unwrap());
         // A fact incompatible with both rows.
-        assert!(!exists_world_covering(&db, &Instance::single("R", rel![[3, 4]]), &mut counter()).unwrap());
+        assert!(
+            !exists_world_covering(&db, &Instance::single("R", rel![[3, 4]]), &mut counter())
+                .unwrap()
+        );
     }
 
     #[test]
@@ -291,10 +147,16 @@ mod tests {
         )
         .unwrap();
         let db = CDatabase::single(t);
-        assert!(exists_world_covering(&db, &Instance::single("R", rel![[2]]), &mut counter()).unwrap());
-        assert!(!exists_world_covering(&db, &Instance::single("R", rel![[1]]), &mut counter()).unwrap());
+        assert!(
+            exists_world_covering(&db, &Instance::single("R", rel![[2]]), &mut counter()).unwrap()
+        );
+        assert!(
+            !exists_world_covering(&db, &Instance::single("R", rel![[1]]), &mut counter()).unwrap()
+        );
         // Unknown relation.
-        assert!(!exists_world_covering(&db, &Instance::single("S", rel![[2]]), &mut counter()).unwrap());
+        assert!(
+            !exists_world_covering(&db, &Instance::single("S", rel![[2]]), &mut counter()).unwrap()
+        );
     }
 
     #[test]
@@ -349,11 +211,21 @@ mod tests {
         let t = CTable::codd("R", 1, [vec![Term::constant(1)], vec![Term::Var(x)]]).unwrap();
         let db = CDatabase::single(t);
         // Against I = {(1)}: x can take a value ≠ 1, producing a fact outside I.
-        assert!(exists_world_with_fact_outside(&db, &Instance::single("R", rel![[1]]), &mut counter()).unwrap());
+        assert!(exists_world_with_fact_outside(
+            &db,
+            &Instance::single("R", rel![[1]]),
+            &mut counter()
+        )
+        .unwrap());
         // A ground table never escapes its own instance.
         let ground = CTable::codd("R", 1, [vec![Term::constant(1)]]).unwrap();
         let db2 = CDatabase::single(ground);
-        assert!(!exists_world_with_fact_outside(&db2, &Instance::single("R", rel![[1]]), &mut counter()).unwrap());
+        assert!(!exists_world_with_fact_outside(
+            &db2,
+            &Instance::single("R", rel![[1]]),
+            &mut counter()
+        )
+        .unwrap());
         // With a global condition x = 1, the variable row cannot escape either.
         let pinned = CTable::g_table(
             "R",
@@ -363,7 +235,12 @@ mod tests {
         )
         .unwrap();
         let db3 = CDatabase::single(pinned);
-        assert!(!exists_world_with_fact_outside(&db3, &Instance::single("R", rel![[1]]), &mut counter()).unwrap());
+        assert!(!exists_world_with_fact_outside(
+            &db3,
+            &Instance::single("R", rel![[1]]),
+            &mut counter()
+        )
+        .unwrap());
     }
 
     #[test]
@@ -378,7 +255,9 @@ mod tests {
         )
         .unwrap();
         let db = CDatabase::single(t);
-        assert!(!exists_world_covering(&db, &Instance::single("R", rel![[1]]), &mut counter()).unwrap());
+        assert!(
+            !exists_world_covering(&db, &Instance::single("R", rel![[1]]), &mut counter()).unwrap()
+        );
         assert!(!exists_world_missing_fact(&db, "R", &tup![1], &mut counter()).unwrap());
         assert!(!exists_world_with_fact_outside(&db, &Instance::new(), &mut counter()).unwrap());
     }

@@ -12,19 +12,34 @@
 //!   [`crate::search`].
 
 use crate::common::{
-    evaluation_delta, for_each_canonical_valuation, freeze_database, normalize_database, Budget,
-    BudgetExceeded, Strategy,
+    evaluation_delta, freeze_database, normalize_database, Budget, BudgetExceeded, Strategy,
 };
+use crate::engine::{Engine, EngineConfig};
 use crate::membership;
-use crate::search::{exists_world_missing_fact, exists_world_with_fact_outside};
 use pw_core::{CDatabase, CTable, TableClass, View};
 use pw_query::{Query, QueryClass, QueryDef};
 use pw_relational::{Instance, Relation};
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Decide `UNIQ(q₀)` for a view and an instance, dispatching to the paper's polynomial
 /// algorithms when they apply.
 pub fn decide(view: &View, instance: &Instance, budget: Budget) -> Result<bool, BudgetExceeded> {
+    decide_with(
+        view,
+        instance,
+        &Engine::new(EngineConfig::sequential(budget)),
+    )
+}
+
+/// [`decide`] on an explicit [`Engine`]: the two halves of the coNP complement (a world
+/// with an extra fact / a world missing a fact) and all their per-row and per-fact
+/// subtrees run on the engine's worker pool.
+pub fn decide_with(
+    view: &View,
+    instance: &Instance,
+    engine: &Engine,
+) -> Result<bool, BudgetExceeded> {
     match strategy(view) {
         Strategy::GTableNormalization => Ok(gtable_uniqueness(&view.db, instance)),
         Strategy::PosExistEtable => Ok(pos_exist_etable(&view.query, &view.db, instance)
@@ -35,9 +50,9 @@ pub fn decide(view: &View, instance: &Instance, budget: Budget) -> Result<bool, 
                 Some(Err(_)) => return Ok(false),
                 None => unreachable!("Backtracking strategy implies UCQ-convertible view"),
             };
-            complement_search(&db, instance, budget)
+            complement_search_with(&db, instance, engine)
         }
-        _ => by_enumeration(view, instance, budget),
+        _ => by_enumeration_with(view, instance, engine),
     }
 }
 
@@ -82,7 +97,10 @@ pub fn gtable_uniqueness(db: &CDatabase, instance: &Instance) -> bool {
     for table in normalized.tables() {
         let mut rel = Relation::empty(table.arity());
         for row in table.tuples() {
-            debug_assert!(row.has_trivial_condition(), "g-tables have no local conditions");
+            debug_assert!(
+                row.has_trivial_condition(),
+                "g-tables have no local conditions"
+            );
             let mut fact = Vec::with_capacity(table.arity());
             for term in &row.terms {
                 match term.as_const() {
@@ -142,8 +160,7 @@ pub fn pos_exist_etable(query: &Query, db: &CDatabase, instance: &Instance) -> O
         let expected = instance.relation_or_empty(name, def.arity());
         let answer = def.eval(&frozen);
         for fact in expected.iter() {
-            let certain = answer.contains(fact)
-                && fact.iter().all(|c| !fresh.contains(c));
+            let certain = answer.contains(fact) && fact.iter().all(|c| !fresh.contains(c));
             if !certain {
                 return Some(false);
             }
@@ -158,9 +175,7 @@ pub fn pos_exist_etable(query: &Query, db: &CDatabase, instance: &Instance) -> O
             let mut rows: Vec<pw_core::CTuple> = i_rel
                 .iter()
                 .map(|fact| {
-                    pw_core::CTuple::of_terms(
-                        fact.iter().cloned().map(pw_condition::Term::Const),
-                    )
+                    pw_core::CTuple::of_terms(fact.iter().cloned().map(pw_condition::Term::Const))
                 })
                 .collect();
             rows.push(pw_core::CTuple::of_terms(row.terms.iter().cloned()));
@@ -182,24 +197,54 @@ pub fn complement_search(
     instance: &Instance,
     budget: Budget,
 ) -> Result<bool, BudgetExceeded> {
-    if !db.has_satisfiable_globals() {
+    complement_search_with(db, instance, &Engine::new(EngineConfig::sequential(budget)))
+}
+
+/// [`complement_search`] on an explicit [`Engine`].
+pub fn complement_search_with(
+    db: &CDatabase,
+    instance: &Instance,
+    engine: &Engine,
+) -> Result<bool, BudgetExceeded> {
+    if !engine.has_satisfiable_globals(db) {
         return Ok(false);
     }
-    if !membership::decide(db, instance, budget)? {
+    if !membership::decide(db, instance, engine.config().budget)? {
         return Ok(false);
     }
-    let mut counter = budget.counter();
-    if exists_world_with_fact_outside(db, instance, &mut counter)? {
+    // Both halves of the complement charge one shared budget pool, exactly like the
+    // sequential search threads a single counter through them: `Budget(N)` caps the
+    // combined complement work at N nodes.
+    let ctx = crate::engine::Ctx::new(engine.config().budget);
+    if engine.fact_outside_ctx(db, instance, &ctx)? {
         return Ok(false);
     }
-    for (name, rel) in instance.iter() {
-        for fact in rel.iter() {
-            if exists_world_missing_fact(db, name, fact, &mut counter)? {
-                return Ok(false);
-            }
-        }
+    // One engine call covers all facts: each fact's "can it be missing?" search is an
+    // independent subtree of the same forest.
+    if engine.missing_any_ctx(db, instance, &ctx)? {
+        return Ok(false);
     }
     Ok(true)
+}
+
+/// [`by_enumeration`] on an explicit [`Engine`] (parallel canonical-valuation
+/// enumeration).
+pub fn by_enumeration_with(
+    view: &View,
+    instance: &Instance,
+    engine: &Engine,
+) -> Result<bool, BudgetExceeded> {
+    let vars: Vec<_> = view.db.variables().into_iter().collect();
+    let mut delta = evaluation_delta(&view.db, instance.active_domain());
+    delta.extend(view.query.constants());
+    let found_world = AtomicBool::new(false);
+    let differing = engine.find_canonical_valuation(&vars, &delta, |valuation| {
+        let world = valuation.world_of(&view.db)?;
+        let output = view.query.eval(&world);
+        found_world.store(true, Ordering::Relaxed);
+        (!output.same_facts(instance)).then_some(())
+    })?;
+    Ok(found_world.load(Ordering::Relaxed) && differing.is_none())
 }
 
 /// Generic fallback: canonical-valuation enumeration (all worlds must equal `I`, and at
@@ -209,18 +254,11 @@ pub fn by_enumeration(
     instance: &Instance,
     budget: Budget,
 ) -> Result<bool, BudgetExceeded> {
-    let vars: Vec<_> = view.db.variables().into_iter().collect();
-    let mut delta = evaluation_delta(&view.db, instance.active_domain());
-    delta.extend(view.query.constants());
-    let mut counter = budget.counter();
-    let mut found_world = false;
-    let differing = for_each_canonical_valuation(&vars, &delta, &mut counter, |valuation| {
-        let world = valuation.world_of(&view.db)?;
-        let output = view.query.eval(&world);
-        found_world = true;
-        (!output.same_facts(instance)).then_some(())
-    })?;
-    Ok(found_world && differing.is_none())
+    by_enumeration_with(
+        view,
+        instance,
+        &Engine::new(EngineConfig::sequential(budget)),
+    )
 }
 
 /// The uniqueness problem takes a set of constants from the instance into Δ; exposing the
@@ -253,7 +291,10 @@ mod tests {
         )
         .unwrap();
         let db = CDatabase::single(t);
-        assert!(gtable_uniqueness(&db, &Instance::single("R", rel![[1], [2]])));
+        assert!(gtable_uniqueness(
+            &db,
+            &Instance::single("R", rel![[1], [2]])
+        ));
         assert!(!gtable_uniqueness(&db, &Instance::single("R", rel![[1]])));
         assert!(!gtable_uniqueness(&db, &Instance::single("S", rel![[1]])));
     }
@@ -272,7 +313,10 @@ mod tests {
         .unwrap();
         let db = CDatabase::single(t);
         assert!(gtable_uniqueness(&db, &Instance::single("R", rel![[3]])));
-        assert!(!gtable_uniqueness(&db, &Instance::single("R", rel![[3], [4]])));
+        assert!(!gtable_uniqueness(
+            &db,
+            &Instance::single("R", rel![[3], [4]])
+        ));
     }
 
     #[test]
@@ -373,7 +417,9 @@ mod tests {
         )
         .unwrap();
         let db2 = CDatabase::single(conditional);
-        assert!(!complement_search(&db2, &Instance::single("R", rel![[1], [2]]), budget()).unwrap());
+        assert!(
+            !complement_search(&db2, &Instance::single("R", rel![[1], [2]]), budget()).unwrap()
+        );
         assert!(!complement_search(&db2, &Instance::single("R", rel![[1]]), budget()).unwrap());
     }
 
@@ -421,7 +467,9 @@ mod tests {
         let view_first = View::new(q_first, db.clone());
         let view_second = View::new(q_second, db.clone());
         assert!(by_enumeration(&view_first, &unique_instance, budget()).unwrap());
-        assert!(!by_enumeration(&view_second, &Instance::single("Q", rel![[2]]), budget()).unwrap());
+        assert!(
+            !by_enumeration(&view_second, &Instance::single("Q", rel![[2]]), budget()).unwrap()
+        );
     }
 
     #[test]
@@ -450,7 +498,13 @@ mod tests {
     fn dispatch_picks_the_documented_strategies() {
         let mut g = VarGen::new();
         let x = g.fresh();
-        let gtab = CTable::g_table("R", 1, Conjunction::new([Atom::eq(x, 1)]), [vec![Term::Var(x)]]).unwrap();
+        let gtab = CTable::g_table(
+            "R",
+            1,
+            Conjunction::new([Atom::eq(x, 1)]),
+            [vec![Term::Var(x)]],
+        )
+        .unwrap();
         let view = View::identity(CDatabase::single(gtab));
         assert_eq!(strategy(&view), Strategy::GTableNormalization);
         assert!(decide(&view, &Instance::single("R", rel![[1]]), budget()).unwrap());

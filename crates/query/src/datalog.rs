@@ -195,7 +195,10 @@ impl DatalogProgram {
 
     /// IDB relation names (heads of rules).
     pub fn idb_relations(&self) -> BTreeSet<&str> {
-        self.rules.iter().map(|r| r.head.relation.as_str()).collect()
+        self.rules
+            .iter()
+            .map(|r| r.head.relation.as_str())
+            .collect()
     }
 
     /// All constants mentioned in the rules.
@@ -236,7 +239,10 @@ impl DatalogProgram {
             let mut added = false;
             for rule in &self.rules {
                 for fact in Self::rule_matches(rule, &db, None) {
-                    if db.insert_fact(rule.head.relation.clone(), fact).unwrap_or(false) {
+                    if db
+                        .insert_fact(rule.head.relation.clone(), fact)
+                        .unwrap_or(false)
+                    {
                         added = true;
                     }
                 }
@@ -253,7 +259,10 @@ impl DatalogProgram {
         let mut delta: BTreeMap<String, Relation> = BTreeMap::new();
         for rule in &self.rules {
             for fact in Self::rule_matches(rule, &db, None) {
-                if db.insert_fact(rule.head.relation.clone(), fact.clone()).unwrap_or(false) {
+                if db
+                    .insert_fact(rule.head.relation.clone(), fact.clone())
+                    .unwrap_or(false)
+                {
                     delta
                         .entry(rule.head.relation.clone())
                         .or_insert_with(|| Relation::empty(fact.arity()))

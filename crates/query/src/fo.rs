@@ -54,12 +54,18 @@ impl Formula {
 
     /// Existential quantification helper.
     pub fn exists(vars: impl IntoIterator<Item = &'static str>, body: Formula) -> Formula {
-        Formula::Exists(vars.into_iter().map(str::to_owned).collect(), Box::new(body))
+        Formula::Exists(
+            vars.into_iter().map(str::to_owned).collect(),
+            Box::new(body),
+        )
     }
 
     /// Universal quantification helper.
     pub fn forall(vars: impl IntoIterator<Item = &'static str>, body: Formula) -> Formula {
-        Formula::Forall(vars.into_iter().map(str::to_owned).collect(), Box::new(body))
+        Formula::Forall(
+            vars.into_iter().map(str::to_owned).collect(),
+            Box::new(body),
+        )
     }
 
     /// Free variables of the formula.
@@ -96,8 +102,11 @@ impl Formula {
                 }
             }
             Formula::Exists(vars, f) | Formula::Forall(vars, f) => {
-                let newly: Vec<String> =
-                    vars.iter().filter(|v| bound.insert((*v).clone())).cloned().collect();
+                let newly: Vec<String> = vars
+                    .iter()
+                    .filter(|v| bound.insert((*v).clone()))
+                    .cloned()
+                    .collect();
                 f.collect_free(bound, out);
                 for v in newly {
                     bound.remove(&v);
@@ -414,7 +423,10 @@ mod tests {
         let q = FoQuery::new(
             [QTerm::var("x")],
             Formula::and([
-                Formula::exists(["y"], Formula::atom("E", [QTerm::var("x"), QTerm::var("y")])),
+                Formula::exists(
+                    ["y"],
+                    Formula::atom("E", [QTerm::var("x"), QTerm::var("y")]),
+                ),
                 Formula::Not(Box::new(Formula::atom(
                     "E",
                     [QTerm::var("x"), QTerm::var("x")],
@@ -450,14 +462,23 @@ mod tests {
     #[test]
     fn boolean_query_emits_constant_when_formula_holds() {
         // {1 | ∃x E(x,x)}
-        let q = FoQuery::boolean(1, Formula::exists(["x"], Formula::atom("E", [QTerm::var("x"), QTerm::var("x")])));
+        let q = FoQuery::boolean(
+            1,
+            Formula::exists(
+                ["x"],
+                Formula::atom("E", [QTerm::var("x"), QTerm::var("x")]),
+            ),
+        );
         assert_eq!(q.eval(&graph()), rel![[1]]);
         let q2 = FoQuery::boolean(
             1,
-            Formula::exists(["x"], Formula::and([
-                Formula::atom("E", [QTerm::var("x"), QTerm::var("x")]),
-                Formula::neq("x", 4),
-            ])),
+            Formula::exists(
+                ["x"],
+                Formula::and([
+                    Formula::atom("E", [QTerm::var("x"), QTerm::var("x")]),
+                    Formula::neq("x", 4),
+                ]),
+            ),
         );
         assert!(q2.eval(&graph()).is_empty());
     }

@@ -44,7 +44,10 @@ impl fmt::Display for RaError {
                 write!(f, "base relation {r:?} used with inconsistent arities")
             }
             RaError::BadRename { expected, found } => {
-                write!(f, "rename permutation of length {found}, expected {expected}")
+                write!(
+                    f,
+                    "rename permutation of length {found}, expected {expected}"
+                )
             }
         }
     }
@@ -145,7 +148,10 @@ impl RaExpr {
                 let a = e.arity_inner(bases)?;
                 for &c in cols {
                     if c >= a {
-                        return Err(RaError::ColumnOutOfRange { column: c, arity: a });
+                        return Err(RaError::ColumnOutOfRange {
+                            column: c,
+                            arity: a,
+                        });
                     }
                 }
                 Ok(cols.len())
@@ -156,10 +162,16 @@ impl RaExpr {
                 let ra = r.arity_inner(bases)?;
                 for &(a, b) in on {
                     if a >= la {
-                        return Err(RaError::ColumnOutOfRange { column: a, arity: la });
+                        return Err(RaError::ColumnOutOfRange {
+                            column: a,
+                            arity: la,
+                        });
                     }
                     if b >= ra {
-                        return Err(RaError::ColumnOutOfRange { column: b, arity: ra });
+                        return Err(RaError::ColumnOutOfRange {
+                            column: b,
+                            arity: ra,
+                        });
                     }
                 }
                 Ok(la + ra)
@@ -182,7 +194,10 @@ impl RaExpr {
                 }
                 for &c in perm {
                     if c >= a {
-                        return Err(RaError::ColumnOutOfRange { column: c, arity: a });
+                        return Err(RaError::ColumnOutOfRange {
+                            column: c,
+                            arity: a,
+                        });
                     }
                 }
                 Ok(a)
@@ -217,7 +232,10 @@ impl RaExpr {
                 out.extend(consts.iter().cloned());
                 e.collect_constants(out);
             }
-            RaExpr::Product(l, r) | RaExpr::Join(l, r, _) | RaExpr::Union(l, r) | RaExpr::Diff(l, r) => {
+            RaExpr::Product(l, r)
+            | RaExpr::Join(l, r, _)
+            | RaExpr::Union(l, r)
+            | RaExpr::Diff(l, r) => {
                 l.collect_constants(out);
                 r.collect_constants(out);
             }
@@ -298,7 +316,10 @@ mod tests {
         let mixed = RaExpr::rel("R", 2).union(RaExpr::rel("S", 1));
         assert_eq!(mixed.arity(), Err(RaError::ArityMismatch(2, 1)));
         let inconsistent = RaExpr::rel("R", 2).product(RaExpr::rel("R", 3));
-        assert!(matches!(inconsistent.arity(), Err(RaError::InconsistentBase(_))));
+        assert!(matches!(
+            inconsistent.arity(),
+            Err(RaError::InconsistentBase(_))
+        ));
         let bad_rename = RaExpr::Rename(Box::new(RaExpr::rel("R", 2)), vec![0]);
         assert!(matches!(bad_rename.arity(), Err(RaError::BadRename { .. })));
     }

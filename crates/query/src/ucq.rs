@@ -18,7 +18,7 @@ use std::fmt;
 /// A query term: a named query variable or a constant.
 ///
 /// Query variables are plain strings and live in a different namespace from the null
-/// [`pw_condition::Variable`]s of tables.
+/// `pw_condition::Variable`s of tables.
 #[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum QTerm {
     /// A query variable.
@@ -475,10 +475,7 @@ mod tests {
     #[test]
     fn constants_in_body_and_head() {
         // ans(0, y) :- R(2, y)
-        let q = ConjunctiveQuery::new(
-            [QTerm::constant(0), QTerm::var("y")],
-            [qatom!("R"; 2, "y")],
-        );
+        let q = ConjunctiveQuery::new([QTerm::constant(0), QTerm::var("y")], [qatom!("R"; 2, "y")]);
         let ans = q.eval(&path_instance());
         assert_eq!(ans, rel![[0, 3]]);
     }
@@ -499,22 +496,19 @@ mod tests {
 
     #[test]
     fn validation_catches_unsafe_queries() {
-        let unsafe_head =
-            ConjunctiveQuery::new([QTerm::var("z")], [qatom!("R"; "x", "y")]);
+        let unsafe_head = ConjunctiveQuery::new([QTerm::var("z")], [qatom!("R"; "x", "y")]);
         assert_eq!(
             unsafe_head.validate(),
             Err(CqError::UnsafeHeadVariable("z".into()))
         );
-        let unsafe_neq = ConjunctiveQuery::new([QTerm::var("x")], [qatom!("R"; "x", "y")])
-            .with_neq("w", 1);
+        let unsafe_neq =
+            ConjunctiveQuery::new([QTerm::var("x")], [qatom!("R"; "x", "y")]).with_neq("w", 1);
         assert_eq!(
             unsafe_neq.validate(),
             Err(CqError::UnsafeNeqVariable("w".into()))
         );
-        let inconsistent = ConjunctiveQuery::new(
-            [QTerm::var("x")],
-            [qatom!("R"; "x", "y"), qatom!("R"; "x")],
-        );
+        let inconsistent =
+            ConjunctiveQuery::new([QTerm::var("x")], [qatom!("R"; "x", "y"), qatom!("R"; "x")]);
         assert_eq!(
             inconsistent.validate(),
             Err(CqError::InconsistentArity("R".into()))
@@ -532,10 +526,8 @@ mod tests {
         assert_eq!(q.arity(), 1);
         assert_eq!(q.referenced_relations().get("R"), Some(&2));
 
-        let bad = ConjunctiveQuery::new(
-            [QTerm::var("x"), QTerm::var("y")],
-            [qatom!("R"; "x", "y")],
-        );
+        let bad =
+            ConjunctiveQuery::new([QTerm::var("x"), QTerm::var("y")], [qatom!("R"; "x", "y")]);
         assert_eq!(Ucq::new([d1, bad]).unwrap_err(), CqError::MixedHeadArity);
     }
 

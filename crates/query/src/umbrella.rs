@@ -150,9 +150,7 @@ pub struct Query {
 
 impl Query {
     /// Build a query from `(output name, definition)` pairs.
-    pub fn new(
-        outputs: impl IntoIterator<Item = (String, QueryDef)>,
-    ) -> Result<Self, QueryError> {
+    pub fn new(outputs: impl IntoIterator<Item = (String, QueryDef)>) -> Result<Self, QueryError> {
         let outputs: Vec<(String, QueryDef)> = outputs.into_iter().collect();
         let mut seen = std::collections::BTreeSet::new();
         for (name, def) in &outputs {
@@ -172,12 +170,7 @@ impl Query {
         Query {
             outputs: schema
                 .into_iter()
-                .map(|(relation, arity)| {
-                    (
-                        relation.clone(),
-                        QueryDef::Identity { relation, arity },
-                    )
-                })
+                .map(|(relation, arity)| (relation.clone(), QueryDef::Identity { relation, arity }))
                 .collect(),
         }
     }
@@ -265,7 +258,10 @@ mod tests {
         )));
         let q2 = QueryDef::Fo(FoQuery::boolean(
             1,
-            Formula::exists(["x"], Formula::atom("E", [QTerm::var("x"), QTerm::var("x")])),
+            Formula::exists(
+                ["x"],
+                Formula::atom("E", [QTerm::var("x"), QTerm::var("x")]),
+            ),
         ));
         let q = Query::new([("Sources".to_owned(), q1), ("HasLoop".to_owned(), q2)]).unwrap();
         assert_eq!(q.class(), QueryClass::FirstOrder);
@@ -294,7 +290,10 @@ mod tests {
 
     #[test]
     fn datalog_output_class_and_eval() {
-        let q = Query::single("TC", QueryDef::Datalog(DatalogProgram::transitive_closure("E", "TC")));
+        let q = Query::single(
+            "TC",
+            QueryDef::Datalog(DatalogProgram::transitive_closure("E", "TC")),
+        );
         assert_eq!(q.class(), QueryClass::Datalog);
         let out = q.eval(&inst());
         assert_eq!(out.relation("TC").unwrap().len(), 3);

@@ -1,0 +1,138 @@
+//! Offline stand-in for the subset of the `rand 0.8` API that `pw-workloads` uses.
+//!
+//! The build environment has no access to crates.io, so the real `rand` crate cannot be
+//! resolved.  The workload generators only need *deterministic, seedable* pseudo-randomness
+//! — reproducibility given a seed is the contract, not any particular stream — so this shim
+//! implements [`rngs::StdRng`] on top of SplitMix64 and provides the three entry points the
+//! generators call: `StdRng::seed_from_u64`, `Rng::gen_range` over integer ranges, and
+//! `Rng::gen_bool`.
+//!
+//! If the workspace ever builds online again, deleting this crate and pointing the
+//! `rand` workspace dependency at crates.io restores the real thing with no source changes
+//! in `pw-workloads` (the streams differ, so seeded workloads will change shape once).
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// Core source of randomness: a stream of `u64`s.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of an RNG from a seed, mirroring `rand::SeedableRng::seed_from_u64`.
+pub trait SeedableRng: Sized {
+    /// Build the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Range types [`Rng::gen_range`] accepts.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draw one value uniformly (up to modulo bias, which is irrelevant for workloads)
+    /// from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let span = self.end.checked_sub(self.start).filter(|s| *s > 0)
+                    .expect("gen_range requires a non-empty range");
+                self.start + (rng.next_u64() % span as u64) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(usize, u64, u32, i64, i32);
+
+/// The user-facing sampling methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// A value drawn uniformly from `range`.
+    fn gen_range<S: SampleRange>(&mut self, range: S) -> S::Output
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        let p = p.clamp(0.0, 1.0);
+        // 53 bits of mantissa are plenty for workload probabilities.
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A deterministic seedable generator (SplitMix64 — *not* the upstream `StdRng`
+    /// stream, but the workloads only rely on per-seed determinism).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (public domain, Vigna).
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1000usize), b.gen_range(0..1000usize));
+        }
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3..17i64);
+            assert!((3..17).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&heads), "roughly fair: {heads}");
+    }
+}

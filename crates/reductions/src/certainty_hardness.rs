@@ -29,7 +29,10 @@ mod tests {
     use pw_solvers::{Clause, Literal};
 
     fn lit(v: usize, s: bool) -> Literal {
-        Literal { var: v, positive: s }
+        Literal {
+            var: v,
+            positive: s,
+        }
     }
 
     fn budget() -> Budget {
@@ -39,7 +42,10 @@ mod tests {
     fn small_dnf_formulas() -> Vec<(DnfFormula, &'static str)> {
         vec![
             (
-                DnfFormula::new(1, [Clause::new([lit(0, true)]), Clause::new([lit(0, false)])]),
+                DnfFormula::new(
+                    1,
+                    [Clause::new([lit(0, true)]), Clause::new([lit(0, false)])],
+                ),
                 "x ∨ ¬x — tautology",
             ),
             (
@@ -91,6 +97,9 @@ mod tests {
         let table = reduction.view.db.table("R").unwrap();
         assert_eq!(table.len(), 15, "one row per literal occurrence");
         assert_eq!(table.variables().len(), 15);
-        assert_eq!(reduction.view.query.class(), pw_query::QueryClass::FirstOrder);
+        assert_eq!(
+            reduction.view.query.class(),
+            pw_query::QueryClass::FirstOrder
+        );
     }
 }

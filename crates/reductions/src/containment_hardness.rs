@@ -55,7 +55,12 @@ pub fn ae3cnf_cont_itable(instance: &ForallExists3Cnf) -> ContainmentInstance {
     let mut left_rows: Vec<Vec<Term>> = Vec::new();
     for i in 0..n {
         let idx = Term::constant(i as i64 + 10); // indices 10, 11, … keep clear of 0/1/5/6
-        left_rows.push(vec![Term::constant(0), Term::Var(z[i]), idx.clone(), idx.clone()]);
+        left_rows.push(vec![
+            Term::constant(0),
+            Term::Var(z[i]),
+            idx.clone(),
+            idx.clone(),
+        ]);
         left_rows.push(vec![Term::constant(1), Term::constant(0), idx.clone(), idx]);
     }
     for (a, b, c) in nonzero_bool_triples() {
@@ -86,7 +91,12 @@ pub fn ae3cnf_cont_itable(instance: &ForallExists3Cnf) -> ContainmentInstance {
     let mut right_rows: Vec<Vec<Term>> = Vec::new();
     for i in 0..n {
         let idx = Term::constant(i as i64 + 10);
-        right_rows.push(vec![Term::Var(u[i]), Term::Var(w[i]), idx.clone(), idx.clone()]);
+        right_rows.push(vec![
+            Term::Var(u[i]),
+            Term::Var(w[i]),
+            idx.clone(),
+            idx.clone(),
+        ]);
         right_rows.push(vec![Term::Var(v[i]), Term::Var(y[i]), idx.clone(), idx]);
     }
     for (a, b, c) in nonzero_bool_triples() {
@@ -210,7 +220,10 @@ mod tests {
     use pw_solvers::{Clause, Literal};
 
     fn lit(v: usize, s: bool) -> Literal {
-        Literal { var: v, positive: s }
+        Literal {
+            var: v,
+            positive: s,
+        }
     }
 
     fn budget() -> Budget {
@@ -257,8 +270,7 @@ mod tests {
         for (instance, label) in small_qbf_instances() {
             let expected = decide_forall_exists(&instance);
             let reduction = ae3cnf_cont_itable(&instance);
-            let answer =
-                containment::decide(&reduction.left, &reduction.right, budget()).unwrap();
+            let answer = containment::decide(&reduction.left, &reduction.right, budget()).unwrap();
             assert_eq!(answer, expected, "CONT reduction on {label}");
         }
     }
@@ -283,7 +295,10 @@ mod tests {
     fn dnf_taut_containment_reduction_matches_the_solver() {
         let cases = vec![
             (
-                DnfFormula::new(1, [Clause::new([lit(0, true)]), Clause::new([lit(0, false)])]),
+                DnfFormula::new(
+                    1,
+                    [Clause::new([lit(0, true)]), Clause::new([lit(0, false)])],
+                ),
                 "x ∨ ¬x — tautology",
             ),
             (
@@ -305,8 +320,7 @@ mod tests {
         for (formula, label) in cases {
             let expected = formula.is_tautology();
             let reduction = dnf_taut_cont_view_table(&formula);
-            let answer =
-                containment::decide(&reduction.left, &reduction.right, budget()).unwrap();
+            let answer = containment::decide(&reduction.left, &reduction.right, budget()).unwrap();
             assert_eq!(answer, expected, "CONT(q0, -) reduction on {label}");
         }
     }

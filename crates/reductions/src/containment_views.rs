@@ -9,7 +9,7 @@
 //!   (Theorem 4.2(5), the Fig. 10 construction).
 //! * [`ae3cnf_cont_ctable_into_etable`] — ∀∃3CNF reduces to `CONT(-, -)` with a c-table on
 //!   the left and e-tables on the right (Theorem 4.2(3)).  The paper obtains this case by
-//!   applying the c-table algebra of [10] to the left view of the 4.2(5) construction; we do
+//!   applying the c-table algebra of citation \[10\] to the left view of the 4.2(5) construction; we do
 //!   exactly that, via [`View::to_ctables`].
 //!
 //! All three constructions reduce from the same Π₂ᵖ-complete ∀∃3CNF problem, so their unit
@@ -59,7 +59,9 @@ pub fn ae3cnf_cont_views_of_tables(instance: &ForallExists3Cnf) -> ContainmentIn
 
     // ---- Left: (T₀(R₀), T₀(S₀)), both Codd-tables, under the identity. ----
     let v: Vec<Variable> = (0..n).map(|i| vars.named(format!("v{i}"))).collect();
-    let r0_rows: Vec<Vec<Term>> = (0..n).map(|i| vec![var_const(i), Term::Var(v[i])]).collect();
+    let r0_rows: Vec<Vec<Term>> = (0..n)
+        .map(|i| vec![var_const(i), Term::Var(v[i])])
+        .collect();
     let s0_rows: Vec<Vec<Term>> = (0..p).map(|k| vec![clause_const(k)]).collect();
     let left = View::identity(CDatabase::new([
         CTable::codd("Ro", 2, r0_rows).expect("R0 uses distinct nulls"),
@@ -68,7 +70,9 @@ pub fn ae3cnf_cont_views_of_tables(instance: &ForallExists3Cnf) -> ContainmentIn
 
     // ---- Right: the view q = (q₁, q₂) of (T(R), T(S)). ----
     let u: Vec<Variable> = (0..n).map(|i| vars.named(format!("u{i}"))).collect();
-    let r_rows: Vec<Vec<Term>> = (0..n).map(|i| vec![var_const(i), Term::Var(u[i])]).collect();
+    let r_rows: Vec<Vec<Term>> = (0..n)
+        .map(|i| vec![var_const(i), Term::Var(u[i])])
+        .collect();
     let mut s_rows: Vec<Vec<Term>> = Vec::new();
     for (k, clause) in instance.clauses.iter().enumerate() {
         for (j, lit) in clause.literals().iter().enumerate() {
@@ -96,7 +100,12 @@ pub fn ae3cnf_cont_views_of_tables(instance: &ForallExists3Cnf) -> ContainmentIn
         [QTerm::var("k")],
         [QueryAtom::new(
             "S",
-            [QTerm::var("k"), QTerm::constant(1), QTerm::var("y"), QTerm::var("s")],
+            [
+                QTerm::var("k"),
+                QTerm::constant(1),
+                QTerm::var("y"),
+                QTerm::var("s"),
+            ],
         )],
     );
     let both_signs_marked = ConjunctiveQuery::new(
@@ -104,11 +113,21 @@ pub fn ae3cnf_cont_views_of_tables(instance: &ForallExists3Cnf) -> ContainmentIn
         [
             QueryAtom::new(
                 "S",
-                [QTerm::var("a"), QTerm::constant(1), QTerm::var("y"), QTerm::constant(0)],
+                [
+                    QTerm::var("a"),
+                    QTerm::constant(1),
+                    QTerm::var("y"),
+                    QTerm::constant(0),
+                ],
             ),
             QueryAtom::new(
                 "S",
-                [QTerm::var("b"), QTerm::constant(1), QTerm::var("y"), QTerm::constant(1)],
+                [
+                    QTerm::var("b"),
+                    QTerm::constant(1),
+                    QTerm::var("y"),
+                    QTerm::constant(1),
+                ],
             ),
         ],
     );
@@ -118,7 +137,12 @@ pub fn ae3cnf_cont_views_of_tables(instance: &ForallExists3Cnf) -> ContainmentIn
             QueryAtom::new("R", [QTerm::var("y"), QTerm::constant(0)]),
             QueryAtom::new(
                 "S",
-                [QTerm::var("a"), QTerm::constant(1), QTerm::var("y"), QTerm::constant(1)],
+                [
+                    QTerm::var("a"),
+                    QTerm::constant(1),
+                    QTerm::var("y"),
+                    QTerm::constant(1),
+                ],
             ),
         ],
     );
@@ -128,7 +152,12 @@ pub fn ae3cnf_cont_views_of_tables(instance: &ForallExists3Cnf) -> ContainmentIn
             QueryAtom::new("R", [QTerm::var("y"), QTerm::constant(1)]),
             QueryAtom::new(
                 "S",
-                [QTerm::var("a"), QTerm::constant(1), QTerm::var("y"), QTerm::constant(0)],
+                [
+                    QTerm::var("a"),
+                    QTerm::constant(1),
+                    QTerm::var("y"),
+                    QTerm::constant(0),
+                ],
             ),
         ],
     );
@@ -258,7 +287,7 @@ pub fn ae3cnf_cont_view_into_etable(instance: &ForallExists3Cnf) -> ContainmentI
 /// Theorem 4.2(3): ∀∃3CNF → `CONT(-, -)` with a c-table database on the left and e-tables on
 /// the right.
 ///
-/// The paper derives this case from 4.2(5) "and the technique of [10]": applying the c-table
+/// The paper derives this case from 4.2(5) "and the technique of \[10\]": applying the c-table
 /// algebra to the left view of the Fig. 10 construction yields a c-table database
 /// representing the same set of worlds, so the containment question is unchanged.  We do
 /// exactly that — [`ae3cnf_cont_view_into_etable`] builds the 4.2(5) instance and
@@ -287,7 +316,10 @@ mod tests {
     use pw_solvers::{Clause, Literal};
 
     fn lit(v: usize, s: bool) -> Literal {
-        Literal { var: v, positive: s }
+        Literal {
+            var: v,
+            positive: s,
+        }
     }
 
     fn budget() -> Budget {
@@ -358,8 +390,7 @@ mod tests {
         for (instance, label) in tiny_qbf_instances() {
             let expected = decide_forall_exists(&instance);
             let reduction = ae3cnf_cont_views_of_tables(&instance);
-            let answer =
-                containment::decide(&reduction.left, &reduction.right, budget()).unwrap();
+            let answer = containment::decide(&reduction.left, &reduction.right, budget()).unwrap();
             assert_eq!(answer, expected, "Thm 4.2(2) reduction on {label}");
         }
     }
@@ -369,8 +400,7 @@ mod tests {
         for (instance, label) in tiny_qbf_instances() {
             let expected = decide_forall_exists(&instance);
             let reduction = ae3cnf_cont_view_into_etable(&instance);
-            let answer =
-                containment::decide(&reduction.left, &reduction.right, budget()).unwrap();
+            let answer = containment::decide(&reduction.left, &reduction.right, budget()).unwrap();
             assert_eq!(answer, expected, "Thm 4.2(5) reduction on {label}");
         }
     }
@@ -380,8 +410,7 @@ mod tests {
         for (instance, label) in tiny_qbf_instances() {
             let expected = decide_forall_exists(&instance);
             let reduction = ae3cnf_cont_ctable_into_etable(&instance);
-            let answer =
-                containment::decide(&reduction.left, &reduction.right, budget()).unwrap();
+            let answer = containment::decide(&reduction.left, &reduction.right, budget()).unwrap();
             assert_eq!(answer, expected, "Thm 4.2(3) reduction on {label}");
         }
     }
@@ -469,7 +498,10 @@ mod tests {
             .into_iter()
             .chain(ctable_form.left.db.constants())
             .collect();
-        let direct = view_form.left.enumerate_worlds(200_000, shared.clone()).unwrap();
+        let direct = view_form
+            .left
+            .enumerate_worlds(200_000, shared.clone())
+            .unwrap();
         let via_algebra = ctable_form.left.enumerate_worlds(200_000, shared).unwrap();
         for world in &direct {
             assert!(

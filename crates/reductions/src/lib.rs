@@ -24,6 +24,8 @@
 //! Where the journal scan garbles a formula (the ψ of Theorem 5.2(2)), the reconstruction
 //! is documented on the item and validated by the same iff tests.
 
+#![warn(missing_docs)]
+
 pub mod certainty_hardness;
 pub mod containment_hardness;
 pub mod containment_views;

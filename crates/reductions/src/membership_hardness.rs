@@ -293,9 +293,7 @@ mod tests {
     #[ignore = "exhaustive no-instance search; run explicitly"]
     fn view_reduction_rejects_k4() {
         let v = three_col_view(&Graph::complete(4));
-        assert!(
-            !membership::view_membership(&v.view, &v.instance, Budget(2_000_000_000)).unwrap()
-        );
+        assert!(!membership::view_membership(&v.view, &v.instance, Budget(2_000_000_000)).unwrap());
     }
 
     #[test]

@@ -10,9 +10,7 @@
 use crate::PossibilityInstance;
 use pw_condition::{Atom, Conjunction, Term, VarGen, Variable};
 use pw_core::{CDatabase, CTable, View};
-use pw_query::{
-    DatalogProgram, DlAtom, DlRule, FoQuery, Formula, QTerm, Query, QueryDef,
-};
+use pw_query::{DatalogProgram, DlAtom, DlRule, FoQuery, Formula, QTerm, Query, QueryDef};
 use pw_relational::{rel, Constant, Instance, Relation, Tuple};
 use pw_solvers::{CnfFormula, DnfFormula};
 
@@ -49,9 +47,7 @@ pub fn sat_poss_etable(formula: &CnfFormula) -> PossibilityInstance {
         facts
             .insert(Tuple::new([idx.clone(), 0.into(), 1.into()]))
             .unwrap();
-        facts
-            .insert(Tuple::new([idx, 1.into(), 0.into()]))
-            .unwrap();
+        facts.insert(Tuple::new([idx, 1.into(), 0.into()])).unwrap();
     }
     for i in 0..formula.clauses.len() {
         let idx: Constant = ((m + i) as i64 + 1).into();
@@ -137,7 +133,12 @@ pub fn theorem_52_2_psi() -> Formula {
         Formula::and([
             Formula::atom(
                 "R",
-                [QTerm::var("i"), QTerm::var("y"), QTerm::var("j"), QTerm::var("s")],
+                [
+                    QTerm::var("i"),
+                    QTerm::var("y"),
+                    QTerm::var("j"),
+                    QTerm::var("s"),
+                ],
             ),
             Formula::neq("y", 0),
             Formula::neq("y", 1),
@@ -148,11 +149,21 @@ pub fn theorem_52_2_psi() -> Formula {
         Formula::and([
             Formula::atom(
                 "R",
-                [QTerm::var("i1"), QTerm::var("y1"), QTerm::var("j"), QTerm::var("s")],
+                [
+                    QTerm::var("i1"),
+                    QTerm::var("y1"),
+                    QTerm::var("j"),
+                    QTerm::var("s"),
+                ],
             ),
             Formula::atom(
                 "R",
-                [QTerm::var("i2"), QTerm::var("y2"), QTerm::var("j"), QTerm::var("s")],
+                [
+                    QTerm::var("i2"),
+                    QTerm::var("y2"),
+                    QTerm::var("j"),
+                    QTerm::var("s"),
+                ],
             ),
             Formula::neq("y1", "y2"),
         ]),
@@ -162,11 +173,21 @@ pub fn theorem_52_2_psi() -> Formula {
         Formula::and([
             Formula::atom(
                 "R",
-                [QTerm::var("i1"), QTerm::var("y"), QTerm::var("j"), QTerm::constant(1)],
+                [
+                    QTerm::var("i1"),
+                    QTerm::var("y"),
+                    QTerm::var("j"),
+                    QTerm::constant(1),
+                ],
             ),
             Formula::atom(
                 "R",
-                [QTerm::var("i2"), QTerm::var("y"), QTerm::var("j"), QTerm::constant(0)],
+                [
+                    QTerm::var("i2"),
+                    QTerm::var("y"),
+                    QTerm::var("j"),
+                    QTerm::constant(0),
+                ],
             ),
         ]),
     );
@@ -177,7 +198,12 @@ pub fn theorem_52_2_psi() -> Formula {
                 ["y", "j", "s"],
                 Formula::atom(
                     "R",
-                    [QTerm::var("i"), QTerm::var("y"), QTerm::var("j"), QTerm::var("s")],
+                    [
+                        QTerm::var("i"),
+                        QTerm::var("y"),
+                        QTerm::var("j"),
+                        QTerm::var("s"),
+                    ],
                 ),
             ),
             Formula::forall(
@@ -185,7 +211,12 @@ pub fn theorem_52_2_psi() -> Formula {
                 Formula::or([
                     Formula::Not(Box::new(Formula::atom(
                         "R",
-                        [QTerm::var("i"), QTerm::var("y"), QTerm::var("j"), QTerm::var("s")],
+                        [
+                            QTerm::var("i"),
+                            QTerm::var("y"),
+                            QTerm::var("j"),
+                            QTerm::var("s"),
+                        ],
                     ))),
                     Formula::Eq(QTerm::var("y"), QTerm::constant(1)),
                 ]),
@@ -289,8 +320,16 @@ pub fn sat_poss_datalog(formula: &CnfFormula) -> PossibilityInstance {
         }
     }
     edge(&mut r2_rows, Term::Const(a.clone()), Term::Const(h(0)));
-    edge(&mut r1_rows, Term::Const(b(n - 1)), Term::Const(goal.clone()));
-    edge(&mut r2_rows, Term::Const(h(m - 1)), Term::Const(goal.clone()));
+    edge(
+        &mut r1_rows,
+        Term::Const(b(n - 1)),
+        Term::Const(goal.clone()),
+    );
+    edge(
+        &mut r2_rows,
+        Term::Const(h(m - 1)),
+        Term::Const(goal.clone()),
+    );
 
     let r1 = CTable::codd("R1", 2, r1_rows).expect("R1");
     let r2 = CTable::codd("R2", 2, r2_rows).expect("R2");
@@ -332,7 +371,10 @@ mod tests {
     use pw_solvers::{paper_fig5_cnf, Clause, Literal};
 
     fn lit(v: usize, s: bool) -> Literal {
-        Literal { var: v, positive: s }
+        Literal {
+            var: v,
+            positive: s,
+        }
     }
 
     fn budget() -> Budget {
@@ -404,7 +446,10 @@ mod tests {
     fn fo_possibility_reduction_matches_the_tautology_solver() {
         let cases = vec![
             (
-                DnfFormula::new(1, [Clause::new([lit(0, true)]), Clause::new([lit(0, false)])]),
+                DnfFormula::new(
+                    1,
+                    [Clause::new([lit(0, true)]), Clause::new([lit(0, false)])],
+                ),
                 "x ∨ ¬x — tautology",
             ),
             (
@@ -416,7 +461,10 @@ mod tests {
             let expected_possible = !formula.is_tautology();
             let reduction = nontaut_poss_fo(&formula);
             let answer = possibility::decide(&reduction.view, &reduction.facts, budget()).unwrap();
-            assert_eq!(answer, expected_possible, "POSS(1, FO) reduction on {label}");
+            assert_eq!(
+                answer, expected_possible,
+                "POSS(1, FO) reduction on {label}"
+            );
         }
     }
 

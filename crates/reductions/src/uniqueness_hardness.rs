@@ -81,13 +81,10 @@ pub fn non3col_uniq_view(graph: &Graph) -> UniquenessInstance {
             qatom!("R"; 0, "y", "z"),
         ],
     );
-    let non_color_value = ConjunctiveQuery::new(
-        [QTerm::constant(1)],
-        [qatom!("R"; 0, "y", "z")],
-    )
-    .with_neq("z", 1)
-    .with_neq("z", 2)
-    .with_neq("z", 3);
+    let non_color_value = ConjunctiveQuery::new([QTerm::constant(1)], [qatom!("R"; 0, "y", "z")])
+        .with_neq("z", 1)
+        .with_neq("z", 2)
+        .with_neq("z", 3);
     let q0 = Ucq::new([monochromatic_edge, non_color_value]).expect("q0 is well formed");
 
     UniquenessInstance {
@@ -112,10 +109,16 @@ mod tests {
     }
 
     fn small_dnf_formulas() -> Vec<(DnfFormula, &'static str)> {
-        let lit = |v: usize, s: bool| Literal { var: v, positive: s };
+        let lit = |v: usize, s: bool| Literal {
+            var: v,
+            positive: s,
+        };
         vec![
             (
-                DnfFormula::new(1, [Clause::new([lit(0, true)]), Clause::new([lit(0, false)])]),
+                DnfFormula::new(
+                    1,
+                    [Clause::new([lit(0, true)]), Clause::new([lit(0, false)])],
+                ),
                 "x ∨ ¬x (tautology)",
             ),
             (
@@ -181,6 +184,9 @@ mod tests {
         let table = reduction.view.db.table("R").unwrap();
         assert_eq!(table.len(), g.edge_count() + g.vertex_count());
         assert_eq!(table.variables().len(), g.vertex_count());
-        assert_eq!(reduction.view.query.class(), pw_query::QueryClass::PositiveExistentialNeq);
+        assert_eq!(
+            reduction.view.query.class(),
+            pw_query::QueryClass::PositiveExistentialNeq
+        );
     }
 }

@@ -57,7 +57,11 @@ impl Renaming {
     /// The inverse renaming (well-defined because renamings are injective).
     pub fn inverse(&self) -> Renaming {
         Renaming {
-            map: self.map.iter().map(|(a, b)| (b.clone(), a.clone())).collect(),
+            map: self
+                .map
+                .iter()
+                .map(|(a, b)| (b.clone(), a.clone()))
+                .collect(),
         }
     }
 
@@ -113,9 +117,7 @@ pub fn isomorphic(a: &Instance, b: &Instance) -> bool {
         map: &mut BTreeMap<Constant, Constant>,
     ) -> bool {
         if idx == dom_a.len() {
-            let renaming = Renaming {
-                map: map.clone(),
-            };
+            let renaming = Renaming { map: map.clone() };
             return renaming.apply_instance(a) == *b;
         }
         for (j, target) in dom_b.iter().enumerate() {
@@ -172,7 +174,10 @@ mod tests {
         let b = Instance::single("R", rel![[10, 20], [20, 30]]);
         let c = Instance::single("R", rel![[10, 20], [30, 20]]);
         assert!(isomorphic(&a, &b));
-        assert!(!isomorphic(&a, &c), "different shape: chain vs. shared target");
+        assert!(
+            !isomorphic(&a, &c),
+            "different shape: chain vs. shared target"
+        );
         let d = Instance::single("S", rel![[1, 2], [2, 3]]);
         assert!(!isomorphic(&a, &d), "relation names must match");
     }

@@ -248,7 +248,10 @@ mod tests {
         let mut with_empty = i.clone();
         with_empty.insert_relation("Empty", Relation::empty(3));
         assert!(with_empty.same_facts(&i));
-        assert_ne!(with_empty, i, "strict equality still sees the empty relation");
+        assert_ne!(
+            with_empty, i,
+            "strict equality still sees the empty relation"
+        );
     }
 
     #[test]

@@ -111,10 +111,7 @@ impl Relation {
 
     /// All constants appearing in the relation (its active domain).
     pub fn active_domain(&self) -> BTreeSet<Constant> {
-        self.tuples
-            .iter()
-            .flat_map(|t| t.iter().cloned())
-            .collect()
+        self.tuples.iter().flat_map(|t| t.iter().cloned()).collect()
     }
 
     /// Apply a constant-renaming function to every fact, producing a new relation.
@@ -193,7 +190,10 @@ mod tests {
     fn insert_checks_arity() {
         let mut r = Relation::empty(2);
         assert!(r.insert(tup![1, 2]).unwrap());
-        assert!(!r.insert(tup![1, 2]).unwrap(), "duplicate insert is a no-op");
+        assert!(
+            !r.insert(tup![1, 2]).unwrap(),
+            "duplicate insert is a no-op"
+        );
         let err = r.insert(tup![1]).unwrap_err();
         assert_eq!(err.expected, 2);
         assert_eq!(err.found, 1);
@@ -212,7 +212,10 @@ mod tests {
         let b = rel![[1, 2], [3, 4]];
         assert!(a.is_subset(&b));
         assert!(!b.is_subset(&a));
-        assert!(Relation::empty(7).is_subset(&b), "empty relation is a subset of anything");
+        assert!(
+            Relation::empty(7).is_subset(&b),
+            "empty relation is a subset of anything"
+        );
         let dom = b.active_domain();
         assert_eq!(dom.len(), 4);
         assert!(dom.contains(&Constant::int(3)));

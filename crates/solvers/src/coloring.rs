@@ -110,10 +110,22 @@ mod tests {
     #[test]
     fn empty_and_edge_cases() {
         assert_eq!(color_graph(&Graph::new(0), 3), Some(vec![]));
-        assert!(color_graph(&Graph::new(3), 1).is_some(), "no edges: one colour suffices");
+        assert!(
+            color_graph(&Graph::new(3), 1).is_some(),
+            "no edges: one colour suffices"
+        );
         assert!(color_graph(&Graph::complete(2), 0).is_none());
-        assert!(!is_proper_coloring(&Graph::complete(2), &[0], 3), "wrong length");
-        assert!(!is_proper_coloring(&Graph::complete(2), &[0, 5], 3), "colour out of range");
-        assert!(!is_proper_coloring(&Graph::complete(2), &[1, 1], 3), "monochromatic edge");
+        assert!(
+            !is_proper_coloring(&Graph::complete(2), &[0], 3),
+            "wrong length"
+        );
+        assert!(
+            !is_proper_coloring(&Graph::complete(2), &[0, 5], 3),
+            "colour out of range"
+        );
+        assert!(
+            !is_proper_coloring(&Graph::complete(2), &[1, 1], 3),
+            "monochromatic edge"
+        );
     }
 }

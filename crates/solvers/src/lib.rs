@@ -20,6 +20,8 @@
 //! used on the *source* side of reductions — to label small instances with ground truth —
 //! and inside the PTIME membership algorithm (matching only).
 
+#![warn(missing_docs)]
+
 pub mod coloring;
 pub mod graph;
 pub mod matching;

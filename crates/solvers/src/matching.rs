@@ -133,8 +133,7 @@ pub fn maximum_matching(g: &BipartiteGraph) -> Matching {
             let ok = match pair_right[r] {
                 None => true,
                 Some(l2) => {
-                    dist[l2] == dist[l].saturating_add(1)
-                        && dfs(g, l2, pair_left, pair_right, dist)
+                    dist[l2] == dist[l].saturating_add(1) && dfs(g, l2, pair_left, pair_right, dist)
                 }
             };
             if ok {

@@ -50,7 +50,10 @@ impl ForallExists3Cnf {
     /// (read as a CNF).  Variables are stored 0-based.
     pub fn paper_fig5() -> ForallExists3Cnf {
         let c = |lits: [(usize, bool); 3]| {
-            Clause::new(lits.iter().map(|&(v, s)| Literal { var: v, positive: s }))
+            Clause::new(lits.iter().map(|&(v, s)| Literal {
+                var: v,
+                positive: s,
+            }))
         };
         ForallExists3Cnf::new(
             2,
@@ -84,7 +87,10 @@ impl fmt::Display for ForallExists3Cnf {
 pub fn decide_forall_exists(instance: &ForallExists3Cnf) -> bool {
     let u = instance.universal_vars;
     let e = instance.existential_vars;
-    assert!(u <= 24, "universal enumeration is for moderate instance sizes");
+    assert!(
+        u <= 24,
+        "universal enumeration is for moderate instance sizes"
+    );
 
     'universal: for bits in 0..(1usize << u) {
         let universal: Vec<bool> = (0..u).map(|i| bits & (1 << i) != 0).collect();
@@ -131,7 +137,10 @@ mod tests {
     use super::*;
 
     fn lit(v: usize, s: bool) -> Literal {
-        Literal { var: v, positive: s }
+        Literal {
+            var: v,
+            positive: s,
+        }
     }
 
     #[test]
@@ -201,7 +210,11 @@ mod tests {
                 })
                 .collect();
             let inst = ForallExists3Cnf::new(2, 2, clauses);
-            assert_eq!(decide_forall_exists(&inst), brute_force(&inst), "seed {seed}");
+            assert_eq!(
+                decide_forall_exists(&inst),
+                brute_force(&inst),
+                "seed {seed}"
+            );
         }
     }
 

@@ -20,7 +20,10 @@ pub struct Literal {
 impl Literal {
     /// The positive literal of a variable.
     pub fn pos(var: usize) -> Literal {
-        Literal { var, positive: true }
+        Literal {
+            var,
+            positive: true,
+        }
     }
 
     /// The negative literal of a variable.
@@ -320,7 +323,10 @@ impl DnfFormula {
     /// The paper's Fig. 5 example 3DNF formula (5 clauses over x₁…x₅, stored 0-based).
     pub fn paper_fig5() -> DnfFormula {
         let c = |lits: [(usize, bool); 3]| {
-            Clause::new(lits.iter().map(|&(v, s)| Literal { var: v, positive: s }))
+            Clause::new(lits.iter().map(|&(v, s)| Literal {
+                var: v,
+                positive: s,
+            }))
         };
         DnfFormula::new(
             5,
@@ -338,7 +344,10 @@ impl DnfFormula {
 /// The paper's Fig. 5 example 3CNF formula (the dual reading of the same clause list).
 pub fn paper_fig5_cnf() -> CnfFormula {
     let c = |lits: [(usize, bool); 3]| {
-        Clause::new(lits.iter().map(|&(v, s)| Literal { var: v, positive: s }))
+        Clause::new(lits.iter().map(|&(v, s)| Literal {
+            var: v,
+            positive: s,
+        }))
     };
     CnfFormula::new(
         5,
@@ -357,7 +366,10 @@ mod tests {
     use super::*;
 
     fn lit(v: usize, s: bool) -> Literal {
-        Literal { var: v, positive: s }
+        Literal {
+            var: v,
+            positive: s,
+        }
     }
 
     #[test]

@@ -82,7 +82,10 @@ mod tests {
         let sat_count = (0..10)
             .filter(|&seed| random_3cnf(12, 12, seed).solve().is_sat())
             .count();
-        assert!(sat_count >= 8, "ratio 1.0 should be almost always satisfiable");
+        assert!(
+            sat_count >= 8,
+            "ratio 1.0 should be almost always satisfiable"
+        );
     }
 
     #[test]
@@ -90,7 +93,10 @@ mod tests {
         let unsat_count = (0..10)
             .filter(|&seed| !random_3cnf(6, 60, seed).solve().is_sat())
             .count();
-        assert!(unsat_count >= 8, "ratio 10 should be almost always unsatisfiable");
+        assert!(
+            unsat_count >= 8,
+            "ratio 10 should be almost always unsatisfiable"
+        );
     }
 
     #[test]

@@ -81,7 +81,9 @@ pub fn random_codd_table(name: &str, params: &TableParams) -> CTable {
 pub fn random_etable(name: &str, params: &TableParams) -> CTable {
     let mut rng = StdRng::seed_from_u64(params.seed);
     let mut vars = VarGen::new();
-    let pool: Vec<Variable> = (0..(params.rows / 2).max(1)).map(|_| vars.fresh()).collect();
+    let pool: Vec<Variable> = (0..(params.rows / 2).max(1))
+        .map(|_| vars.fresh())
+        .collect();
     let rows: Vec<Vec<Term>> = (0..params.rows)
         .map(|_| {
             (0..params.arity)
@@ -141,10 +143,18 @@ pub fn random_gtable(name: &str, params: &TableParams) -> CTable {
         }
         let a = nulls[rng.gen_range(0..nulls.len())];
         let c = random_constant(&mut rng, params);
-        if rng.gen_bool(0.5) {
-            condition.push(Atom::eq(a, c));
+        let atom = if rng.gen_bool(0.5) {
+            Atom::eq(a, c)
         } else {
-            condition.push(Atom::neq(a, c));
+            Atom::neq(a, c)
+        };
+        // Keep the global condition satisfiable by construction (e.g. never both
+        // `a = c` and `a ≠ c`): an unsatisfiable condition represents the empty set
+        // of worlds, which would make every member-instance workload degenerate.
+        condition.push(atom.clone());
+        if !condition.is_satisfiable() {
+            let dropped = condition.atoms().len() - 1;
+            condition = Conjunction::new(condition.atoms()[..dropped].iter().cloned());
         }
     }
     CTable::g_table(
@@ -181,13 +191,8 @@ pub fn random_ctable(name: &str, params: &TableParams) -> CTable {
             }
         })
         .collect();
-    CTable::new(
-        name,
-        params.arity,
-        gtable.global_condition().clone(),
-        rows,
-    )
-    .expect("arity unchanged")
+    CTable::new(name, params.arity, gtable.global_condition().clone(), rows)
+        .expect("arity unchanged")
 }
 
 /// A guaranteed member of `rep(db)`: apply a random valuation that satisfies the global
@@ -196,30 +201,47 @@ pub fn random_ctable(name: &str, params: &TableParams) -> CTable {
 pub fn member_instance(db: &CDatabase, params: &TableParams) -> Instance {
     let mut rng = StdRng::seed_from_u64(params.seed.wrapping_add(7));
     let nulls: Vec<Variable> = db.variables().into_iter().collect();
-    // Rejection-sample valuations until the global conditions hold; the generators above
-    // keep conditions loose enough that this terminates quickly.
+    // Variables the combined global condition forces to a constant must take exactly
+    // that value — with hundreds of equality atoms (large g-tables) a blind rejection
+    // sample would essentially never satisfy them all at once.
+    let mut combined = Conjunction::truth();
+    for t in db.tables() {
+        combined = combined.and(t.global_condition());
+    }
+    let forced: std::collections::HashMap<Variable, Constant> = combined
+        .forced_constants()
+        .map(|pairs| pairs.into_iter().collect())
+        .unwrap_or_default();
+    let value_of = |v: Variable, fallback: Constant| forced.get(&v).cloned().unwrap_or(fallback);
+    // Rejection-sample the unforced variables until the global conditions hold; the
+    // generators above keep the residual (inequality) constraints loose enough that this
+    // terminates quickly.
     for attempt in 0..1000 {
         let valuation = Valuation::from_pairs(nulls.iter().map(|&v| {
             (
                 v,
-                Constant::Int(rng.gen_range(0..(params.constants as i64 + attempt))),
+                value_of(
+                    v,
+                    Constant::Int(rng.gen_range(0..(params.constants as i64 + attempt))),
+                ),
             )
         }));
         if let Some(world) = valuation.world_of(db) {
             return world;
         }
     }
-    // Fall back to the frozen instance (always a member when conditions are inequalities).
+    // Fall back to the frozen instance: forced values plus pairwise distinct fresh
+    // values, which satisfies any satisfiable mix of forced equalities and inequalities.
     let fresh_base = params.constants as i64 + 1000;
     let valuation = Valuation::from_pairs(
         nulls
             .iter()
             .enumerate()
-            .map(|(i, &v)| (v, Constant::Int(fresh_base + i as i64))),
+            .map(|(i, &v)| (v, value_of(v, Constant::Int(fresh_base + i as i64)))),
     );
-    valuation
-        .world_of(db)
-        .expect("distinct fresh values satisfy inequality-style conditions")
+    valuation.world_of(db).expect(
+        "forced equalities plus distinct fresh values satisfy the generators' global conditions",
+    )
 }
 
 /// An instance that is (very likely) *not* a member: a member instance with one fact's

@@ -59,7 +59,10 @@ fn build_view(rows: usize, seed: u64) -> View {
 }
 
 fn expected_class(row: &str, col: &str) -> &'static str {
-    let row_simple = matches!(row, "instance" | "table" | "e-table" | "i-table" | "g-table");
+    let row_simple = matches!(
+        row,
+        "instance" | "table" | "e-table" | "i-table" | "g-table"
+    );
     match col {
         "instance" | "table" => {
             if row_simple {
@@ -86,7 +89,9 @@ fn expected_class(row: &str, col: &str) -> &'static str {
 }
 
 fn main() {
-    let kinds = ["instance", "table", "e-table", "i-table", "g-table", "c-table", "view"];
+    let kinds = [
+        "instance", "table", "e-table", "i-table", "g-table", "c-table", "view",
+    ];
     println!("CONT(row ⊆ column): paper class / selected algorithm (Fig. 2)\n");
     print!("{:<10}", "");
     for col in kinds {
@@ -108,7 +113,10 @@ fn main() {
                 build(col, 8, 2)
             };
             let strategy = containment::strategy(&left, &right);
-            print!("| {:<28}", format!("{} [{strategy}]", expected_class(row, col)));
+            print!(
+                "| {:<28}",
+                format!("{} [{strategy}]", expected_class(row, col))
+            );
         }
         println!();
     }

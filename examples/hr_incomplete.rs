@@ -23,10 +23,7 @@ fn main() {
     let works_in = CTable::g_table(
         "works_in",
         2,
-        Conjunction::new([
-            Atom::neq(dana_dept, "sales"),
-            Atom::eq(bob_dept, dana_dept),
-        ]),
+        Conjunction::new([Atom::neq(dana_dept, "sales"), Atom::eq(bob_dept, dana_dept)]),
         [
             vec![Term::from("alice"), Term::from("sales")],
             vec![Term::from("bob"), Term::Var(bob_dept)],
@@ -68,11 +65,31 @@ fn main() {
         let certain = certainty::decide(&view, &fact, budget).unwrap();
         println!("{label:<45} possible: {possible:<5}  certain: {certain}");
     };
-    ask("Bob works in sales?", "works_in", vec!["bob".into(), "sales".into()]);
-    ask("Dana works in sales?", "works_in", vec!["dana".into(), "sales".into()]);
-    ask("Alice works in sales?", "works_in", vec!["alice".into(), "sales".into()]);
-    ask("Carol reports to Eve?", "reports_to", vec!["carol".into(), "eve".into()]);
-    ask("Dana reports to Frank?", "reports_to", vec!["dana".into(), "frank".into()]);
+    ask(
+        "Bob works in sales?",
+        "works_in",
+        vec!["bob".into(), "sales".into()],
+    );
+    ask(
+        "Dana works in sales?",
+        "works_in",
+        vec!["dana".into(), "sales".into()],
+    );
+    ask(
+        "Alice works in sales?",
+        "works_in",
+        vec!["alice".into(), "sales".into()],
+    );
+    ask(
+        "Carol reports to Eve?",
+        "reports_to",
+        vec!["carol".into(), "eve".into()],
+    );
+    ask(
+        "Dana reports to Frank?",
+        "reports_to",
+        vec!["dana".into(), "frank".into()],
+    );
 
     // ---- A fixed query: who certainly shares a department with Bob? ----
     // colleagues(x) :- works_in(x, d), works_in("bob", d)
@@ -99,7 +116,9 @@ fn main() {
         );
         let possible = possibility::decide(&query_view, &fact, budget).unwrap();
         let certain = certainty::decide(&query_view, &fact, budget).unwrap();
-        println!("{person:<8} is a colleague of Bob —  possible: {possible:<5}  certain: {certain}");
+        println!(
+            "{person:<8} is a colleague of Bob —  possible: {possible:<5}  certain: {certain}"
+        );
     }
 
     // Dana is a certain colleague of Bob (their departments are equated by the global

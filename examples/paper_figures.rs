@@ -205,7 +205,10 @@ fn main() {
     // Same story: a first order view is decided by enumeration, so decide small formulas.
     let taut = DnfFormula::new(
         1,
-        [Clause::new([Literal::pos(0)]), Clause::new([Literal::neg(0)])],
+        [
+            Clause::new([Literal::pos(0)]),
+            Clause::new([Literal::neg(0)]),
+        ],
     );
     let not_taut = DnfFormula::new(2, [Clause::new([Literal::pos(0), Literal::neg(1)])]);
     let nontaut = possibility_hardness::nontaut_poss_fo(&not_taut);

@@ -21,7 +21,10 @@ fn main() {
 
     // ---- rep(·): enumerate the possible worlds of the i-table Tc. ----
     let worlds = PossibleWorlds::new(&db).enumerate(100_000).unwrap();
-    println!("Tc represents {} distinct worlds over Δ ∪ Δ′.", worlds.len());
+    println!(
+        "Tc represents {} distinct worlds over Δ ∪ Δ′.",
+        worlds.len()
+    );
 
     // ---- Querying: is a fact possible?  certain? ----
     let view = View::identity(db);

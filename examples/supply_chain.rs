@@ -15,8 +15,14 @@
 //! the same questions would dispatch to the PTIME naive-evaluation algorithm of
 //! Theorem 5.3(1).
 //!
+//! The whole triage is submitted as **one batch** through
+//! `pw_decide::batch::decide_all`, the front door a monitoring service would use: one
+//! engine preprocesses the shared database once and runs the questions on a worker pool
+//! (see `docs/BOOK.md`, "The parallel engine").
+//!
 //! Run with `cargo run --example supply_chain`.
 
+use possible_worlds::decide::batch::{decide_all, DecisionRequest};
 use possible_worlds::prelude::*;
 
 fn main() {
@@ -62,38 +68,70 @@ fn main() {
         QueryDef::Datalog(DatalogProgram::transitive_closure("supplies", "reach")),
     );
     let view = View::new(reach, db.clone());
-    let budget = Budget::default();
 
-    let ask = |label: &str, from: &str, to: &str| {
-        let fact = Instance::single(
+    // The triage queue: every (question, route) pair becomes one request; the batch runs
+    // them against a single engine so the shared database is preprocessed once.
+    let reach_fact = |from: &str, to: &str| {
+        Instance::single(
             "reach",
             Relation::from_tuples(2, [Tuple::new([from.into(), to.into()])]),
-        );
-        let possible = possibility::decide(&view, &fact, budget).unwrap();
-        let certain = certainty::decide(&view, &fact, budget).unwrap();
-        println!("{label:<55} possible: {possible:<5}  certain: {certain}");
+        )
     };
-
-    ask("Raw material reaches the factory (mine → factory)?", "mine", "factory");
-    ask("Backup supplier reaches the factory?", "backup", "factory");
-    ask("Plant p1 reaches the factory?", "p1", "factory");
-    ask("The mine reaches the backup supplier?", "mine", "backup");
-
-    // The identity view answers questions about the *links* themselves.
+    let questions = [
+        (
+            "Raw material reaches the factory (mine → factory)?",
+            "mine",
+            "factory",
+        ),
+        ("Backup supplier reaches the factory?", "backup", "factory"),
+        ("Plant p1 reaches the factory?", "p1", "factory"),
+        ("The mine reaches the backup supplier?", "mine", "backup"),
+    ];
+    let mut requests = Vec::new();
+    for (_, from, to) in &questions {
+        requests.push(DecisionRequest::Possibility {
+            view: view.clone(),
+            facts: reach_fact(from, to),
+        });
+        requests.push(DecisionRequest::Certainty {
+            view: view.clone(),
+            facts: reach_fact(from, to),
+        });
+    }
+    // The identity view answers questions about the *links* themselves — same batch.
     let link_view = View::identity(db);
     let link = Instance::single(
         "supplies",
         Relation::from_tuples(2, [Tuple::new(["p1".into(), "p3".into()])]),
     );
+    requests.push(DecisionRequest::Possibility {
+        view: link_view.clone(),
+        facts: link.clone(),
+    });
+    requests.push(DecisionRequest::Certainty {
+        view: link_view.clone(),
+        facts: link,
+    });
+
+    let outcomes = decide_all(&requests);
+    for ((label, _, _), pair) in questions.iter().zip(outcomes.chunks(2)) {
+        let possible = pair[0].answer.unwrap();
+        let certain = pair[1].answer.unwrap();
+        println!("{label:<55} possible: {possible:<5}  certain: {certain}");
+    }
+    let link_pair = &outcomes[outcomes.len() - 2..];
     println!(
-        "\nDirect link p1 → p3:   possible: {}   certain: {}",
-        possibility::decide(&link_view, &link, budget).unwrap(),
-        certainty::decide(&link_view, &link, budget).unwrap()
+        "\nDirect link p1 → p3:   possible: {}   certain: {}   [strategy: {}]",
+        link_pair[0].answer.unwrap(),
+        link_pair[1].answer.unwrap(),
+        link_pair[1].strategy,
     );
 
     // How many structurally distinct worlds does the network have?  (Small enough here to
     // enumerate exhaustively — the audited plant and the unknown source are the only nulls.)
-    let worlds = PossibleWorlds::new(&link_view.db).enumerate(100_000).unwrap();
+    let worlds = PossibleWorlds::new(&link_view.db)
+        .enumerate(100_000)
+        .unwrap();
     println!("Distinct possible networks over Δ ∪ Δ′: {}", worlds.len());
 
     // Note how the answers line up with intuition: mine→factory is certain (whichever plant

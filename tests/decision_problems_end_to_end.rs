@@ -177,13 +177,23 @@ fn ctable_algebra_answers_match_world_enumeration_for_the_catalogue() {
         .into_iter()
         .map(|w| w.relation_or_empty("catalogue", 2))
         .collect();
-    let via_algebra: std::collections::BTreeSet<Relation> =
-        View::identity(CDatabase::single(out))
-            .enumerate_worlds(100_000, [Constant::str("standard"), Constant::str("basic"), Constant::str("premium"), Constant::str("banned"), Constant::str("widget"), Constant::str("gadget"), Constant::str("gizmo")])
-            .unwrap()
-            .into_iter()
-            .map(|w| w.relation_or_empty("Q", 2))
-            .collect();
+    let via_algebra: std::collections::BTreeSet<Relation> = View::identity(CDatabase::single(out))
+        .enumerate_worlds(
+            100_000,
+            [
+                Constant::str("standard"),
+                Constant::str("basic"),
+                Constant::str("premium"),
+                Constant::str("banned"),
+                Constant::str("widget"),
+                Constant::str("gadget"),
+                Constant::str("gizmo"),
+            ],
+        )
+        .unwrap()
+        .into_iter()
+        .map(|w| w.relation_or_empty("Q", 2))
+        .collect();
     // Every directly-enumerated world is also produced by the algebra's c-table (the
     // converse needs a common fresh-constant budget, checked in pw-core's unit tests).
     for world in &direct {

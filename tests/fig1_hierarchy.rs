@@ -25,10 +25,12 @@ fn example_2_1_instances_are_members_of_their_representations() {
     let budget = Budget::default();
     for table in [&fig.ta, &fig.tb, &fig.tc, &fig.td, &fig.te] {
         let db = CDatabase::single(table.clone());
-        let world = fig
-            .sigma
-            .world_of(&db)
-            .unwrap_or_else(|| panic!("σ of Example 2.1 satisfies the conditions of {}", table.name()));
+        let world = fig.sigma.world_of(&db).unwrap_or_else(|| {
+            panic!(
+                "σ of Example 2.1 satisfies the conditions of {}",
+                table.name()
+            )
+        });
         assert!(
             membership::decide(&db, &world, budget).unwrap(),
             "σ({}) must be a member of rep({})",
@@ -56,9 +58,7 @@ fn the_ctable_te_has_exactly_the_worlds_its_conditions_allow() {
     let worlds = PossibleWorlds::new(&db).enumerate(1_000_000).unwrap();
     // Every world contains (0, 1) — its local condition z = z is always true and the
     // global condition does not mention the row.
-    assert!(worlds
-        .iter()
-        .all(|w| w.contains_fact("Te", &tup![0, 1])));
+    assert!(worlds.iter().all(|w| w.contains_fact("Te", &tup![0, 1])));
     // No world contains a row whose second column is 1 in position x while x = 1 is
     // forbidden globally: the (0, x) row can never produce (0, 1) redundantly — but it can
     // produce (0, c) for other values; check at least two distinct world shapes exist.

@@ -37,7 +37,11 @@ fn fig3_membership_example() {
     }
     assert_eq!(g.edge_count(), 8);
     let m = maximum_matching(&g);
-    assert_eq!(m.cardinality(), 4, "Fig. 3's instance is a member: all four facts match");
+    assert_eq!(
+        m.cardinality(),
+        4,
+        "Fig. 3's instance is a member: all four facts match"
+    );
 }
 
 #[test]
@@ -108,14 +112,32 @@ fn fig7_containment_instance_for_the_fig5_formula() {
         1,
         [
             Clause::new([
-                Literal { var: 0, positive: true },
-                Literal { var: 1, positive: false },
-                Literal { var: 1, positive: false },
+                Literal {
+                    var: 0,
+                    positive: true,
+                },
+                Literal {
+                    var: 1,
+                    positive: false,
+                },
+                Literal {
+                    var: 1,
+                    positive: false,
+                },
             ]),
             Clause::new([
-                Literal { var: 0, positive: false },
-                Literal { var: 1, positive: true },
-                Literal { var: 1, positive: true },
+                Literal {
+                    var: 0,
+                    positive: false,
+                },
+                Literal {
+                    var: 1,
+                    positive: true,
+                },
+                Literal {
+                    var: 1,
+                    positive: true,
+                },
             ]),
         ],
     );
@@ -139,8 +161,14 @@ fn fig9_containment_view_table() {
     let taut = DnfFormula::new(
         1,
         [
-            Clause::new([Literal { var: 0, positive: true }]),
-            Clause::new([Literal { var: 0, positive: false }]),
+            Clause::new([Literal {
+                var: 0,
+                positive: true,
+            }]),
+            Clause::new([Literal {
+                var: 0,
+                positive: false,
+            }]),
         ],
     );
     let r2 = dnf_taut_cont_view_table(&taut);
@@ -169,8 +197,14 @@ fn fig12_datalog_gadget_small_instances() {
     let sat = CnfFormula::new(
         2,
         [Clause::new([
-            Literal { var: 0, positive: true },
-            Literal { var: 1, positive: true },
+            Literal {
+                var: 0,
+                positive: true,
+            },
+            Literal {
+                var: 1,
+                positive: true,
+            },
         ])],
     );
     let r = sat_poss_datalog(&sat);
@@ -179,8 +213,14 @@ fn fig12_datalog_gadget_small_instances() {
     let unsat = CnfFormula::new(
         1,
         [
-            Clause::new([Literal { var: 0, positive: true }]),
-            Clause::new([Literal { var: 0, positive: false }]),
+            Clause::new([Literal {
+                var: 0,
+                positive: true,
+            }]),
+            Clause::new([Literal {
+                var: 0,
+                positive: false,
+            }]),
         ],
     );
     let r2 = sat_poss_datalog(&unsat);

@@ -1,0 +1,210 @@
+//! Tests for the parallel decision-engine substrate (`pw_decide::engine` / `::batch`):
+//!
+//! * a property test asserting that the parallel and sequential searches return identical
+//!   decisions on randomized `pw-workloads` tables across every table class and all five
+//!   decision problems, and
+//! * a regression test asserting that `BudgetExceeded` is reported deterministically under
+//!   parallelism when the searched tree has no witness and exceeds the budget.
+//!
+//! The randomized cases use the seeded workload generators (no external property-testing
+//! framework is available offline); every seed is deterministic, so a failure here is
+//! reproducible by seed.
+
+use possible_worlds::decide::{batch, Engine, EngineConfig};
+use possible_worlds::prelude::*;
+use possible_worlds::workloads::{
+    member_instance, non_member_instance, random_codd_table, random_ctable, random_etable,
+    random_gtable, random_itable, TableParams,
+};
+
+fn small_params(seed: u64) -> TableParams {
+    TableParams {
+        rows: 4,
+        arity: 2,
+        constants: 3,
+        null_density: 0.4,
+        seed,
+    }
+}
+
+fn generators() -> Vec<(&'static str, fn(&str, &TableParams) -> CTable)> {
+    vec![
+        (
+            "codd",
+            random_codd_table as fn(&str, &TableParams) -> CTable,
+        ),
+        ("e-table", random_etable),
+        ("i-table", random_itable),
+        ("g-table", random_gtable),
+        ("c-table", random_ctable),
+    ]
+}
+
+const THREAD_COUNTS: [usize; 2] = [2, 8];
+
+/// Property: for every table class, seed and decision problem, every parallel
+/// configuration returns exactly the sequential answer.
+#[test]
+fn parallel_and_sequential_decisions_agree_on_random_workloads() {
+    let budget = Budget(20_000_000);
+    for (class, generate) in generators() {
+        for seed in 0..6u64 {
+            let params = small_params(seed);
+            let db = CDatabase::single(generate("T", &params));
+            let view = View::identity(db.clone());
+            let member = member_instance(&db, &params);
+            let non_member = non_member_instance(&db, &params);
+
+            for instance in [&member, &non_member] {
+                let seq_memb = membership::decide(&db, instance, budget).unwrap();
+                let seq_uniq = uniqueness::decide(&view, instance, budget).unwrap();
+                let seq_poss = possibility::decide(&view, instance, budget).unwrap();
+                let seq_cert = certainty::decide(&view, instance, budget).unwrap();
+                for threads in THREAD_COUNTS {
+                    let engine = Engine::new(EngineConfig::with_threads(threads, budget));
+                    let ctx = format!("{class} seed {seed} threads {threads} on {instance}");
+                    assert_eq!(
+                        membership::view_membership_with(&view, instance, &engine).unwrap(),
+                        seq_memb,
+                        "membership {ctx}"
+                    );
+                    assert_eq!(
+                        uniqueness::decide_with(&view, instance, &engine).unwrap(),
+                        seq_uniq,
+                        "uniqueness {ctx}"
+                    );
+                    assert_eq!(
+                        possibility::decide_with(&view, instance, &engine).unwrap(),
+                        seq_poss,
+                        "possibility {ctx}"
+                    );
+                    assert_eq!(
+                        certainty::decide_with(&view, instance, &engine).unwrap(),
+                        seq_cert,
+                        "certainty {ctx}"
+                    );
+                }
+            }
+
+            // Containment between this seed's table and the next seed's table of the same
+            // class (rarely true, which is exactly the hard direction for the search).
+            let other = CDatabase::single(generate("T", &small_params(seed + 100)));
+            let other_view = View::identity(other);
+            let seq_cont = containment::decide(&view, &other_view, budget).unwrap();
+            for threads in THREAD_COUNTS {
+                let engine = Engine::new(EngineConfig::with_threads(threads, budget));
+                assert_eq!(
+                    containment::decide_with(&view, &other_view, &engine).unwrap(),
+                    seq_cont,
+                    "containment {class} seed {seed} threads {threads}"
+                );
+            }
+        }
+    }
+}
+
+/// Property: the batched front door returns, position by position, the single-shot
+/// answers, for every thread count.
+#[test]
+fn batch_matches_single_shot_on_random_workloads() {
+    let budget = Budget(20_000_000);
+    let mut requests = Vec::new();
+    let mut expected = Vec::new();
+    for seed in 0..4u64 {
+        let params = small_params(seed);
+        let db = CDatabase::single(random_ctable("T", &params));
+        let view = View::identity(db.clone());
+        let member = member_instance(&db, &params);
+        expected.push(membership::decide(&db, &member, budget).unwrap());
+        requests.push(batch::DecisionRequest::Membership {
+            view: view.clone(),
+            instance: member.clone(),
+        });
+        expected.push(possibility::decide(&view, &member, budget).unwrap());
+        requests.push(batch::DecisionRequest::Possibility {
+            view: view.clone(),
+            facts: member.clone(),
+        });
+        expected.push(certainty::decide(&view, &member, budget).unwrap());
+        requests.push(batch::DecisionRequest::Certainty {
+            view,
+            facts: member,
+        });
+    }
+    for threads in [1, 2, 8] {
+        let cfg = EngineConfig::with_threads(threads, budget);
+        let outcomes = batch::decide_all_with(&requests, &cfg);
+        let answers: Vec<bool> = outcomes.iter().map(|o| o.answer.unwrap()).collect();
+        assert_eq!(answers, expected, "batch answers with {threads} threads");
+    }
+}
+
+/// A possibility question with no witness and a search tree much larger than the budget:
+/// nine facts can never be covered by eight rows, but the search only discovers that after
+/// exploring an 8-level assignment tree (~10⁵ nodes).
+fn oversized_cover_request() -> (View, Instance) {
+    let mut vars = VarGen::new();
+    let xs: Vec<Variable> = (0..8).map(|_| vars.fresh()).collect();
+    let rows: Vec<Vec<Term>> = xs.iter().map(|&x| vec![Term::Var(x)]).collect();
+    // The (satisfiable) global inequality makes this an i-table, so the dispatcher picks
+    // the general backtracking search rather than the polynomial Codd matching.
+    let table = CTable::i_table("R", 1, Conjunction::new([Atom::neq(xs[0], xs[1])]), rows).unwrap();
+    let view = View::identity(CDatabase::single(table));
+    let mut rel = Relation::empty(1);
+    for i in 0..9i64 {
+        rel.insert(Tuple::new([i.into()])).unwrap();
+    }
+    (view, Instance::single("R", rel))
+}
+
+/// Regression: `BudgetExceeded` must be reported deterministically under parallelism —
+/// when no witness exists and the tree exceeds the budget, every thread count and every
+/// repetition reports the exhaustion (and with an ample budget, every configuration
+/// reports the same `false` answer instead).
+#[test]
+fn budget_exceeded_is_deterministic_under_parallelism() {
+    let (view, facts) = oversized_cover_request();
+    for threads in [1, 2, 8] {
+        for repetition in 0..3 {
+            let starved = Engine::new(EngineConfig::with_threads(threads, Budget(500)));
+            assert_eq!(
+                possibility::decide_with(&view, &facts, &starved),
+                Err(BudgetExceeded),
+                "starved run must always exhaust ({threads} threads, repetition {repetition})"
+            );
+            let ample = Engine::new(EngineConfig::with_threads(threads, Budget(50_000_000)));
+            assert_eq!(
+                possibility::decide_with(&view, &facts, &ample),
+                Ok(false),
+                "ample run must always complete ({threads} threads, repetition {repetition})"
+            );
+        }
+    }
+}
+
+/// The engine's cancellation must not flip answers: a witness that exists is found by
+/// every configuration even when most of the tree is a desert.
+#[test]
+fn first_witness_early_exit_is_sound() {
+    let mut vars = VarGen::new();
+    // Eight nearly unconstrained rows and eight facts: coverable (a witness exists), with
+    // a huge search tree most of which is irrelevant once the witness is found.  The
+    // global inequality forces the general backtracking search (i-table, not Codd).
+    let xs: Vec<Variable> = (0..8).map(|_| vars.fresh()).collect();
+    let rows: Vec<Vec<Term>> = xs.iter().map(|&x| vec![Term::Var(x)]).collect();
+    let table = CTable::i_table("R", 1, Conjunction::new([Atom::neq(xs[0], xs[1])]), rows).unwrap();
+    let view = View::identity(CDatabase::single(table));
+    let mut rel = Relation::empty(1);
+    for i in 0..8i64 {
+        rel.insert(Tuple::new([i.into()])).unwrap();
+    }
+    let facts = Instance::single("R", rel);
+    for threads in [1, 2, 8] {
+        let engine = Engine::new(EngineConfig::with_threads(threads, Budget(50_000_000)));
+        assert_eq!(
+            possibility::decide_with(&view, &facts, &engine),
+            Ok(true),
+            "witness found with {threads} threads"
+        );
+    }
+}

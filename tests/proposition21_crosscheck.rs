@@ -95,11 +95,17 @@ fn possibility_and_certainty_agree_with_enumeration_on_all_classes() {
             }
             let fast_poss = possibility::decide(&view, &pattern, budget()).unwrap();
             let slow_poss = possibility_by_enumeration(&db, &pattern);
-            assert_eq!(fast_poss, slow_poss, "possibility mismatch on {label} seed {seed}");
+            assert_eq!(
+                fast_poss, slow_poss,
+                "possibility mismatch on {label} seed {seed}"
+            );
 
             let fast_cert = certainty::decide(&view, &pattern, budget()).unwrap();
             let slow_cert = certainty_by_enumeration(&db, &pattern);
-            assert_eq!(fast_cert, slow_cert, "certainty mismatch on {label} seed {seed}");
+            assert_eq!(
+                fast_cert, slow_cert,
+                "certainty mismatch on {label} seed {seed}"
+            );
 
             // Certainty implies possibility (the paper's remark in Section 1.2).
             if fast_cert {
