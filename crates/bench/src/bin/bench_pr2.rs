@@ -1,0 +1,315 @@
+//! `bench-pr2` — the interned-symbol benchmark: per-problem wall time on the standard
+//! string-heavy workloads, sequential and parallel, emitted as machine-readable JSON.
+//!
+//! Every decision procedure bottoms out in term comparisons; this harness measures them
+//! where they hurt — constants are strings with a long shared prefix (see
+//! `pw_workloads::strings`) so a structural compare walks most of the string.  The same
+//! binary is run before and after a hot-path change; `--baseline <file>` embeds the prior
+//! run's numbers and reports per-row speedups, which is how `BENCH_PR2.json` records the
+//! before/after of the interning PR.
+//!
+//! Usage:
+//!   cargo run --release --bin bench-pr2 -- [--smoke] [--out FILE] [--baseline FILE]
+//!
+//! `--smoke` shrinks the workloads to a few rows and one iteration so CI can check the
+//! harness and the JSON shape in seconds.
+
+use pw_core::{CDatabase, View};
+use pw_decide::batch::{decide_all_with, DecisionRequest};
+use pw_decide::{Budget, EngineConfig};
+use pw_relational::{Instance, Relation};
+use pw_workloads::{
+    member_instance, non_member_instance, random_codd_table, random_ctable, random_etable,
+    random_gtable, random_itable, stringify_database, stringify_instance, TableParams,
+};
+use std::time::Instant;
+
+/// One measured row of the report.
+struct Measurement {
+    problem: &'static str,
+    workload: String,
+    mode: &'static str,
+    wall_ms: f64,
+    answers: Vec<String>,
+}
+
+/// A workload: a database plus the instances the requests are phrased against.
+struct Workload {
+    label: String,
+    db: CDatabase,
+    member: Instance,
+    non_member: Instance,
+}
+
+fn build_workloads(smoke: bool) -> Vec<Workload> {
+    let rows = |full: usize| if smoke { 6 } else { full };
+    let mut out = Vec::new();
+    let specs: Vec<(&str, usize, Box<dyn Fn(&TableParams) -> pw_core::CTable>)> = vec![
+        ("codd", rows(64), Box::new(|p| random_codd_table("T", p))),
+        ("e-table", rows(48), Box::new(|p| random_etable("T", p))),
+        ("i-table", rows(48), Box::new(|p| random_itable("T", p))),
+        ("g-table", rows(48), Box::new(|p| random_gtable("T", p))),
+        ("c-table", rows(40), Box::new(|p| random_ctable("T", p))),
+    ];
+    for (name, n, build) in specs {
+        let params = TableParams::with_rows(n, 0xC0FFEE ^ n as u64);
+        let db = CDatabase::single(build(&params));
+        let member = member_instance(&db, &params);
+        let non_member = non_member_instance(&db, &params);
+        out.push(Workload {
+            label: format!("{name}-{n}"),
+            db: stringify_database(&db),
+            member: stringify_instance(&member),
+            non_member: stringify_instance(&non_member),
+        });
+    }
+    out
+}
+
+/// The first few facts of a member instance — a "possible pattern" for POSS.
+fn pattern_of(member: &Instance, keep: usize) -> Instance {
+    let mut out = Instance::new();
+    for (name, rel) in member.iter() {
+        let mut small = Relation::empty(rel.arity());
+        for fact in rel.iter().take(keep) {
+            small.insert(fact.clone()).expect("arity preserved");
+        }
+        out.insert_relation(name.clone(), small);
+    }
+    out
+}
+
+/// Per-problem request lists against one workload.
+fn requests_for(problem: &str, w: &Workload) -> Vec<DecisionRequest> {
+    let view = View::identity(w.db.clone());
+    match problem {
+        "membership" => vec![
+            DecisionRequest::Membership {
+                view: view.clone(),
+                instance: w.member.clone(),
+            },
+            DecisionRequest::Membership {
+                view,
+                instance: w.non_member.clone(),
+            },
+        ],
+        "possibility" => vec![
+            DecisionRequest::Possibility {
+                view: view.clone(),
+                facts: pattern_of(&w.member, 4),
+            },
+            DecisionRequest::Possibility {
+                view,
+                facts: pattern_of(&w.non_member, 4),
+            },
+        ],
+        "certainty" => vec![
+            DecisionRequest::Certainty {
+                view: view.clone(),
+                facts: pattern_of(&w.member, 2),
+            },
+            DecisionRequest::Certainty {
+                view,
+                facts: pattern_of(&w.non_member, 2),
+            },
+        ],
+        "uniqueness" => vec![DecisionRequest::Uniqueness {
+            view,
+            instance: w.member.clone(),
+        }],
+        "containment" => vec![DecisionRequest::Containment {
+            left: view.clone(),
+            right: view,
+        }],
+        other => unreachable!("unknown problem {other}"),
+    }
+}
+
+const PROBLEMS: [&str; 5] = [
+    "membership",
+    "possibility",
+    "certainty",
+    "uniqueness",
+    "containment",
+];
+
+fn measure(
+    problem: &'static str,
+    workload: &Workload,
+    mode: &'static str,
+    cfg: &EngineConfig,
+    iters: usize,
+) -> Measurement {
+    let requests = requests_for(problem, workload);
+    // Median-of-iters wall time; answers from the last run (they are deterministic).
+    let mut times = Vec::with_capacity(iters);
+    let mut answers = Vec::new();
+    for _ in 0..iters {
+        let start = Instant::now();
+        let outcomes = decide_all_with(&requests, cfg);
+        times.push(start.elapsed().as_secs_f64() * 1e3);
+        answers = outcomes
+            .iter()
+            .map(|o| match o.answer {
+                Ok(b) => b.to_string(),
+                Err(_) => "budget".to_owned(),
+            })
+            .collect();
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+    Measurement {
+        problem,
+        workload: workload.label.clone(),
+        mode,
+        wall_ms: times[times.len() / 2],
+        answers,
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn render_json(
+    measurements: &[Measurement],
+    threads: usize,
+    iters: usize,
+    smoke: bool,
+    baseline_raw: Option<&str>,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"BENCH_PR2\",\n");
+    out.push_str("  \"description\": \"per-problem wall time on string-heavy standard workloads (see crates/bench/src/bin/bench_pr2.rs)\",\n");
+    out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str(&format!("  \"iterations\": {iters},\n"));
+    out.push_str(&format!("  \"smoke\": {smoke},\n"));
+    out.push_str("  \"results\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        let answers: Vec<String> = m
+            .answers
+            .iter()
+            .map(|a| format!("\"{}\"", json_escape(a)))
+            .collect();
+        out.push_str(&format!(
+            "    {{\"problem\": \"{}\", \"workload\": \"{}\", \"mode\": \"{}\", \"wall_ms\": {:.3}, \"answers\": [{}]}}{}\n",
+            m.problem,
+            json_escape(&m.workload),
+            m.mode,
+            m.wall_ms,
+            answers.join(", "),
+            if i + 1 == measurements.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]");
+    if let Some(raw) = baseline_raw {
+        out.push_str(",\n  \"baseline\": ");
+        // Embed the baseline run verbatim (it is a JSON document produced by this binary),
+        // indenting it to keep the composite readable.
+        let indented: Vec<String> = raw.trim().lines().map(|l| format!("  {l}")).collect();
+        out.push_str(indented.join("\n").trim_start());
+        // Per-row speedup table: baseline wall time / current wall time.
+        let base = parse_results(raw);
+        out.push_str(",\n  \"speedup_vs_baseline\": [\n");
+        let rows: Vec<String> = measurements
+            .iter()
+            .filter_map(|m| {
+                let key = (m.problem.to_owned(), m.workload.clone(), m.mode.to_owned());
+                base.iter().find(|(k, _)| *k == key).map(|(_, base_ms)| {
+                    format!(
+                        "    {{\"problem\": \"{}\", \"workload\": \"{}\", \"mode\": \"{}\", \"baseline_ms\": {:.3}, \"current_ms\": {:.3}, \"speedup\": {:.2}}}",
+                        m.problem,
+                        json_escape(&m.workload),
+                        m.mode,
+                        base_ms,
+                        m.wall_ms,
+                        base_ms / m.wall_ms.max(1e-6),
+                    )
+                })
+            })
+            .collect();
+        out.push_str(&rows.join(",\n"));
+        out.push_str("\n  ]");
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+/// Minimal extraction of `(problem, workload, mode) -> wall_ms` rows from a prior run of
+/// this binary (full JSON parsing is overkill for a document we ourselves emit).
+fn parse_results(raw: &str) -> Vec<((String, String, String), f64)> {
+    let mut out = Vec::new();
+    for line in raw.lines() {
+        let line = line.trim();
+        if !line.starts_with("{\"problem\":") {
+            continue;
+        }
+        let field = |name: &str| -> Option<String> {
+            let tag = format!("\"{name}\": \"");
+            let start = line.find(&tag)? + tag.len();
+            let end = line[start..].find('"')? + start;
+            Some(line[start..end].to_owned())
+        };
+        let wall = || -> Option<f64> {
+            let tag = "\"wall_ms\": ";
+            let start = line.find(tag)? + tag.len();
+            let end = line[start..].find(',')? + start;
+            line[start..end].trim().parse().ok()
+        };
+        if let (Some(p), Some(w), Some(m), Some(ms)) =
+            (field("problem"), field("workload"), field("mode"), wall())
+        {
+            out.push(((p, w, m), ms));
+        }
+    }
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let flag_value = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let out_path = flag_value("--out").unwrap_or_else(|| "BENCH_PR2.json".to_owned());
+    let baseline_raw = flag_value("--baseline").map(|p| {
+        std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("cannot read baseline {p}: {e}"))
+    });
+
+    let iters = if smoke { 1 } else { 5 };
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let budget = Budget(2_000_000);
+    let sequential = EngineConfig::sequential(budget);
+    let parallel = EngineConfig::with_threads(threads, budget);
+
+    let workloads = build_workloads(smoke);
+    let mut measurements = Vec::new();
+    for w in &workloads {
+        for problem in PROBLEMS {
+            for (mode, cfg) in [("sequential", &sequential), ("parallel", &parallel)] {
+                let m = measure(problem, w, mode, cfg, iters);
+                eprintln!(
+                    "{:<12} {:<12} {:<10} {:>10.3} ms  [{}]",
+                    m.problem,
+                    m.workload,
+                    m.mode,
+                    m.wall_ms,
+                    m.answers.join(", ")
+                );
+                measurements.push(m);
+            }
+        }
+    }
+
+    let json = render_json(
+        &measurements,
+        threads,
+        iters,
+        smoke,
+        baseline_raw.as_deref(),
+    );
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    eprintln!("wrote {out_path}");
+}

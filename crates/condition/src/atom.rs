@@ -2,7 +2,7 @@
 
 use crate::unionfind::TermUnionFind;
 use crate::{Term, Variable};
-use pw_relational::Constant;
+use pw_relational::{Constant, Sym};
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -10,7 +10,10 @@ use std::fmt;
 ///
 /// The paper's atoms are `x = y`, `x = c`, `x ≠ y`, `x ≠ c`; we allow constants on both
 /// sides as well (`c = c'` is simply true or false), which makes substitution closed.
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+///
+/// Atoms are `Copy` (two two-word terms plus a tag): building and rewriting conditions
+/// moves values instead of cloning heap allocations.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Atom {
     /// The two terms must be equal.
     Eq(Term, Term),
@@ -40,30 +43,30 @@ impl Atom {
     }
 
     /// The two operand terms.
-    pub fn terms(&self) -> (&Term, &Term) {
+    pub fn terms(self) -> (Term, Term) {
         match self {
             Atom::Eq(a, b) | Atom::Neq(a, b) => (a, b),
         }
     }
 
     /// Is this an equality atom?
-    pub fn is_equality(&self) -> bool {
+    pub fn is_equality(self) -> bool {
         matches!(self, Atom::Eq(..))
     }
 
     /// Variables mentioned by the atom.
-    pub fn variables(&self) -> impl Iterator<Item = Variable> + '_ {
+    pub fn variables(self) -> impl Iterator<Item = Variable> {
         let (a, b) = self.terms();
         a.as_var().into_iter().chain(b.as_var())
     }
 
-    /// Evaluate under a *total* assignment of constants to the atom's variables.
+    /// Evaluate under a *total* assignment of interned constants to the atom's variables.
     /// Returns `None` if some variable is unassigned.
-    pub fn eval(&self, lookup: &impl Fn(Variable) -> Option<Constant>) -> Option<bool> {
-        let value = |t: &Term| -> Option<Constant> {
+    pub fn eval(self, lookup: &impl Fn(Variable) -> Option<Sym>) -> Option<bool> {
+        let value = |t: Term| -> Option<Sym> {
             match t {
-                Term::Const(c) => Some(c.clone()),
-                Term::Var(v) => lookup(*v),
+                Term::Const(c) => Some(c),
+                Term::Var(v) => lookup(v),
             }
         };
         let (a, b) = self.terms();
@@ -75,7 +78,7 @@ impl Atom {
     }
 
     /// Replace variable `v` by `t` in both operands.
-    pub fn substitute(&self, v: Variable, t: &Term) -> Atom {
+    pub fn substitute(self, v: Variable, t: Term) -> Atom {
         match self {
             Atom::Eq(a, b) => Atom::Eq(a.substitute(v, t), b.substitute(v, t)),
             Atom::Neq(a, b) => Atom::Neq(a.substitute(v, t), b.substitute(v, t)),
@@ -84,7 +87,7 @@ impl Atom {
 
     /// Trivial truth value, when decidable without knowing variable values:
     /// `Some(true)` / `Some(false)` for ground or reflexive atoms, `None` otherwise.
-    pub fn trivial_value(&self) -> Option<bool> {
+    pub fn trivial_value(self) -> Option<bool> {
         let (a, b) = self.terms();
         match (a, b) {
             (Term::Const(x), Term::Const(y)) => Some(match self {
@@ -114,7 +117,8 @@ impl fmt::Display for Atom {
 
 /// A conjunction of atoms — the only connective the paper's conditions use.
 ///
-/// The empty conjunction is *true*.
+/// The empty conjunction is *true*.  Atoms are `Copy`, so cloning a conjunction is a
+/// single flat memcpy and hashing never touches a string — `SatCache` keys hash ids.
 #[derive(Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Conjunction {
     atoms: Vec<Atom>,
@@ -168,32 +172,34 @@ impl Conjunction {
     /// Conjoin with another conjunction.
     pub fn and(&self, other: &Conjunction) -> Conjunction {
         let mut atoms = self.atoms.clone();
-        atoms.extend(other.atoms.iter().cloned());
+        atoms.extend_from_slice(&other.atoms);
         Conjunction { atoms }
     }
 
     /// All variables mentioned.
     pub fn variables(&self) -> BTreeSet<Variable> {
-        self.atoms.iter().flat_map(Atom::variables).collect()
+        self.atoms.iter().flat_map(|a| a.variables()).collect()
     }
 
-    /// All constants mentioned.
-    pub fn constants(&self) -> BTreeSet<Constant> {
+    /// All interned constants mentioned.
+    pub fn syms(&self) -> BTreeSet<Sym> {
         self.atoms
             .iter()
             .flat_map(|a| {
                 let (x, y) = a.terms();
-                x.as_const()
-                    .cloned()
-                    .into_iter()
-                    .chain(y.as_const().cloned())
+                x.as_sym().into_iter().chain(y.as_sym())
             })
             .collect()
     }
 
+    /// All constants mentioned, resolved through the global symbol table (boundary use).
+    pub fn constants(&self) -> BTreeSet<Constant> {
+        self.syms().into_iter().map(Sym::constant).collect()
+    }
+
     /// Whether the conjunction contains only equality atoms (e-table global condition).
     pub fn is_equalities_only(&self) -> bool {
-        self.atoms.iter().all(Atom::is_equality)
+        self.atoms.iter().all(|a| a.is_equality())
     }
 
     /// Whether the conjunction contains only inequality atoms (i-table global condition).
@@ -206,18 +212,18 @@ impl Conjunction {
         let mut uf = TermUnionFind::new();
         for atom in &self.atoms {
             if let Atom::Eq(a, b) = atom {
-                if !uf.union_terms(a, b) {
+                if !uf.union_terms(*a, *b) {
                     return false;
                 }
             }
         }
         for atom in &self.atoms {
             if let Atom::Neq(a, b) = atom {
-                if uf.same_class(a, b) {
+                if uf.same_class(*a, *b) {
                     return false;
                 }
                 // Two classes bound to the same constant are also equal.
-                if let (Some(ca), Some(cb)) = (uf.constant_of(a), uf.constant_of(b)) {
+                if let (Some(ca), Some(cb)) = (uf.constant_of(*a), uf.constant_of(*b)) {
                     if ca == cb {
                         return false;
                     }
@@ -228,7 +234,7 @@ impl Conjunction {
     }
 
     /// Evaluate under a total assignment; `None` if a variable is unassigned.
-    pub fn eval(&self, lookup: &impl Fn(Variable) -> Option<Constant>) -> Option<bool> {
+    pub fn eval(&self, lookup: &impl Fn(Variable) -> Option<Sym>) -> Option<bool> {
         let mut all = true;
         for atom in &self.atoms {
             match atom.eval(lookup) {
@@ -241,18 +247,19 @@ impl Conjunction {
     }
 
     /// Replace variable `v` by term `t` everywhere.
-    pub fn substitute(&self, v: Variable, t: &Term) -> Conjunction {
+    pub fn substitute(&self, v: Variable, t: Term) -> Conjunction {
         Conjunction {
             atoms: self.atoms.iter().map(|a| a.substitute(v, t)).collect(),
         }
     }
 
-    /// The constant each variable is *forced* to equal by this conjunction, if any.
+    /// The interned constant each variable is *forced* to equal by this conjunction, if
+    /// any.
     ///
     /// Used by the g-table uniqueness algorithm of Theorem 3.2(1): "if it follows from the
     /// global condition that a variable equals a constant, then the variable is replaced by
     /// that constant".  Returns `None` if the conjunction is unsatisfiable.
-    pub fn forced_constants(&self) -> Option<Vec<(Variable, Constant)>> {
+    pub fn forced_constants(&self) -> Option<Vec<(Variable, Sym)>> {
         if !self.is_satisfiable() {
             return None;
         }
@@ -260,12 +267,12 @@ impl Conjunction {
         for atom in &self.atoms {
             if let Atom::Eq(a, b) = atom {
                 // Satisfiability above guarantees these unions succeed.
-                uf.union_terms(a, b);
+                uf.union_terms(*a, *b);
             }
         }
         let mut out = Vec::new();
         for v in self.variables() {
-            if let Some(c) = uf.constant_of(&Term::Var(v)) {
+            if let Some(c) = uf.constant_of(Term::Var(v)) {
                 out.push((v, c));
             }
         }
@@ -286,7 +293,7 @@ impl Conjunction {
         let mut uf = TermUnionFind::new();
         for atom in &self.atoms {
             if let Atom::Eq(a, b) = atom {
-                uf.union_terms(a, b);
+                uf.union_terms(*a, *b);
             }
         }
         for atom in &other.atoms {
@@ -300,7 +307,7 @@ impl Conjunction {
                 Atom::Neq(..) => {
                     // Implied if terms are bound to distinct constants, or if conjoining the
                     // equality a = b with self is unsatisfiable.
-                    let with_eq = self.and(&Conjunction::single(Atom::Eq(a.clone(), b.clone())));
+                    let with_eq = self.and(&Conjunction::single(Atom::Eq(a, b)));
                     if with_eq.is_satisfiable() {
                         return false;
                     }
@@ -369,6 +376,20 @@ mod tests {
     }
 
     #[test]
+    fn string_constants_behave_like_integers() {
+        let mut g = VarGen::new();
+        let (x, y) = (g.fresh(), g.fresh());
+        assert!(
+            !Conjunction::new([Atom::eq(x, "alice"), Atom::eq(y, "bob"), Atom::eq(x, y)])
+                .is_satisfiable()
+        );
+        assert!(
+            Conjunction::new([Atom::eq(x, "alice"), Atom::eq(y, "alice"), Atom::eq(x, y)])
+                .is_satisfiable()
+        );
+    }
+
+    #[test]
     fn truth_and_falsity() {
         assert!(Conjunction::truth().is_satisfiable());
         assert!(Conjunction::truth().is_empty());
@@ -382,27 +403,27 @@ mod tests {
         let mut g = VarGen::new();
         let (x, y) = (g.fresh(), g.fresh());
         let c = Conjunction::new([Atom::eq(x, 1), Atom::neq(x, y)]);
-        let lookup = |v: Variable| -> Option<Constant> {
+        let lookup = |v: Variable| -> Option<Sym> {
             if v == x {
-                Some(Constant::int(1))
+                Some(Sym::Int(1))
             } else if v == y {
-                Some(Constant::int(2))
+                Some(Sym::Int(2))
             } else {
                 None
             }
         };
         assert_eq!(c.eval(&lookup), Some(true));
-        let lookup_bad = |v: Variable| -> Option<Constant> {
+        let lookup_bad = |v: Variable| -> Option<Sym> {
             if v == x || v == y {
-                Some(Constant::int(1))
+                Some(Sym::Int(1))
             } else {
                 None
             }
         };
         assert_eq!(c.eval(&lookup_bad), Some(false));
-        let partial = |v: Variable| -> Option<Constant> {
+        let partial = |v: Variable| -> Option<Sym> {
             if v == x {
-                Some(Constant::int(1))
+                Some(Sym::Int(1))
             } else {
                 None
             }
@@ -416,8 +437,8 @@ mod tests {
         let (x, y, z) = (g.fresh(), g.fresh(), g.fresh());
         let c = Conjunction::new([Atom::eq(x, y), Atom::eq(y, 3), Atom::neq(z, 1)]);
         let forced = c.forced_constants().unwrap();
-        assert!(forced.contains(&(x, Constant::int(3))));
-        assert!(forced.contains(&(y, Constant::int(3))));
+        assert!(forced.contains(&(x, Sym::Int(3))));
+        assert!(forced.contains(&(y, Sym::Int(3))));
         assert!(!forced.iter().any(|(v, _)| *v == z));
         assert_eq!(Conjunction::falsity().forced_constants(), None);
     }
@@ -450,7 +471,7 @@ mod tests {
         let mut g = VarGen::new();
         let (x, y) = (g.fresh(), g.fresh());
         let c = Conjunction::new([Atom::eq(x, y)]);
-        let c2 = c.substitute(x, &Term::constant(7));
+        let c2 = c.substitute(x, Term::constant(7));
         assert_eq!(c2.atoms()[0], Atom::eq(7, y));
         assert!(c.to_string().contains('='));
         assert_eq!(Conjunction::truth().to_string(), "true");
@@ -466,5 +487,6 @@ mod tests {
         let c = Conjunction::new([Atom::eq(x, 3), Atom::neq(y, "a")]);
         assert_eq!(c.variables().len(), 2);
         assert_eq!(c.constants().len(), 2);
+        assert!(c.constants().contains(&pw_relational::Constant::str("a")));
     }
 }

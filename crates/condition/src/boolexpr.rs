@@ -14,7 +14,7 @@
 //! (inequality is an atom, not a negation).
 
 use crate::{Atom, Conjunction, Term, Variable};
-use pw_relational::Constant;
+use pw_relational::Sym;
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -105,7 +105,7 @@ impl BoolExpr {
     }
 
     /// Evaluate under a total assignment; `None` if a relevant variable is unassigned.
-    pub fn eval(&self, lookup: &impl Fn(Variable) -> Option<Constant>) -> Option<bool> {
+    pub fn eval(&self, lookup: &impl Fn(Variable) -> Option<Sym>) -> Option<bool> {
         match self {
             BoolExpr::True => Some(true),
             BoolExpr::False => Some(false),
@@ -128,7 +128,7 @@ impl BoolExpr {
     }
 
     /// Replace a variable by a term everywhere.
-    pub fn substitute(&self, v: Variable, t: &Term) -> BoolExpr {
+    pub fn substitute(&self, v: Variable, t: Term) -> BoolExpr {
         match self {
             BoolExpr::True => BoolExpr::True,
             BoolExpr::False => BoolExpr::False,
@@ -284,17 +284,17 @@ mod tests {
         let mut g = VarGen::new();
         let (x, y) = (g.fresh(), g.fresh());
         let e = BoolExpr::Atom(Atom::eq(x, 1)).or(BoolExpr::Atom(Atom::eq(y, 2)));
-        let lookup = |v: Variable| -> Option<Constant> {
+        let lookup = |v: Variable| -> Option<Sym> {
             if v == x {
-                Some(Constant::int(9))
+                Some(Sym::Int(9))
             } else if v == y {
-                Some(Constant::int(2))
+                Some(Sym::Int(2))
             } else {
                 None
             }
         };
         assert_eq!(e.eval(&lookup), Some(true));
-        let e2 = e.substitute(y, &Term::constant(5));
+        let e2 = e.substitute(y, Term::constant(5));
         assert_eq!(e2.eval(&lookup), Some(false));
         assert_eq!(e.variables().len(), 2);
     }

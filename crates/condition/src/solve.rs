@@ -6,6 +6,10 @@
 //! and inequalities.  [`ConstraintSet`] maintains the conjunction collected so far and
 //! answers consistency queries in (amortised) near-linear time.
 //!
+//! Everything inside the store is interned: terms are `Copy` two-word values and
+//! constants are [`Sym`] ids, so asserting, checkpointing and rolling back allocate
+//! nothing beyond the amortised growth of the trail vectors.
+//!
 //! Searches fork the store at choice points.  Two mechanisms are offered:
 //!
 //! * [`ConstraintSet::checkpoint`] / [`ConstraintSet::rollback`] — an **undo trail**: O(1)
@@ -18,7 +22,7 @@
 
 use crate::unionfind::{TermUnionFind, UfMark};
 use crate::{Atom, Conjunction, Term, Variable};
-use pw_relational::Constant;
+use pw_relational::{Constant, Sym};
 use std::collections::BTreeSet;
 
 /// A set of equality/inequality constraints with incremental consistency checking.
@@ -84,12 +88,12 @@ impl ConstraintSet {
         }
         // Re-validate disequalities against the current classes.
         for i in 0..self.disequalities.len() {
-            let (a, b) = self.disequalities[i].clone();
-            if self.uf.same_class(&a, &b) {
+            let (a, b) = self.disequalities[i];
+            if self.uf.same_class(a, b) {
                 self.contradictory = true;
                 return false;
             }
-            if let (Some(ca), Some(cb)) = (self.uf.constant_of(&a), self.uf.constant_of(&b)) {
+            if let (Some(ca), Some(cb)) = (self.uf.constant_of(a), self.uf.constant_of(b)) {
                 if ca == cb {
                     self.contradictory = true;
                     return false;
@@ -100,7 +104,7 @@ impl ConstraintSet {
     }
 
     /// Assert `a = b`.  Returns the new consistency status.
-    pub fn assert_eq(&mut self, a: &Term, b: &Term) -> bool {
+    pub fn assert_eq(&mut self, a: Term, b: Term) -> bool {
         if self.contradictory {
             return false;
         }
@@ -112,16 +116,16 @@ impl ConstraintSet {
     }
 
     /// Assert `a ≠ b`.  Returns the new consistency status.
-    pub fn assert_neq(&mut self, a: &Term, b: &Term) -> bool {
+    pub fn assert_neq(&mut self, a: Term, b: Term) -> bool {
         if self.contradictory {
             return false;
         }
-        self.disequalities.push((a.clone(), b.clone()));
+        self.disequalities.push((a, b));
         self.is_consistent()
     }
 
     /// Assert a whole atom.
-    pub fn assert_atom(&mut self, atom: &Atom) -> bool {
+    pub fn assert_atom(&mut self, atom: Atom) -> bool {
         match atom {
             Atom::Eq(a, b) => self.assert_eq(a, b),
             Atom::Neq(a, b) => self.assert_neq(a, b),
@@ -130,7 +134,7 @@ impl ConstraintSet {
 
     /// Assert every atom of a conjunction.
     pub fn assert_conjunction(&mut self, c: &Conjunction) -> bool {
-        for atom in c.atoms() {
+        for &atom in c.atoms() {
             if !self.assert_atom(atom) {
                 return false;
             }
@@ -139,32 +143,32 @@ impl ConstraintSet {
     }
 
     /// Bind a variable to a constant (`v = c`).
-    pub fn bind(&mut self, v: Variable, c: &Constant) -> bool {
-        self.assert_eq(&Term::Var(v), &Term::Const(c.clone()))
+    pub fn bind(&mut self, v: Variable, c: impl Into<Sym>) -> bool {
+        self.assert_eq(Term::Var(v), Term::Const(c.into()))
     }
 
-    /// The constant the variable is currently forced to, if any.
-    pub fn value_of(&mut self, v: Variable) -> Option<Constant> {
-        self.uf.constant_of(&Term::Var(v))
+    /// The interned constant the variable is currently forced to, if any.
+    pub fn value_of(&mut self, v: Variable) -> Option<Sym> {
+        self.uf.constant_of(Term::Var(v))
     }
 
     /// Whether two terms are currently known equal.
-    pub fn known_equal(&mut self, a: &Term, b: &Term) -> bool {
+    pub fn known_equal(&mut self, a: Term, b: Term) -> bool {
         self.uf.same_class(a, b)
     }
 
     /// Whether two terms are currently known distinct (bound to different constants or
     /// separated by a recorded inequality whose sides are in their classes).
-    pub fn known_distinct(&mut self, a: &Term, b: &Term) -> bool {
+    pub fn known_distinct(&mut self, a: Term, b: Term) -> bool {
         if let (Some(ca), Some(cb)) = (self.uf.constant_of(a), self.uf.constant_of(b)) {
             if ca != cb {
                 return true;
             }
         }
         for i in 0..self.disequalities.len() {
-            let (x, y) = self.disequalities[i].clone();
-            let direct = self.uf.same_class(&x, a) && self.uf.same_class(&y, b);
-            let flipped = self.uf.same_class(&x, b) && self.uf.same_class(&y, a);
+            let (x, y) = self.disequalities[i];
+            let direct = self.uf.same_class(x, a) && self.uf.same_class(y, b);
+            let flipped = self.uf.same_class(x, b) && self.uf.same_class(y, a);
             if direct || flipped {
                 return true;
             }
@@ -178,7 +182,8 @@ impl ConstraintSet {
     ///
     /// This realises the paper's observation that only valuations into Δ ∪ Δ′ matter: bound
     /// variables take their forced value from Δ (or a previously chosen fresh value), and
-    /// every remaining variable can safely take a brand-new constant.
+    /// every remaining variable can safely take a brand-new constant.  Fresh constants are
+    /// materialised (and interned) here, at the boundary — this is not a hot path.
     pub fn complete_valuation(
         &mut self,
         vars: impl IntoIterator<Item = Variable>,
@@ -192,14 +197,14 @@ impl ConstraintSet {
         // Account for constants already forced, so fresh values do not collide with them.
         for &v in &vars {
             if let Some(c) = self.value_of(v) {
-                used.insert(c);
+                used.insert(c.constant());
             }
         }
         let mut out = Vec::with_capacity(vars.len());
         let mut scratch = self.clone();
         for v in vars {
             let value = match scratch.value_of(v) {
-                Some(c) => c,
+                Some(c) => c.constant(),
                 None => {
                     let fresh = Constant::fresh(&used, used.len());
                     // Binding a fresh constant can conflict only through recorded
@@ -228,10 +233,10 @@ mod tests {
         let mut g = VarGen::new();
         let (x, y) = (g.fresh(), g.fresh());
         let mut cs = ConstraintSet::new();
-        assert!(cs.assert_eq(&Term::Var(x), &Term::Var(y)));
-        assert!(cs.bind(x, &Constant::int(1)));
-        assert_eq!(cs.value_of(y), Some(Constant::int(1)));
-        assert!(!cs.bind(y, &Constant::int(2)));
+        assert!(cs.assert_eq(Term::Var(x), Term::Var(y)));
+        assert!(cs.bind(x, 1));
+        assert_eq!(cs.value_of(y), Some(Sym::Int(1)));
+        assert!(!cs.bind(y, 2));
         assert!(!cs.is_consistent());
     }
 
@@ -240,9 +245,20 @@ mod tests {
         let mut g = VarGen::new();
         let (x, y) = (g.fresh(), g.fresh());
         let mut cs = ConstraintSet::new();
-        assert!(cs.assert_neq(&Term::Var(x), &Term::Var(y)));
-        assert!(cs.bind(x, &Constant::int(1)));
-        assert!(!cs.bind(y, &Constant::int(1)));
+        assert!(cs.assert_neq(Term::Var(x), Term::Var(y)));
+        assert!(cs.bind(x, 1));
+        assert!(!cs.bind(y, 1));
+    }
+
+    #[test]
+    fn interned_string_bindings_compare_by_id() {
+        let mut g = VarGen::new();
+        let (x, y) = (g.fresh(), g.fresh());
+        let mut cs = ConstraintSet::new();
+        assert!(cs.bind(x, Sym::from("alice")));
+        assert!(cs.bind(y, Sym::from("bob")));
+        assert!(cs.known_distinct(Term::Var(x), Term::Var(y)));
+        assert!(!cs.assert_eq(Term::Var(x), Term::Var(y)));
     }
 
     #[test]
@@ -250,12 +266,12 @@ mod tests {
         let mut g = VarGen::new();
         let (x, y, z) = (g.fresh(), g.fresh(), g.fresh());
         let mut cs = ConstraintSet::new();
-        cs.bind(x, &Constant::int(1));
-        cs.bind(y, &Constant::int(2));
-        assert!(cs.known_distinct(&Term::Var(x), &Term::Var(y)));
-        assert!(!cs.known_distinct(&Term::Var(x), &Term::Var(z)));
-        cs.assert_neq(&Term::Var(z), &Term::Var(x));
-        assert!(cs.known_distinct(&Term::Var(z), &Term::Var(x)));
+        cs.bind(x, 1);
+        cs.bind(y, 2);
+        assert!(cs.known_distinct(Term::Var(x), Term::Var(y)));
+        assert!(!cs.known_distinct(Term::Var(x), Term::Var(z)));
+        cs.assert_neq(Term::Var(z), Term::Var(x));
+        assert!(cs.known_distinct(Term::Var(z), Term::Var(x)));
     }
 
     #[test]
@@ -273,8 +289,8 @@ mod tests {
         let mut g = VarGen::new();
         let (x, y, z) = (g.fresh(), g.fresh(), g.fresh());
         let mut cs = ConstraintSet::new();
-        cs.bind(x, &Constant::int(1));
-        cs.assert_neq(&Term::Var(y), &Term::Var(z));
+        cs.bind(x, 1);
+        cs.assert_neq(Term::Var(y), Term::Var(z));
         let avoid: BTreeSet<Constant> = [Constant::int(1)].into();
         let val = cs.complete_valuation([x, y, z], &avoid).unwrap();
         assert_eq!(val[0].1, Constant::int(1));
@@ -287,13 +303,13 @@ mod tests {
         let mut g = VarGen::new();
         let (x, y) = (g.fresh(), g.fresh());
         let mut cs = ConstraintSet::new();
-        assert!(cs.bind(x, &Constant::int(1)));
+        assert!(cs.bind(x, 1));
 
         let cp = cs.checkpoint();
-        assert!(cs.assert_eq(&Term::Var(x), &Term::Var(y)));
-        assert_eq!(cs.value_of(y), Some(Constant::int(1)));
+        assert!(cs.assert_eq(Term::Var(x), Term::Var(y)));
+        assert_eq!(cs.value_of(y), Some(Sym::Int(1)));
         assert!(
-            !cs.assert_neq(&Term::Var(x), &Term::Var(y)),
+            !cs.assert_neq(Term::Var(x), Term::Var(y)),
             "contradiction detected"
         );
         assert!(!cs.is_consistent());
@@ -302,13 +318,13 @@ mod tests {
         assert!(cs.is_consistent(), "contradiction unwound");
         assert_eq!(
             cs.value_of(x),
-            Some(Constant::int(1)),
+            Some(Sym::Int(1)),
             "pre-checkpoint binding kept"
         );
         assert_eq!(cs.value_of(y), None, "post-checkpoint binding gone");
         // The store is fully usable again after the rollback.
-        assert!(cs.bind(y, &Constant::int(2)));
-        assert!(cs.known_distinct(&Term::Var(x), &Term::Var(y)));
+        assert!(cs.bind(y, 2));
+        assert!(cs.known_distinct(Term::Var(x), Term::Var(y)));
     }
 
     #[test]
@@ -317,12 +333,12 @@ mod tests {
         let (x, y, z) = (g.fresh(), g.fresh(), g.fresh());
         let mut cs = ConstraintSet::new();
         let outer = cs.checkpoint();
-        cs.bind(x, &Constant::int(1));
+        cs.bind(x, 1);
         let inner = cs.checkpoint();
-        cs.assert_eq(&Term::Var(y), &Term::Var(z));
+        cs.assert_eq(Term::Var(y), Term::Var(z));
         cs.rollback(inner);
-        assert!(!cs.known_equal(&Term::Var(y), &Term::Var(z)));
-        assert_eq!(cs.value_of(x), Some(Constant::int(1)));
+        assert!(!cs.known_equal(Term::Var(y), Term::Var(z)));
+        assert_eq!(cs.value_of(x), Some(Sym::Int(1)));
         cs.rollback(outer);
         assert_eq!(cs.value_of(x), None);
     }
@@ -332,8 +348,8 @@ mod tests {
         let mut g = VarGen::new();
         let x = g.fresh();
         let mut cs = ConstraintSet::new();
-        cs.bind(x, &Constant::int(1));
-        cs.bind(x, &Constant::int(2));
+        cs.bind(x, 1);
+        cs.bind(x, 2);
         assert!(cs.complete_valuation([x], &BTreeSet::new()).is_none());
     }
 }

@@ -1,55 +1,71 @@
-//! Terms: a variable or a constant, the entries of tables and of condition atoms.
+//! Terms: a variable or an interned constant, the entries of tables and condition atoms.
+//!
+//! `Term` is the atom of every decision hot path — the union-find trail, the constraint
+//! store, the c-table rows — so it is a two-word `Copy` value: a [`Variable`] or an
+//! interned [`Sym`].  Copies are register moves and equality is a machine-word compare;
+//! no string is ever touched inside a search.  [`Constant`]s are accepted at the
+//! construction boundary (interned on entry, via the global [`pw_relational::SymbolTable`])
+//! and recovered at the display/inspection boundary ([`Term::as_const`]).
 
 use crate::Variable;
-use pw_relational::Constant;
+use pw_relational::{Constant, Sym};
 use std::fmt;
 
-/// A table entry or condition operand: either a null ([`Variable`]) or a [`Constant`].
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+/// A table entry or condition operand: either a null ([`Variable`]) or an interned
+/// constant ([`Sym`]).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Term {
     /// A variable (null value).
     Var(Variable),
-    /// A constant.
-    Const(Constant),
+    /// An interned constant.
+    Const(Sym),
 }
 
 impl Term {
     /// Is this term a variable?
-    pub fn is_var(&self) -> bool {
+    pub fn is_var(self) -> bool {
         matches!(self, Term::Var(_))
     }
 
     /// Is this term a constant?
-    pub fn is_const(&self) -> bool {
+    pub fn is_const(self) -> bool {
         matches!(self, Term::Const(_))
     }
 
     /// The variable, if this term is one.
-    pub fn as_var(&self) -> Option<Variable> {
+    pub fn as_var(self) -> Option<Variable> {
         match self {
-            Term::Var(v) => Some(*v),
+            Term::Var(v) => Some(v),
             Term::Const(_) => None,
         }
     }
 
-    /// The constant, if this term is one.
-    pub fn as_const(&self) -> Option<&Constant> {
+    /// The interned constant, if this term is one.  This is the hot-path accessor —
+    /// no resolution, no allocation.
+    pub fn as_sym(self) -> Option<Sym> {
         match self {
             Term::Var(_) => None,
-            Term::Const(c) => Some(c),
+            Term::Const(s) => Some(s),
         }
     }
 
-    /// Build a constant term from anything convertible into [`Constant`].
+    /// The constant, if this term is one, resolved through the global symbol table.
+    /// Boundary/inspection use only; hot paths compare [`Term::as_sym`] ids instead.
+    pub fn as_const(self) -> Option<Constant> {
+        self.as_sym().map(Sym::constant)
+    }
+
+    /// Build a constant term from anything convertible into [`Constant`], interning it in
+    /// the global symbol table.
     pub fn constant(c: impl Into<Constant>) -> Term {
-        Term::Const(c.into())
+        Term::Const(Sym::of(&c.into()))
     }
 
     /// Substitute: if this term is the variable `v`, replace it by `replacement`.
-    pub fn substitute(&self, v: Variable, replacement: &Term) -> Term {
+    pub fn substitute(self, v: Variable, replacement: Term) -> Term {
         match self {
-            Term::Var(w) if *w == v => replacement.clone(),
-            other => other.clone(),
+            Term::Var(w) if w == v => replacement,
+            other => other,
         }
     }
 }
@@ -60,27 +76,39 @@ impl From<Variable> for Term {
     }
 }
 
+impl From<Sym> for Term {
+    fn from(value: Sym) -> Self {
+        Term::Const(value)
+    }
+}
+
 impl From<Constant> for Term {
     fn from(value: Constant) -> Self {
-        Term::Const(value)
+        Term::Const(Sym::of(&value))
+    }
+}
+
+impl From<&Constant> for Term {
+    fn from(value: &Constant) -> Self {
+        Term::Const(Sym::of(value))
     }
 }
 
 impl From<i64> for Term {
     fn from(value: i64) -> Self {
-        Term::Const(Constant::Int(value))
+        Term::Const(Sym::Int(value))
     }
 }
 
 impl From<i32> for Term {
     fn from(value: i32) -> Self {
-        Term::Const(Constant::Int(i64::from(value)))
+        Term::Const(Sym::Int(i64::from(value)))
     }
 }
 
 impl From<&str> for Term {
     fn from(value: &str) -> Self {
-        Term::Const(Constant::str(value))
+        Term::Const(Sym::from(value))
     }
 }
 
@@ -105,6 +133,13 @@ mod tests {
     use crate::VarGen;
 
     #[test]
+    fn term_is_a_two_word_copy_value() {
+        assert!(std::mem::size_of::<Term>() <= 2 * std::mem::size_of::<usize>());
+        fn assert_copy<T: Copy>() {}
+        assert_copy::<Term>();
+    }
+
+    #[test]
     fn accessors_and_conversions() {
         let mut g = VarGen::new();
         let x = g.fresh();
@@ -114,10 +149,13 @@ mod tests {
         assert!(tv.is_var());
         assert!(tc.is_const());
         assert_eq!(tv.as_var(), Some(x));
-        assert_eq!(tc.as_const(), Some(&Constant::int(5)));
-        assert_eq!(ts.as_const(), Some(&Constant::str("a")));
+        assert_eq!(tc.as_const(), Some(Constant::int(5)));
+        assert_eq!(tc.as_sym(), Some(Sym::Int(5)));
+        assert_eq!(ts.as_const(), Some(Constant::str("a")));
         assert_eq!(tv.as_const(), None);
         assert_eq!(tc.as_var(), None);
+        assert_eq!(ts, Term::from("a"), "equal strings intern to equal ids");
+        assert_ne!(ts, Term::from("b"));
     }
 
     #[test]
@@ -126,10 +164,10 @@ mod tests {
         let x = g.fresh();
         let y = g.fresh();
         let t = Term::Var(x);
-        assert_eq!(t.substitute(x, &Term::constant(3)), Term::constant(3));
-        assert_eq!(t.substitute(y, &Term::constant(3)), Term::Var(x));
+        assert_eq!(t.substitute(x, Term::constant(3)), Term::constant(3));
+        assert_eq!(t.substitute(y, Term::constant(3)), Term::Var(x));
         assert_eq!(
-            Term::constant(7).substitute(x, &Term::Var(y)),
+            Term::constant(7).substitute(x, Term::Var(y)),
             Term::constant(7)
         );
     }

@@ -17,11 +17,11 @@
 //! parallel decision engine of `pw-decide` relies on.
 
 use crate::Term;
-use pw_relational::Constant;
+use pw_relational::Sym;
 use std::collections::HashMap;
 
 /// One recorded mutation, undone in reverse order by [`TermUnionFind::undo_to`].
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug)]
 enum TrailEntry {
     /// A term was interned (always the most recent node).
     Intern,
@@ -30,7 +30,7 @@ enum TrailEntry {
     /// `rank[node]` was bumped by a union.
     Rank { node: usize, old: u8 },
     /// `constant[node]` was overwritten by a union.
-    Constant { node: usize, old: Option<Constant> },
+    Constant { node: usize, old: Option<Sym> },
 }
 
 /// A position in the undo trail, as returned by [`TermUnionFind::mark`].
@@ -49,8 +49,8 @@ pub struct TermUnionFind {
     terms: Vec<Term>,
     parent: Vec<usize>,
     rank: Vec<u8>,
-    /// For each node (valid at roots): the constant this class is bound to, if any.
-    constant: Vec<Option<Constant>>,
+    /// For each node (valid at roots): the interned constant the class is bound to.
+    constant: Vec<Option<Sym>>,
     trail: Vec<TrailEntry>,
 }
 
@@ -102,17 +102,18 @@ impl TermUnionFind {
         }
     }
 
-    /// Intern a term, returning its node index.
-    pub fn intern(&mut self, t: &Term) -> usize {
-        if let Some(&i) = self.index.get(t) {
+    /// Intern a term, returning its node index.  Terms are `Copy` two-word values, so
+    /// this allocates nothing beyond the amortised growth of the node vectors.
+    pub fn intern(&mut self, t: Term) -> usize {
+        if let Some(&i) = self.index.get(&t) {
             return i;
         }
         let i = self.parent.len();
         self.parent.push(i);
         self.rank.push(0);
-        self.constant.push(t.as_const().cloned());
-        self.index.insert(t.clone(), i);
-        self.terms.push(t.clone());
+        self.constant.push(t.as_sym());
+        self.index.insert(t, i);
+        self.terms.push(t);
         self.trail.push(TrailEntry::Intern);
         i
     }
@@ -135,7 +136,7 @@ impl TermUnionFind {
 
     /// Union the classes of two terms.  Returns `false` — meaning *inconsistent* — when the
     /// merge would identify two distinct constants.
-    pub fn union_terms(&mut self, a: &Term, b: &Term) -> bool {
+    pub fn union_terms(&mut self, a: Term, b: Term) -> bool {
         let ia = self.intern(a);
         let ib = self.intern(b);
         self.union(ia, ib)
@@ -148,10 +149,10 @@ impl TermUnionFind {
         if ra == rb {
             return true;
         }
-        let merged_const = match (&self.constant[ra], &self.constant[rb]) {
+        let merged_const = match (self.constant[ra], self.constant[rb]) {
             (Some(x), Some(y)) if x != y => return false,
-            (Some(x), _) => Some(x.clone()),
-            (_, Some(y)) => Some(y.clone()),
+            (Some(x), _) => Some(x),
+            (_, Some(y)) => Some(y),
             (None, None) => None,
         };
         let (hi, lo) = if self.rank[ra] >= self.rank[rb] {
@@ -183,17 +184,17 @@ impl TermUnionFind {
 
     /// Are the two terms known to be in the same class?  (Terms never seen before are
     /// interned and therefore trivially in distinct singleton classes.)
-    pub fn same_class(&mut self, a: &Term, b: &Term) -> bool {
+    pub fn same_class(&mut self, a: Term, b: Term) -> bool {
         let ia = self.intern(a);
         let ib = self.intern(b);
         self.find(ia) == self.find(ib)
     }
 
-    /// The constant the class of `t` is bound to, if any.
-    pub fn constant_of(&mut self, t: &Term) -> Option<Constant> {
+    /// The interned constant the class of `t` is bound to, if any.
+    pub fn constant_of(&mut self, t: Term) -> Option<Sym> {
         let i = self.intern(t);
         let r = self.find(i);
-        self.constant[r].clone()
+        self.constant[r]
     }
 
     /// Number of interned terms.
@@ -228,9 +229,9 @@ mod tests {
     fn transitive_equality_is_detected() {
         let v = vars(3);
         let mut uf = TermUnionFind::new();
-        assert!(uf.union_terms(&Term::Var(v[0]), &Term::Var(v[1])));
-        assert!(uf.union_terms(&Term::Var(v[1]), &Term::Var(v[2])));
-        assert!(uf.same_class(&Term::Var(v[0]), &Term::Var(v[2])));
+        assert!(uf.union_terms(Term::Var(v[0]), Term::Var(v[1])));
+        assert!(uf.union_terms(Term::Var(v[1]), Term::Var(v[2])));
+        assert!(uf.same_class(Term::Var(v[0]), Term::Var(v[2])));
         assert!(!uf.is_empty());
         assert_eq!(uf.len(), 3);
     }
@@ -239,48 +240,48 @@ mod tests {
     fn constant_clash_is_reported() {
         let v = vars(1);
         let mut uf = TermUnionFind::new();
-        assert!(uf.union_terms(&Term::Var(v[0]), &Term::constant(1)));
-        assert!(!uf.union_terms(&Term::Var(v[0]), &Term::constant(2)));
+        assert!(uf.union_terms(Term::Var(v[0]), Term::constant(1)));
+        assert!(!uf.union_terms(Term::Var(v[0]), Term::constant(2)));
     }
 
     #[test]
     fn constant_of_propagates_through_unions() {
         let v = vars(2);
         let mut uf = TermUnionFind::new();
-        uf.union_terms(&Term::Var(v[0]), &Term::Var(v[1]));
-        assert_eq!(uf.constant_of(&Term::Var(v[1])), None);
-        uf.union_terms(&Term::Var(v[0]), &Term::constant(9));
-        assert_eq!(uf.constant_of(&Term::Var(v[1])), Some(Constant::int(9)));
+        uf.union_terms(Term::Var(v[0]), Term::Var(v[1]));
+        assert_eq!(uf.constant_of(Term::Var(v[1])), None);
+        uf.union_terms(Term::Var(v[0]), Term::constant(9));
+        assert_eq!(uf.constant_of(Term::Var(v[1])), Some(Sym::Int(9)));
     }
 
     #[test]
     fn distinct_constants_live_in_distinct_classes() {
         let mut uf = TermUnionFind::new();
-        assert!(!uf.same_class(&Term::constant(1), &Term::constant(2)));
-        assert!(uf.same_class(&Term::constant(1), &Term::constant(1)));
+        assert!(!uf.same_class(Term::constant(1), Term::constant(2)));
+        assert!(uf.same_class(Term::constant(1), Term::constant(1)));
     }
 
     #[test]
     fn undo_restores_classes_and_interning() {
         let v = vars(3);
         let mut uf = TermUnionFind::new();
-        uf.union_terms(&Term::Var(v[0]), &Term::Var(v[1]));
+        uf.union_terms(Term::Var(v[0]), Term::Var(v[1]));
         let mark = uf.mark();
         let len_before = uf.len();
 
-        uf.union_terms(&Term::Var(v[1]), &Term::Var(v[2]));
-        uf.union_terms(&Term::Var(v[0]), &Term::constant(4));
-        assert!(uf.same_class(&Term::Var(v[0]), &Term::Var(v[2])));
-        assert_eq!(uf.constant_of(&Term::Var(v[2])), Some(Constant::int(4)));
+        uf.union_terms(Term::Var(v[1]), Term::Var(v[2]));
+        uf.union_terms(Term::Var(v[0]), Term::constant(4));
+        assert!(uf.same_class(Term::Var(v[0]), Term::Var(v[2])));
+        assert_eq!(uf.constant_of(Term::Var(v[2])), Some(Sym::Int(4)));
 
         uf.undo_to(mark);
         assert_eq!(uf.len(), len_before, "interned terms unwound");
         assert!(
-            uf.same_class(&Term::Var(v[0]), &Term::Var(v[1])),
+            uf.same_class(Term::Var(v[0]), Term::Var(v[1])),
             "pre-mark state kept"
         );
-        assert!(!uf.same_class(&Term::Var(v[0]), &Term::Var(v[2])));
-        assert_eq!(uf.constant_of(&Term::Var(v[0])), None);
+        assert!(!uf.same_class(Term::Var(v[0]), Term::Var(v[2])));
+        assert_eq!(uf.constant_of(Term::Var(v[0])), None);
     }
 
     #[test]
@@ -288,11 +289,11 @@ mod tests {
         let v = vars(1);
         let mut uf = TermUnionFind::new();
         let mark = uf.mark();
-        assert!(uf.union_terms(&Term::Var(v[0]), &Term::constant(1)));
-        assert!(!uf.union_terms(&Term::Var(v[0]), &Term::constant(2)));
+        assert!(uf.union_terms(Term::Var(v[0]), Term::constant(1)));
+        assert!(!uf.union_terms(Term::Var(v[0]), Term::constant(2)));
         uf.undo_to(mark);
         assert!(
-            uf.union_terms(&Term::Var(v[0]), &Term::constant(2)),
+            uf.union_terms(Term::Var(v[0]), Term::constant(2)),
             "conflict unwound"
         );
     }
@@ -301,19 +302,19 @@ mod tests {
     fn clones_start_with_an_empty_history() {
         let v = vars(2);
         let mut uf = TermUnionFind::new();
-        uf.union_terms(&Term::Var(v[0]), &Term::Var(v[1]));
+        uf.union_terms(Term::Var(v[0]), Term::Var(v[1]));
         let mut clone = uf.clone();
         assert_eq!(clone.mark(), 0, "no inherited trail");
         assert!(
-            clone.same_class(&Term::Var(v[0]), &Term::Var(v[1])),
+            clone.same_class(Term::Var(v[0]), Term::Var(v[1])),
             "state is copied"
         );
         // A source mark is meaningless on the clone: undoing to it is a no-op there.
         let m = clone.mark();
-        clone.union_terms(&Term::Var(v[0]), &Term::constant(3));
+        clone.union_terms(Term::Var(v[0]), Term::constant(3));
         clone.undo_to(m);
-        assert_eq!(clone.constant_of(&Term::Var(v[1])), None);
-        assert_eq!(uf.constant_of(&Term::Var(v[1])), None, "source untouched");
+        assert_eq!(clone.constant_of(Term::Var(v[1])), None);
+        assert_eq!(uf.constant_of(Term::Var(v[1])), None, "source untouched");
     }
 
     #[test]
@@ -321,12 +322,12 @@ mod tests {
         let v = vars(4);
         let mut uf = TermUnionFind::new();
         let outer = uf.mark();
-        uf.union_terms(&Term::Var(v[0]), &Term::Var(v[1]));
+        uf.union_terms(Term::Var(v[0]), Term::Var(v[1]));
         let inner = uf.mark();
-        uf.union_terms(&Term::Var(v[2]), &Term::Var(v[3]));
+        uf.union_terms(Term::Var(v[2]), Term::Var(v[3]));
         uf.undo_to(inner);
-        assert!(!uf.same_class(&Term::Var(v[2]), &Term::Var(v[3])));
-        assert!(uf.same_class(&Term::Var(v[0]), &Term::Var(v[1])));
+        assert!(!uf.same_class(Term::Var(v[2]), Term::Var(v[3])));
+        assert!(uf.same_class(Term::Var(v[0]), Term::Var(v[1])));
         uf.undo_to(outer);
         assert!(uf.is_empty());
     }

@@ -76,6 +76,16 @@ pub fn eval_ucq(q: &Ucq, db: &CDatabase, output_name: &str) -> Result<CTable, Al
         .map_err(|_| unreachable!("head arity is uniform by Ucq construction"))
 }
 
+/// A query-term slot with the constants pre-interned: resolving a slot inside the
+/// per-row-combination loop is an index lookup or a `Copy`, never an allocation.
+#[derive(Clone, Copy)]
+enum Slot {
+    /// A pre-interned query constant.
+    Const(Term),
+    /// The query variable with this binding index.
+    Var(usize),
+}
+
 /// Evaluate a single conjunctive query, appending the produced conditional tuples.
 fn eval_cq_into(
     cq: &ConjunctiveQuery,
@@ -98,13 +108,43 @@ fn eval_cq_into(
         atom_tables.push(table);
     }
 
+    // Intern the query's constants and index its variables once, before the row loop.
+    let mut var_slots: BTreeMap<String, usize> = BTreeMap::new();
+    let mut slot_of = |t: &QTerm| -> Slot {
+        match t {
+            QTerm::Const(c) => Slot::Const(Term::from(c)),
+            QTerm::Var(name) => {
+                let next = var_slots.len();
+                Slot::Var(*var_slots.entry(name.clone()).or_insert(next))
+            }
+        }
+    };
+    let body_slots: Vec<Vec<Slot>> = cq
+        .body
+        .iter()
+        .map(|atom| atom.terms.iter().map(&mut slot_of).collect())
+        .collect();
+    let neq_slots: Vec<(Slot, Slot)> = cq
+        .neq
+        .iter()
+        .map(|(a, b)| (slot_of(a), slot_of(b)))
+        .collect();
+    let head_slots: Vec<Slot> = cq.head.iter().map(&mut slot_of).collect();
+    let prepared = PreparedCq {
+        body_slots,
+        neq_slots,
+        head_slots,
+        var_count: var_slots.len(),
+    };
+
     // Iterate over every combination of rows, one per body atom.
     let mut choice = vec![0usize; cq.body.len()];
     if atom_tables.iter().any(|t| t.is_empty()) && !cq.body.is_empty() {
         return Ok(());
     }
+    let mut binding: Vec<Option<Term>> = vec![None; prepared.var_count];
     loop {
-        build_candidate(cq, &atom_tables, &choice, out);
+        build_candidate(&prepared, &atom_tables, &choice, &mut binding, out);
 
         // Advance the mixed-radix counter over row choices.
         if choice.is_empty() {
@@ -126,36 +166,43 @@ fn eval_cq_into(
     Ok(())
 }
 
+/// A conjunctive query with constants interned and variables indexed (see [`Slot`]).
+struct PreparedCq {
+    body_slots: Vec<Vec<Slot>>,
+    neq_slots: Vec<(Slot, Slot)>,
+    head_slots: Vec<Slot>,
+    var_count: usize,
+}
+
 /// Build the conditional tuple for one choice of rows, if its condition is satisfiable.
+/// Terms are `Copy`: every equality/inequality atom is built by move.
 fn build_candidate(
-    cq: &ConjunctiveQuery,
+    cq: &PreparedCq,
     atom_tables: &[&CTable],
     choice: &[usize],
+    binding: &mut [Option<Term>],
     out: &mut Vec<CTuple>,
 ) {
     let mut condition = Conjunction::truth();
-    let mut binding: BTreeMap<&str, Term> = BTreeMap::new();
+    binding.fill(None);
 
-    for ((atom, table), &row_idx) in cq.body.iter().zip(atom_tables).zip(choice) {
+    for ((slots, table), &row_idx) in cq.body_slots.iter().zip(atom_tables).zip(choice) {
         let row = &table.tuples()[row_idx];
         // The chosen row must itself be present: conjoin its local condition.
         condition = condition.and(&row.condition);
-        for (qterm, rterm) in atom.terms.iter().zip(&row.terms) {
-            match qterm {
-                QTerm::Const(c) => {
+        for (&slot, &rterm) in slots.iter().zip(&row.terms) {
+            match slot {
+                Slot::Const(qterm) => {
                     // The row term must equal the query constant.
-                    match rterm {
-                        Term::Const(rc) if rc == c => {}
-                        _ => condition.push(Atom::Eq(rterm.clone(), Term::Const(c.clone()))),
+                    if rterm != qterm {
+                        condition.push(Atom::Eq(rterm, qterm));
                     }
                 }
-                QTerm::Var(name) => match binding.get(name.as_str()) {
-                    None => {
-                        binding.insert(name.as_str(), rterm.clone());
-                    }
+                Slot::Var(idx) => match binding[idx] {
+                    None => binding[idx] = Some(rterm),
                     Some(bound) => {
                         if bound != rterm {
-                            condition.push(Atom::Eq(bound.clone(), rterm.clone()));
+                            condition.push(Atom::Eq(bound, rterm));
                         }
                     }
                 },
@@ -164,13 +211,13 @@ fn build_candidate(
     }
 
     // ≠ side conditions become inequality atoms over the bound terms.
-    let resolve = |t: &QTerm| -> Option<Term> {
-        match t {
-            QTerm::Const(c) => Some(Term::Const(c.clone())),
-            QTerm::Var(v) => binding.get(v.as_str()).cloned(),
+    let resolve = |s: Slot| -> Option<Term> {
+        match s {
+            Slot::Const(t) => Some(t),
+            Slot::Var(idx) => binding[idx],
         }
     };
-    for (a, b) in &cq.neq {
+    for &(a, b) in &cq.neq_slots {
         match (resolve(a), resolve(b)) {
             (Some(ta), Some(tb)) => condition.push(Atom::Neq(ta, tb)),
             // Unsafe queries are rejected by `Ucq::new`; reaching here means the query was
@@ -186,7 +233,7 @@ fn build_candidate(
     }
 
     // Head terms.
-    let head_terms: Option<Vec<Term>> = cq.head.iter().map(&resolve).collect();
+    let head_terms: Option<Vec<Term>> = cq.head_slots.iter().map(|&s| resolve(s)).collect();
     let Some(head_terms) = head_terms else {
         return;
     };

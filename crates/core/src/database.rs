@@ -2,9 +2,11 @@
 
 use crate::table::{CTable, TableClass};
 use pw_condition::Variable;
-use pw_relational::Constant;
+use pw_relational::{Constant, Sym, SymbolTable};
 use std::collections::BTreeSet;
 use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 /// An incomplete-information database: a vector of named c-tables.
 ///
@@ -14,24 +16,89 @@ use std::fmt;
 /// tables is a convenient (and semantically equivalent) shorthand for equating two
 /// variables in a global condition — but [`CDatabase::tables_share_variables`] reports it
 /// so callers that care (e.g. the classification used in benchmarks) can check.
-#[derive(Clone, Debug, PartialEq, Eq, Hash, Default)]
+///
+/// # Symbols
+///
+/// Every database owns a thread-safe handle to the [`SymbolTable`] its interned ids are
+/// meaningful in.  Databases built through the ordinary constructors share the global
+/// table (matching the context-free `Term` conversions); a session that wants its own id
+/// space builds its terms through a private table and attaches it with
+/// [`CDatabase::with_symbols`].  The decision engine resolves and interns external
+/// constants through this handle — the "all ids resolved at the front door" invariant.
+#[derive(Clone, Debug)]
 pub struct CDatabase {
     tables: Vec<CTable>,
+    symbols: Arc<SymbolTable>,
+}
+
+impl Default for CDatabase {
+    fn default() -> Self {
+        CDatabase::new([])
+    }
+}
+
+impl PartialEq for CDatabase {
+    fn eq(&self, other: &Self) -> bool {
+        // Ids from different tables are incomparable, so two databases are equal only
+        // when they agree on the table *and* the content.
+        Arc::ptr_eq(&self.symbols, &other.symbols) && self.tables == other.tables
+    }
+}
+
+impl Eq for CDatabase {}
+
+impl Hash for CDatabase {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // The symbol-table identity is deliberately left out: hashing must agree with
+        // equality, and equal databases share the table by `PartialEq` above.
+        self.tables.hash(state);
+    }
 }
 
 impl CDatabase {
-    /// Build a database from tables.
+    /// Build a database from tables (interned against the global symbol table).
     pub fn new(tables: impl IntoIterator<Item = CTable>) -> Self {
         CDatabase {
             tables: tables.into_iter().collect(),
+            symbols: SymbolTable::global_handle(),
         }
     }
 
     /// A database with a single table.
     pub fn single(table: CTable) -> Self {
-        CDatabase {
-            tables: vec![table],
-        }
+        CDatabase::new([table])
+    }
+
+    /// Attach a (typically private) symbol table; the caller guarantees every id in the
+    /// tables was issued by it.
+    ///
+    /// Scope (PR 2): the private handle is honored by the front-door helpers on this type
+    /// ([`CDatabase::intern`], [`CDatabase::resolve`], [`CDatabase::constants`]) and by
+    /// the engine's fact interning — enough for a service to manage per-session
+    /// dictionaries at its boundary.  The decision procedures themselves still resolve
+    /// context-free conversions (`Term::from("a")`, `Valuation::get`, `Display`) through
+    /// the **global** table, so running a decision over a database whose *row terms* were
+    /// interned privately is not yet supported (ids from different tables are
+    /// incomparable); see the ROADMAP item on threading the handle through the boundary
+    /// paths.  Databases built through the ordinary constructors are always safe.
+    pub fn with_symbols(mut self, symbols: Arc<SymbolTable>) -> Self {
+        self.symbols = symbols;
+        self
+    }
+
+    /// The symbol table this database's ids live in.
+    pub fn symbols(&self) -> &Arc<SymbolTable> {
+        &self.symbols
+    }
+
+    /// Intern an external constant at the front door.
+    pub fn intern(&self, c: &Constant) -> Sym {
+        self.symbols.intern(c)
+    }
+
+    /// Resolve an id issued by this database's table.
+    pub fn resolve(&self, sym: Sym) -> Option<Constant> {
+        self.symbols.resolve(sym)
     }
 
     /// The tables.
@@ -60,8 +127,18 @@ impl CDatabase {
     }
 
     /// All constants across tables and conditions — the Δ of Proposition 2.1.
+    /// Resolution goes through this database's own symbol-table handle, so the set is
+    /// correct for private-table databases too.
     pub fn constants(&self) -> BTreeSet<Constant> {
-        self.tables.iter().flat_map(CTable::constants).collect()
+        self.tables
+            .iter()
+            .flat_map(CTable::syms)
+            .map(|s| {
+                self.symbols
+                    .resolve(s)
+                    .expect("row ids were issued by this database's symbol table")
+            })
+            .collect()
     }
 
     /// The loosest class among the member tables (a database of one c-table and one

@@ -118,7 +118,7 @@ pub fn fig1() -> Fig1 {
     )
     .expect("Te is a valid c-table");
 
-    let sigma = Valuation::from_pairs([(x, 2.into()), (y, 3.into()), (z, 0.into()), (v, 5.into())]);
+    let sigma = Valuation::from_pairs([(x, 2i64), (y, 3), (z, 0), (v, 5)]);
 
     Fig1 {
         ta,

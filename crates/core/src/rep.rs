@@ -44,7 +44,9 @@ impl std::error::Error for EnumerationTooLarge {}
 #[derive(Clone, Debug)]
 pub struct ValuationIter {
     vars: Vec<Variable>,
-    domain: Vec<Constant>,
+    /// The domain, interned once at construction so stepping the iterator never touches
+    /// the symbol table.
+    domain: Vec<pw_relational::Sym>,
     /// Mixed-radix counter; `None` once exhausted.
     counter: Option<Vec<usize>>,
 }
@@ -62,7 +64,7 @@ impl ValuationIter {
         };
         ValuationIter {
             vars,
-            domain,
+            domain: domain.iter().map(pw_relational::Sym::of).collect(),
             counter,
         }
     }
@@ -86,7 +88,7 @@ impl Iterator for ValuationIter {
             self.vars
                 .iter()
                 .zip(counter.iter())
-                .map(|(&v, &i)| (v, self.domain[i].clone())),
+                .map(|(&v, &i)| (v, self.domain[i])),
         );
         // Advance the mixed-radix counter.
         if counter.is_empty() {

@@ -113,7 +113,7 @@ impl CTuple {
 
     /// Variables occurring in the row's terms (not in its condition).
     pub fn term_variables(&self) -> impl Iterator<Item = Variable> + '_ {
-        self.terms.iter().filter_map(Term::as_var)
+        self.terms.iter().copied().filter_map(Term::as_var)
     }
 
     /// Variables occurring in the row or its local condition.
@@ -123,15 +123,20 @@ impl CTuple {
         out
     }
 
-    /// Constants occurring in the row or its local condition.
-    pub fn constants(&self) -> BTreeSet<Constant> {
-        let mut out: BTreeSet<Constant> = self
-            .terms
-            .iter()
-            .filter_map(|t| t.as_const().cloned())
-            .collect();
-        out.extend(self.condition.constants());
+    /// Interned constants occurring in the row or its local condition.
+    pub fn syms(&self) -> BTreeSet<pw_relational::Sym> {
+        let mut out: BTreeSet<pw_relational::Sym> =
+            self.terms.iter().filter_map(|t| t.as_sym()).collect();
+        out.extend(self.condition.syms());
         out
+    }
+
+    /// Constants occurring in the row or its local condition, resolved at the boundary.
+    pub fn constants(&self) -> BTreeSet<Constant> {
+        self.syms()
+            .into_iter()
+            .map(pw_relational::Sym::constant)
+            .collect()
     }
 
     /// Whether the local condition is the trivial `true`.
@@ -310,13 +315,21 @@ impl CTable {
         out
     }
 
-    /// All constants of the table: in rows, local conditions, and the global condition.
-    pub fn constants(&self) -> BTreeSet<Constant> {
-        let mut out: BTreeSet<Constant> = self.global.constants();
+    /// All interned constants of the table: rows, local conditions, global condition.
+    pub fn syms(&self) -> BTreeSet<pw_relational::Sym> {
+        let mut out: BTreeSet<pw_relational::Sym> = self.global.syms();
         for t in &self.tuples {
-            out.extend(t.constants());
+            out.extend(t.syms());
         }
         out
+    }
+
+    /// All constants of the table: in rows, local conditions, and the global condition.
+    pub fn constants(&self) -> BTreeSet<Constant> {
+        self.syms()
+            .into_iter()
+            .map(pw_relational::Sym::constant)
+            .collect()
     }
 
     /// Whether any local condition is non-trivial.
@@ -374,9 +387,9 @@ impl CTable {
         if !self.global.is_satisfiable() {
             return None;
         }
-        // Propagate var = const bindings.
+        // Propagate var = const bindings (ids only — no constant is resolved here).
         let forced = self.global.forced_constants()?;
-        let forced_map: BTreeMap<Variable, Constant> = forced.into_iter().collect();
+        let forced_map: BTreeMap<Variable, pw_relational::Sym> = forced.into_iter().collect();
         // Unify var = var chains onto a representative (the smallest variable).
         let mut parent: BTreeMap<Variable, Variable> = BTreeMap::new();
         fn find(parent: &mut BTreeMap<Variable, Variable>, v: Variable) -> Variable {
@@ -399,26 +412,31 @@ impl CTable {
                 }
             }
         }
-        let rewrite_term = |t: &Term| -> Term {
+        // Fully compress once, so term rewriting is a plain lookup.
+        let roots: BTreeMap<Variable, Variable> = parent
+            .keys()
+            .copied()
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|v| (v, find(&mut parent, v)))
+            .collect();
+        let rewrite_term = |t: Term| -> Term {
             match t {
                 Term::Var(v) => {
-                    let root = {
-                        let mut p = parent.clone();
-                        find(&mut p, *v)
-                    };
-                    if let Some(c) = forced_map.get(v).or_else(|| forced_map.get(&root)) {
-                        Term::Const(c.clone())
+                    let root = *roots.get(&v).unwrap_or(&v);
+                    if let Some(c) = forced_map.get(&v).or_else(|| forced_map.get(&root)) {
+                        Term::Const(*c)
                     } else {
                         Term::Var(root)
                     }
                 }
-                c => c.clone(),
+                c => c,
             }
         };
         let rewrite_conj = |c: &Conjunction| -> Conjunction {
             Conjunction::new(c.atoms().iter().map(|a| match a {
-                Atom::Eq(x, y) => Atom::Eq(rewrite_term(x), rewrite_term(y)),
-                Atom::Neq(x, y) => Atom::Neq(rewrite_term(x), rewrite_term(y)),
+                Atom::Eq(x, y) => Atom::Eq(rewrite_term(*x), rewrite_term(*y)),
+                Atom::Neq(x, y) => Atom::Neq(rewrite_term(*x), rewrite_term(*y)),
             }))
         };
         // Keep only the global atoms that are not now trivially true.
@@ -427,13 +445,13 @@ impl CTable {
                 .atoms()
                 .iter()
                 .filter(|a| a.trivial_value() != Some(true))
-                .cloned(),
+                .copied(),
         );
         let tuples = self
             .tuples
             .iter()
             .map(|t| CTuple {
-                terms: t.terms.iter().map(rewrite_term).collect(),
+                terms: t.terms.iter().map(|&t| rewrite_term(t)).collect(),
                 condition: rewrite_conj(&t.condition),
             })
             .collect::<Vec<_>>();

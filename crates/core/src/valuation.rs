@@ -3,11 +3,17 @@
 //! Section 2.2: "A valuation σ is a function from variables and constants to constants,
 //! such that σ(c) = c for each constant c."  Applying a satisfying valuation to a c-table
 //! yields one possible world (Definition of `rep`).
+//!
+//! Valuations store interned [`Sym`]s: condition checks compare machine words, and the
+//! canonical-valuation enumerators of `pw-decide` copy assignments without touching the
+//! heap.  Constants are accepted on entry (anything `Into<Sym>`) and resolved on exit
+//! ([`Valuation::apply_tuple`], [`Valuation::get`]) where a complete-information
+//! [`Instance`] is materialised.
 
 use crate::table::{CTable, CTuple};
 use crate::CDatabase;
 use pw_condition::{BoolExpr, Conjunction, Term, Variable};
-use pw_relational::{Constant, Instance, Relation, Tuple};
+use pw_relational::{Constant, Instance, Relation, Sym, Tuple};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -15,7 +21,7 @@ use std::fmt;
 /// applying the valuation to a term containing one is an error surfaced as `None`.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Valuation {
-    map: BTreeMap<Variable, Constant>,
+    map: BTreeMap<Variable, Sym>,
 }
 
 impl Valuation {
@@ -24,22 +30,32 @@ impl Valuation {
         Valuation::default()
     }
 
-    /// Build from pairs.
-    pub fn from_pairs(pairs: impl IntoIterator<Item = (Variable, Constant)>) -> Self {
+    /// Build from pairs; values can be [`Sym`]s or [`Constant`]s (interned on entry).
+    pub fn from_pairs<C: Into<Sym>>(pairs: impl IntoIterator<Item = (Variable, C)>) -> Self {
         Valuation {
-            map: pairs.into_iter().collect(),
+            map: pairs.into_iter().map(|(v, c)| (v, c.into())).collect(),
         }
     }
 
     /// Assign a variable.
-    pub fn assign(&mut self, v: Variable, c: impl Into<Constant>) -> &mut Self {
+    pub fn assign(&mut self, v: Variable, c: impl Into<Sym>) -> &mut Self {
         self.map.insert(v, c.into());
         self
     }
 
-    /// Look up a variable.
-    pub fn get(&self, v: Variable) -> Option<&Constant> {
-        self.map.get(&v)
+    /// Look up a variable (interned form — the hot accessor).
+    pub fn get_sym(&self, v: Variable) -> Option<Sym> {
+        self.map.get(&v).copied()
+    }
+
+    /// Look up a variable, resolving to a [`Constant`] at the boundary.
+    ///
+    /// # Panics
+    /// Resolution uses the **global** symbol table; a [`Sym`] issued by a private
+    /// [`pw_relational::SymbolTable`] panics here (resolve such valuations through their
+    /// owning table instead).
+    pub fn get(&self, v: Variable) -> Option<Constant> {
+        self.get_sym(v).map(Sym::constant)
     }
 
     /// Number of assigned variables.
@@ -53,35 +69,37 @@ impl Valuation {
     }
 
     /// Iterate over assignments.
-    pub fn iter(&self) -> impl Iterator<Item = (&Variable, &Constant)> {
-        self.map.iter()
+    pub fn iter(&self) -> impl Iterator<Item = (Variable, Sym)> + '_ {
+        self.map.iter().map(|(&v, &s)| (v, s))
     }
 
     /// σ(t) for a term.
-    pub fn apply_term(&self, t: &Term) -> Option<Constant> {
+    pub fn apply_term(&self, t: Term) -> Option<Sym> {
         match t {
-            Term::Const(c) => Some(c.clone()),
-            Term::Var(v) => self.map.get(v).cloned(),
+            Term::Const(c) => Some(c),
+            Term::Var(v) => self.get_sym(v),
         }
     }
 
     /// Whether the valuation satisfies a conjunction of atoms.  Returns `None` when some
     /// variable of the condition is unassigned.
     pub fn satisfies(&self, condition: &Conjunction) -> Option<bool> {
-        condition.eval(&|v| self.map.get(&v).cloned())
+        condition.eval(&|v| self.get_sym(v))
     }
 
     /// Whether the valuation satisfies a boolean combination of atoms.
     pub fn satisfies_bool(&self, condition: &BoolExpr) -> Option<bool> {
-        condition.eval(&|v| self.map.get(&v).cloned())
+        condition.eval(&|v| self.get_sym(v))
     }
 
     /// σ(t) for a c-table row: the fact it becomes.  `None` if a term variable is
-    /// unassigned.
+    /// unassigned.  Symbols resolve to constants here (via the global table — see
+    /// [`Valuation::get`]) — this is the boundary where an interned table turns into a
+    /// complete-information fact.
     pub fn apply_tuple(&self, t: &CTuple) -> Option<Tuple> {
         t.terms
             .iter()
-            .map(|term| self.apply_term(term))
+            .map(|&term| self.apply_term(term).map(Sym::constant))
             .collect::<Option<Vec<Constant>>>()
             .map(Tuple::new)
     }
@@ -122,8 +140,8 @@ impl Valuation {
     }
 }
 
-impl FromIterator<(Variable, Constant)> for Valuation {
-    fn from_iter<T: IntoIterator<Item = (Variable, Constant)>>(iter: T) -> Self {
+impl<C: Into<Sym>> FromIterator<(Variable, C)> for Valuation {
+    fn from_iter<T: IntoIterator<Item = (Variable, C)>>(iter: T) -> Self {
         Valuation::from_pairs(iter)
     }
 }
@@ -153,13 +171,28 @@ mod tests {
         let x = g.fresh();
         let mut val = Valuation::new();
         val.assign(x, 5);
-        assert_eq!(val.apply_term(&Term::Var(x)), Some(Constant::int(5)));
-        assert_eq!(val.apply_term(&Term::constant(9)), Some(Constant::int(9)));
+        assert_eq!(val.apply_term(Term::Var(x)), Some(Sym::Int(5)));
+        assert_eq!(val.apply_term(Term::constant(9)), Some(Sym::Int(9)));
         let row = CTuple::of_terms([Term::Var(x), Term::constant(1)]);
         assert_eq!(val.apply_tuple(&row), Some(tup![5, 1]));
         let y = g.fresh();
         let row2 = CTuple::of_terms([Term::Var(y)]);
         assert_eq!(val.apply_tuple(&row2), None);
+    }
+
+    #[test]
+    fn string_assignments_intern_and_resolve() {
+        let mut g = VarGen::new();
+        let x = g.fresh();
+        let mut val = Valuation::new();
+        val.assign(x, Constant::str("carol"));
+        assert_eq!(val.get(x), Some(Constant::str("carol")));
+        assert_eq!(val.get_sym(x), Some(Sym::from("carol")));
+        let row = CTuple::of_terms([Term::Var(x)]);
+        assert_eq!(
+            val.apply_tuple(&row),
+            Some(Tuple::new([Constant::str("carol")]))
+        );
     }
 
     #[test]

@@ -81,7 +81,10 @@ impl DecisionRequest {
         }
     }
 
-    fn decide(&self, engine: &Engine) -> Result<bool, BudgetExceeded> {
+    /// Decide the request; the answer arrives with the [`Strategy`] the dispatcher
+    /// chose, so the view→c-table conversion behind the dispatch tables runs once per
+    /// request instead of once for the answer and once for the report.
+    fn decide(&self, engine: &Engine) -> Result<(bool, Strategy), BudgetExceeded> {
         match self {
             DecisionRequest::Membership { view, instance } => {
                 membership::view_membership_with(view, instance, engine)
@@ -98,6 +101,21 @@ impl DecisionRequest {
             DecisionRequest::Certainty { view, facts } => {
                 certainty::decide_with(view, facts, engine)
             }
+        }
+    }
+
+    /// Decide and package as a [`DecisionOutcome`].  Only a budget-exceeded request pays
+    /// for a second strategy derivation (to label the failure).
+    fn outcome(&self, engine: &Engine) -> DecisionOutcome {
+        match self.decide(engine) {
+            Ok((answer, strategy)) => DecisionOutcome {
+                answer: Ok(answer),
+                strategy,
+            },
+            Err(BudgetExceeded) => DecisionOutcome {
+                answer: Err(BudgetExceeded),
+                strategy: self.strategy(),
+            },
         }
     }
 }
@@ -134,10 +152,7 @@ pub fn decide_all_with(requests: &[DecisionRequest], cfg: &EngineConfig) -> Vec<
     if workers == 1 {
         return requests
             .iter()
-            .map(|request| DecisionOutcome {
-                answer: request.decide(&engine),
-                strategy: request.strategy(),
-            })
+            .map(|request| request.outcome(&engine))
             .collect();
     }
 
@@ -151,10 +166,7 @@ pub fn decide_all_with(requests: &[DecisionRequest], cfg: &EngineConfig) -> Vec<
                 let Some(request) = requests.get(i) else {
                     return;
                 };
-                let outcome = DecisionOutcome {
-                    answer: request.decide(&engine),
-                    strategy: request.strategy(),
-                };
+                let outcome = request.outcome(&engine);
                 *slots[i].lock().expect("outcome slot poisoned") = Some(outcome);
             });
         }

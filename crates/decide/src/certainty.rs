@@ -17,48 +17,61 @@ use crate::common::{
     evaluation_delta, freeze_database, normalize_database, Budget, BudgetExceeded, Strategy,
 };
 use crate::engine::{Engine, EngineConfig};
+use pw_core::algebra::AlgebraError;
 use pw_core::{CDatabase, TableClass, View};
 use pw_query::QueryClass;
 use pw_relational::Instance;
 
 /// Decide `CERT(·, q)`: is every fact of `facts` true in every world of the view?
 pub fn decide(view: &View, facts: &Instance, budget: Budget) -> Result<bool, BudgetExceeded> {
-    decide_with(view, facts, &Engine::new(EngineConfig::sequential(budget)))
+    decide_with(view, facts, &Engine::new(EngineConfig::sequential(budget))).map(|(a, _)| a)
 }
 
 /// [`decide`] on an explicit [`Engine`]: the general (coNP) paths run on the engine's
 /// worker pool — the per-fact complement searches are independent subtrees, so a
 /// `CERT(*, q)` request parallelizes across facts as well as within each search.
-pub fn decide_with(view: &View, facts: &Instance, engine: &Engine) -> Result<bool, BudgetExceeded> {
-    match strategy(view) {
+///
+/// Returns the answer together with the [`Strategy`] that produced it; the dispatch (and
+/// the view→c-table conversion behind it) runs exactly once per call.
+pub fn decide_with(
+    view: &View,
+    facts: &Instance,
+    engine: &Engine,
+) -> Result<(bool, Strategy), BudgetExceeded> {
+    let (strategy, converted) = plan(view);
+    let answer = match strategy {
         Strategy::NaiveEvaluation => {
-            Ok(naive_gtable(view, facts).expect("strategy selection guarantees applicability"))
+            naive_gtable(view, facts).expect("strategy selection guarantees applicability")
         }
         Strategy::Backtracking => {
-            let db = match view.to_ctables() {
-                Some(Ok(db)) => db,
-                Some(Err(_)) => return Ok(false),
-                None => unreachable!("strategy selection guarantees convertibility"),
-            };
-            complement_search_with(&db, facts, engine)
+            match converted.expect("planned strategies carry their conversion") {
+                Ok(db) => complement_search_with(&db, facts, engine)?,
+                Err(_) => false,
+            }
         }
-        _ => by_enumeration_with(view, facts, engine),
-    }
+        _ => by_enumeration_with(view, facts, engine)?,
+    };
+    Ok((answer, strategy))
 }
 
-/// The strategy [`decide`] will use.
-pub fn strategy(view: &View) -> Strategy {
+/// The dispatch decision plus (when applicable) the one-time view→c-table conversion.
+fn plan(view: &View) -> (Strategy, Option<Result<CDatabase, AlgebraError>>) {
     let monotone = matches!(
         view.query.class(),
         QueryClass::Identity | QueryClass::PositiveExistential | QueryClass::Datalog
     );
     if monotone && view.db.classify() <= TableClass::GTable {
-        Strategy::NaiveEvaluation
-    } else if view.to_ctables().is_some() {
-        Strategy::Backtracking
+        (Strategy::NaiveEvaluation, None)
+    } else if let Some(converted) = view.to_ctables() {
+        (Strategy::Backtracking, Some(converted))
     } else {
-        Strategy::WorldEnumeration
+        (Strategy::WorldEnumeration, None)
     }
+}
+
+/// The strategy [`decide`] will use.
+pub fn strategy(view: &View) -> Strategy {
+    plan(view).0
 }
 
 /// Theorem 5.3(1): certainty for monotone (identity / positive existential / DATALOG)

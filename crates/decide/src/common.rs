@@ -283,7 +283,7 @@ mod tests {
         let mut seen = 0usize;
         let result = for_each_canonical_valuation(&vars, &delta, &mut counter, |v| {
             seen += 1;
-            (v.get(vars[0]) == Some(&Constant::int(2))).then_some("found")
+            (v.get(vars[0]) == Some(Constant::int(2))).then_some("found")
         })
         .unwrap();
         assert_eq!(result, Some("found"));

@@ -22,18 +22,26 @@ use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Decide `CONT(q₀, q)`: `rep(view0) ⊆ rep(view)`.
 pub fn decide(view0: &View, view: &View, budget: Budget) -> Result<bool, BudgetExceeded> {
-    decide_with(view0, view, &Engine::new(EngineConfig::sequential(budget)))
+    decide_with(view0, view, &Engine::new(EngineConfig::sequential(budget))).map(|(a, _)| a)
 }
 
 /// [`decide`] on an explicit [`Engine`]: the ∀ half of the Π₂ᵖ procedure (the enumeration
 /// of the left view's canonical valuations) runs on the engine's worker pool; each
 /// worker's ∃ half (the membership call on the right) stays sequential, so the engine's
 /// threads are never oversubscribed.
-pub fn decide_with(view0: &View, view: &View, engine: &Engine) -> Result<bool, BudgetExceeded> {
-    match strategy(view0, view) {
-        Strategy::Freeze => freeze(&view0.db, &view.db, engine.config().budget),
-        _ => forall_exists_with(view0, view, engine),
-    }
+///
+/// Returns the answer together with the [`Strategy`] that produced it.
+pub fn decide_with(
+    view0: &View,
+    view: &View,
+    engine: &Engine,
+) -> Result<(bool, Strategy), BudgetExceeded> {
+    let strategy = strategy(view0, view);
+    let answer = match strategy {
+        Strategy::Freeze => freeze(&view0.db, &view.db, engine.config().budget)?,
+        _ => forall_exists_with(view0, view, engine)?,
+    };
+    Ok((answer, strategy))
 }
 
 /// The strategy [`decide`] will use for a pair of views (mirrors the upper-bound regions of

@@ -42,7 +42,7 @@ use crate::common::{Budget, BudgetExceeded};
 use pw_condition::Variable;
 use pw_condition::{Atom, Conjunction, ConstraintSet, SatCache, Term};
 use pw_core::{CDatabase, CTable, Valuation};
-use pw_relational::{Constant, Instance, Tuple};
+use pw_relational::{Constant, Instance, Sym, Tuple};
 use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -267,21 +267,28 @@ fn drive_ctx<S: TreeSearch>(
 }
 
 /// Assert that the row instantiates to exactly `fact` and that its local condition holds.
+/// The fact arrives pre-interned (front-door invariant), so this loop moves ids only.
 fn assert_row_produces(
     store: &mut ConstraintSet,
     row_terms: &[Term],
     cond: &Conjunction,
-    fact: &Tuple,
+    fact: &[Sym],
 ) -> bool {
     if !store.assert_conjunction(cond) {
         return false;
     }
-    for (term, value) in row_terms.iter().zip(fact.iter()) {
-        if !store.assert_eq(term, &Term::Const(value.clone())) {
+    for (&term, &value) in row_terms.iter().zip(fact.iter()) {
+        if !store.assert_eq(term, Term::Const(value)) {
             return false;
         }
     }
     true
+}
+
+/// Intern one complete fact through the database's symbol table — the front door where
+/// external constants become engine ids.
+pub(crate) fn intern_fact(db: &CDatabase, fact: &Tuple) -> Vec<Sym> {
+    fact.iter().map(|c| db.intern(c)).collect()
 }
 
 /// An instance holding exactly one fact, for the single-fact entry points.
@@ -407,12 +414,12 @@ impl Engine {
         let Some(store) = self.base_store(db) else {
             return Ok(false);
         };
-        let work: Vec<(&CTable, Tuple)> = facts
+        let work: Vec<(&CTable, Vec<Sym>)> = facts
             .iter()
             .flat_map(|(name, rel)| {
                 let table = db.table(name);
                 rel.iter()
-                    .filter_map(move |fact| table.map(|t| (t, fact.clone())))
+                    .filter_map(move |fact| table.map(|t| (t, intern_fact(db, fact))))
             })
             .collect();
         let search = CoverSearch { work };
@@ -447,11 +454,11 @@ impl Engine {
         facts: &Instance,
         ctx: &Ctx,
     ) -> Result<bool, BudgetExceeded> {
-        let mut work: Vec<(&CTable, Tuple)> = Vec::new();
+        let mut work: Vec<(&CTable, Vec<Sym>)> = Vec::new();
         for (name, rel) in facts.iter() {
             for fact in rel.iter() {
                 match db.table(name) {
-                    Some(t) if t.arity() == fact.arity() => work.push((t, fact.clone())),
+                    Some(t) if t.arity() == fact.arity() => work.push((t, intern_fact(db, fact))),
                     // No such relation: the fact is missing from every world.
                     _ => return Ok(true),
                 }
@@ -515,10 +522,10 @@ impl Engine {
         };
         let mut rows = Vec::new();
         let mut conditions = Vec::new();
-        let mut fact_lists: Vec<Vec<Tuple>> = Vec::new();
+        let mut fact_lists: Vec<Vec<Vec<Sym>>> = Vec::new();
         for table in db.tables() {
             let rel = instance.relation_or_empty(table.name(), table.arity());
-            let facts: Vec<Tuple> = rel.iter().cloned().collect();
+            let facts: Vec<Vec<Sym>> = rel.iter().map(|f| intern_fact(db, f)).collect();
             let list_idx = fact_lists.len();
             fact_lists.push(facts);
             for row in table.tuples() {
@@ -567,8 +574,9 @@ impl Engine {
         let fresh = pw_relational::domain::fresh_constants(delta, vars.len());
         let search = EnumSearch {
             vars,
-            delta: delta.iter().cloned().collect(),
-            fresh,
+            // Intern once here; the enumeration below copies machine words only.
+            delta: delta.iter().map(Sym::of).collect(),
+            fresh: fresh.iter().map(Sym::of).collect(),
             visit,
             witness: Mutex::new(None),
         };
@@ -668,8 +676,8 @@ impl<S: ChoiceSearch> TreeSearch for Choices<'_, S> {
 // -- covering search --------------------------------------------------------------------
 
 struct CoverSearch<'a> {
-    /// One entry per fact to cover: the table it must come from, and the fact.
-    work: Vec<(&'a CTable, Tuple)>,
+    /// One entry per fact to cover: the table it must come from, and the interned fact.
+    work: Vec<(&'a CTable, Vec<Sym>)>,
 }
 
 #[derive(Clone)]
@@ -746,8 +754,8 @@ impl ChoiceSearch for CoverSearch<'_> {
 // -- missing-fact search ----------------------------------------------------------------
 
 struct MissingSearch<'a> {
-    /// One entry per fact whose absence is sought: its table and the fact itself.
-    work: Vec<(&'a CTable, Tuple)>,
+    /// One entry per fact whose absence is sought: its table and the interned fact.
+    work: Vec<(&'a CTable, Vec<Sym>)>,
 }
 
 #[derive(Clone, Copy)]
@@ -780,10 +788,10 @@ impl ChoiceSearch for MissingSearch<'_> {
         let row = &table.tuples()[meta.row_idx];
         let ok = if k < row.terms.len() {
             // Reason 1: position k of the row differs from the fact.
-            store.assert_neq(&row.terms[k], &Term::Const(fact[k].clone()))
+            store.assert_neq(row.terms[k], Term::Const(fact[k]))
         } else {
             // Reason 2: atom k of the local condition is falsified.
-            match &row.condition.atoms()[k - row.terms.len()] {
+            match row.condition.atoms()[k - row.terms.len()] {
                 Atom::Eq(a, b) => store.assert_neq(a, b),
                 Atom::Neq(a, b) => store.assert_eq(a, b),
             }
@@ -798,8 +806,8 @@ impl ChoiceSearch for MissingSearch<'_> {
 // -- escape (fact outside the instance) search ------------------------------------------
 
 struct EscapeSearch {
-    /// Per originating table: the instance facts the row has to differ from.
-    fact_lists: Vec<Vec<Tuple>>,
+    /// Per originating table: the interned instance facts the row has to differ from.
+    fact_lists: Vec<Vec<Vec<Sym>>>,
     /// The candidate rows: their terms and the fact list of their table.
     rows: Vec<(Vec<Term>, usize)>,
 }
@@ -832,7 +840,7 @@ impl ChoiceSearch for EscapeSearch {
         let (terms, fact_list) = &self.rows[meta.row];
         let fact = &self.fact_lists[*fact_list][meta.fact_idx];
         store
-            .assert_neq(&terms[k], &Term::Const(fact[k].clone()))
+            .assert_neq(terms[k], Term::Const(fact[k]))
             .then_some(EscapeMeta {
                 row: meta.row,
                 fact_idx: meta.fact_idx + 1,
@@ -913,15 +921,16 @@ where
 
 struct EnumSearch<'a, R, F> {
     vars: &'a [Variable],
-    delta: Vec<Constant>,
-    fresh: Vec<Constant>,
+    delta: Vec<Sym>,
+    fresh: Vec<Sym>,
     visit: F,
     witness: Mutex<Option<R>>,
 }
 
 #[derive(Clone)]
 struct EnumNode {
-    assignment: Vec<Constant>,
+    /// Interned values only: forking a node is a flat memcpy.
+    assignment: Vec<Sym>,
     fresh_used: usize,
 }
 
@@ -932,24 +941,24 @@ where
 {
     /// Candidate values for the next variable given how many fresh constants are in use:
     /// all of Δ, the fresh constants already used, and at most one new fresh constant.
-    fn choices(&self, fresh_used: usize) -> impl Iterator<Item = (Constant, usize)> + '_ {
+    fn choices(&self, fresh_used: usize) -> impl Iterator<Item = (Sym, usize)> + '_ {
         let fresh_limit = (fresh_used + 1).min(self.fresh.len());
         self.delta
             .iter()
-            .cloned()
+            .copied()
             .map(move |c| (c, fresh_used))
             .chain(
                 self.fresh[..fresh_limit]
                     .iter()
                     .enumerate()
-                    .map(move |(i, c)| (c.clone(), fresh_used.max(i + 1))),
+                    .map(move |(i, &c)| (c, fresh_used.max(i + 1))),
             )
     }
 
-    fn visit_leaf(&self, assignment: &[Constant], ctx: &Ctx) -> Result<bool, Stop> {
+    fn visit_leaf(&self, assignment: &[Sym], ctx: &Ctx) -> Result<bool, Stop> {
         ctx.tick()?;
         let valuation =
-            Valuation::from_pairs(self.vars.iter().copied().zip(assignment.iter().cloned()));
+            Valuation::from_pairs(self.vars.iter().copied().zip(assignment.iter().copied()));
         if let Some(r) = (self.visit)(&valuation) {
             let mut witness = self.witness.lock().expect("witness mutex poisoned");
             witness.get_or_insert(r);
@@ -960,7 +969,7 @@ where
 
     fn dfs_rec(
         &self,
-        assignment: &mut Vec<Constant>,
+        assignment: &mut Vec<Sym>,
         fresh_used: usize,
         ctx: &Ctx,
     ) -> Result<bool, Stop> {
@@ -1130,7 +1139,7 @@ mod tests {
             let found = engine
                 .find_canonical_valuation(&vars, &delta, |v| {
                     let second = v.get(vars[1])?;
-                    (*second != Constant::int(7)).then_some(second.clone())
+                    (second != Constant::int(7)).then_some(second)
                 })
                 .unwrap();
             assert!(found.is_some(), "fresh-constant valuations are enumerated");

@@ -17,7 +17,7 @@ use crate::common::{evaluation_delta, Budget, BudgetCounter, BudgetExceeded, Str
 use crate::engine::{Engine, EngineConfig};
 use pw_condition::{Atom, ConstraintSet, Term};
 use pw_core::{CDatabase, CTable, TableClass, View};
-use pw_relational::{Instance, Tuple};
+use pw_relational::{Instance, Sym};
 use pw_solvers::matching::{maximum_matching, BipartiteGraph};
 use std::collections::BTreeSet;
 
@@ -67,7 +67,12 @@ pub fn codd_matching(db: &CDatabase, instance: &Instance) -> bool {
     }
     for table in db.tables() {
         let rel = instance.relation_or_empty(table.name(), table.arity());
-        let facts: Vec<&Tuple> = rel.iter().collect();
+        // Intern the facts once at the front door; the quadratic edge loop below then
+        // compares machine-word ids only.
+        let facts: Vec<Vec<Sym>> = rel
+            .iter()
+            .map(|f| crate::engine::intern_fact(db, f))
+            .collect();
         // Step (a): the two node sets.  Steps (b)-(c): edges and the "every row connected"
         // check.  Step (d)-(e): maximum matching must have cardinality n = #facts.
         let mut graph = BipartiteGraph::new(facts.len(), table.len());
@@ -96,11 +101,11 @@ pub fn codd_matching(db: &CDatabase, instance: &Instance) -> bool {
     true
 }
 
-/// Can some valuation map this (Codd) row onto the fact?  Because every variable occurs at
-/// most once in a Codd-table, positions are independent: constants must match literally and
-/// variables can take any value.
-fn row_unifies_with_fact(terms: &[Term], fact: &Tuple) -> bool {
-    terms.len() == fact.arity()
+/// Can some valuation map this (Codd) row onto the (interned) fact?  Because every
+/// variable occurs at most once in a Codd-table, positions are independent: constants must
+/// match literally and variables can take any value.
+fn row_unifies_with_fact(terms: &[Term], fact: &[Sym]) -> bool {
+    terms.len() == fact.len()
         && terms.iter().zip(fact.iter()).all(|(t, c)| match t {
             Term::Const(tc) => tc == c,
             Term::Var(_) => true,
@@ -142,11 +147,17 @@ pub fn backtracking(
             rows.push(RowRef { table, row_idx });
         }
     }
-    // Facts per table, with a global index for coverage tracking.
-    let mut fact_lists: Vec<(&str, Vec<Tuple>)> = Vec::new();
+    // Facts per table (interned at the front door), with a global index for coverage
+    // tracking.
+    let mut fact_lists: Vec<(&str, Vec<Vec<Sym>>)> = Vec::new();
     for table in db.tables() {
         let rel = instance.relation_or_empty(table.name(), table.arity());
-        fact_lists.push((table.name(), rel.iter().cloned().collect()));
+        fact_lists.push((
+            table.name(),
+            rel.iter()
+                .map(|f| crate::engine::intern_fact(db, f))
+                .collect(),
+        ));
     }
     let total_facts: usize = fact_lists.iter().map(|(_, f)| f.len()).sum();
 
@@ -163,12 +174,12 @@ pub fn backtracking(
     fn search(
         db: &CDatabase,
         rows: &[RowRef<'_>],
-        fact_lists: &[(&str, Vec<Tuple>)],
+        fact_lists: &[(&str, Vec<Vec<Sym>>)],
         coverage: &mut Vec<Vec<usize>>,
         covered_count: usize,
         total_facts: usize,
         depth: usize,
-        store: &ConstraintSet,
+        store: &mut ConstraintSet,
         counter: &mut BudgetCounter,
     ) -> Result<bool, BudgetExceeded> {
         counter.tick()?;
@@ -184,19 +195,22 @@ pub fn backtracking(
         let t_idx = table_index(db, row_ref.table.name());
         let facts = &fact_lists[t_idx].1;
 
-        // Option 1: map the row onto a fact of its relation.
+        // Option 1: map the row onto a fact of its relation.  Each branch forks the store
+        // with an O(1) checkpoint and unwinds it on return — no clone, no allocation per
+        // search node.
         for (f_idx, fact) in facts.iter().enumerate() {
-            let mut store2 = store.clone();
-            let mut ok = store2.assert_conjunction(&row.condition);
+            let cp = store.checkpoint();
+            let mut ok = store.assert_conjunction(&row.condition);
             if ok {
-                for (term, value) in row.terms.iter().zip(fact.iter()) {
-                    if !store2.assert_eq(term, &Term::Const(value.clone())) {
+                for (&term, &value) in row.terms.iter().zip(fact.iter()) {
+                    if !store.assert_eq(term, Term::Const(value)) {
                         ok = false;
                         break;
                     }
                 }
             }
             if !ok {
+                store.rollback(cp);
                 continue;
             }
             coverage[t_idx][f_idx] += 1;
@@ -209,24 +223,26 @@ pub fn backtracking(
                 covered_count + usize::from(newly_covered),
                 total_facts,
                 depth + 1,
-                &store2,
+                store,
                 counter,
-            )?;
+            );
             coverage[t_idx][f_idx] -= 1;
-            if result {
+            store.rollback(cp);
+            if result? {
                 return Ok(true);
             }
         }
 
         // Option 2: the row is absent — some atom of its local condition is falsified.
         // (A row with the trivial condition `true` can never be absent.)
-        for atom in row.condition.atoms() {
-            let mut store2 = store.clone();
+        for &atom in row.condition.atoms() {
+            let cp = store.checkpoint();
             let negated_ok = match atom {
-                Atom::Eq(a, b) => store2.assert_neq(a, b),
-                Atom::Neq(a, b) => store2.assert_eq(a, b),
+                Atom::Eq(a, b) => store.assert_neq(a, b),
+                Atom::Neq(a, b) => store.assert_eq(a, b),
             };
             if !negated_ok {
+                store.rollback(cp);
                 continue;
             }
             let result = search(
@@ -237,10 +253,11 @@ pub fn backtracking(
                 covered_count,
                 total_facts,
                 depth + 1,
-                &store2,
+                store,
                 counter,
-            )?;
-            if result {
+            );
+            store.rollback(cp);
+            if result? {
                 return Ok(true);
             }
         }
@@ -248,6 +265,7 @@ pub fn backtracking(
         Ok(false)
     }
 
+    let mut store = base;
     search(
         db,
         &rows,
@@ -256,7 +274,7 @@ pub fn backtracking(
         0,
         total_facts,
         0,
-        &base,
+        &mut store,
         &mut counter,
     )
 }
@@ -277,37 +295,47 @@ pub fn view_membership(
         instance,
         &Engine::new(EngineConfig::sequential(budget)),
     )
+    .map(|(a, _)| a)
 }
 
 /// [`view_membership`] on an explicit [`Engine`]: the generic fallback (canonical
 /// valuation enumeration) runs on the engine's worker pool.  The identity and
 /// UCQ-convertible paths are a single NP backtracking call and stay sequential — inside a
 /// batch they already run concurrently with the other requests.
+///
+/// Returns the answer together with the [`Strategy`] that produced it; the view→c-table
+/// conversion behind the dispatch runs exactly once per call.
 pub fn view_membership_with(
     view: &View,
     instance: &Instance,
     engine: &Engine,
-) -> Result<bool, BudgetExceeded> {
-    if view.query.is_identity() {
-        if let Some(Ok(db)) = view.to_ctables() {
-            return decide(&db, instance, engine.config().budget);
+) -> Result<(bool, Strategy), BudgetExceeded> {
+    match view.to_ctables() {
+        Some(Ok(db)) => {
+            let chosen = if view.query.is_identity() {
+                strategy(&db)
+            } else {
+                Strategy::Backtracking
+            };
+            let answer = match chosen {
+                Strategy::CoddMatching => codd_matching(&db, instance),
+                _ => backtracking(&db, instance, engine.config().budget)?,
+            };
+            Ok((answer, chosen))
+        }
+        Some(Err(_)) => Ok((false, Strategy::Backtracking)),
+        None => {
+            let vars: Vec<_> = view.db.variables().into_iter().collect();
+            let mut delta = evaluation_delta(&view.db, instance.active_domain());
+            delta.extend(view.query.constants());
+            let found = engine.find_canonical_valuation(&vars, &delta, |valuation| {
+                let world = valuation.world_of(&view.db)?;
+                let output = view.query.eval(&world);
+                output.same_facts(instance).then_some(())
+            })?;
+            Ok((found.is_some(), Strategy::WorldEnumeration))
         }
     }
-    if let Some(converted) = view.to_ctables() {
-        match converted {
-            Ok(db) => return backtracking(&db, instance, engine.config().budget),
-            Err(_) => return Ok(false),
-        }
-    }
-    let vars: Vec<_> = view.db.variables().into_iter().collect();
-    let mut delta = evaluation_delta(&view.db, instance.active_domain());
-    delta.extend(view.query.constants());
-    let found = engine.find_canonical_valuation(&vars, &delta, |valuation| {
-        let world = valuation.world_of(&view.db)?;
-        let output = view.query.eval(&world);
-        output.same_facts(instance).then_some(())
-    })?;
-    Ok(found.is_some())
 }
 
 /// The strategy [`view_membership`] will use.

@@ -14,8 +14,9 @@
 use crate::common::{evaluation_delta, Budget, BudgetExceeded, Strategy};
 use crate::engine::{Engine, EngineConfig};
 use crate::search::exists_world_covering;
+use pw_core::algebra::AlgebraError;
 use pw_core::{CDatabase, TableClass, View};
-use pw_relational::{Instance, Tuple};
+use pw_relational::Instance;
 use pw_solvers::matching::{maximum_matching, BipartiteGraph};
 
 /// Decide `POSS(·, q)`: is there a world of the view containing every fact of `facts`?
@@ -23,40 +24,54 @@ use pw_solvers::matching::{maximum_matching, BipartiteGraph};
 /// paper is about what is considered part of the input (`k` fixed vs. unbounded), not about
 /// the question itself.
 pub fn decide(view: &View, facts: &Instance, budget: Budget) -> Result<bool, BudgetExceeded> {
-    decide_with(view, facts, &Engine::new(EngineConfig::sequential(budget)))
+    decide_with(view, facts, &Engine::new(EngineConfig::sequential(budget))).map(|(a, _)| a)
 }
 
 /// [`decide`] on an explicit [`Engine`]: the general (NP) paths run on the engine's worker
 /// pool with its shared budget, caches and early-exit cancellation.
-pub fn decide_with(view: &View, facts: &Instance, engine: &Engine) -> Result<bool, BudgetExceeded> {
-    match strategy(view) {
-        Strategy::CoddMatching => Ok(codd_matching(&view.db, facts)),
+///
+/// Returns the answer together with the [`Strategy`] that produced it; the dispatch (and
+/// in particular the view→c-table conversion behind it) is paid exactly once per call —
+/// the batched front door relies on this instead of re-deriving the strategy separately.
+pub fn decide_with(
+    view: &View,
+    facts: &Instance,
+    engine: &Engine,
+) -> Result<(bool, Strategy), BudgetExceeded> {
+    let (strategy, converted) = plan(view);
+    let answer = match strategy {
+        Strategy::CoddMatching => codd_matching(&view.db, facts),
         Strategy::CTableAlgebra | Strategy::Backtracking => {
-            let db = match view.to_ctables() {
-                Some(Ok(db)) => db,
-                Some(Err(_)) => return Ok(false),
-                None => unreachable!("strategy selection guarantees convertibility"),
-            };
-            engine.exists_world_covering(&db, facts)
+            match converted.expect("planned strategies carry their conversion") {
+                Ok(db) => engine.exists_world_covering(&db, facts)?,
+                Err(_) => false,
+            }
         }
-        _ => by_enumeration_with(view, facts, engine),
+        _ => by_enumeration_with(view, facts, engine)?,
+    };
+    Ok((answer, strategy))
+}
+
+/// The dispatch decision and, when the chosen strategy runs on a converted c-table
+/// database, the conversion itself — computed together so it is never repeated.
+fn plan(view: &View) -> (Strategy, Option<Result<CDatabase, AlgebraError>>) {
+    if view.query.is_identity() {
+        if view.db.classify() == TableClass::Codd && !view.db.tables_share_variables() {
+            (Strategy::CoddMatching, None)
+        } else {
+            (Strategy::Backtracking, view.to_ctables())
+        }
+    } else if let Some(converted) = view.to_ctables() {
+        // Positive existential (possibly with ≠) view: Theorem 5.2(1)'s path.
+        (Strategy::CTableAlgebra, Some(converted))
+    } else {
+        (Strategy::WorldEnumeration, None)
     }
 }
 
 /// The strategy [`decide`] will use.
 pub fn strategy(view: &View) -> Strategy {
-    if view.query.is_identity() {
-        if view.db.classify() == TableClass::Codd && !view.db.tables_share_variables() {
-            Strategy::CoddMatching
-        } else {
-            Strategy::Backtracking
-        }
-    } else if view.to_ctables().is_some() {
-        // Positive existential (possibly with ≠) view: Theorem 5.2(1)'s path.
-        Strategy::CTableAlgebra
-    } else {
-        Strategy::WorldEnumeration
-    }
+    plan(view).0
 }
 
 /// Theorem 5.1(1): unbounded possibility for Codd-tables via bipartite matching.  `facts`
@@ -73,7 +88,11 @@ pub fn codd_matching(db: &CDatabase, facts: &Instance) -> bool {
         if table.arity() != rel.arity() {
             return false;
         }
-        let fact_list: Vec<&Tuple> = rel.iter().collect();
+        // Intern once; the edge loop compares ids.
+        let fact_list: Vec<Vec<pw_relational::Sym>> = rel
+            .iter()
+            .map(|f| crate::engine::intern_fact(db, f))
+            .collect();
         let mut graph = BipartiteGraph::new(fact_list.len(), table.len());
         for (i, fact) in fact_list.iter().enumerate() {
             for (j, row) in table.tuples().iter().enumerate() {
@@ -81,7 +100,7 @@ pub fn codd_matching(db: &CDatabase, facts: &Instance) -> bool {
                     .terms
                     .iter()
                     .zip(fact.iter())
-                    .all(|(t, c)| t.as_const().map_or(true, |tc| tc == c));
+                    .all(|(t, &c)| t.as_sym().map_or(true, |tc| tc == c));
                 if unifies {
                     graph.add_edge(i, j);
                 }

@@ -16,6 +16,7 @@ use crate::common::{
 };
 use crate::engine::{Engine, EngineConfig};
 use crate::membership;
+use pw_core::algebra::AlgebraError;
 use pw_core::{CDatabase, CTable, TableClass, View};
 use pw_query::{Query, QueryClass, QueryDef};
 use pw_relational::{Instance, Relation};
@@ -30,37 +31,41 @@ pub fn decide(view: &View, instance: &Instance, budget: Budget) -> Result<bool, 
         instance,
         &Engine::new(EngineConfig::sequential(budget)),
     )
+    .map(|(a, _)| a)
 }
 
 /// [`decide`] on an explicit [`Engine`]: the two halves of the coNP complement (a world
 /// with an extra fact / a world missing a fact) and all their per-row and per-fact
 /// subtrees run on the engine's worker pool.
+///
+/// Returns the answer together with the [`Strategy`] that produced it; the dispatch (and
+/// the view→c-table conversion behind it) runs exactly once per call.
 pub fn decide_with(
     view: &View,
     instance: &Instance,
     engine: &Engine,
-) -> Result<bool, BudgetExceeded> {
-    match strategy(view) {
-        Strategy::GTableNormalization => Ok(gtable_uniqueness(&view.db, instance)),
-        Strategy::PosExistEtable => Ok(pos_exist_etable(&view.query, &view.db, instance)
-            .expect("strategy selection guarantees applicability")),
+) -> Result<(bool, Strategy), BudgetExceeded> {
+    let (strategy, converted) = plan(view);
+    let answer = match strategy {
+        Strategy::GTableNormalization => gtable_uniqueness(&view.db, instance),
+        Strategy::PosExistEtable => pos_exist_etable(&view.query, &view.db, instance)
+            .expect("strategy selection guarantees applicability"),
         Strategy::Backtracking => {
-            let db = match view.to_ctables() {
-                Some(Ok(db)) => db,
-                Some(Err(_)) => return Ok(false),
-                None => unreachable!("Backtracking strategy implies UCQ-convertible view"),
-            };
-            complement_search_with(&db, instance, engine)
+            match converted.expect("planned strategies carry their conversion") {
+                Ok(db) => complement_search_with(&db, instance, engine)?,
+                Err(_) => false,
+            }
         }
-        _ => by_enumeration_with(view, instance, engine),
-    }
+        _ => by_enumeration_with(view, instance, engine)?,
+    };
+    Ok((answer, strategy))
 }
 
-/// The strategy [`decide`] will pick for a view.
-pub fn strategy(view: &View) -> Strategy {
+/// The dispatch decision plus (when applicable) the one-time view→c-table conversion.
+fn plan(view: &View) -> (Strategy, Option<Result<CDatabase, AlgebraError>>) {
     let db_class = view.db.classify();
     if view.query.is_identity() && db_class <= TableClass::GTable {
-        Strategy::GTableNormalization
+        (Strategy::GTableNormalization, None)
     } else if view.query.class() == QueryClass::PositiveExistential
         && db_class <= TableClass::ETable
         && view
@@ -69,12 +74,17 @@ pub fn strategy(view: &View) -> Strategy {
             .iter()
             .all(|(_, d)| matches!(d, QueryDef::Ucq(_) | QueryDef::Identity { .. }))
     {
-        Strategy::PosExistEtable
-    } else if view.to_ctables().is_some() {
-        Strategy::Backtracking
+        (Strategy::PosExistEtable, None)
+    } else if let Some(converted) = view.to_ctables() {
+        (Strategy::Backtracking, Some(converted))
     } else {
-        Strategy::WorldEnumeration
+        (Strategy::WorldEnumeration, None)
     }
+}
+
+/// The strategy [`decide`] will pick for a view.
+pub fn strategy(view: &View) -> Strategy {
+    plan(view).0
 }
 
 /// Theorem 3.2(1): `UNIQ(-)` is in PTIME for g-tables.
@@ -104,7 +114,7 @@ pub fn gtable_uniqueness(db: &CDatabase, instance: &Instance) -> bool {
             let mut fact = Vec::with_capacity(table.arity());
             for term in &row.terms {
                 match term.as_const() {
-                    Some(c) => fact.push(c.clone()),
+                    Some(c) => fact.push(c),
                     None => return false, // an unforced null remains: not unique
                 }
             }
@@ -174,9 +184,7 @@ pub fn pos_exist_etable(query: &Query, db: &CDatabase, instance: &Instance) -> O
         for row in table.tuples() {
             let mut rows: Vec<pw_core::CTuple> = i_rel
                 .iter()
-                .map(|fact| {
-                    pw_core::CTuple::of_terms(fact.iter().cloned().map(pw_condition::Term::Const))
-                })
+                .map(|fact| pw_core::CTuple::of_terms(fact.iter().map(pw_condition::Term::from)))
                 .collect();
             rows.push(pw_core::CTuple::of_terms(row.terms.iter().cloned()));
             let t_ti = CTable::new(name.clone(), table.arity(), row.condition.clone(), rows)

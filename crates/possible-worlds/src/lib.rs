@@ -70,7 +70,9 @@ pub mod prelude {
         qatom, ConjunctiveQuery, DatalogProgram, DlAtom, DlRule, FoQuery, Formula, QTerm, Query,
         QueryClass, QueryDef, RaExpr, Ucq,
     };
-    pub use pw_relational::{rel, tup, Constant, Instance, Relation, Tuple};
+    pub use pw_relational::{
+        rel, tup, Constant, Instance, Relation, StrId, Sym, SymbolTable, Tuple,
+    };
 }
 
 #[cfg(test)]

@@ -283,53 +283,45 @@ pub fn sat_poss_datalog(formula: &CnfFormula) -> PossibilityInstance {
 
     // Node constants.
     let a = Constant::str("a");
-    let t = |i: usize| Constant::Str(format!("t{i}"));
-    let f = |i: usize| Constant::Str(format!("f{i}"));
-    let anode = |i: usize| Constant::Str(format!("a{i}"));
-    let b = |i: usize| Constant::Str(format!("b{i}"));
-    let h = |j: usize| Constant::Str(format!("h{j}"));
+    let t = |i: usize| Constant::str(format!("t{i}"));
+    let f = |i: usize| Constant::str(format!("f{i}"));
+    let anode = |i: usize| Constant::str(format!("a{i}"));
+    let b = |i: usize| Constant::str(format!("b{i}"));
+    let h = |j: usize| Constant::str(format!("h{j}"));
     let goal = Constant::int(1);
 
-    let r0 = CTable::codd("R0", 1, [vec![Term::Const(a.clone())]]).expect("R0");
+    let r0 = CTable::codd("R0", 1, [vec![Term::from(a.clone())]]).expect("R0");
 
     let mut r1_rows: Vec<Vec<Term>> = Vec::new();
     let mut r2_rows: Vec<Vec<Term>> = Vec::new();
     let edge = |rows: &mut Vec<Vec<Term>>, from: Term, to: Term| rows.push(vec![from, to]);
 
     for i in 0..n {
-        edge(&mut r1_rows, Term::Const(a.clone()), Term::Const(t(i)));
-        edge(&mut r1_rows, Term::Const(a.clone()), Term::Const(f(i)));
-        edge(&mut r1_rows, Term::Const(a.clone()), Term::Const(anode(i)));
-        edge(&mut r2_rows, Term::Const(t(i)), Term::Const(anode(i)));
-        edge(&mut r2_rows, Term::Const(f(i)), Term::Const(anode(i)));
-        edge(&mut r2_rows, Term::Const(anode(i)), Term::Const(b(i)));
+        edge(&mut r1_rows, Term::from(a.clone()), Term::from(t(i)));
+        edge(&mut r1_rows, Term::from(a.clone()), Term::from(f(i)));
+        edge(&mut r1_rows, Term::from(a.clone()), Term::from(anode(i)));
+        edge(&mut r2_rows, Term::from(t(i)), Term::from(anode(i)));
+        edge(&mut r2_rows, Term::from(f(i)), Term::from(anode(i)));
+        edge(&mut r2_rows, Term::from(anode(i)), Term::from(b(i)));
         if i + 1 < n {
-            edge(&mut r1_rows, Term::Const(b(i)), Term::Const(b(i + 1)));
-            edge(&mut r2_rows, Term::Const(anode(i)), Term::Var(x[i + 1]));
+            edge(&mut r1_rows, Term::from(b(i)), Term::from(b(i + 1)));
+            edge(&mut r2_rows, Term::from(anode(i)), Term::Var(x[i + 1]));
         }
     }
-    edge(&mut r1_rows, Term::Const(a.clone()), Term::Const(b(0)));
-    edge(&mut r2_rows, Term::Const(a.clone()), Term::Var(x[0]));
+    edge(&mut r1_rows, Term::from(a.clone()), Term::from(b(0)));
+    edge(&mut r2_rows, Term::from(a.clone()), Term::Var(x[0]));
     for (j, clause) in formula.clauses.iter().enumerate() {
         for lit in clause.literals() {
             let source = if lit.positive { t(lit.var) } else { f(lit.var) };
-            edge(&mut r1_rows, Term::Const(source), Term::Const(h(j)));
+            edge(&mut r1_rows, Term::from(source), Term::from(h(j)));
         }
         if j + 1 < m {
-            edge(&mut r2_rows, Term::Const(h(j)), Term::Const(h(j + 1)));
+            edge(&mut r2_rows, Term::from(h(j)), Term::from(h(j + 1)));
         }
     }
-    edge(&mut r2_rows, Term::Const(a.clone()), Term::Const(h(0)));
-    edge(
-        &mut r1_rows,
-        Term::Const(b(n - 1)),
-        Term::Const(goal.clone()),
-    );
-    edge(
-        &mut r2_rows,
-        Term::Const(h(m - 1)),
-        Term::Const(goal.clone()),
-    );
+    edge(&mut r2_rows, Term::from(a.clone()), Term::from(h(0)));
+    edge(&mut r1_rows, Term::from(b(n - 1)), Term::from(goal.clone()));
+    edge(&mut r2_rows, Term::from(h(m - 1)), Term::from(goal.clone()));
 
     let r1 = CTable::codd("R1", 2, r1_rows).expect("R1");
     let r2 = CTable::codd("R2", 2, r2_rows).expect("R2");

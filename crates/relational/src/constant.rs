@@ -5,24 +5,30 @@
 //! comparisons are by value and there is no implicit coercion between variants.
 
 use std::fmt;
+use std::sync::Arc;
 
 /// A database constant.
 ///
 /// Constants are totally ordered (variant first, then value) so that relations built from
 /// them have a canonical iteration order.
+///
+/// String payloads are shared [`Arc<str>`]s, so cloning a constant never copies string
+/// bytes — materialising a possible world out of interned ids is refcount traffic, not
+/// allocation.  The hot decision paths avoid even that by comparing interned
+/// [`crate::Sym`]s instead of constants.
 #[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Constant {
     /// A signed integer constant.
     Int(i64),
     /// A string constant.
-    Str(String),
+    Str(Arc<str>),
     /// A boolean constant.
     Bool(bool),
 }
 
 impl Constant {
     /// Build a string constant from anything string-like.
-    pub fn str(s: impl Into<String>) -> Self {
+    pub fn str(s: impl Into<Arc<str>>) -> Self {
         Constant::Str(s.into())
     }
 
@@ -59,7 +65,7 @@ impl Constant {
         // namespace themselves.
         let mut k = seed;
         loop {
-            let cand = Constant::Str(format!("⊥{k}"));
+            let cand = Constant::str(format!("⊥{k}"));
             if !used.contains(&cand) {
                 return cand;
             }
@@ -104,13 +110,13 @@ impl From<usize> for Constant {
 
 impl From<&str> for Constant {
     fn from(value: &str) -> Self {
-        Constant::Str(value.to_owned())
+        Constant::str(value)
     }
 }
 
 impl From<String> for Constant {
     fn from(value: String) -> Self {
-        Constant::Str(value)
+        Constant::str(value)
     }
 }
 
@@ -149,7 +155,7 @@ mod tests {
 
     #[test]
     fn fresh_constants_avoid_used_set() {
-        let mut used: BTreeSet<Constant> = (0..5).map(|i| Constant::Str(format!("⊥{i}"))).collect();
+        let mut used: BTreeSet<Constant> = (0..5).map(|i| Constant::str(format!("⊥{i}"))).collect();
         used.insert(Constant::int(1));
         let f = Constant::fresh(&used, 0);
         assert!(!used.contains(&f));

@@ -1,0 +1,341 @@
+//! Interned symbols: the dictionary-encoded twin of [`Constant`].
+//!
+//! Every decision procedure of the upper crates bottoms out in millions of term
+//! comparisons and copies inside backtracking searches.  With [`Constant::Str`] in the hot
+//! data model each of those is a heap clone plus a byte-by-byte compare; dictionary
+//! encoding — intern every constant once at the front door, run the engine over
+//! machine-word ids — turns them into register moves and integer compares, the same move
+//! production Datalog engines (e.g. Vadalog) rely on for their throughput.
+//!
+//! The encoding is a hybrid:
+//!
+//! * [`Sym::Int`] and [`Sym::Bool`] carry their value **inline** — integers and booleans
+//!   are already machine words, so routing them through a table would only add lock
+//!   traffic (and would make context-free construction like `Term::from(3)` impossible);
+//! * [`Sym::Str`] is a [`StrId`] — a `u32` index into a [`SymbolTable`].
+//!
+//! A `Sym` is therefore a two-word `Copy` value whose `==` is a plain value compare, and
+//! [`SymbolTable`] realises the `Constant ↔ Sym` mapping the hot paths are built on.
+//!
+//! # Tables, the global table, and isolation
+//!
+//! A [`SymbolTable`] is an append-only, thread-safe interner: `intern` on a hit takes a
+//! read lock only, so the parallel engine's workers can resolve and intern concurrently
+//! through a shared handle (`Arc<SymbolTable>`).  Ids are only meaningful relative to the
+//! table that issued them.
+//!
+//! Two usage modes exist:
+//!
+//! * **The global table** ([`SymbolTable::global`]) backs every context-free conversion
+//!   (`Term::from("a")`, `Sym::from(&constant)`, `Display`).  This is the default: all
+//!   values built through the ordinary constructors share it, so ids are comparable across
+//!   databases within a process.
+//! * **Private tables** (`SymbolTable::new`) give a session its own id space — a
+//!   long-lived service can drop a session's table to reclaim its dictionary.  A database
+//!   built against a private table must intern every constant through that table (the
+//!   "all ids resolved at the front door" invariant); mixing ids from different tables is
+//!   meaningless, exactly like comparing row-ids across two unrelated databases.
+
+use crate::Constant;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// Index of an interned string in a [`SymbolTable`].
+///
+/// Ordering is by id (allocation order), **not** lexicographic: canonical orders built
+/// over `Sym`s are deterministic for a fixed construction order but do not sort strings
+/// alphabetically.  Nothing in the decision procedures depends on the lexicographic order
+/// of string constants — only on equality — so this is safe; resolve to [`Constant`] at
+/// the boundary when a human-facing order matters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StrId(u32);
+
+impl StrId {
+    /// The raw index.
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+}
+
+/// An interned constant: a two-word `Copy` value with machine-word equality.
+///
+/// Variant order mirrors [`Constant`] so the derived ordering groups the same way
+/// (integers, then strings, then booleans).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Sym {
+    /// An integer constant, carried inline.
+    Int(i64),
+    /// A string constant, as an id into a [`SymbolTable`].
+    Str(StrId),
+    /// A boolean constant, carried inline.
+    Bool(bool),
+}
+
+impl Sym {
+    /// Intern a constant in the **global** table.
+    pub fn of(c: &Constant) -> Sym {
+        SymbolTable::global().intern(c)
+    }
+
+    /// Resolve against the **global** table.
+    ///
+    /// # Panics
+    /// Panics on a [`Sym::Str`] id issued by a private table (see the module docs); ids
+    /// produced by the ordinary constructors always resolve.
+    pub fn constant(self) -> Constant {
+        SymbolTable::global()
+            .resolve(self)
+            .expect("Sym id was not issued by the global table")
+    }
+
+    /// The inline integer value, if any.
+    pub fn as_int(self) -> Option<i64> {
+        match self {
+            Sym::Int(i) => Some(i),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Debug for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sym::Int(i) => write!(f, "{i}"),
+            Sym::Bool(b) => write!(f, "{b}"),
+            Sym::Str(id) => match SymbolTable::global().resolve_str(*id) {
+                Some(s) => write!(f, "{s}"),
+                None => write!(f, "⟨str#{}⟩", id.0),
+            },
+        }
+    }
+}
+
+impl From<i64> for Sym {
+    fn from(value: i64) -> Self {
+        Sym::Int(value)
+    }
+}
+
+impl From<i32> for Sym {
+    fn from(value: i32) -> Self {
+        Sym::Int(i64::from(value))
+    }
+}
+
+impl From<bool> for Sym {
+    fn from(value: bool) -> Self {
+        Sym::Bool(value)
+    }
+}
+
+impl From<&str> for Sym {
+    fn from(value: &str) -> Self {
+        Sym::Str(SymbolTable::global().intern_str(value))
+    }
+}
+
+impl From<&Constant> for Sym {
+    fn from(value: &Constant) -> Self {
+        Sym::of(value)
+    }
+}
+
+impl From<Constant> for Sym {
+    fn from(value: Constant) -> Self {
+        Sym::of(&value)
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    ids: HashMap<Arc<str>, u32>,
+    strings: Vec<Arc<str>>,
+}
+
+/// A thread-safe, append-only `Constant ↔ Sym` dictionary.
+///
+/// `intern` of an already-known string takes only a read lock; misses upgrade to a write
+/// lock with a double-check.  Ids are dense and never recycled, so `resolve_str` is an
+/// array index.
+#[derive(Default)]
+pub struct SymbolTable {
+    inner: RwLock<Inner>,
+}
+
+impl fmt::Debug for SymbolTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SymbolTable")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+static GLOBAL: OnceLock<Arc<SymbolTable>> = OnceLock::new();
+
+impl SymbolTable {
+    /// A fresh, private table with its own id space.
+    pub fn new() -> Self {
+        SymbolTable::default()
+    }
+
+    /// The process-wide table backing the context-free conversions.
+    pub fn global() -> &'static SymbolTable {
+        &**GLOBAL.get_or_init(|| Arc::new(SymbolTable::new()))
+    }
+
+    /// A shared handle to the global table (the same table [`SymbolTable::global`]
+    /// returns), for storing on a database/engine session.
+    pub fn global_handle() -> Arc<SymbolTable> {
+        SymbolTable::global();
+        Arc::clone(GLOBAL.get().expect("initialised on the previous line"))
+    }
+
+    /// Intern a string, returning its id (allocating one on first sight).
+    pub fn intern_str(&self, s: &str) -> StrId {
+        {
+            let inner = self.inner.read().expect("symbol table poisoned");
+            if let Some(&id) = inner.ids.get(s) {
+                return StrId(id);
+            }
+        }
+        let mut inner = self.inner.write().expect("symbol table poisoned");
+        if let Some(&id) = inner.ids.get(s) {
+            return StrId(id);
+        }
+        let id = u32::try_from(inner.strings.len()).expect("more than u32::MAX symbols");
+        let shared: Arc<str> = Arc::from(s);
+        inner.strings.push(Arc::clone(&shared));
+        inner.ids.insert(shared, id);
+        StrId(id)
+    }
+
+    /// The string behind an id, if this table issued it.
+    pub fn resolve_str(&self, id: StrId) -> Option<Arc<str>> {
+        let inner = self.inner.read().expect("symbol table poisoned");
+        inner.strings.get(id.0 as usize).cloned()
+    }
+
+    /// Intern a constant (integers and booleans pass through inline).
+    pub fn intern(&self, c: &Constant) -> Sym {
+        match c {
+            Constant::Int(i) => Sym::Int(*i),
+            Constant::Bool(b) => Sym::Bool(*b),
+            Constant::Str(s) => Sym::Str(self.intern_str(s)),
+        }
+    }
+
+    /// Resolve a symbol back to a constant; `None` for a string id this table did not
+    /// issue.
+    pub fn resolve(&self, sym: Sym) -> Option<Constant> {
+        match sym {
+            Sym::Int(i) => Some(Constant::Int(i)),
+            Sym::Bool(b) => Some(Constant::Bool(b)),
+            Sym::Str(id) => self.resolve_str(id).map(Constant::Str),
+        }
+    }
+
+    /// Number of interned strings.
+    pub fn len(&self) -> usize {
+        self.inner
+            .read()
+            .expect("symbol table poisoned")
+            .strings
+            .len()
+    }
+
+    /// Whether no string has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_constant_sym() {
+        let table = SymbolTable::new();
+        for c in [
+            Constant::int(42),
+            Constant::int(-3),
+            Constant::Bool(true),
+            Constant::str("alice"),
+            Constant::str("bob"),
+            Constant::str(""),
+        ] {
+            let sym = table.intern(&c);
+            assert_eq!(table.resolve(sym), Some(c.clone()), "round trip of {c:?}");
+            assert_eq!(table.intern(&c), sym, "interning is stable");
+        }
+        assert_eq!(table.len(), 3, "only strings occupy the table");
+    }
+
+    #[test]
+    fn equal_strings_share_one_id_distinct_strings_do_not() {
+        let table = SymbolTable::new();
+        let a = table.intern_str("same");
+        let b = table.intern_str("same");
+        let c = table.intern_str("other");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn tables_are_isolated() {
+        let t1 = SymbolTable::new();
+        let t2 = SymbolTable::new();
+        let a1 = t1.intern_str("a");
+        let b2 = t2.intern_str("b");
+        let a2 = t2.intern_str("a");
+        // Same raw index, different tables, different meanings.
+        assert_eq!(a1.index(), b2.index());
+        assert_ne!(a2.index(), a1.index());
+        assert_eq!(t1.resolve_str(a1).as_deref(), Some("a"));
+        assert_eq!(t2.resolve_str(StrId(0)).as_deref(), Some("b"));
+        // Foreign ids do not resolve.
+        assert_eq!(t1.resolve_str(StrId(7)), None);
+    }
+
+    #[test]
+    fn global_conversions_are_consistent() {
+        let s = Sym::from("globally-interned");
+        assert_eq!(Sym::from("globally-interned"), s);
+        assert_eq!(s.constant(), Constant::str("globally-interned"));
+        assert_eq!(Sym::from(7i64), Sym::Int(7));
+        assert_eq!(Sym::from(7i64).constant(), Constant::int(7));
+        assert_eq!(Sym::from(true).constant(), Constant::Bool(true));
+        assert_eq!(s.to_string(), "globally-interned");
+    }
+
+    #[test]
+    fn concurrent_interning_agrees() {
+        let table = SymbolTable::new();
+        let ids: Vec<Vec<StrId>> = std::thread::scope(|scope| {
+            (0..4)
+                .map(|_| {
+                    let table = &table;
+                    scope.spawn(move || {
+                        (0..64)
+                            .map(|i| table.intern_str(&format!("k{i}")))
+                            .collect()
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("interner thread panicked"))
+                .collect()
+        });
+        for w in &ids[1..] {
+            assert_eq!(*w, ids[0], "every thread sees the same ids");
+        }
+        assert_eq!(table.len(), 64);
+    }
+}

@@ -27,11 +27,13 @@ pub mod algebra;
 pub mod constant;
 pub mod domain;
 pub mod instance;
+pub mod intern;
 pub mod relation;
 pub mod tuple;
 
 pub use constant::Constant;
 pub use instance::{Instance, SchemaError};
+pub use intern::{StrId, Sym, SymbolTable};
 pub use relation::{ArityError, Relation};
 pub use tuple::Tuple;
 

@@ -19,10 +19,12 @@
 
 pub mod formulas;
 pub mod graphs;
+pub mod strings;
 pub mod tables;
 
 pub use formulas::{random_3cnf, random_3dnf, random_forall_exists};
 pub use graphs::{planted_three_colorable, random_graph};
+pub use strings::{stringify_constant, stringify_database, stringify_instance, stringify_table};
 pub use tables::{
     member_instance, non_member_instance, random_codd_table, random_ctable, random_etable,
     random_gtable, random_itable, TableParams,

@@ -1,0 +1,113 @@
+//! String-heavy variants of the random workloads.
+//!
+//! The table generators of [`crate::tables`] draw their constants from a small integer
+//! pool, which makes comparisons in the decision hot paths artificially cheap.  Production
+//! databases overwhelmingly key on strings (ids, names, SKUs), so the benchmark harness
+//! needs the *same* workload families with every integer constant replaced by a
+//! deterministic string constant — long enough that a structural string compare costs
+//! something, and with a long shared prefix so mismatches are not detected on the first
+//! byte.  The rewriting is a bijection on constants, and QPTIME queries are generic
+//! (Section 2.1), so every decision answer is preserved exactly.
+
+use pw_condition::{Atom, Conjunction, Term};
+use pw_core::{CDatabase, CTable, CTuple};
+use pw_relational::{Constant, Instance, Relation, Tuple};
+
+/// Map an integer constant to its string twin (identity on everything else).
+///
+/// The common `entity-` prefix plus zero padding makes equality checks walk most of the
+/// string before deciding, which is exactly the cost profile interning is meant to remove.
+pub fn stringify_constant(c: &Constant) -> Constant {
+    match c.as_int() {
+        Some(n) => Constant::str(format!("entity-{n:010}")),
+        None => c.clone(),
+    }
+}
+
+fn stringify_term(t: Term) -> Term {
+    match t.as_const() {
+        Some(c) => Term::from(stringify_constant(&c)),
+        None => t,
+    }
+}
+
+fn stringify_conjunction(c: &Conjunction) -> Conjunction {
+    Conjunction::new(c.atoms().iter().map(|a| {
+        let (x, y) = a.terms();
+        if a.is_equality() {
+            Atom::Eq(stringify_term(x), stringify_term(y))
+        } else {
+            Atom::Neq(stringify_term(x), stringify_term(y))
+        }
+    }))
+}
+
+/// Replace every integer constant of a table (rows, local and global conditions) by its
+/// string twin.
+pub fn stringify_table(t: &CTable) -> CTable {
+    let rows = t.tuples().iter().map(|row| {
+        CTuple::with_condition(
+            row.terms.iter().map(|&t| stringify_term(t)),
+            stringify_conjunction(&row.condition),
+        )
+    });
+    CTable::new(
+        t.name(),
+        t.arity(),
+        stringify_conjunction(t.global_condition()),
+        rows,
+    )
+    .expect("stringifying preserves arities")
+}
+
+/// [`stringify_table`] over a whole database.
+pub fn stringify_database(db: &CDatabase) -> CDatabase {
+    CDatabase::new(db.tables().iter().map(stringify_table))
+}
+
+/// Replace every integer constant of a complete instance by its string twin.
+pub fn stringify_instance(i: &Instance) -> Instance {
+    let mut out = Instance::new();
+    for (name, rel) in i.iter() {
+        let mut new_rel = Relation::empty(rel.arity());
+        for fact in rel.iter() {
+            let mapped = Tuple::new(fact.iter().map(stringify_constant));
+            new_rel.insert(mapped).expect("arity preserved");
+        }
+        out.insert_relation(name.clone(), new_rel);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tables::{member_instance, random_ctable, TableParams};
+    use pw_decide::{membership, Budget};
+
+    #[test]
+    fn stringified_membership_answers_match_integer_answers() {
+        let p = TableParams::with_rows(12, 3);
+        let db = CDatabase::single(random_ctable("T", &p));
+        let yes = member_instance(&db, &p);
+        let sdb = stringify_database(&db);
+        let syes = stringify_instance(&yes);
+        assert_eq!(
+            membership::decide(&db, &yes, Budget::default()).unwrap(),
+            membership::decide(&sdb, &syes, Budget::default()).unwrap(),
+            "stringifying is a constant bijection, answers must agree"
+        );
+    }
+
+    #[test]
+    fn stringify_is_injective_on_the_pool() {
+        let a = stringify_constant(&Constant::int(3));
+        let b = stringify_constant(&Constant::int(30));
+        assert_ne!(a, b);
+        assert_eq!(a, stringify_constant(&Constant::int(3)));
+        assert_eq!(
+            stringify_constant(&Constant::str("kept")),
+            Constant::str("kept")
+        );
+    }
+}

@@ -67,7 +67,7 @@ pub fn random_codd_table(name: &str, params: &TableParams) -> CTable {
                     if rng.gen_bool(params.null_density) {
                         Term::Var(vars.fresh())
                     } else {
-                        Term::Const(random_constant(&mut rng, params))
+                        Term::from(random_constant(&mut rng, params))
                     }
                 })
                 .collect()
@@ -91,7 +91,7 @@ pub fn random_etable(name: &str, params: &TableParams) -> CTable {
                     if rng.gen_bool(params.null_density) {
                         Term::Var(pool[rng.gen_range(0..pool.len())])
                     } else {
-                        Term::Const(random_constant(&mut rng, params))
+                        Term::from(random_constant(&mut rng, params))
                     }
                 })
                 .collect()
@@ -208,11 +208,12 @@ pub fn member_instance(db: &CDatabase, params: &TableParams) -> Instance {
     for t in db.tables() {
         combined = combined.and(t.global_condition());
     }
-    let forced: std::collections::HashMap<Variable, Constant> = combined
+    let forced: std::collections::HashMap<Variable, pw_relational::Sym> = combined
         .forced_constants()
         .map(|pairs| pairs.into_iter().collect())
         .unwrap_or_default();
-    let value_of = |v: Variable, fallback: Constant| forced.get(&v).cloned().unwrap_or(fallback);
+    let value_of =
+        |v: Variable, fallback: Constant| forced.get(&v).map(|s| s.constant()).unwrap_or(fallback);
     // Rejection-sample the unforced variables until the global conditions hold; the
     // generators above keep the residual (inequality) constraints loose enough that this
     // terminates quickly.

@@ -53,7 +53,7 @@ fn membership_is_a_special_case_of_containment() {
                 .relation("catalogue")
                 .unwrap()
                 .iter()
-                .map(|t| t.iter().cloned().map(Term::Const).collect::<Vec<_>>()),
+                .map(|t| t.iter().map(Term::from).collect::<Vec<_>>()),
         )
         .unwrap(),
     ));

@@ -64,22 +64,26 @@ fn parallel_and_sequential_decisions_agree_on_random_workloads() {
                     let engine = Engine::new(EngineConfig::with_threads(threads, budget));
                     let ctx = format!("{class} seed {seed} threads {threads} on {instance}");
                     assert_eq!(
-                        membership::view_membership_with(&view, instance, &engine).unwrap(),
+                        membership::view_membership_with(&view, instance, &engine)
+                            .unwrap()
+                            .0,
                         seq_memb,
                         "membership {ctx}"
                     );
                     assert_eq!(
-                        uniqueness::decide_with(&view, instance, &engine).unwrap(),
+                        uniqueness::decide_with(&view, instance, &engine).unwrap().0,
                         seq_uniq,
                         "uniqueness {ctx}"
                     );
                     assert_eq!(
-                        possibility::decide_with(&view, instance, &engine).unwrap(),
+                        possibility::decide_with(&view, instance, &engine)
+                            .unwrap()
+                            .0,
                         seq_poss,
                         "possibility {ctx}"
                     );
                     assert_eq!(
-                        certainty::decide_with(&view, instance, &engine).unwrap(),
+                        certainty::decide_with(&view, instance, &engine).unwrap().0,
                         seq_cert,
                         "certainty {ctx}"
                     );
@@ -94,7 +98,9 @@ fn parallel_and_sequential_decisions_agree_on_random_workloads() {
             for threads in THREAD_COUNTS {
                 let engine = Engine::new(EngineConfig::with_threads(threads, budget));
                 assert_eq!(
-                    containment::decide_with(&view, &other_view, &engine).unwrap(),
+                    containment::decide_with(&view, &other_view, &engine)
+                        .unwrap()
+                        .0,
                     seq_cont,
                     "containment {class} seed {seed} threads {threads}"
                 );
@@ -174,7 +180,7 @@ fn budget_exceeded_is_deterministic_under_parallelism() {
             );
             let ample = Engine::new(EngineConfig::with_threads(threads, Budget(50_000_000)));
             assert_eq!(
-                possibility::decide_with(&view, &facts, &ample),
+                possibility::decide_with(&view, &facts, &ample).map(|(a, _)| a),
                 Ok(false),
                 "ample run must always complete ({threads} threads, repetition {repetition})"
             );
@@ -202,9 +208,156 @@ fn first_witness_early_exit_is_sound() {
     for threads in [1, 2, 8] {
         let engine = Engine::new(EngineConfig::with_threads(threads, Budget(50_000_000)));
         assert_eq!(
-            possibility::decide_with(&view, &facts, &engine),
+            possibility::decide_with(&view, &facts, &engine).map(|(a, _)| a),
             Ok(true),
             "witness found with {threads} threads"
         );
+    }
+}
+
+// ---------------------------------------------------------------------------------------
+// Interned-symbol substrate (the `pw_relational::intern` layer the engine hot paths
+// run on).
+// ---------------------------------------------------------------------------------------
+
+/// Round trip `Constant ↔ Sym` through a database's symbol-table handle, exactly as the
+/// engine's front door does it.
+#[test]
+fn interner_round_trips_constants_through_the_database_handle() {
+    let db = CDatabase::single(
+        CTable::codd("R", 1, [vec![Term::from("alice")], vec![Term::from(7i64)]]).unwrap(),
+    );
+    for c in [
+        Constant::str("alice"),
+        Constant::str("never-seen-before-in-this-test"),
+        Constant::int(7),
+        Constant::Bool(true),
+    ] {
+        let sym = db.intern(&c);
+        assert_eq!(db.resolve(sym), Some(c.clone()), "round trip of {c}");
+        assert_eq!(db.intern(&c), sym, "interning is idempotent");
+    }
+    // The table's own row terms resolve through the same handle.
+    let row_sym = db.tables()[0].tuples()[0].terms[0]
+        .as_sym()
+        .expect("constant term");
+    assert_eq!(db.resolve(row_sym), Some(Constant::str("alice")));
+}
+
+/// Two databases on *private* symbol tables have isolated id spaces: the same raw id
+/// means different strings, and neither table resolves the other's ids beyond its range.
+#[test]
+fn interner_isolates_private_symbol_tables_across_databases() {
+    use std::sync::Arc;
+    let ta = Arc::new(SymbolTable::new());
+    let tb = Arc::new(SymbolTable::new());
+    let db_a = CDatabase::default().with_symbols(Arc::clone(&ta));
+    let db_b = CDatabase::default().with_symbols(Arc::clone(&tb));
+
+    let a0 = db_a.intern(&Constant::str("alpha"));
+    let b0 = db_b.intern(&Constant::str("beta"));
+    // Same dense index on both sides — ids are only meaningful relative to their table.
+    assert_eq!(a0, b0, "both tables hand out their first id");
+    assert_eq!(db_a.resolve(a0), Some(Constant::str("alpha")));
+    assert_eq!(db_b.resolve(b0), Some(Constant::str("beta")));
+    // A foreign id outside the table's range does not resolve.  The extra interns only
+    // advance tb's id space past ta's.
+    tb.intern_str("x");
+    tb.intern_str("filler-1");
+    tb.intern_str("filler-2");
+    let far = Sym::Str(tb.intern_str("last"));
+    assert_eq!(db_a.resolve(far), None, "id beyond the table's range");
+    // Databases on different tables never compare equal, even when structurally empty.
+    assert_ne!(db_a, db_b);
+}
+
+/// Concurrent interning/resolution through one shared handle, from scoped workers like
+/// the parallel engine's: every thread sees one consistent id per string.
+#[test]
+fn interner_supports_concurrent_resolve_from_scoped_workers() {
+    use std::sync::Arc;
+    let table = Arc::new(SymbolTable::new());
+    let db = CDatabase::default().with_symbols(Arc::clone(&table));
+    let ids: Vec<Vec<Sym>> = std::thread::scope(|scope| {
+        (0..8)
+            .map(|_| {
+                let db = &db;
+                scope.spawn(move || {
+                    (0..128)
+                        .map(|i| db.intern(&Constant::str(format!("worker-shared-{i}"))))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    for w in &ids[1..] {
+        assert_eq!(*w, ids[0], "all workers agree on every id");
+    }
+    for (i, &sym) in ids[0].iter().enumerate() {
+        assert_eq!(
+            db.resolve(sym),
+            Some(Constant::str(format!("worker-shared-{i}")))
+        );
+    }
+}
+
+/// Property (pinning): the interned hot path must decide exactly what the un-interned
+/// semantics prescribe.  Two independent anchors on randomized workloads:
+///
+/// 1. decisions on a string-heavy database (every constant an interned string) equal the
+///    decisions on its integer twin — interning is a constant bijection and QPTIME
+///    queries are generic, so any divergence is an interning bug;
+/// 2. on small instances, the membership decision equals the brute-force
+///    `rep(·)`-enumeration reference, which resolves every symbol back to constants.
+#[test]
+fn interned_decisions_are_pinned_to_reference_semantics_on_random_workloads() {
+    use possible_worlds::workloads::{stringify_database, stringify_instance};
+    let budget = Budget(20_000_000);
+    for (class, generate) in generators() {
+        for seed in 20..26u64 {
+            let params = small_params(seed);
+            let db = CDatabase::single(generate("T", &params));
+            let sdb = stringify_database(&db);
+            let view = View::identity(db.clone());
+            let sview = View::identity(sdb.clone());
+            for instance in [
+                member_instance(&db, &params),
+                non_member_instance(&db, &params),
+            ] {
+                let sinstance = stringify_instance(&instance);
+
+                let memb = membership::decide(&db, &instance, budget).unwrap();
+                let smemb = membership::decide(&sdb, &sinstance, budget).unwrap();
+                assert_eq!(memb, smemb, "membership on {class} seed {seed}");
+                // The brute-force reference is exponential; it anchors the seeds whose
+                // valuation count fits the enumeration budget.
+                if let Ok(reference) = membership::by_enumeration(&sdb, &sinstance, 200_000) {
+                    assert_eq!(smemb, reference, "vs enumeration on {class} seed {seed}");
+                }
+
+                for (label, fast, slow) in [
+                    (
+                        "possibility",
+                        possibility::decide(&sview, &sinstance, budget).unwrap(),
+                        possibility::decide(&view, &instance, budget).unwrap(),
+                    ),
+                    (
+                        "certainty",
+                        certainty::decide(&sview, &sinstance, budget).unwrap(),
+                        certainty::decide(&view, &instance, budget).unwrap(),
+                    ),
+                    (
+                        "uniqueness",
+                        uniqueness::decide(&sview, &sinstance, budget).unwrap(),
+                        uniqueness::decide(&view, &instance, budget).unwrap(),
+                    ),
+                ] {
+                    assert_eq!(fast, slow, "{label} on {class} seed {seed}");
+                }
+            }
+        }
     }
 }
