@@ -1,0 +1,401 @@
+//! `bench-pr3` — the relation-catalog benchmark: batch wall time on *name-lookup-heavy*
+//! workloads — many small requests fanned out across many relations — emitted as
+//! machine-readable JSON.
+//!
+//! `bench-pr2` stressed constant comparisons; this harness stresses the other string
+//! axis: **relation addressing**.  A database holds dozens of relations whose names share
+//! a long common prefix (the worst case for string hashing and comparison), and every
+//! request touches a single relation, so per-request costs are dominated by boundary
+//! resolution — `db.table(name)` lookups, base-store cache keys, dispatch.  The same
+//! binary is run before and after a catalog change; `--baseline <file>` embeds the prior
+//! run's numbers and reports per-row speedups, which is how `BENCH_PR3.json` records the
+//! before/after of the `RelId` catalog PR.
+//!
+//! Usage:
+//!   cargo run --release --bin bench-pr3 -- [--smoke] [--sweeps N] [--out FILE] [--baseline FILE]
+//!
+//! `--smoke` shrinks the workloads to a few relations and one iteration so CI can check
+//! the harness and the JSON shape in seconds.  `--sweeps N` repeats the whole measurement
+//! sweep N times and keeps each row's minimum — batches here are tens of microseconds to
+//! tens of milliseconds, so a single ~30 s sweep is exposed to machine drift that
+//! per-row minima across sweeps cancel out.
+
+use pw_condition::{Term, VarGen};
+use pw_core::{CDatabase, CTable, View};
+use pw_decide::batch::{decide_all_with, DecisionRequest};
+use pw_decide::{Budget, EngineConfig};
+use pw_relational::{Instance, Relation, Tuple};
+use std::time::Instant;
+
+/// One measured row of the report.
+struct Measurement {
+    problem: &'static str,
+    workload: String,
+    mode: &'static str,
+    wall_ms: f64,
+    /// Aggregated answers, e.g. `"true:24"` — per-request listings would dwarf the report.
+    answers: Vec<String>,
+}
+
+/// A name-heavy workload: one database of `relations` small tables plus, per relation,
+/// the instances the requests are phrased against.
+struct Workload {
+    label: String,
+    db: CDatabase,
+    /// Per relation: (name, member instance, possible pattern, certain fact, uncertain fact).
+    per_relation: Vec<RelationFixtures>,
+}
+
+struct RelationFixtures {
+    name: String,
+    member: Instance,
+    non_member: Instance,
+    pattern: Instance,
+    certain: Instance,
+    uncertain: Instance,
+}
+
+/// Relation names share a long prefix and differ only in the trailing digits — a string
+/// hash walks the whole name and a comparison walks most of it.
+fn relation_name(r: usize) -> String {
+    format!("warehouse-eu-central-inventory-snapshot-{r:05}")
+}
+
+fn sku(r: usize, i: usize) -> Term {
+    Term::from(format!("sku-{r:05}-{i:05}").as_str())
+}
+
+fn sku_fact(r: usize, i: usize, qty: i64) -> Tuple {
+    Tuple::new([
+        pw_relational::Constant::str(format!("sku-{r:05}-{i:05}")),
+        pw_relational::Constant::int(qty),
+    ])
+}
+
+fn build_workload(relations: usize) -> Workload {
+    let mut g = VarGen::new();
+    let mut tables = Vec::with_capacity(relations);
+    let mut per_relation = Vec::with_capacity(relations);
+    for r in 0..relations {
+        let name = relation_name(r);
+        // Three ground rows plus one open row (an unknown quantity report).
+        let x = g.fresh();
+        let rows = vec![
+            vec![sku(r, 0), Term::from(10)],
+            vec![sku(r, 1), Term::from(20)],
+            vec![sku(r, 2), Term::from(30)],
+            vec![sku(r, 3), Term::Var(x)],
+        ];
+        tables.push(CTable::codd(&name, 2, rows).expect("distinct fresh variables"));
+
+        let mut member = Instance::new();
+        let mut rel = Relation::empty(2);
+        for (i, qty) in [(0, 10), (1, 20), (2, 30), (3, 99)] {
+            rel.insert(sku_fact(r, i, qty)).expect("arity 2");
+        }
+        member.insert_relation(&name, rel);
+
+        // Perturb one ground quantity: the ground row (sku-0, 10) can no longer be mapped
+        // onto any fact, so this instance is outside the represented worlds.
+        let mut non_member_rel = Relation::empty(2);
+        for (i, qty) in [(0, 11), (1, 20), (2, 30), (3, 99)] {
+            non_member_rel.insert(sku_fact(r, i, qty)).expect("arity 2");
+        }
+        let non_member = Instance::single(&name, non_member_rel);
+
+        let mut pattern_rel = Relation::empty(2);
+        pattern_rel.insert(sku_fact(r, 0, 10)).expect("arity 2");
+        pattern_rel.insert(sku_fact(r, 3, 55)).expect("arity 2");
+        let pattern = Instance::single(&name, pattern_rel);
+
+        let mut certain_rel = Relation::empty(2);
+        certain_rel.insert(sku_fact(r, 0, 10)).expect("arity 2");
+        let certain = Instance::single(&name, certain_rel);
+
+        let mut uncertain_rel = Relation::empty(2);
+        uncertain_rel.insert(sku_fact(r, 3, 42)).expect("arity 2");
+        let uncertain = Instance::single(&name, uncertain_rel);
+
+        per_relation.push(RelationFixtures {
+            name,
+            member,
+            non_member,
+            pattern,
+            certain,
+            uncertain,
+        });
+    }
+    Workload {
+        label: format!("relations-{relations}"),
+        db: CDatabase::new(tables),
+        per_relation,
+    }
+}
+
+fn build_workloads(smoke: bool) -> Vec<Workload> {
+    let sizes: &[usize] = if smoke { &[4] } else { &[8, 24, 64] };
+    sizes.iter().map(|&n| build_workload(n)).collect()
+}
+
+/// Per-problem request lists: one (or two) small requests per relation, so the batch size
+/// scales with the relation count while every individual search stays tiny.
+fn requests_for(problem: &str, w: &Workload) -> Vec<DecisionRequest> {
+    let view = View::identity(w.db.clone());
+    let mut out = Vec::new();
+    for fx in &w.per_relation {
+        match problem {
+            // Membership is asked through a single-relation identity view: the request
+            // names one relation of the many-relation database and the dispatcher has to
+            // resolve it at the boundary — the name-lookup pattern this bench stresses.
+            "membership" => {
+                let narrow = View::new(
+                    pw_query::Query::identity([(fx.name.clone(), 2)]),
+                    w.db.clone(),
+                );
+                out.push(DecisionRequest::Membership {
+                    view: narrow.clone(),
+                    instance: fx.member.clone(),
+                });
+                out.push(DecisionRequest::Membership {
+                    view: narrow,
+                    instance: fx.non_member.clone(),
+                });
+            }
+            "possibility" => out.push(DecisionRequest::Possibility {
+                view: view.clone(),
+                facts: fx.pattern.clone(),
+            }),
+            "certainty" => {
+                out.push(DecisionRequest::Certainty {
+                    view: view.clone(),
+                    facts: fx.certain.clone(),
+                });
+                out.push(DecisionRequest::Certainty {
+                    view: view.clone(),
+                    facts: fx.uncertain.clone(),
+                });
+            }
+            other => unreachable!("unknown problem {other}"),
+        }
+    }
+    out
+}
+
+const PROBLEMS: [&str; 3] = ["membership", "possibility", "certainty"];
+
+fn measure(
+    problem: &'static str,
+    workload: &Workload,
+    mode: &'static str,
+    cfg: &EngineConfig,
+    iters: usize,
+) -> Measurement {
+    let requests = requests_for(problem, workload);
+    // Warm up once (untimed), then pick an inner repeat count so every timed sample is
+    // at least ~2 ms — sub-millisecond batches are pure scheduler noise otherwise.
+    let warmup = Instant::now();
+    let _ = decide_all_with(&requests, cfg);
+    let once_ms = warmup.elapsed().as_secs_f64() * 1e3;
+    let reps = if iters == 1 {
+        1
+    } else {
+        ((2.0 / once_ms.max(1e-4)).ceil() as usize).clamp(1, 512)
+    };
+    let mut times = Vec::with_capacity(iters);
+    let mut answers = Vec::new();
+    for _ in 0..iters {
+        let start = Instant::now();
+        let mut outcomes = Vec::new();
+        for _ in 0..reps {
+            outcomes = decide_all_with(&requests, cfg);
+        }
+        times.push(start.elapsed().as_secs_f64() * 1e3 / reps as f64);
+        let mut yes = 0usize;
+        let mut no = 0usize;
+        let mut budget = 0usize;
+        for o in &outcomes {
+            match o.answer {
+                Ok(true) => yes += 1,
+                Ok(false) => no += 1,
+                Err(_) => budget += 1,
+            }
+        }
+        answers.clear();
+        if yes > 0 {
+            answers.push(format!("true:{yes}"));
+        }
+        if no > 0 {
+            answers.push(format!("false:{no}"));
+        }
+        if budget > 0 {
+            answers.push(format!("budget:{budget}"));
+        }
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+    Measurement {
+        problem,
+        workload: workload.label.clone(),
+        mode,
+        wall_ms: times[times.len() / 2],
+        answers,
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn render_json(
+    measurements: &[Measurement],
+    threads: usize,
+    iters: usize,
+    smoke: bool,
+    baseline_raw: Option<&str>,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"BENCH_PR3\",\n");
+    out.push_str("  \"description\": \"batch wall time on name-lookup-heavy workloads: many small requests across many relations (see crates/bench/src/bin/bench_pr3.rs)\",\n");
+    out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str(&format!("  \"iterations\": {iters},\n"));
+    out.push_str(&format!("  \"smoke\": {smoke},\n"));
+    out.push_str("  \"results\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        let answers: Vec<String> = m
+            .answers
+            .iter()
+            .map(|a| format!("\"{}\"", json_escape(a)))
+            .collect();
+        out.push_str(&format!(
+            "    {{\"problem\": \"{}\", \"workload\": \"{}\", \"mode\": \"{}\", \"wall_ms\": {:.3}, \"answers\": [{}]}}{}\n",
+            m.problem,
+            json_escape(&m.workload),
+            m.mode,
+            m.wall_ms,
+            answers.join(", "),
+            if i + 1 == measurements.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]");
+    if let Some(raw) = baseline_raw {
+        out.push_str(",\n  \"baseline\": ");
+        // Embed the baseline run verbatim (a JSON document produced by this binary).
+        let indented: Vec<String> = raw.trim().lines().map(|l| format!("  {l}")).collect();
+        out.push_str(indented.join("\n").trim_start());
+        let base = parse_results(raw);
+        out.push_str(",\n  \"speedup_vs_baseline\": [\n");
+        let rows: Vec<String> = measurements
+            .iter()
+            .filter_map(|m| {
+                let key = (m.problem.to_owned(), m.workload.clone(), m.mode.to_owned());
+                base.iter().find(|(k, _)| *k == key).map(|(_, base_ms)| {
+                    format!(
+                        "    {{\"problem\": \"{}\", \"workload\": \"{}\", \"mode\": \"{}\", \"baseline_ms\": {:.3}, \"current_ms\": {:.3}, \"speedup\": {:.2}}}",
+                        m.problem,
+                        json_escape(&m.workload),
+                        m.mode,
+                        base_ms,
+                        m.wall_ms,
+                        base_ms / m.wall_ms.max(1e-6),
+                    )
+                })
+            })
+            .collect();
+        out.push_str(&rows.join(",\n"));
+        out.push_str("\n  ]");
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+/// Minimal extraction of `(problem, workload, mode) -> wall_ms` rows from a prior run of
+/// this binary (full JSON parsing is overkill for a document we ourselves emit).
+fn parse_results(raw: &str) -> Vec<((String, String, String), f64)> {
+    let mut out = Vec::new();
+    for line in raw.lines() {
+        let line = line.trim();
+        if !line.starts_with("{\"problem\":") {
+            continue;
+        }
+        let field = |name: &str| -> Option<String> {
+            let tag = format!("\"{name}\": \"");
+            let start = line.find(&tag)? + tag.len();
+            let end = line[start..].find('"')? + start;
+            Some(line[start..end].to_owned())
+        };
+        let wall = || -> Option<f64> {
+            let tag = "\"wall_ms\": ";
+            let start = line.find(tag)? + tag.len();
+            let end = line[start..].find(',')? + start;
+            line[start..end].trim().parse().ok()
+        };
+        if let (Some(p), Some(w), Some(m), Some(ms)) =
+            (field("problem"), field("workload"), field("mode"), wall())
+        {
+            out.push(((p, w, m), ms));
+        }
+    }
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let flag_value = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let out_path = flag_value("--out").unwrap_or_else(|| "BENCH_PR3.json".to_owned());
+    let baseline_raw = flag_value("--baseline").map(|p| {
+        std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("cannot read baseline {p}: {e}"))
+    });
+
+    let iters = if smoke { 1 } else { 7 };
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let budget = Budget(2_000_000);
+    let sequential = EngineConfig::sequential(budget);
+    let parallel = EngineConfig::with_threads(threads, budget);
+
+    let sweeps: usize = flag_value("--sweeps")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+        .max(1);
+    let workloads = build_workloads(smoke);
+    let mut measurements: Vec<Measurement> = Vec::new();
+    for sweep in 0..sweeps {
+        let mut row = 0;
+        for w in &workloads {
+            for problem in PROBLEMS {
+                for (mode, cfg) in [("sequential", &sequential), ("parallel", &parallel)] {
+                    let m = measure(problem, w, mode, cfg, iters);
+                    eprintln!(
+                        "sweep {}/{sweeps}: {:<12} {:<14} {:<10} {:>10.3} ms  [{}]",
+                        sweep + 1,
+                        m.problem,
+                        m.workload,
+                        m.mode,
+                        m.wall_ms,
+                        m.answers.join(", ")
+                    );
+                    if sweep == 0 {
+                        measurements.push(m);
+                    } else if m.wall_ms < measurements[row].wall_ms {
+                        measurements[row] = m;
+                    }
+                    row += 1;
+                }
+            }
+        }
+    }
+
+    let json = render_json(
+        &measurements,
+        threads,
+        iters,
+        smoke,
+        baseline_raw.as_deref(),
+    );
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    eprintln!("wrote {out_path}");
+}

@@ -75,7 +75,7 @@ fn exhaustive_refutation(rows: usize) {
         .map(|threads| {
             let engine = Engine::new(EngineConfig::with_threads(threads, BUDGET));
             let start = Instant::now();
-            let (answer, _) = possibility::decide_with(&view, &facts, &engine).unwrap();
+            let answer = possibility::decide_with(&view, &facts, &engine).0.unwrap();
             (threads, start.elapsed(), answer)
         })
         .collect();
@@ -128,7 +128,7 @@ fn certainty_forest(chaff: usize, facts_n: usize) {
         .map(|threads| {
             let engine = Engine::new(EngineConfig::with_threads(threads, BUDGET));
             let start = Instant::now();
-            let (answer, _) = certainty::decide_with(&view, &facts, &engine).unwrap();
+            let answer = certainty::decide_with(&view, &facts, &engine).0.unwrap();
             (threads, start.elapsed(), answer)
         })
         .collect();

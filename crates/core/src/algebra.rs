@@ -109,10 +109,12 @@ fn eval_cq_into(
     }
 
     // Intern the query's constants and index its variables once, before the row loop.
+    // Interning goes through the database's own symbol handle so the produced atoms are
+    // comparable with the rows of a private-dictionary database.
     let mut var_slots: BTreeMap<String, usize> = BTreeMap::new();
     let mut slot_of = |t: &QTerm| -> Slot {
         match t {
-            QTerm::Const(c) => Slot::Const(Term::from(c)),
+            QTerm::Const(c) => Slot::Const(Term::Const(db.intern(c))),
             QTerm::Var(name) => {
                 let next = var_slots.len();
                 Slot::Var(*var_slots.entry(name.clone()).or_insert(next))

@@ -1,12 +1,29 @@
-//! C-table databases: the paper's n-vectors of c-tables.
+//! C-table databases: the paper's n-vectors of c-tables, stored catalog-addressed.
 
-use crate::table::{CTable, TableClass};
-use pw_condition::Variable;
-use pw_relational::{Constant, Sym, SymbolTable};
+use crate::table::{CTable, CTuple, TableClass};
+use pw_condition::{Atom, Conjunction, Term, Variable};
+use pw_relational::{Constant, RelId, Sym, Symbols};
 use std::collections::BTreeSet;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
+
+/// Lazily computed per-database state, shared by clones.  Both members are pay-on-use:
+/// a short-lived derived database (a view conversion, a normalisation) that is never used
+/// as a cache key and never resolves a relation name costs one allocation and nothing
+/// else.
+#[derive(Debug, Default)]
+struct ShardState {
+    /// Structural hash of the tables — the one-machine-word stand-in that per-request
+    /// cache lookups (e.g. the engine's base-store map) hash instead of re-walking every
+    /// relation name, row and condition.
+    fingerprint: std::sync::OnceLock<u64>,
+    /// The shard map: the catalog id of each table, parallel to the table vector.
+    /// Registered in the owning [`Symbols`] catalog on first resolution; afterwards
+    /// id→shard resolution is a machine-word scan — no name is hashed or compared below
+    /// the boundary.
+    rel_ids: std::sync::OnceLock<Arc<[RelId]>>,
+}
 
 /// An incomplete-information database: a vector of named c-tables.
 ///
@@ -17,19 +34,36 @@ use std::sync::Arc;
 /// variables in a global condition — but [`CDatabase::tables_share_variables`] reports it
 /// so callers that care (e.g. the classification used in benchmarks) can check.
 ///
-/// # Symbols
+/// # Symbols and the relation catalog
 ///
-/// Every database owns a thread-safe handle to the [`SymbolTable`] its interned ids are
-/// meaningful in.  Databases built through the ordinary constructors share the global
-/// table (matching the context-free `Term` conversions); a session that wants its own id
-/// space builds its terms through a private table and attaches it with
-/// [`CDatabase::with_symbols`].  The decision engine resolves and interns external
-/// constants through this handle — the "all ids resolved at the front door" invariant.
+/// Every database owns a thread-safe handle to the [`Symbols`] context its interned ids
+/// live in: the constant dictionary *and* the relation catalog.  Each table's name is
+/// registered in the catalog exactly once (on first resolution) and the tables are
+/// addressed by the resulting [`RelId`] — a shard map with one store per relation.
+/// Below the front door everything is addressed by id ([`CDatabase::table_by_id`],
+/// [`CDatabase::shards`]); [`CDatabase::table`] survives as the *boundary resolver* that
+/// performs the one name→id lookup a request pays.
+///
+/// Databases built through the ordinary constructors share the global context (matching
+/// the context-free `Term` conversions); a session that wants its own id space attaches a
+/// private context with [`CDatabase::with_symbols`] (ids already private) or
+/// [`CDatabase::reinterned`] (translate a global-id database into a private space).  The
+/// decision layers resolve and intern **through this handle only** — no layer below the
+/// front door may touch the global table implicitly.
 #[derive(Clone, Debug)]
 pub struct CDatabase {
-    tables: Vec<CTable>,
-    symbols: Arc<SymbolTable>,
+    /// The shards, shared: cloning a database (one clone per request in a batch) is a
+    /// refcount bump, and equality between clones is a pointer compare.
+    tables: Arc<[CTable]>,
+    symbols: Arc<Symbols>,
+    state: Arc<ShardState>,
 }
+
+/// Below this shard count the boundary resolver scans table names directly instead of
+/// consulting the catalog — for tiny databases a short scan is cheaper than a name hash
+/// plus a lock acquisition (benchmarked in `bench-pr3`; the crossover is between 32 and
+/// 64 relations on current hardware).
+const SMALL_SHARD_SCAN: usize = 32;
 
 impl Default for CDatabase {
     fn default() -> Self {
@@ -39,9 +73,13 @@ impl Default for CDatabase {
 
 impl PartialEq for CDatabase {
     fn eq(&self, other: &Self) -> bool {
-        // Ids from different tables are incomparable, so two databases are equal only
-        // when they agree on the table *and* the content.
-        Arc::ptr_eq(&self.symbols, &other.symbols) && self.tables == other.tables
+        // Ids from different contexts are incomparable, so two databases are equal only
+        // when they agree on the context *and* the content.  Clones share the table
+        // allocation and compare by pointer; otherwise the fingerprint screens out
+        // almost all unequal pairs before the structural walk.
+        Arc::ptr_eq(&self.symbols, &other.symbols)
+            && (Arc::ptr_eq(&self.tables, &other.tables)
+                || (self.fingerprint() == other.fingerprint() && self.tables == other.tables))
     }
 }
 
@@ -49,19 +87,17 @@ impl Eq for CDatabase {}
 
 impl Hash for CDatabase {
     fn hash<H: Hasher>(&self, state: &mut H) {
-        // The symbol-table identity is deliberately left out: hashing must agree with
-        // equality, and equal databases share the table by `PartialEq` above.
-        self.tables.hash(state);
+        // The symbol-context identity is deliberately left out: hashing must agree with
+        // equality, and equal databases share the context by `PartialEq` above.  The
+        // cached fingerprint stands in for the tables (equal tables ⇒ equal fingerprint).
+        self.fingerprint().hash(state);
     }
 }
 
 impl CDatabase {
-    /// Build a database from tables (interned against the global symbol table).
+    /// Build a database from tables (interned against the global symbol context).
     pub fn new(tables: impl IntoIterator<Item = CTable>) -> Self {
-        CDatabase {
-            tables: tables.into_iter().collect(),
-            symbols: SymbolTable::global_handle(),
-        }
+        CDatabase::build(tables.into_iter().collect(), Symbols::global_handle())
     }
 
     /// A database with a single table.
@@ -69,25 +105,91 @@ impl CDatabase {
         CDatabase::new([table])
     }
 
-    /// Attach a (typically private) symbol table; the caller guarantees every id in the
-    /// tables was issued by it.
-    ///
-    /// Scope (PR 2): the private handle is honored by the front-door helpers on this type
-    /// ([`CDatabase::intern`], [`CDatabase::resolve`], [`CDatabase::constants`]) and by
-    /// the engine's fact interning — enough for a service to manage per-session
-    /// dictionaries at its boundary.  The decision procedures themselves still resolve
-    /// context-free conversions (`Term::from("a")`, `Valuation::get`, `Display`) through
-    /// the **global** table, so running a decision over a database whose *row terms* were
-    /// interned privately is not yet supported (ids from different tables are
-    /// incomparable); see the ROADMAP item on threading the handle through the boundary
-    /// paths.  Databases built through the ordinary constructors are always safe.
-    pub fn with_symbols(mut self, symbols: Arc<SymbolTable>) -> Self {
-        self.symbols = symbols;
-        self
+    fn build(tables: Arc<[CTable]>, symbols: Arc<Symbols>) -> Self {
+        CDatabase {
+            tables,
+            symbols,
+            state: Arc::new(ShardState::default()),
+        }
     }
 
-    /// The symbol table this database's ids live in.
-    pub fn symbols(&self) -> &Arc<SymbolTable> {
+    /// The structural hash of the tables, computed on first use and shared by clones.
+    fn fingerprint(&self) -> u64 {
+        *self.state.fingerprint.get_or_init(|| {
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            self.tables.hash(&mut h);
+            h.finish()
+        })
+    }
+
+    /// Attach a (typically private) symbol context; the caller guarantees every constant
+    /// id in the tables was issued by its dictionary.  Table names are (re-)registered in
+    /// the context's catalog, so id-addressing works immediately.
+    ///
+    /// With the handle threaded through the whole decision boundary (valuations, `rep`,
+    /// the c-table algebra, freezing and the engine), a database on a private context runs
+    /// every decision problem end-to-end; use [`CDatabase::reinterned`] to translate an
+    /// existing global-id database into a private space.
+    pub fn with_symbols(self, symbols: Arc<Symbols>) -> Self {
+        // The shard allocation is reused; only the catalog registration and index are
+        // redone against the new context.
+        CDatabase::build(self.tables, symbols)
+    }
+
+    /// Translate this database into another symbol context: every constant id is resolved
+    /// through the current context and re-interned in `symbols`, and the relation names
+    /// are registered in its catalog.  This is how a session builds its private-dictionary
+    /// copy of a shared template database.
+    pub fn reinterned(&self, symbols: &Arc<Symbols>) -> CDatabase {
+        let remap_sym = |s: Sym| -> Sym {
+            let c = self
+                .symbols
+                .resolve(s)
+                .expect("ids were issued by this database's symbol context");
+            symbols.intern(&c)
+        };
+        let remap_term = |t: Term| -> Term {
+            match t {
+                Term::Const(s) => Term::Const(remap_sym(s)),
+                v => v,
+            }
+        };
+        let remap_conj = |c: &Conjunction| -> Conjunction {
+            Conjunction::new(c.atoms().iter().map(|a| match a {
+                Atom::Eq(x, y) => Atom::Eq(remap_term(*x), remap_term(*y)),
+                Atom::Neq(x, y) => Atom::Neq(remap_term(*x), remap_term(*y)),
+            }))
+        };
+        let tables: Arc<[CTable]> = self
+            .tables
+            .iter()
+            .map(|t| {
+                CTable::new(
+                    t.name(),
+                    t.arity(),
+                    remap_conj(t.global_condition()),
+                    t.tuples().iter().map(|row| {
+                        CTuple::with_condition(
+                            row.terms.iter().map(|&term| remap_term(term)),
+                            remap_conj(&row.condition),
+                        )
+                    }),
+                )
+                .expect("re-interning preserves arities")
+            })
+            .collect();
+        CDatabase::build(tables, Arc::clone(symbols))
+    }
+
+    /// Rebuild with the same symbol context but different tables — used by the
+    /// normalisation/conversion paths so derived databases stay in their source's id
+    /// space.
+    pub fn with_tables_like(&self, tables: impl IntoIterator<Item = CTable>) -> CDatabase {
+        CDatabase::build(tables.into_iter().collect(), Arc::clone(&self.symbols))
+    }
+
+    /// The symbol context this database's ids live in.
+    pub fn symbols(&self) -> &Arc<Symbols> {
         &self.symbols
     }
 
@@ -96,7 +198,7 @@ impl CDatabase {
         self.symbols.intern(c)
     }
 
-    /// Resolve an id issued by this database's table.
+    /// Resolve an id issued by this database's context.
     pub fn resolve(&self, sym: Sym) -> Option<Constant> {
         self.symbols.resolve(sym)
     }
@@ -104,6 +206,23 @@ impl CDatabase {
     /// The tables.
     pub fn tables(&self) -> &[CTable] {
         &self.tables
+    }
+
+    /// The catalog ids of the tables, parallel to [`CDatabase::tables`].  Names are
+    /// registered in the catalog on first call (in table order — ids for a fresh private
+    /// catalog are dense and deterministic); afterwards this is an atomic load.
+    pub fn rel_ids(&self) -> &[RelId] {
+        self.state.rel_ids.get_or_init(|| {
+            self.tables
+                .iter()
+                .map(|t| self.symbols.register_relation(t.name()))
+                .collect()
+        })
+    }
+
+    /// Iterate over the shards: `(catalog id, table)` pairs in table order.
+    pub fn shards(&self) -> impl Iterator<Item = (RelId, &CTable)> {
+        self.rel_ids().iter().copied().zip(self.tables.iter())
     }
 
     /// Number of tables.
@@ -116,9 +235,35 @@ impl CDatabase {
         self.tables.iter().map(CTable::len).sum()
     }
 
-    /// Look up a table by name.
+    /// Resolve a relation *name* to its shard — the boundary resolver, the only place a
+    /// request's relation string is examined; everything below addresses the shard by
+    /// [`RelId`] ([`CDatabase::table_by_id`]).
+    ///
+    /// The resolver is adaptive: with a handful of shards a direct scan beats the catalog
+    /// lookup (no hash, no lock); larger databases resolve through the catalog in one
+    /// name hash.
     pub fn table(&self, name: &str) -> Option<&CTable> {
-        self.tables.iter().find(|t| t.name() == name)
+        if self.tables.len() <= SMALL_SHARD_SCAN {
+            return self.tables.iter().find(|t| t.name() == name);
+        }
+        let id = self.symbols.relation_id(name)?;
+        self.table_by_id(id)
+    }
+
+    /// Resolve a relation name to its catalog id, if this database stores it.
+    pub fn rel_id(&self, name: &str) -> Option<RelId> {
+        let ids = self.rel_ids();
+        let id = self.symbols.relation_id(name)?;
+        ids.contains(&id).then_some(id)
+    }
+
+    /// The shard of a catalog id — the machine-word lookup the hot paths use (a dense
+    /// scan of `Copy` ids; no string is touched).
+    pub fn table_by_id(&self, id: RelId) -> Option<&CTable> {
+        self.rel_ids()
+            .iter()
+            .position(|&r| r == id)
+            .map(|pos| &self.tables[pos])
     }
 
     /// All variables across tables and conditions.
@@ -127,8 +272,8 @@ impl CDatabase {
     }
 
     /// All constants across tables and conditions — the Δ of Proposition 2.1.
-    /// Resolution goes through this database's own symbol-table handle, so the set is
-    /// correct for private-table databases too.
+    /// Resolution goes through this database's own symbol handle, so the set is
+    /// correct for private-context databases too.
     pub fn constants(&self) -> BTreeSet<Constant> {
         self.tables
             .iter()
@@ -136,7 +281,7 @@ impl CDatabase {
             .map(|s| {
                 self.symbols
                     .resolve(s)
-                    .expect("row ids were issued by this database's symbol table")
+                    .expect("row ids were issued by this database's symbol context")
             })
             .collect()
     }
@@ -154,7 +299,7 @@ impl CDatabase {
     /// Whether two tables share a variable (see the type-level comment).
     pub fn tables_share_variables(&self) -> bool {
         let mut seen: BTreeSet<Variable> = BTreeSet::new();
-        for t in &self.tables {
+        for t in self.tables.iter() {
             let vars = t.variables();
             if vars.iter().any(|v| seen.contains(v)) {
                 return true;
@@ -177,7 +322,7 @@ impl CDatabase {
     /// global condition is unsatisfiable") — checkable in PTIME.
     pub fn has_satisfiable_globals(&self) -> bool {
         let mut combined = pw_condition::Conjunction::truth();
-        for t in &self.tables {
+        for t in self.tables.iter() {
             combined = combined.and(t.global_condition());
         }
         combined.is_satisfiable()
@@ -192,7 +337,7 @@ impl FromIterator<CTable> for CDatabase {
 
 impl fmt::Display for CDatabase {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for t in &self.tables {
+        for t in self.tables.iter() {
             write!(f, "{t}")?;
         }
         Ok(())
@@ -227,6 +372,62 @@ mod tests {
         assert_eq!(db.schema(), vec![("R".to_owned(), 1), ("S".to_owned(), 1)]);
         assert!(!db.tables_share_variables());
         assert!(db.has_satisfiable_globals());
+    }
+
+    #[test]
+    fn shard_map_addresses_tables_by_catalog_id() {
+        let r = CTable::codd("R", 1, [vec![Term::constant(1)]]).unwrap();
+        let s = CTable::codd("S", 2, [vec![Term::constant(1), Term::constant(2)]]).unwrap();
+        let db = CDatabase::new([r, s]);
+        assert_eq!(db.rel_ids().len(), 2);
+        let r_id = db.rel_id("R").expect("registered at construction");
+        let s_id = db.rel_id("S").expect("registered at construction");
+        assert_ne!(r_id, s_id);
+        assert_eq!(db.table_by_id(r_id).unwrap().name(), "R");
+        assert_eq!(db.table_by_id(s_id).unwrap().name(), "S");
+        assert_eq!(db.shards().count(), 2);
+        // A name registered in the catalog by some other database does not resolve here.
+        let other =
+            CDatabase::single(CTable::codd("Elsewhere", 1, [vec![Term::constant(1)]]).unwrap());
+        let foreign = other.rel_id("Elsewhere").unwrap();
+        assert_eq!(db.rel_id("Elsewhere"), None);
+        assert!(db.table_by_id(foreign).is_none());
+        assert!(db.table("Elsewhere").is_none());
+    }
+
+    #[test]
+    fn equality_and_hashing_use_the_cached_fingerprint() {
+        use std::collections::hash_map::DefaultHasher;
+        let t = CTable::codd("R", 1, [vec![Term::constant(1)]]).unwrap();
+        let db = CDatabase::single(t.clone());
+        let clone = db.clone();
+        assert_eq!(db, clone);
+        let hash = |d: &CDatabase| {
+            let mut h = DefaultHasher::new();
+            d.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&db), hash(&clone));
+        // An independently built equal database also agrees (same tables, same context).
+        let rebuilt = CDatabase::single(t);
+        assert_eq!(db, rebuilt);
+        assert_eq!(hash(&db), hash(&rebuilt));
+    }
+
+    #[test]
+    fn reinterning_moves_a_database_into_a_private_context() {
+        let t = CTable::codd("R", 2, [vec![Term::from("alice"), Term::from("sales")]]).unwrap();
+        let db = CDatabase::single(t);
+        let private = Arc::new(Symbols::new());
+        let twin = db.reinterned(&private);
+        assert!(Arc::ptr_eq(twin.symbols(), &private));
+        assert_eq!(twin.constants(), db.constants(), "same constants, new ids");
+        assert_eq!(twin.rel_ids()[0].index(), 0, "private catalog starts dense");
+        // The twin's row ids resolve through the private context, not the global one.
+        let sym = twin.tables()[0].tuples()[0].terms[0]
+            .as_sym()
+            .expect("constant term");
+        assert_eq!(private.resolve(sym), Some(Constant::str("alice")));
     }
 
     #[test]

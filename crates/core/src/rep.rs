@@ -52,9 +52,22 @@ pub struct ValuationIter {
 }
 
 impl ValuationIter {
-    /// Create the iterator.  An empty domain with a non-empty variable set yields no
-    /// valuations; an empty variable set yields exactly the empty valuation.
+    /// Create the iterator (domain interned in the **global** symbol context).  An empty
+    /// domain with a non-empty variable set yields no valuations; an empty variable set
+    /// yields exactly the empty valuation.
     pub fn new(vars: Vec<Variable>, domain: Vec<Constant>) -> Self {
+        ValuationIter::new_in(pw_relational::Symbols::global(), vars, domain)
+    }
+
+    /// [`ValuationIter::new`] interning the domain through an explicit [`Symbols`]
+    /// context, so the yielded assignments are comparable with a private database's ids.
+    ///
+    /// [`Symbols`]: pw_relational::Symbols
+    pub fn new_in(
+        symbols: &pw_relational::Symbols,
+        vars: Vec<Variable>,
+        domain: Vec<Constant>,
+    ) -> Self {
         let counter = if vars.is_empty() {
             Some(Vec::new())
         } else if domain.is_empty() {
@@ -64,7 +77,7 @@ impl ValuationIter {
         };
         ValuationIter {
             vars,
-            domain: domain.iter().map(pw_relational::Sym::of).collect(),
+            domain: domain.iter().map(|c| symbols.intern(c)).collect(),
             counter,
         }
     }
@@ -150,9 +163,10 @@ impl<'a> PossibleWorlds<'a> {
         delta.into_iter().chain(fresh).collect()
     }
 
-    /// Iterator over all candidate valuations (all functions from variables to Δ ∪ Δ′).
+    /// Iterator over all candidate valuations (all functions from variables to Δ ∪ Δ′),
+    /// interned through the database's own symbol handle.
     pub fn valuations(&self) -> ValuationIter {
-        ValuationIter::new(self.variables(), self.domain())
+        ValuationIter::new_in(self.db.symbols(), self.variables(), self.domain())
     }
 
     /// Number of candidate valuations.

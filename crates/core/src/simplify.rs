@@ -104,7 +104,7 @@ pub fn simplify_database(db: &CDatabase) -> Option<CDatabase> {
     for table in db.tables() {
         tables.push(simplify_table(table)?);
     }
-    Some(CDatabase::new(tables))
+    Some(db.with_tables_like(tables))
 }
 
 #[cfg(test)]

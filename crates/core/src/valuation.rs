@@ -8,12 +8,15 @@
 //! canonical-valuation enumerators of `pw-decide` copy assignments without touching the
 //! heap.  Constants are accepted on entry (anything `Into<Sym>`) and resolved on exit
 //! ([`Valuation::apply_tuple`], [`Valuation::get`]) where a complete-information
-//! [`Instance`] is materialised.
+//! [`Instance`] is materialised.  Resolution is **handle-threaded**: the `*_in` variants
+//! take the [`Symbols`] context the ids live in, and [`Valuation::world_of`] resolves
+//! through the database's own handle — a valuation over a private dictionary
+//! materialises worlds without ever touching the global table.
 
 use crate::table::{CTable, CTuple};
 use crate::CDatabase;
 use pw_condition::{BoolExpr, Conjunction, Term, Variable};
-use pw_relational::{Constant, Instance, Relation, Sym, Tuple};
+use pw_relational::{Constant, Instance, Relation, Sym, Symbols, Tuple};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -52,10 +55,14 @@ impl Valuation {
     ///
     /// # Panics
     /// Resolution uses the **global** symbol table; a [`Sym`] issued by a private
-    /// [`pw_relational::SymbolTable`] panics here (resolve such valuations through their
-    /// owning table instead).
+    /// context panics here — use [`Valuation::get_in`] with the owning [`Symbols`].
     pub fn get(&self, v: Variable) -> Option<Constant> {
         self.get_sym(v).map(Sym::constant)
+    }
+
+    /// Look up a variable, resolving through an explicit [`Symbols`] context.
+    pub fn get_in(&self, symbols: &Symbols, v: Variable) -> Option<Constant> {
+        self.get_sym(v).and_then(|s| symbols.resolve(s))
     }
 
     /// Number of assigned variables.
@@ -97,9 +104,14 @@ impl Valuation {
     /// [`Valuation::get`]) — this is the boundary where an interned table turns into a
     /// complete-information fact.
     pub fn apply_tuple(&self, t: &CTuple) -> Option<Tuple> {
+        self.apply_tuple_in(Symbols::global(), t)
+    }
+
+    /// [`Valuation::apply_tuple`] resolving through an explicit [`Symbols`] context.
+    pub fn apply_tuple_in(&self, symbols: &Symbols, t: &CTuple) -> Option<Tuple> {
         t.terms
             .iter()
-            .map(|&term| self.apply_term(term).map(Sym::constant))
+            .map(|&term| self.apply_term(term).and_then(|s| symbols.resolve(s)))
             .collect::<Option<Vec<Constant>>>()
             .map(Tuple::new)
     }
@@ -110,11 +122,16 @@ impl Valuation {
     /// Returns `None` when a needed variable is unassigned; callers check the global
     /// condition separately (see [`Valuation::world_of`]).
     pub fn apply_table(&self, table: &CTable) -> Option<Relation> {
+        self.apply_table_in(Symbols::global(), table)
+    }
+
+    /// [`Valuation::apply_table`] resolving through an explicit [`Symbols`] context.
+    pub fn apply_table_in(&self, symbols: &Symbols, table: &CTable) -> Option<Relation> {
         let mut rel = Relation::empty(table.arity());
         for row in table.tuples() {
             match self.satisfies(&row.condition)? {
                 true => {
-                    let fact = self.apply_tuple(row)?;
+                    let fact = self.apply_tuple_in(symbols, row)?;
                     rel.insert(fact).expect("row arity equals table arity");
                 }
                 false => {}
@@ -125,7 +142,8 @@ impl Valuation {
 
     /// The possible world σ(𝒟) of a database under this valuation, or `None` if σ does not
     /// satisfy every global condition (no world arises from σ) or leaves a variable
-    /// unassigned.
+    /// unassigned.  Resolution goes through the database's own [`Symbols`] handle, so
+    /// private-dictionary databases materialise worlds correctly.
     pub fn world_of(&self, db: &CDatabase) -> Option<Instance> {
         for table in db.tables() {
             if self.satisfies(table.global_condition())? != true {
@@ -134,7 +152,10 @@ impl Valuation {
         }
         let mut instance = Instance::new();
         for table in db.tables() {
-            instance.insert_relation(table.name().to_owned(), self.apply_table(table)?);
+            instance.insert_relation(
+                table.name().to_owned(),
+                self.apply_table_in(db.symbols(), table)?,
+            );
         }
         Some(instance)
     }

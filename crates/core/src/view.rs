@@ -61,7 +61,9 @@ impl View {
     /// When every output of the query is a union of conjunctive queries, compute an
     /// equivalent c-table database via the c-table algebra (polynomial for a fixed query).
     /// Returns `None` when some output is not UCQ-shaped (identity outputs are converted
-    /// by copying the corresponding table).
+    /// by copying the corresponding table).  The converted database stays in the source
+    /// database's [`pw_relational::Symbols`] context — ids are never re-interned and a
+    /// private-dictionary view converts into a private-dictionary database.
     pub fn to_ctables(&self) -> Option<Result<CDatabase, AlgebraError>> {
         let mut tables = Vec::new();
         for (name, def) in self.query.outputs() {
@@ -77,7 +79,7 @@ impl View {
                 _ => return None,
             }
         }
-        Some(Ok(CDatabase::new(tables)))
+        Some(Ok(self.db.with_tables_like(tables)))
     }
 }
 

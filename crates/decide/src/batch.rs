@@ -81,10 +81,10 @@ impl DecisionRequest {
         }
     }
 
-    /// Decide the request; the answer arrives with the [`Strategy`] the dispatcher
+    /// Decide the request; the answer arrives next to the [`Strategy`] the dispatcher
     /// chose, so the view→c-table conversion behind the dispatch tables runs once per
-    /// request instead of once for the answer and once for the report.
-    fn decide(&self, engine: &Engine) -> Result<(bool, Strategy), BudgetExceeded> {
+    /// request — for successes *and* for budget-exceeded failures alike.
+    fn decide(&self, engine: &Engine) -> (Result<bool, BudgetExceeded>, Strategy) {
         match self {
             DecisionRequest::Membership { view, instance } => {
                 membership::view_membership_with(view, instance, engine)
@@ -104,19 +104,12 @@ impl DecisionRequest {
         }
     }
 
-    /// Decide and package as a [`DecisionOutcome`].  Only a budget-exceeded request pays
-    /// for a second strategy derivation (to label the failure).
+    /// Decide and package as a [`DecisionOutcome`].  The strategy comes from the same
+    /// `decide_with` call that produced (or attempted) the answer — a budget-exceeded
+    /// failure is labelled without re-deriving the plan.
     fn outcome(&self, engine: &Engine) -> DecisionOutcome {
-        match self.decide(engine) {
-            Ok((answer, strategy)) => DecisionOutcome {
-                answer: Ok(answer),
-                strategy,
-            },
-            Err(BudgetExceeded) => DecisionOutcome {
-                answer: Err(BudgetExceeded),
-                strategy: self.strategy(),
-            },
-        }
+        let (answer, strategy) = self.decide(engine);
+        DecisionOutcome { answer, strategy }
     }
 }
 

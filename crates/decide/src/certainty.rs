@@ -24,34 +24,35 @@ use pw_relational::Instance;
 
 /// Decide `CERT(·, q)`: is every fact of `facts` true in every world of the view?
 pub fn decide(view: &View, facts: &Instance, budget: Budget) -> Result<bool, BudgetExceeded> {
-    decide_with(view, facts, &Engine::new(EngineConfig::sequential(budget))).map(|(a, _)| a)
+    decide_with(view, facts, &Engine::new(EngineConfig::sequential(budget))).0
 }
 
 /// [`decide`] on an explicit [`Engine`]: the general (coNP) paths run on the engine's
 /// worker pool — the per-fact complement searches are independent subtrees, so a
 /// `CERT(*, q)` request parallelizes across facts as well as within each search.
 ///
-/// Returns the answer together with the [`Strategy`] that produced it; the dispatch (and
-/// the view→c-table conversion behind it) runs exactly once per call.
+/// Returns the answer *next to* the [`Strategy`] that produced (or attempted) it, so the
+/// strategy survives a budget-exceeded search; the dispatch (and the view→c-table
+/// conversion behind it) runs exactly once per call.
 pub fn decide_with(
     view: &View,
     facts: &Instance,
     engine: &Engine,
-) -> Result<(bool, Strategy), BudgetExceeded> {
+) -> (Result<bool, BudgetExceeded>, Strategy) {
     let (strategy, converted) = plan(view);
     let answer = match strategy {
         Strategy::NaiveEvaluation => {
-            naive_gtable(view, facts).expect("strategy selection guarantees applicability")
+            Ok(naive_gtable(view, facts).expect("strategy selection guarantees applicability"))
         }
         Strategy::Backtracking => {
             match converted.expect("planned strategies carry their conversion") {
-                Ok(db) => complement_search_with(&db, facts, engine)?,
-                Err(_) => false,
+                Ok(db) => complement_search_with(&db, facts, engine),
+                Err(_) => Ok(false),
             }
         }
-        _ => by_enumeration_with(view, facts, engine)?,
+        _ => by_enumeration_with(view, facts, engine),
     };
-    Ok((answer, strategy))
+    (answer, strategy)
 }
 
 /// The dispatch decision plus (when applicable) the one-time view→c-table conversion.
@@ -140,11 +141,12 @@ pub fn by_enumeration_with(
     let vars: Vec<_> = view.db.variables().into_iter().collect();
     let mut delta = evaluation_delta(&view.db, facts.active_domain());
     delta.extend(view.query.constants());
-    let counterexample = engine.find_canonical_valuation(&vars, &delta, |valuation| {
-        let world = valuation.world_of(&view.db)?;
-        let output = view.query.eval(&world);
-        (!facts.is_subinstance_of(&output)).then_some(())
-    })?;
+    let counterexample =
+        engine.find_canonical_valuation(view.db.symbols(), &vars, &delta, |valuation| {
+            let world = valuation.world_of(&view.db)?;
+            let output = view.query.eval(&world);
+            (!facts.is_subinstance_of(&output)).then_some(())
+        })?;
     Ok(counterexample.is_none())
 }
 

@@ -214,7 +214,8 @@ pub fn normalize_database(db: &CDatabase) -> Option<CDatabase> {
                 .expect("combined condition satisfiability was checked")
         })
         .collect::<Vec<_>>();
-    Some(CDatabase::new(tables))
+    // Normalisation rewrites ids in place, so the result stays in the source's id space.
+    Some(db.with_tables_like(tables))
 }
 
 /// Freeze a (normalised) database: replace every remaining variable by a distinct fresh
@@ -229,7 +230,9 @@ pub fn freeze_database(
     let mut used: BTreeSet<Constant> = db.constants();
     used.extend(avoid.iter().cloned());
     let fresh = fresh_constants(&used, vars.len());
-    let valuation = Valuation::from_pairs(vars.into_iter().zip(fresh.iter().cloned()));
+    // The freezing valuation is built in the database's own id space (handle-threading
+    // rule), so condition checks and resolution work over private dictionaries too.
+    let valuation = Valuation::from_pairs(vars.into_iter().zip(fresh.iter().map(|c| db.intern(c))));
     let mut instance = pw_relational::Instance::new();
     for table in db.tables() {
         let mut rel = pw_relational::Relation::empty(table.arity());
@@ -238,7 +241,7 @@ pub fn freeze_database(
             // condition the freeze does not satisfy are dropped (callers that require
             // condition-free tables dispatch away from the freeze path).
             if valuation.satisfies(&row.condition) == Some(true) {
-                if let Some(fact) = valuation.apply_tuple(row) {
+                if let Some(fact) = valuation.apply_tuple_in(db.symbols(), row) {
                     rel.insert(fact).expect("arity preserved");
                 }
             }

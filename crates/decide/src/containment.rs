@@ -22,7 +22,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Decide `CONT(q₀, q)`: `rep(view0) ⊆ rep(view)`.
 pub fn decide(view0: &View, view: &View, budget: Budget) -> Result<bool, BudgetExceeded> {
-    decide_with(view0, view, &Engine::new(EngineConfig::sequential(budget))).map(|(a, _)| a)
+    decide_with(view0, view, &Engine::new(EngineConfig::sequential(budget))).0
 }
 
 /// [`decide`] on an explicit [`Engine`]: the ∀ half of the Π₂ᵖ procedure (the enumeration
@@ -30,18 +30,19 @@ pub fn decide(view0: &View, view: &View, budget: Budget) -> Result<bool, BudgetE
 /// worker's ∃ half (the membership call on the right) stays sequential, so the engine's
 /// threads are never oversubscribed.
 ///
-/// Returns the answer together with the [`Strategy`] that produced it.
+/// Returns the answer *next to* the [`Strategy`] that produced (or attempted) it, so the
+/// strategy survives a budget-exceeded search.
 pub fn decide_with(
     view0: &View,
     view: &View,
     engine: &Engine,
-) -> Result<(bool, Strategy), BudgetExceeded> {
+) -> (Result<bool, BudgetExceeded>, Strategy) {
     let strategy = strategy(view0, view);
     let answer = match strategy {
-        Strategy::Freeze => freeze(&view0.db, &view.db, engine.config().budget)?,
-        _ => forall_exists_with(view0, view, engine)?,
+        Strategy::Freeze => freeze(&view0.db, &view.db, engine.config().budget),
+        _ => forall_exists_with(view0, view, engine),
     };
-    Ok((answer, strategy))
+    (answer, strategy)
 }
 
 /// The strategy [`decide`] will use for a pair of views (mirrors the upper-bound regions of
@@ -103,20 +104,21 @@ pub fn forall_exists_with(
     delta.extend(view.query.constants());
     let budget = engine.config().budget;
     let inner_exhausted = AtomicBool::new(false);
-    let counterexample = engine.find_canonical_valuation(&vars, &delta, |valuation| {
-        let world = valuation.world_of(&view0.db)?;
-        let left_output: Instance = view0.query.eval(&world);
-        match membership::view_membership(view, &left_output, budget) {
-            Ok(true) => None,
-            Ok(false) => Some(()),
-            Err(BudgetExceeded) => {
-                // Not a witness: this world's membership is unresolved.  Keep searching —
-                // another world may be a definitive counterexample.
-                inner_exhausted.store(true, Ordering::Relaxed);
-                None
+    let counterexample =
+        engine.find_canonical_valuation(view0.db.symbols(), &vars, &delta, |valuation| {
+            let world = valuation.world_of(&view0.db)?;
+            let left_output: Instance = view0.query.eval(&world);
+            match membership::view_membership(view, &left_output, budget) {
+                Ok(true) => None,
+                Ok(false) => Some(()),
+                Err(BudgetExceeded) => {
+                    // Not a witness: this world's membership is unresolved.  Keep
+                    // searching — another world may be a definitive counterexample.
+                    inner_exhausted.store(true, Ordering::Relaxed);
+                    None
+                }
             }
-        }
-    })?;
+        })?;
     if counterexample.is_some() {
         Ok(false)
     } else if inner_exhausted.load(Ordering::Relaxed) {

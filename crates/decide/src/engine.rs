@@ -42,7 +42,7 @@ use crate::common::{Budget, BudgetExceeded};
 use pw_condition::Variable;
 use pw_condition::{Atom, Conjunction, ConstraintSet, SatCache, Term};
 use pw_core::{CDatabase, CTable, Valuation};
-use pw_relational::{Constant, Instance, Sym, Tuple};
+use pw_relational::{Constant, Instance, Sym, Symbols, Tuple};
 use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -558,11 +558,17 @@ impl Engine {
     /// [`crate::common::for_each_canonical_valuation`]) and return the result of the first
     /// `visit` call that produces `Some`.
     ///
+    /// `symbols` is the id space the valuations are built in — callers pass the subject
+    /// database's handle (`view.db.symbols()`), so the enumeration works unchanged over a
+    /// private dictionary (the handle-threading rule: nothing below the front door touches
+    /// the global table implicitly).
+    ///
     /// Under parallelism the valuation that "wins" is whichever worker reports first, so
     /// callers must treat the witness as *a* witness, not *the lexicographically first*
     /// witness; the decision (`Some` vs `None`) is schedule-independent.
     pub fn find_canonical_valuation<R, F>(
         &self,
+        symbols: &Symbols,
         vars: &[Variable],
         delta: &BTreeSet<Constant>,
         visit: F,
@@ -575,8 +581,8 @@ impl Engine {
         let search = EnumSearch {
             vars,
             // Intern once here; the enumeration below copies machine words only.
-            delta: delta.iter().map(Sym::of).collect(),
-            fresh: fresh.iter().map(Sym::of).collect(),
+            delta: delta.iter().map(|c| symbols.intern(c)).collect(),
+            fresh: fresh.iter().map(|c| symbols.intern(c)).collect(),
             visit,
             witness: Mutex::new(None),
         };
@@ -1137,7 +1143,7 @@ mod tests {
         for engine in engines() {
             // A witness that requires a *fresh* constant in second position.
             let found = engine
-                .find_canonical_valuation(&vars, &delta, |v| {
+                .find_canonical_valuation(Symbols::global(), &vars, &delta, |v| {
                     let second = v.get(vars[1])?;
                     (second != Constant::int(7)).then_some(second)
                 })
@@ -1145,7 +1151,7 @@ mod tests {
             assert!(found.is_some(), "fresh-constant valuations are enumerated");
             // An unsatisfiable predicate has no witness on any thread count.
             let none = engine
-                .find_canonical_valuation(&vars, &delta, |_| None::<()>)
+                .find_canonical_valuation(Symbols::global(), &vars, &delta, |_| None::<()>)
                 .unwrap();
             assert!(none.is_none());
         }
@@ -1159,7 +1165,8 @@ mod tests {
         for threads in [1, 2, 8] {
             let engine = Engine::new(EngineConfig::with_threads(threads, Budget(200)));
             for _ in 0..3 {
-                let r = engine.find_canonical_valuation(&vars, &delta, |_| None::<()>);
+                let r = engine
+                    .find_canonical_valuation(Symbols::global(), &vars, &delta, |_| None::<()>);
                 assert_eq!(
                     r.err(),
                     Some(BudgetExceeded),

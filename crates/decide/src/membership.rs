@@ -136,45 +136,46 @@ pub fn backtracking(
         }
     }
 
-    // Flatten rows and facts.
+    // Flatten rows and facts.  Rows carry the *index* of their table so the search below
+    // never resolves a relation name — machine-word addressing only (the boundary
+    // resolution happened in `schema_compatible` and the fact-list build).
     struct RowRef<'a> {
         table: &'a CTable,
         row_idx: usize,
+        /// Position of `table` in the database, i.e. the fact-list/coverage slot.
+        t_idx: usize,
     }
     let mut rows: Vec<RowRef<'_>> = Vec::new();
-    for table in db.tables() {
+    for (t_idx, table) in db.tables().iter().enumerate() {
         for row_idx in 0..table.len() {
-            rows.push(RowRef { table, row_idx });
+            rows.push(RowRef {
+                table,
+                row_idx,
+                t_idx,
+            });
         }
     }
-    // Facts per table (interned at the front door), with a global index for coverage
-    // tracking.
-    let mut fact_lists: Vec<(&str, Vec<Vec<Sym>>)> = Vec::new();
+    // Facts per table (interned at the front door), indexed by table position.
+    let mut fact_lists: Vec<Vec<Vec<Sym>>> = Vec::new();
     for table in db.tables() {
         let rel = instance.relation_or_empty(table.name(), table.arity());
-        fact_lists.push((
-            table.name(),
+        fact_lists.push(
             rel.iter()
                 .map(|f| crate::engine::intern_fact(db, f))
                 .collect(),
-        ));
+        );
     }
-    let total_facts: usize = fact_lists.iter().map(|(_, f)| f.len()).sum();
+    let total_facts: usize = fact_lists.iter().map(Vec::len).sum();
 
     let mut counter = budget.counter();
     let mut coverage: Vec<Vec<usize>> = fact_lists
         .iter()
-        .map(|(_, facts)| vec![0usize; facts.len()])
+        .map(|facts| vec![0usize; facts.len()])
         .collect();
 
-    fn table_index(db: &CDatabase, name: &str) -> usize {
-        db.tables().iter().position(|t| t.name() == name).unwrap()
-    }
-
     fn search(
-        db: &CDatabase,
         rows: &[RowRef<'_>],
-        fact_lists: &[(&str, Vec<Vec<Sym>>)],
+        fact_lists: &[Vec<Vec<Sym>>],
         coverage: &mut Vec<Vec<usize>>,
         covered_count: usize,
         total_facts: usize,
@@ -192,8 +193,8 @@ pub fn backtracking(
         }
         let row_ref = &rows[depth];
         let row = &row_ref.table.tuples()[row_ref.row_idx];
-        let t_idx = table_index(db, row_ref.table.name());
-        let facts = &fact_lists[t_idx].1;
+        let t_idx = row_ref.t_idx;
+        let facts = &fact_lists[t_idx];
 
         // Option 1: map the row onto a fact of its relation.  Each branch forks the store
         // with an O(1) checkpoint and unwinds it on return — no clone, no allocation per
@@ -216,7 +217,6 @@ pub fn backtracking(
             coverage[t_idx][f_idx] += 1;
             let newly_covered = coverage[t_idx][f_idx] == 1;
             let result = search(
-                db,
                 rows,
                 fact_lists,
                 coverage,
@@ -246,7 +246,6 @@ pub fn backtracking(
                 continue;
             }
             let result = search(
-                db,
                 rows,
                 fact_lists,
                 coverage,
@@ -267,7 +266,6 @@ pub fn backtracking(
 
     let mut store = base;
     search(
-        db,
         &rows,
         &fact_lists,
         &mut coverage,
@@ -295,7 +293,7 @@ pub fn view_membership(
         instance,
         &Engine::new(EngineConfig::sequential(budget)),
     )
-    .map(|(a, _)| a)
+    .0
 }
 
 /// [`view_membership`] on an explicit [`Engine`]: the generic fallback (canonical
@@ -303,13 +301,15 @@ pub fn view_membership(
 /// UCQ-convertible paths are a single NP backtracking call and stay sequential — inside a
 /// batch they already run concurrently with the other requests.
 ///
-/// Returns the answer together with the [`Strategy`] that produced it; the view→c-table
-/// conversion behind the dispatch runs exactly once per call.
+/// Returns the answer *next to* the [`Strategy`] that produced (or attempted) it, so the
+/// strategy survives a budget-exceeded search — the batched front door labels failures
+/// without re-deriving the plan.  The view→c-table conversion behind the dispatch runs
+/// exactly once per call.
 pub fn view_membership_with(
     view: &View,
     instance: &Instance,
     engine: &Engine,
-) -> Result<(bool, Strategy), BudgetExceeded> {
+) -> (Result<bool, BudgetExceeded>, Strategy) {
     match view.to_ctables() {
         Some(Ok(db)) => {
             let chosen = if view.query.is_identity() {
@@ -318,22 +318,23 @@ pub fn view_membership_with(
                 Strategy::Backtracking
             };
             let answer = match chosen {
-                Strategy::CoddMatching => codd_matching(&db, instance),
-                _ => backtracking(&db, instance, engine.config().budget)?,
+                Strategy::CoddMatching => Ok(codd_matching(&db, instance)),
+                _ => backtracking(&db, instance, engine.config().budget),
             };
-            Ok((answer, chosen))
+            (answer, chosen)
         }
-        Some(Err(_)) => Ok((false, Strategy::Backtracking)),
+        Some(Err(_)) => (Ok(false), Strategy::Backtracking),
         None => {
             let vars: Vec<_> = view.db.variables().into_iter().collect();
             let mut delta = evaluation_delta(&view.db, instance.active_domain());
             delta.extend(view.query.constants());
-            let found = engine.find_canonical_valuation(&vars, &delta, |valuation| {
-                let world = valuation.world_of(&view.db)?;
-                let output = view.query.eval(&world);
-                output.same_facts(instance).then_some(())
-            })?;
-            Ok((found.is_some(), Strategy::WorldEnumeration))
+            let found =
+                engine.find_canonical_valuation(view.db.symbols(), &vars, &delta, |valuation| {
+                    let world = valuation.world_of(&view.db)?;
+                    let output = view.query.eval(&world);
+                    output.same_facts(instance).then_some(())
+                });
+            (found.map(|f| f.is_some()), Strategy::WorldEnumeration)
         }
     }
 }

@@ -24,32 +24,33 @@ use pw_solvers::matching::{maximum_matching, BipartiteGraph};
 /// paper is about what is considered part of the input (`k` fixed vs. unbounded), not about
 /// the question itself.
 pub fn decide(view: &View, facts: &Instance, budget: Budget) -> Result<bool, BudgetExceeded> {
-    decide_with(view, facts, &Engine::new(EngineConfig::sequential(budget))).map(|(a, _)| a)
+    decide_with(view, facts, &Engine::new(EngineConfig::sequential(budget))).0
 }
 
 /// [`decide`] on an explicit [`Engine`]: the general (NP) paths run on the engine's worker
 /// pool with its shared budget, caches and early-exit cancellation.
 ///
-/// Returns the answer together with the [`Strategy`] that produced it; the dispatch (and
-/// in particular the view→c-table conversion behind it) is paid exactly once per call —
-/// the batched front door relies on this instead of re-deriving the strategy separately.
+/// Returns the answer *next to* the [`Strategy`] that produced (or attempted) it, so the
+/// strategy survives a budget-exceeded search; the dispatch (and in particular the
+/// view→c-table conversion behind it) is paid exactly once per call — the batched front
+/// door relies on this instead of re-deriving the strategy separately.
 pub fn decide_with(
     view: &View,
     facts: &Instance,
     engine: &Engine,
-) -> Result<(bool, Strategy), BudgetExceeded> {
+) -> (Result<bool, BudgetExceeded>, Strategy) {
     let (strategy, converted) = plan(view);
     let answer = match strategy {
-        Strategy::CoddMatching => codd_matching(&view.db, facts),
+        Strategy::CoddMatching => Ok(codd_matching(&view.db, facts)),
         Strategy::CTableAlgebra | Strategy::Backtracking => {
             match converted.expect("planned strategies carry their conversion") {
-                Ok(db) => engine.exists_world_covering(&db, facts)?,
-                Err(_) => false,
+                Ok(db) => engine.exists_world_covering(&db, facts),
+                Err(_) => Ok(false),
             }
         }
-        _ => by_enumeration_with(view, facts, engine)?,
+        _ => by_enumeration_with(view, facts, engine),
     };
-    Ok((answer, strategy))
+    (answer, strategy)
 }
 
 /// The dispatch decision and, when the chosen strategy runs on a converted c-table
@@ -131,7 +132,7 @@ pub fn by_enumeration_with(
     let vars: Vec<_> = view.db.variables().into_iter().collect();
     let mut delta = evaluation_delta(&view.db, facts.active_domain());
     delta.extend(view.query.constants());
-    let found = engine.find_canonical_valuation(&vars, &delta, |valuation| {
+    let found = engine.find_canonical_valuation(view.db.symbols(), &vars, &delta, |valuation| {
         let world = valuation.world_of(&view.db)?;
         let output = view.query.eval(&world);
         facts.is_subinstance_of(&output).then_some(())

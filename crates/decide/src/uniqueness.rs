@@ -31,34 +31,35 @@ pub fn decide(view: &View, instance: &Instance, budget: Budget) -> Result<bool, 
         instance,
         &Engine::new(EngineConfig::sequential(budget)),
     )
-    .map(|(a, _)| a)
+    .0
 }
 
 /// [`decide`] on an explicit [`Engine`]: the two halves of the coNP complement (a world
 /// with an extra fact / a world missing a fact) and all their per-row and per-fact
 /// subtrees run on the engine's worker pool.
 ///
-/// Returns the answer together with the [`Strategy`] that produced it; the dispatch (and
-/// the view→c-table conversion behind it) runs exactly once per call.
+/// Returns the answer *next to* the [`Strategy`] that produced (or attempted) it, so the
+/// strategy survives a budget-exceeded search; the dispatch (and the view→c-table
+/// conversion behind it) runs exactly once per call.
 pub fn decide_with(
     view: &View,
     instance: &Instance,
     engine: &Engine,
-) -> Result<(bool, Strategy), BudgetExceeded> {
+) -> (Result<bool, BudgetExceeded>, Strategy) {
     let (strategy, converted) = plan(view);
     let answer = match strategy {
-        Strategy::GTableNormalization => gtable_uniqueness(&view.db, instance),
-        Strategy::PosExistEtable => pos_exist_etable(&view.query, &view.db, instance)
-            .expect("strategy selection guarantees applicability"),
+        Strategy::GTableNormalization => Ok(gtable_uniqueness(&view.db, instance)),
+        Strategy::PosExistEtable => Ok(pos_exist_etable(&view.query, &view.db, instance)
+            .expect("strategy selection guarantees applicability")),
         Strategy::Backtracking => {
             match converted.expect("planned strategies carry their conversion") {
-                Ok(db) => complement_search_with(&db, instance, engine)?,
-                Err(_) => false,
+                Ok(db) => complement_search_with(&db, instance, engine),
+                Err(_) => Ok(false),
             }
         }
-        _ => by_enumeration_with(view, instance, engine)?,
+        _ => by_enumeration_with(view, instance, engine),
     };
-    Ok((answer, strategy))
+    (answer, strategy)
 }
 
 /// The dispatch decision plus (when applicable) the one-time view→c-table conversion.
@@ -113,7 +114,9 @@ pub fn gtable_uniqueness(db: &CDatabase, instance: &Instance) -> bool {
             );
             let mut fact = Vec::with_capacity(table.arity());
             for term in &row.terms {
-                match term.as_const() {
+                // Resolution goes through the database's own handle, so a private-
+                // dictionary database normalises and compares correctly.
+                match term.as_sym().and_then(|s| normalized.resolve(s)) {
                     Some(c) => fact.push(c),
                     None => return false, // an unforced null remains: not unique
                 }
@@ -184,13 +187,19 @@ pub fn pos_exist_etable(query: &Query, db: &CDatabase, instance: &Instance) -> O
         for row in table.tuples() {
             let mut rows: Vec<pw_core::CTuple> = i_rel
                 .iter()
-                .map(|fact| pw_core::CTuple::of_terms(fact.iter().map(pw_condition::Term::from)))
+                .map(|fact| {
+                    // Instance facts are interned at the front door, through the
+                    // database's handle.
+                    pw_core::CTuple::of_terms(
+                        fact.iter().map(|c| pw_condition::Term::Const(db.intern(c))),
+                    )
+                })
                 .collect();
             rows.push(pw_core::CTuple::of_terms(row.terms.iter().cloned()));
             let t_ti = CTable::new(name.clone(), table.arity(), row.condition.clone(), rows)
                 .expect("arities agree");
             let single = Instance::single(name.clone(), i_rel.clone());
-            if !gtable_uniqueness(&CDatabase::single(t_ti), &single) {
+            if !gtable_uniqueness(&db.with_tables_like([t_ti]), &single) {
                 return Some(false);
             }
         }
@@ -246,12 +255,13 @@ pub fn by_enumeration_with(
     let mut delta = evaluation_delta(&view.db, instance.active_domain());
     delta.extend(view.query.constants());
     let found_world = AtomicBool::new(false);
-    let differing = engine.find_canonical_valuation(&vars, &delta, |valuation| {
-        let world = valuation.world_of(&view.db)?;
-        let output = view.query.eval(&world);
-        found_world.store(true, Ordering::Relaxed);
-        (!output.same_facts(instance)).then_some(())
-    })?;
+    let differing =
+        engine.find_canonical_valuation(view.db.symbols(), &vars, &delta, |valuation| {
+            let world = valuation.world_of(&view.db)?;
+            let output = view.query.eval(&world);
+            found_world.store(true, Ordering::Relaxed);
+            (!output.same_facts(instance)).then_some(())
+        })?;
     Ok(found_world.load(Ordering::Relaxed) && differing.is_none())
 }
 

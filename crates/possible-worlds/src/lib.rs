@@ -71,7 +71,8 @@ pub mod prelude {
         QueryClass, QueryDef, RaExpr, Ucq,
     };
     pub use pw_relational::{
-        rel, tup, Constant, Instance, Relation, StrId, Sym, SymbolTable, Tuple,
+        rel, tup, Catalog, Constant, Instance, RelId, Relation, StrId, Sym, SymbolTable, Symbols,
+        Tuple,
     };
 }
 

@@ -35,6 +35,22 @@
 //!   built against a private table must intern every constant through that table (the
 //!   "all ids resolved at the front door" invariant); mixing ids from different tables is
 //!   meaningless, exactly like comparing row-ids across two unrelated databases.
+//!
+//! # The relation catalog
+//!
+//! Constants are only half of the string traffic: every request also *addresses a
+//! relation*, and a relation name is a string too.  A [`Catalog`] is the relation-side
+//! twin of the [`SymbolTable`]: it interns relation names once, at registration, and hands
+//! out dense `Copy` [`RelId`]s that the storage and decision layers use as shard keys —
+//! `db.table(name)` survives only as a boundary resolver that performs the one name→id
+//! lookup per request.
+//!
+//! A [`Symbols`] value bundles the two id spaces (constants + relations) into the single
+//! context a database session owns: the global default ([`Symbols::global`]) backs every
+//! context-free construction, and private spaces ([`Symbols::new`]) give a session its own
+//! dictionary *and* its own catalog, dropped together when the session ends.  The
+//! handle-threading rule is the same as for constants: **no layer below the front door may
+//! touch the global table implicitly** — the handle travels explicitly with the database.
 
 use crate::Constant;
 use std::collections::HashMap;
@@ -256,6 +272,194 @@ impl SymbolTable {
     }
 }
 
+/// Id of a relation registered in a [`Catalog`].
+///
+/// A `RelId` is the machine-word address of a relation: shard maps, cache keys and work
+/// lists below the decision front door carry `RelId`s where they used to carry `String`
+/// names.  Ids are dense (allocated `0, 1, 2, …` in registration order) and never
+/// recycled, so they double as direct indices into per-catalog side tables.  Like
+/// [`StrId`], a `RelId` is only meaningful relative to the catalog that issued it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RelId(u32);
+
+impl RelId {
+    /// The raw index.
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+}
+
+#[derive(Default)]
+struct CatalogInner {
+    ids: HashMap<Arc<str>, u32>,
+    names: Vec<Arc<str>>,
+}
+
+/// A thread-safe, append-only relation-name ↔ [`RelId`] dictionary.
+///
+/// `register` of an already-known name takes only a read lock; misses upgrade to a write
+/// lock with a double-check — the same discipline as [`SymbolTable::intern_str`], so
+/// concurrent sessions can register and resolve relations through a shared handle.
+#[derive(Default)]
+pub struct Catalog {
+    inner: RwLock<CatalogInner>,
+}
+
+impl fmt::Debug for Catalog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Catalog").field("len", &self.len()).finish()
+    }
+}
+
+impl Catalog {
+    /// A fresh, private catalog with its own id space.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Register a relation name, returning its id (allocating one on first sight).
+    pub fn register(&self, name: &str) -> RelId {
+        {
+            let inner = self.inner.read().expect("catalog poisoned");
+            if let Some(&id) = inner.ids.get(name) {
+                return RelId(id);
+            }
+        }
+        let mut inner = self.inner.write().expect("catalog poisoned");
+        if let Some(&id) = inner.ids.get(name) {
+            return RelId(id);
+        }
+        let id = u32::try_from(inner.names.len()).expect("more than u32::MAX relations");
+        let shared: Arc<str> = Arc::from(name);
+        inner.names.push(Arc::clone(&shared));
+        inner.ids.insert(shared, id);
+        RelId(id)
+    }
+
+    /// The id of a name, if it has been registered — the boundary resolver (this is the
+    /// one name hash a request pays).
+    pub fn lookup(&self, name: &str) -> Option<RelId> {
+        let inner = self.inner.read().expect("catalog poisoned");
+        inner.ids.get(name).copied().map(RelId)
+    }
+
+    /// The name behind an id, if this catalog issued it.
+    pub fn name(&self, id: RelId) -> Option<Arc<str>> {
+        let inner = self.inner.read().expect("catalog poisoned");
+        inner.names.get(id.0 as usize).cloned()
+    }
+
+    /// Number of registered relations.
+    pub fn len(&self) -> usize {
+        self.inner.read().expect("catalog poisoned").names.len()
+    }
+
+    /// Whether no relation has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The id-space context of a database session: the constant dictionary
+/// ([`SymbolTable`]) and the relation [`Catalog`], bundled so the two travel (and are
+/// dropped) together.
+///
+/// Databases hold an `Arc<Symbols>` handle; everything below the front door resolves and
+/// interns **through that handle only**.  Two modes, exactly as for [`SymbolTable`]:
+///
+/// * [`Symbols::global`] / [`Symbols::global_handle`] — the process-wide default backing
+///   the context-free constructors.  Its string side *is* [`SymbolTable::global`], so ids
+///   built via `Term::from("a")` resolve through it.
+/// * [`Symbols::new`] — a fully private id space (private constants *and* private
+///   relation ids) for a session-scoped dictionary.
+#[derive(Debug)]
+pub struct Symbols {
+    strings: Arc<SymbolTable>,
+    catalog: Catalog,
+}
+
+impl Default for Symbols {
+    fn default() -> Self {
+        Symbols::new()
+    }
+}
+
+static GLOBAL_SYMBOLS: OnceLock<Arc<Symbols>> = OnceLock::new();
+
+impl Symbols {
+    /// A fresh, fully private context: its own constant dictionary and its own catalog.
+    pub fn new() -> Self {
+        Symbols {
+            strings: Arc::new(SymbolTable::new()),
+            catalog: Catalog::new(),
+        }
+    }
+
+    /// Wrap an existing (typically private) string table with a fresh catalog.
+    pub fn with_table(strings: Arc<SymbolTable>) -> Self {
+        Symbols {
+            strings,
+            catalog: Catalog::new(),
+        }
+    }
+
+    /// The process-wide context backing the context-free conversions.  Its string side is
+    /// the same table as [`SymbolTable::global`].
+    pub fn global() -> &'static Symbols {
+        &**GLOBAL_SYMBOLS.get_or_init(|| {
+            Arc::new(Symbols {
+                strings: SymbolTable::global_handle(),
+                catalog: Catalog::new(),
+            })
+        })
+    }
+
+    /// A shared handle to the global context, for storing on a database/engine session.
+    pub fn global_handle() -> Arc<Symbols> {
+        Symbols::global();
+        Arc::clone(
+            GLOBAL_SYMBOLS
+                .get()
+                .expect("initialised on the previous line"),
+        )
+    }
+
+    /// The constant dictionary.
+    pub fn strings(&self) -> &Arc<SymbolTable> {
+        &self.strings
+    }
+
+    /// The relation catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Intern a constant through this context's dictionary.
+    pub fn intern(&self, c: &Constant) -> Sym {
+        self.strings.intern(c)
+    }
+
+    /// Resolve a symbol issued by this context's dictionary.
+    pub fn resolve(&self, sym: Sym) -> Option<Constant> {
+        self.strings.resolve(sym)
+    }
+
+    /// Register a relation name in this context's catalog.
+    pub fn register_relation(&self, name: &str) -> RelId {
+        self.catalog.register(name)
+    }
+
+    /// Resolve a relation name to its id, if registered.
+    pub fn relation_id(&self, name: &str) -> Option<RelId> {
+        self.catalog.lookup(name)
+    }
+
+    /// Resolve a relation id back to its name, if this context's catalog issued it.
+    pub fn relation_name(&self, id: RelId) -> Option<Arc<str>> {
+        self.catalog.name(id)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -337,5 +541,89 @@ mod tests {
             assert_eq!(*w, ids[0], "every thread sees the same ids");
         }
         assert_eq!(table.len(), 64);
+    }
+
+    #[test]
+    fn catalog_round_trips_and_is_stable() {
+        let cat = Catalog::new();
+        let r = cat.register("R");
+        let s = cat.register("S");
+        assert_ne!(r, s);
+        assert_eq!(cat.register("R"), r, "registration is idempotent");
+        assert_eq!(cat.lookup("R"), Some(r));
+        assert_eq!(cat.lookup("Nope"), None);
+        assert_eq!(cat.name(r).as_deref(), Some("R"));
+        assert_eq!(cat.name(RelId(7)), None);
+        assert_eq!(cat.len(), 2);
+        assert!(!cat.is_empty());
+    }
+
+    #[test]
+    fn catalog_ids_are_dense_in_registration_order() {
+        let cat = Catalog::new();
+        for (i, name) in ["R", "S", "T", "U"].iter().enumerate() {
+            assert_eq!(cat.register(name).index(), i as u32);
+        }
+    }
+
+    #[test]
+    fn private_catalogs_are_isolated() {
+        let c1 = Catalog::new();
+        let c2 = Catalog::new();
+        let r1 = c1.register("R");
+        let s2 = c2.register("S");
+        // Same raw index, different catalogs, different meanings.
+        assert_eq!(r1.index(), s2.index());
+        assert_eq!(c1.name(r1).as_deref(), Some("R"));
+        assert_eq!(c2.name(s2).as_deref(), Some("S"));
+        assert_eq!(c2.lookup("R"), None);
+        assert_eq!(c1.lookup("S"), None);
+    }
+
+    #[test]
+    fn concurrent_registration_agrees() {
+        let cat = Catalog::new();
+        let ids: Vec<Vec<RelId>> = std::thread::scope(|scope| {
+            (0..4)
+                .map(|_| {
+                    let cat = &cat;
+                    scope
+                        .spawn(move || (0..64).map(|i| cat.register(&format!("rel-{i}"))).collect())
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("catalog thread panicked"))
+                .collect()
+        });
+        for w in &ids[1..] {
+            assert_eq!(*w, ids[0], "every thread sees the same ids");
+        }
+        assert_eq!(cat.len(), 64);
+    }
+
+    #[test]
+    fn symbols_bundles_dictionary_and_catalog() {
+        let syms = Symbols::new();
+        let sym = syms.intern(&Constant::str("only-here"));
+        assert_eq!(syms.resolve(sym), Some(Constant::str("only-here")));
+        let rel = syms.register_relation("orders-private-only");
+        assert_eq!(syms.relation_id("orders-private-only"), Some(rel));
+        assert_eq!(
+            syms.relation_name(rel).as_deref(),
+            Some("orders-private-only")
+        );
+        // Fully private: the registration does not leak into the global catalog.
+        assert_eq!(Symbols::global().relation_id("orders-private-only"), None);
+    }
+
+    #[test]
+    fn global_symbols_share_the_global_string_table() {
+        let via_symbols = Symbols::global().intern(&Constant::str("shared-global-entry"));
+        let via_table = Sym::from("shared-global-entry");
+        assert_eq!(via_symbols, via_table);
+        assert!(Arc::ptr_eq(
+            Symbols::global().strings(),
+            &SymbolTable::global_handle()
+        ));
     }
 }

@@ -33,7 +33,7 @@ pub mod tuple;
 
 pub use constant::Constant;
 pub use instance::{Instance, SchemaError};
-pub use intern::{StrId, Sym, SymbolTable};
+pub use intern::{Catalog, RelId, StrId, Sym, SymbolTable, Symbols};
 pub use relation::{ArityError, Relation};
 pub use tuple::Tuple;
 

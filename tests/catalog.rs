@@ -1,0 +1,242 @@
+//! Tests for the relation catalog (`pw_relational::intern::{RelId, Catalog, Symbols}`)
+//! and for **private-dictionary databases run end-to-end**:
+//!
+//! * a pinning test that catalog ids are dense and deterministic for the standard
+//!   workload families (so shard addressing and any on-disk layout keyed by `RelId` are
+//!   reproducible build-to-build);
+//! * the end-to-end property PR 2 left open: a `CDatabase` attached to a fully private
+//!   [`Symbols`] context (its own constant dictionary *and* its own catalog) must run all
+//!   five decision problems — through `Engine`-backed entry points and through
+//!   `batch::decide_all` — and return exactly the answers of its global-context twin.
+//!
+//! The randomized cases use the seeded workload generators; every seed is deterministic,
+//! so a failure here is reproducible by seed.
+
+use possible_worlds::decide::{batch, Engine, EngineConfig};
+use possible_worlds::prelude::*;
+use possible_worlds::workloads::{
+    member_instance, non_member_instance, random_codd_table, random_ctable, random_etable,
+    random_gtable, random_itable, stringify_database, stringify_instance, TableParams,
+};
+use std::sync::Arc;
+
+fn small_params(seed: u64) -> TableParams {
+    TableParams {
+        rows: 4,
+        arity: 2,
+        constants: 3,
+        null_density: 0.4,
+        seed,
+    }
+}
+
+fn generators() -> Vec<(&'static str, fn(&str, &TableParams) -> CTable)> {
+    vec![
+        (
+            "codd",
+            random_codd_table as fn(&str, &TableParams) -> CTable,
+        ),
+        ("e-table", random_etable),
+        ("i-table", random_itable),
+        ("g-table", random_gtable),
+        ("c-table", random_ctable),
+    ]
+}
+
+/// The standard workload family as one multi-relation database, re-interned into a fresh
+/// private context.
+fn standard_workload_database(symbols: &Arc<Symbols>, seed: u64) -> CDatabase {
+    let params = small_params(seed);
+    let tables: Vec<CTable> = generators()
+        .into_iter()
+        .enumerate()
+        .map(|(i, (_, generate))| generate(&format!("T{i}"), &params))
+        .collect();
+    CDatabase::new(tables).reinterned(symbols)
+}
+
+/// Pinning: catalog ids for the standard workloads are dense (0, 1, 2, … in table order)
+/// and deterministic — two independent builds in two fresh private contexts agree id for
+/// id.  Shard layouts and future per-shard storage key on this.
+#[test]
+fn catalog_ids_are_dense_and_deterministic_for_standard_workloads() {
+    let ca = Arc::new(Symbols::new());
+    let cb = Arc::new(Symbols::new());
+    let da = standard_workload_database(&ca, 7);
+    let db = standard_workload_database(&cb, 7);
+
+    let ids_a: Vec<u32> = da.rel_ids().iter().map(|r| r.index()).collect();
+    let ids_b: Vec<u32> = db.rel_ids().iter().map(|r| r.index()).collect();
+    assert_eq!(
+        ids_a,
+        (0..da.table_count() as u32).collect::<Vec<_>>(),
+        "ids are dense in table order"
+    );
+    assert_eq!(ids_a, ids_b, "independent builds allocate identical ids");
+
+    // Name → id → shard round-trips through the boundary resolver.
+    for (i, table) in da.tables().iter().enumerate() {
+        let id = da.rel_id(table.name()).expect("registered at construction");
+        assert_eq!(id.index(), ids_a[i]);
+        assert_eq!(
+            da.table_by_id(id).expect("shard exists").name(),
+            table.name()
+        );
+        assert_eq!(
+            ca.relation_name(id).as_deref(),
+            Some(table.name()),
+            "catalog resolves the id back"
+        );
+    }
+    // The private registrations never leak into the global catalog: a name registered
+    // only through the private contexts stays unknown globally.
+    let unique = "pinning-test-private-only-relation";
+    ca.register_relation(unique);
+    assert_eq!(Symbols::global().relation_id(unique), None);
+}
+
+/// End-to-end: a private-dictionary database answers all five decision problems exactly
+/// like its global twin, through the engine-backed single-shot entry points.
+///
+/// The databases are string-heavy (`stringify_database`), so every constant actually
+/// exercises the private dictionary, and the instances are posed as plain
+/// [`Constant`]-level facts — the front door interns them into whichever context the
+/// database owns.
+#[test]
+fn private_dictionary_database_runs_all_five_problems_end_to_end() {
+    let budget = Budget(20_000_000);
+    for (class, generate) in generators() {
+        for seed in 40..44u64 {
+            let params = small_params(seed);
+            let int_db = CDatabase::single(generate("T", &params));
+            let global_db = stringify_database(&int_db);
+            let member = stringify_instance(&member_instance(&int_db, &params));
+            let non_member = stringify_instance(&non_member_instance(&int_db, &params));
+
+            // The session twin: same data, fully private id space (constants + catalog).
+            let symbols = Arc::new(Symbols::new());
+            let private_db = global_db.reinterned(&symbols);
+            assert!(Arc::ptr_eq(private_db.symbols(), &symbols));
+            assert_eq!(private_db.constants(), global_db.constants());
+
+            let global_view = View::identity(global_db.clone());
+            let private_view = View::identity(private_db.clone());
+            let engine = Engine::new(EngineConfig::with_threads(2, budget));
+
+            for instance in [&member, &non_member] {
+                let ctx = format!("{class} seed {seed} on {instance}");
+                let (g_memb, g_strategy) =
+                    possible_worlds::decide::membership::view_membership_with(
+                        &global_view,
+                        instance,
+                        &engine,
+                    );
+                let (p_memb, p_strategy) =
+                    possible_worlds::decide::membership::view_membership_with(
+                        &private_view,
+                        instance,
+                        &engine,
+                    );
+                assert_eq!(p_memb.unwrap(), g_memb.unwrap(), "membership {ctx}");
+                assert_eq!(p_strategy, g_strategy, "membership strategy {ctx}");
+
+                for (label, global_pair, private_pair) in [
+                    (
+                        "uniqueness",
+                        uniqueness::decide_with(&global_view, instance, &engine),
+                        uniqueness::decide_with(&private_view, instance, &engine),
+                    ),
+                    (
+                        "possibility",
+                        possibility::decide_with(&global_view, instance, &engine),
+                        possibility::decide_with(&private_view, instance, &engine),
+                    ),
+                    (
+                        "certainty",
+                        certainty::decide_with(&global_view, instance, &engine),
+                        certainty::decide_with(&private_view, instance, &engine),
+                    ),
+                ] {
+                    assert_eq!(
+                        private_pair.0.unwrap(),
+                        global_pair.0.unwrap(),
+                        "{label} {ctx}"
+                    );
+                    assert_eq!(private_pair.1, global_pair.1, "{label} strategy {ctx}");
+                }
+            }
+
+            // Containment: reflexive on the private view, and across id spaces (the two
+            // sides only ever exchange `Constant`-level worlds at the boundary).
+            let (refl, _) = containment::decide_with(&private_view, &private_view, &engine);
+            assert!(refl.unwrap(), "rep ⊆ rep must hold ({class} seed {seed})");
+            let (p_in_g, _) = containment::decide_with(&private_view, &global_view, &engine);
+            let (g_in_p, _) = containment::decide_with(&global_view, &private_view, &engine);
+            assert!(
+                p_in_g.unwrap() && g_in_p.unwrap(),
+                "twins represent the same worlds across id spaces ({class} seed {seed})"
+            );
+        }
+    }
+}
+
+/// End-to-end through the batched front door: a queue of requests against the private
+/// twin returns, position by position, the outcomes (answers *and* strategies) of the
+/// same queue against the global twin.
+#[test]
+fn private_dictionary_batch_matches_global_twin() {
+    let budget = Budget(20_000_000);
+    let mut global_requests = Vec::new();
+    let mut private_requests = Vec::new();
+    for (_, generate) in generators() {
+        let params = small_params(51);
+        let int_db = CDatabase::single(generate("T", &params));
+        let global_db = stringify_database(&int_db);
+        let symbols = Arc::new(Symbols::new());
+        let private_db = global_db.reinterned(&symbols);
+        let member = stringify_instance(&member_instance(&int_db, &params));
+
+        for (view, out) in [
+            (View::identity(global_db), &mut global_requests),
+            (View::identity(private_db), &mut private_requests),
+        ] {
+            out.push(batch::DecisionRequest::Membership {
+                view: view.clone(),
+                instance: member.clone(),
+            });
+            out.push(batch::DecisionRequest::Possibility {
+                view: view.clone(),
+                facts: member.clone(),
+            });
+            out.push(batch::DecisionRequest::Certainty {
+                view: view.clone(),
+                facts: member.clone(),
+            });
+            out.push(batch::DecisionRequest::Uniqueness {
+                view: view.clone(),
+                instance: member.clone(),
+            });
+            out.push(batch::DecisionRequest::Containment {
+                left: view.clone(),
+                right: view,
+            });
+        }
+    }
+    for threads in [1, 2, 8] {
+        let cfg = EngineConfig::with_threads(threads, budget);
+        let global_outcomes = batch::decide_all_with(&global_requests, &cfg);
+        let private_outcomes = batch::decide_all_with(&private_requests, &cfg);
+        assert_eq!(global_outcomes.len(), private_outcomes.len());
+        for (i, (g, p)) in global_outcomes.iter().zip(&private_outcomes).enumerate() {
+            assert_eq!(
+                p.answer.unwrap(),
+                g.answer.unwrap(),
+                "request {i} with {threads} threads"
+            );
+            assert_eq!(
+                p.strategy, g.strategy,
+                "request {i} strategy with {threads} threads"
+            );
+        }
+    }
+}

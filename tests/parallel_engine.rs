@@ -65,25 +65,25 @@ fn parallel_and_sequential_decisions_agree_on_random_workloads() {
                     let ctx = format!("{class} seed {seed} threads {threads} on {instance}");
                     assert_eq!(
                         membership::view_membership_with(&view, instance, &engine)
-                            .unwrap()
-                            .0,
+                            .0
+                            .unwrap(),
                         seq_memb,
                         "membership {ctx}"
                     );
                     assert_eq!(
-                        uniqueness::decide_with(&view, instance, &engine).unwrap().0,
+                        uniqueness::decide_with(&view, instance, &engine).0.unwrap(),
                         seq_uniq,
                         "uniqueness {ctx}"
                     );
                     assert_eq!(
                         possibility::decide_with(&view, instance, &engine)
-                            .unwrap()
-                            .0,
+                            .0
+                            .unwrap(),
                         seq_poss,
                         "possibility {ctx}"
                     );
                     assert_eq!(
-                        certainty::decide_with(&view, instance, &engine).unwrap().0,
+                        certainty::decide_with(&view, instance, &engine).0.unwrap(),
                         seq_cert,
                         "certainty {ctx}"
                     );
@@ -99,8 +99,8 @@ fn parallel_and_sequential_decisions_agree_on_random_workloads() {
                 let engine = Engine::new(EngineConfig::with_threads(threads, budget));
                 assert_eq!(
                     containment::decide_with(&view, &other_view, &engine)
-                        .unwrap()
-                        .0,
+                        .0
+                        .unwrap(),
                     seq_cont,
                     "containment {class} seed {seed} threads {threads}"
                 );
@@ -174,13 +174,13 @@ fn budget_exceeded_is_deterministic_under_parallelism() {
         for repetition in 0..3 {
             let starved = Engine::new(EngineConfig::with_threads(threads, Budget(500)));
             assert_eq!(
-                possibility::decide_with(&view, &facts, &starved),
+                possibility::decide_with(&view, &facts, &starved).0,
                 Err(BudgetExceeded),
                 "starved run must always exhaust ({threads} threads, repetition {repetition})"
             );
             let ample = Engine::new(EngineConfig::with_threads(threads, Budget(50_000_000)));
             assert_eq!(
-                possibility::decide_with(&view, &facts, &ample).map(|(a, _)| a),
+                possibility::decide_with(&view, &facts, &ample).0,
                 Ok(false),
                 "ample run must always complete ({threads} threads, repetition {repetition})"
             );
@@ -208,7 +208,7 @@ fn first_witness_early_exit_is_sound() {
     for threads in [1, 2, 8] {
         let engine = Engine::new(EngineConfig::with_threads(threads, Budget(50_000_000)));
         assert_eq!(
-            possibility::decide_with(&view, &facts, &engine).map(|(a, _)| a),
+            possibility::decide_with(&view, &facts, &engine).0,
             Ok(true),
             "witness found with {threads} threads"
         );
@@ -249,10 +249,11 @@ fn interner_round_trips_constants_through_the_database_handle() {
 #[test]
 fn interner_isolates_private_symbol_tables_across_databases() {
     use std::sync::Arc;
-    let ta = Arc::new(SymbolTable::new());
-    let tb = Arc::new(SymbolTable::new());
-    let db_a = CDatabase::default().with_symbols(Arc::clone(&ta));
-    let db_b = CDatabase::default().with_symbols(Arc::clone(&tb));
+    let sa = Arc::new(Symbols::new());
+    let sb = Arc::new(Symbols::new());
+    let tb = Arc::clone(sb.strings());
+    let db_a = CDatabase::default().with_symbols(Arc::clone(&sa));
+    let db_b = CDatabase::default().with_symbols(Arc::clone(&sb));
 
     let a0 = db_a.intern(&Constant::str("alpha"));
     let b0 = db_b.intern(&Constant::str("beta"));
@@ -276,8 +277,7 @@ fn interner_isolates_private_symbol_tables_across_databases() {
 #[test]
 fn interner_supports_concurrent_resolve_from_scoped_workers() {
     use std::sync::Arc;
-    let table = Arc::new(SymbolTable::new());
-    let db = CDatabase::default().with_symbols(Arc::clone(&table));
+    let db = CDatabase::default().with_symbols(Arc::new(Symbols::new()));
     let ids: Vec<Vec<Sym>> = std::thread::scope(|scope| {
         (0..8)
             .map(|_| {
