@@ -41,10 +41,12 @@ struct Workload {
     non_member: Instance,
 }
 
+type TableBuilder = Box<dyn Fn(&TableParams) -> pw_core::CTable>;
+
 fn build_workloads(smoke: bool) -> Vec<Workload> {
     let rows = |full: usize| if smoke { 6 } else { full };
     let mut out = Vec::new();
-    let specs: Vec<(&str, usize, Box<dyn Fn(&TableParams) -> pw_core::CTable>)> = vec![
+    let specs: Vec<(&str, usize, TableBuilder)> = vec![
         ("codd", rows(64), Box::new(|p| random_codd_table("T", p))),
         ("e-table", rows(48), Box::new(|p| random_etable("T", p))),
         ("i-table", rows(48), Box::new(|p| random_itable("T", p))),

@@ -159,7 +159,7 @@ impl BoolExpr {
             BoolExpr::Atom(a) => match a.trivial_value() {
                 Some(true) => vec![Conjunction::truth()],
                 Some(false) => vec![],
-                None => vec![Conjunction::single(a.clone())],
+                None => vec![Conjunction::single(*a)],
             },
             BoolExpr::Or(es) => es.iter().flat_map(BoolExpr::dnf_raw).collect(),
             BoolExpr::And(es) => {

@@ -8,7 +8,7 @@ use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
-/// Lazily computed per-database state, shared by clones.  Both members are pay-on-use:
+/// Lazily computed per-database state, shared by clones.  All members are pay-on-use:
 /// a short-lived derived database (a view conversion, a normalisation) that is never used
 /// as a cache key and never resolves a relation name costs one allocation and nothing
 /// else.
@@ -23,6 +23,48 @@ struct ShardState {
     /// id→shard resolution is a machine-word scan — no name is hashed or compared below
     /// the boundary.
     rel_ids: std::sync::OnceLock<Arc<[RelId]>>,
+    /// The coupling graph (§ [`CDatabase::shard_groups`]): shards grouped by shared
+    /// condition variables, cached next to the fingerprint and shared by clones.
+    coupling: std::sync::OnceLock<CouplingGraph>,
+}
+
+/// A maximal set of shards coupled through shared condition variables, together with the
+/// projected sub-database the per-shard decision paths search.
+///
+/// Groups partition the tables of a [`CDatabase`]; two tables land in the same group iff
+/// they are connected through variables shared between rows or conditions (Section 2.2's
+/// shorthand for a global equality between tables).  Because the paper's semantics
+/// quantifies one valuation over *all* variables at once, variable-disjoint groups
+/// represent independent sets of worlds: `rep(db)` is the product of the groups'
+/// representations, which is what lets a decision fan out per group and merge.
+#[derive(Clone, Debug)]
+pub struct ShardGroup {
+    /// Positions of the member tables in the owning database's table order (ascending).
+    members: Arc<[usize]>,
+    /// The projected sub-database: exactly the member tables, in table order, sharing the
+    /// owning database's [`Symbols`] handle (ids stay valid — nothing is re-interned).
+    db: CDatabase,
+}
+
+impl ShardGroup {
+    /// Positions of the member tables in the owning database's table order.
+    pub fn members(&self) -> &[usize] {
+        &self.members
+    }
+
+    /// The projected sub-database (same `Symbols` handle as the owner).
+    pub fn database(&self) -> &CDatabase {
+        &self.db
+    }
+}
+
+/// The cached coupling graph: the groups plus the inverse map from table position to
+/// group index.
+#[derive(Debug)]
+struct CouplingGraph {
+    groups: Box<[ShardGroup]>,
+    /// `group_of[table position] == index into groups`.
+    group_of: Box<[usize]>,
 }
 
 /// An incomplete-information database: a vector of named c-tables.
@@ -243,11 +285,7 @@ impl CDatabase {
     /// lookup (no hash, no lock); larger databases resolve through the catalog in one
     /// name hash.
     pub fn table(&self, name: &str) -> Option<&CTable> {
-        if self.tables.len() <= SMALL_SHARD_SCAN {
-            return self.tables.iter().find(|t| t.name() == name);
-        }
-        let id = self.symbols.relation_id(name)?;
-        self.table_by_id(id)
+        self.table_position(name).map(|pos| &self.tables[pos])
     }
 
     /// Resolve a relation name to its catalog id, if this database stores it.
@@ -264,6 +302,22 @@ impl CDatabase {
             .iter()
             .position(|&r| r == id)
             .map(|pos| &self.tables[pos])
+    }
+
+    /// Resolve a relation name to its table *position* — the boundary resolver behind
+    /// [`CDatabase::table`] and the group-aware decision paths (which index
+    /// [`CDatabase::shard_group_index`] by position).  Adaptive: a direct scan below
+    /// [`SMALL_SHARD_SCAN`] shards, one catalog hash above.  The catalog path resolves
+    /// against this database's *registered* shard map ([`CDatabase::rel_ids`], which
+    /// registers the names on first use) — a raw `relation_id` lookup would miss every
+    /// name no caller has registered yet.
+    pub fn table_position(&self, name: &str) -> Option<usize> {
+        if self.tables.len() <= SMALL_SHARD_SCAN {
+            return self.tables.iter().position(|t| t.name() == name);
+        }
+        let ids = self.rel_ids();
+        let id = self.symbols.relation_id(name)?;
+        ids.iter().position(|&r| r == id)
     }
 
     /// All variables across tables and conditions.
@@ -296,7 +350,8 @@ impl CDatabase {
             .unwrap_or(TableClass::Codd)
     }
 
-    /// Whether two tables share a variable (see the type-level comment).
+    /// Whether two tables share a variable (see the type-level comment).  Cheap early-exit
+    /// scan; the full partition into coupled groups is [`CDatabase::shard_groups`].
     pub fn tables_share_variables(&self) -> bool {
         let mut seen: BTreeSet<Variable> = BTreeSet::new();
         for t in self.tables.iter() {
@@ -307,6 +362,104 @@ impl CDatabase {
             seen.extend(vars);
         }
         false
+    }
+
+    /// Is this a Codd-table database with pairwise variable-disjoint tables?  The guard
+    /// behind the PTIME matching dispatch of membership and possibility (Theorems 3.1(1)
+    /// and 5.1(1) assume the single-table definition, which the n-vector generalisation
+    /// only preserves when no variables are shared) — hoisted here so the coupling graph
+    /// has one consumer seam instead of per-problem copies of the same conjunction.
+    pub fn is_decoupled_codd(&self) -> bool {
+        self.classify() == TableClass::Codd && !self.tables_share_variables()
+    }
+
+    /// The coupling graph: the partition of the shards into [`ShardGroup`]s — maximal
+    /// sets of tables connected through shared condition variables — computed with a
+    /// union–find over shard positions on first use and cached next to the fingerprint
+    /// (clones share it).  Groups are ordered by their smallest member position, members
+    /// ascend within a group, and every table belongs to exactly one group, so the layout
+    /// is deterministic build-to-build.
+    ///
+    /// Variable-disjoint groups represent *independent* world choices (the paper's
+    /// valuation quantifies over all variables at once, and a variable never crosses
+    /// groups), which is what the per-shard decision paths in `pw-decide` rely on: a
+    /// request fans out across the groups' projected sub-databases and merges with the
+    /// problem's combinator, falling back to the joint search only when everything is in
+    /// one group.
+    pub fn shard_groups(&self) -> &[ShardGroup] {
+        &self.coupling().groups
+    }
+
+    /// The inverse of [`CDatabase::shard_groups`]: for each table position, the index of
+    /// the group it belongs to.
+    pub fn shard_group_index(&self) -> &[usize] {
+        &self.coupling().group_of
+    }
+
+    fn coupling(&self) -> &CouplingGraph {
+        self.state.coupling.get_or_init(|| {
+            let n = self.tables.len();
+            // Union–find over table positions; a variable's first owner absorbs every
+            // later table that mentions it.
+            let mut parent: Vec<usize> = (0..n).collect();
+            fn find(parent: &mut [usize], mut i: usize) -> usize {
+                while parent[i] != i {
+                    parent[i] = parent[parent[i]]; // path halving
+                    i = parent[i];
+                }
+                i
+            }
+            let mut owner: std::collections::HashMap<Variable, usize> =
+                std::collections::HashMap::new();
+            for (i, t) in self.tables.iter().enumerate() {
+                for v in t.variables() {
+                    match owner.entry(v) {
+                        std::collections::hash_map::Entry::Occupied(e) => {
+                            let (a, b) = (find(&mut parent, *e.get()), find(&mut parent, i));
+                            // Rooting at the smaller position keeps group order stable.
+                            parent[a.max(b)] = a.min(b);
+                        }
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            e.insert(i);
+                        }
+                    }
+                }
+            }
+            let mut group_of = vec![usize::MAX; n];
+            let mut member_lists: Vec<Vec<usize>> = Vec::new();
+            let mut root_to_group: std::collections::HashMap<usize, usize> =
+                std::collections::HashMap::new();
+            for (i, slot) in group_of.iter_mut().enumerate() {
+                let root = find(&mut parent, i);
+                let g = *root_to_group.entry(root).or_insert_with(|| {
+                    member_lists.push(Vec::new());
+                    member_lists.len() - 1
+                });
+                *slot = g;
+                member_lists[g].push(i);
+            }
+            let groups: Box<[ShardGroup]> = member_lists
+                .into_iter()
+                .map(|members| {
+                    // A group spanning every table reuses the shard allocation (but gets a
+                    // *fresh* lazy state, so the cached graph never holds a cycle back to
+                    // itself through the sub-database's own cache).
+                    let tables: Arc<[CTable]> = if members.len() == n {
+                        Arc::clone(&self.tables)
+                    } else {
+                        members.iter().map(|&i| self.tables[i].clone()).collect()
+                    };
+                    ShardGroup {
+                        db: CDatabase::build(tables, Arc::clone(&self.symbols)),
+                        members: members.into(),
+                    }
+                })
+                .collect();
+            CouplingGraph {
+                groups,
+                group_of: group_of.into(),
+            }
+        })
     }
 
     /// The schema: `(name, arity)` pairs in table order.
@@ -446,6 +599,85 @@ mod tests {
         assert!(db.tables_share_variables());
         assert!(!db.has_satisfiable_globals());
         assert_eq!(db.classify(), TableClass::GTable);
+    }
+
+    #[test]
+    fn catalog_path_resolver_registers_names_on_first_use() {
+        // Regression: above SMALL_SHARD_SCAN the resolver goes through the catalog, and
+        // must register this database's names itself — a fresh database whose names no
+        // caller has touched yet still resolves its own relations.
+        let tables: Vec<CTable> = (0..(SMALL_SHARD_SCAN + 8))
+            .map(|i| {
+                CTable::codd(
+                    format!("resolver-regression-{i:03}"),
+                    1,
+                    [vec![Term::constant(i as i64)]],
+                )
+                .unwrap()
+            })
+            .collect();
+        let db = CDatabase::new(tables);
+        assert_eq!(
+            db.table("resolver-regression-005").map(CTable::name),
+            Some("resolver-regression-005")
+        );
+        assert_eq!(db.table_position("resolver-regression-037"), Some(37));
+        assert_eq!(db.table("resolver-regression-999"), None);
+    }
+
+    #[test]
+    fn coupling_graph_partitions_shards_by_shared_variables() {
+        let mut g = VarGen::new();
+        let (x, y, z) = (g.fresh(), g.fresh(), g.fresh());
+        // R(x) and S(y | y ≠ x) are coupled through x; U(z) and the ground V stand alone.
+        let r = CTable::codd("R", 1, [vec![Term::Var(x)]]).unwrap();
+        let s = CTable::i_table(
+            "S",
+            1,
+            Conjunction::new([Atom::neq(y, x)]),
+            [vec![Term::Var(y)]],
+        )
+        .unwrap();
+        let u = CTable::codd("U", 1, [vec![Term::Var(z)]]).unwrap();
+        let v = CTable::codd("V", 1, [vec![Term::constant(9)]]).unwrap();
+        let db = CDatabase::new([r, s, u, v]);
+        let groups = db.shard_groups();
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups[0].members(), &[0, 1], "R and S couple through x");
+        assert_eq!(groups[1].members(), &[2]);
+        assert_eq!(groups[2].members(), &[3]);
+        assert_eq!(db.shard_group_index(), &[0, 0, 1, 2]);
+        // Projections carry the member tables and the owner's symbol handle.
+        assert_eq!(groups[0].database().schema().len(), 2);
+        assert_eq!(groups[1].database().tables()[0].name(), "U");
+        assert!(Arc::ptr_eq(groups[0].database().symbols(), db.symbols()));
+        // The graph is cached: clones see the identical slice.
+        let clone = db.clone();
+        assert!(std::ptr::eq(clone.shard_groups().as_ptr(), groups.as_ptr()));
+        assert_eq!(db.table_position("U"), Some(2));
+        assert_eq!(db.table_position("Nope"), None);
+    }
+
+    #[test]
+    fn single_group_databases_reuse_the_shard_allocation() {
+        let mut g = VarGen::new();
+        let x = g.fresh();
+        let a = CTable::codd("R", 1, [vec![Term::Var(x)]]).unwrap();
+        let b = CTable::e_table("S", 1, [vec![Term::Var(x)]]).unwrap();
+        let db = CDatabase::new([a, b]);
+        let groups = db.shard_groups();
+        assert_eq!(groups.len(), 1, "a shared variable couples everything");
+        assert!(Arc::ptr_eq(&groups[0].database().tables, &db.tables));
+        assert!(!db.is_decoupled_codd(), "shared variables break the guard");
+        // A decoupled Codd database passes the hoisted guard.
+        let mut g2 = VarGen::new();
+        let (p, q) = (g2.fresh(), g2.fresh());
+        let decoupled = CDatabase::new([
+            CTable::codd("R", 1, [vec![Term::Var(p)]]).unwrap(),
+            CTable::codd("S", 1, [vec![Term::Var(q)]]).unwrap(),
+        ]);
+        assert!(decoupled.is_decoupled_codd());
+        assert_eq!(decoupled.shard_groups().len(), 2);
     }
 
     #[test]

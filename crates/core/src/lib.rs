@@ -48,7 +48,7 @@ pub mod table;
 pub mod valuation;
 pub mod view;
 
-pub use database::CDatabase;
+pub use database::{CDatabase, ShardGroup};
 pub use simplify::{simplify_database, simplify_table};
 pub use table::{CTable, CTuple, TableClass, TableError};
 pub use valuation::Valuation;

@@ -92,7 +92,7 @@ pub fn simplify_table(table: &CTable) -> Option<CTable> {
 
 /// Does the (satisfiable) conjunction imply a single atom?
 fn implied_by(global: &Conjunction, atom: &Atom) -> bool {
-    global.implies(&Conjunction::single(atom.clone()))
+    global.implies(&Conjunction::single(*atom))
 }
 
 /// Simplify every table of a database.

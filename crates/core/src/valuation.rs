@@ -129,12 +129,9 @@ impl Valuation {
     pub fn apply_table_in(&self, symbols: &Symbols, table: &CTable) -> Option<Relation> {
         let mut rel = Relation::empty(table.arity());
         for row in table.tuples() {
-            match self.satisfies(&row.condition)? {
-                true => {
-                    let fact = self.apply_tuple_in(symbols, row)?;
-                    rel.insert(fact).expect("row arity equals table arity");
-                }
-                false => {}
+            if self.satisfies(&row.condition)? {
+                let fact = self.apply_tuple_in(symbols, row)?;
+                rel.insert(fact).expect("row arity equals table arity");
             }
         }
         Some(rel)
@@ -146,7 +143,7 @@ impl Valuation {
     /// private-dictionary databases materialise worlds correctly.
     pub fn world_of(&self, db: &CDatabase) -> Option<Instance> {
         for table in db.tables() {
-            if self.satisfies(table.global_condition())? != true {
+            if !self.satisfies(table.global_condition())? {
                 return None;
             }
         }

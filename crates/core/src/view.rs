@@ -64,7 +64,24 @@ impl View {
     /// by copying the corresponding table).  The converted database stays in the source
     /// database's [`pw_relational::Symbols`] context — ids are never re-interned and a
     /// private-dictionary view converts into a private-dictionary database.
+    ///
+    /// A query that is the *full identity* of the database converts to a clone of the
+    /// database itself — sharing the table allocation and the cached per-database state
+    /// (fingerprint, shard map, coupling graph), so repeated identity requests hit the
+    /// engine's pointer-compare caches instead of rebuilding copies.
     pub fn to_ctables(&self) -> Option<Result<CDatabase, AlgebraError>> {
+        let outputs = self.query.outputs();
+        let identity_of_db = outputs.len() == self.db.table_count()
+            && outputs
+                .iter()
+                .zip(self.db.tables())
+                .all(|((name, def), table)| {
+                    matches!(def, QueryDef::Identity { relation, arity }
+                    if name == relation && relation == table.name() && *arity == table.arity())
+                });
+        if identity_of_db {
+            return Some(Ok(self.db.clone()));
+        }
         let mut tables = Vec::new();
         for (name, def) in self.query.outputs() {
             match def {

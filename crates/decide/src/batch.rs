@@ -81,6 +81,22 @@ impl DecisionRequest {
         }
     }
 
+    /// The group-weighted work-item count of this request: the number of shard groups
+    /// its database's coupling graph splits into (1 when nothing splits).  A request
+    /// that fans out across `k` groups is `k` units of schedulable work — the batch
+    /// queue orders by this weight so multi-group requests start first and do not
+    /// straggle at the tail of the batch (longest-processing-time-first scheduling).
+    pub fn work_items(&self) -> usize {
+        let db = match self {
+            DecisionRequest::Membership { view, .. }
+            | DecisionRequest::Uniqueness { view, .. }
+            | DecisionRequest::Possibility { view, .. }
+            | DecisionRequest::Certainty { view, .. } => &view.db,
+            DecisionRequest::Containment { left, .. } => &left.db,
+        };
+        db.shard_groups().len().max(1)
+    }
+
     /// Decide the request; the answer arrives next to the [`Strategy`] the dispatcher
     /// chose, so the view→c-table conversion behind the dispatch tables runs once per
     /// request — for successes *and* for budget-exceeded failures alike.
@@ -149,17 +165,24 @@ pub fn decide_all_with(requests: &[DecisionRequest], cfg: &EngineConfig) -> Vec<
             .collect();
     }
 
+    // Queue order: group-weighted work items descending (LPT scheduling).  A request
+    // that fans out across many shard groups is the longest job in the batch; starting
+    // it first keeps the tail of the batch from serialising behind it.  Outcomes stay
+    // positionally aligned — only the execution order changes, and answers are
+    // schedule-independent (see the engine's determinism notes).
+    let mut order: Vec<usize> = (0..requests.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(requests[i].work_items()));
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<DecisionOutcome>>> =
         requests.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(request) = requests.get(i) else {
+                let queued = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&i) = order.get(queued) else {
                     return;
                 };
-                let outcome = request.outcome(&engine);
+                let outcome = requests[i].outcome(&engine);
                 *slots[i].lock().expect("outcome slot poisoned") = Some(outcome);
             });
         }

@@ -39,10 +39,16 @@ pub fn decide_with(
     facts: &Instance,
     engine: &Engine,
 ) -> (Result<bool, BudgetExceeded>, Strategy) {
-    let (strategy, converted) = plan(view);
+    let (strategy, converted) = plan(view, engine.config().per_shard);
     let answer = match strategy {
         Strategy::NaiveEvaluation => {
             Ok(naive_gtable(view, facts).expect("strategy selection guarantees applicability"))
+        }
+        Strategy::PerShard { .. } => {
+            match converted.expect("planned strategies carry their conversion") {
+                Ok(db) => complement_search_per_shard(&db, facts, engine),
+                Err(_) => Ok(false),
+            }
         }
         Strategy::Backtracking => {
             match converted.expect("planned strategies carry their conversion") {
@@ -56,7 +62,11 @@ pub fn decide_with(
 }
 
 /// The dispatch decision plus (when applicable) the one-time view→c-table conversion.
-fn plan(view: &View) -> (Strategy, Option<Result<CDatabase, AlgebraError>>) {
+/// The coNP complement upgrades to [`Strategy::PerShard`] when the converted database's
+/// coupling graph splits (and `per_shard` is enabled): a fact can only be missing from a
+/// world of the group owning its relation, so the per-fact complement searches run
+/// against per-group base stores and the certainty conjunction is unchanged.
+fn plan(view: &View, per_shard: bool) -> (Strategy, Option<Result<CDatabase, AlgebraError>>) {
     let monotone = matches!(
         view.query.class(),
         QueryClass::Identity | QueryClass::PositiveExistential | QueryClass::Datalog
@@ -64,6 +74,14 @@ fn plan(view: &View) -> (Strategy, Option<Result<CDatabase, AlgebraError>>) {
     if monotone && view.db.classify() <= TableClass::GTable {
         (Strategy::NaiveEvaluation, None)
     } else if let Some(converted) = view.to_ctables() {
+        if per_shard {
+            if let Ok(db) = &converted {
+                let groups = db.shard_groups().len();
+                if groups > 1 {
+                    return (Strategy::PerShard { groups }, Some(converted));
+                }
+            }
+        }
         (Strategy::Backtracking, Some(converted))
     } else {
         (Strategy::WorldEnumeration, None)
@@ -72,7 +90,7 @@ fn plan(view: &View) -> (Strategy, Option<Result<CDatabase, AlgebraError>>) {
 
 /// The strategy [`decide`] will use.
 pub fn strategy(view: &View) -> Strategy {
-    plan(view).0
+    plan(view, true).0
 }
 
 /// Theorem 5.3(1): certainty for monotone (identity / positive existential / DATALOG)
@@ -126,6 +144,26 @@ pub fn complement_search_with(
         return Ok(true); // no worlds: vacuously certain
     }
     Ok(!engine.exists_world_missing_any_fact(db, facts)?)
+}
+
+/// [`complement_search_with`] over the shard groups: the same per-fact complement
+/// forest, with each fact's subtree rooted in its group's base store instead of the
+/// joint one.  The representation is empty iff *some* group's globals are unsatisfiable
+/// (groups are variable-disjoint, so the joint conjunction factors), in which case every
+/// fact is vacuously certain — matching the joint path's empty-rep rule.
+pub fn complement_search_per_shard(
+    db: &CDatabase,
+    facts: &Instance,
+    engine: &Engine,
+) -> Result<bool, BudgetExceeded> {
+    if db
+        .shard_groups()
+        .iter()
+        .any(|g| !engine.has_satisfiable_globals(g.database()))
+    {
+        return Ok(true); // no worlds: vacuously certain
+    }
+    Ok(!engine.exists_world_missing_any_fact_per_shard(db, facts)?)
 }
 
 /// [`by_enumeration`] on an explicit [`Engine`] (parallel canonical-valuation

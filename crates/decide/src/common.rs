@@ -31,11 +31,21 @@ pub enum Strategy {
     Backtracking,
     /// Canonical valuation enumeration (the Π₂ᵖ / generic fallback of Proposition 2.1).
     WorldEnumeration,
+    /// Shard-group decomposition: the database's coupling graph splits into `groups`
+    /// variable-disjoint groups, each solved independently (dispatching per group to the
+    /// tractable algorithm where one applies) and merged with the problem's combinator.
+    /// Condition-coupled databases never report this — they fall back to the joint
+    /// search.
+    PerShard {
+        /// Number of independent coupling groups the request fanned out across.
+        groups: usize,
+    },
 }
 
 impl fmt::Display for Strategy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {
+            Strategy::PerShard { groups } => return write!(f, "per-shard({groups})"),
             Strategy::CoddMatching => "codd-matching",
             Strategy::GTableNormalization => "g-table-normalization",
             Strategy::PosExistEtable => "pos-exist-e-table",

@@ -37,9 +37,10 @@ pub fn decide_with(
     view: &View,
     engine: &Engine,
 ) -> (Result<bool, BudgetExceeded>, Strategy) {
-    let strategy = strategy(view0, view);
+    let strategy = strategy_with(view0, view, engine.config().per_shard);
     let answer = match strategy {
         Strategy::Freeze => freeze(&view0.db, &view.db, engine.config().budget),
+        Strategy::PerShard { .. } => per_shard(view0, view, engine),
         _ => forall_exists_with(view0, view, engine),
     };
     (answer, strategy)
@@ -48,15 +49,85 @@ pub fn decide_with(
 /// The strategy [`decide`] will use for a pair of views (mirrors the upper-bound regions of
 /// Fig. 2).
 pub fn strategy(view0: &View, view: &View) -> Strategy {
+    strategy_with(view0, view, true)
+}
+
+fn strategy_with(view0: &View, view: &View, per_shard: bool) -> Strategy {
     let identity = view0.query.is_identity() && view.query.is_identity();
     if identity
         && view0.db.classify() <= TableClass::GTable
         && view.db.classify() <= TableClass::ETable
     {
         Strategy::Freeze
+    } else if per_shard && identity {
+        match aligned_groups(&view0.db, &view.db) {
+            Some(groups) => Strategy::PerShard { groups },
+            None => Strategy::WorldEnumeration,
+        }
     } else {
         Strategy::WorldEnumeration
     }
+}
+
+/// Do the two databases decompose into the *same* (non-trivial) partition of relations?
+/// Containment of products factorizes only when the two sides group their relations
+/// identically: `Π_g rep(L_g) ⊆ Π_g rep(R_g)` iff the left is empty or every aligned
+/// pair is contained (pick any left world of one group, extend it with worlds of the
+/// other groups — all non-empty — and project the containment).  Mismatched partitions
+/// or schemas fall back to the joint Π₂ᵖ enumeration.
+fn aligned_groups(db0: &CDatabase, db: &CDatabase) -> Option<usize> {
+    use std::collections::BTreeSet;
+    let (g0, g1) = (db0.shard_groups(), db.shard_groups());
+    if g0.len() < 2 || g0.len() != g1.len() {
+        return None;
+    }
+    fn names(g: &pw_core::ShardGroup) -> BTreeSet<&str> {
+        g.database().tables().iter().map(|t| t.name()).collect()
+    }
+    let s0: BTreeSet<BTreeSet<&str>> = g0.iter().map(names).collect();
+    let s1: BTreeSet<BTreeSet<&str>> = g1.iter().map(names).collect();
+    (s0 == s1).then_some(g0.len())
+}
+
+/// Containment decomposed over aligned shard groups: an empty left representation is
+/// contained in everything; otherwise every aligned group pair must be contained, with
+/// each pair dispatched recursively (a group pair in the g-table ⊆ e-table region runs
+/// the *polynomial* freeze — isolating the tractable fragments the joint enumeration
+/// would have drowned in its exponent).  Each group pair searches under the full request
+/// budget: group decompositions are how a budget-sized search stays feasible at all
+/// here, and a per-group slice would make the bound depend on the grouping.
+fn per_shard(view0: &View, view: &View, engine: &Engine) -> Result<bool, BudgetExceeded> {
+    if !view0.db.has_satisfiable_globals() {
+        return Ok(true); // rep(view0.db) = ∅ ⊆ anything
+    }
+    use std::collections::BTreeSet;
+    let names = |g: &pw_core::ShardGroup| -> BTreeSet<String> {
+        g.database()
+            .tables()
+            .iter()
+            .map(|t| t.name().to_owned())
+            .collect()
+    };
+    let rights: std::collections::BTreeMap<BTreeSet<String>, &pw_core::ShardGroup> = view
+        .db
+        .shard_groups()
+        .iter()
+        .map(|g| (names(g), g))
+        .collect();
+    for left in view0.db.shard_groups() {
+        let right = rights
+            .get(&names(left))
+            .expect("strategy_with verified the partitions align");
+        let (answer, _) = decide_with(
+            &View::identity(left.database().clone()),
+            &View::identity(right.database().clone()),
+            engine,
+        );
+        if !answer? {
+            return Ok(false);
+        }
+    }
+    Ok(true)
 }
 
 /// Theorem 4.1(2,3): containment of a g-table database in an e-table (or Codd-table)

@@ -58,6 +58,13 @@ pub struct EngineConfig {
     /// better load balance on skewed trees at the cost of more upfront breadth-first
     /// expansion; 8 is a good default.
     pub frontier_per_thread: usize,
+    /// Fan requests out across independent shard groups when the database's coupling
+    /// graph splits ([`pw_core::CDatabase::shard_groups`]).  On by default — answers are
+    /// identical to the joint search (groups are variable-disjoint, so `rep(db)` is the
+    /// product of the groups' representations) and the joint search's multiplicative
+    /// cross-group backtracking becomes a sum of per-group searches.  Disable to force
+    /// the joint search, e.g. to cross-check the equivalence in tests.
+    pub per_shard: bool,
 }
 
 impl EngineConfig {
@@ -67,6 +74,7 @@ impl EngineConfig {
             threads: 1,
             budget,
             frontier_per_thread: 8,
+            per_shard: true,
         }
     }
 
@@ -82,7 +90,15 @@ impl EngineConfig {
             threads: threads.max(1),
             budget,
             frontier_per_thread: 8,
+            per_shard: true,
         }
+    }
+
+    /// Disable the shard-group decomposition: every decision runs the joint search even
+    /// when the coupling graph splits.
+    pub fn without_per_shard(mut self) -> Self {
+        self.per_shard = false;
+        self
     }
 }
 
@@ -134,15 +150,29 @@ enum Stop {
 }
 
 /// Shared per-search state: the budget pool and the early-exit flag.
+///
+/// The pool lives behind an `Arc` so several *consecutive* searches can drain one budget
+/// (the legacy `search.rs` wrappers, the two halves of the uniqueness complement) and so
+/// a shard-group conjunction can give every group its own cancellation scope without
+/// splitting the pool: [`Ctx::fork`] shares the budget but resets the flag — a witness
+/// found in one group must stop *that group's* workers, not the next group's search.
 pub(crate) struct Ctx {
-    budget: SharedBudget,
+    budget: Arc<SharedBudget>,
     cancel: AtomicBool,
 }
 
 impl Ctx {
     pub(crate) fn new(budget: Budget) -> Self {
         Ctx {
-            budget: SharedBudget::new(budget),
+            budget: Arc::new(SharedBudget::new(budget)),
+            cancel: AtomicBool::new(false),
+        }
+    }
+
+    /// A context draining the same budget pool with a fresh cancellation scope.
+    pub(crate) fn fork(&self) -> Ctx {
+        Ctx {
+            budget: Arc::clone(&self.budget),
             cancel: AtomicBool::new(false),
         }
     }
@@ -257,9 +287,9 @@ fn drive_ctx<S: TreeSearch>(
             .collect()
     });
 
-    if outcomes.iter().any(|o| *o == Outcome::Found) {
+    if outcomes.contains(&Outcome::Found) {
         Ok(true)
-    } else if outcomes.iter().any(|o| *o == Outcome::OutOfBudget) {
+    } else if outcomes.contains(&Outcome::OutOfBudget) {
         Err(BudgetExceeded)
     } else {
         Ok(false)
@@ -289,6 +319,26 @@ fn assert_row_produces(
 /// external constants become engine ids.
 pub(crate) fn intern_fact(db: &CDatabase, fact: &Tuple) -> Vec<Sym> {
     fact.iter().map(|c| db.intern(c)).collect()
+}
+
+/// Split an instance by the database's shard groups: `parts[g]` holds exactly the
+/// relations of `facts` that live in group `g`.  `None` when a populated relation is
+/// unknown to the database or arity-mismatched — the per-shard callers map that to the
+/// same answer the joint search gives for an incompatible schema.
+pub(crate) fn split_by_group(db: &CDatabase, facts: &Instance) -> Option<Vec<Instance>> {
+    let group_of = db.shard_group_index();
+    let mut parts = vec![Instance::new(); db.shard_groups().len()];
+    for (name, rel) in facts.iter() {
+        if rel.is_empty() {
+            continue;
+        }
+        let pos = db.table_position(name)?;
+        if db.tables()[pos].arity() != rel.arity() {
+            return None;
+        }
+        parts[group_of[pos]].insert_relation(name.clone(), rel.clone());
+    }
+    Some(parts)
 }
 
 /// An instance holding exactly one fact, for the single-fact entry points.
@@ -342,8 +392,15 @@ impl Engine {
     }
 
     /// Are the global conditions of `db` jointly satisfiable?  Memoized (both through the
-    /// sat-cache, per condition, and through the base-store cache, per database).
+    /// sat-cache, per condition, and through the base-store cache, per database); a
+    /// cached database answers with a map lookup, no store clone.
     pub fn has_satisfiable_globals(&self, db: &CDatabase) -> bool {
+        {
+            let cache = self.base_stores.lock().expect("base-store cache poisoned");
+            if let Some(store) = cache.get(db) {
+                return store.is_some();
+            }
+        }
         self.base_store(db).is_some()
     }
 
@@ -541,6 +598,179 @@ impl Engine {
             make_root: |row| {
                 // The row must be present (local condition holds) to escape.
                 let mut store = base.clone();
+                store
+                    .assert_conjunction(&conditions[row])
+                    .then_some(ChoiceNode {
+                        store,
+                        meta: EscapeMeta { row, fact_idx: 0 },
+                    })
+            },
+        };
+        drive_ctx(&forest, ForestNode::Roots, &self.cfg, ctx)
+    }
+
+    // -- shard-group (per-shard) variants ------------------------------------------------
+    //
+    // When the database's coupling graph splits, the three constraint searches decompose
+    // along the groups: rep(db) is the product of the groups' representations (groups are
+    // variable-disjoint), so an existential question about the whole database is either a
+    // conjunction of per-group questions (covering: *every* group must have a covering
+    // valuation) or a disjunction (a fact missing / a fact escaping *somewhere*).  The
+    // disjunctions stay one forest — the same shared budget and first-witness
+    // cancellation, with each root cloning its *group's* base store instead of the joint
+    // one — while the conjunction runs the groups back to back, draining one budget pool
+    // through forked contexts (a witness in one group must not cancel the next group's
+    // search).  Answers are bit-identical to the joint search by construction; what
+    // changes is the tree: the joint search re-explores every earlier group's
+    // alternatives each time a later group fails, the decomposition pays each group once.
+
+    /// Per-group base stores, indexed by group position.  `None` when some group's
+    /// globals are unsatisfiable — equivalently (variable-disjointness) when the *joint*
+    /// globals are unsatisfiable, i.e. `rep(db) = ∅`.
+    fn group_stores(&self, db: &CDatabase) -> Option<Vec<ConstraintSet>> {
+        db.shard_groups()
+            .iter()
+            .map(|g| self.base_store(g.database()))
+            .collect()
+    }
+
+    /// [`Engine::exists_world_covering`] decomposed over the shard groups: the facts are
+    /// split per group and every group must cover its part.  Callers dispatch here only
+    /// when the coupling graph splits (`db.shard_groups().len() > 1`).
+    pub fn exists_world_covering_per_shard(
+        &self,
+        db: &CDatabase,
+        facts: &Instance,
+    ) -> Result<bool, BudgetExceeded> {
+        let Some(parts) = split_by_group(db, facts) else {
+            return Ok(false);
+        };
+        let ctx = Ctx::new(self.cfg.budget);
+        for (group, part) in db.shard_groups().iter().zip(&parts) {
+            // A group with no facts still gates the conjunction: its globals must be
+            // satisfiable (the joint base store asserts them too), which is exactly what
+            // `covering_ctx` on an empty part checks.
+            if !self.covering_ctx(group.database(), part, &ctx.fork())? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// [`Engine::exists_world_missing_any_fact`] with per-group base stores: one forest
+    /// over all facts (shared budget, first-witness cancellation), where each fact's
+    /// subtree starts from the base store of the group owning its relation.
+    pub fn exists_world_missing_any_fact_per_shard(
+        &self,
+        db: &CDatabase,
+        facts: &Instance,
+    ) -> Result<bool, BudgetExceeded> {
+        self.missing_any_per_shard_ctx(db, facts, &Ctx::new(self.cfg.budget))
+    }
+
+    pub(crate) fn missing_any_per_shard_ctx(
+        &self,
+        db: &CDatabase,
+        facts: &Instance,
+        ctx: &Ctx,
+    ) -> Result<bool, BudgetExceeded> {
+        let group_of = db.shard_group_index();
+        let mut work: Vec<(&CTable, Vec<Sym>)> = Vec::new();
+        let mut work_group: Vec<usize> = Vec::new();
+        for (name, rel) in facts.iter() {
+            for fact in rel.iter() {
+                match db.table_position(name) {
+                    Some(pos) if db.tables()[pos].arity() == fact.arity() => {
+                        work.push((&db.tables()[pos], intern_fact(db, fact)));
+                        work_group.push(group_of[pos]);
+                    }
+                    // No such relation: the fact is missing from every world.
+                    _ => return Ok(true),
+                }
+            }
+        }
+        if work.is_empty() {
+            return Ok(false);
+        }
+        if db
+            .shard_groups()
+            .iter()
+            .any(|g| !self.has_satisfiable_globals(g.database()))
+        {
+            // Empty representation — same outcome as the joint search's missing base
+            // store; callers handle the vacuous-certainty case separately.
+            return Ok(false);
+        }
+        // Clone a base store only for the groups that actually own a fact — a request
+        // touching one relation of a many-group database pays for one small store.
+        let mut bases: Vec<Option<ConstraintSet>> = vec![None; db.shard_groups().len()];
+        for &g in &work_group {
+            if bases[g].is_none() {
+                bases[g] = self.base_store(db.shard_groups()[g].database());
+            }
+        }
+        let bases: Vec<ConstraintSet> = bases.into_iter().map(|b| b.unwrap_or_default()).collect();
+        let search = MissingSearch { work };
+        let driver = Choices(&search);
+        let forest = ForestSearch {
+            inner: &driver,
+            root_count: search.work.len(),
+            make_root: |fact_idx: usize| {
+                Some(ChoiceNode {
+                    store: bases[work_group[fact_idx]].clone(),
+                    meta: MissingMeta {
+                        fact_idx,
+                        row_idx: 0,
+                    },
+                })
+            },
+        };
+        drive_ctx(&forest, ForestNode::Roots, &self.cfg, ctx)
+    }
+
+    /// [`Engine::exists_world_with_fact_outside`] with per-group base stores: one forest
+    /// over all rows, each row's subtree starting from its group's base store.
+    pub fn exists_world_with_fact_outside_per_shard(
+        &self,
+        db: &CDatabase,
+        instance: &Instance,
+    ) -> Result<bool, BudgetExceeded> {
+        self.fact_outside_per_shard_ctx(db, instance, &Ctx::new(self.cfg.budget))
+    }
+
+    pub(crate) fn fact_outside_per_shard_ctx(
+        &self,
+        db: &CDatabase,
+        instance: &Instance,
+        ctx: &Ctx,
+    ) -> Result<bool, BudgetExceeded> {
+        let Some(bases) = self.group_stores(db) else {
+            return Ok(false);
+        };
+        let group_of = db.shard_group_index();
+        let mut rows = Vec::new();
+        let mut conditions = Vec::new();
+        let mut row_group = Vec::new();
+        let mut fact_lists: Vec<Vec<Vec<Sym>>> = Vec::new();
+        for (pos, table) in db.tables().iter().enumerate() {
+            let rel = instance.relation_or_empty(table.name(), table.arity());
+            let facts: Vec<Vec<Sym>> = rel.iter().map(|f| intern_fact(db, f)).collect();
+            let list_idx = fact_lists.len();
+            fact_lists.push(facts);
+            for row in table.tuples() {
+                rows.push((row.terms.clone(), list_idx));
+                conditions.push(row.condition.clone());
+                row_group.push(group_of[pos]);
+            }
+        }
+        let search = EscapeSearch { fact_lists, rows };
+        let driver = Choices(&search);
+        let forest = ForestSearch {
+            inner: &driver,
+            root_count: conditions.len(),
+            make_root: |row: usize| {
+                // The row must be present (local condition holds) to escape.
+                let mut store = bases[row_group[row]].clone();
                 store
                     .assert_conjunction(&conditions[row])
                     .then_some(ChoiceNode {

@@ -27,9 +27,13 @@
 //! `std::thread::scope` workers, an atomic shared budget and first-witness cancellation.
 //! Each problem module exposes a `decide_with(…, &Engine)` variant; the batched front
 //! door [`batch::decide_all`] decides many requests at once, amortizing per-database
-//! preprocessing through the engine's caches.  See `docs/BOOK.md` (section "The parallel
-//! engine") for the invariants — budget semantics and determinism of answers under
-//! parallelism.
+//! preprocessing through the engine's caches.  When a database's coupling graph splits
+//! ([`pw_core::CDatabase::shard_groups`]), the dispatchers fan the request out across
+//! the independent shard groups ([`common::Strategy::PerShard`]) and merge with the
+//! problem's combinator, falling back to the joint search for condition-coupled groups.
+//! See `docs/BOOK.md` (sections "The parallel engine" and "Shard groups and the
+//! coupling graph") for the invariants — budget semantics and determinism of answers
+//! under parallelism.
 
 #![warn(missing_docs)]
 

@@ -16,27 +16,87 @@
 use crate::common::{evaluation_delta, Budget, BudgetCounter, BudgetExceeded, Strategy};
 use crate::engine::{Engine, EngineConfig};
 use pw_condition::{Atom, ConstraintSet, Term};
-use pw_core::{CDatabase, CTable, TableClass, View};
+use pw_core::{CDatabase, CTable, View};
 use pw_relational::{Instance, Sym};
 use pw_solvers::matching::{maximum_matching, BipartiteGraph};
 use std::collections::BTreeSet;
 
 /// Decide `MEMB(-)`: is `instance` in `rep(db)`?  Dispatches to the matching algorithm for
-/// Codd-table databases and to the backtracking procedure otherwise.
+/// Codd-table databases, to the shard-group decomposition when the coupling graph splits,
+/// and to the joint backtracking procedure otherwise.
 pub fn decide(db: &CDatabase, instance: &Instance, budget: Budget) -> Result<bool, BudgetExceeded> {
     match strategy(db) {
         Strategy::CoddMatching => Ok(codd_matching(db, instance)),
+        Strategy::PerShard { .. } => per_shard(db, instance, budget),
         _ => backtracking(db, instance, budget),
     }
 }
 
 /// The strategy [`decide`] will use for a database.
 pub fn strategy(db: &CDatabase) -> Strategy {
-    if db.classify() == TableClass::Codd && !db.tables_share_variables() {
+    strategy_with(db, true)
+}
+
+/// [`decide`] with the shard-group decomposition forced off — the joint dispatch the
+/// callers that must mirror the pre-decomposition behaviour (e.g. the joint uniqueness
+/// complement) rely on.
+pub(crate) fn decide_joint(
+    db: &CDatabase,
+    instance: &Instance,
+    budget: Budget,
+) -> Result<bool, BudgetExceeded> {
+    match strategy_with(db, false) {
+        Strategy::CoddMatching => Ok(codd_matching(db, instance)),
+        _ => backtracking(db, instance, budget),
+    }
+}
+
+/// [`strategy`] with the shard-group decomposition toggled — engine-backed callers pass
+/// [`crate::EngineConfig::per_shard`] so the label always matches the path that runs.
+fn strategy_with(db: &CDatabase, per_shard: bool) -> Strategy {
+    if db.is_decoupled_codd() {
         Strategy::CoddMatching
     } else {
-        Strategy::Backtracking
+        let groups = db.shard_groups().len();
+        if per_shard && groups > 1 {
+            Strategy::PerShard { groups }
+        } else {
+            Strategy::Backtracking
+        }
     }
+}
+
+/// `MEMB(-)` decomposed over the shard groups: `rep(db)` is the product of the groups'
+/// representations (variable-disjoint groups choose their valuations independently), so
+/// `instance ∈ rep(db)` iff each group's slice of the instance is a member of that
+/// group's representation — a conjunction of small searches instead of one joint tree
+/// that re-explores every earlier group's row assignments whenever a later group fails.
+/// Each group dispatches to its own best algorithm (matching for decoupled-Codd groups,
+/// backtracking otherwise); one budget counter is threaded through the conjunction, so
+/// `budget` still bounds the total node count.
+pub fn per_shard(
+    db: &CDatabase,
+    instance: &Instance,
+    budget: Budget,
+) -> Result<bool, BudgetExceeded> {
+    // An unknown or arity-mismatched relation is not a member of anything — the same
+    // outcome `schema_compatible` gives the joint searches.
+    let Some(parts) = crate::engine::split_by_group(db, instance) else {
+        return Ok(false);
+    };
+    let mut counter = budget.counter();
+    for (group, part) in db.shard_groups().iter().zip(&parts) {
+        let sub = group.database();
+        let ok = if sub.is_decoupled_codd() {
+            codd_matching(sub, part)
+        } else {
+            backtracking_counted(sub, part, &mut counter)?
+        };
+        if !ok {
+            return Ok(false);
+        }
+    }
+    Ok(true)
 }
 
 /// Quick structural check shared by all algorithms: the instance may not populate relations
@@ -126,6 +186,17 @@ pub fn backtracking(
     instance: &Instance,
     budget: Budget,
 ) -> Result<bool, BudgetExceeded> {
+    let mut counter = budget.counter();
+    backtracking_counted(db, instance, &mut counter)
+}
+
+/// [`backtracking`] against an externally owned counter, so the per-shard conjunction
+/// can thread one budget pool through consecutive group searches.
+fn backtracking_counted(
+    db: &CDatabase,
+    instance: &Instance,
+    counter: &mut BudgetCounter,
+) -> Result<bool, BudgetExceeded> {
     if !schema_compatible(db, instance) {
         return Ok(false);
     }
@@ -167,22 +238,28 @@ pub fn backtracking(
     }
     let total_facts: usize = fact_lists.iter().map(Vec::len).sum();
 
-    let mut counter = budget.counter();
     let mut coverage: Vec<Vec<usize>> = fact_lists
         .iter()
         .map(|facts| vec![0usize; facts.len()])
         .collect();
 
+    // The shape of the search, fixed for its whole run (the mutable store, coverage and
+    // budget travel as explicit parameters).
+    struct SearchShape<'a> {
+        rows: Vec<RowRef<'a>>,
+        fact_lists: Vec<Vec<Vec<Sym>>>,
+        total_facts: usize,
+    }
+
     fn search(
-        rows: &[RowRef<'_>],
-        fact_lists: &[Vec<Vec<Sym>>],
+        shape: &SearchShape<'_>,
         coverage: &mut Vec<Vec<usize>>,
         covered_count: usize,
-        total_facts: usize,
         depth: usize,
         store: &mut ConstraintSet,
         counter: &mut BudgetCounter,
     ) -> Result<bool, BudgetExceeded> {
+        let (rows, fact_lists, total_facts) = (&shape.rows, &shape.fact_lists, shape.total_facts);
         counter.tick()?;
         if depth == rows.len() {
             return Ok(covered_count == total_facts);
@@ -217,11 +294,9 @@ pub fn backtracking(
             coverage[t_idx][f_idx] += 1;
             let newly_covered = coverage[t_idx][f_idx] == 1;
             let result = search(
-                rows,
-                fact_lists,
+                shape,
                 coverage,
                 covered_count + usize::from(newly_covered),
-                total_facts,
                 depth + 1,
                 store,
                 counter,
@@ -245,16 +320,7 @@ pub fn backtracking(
                 store.rollback(cp);
                 continue;
             }
-            let result = search(
-                rows,
-                fact_lists,
-                coverage,
-                covered_count,
-                total_facts,
-                depth + 1,
-                store,
-                counter,
-            );
+            let result = search(shape, coverage, covered_count, depth + 1, store, counter);
             store.rollback(cp);
             if result? {
                 return Ok(true);
@@ -264,17 +330,13 @@ pub fn backtracking(
         Ok(false)
     }
 
-    let mut store = base;
-    search(
-        &rows,
-        &fact_lists,
-        &mut coverage,
-        0,
+    let shape = SearchShape {
+        rows,
+        fact_lists,
         total_facts,
-        0,
-        &mut store,
-        &mut counter,
-    )
+    };
+    let mut store = base;
+    search(&shape, &mut coverage, 0, 0, &mut store, counter)
 }
 
 /// `MEMB(q)` for a view.
@@ -312,13 +374,20 @@ pub fn view_membership_with(
 ) -> (Result<bool, BudgetExceeded>, Strategy) {
     match view.to_ctables() {
         Some(Ok(db)) => {
+            let split = engine.config().per_shard;
             let chosen = if view.query.is_identity() {
-                strategy(&db)
+                strategy_with(&db, split)
             } else {
-                Strategy::Backtracking
+                let groups = db.shard_groups().len();
+                if split && groups > 1 {
+                    Strategy::PerShard { groups }
+                } else {
+                    Strategy::Backtracking
+                }
             };
             let answer = match chosen {
                 Strategy::CoddMatching => Ok(codd_matching(&db, instance)),
+                Strategy::PerShard { .. } => per_shard(&db, instance, engine.config().budget),
                 _ => backtracking(&db, instance, engine.config().budget),
             };
             (answer, chosen)
@@ -343,10 +412,19 @@ pub fn view_membership_with(
 pub fn view_strategy(view: &View) -> Strategy {
     if view.query.is_identity() {
         strategy(&view.db)
-    } else if view.to_ctables().is_some() {
-        Strategy::Backtracking
     } else {
-        Strategy::WorldEnumeration
+        match view.to_ctables() {
+            Some(Ok(db)) => {
+                let groups = db.shard_groups().len();
+                if groups > 1 {
+                    Strategy::PerShard { groups }
+                } else {
+                    Strategy::Backtracking
+                }
+            }
+            Some(Err(_)) => Strategy::Backtracking,
+            None => Strategy::WorldEnumeration,
+        }
     }
 }
 

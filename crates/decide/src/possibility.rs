@@ -15,7 +15,7 @@ use crate::common::{evaluation_delta, Budget, BudgetExceeded, Strategy};
 use crate::engine::{Engine, EngineConfig};
 use crate::search::exists_world_covering;
 use pw_core::algebra::AlgebraError;
-use pw_core::{CDatabase, TableClass, View};
+use pw_core::{CDatabase, View};
 use pw_relational::Instance;
 use pw_solvers::matching::{maximum_matching, BipartiteGraph};
 
@@ -39,9 +39,15 @@ pub fn decide_with(
     facts: &Instance,
     engine: &Engine,
 ) -> (Result<bool, BudgetExceeded>, Strategy) {
-    let (strategy, converted) = plan(view);
+    let (strategy, converted) = plan(view, engine.config().per_shard);
     let answer = match strategy {
         Strategy::CoddMatching => Ok(codd_matching(&view.db, facts)),
+        Strategy::PerShard { .. } => {
+            match converted.expect("planned strategies carry their conversion") {
+                Ok(db) => engine.exists_world_covering_per_shard(&db, facts),
+                Err(_) => Ok(false),
+            }
+        }
         Strategy::CTableAlgebra | Strategy::Backtracking => {
             match converted.expect("planned strategies carry their conversion") {
                 Ok(db) => engine.exists_world_covering(&db, facts),
@@ -54,25 +60,45 @@ pub fn decide_with(
 }
 
 /// The dispatch decision and, when the chosen strategy runs on a converted c-table
-/// database, the conversion itself — computed together so it is never repeated.
-fn plan(view: &View) -> (Strategy, Option<Result<CDatabase, AlgebraError>>) {
+/// database, the conversion itself — computed together so it is never repeated.  The
+/// covering-search strategies upgrade to [`Strategy::PerShard`] when the converted
+/// database's coupling graph splits (and `per_shard` is enabled): the per-group covering
+/// searches conjoin to exactly the joint answer.
+fn plan(view: &View, per_shard: bool) -> (Strategy, Option<Result<CDatabase, AlgebraError>>) {
     if view.query.is_identity() {
-        if view.db.classify() == TableClass::Codd && !view.db.tables_share_variables() {
+        if view.db.is_decoupled_codd() {
             (Strategy::CoddMatching, None)
         } else {
-            (Strategy::Backtracking, view.to_ctables())
+            upgrade(Strategy::Backtracking, view.to_ctables(), per_shard)
         }
     } else if let Some(converted) = view.to_ctables() {
         // Positive existential (possibly with ≠) view: Theorem 5.2(1)'s path.
-        (Strategy::CTableAlgebra, Some(converted))
+        upgrade(Strategy::CTableAlgebra, Some(converted), per_shard)
     } else {
         (Strategy::WorldEnumeration, None)
     }
 }
 
+/// Upgrade a covering-search plan to the shard-group decomposition when it applies.
+fn upgrade(
+    base: Strategy,
+    converted: Option<Result<CDatabase, AlgebraError>>,
+    per_shard: bool,
+) -> (Strategy, Option<Result<CDatabase, AlgebraError>>) {
+    if per_shard {
+        if let Some(Ok(db)) = &converted {
+            let groups = db.shard_groups().len();
+            if groups > 1 {
+                return (Strategy::PerShard { groups }, converted);
+            }
+        }
+    }
+    (base, converted)
+}
+
 /// The strategy [`decide`] will use.
 pub fn strategy(view: &View) -> Strategy {
-    plan(view).0
+    plan(view, true).0
 }
 
 /// Theorem 5.1(1): unbounded possibility for Codd-tables via bipartite matching.  `facts`
@@ -101,7 +127,7 @@ pub fn codd_matching(db: &CDatabase, facts: &Instance) -> bool {
                     .terms
                     .iter()
                     .zip(fact.iter())
-                    .all(|(t, &c)| t.as_sym().map_or(true, |tc| tc == c));
+                    .all(|(t, &c)| t.as_sym().is_none_or(|tc| tc == c));
                 if unifies {
                     graph.add_edge(i, j);
                 }
@@ -240,11 +266,8 @@ mod tests {
         // Both facts equal: they would need the two rows to coincide, violating x ≠ y …
         // but a single fact set {1} only needs one row, so it stays possible.
         assert!(row_cover(&db, &Instance::single("R", rel![[1]]), budget()).unwrap());
-        assert!(
-            !row_cover(&db, &Instance::single("R", rel![[1], [1]]), budget()).unwrap_or(true)
-                || true,
-            "duplicate facts collapse in a set; nothing to assert here"
-        );
+        // Duplicate facts collapse in a set, so {1, 1} is just {1}: still possible.
+        assert!(row_cover(&db, &Instance::single("R", rel![[1], [1]]), budget()).unwrap());
     }
 
     #[test]

@@ -46,11 +46,17 @@ pub fn decide_with(
     instance: &Instance,
     engine: &Engine,
 ) -> (Result<bool, BudgetExceeded>, Strategy) {
-    let (strategy, converted) = plan(view);
+    let (strategy, converted) = plan(view, engine.config().per_shard);
     let answer = match strategy {
         Strategy::GTableNormalization => Ok(gtable_uniqueness(&view.db, instance)),
         Strategy::PosExistEtable => Ok(pos_exist_etable(&view.query, &view.db, instance)
             .expect("strategy selection guarantees applicability")),
+        Strategy::PerShard { .. } => {
+            match converted.expect("planned strategies carry their conversion") {
+                Ok(db) => complement_search_per_shard(&db, instance, engine),
+                Err(_) => Ok(false),
+            }
+        }
         Strategy::Backtracking => {
             match converted.expect("planned strategies carry their conversion") {
                 Ok(db) => complement_search_with(&db, instance, engine),
@@ -63,7 +69,11 @@ pub fn decide_with(
 }
 
 /// The dispatch decision plus (when applicable) the one-time view→c-table conversion.
-fn plan(view: &View) -> (Strategy, Option<Result<CDatabase, AlgebraError>>) {
+/// The coNP complement upgrades to [`Strategy::PerShard`] when the converted database's
+/// coupling graph splits (and `per_shard` is enabled): a product of representations is
+/// `{I}` iff the membership holds and neither an escaping row nor a missing fact exists
+/// in any group — the same three searches, decomposed.
+fn plan(view: &View, per_shard: bool) -> (Strategy, Option<Result<CDatabase, AlgebraError>>) {
     let db_class = view.db.classify();
     if view.query.is_identity() && db_class <= TableClass::GTable {
         (Strategy::GTableNormalization, None)
@@ -77,6 +87,14 @@ fn plan(view: &View) -> (Strategy, Option<Result<CDatabase, AlgebraError>>) {
     {
         (Strategy::PosExistEtable, None)
     } else if let Some(converted) = view.to_ctables() {
+        if per_shard {
+            if let Ok(db) = &converted {
+                let groups = db.shard_groups().len();
+                if groups > 1 {
+                    return (Strategy::PerShard { groups }, Some(converted));
+                }
+            }
+        }
         (Strategy::Backtracking, Some(converted))
     } else {
         (Strategy::WorldEnumeration, None)
@@ -85,7 +103,7 @@ fn plan(view: &View) -> (Strategy, Option<Result<CDatabase, AlgebraError>>) {
 
 /// The strategy [`decide`] will pick for a view.
 pub fn strategy(view: &View) -> Strategy {
-    plan(view).0
+    plan(view, true).0
 }
 
 /// Theorem 3.2(1): `UNIQ(-)` is in PTIME for g-tables.
@@ -226,7 +244,7 @@ pub fn complement_search_with(
     if !engine.has_satisfiable_globals(db) {
         return Ok(false);
     }
-    if !membership::decide(db, instance, engine.config().budget)? {
+    if !membership::decide_joint(db, instance, engine.config().budget)? {
         return Ok(false);
     }
     // Both halves of the complement charge one shared budget pool, exactly like the
@@ -239,6 +257,37 @@ pub fn complement_search_with(
     // One engine call covers all facts: each fact's "can it be missing?" search is an
     // independent subtree of the same forest.
     if engine.missing_any_ctx(db, instance, &ctx)? {
+        return Ok(false);
+    }
+    Ok(true)
+}
+
+/// [`complement_search_with`] over the shard groups: the same membership +
+/// escaping-row + missing-fact decomposition, with the membership fanned per group and
+/// the two complement forests rooted in per-group base stores.  A product of
+/// representations is `{I}` iff every factor is non-empty and the joint checks pass;
+/// an unsatisfiable group means `rep(db) = ∅ ≠ {I}`, matching the joint empty-rep rule.
+pub fn complement_search_per_shard(
+    db: &CDatabase,
+    instance: &Instance,
+    engine: &Engine,
+) -> Result<bool, BudgetExceeded> {
+    if db
+        .shard_groups()
+        .iter()
+        .any(|g| !engine.has_satisfiable_globals(g.database()))
+    {
+        return Ok(false);
+    }
+    if !membership::per_shard(db, instance, engine.config().budget)? {
+        return Ok(false);
+    }
+    // Both complement halves drain one budget pool, exactly like the joint path.
+    let ctx = crate::engine::Ctx::new(engine.config().budget);
+    if engine.fact_outside_per_shard_ctx(db, instance, &ctx)? {
+        return Ok(false);
+    }
+    if engine.missing_any_per_shard_ctx(db, instance, &ctx)? {
         return Ok(false);
     }
     Ok(true)

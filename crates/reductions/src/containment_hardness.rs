@@ -53,15 +53,10 @@ pub fn ae3cnf_cont_itable(instance: &ForallExists3Cnf) -> ContainmentInstance {
     // ---- Left: the Codd-table 𝒯₀. ----
     let z: Vec<Variable> = (0..n).map(|i| vars.named(format!("z{i}"))).collect();
     let mut left_rows: Vec<Vec<Term>> = Vec::new();
-    for i in 0..n {
+    for (i, &zi) in z.iter().enumerate() {
         let idx = Term::constant(i as i64 + 10); // indices 10, 11, … keep clear of 0/1/5/6
-        left_rows.push(vec![
-            Term::constant(0),
-            Term::Var(z[i]),
-            idx.clone(),
-            idx.clone(),
-        ]);
-        left_rows.push(vec![Term::constant(1), Term::constant(0), idx.clone(), idx]);
+        left_rows.push(vec![Term::constant(0), Term::Var(zi), idx, idx]);
+        left_rows.push(vec![Term::constant(1), Term::constant(0), idx, idx]);
     }
     for (a, b, c) in nonzero_bool_triples() {
         left_rows.push(vec![
@@ -91,13 +86,8 @@ pub fn ae3cnf_cont_itable(instance: &ForallExists3Cnf) -> ContainmentInstance {
     let mut right_rows: Vec<Vec<Term>> = Vec::new();
     for i in 0..n {
         let idx = Term::constant(i as i64 + 10);
-        right_rows.push(vec![
-            Term::Var(u[i]),
-            Term::Var(w[i]),
-            idx.clone(),
-            idx.clone(),
-        ]);
-        right_rows.push(vec![Term::Var(v[i]), Term::Var(y[i]), idx.clone(), idx]);
+        right_rows.push(vec![Term::Var(u[i]), Term::Var(w[i]), idx, idx]);
+        right_rows.push(vec![Term::Var(v[i]), Term::Var(y[i]), idx, idx]);
     }
     for (a, b, c) in nonzero_bool_triples() {
         right_rows.push(vec![
@@ -136,13 +126,13 @@ pub fn ae3cnf_cont_itable(instance: &ForallExists3Cnf) -> ContainmentInstance {
         }
     }
     // Tie literal values to the variable encoding.
-    for k in 0..instance.clauses.len() {
-        for j in 0..3 {
+    for (k, rk) in r.iter().enumerate().take(instance.clauses.len()) {
+        for (j, &rkj) in rk.iter().enumerate() {
             let lit = literal_at(k, j);
             if lit.positive {
-                condition.push(Atom::neq(r[k][j], v[lit.var]));
+                condition.push(Atom::neq(rkj, v[lit.var]));
             } else {
-                condition.push(Atom::neq(r[k][j], u[lit.var]));
+                condition.push(Atom::neq(rkj, u[lit.var]));
             }
         }
     }

@@ -272,8 +272,8 @@ pub fn ae3cnf_cont_view_into_etable(instance: &ForallExists3Cnf) -> ContainmentI
         r_rows.push(vec![clause_const(k), Term::Var(z[k]), Term::Var(z[k])]);
     }
     let mut s_rows: Vec<Vec<Term>> = Vec::new();
-    for i in 0..n {
-        s_rows.push(vec![var_const(i), Term::Var(u[i])]);
+    for (i, &ui) in u.iter().enumerate().take(n) {
+        s_rows.push(vec![var_const(i), Term::Var(ui)]);
         s_rows.push(vec![var_const(i), Term::constant(0)]);
     }
     let right = View::identity(CDatabase::new([

@@ -29,14 +29,14 @@ pub fn sat_poss_etable(formula: &CnfFormula) -> PossibilityInstance {
     let mut rows: Vec<Vec<Term>> = Vec::new();
     for j in 0..m {
         let idx = Term::constant(j as i64 + 1);
-        rows.push(vec![idx.clone(), Term::Var(u[j]), Term::Var(y[j])]);
+        rows.push(vec![idx, Term::Var(u[j]), Term::Var(y[j])]);
         rows.push(vec![idx, Term::Var(y[j]), Term::Var(u[j])]);
     }
     for (i, clause) in formula.clauses.iter().enumerate() {
         let idx = Term::constant((m + i) as i64 + 1);
         for lit in clause.literals() {
             let value = if lit.positive { u[lit.var] } else { y[lit.var] };
-            rows.push(vec![idx.clone(), idx.clone(), Term::Var(value)]);
+            rows.push(vec![idx, idx, Term::Var(value)]);
         }
     }
     let table = CTable::e_table("T", 3, rows).expect("e-table construction");
@@ -82,8 +82,8 @@ pub fn sat_poss_itable(formula: &CnfFormula) -> PossibilityInstance {
 
     let mut rows: Vec<Vec<Term>> = Vec::new();
     for (i, clause) in formula.clauses.iter().enumerate() {
-        for k in 0..clause.len() {
-            rows.push(vec![Term::constant(i as i64 + 1), Term::Var(occ[i][k])]);
+        for &occ_var in occ[i].iter().take(clause.len()) {
+            rows.push(vec![Term::constant(i as i64 + 1), Term::Var(occ_var)]);
         }
     }
     let mut condition = Conjunction::truth();
@@ -431,7 +431,7 @@ mod tests {
         let i = sat_poss_itable(&formula);
         assert_eq!(i.view.db.table("T").unwrap().len(), 15);
         assert_eq!(i.facts.fact_count(), 5);
-        assert!(i.view.db.table("T").unwrap().global_condition().len() > 0);
+        assert!(!i.view.db.table("T").unwrap().global_condition().is_empty());
     }
 
     #[test]

@@ -203,7 +203,7 @@ impl SymbolTable {
 
     /// The process-wide table backing the context-free conversions.
     pub fn global() -> &'static SymbolTable {
-        &**GLOBAL.get_or_init(|| Arc::new(SymbolTable::new()))
+        GLOBAL.get_or_init(|| Arc::new(SymbolTable::new()))
     }
 
     /// A shared handle to the global table (the same table [`SymbolTable::global`]
@@ -406,7 +406,7 @@ impl Symbols {
     /// The process-wide context backing the context-free conversions.  Its string side is
     /// the same table as [`SymbolTable::global`].
     pub fn global() -> &'static Symbols {
-        &**GLOBAL_SYMBOLS.get_or_init(|| {
+        GLOBAL_SYMBOLS.get_or_init(|| {
             Arc::new(Symbols {
                 strings: SymbolTable::global_handle(),
                 catalog: Catalog::new(),

@@ -1,0 +1,127 @@
+//! Decoupled multi-relation databases: many shards, no shared condition variables.
+//!
+//! The per-shard decision paths of `pw-decide` only engage when a database's coupling
+//! graph ([`pw_core::CDatabase::shard_groups`]) actually splits, and the single-table
+//! families of [`crate::tables`] never exercise that.  This family builds databases of
+//! `relations` tables — cycling through the table classes so mixed databases dispatch
+//! per group (Codd shards to matching, conditional shards to backtracking) — whose
+//! variable sets are pairwise disjoint by construction: every generator draws its nulls
+//! from the process-wide [`VarGen`] counter, so two tables never reuse a variable.
+//!
+//! Instances spanning all relations come from the [`crate::tables`] helpers, which
+//! already operate on whole databases:
+//! [`member_instance`](crate::tables::member_instance) applies one valuation across
+//! every table and [`non_member_instance`](crate::tables::non_member_instance) perturbs
+//! every relation.  A multi-relation request against these databases is exactly the
+//! shape the joint search pays multiplicatively for — its search tree interleaves the
+//! relations' choice points — while the per-shard paths solve each group independently
+//! (additively).
+
+use crate::tables::{random_codd_table, random_etable, random_gtable, TableParams};
+use pw_condition::VarGen;
+use pw_core::{CDatabase, CTable};
+
+/// The class cycle: position `r % 5` picks the generator for relation `r`.  The i-table
+/// generator is reused twice (positions 2 and 4) instead of including c-tables in the
+/// default mix because i-tables force the backtracking search (the per-shard target)
+/// while keeping the member/non-member instances deterministic.
+fn generator_for(r: usize) -> fn(&str, &TableParams) -> CTable {
+    match r % 5 {
+        0 => crate::tables::random_itable,
+        1 => random_codd_table,
+        2 => crate::tables::random_itable,
+        3 => random_etable,
+        _ => random_gtable,
+    }
+}
+
+/// A decoupled multi-relation database: `relations` tables named `R00`, `R01`, … of
+/// cycling classes, each seeded with `params.seed + position` so the family is
+/// deterministic and relations differ.  No two tables share a variable (fresh nulls per
+/// generator call), so the coupling graph has one group per relation.
+pub fn decoupled_multirelation(relations: usize, params: &TableParams) -> CDatabase {
+    let tables: Vec<CTable> = (0..relations)
+        .map(|r| {
+            let p = TableParams {
+                seed: params.seed.wrapping_add(r as u64),
+                ..*params
+            };
+            generator_for(r)(&format!("R{r:02}"), &p)
+        })
+        .collect();
+    CDatabase::new(tables)
+}
+
+/// A condition-coupled twin of [`decoupled_multirelation`]: the same tables, but every
+/// table's global condition additionally mentions one shared "switch" variable
+/// (`switch ≠ -1`, satisfiable and semantically inert), so all shards collapse into a
+/// single coupling group and the decision paths must fall back to the joint search.
+/// Workload pairs built from the same `params` therefore answer identically — the
+/// coupling is what changes, not the represented worlds.
+pub fn coupled_multirelation(relations: usize, params: &TableParams) -> CDatabase {
+    let decoupled = decoupled_multirelation(relations, params);
+    let mut vars = VarGen::new();
+    let switch = vars.fresh();
+    let tables: Vec<CTable> = decoupled
+        .tables()
+        .iter()
+        .map(|t| {
+            let mut global = t.global_condition().clone();
+            global.push(pw_condition::Atom::neq(switch, -1));
+            CTable::new(t.name(), t.arity(), global, t.tuples().iter().cloned())
+                .expect("same rows, same arity")
+        })
+        .collect();
+    CDatabase::new(tables)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tables::{member_instance, non_member_instance};
+    use pw_decide::{membership, Budget};
+
+    fn params(seed: u64) -> TableParams {
+        TableParams {
+            rows: 4,
+            arity: 2,
+            constants: 4,
+            null_density: 0.4,
+            seed,
+        }
+    }
+
+    #[test]
+    fn decoupled_databases_split_into_one_group_per_relation() {
+        let db = decoupled_multirelation(6, &params(3));
+        assert_eq!(db.table_count(), 6);
+        assert_eq!(db.shard_groups().len(), 6);
+        assert!(!db.tables_share_variables());
+    }
+
+    #[test]
+    fn coupled_twin_collapses_to_one_group_with_the_same_worlds() {
+        let p = params(5);
+        let decoupled = decoupled_multirelation(4, &p);
+        let coupled = coupled_multirelation(4, &p);
+        assert_eq!(coupled.shard_groups().len(), 1);
+        assert!(coupled.tables_share_variables());
+        // The switch atom is inert: the same member instance is a member of both.
+        let member = member_instance(&decoupled, &p);
+        assert!(membership::decide(&decoupled, &member, Budget::default()).unwrap());
+        assert!(membership::decide(&coupled, &member, Budget::default()).unwrap());
+    }
+
+    #[test]
+    fn instances_span_every_relation() {
+        let p = params(8);
+        let db = decoupled_multirelation(5, &p);
+        let member = member_instance(&db, &p);
+        let non_member = non_member_instance(&db, &p);
+        for table in db.tables() {
+            assert!(member.relation(table.name()).is_some());
+            assert!(non_member.relation(table.name()).is_some());
+        }
+        assert!(membership::decide(&db, &member, Budget::default()).unwrap());
+    }
+}

@@ -17,11 +17,13 @@
 //! All generators are deterministic given a seed ([`rand::rngs::StdRng`]), so benchmark
 //! runs are reproducible.
 
+pub mod decoupled;
 pub mod formulas;
 pub mod graphs;
 pub mod strings;
 pub mod tables;
 
+pub use decoupled::{coupled_multirelation, decoupled_multirelation};
 pub use formulas::{random_3cnf, random_3dnf, random_forall_exists};
 pub use graphs::{planted_three_colorable, random_graph};
 pub use strings::{stringify_constant, stringify_database, stringify_instance, stringify_table};

@@ -151,7 +151,7 @@ pub fn random_gtable(name: &str, params: &TableParams) -> CTable {
         // Keep the global condition satisfiable by construction (e.g. never both
         // `a = c` and `a ≠ c`): an unsatisfiable condition represents the empty set
         // of worlds, which would make every member-instance workload degenerate.
-        condition.push(atom.clone());
+        condition.push(atom);
         if !condition.is_satisfiable() {
             let dropped = condition.atoms().len() - 1;
             condition = Conjunction::new(condition.atoms()[..dropped].iter().cloned());

@@ -30,12 +30,11 @@ fn small_params(seed: u64) -> TableParams {
     }
 }
 
-fn generators() -> Vec<(&'static str, fn(&str, &TableParams) -> CTable)> {
+type TableGenerator = fn(&str, &TableParams) -> CTable;
+
+fn generators() -> Vec<(&'static str, TableGenerator)> {
     vec![
-        (
-            "codd",
-            random_codd_table as fn(&str, &TableParams) -> CTable,
-        ),
+        ("codd", random_codd_table as TableGenerator),
         ("e-table", random_etable),
         ("i-table", random_itable),
         ("g-table", random_gtable),
@@ -178,6 +177,107 @@ fn private_dictionary_database_runs_all_five_problems_end_to_end() {
             );
         }
     }
+}
+
+/// Shard-group decomposition over a *private* symbol context: a decoupled
+/// multi-relation database re-interned into its own `Symbols` decides per shard
+/// (`Strategy::PerShard`), and answers plus strategy labels match the global twin and
+/// the joint search.  The coupling graph, the projected sub-databases and the per-group
+/// base stores must all resolve through the database's own handle for this to hold.
+#[test]
+fn private_dictionary_decoupled_database_decides_per_shard() {
+    use possible_worlds::workloads::decoupled_multirelation;
+    let budget = Budget(20_000_000);
+    let params = small_params(61);
+    let int_db = decoupled_multirelation(4, &params);
+    let global_db = stringify_database(&int_db);
+    let symbols = Arc::new(Symbols::new());
+    let private_db = global_db.reinterned(&symbols);
+    assert_eq!(private_db.shard_groups().len(), 4);
+    for group in private_db.shard_groups() {
+        assert!(
+            Arc::ptr_eq(group.database().symbols(), &symbols),
+            "projections stay in the private context"
+        );
+    }
+
+    let member = stringify_instance(&member_instance(&int_db, &params));
+    let non_member = stringify_instance(&non_member_instance(&int_db, &params));
+    let per_shard = Engine::new(EngineConfig::with_threads(2, budget));
+    let joint = Engine::new(EngineConfig::with_threads(2, budget).without_per_shard());
+    let global_view = View::identity(global_db);
+    let private_view = View::identity(private_db);
+    for instance in [&member, &non_member] {
+        let (g_ans, g_strat) = possible_worlds::decide::membership::view_membership_with(
+            &global_view,
+            instance,
+            &per_shard,
+        );
+        let (p_ans, p_strat) = possible_worlds::decide::membership::view_membership_with(
+            &private_view,
+            instance,
+            &per_shard,
+        );
+        let (j_ans, _) = possible_worlds::decide::membership::view_membership_with(
+            &private_view,
+            instance,
+            &joint,
+        );
+        assert_eq!(
+            p_ans.unwrap(),
+            g_ans.unwrap(),
+            "private vs global on {instance}"
+        );
+        assert_eq!(
+            p_ans.unwrap(),
+            j_ans.unwrap(),
+            "per-shard vs joint on {instance}"
+        );
+        assert_eq!(p_strat, Strategy::PerShard { groups: 4 });
+        assert_eq!(p_strat, g_strat);
+
+        for (label, g_pair, p_pair, j_pair) in [
+            (
+                "possibility",
+                possibility::decide_with(&global_view, instance, &per_shard),
+                possibility::decide_with(&private_view, instance, &per_shard),
+                possibility::decide_with(&private_view, instance, &joint),
+            ),
+            (
+                "certainty",
+                certainty::decide_with(&global_view, instance, &per_shard),
+                certainty::decide_with(&private_view, instance, &per_shard),
+                certainty::decide_with(&private_view, instance, &joint),
+            ),
+            (
+                "uniqueness",
+                uniqueness::decide_with(&global_view, instance, &per_shard),
+                uniqueness::decide_with(&private_view, instance, &per_shard),
+                uniqueness::decide_with(&private_view, instance, &joint),
+            ),
+        ] {
+            assert_eq!(
+                p_pair.0.unwrap(),
+                g_pair.0.unwrap(),
+                "{label} private vs global"
+            );
+            assert_eq!(
+                p_pair.0.unwrap(),
+                j_pair.0.unwrap(),
+                "{label} per-shard vs joint"
+            );
+            assert_eq!(p_pair.1, g_pair.1, "{label} strategy private vs global");
+        }
+    }
+    // Containment across id spaces stays per-shard on aligned partitions.
+    let (refl, strat) = containment::decide_with(&private_view, &private_view, &per_shard);
+    assert!(refl.unwrap());
+    assert_eq!(strat, Strategy::PerShard { groups: 4 });
+    let (cross, _) = containment::decide_with(&private_view, &global_view, &per_shard);
+    assert!(
+        cross.unwrap(),
+        "twins represent the same worlds across id spaces"
+    );
 }
 
 /// End-to-end through the batched front door: a queue of requests against the private

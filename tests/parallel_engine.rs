@@ -27,12 +27,11 @@ fn small_params(seed: u64) -> TableParams {
     }
 }
 
-fn generators() -> Vec<(&'static str, fn(&str, &TableParams) -> CTable)> {
+type TableGenerator = fn(&str, &TableParams) -> CTable;
+
+fn generators() -> Vec<(&'static str, TableGenerator)> {
     vec![
-        (
-            "codd",
-            random_codd_table as fn(&str, &TableParams) -> CTable,
-        ),
+        ("codd", random_codd_table as TableGenerator),
         ("e-table", random_etable),
         ("i-table", random_itable),
         ("g-table", random_gtable),
@@ -212,6 +211,253 @@ fn first_witness_early_exit_is_sound() {
             Ok(true),
             "witness found with {threads} threads"
         );
+    }
+}
+
+// ---------------------------------------------------------------------------------------
+// Shard-group parallel decide: answers and strategies of the per-shard paths are pinned
+// against the joint search (`EngineConfig::without_per_shard`) on decoupled
+// multi-relation workloads across every problem, integer and string-heavy, with the
+// condition-coupled fallback and deterministic budget exhaustion.
+// ---------------------------------------------------------------------------------------
+
+/// A decoupled multi-relation database cycling through the table classes, with the last
+/// shard a hand-built *conditional* table (the `pw_workloads::decoupled` family stops at
+/// g-tables so the certainty/uniqueness dispatch stays polynomial there; a guaranteed
+/// c-table shard forces the coNP complement paths onto the per-shard decomposition).
+fn decoupled_all_classes(relations: usize, seed: u64) -> CDatabase {
+    let gens = generators();
+    let mut tables: Vec<CTable> = (0..relations - 1)
+        .map(|r| {
+            let params = small_params(seed.wrapping_add(r as u64));
+            (gens[r % gens.len()].1)(&format!("R{r:02}"), &params)
+        })
+        .collect();
+    let mut g = VarGen::new();
+    let switch = g.fresh();
+    tables.push(
+        CTable::new(
+            format!("R{:02}", relations - 1),
+            2,
+            Conjunction::truth(),
+            [
+                CTuple::with_condition(
+                    [Term::constant(1), Term::constant(1)],
+                    Conjunction::new([Atom::eq(switch, 0)]),
+                ),
+                CTuple::of_terms([Term::constant(2), Term::constant(2)]),
+            ],
+        )
+        .unwrap(),
+    );
+    CDatabase::new(tables)
+}
+
+/// Answers and `Strategy` labels of the per-shard engine, pinned against the joint
+/// search on decoupled workloads — integer and string-heavy — for all five problems.
+#[test]
+fn per_shard_matches_joint_on_decoupled_workloads() {
+    let budget = Budget(20_000_000);
+    for seed in [60u64, 70, 80] {
+        // Three relations, the last a guaranteed c-table shard: the conditional shard
+        // pushes certainty and uniqueness off their polynomial paths onto the coNP
+        // complement — the paths the per-shard decomposition must match — while the
+        // *joint* reference searches (which pay multiplicatively across shards, the
+        // very cost this decomposition removes) still finish within the budget.
+        let relations = 3;
+        let int_db = decoupled_all_classes(relations, seed);
+        let params = small_params(seed);
+        let int_member = member_instance(&int_db, &params);
+        let int_non_member = non_member_instance(&int_db, &params);
+        let cases = [
+            (int_db.clone(), int_member.clone(), int_non_member.clone()),
+            (
+                possible_worlds::workloads::stringify_database(&int_db),
+                possible_worlds::workloads::stringify_instance(&int_member),
+                possible_worlds::workloads::stringify_instance(&int_non_member),
+            ),
+        ];
+        for (db, member, non_member) in cases {
+            assert_eq!(db.shard_groups().len(), relations, "family is decoupled");
+            let view = View::identity(db.clone());
+            let per_shard = Engine::new(EngineConfig::with_threads(2, budget));
+            let joint = Engine::new(EngineConfig::with_threads(2, budget).without_per_shard());
+
+            for instance in [&member, &non_member] {
+                let ctx = format!("seed {seed} on {instance}");
+                let (p_memb, p_strat) =
+                    membership::view_membership_with(&view, instance, &per_shard);
+                let (j_memb, j_strat) = membership::view_membership_with(&view, instance, &joint);
+                assert_eq!(p_memb.unwrap(), j_memb.unwrap(), "membership {ctx}");
+                assert_eq!(p_strat, Strategy::PerShard { groups: relations });
+                assert_eq!(j_strat, Strategy::Backtracking);
+
+                for (label, expect_per_shard, p_pair, j_pair) in [
+                    (
+                        "possibility",
+                        true,
+                        possibility::decide_with(&view, instance, &per_shard),
+                        possibility::decide_with(&view, instance, &joint),
+                    ),
+                    (
+                        "certainty",
+                        true,
+                        certainty::decide_with(&view, instance, &per_shard),
+                        certainty::decide_with(&view, instance, &joint),
+                    ),
+                    (
+                        "uniqueness",
+                        true,
+                        uniqueness::decide_with(&view, instance, &per_shard),
+                        uniqueness::decide_with(&view, instance, &joint),
+                    ),
+                ] {
+                    assert_eq!(p_pair.0.unwrap(), j_pair.0.unwrap(), "{label} {ctx}");
+                    if expect_per_shard {
+                        assert_eq!(
+                            p_pair.1,
+                            Strategy::PerShard { groups: relations },
+                            "{label} strategy {ctx}"
+                        );
+                        assert_ne!(j_pair.1, p_pair.1, "{label} joint strategy {ctx}");
+                    }
+                }
+            }
+
+            // Containment: reflexive (aligned partitions) and against a differently
+            // seeded twin with the same relation names (also aligned).
+            let other = View::identity(decoupled_all_classes(relations, seed + 7));
+            let (p_refl, p_strat) = containment::decide_with(&view, &view, &per_shard);
+            let (j_refl, j_strat) = containment::decide_with(&view, &view, &joint);
+            assert!(
+                p_refl.unwrap() && j_refl.unwrap(),
+                "rep ⊆ rep (seed {seed})"
+            );
+            assert_eq!(p_strat, Strategy::PerShard { groups: relations });
+            assert_eq!(j_strat, Strategy::WorldEnumeration);
+            let (p_cont, _) = containment::decide_with(&view, &other, &per_shard);
+            let (j_cont, _) = containment::decide_with(&view, &other, &joint);
+            assert_eq!(
+                p_cont.unwrap(),
+                j_cont.unwrap(),
+                "containment twin (seed {seed})"
+            );
+        }
+    }
+}
+
+/// Condition-coupled shard groups fall back to the joint search: the coupled twin of a
+/// decoupled database reports the joint strategies and the same answers.
+#[test]
+fn coupled_databases_fall_back_to_the_joint_search() {
+    use possible_worlds::workloads::{coupled_multirelation, decoupled_multirelation};
+    let budget = Budget(20_000_000);
+    let params = small_params(91);
+    let decoupled = decoupled_multirelation(4, &params);
+    let coupled = coupled_multirelation(4, &params);
+    assert_eq!(coupled.shard_groups().len(), 1);
+    let engine = Engine::new(EngineConfig::with_threads(2, budget));
+    let member = member_instance(&decoupled, &params);
+    let (answer, strategy) =
+        membership::view_membership_with(&View::identity(coupled.clone()), &member, &engine);
+    assert_eq!(strategy, Strategy::Backtracking, "coupled ⇒ joint fallback");
+    // The coupling switch is semantically inert, so the decoupled per-shard answer
+    // agrees with the coupled joint answer.
+    let (decoupled_answer, decoupled_strategy) =
+        membership::view_membership_with(&View::identity(decoupled), &member, &engine);
+    assert_eq!(decoupled_strategy, Strategy::PerShard { groups: 4 });
+    assert_eq!(answer.unwrap(), decoupled_answer.unwrap());
+    let (poss, poss_strategy) =
+        possibility::decide_with(&View::identity(coupled), &member, &engine);
+    assert!(!matches!(poss_strategy, Strategy::PerShard { .. }));
+    poss.unwrap();
+}
+
+/// Budget exhaustion stays deterministic under the per-shard decomposition: a decoupled
+/// database whose *second* group hides the oversized no-witness tree reports
+/// `BudgetExceeded` on every thread count when starved, and completes with the joint
+/// answer when given room.
+#[test]
+fn per_shard_budget_exhaustion_is_deterministic() {
+    let mut vars = VarGen::new();
+    let easy = CTable::codd("A", 1, [vec![Term::constant(1)]]).unwrap();
+    let xs: Vec<Variable> = (0..8).map(|_| vars.fresh()).collect();
+    let rows: Vec<Vec<Term>> = xs.iter().map(|&x| vec![Term::Var(x)]).collect();
+    let hard = CTable::i_table("B", 1, Conjunction::new([Atom::neq(xs[0], xs[1])]), rows).unwrap();
+    let db = CDatabase::new([easy, hard]);
+    assert_eq!(db.shard_groups().len(), 2);
+    let view = View::identity(db);
+    let mut rel = Relation::empty(1);
+    for i in 0..9i64 {
+        rel.insert(Tuple::new([i.into()])).unwrap();
+    }
+    let mut facts = Instance::single("B", rel);
+    facts.insert_relation("A", {
+        let mut a = Relation::empty(1);
+        a.insert(Tuple::new([1i64.into()])).unwrap();
+        a
+    });
+    for threads in [1, 2, 8] {
+        for repetition in 0..3 {
+            let starved = Engine::new(EngineConfig::with_threads(threads, Budget(500)));
+            let (answer, strategy) = possibility::decide_with(&view, &facts, &starved);
+            assert_eq!(strategy, Strategy::PerShard { groups: 2 });
+            assert_eq!(
+                answer,
+                Err(BudgetExceeded),
+                "starved per-shard run must exhaust ({threads} threads, rep {repetition})"
+            );
+            let ample = Engine::new(EngineConfig::with_threads(threads, Budget(50_000_000)));
+            let (answer, _) = possibility::decide_with(&view, &facts, &ample);
+            let joint = Engine::new(
+                EngineConfig::with_threads(threads, Budget(50_000_000)).without_per_shard(),
+            );
+            let (joint_answer, _) = possibility::decide_with(&view, &facts, &joint);
+            assert_eq!(answer, Ok(false), "ample per-shard completes");
+            assert_eq!(joint_answer, Ok(false), "joint agrees");
+        }
+    }
+}
+
+/// The batched front door with per-shard requests: outcomes (answers *and* the
+/// `PerShard` strategy labels) are positionally aligned and schedule-independent, and
+/// the group-weighted queue ordering never leaks into results.
+#[test]
+fn batch_orders_by_work_items_without_changing_outcomes() {
+    let budget = Budget(20_000_000);
+    let params = small_params(97);
+    let multi = decoupled_all_classes(4, 97);
+    let single = CDatabase::single(random_ctable("T", &params));
+    let member_multi = member_instance(&multi, &params);
+    let member_single = member_instance(&single, &params);
+    let requests = vec![
+        // A single-group request first: the queue reorders (the 4-group requests have
+        // more work items) but slots stay positional.
+        batch::DecisionRequest::Membership {
+            view: View::identity(single.clone()),
+            instance: member_single.clone(),
+        },
+        batch::DecisionRequest::Membership {
+            view: View::identity(multi.clone()),
+            instance: member_multi.clone(),
+        },
+        batch::DecisionRequest::Possibility {
+            view: View::identity(multi.clone()),
+            facts: member_multi.clone(),
+        },
+    ];
+    assert_eq!(requests[0].work_items(), 1);
+    assert_eq!(requests[1].work_items(), 4);
+    let mut reference: Option<Vec<batch::DecisionOutcome>> = None;
+    for threads in [1, 2, 8] {
+        let outcomes =
+            batch::decide_all_with(&requests, &EngineConfig::with_threads(threads, budget));
+        assert_eq!(outcomes[1].strategy, Strategy::PerShard { groups: 4 });
+        assert_eq!(outcomes[2].strategy, Strategy::PerShard { groups: 4 });
+        match &reference {
+            None => reference = Some(outcomes),
+            Some(r) => assert_eq!(*r, outcomes, "outcomes with {threads} threads"),
+        }
     }
 }
 

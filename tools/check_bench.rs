@@ -1,0 +1,221 @@
+//! `check-bench` — the CI bench-regression guard.
+//!
+//! Two jobs, both offline and dependency-free (the reports are JSON documents emitted by
+//! our own harnesses, so a line-based field extractor is all the parsing needed):
+//!
+//! 1. **Regression guard over the committed reports.**  Every `BENCH_PR*.json` at the
+//!    repository root embeds a pre-change baseline and a `speedup_vs_baseline` table;
+//!    a committed report whose speedups have sunk below the floor (default `0.9`) means
+//!    someone committed a measured regression — the `bench-smoke` CI job fails.
+//! 2. **Shape check of fresh smoke runs.**  The smoke reports passed as positional
+//!    arguments (produced by `bench-pr2/3/4 --smoke` earlier in the job) must be
+//!    well-formed: the right `bench` tag, `smoke: true`, at least one result row, and
+//!    every row carrying the `problem`/`workload`/`mode`/`wall_ms`/`answers` fields with
+//!    a known mode.
+//!
+//! Usage:
+//!   check-bench [--root DIR] [--min-speedup X] [SMOKE_REPORT.json ...]
+//!
+//! Exits non-zero with a message per violation.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Extract a `"name": "string"` field from a single JSON line.
+fn str_field(line: &str, name: &str) -> Option<String> {
+    let tag = format!("\"{name}\": \"");
+    let start = line.find(&tag)? + tag.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_owned())
+}
+
+/// Extract a `"name": number` field from a single JSON line.
+fn num_field(line: &str, name: &str) -> Option<f64> {
+    let tag = format!("\"{name}\": ");
+    let start = line.find(&tag)? + tag.len();
+    let end = line[start..].find([',', '}']).map(|e| e + start)?;
+    line[start..end].trim().parse().ok()
+}
+
+/// The committed-report guard: every speedup row must clear the floor.
+fn check_committed(path: &Path, min_speedup: f64, failures: &mut Vec<String>) {
+    let failures_before = failures.len();
+    let raw = match std::fs::read_to_string(path) {
+        Ok(raw) => raw,
+        Err(e) => {
+            failures.push(format!("{}: unreadable: {e}", path.display()));
+            return;
+        }
+    };
+    if !raw.contains("\"speedup_vs_baseline\"") {
+        failures.push(format!(
+            "{}: committed report has no speedup_vs_baseline table (lost its baseline?)",
+            path.display()
+        ));
+        return;
+    }
+    let mut rows = 0usize;
+    let mut in_speedups = false;
+    for line in raw.lines() {
+        // The embedded baseline may itself contain a speedup table (a baseline that was
+        // produced with `--baseline`); only the *outer* table — after the baseline
+        // object — is this report's verdict, so keep the last table's rows.
+        if line.trim_start().starts_with("\"speedup_vs_baseline\"") {
+            in_speedups = true;
+            rows = 0;
+            continue;
+        }
+        if !in_speedups {
+            continue;
+        }
+        let trimmed = line.trim();
+        if trimmed.starts_with(']') {
+            in_speedups = false;
+            continue;
+        }
+        let Some(speedup) = num_field(trimmed, "speedup") else {
+            continue;
+        };
+        rows += 1;
+        // Small epsilon: the reports round to two decimals, and a printed "0.90" must
+        // clear a 0.9 floor.
+        if speedup < min_speedup - 1e-9 {
+            failures.push(format!(
+                "{}: {} / {} / {} regressed to {speedup}x (floor {min_speedup}x)",
+                path.display(),
+                str_field(trimmed, "problem").unwrap_or_default(),
+                str_field(trimmed, "workload").unwrap_or_default(),
+                str_field(trimmed, "mode").unwrap_or_default(),
+            ));
+        }
+    }
+    if rows == 0 {
+        failures.push(format!(
+            "{}: speedup_vs_baseline table has no rows",
+            path.display()
+        ));
+    } else if failures.len() == failures_before {
+        println!(
+            "ok: {} ({rows} speedup rows ≥ {min_speedup}x)",
+            path.display()
+        );
+    }
+}
+
+/// The smoke-report shape check.
+fn check_smoke(path: &Path, failures: &mut Vec<String>) {
+    let raw = match std::fs::read_to_string(path) {
+        Ok(raw) => raw,
+        Err(e) => {
+            failures.push(format!("{}: unreadable: {e}", path.display()));
+            return;
+        }
+    };
+    let header_ok = raw
+        .lines()
+        .any(|l| str_field(l, "bench").is_some_and(|b| b.starts_with("BENCH_PR")));
+    if !header_ok {
+        failures.push(format!("{}: missing/odd \"bench\" tag", path.display()));
+    }
+    if !raw.contains("\"smoke\": true") {
+        failures.push(format!("{}: not a smoke run", path.display()));
+    }
+    let mut rows = 0usize;
+    for line in raw.lines() {
+        let trimmed = line.trim();
+        if !trimmed.starts_with("{\"problem\":") {
+            continue;
+        }
+        rows += 1;
+        let mode = str_field(trimmed, "mode");
+        let shape_ok = str_field(trimmed, "problem").is_some()
+            && str_field(trimmed, "workload").is_some()
+            && num_field(trimmed, "wall_ms").is_some()
+            && trimmed.contains("\"answers\":")
+            && matches!(mode.as_deref(), Some("sequential") | Some("parallel"));
+        if !shape_ok {
+            failures.push(format!(
+                "{}: malformed result row: {trimmed}",
+                path.display()
+            ));
+        }
+    }
+    if rows == 0 {
+        failures.push(format!(
+            "{}: smoke run produced no measurements",
+            path.display()
+        ));
+    } else {
+        println!("ok: {} ({rows} smoke rows)", path.display());
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag_value = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let root = PathBuf::from(flag_value("--root").unwrap_or_else(|| ".".to_owned()));
+    let min_speedup: f64 = flag_value("--min-speedup")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.9);
+    // Positional arguments (everything that is not a flag or a flag value) are smoke
+    // reports to shape-check.
+    let mut smoke_reports: Vec<PathBuf> = Vec::new();
+    let mut skip = false;
+    for arg in &args {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if arg == "--root" || arg == "--min-speedup" {
+            skip = true;
+            continue;
+        }
+        smoke_reports.push(PathBuf::from(arg));
+    }
+
+    let mut failures = Vec::new();
+    let mut committed: Vec<PathBuf> = std::fs::read_dir(&root)
+        .map(|entries| {
+            entries
+                .filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| {
+                    p.file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.starts_with("BENCH_PR") && n.ends_with(".json"))
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    committed.sort();
+    if committed.is_empty() {
+        failures.push(format!(
+            "no committed BENCH_PR*.json found under {}",
+            root.display()
+        ));
+    }
+    for path in &committed {
+        check_committed(path, min_speedup, &mut failures);
+    }
+    for path in &smoke_reports {
+        check_smoke(path, &mut failures);
+    }
+
+    if failures.is_empty() {
+        println!(
+            "bench-regression guard: {} committed report(s), {} smoke report(s) — all green",
+            committed.len(),
+            smoke_reports.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}
