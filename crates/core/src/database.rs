@@ -16,8 +16,12 @@ use std::sync::Arc;
 struct ShardState {
     /// Structural hash of the tables — the one-machine-word stand-in that per-request
     /// cache lookups (e.g. the engine's base-store map) hash instead of re-walking every
-    /// relation name, row and condition.
+    /// relation name, row and condition.  Combined from [`ShardState::table_hashes`], so
+    /// [`CDatabase::apply`] can update it by re-hashing only the changed tables.
     fingerprint: std::sync::OnceLock<u64>,
+    /// Per-table structural hashes, parallel to the table vector.  The delta path reuses
+    /// the hashes of untouched tables; the fingerprint is the combination of this vector.
+    table_hashes: std::sync::OnceLock<Arc<[u64]>>,
     /// The shard map: the catalog id of each table, parallel to the table vector.
     /// Registered in the owning [`Symbols`] catalog on first resolution; afterwards
     /// id→shard resolution is a machine-word scan — no name is hashed or compared below
@@ -44,6 +48,9 @@ pub struct ShardGroup {
     /// The projected sub-database: exactly the member tables, in table order, sharing the
     /// owning database's [`Symbols`] handle (ids stay valid — nothing is re-interned).
     db: CDatabase,
+    /// The variables mentioned by the member tables — cached so the delta path can test
+    /// "does this changed shard touch the group?" without re-walking the group's rows.
+    vars: Arc<BTreeSet<Variable>>,
 }
 
 impl ShardGroup {
@@ -55,6 +62,11 @@ impl ShardGroup {
     /// The projected sub-database (same `Symbols` handle as the owner).
     pub fn database(&self) -> &CDatabase {
         &self.db
+    }
+
+    /// The variables mentioned by the member tables (rows and conditions).
+    pub fn variables(&self) -> &BTreeSet<Variable> {
+        &self.vars
     }
 }
 
@@ -156,12 +168,21 @@ impl CDatabase {
     }
 
     /// The structural hash of the tables, computed on first use and shared by clones.
-    fn fingerprint(&self) -> u64 {
-        *self.state.fingerprint.get_or_init(|| {
-            let mut h = std::collections::hash_map::DefaultHasher::new();
-            self.tables.hash(&mut h);
-            h.finish()
-        })
+    /// Combined from the per-table hashes, so [`CDatabase::apply`] updates it by
+    /// re-hashing only the changed tables.  Public because the delta layer reports it
+    /// ([`crate::delta::DbDelta`]) and the decision memo in `pw-decide` keys on it.
+    pub fn fingerprint(&self) -> u64 {
+        *self
+            .state
+            .fingerprint
+            .get_or_init(|| combine_table_hashes(self.table_hashes()))
+    }
+
+    /// Per-table structural hashes, parallel to [`CDatabase::tables`].
+    pub(crate) fn table_hashes(&self) -> &Arc<[u64]> {
+        self.state
+            .table_hashes
+            .get_or_init(|| self.tables.iter().map(hash_table).collect())
     }
 
     /// Attach a (typically private) symbol context; the caller guarantees every constant
@@ -307,7 +328,7 @@ impl CDatabase {
     /// Resolve a relation name to its table *position* — the boundary resolver behind
     /// [`CDatabase::table`] and the group-aware decision paths (which index
     /// [`CDatabase::shard_group_index`] by position).  Adaptive: a direct scan below
-    /// [`SMALL_SHARD_SCAN`] shards, one catalog hash above.  The catalog path resolves
+    /// `SMALL_SHARD_SCAN` shards, one catalog hash above.  The catalog path resolves
     /// against this database's *registered* shard map ([`CDatabase::rel_ids`], which
     /// registers the names on first use) — a raw `relation_id` lookup would miss every
     /// name no caller has registered yet.
@@ -397,69 +418,100 @@ impl CDatabase {
     }
 
     fn coupling(&self) -> &CouplingGraph {
-        self.state.coupling.get_or_init(|| {
-            let n = self.tables.len();
-            // Union–find over table positions; a variable's first owner absorbs every
-            // later table that mentions it.
-            let mut parent: Vec<usize> = (0..n).collect();
-            fn find(parent: &mut [usize], mut i: usize) -> usize {
-                while parent[i] != i {
-                    parent[i] = parent[parent[i]]; // path halving
-                    i = parent[i];
-                }
-                i
+        self.state
+            .coupling
+            .get_or_init(|| self.build_coupling(0..self.tables.len()))
+    }
+
+    /// Partition the table positions of `scope` into coupled groups and materialize the
+    /// [`ShardGroup`]s.  The fresh path passes every position; the delta path
+    /// ([`CDatabase::apply`]) passes only the members of the union-find components that
+    /// touch a changed shard, carrying every other group over from the previous graph.
+    fn build_coupling(&self, scope: impl IntoIterator<Item = usize>) -> CouplingGraph {
+        let groups = self.build_groups(scope);
+        let n = self.tables.len();
+        let mut group_of = vec![usize::MAX; n];
+        for (g, group) in groups.iter().enumerate() {
+            for &m in group.members() {
+                group_of[m] = g;
             }
-            let mut owner: std::collections::HashMap<Variable, usize> =
-                std::collections::HashMap::new();
-            for (i, t) in self.tables.iter().enumerate() {
-                for v in t.variables() {
-                    match owner.entry(v) {
-                        std::collections::hash_map::Entry::Occupied(e) => {
-                            let (a, b) = (find(&mut parent, *e.get()), find(&mut parent, i));
-                            // Rooting at the smaller position keeps group order stable.
-                            parent[a.max(b)] = a.min(b);
-                        }
-                        std::collections::hash_map::Entry::Vacant(e) => {
-                            e.insert(i);
-                        }
+        }
+        debug_assert!(group_of.iter().all(|&g| g != usize::MAX));
+        CouplingGraph {
+            groups: groups.into(),
+            group_of: group_of.into(),
+        }
+    }
+
+    /// Union–find over the positions of `scope`, returning the [`ShardGroup`]s ordered by
+    /// smallest member.  Only the scoped tables' variables are walked.
+    fn build_groups(&self, scope: impl IntoIterator<Item = usize>) -> Vec<ShardGroup> {
+        let mut scope: Vec<usize> = scope.into_iter().collect();
+        scope.sort_unstable(); // ascending scan ⇒ groups ordered by smallest member
+        let n = self.tables.len();
+        // Union–find over table positions; a variable's first owner absorbs every later
+        // table that mentions it.
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut [usize], mut i: usize) -> usize {
+            while parent[i] != i {
+                parent[i] = parent[parent[i]]; // path halving
+                i = parent[i];
+            }
+            i
+        }
+        let vars_of: Vec<(usize, BTreeSet<Variable>)> = scope
+            .iter()
+            .map(|&i| (i, self.tables[i].variables()))
+            .collect();
+        let mut owner: std::collections::HashMap<Variable, usize> =
+            std::collections::HashMap::new();
+        for (i, vars) in &vars_of {
+            for &v in vars {
+                match owner.entry(v) {
+                    std::collections::hash_map::Entry::Occupied(e) => {
+                        let (a, b) = (find(&mut parent, *e.get()), find(&mut parent, *i));
+                        // Rooting at the smaller position keeps group order stable.
+                        parent[a.max(b)] = a.min(b);
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(*i);
                     }
                 }
             }
-            let mut group_of = vec![usize::MAX; n];
-            let mut member_lists: Vec<Vec<usize>> = Vec::new();
-            let mut root_to_group: std::collections::HashMap<usize, usize> =
-                std::collections::HashMap::new();
-            for (i, slot) in group_of.iter_mut().enumerate() {
-                let root = find(&mut parent, i);
-                let g = *root_to_group.entry(root).or_insert_with(|| {
-                    member_lists.push(Vec::new());
-                    member_lists.len() - 1
-                });
-                *slot = g;
-                member_lists[g].push(i);
-            }
-            let groups: Box<[ShardGroup]> = member_lists
-                .into_iter()
-                .map(|members| {
-                    // A group spanning every table reuses the shard allocation (but gets a
-                    // *fresh* lazy state, so the cached graph never holds a cycle back to
-                    // itself through the sub-database's own cache).
-                    let tables: Arc<[CTable]> = if members.len() == n {
-                        Arc::clone(&self.tables)
-                    } else {
-                        members.iter().map(|&i| self.tables[i].clone()).collect()
-                    };
-                    ShardGroup {
-                        db: CDatabase::build(tables, Arc::clone(&self.symbols)),
-                        members: members.into(),
-                    }
-                })
-                .collect();
-            CouplingGraph {
-                groups,
-                group_of: group_of.into(),
-            }
-        })
+        }
+        let mut member_lists: Vec<Vec<usize>> = Vec::new();
+        let mut var_lists: Vec<BTreeSet<Variable>> = Vec::new();
+        let mut root_to_group: std::collections::HashMap<usize, usize> =
+            std::collections::HashMap::new();
+        for (i, vars) in vars_of {
+            let root = find(&mut parent, i);
+            let g = *root_to_group.entry(root).or_insert_with(|| {
+                member_lists.push(Vec::new());
+                var_lists.push(BTreeSet::new());
+                member_lists.len() - 1
+            });
+            member_lists[g].push(i);
+            var_lists[g].extend(vars);
+        }
+        member_lists
+            .into_iter()
+            .zip(var_lists)
+            .map(|(members, vars)| {
+                // A group spanning every table reuses the shard allocation (but gets a
+                // *fresh* lazy state, so the cached graph never holds a cycle back to
+                // itself through the sub-database's own cache).
+                let tables: Arc<[CTable]> = if members.len() == n {
+                    Arc::clone(&self.tables)
+                } else {
+                    members.iter().map(|&i| self.tables[i].clone()).collect()
+                };
+                ShardGroup {
+                    db: CDatabase::build(tables, Arc::clone(&self.symbols)),
+                    members: members.into(),
+                    vars: Arc::new(vars),
+                }
+            })
+            .collect()
     }
 
     /// The schema: `(name, arity)` pairs in table order.
@@ -480,6 +532,124 @@ impl CDatabase {
         }
         combined.is_satisfiable()
     }
+}
+
+impl CDatabase {
+    /// The delta-application core behind [`CDatabase::apply`]: install `new_tables`
+    /// (same length and positions as the current tables; exactly the positions in
+    /// `changed` differ) and pre-seed the derived state incrementally —
+    ///
+    /// * per-table hashes are reused for untouched positions and recomputed for changed
+    ///   ones, and the fingerprint is re-combined from them;
+    /// * the registered shard map is carried over verbatim (positions and names are
+    ///   stable under a delta);
+    /// * the coupling graph is rebuilt **only** for the union-find components that touch
+    ///   a changed shard — either because the shard is a member, or because the changed
+    ///   shard's new variables are owned by the component (a delta can merge previously
+    ///   independent groups); every other [`ShardGroup`] is carried over by refcount,
+    ///   so its projected sub-database keeps its cache identity (fingerprint, base
+    ///   stores, decision memo) across the delta.
+    ///
+    /// Returns the new database and the indices (in the *new* graph) of the rebuilt
+    /// groups.
+    pub(crate) fn apply_tables(
+        &self,
+        new_tables: Vec<CTable>,
+        changed: &[usize],
+    ) -> (CDatabase, Vec<usize>) {
+        debug_assert_eq!(new_tables.len(), self.tables.len());
+        if changed.is_empty() {
+            return (self.clone(), Vec::new());
+        }
+        let old_graph = self.coupling();
+        let state = ShardState::default();
+
+        // Fingerprint: re-hash the changed tables only.
+        let mut hashes: Vec<u64> = self.table_hashes().to_vec();
+        for &p in changed {
+            hashes[p] = hash_table(&new_tables[p]);
+        }
+        let _ = state.fingerprint.set(combine_table_hashes(&hashes));
+        let _ = state.table_hashes.set(hashes.into());
+
+        // Shard map: names and positions are stable, so the registration carries over.
+        if let Some(ids) = self.state.rel_ids.get() {
+            let _ = state.rel_ids.set(Arc::clone(ids));
+        }
+
+        let next = CDatabase {
+            tables: new_tables.into(),
+            symbols: Arc::clone(&self.symbols),
+            state: Arc::new(state),
+        };
+
+        // Coupling graph: a group is dirty when a changed shard is a member or when a
+        // changed shard's *new* variables are owned by the group (insertion can couple).
+        let changed_set: BTreeSet<usize> = changed.iter().copied().collect();
+        let changed_vars: BTreeSet<Variable> = changed
+            .iter()
+            .flat_map(|&p| next.tables[p].variables())
+            .collect();
+        let dirty_old: Vec<bool> = old_graph
+            .groups
+            .iter()
+            .map(|group| {
+                group.members().iter().any(|m| changed_set.contains(m))
+                    || changed_vars.iter().any(|v| group.vars.contains(v))
+            })
+            .collect();
+        let affected: Vec<usize> = old_graph
+            .groups
+            .iter()
+            .zip(&dirty_old)
+            .filter(|(_, &d)| d)
+            .flat_map(|(g, _)| g.members().iter().copied())
+            .collect();
+        let rebuilt = next.build_groups(affected);
+        let rebuilt_keys: BTreeSet<usize> = rebuilt.iter().map(|g| g.members()[0]).collect();
+        let mut groups: Vec<ShardGroup> = old_graph
+            .groups
+            .iter()
+            .zip(&dirty_old)
+            .filter(|(_, &d)| !d)
+            .map(|(g, _)| g.clone())
+            .chain(rebuilt)
+            .collect();
+        groups.sort_by_key(|g| g.members()[0]);
+        let dirty_new: Vec<usize> = groups
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| rebuilt_keys.contains(&g.members()[0]))
+            .map(|(i, _)| i)
+            .collect();
+        let mut group_of = vec![usize::MAX; next.tables.len()];
+        for (g, group) in groups.iter().enumerate() {
+            for &m in group.members() {
+                group_of[m] = g;
+            }
+        }
+        debug_assert!(group_of.iter().all(|&g| g != usize::MAX));
+        let _ = next.state.coupling.set(CouplingGraph {
+            groups: groups.into(),
+            group_of: group_of.into(),
+        });
+        (next, dirty_new)
+    }
+}
+
+/// Structural hash of one table (rows, conditions, name, arity).
+fn hash_table(t: &CTable) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    t.hash(&mut h);
+    h.finish()
+}
+
+/// Combine per-table hashes into the database fingerprint.  Must be a pure function of
+/// the hash vector so the fresh and the incremental path agree.
+fn combine_table_hashes(hashes: &[u64]) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    hashes.hash(&mut h);
+    h.finish()
 }
 
 impl FromIterator<CTable> for CDatabase {

@@ -41,6 +41,7 @@
 
 pub mod algebra;
 pub mod database;
+pub mod delta;
 pub mod paper;
 pub mod rep;
 pub mod simplify;
@@ -49,6 +50,7 @@ pub mod valuation;
 pub mod view;
 
 pub use database::{CDatabase, ShardGroup};
+pub use delta::{DbDelta, Delta, DeltaError, DeltaOp};
 pub use simplify::{simplify_database, simplify_table};
 pub use table::{CTable, CTuple, TableClass, TableError};
 pub use valuation::Valuation;

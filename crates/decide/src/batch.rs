@@ -23,7 +23,7 @@
 use crate::common::{Budget, BudgetExceeded, Strategy};
 use crate::engine::{Engine, EngineConfig};
 use crate::{certainty, containment, membership, possibility, uniqueness};
-use pw_core::View;
+use pw_core::{CDatabase, DbDelta, Delta, DeltaError, View};
 use pw_relational::Instance;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -147,21 +147,175 @@ pub fn decide_all(requests: &[DecisionRequest]) -> Vec<DecisionOutcome> {
 /// thread budget of the batch; `cfg.budget` applies to each request's search
 /// independently (a slow request cannot starve the others of budget).
 pub fn decide_all_with(requests: &[DecisionRequest], cfg: &EngineConfig) -> Vec<DecisionOutcome> {
+    Session::sized(cfg, requests.len()).decide_all(requests)
+}
+
+/// One re-decision: the mutated database, what the delta changed, and the outcomes.
+#[derive(Clone, Debug)]
+pub struct Redecision {
+    /// The database after the delta — the `prev` of the next [`Session::redecide_all`].
+    pub db: CDatabase,
+    /// Which tables and shard groups the delta changed (see [`pw_core::DbDelta`]).
+    pub change: DbDelta,
+    /// The outcomes, positionally aligned with the request slice.
+    pub outcomes: Vec<DecisionOutcome>,
+}
+
+/// A long-lived batch session: one [`Engine`] owning the caches that make repeated and
+/// *incremental* decisions cheap — the hash-consed condition-satisfiability cache, the
+/// per-database base stores, and the per-group decision memo.
+///
+/// [`decide_all_with`] builds a transient session per call; a service that re-decides
+/// after every mutation keeps one session alive and calls [`Session::redecide_all`], so
+/// the verdicts of shard groups a delta did not touch replay from the memo instead of
+/// being re-searched.
+#[derive(Debug)]
+pub struct Session {
+    engine: Engine,
+    workers: usize,
+}
+
+impl Session {
+    /// A session for batches of roughly `cfg.threads` concurrent requests.
+    pub fn new(cfg: &EngineConfig) -> Self {
+        Session::sized(cfg, cfg.threads)
+    }
+
+    /// A session sized for batches of about `expected_batch` requests: `cfg.threads` is
+    /// split between concurrent requests and threads inside each request's search,
+    /// exactly as [`decide_all_with`] splits it.
+    pub fn sized(cfg: &EngineConfig, expected_batch: usize) -> Self {
+        let workers = cfg.threads.min(expected_batch.max(1)).max(1);
+        let threads_per_request = (cfg.threads / workers).max(1);
+        let mut inner_cfg = *cfg;
+        inner_cfg.threads = threads_per_request;
+        Session {
+            engine: Engine::new(inner_cfg),
+            workers,
+        }
+    }
+
+    /// The session's engine (shared caches, memo statistics).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Decide every request on the session's engine.  Answers are positionally aligned
+    /// with the input and schedule-independent; per-group verdicts populate the
+    /// decision memo for later re-decisions.
+    pub fn decide_all(&self, requests: &[DecisionRequest]) -> Vec<DecisionOutcome> {
+        run_batch(requests, &self.engine, self.workers)
+    }
+
+    /// Apply `delta` to `prev` and re-decide `requests` against the mutated database.
+    ///
+    /// Every request whose view is phrased against `prev` is re-bound to the new
+    /// database; the per-shard dispatchers then replay memoized verdicts for the shard
+    /// groups the delta did not touch (carried over by [`pw_core::CDatabase::apply`]
+    /// with their cache identity intact) and re-search only the dirty groups — a
+    /// condition-coupled dirty group falls back to a fresh joint search of that group,
+    /// so answers stay bit-identical to a from-scratch decide.  Cache entries keyed by
+    /// the retired database version (and by dissolved shard groups) are dropped so a
+    /// long-lived session does not accumulate stale state.
+    pub fn redecide_all(
+        &self,
+        prev: &CDatabase,
+        delta: &Delta,
+        requests: &[DecisionRequest],
+    ) -> Result<Redecision, DeltaError> {
+        let (db, change) = prev.apply(delta)?;
+        if !change.is_noop() {
+            // Retire the caches of everything the delta dissolved: old shard groups
+            // that no longer appear in the new graph, and the previous joint value.
+            for old in prev.shard_groups() {
+                let survives = db
+                    .shard_groups()
+                    .iter()
+                    .any(|new| new.database() == old.database());
+                if !survives {
+                    self.engine.retire_database(old.database());
+                }
+            }
+            self.engine.retire_database(prev);
+        }
+        let rebound: Vec<DecisionRequest> = requests
+            .iter()
+            .map(|r| rebind_request(r, prev, &db))
+            .collect();
+        let outcomes = run_batch(&rebound, &self.engine, self.workers);
+        Ok(Redecision {
+            db,
+            change,
+            outcomes,
+        })
+    }
+}
+
+/// Convenience one-shot [`Session::redecide_all`] with all cores and the default
+/// [`Budget`].  A fresh session has an empty memo, so this pays a from-scratch decide;
+/// the incremental win comes from keeping one [`Session`] across the decide/re-decide
+/// sequence.
+pub fn redecide_all(
+    prev: &CDatabase,
+    delta: &Delta,
+    requests: &[DecisionRequest],
+) -> Result<Redecision, DeltaError> {
+    Session::sized(&EngineConfig::parallel(Budget::default()), requests.len())
+        .redecide_all(prev, delta, requests)
+}
+
+/// Re-point a request's view(s) from `prev` to `next`; views over other databases are
+/// left alone.
+fn rebind_request(
+    request: &DecisionRequest,
+    prev: &CDatabase,
+    next: &CDatabase,
+) -> DecisionRequest {
+    let rebind = |view: &View| -> View {
+        if view.db == *prev {
+            View::new(view.query.clone(), next.clone())
+        } else {
+            view.clone()
+        }
+    };
+    match request {
+        DecisionRequest::Membership { view, instance } => DecisionRequest::Membership {
+            view: rebind(view),
+            instance: instance.clone(),
+        },
+        DecisionRequest::Uniqueness { view, instance } => DecisionRequest::Uniqueness {
+            view: rebind(view),
+            instance: instance.clone(),
+        },
+        DecisionRequest::Containment { left, right } => DecisionRequest::Containment {
+            left: rebind(left),
+            right: rebind(right),
+        },
+        DecisionRequest::Possibility { view, facts } => DecisionRequest::Possibility {
+            view: rebind(view),
+            facts: facts.clone(),
+        },
+        DecisionRequest::Certainty { view, facts } => DecisionRequest::Certainty {
+            view: rebind(view),
+            facts: facts.clone(),
+        },
+    }
+}
+
+/// The shared worker pool behind [`Session::decide_all`] and [`decide_all_with`].
+fn run_batch(
+    requests: &[DecisionRequest],
+    engine: &Engine,
+    workers: usize,
+) -> Vec<DecisionOutcome> {
     if requests.is_empty() {
         return Vec::new();
     }
-    // Split the thread budget: `workers` requests run concurrently, each with
-    // `threads_per_request` threads inside its own search.
-    let workers = cfg.threads.min(requests.len()).max(1);
-    let threads_per_request = (cfg.threads / workers).max(1);
-    let mut inner_cfg = *cfg;
-    inner_cfg.threads = threads_per_request;
-    let engine = Engine::new(inner_cfg);
-
+    let workers = workers.min(requests.len()).max(1);
     if workers == 1 {
         return requests
             .iter()
-            .map(|request| request.outcome(&engine))
+            .map(|request| request.outcome(engine))
             .collect();
     }
 
@@ -182,7 +336,7 @@ pub fn decide_all_with(requests: &[DecisionRequest], cfg: &EngineConfig) -> Vec<
                 let Some(&i) = order.get(queued) else {
                     return;
                 };
-                let outcome = requests[i].outcome(&engine);
+                let outcome = requests[i].outcome(engine);
                 *slots[i].lock().expect("outcome slot poisoned") = Some(outcome);
             });
         }

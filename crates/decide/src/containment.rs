@@ -118,12 +118,27 @@ fn per_shard(view0: &View, view: &View, engine: &Engine) -> Result<bool, BudgetE
         let right = rights
             .get(&names(left))
             .expect("strategy_with verified the partitions align");
-        let (answer, _) = decide_with(
-            &View::identity(left.database().clone()),
-            &View::identity(right.database().clone()),
-            engine,
-        );
-        if !answer? {
+        // Per-pair verdicts go through the decision memo keyed by the *left* group's
+        // database with the right group held structurally as the key's `rhs`, so a
+        // re-decide after a delta replays every aligned pair whose two sides are
+        // untouched and two different pairs can never collide.
+        let (ldb, rdb) = (left.database(), right.database());
+        let empty = Instance::new();
+        let answer = engine.memo_decide(
+            crate::engine::MemoOp::Containment,
+            ldb,
+            &empty,
+            Some(rdb),
+            || {
+                decide_with(
+                    &View::identity(ldb.clone()),
+                    &View::identity(rdb.clone()),
+                    engine,
+                )
+                .0
+            },
+        )?;
+        if !answer {
             return Ok(false);
         }
     }

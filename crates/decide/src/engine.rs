@@ -44,6 +44,7 @@ use pw_condition::{Atom, Conjunction, ConstraintSet, SatCache, Term};
 use pw_core::{CDatabase, CTable, Valuation};
 use pw_relational::{Constant, Instance, Sym, Symbols, Tuple};
 use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::hash::Hash;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -369,6 +370,62 @@ pub struct Engine {
     /// database *value* (structural hash + equality), so cloned databases share an entry
     /// and distinct databases can never collide.
     base_stores: Mutex<HashMap<CDatabase, Option<ConstraintSet>>>,
+    /// The decision memo: per-group verdicts keyed by [`MemoKey`].  The group database
+    /// hashes as its cached structural fingerprint and compares structurally, so a
+    /// shard group carried across a delta ([`pw_core::CDatabase::apply`]) replays its
+    /// verdict while a rebuilt (dirty) group misses and is re-searched.  Only definite
+    /// answers are stored — a budget-exceeded search is never memoized.
+    decision_memo: Mutex<HashMap<MemoKey, bool>>,
+    memo_hits: AtomicU64,
+    memo_misses: AtomicU64,
+}
+
+/// A decision-memo key.  Every component is held *structurally* — the request instance
+/// and the optional right-hand database included — so two different questions can never
+/// collide into one entry (the same "distinct keys can never collide" rule the
+/// base-store cache follows); hashing is still one fingerprint word per database plus
+/// the instance walk.
+#[derive(PartialEq, Eq, Hash, Debug)]
+struct MemoKey {
+    op: MemoOp,
+    /// The (group) database the primitive is asked of.
+    db: CDatabase,
+    /// The request's slice of the instance (empty for [`MemoOp::Containment`]).
+    request: Instance,
+    /// The right-hand group database of a [`MemoOp::Containment`] question.
+    rhs: Option<CDatabase>,
+}
+
+/// The per-group decision primitives the engine memoizes.  Each is a deterministic
+/// function of one shard-group sub-database and a normalized request, which is what
+/// makes the verdict replayable after a delta leaves the group untouched.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MemoOp {
+    /// Group-local membership: is the request's slice of the instance in `rep(group)`?
+    Member,
+    /// Group-local covering (possibility): does some world of the group contain the
+    /// request's facts?
+    Covering,
+    /// Group-local certainty complement: does some world of the group miss one of the
+    /// request's facts?
+    MissingAny,
+    /// Group-local uniqueness complement: does some row of the group escape the
+    /// request's instance in some world?
+    Escape,
+    /// Group-pair containment: is the left group's representation contained in the
+    /// right group's?  The key's `rhs` holds the right group.
+    Containment,
+}
+
+/// Hit/miss counters of the decision memo, for tests and the benchmark harness.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Per-group verdicts replayed from the memo (no search ran).
+    pub hits: u64,
+    /// Per-group verdicts computed by a search (and stored, when definite).
+    pub misses: u64,
+    /// Entries currently stored.
+    pub entries: usize,
 }
 
 impl Engine {
@@ -378,7 +435,72 @@ impl Engine {
             cfg,
             sat_cache: SatCache::new(),
             base_stores: Mutex::new(HashMap::new()),
+            decision_memo: Mutex::new(HashMap::new()),
+            memo_hits: AtomicU64::new(0),
+            memo_misses: AtomicU64::new(0),
         }
+    }
+
+    /// Replay the verdict for `(op, db, request, rhs)` from the decision memo, or run
+    /// `compute` and store its (definite) answer.  Budget-exceeded results are returned
+    /// but never cached — a later call with more budget must be able to succeed.
+    pub(crate) fn memo_decide(
+        &self,
+        op: MemoOp,
+        db: &CDatabase,
+        request: &Instance,
+        rhs: Option<&CDatabase>,
+        compute: impl FnOnce() -> Result<bool, BudgetExceeded>,
+    ) -> Result<bool, BudgetExceeded> {
+        let key = MemoKey {
+            op,
+            db: db.clone(),
+            request: request.clone(),
+            rhs: rhs.cloned(),
+        };
+        {
+            let memo = self.decision_memo.lock().expect("decision memo poisoned");
+            if let Some(&verdict) = memo.get(&key) {
+                self.memo_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(verdict);
+            }
+        }
+        // Compute outside the lock: a slow group search must not block unrelated
+        // lookups.  A concurrent duplicate compute is benign (the verdict is
+        // deterministic, first insert wins).
+        let verdict = compute()?;
+        self.memo_misses.fetch_add(1, Ordering::Relaxed);
+        self.decision_memo
+            .lock()
+            .expect("decision memo poisoned")
+            .entry(key)
+            .or_insert(verdict);
+        Ok(verdict)
+    }
+
+    /// Current decision-memo counters.
+    pub fn memo_stats(&self) -> MemoStats {
+        let memo = self.decision_memo.lock().expect("decision memo poisoned");
+        MemoStats {
+            hits: self.memo_hits.load(Ordering::Relaxed),
+            misses: self.memo_misses.load(Ordering::Relaxed),
+            entries: memo.len(),
+        }
+    }
+
+    /// Drop every cache entry keyed by `db` — the base store and all memoized
+    /// verdicts.  A long-lived engine serving a mutating database calls this (via
+    /// `batch`'s re-decision front door) for the previous database value and for the
+    /// dissolved shard groups after a delta, so retired versions do not accumulate.
+    pub fn retire_database(&self, db: &CDatabase) {
+        self.base_stores
+            .lock()
+            .expect("base-store cache poisoned")
+            .remove(db);
+        self.decision_memo
+            .lock()
+            .expect("decision memo poisoned")
+            .retain(|key, _| key.db != *db && key.rhs.as_ref() != Some(db));
     }
 
     /// The configuration the engine was built with.
@@ -624,19 +746,11 @@ impl Engine {
     // changes is the tree: the joint search re-explores every earlier group's
     // alternatives each time a later group fails, the decomposition pays each group once.
 
-    /// Per-group base stores, indexed by group position.  `None` when some group's
-    /// globals are unsatisfiable — equivalently (variable-disjointness) when the *joint*
-    /// globals are unsatisfiable, i.e. `rep(db) = ∅`.
-    fn group_stores(&self, db: &CDatabase) -> Option<Vec<ConstraintSet>> {
-        db.shard_groups()
-            .iter()
-            .map(|g| self.base_store(g.database()))
-            .collect()
-    }
-
     /// [`Engine::exists_world_covering`] decomposed over the shard groups: the facts are
     /// split per group and every group must cover its part.  Callers dispatch here only
-    /// when the coupling graph splits (`db.shard_groups().len() > 1`).
+    /// when the coupling graph splits (`db.shard_groups().len() > 1`).  Each group's
+    /// verdict goes through the decision memo, so after a delta only the dirty groups
+    /// re-search.
     pub fn exists_world_covering_per_shard(
         &self,
         db: &CDatabase,
@@ -650,16 +764,29 @@ impl Engine {
             // A group with no facts still gates the conjunction: its globals must be
             // satisfiable (the joint base store asserts them too), which is exactly what
             // `covering_ctx` on an empty part checks.
-            if !self.covering_ctx(group.database(), part, &ctx.fork())? {
+            let covered =
+                self.memo_decide(MemoOp::Covering, group.database(), part, None, || {
+                    self.covering_ctx(group.database(), part, &ctx.fork())
+                })?;
+            if !covered {
                 return Ok(false);
             }
         }
         Ok(true)
     }
 
-    /// [`Engine::exists_world_missing_any_fact`] with per-group base stores: one forest
-    /// over all facts (shared budget, first-witness cancellation), where each fact's
-    /// subtree starts from the base store of the group owning its relation.
+    /// [`Engine::exists_world_missing_any_fact`] decomposed over the shard groups: a
+    /// fact can only be missing from a world of the group owning its relation, so the
+    /// disjunction runs group by group — each group's slice of the facts searched
+    /// against the group's base store (one budget pool threaded through forked
+    /// contexts), with the group verdict going through the decision memo.
+    ///
+    /// Trade-off: the pre-memo implementation drove one forest over *all* facts, so on
+    /// a cold engine a witness in a late group could cancel the earlier groups'
+    /// refutations mid-flight; the per-group sequence pays each earlier group's full
+    /// refutation once before reaching that witness.  The memo is the compensation —
+    /// on every decision after the first, untouched groups replay instead of
+    /// re-searching at all (the serving pattern this subsystem exists for).
     pub fn exists_world_missing_any_fact_per_shard(
         &self,
         db: &CDatabase,
@@ -675,21 +802,22 @@ impl Engine {
         ctx: &Ctx,
     ) -> Result<bool, BudgetExceeded> {
         let group_of = db.shard_group_index();
-        let mut work: Vec<(&CTable, Vec<Sym>)> = Vec::new();
-        let mut work_group: Vec<usize> = Vec::new();
+        let mut parts: Vec<Instance> = vec![Instance::new(); db.shard_groups().len()];
+        let mut any_fact = false;
         for (name, rel) in facts.iter() {
-            for fact in rel.iter() {
-                match db.table_position(name) {
-                    Some(pos) if db.tables()[pos].arity() == fact.arity() => {
-                        work.push((&db.tables()[pos], intern_fact(db, fact)));
-                        work_group.push(group_of[pos]);
-                    }
-                    // No such relation: the fact is missing from every world.
-                    _ => return Ok(true),
+            if rel.is_empty() {
+                continue;
+            }
+            match db.table_position(name) {
+                Some(pos) if db.tables()[pos].arity() == rel.arity() => {
+                    parts[group_of[pos]].insert_relation(name.clone(), rel.clone());
+                    any_fact = true;
                 }
+                // No such relation (or wrong arity): missing from every world.
+                _ => return Ok(true),
             }
         }
-        if work.is_empty() {
+        if !any_fact {
             return Ok(false);
         }
         if db
@@ -701,35 +829,25 @@ impl Engine {
             // store; callers handle the vacuous-certainty case separately.
             return Ok(false);
         }
-        // Clone a base store only for the groups that actually own a fact — a request
-        // touching one relation of a many-group database pays for one small store.
-        let mut bases: Vec<Option<ConstraintSet>> = vec![None; db.shard_groups().len()];
-        for &g in &work_group {
-            if bases[g].is_none() {
-                bases[g] = self.base_store(db.shard_groups()[g].database());
+        for (group, part) in db.shard_groups().iter().zip(&parts) {
+            if part.relation_count() == 0 {
+                continue;
+            }
+            let missing =
+                self.memo_decide(MemoOp::MissingAny, group.database(), part, None, || {
+                    self.missing_any_ctx(group.database(), part, &ctx.fork())
+                })?;
+            if missing {
+                return Ok(true);
             }
         }
-        let bases: Vec<ConstraintSet> = bases.into_iter().map(|b| b.unwrap_or_default()).collect();
-        let search = MissingSearch { work };
-        let driver = Choices(&search);
-        let forest = ForestSearch {
-            inner: &driver,
-            root_count: search.work.len(),
-            make_root: |fact_idx: usize| {
-                Some(ChoiceNode {
-                    store: bases[work_group[fact_idx]].clone(),
-                    meta: MissingMeta {
-                        fact_idx,
-                        row_idx: 0,
-                    },
-                })
-            },
-        };
-        drive_ctx(&forest, ForestNode::Roots, &self.cfg, ctx)
+        Ok(false)
     }
 
-    /// [`Engine::exists_world_with_fact_outside`] with per-group base stores: one forest
-    /// over all rows, each row's subtree starting from its group's base store.
+    /// [`Engine::exists_world_with_fact_outside`] decomposed over the shard groups: a
+    /// row can only escape into a world of its own group, so the disjunction runs group
+    /// by group against the group's base store and slice of the instance, with the
+    /// group verdict going through the decision memo.
     pub fn exists_world_with_fact_outside_per_shard(
         &self,
         db: &CDatabase,
@@ -744,42 +862,34 @@ impl Engine {
         instance: &Instance,
         ctx: &Ctx,
     ) -> Result<bool, BudgetExceeded> {
-        let Some(bases) = self.group_stores(db) else {
+        // Empty representation (some group's globals unsatisfiable ⇒ the joint globals
+        // are): no world exists, hence no world with an extra fact — the outcome the
+        // joint search's missing base store yields.
+        if db
+            .shard_groups()
+            .iter()
+            .any(|g| !self.has_satisfiable_globals(g.database()))
+        {
             return Ok(false);
-        };
-        let group_of = db.shard_group_index();
-        let mut rows = Vec::new();
-        let mut conditions = Vec::new();
-        let mut row_group = Vec::new();
-        let mut fact_lists: Vec<Vec<Vec<Sym>>> = Vec::new();
-        for (pos, table) in db.tables().iter().enumerate() {
-            let rel = instance.relation_or_empty(table.name(), table.arity());
-            let facts: Vec<Vec<Sym>> = rel.iter().map(|f| intern_fact(db, f)).collect();
-            let list_idx = fact_lists.len();
-            fact_lists.push(facts);
-            for row in table.tuples() {
-                rows.push((row.terms.clone(), list_idx));
-                conditions.push(row.condition.clone());
-                row_group.push(group_of[pos]);
+        }
+        for group in db.shard_groups() {
+            let gdb = group.database();
+            let mut part = Instance::new();
+            for table in gdb.tables() {
+                if let Some(rel) = instance.relation(table.name()) {
+                    if rel.arity() == table.arity() && !rel.is_empty() {
+                        part.insert_relation(table.name().to_owned(), rel.clone());
+                    }
+                }
+            }
+            let escapes = self.memo_decide(MemoOp::Escape, gdb, &part, None, || {
+                self.fact_outside_ctx(gdb, &part, &ctx.fork())
+            })?;
+            if escapes {
+                return Ok(true);
             }
         }
-        let search = EscapeSearch { fact_lists, rows };
-        let driver = Choices(&search);
-        let forest = ForestSearch {
-            inner: &driver,
-            root_count: conditions.len(),
-            make_root: |row: usize| {
-                // The row must be present (local condition holds) to escape.
-                let mut store = bases[row_group[row]].clone();
-                store
-                    .assert_conjunction(&conditions[row])
-                    .then_some(ChoiceNode {
-                        store,
-                        meta: EscapeMeta { row, fact_idx: 0 },
-                    })
-            },
-        };
-        drive_ctx(&forest, ForestNode::Roots, &self.cfg, ctx)
+        Ok(false)
     }
 
     // -- canonical-valuation enumeration -------------------------------------------------

@@ -47,6 +47,9 @@ pub mod possibility;
 pub mod search;
 pub mod uniqueness;
 
-pub use batch::{decide_all, decide_all_with, DecisionOutcome, DecisionRequest};
+pub use batch::{
+    decide_all, decide_all_with, redecide_all, DecisionOutcome, DecisionRequest, Redecision,
+    Session,
+};
 pub use common::{Budget, BudgetExceeded, Strategy};
-pub use engine::{Engine, EngineConfig, SharedBudget};
+pub use engine::{Engine, EngineConfig, MemoOp, MemoStats, SharedBudget};

@@ -86,17 +86,49 @@ pub fn per_shard(
     };
     let mut counter = budget.counter();
     for (group, part) in db.shard_groups().iter().zip(&parts) {
+        if !per_shard_group(group.database(), part, &mut counter)? {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// [`per_shard`] against an [`Engine`]: the per-group verdicts go through the engine's
+/// decision memo, so a re-decide after a delta ([`pw_core::CDatabase::apply`]) replays
+/// the untouched groups and only re-searches the dirty ones.
+pub(crate) fn per_shard_with(
+    db: &CDatabase,
+    instance: &Instance,
+    engine: &Engine,
+) -> Result<bool, BudgetExceeded> {
+    let Some(parts) = crate::engine::split_by_group(db, instance) else {
+        return Ok(false);
+    };
+    let mut counter = engine.config().budget.counter();
+    for (group, part) in db.shard_groups().iter().zip(&parts) {
         let sub = group.database();
-        let ok = if sub.is_decoupled_codd() {
-            codd_matching(sub, part)
-        } else {
-            backtracking_counted(sub, part, &mut counter)?
-        };
+        let ok = engine.memo_decide(crate::engine::MemoOp::Member, sub, part, None, || {
+            per_shard_group(sub, part, &mut counter)
+        })?;
         if !ok {
             return Ok(false);
         }
     }
     Ok(true)
+}
+
+/// One group's membership sub-decision: matching for decoupled-Codd groups,
+/// backtracking (against the threaded budget counter) otherwise.
+fn per_shard_group(
+    sub: &CDatabase,
+    part: &Instance,
+    counter: &mut BudgetCounter,
+) -> Result<bool, BudgetExceeded> {
+    if sub.is_decoupled_codd() {
+        Ok(codd_matching(sub, part))
+    } else {
+        backtracking_counted(sub, part, counter)
+    }
 }
 
 /// Quick structural check shared by all algorithms: the instance may not populate relations
@@ -387,7 +419,7 @@ pub fn view_membership_with(
             };
             let answer = match chosen {
                 Strategy::CoddMatching => Ok(codd_matching(&db, instance)),
-                Strategy::PerShard { .. } => per_shard(&db, instance, engine.config().budget),
+                Strategy::PerShard { .. } => per_shard_with(&db, instance, engine),
                 _ => backtracking(&db, instance, engine.config().budget),
             };
             (answer, chosen)

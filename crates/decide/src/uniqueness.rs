@@ -279,7 +279,7 @@ pub fn complement_search_per_shard(
     {
         return Ok(false);
     }
-    if !membership::per_shard(db, instance, engine.config().budget)? {
+    if !membership::per_shard_with(db, instance, engine)? {
         return Ok(false);
     }
     // Both complement halves drain one budget pool, exactly like the joint path.

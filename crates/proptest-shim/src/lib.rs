@@ -1,0 +1,377 @@
+//! Offline stand-in for the subset of the `proptest 1.x` API that
+//! `tests/property_invariants.rs` uses.
+//!
+//! The build environment has no access to crates.io, so the real `proptest` crate
+//! cannot be resolved.  The property tests only need *deterministic, seeded* random
+//! generation with the familiar combinator surface — [`strategy::Strategy`] with
+//! `prop_map`, range and tuple strategies, [`collection::vec`], [`arbitrary::any`],
+//! the [`proptest!`] macro with `#![proptest_config(...)]`, and the `prop_assert*`
+//! macros — so this shim implements exactly that on top of the in-tree `rand` shim.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.**  A failing case reports its seed and case number; re-running is
+//!   deterministic (the RNG is seeded from the test name and case index), but the
+//!   counterexample is not minimized.
+//! * `prop_assert_eq!` reports the failing *expressions*, not the values, so it does
+//!   not require `Debug` on the compared types.
+//!
+//! If the workspace ever builds online again, deleting this crate and pointing the
+//! `proptest` workspace dependency at crates.io restores the real thing (generated
+//! streams differ, so seeded cases will change once).
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+
+pub mod strategy {
+    //! The [`Strategy`] trait and its combinators.
+
+    use super::StdRng;
+    use rand::RngCore;
+    use std::ops::Range;
+
+    /// A generator of test values — the shim's counterpart of `proptest::strategy::Strategy`.
+    pub trait Strategy {
+        /// The generated value type.
+        type Value;
+
+        /// Draw one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Map the generated values through `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// The [`Strategy::prop_map`] combinator.
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+
+        fn generate(&self, rng: &mut StdRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    let span = (self.end as i128) - (self.start as i128);
+                    assert!(span > 0, "strategy range must be non-empty");
+                    (self.start as i128 + (rng.next_u64() as i128).rem_euclid(span)) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(usize, u8, u16, u32, u64, i8, i16, i32, i64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+}
+
+pub mod arbitrary {
+    //! [`Arbitrary`] values and the [`any`] entry point.
+
+    use super::strategy::Strategy;
+    use super::StdRng;
+    use rand::RngCore;
+
+    /// Types with a canonical strategy — the (tiny) shim counterpart of
+    /// `proptest::arbitrary::Arbitrary`.
+    pub trait Arbitrary: Sized {
+        /// The canonical strategy for the type.
+        type Strategy: Strategy<Value = Self>;
+
+        /// Build the canonical strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// The canonical strategy for `bool`: a fair coin.
+    pub struct BoolStrategy;
+
+    impl Strategy for BoolStrategy {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut StdRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = BoolStrategy;
+
+        fn arbitrary() -> BoolStrategy {
+            BoolStrategy
+        }
+    }
+
+    /// The canonical strategy of a type: `any::<bool>()` et al.
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use super::StdRng;
+    use rand::RngCore;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s of `size.start..size.end` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(
+            size.end > size.start,
+            "vec strategy range must be non-empty"
+        );
+        VecStrategy { element, size }
+    }
+
+    /// The [`vec()`] strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! The failure type, result alias and per-test configuration.
+
+    /// A property failure (carried by `prop_assert!` early returns).
+    #[derive(Clone, Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// A failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "{}", self.0)
+        }
+    }
+
+    /// What a property body returns.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Per-`proptest!`-block configuration.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Config {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A configuration running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[doc(hidden)]
+pub fn __seed_for(test_name: &str, case: u32) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    test_name.hash(&mut h);
+    case.hash(&mut h);
+    h.finish()
+}
+
+#[doc(hidden)]
+pub fn __rng(seed: u64) -> StdRng {
+    use rand::SeedableRng;
+    StdRng::seed_from_u64(seed)
+}
+
+/// Fail the property unless `cond` holds (early-returns a [`test_runner::TestCaseError`]).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fail the property unless the two expressions compare equal.  Unlike upstream, the
+/// message quotes the expressions instead of the values, so `Debug` is not required.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: {} == {}",
+            stringify!($a),
+            stringify!($b)
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a == *b, $($fmt)*);
+    }};
+}
+
+/// Fail the property if the two expressions compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a != *b,
+            "assertion failed: {} != {}",
+            stringify!($a),
+            stringify!($b)
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a != *b, $($fmt)*);
+    }};
+}
+
+/// The `proptest!` block: an optional `#![proptest_config(...)]` inner attribute
+/// followed by `#[test] fn name(pattern in strategy) { body }` items.  Each property
+/// runs `config.cases` seeded cases; a failing case panics with the case number and
+/// seed (deterministic re-runs, no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(#[test] fn $name:ident($pat:pat in $strat:expr) $body:block)*) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let strat = $strat;
+                for case in 0..config.cases {
+                    let seed = $crate::__seed_for(stringify!($name), case);
+                    let mut rng = $crate::__rng(seed);
+                    let value = $crate::strategy::Strategy::generate(&strat, &mut rng);
+                    let outcome = {
+                        let $pat = value;
+                        (move || -> $crate::test_runner::TestCaseResult {
+                            $body
+                            ::core::result::Result::Ok(())
+                        })()
+                    };
+                    if let ::core::result::Result::Err(e) = outcome {
+                        panic!(
+                            "property {} failed at case {case} (seed {seed:#x}): {e}",
+                            stringify!($name),
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn seeded_generation_is_deterministic() {
+        let strat = (0..100i64, crate::collection::vec(0..10u8, 1..4));
+        let mut a = crate::__rng(7);
+        let mut b = crate::__rng(7);
+        assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_are_respected((x, y) in (0..7i64, 3..9usize)) {
+            prop_assert!((0..7).contains(&x));
+            prop_assert!((3..9).contains(&y));
+        }
+
+        #[test]
+        fn mapped_strategies_apply_their_function(n in (0..5u32).prop_map(|v| v * 2)) {
+            prop_assert_eq!(n % 2, 0);
+            prop_assert_ne!(n, 11);
+        }
+
+        #[test]
+        fn vectors_resolve_length_and_elements(v in crate::collection::vec(any::<bool>(), 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+        }
+    }
+}

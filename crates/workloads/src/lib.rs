@@ -20,12 +20,16 @@
 pub mod decoupled;
 pub mod formulas;
 pub mod graphs;
+pub mod mutations;
 pub mod strings;
 pub mod tables;
 
 pub use decoupled::{coupled_multirelation, decoupled_multirelation};
 pub use formulas::{random_3cnf, random_3dnf, random_forall_exists};
 pub use graphs::{planted_three_colorable, random_graph};
+pub use mutations::{
+    coupling_delta, mutation_stream, single_shard_delta, stable_delta_stream, MutationStream,
+};
 pub use strings::{stringify_constant, stringify_database, stringify_instance, stringify_table};
 pub use tables::{
     member_instance, non_member_instance, random_codd_table, random_ctable, random_etable,

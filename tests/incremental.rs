@@ -1,0 +1,253 @@
+//! Incremental re-decision end to end: the delta layer (`pw_core::CDatabase::apply`),
+//! the engine's per-group decision memo, and the batch session's `redecide_all` —
+//! exercised through the facade crate on the edge cases the subsystem must get right:
+//!
+//! * an **empty delta** replays every group from the memo (no new search work);
+//! * **retracting the last row of a shard** leaves an empty shard whose group goes
+//!   dirty, and the re-decision still matches a from-scratch decide;
+//! * a delta that **couples two previously independent groups** merges them in the
+//!   incremental coupling graph and invalidates both memo entries;
+//! * the condition-satisfiability cache retains its entries across deltas (untouched
+//!   conditions are never re-solved).
+
+use possible_worlds::core::{CDatabase, Delta, View};
+use possible_worlds::decide::batch::{DecisionRequest, Session};
+use possible_worlds::decide::{Budget, EngineConfig};
+use possible_worlds::prelude::*;
+use possible_worlds::workloads::{
+    coupling_delta, decoupled_multirelation, member_instance, non_member_instance,
+    single_shard_delta, TableParams,
+};
+
+fn params(seed: u64) -> TableParams {
+    TableParams {
+        rows: 3,
+        arity: 2,
+        constants: 3,
+        null_density: 0.4,
+        seed,
+    }
+}
+
+/// Standing requests covering all five problems against `db`.
+fn requests_for(db: &CDatabase, member: &Instance, other: &Instance) -> Vec<DecisionRequest> {
+    let view = View::identity(db.clone());
+    vec![
+        DecisionRequest::Membership {
+            view: view.clone(),
+            instance: member.clone(),
+        },
+        DecisionRequest::Membership {
+            view: view.clone(),
+            instance: other.clone(),
+        },
+        DecisionRequest::Possibility {
+            view: view.clone(),
+            facts: member.clone(),
+        },
+        DecisionRequest::Certainty {
+            view: view.clone(),
+            facts: member.clone(),
+        },
+        DecisionRequest::Uniqueness {
+            view: view.clone(),
+            instance: member.clone(),
+        },
+        DecisionRequest::Containment {
+            left: view.clone(),
+            right: view,
+        },
+    ]
+}
+
+fn answers(
+    outcomes: &[possible_worlds::decide::DecisionOutcome],
+) -> Vec<(Result<bool, BudgetExceeded>, Strategy)> {
+    outcomes.iter().map(|o| (o.answer, o.strategy)).collect()
+}
+
+#[test]
+fn empty_delta_replays_every_group_from_the_memo() {
+    let base = decoupled_multirelation(4, &params(11));
+    let member = member_instance(&base, &params(11));
+    let non_member = non_member_instance(&base, &params(11));
+    let session = Session::sized(&EngineConfig::sequential(Budget(5_000_000)), 6);
+    let first = session.decide_all(&requests_for(&base, &member, &non_member));
+
+    let stats_before = session.engine().memo_stats();
+    let redecision = session
+        .redecide_all(
+            &base,
+            &Delta::new(),
+            &requests_for(&base, &member, &non_member),
+        )
+        .expect("the empty delta applies");
+    let stats_after = session.engine().memo_stats();
+
+    assert!(redecision.change.is_noop());
+    assert!(redecision.change.dirty_groups.is_empty());
+    // The new database shares the table allocation with the old one.
+    assert!(std::ptr::eq(
+        base.tables().as_ptr(),
+        redecision.db.tables().as_ptr()
+    ));
+    assert_eq!(answers(&first), answers(&redecision.outcomes));
+    // Every per-group verdict replayed: the memo saw hits but not a single new miss —
+    // no group search ran at all.
+    assert_eq!(
+        stats_after.misses, stats_before.misses,
+        "an empty delta must not re-search any group"
+    );
+    assert!(stats_after.hits > stats_before.hits);
+}
+
+#[test]
+fn retracting_the_last_row_of_a_shard_keeps_answers_fresh() {
+    let base = decoupled_multirelation(4, &params(23));
+    let member = member_instance(&base, &params(23));
+    let non_member = non_member_instance(&base, &params(23));
+    let cfg = EngineConfig::sequential(Budget(5_000_000));
+    let session = Session::sized(&cfg, 6);
+    let _ = session.decide_all(&requests_for(&base, &member, &non_member));
+
+    // Empty out shard 2 row by row (3 rows in the generator parameters).
+    let rows = base.tables()[2].len();
+    let shard = base.tables()[2].name().to_owned();
+    let mut delta = Delta::new();
+    for _ in 0..rows {
+        delta = delta.retract(shard.clone(), 0);
+    }
+    let redecision = session
+        .redecide_all(&base, &delta, &requests_for(&base, &member, &non_member))
+        .expect("retractions apply");
+    assert!(redecision.db.table(&shard).unwrap().is_empty());
+    assert_eq!(
+        redecision.db.shard_groups().len(),
+        4,
+        "an emptied table is still a shard with its own group"
+    );
+    assert_eq!(redecision.change.dirty_groups, vec![2]);
+
+    // Bit-identical to a from-scratch decide of the mutated database.
+    let (fresh_db, _) = base.apply(&delta).unwrap();
+    let fresh = possible_worlds::decide::batch::decide_all_with(
+        &requests_for(&fresh_db, &member, &non_member),
+        &cfg,
+    );
+    assert_eq!(answers(&redecision.outcomes), answers(&fresh));
+    // The incremental coupling graph agrees with a fresh build.
+    let rebuilt = CDatabase::new(redecision.db.tables().iter().cloned());
+    assert_eq!(
+        rebuilt.shard_group_index(),
+        redecision.db.shard_group_index()
+    );
+}
+
+#[test]
+fn a_coupling_delta_merges_groups_and_invalidates_both_memos() {
+    let base = decoupled_multirelation(4, &params(37));
+    let member = member_instance(&base, &params(37));
+    let non_member = non_member_instance(&base, &params(37));
+    let cfg = EngineConfig::sequential(Budget(5_000_000));
+    let session = Session::sized(&cfg, 6);
+    let _ = session.decide_all(&requests_for(&base, &member, &non_member));
+
+    let delta = coupling_delta(&base, 1, 3);
+    let stats_before = session.engine().memo_stats();
+    let redecision = session
+        .redecide_all(&base, &delta, &requests_for(&base, &member, &non_member))
+        .expect("the coupling delta applies");
+    let stats_after = session.engine().memo_stats();
+
+    assert_eq!(redecision.change.groups_before, 4);
+    assert_eq!(redecision.change.groups_after, 3);
+    assert_eq!(
+        redecision.change.dirty_groups.len(),
+        1,
+        "the merged pair is one dirty group"
+    );
+    let merged = &redecision.db.shard_groups()[redecision.change.dirty_groups[0]];
+    assert_eq!(merged.members(), &[1, 3], "groups 1 and 3 merged");
+    assert!(
+        stats_after.misses > stats_before.misses,
+        "the merged group's verdicts cannot replay — both constituents invalidated"
+    );
+
+    // Answers match a from-scratch decide *and* the forced joint search.
+    let (fresh_db, _) = base.apply(&delta).unwrap();
+    let fresh = possible_worlds::decide::batch::decide_all_with(
+        &requests_for(&fresh_db, &member, &non_member),
+        &cfg,
+    );
+    assert_eq!(answers(&redecision.outcomes), answers(&fresh));
+    // Cross-check against the forced joint search on the search problems.  Containment
+    // is left out: its joint fallback is the Π₂ᵖ enumeration over *all* variables of
+    // the database, which blows the test budget — removing exactly that exponent is
+    // what the per-pair decomposition is for (the equivalence itself is pinned on
+    // small inputs in tests/parallel_engine.rs).
+    let joint_requests: Vec<DecisionRequest> = requests_for(&fresh_db, &member, &non_member)
+        .into_iter()
+        .filter(|r| !matches!(r, DecisionRequest::Containment { .. }))
+        .collect();
+    let joint =
+        possible_worlds::decide::batch::decide_all_with(&joint_requests, &cfg.without_per_shard());
+    for (a, b) in redecision.outcomes.iter().zip(&joint) {
+        assert_eq!(
+            a.answer, b.answer,
+            "per-shard answer equals the joint answer"
+        );
+    }
+}
+
+#[test]
+fn sat_cache_entries_survive_deltas_to_other_groups() {
+    let base = decoupled_multirelation(5, &params(53));
+    let member = member_instance(&base, &params(53));
+    let non_member = non_member_instance(&base, &params(53));
+    let session = Session::sized(&EngineConfig::sequential(Budget(5_000_000)), 6);
+    let _ = session.decide_all(&requests_for(&base, &member, &non_member));
+
+    // A ground-row insertion adds no new condition anywhere: re-deciding after it must
+    // not re-solve a single conjunction — every satisfiability lookup hits the cache.
+    let delta = Delta::new().insert(
+        base.tables()[1].name().to_owned(),
+        possible_worlds::core::CTuple::of_terms([Term::constant(1), Term::constant(2)]),
+    );
+    let sat_before = session.engine().sat_cache().stats();
+    let redecision = session
+        .redecide_all(&base, &delta, &requests_for(&base, &member, &non_member))
+        .expect("the insertion applies");
+    let sat_after = session.engine().sat_cache().stats();
+    assert_eq!(redecision.change.dirty_groups.len(), 1);
+    assert_eq!(
+        sat_after.misses, sat_before.misses,
+        "untouched conditions are never re-solved across a delta"
+    );
+}
+
+#[test]
+fn a_session_retires_caches_of_dissolved_databases() {
+    let base = decoupled_multirelation(3, &params(71));
+    let member = member_instance(&base, &params(71));
+    let non_member = non_member_instance(&base, &params(71));
+    let session = Session::sized(&EngineConfig::sequential(Budget(5_000_000)), 6);
+    let _ = session.decide_all(&requests_for(&base, &member, &non_member));
+    let entries_after_decide = session.engine().memo_stats().entries;
+
+    // Roll ten single-shard deltas through the session: the memo must not accumulate
+    // one generation of entries per delta — retired versions are dropped.
+    let mut cur = base;
+    for i in 0..10 {
+        let delta = single_shard_delta(&cur, i % 3);
+        let redecision = session
+            .redecide_all(&cur, &delta, &requests_for(&cur, &member, &non_member))
+            .expect("single-shard deltas apply");
+        cur = redecision.db;
+    }
+    let entries_after_stream = session.engine().memo_stats().entries;
+    assert!(
+        entries_after_stream <= entries_after_decide + 12,
+        "memo entries stay bounded across a delta stream \
+         ({entries_after_decide} after decide, {entries_after_stream} after 10 deltas)"
+    );
+}

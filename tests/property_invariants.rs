@@ -7,7 +7,9 @@
 //!   query-monotone;
 //! * naive and semi-naive Datalog evaluation agree on random edge relations;
 //! * c-table simplification preserves the represented set of worlds, is idempotent and
-//!   never grows the table.
+//!   never grows the table;
+//! * incremental re-decision after random deltas agrees with a from-scratch decide on
+//!   all five problems (answers and strategies).
 
 use possible_worlds::prelude::*;
 use possible_worlds::query::datalog::FixpointStrategy;
@@ -21,7 +23,10 @@ fn small_budget() -> Budget {
 }
 
 /// Strategy: a conjunction over `nvars` variables and constants 0..3, up to `natoms` atoms.
-fn conjunction_strategy(nvars: usize, natoms: usize) -> impl proptest::strategy::Strategy<Value = (Vec<Variable>, Conjunction)> {
+fn conjunction_strategy(
+    nvars: usize,
+    natoms: usize,
+) -> impl proptest::strategy::Strategy<Value = (Vec<Variable>, Conjunction)> {
     let mut gen = VarGen::new();
     let vars: Vec<Variable> = (0..nvars).map(|_| gen.fresh()).collect();
     let vars_for_atoms = vars.clone();
@@ -57,11 +62,13 @@ fn brute_force_satisfiable(vars: &[Variable], conj: &Conjunction) -> bool {
         conj: &Conjunction,
     ) -> bool {
         if idx == vars.len() {
+            // The evaluator works over interned ids (the PR 2 substrate), so the
+            // brute-force assignment resolves through the global dictionary.
             let lookup = |v: Variable| {
                 assignment
                     .iter()
                     .find(|(w, _)| *w == v)
-                    .map(|(_, c)| c.clone())
+                    .map(|(_, c)| Symbols::global().intern(c))
             };
             return conj.eval(&lookup) == Some(true);
         }
@@ -97,8 +104,16 @@ fn codd_and_instance() -> impl proptest::strategy::Strategy<Value = (CDatabase, 
             .into_iter()
             .map(|(a, b, var_a, var_b)| {
                 vec![
-                    if var_a { Term::Var(gen.fresh()) } else { Term::constant(a) },
-                    if var_b { Term::Var(gen.fresh()) } else { Term::constant(b) },
+                    if var_a {
+                        Term::Var(gen.fresh())
+                    } else {
+                        Term::constant(a)
+                    },
+                    if var_b {
+                        Term::Var(gen.fresh())
+                    } else {
+                        Term::constant(b)
+                    },
                 ]
             })
             .collect();
@@ -315,6 +330,62 @@ proptest! {
                 certainty::decide(&view, &fact, small_budget()).unwrap(),
                 expected_certain
             );
+        }
+    }
+}
+
+/// Strategy: a seed for a small decoupled multi-relation database plus a random
+/// mutation stream over it.
+fn delta_scenario() -> impl proptest::strategy::Strategy<Value = (u64, usize)> {
+    (0u64..1_000, 1usize..5).prop_map(|(seed, deltas)| (seed, deltas))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn redecide_matches_fresh_decide_on_all_five_problems((seed, delta_count) in delta_scenario()) {
+        use possible_worlds::decide::batch::{DecisionRequest, Session};
+        use possible_worlds::decide::EngineConfig;
+        use possible_worlds::workloads::{mutation_stream, member_instance, non_member_instance, TableParams};
+
+        let params = TableParams { rows: 3, arity: 2, constants: 3, null_density: 0.4, seed };
+        let stream = mutation_stream(4, &params, delta_count);
+        let member = member_instance(&stream.base, &params);
+        let non_member = non_member_instance(&stream.base, &params);
+        let requests_for = |db: &CDatabase| -> Vec<DecisionRequest> {
+            let view = View::identity(db.clone());
+            vec![
+                DecisionRequest::Membership { view: view.clone(), instance: member.clone() },
+                DecisionRequest::Membership { view: view.clone(), instance: non_member.clone() },
+                DecisionRequest::Possibility { view: view.clone(), facts: member.clone() },
+                DecisionRequest::Certainty { view: view.clone(), facts: member.clone() },
+                DecisionRequest::Uniqueness { view: view.clone(), instance: member.clone() },
+                DecisionRequest::Containment { left: view.clone(), right: view },
+            ]
+        };
+
+        let cfg = EngineConfig::sequential(small_budget());
+        let session = Session::sized(&cfg, 6);
+        let mut cur = stream.base.clone();
+        let _ = session.decide_all(&requests_for(&cur));
+        for delta in &stream.deltas {
+            let redecision = session
+                .redecide_all(&cur, delta, &requests_for(&cur))
+                .expect("stream deltas apply in sequence");
+            // The from-scratch reference: a cold engine deciding the mutated database.
+            let (fresh_db, _) = cur.apply(delta).expect("stream deltas apply in sequence");
+            let fresh = possible_worlds::decide::batch::decide_all_with(&requests_for(&fresh_db), &cfg);
+            prop_assert_eq!(redecision.outcomes.len(), fresh.len());
+            for (incremental, scratch) in redecision.outcomes.iter().zip(&fresh) {
+                prop_assert!(
+                    incremental.answer == scratch.answer && incremental.strategy == scratch.strategy,
+                    "redecide diverged from fresh decide (seed {}, {} deltas)",
+                    seed,
+                    delta_count
+                );
+            }
+            cur = redecision.db;
         }
     }
 }
