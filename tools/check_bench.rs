@@ -1,14 +1,21 @@
 //! `check-bench` — the CI bench-regression guard.
 //!
-//! Two jobs, both offline and dependency-free (the reports are JSON documents emitted by
-//! our own harnesses, so a line-based field extractor is all the parsing needed):
+//! Three jobs, all offline and dependency-free (the reports are JSON documents emitted
+//! by our own harnesses, so a line-based field extractor is all the parsing needed):
 //!
-//! 1. **Regression guard over the committed reports.**  Every `BENCH_PR*.json` at the
-//!    repository root embeds a pre-change baseline and a `speedup_vs_baseline` table;
-//!    a committed report whose speedups have sunk below the floor (default `0.9`) means
-//!    someone committed a measured regression — the `bench-smoke` CI job fails.
-//! 2. **Shape check of fresh smoke runs.**  The smoke reports passed as positional
-//!    arguments (produced by `bench-pr2/3/4 --smoke` earlier in the job) must be
+//! 1. **Regression guard over the committed reports.**  Committed reports are
+//!    *discovered* (any `BENCH_*.json` at the repository root — no hard-coded name
+//!    list); each embeds a baseline and a `speedup_vs_baseline` table, and a committed
+//!    report whose speedups have sunk below the floor (default `0.9`) means someone
+//!    committed a measured regression — the `bench-smoke` CI job fails.  An unreadable,
+//!    empty or table-less report fails loudly instead of being skipped.
+//! 2. **Incremental guard.**  Reports carrying an `incremental_guard` table (the
+//!    `bench-pr5` decide/mutate/re-decide harness) must show `answers_match: true` on
+//!    every row — the incremental path's answers are bit-identical to the from-scratch
+//!    path's — and a fresh/redecide speedup at or above the row's embedded `floor`
+//!    (`10` in the committed full run, `0.9` in smoke runs).
+//! 3. **Shape check of fresh smoke runs.**  The smoke reports passed as positional
+//!    arguments (produced by `bench-pr2/3/4/5 --smoke` earlier in the job) must be
 //!    well-formed: the right `bench` tag, `smoke: true`, at least one result row, and
 //!    every row carrying the `problem`/`workload`/`mode`/`wall_ms`/`answers` fields with
 //!    a known mode.
@@ -47,6 +54,11 @@ fn check_committed(path: &Path, min_speedup: f64, failures: &mut Vec<String>) {
             return;
         }
     };
+    if raw.trim().is_empty() {
+        failures.push(format!("{}: empty report", path.display()));
+        return;
+    }
+    check_incremental(path, &raw, failures);
     if !raw.contains("\"speedup_vs_baseline\"") {
         failures.push(format!(
             "{}: committed report has no speedup_vs_baseline table (lost its baseline?)",
@@ -102,6 +114,66 @@ fn check_committed(path: &Path, min_speedup: f64, failures: &mut Vec<String>) {
     }
 }
 
+/// The incremental guard (reports with an `incremental_guard` table — the
+/// decide/mutate/re-decide harness): every row must show bit-identical answers between
+/// the incremental and the from-scratch path, and a fresh/redecide speedup at or above
+/// the row's own embedded floor.
+fn check_incremental(path: &Path, raw: &str, failures: &mut Vec<String>) {
+    if !raw.contains("\"incremental_guard\"") {
+        return;
+    }
+    let mut in_guard = false;
+    let mut rows = 0usize;
+    let failures_before = failures.len();
+    for line in raw.lines() {
+        if line.trim_start().starts_with("\"incremental_guard\"") {
+            in_guard = true;
+            continue;
+        }
+        if !in_guard {
+            continue;
+        }
+        let trimmed = line.trim();
+        if trimmed.starts_with(']') {
+            break;
+        }
+        let (Some(speedup), Some(floor)) =
+            (num_field(trimmed, "speedup"), num_field(trimmed, "floor"))
+        else {
+            continue;
+        };
+        rows += 1;
+        let label = format!(
+            "{} / {}",
+            str_field(trimmed, "problem").unwrap_or_default(),
+            str_field(trimmed, "workload").unwrap_or_default(),
+        );
+        if !trimmed.contains("\"answers_match\": true") {
+            failures.push(format!(
+                "{}: {label}: incremental answers diverge from the from-scratch path",
+                path.display()
+            ));
+        }
+        if speedup < floor - 1e-9 {
+            failures.push(format!(
+                "{}: {label}: incremental speedup {speedup}x below its floor {floor}x",
+                path.display()
+            ));
+        }
+    }
+    if rows == 0 {
+        failures.push(format!(
+            "{}: incremental_guard table has no rows",
+            path.display()
+        ));
+    } else if failures.len() == failures_before {
+        println!(
+            "ok: {} ({rows} incremental rows: answers match, speedups above floors)",
+            path.display()
+        );
+    }
+}
+
 /// The smoke-report shape check.
 fn check_smoke(path: &Path, failures: &mut Vec<String>) {
     let raw = match std::fs::read_to_string(path) {
@@ -111,19 +183,29 @@ fn check_smoke(path: &Path, failures: &mut Vec<String>) {
             return;
         }
     };
+    if raw.trim().is_empty() {
+        failures.push(format!("{}: empty report", path.display()));
+        return;
+    }
     let header_ok = raw
         .lines()
-        .any(|l| str_field(l, "bench").is_some_and(|b| b.starts_with("BENCH_PR")));
+        .any(|l| str_field(l, "bench").is_some_and(|b| b.starts_with("BENCH_")));
     if !header_ok {
         failures.push(format!("{}: missing/odd \"bench\" tag", path.display()));
     }
     if !raw.contains("\"smoke\": true") {
         failures.push(format!("{}: not a smoke run", path.display()));
     }
+    check_incremental(path, &raw, failures);
     let mut rows = 0usize;
     for line in raw.lines() {
         let trimmed = line.trim();
         if !trimmed.starts_with("{\"problem\":") {
+            continue;
+        }
+        // Guard/speedup tables are checked separately; result rows are the ones
+        // carrying a wall-clock measurement.
+        if num_field(trimmed, "wall_ms").is_none() && num_field(trimmed, "speedup").is_some() {
             continue;
         }
         rows += 1;
@@ -132,7 +214,10 @@ fn check_smoke(path: &Path, failures: &mut Vec<String>) {
             && str_field(trimmed, "workload").is_some()
             && num_field(trimmed, "wall_ms").is_some()
             && trimmed.contains("\"answers\":")
-            && matches!(mode.as_deref(), Some("sequential") | Some("parallel"));
+            && matches!(
+                mode.as_deref(),
+                Some("sequential") | Some("parallel") | Some("fresh") | Some("incremental")
+            );
         if !shape_ok {
             failures.push(format!(
                 "{}: malformed result row: {trimmed}",
@@ -178,23 +263,28 @@ fn main() -> ExitCode {
     }
 
     let mut failures = Vec::new();
-    let mut committed: Vec<PathBuf> = std::fs::read_dir(&root)
-        .map(|entries| {
-            entries
-                .filter_map(|e| e.ok())
-                .map(|e| e.path())
-                .filter(|p| {
-                    p.file_name()
-                        .and_then(|n| n.to_str())
-                        .is_some_and(|n| n.starts_with("BENCH_PR") && n.ends_with(".json"))
-                })
-                .collect()
-        })
-        .unwrap_or_default();
+    // Discover the committed reports instead of hard-coding a name list: anything the
+    // harnesses emit is named `BENCH_<something>.json` and lives at the root.  A
+    // directory we cannot read is a loud failure, not an empty result.
+    let mut committed: Vec<PathBuf> = match std::fs::read_dir(&root) {
+        Ok(entries) => entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+            })
+            .collect(),
+        Err(e) => {
+            failures.push(format!("cannot list {}: {e}", root.display()));
+            Vec::new()
+        }
+    };
     committed.sort();
     if committed.is_empty() {
         failures.push(format!(
-            "no committed BENCH_PR*.json found under {}",
+            "no committed BENCH_*.json found under {}",
             root.display()
         ));
     }
