@@ -63,7 +63,12 @@ fn bench_hard(c: &mut Criterion) {
     for occurrences in [1usize, 2, 3] {
         let formula = DnfFormula::new(
             occurrences,
-            (0..occurrences).map(|i| Clause::new([Literal { var: i, positive: i % 2 == 0 }])),
+            (0..occurrences).map(|i| {
+                Clause::new([Literal {
+                    var: i,
+                    positive: i % 2 == 0,
+                }])
+            }),
         );
         let reduction = taut_cert_fo(&formula);
         group.bench_with_input(

@@ -17,7 +17,9 @@ use pw_reductions::containment_hardness::{ae3cnf_cont_itable, dnf_taut_cont_view
 use pw_reductions::containment_views::{
     ae3cnf_cont_ctable_into_etable, ae3cnf_cont_view_into_etable, ae3cnf_cont_views_of_tables,
 };
-use pw_workloads::{random_3dnf, random_codd_table, random_etable, random_forall_exists, random_gtable, TableParams};
+use pw_workloads::{
+    random_3dnf, random_codd_table, random_etable, random_forall_exists, random_gtable, TableParams,
+};
 use std::time::Duration;
 
 fn configure() -> Criterion {
@@ -87,12 +89,16 @@ fn bench_hard(c: &mut Criterion) {
     for clauses in [3usize, 5, 7] {
         let formula = random_3dnf(clauses, clauses, 6);
         let reduction = dnf_taut_cont_view_table(&formula);
-        group.bench_with_input(BenchmarkId::new("dnf_view_table", clauses), &clauses, |b, _| {
-            b.iter(|| {
-                containment::decide(&reduction.left, &reduction.right, Budget(1_000_000_000))
-                    .unwrap()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("dnf_view_table", clauses),
+            &clauses,
+            |b, _| {
+                b.iter(|| {
+                    containment::decide(&reduction.left, &reduction.right, Budget(1_000_000_000))
+                        .unwrap()
+                })
+            },
+        );
     }
     group.finish();
 }

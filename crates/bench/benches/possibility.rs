@@ -16,7 +16,7 @@ use pw_reductions::possibility_hardness::{
     nontaut_poss_fo, sat_poss_datalog, sat_poss_etable, sat_poss_itable,
 };
 use pw_relational::Instance;
-use pw_workloads::{member_instance, random_3cnf, random_ctable, random_codd_table, TableParams};
+use pw_workloads::{member_instance, random_3cnf, random_codd_table, random_ctable, TableParams};
 use std::time::Duration;
 
 fn configure() -> Criterion {
@@ -32,7 +32,8 @@ fn small_pattern(db: &CDatabase, params: &TableParams) -> Instance {
     let mut out = Instance::new();
     for (name, rel) in world.iter() {
         for fact in rel.iter().take(2) {
-            out.insert_fact(name.clone(), fact.clone()).expect("same arity");
+            out.insert_fact(name.clone(), fact.clone())
+                .expect("same arity");
         }
     }
     out
@@ -129,7 +130,12 @@ fn bench_hard(c: &mut Criterion) {
         use pw_solvers::{Clause, DnfFormula, Literal};
         let formula = DnfFormula::new(
             occurrences,
-            (0..occurrences).map(|i| Clause::new([Literal { var: i, positive: true }])),
+            (0..occurrences).map(|i| {
+                Clause::new([Literal {
+                    var: i,
+                    positive: true,
+                }])
+            }),
         );
         let reduction = nontaut_poss_fo(&formula);
         group.bench_with_input(

@@ -9,8 +9,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pw_condition::{Atom, Conjunction, VarGen};
 use pw_core::{algebra::eval_ucq, CDatabase};
-use pw_query::{qatom, ConjunctiveQuery, DatalogProgram, QTerm, Ucq};
 use pw_query::datalog::FixpointStrategy;
+use pw_query::{qatom, ConjunctiveQuery, DatalogProgram, QTerm, Ucq};
 use pw_relational::{Instance, Relation, Tuple};
 use pw_solvers::matching::{maximum_matching, BipartiteGraph};
 use pw_workloads::{random_ctable, TableParams};

@@ -78,12 +78,16 @@ fn bench_hard(c: &mut Criterion) {
     for vertices in [4usize, 5, 6] {
         let graph = planted_three_colorable(vertices, 0.7, 9);
         let reduction = non3col_uniq_view(&graph);
-        group.bench_with_input(BenchmarkId::new("non3col_view", vertices), &vertices, |b, _| {
-            b.iter(|| {
-                uniqueness::decide(&reduction.view, &reduction.instance, Budget(1_000_000_000))
-                    .unwrap()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("non3col_view", vertices),
+            &vertices,
+            |b, _| {
+                b.iter(|| {
+                    uniqueness::decide(&reduction.view, &reduction.instance, Budget(1_000_000_000))
+                        .unwrap()
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -1,0 +1,911 @@
+//! # `pw-check` — the independent certificate checker
+//!
+//! The decision engine (`pw-decide`) answers the paper's five decision problems with
+//! searches that range from PTIME matchings to Π₂ᵖ enumerations.  When asked, it attaches
+//! a [`Certificate`] to its verdict; this crate verifies such a certificate against the
+//! *claim* — problem, inputs and answer — in polynomial time, **without depending on the
+//! engine** (enforced by this crate's `Cargo.toml` and a unit test).  The trusted
+//! computing base is therefore only:
+//!
+//! * the possible-world semantics itself — [`pw_core::Valuation::world_of`], query
+//!   evaluation on complete instances, and the freeze construction replayed from
+//!   [`pw_core::freeze_database`] / [`pw_core::normalize_database`];
+//! * this crate's acceptance table below.
+//!
+//! ## Acceptance table
+//!
+//! One polarity of every problem has short evidence; the other rests on an exhaustive
+//! search that has no polynomial certificate (unless the polynomial hierarchy collapses).
+//! The checker accepts [`Certificate::Exhaustive`] **only** on the latter side — anywhere
+//! else it would be vacuous:
+//!
+//! | problem      | answer | accepted certificates                                   |
+//! |--------------|--------|---------------------------------------------------------|
+//! | membership   | yes    | `Witness` (σ(𝒟) exists and q(σ(𝒟)) = I)                 |
+//! | membership   | no     | `EmptyRep`, `Exhaustive`                                 |
+//! | possibility  | yes    | `Witness` (facts ⊆ q(σ(𝒟)))                             |
+//! | possibility  | no     | `EmptyRep`, `Exhaustive`                                 |
+//! | certainty    | yes    | `CertainByFreeze` (replayed), `EmptyRep`, `Exhaustive`   |
+//! | certainty    | no     | `CounterWorld` (facts ⊄ q(σ(𝒟)))                        |
+//! | uniqueness   | yes    | `Exhaustive`                                             |
+//! | uniqueness   | no     | `CounterWorld` (q(σ(𝒟)) ≠ I), `EmptyRep`                |
+//! | containment  | yes    | `FrozenMembership` (Theorem 4.1 replayed), `Decomposition` (aligned groups, recursive), `EmptyRep`, `Exhaustive` |
+//! | containment  | no     | `CounterWorld` (σ is a world of the left side; see below)|
+//!
+//! One seam is narrower than the rest: a no-containment `CounterWorld` claims
+//! "σ(left) ∉ rep(right)", and that non-membership is itself coNP — it has no short
+//! sub-certificate.  The checker verifies the constructive half (σ really induces a world
+//! of the left side) and *trusts* the non-membership half.  This is still a strictly
+//! smaller trust surface than trusting the whole search, and the seam is explicit here
+//! rather than implicit in the engine.
+
+#![warn(missing_docs)]
+
+use pw_core::{
+    freeze_database, normalize_database, CDatabase, Certificate, TableClass, Valuation, View,
+};
+use pw_query::QueryClass;
+use pw_relational::Instance;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A decision problem instance: the inputs the claimed answer is about.
+///
+/// Borrowed, not owned — the checker never mutates the inputs, and claims are typically
+/// assembled on the fly next to an engine answer.
+#[derive(Clone, Copy, Debug)]
+pub enum Problem<'a> {
+    /// Is `instance` one of the possible worlds of `view`? (MEMB, NP)
+    Membership {
+        /// The view (query over a c-table database) defining the world set.
+        view: &'a View,
+        /// The complete instance being tested for membership.
+        instance: &'a Instance,
+    },
+    /// Is `instance` the *only* possible world of `view`? (UNIQ, coNP)
+    Uniqueness {
+        /// The view defining the world set.
+        view: &'a View,
+        /// The candidate unique world.
+        instance: &'a Instance,
+    },
+    /// Is every world of `left` also a world of `right`? (CONT, Π₂ᵖ)
+    Containment {
+        /// The contained (left-hand) view.
+        left: &'a View,
+        /// The containing (right-hand) view.
+        right: &'a View,
+    },
+    /// Do the `facts` all hold together in *some* world of `view`? (POSS, NP)
+    Possibility {
+        /// The view defining the world set.
+        view: &'a View,
+        /// The facts that should be jointly possible.
+        facts: &'a Instance,
+    },
+    /// Do the `facts` all hold in *every* world of `view`? (CERT, coNP)
+    Certainty {
+        /// The view defining the world set.
+        view: &'a View,
+        /// The facts that should be certain.
+        facts: &'a Instance,
+    },
+}
+
+impl Problem<'_> {
+    /// Short stable name of the problem (for errors and diagnostics).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Problem::Membership { .. } => "membership",
+            Problem::Uniqueness { .. } => "uniqueness",
+            Problem::Containment { .. } => "containment",
+            Problem::Possibility { .. } => "possibility",
+            Problem::Certainty { .. } => "certainty",
+        }
+    }
+}
+
+/// A claimed verdict: a problem instance together with the engine's answer.
+#[derive(Clone, Copy, Debug)]
+pub struct Claim<'a> {
+    /// The problem the answer is about.
+    pub problem: Problem<'a>,
+    /// The claimed answer.
+    pub answer: bool,
+}
+
+/// Why a certificate was rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CheckError {
+    /// The certificate kind is not admissible for this (problem, answer) pair — e.g.
+    /// `Exhaustive` offered where constructive evidence is required.
+    WrongCertificate {
+        /// The problem being claimed.
+        problem: &'static str,
+        /// The claimed answer.
+        answer: bool,
+        /// The offered certificate kind ([`Certificate::kind`]).
+        kind: &'static str,
+    },
+    /// The valuation does not induce a world: it violates a global condition or leaves a
+    /// needed variable unassigned.
+    InvalidValuation {
+        /// What went wrong.
+        detail: String,
+    },
+    /// The valuation induces a world, but the world does not exhibit the claimed
+    /// property.
+    WorldMismatch {
+        /// What went wrong.
+        detail: String,
+    },
+    /// A replayed reduction's preconditions do not hold (e.g. `CertainByFreeze` for a
+    /// non-monotone query, or a claimed-empty representation that is satisfiable).
+    PreconditionFailed {
+        /// What went wrong.
+        detail: String,
+    },
+    /// A containment decomposition does not match the aligned shard groups of the two
+    /// sides (missing pair, duplicate pair, unknown group, unaligned sides).
+    MalformedDecomposition {
+        /// What went wrong.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckError::WrongCertificate {
+                problem,
+                answer,
+                kind,
+            } => write!(
+                f,
+                "certificate kind `{kind}` is not admissible for {problem} = {answer}"
+            ),
+            CheckError::InvalidValuation { detail } => {
+                write!(f, "valuation induces no world: {detail}")
+            }
+            CheckError::WorldMismatch { detail } => {
+                write!(f, "world does not exhibit the claimed property: {detail}")
+            }
+            CheckError::PreconditionFailed { detail } => {
+                write!(f, "reduction precondition failed: {detail}")
+            }
+            CheckError::MalformedDecomposition { detail } => {
+                write!(f, "malformed decomposition: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+/// Verify a certificate against a claim.  `Ok(())` means the certificate establishes the
+/// claimed answer (up to the explicit trust seams documented at the crate root);
+/// any tampering with the certificate or mismatch with the claim yields an error.
+pub fn verify(claim: &Claim<'_>, certificate: &Certificate) -> Result<(), CheckError> {
+    match claim.problem {
+        Problem::Membership { view, instance } => {
+            check_membership(view, instance, claim.answer, certificate)
+        }
+        Problem::Uniqueness { view, instance } => {
+            check_uniqueness(view, instance, claim.answer, certificate)
+        }
+        Problem::Containment { left, right } => {
+            check_containment(left, right, claim.answer, certificate)
+        }
+        Problem::Possibility { view, facts } => {
+            check_possibility(view, facts, claim.answer, certificate)
+        }
+        Problem::Certainty { view, facts } => {
+            check_certainty(view, facts, claim.answer, certificate)
+        }
+    }
+}
+
+/// σ(𝒟), or the canonical rejection when σ induces no world.
+fn world_of(valuation: &Valuation, db: &CDatabase) -> Result<Instance, CheckError> {
+    valuation
+        .world_of(db)
+        .ok_or_else(|| CheckError::InvalidValuation {
+            detail: "the valuation violates a global condition or leaves a variable unassigned"
+                .to_owned(),
+        })
+}
+
+/// Accept `EmptyRep` only when the database's global conditions really are jointly
+/// unsatisfiable.
+fn ensure_empty_rep(db: &CDatabase) -> Result<(), CheckError> {
+    if db.has_satisfiable_globals() {
+        return Err(CheckError::PreconditionFailed {
+            detail: "claimed empty representation, but the global conditions are satisfiable"
+                .to_owned(),
+        });
+    }
+    Ok(())
+}
+
+fn wrong(problem: &'static str, answer: bool, certificate: &Certificate) -> CheckError {
+    CheckError::WrongCertificate {
+        problem,
+        answer,
+        kind: certificate.kind(),
+    }
+}
+
+fn check_membership(
+    view: &View,
+    instance: &Instance,
+    answer: bool,
+    certificate: &Certificate,
+) -> Result<(), CheckError> {
+    match (answer, certificate) {
+        (true, Certificate::Witness { valuation }) => {
+            let world = world_of(valuation, &view.db)?;
+            let produced = view.query.eval(&world);
+            if produced.same_facts(instance) {
+                Ok(())
+            } else {
+                Err(CheckError::WorldMismatch {
+                    detail: "q(σ(𝒟)) is not the claimed instance".to_owned(),
+                })
+            }
+        }
+        (false, Certificate::EmptyRep) => ensure_empty_rep(&view.db),
+        // "No world maps to I" is universally quantified over rep(𝒟): trusted search.
+        (false, Certificate::Exhaustive) => Ok(()),
+        _ => Err(wrong("membership", answer, certificate)),
+    }
+}
+
+fn check_possibility(
+    view: &View,
+    facts: &Instance,
+    answer: bool,
+    certificate: &Certificate,
+) -> Result<(), CheckError> {
+    match (answer, certificate) {
+        (true, Certificate::Witness { valuation }) => {
+            let world = world_of(valuation, &view.db)?;
+            let produced = view.query.eval(&world);
+            if facts.is_subinstance_of(&produced) {
+                Ok(())
+            } else {
+                Err(CheckError::WorldMismatch {
+                    detail: "the claimed facts are not all contained in q(σ(𝒟))".to_owned(),
+                })
+            }
+        }
+        (false, Certificate::EmptyRep) => ensure_empty_rep(&view.db),
+        (false, Certificate::Exhaustive) => Ok(()),
+        _ => Err(wrong("possibility", answer, certificate)),
+    }
+}
+
+fn check_certainty(
+    view: &View,
+    facts: &Instance,
+    answer: bool,
+    certificate: &Certificate,
+) -> Result<(), CheckError> {
+    match (answer, certificate) {
+        (true, Certificate::CertainByFreeze) => replay_certain_by_freeze(view, facts),
+        (true, Certificate::EmptyRep) => ensure_empty_rep(&view.db),
+        // "Facts hold in every world" is the universally quantified side.
+        (true, Certificate::Exhaustive) => Ok(()),
+        (false, Certificate::CounterWorld { valuation }) => {
+            let world = world_of(valuation, &view.db)?;
+            let produced = view.query.eval(&world);
+            if facts.is_subinstance_of(&produced) {
+                Err(CheckError::WorldMismatch {
+                    detail: "the counter-world contains every claimed fact".to_owned(),
+                })
+            } else {
+                Ok(())
+            }
+        }
+        _ => Err(wrong("certainty", answer, certificate)),
+    }
+}
+
+/// Replay the naive-evaluation argument of Theorem 5.3(1): for a monotone query on a
+/// database that normalises to a g-table, evaluating on the frozen instance K₀ already
+/// produces every claimed fact, and by monotonicity + genericity the facts then hold in
+/// every world.
+fn replay_certain_by_freeze(view: &View, facts: &Instance) -> Result<(), CheckError> {
+    let monotone = matches!(
+        view.query.class(),
+        QueryClass::Identity | QueryClass::PositiveExistential | QueryClass::Datalog
+    );
+    if !monotone {
+        return Err(CheckError::PreconditionFailed {
+            detail: "certain-by-freeze needs a monotone query".to_owned(),
+        });
+    }
+    if view.db.classify() > TableClass::GTable {
+        return Err(CheckError::PreconditionFailed {
+            detail: "certain-by-freeze needs a database without local conditions (≤ g-table)"
+                .to_owned(),
+        });
+    }
+    let Some(normalized) = normalize_database(&view.db) else {
+        // Empty representation: vacuously certain.
+        return Ok(());
+    };
+    let (frozen, fresh) = freeze_database(&normalized, &facts.active_domain());
+    let produced = view.query.eval(&frozen);
+    for (name, rel) in facts.iter() {
+        for fact in rel.iter() {
+            let ground = fact.iter().all(|c| !fresh.contains(c));
+            if !ground || !produced.contains_fact(name, fact) {
+                return Err(CheckError::WorldMismatch {
+                    detail: format!("fact {name}{fact} is not produced on the frozen instance"),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_uniqueness(
+    view: &View,
+    instance: &Instance,
+    answer: bool,
+    certificate: &Certificate,
+) -> Result<(), CheckError> {
+    match (answer, certificate) {
+        // "Every world equals I" is the universally quantified side; even the embedded
+        // existential half ("I is a world") does not certify uniqueness on its own.
+        (true, Certificate::Exhaustive) => Ok(()),
+        (false, Certificate::CounterWorld { valuation }) => {
+            let world = world_of(valuation, &view.db)?;
+            let produced = view.query.eval(&world);
+            if produced.same_facts(instance) {
+                Err(CheckError::WorldMismatch {
+                    detail: "the counter-world equals the claimed unique instance".to_owned(),
+                })
+            } else {
+                Ok(())
+            }
+        }
+        (false, Certificate::EmptyRep) => ensure_empty_rep(&view.db),
+        _ => Err(wrong("uniqueness", answer, certificate)),
+    }
+}
+
+fn check_containment(
+    left: &View,
+    right: &View,
+    answer: bool,
+    certificate: &Certificate,
+) -> Result<(), CheckError> {
+    match (answer, certificate) {
+        (true, Certificate::EmptyRep) => ensure_empty_rep(&left.db),
+        (true, Certificate::Exhaustive) => Ok(()),
+        (true, Certificate::FrozenMembership { witness }) => {
+            replay_frozen_membership(left, right, witness)
+        }
+        (true, Certificate::Decomposition { pairs }) => check_decomposition(left, right, pairs),
+        (false, Certificate::CounterWorld { valuation }) => {
+            // Constructive half only: σ really induces a world of the left side.  The
+            // "σ(left) ∉ rep(right)" half is itself coNP and has no short certificate —
+            // this is the one explicitly trusted seam (see the crate docs).
+            world_of(valuation, &left.db).map(|_| ())
+        }
+        _ => Err(wrong("containment", answer, certificate)),
+    }
+}
+
+/// Replay the freeze reduction of Theorem 4.1: rep(left) ⊆ rep(right) — for identity
+/// views of a ≤ g-table left side and a ≤ e-table right side — iff the frozen left
+/// instance K₀ is a member of rep(right).  The inner certificate must then be a plain
+/// membership witness of K₀ against the right database.
+fn replay_frozen_membership(
+    left: &View,
+    right: &View,
+    witness: &Certificate,
+) -> Result<(), CheckError> {
+    if !left.query.is_identity() || !right.query.is_identity() {
+        return Err(CheckError::PreconditionFailed {
+            detail: "frozen membership needs identity views on both sides".to_owned(),
+        });
+    }
+    if left.db.classify() > TableClass::GTable {
+        return Err(CheckError::PreconditionFailed {
+            detail: "frozen membership needs a ≤ g-table left side".to_owned(),
+        });
+    }
+    if right.db.classify() > TableClass::ETable {
+        return Err(CheckError::PreconditionFailed {
+            detail: "frozen membership needs a ≤ e-table right side".to_owned(),
+        });
+    }
+    let Some(normalized) = normalize_database(&left.db) else {
+        // Empty left representation: contained in everything.
+        return Ok(());
+    };
+    let (k0, _) = freeze_database(&normalized, &right.db.constants());
+    match witness {
+        Certificate::Witness { valuation } => {
+            let world = world_of(valuation, &right.db)?;
+            if world.same_facts(&k0) {
+                Ok(())
+            } else {
+                Err(CheckError::WorldMismatch {
+                    detail: "the inner witness does not produce the frozen instance K₀".to_owned(),
+                })
+            }
+        }
+        other => Err(wrong("containment", true, other)),
+    }
+}
+
+/// The relation names of each shard group, keyed for alignment.
+fn group_map(db: &CDatabase) -> BTreeMap<BTreeSet<String>, CDatabase> {
+    db.shard_groups()
+        .iter()
+        .map(|g| {
+            let names = g
+                .database()
+                .tables()
+                .iter()
+                .map(|t| t.name().to_owned())
+                .collect::<BTreeSet<String>>();
+            (names, g.database().clone())
+        })
+        .collect()
+}
+
+/// A yes-containment decomposed along aligned shard groups: the pairs must cover the
+/// group partition of *both* sides exactly (so dropping, duplicating or inventing a pair
+/// is rejected), and every pair must itself verify as a yes-containment of the two group
+/// databases under identity views.  Soundness rests on the groups being
+/// variable-disjoint, which [`CDatabase::shard_groups`] guarantees by construction.
+fn check_decomposition(
+    left: &View,
+    right: &View,
+    pairs: &[pw_core::PairCert],
+) -> Result<(), CheckError> {
+    if !left.query.is_identity() || !right.query.is_identity() {
+        return Err(CheckError::PreconditionFailed {
+            detail: "a decomposition certificate needs identity views on both sides".to_owned(),
+        });
+    }
+    let lefts = group_map(&left.db);
+    let rights = group_map(&right.db);
+    if lefts.keys().ne(rights.keys()) {
+        return Err(CheckError::MalformedDecomposition {
+            detail: "the two sides do not split into aligned shard groups".to_owned(),
+        });
+    }
+    let mut covered: BTreeSet<&BTreeSet<String>> = BTreeSet::new();
+    for pair in pairs {
+        let Some(ldb) = lefts.get(&pair.relations) else {
+            return Err(CheckError::MalformedDecomposition {
+                detail: format!("pair {:?} names no shard group", pair.relations),
+            });
+        };
+        let rdb = &rights[&pair.relations];
+        if !covered.insert(&pair.relations) {
+            return Err(CheckError::MalformedDecomposition {
+                detail: format!("duplicate pair {:?}", pair.relations),
+            });
+        }
+        let lv = View::identity(ldb.clone());
+        let rv = View::identity(rdb.clone());
+        check_containment(&lv, &rv, true, &pair.certificate)?;
+    }
+    if covered.len() != lefts.len() {
+        return Err(CheckError::MalformedDecomposition {
+            detail: format!(
+                "decomposition covers {} of {} aligned group pairs",
+                covered.len(),
+                lefts.len()
+            ),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pw_condition::{Atom, Conjunction, Term, VarGen};
+    use pw_core::{CTable, CTuple};
+    use pw_relational::{tup, Relation};
+
+    fn codd_db(name: &str, rows: Vec<CTuple>) -> CDatabase {
+        CDatabase::new([
+            CTable::new(name, rows[0].terms.len(), Conjunction::truth(), rows).unwrap(),
+        ])
+    }
+
+    fn instance_of(name: &str, facts: Vec<pw_relational::Tuple>) -> Instance {
+        let mut rel = Relation::empty(facts[0].arity());
+        for f in facts {
+            rel.insert(f).unwrap();
+        }
+        let mut i = Instance::new();
+        i.insert_relation(name.to_owned(), rel);
+        i
+    }
+
+    #[test]
+    fn no_engine_dependency() {
+        // The whole point of this crate: the checker must not trust the engine.  The
+        // manifest is the enforcement point; this test keeps it honest.
+        let manifest = include_str!("../Cargo.toml");
+        for line in manifest.lines() {
+            let line = line.trim();
+            assert!(
+                line.starts_with('#') || !line.contains("pw-decide"),
+                "pw-check must not depend on pw-decide (offending line: {line:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn membership_witness_accepts_and_tampering_rejects() {
+        let mut g = VarGen::new();
+        let x = g.named("x");
+        let db = codd_db(
+            "T",
+            vec![CTuple::of_terms([Term::Var(x), Term::constant(1)])],
+        );
+        let view = View::identity(db);
+        let instance = instance_of("T", vec![tup![7, 1]]);
+        let claim = Claim {
+            problem: Problem::Membership {
+                view: &view,
+                instance: &instance,
+            },
+            answer: true,
+        };
+        let good = Certificate::witness(Valuation::from_pairs([(x, 7)]));
+        assert_eq!(verify(&claim, &good), Ok(()));
+
+        // Swapped binding: the produced world is {(8,1)} ≠ I.
+        let bad = Certificate::witness(Valuation::from_pairs([(x, 8)]));
+        assert!(matches!(
+            verify(&claim, &bad),
+            Err(CheckError::WorldMismatch { .. })
+        ));
+
+        // Exhaustive must never certify a yes-membership.
+        assert!(matches!(
+            verify(&claim, &Certificate::Exhaustive),
+            Err(CheckError::WrongCertificate { .. })
+        ));
+    }
+
+    #[test]
+    fn unsatisfied_globals_reject_a_witness() {
+        let mut g = VarGen::new();
+        let x = g.named("x");
+        let table = CTable::new(
+            "T",
+            1,
+            Conjunction::new([Atom::neq(x, 7)]),
+            vec![CTuple::of_terms([Term::Var(x)])],
+        )
+        .unwrap();
+        let db = CDatabase::new([table]);
+        let view = View::identity(db);
+        let instance = instance_of("T", vec![tup![7]]);
+        let claim = Claim {
+            problem: Problem::Membership {
+                view: &view,
+                instance: &instance,
+            },
+            answer: true,
+        };
+        // σ(x) = 7 violates the global x ≠ 7: no world arises.
+        let cert = Certificate::witness(Valuation::from_pairs([(x, 7)]));
+        assert!(matches!(
+            verify(&claim, &cert),
+            Err(CheckError::InvalidValuation { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_rep_is_checked_not_trusted() {
+        let mut g = VarGen::new();
+        let x = g.named("x");
+        // Satisfiable database: EmptyRep must be rejected.
+        let sat = codd_db("T", vec![CTuple::of_terms([Term::Var(x)])]);
+        let view = View::identity(sat);
+        let instance = instance_of("T", vec![tup![1]]);
+        let claim = Claim {
+            problem: Problem::Membership {
+                view: &view,
+                instance: &instance,
+            },
+            answer: false,
+        };
+        assert!(matches!(
+            verify(&claim, &Certificate::EmptyRep),
+            Err(CheckError::PreconditionFailed { .. })
+        ));
+
+        // Unsatisfiable database (x ≠ x): EmptyRep accepted.
+        let table = CTable::new(
+            "T",
+            1,
+            Conjunction::new([Atom::neq(x, x)]),
+            vec![CTuple::of_terms([Term::Var(x)])],
+        )
+        .unwrap();
+        let unsat_view = View::identity(CDatabase::new([table]));
+        let claim = Claim {
+            problem: Problem::Membership {
+                view: &unsat_view,
+                instance: &instance,
+            },
+            answer: false,
+        };
+        assert_eq!(verify(&claim, &Certificate::EmptyRep), Ok(()));
+    }
+
+    #[test]
+    fn possibility_witness_requires_coverage() {
+        let mut g = VarGen::new();
+        let x = g.named("x");
+        let db = codd_db("T", vec![CTuple::of_terms([Term::Var(x)])]);
+        let view = View::identity(db);
+        let facts = instance_of("T", vec![tup![3]]);
+        let claim = Claim {
+            problem: Problem::Possibility {
+                view: &view,
+                facts: &facts,
+            },
+            answer: true,
+        };
+        assert_eq!(
+            verify(
+                &claim,
+                &Certificate::witness(Valuation::from_pairs([(x, 3)]))
+            ),
+            Ok(())
+        );
+        assert!(matches!(
+            verify(
+                &claim,
+                &Certificate::witness(Valuation::from_pairs([(x, 4)]))
+            ),
+            Err(CheckError::WorldMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn certainty_replays_the_freeze_argument() {
+        let mut g = VarGen::new();
+        let x = g.named("x");
+        // Rows (1) and (x): the fact (1) is certain, the fact (2) is not.
+        let db = codd_db(
+            "T",
+            vec![
+                CTuple::of_terms([Term::constant(1)]),
+                CTuple::of_terms([Term::Var(x)]),
+            ],
+        );
+        let view = View::identity(db);
+        let certain = instance_of("T", vec![tup![1]]);
+        let claim = Claim {
+            problem: Problem::Certainty {
+                view: &view,
+                facts: &certain,
+            },
+            answer: true,
+        };
+        assert_eq!(verify(&claim, &Certificate::CertainByFreeze), Ok(()));
+
+        let uncertain = instance_of("T", vec![tup![2]]);
+        let claim = Claim {
+            problem: Problem::Certainty {
+                view: &view,
+                facts: &uncertain,
+            },
+            answer: true,
+        };
+        assert!(matches!(
+            verify(&claim, &Certificate::CertainByFreeze),
+            Err(CheckError::WorldMismatch { .. })
+        ));
+
+        // A counter-world for the honest "no": σ(x) = 9 gives the world {(1),(9)} ⊉ {(2)}.
+        let claim = Claim {
+            problem: Problem::Certainty {
+                view: &view,
+                facts: &uncertain,
+            },
+            answer: false,
+        };
+        assert_eq!(
+            verify(
+                &claim,
+                &Certificate::counter_world(Valuation::from_pairs([(x, 9)]))
+            ),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn uniqueness_counter_world_must_differ() {
+        let mut g = VarGen::new();
+        let x = g.named("x");
+        let db = codd_db("T", vec![CTuple::of_terms([Term::Var(x)])]);
+        let view = View::identity(db);
+        let instance = instance_of("T", vec![tup![5]]);
+        let claim = Claim {
+            problem: Problem::Uniqueness {
+                view: &view,
+                instance: &instance,
+            },
+            answer: false,
+        };
+        // A world other than I refutes uniqueness …
+        assert_eq!(
+            verify(
+                &claim,
+                &Certificate::counter_world(Valuation::from_pairs([(x, 6)]))
+            ),
+            Ok(())
+        );
+        // … but the world I itself does not.
+        assert!(matches!(
+            verify(
+                &claim,
+                &Certificate::counter_world(Valuation::from_pairs([(x, 5)]))
+            ),
+            Err(CheckError::WorldMismatch { .. })
+        ));
+        // Yes-uniqueness has no short certificate: only Exhaustive is admissible.
+        let yes = Claim {
+            problem: Problem::Uniqueness {
+                view: &view,
+                instance: &instance,
+            },
+            answer: true,
+        };
+        assert_eq!(verify(&yes, &Certificate::Exhaustive), Ok(()));
+        assert!(matches!(
+            verify(&yes, &Certificate::witness(Valuation::from_pairs([(x, 5)]))),
+            Err(CheckError::WrongCertificate { .. })
+        ));
+    }
+
+    #[test]
+    fn frozen_membership_replays_theorem_4_1() {
+        let mut g = VarGen::new();
+        let x = g.named("x");
+        // left = {(1)}, right = {(y)}: rep(left) = {{(1)}} ⊆ rep(right).
+        let left = View::identity(codd_db("T", vec![CTuple::of_terms([Term::constant(1)])]));
+        let y = g.named("y");
+        let right_db = codd_db("T", vec![CTuple::of_terms([Term::Var(y)])]);
+        let right = View::identity(right_db);
+        let claim = Claim {
+            problem: Problem::Containment {
+                left: &left,
+                right: &right,
+            },
+            answer: true,
+        };
+        // K₀ = {(1)} (the left side is ground), so y ↦ 1 witnesses K₀ ∈ rep(right).
+        let good = Certificate::FrozenMembership {
+            witness: Box::new(Certificate::witness(Valuation::from_pairs([(y, 1)]))),
+        };
+        assert_eq!(verify(&claim, &good), Ok(()));
+        let bad = Certificate::FrozenMembership {
+            witness: Box::new(Certificate::witness(Valuation::from_pairs([(y, 2)]))),
+        };
+        assert!(matches!(
+            verify(&claim, &bad),
+            Err(CheckError::WorldMismatch { .. })
+        ));
+        let _ = x;
+    }
+
+    #[test]
+    fn decomposition_must_cover_every_aligned_pair() {
+        let mut g = VarGen::new();
+        let (x, y) = (g.named("x"), g.named("y"));
+        let mk = |vx: pw_condition::Variable, vy: pw_condition::Variable| {
+            CDatabase::new([
+                CTable::new(
+                    "R",
+                    1,
+                    Conjunction::truth(),
+                    vec![CTuple::of_terms([Term::Var(vx)])],
+                )
+                .unwrap(),
+                CTable::new(
+                    "S",
+                    1,
+                    Conjunction::truth(),
+                    vec![CTuple::of_terms([Term::Var(vy)])],
+                )
+                .unwrap(),
+            ])
+        };
+        let left = View::identity(mk(x, y));
+        let (u, v) = (g.named("u"), g.named("v"));
+        let right = View::identity(mk(u, v));
+        let claim = Claim {
+            problem: Problem::Containment {
+                left: &left,
+                right: &right,
+            },
+            answer: true,
+        };
+        let pair = |name: &str| pw_core::PairCert {
+            relations: [name.to_owned()].into(),
+            certificate: Certificate::Exhaustive,
+        };
+        let full = Certificate::Decomposition {
+            pairs: vec![pair("R"), pair("S")],
+        };
+        assert_eq!(verify(&claim, &full), Ok(()));
+
+        // Dropping a pair must be rejected — a partial decomposition proves nothing.
+        let partial = Certificate::Decomposition {
+            pairs: vec![pair("R")],
+        };
+        assert!(matches!(
+            verify(&claim, &partial),
+            Err(CheckError::MalformedDecomposition { .. })
+        ));
+
+        // Duplicating a pair neither covers the other group nor is well-formed.
+        let duplicated = Certificate::Decomposition {
+            pairs: vec![pair("R"), pair("R")],
+        };
+        assert!(matches!(
+            verify(&claim, &duplicated),
+            Err(CheckError::MalformedDecomposition { .. })
+        ));
+    }
+
+    #[test]
+    fn no_containment_checks_the_left_world() {
+        let mut g = VarGen::new();
+        let x = g.named("x");
+        let table = CTable::new(
+            "T",
+            1,
+            Conjunction::new([Atom::neq(x, 0)]),
+            vec![CTuple::of_terms([Term::Var(x)])],
+        )
+        .unwrap();
+        let left = View::identity(CDatabase::new([table]));
+        let right = View::identity(codd_db("T", vec![CTuple::of_terms([Term::constant(1)])]));
+        let claim = Claim {
+            problem: Problem::Containment {
+                left: &left,
+                right: &right,
+            },
+            answer: false,
+        };
+        assert_eq!(
+            verify(
+                &claim,
+                &Certificate::counter_world(Valuation::from_pairs([(x, 2)]))
+            ),
+            Ok(())
+        );
+        // σ(x) = 0 violates the left global: not a world of the left side.
+        assert!(matches!(
+            verify(
+                &claim,
+                &Certificate::counter_world(Valuation::from_pairs([(x, 0)]))
+            ),
+            Err(CheckError::InvalidValuation { .. })
+        ));
+        // Exhaustive must never certify a no-containment (the counter-world exists).
+        assert!(matches!(
+            verify(&claim, &Certificate::Exhaustive),
+            Err(CheckError::WrongCertificate { .. })
+        ));
+    }
+}

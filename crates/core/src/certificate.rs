@@ -1,0 +1,144 @@
+//! Proof-carrying verdicts: the evidence a decision procedure can attach to its answer.
+//!
+//! The decision problems of the paper live between NP and Π₂ᵖ, but each *answer* on the
+//! easy side of its quantifier has short, polynomially checkable evidence: a witness
+//! valuation for yes-membership / yes-possibility, a counter-world valuation for
+//! no-certainty / no-uniqueness / no-containment, the frozen-membership reduction of
+//! Theorem 4.1 for yes-containment, and a per-aligned-pair decomposition when a
+//! containment splits along variable-disjoint shard groups.  Answers on the *hard* side
+//! of the quantifier (a universally quantified "no possible world …") have no short
+//! certificate; the engine marks those [`Certificate::Exhaustive`] and an external
+//! checker must trust the search — the trust boundary is explicit in the enum.
+//!
+//! The types live in `pw-core` (not `pw-decide`) so an independent checker can verify
+//! certificates without depending on — and thereby silently trusting — the engine that
+//! produced them.
+
+use crate::Valuation;
+use std::collections::BTreeSet;
+
+/// Evidence attached to a decision verdict.
+///
+/// Which variants are admissible for which (problem, answer) pair is the checker's
+/// contract, not this type's: the enum only fixes the *grammar*.  See `pw_check` for
+/// the acceptance table and BOOK.md §13 for the rationale.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Certificate {
+    /// A satisfying valuation σ of the database whose induced world σ(𝒟) exhibits the
+    /// claimed property (σ(𝒟) = I for yes-membership, facts ⊆ q(σ(𝒟)) for
+    /// yes-possibility).
+    Witness {
+        /// The witnessing valuation, in the claimed database's symbol context.
+        valuation: Valuation,
+    },
+    /// A satisfying valuation σ whose induced world *violates* the universally
+    /// quantified property (q(σ(𝒟)) ⊉ facts for no-certainty, σ(𝒟) ≠ I for
+    /// no-uniqueness, σ(left) outside rep of the right side for no-containment).
+    CounterWorld {
+        /// The refuting valuation, in the claimed database's symbol context.
+        valuation: Valuation,
+    },
+    /// The database represents no world at all: the conjunction of its global
+    /// conditions is unsatisfiable, so rep(𝒟) = ∅ and the claim holds vacuously
+    /// (no-membership, no-possibility, yes-certainty over an empty rep, …).
+    EmptyRep,
+    /// Yes-certainty by the freeze construction of Theorem 5.3(1): the query is
+    /// monotone, the database normalises to a g-table, and evaluating the query on the
+    /// frozen instance K₀ already yields every claimed fact — monotonicity then gives
+    /// the facts in *every* world.  The checker replays normalise → freeze → evaluate.
+    CertainByFreeze,
+    /// Yes-containment by the freeze reduction of Theorem 4.1: the frozen left-hand
+    /// instance K₀ is a member of the right-hand side's representation, shown by the
+    /// inner membership certificate (a [`Certificate::Witness`] against the right
+    /// database and K₀).
+    FrozenMembership {
+        /// The membership evidence for K₀ against the right-hand database.
+        witness: Box<Certificate>,
+    },
+    /// Yes-containment decomposed along aligned variable-disjoint shard groups: each
+    /// pair of aligned groups is contained on its own, and variable-disjointness makes
+    /// the product of the per-group containments a containment of the products.
+    Decomposition {
+        /// One entry per aligned shard-group pair, covering both sides exactly.
+        pairs: Vec<PairCert>,
+    },
+    /// No short evidence exists for this (problem, answer) polarity — the verdict
+    /// rests on an exhaustive search.  A checker accepts this only where the polarity
+    /// genuinely has no polynomial certificate (yes-uniqueness, universally-quantified
+    /// "no"s); accepting it anywhere else would make the checker vacuous.
+    Exhaustive,
+}
+
+/// One aligned shard-group pair of a containment [`Certificate::Decomposition`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PairCert {
+    /// The relation names of this group — identical on both sides by alignment.
+    pub relations: BTreeSet<String>,
+    /// The containment certificate for the pair, recursively checked.
+    pub certificate: Certificate,
+}
+
+impl Certificate {
+    /// A [`Certificate::Witness`] from a valuation.
+    pub fn witness(valuation: Valuation) -> Self {
+        Certificate::Witness { valuation }
+    }
+
+    /// A [`Certificate::CounterWorld`] from a valuation.
+    pub fn counter_world(valuation: Valuation) -> Self {
+        Certificate::CounterWorld { valuation }
+    }
+
+    /// Short display name of the variant (for logs and test diagnostics).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Certificate::Witness { .. } => "witness",
+            Certificate::CounterWorld { .. } => "counter-world",
+            Certificate::EmptyRep => "empty-rep",
+            Certificate::CertainByFreeze => "certain-by-freeze",
+            Certificate::FrozenMembership { .. } => "frozen-membership",
+            Certificate::Decomposition { .. } => "decomposition",
+            Certificate::Exhaustive => "exhaustive",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_stable() {
+        assert_eq!(Certificate::witness(Valuation::new()).kind(), "witness");
+        assert_eq!(
+            Certificate::counter_world(Valuation::new()).kind(),
+            "counter-world"
+        );
+        assert_eq!(Certificate::EmptyRep.kind(), "empty-rep");
+        assert_eq!(Certificate::Exhaustive.kind(), "exhaustive");
+        assert_eq!(
+            Certificate::FrozenMembership {
+                witness: Box::new(Certificate::witness(Valuation::new())),
+            }
+            .kind(),
+            "frozen-membership"
+        );
+        assert_eq!(
+            Certificate::Decomposition { pairs: vec![] }.kind(),
+            "decomposition"
+        );
+        assert_eq!(Certificate::CertainByFreeze.kind(), "certain-by-freeze");
+    }
+
+    #[test]
+    fn certificates_compare_structurally() {
+        let a = Certificate::Decomposition {
+            pairs: vec![PairCert {
+                relations: ["R".to_owned()].into(),
+                certificate: Certificate::EmptyRep,
+            }],
+        };
+        assert_eq!(a, a.clone());
+        assert_ne!(a, Certificate::Decomposition { pairs: vec![] });
+    }
+}

@@ -1,0 +1,86 @@
+//! Database-level normalisation and the freeze construction of Theorem 4.1.
+//!
+//! These two helpers used to live in `pw-decide`; they moved here so that an
+//! engine-independent certificate checker (`pw_check`) can *replay* the freeze
+//! reduction — recompute K₀ from the claimed databases and verify a frozen-membership
+//! certificate — without depending on the decision engine it is auditing.  `pw-decide`
+//! re-exports them from its `common` module, so engine-side callers are unchanged.
+
+use crate::{CDatabase, CTable, Valuation};
+use pw_condition::{Conjunction, Variable};
+use pw_relational::domain::fresh_constants;
+use pw_relational::{Constant, Instance, Relation};
+use std::collections::BTreeSet;
+
+/// Normalise a whole database with respect to the conjunction of *all* its global
+/// conditions: variables forced to constants are substituted everywhere and chains of
+/// variable equalities are collapsed.  Returns `None` when the combined global condition is
+/// unsatisfiable, i.e. when `rep(db) = ∅`.
+///
+/// This is the database-level version of the preprocessing step of Theorem 3.2(1) ("if it
+/// follows from the global condition that a variable equals a constant, then the variable
+/// is replaced by that constant") and of the freeze construction of Theorem 4.1.
+pub fn normalize_database(db: &CDatabase) -> Option<CDatabase> {
+    let mut combined = Conjunction::truth();
+    for t in db.tables() {
+        combined = combined.and(t.global_condition());
+    }
+    if !combined.is_satisfiable() {
+        return None;
+    }
+    let tables = db
+        .tables()
+        .iter()
+        .map(|t| {
+            // Rebuild each table with the combined global so normalisation sees all
+            // equalities, then restore its own (rewritten) global afterwards by keeping the
+            // normalised result as-is: the extra atoms copied from other tables are
+            // harmless (they are satisfied by exactly the same valuations).
+            let widened = CTable::new(
+                t.name(),
+                t.arity(),
+                combined.clone(),
+                t.tuples().iter().cloned(),
+            )
+            .expect("same rows, same arity");
+            widened
+                .normalize_equalities()
+                .expect("combined condition satisfiability was checked")
+        })
+        .collect::<Vec<_>>();
+    // Normalisation rewrites ids in place, so the result stays in the source's id space.
+    Some(db.with_tables_like(tables))
+}
+
+/// Freeze a (normalised) database: replace every remaining variable by a distinct fresh
+/// constant, yielding the complete instance K₀ of the Claim in Theorem 4.1.  Returns the
+/// frozen instance together with the set of fresh constants used (so callers can recognise
+/// "non-ground" facts, e.g. for certain-answer computation).
+pub fn freeze_database(
+    db: &CDatabase,
+    avoid: &BTreeSet<Constant>,
+) -> (Instance, BTreeSet<Constant>) {
+    let vars: Vec<Variable> = db.variables().into_iter().collect();
+    let mut used: BTreeSet<Constant> = db.constants();
+    used.extend(avoid.iter().cloned());
+    let fresh = fresh_constants(&used, vars.len());
+    // The freezing valuation is built in the database's own id space (handle-threading
+    // rule), so condition checks and resolution work over private dictionaries too.
+    let valuation = Valuation::from_pairs(vars.into_iter().zip(fresh.iter().map(|c| db.intern(c))));
+    let mut instance = Instance::new();
+    for table in db.tables() {
+        let mut rel = Relation::empty(table.arity());
+        for row in table.tuples() {
+            // Local conditions are evaluated under the freezing valuation; rows whose
+            // condition the freeze does not satisfy are dropped (callers that require
+            // condition-free tables dispatch away from the freeze path).
+            if valuation.satisfies(&row.condition) == Some(true) {
+                if let Some(fact) = valuation.apply_tuple_in(db.symbols(), row) {
+                    rel.insert(fact).expect("arity preserved");
+                }
+            }
+        }
+        instance.insert_relation(table.name().to_owned(), rel);
+    }
+    (instance, fresh.into_iter().collect())
+}

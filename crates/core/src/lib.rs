@@ -40,8 +40,10 @@
 #![warn(missing_docs)]
 
 pub mod algebra;
+pub mod certificate;
 pub mod database;
 pub mod delta;
+pub mod freeze;
 pub mod paper;
 pub mod rep;
 pub mod simplify;
@@ -49,8 +51,10 @@ pub mod table;
 pub mod valuation;
 pub mod view;
 
+pub use certificate::{Certificate, PairCert};
 pub use database::{CDatabase, ShardGroup};
 pub use delta::{DbDelta, Delta, DeltaError, DeltaOp};
+pub use freeze::{freeze_database, normalize_database};
 pub use simplify::{simplify_database, simplify_table};
 pub use table::{CTable, CTuple, TableClass, TableError};
 pub use valuation::Valuation;

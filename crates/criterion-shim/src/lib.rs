@@ -1,0 +1,333 @@
+//! Offline stand-in for the subset of the `criterion 0.5` API that the benchmark
+//! harnesses under `crates/bench/benches/` use.
+//!
+//! The build environment has no access to crates.io, so the real `criterion` crate
+//! cannot be resolved.  The benches only need *timed, repeated samples with a
+//! readable report* — [`Criterion`] with `sample_size` / `measurement_time` /
+//! `warm_up_time`, [`BenchmarkGroup::bench_with_input`] keyed by [`BenchmarkId`],
+//! [`Bencher::iter`], and the [`criterion_group!`] / [`criterion_main!`] macros —
+//! so this shim implements exactly that on `std::time::Instant`.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No statistics beyond min/median/max.**  Each benchmark prints one line with
+//!   the per-iteration time over the collected samples; there is no outlier
+//!   analysis, no regression against saved baselines, and nothing is written to
+//!   `target/criterion/`.
+//! * **Bounded wall-clock.**  Sampling stops early once roughly twice the
+//!   configured measurement time has elapsed (keeping at least two samples), so a
+//!   slow NP-hard cell costs seconds, not minutes.
+//! * Command-line arguments (`--bench`, filters) are accepted and ignored.
+//!
+//! If the workspace ever builds online again, deleting this crate and pointing the
+//! `criterion` workspace dependency at crates.io restores the real thing; the bench
+//! sources compile unchanged either way.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under the name upstream criterion uses.
+pub use std::hint::black_box;
+
+/// The benchmark driver — the shim's counterpart of `criterion::Criterion`.
+///
+/// Holds the sampling configuration; [`Criterion::benchmark_group`] hands out
+/// groups that run closures against it.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            // Upstream defaults are 100 samples / 5s / 3s; the shim keeps the same
+            // shape but trimmed, since there is no statistical machinery to feed.
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples collected per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Set the target wall-clock time spent measuring each benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Set the wall-clock time spent warming up before measurement starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+}
+
+/// A parameterized benchmark name, rendered as `function/parameter`.
+pub struct BenchmarkId {
+    rendered: String,
+}
+
+impl BenchmarkId {
+    /// Name a benchmark `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            rendered: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing one [`Criterion`] configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark with an input value, criterion-style.
+    ///
+    /// The input reference is passed straight through to the closure; the shim
+    /// does not clone or move it.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            config: self.criterion,
+            samples: Vec::new(),
+        };
+        f(&mut bencher, input);
+        bencher.report(&self.name, &id.rendered);
+        self
+    }
+
+    /// Run one benchmark identified by a plain name.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            config: self.criterion,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(&self.name, &id.into());
+        self
+    }
+
+    /// Close the group.  (Upstream flushes reports here; the shim prints eagerly.)
+    pub fn finish(self) {}
+}
+
+/// Times a routine — the shim's counterpart of `criterion::Bencher`.
+pub struct Bencher<'a> {
+    config: &'a Criterion,
+    samples: Vec<Duration>,
+}
+
+impl Bencher<'_> {
+    /// Measure `routine`: warm up, then collect timed samples of batched calls.
+    ///
+    /// Each sample times a batch of iterations sized from a calibration pass so
+    /// that the configured measurement time is split across the samples; sampling
+    /// stops early once twice the measurement time has elapsed.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let cfg = self.config;
+
+        // Warm-up doubles as calibration: keep running until the warm-up budget is
+        // spent (at least one call), tracking the mean cost per call.
+        let warm_start = Instant::now();
+        let mut warm_calls = 0u32;
+        loop {
+            black_box(routine());
+            warm_calls += 1;
+            if warm_start.elapsed() >= cfg.warm_up_time {
+                break;
+            }
+        }
+        let per_call = warm_start.elapsed() / warm_calls;
+
+        let per_sample = cfg.measurement_time / cfg.sample_size as u32;
+        let iters = if per_call.is_zero() {
+            1
+        } else {
+            (per_sample.as_nanos() / per_call.as_nanos().max(1)).clamp(1, u32::MAX as u128) as u32
+        };
+
+        let deadline = Instant::now() + cfg.measurement_time * 2;
+        self.samples.clear();
+        for _ in 0..cfg.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / iters);
+            if self.samples.len() >= 2 && Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+
+    fn report(&mut self, group: &str, id: &str) {
+        if self.samples.is_empty() {
+            // The routine never called `iter` — mirror upstream, which errors out.
+            panic!("benchmark {group}/{id} collected no samples (missing Bencher::iter call?)");
+        }
+        self.samples.sort();
+        let min = self.samples[0];
+        let med = self.samples[self.samples.len() / 2];
+        let max = self.samples[self.samples.len() - 1];
+        println!(
+            "{group}/{id}\n                        time:   [{} {} {}]  ({} samples)",
+            fmt_duration(min),
+            fmt_duration(med),
+            fmt_duration(max),
+            self.samples.len(),
+        );
+    }
+}
+
+/// Render a duration the way criterion does: value + scaled unit.
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.4} s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+/// Define a benchmark group function, criterion-style.
+///
+/// Both upstream forms are supported:
+///
+/// ```ignore
+/// criterion_group!(benches, bench_a, bench_b);
+/// criterion_group! {
+///     name = benches;
+///     config = configure();
+///     targets = bench_a, bench_b
+/// }
+/// ```
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)*) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)*) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Define the `main` function of a `harness = false` bench target: run each
+/// group in order, ignoring harness arguments such as `--bench`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)*) => {
+        fn main() {
+            // `cargo bench` invokes the target with harness flags; the shim has no
+            // filtering, so the arguments are deliberately ignored.
+            let _ = ::std::env::args();
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spin(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim/self_test");
+        for n in [10u64, 100] {
+            group.bench_with_input(BenchmarkId::new("sum", n), &n, |b, &n| {
+                b.iter(|| (0..n).map(black_box).sum::<u64>())
+            });
+        }
+        group.bench_function("fixed", |b| b.iter(|| black_box(21) * 2));
+        group.finish();
+    }
+
+    criterion_group! {
+        name = config_form;
+        config = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(2));
+        targets = spin
+    }
+
+    criterion_group!(simple_form, noop_target);
+
+    fn noop_target(_c: &mut Criterion) {}
+
+    #[test]
+    fn both_macro_forms_expand_and_run() {
+        config_form();
+        simple_form();
+    }
+
+    #[test]
+    fn sampling_is_bounded_and_nonempty() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(1));
+        let started = Instant::now();
+        let mut group = c.benchmark_group("shim/bounds");
+        // A deliberately slow routine: the two-times-measurement-time deadline must
+        // cut sampling short rather than running all five samples to completion.
+        group.bench_with_input(BenchmarkId::new("slow", 0), &(), |b, _| {
+            b.iter(|| std::thread::sleep(Duration::from_millis(4)))
+        });
+        group.finish();
+        assert!(started.elapsed() < Duration::from_secs(2));
+    }
+
+    #[test]
+    fn benchmark_id_renders_function_slash_parameter() {
+        assert_eq!(BenchmarkId::new("member", 64).rendered, "member/64");
+    }
+
+    #[test]
+    fn duration_formatting_scales_units() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(12)), "12.000 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(12)), "12.000 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(12)), "12.0000 s");
+    }
+}

@@ -23,7 +23,7 @@
 use crate::common::{Budget, BudgetExceeded, Strategy};
 use crate::engine::{Engine, EngineConfig};
 use crate::{certainty, containment, membership, possibility, uniqueness};
-use pw_core::{CDatabase, DbDelta, Delta, DeltaError, View};
+use pw_core::{CDatabase, Certificate, DbDelta, Delta, DeltaError, View};
 use pw_relational::Instance;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -99,23 +99,28 @@ impl DecisionRequest {
 
     /// Decide the request; the answer arrives next to the [`Strategy`] the dispatcher
     /// chose, so the view→c-table conversion behind the dispatch tables runs once per
-    /// request — for successes *and* for budget-exceeded failures alike.
-    fn decide(&self, engine: &Engine) -> (Result<bool, BudgetExceeded>, Strategy) {
+    /// request — for successes *and* for budget-exceeded failures alike.  The third
+    /// component is the [`Certificate`] when the engine runs with
+    /// [`EngineConfig::certify`] on, `None` otherwise.
+    fn decide(
+        &self,
+        engine: &Engine,
+    ) -> (Result<bool, BudgetExceeded>, Strategy, Option<Certificate>) {
         match self {
             DecisionRequest::Membership { view, instance } => {
-                membership::view_membership_with(view, instance, engine)
+                membership::view_membership_certified(view, instance, engine)
             }
             DecisionRequest::Uniqueness { view, instance } => {
-                uniqueness::decide_with(view, instance, engine)
+                uniqueness::decide_certified(view, instance, engine)
             }
             DecisionRequest::Containment { left, right } => {
-                containment::decide_with(left, right, engine)
+                containment::decide_certified(left, right, engine)
             }
             DecisionRequest::Possibility { view, facts } => {
-                possibility::decide_with(view, facts, engine)
+                possibility::decide_certified(view, facts, engine)
             }
             DecisionRequest::Certainty { view, facts } => {
-                certainty::decide_with(view, facts, engine)
+                certainty::decide_certified(view, facts, engine)
             }
         }
     }
@@ -124,18 +129,28 @@ impl DecisionRequest {
     /// `decide_with` call that produced (or attempted) the answer — a budget-exceeded
     /// failure is labelled without re-deriving the plan.
     fn outcome(&self, engine: &Engine) -> DecisionOutcome {
-        let (answer, strategy) = self.decide(engine);
-        DecisionOutcome { answer, strategy }
+        let (answer, strategy, certificate) = self.decide(engine);
+        DecisionOutcome {
+            answer,
+            strategy,
+            certificate,
+        }
     }
 }
 
 /// The answer to one [`DecisionRequest`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DecisionOutcome {
     /// The decision, or [`BudgetExceeded`] when the request's search ran out of budget.
     pub answer: Result<bool, BudgetExceeded>,
     /// Which of the paper's algorithms decided (or attempted) the request.
     pub strategy: Strategy,
+    /// Evidence for the answer, when the session certifies ([`Session::certifying`] /
+    /// [`EngineConfig::certified`]): a value the independent checker `pw_check` can
+    /// verify in polynomial time without trusting this crate.  `None` when certification
+    /// is off, and in the rare corners where no short certificate exists (e.g. a
+    /// budget-exceeded answer).
+    pub certificate: Option<Certificate>,
 }
 
 /// Decide every request with all available cores and the default [`Budget`].
@@ -193,6 +208,15 @@ impl Session {
             engine: Engine::new(inner_cfg),
             workers,
         }
+    }
+
+    /// A session whose decisions carry certificates: same answers, same strategies, same
+    /// memo keys as an uncertified session over [`EngineConfig::certified`]`(*cfg)`, but
+    /// every [`DecisionOutcome`] comes back with evidence the independent checker
+    /// `pw_check` verifies in polynomial time, and the memo stores certificates beside
+    /// the per-group verdicts so replayed groups stay auditable after deltas.
+    pub fn certifying(cfg: &EngineConfig, expected_batch: usize) -> Self {
+        Session::sized(&cfg.certified(), expected_batch)
     }
 
     /// The session's engine (shared caches, memo statistics).

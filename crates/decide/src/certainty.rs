@@ -13,12 +13,13 @@
 //! `CERT(*, q)` is answered by iterating `CERT(1, q)` over the facts — the polynomial-time
 //! equivalence of Proposition 2.1(6).
 
+use crate::certify;
 use crate::common::{
     evaluation_delta, freeze_database, normalize_database, Budget, BudgetExceeded, Strategy,
 };
-use crate::engine::{Engine, EngineConfig};
+use crate::engine::{Engine, EngineConfig, MemoOp};
 use pw_core::algebra::AlgebraError;
-use pw_core::{CDatabase, TableClass, View};
+use pw_core::{CDatabase, Certificate, TableClass, View};
 use pw_query::QueryClass;
 use pw_relational::Instance;
 
@@ -59,6 +60,208 @@ pub fn decide_with(
         _ => by_enumeration_with(view, facts, engine),
     };
     (answer, strategy)
+}
+
+/// [`decide_with`] plus certificate extraction: a *yes* carries
+/// [`Certificate::CertainByFreeze`] (the checker replays the polynomial naive
+/// evaluation), [`Certificate::EmptyRep`], or rests on [`Certificate::Exhaustive`]; a
+/// *no* carries a [`Certificate::CounterWorld`] — a valuation whose world misses one of
+/// the facts.
+pub(crate) fn decide_certified(
+    view: &View,
+    facts: &Instance,
+    engine: &Engine,
+) -> (Result<bool, BudgetExceeded>, Strategy, Option<Certificate>) {
+    if !engine.config().certify {
+        let (answer, strategy) = decide_with(view, facts, engine);
+        return (answer, strategy, None);
+    }
+    let (strategy, converted) = plan(view, engine.config().per_shard);
+    match strategy {
+        Strategy::NaiveEvaluation => {
+            let answer =
+                naive_gtable(view, facts).expect("strategy selection guarantees applicability");
+            if answer {
+                (Ok(true), strategy, Some(Certificate::CertainByFreeze))
+            } else if !view.db.has_satisfiable_globals() {
+                // Unreachable with a `false` naive answer (the empty rep is vacuously
+                // certain) — defensive ordering only.
+                (Ok(false), strategy, None)
+            } else {
+                // A naive `false` means some fact is non-ground or absent from the
+                // frozen world's answer; the freeze avoids the facts' active domain, so
+                // *any* completion at least as generic (fresh values everywhere) misses
+                // it too.  Verify locally before emitting; fall back to enumeration.
+                let cert = certify::base_completion(&view.db, &certify::avoid_set(&view.db, facts))
+                    .map(certify::valuation)
+                    .filter(|v| {
+                        v.world_of(&view.db)
+                            .is_some_and(|w| !facts.is_subinstance_of(&view.query.eval(&w)))
+                    })
+                    .map(Certificate::counter_world)
+                    .or_else(|| enumeration_counter_world(view, facts, engine));
+                (Ok(false), strategy, cert)
+            }
+        }
+        Strategy::PerShard { .. } => {
+            match converted.expect("planned strategies carry their conversion") {
+                Ok(db) => certified_per_shard(view, &db, facts, engine, strategy),
+                Err(_) => (Ok(false), strategy, None),
+            }
+        }
+        Strategy::Backtracking => {
+            match converted.expect("planned strategies carry their conversion") {
+                Ok(db) => {
+                    if !engine.has_satisfiable_globals(&db) {
+                        return (Ok(true), strategy, Some(empty_rep_or_exhaustive(view)));
+                    }
+                    let mut counter = engine.config().budget.counter();
+                    match certify::missing_witness(&db, facts, &mut counter) {
+                        Ok(Some(w)) => (Ok(false), strategy, counter_world(view, w, facts)),
+                        Ok(None) => (Ok(true), strategy, Some(Certificate::Exhaustive)),
+                        Err(e) => (Err(e), strategy, None),
+                    }
+                }
+                Err(_) => (Ok(false), strategy, None),
+            }
+        }
+        _ => {
+            if !view.db.has_satisfiable_globals() {
+                return (Ok(true), strategy, Some(Certificate::EmptyRep));
+            }
+            let vars: Vec<_> = view.db.variables().into_iter().collect();
+            let mut delta = evaluation_delta(&view.db, facts.active_domain());
+            delta.extend(view.query.constants());
+            let counterexample =
+                engine.find_canonical_valuation(view.db.symbols(), &vars, &delta, |valuation| {
+                    let world = valuation.world_of(&view.db)?;
+                    let output = view.query.eval(&world);
+                    (!facts.is_subinstance_of(&output)).then(|| valuation.clone())
+                });
+            match counterexample {
+                Ok(Some(v)) => (Ok(false), strategy, Some(Certificate::counter_world(v))),
+                Ok(None) => (Ok(true), strategy, Some(Certificate::Exhaustive)),
+                Err(e) => (Err(e), strategy, None),
+            }
+        }
+    }
+}
+
+/// Certified twin of [`complement_search_per_shard`] + the per-shard missing-fact
+/// disjunction: same memo keys (`MemoOp::MissingAny` per populated group), entries
+/// stored with their per-group certificates, and a group's counter-world stitched with
+/// the other groups' base completions into a valuation of the whole database.
+fn certified_per_shard(
+    view: &View,
+    db: &CDatabase,
+    facts: &Instance,
+    engine: &Engine,
+    strategy: Strategy,
+) -> (Result<bool, BudgetExceeded>, Strategy, Option<Certificate>) {
+    if db
+        .shard_groups()
+        .iter()
+        .any(|g| !engine.has_satisfiable_globals(g.database()))
+    {
+        return (Ok(true), strategy, Some(empty_rep_or_exhaustive(view)));
+    }
+    // Mirror of `missing_any_per_shard_ctx`: split the facts by owning group.
+    let group_of = db.shard_group_index();
+    let mut parts: Vec<Instance> = vec![Instance::new(); db.shard_groups().len()];
+    let mut any_fact = false;
+    for (name, rel) in facts.iter() {
+        if rel.is_empty() {
+            continue;
+        }
+        match db.table_position(name) {
+            Some(pos) if db.tables()[pos].arity() == rel.arity() => {
+                parts[group_of[pos]].insert_relation(name.clone(), rel.clone());
+                any_fact = true;
+            }
+            // No such relation: missing from every world — any world is a counter.
+            _ => {
+                let cert = certify::base_completion(&view.db, &certify::avoid_set(&view.db, facts))
+                    .map(|w| Certificate::counter_world(certify::valuation(w)));
+                return (Ok(false), strategy, cert);
+            }
+        }
+    }
+    if !any_fact {
+        return (Ok(true), strategy, Some(Certificate::Exhaustive));
+    }
+    let mut counter = engine.config().budget.counter();
+    for (g_idx, (group, part)) in db.shard_groups().iter().zip(&parts).enumerate() {
+        if part.relation_count() == 0 {
+            continue;
+        }
+        let gdb = group.database();
+        let outcome = engine.memo_certified(MemoOp::MissingAny, gdb, part, None, || {
+            Ok(match certify::missing_witness(gdb, part, &mut counter)? {
+                Some(w) => (
+                    true,
+                    Some(Certificate::counter_world(certify::valuation(w))),
+                ),
+                None => (false, Some(Certificate::Exhaustive)),
+            })
+        });
+        match outcome {
+            Ok((true, cert)) => {
+                let stitched = match cert {
+                    Some(Certificate::CounterWorld { valuation }) => {
+                        certify::stitch_counter_world(db, g_idx, valuation.iter().collect())
+                            .and_then(|w| counter_world(view, w, facts))
+                    }
+                    _ => None,
+                };
+                return (Ok(false), strategy, stitched);
+            }
+            Ok((false, _)) => {}
+            Err(e) => return (Err(e), strategy, None),
+        }
+    }
+    (Ok(true), strategy, Some(Certificate::Exhaustive))
+}
+
+/// Package a binding over the converted database as a counter-world of the *view*: fill
+/// the view database's remaining variables with fresh constants (the c-table algebra
+/// guarantees `q(σ(view.db)) = σ(converted)` for every total σ).
+fn counter_world(view: &View, w: certify::Binding, facts: &Instance) -> Option<Certificate> {
+    let avoid = certify::avoid_set(&view.db, facts);
+    Some(Certificate::counter_world(certify::valuation(
+        certify::fill_unassigned(&view.db, w, &avoid),
+    )))
+}
+
+/// The vacuous-certainty certificate: [`Certificate::EmptyRep`] when the view database
+/// itself shows it (the checker re-derives that), [`Certificate::Exhaustive`] in the
+/// degenerate case where only the converted database's globals are unsatisfiable.
+fn empty_rep_or_exhaustive(view: &View) -> Certificate {
+    if view.db.has_satisfiable_globals() {
+        Certificate::Exhaustive
+    } else {
+        Certificate::EmptyRep
+    }
+}
+
+/// A counter-world by canonical-valuation enumeration — the belt-and-braces fallback
+/// when a polynomial path's implicit counter-example is not directly expressible.
+fn enumeration_counter_world(
+    view: &View,
+    facts: &Instance,
+    engine: &Engine,
+) -> Option<Certificate> {
+    let vars: Vec<_> = view.db.variables().into_iter().collect();
+    let mut delta = evaluation_delta(&view.db, facts.active_domain());
+    delta.extend(view.query.constants());
+    engine
+        .find_canonical_valuation(view.db.symbols(), &vars, &delta, |valuation| {
+            let world = valuation.world_of(&view.db)?;
+            let output = view.query.eval(&world);
+            (!facts.is_subinstance_of(&output)).then(|| valuation.clone())
+        })
+        .ok()
+        .flatten()
+        .map(Certificate::counter_world)
 }
 
 /// The dispatch decision plus (when applicable) the one-time view→c-table conversion.

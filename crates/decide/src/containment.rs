@@ -11,12 +11,13 @@
 //!   right view.
 //! * [`decide`] — dispatch following Fig. 2.
 
+use crate::certify;
 use crate::common::{
     evaluation_delta, freeze_database, normalize_database, Budget, BudgetExceeded, Strategy,
 };
 use crate::engine::{Engine, EngineConfig};
 use crate::membership;
-use pw_core::{CDatabase, TableClass, View};
+use pw_core::{CDatabase, Certificate, PairCert, TableClass, View};
 use pw_relational::Instance;
 use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -50,6 +51,203 @@ pub fn decide_with(
 /// Fig. 2).
 pub fn strategy(view0: &View, view: &View) -> Strategy {
     strategy_with(view0, view, true)
+}
+
+/// [`decide_with`] plus certificate extraction: a *yes* carries
+/// [`Certificate::EmptyRep`], a replayable [`Certificate::FrozenMembership`] (Theorem
+/// 4.1), a per-aligned-pair [`Certificate::Decomposition`], or rests on
+/// [`Certificate::Exhaustive`]; a *no* carries a [`Certificate::CounterWorld`] — a
+/// valuation inducing a world of the left side that escapes the right (the checker
+/// verifies the constructive left half; the non-membership half is the documented
+/// trusted seam).
+pub(crate) fn decide_certified(
+    view0: &View,
+    view: &View,
+    engine: &Engine,
+) -> (Result<bool, BudgetExceeded>, Strategy, Option<Certificate>) {
+    if !engine.config().certify {
+        let (answer, strategy) = decide_with(view0, view, engine);
+        return (answer, strategy, None);
+    }
+    let strategy = strategy_with(view0, view, engine.config().per_shard);
+    match strategy {
+        Strategy::Freeze => certified_freeze(view0, view, engine, strategy),
+        Strategy::PerShard { .. } => certified_per_shard(view0, view, engine, strategy),
+        _ => certified_forall_exists(view0, view, engine, strategy),
+    }
+}
+
+/// Certified twin of [`freeze`]: the same normalize → freeze → membership pipeline, with
+/// the inner membership extracting the witness valuation the checker replays (it
+/// recomputes K₀ itself, so the certificate carries only the right-side valuation).
+fn certified_freeze(
+    view0: &View,
+    view: &View,
+    engine: &Engine,
+    strategy: Strategy,
+) -> (Result<bool, BudgetExceeded>, Strategy, Option<Certificate>) {
+    let Some(normalized) = normalize_database(&view0.db) else {
+        return (Ok(true), strategy, Some(Certificate::EmptyRep));
+    };
+    let (k0, _fresh) = freeze_database(&normalized, &view.db.constants());
+    let witness = if view.db.is_decoupled_codd() {
+        Ok(certify::codd_member_witness(&view.db, &k0))
+    } else if view.db.shard_groups().len() > 1 {
+        // Mirror the membership dispatch `freeze` delegates to: per-group searches
+        // through the certificate-aware memo, merged into one right-side binding.
+        match membership::certified_per_shard_member(&view.db, &k0, engine) {
+            Ok((true, Some(w))) => Ok(Some(certify::fill_unassigned(
+                &view.db,
+                w,
+                &certify::avoid_set(&view.db, &k0),
+            ))),
+            Ok((true, None)) => {
+                // Replayed without a usable witness shape — the answer stands, the
+                // certificate does not.
+                return (Ok(true), strategy, None);
+            }
+            Ok((false, _)) => Ok(None),
+            Err(e) => Err(e),
+        }
+    } else {
+        let mut counter = engine.config().budget.counter();
+        certify::member_witness(&view.db, &k0, &mut counter)
+    };
+    match witness {
+        Ok(Some(w)) => (
+            Ok(true),
+            strategy,
+            Some(Certificate::FrozenMembership {
+                witness: Box::new(Certificate::witness(certify::valuation(w))),
+            }),
+        ),
+        Ok(None) => {
+            // K₀ itself (as a valuation of the left database) is the counter-world: its
+            // genericity means no right-side valuation can reach it.
+            let mut avoid = view0.db.constants();
+            avoid.extend(view.db.constants());
+            let cert = certify::base_completion(&view0.db, &avoid)
+                .map(|w| Certificate::counter_world(certify::valuation(w)));
+            (Ok(false), strategy, cert)
+        }
+        Err(e) => (Err(e), strategy, None),
+    }
+}
+
+/// Certified twin of [`per_shard`]: the same aligned-pair recursion through the
+/// certificate-aware memo (same `MemoOp::Containment` keys), with the per-pair
+/// certificates assembled into a [`Certificate::Decomposition`] on *yes* and a failing
+/// pair's counter-world stitched with the other left groups' base completions on *no*.
+fn certified_per_shard(
+    view0: &View,
+    view: &View,
+    engine: &Engine,
+    strategy: Strategy,
+) -> (Result<bool, BudgetExceeded>, Strategy, Option<Certificate>) {
+    if !view0.db.has_satisfiable_globals() {
+        return (Ok(true), strategy, Some(Certificate::EmptyRep));
+    }
+    use std::collections::BTreeSet;
+    let names = |g: &pw_core::ShardGroup| -> BTreeSet<String> {
+        g.database()
+            .tables()
+            .iter()
+            .map(|t| t.name().to_owned())
+            .collect()
+    };
+    let rights: std::collections::BTreeMap<BTreeSet<String>, &pw_core::ShardGroup> = view
+        .db
+        .shard_groups()
+        .iter()
+        .map(|g| (names(g), g))
+        .collect();
+    let mut pairs: Vec<PairCert> = Vec::new();
+    let mut all_certified = true;
+    for (g_idx, left) in view0.db.shard_groups().iter().enumerate() {
+        let right = rights
+            .get(&names(left))
+            .expect("strategy_with verified the partitions align");
+        let (ldb, rdb) = (left.database(), right.database());
+        let empty = Instance::new();
+        let outcome = engine.memo_certified(
+            crate::engine::MemoOp::Containment,
+            ldb,
+            &empty,
+            Some(rdb),
+            || {
+                let (answer, _, cert) = decide_certified(
+                    &View::identity(ldb.clone()),
+                    &View::identity(rdb.clone()),
+                    engine,
+                );
+                answer.map(|a| (a, cert))
+            },
+        );
+        match outcome {
+            Ok((true, cert)) => match cert {
+                Some(c) => pairs.push(PairCert {
+                    relations: names(left),
+                    certificate: c,
+                }),
+                None => all_certified = false,
+            },
+            Ok((false, cert)) => {
+                // The pair's counter-world is a world of the left *group*; extend it
+                // with any world of every other left group.
+                let stitched = match cert {
+                    Some(Certificate::CounterWorld { valuation }) => {
+                        certify::stitch_counter_world(&view0.db, g_idx, valuation.iter().collect())
+                            .map(|w| Certificate::counter_world(certify::valuation(w)))
+                    }
+                    _ => None,
+                };
+                return (Ok(false), strategy, stitched);
+            }
+            Err(e) => return (Err(e), strategy, None),
+        }
+    }
+    let cert = all_certified.then_some(Certificate::Decomposition { pairs });
+    (Ok(true), strategy, cert)
+}
+
+/// Certified twin of [`forall_exists_with`]: the enumeration captures the failing left
+/// valuation as the counter-world.
+fn certified_forall_exists(
+    view0: &View,
+    view: &View,
+    engine: &Engine,
+    strategy: Strategy,
+) -> (Result<bool, BudgetExceeded>, Strategy, Option<Certificate>) {
+    if !view0.db.has_satisfiable_globals() {
+        return (Ok(true), strategy, Some(Certificate::EmptyRep));
+    }
+    let vars: Vec<_> = view0.db.variables().into_iter().collect();
+    let mut delta = evaluation_delta(&view0.db, view.db.constants());
+    delta.extend(view0.query.constants());
+    delta.extend(view.query.constants());
+    let budget = engine.config().budget;
+    let inner_exhausted = AtomicBool::new(false);
+    let counterexample =
+        engine.find_canonical_valuation(view0.db.symbols(), &vars, &delta, |valuation| {
+            let world = valuation.world_of(&view0.db)?;
+            let left_output: Instance = view0.query.eval(&world);
+            match membership::view_membership(view, &left_output, budget) {
+                Ok(true) => None,
+                Ok(false) => Some(valuation.clone()),
+                Err(BudgetExceeded) => {
+                    inner_exhausted.store(true, Ordering::Relaxed);
+                    None
+                }
+            }
+        });
+    match counterexample {
+        Err(e) => (Err(e), strategy, None),
+        Ok(Some(v)) => (Ok(false), strategy, Some(Certificate::counter_world(v))),
+        Ok(None) if inner_exhausted.load(Ordering::Relaxed) => {
+            (Err(BudgetExceeded), strategy, None)
+        }
+        Ok(None) => (Ok(true), strategy, Some(Certificate::Exhaustive)),
+    }
 }
 
 fn strategy_with(view0: &View, view: &View, per_shard: bool) -> Strategy {

@@ -41,7 +41,7 @@
 use crate::common::{Budget, BudgetExceeded};
 use pw_condition::Variable;
 use pw_condition::{Atom, Conjunction, ConstraintSet, SatCache, Term};
-use pw_core::{CDatabase, CTable, Valuation};
+use pw_core::{CDatabase, CTable, Certificate, Valuation};
 use pw_relational::{Constant, Instance, Sym, Symbols, Tuple};
 use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::hash::Hash;
@@ -66,6 +66,10 @@ pub struct EngineConfig {
     /// cross-group backtracking becomes a sum of per-group searches.  Disable to force
     /// the joint search, e.g. to cross-check the equivalence in tests.
     pub per_shard: bool,
+    /// Attach a [`pw_core::Certificate`] to every definite answer (see `pw_check` for
+    /// the acceptance rules).  Off by default: certified decides pay for evidence
+    /// extraction — a bounded overhead (the bench harness tracks it), but not free.
+    pub certify: bool,
 }
 
 impl EngineConfig {
@@ -76,6 +80,7 @@ impl EngineConfig {
             budget,
             frontier_per_thread: 8,
             per_shard: true,
+            certify: false,
         }
     }
 
@@ -92,6 +97,7 @@ impl EngineConfig {
             budget,
             frontier_per_thread: 8,
             per_shard: true,
+            certify: false,
         }
     }
 
@@ -99,6 +105,13 @@ impl EngineConfig {
     /// when the coupling graph splits.
     pub fn without_per_shard(mut self) -> Self {
         self.per_shard = false;
+        self
+    }
+
+    /// Enable certificate extraction: every definite answer carries evidence that
+    /// `pw_check::verify` accepts.
+    pub fn certified(mut self) -> Self {
+        self.certify = true;
         self
     }
 }
@@ -374,8 +387,10 @@ pub struct Engine {
     /// hashes as its cached structural fingerprint and compares structurally, so a
     /// shard group carried across a delta ([`pw_core::CDatabase::apply`]) replays its
     /// verdict while a rebuilt (dirty) group misses and is re-searched.  Only definite
-    /// answers are stored — a budget-exceeded search is never memoized.
-    decision_memo: Mutex<HashMap<MemoKey, bool>>,
+    /// answers are stored — a budget-exceeded search is never memoized.  Certified
+    /// decides store their evidence beside the verdict ([`MemoEntry`]), so a replayed
+    /// group answer stays auditable.
+    decision_memo: Mutex<HashMap<MemoKey, MemoEntry>>,
     memo_hits: AtomicU64,
     memo_misses: AtomicU64,
 }
@@ -394,6 +409,16 @@ struct MemoKey {
     request: Instance,
     /// The right-hand group database of a [`MemoOp::Containment`] question.
     rhs: Option<CDatabase>,
+}
+
+/// A memoized per-group verdict, with the evidence a certified decide extracted for it.
+/// Uncertified decides store `certificate: None`; a later certified decide of the same
+/// key upgrades the entry in place (the verdict is deterministic, so the answer can
+/// never disagree).
+#[derive(Clone, Debug)]
+struct MemoEntry {
+    answer: bool,
+    certificate: Option<Certificate>,
 }
 
 /// The per-group decision primitives the engine memoizes.  Each is a deterministic
@@ -460,9 +485,9 @@ impl Engine {
         };
         {
             let memo = self.decision_memo.lock().expect("decision memo poisoned");
-            if let Some(&verdict) = memo.get(&key) {
+            if let Some(entry) = memo.get(&key) {
                 self.memo_hits.fetch_add(1, Ordering::Relaxed);
-                return Ok(verdict);
+                return Ok(entry.answer);
             }
         }
         // Compute outside the lock: a slow group search must not block unrelated
@@ -474,8 +499,54 @@ impl Engine {
             .lock()
             .expect("decision memo poisoned")
             .entry(key)
-            .or_insert(verdict);
+            .or_insert(MemoEntry {
+                answer: verdict,
+                certificate: None,
+            });
         Ok(verdict)
+    }
+
+    /// [`Engine::memo_decide`] for certified decides: replay both the verdict *and* its
+    /// evidence from the memo, or run `compute` and store its result.  An entry written
+    /// by an uncertified decide (no evidence) counts as a miss — the certified search
+    /// runs and upgrades the entry in place, so subsequent replays stay auditable.
+    /// Budget-exceeded results are never cached.
+    pub(crate) fn memo_certified(
+        &self,
+        op: MemoOp,
+        db: &CDatabase,
+        request: &Instance,
+        rhs: Option<&CDatabase>,
+        compute: impl FnOnce() -> Result<(bool, Option<Certificate>), BudgetExceeded>,
+    ) -> Result<(bool, Option<Certificate>), BudgetExceeded> {
+        let key = MemoKey {
+            op,
+            db: db.clone(),
+            request: request.clone(),
+            rhs: rhs.cloned(),
+        };
+        {
+            let memo = self.decision_memo.lock().expect("decision memo poisoned");
+            if let Some(entry) = memo.get(&key) {
+                if entry.certificate.is_some() {
+                    self.memo_hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok((entry.answer, entry.certificate.clone()));
+                }
+            }
+        }
+        let (answer, certificate) = compute()?;
+        self.memo_misses.fetch_add(1, Ordering::Relaxed);
+        self.decision_memo
+            .lock()
+            .expect("decision memo poisoned")
+            .insert(
+                key,
+                MemoEntry {
+                    answer,
+                    certificate: certificate.clone(),
+                },
+            );
+        Ok((answer, certificate))
     }
 
     /// Current decision-memo counters.

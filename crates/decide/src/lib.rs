@@ -39,6 +39,7 @@
 
 pub mod batch;
 pub mod certainty;
+pub(crate) mod certify;
 pub mod common;
 pub mod containment;
 pub mod engine;
@@ -53,3 +54,4 @@ pub use batch::{
 };
 pub use common::{Budget, BudgetExceeded, Strategy};
 pub use engine::{Engine, EngineConfig, MemoOp, MemoStats, SharedBudget};
+pub use pw_core::{Certificate, PairCert};

@@ -13,10 +13,11 @@
 //! * [`decide`] — the dispatching entry point that picks the strategy the paper's upper
 //!   bounds prescribe.
 
+use crate::certify;
 use crate::common::{evaluation_delta, Budget, BudgetCounter, BudgetExceeded, Strategy};
 use crate::engine::{Engine, EngineConfig};
 use pw_condition::{Atom, ConstraintSet, Term};
-use pw_core::{CDatabase, CTable, View};
+use pw_core::{CDatabase, CTable, Certificate, View};
 use pw_relational::{Instance, Sym};
 use pw_solvers::matching::{maximum_matching, BipartiteGraph};
 use std::collections::BTreeSet;
@@ -438,6 +439,123 @@ pub fn view_membership_with(
             (found.map(|f| f.is_some()), Strategy::WorldEnumeration)
         }
     }
+}
+
+/// [`view_membership_with`] plus certificate extraction: the same dispatch, the same
+/// answer, and — when [`crate::EngineConfig::certify`] is on — a [`Certificate`] the
+/// independent checker (`pw_check`) can validate without trusting this crate.  A *yes*
+/// carries the witness valuation the accepting search branch corresponds to (filled to a
+/// total valuation of `view.db`; for converted views the c-table algebra guarantees
+/// `q(σ(view.db)) = σ(converted)` for every total σ, so a witness over the converted
+/// database certifies the view claim); a *no* carries [`Certificate::EmptyRep`] or
+/// rests on the exhaustive search ([`Certificate::Exhaustive`]).
+pub(crate) fn view_membership_certified(
+    view: &View,
+    instance: &Instance,
+    engine: &Engine,
+) -> (Result<bool, BudgetExceeded>, Strategy, Option<Certificate>) {
+    if !engine.config().certify {
+        let (answer, strategy) = view_membership_with(view, instance, engine);
+        return (answer, strategy, None);
+    }
+    match view.to_ctables() {
+        Some(Ok(db)) => {
+            let split = engine.config().per_shard;
+            let chosen = if view.query.is_identity() {
+                strategy_with(&db, split)
+            } else {
+                let groups = db.shard_groups().len();
+                if split && groups > 1 {
+                    Strategy::PerShard { groups }
+                } else {
+                    Strategy::Backtracking
+                }
+            };
+            let avoid = certify::avoid_set(&view.db, instance);
+            let yes = |w| {
+                Some(Certificate::witness(certify::valuation(
+                    certify::fill_unassigned(&view.db, w, &avoid),
+                )))
+            };
+            let (answer, cert) = match chosen {
+                Strategy::CoddMatching => match certify::codd_member_witness(&db, instance) {
+                    Some(w) => (Ok(true), yes(w)),
+                    None => (Ok(false), Some(certify::no_world_cert(&view.db))),
+                },
+                Strategy::PerShard { .. } => {
+                    match certified_per_shard_member(&db, instance, engine) {
+                        Ok((true, Some(w))) => (Ok(true), yes(w)),
+                        Ok((true, None)) => (Ok(true), None),
+                        Ok((false, _)) => (Ok(false), Some(certify::no_world_cert(&view.db))),
+                        Err(e) => (Err(e), None),
+                    }
+                }
+                _ => {
+                    let mut counter = engine.config().budget.counter();
+                    match certify::member_witness(&db, instance, &mut counter) {
+                        Ok(Some(w)) => (Ok(true), yes(w)),
+                        Ok(None) => (Ok(false), Some(certify::no_world_cert(&view.db))),
+                        Err(e) => (Err(e), None),
+                    }
+                }
+            };
+            (answer, chosen, cert)
+        }
+        // Conversion error: some output relation is structurally unproducible; no world
+        // matches, and the checker accepts the verdict on the exhaustiveness claim.
+        Some(Err(_)) => (
+            Ok(false),
+            Strategy::Backtracking,
+            Some(Certificate::Exhaustive),
+        ),
+        None => {
+            let vars: Vec<_> = view.db.variables().into_iter().collect();
+            let mut delta = evaluation_delta(&view.db, instance.active_domain());
+            delta.extend(view.query.constants());
+            let found =
+                engine.find_canonical_valuation(view.db.symbols(), &vars, &delta, |valuation| {
+                    let world = valuation.world_of(&view.db)?;
+                    let output = view.query.eval(&world);
+                    output.same_facts(instance).then(|| valuation.clone())
+                });
+            match found {
+                Ok(Some(v)) => (
+                    Ok(true),
+                    Strategy::WorldEnumeration,
+                    Some(Certificate::witness(v)),
+                ),
+                Ok(None) => (
+                    Ok(false),
+                    Strategy::WorldEnumeration,
+                    Some(certify::no_world_cert(&view.db)),
+                ),
+                Err(e) => (Err(e), Strategy::WorldEnumeration, None),
+            }
+        }
+    }
+}
+
+/// Certified twin of [`per_shard_with`]: same memo keys (`MemoOp::Member` per group), but
+/// entries are stored *with* their per-group certificates and the group witnesses are
+/// merged into one binding over the whole converted database.
+pub(crate) fn certified_per_shard_member(
+    db: &CDatabase,
+    instance: &Instance,
+    engine: &Engine,
+) -> Result<(bool, Option<certify::Binding>), BudgetExceeded> {
+    certify::per_shard_witness(
+        db,
+        instance,
+        engine,
+        crate::engine::MemoOp::Member,
+        |sub, part, counter| {
+            if sub.is_decoupled_codd() {
+                Ok(certify::codd_member_witness(sub, part))
+            } else {
+                certify::member_witness(sub, part, counter)
+            }
+        },
+    )
 }
 
 /// The strategy [`view_membership`] will use.

@@ -11,11 +11,12 @@
 //! * [`by_enumeration`] — the fallback for first order / DATALOG views (NP-complete even on
 //!   Codd-tables, Theorem 5.2(2,3)).
 
+use crate::certify;
 use crate::common::{evaluation_delta, Budget, BudgetExceeded, Strategy};
 use crate::engine::{Engine, EngineConfig};
 use crate::search::exists_world_covering;
 use pw_core::algebra::AlgebraError;
-use pw_core::{CDatabase, View};
+use pw_core::{CDatabase, Certificate, View};
 use pw_relational::Instance;
 use pw_solvers::matching::{maximum_matching, BipartiteGraph};
 
@@ -57,6 +58,84 @@ pub fn decide_with(
         _ => by_enumeration_with(view, facts, engine),
     };
     (answer, strategy)
+}
+
+/// [`decide_with`] plus certificate extraction: a *yes* carries a witness valuation
+/// under which `facts ⊆ q(world)` (extracted over the converted database and filled to a
+/// total valuation of `view.db` — `q(σ(view.db)) = σ(converted)` for every total σ); a
+/// *no* carries [`Certificate::EmptyRep`] or rests on [`Certificate::Exhaustive`].
+pub(crate) fn decide_certified(
+    view: &View,
+    facts: &Instance,
+    engine: &Engine,
+) -> (Result<bool, BudgetExceeded>, Strategy, Option<Certificate>) {
+    if !engine.config().certify {
+        let (answer, strategy) = decide_with(view, facts, engine);
+        return (answer, strategy, None);
+    }
+    let (strategy, converted) = plan(view, engine.config().per_shard);
+    let avoid = certify::avoid_set(&view.db, facts);
+    let yes = |w| {
+        Some(Certificate::witness(certify::valuation(
+            certify::fill_unassigned(&view.db, w, &avoid),
+        )))
+    };
+    let no = || Some(certify::no_world_cert(&view.db));
+    match strategy {
+        Strategy::CoddMatching => match certify::codd_cover_witness(&view.db, facts) {
+            Some(w) => (Ok(true), strategy, yes(w)),
+            None => (Ok(false), strategy, no()),
+        },
+        Strategy::PerShard { .. } => {
+            match converted.expect("planned strategies carry their conversion") {
+                Ok(db) => {
+                    let outcome = certify::per_shard_witness(
+                        &db,
+                        facts,
+                        engine,
+                        crate::engine::MemoOp::Covering,
+                        certify::cover_witness,
+                    );
+                    match outcome {
+                        Ok((true, Some(w))) => (Ok(true), strategy, yes(w)),
+                        Ok((true, None)) => (Ok(true), strategy, None),
+                        Ok((false, _)) => (Ok(false), strategy, no()),
+                        Err(e) => (Err(e), strategy, None),
+                    }
+                }
+                Err(_) => (Ok(false), strategy, Some(Certificate::Exhaustive)),
+            }
+        }
+        Strategy::CTableAlgebra | Strategy::Backtracking => {
+            match converted.expect("planned strategies carry their conversion") {
+                Ok(db) => {
+                    let mut counter = engine.config().budget.counter();
+                    match certify::cover_witness(&db, facts, &mut counter) {
+                        Ok(Some(w)) => (Ok(true), strategy, yes(w)),
+                        Ok(None) => (Ok(false), strategy, no()),
+                        Err(e) => (Err(e), strategy, None),
+                    }
+                }
+                Err(_) => (Ok(false), strategy, Some(Certificate::Exhaustive)),
+            }
+        }
+        _ => {
+            let vars: Vec<_> = view.db.variables().into_iter().collect();
+            let mut delta = evaluation_delta(&view.db, facts.active_domain());
+            delta.extend(view.query.constants());
+            let found =
+                engine.find_canonical_valuation(view.db.symbols(), &vars, &delta, |valuation| {
+                    let world = valuation.world_of(&view.db)?;
+                    let output = view.query.eval(&world);
+                    facts.is_subinstance_of(&output).then(|| valuation.clone())
+                });
+            match found {
+                Ok(Some(v)) => (Ok(true), strategy, Some(Certificate::witness(v))),
+                Ok(None) => (Ok(false), strategy, no()),
+                Err(e) => (Err(e), strategy, None),
+            }
+        }
+    }
 }
 
 /// The dispatch decision and, when the chosen strategy runs on a converted c-table

@@ -11,13 +11,14 @@
 //!   non-existence of a differing world, decided by the constraint searches of
 //!   [`crate::search`].
 
+use crate::certify;
 use crate::common::{
     evaluation_delta, freeze_database, normalize_database, Budget, BudgetExceeded, Strategy,
 };
-use crate::engine::{Engine, EngineConfig};
+use crate::engine::{Engine, EngineConfig, MemoOp};
 use crate::membership;
 use pw_core::algebra::AlgebraError;
-use pw_core::{CDatabase, CTable, TableClass, View};
+use pw_core::{CDatabase, CTable, Certificate, TableClass, View};
 use pw_query::{Query, QueryClass, QueryDef};
 use pw_relational::{Instance, Relation};
 use std::collections::BTreeSet;
@@ -66,6 +67,279 @@ pub fn decide_with(
         _ => by_enumeration_with(view, instance, engine),
     };
     (answer, strategy)
+}
+
+/// [`decide_with`] plus certificate extraction: a *yes* rests on the exhaustive
+/// complement ([`Certificate::Exhaustive`] — uniqueness has no small positive witness);
+/// a *no* carries [`Certificate::EmptyRep`] (no world at all) or a
+/// [`Certificate::CounterWorld`] — a valuation whose world differs from the instance.
+pub(crate) fn decide_certified(
+    view: &View,
+    instance: &Instance,
+    engine: &Engine,
+) -> (Result<bool, BudgetExceeded>, Strategy, Option<Certificate>) {
+    if !engine.config().certify {
+        let (answer, strategy) = decide_with(view, instance, engine);
+        return (answer, strategy, None);
+    }
+    let (strategy, converted) = plan(view, engine.config().per_shard);
+    match strategy {
+        Strategy::GTableNormalization => {
+            if gtable_uniqueness(&view.db, instance) {
+                (Ok(true), strategy, Some(Certificate::Exhaustive))
+            } else {
+                (
+                    Ok(false),
+                    strategy,
+                    no_uniqueness_cert(view, instance, engine),
+                )
+            }
+        }
+        Strategy::PosExistEtable => {
+            let answer = pos_exist_etable(&view.query, &view.db, instance)
+                .expect("strategy selection guarantees applicability");
+            if answer {
+                (Ok(true), strategy, Some(Certificate::Exhaustive))
+            } else {
+                (
+                    Ok(false),
+                    strategy,
+                    no_uniqueness_cert(view, instance, engine),
+                )
+            }
+        }
+        Strategy::PerShard { .. } => {
+            match converted.expect("planned strategies carry their conversion") {
+                Ok(db) => certified_per_shard(view, &db, instance, engine, strategy),
+                Err(_) => (Ok(false), strategy, None),
+            }
+        }
+        Strategy::Backtracking => {
+            match converted.expect("planned strategies carry their conversion") {
+                Ok(db) => certified_joint(view, &db, instance, engine, strategy),
+                Err(_) => (Ok(false), strategy, None),
+            }
+        }
+        _ => {
+            let vars: Vec<_> = view.db.variables().into_iter().collect();
+            let delta = enumeration_delta(view, instance);
+            let found_world = AtomicBool::new(false);
+            let differing =
+                engine.find_canonical_valuation(view.db.symbols(), &vars, &delta, |valuation| {
+                    let world = valuation.world_of(&view.db)?;
+                    let output = view.query.eval(&world);
+                    found_world.store(true, Ordering::Relaxed);
+                    (!output.same_facts(instance)).then(|| valuation.clone())
+                });
+            match differing {
+                Err(e) => (Err(e), strategy, None),
+                Ok(Some(v)) => (Ok(false), strategy, Some(Certificate::counter_world(v))),
+                Ok(None) if found_world.load(Ordering::Relaxed) => {
+                    (Ok(true), strategy, Some(Certificate::Exhaustive))
+                }
+                Ok(None) => {
+                    let cert =
+                        (!view.db.has_satisfiable_globals()).then_some(Certificate::EmptyRep);
+                    (Ok(false), strategy, cert)
+                }
+            }
+        }
+    }
+}
+
+/// Certified twin of [`complement_search_with`]: membership is decided (answer only —
+/// the uniqueness *yes* needs no membership witness), then the two complement halves
+/// run as witness extractions charging one shared budget counter, exactly like the
+/// uncertified pair of forests.
+fn certified_joint(
+    view: &View,
+    db: &CDatabase,
+    instance: &Instance,
+    engine: &Engine,
+    strategy: Strategy,
+) -> (Result<bool, BudgetExceeded>, Strategy, Option<Certificate>) {
+    if !engine.has_satisfiable_globals(db) {
+        let cert = (!view.db.has_satisfiable_globals()).then_some(Certificate::EmptyRep);
+        return (Ok(false), strategy, cert);
+    }
+    match membership::decide_joint(db, instance, engine.config().budget) {
+        Ok(true) => {}
+        Ok(false) => {
+            // I is not even a member: *every* world differs from it.
+            return (Ok(false), strategy, any_world_counter(view, instance));
+        }
+        Err(e) => return (Err(e), strategy, None),
+    }
+    let mut counter = engine.config().budget.counter();
+    match certify::escape_witness(db, instance, &mut counter) {
+        Ok(Some(w)) => return (Ok(false), strategy, differing_world(view, w, instance)),
+        Ok(None) => {}
+        Err(e) => return (Err(e), strategy, None),
+    }
+    match certify::missing_witness(db, instance, &mut counter) {
+        Ok(Some(w)) => (Ok(false), strategy, differing_world(view, w, instance)),
+        Ok(None) => (Ok(true), strategy, Some(Certificate::Exhaustive)),
+        Err(e) => (Err(e), strategy, None),
+    }
+}
+
+/// Certified twin of [`complement_search_per_shard`]: certified per-group membership,
+/// then the escaping-row and missing-fact disjunctions group by group through the
+/// certificate-aware memo (same `MemoOp::Escape` / `MemoOp::MissingAny` keys), with a
+/// group's counter-world stitched with the other groups' base completions.
+fn certified_per_shard(
+    view: &View,
+    db: &CDatabase,
+    instance: &Instance,
+    engine: &Engine,
+    strategy: Strategy,
+) -> (Result<bool, BudgetExceeded>, Strategy, Option<Certificate>) {
+    if db
+        .shard_groups()
+        .iter()
+        .any(|g| !engine.has_satisfiable_globals(g.database()))
+    {
+        let cert = (!view.db.has_satisfiable_globals()).then_some(Certificate::EmptyRep);
+        return (Ok(false), strategy, cert);
+    }
+    match membership::certified_per_shard_member(db, instance, engine) {
+        Ok((true, _)) => {}
+        Ok((false, _)) => {
+            return (Ok(false), strategy, any_world_counter(view, instance));
+        }
+        Err(e) => return (Err(e), strategy, None),
+    }
+    let mut counter = engine.config().budget.counter();
+    // Escaping row, group by group (mirror of `fact_outside_per_shard_ctx`).
+    for (g_idx, group) in db.shard_groups().iter().enumerate() {
+        let gdb = group.database();
+        let mut part = Instance::new();
+        for table in gdb.tables() {
+            if let Some(rel) = instance.relation(table.name()) {
+                if rel.arity() == table.arity() && !rel.is_empty() {
+                    part.insert_relation(table.name().to_owned(), rel.clone());
+                }
+            }
+        }
+        let outcome = engine.memo_certified(MemoOp::Escape, gdb, &part, None, || {
+            Ok(match certify::escape_witness(gdb, &part, &mut counter)? {
+                Some(w) => (
+                    true,
+                    Some(Certificate::counter_world(certify::valuation(w))),
+                ),
+                None => (false, Some(Certificate::Exhaustive)),
+            })
+        });
+        match outcome {
+            Ok((true, cert)) => {
+                return (Ok(false), strategy, stitch(view, db, g_idx, cert, instance))
+            }
+            Ok((false, _)) => {}
+            Err(e) => return (Err(e), strategy, None),
+        }
+    }
+    // Missing fact, group by group (mirror of `missing_any_per_shard_ctx`).
+    let group_of = db.shard_group_index();
+    let mut parts: Vec<Instance> = vec![Instance::new(); db.shard_groups().len()];
+    let mut any_fact = false;
+    for (name, rel) in instance.iter() {
+        if rel.is_empty() {
+            continue;
+        }
+        match db.table_position(name) {
+            Some(pos) if db.tables()[pos].arity() == rel.arity() => {
+                parts[group_of[pos]].insert_relation(name.clone(), rel.clone());
+                any_fact = true;
+            }
+            // Unreachable after a successful membership — defensive mirror.
+            _ => return (Ok(false), strategy, any_world_counter(view, instance)),
+        }
+    }
+    if any_fact {
+        for (g_idx, (group, part)) in db.shard_groups().iter().zip(&parts).enumerate() {
+            if part.relation_count() == 0 {
+                continue;
+            }
+            let gdb = group.database();
+            let outcome = engine.memo_certified(MemoOp::MissingAny, gdb, part, None, || {
+                Ok(match certify::missing_witness(gdb, part, &mut counter)? {
+                    Some(w) => (
+                        true,
+                        Some(Certificate::counter_world(certify::valuation(w))),
+                    ),
+                    None => (false, Some(Certificate::Exhaustive)),
+                })
+            });
+            match outcome {
+                Ok((true, cert)) => {
+                    return (Ok(false), strategy, stitch(view, db, g_idx, cert, instance))
+                }
+                Ok((false, _)) => {}
+                Err(e) => return (Err(e), strategy, None),
+            }
+        }
+    }
+    (Ok(true), strategy, Some(Certificate::Exhaustive))
+}
+
+/// Stitch a group's counter-world certificate into a counter-world of the whole view.
+fn stitch(
+    view: &View,
+    db: &CDatabase,
+    g_idx: usize,
+    cert: Option<Certificate>,
+    instance: &Instance,
+) -> Option<Certificate> {
+    match cert {
+        Some(Certificate::CounterWorld { valuation }) => {
+            certify::stitch_counter_world(db, g_idx, valuation.iter().collect())
+                .and_then(|w| differing_world(view, w, instance))
+        }
+        _ => None,
+    }
+}
+
+/// Package a binding over the converted database as a differing world of the view.
+fn differing_world(view: &View, w: certify::Binding, instance: &Instance) -> Option<Certificate> {
+    let avoid = certify::avoid_set(&view.db, instance);
+    Some(Certificate::counter_world(certify::valuation(
+        certify::fill_unassigned(&view.db, w, &avoid),
+    )))
+}
+
+/// When `I` is not in the representation at all, any world differs from it: the base
+/// completion (globals asserted, everything else fresh) is the counter-world.
+fn any_world_counter(view: &View, instance: &Instance) -> Option<Certificate> {
+    certify::base_completion(&view.db, &certify::avoid_set(&view.db, instance))
+        .map(|w| Certificate::counter_world(certify::valuation(w)))
+}
+
+/// A counter-world for the polynomial no-paths: [`Certificate::EmptyRep`] when there is
+/// no world at all, otherwise a base completion that provably differs (verified locally,
+/// with canonical-valuation enumeration as the fallback).
+fn no_uniqueness_cert(view: &View, instance: &Instance, engine: &Engine) -> Option<Certificate> {
+    if !view.db.has_satisfiable_globals() {
+        return Some(Certificate::EmptyRep);
+    }
+    certify::base_completion(&view.db, &certify::avoid_set(&view.db, instance))
+        .map(certify::valuation)
+        .filter(|v| {
+            v.world_of(&view.db)
+                .is_some_and(|world| !view.query.eval(&world).same_facts(instance))
+        })
+        .map(Certificate::counter_world)
+        .or_else(|| {
+            let vars: Vec<_> = view.db.variables().into_iter().collect();
+            let delta = enumeration_delta(view, instance);
+            engine
+                .find_canonical_valuation(view.db.symbols(), &vars, &delta, |valuation| {
+                    let world = valuation.world_of(&view.db)?;
+                    (!view.query.eval(&world).same_facts(instance)).then(|| valuation.clone())
+                })
+                .ok()
+                .flatten()
+                .map(Certificate::counter_world)
+        })
 }
 
 /// The dispatch decision plus (when applicable) the one-time view→c-table conversion.

@@ -15,6 +15,8 @@
 //!   possible-world semantics, the Imieliński–Lipski c-table algebra, and views;
 //! * [`decide`] — the decision procedures for membership, uniqueness, containment,
 //!   possibility and certainty, with the paper's polynomial algorithms where they exist;
+//! * [`check`] — the independent polynomial-time checker for the certificates the
+//!   decision procedures optionally return ([`decide::EngineConfig::certified`]);
 //! * [`solvers`] — bipartite matching, DPLL SAT, graph colouring and ∀∃3CNF solvers;
 //! * [`reductions`] — the paper's hardness reductions, theorem by theorem;
 //! * [`workloads`] — seeded random workload generators used by the benchmark harness.
@@ -48,6 +50,7 @@
 //! assert!(!certainty::decide(&view, &bob_in_sales, Budget::default()).unwrap());
 //! ```
 
+pub use pw_check as check;
 pub use pw_condition as condition;
 pub use pw_core as core;
 pub use pw_decide as decide;
@@ -56,6 +59,40 @@ pub use pw_reductions as reductions;
 pub use pw_relational as relational;
 pub use pw_solvers as solvers;
 pub use pw_workloads as workloads;
+
+/// Build the checker's claim for a decided batch request.
+///
+/// The decision layer ([`decide::DecisionRequest`]) and the checker
+/// ([`check::Problem`]) deliberately do not know about each other — the checker must
+/// stay engine-free — so this facade helper does the one-to-one translation: pair it
+/// with a [`decide::DecisionOutcome`]'s answer and certificate to audit any decision:
+///
+/// ```
+/// use possible_worlds::{check, check_claim, decide};
+/// use possible_worlds::prelude::*;
+///
+/// let db = CDatabase::single(CTable::codd("r", 1, [vec![Term::from("a")]]).unwrap());
+/// let request = decide::DecisionRequest::Possibility {
+///     view: View::identity(db),
+///     facts: Instance::single("r", Relation::from_tuples(1, [Tuple::new(["a".into()])])),
+/// };
+/// let outcome = &decide::Session::certifying(&decide::EngineConfig::default(), 1)
+///     .decide_all(std::slice::from_ref(&request))[0];
+/// let claim = check_claim(&request, outcome.answer.unwrap());
+/// check::verify(&claim, outcome.certificate.as_ref().unwrap()).unwrap();
+/// ```
+pub fn check_claim<'a>(request: &'a decide::DecisionRequest, answer: bool) -> check::Claim<'a> {
+    use check::Problem;
+    use decide::DecisionRequest;
+    let problem = match request {
+        DecisionRequest::Membership { view, instance } => Problem::Membership { view, instance },
+        DecisionRequest::Uniqueness { view, instance } => Problem::Uniqueness { view, instance },
+        DecisionRequest::Containment { left, right } => Problem::Containment { left, right },
+        DecisionRequest::Possibility { view, facts } => Problem::Possibility { view, facts },
+        DecisionRequest::Certainty { view, facts } => Problem::Certainty { view, facts },
+    };
+    check::Claim { problem, answer }
+}
 
 /// The most commonly used items, for glob import in examples and applications.
 pub mod prelude {

@@ -1,0 +1,393 @@
+//! Certificate corruption harness: the independent checker must *reject* tampered
+//! evidence.
+//!
+//! The companion suites (`property_invariants`, `incremental`) establish the positive
+//! half — every answer a certifying session produces carries a certificate `pw_check`
+//! accepts.  This suite establishes the negative half, without which the positive one
+//! is vacuous (a checker accepting everything passes it): for each certificate kind we
+//! obtain genuine evidence from the engine, verify it is accepted, then corrupt it the
+//! way a buggy or lying engine would — swap a witness binding, drop a pair from a
+//! containment decomposition, point a counter-world at the wrong table's valuation —
+//! and assert the checker refuses each corruption.
+
+use possible_worlds::decide::{self, Budget, Certificate, DecisionRequest, EngineConfig, PairCert};
+use possible_worlds::prelude::*;
+use possible_worlds::{check, check_claim};
+
+fn ample() -> EngineConfig {
+    EngineConfig::sequential(Budget(5_000_000))
+}
+
+/// Decide one request under a certifying session; the answer must be delivered and
+/// certified.
+fn decide_certified(request: &DecisionRequest) -> (bool, Certificate) {
+    let mut outcomes =
+        decide::Session::certifying(&ample(), 1).decide_all(std::slice::from_ref(request));
+    let outcome = outcomes.remove(0);
+    (
+        outcome.answer.expect("the budget is ample"),
+        outcome.certificate.expect("certifying sessions certify"),
+    )
+}
+
+fn assert_accepts(request: &DecisionRequest, answer: bool, certificate: &Certificate) {
+    check::verify(&check_claim(request, answer), certificate)
+        .unwrap_or_else(|e| panic!("genuine certificate rejected: {e}"));
+}
+
+fn assert_rejects(request: &DecisionRequest, answer: bool, certificate: &Certificate, what: &str) {
+    assert!(
+        check::verify(&check_claim(request, answer), certificate).is_err(),
+        "checker accepted a corrupted certificate: {what}"
+    );
+}
+
+/// `R = {(x, 1), (2, y)}` — a Codd-table with two independent nulls.
+fn two_null_codd(vars: &mut VarGen) -> (CDatabase, Variable, Variable) {
+    let x = vars.fresh();
+    let y = vars.fresh();
+    let table = CTable::codd(
+        "R",
+        2,
+        [
+            vec![Term::Var(x), Term::constant(1)],
+            vec![Term::constant(2), Term::Var(y)],
+        ],
+    )
+    .expect("fresh nulls");
+    (CDatabase::single(table), x, y)
+}
+
+fn instance(facts: impl IntoIterator<Item = (i64, i64)>) -> Instance {
+    Instance::single(
+        "R",
+        Relation::from_tuples(2, facts.into_iter().map(|(a, b)| tup![a, b])),
+    )
+}
+
+#[test]
+fn membership_witness_rejected_after_binding_swap() {
+    let (db, x, y) = two_null_codd(&mut VarGen::new());
+    let request = DecisionRequest::Membership {
+        view: View::identity(db),
+        instance: instance([(0, 1), (2, 3)]),
+    };
+    let (answer, certificate) = decide_certified(&request);
+    assert!(answer, "{{x→0, y→3}} makes the instance a member");
+    assert_accepts(&request, answer, &certificate);
+    let Certificate::Witness { valuation } = &certificate else {
+        panic!("yes-membership must carry a witness, got {certificate:?}");
+    };
+    assert_eq!(valuation.get(x), Some(Constant::Int(0)));
+    assert_eq!(valuation.get(y), Some(Constant::Int(3)));
+
+    // Swap the two bindings: still a total valuation of the same variables, but the
+    // induced world is {(3,1), (2,0)} ≠ I.
+    let swapped = Certificate::Witness {
+        valuation: Valuation::from_pairs([(x, Constant::Int(3)), (y, Constant::Int(0))]),
+    };
+    assert_rejects(&request, answer, &swapped, "swapped membership witness");
+
+    // Drop one binding: the valuation no longer induces a world at all.
+    let partial = Certificate::Witness {
+        valuation: Valuation::from_pairs([(x, Constant::Int(0))]),
+    };
+    assert_rejects(&request, answer, &partial, "partial membership witness");
+
+    // Wrong kind: "exhaustive search" is never evidence for a yes-membership.
+    assert_rejects(
+        &request,
+        answer,
+        &Certificate::Exhaustive,
+        "exhaustive offered for yes-membership",
+    );
+}
+
+#[test]
+fn possibility_witness_rejected_when_world_misses_a_fact() {
+    let (db, x, _) = two_null_codd(&mut VarGen::new());
+    let request = DecisionRequest::Possibility {
+        view: View::identity(db),
+        facts: instance([(0, 1)]),
+    };
+    let (answer, certificate) = decide_certified(&request);
+    assert!(answer, "x→0 covers the fact");
+    assert_accepts(&request, answer, &certificate);
+    let Certificate::Witness { valuation } = &certificate else {
+        panic!("yes-possibility must carry a witness, got {certificate:?}");
+    };
+
+    // Rebind x away from 0: the induced world no longer contains (0, 1).
+    let mut tampered = valuation.clone();
+    tampered.assign(x, Constant::Int(7));
+    let tampered = Certificate::Witness {
+        valuation: tampered,
+    };
+    assert_rejects(&request, answer, &tampered, "rebound possibility witness");
+
+    // Wrong kind: EmptyRep claims rep(𝒟) = ∅, but the globals are satisfiable.
+    assert_rejects(
+        &request,
+        answer,
+        &Certificate::EmptyRep,
+        "empty-rep offered for a satisfiable database",
+    );
+}
+
+#[test]
+fn certainty_counter_world_rejected_when_pointed_at_the_wrong_table() {
+    // Two variable-disjoint tables; the uncertain fact lives in R.
+    let mut vars = VarGen::new();
+    let x = vars.fresh();
+    let y = vars.fresh();
+    let r = CTable::codd("R", 1, [vec![Term::Var(x)]]).expect("fresh null");
+    let s = CTable::codd("S", 1, [vec![Term::Var(y)]]).expect("fresh null");
+    let db = CDatabase::new([r, s]);
+    let fact = Instance::single("R", Relation::from_tuples(1, [tup![0]]));
+    let request = DecisionRequest::Certainty {
+        view: View::identity(db),
+        facts: fact,
+    };
+    let (answer, certificate) = decide_certified(&request);
+    assert!(!answer, "x→1 is a world where R misses (0)");
+    assert_accepts(&request, answer, &certificate);
+    let Certificate::CounterWorld { valuation } = &certificate else {
+        panic!("no-certainty must carry a counter-world, got {certificate:?}");
+    };
+
+    // Point the counter-world at the wrong table: keep S's binding, but redirect R's
+    // null to the claimed fact itself.  The valuation is still total and still induces
+    // a world — one that *contains* (0), so it refutes nothing.
+    let mut tampered = valuation.clone();
+    tampered.assign(x, Constant::Int(0));
+    let tampered = Certificate::CounterWorld {
+        valuation: tampered,
+    };
+    assert_rejects(
+        &request,
+        answer,
+        &tampered,
+        "counter-world containing the fact",
+    );
+
+    // Drop R's binding entirely (evidence only about S): no world is induced.
+    let only_s = Certificate::CounterWorld {
+        valuation: Valuation::from_pairs([(y, valuation.get(y).expect("total counter-world"))]),
+    };
+    assert_rejects(
+        &request,
+        answer,
+        &only_s,
+        "counter-world about the wrong table",
+    );
+}
+
+#[test]
+fn uniqueness_counter_world_rejected_when_it_reproduces_the_instance() {
+    let mut vars = VarGen::new();
+    let x = vars.fresh();
+    let table = CTable::codd(
+        "R",
+        2,
+        [
+            vec![Term::Var(x), Term::constant(1)],
+            vec![Term::constant(2), Term::constant(3)],
+        ],
+    )
+    .expect("fresh null");
+    let request = DecisionRequest::Uniqueness {
+        view: View::identity(CDatabase::single(table)),
+        instance: instance([(0, 1), (2, 3)]),
+    };
+    let (answer, certificate) = decide_certified(&request);
+    assert!(!answer, "x is free, so the world is not unique");
+    assert_accepts(&request, answer, &certificate);
+    let Certificate::CounterWorld { valuation } = &certificate else {
+        panic!("no-uniqueness must carry a counter-world, got {certificate:?}");
+    };
+    assert_ne!(
+        valuation.get(x),
+        Some(Constant::Int(0)),
+        "the genuine counter-world differs from the instance"
+    );
+
+    // Redirect the null back onto the instance: the induced world is exactly I, which
+    // is evidence *for* uniqueness of this world, not against it.
+    let tampered = Certificate::CounterWorld {
+        valuation: Valuation::from_pairs([(x, Constant::Int(0))]),
+    };
+    assert_rejects(
+        &request,
+        answer,
+        &tampered,
+        "counter-world equal to the instance",
+    );
+}
+
+/// A variable-disjoint Codd-table `R` and i-table `S` — a two-group decoupled
+/// database.  The inequality global on `S` keeps the whole right side above e-tables,
+/// so containment cannot shortcut through the freeze theorem (Theorem 4.1 needs an
+/// e-table right side) and must decompose shard group by shard group.  The groups are
+/// deliberately *asymmetric*: `R`'s pair resolves through freeze and carries a
+/// variable-specific witness, `S`'s through exhaustive enumeration — so their
+/// sub-certificates are not interchangeable.
+fn two_group_db(vars: &mut VarGen) -> CDatabase {
+    let x = vars.fresh();
+    let y = vars.fresh();
+    let r = CTable::codd("R", 1, [vec![Term::Var(x)]]).expect("fresh null");
+    let s = CTable::new(
+        "S",
+        1,
+        Conjunction::new([Atom::neq(y, 5)]),
+        [CTuple::of_terms([Term::Var(y)])],
+    )
+    .expect("arity matches");
+    CDatabase::new([r, s])
+}
+
+#[test]
+fn containment_decomposition_rejected_after_dropping_a_pair() {
+    let db = two_group_db(&mut VarGen::new());
+    let request = DecisionRequest::Containment {
+        left: View::identity(db.clone()),
+        right: View::identity(db),
+    };
+    let (answer, certificate) = decide_certified(&request);
+    assert!(answer, "every representation contains itself");
+    assert_accepts(&request, answer, &certificate);
+    let Certificate::Decomposition { pairs } = &certificate else {
+        panic!("aligned two-group containment must decompose, got {certificate:?}");
+    };
+    assert_eq!(pairs.len(), 2, "one pair per aligned shard group");
+
+    // Drop one pair: the decomposition no longer covers both sides.
+    let dropped = Certificate::Decomposition {
+        pairs: pairs[..1].to_vec(),
+    };
+    assert_rejects(
+        &request,
+        answer,
+        &dropped,
+        "decomposition with a dropped pair",
+    );
+
+    // Duplicate a pair instead (same length as the original): still not a cover.
+    let duplicated = Certificate::Decomposition {
+        pairs: vec![pairs[0].clone(), pairs[0].clone()],
+    };
+    assert_rejects(
+        &request,
+        answer,
+        &duplicated,
+        "decomposition with a duplicated pair",
+    );
+
+    // Cross-wire the relation keys: each sub-certificate now claims the other group.
+    let crossed = Certificate::Decomposition {
+        pairs: vec![
+            PairCert {
+                relations: pairs[1].relations.clone(),
+                certificate: pairs[0].certificate.clone(),
+            },
+            PairCert {
+                relations: pairs[0].relations.clone(),
+                certificate: pairs[1].certificate.clone(),
+            },
+        ],
+    };
+    assert_rejects(
+        &request,
+        answer,
+        &crossed,
+        "decomposition with cross-wired pairs",
+    );
+}
+
+#[test]
+fn containment_counter_world_rejected_when_it_violates_the_left_globals() {
+    // Left: R = {(x, 1)} with the global x = 0 — the single world {(0, 1)}.
+    // Right: R = {(5, 5)} — so the left is not contained.
+    let mut vars = VarGen::new();
+    let x = vars.fresh();
+    let left = CTable::new(
+        "R",
+        2,
+        Conjunction::new([Atom::eq(x, 0)]),
+        [CTuple::of_terms([Term::Var(x), Term::constant(1)])],
+    )
+    .expect("arity matches");
+    let right =
+        CTable::codd("R", 2, [vec![Term::constant(5), Term::constant(5)]]).expect("ground row");
+    let request = DecisionRequest::Containment {
+        left: View::identity(CDatabase::single(left)),
+        right: View::identity(CDatabase::single(right)),
+    };
+    let (answer, certificate) = decide_certified(&request);
+    assert!(!answer, "{{(0,1)}} is not a world of the right side");
+    assert_accepts(&request, answer, &certificate);
+    let Certificate::CounterWorld { .. } = &certificate else {
+        panic!("no-containment must carry a counter-world, got {certificate:?}");
+    };
+
+    // A valuation violating the left side's global condition induces no world of the
+    // left representation — the constructive half the checker owns must refuse it.
+    let tampered = Certificate::CounterWorld {
+        valuation: Valuation::from_pairs([(x, Constant::Int(9))]),
+    };
+    assert_rejects(
+        &request,
+        answer,
+        &tampered,
+        "counter-world violating left globals",
+    );
+}
+
+#[test]
+fn frozen_membership_rejected_after_tampering_the_inner_witness() {
+    // Left and right are the same one-null table up to variable identity; Theorem 4.1
+    // shows containment by freezing the left and exhibiting K₀ ∈ rep(right).
+    let mut vars = VarGen::new();
+    let x = vars.fresh();
+    let y = vars.fresh();
+    let left = CTable::codd("R", 1, [vec![Term::Var(x)]]).expect("fresh null");
+    let right = CTable::codd("R", 1, [vec![Term::Var(y)]]).expect("fresh null");
+    let request = DecisionRequest::Containment {
+        left: View::identity(CDatabase::single(left)),
+        right: View::identity(CDatabase::single(right)),
+    };
+    let (answer, certificate) = decide_certified(&request);
+    assert!(answer, "one free null contains another");
+    assert_accepts(&request, answer, &certificate);
+    let Certificate::FrozenMembership { witness } = &certificate else {
+        panic!("single-group yes-containment goes through freeze, got {certificate:?}");
+    };
+    let Certificate::Witness { valuation } = witness.as_ref() else {
+        panic!("the inner evidence is a membership witness, got {witness:?}");
+    };
+
+    // Rebind the right-hand null away from the frozen constant: σ(right) ≠ K₀.
+    let mut tampered = valuation.clone();
+    tampered.assign(y, Constant::Int(-41));
+    let tampered = Certificate::FrozenMembership {
+        witness: Box::new(Certificate::Witness {
+            valuation: tampered,
+        }),
+    };
+    assert_rejects(
+        &request,
+        answer,
+        &tampered,
+        "tampered frozen-membership witness",
+    );
+
+    // Wrong inner kind: the freeze argument cannot rest on an exhaustive search.
+    let wrong_kind = Certificate::FrozenMembership {
+        witness: Box::new(Certificate::Exhaustive),
+    };
+    assert_rejects(
+        &request,
+        answer,
+        &wrong_kind,
+        "non-witness inside frozen membership",
+    );
+}

@@ -226,6 +226,57 @@ fn sat_cache_entries_survive_deltas_to_other_groups() {
 }
 
 #[test]
+fn memo_replayed_answers_stay_certified_across_deltas() {
+    use possible_worlds::{check, check_claim};
+
+    let base = decoupled_multirelation(4, &params(97));
+    let member = member_instance(&base, &params(97));
+    let non_member = non_member_instance(&base, &params(97));
+    let cfg = EngineConfig::sequential(Budget(5_000_000));
+    let session = Session::certifying(&cfg, 6);
+
+    let audit = |requests: &[DecisionRequest],
+                 outcomes: &[possible_worlds::decide::DecisionOutcome],
+                 when: &str| {
+        for (request, outcome) in requests.iter().zip(outcomes) {
+            let answer = outcome.answer.expect("the budget is ample");
+            let certificate = outcome
+                .certificate
+                .as_ref()
+                .unwrap_or_else(|| panic!("{when}: certifying session returned no certificate"));
+            check::verify(&check_claim(request, answer), certificate)
+                .unwrap_or_else(|e| panic!("{when}: pw_check rejected a certificate: {e}"));
+        }
+    };
+
+    let requests = requests_for(&base, &member, &non_member);
+    audit(&requests, &session.decide_all(&requests), "initial decide");
+
+    // Pure replay: the empty delta answers every group from the memo, and the memo's
+    // stored certificates must still satisfy the independent checker.
+    let stats_before = session.engine().memo_stats();
+    let replayed = session
+        .redecide_all(&base, &Delta::new(), &requests)
+        .expect("the empty delta applies");
+    assert_eq!(
+        session.engine().memo_stats().misses,
+        stats_before.misses,
+        "an empty delta must not re-search any group"
+    );
+    audit(&requests, &replayed.outcomes, "empty-delta replay");
+
+    // A real delta: dirty groups re-search, clean groups replay from the memo, and
+    // every stitched certificate must check against the *mutated* database — the
+    // re-decision answers about the post-delta views, so the claims are rebuilt.
+    let delta = single_shard_delta(&base, 2);
+    let redecision = session
+        .redecide_all(&base, &delta, &requests)
+        .expect("the single-shard delta applies");
+    let post_requests = requests_for(&redecision.db, &member, &non_member);
+    audit(&post_requests, &redecision.outcomes, "single-shard delta");
+}
+
+#[test]
 fn a_session_retires_caches_of_dissolved_databases() {
     let base = decoupled_multirelation(3, &params(71));
     let member = member_instance(&base, &params(71));

@@ -9,7 +9,11 @@
 //! * c-table simplification preserves the represented set of worlds, is idempotent and
 //!   never grows the table;
 //! * incremental re-decision after random deltas agrees with a from-scratch decide on
-//!   all five problems (answers and strategies).
+//!   all five problems (answers and strategies);
+//! * every answer a certifying session produces — from `decide_all` and from
+//!   `redecide_all` after random deltas alike — carries a certificate the independent
+//!   `pw_check` checker accepts, while answers and strategies stay identical to the
+//!   uncertified session's.
 
 use possible_worlds::prelude::*;
 use possible_worlds::query::datalog::FixpointStrategy;
@@ -385,6 +389,102 @@ proptest! {
                     delta_count
                 );
             }
+            cur = redecision.db;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn every_certified_answer_passes_the_independent_checker((seed, delta_count) in delta_scenario()) {
+        use possible_worlds::decide::batch::{DecisionRequest, Session};
+        use possible_worlds::decide::EngineConfig;
+        use possible_worlds::workloads::{mutation_stream, member_instance, non_member_instance, TableParams};
+        use possible_worlds::{check, check_claim};
+
+        let params = TableParams { rows: 3, arity: 2, constants: 3, null_density: 0.4, seed };
+        let stream = mutation_stream(4, &params, delta_count);
+        let member = member_instance(&stream.base, &params);
+        let non_member = non_member_instance(&stream.base, &params);
+        let requests_for = |db: &CDatabase| -> Vec<DecisionRequest> {
+            let view = View::identity(db.clone());
+            vec![
+                DecisionRequest::Membership { view: view.clone(), instance: member.clone() },
+                DecisionRequest::Membership { view: view.clone(), instance: non_member.clone() },
+                DecisionRequest::Possibility { view: view.clone(), facts: member.clone() },
+                DecisionRequest::Certainty { view: view.clone(), facts: member.clone() },
+                DecisionRequest::Uniqueness { view: view.clone(), instance: member.clone() },
+                DecisionRequest::Containment { left: view.clone(), right: view },
+            ]
+        };
+
+        let cfg = EngineConfig::sequential(small_budget());
+        let plain = Session::sized(&cfg, 6);
+        let certifying = Session::certifying(&cfg, 6);
+
+        // One audit pass: certified answers and strategies are identical to the plain
+        // session's, and every delivered answer carries a certificate the independent
+        // checker accepts.  (A budget-exceeded request has no answer to certify.)
+        macro_rules! audit {
+            ($requests:expr, $certified:expr, $uncertified:expr, $stage:expr) => {
+                prop_assert_eq!($certified.len(), $uncertified.len());
+                for ((request, certified), uncertified) in
+                    $requests.iter().zip($certified).zip($uncertified)
+                {
+                    prop_assert!(
+                        certified.answer == uncertified.answer
+                            && certified.strategy == uncertified.strategy,
+                        "certified session diverged from plain ({}, seed {}, {} deltas)",
+                        $stage, seed, delta_count
+                    );
+                    let Ok(answer) = certified.answer else { continue };
+                    let claim = check_claim(request, answer);
+                    let Some(certificate) = certified.certificate.as_ref() else {
+                        prop_assert!(
+                            false,
+                            "uncertified {} answer ({}, seed {}, {} deltas)",
+                            claim.problem.name(), $stage, seed, delta_count
+                        );
+                        continue;
+                    };
+                    if let Err(e) = check::verify(&claim, certificate) {
+                        prop_assert!(
+                            false,
+                            "pw_check rejected a {} certificate ({}, seed {}, {} deltas): {e}",
+                            claim.problem.name(), $stage, seed, delta_count
+                        );
+                    }
+                }
+            };
+        }
+
+        let mut cur = stream.base.clone();
+        let requests = requests_for(&cur);
+        audit!(
+            &requests,
+            &certifying.decide_all(&requests),
+            &plain.decide_all(&requests),
+            "initial decide_all"
+        );
+        for (i, delta) in stream.deltas.iter().enumerate() {
+            let requests = requests_for(&cur);
+            let redecision = certifying
+                .redecide_all(&cur, delta, &requests)
+                .expect("stream deltas apply in sequence");
+            let plain_redecision = plain
+                .redecide_all(&cur, delta, &requests)
+                .expect("stream deltas apply in sequence");
+            // A re-decision answers about the *mutated* database — the claims the
+            // checker verifies must be phrased against the post-delta views.
+            let post_requests = requests_for(&redecision.db);
+            audit!(
+                &post_requests,
+                &redecision.outcomes,
+                &plain_redecision.outcomes,
+                format!("redecide_all #{i}")
+            );
             cur = redecision.db;
         }
     }

@@ -14,8 +14,13 @@
 //!    every row — the incremental path's answers are bit-identical to the from-scratch
 //!    path's — and a fresh/redecide speedup at or above the row's embedded `floor`
 //!    (`10` in the committed full run, `0.9` in smoke runs).
-//! 3. **Shape check of fresh smoke runs.**  The smoke reports passed as positional
-//!    arguments (produced by `bench-pr2/3/4/5 --smoke` earlier in the job) must be
+//! 3. **Certify guard.**  Reports carrying a `certify_overhead` table (the `bench-pr6`
+//!    proof-carrying-verdicts harness) must show `verified: true` on every row — the
+//!    certified answers matched the plain ones and `pw_check` accepted every
+//!    certificate — and a certified/plain overhead at or below the row's embedded
+//!    `ceiling` (`1.5` in the committed full run, relaxed in smoke runs).
+//! 4. **Shape check of fresh smoke runs.**  The smoke reports passed as positional
+//!    arguments (produced by `bench-pr2/3/4/5/6 --smoke` earlier in the job) must be
 //!    well-formed: the right `bench` tag, `smoke: true`, at least one result row, and
 //!    every row carrying the `problem`/`workload`/`mode`/`wall_ms`/`answers` fields with
 //!    a known mode.
@@ -59,6 +64,7 @@ fn check_committed(path: &Path, min_speedup: f64, failures: &mut Vec<String>) {
         return;
     }
     check_incremental(path, &raw, failures);
+    check_certify(path, &raw, failures);
     if !raw.contains("\"speedup_vs_baseline\"") {
         failures.push(format!(
             "{}: committed report has no speedup_vs_baseline table (lost its baseline?)",
@@ -174,6 +180,67 @@ fn check_incremental(path: &Path, raw: &str, failures: &mut Vec<String>) {
     }
 }
 
+/// The certify guard (reports with a `certify_overhead` table — the proof-carrying
+/// verdicts harness): every row must show `verified: true` (the certified session's
+/// answers matched the plain session's and `pw_check` accepted every certificate) and
+/// a certified/plain overhead at or below the row's own embedded ceiling.
+fn check_certify(path: &Path, raw: &str, failures: &mut Vec<String>) {
+    if !raw.contains("\"certify_overhead\"") {
+        return;
+    }
+    let mut in_table = false;
+    let mut rows = 0usize;
+    let failures_before = failures.len();
+    for line in raw.lines() {
+        if line.trim_start().starts_with("\"certify_overhead\"") {
+            in_table = true;
+            continue;
+        }
+        if !in_table {
+            continue;
+        }
+        let trimmed = line.trim();
+        if trimmed.starts_with(']') {
+            break;
+        }
+        let (Some(overhead), Some(ceiling)) = (
+            num_field(trimmed, "overhead"),
+            num_field(trimmed, "ceiling"),
+        ) else {
+            continue;
+        };
+        rows += 1;
+        let label = format!(
+            "{} / {}",
+            str_field(trimmed, "problem").unwrap_or_default(),
+            str_field(trimmed, "workload").unwrap_or_default(),
+        );
+        if !trimmed.contains("\"verified\": true") {
+            failures.push(format!(
+                "{}: {label}: certified answers diverged or a certificate failed pw_check",
+                path.display()
+            ));
+        }
+        if overhead > ceiling + 1e-9 {
+            failures.push(format!(
+                "{}: {label}: certificate overhead {overhead}x above its ceiling {ceiling}x",
+                path.display()
+            ));
+        }
+    }
+    if rows == 0 {
+        failures.push(format!(
+            "{}: certify_overhead table has no rows",
+            path.display()
+        ));
+    } else if failures.len() == failures_before {
+        println!(
+            "ok: {} ({rows} certify rows: certificates verified, overheads below ceilings)",
+            path.display()
+        );
+    }
+}
+
 /// The smoke-report shape check.
 fn check_smoke(path: &Path, failures: &mut Vec<String>) {
     let raw = match std::fs::read_to_string(path) {
@@ -197,15 +264,18 @@ fn check_smoke(path: &Path, failures: &mut Vec<String>) {
         failures.push(format!("{}: not a smoke run", path.display()));
     }
     check_incremental(path, &raw, failures);
+    check_certify(path, &raw, failures);
     let mut rows = 0usize;
     for line in raw.lines() {
         let trimmed = line.trim();
         if !trimmed.starts_with("{\"problem\":") {
             continue;
         }
-        // Guard/speedup tables are checked separately; result rows are the ones
-        // carrying a wall-clock measurement.
-        if num_field(trimmed, "wall_ms").is_none() && num_field(trimmed, "speedup").is_some() {
+        // Guard/speedup/overhead tables are checked separately; result rows are the
+        // ones carrying a wall-clock measurement.
+        if num_field(trimmed, "wall_ms").is_none()
+            && (num_field(trimmed, "speedup").is_some() || num_field(trimmed, "overhead").is_some())
+        {
             continue;
         }
         rows += 1;
@@ -216,7 +286,12 @@ fn check_smoke(path: &Path, failures: &mut Vec<String>) {
             && trimmed.contains("\"answers\":")
             && matches!(
                 mode.as_deref(),
-                Some("sequential") | Some("parallel") | Some("fresh") | Some("incremental")
+                Some("sequential")
+                    | Some("parallel")
+                    | Some("fresh")
+                    | Some("incremental")
+                    | Some("plain")
+                    | Some("certified")
             );
         if !shape_ok {
             failures.push(format!(
