@@ -16,7 +16,7 @@
 use crate::Conjunction;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// Hit/miss counters of a [`SatCache`], for the benchmark harness and for tests.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -43,13 +43,28 @@ impl SatCache {
         SatCache::default()
     }
 
+    /// The map guard, recovering from a poisoned lock: a panic elsewhere cannot leave
+    /// the map logically inconsistent (every critical section is a single map
+    /// operation), so entries computed before the panic stay usable.
+    fn lock_map(&self) -> MutexGuard<'_, HashMap<Arc<Conjunction>, bool>> {
+        self.map.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Drop every interned conjunction for which `keep` returns false.  Engine-side
+    /// cache hygiene: when a database version is retired after a delta, the
+    /// conditions it no longer shares with the live version are purged so week-long
+    /// sessions do not accumulate dead entries.
+    pub fn retain(&self, mut keep: impl FnMut(&Conjunction) -> bool) {
+        self.lock_map().retain(|cond, _| keep(cond));
+    }
+
     /// Memoized satisfiability: equivalent to [`Conjunction::is_satisfiable`], but each
     /// distinct conjunction is solved at most once per cache (up to a benign race: two
     /// workers missing the same condition concurrently may both solve it — the lock is
     /// *not* held across the solve, so a miss never blocks unrelated lookups).
     pub fn is_satisfiable(&self, c: &Conjunction) -> bool {
         {
-            let map = self.map.lock().expect("sat-cache poisoned");
+            let map = self.lock_map();
             // `Arc<Conjunction>: Borrow<Conjunction>`, so lookups need no allocation.
             if let Some(&sat) = map.get(c) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -57,7 +72,7 @@ impl SatCache {
             }
         }
         let sat = c.is_satisfiable();
-        let mut map = self.map.lock().expect("sat-cache poisoned");
+        let mut map = self.lock_map();
         map.entry(Arc::new(c.clone())).or_insert(sat);
         self.misses.fetch_add(1, Ordering::Relaxed);
         sat
@@ -69,14 +84,14 @@ impl SatCache {
     /// interned `Arc` to deduplicate memory and make later cache lookups pointer-cheap.
     pub fn intern(&self, c: &Conjunction) -> Arc<Conjunction> {
         {
-            let map = self.map.lock().expect("sat-cache poisoned");
+            let map = self.lock_map();
             if let Some((key, _)) = map.get_key_value(c) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return Arc::clone(key);
             }
         }
         let sat = c.is_satisfiable();
-        let mut map = self.map.lock().expect("sat-cache poisoned");
+        let mut map = self.lock_map();
         self.misses.fetch_add(1, Ordering::Relaxed);
         if let Some((key, _)) = map.get_key_value(c) {
             return Arc::clone(key);
@@ -88,7 +103,7 @@ impl SatCache {
 
     /// Current counters.
     pub fn stats(&self) -> CacheStats {
-        let map = self.map.lock().expect("sat-cache poisoned");
+        let map = self.lock_map();
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),

@@ -20,11 +20,12 @@
 //! Answers are positionally aligned with the input slice and independent of the worker
 //! scheduling (see the determinism notes in [`crate::engine`]).
 
-use crate::common::{Budget, BudgetExceeded, Strategy};
-use crate::engine::{Engine, EngineConfig};
+use crate::common::{Budget, DecisionError, Strategy};
+use crate::engine::{lock_unpoisoned, panic_message, Engine, EngineConfig};
 use crate::{certainty, containment, membership, possibility, uniqueness};
 use pw_core::{CDatabase, Certificate, DbDelta, Delta, DeltaError, View};
 use pw_relational::Instance;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -105,7 +106,7 @@ impl DecisionRequest {
     fn decide(
         &self,
         engine: &Engine,
-    ) -> (Result<bool, BudgetExceeded>, Strategy, Option<Certificate>) {
+    ) -> (Result<bool, DecisionError>, Strategy, Option<Certificate>) {
         match self {
             DecisionRequest::Membership { view, instance } => {
                 membership::view_membership_certified(view, instance, engine)
@@ -141,8 +142,10 @@ impl DecisionRequest {
 /// The answer to one [`DecisionRequest`].
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DecisionOutcome {
-    /// The decision, or [`BudgetExceeded`] when the request's search ran out of budget.
-    pub answer: Result<bool, BudgetExceeded>,
+    /// The decision, or the [`DecisionError`] that stopped the search: budget or
+    /// wall-clock exhaustion, cooperative cancellation, or a worker panic isolated to
+    /// this request.
+    pub answer: Result<bool, DecisionError>,
     /// Which of the paper's algorithms decided (or attempted) the request.
     pub strategy: Strategy,
     /// Evidence for the answer, when the session certifies ([`Session::certifying`] /
@@ -202,7 +205,7 @@ impl Session {
     pub fn sized(cfg: &EngineConfig, expected_batch: usize) -> Self {
         let workers = cfg.threads.min(expected_batch.max(1)).max(1);
         let threads_per_request = (cfg.threads / workers).max(1);
-        let mut inner_cfg = *cfg;
+        let mut inner_cfg = cfg.clone();
         inner_cfg.threads = threads_per_request;
         Session {
             engine: Engine::new(inner_cfg),
@@ -216,7 +219,7 @@ impl Session {
     /// `pw_check` verifies in polynomial time, and the memo stores certificates beside
     /// the per-group verdicts so replayed groups stay auditable after deltas.
     pub fn certifying(cfg: &EngineConfig, expected_batch: usize) -> Self {
-        Session::sized(&cfg.certified(), expected_batch)
+        Session::sized(&cfg.clone().certified(), expected_batch)
     }
 
     /// The session's engine (shared caches, memo statistics).
@@ -229,6 +232,51 @@ impl Session {
     /// decision memo for later re-decisions.
     pub fn decide_all(&self, requests: &[DecisionRequest]) -> Vec<DecisionOutcome> {
         run_batch(requests, &self.engine, self.workers)
+    }
+
+    /// [`Session::decide_all`] with graceful degradation: requests that fail with
+    /// [`DecisionError::BudgetExceeded`] are re-decided under a geometrically
+    /// escalated budget (×4 per pass, up to `max_retries` extra passes), and the
+    /// session's configured budget is restored afterwards.
+    ///
+    /// Soundness: budget-exceeded outcomes are **never** memoized (only definite
+    /// verdicts enter the decision memo), so a retried search cannot replay a verdict
+    /// computed under the starved budget — the escalated pass searches afresh and its
+    /// answer (and certificate) is bit-identical to a single run under the larger
+    /// budget.  Other errors — deadline, cancellation, worker panic — are *not*
+    /// retried: more budget would not change them.
+    pub fn decide_all_with_retry(
+        &mut self,
+        requests: &[DecisionRequest],
+        max_retries: u32,
+    ) -> Vec<DecisionOutcome> {
+        let mut outcomes = run_batch(requests, &self.engine, self.workers);
+        let original = self.engine.config().budget;
+        let mut budget = original;
+        for _ in 0..max_retries {
+            let starved: Vec<usize> = outcomes
+                .iter()
+                .enumerate()
+                .filter(|(_, o)| matches!(o.answer, Err(DecisionError::BudgetExceeded)))
+                .map(|(i, _)| i)
+                .collect();
+            if starved.is_empty() {
+                break;
+            }
+            budget = Budget(budget.0.saturating_mul(4));
+            self.engine.set_budget(budget);
+            let retry: Vec<DecisionRequest> =
+                starved.iter().map(|&i| requests[i].clone()).collect();
+            for (slot, outcome) in
+                starved
+                    .into_iter()
+                    .zip(run_batch(&retry, &self.engine, self.workers))
+            {
+                outcomes[slot] = outcome;
+            }
+        }
+        self.engine.set_budget(original);
+        outcomes
     }
 
     /// Apply `delta` to `prev` and re-decide `requests` against the mutated database.
@@ -261,12 +309,19 @@ impl Session {
                 }
             }
             self.engine.retire_database(prev);
+            // The SatCache is keyed by condition, not database: purge only the
+            // conditions the retired value no longer shares with the live one.
+            self.engine.retire_conditions(prev, &db);
         }
         let rebound: Vec<DecisionRequest> = requests
             .iter()
             .map(|r| rebind_request(r, prev, &db))
             .collect();
+        // Pin the memo for the whole replay batch: a bounded memo must not evict a
+        // carried-over verdict between the delta and the request that replays it.
+        let replay_pin = self.engine.pin_memo();
         let outcomes = run_batch(&rebound, &self.engine, self.workers);
+        drop(replay_pin);
         Ok(Redecision {
             db,
             change,
@@ -326,6 +381,38 @@ fn rebind_request(
     }
 }
 
+/// Decide one request behind the per-request isolation boundary: a panic anywhere in
+/// the request's search — or injected by [`crate::FaultPlan::panic_on_request`] at
+/// this batch position — becomes [`DecisionError::WorkerPanicked`] for this request
+/// alone.  Sibling requests in the batch are untouched, and the engine's caches stay
+/// usable (no engine lock is held across the unwind; poisoned outcome slots are
+/// recovered by the caller).
+fn guarded_outcome(request: &DecisionRequest, engine: &Engine, index: usize) -> DecisionOutcome {
+    catch_unwind(AssertUnwindSafe(|| {
+        if let Some(faults) = &engine.config().faults {
+            if faults.panic_on_request == Some(index) {
+                panic!(
+                    "fault injection (seed {}): forced panic on request {index}",
+                    faults.seed
+                );
+            }
+        }
+        request.outcome(engine)
+    }))
+    .unwrap_or_else(|payload| {
+        let message = panic_message(payload.as_ref());
+        // Best effort: the dispatch-table lookup runs over the same view the search
+        // just panicked on, so it gets its own boundary.
+        let strategy =
+            catch_unwind(AssertUnwindSafe(|| request.strategy())).unwrap_or(Strategy::Backtracking);
+        DecisionOutcome {
+            answer: Err(DecisionError::WorkerPanicked(message)),
+            strategy,
+            certificate: None,
+        }
+    })
+}
+
 /// The shared worker pool behind [`Session::decide_all`] and [`decide_all_with`].
 fn run_batch(
     requests: &[DecisionRequest],
@@ -339,7 +426,8 @@ fn run_batch(
     if workers == 1 {
         return requests
             .iter()
-            .map(|request| request.outcome(engine))
+            .enumerate()
+            .map(|(i, request)| guarded_outcome(request, engine, i))
             .collect();
     }
 
@@ -360,8 +448,8 @@ fn run_batch(
                 let Some(&i) = order.get(queued) else {
                     return;
                 };
-                let outcome = requests[i].outcome(engine);
-                *slots[i].lock().expect("outcome slot poisoned") = Some(outcome);
+                let outcome = guarded_outcome(&requests[i], engine, i);
+                *lock_unpoisoned(&slots[i]) = Some(outcome);
             });
         }
     });
@@ -369,7 +457,7 @@ fn run_batch(
         .into_iter()
         .map(|slot| {
             slot.into_inner()
-                .expect("outcome slot poisoned")
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .expect("every request was decided")
         })
         .collect()
@@ -439,7 +527,10 @@ mod tests {
     fn batch_matches_single_shot_answers() {
         let requests = demo_requests();
         let outcomes = decide_all_with(&requests, &EngineConfig::sequential(Budget(1_000_000)));
-        let answers: Vec<bool> = outcomes.iter().map(|o| o.answer.unwrap()).collect();
+        let answers: Vec<bool> = outcomes
+            .iter()
+            .map(|o| *o.answer.as_ref().unwrap())
+            .collect();
         assert_eq!(answers, expected());
     }
 
@@ -449,7 +540,10 @@ mod tests {
         for threads in [1, 2, 3, 8] {
             let cfg = EngineConfig::with_threads(threads, Budget(1_000_000));
             let outcomes = decide_all_with(&requests, &cfg);
-            let answers: Vec<bool> = outcomes.iter().map(|o| o.answer.unwrap()).collect();
+            let answers: Vec<bool> = outcomes
+                .iter()
+                .map(|o| *o.answer.as_ref().unwrap())
+                .collect();
             assert_eq!(answers, expected(), "answers with {threads} threads");
         }
     }

@@ -15,7 +15,7 @@
 
 use crate::certify;
 use crate::common::{
-    evaluation_delta, freeze_database, normalize_database, Budget, BudgetExceeded, Strategy,
+    evaluation_delta, freeze_database, normalize_database, Budget, DecisionError, Strategy,
 };
 use crate::engine::{Engine, EngineConfig, MemoOp};
 use pw_core::algebra::AlgebraError;
@@ -24,7 +24,7 @@ use pw_query::QueryClass;
 use pw_relational::Instance;
 
 /// Decide `CERT(·, q)`: is every fact of `facts` true in every world of the view?
-pub fn decide(view: &View, facts: &Instance, budget: Budget) -> Result<bool, BudgetExceeded> {
+pub fn decide(view: &View, facts: &Instance, budget: Budget) -> Result<bool, DecisionError> {
     decide_with(view, facts, &Engine::new(EngineConfig::sequential(budget))).0
 }
 
@@ -39,7 +39,7 @@ pub fn decide_with(
     view: &View,
     facts: &Instance,
     engine: &Engine,
-) -> (Result<bool, BudgetExceeded>, Strategy) {
+) -> (Result<bool, DecisionError>, Strategy) {
     let (strategy, converted) = plan(view, engine.config().per_shard);
     let answer = match strategy {
         Strategy::NaiveEvaluation => {
@@ -71,7 +71,7 @@ pub(crate) fn decide_certified(
     view: &View,
     facts: &Instance,
     engine: &Engine,
-) -> (Result<bool, BudgetExceeded>, Strategy, Option<Certificate>) {
+) -> (Result<bool, DecisionError>, Strategy, Option<Certificate>) {
     if !engine.config().certify {
         let (answer, strategy) = decide_with(view, facts, engine);
         return (answer, strategy, None);
@@ -115,7 +115,7 @@ pub(crate) fn decide_certified(
                     if !engine.has_satisfiable_globals(&db) {
                         return (Ok(true), strategy, Some(empty_rep_or_exhaustive(view)));
                     }
-                    let mut counter = engine.config().budget.counter();
+                    let mut counter = engine.config().counter();
                     match certify::missing_witness(&db, facts, &mut counter) {
                         Ok(Some(w)) => (Ok(false), strategy, counter_world(view, w, facts)),
                         Ok(None) => (Ok(true), strategy, Some(Certificate::Exhaustive)),
@@ -157,7 +157,7 @@ fn certified_per_shard(
     facts: &Instance,
     engine: &Engine,
     strategy: Strategy,
-) -> (Result<bool, BudgetExceeded>, Strategy, Option<Certificate>) {
+) -> (Result<bool, DecisionError>, Strategy, Option<Certificate>) {
     if db
         .shard_groups()
         .iter()
@@ -189,7 +189,7 @@ fn certified_per_shard(
     if !any_fact {
         return (Ok(true), strategy, Some(Certificate::Exhaustive));
     }
-    let mut counter = engine.config().budget.counter();
+    let mut counter = engine.config().counter();
     for (g_idx, (group, part)) in db.shard_groups().iter().zip(&parts).enumerate() {
         if part.relation_count() == 0 {
             continue;
@@ -333,7 +333,7 @@ pub fn complement_search(
     db: &CDatabase,
     facts: &Instance,
     budget: Budget,
-) -> Result<bool, BudgetExceeded> {
+) -> Result<bool, DecisionError> {
     complement_search_with(db, facts, &Engine::new(EngineConfig::sequential(budget)))
 }
 
@@ -342,7 +342,7 @@ pub fn complement_search_with(
     db: &CDatabase,
     facts: &Instance,
     engine: &Engine,
-) -> Result<bool, BudgetExceeded> {
+) -> Result<bool, DecisionError> {
     if !engine.has_satisfiable_globals(db) {
         return Ok(true); // no worlds: vacuously certain
     }
@@ -358,7 +358,7 @@ pub fn complement_search_per_shard(
     db: &CDatabase,
     facts: &Instance,
     engine: &Engine,
-) -> Result<bool, BudgetExceeded> {
+) -> Result<bool, DecisionError> {
     if db
         .shard_groups()
         .iter()
@@ -375,7 +375,7 @@ pub fn by_enumeration_with(
     view: &View,
     facts: &Instance,
     engine: &Engine,
-) -> Result<bool, BudgetExceeded> {
+) -> Result<bool, DecisionError> {
     if !view.db.has_satisfiable_globals() {
         return Ok(true);
     }
@@ -396,7 +396,7 @@ pub fn by_enumeration(
     view: &View,
     facts: &Instance,
     budget: Budget,
-) -> Result<bool, BudgetExceeded> {
+) -> Result<bool, DecisionError> {
     by_enumeration_with(view, facts, &Engine::new(EngineConfig::sequential(budget)))
 }
 

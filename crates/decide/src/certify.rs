@@ -20,7 +20,7 @@
 //! `(Variable, Sym)` pairs in the database's symbol context (the handle-threading
 //! rule), merged across shard groups by plain union — groups are variable-disjoint.
 
-use crate::common::{BudgetCounter, BudgetExceeded};
+use crate::common::{BudgetCounter, DecisionError};
 use crate::engine::{intern_fact, Engine, MemoOp};
 use pw_condition::{Atom, Conjunction, ConstraintSet, Term, Variable};
 use pw_core::{CDatabase, Certificate, Valuation};
@@ -147,7 +147,7 @@ pub(crate) fn member_witness(
     db: &CDatabase,
     instance: &Instance,
     counter: &mut BudgetCounter,
-) -> Result<Option<Binding>, BudgetExceeded> {
+) -> Result<Option<Binding>, DecisionError> {
     if !schema_compatible(db, instance) {
         return Ok(None);
     }
@@ -197,7 +197,7 @@ pub(crate) fn member_witness(
         depth: usize,
         store: &mut ConstraintSet,
         counter: &mut BudgetCounter,
-    ) -> Result<Option<Binding>, BudgetExceeded> {
+    ) -> Result<Option<Binding>, DecisionError> {
         counter.tick()?;
         if depth == shape.rows.len() {
             if covered_count == shape.total_facts {
@@ -279,7 +279,7 @@ pub(crate) fn cover_witness(
     db: &CDatabase,
     facts: &Instance,
     counter: &mut BudgetCounter,
-) -> Result<Option<Binding>, BudgetExceeded> {
+) -> Result<Option<Binding>, DecisionError> {
     if !schema_compatible(db, facts) {
         return Ok(None);
     }
@@ -305,7 +305,7 @@ pub(crate) fn cover_witness(
         store: &mut ConstraintSet,
         counter: &mut BudgetCounter,
         avoid: &BTreeSet<Constant>,
-    ) -> Result<Option<Binding>, BudgetExceeded> {
+    ) -> Result<Option<Binding>, DecisionError> {
         counter.tick()?;
         if depth == work.len() {
             return Ok(complete(store, db, avoid));
@@ -349,7 +349,7 @@ pub(crate) fn missing_witness(
     db: &CDatabase,
     facts: &Instance,
     counter: &mut BudgetCounter,
-) -> Result<Option<Binding>, BudgetExceeded> {
+) -> Result<Option<Binding>, DecisionError> {
     let avoid = avoid_set(db, facts);
     let mut work: Vec<(usize, Vec<Sym>)> = Vec::new();
     for (name, rel) in facts.iter() {
@@ -378,7 +378,7 @@ pub(crate) fn missing_witness(
         store: &mut ConstraintSet,
         counter: &mut BudgetCounter,
         avoid: &BTreeSet<Constant>,
-    ) -> Result<Option<Binding>, BudgetExceeded> {
+    ) -> Result<Option<Binding>, DecisionError> {
         counter.tick()?;
         let table = &db.tables()[t_pos];
         if row_idx == table.len() {
@@ -431,7 +431,7 @@ pub(crate) fn escape_witness(
     db: &CDatabase,
     instance: &Instance,
     counter: &mut BudgetCounter,
-) -> Result<Option<Binding>, BudgetExceeded> {
+) -> Result<Option<Binding>, DecisionError> {
     let Some(base) = base_store(db) else {
         return Ok(None);
     };
@@ -445,7 +445,7 @@ pub(crate) fn escape_witness(
         store: &mut ConstraintSet,
         counter: &mut BudgetCounter,
         avoid: &BTreeSet<Constant>,
-    ) -> Result<Option<Binding>, BudgetExceeded> {
+    ) -> Result<Option<Binding>, DecisionError> {
         counter.tick()?;
         if fact_idx == facts.len() {
             return Ok(complete(store, db, avoid));
@@ -615,12 +615,12 @@ pub(crate) fn per_shard_witness(
         &CDatabase,
         &Instance,
         &mut BudgetCounter,
-    ) -> Result<Option<Binding>, BudgetExceeded>,
-) -> Result<(bool, Option<Binding>), BudgetExceeded> {
+    ) -> Result<Option<Binding>, DecisionError>,
+) -> Result<(bool, Option<Binding>), DecisionError> {
     let Some(parts) = crate::engine::split_by_group(db, request) else {
         return Ok((false, None));
     };
-    let mut counter = engine.config().budget.counter();
+    let mut counter = engine.config().counter();
     let mut merged: Binding = Vec::new();
     for (group, part) in db.shard_groups().iter().zip(&parts) {
         let gdb = group.database();

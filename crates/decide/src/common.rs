@@ -7,6 +7,9 @@ use pw_relational::domain::fresh_constants;
 use pw_relational::Constant;
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Which algorithm a dispatching entry point selected.
 ///
@@ -73,7 +76,11 @@ impl Default for Budget {
 impl Budget {
     /// Create a counter that can be decremented during a search.
     pub fn counter(self) -> BudgetCounter {
-        BudgetCounter { remaining: self.0 }
+        BudgetCounter {
+            remaining: self.0,
+            spent: 0,
+            limits: Limits::default(),
+        }
     }
 }
 
@@ -89,19 +96,219 @@ impl fmt::Display for BudgetExceeded {
 
 impl std::error::Error for BudgetExceeded {}
 
-/// A mutable countdown handed to recursive searches.
+/// Why a decision did not produce a definite answer.
+///
+/// This is the structured failure taxonomy threaded through every `decide_with` path and
+/// [`crate::batch::DecisionOutcome`].  Each variant has a distinct recovery story:
+///
+/// * [`DecisionError::BudgetExceeded`] — the search exhausted its node [`Budget`].
+///   Deterministic for a fixed (database, request, budget), and never memoized, so a
+///   retry with more budget ([`crate::batch::Session::decide_all_with_retry`]) is sound.
+/// * [`DecisionError::DeadlineExceeded`] — the wall-clock deadline of
+///   [`crate::engine::EngineConfig::with_deadline`] passed.  Retrying is the caller's
+///   call: the answer was not wrong, just late.
+/// * [`DecisionError::Cancelled`] — the request's [`CancelToken`] was cancelled
+///   cooperatively.  Not an engine failure at all.
+/// * [`DecisionError::WorkerPanicked`] — a search worker panicked (a bug, or an injected
+///   fault).  The panic is contained to the one request/group that hit it: sibling
+///   requests in a batch complete normally and the engine's caches stay usable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecisionError {
+    /// The search exhausted its node budget before finding an answer.
+    BudgetExceeded,
+    /// The wall-clock deadline passed before the search finished.
+    DeadlineExceeded,
+    /// The request's [`CancelToken`] was triggered.
+    Cancelled,
+    /// A worker thread panicked; the payload carries the panic message.  Isolated to
+    /// the request/group whose search panicked — siblings are unaffected.
+    WorkerPanicked(String),
+}
+
+impl fmt::Display for DecisionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecisionError::BudgetExceeded => write!(f, "search budget exceeded"),
+            DecisionError::DeadlineExceeded => write!(f, "deadline exceeded"),
+            DecisionError::Cancelled => write!(f, "request cancelled"),
+            DecisionError::WorkerPanicked(msg) => write!(f, "search worker panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DecisionError {}
+
+impl From<BudgetExceeded> for DecisionError {
+    fn from(_: BudgetExceeded) -> Self {
+        DecisionError::BudgetExceeded
+    }
+}
+
+/// A cooperative cancellation handle: share one per request (via
+/// [`crate::engine::EngineConfig::with_cancel`]), call [`CancelToken::cancel`] from any
+/// thread, and every search driven under that configuration stops at its next
+/// amortized limit check with [`DecisionError::Cancelled`].
+///
+/// The token rides the same signal path as the engine's internal first-witness
+/// cancellation and the wall-clock deadline — one amortized check in the tick loop
+/// serves all three.
+#[derive(Debug, Default)]
+pub struct CancelToken {
+    cancelled: AtomicBool,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Signal cancellation.  Idempotent; safe from any thread.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Has [`CancelToken::cancel`] been called?
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
+    }
+}
+
+/// A deterministic fault-injection plan, attached via
+/// [`crate::engine::EngineConfig::with_faults`].  Off by default and zero-cost when
+/// absent: the tick hot loop only consults the plan on its amortized (every
+/// `LIMIT_CHECK_MASK + 1` ticks) slow path.
+///
+/// All tick thresholds count *spent* budget units of one search context, so a plan
+/// replays identically for a fixed (database, request, budget, thread count = 1);
+/// `seed` seeds [`FaultPlan::jitter`] for tests that want varied-but-reproducible
+/// trigger points.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// Mixed into [`FaultPlan::jitter`]; recorded so a failing test names its seed.
+    pub seed: u64,
+    /// Panic inside the search once this many budget units are spent (next amortized
+    /// check at or after the threshold).  Exercises the panic-isolation boundaries.
+    pub panic_at_tick: Option<u64>,
+    /// Report [`DecisionError::BudgetExceeded`] once this many units are spent, as if
+    /// the pool had run dry.
+    pub budget_exhaust_at_tick: Option<u64>,
+    /// Report [`DecisionError::DeadlineExceeded`] once this many units are spent, as if
+    /// the wall clock had passed the deadline.
+    pub deadline_at_tick: Option<u64>,
+    /// Panic while deciding the request at this batch position (0-based, pre-scheduling
+    /// order).  Exercises the per-request isolation boundary in [`crate::batch`].
+    pub panic_on_request: Option<usize>,
+    /// Clamp the decision memo to capacity 1, evicting on every insert — an eviction
+    /// storm that makes every replay a recompute.
+    pub eviction_storm: bool,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing) carrying `seed` for [`FaultPlan::jitter`].
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// A deterministic pseudo-random value in `0..span` derived from the seed and
+    /// `salt` (splitmix64) — lets a test derive varied trigger ticks from one seed.
+    pub fn jitter(&self, salt: u64, span: u64) -> u64 {
+        let mut z = self
+            .seed
+            .wrapping_add(salt)
+            .wrapping_add(0x9e3779b97f4a7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        (z ^ (z >> 31)) % span.max(1)
+    }
+
+    /// The slow-path hook: fired from the amortized limit check with the spent-unit
+    /// count.  May panic (by design) or report an injected exhaustion.
+    pub(crate) fn at_tick(&self, spent: u64) -> Result<(), DecisionError> {
+        if self.panic_at_tick.is_some_and(|t| spent >= t) {
+            panic!(
+                "fault injection (seed {}): forced panic at tick {spent}",
+                self.seed
+            );
+        }
+        if self.budget_exhaust_at_tick.is_some_and(|t| spent >= t) {
+            return Err(DecisionError::BudgetExceeded);
+        }
+        if self.deadline_at_tick.is_some_and(|t| spent >= t) {
+            return Err(DecisionError::DeadlineExceeded);
+        }
+        Ok(())
+    }
+}
+
+/// The amortization mask of the slow limit check: deadline / external cancellation /
+/// fault hooks run once every `LIMIT_CHECK_MASK + 1` spent budget units, so the tick
+/// hot loop stays a decrement plus one branch.
+pub(crate) const LIMIT_CHECK_MASK: u64 = 1023;
+
+/// The slow-path limits a search runs under: wall-clock deadline, external
+/// cancellation, and the fault-injection plan.  All optional; the empty value is the
+/// default and costs one `Option` test per amortized check.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct Limits {
+    pub(crate) deadline: Option<Instant>,
+    pub(crate) cancel: Option<Arc<CancelToken>>,
+    pub(crate) faults: Option<Arc<FaultPlan>>,
+}
+
+impl Limits {
+    /// Any limit to check at all?  When false the amortized slow path is skipped
+    /// entirely (the zero-cost-when-disabled guarantee of [`FaultPlan`]).
+    pub(crate) fn is_empty(&self) -> bool {
+        self.deadline.is_none() && self.cancel.is_none() && self.faults.is_none()
+    }
+
+    /// The amortized slow check, called every [`LIMIT_CHECK_MASK`]` + 1` ticks with the
+    /// number of units spent so far.
+    pub(crate) fn check(&self, spent: u64) -> Result<(), DecisionError> {
+        if let Some(faults) = &self.faults {
+            faults.at_tick(spent)?;
+        }
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                return Err(DecisionError::Cancelled);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err(DecisionError::DeadlineExceeded);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A mutable countdown handed to recursive searches, optionally carrying the same
+/// slow-path `Limits` as the parallel engine's shared budget — so the sequential
+/// backtracking paths honor deadlines, cancellation and fault plans too.
 #[derive(Clone, Debug)]
 pub struct BudgetCounter {
     remaining: u64,
+    spent: u64,
+    limits: Limits,
 }
 
 impl BudgetCounter {
-    /// Charge one unit; errors when the budget is exhausted.
-    pub fn tick(&mut self) -> Result<(), BudgetExceeded> {
+    /// Charge one unit; errors when the budget is exhausted, the deadline has passed,
+    /// or the counter's cancel token fired (deadline/cancel are polled on an amortized
+    /// slow path every `LIMIT_CHECK_MASK + 1` units).
+    pub fn tick(&mut self) -> Result<(), DecisionError> {
         if self.remaining == 0 {
-            return Err(BudgetExceeded);
+            return Err(DecisionError::BudgetExceeded);
         }
         self.remaining -= 1;
+        self.spent += 1;
+        if self.spent & LIMIT_CHECK_MASK == 0 && !self.limits.is_empty() {
+            self.limits.check(self.spent)?;
+        }
         Ok(())
     }
 
@@ -114,6 +321,18 @@ impl BudgetCounter {
     /// seeded from this counter (see the wrappers in [`crate::search`]).
     pub(crate) fn set_remaining(&mut self, remaining: u64) {
         self.remaining = remaining;
+    }
+
+    /// Attach slow-path limits (used by [`crate::engine::EngineConfig::counter`]).
+    pub(crate) fn with_limits(mut self, limits: Limits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// The counter's limits, for seeding an engine context that continues this search
+    /// (see [`crate::search`]'s wrappers).
+    pub(crate) fn limits(&self) -> &Limits {
+        &self.limits
     }
 }
 
@@ -131,7 +350,7 @@ pub fn for_each_canonical_valuation<R>(
     delta: &BTreeSet<Constant>,
     budget: &mut BudgetCounter,
     mut visit: impl FnMut(&Valuation) -> Option<R>,
-) -> Result<Option<R>, BudgetExceeded> {
+) -> Result<Option<R>, DecisionError> {
     let fresh = fresh_constants(delta, vars.len());
     let delta: Vec<Constant> = delta.iter().cloned().collect();
     let mut assignment: Vec<Constant> = Vec::with_capacity(vars.len());
@@ -144,7 +363,7 @@ pub fn for_each_canonical_valuation<R>(
         fresh_used: usize,
         budget: &mut BudgetCounter,
         visit: &mut impl FnMut(&Valuation) -> Option<R>,
-    ) -> Result<Option<R>, BudgetExceeded> {
+    ) -> Result<Option<R>, DecisionError> {
         if assignment.len() == vars.len() {
             budget.tick()?;
             let valuation =
@@ -242,7 +461,7 @@ mod tests {
         let delta: BTreeSet<Constant> = (0..6).map(Constant::int).collect();
         let mut counter = Budget(100).counter();
         let err = for_each_canonical_valuation(&vars, &delta, &mut counter, |_| None::<()>);
-        assert_eq!(err, Err(BudgetExceeded));
+        assert_eq!(err, Err(DecisionError::BudgetExceeded));
         assert_eq!(counter.remaining(), 0);
     }
 

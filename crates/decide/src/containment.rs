@@ -13,16 +13,16 @@
 
 use crate::certify;
 use crate::common::{
-    evaluation_delta, freeze_database, normalize_database, Budget, BudgetExceeded, Strategy,
+    evaluation_delta, freeze_database, normalize_database, Budget, DecisionError, Strategy,
 };
 use crate::engine::{Engine, EngineConfig};
 use crate::membership;
 use pw_core::{CDatabase, Certificate, PairCert, TableClass, View};
 use pw_relational::Instance;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 
 /// Decide `CONT(q₀, q)`: `rep(view0) ⊆ rep(view)`.
-pub fn decide(view0: &View, view: &View, budget: Budget) -> Result<bool, BudgetExceeded> {
+pub fn decide(view0: &View, view: &View, budget: Budget) -> Result<bool, DecisionError> {
     decide_with(view0, view, &Engine::new(EngineConfig::sequential(budget))).0
 }
 
@@ -37,7 +37,7 @@ pub fn decide_with(
     view0: &View,
     view: &View,
     engine: &Engine,
-) -> (Result<bool, BudgetExceeded>, Strategy) {
+) -> (Result<bool, DecisionError>, Strategy) {
     let strategy = strategy_with(view0, view, engine.config().per_shard);
     let answer = match strategy {
         Strategy::Freeze => freeze(&view0.db, &view.db, engine.config().budget),
@@ -64,7 +64,7 @@ pub(crate) fn decide_certified(
     view0: &View,
     view: &View,
     engine: &Engine,
-) -> (Result<bool, BudgetExceeded>, Strategy, Option<Certificate>) {
+) -> (Result<bool, DecisionError>, Strategy, Option<Certificate>) {
     if !engine.config().certify {
         let (answer, strategy) = decide_with(view0, view, engine);
         return (answer, strategy, None);
@@ -85,7 +85,7 @@ fn certified_freeze(
     view: &View,
     engine: &Engine,
     strategy: Strategy,
-) -> (Result<bool, BudgetExceeded>, Strategy, Option<Certificate>) {
+) -> (Result<bool, DecisionError>, Strategy, Option<Certificate>) {
     let Some(normalized) = normalize_database(&view0.db) else {
         return (Ok(true), strategy, Some(Certificate::EmptyRep));
     };
@@ -110,7 +110,7 @@ fn certified_freeze(
             Err(e) => Err(e),
         }
     } else {
-        let mut counter = engine.config().budget.counter();
+        let mut counter = engine.config().counter();
         certify::member_witness(&view.db, &k0, &mut counter)
     };
     match witness {
@@ -143,7 +143,7 @@ fn certified_per_shard(
     view: &View,
     engine: &Engine,
     strategy: Strategy,
-) -> (Result<bool, BudgetExceeded>, Strategy, Option<Certificate>) {
+) -> (Result<bool, DecisionError>, Strategy, Option<Certificate>) {
     if !view0.db.has_satisfiable_globals() {
         return (Ok(true), strategy, Some(Certificate::EmptyRep));
     }
@@ -217,7 +217,7 @@ fn certified_forall_exists(
     view: &View,
     engine: &Engine,
     strategy: Strategy,
-) -> (Result<bool, BudgetExceeded>, Strategy, Option<Certificate>) {
+) -> (Result<bool, DecisionError>, Strategy, Option<Certificate>) {
     if !view0.db.has_satisfiable_globals() {
         return (Ok(true), strategy, Some(Certificate::EmptyRep));
     }
@@ -226,7 +226,7 @@ fn certified_forall_exists(
     delta.extend(view0.query.constants());
     delta.extend(view.query.constants());
     let budget = engine.config().budget;
-    let inner_exhausted = AtomicBool::new(false);
+    let inner_failure: Mutex<Option<DecisionError>> = Mutex::new(None);
     let counterexample =
         engine.find_canonical_valuation(view0.db.symbols(), &vars, &delta, |valuation| {
             let world = valuation.world_of(&view0.db)?;
@@ -234,8 +234,11 @@ fn certified_forall_exists(
             match membership::view_membership(view, &left_output, budget) {
                 Ok(true) => None,
                 Ok(false) => Some(valuation.clone()),
-                Err(BudgetExceeded) => {
-                    inner_exhausted.store(true, Ordering::Relaxed);
+                Err(err) => {
+                    // Not a witness: this world's membership is unresolved.  Record
+                    // the failure and keep searching — another world may be a
+                    // definitive counterexample, which beats the failure.
+                    crate::engine::lock_unpoisoned(&inner_failure).get_or_insert(err);
                     None
                 }
             }
@@ -243,10 +246,10 @@ fn certified_forall_exists(
     match counterexample {
         Err(e) => (Err(e), strategy, None),
         Ok(Some(v)) => (Ok(false), strategy, Some(Certificate::counter_world(v))),
-        Ok(None) if inner_exhausted.load(Ordering::Relaxed) => {
-            (Err(BudgetExceeded), strategy, None)
-        }
-        Ok(None) => (Ok(true), strategy, Some(Certificate::Exhaustive)),
+        Ok(None) => match crate::engine::lock_unpoisoned(&inner_failure).take() {
+            Some(err) => (Err(err), strategy, None),
+            None => (Ok(true), strategy, Some(Certificate::Exhaustive)),
+        },
     }
 }
 
@@ -294,7 +297,7 @@ fn aligned_groups(db0: &CDatabase, db: &CDatabase) -> Option<usize> {
 /// would have drowned in its exponent).  Each group pair searches under the full request
 /// budget: group decompositions are how a budget-sized search stays feasible at all
 /// here, and a per-group slice would make the bound depend on the grouping.
-fn per_shard(view0: &View, view: &View, engine: &Engine) -> Result<bool, BudgetExceeded> {
+fn per_shard(view0: &View, view: &View, engine: &Engine) -> Result<bool, DecisionError> {
     if !view0.db.has_satisfiable_globals() {
         return Ok(true); // rep(view0.db) = ∅ ⊆ anything
     }
@@ -352,7 +355,7 @@ fn per_shard(view0: &View, view: &View, engine: &Engine) -> Result<bool, BudgetE
 /// resulting complete instance K₀ is tested for membership on the right — matching for
 /// Codd-tables (PTIME overall), backtracking for e-tables (an NP call, as Theorem 4.1(2)
 /// promises).
-pub fn freeze(db0: &CDatabase, db: &CDatabase, budget: Budget) -> Result<bool, BudgetExceeded> {
+pub fn freeze(db0: &CDatabase, db: &CDatabase, budget: Budget) -> Result<bool, DecisionError> {
     let Some(normalized) = normalize_database(db0) else {
         return Ok(true); // rep(db0) = ∅ ⊆ anything
     };
@@ -363,7 +366,7 @@ pub fn freeze(db0: &CDatabase, db: &CDatabase, budget: Budget) -> Result<bool, B
 /// Proposition 2.1(1): the general Π₂ᵖ procedure.  Every canonical valuation σ₀ of the left
 /// database yields a world `q₀(σ₀(𝒯₀))` that must be a member of the right view; Δ is the
 /// union of the constants of both inputs (plus both queries, via the instances produced).
-pub fn forall_exists(view0: &View, view: &View, budget: Budget) -> Result<bool, BudgetExceeded> {
+pub fn forall_exists(view0: &View, view: &View, budget: Budget) -> Result<bool, DecisionError> {
     forall_exists_with(view0, view, &Engine::new(EngineConfig::sequential(budget)))
 }
 
@@ -378,7 +381,7 @@ pub fn forall_exists_with(
     view0: &View,
     view: &View,
     engine: &Engine,
-) -> Result<bool, BudgetExceeded> {
+) -> Result<bool, DecisionError> {
     if !view0.db.has_satisfiable_globals() {
         return Ok(true);
     }
@@ -387,7 +390,7 @@ pub fn forall_exists_with(
     delta.extend(view0.query.constants());
     delta.extend(view.query.constants());
     let budget = engine.config().budget;
-    let inner_exhausted = AtomicBool::new(false);
+    let inner_failure: Mutex<Option<DecisionError>> = Mutex::new(None);
     let counterexample =
         engine.find_canonical_valuation(view0.db.symbols(), &vars, &delta, |valuation| {
             let world = valuation.world_of(&view0.db)?;
@@ -395,18 +398,18 @@ pub fn forall_exists_with(
             match membership::view_membership(view, &left_output, budget) {
                 Ok(true) => None,
                 Ok(false) => Some(()),
-                Err(BudgetExceeded) => {
+                Err(err) => {
                     // Not a witness: this world's membership is unresolved.  Keep
                     // searching — another world may be a definitive counterexample.
-                    inner_exhausted.store(true, Ordering::Relaxed);
+                    crate::engine::lock_unpoisoned(&inner_failure).get_or_insert(err);
                     None
                 }
             }
         })?;
     if counterexample.is_some() {
         Ok(false)
-    } else if inner_exhausted.load(Ordering::Relaxed) {
-        Err(BudgetExceeded)
+    } else if let Some(err) = crate::engine::lock_unpoisoned(&inner_failure).take() {
+        Err(err)
     } else {
         Ok(true)
     }

@@ -38,18 +38,44 @@
 //!   scheduling decides whether the witness or the exhaustion is reached first — callers
 //!   that need bit-for-bit reproducibility at tight budgets run with `threads = 1`.
 
-use crate::common::{Budget, BudgetExceeded};
+use crate::common::{
+    Budget, BudgetCounter, BudgetExceeded, CancelToken, DecisionError, FaultPlan, Limits,
+    LIMIT_CHECK_MASK,
+};
 use pw_condition::Variable;
 use pw_condition::{Atom, Conjunction, ConstraintSet, SatCache, Term};
 use pw_core::{CDatabase, CTable, Certificate, Valuation};
 use pw_relational::{Constant, Instance, Sym, Symbols, Tuple};
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::any::Any;
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 use std::hash::Hash;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Recover a lock whose holder panicked.  Every critical section in this module is a
+/// single insert/lookup over an always-consistent map, so a poisoned guard carries no
+/// broken invariant — propagating the poison would instead fail every *later* request
+/// for a panic that was already contained.
+pub(crate) fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Render a `catch_unwind` payload as the human-readable message for
+/// [`DecisionError::WorkerPanicked`].
+pub(crate) fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_owned()
+    }
+}
 
 /// How a general (worst-case exponential) decision procedure should be driven.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct EngineConfig {
     /// Worker threads.  `1` reproduces the sequential search exactly.
     pub threads: usize,
@@ -59,6 +85,26 @@ pub struct EngineConfig {
     /// better load balance on skewed trees at the cost of more upfront breadth-first
     /// expansion; 8 is a good default.
     pub frontier_per_thread: usize,
+    /// Wall-clock deadline per search, resolved to an absolute instant when each search
+    /// (phase) starts and polled on the amortized limit check (~every 1024 ticks), so
+    /// the hot loop stays branch-cheap.  A request is a small constant number of search
+    /// phases, so a deadline-exceeded request returns well within a small multiple of
+    /// this duration.  `None` (the default) checks nothing.
+    pub deadline: Option<Duration>,
+    /// Cooperative per-request cancellation: share the token with the caller, and any
+    /// thread calling [`CancelToken::cancel`] stops every search driven under this
+    /// configuration at its next amortized limit check with
+    /// [`DecisionError::Cancelled`].  Rides the same signal path as first-witness
+    /// cancellation and the deadline.
+    pub cancel: Option<Arc<CancelToken>>,
+    /// Upper bound on decision-memo entries.  When exceeded, a second-chance (clock)
+    /// sweep evicts cold entries — certificates evict with their verdicts — except
+    /// while a [`crate::batch::Session::redecide_all`] replay holds the memo pinned.
+    /// `None` (the default) never evicts.
+    pub memo_capacity: Option<usize>,
+    /// Deterministic fault injection for the robustness test-suite; `None` (the
+    /// default) injects nothing and costs nothing on the tick hot loop.
+    pub faults: Option<Arc<FaultPlan>>,
     /// Fan requests out across independent shard groups when the database's coupling
     /// graph splits ([`pw_core::CDatabase::shard_groups`]).  On by default — answers are
     /// identical to the joint search (groups are variable-disjoint, so `rep(db)` is the
@@ -81,6 +127,10 @@ impl EngineConfig {
             frontier_per_thread: 8,
             per_shard: true,
             certify: false,
+            deadline: None,
+            cancel: None,
+            memo_capacity: None,
+            faults: None,
         }
     }
 
@@ -98,6 +148,10 @@ impl EngineConfig {
             frontier_per_thread: 8,
             per_shard: true,
             certify: false,
+            deadline: None,
+            cancel: None,
+            memo_capacity: None,
+            faults: None,
         }
     }
 
@@ -113,6 +167,49 @@ impl EngineConfig {
     pub fn certified(mut self) -> Self {
         self.certify = true;
         self
+    }
+
+    /// Give every search a wall-clock deadline (see [`EngineConfig::deadline`]).
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attach a cooperative cancellation token (see [`EngineConfig::cancel`]).
+    pub fn with_cancel(mut self, token: Arc<CancelToken>) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Bound the decision memo (see [`EngineConfig::memo_capacity`]).  A capacity of 0
+    /// is clamped to 1 — the memo's invariants assume the entry just inserted can live
+    /// at least until its computation's caller returns.
+    pub fn with_memo_capacity(mut self, capacity: usize) -> Self {
+        self.memo_capacity = Some(capacity.max(1));
+        self
+    }
+
+    /// Attach a deterministic [`FaultPlan`] (see [`EngineConfig::faults`]).
+    pub fn with_faults(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Resolve the slow-path limits for a search starting *now*: the deadline duration
+    /// becomes an absolute instant, the cancel token and fault plan are shared.
+    pub(crate) fn limits(&self) -> Limits {
+        Limits {
+            deadline: self.deadline.map(|d| Instant::now() + d),
+            cancel: self.cancel.clone(),
+            faults: self.faults.clone(),
+        }
+    }
+
+    /// A sequential budget counter carrying this configuration's limits, so the
+    /// sequential backtracking paths honor deadlines, cancellation and fault plans
+    /// exactly like the parallel engine does.
+    pub(crate) fn counter(&self) -> BudgetCounter {
+        self.budget.counter().with_limits(self.limits())
     }
 }
 
@@ -130,6 +227,7 @@ impl Default for EngineConfig {
 #[derive(Debug)]
 pub struct SharedBudget {
     remaining: AtomicU64,
+    initial: u64,
 }
 
 impl SharedBudget {
@@ -137,15 +235,21 @@ impl SharedBudget {
     pub fn new(budget: Budget) -> Self {
         SharedBudget {
             remaining: AtomicU64::new(budget.0),
+            initial: budget.0,
         }
     }
 
-    /// Charge one unit.
-    pub fn tick(&self) -> Result<(), BudgetExceeded> {
-        self.remaining
+    /// Charge one unit; returns the total units spent so far across all workers.  The
+    /// atomic decrement hands every caller a distinct spent-count, so "every N-th
+    /// tick" conditions on the return value fire exactly once per N global ticks no
+    /// matter how the ticks are spread over threads — that is what keeps the
+    /// amortized deadline check cheap *and* deterministic in frequency.
+    pub fn tick(&self) -> Result<u64, BudgetExceeded> {
+        let prev = self
+            .remaining
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1))
-            .map(|_| ())
-            .map_err(|_| BudgetExceeded)
+            .map_err(|_| BudgetExceeded)?;
+        Ok(self.initial - (prev - 1))
     }
 
     /// Unspent units.
@@ -155,11 +259,13 @@ impl SharedBudget {
 }
 
 /// Why a worker stopped early.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 enum Stop {
-    /// The shared budget ran out.
-    Budget,
-    /// Another worker found a witness.
+    /// The search cannot continue — budget, deadline, external cancellation or an
+    /// injected fault.  Carried up as the request's [`DecisionError`].
+    Fail(DecisionError),
+    /// Another worker of this search found a witness (or panicked): stop quietly,
+    /// the driver already knows the outcome.
     Cancelled,
 }
 
@@ -173,6 +279,7 @@ enum Stop {
 pub(crate) struct Ctx {
     budget: Arc<SharedBudget>,
     cancel: AtomicBool,
+    limits: Limits,
 }
 
 impl Ctx {
@@ -180,14 +287,24 @@ impl Ctx {
         Ctx {
             budget: Arc::new(SharedBudget::new(budget)),
             cancel: AtomicBool::new(false),
+            limits: Limits::default(),
         }
     }
 
-    /// A context draining the same budget pool with a fresh cancellation scope.
+    /// Attach slow-path limits (deadline / external cancellation / fault plan); they
+    /// are polled every [`LIMIT_CHECK_MASK`]` + 1` global ticks.
+    pub(crate) fn with_limits(mut self, limits: Limits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// A context draining the same budget pool with a fresh cancellation scope.  The
+    /// slow-path limits carry over: a deadline spans all groups of a fan-out.
     pub(crate) fn fork(&self) -> Ctx {
         Ctx {
             budget: Arc::clone(&self.budget),
             cancel: AtomicBool::new(false),
+            limits: self.limits.clone(),
         }
     }
 
@@ -196,12 +313,22 @@ impl Ctx {
         self.budget.remaining()
     }
 
-    /// Charge one unit and poll for cancellation.
+    /// Charge one unit and poll for cancellation; the wall-clock deadline, the
+    /// external [`CancelToken`] and the fault plan are polled on the amortized slow
+    /// path only (every [`LIMIT_CHECK_MASK`]` + 1` global ticks — the shared budget's
+    /// unique spent-counts make that exactly one poll per window across all workers).
     fn tick(&self) -> Result<(), Stop> {
         if self.cancel.load(Ordering::Relaxed) {
             return Err(Stop::Cancelled);
         }
-        self.budget.tick().map_err(|_| Stop::Budget)
+        let spent = self
+            .budget
+            .tick()
+            .map_err(|_| Stop::Fail(DecisionError::BudgetExceeded))?;
+        if spent & LIMIT_CHECK_MASK == 0 && !self.limits.is_empty() {
+            self.limits.check(spent).map_err(Stop::Fail)?;
+        }
+        Ok(())
     }
 }
 
@@ -225,8 +352,8 @@ fn drive<S: TreeSearch>(
     search: &S,
     root: S::Node,
     cfg: &EngineConfig,
-) -> Result<bool, BudgetExceeded> {
-    let ctx = Ctx::new(cfg.budget);
+) -> Result<bool, DecisionError> {
+    let ctx = Ctx::new(cfg.budget).with_limits(cfg.limits());
     drive_ctx(search, root, cfg, &ctx)
 }
 
@@ -238,12 +365,14 @@ fn drive_ctx<S: TreeSearch>(
     root: S::Node,
     cfg: &EngineConfig,
     ctx: &Ctx,
-) -> Result<bool, BudgetExceeded> {
+) -> Result<bool, DecisionError> {
     if cfg.threads <= 1 {
         return match search.dfs(root, ctx) {
             Ok(found) => Ok(found),
-            Err(Stop::Budget) => Err(BudgetExceeded),
-            Err(Stop::Cancelled) => unreachable!("nothing cancels a single-threaded search"),
+            Err(Stop::Fail(e)) => Err(e),
+            // The internal first-witness flag is only set by parallel workers; if that
+            // invariant ever drifts, report a cooperative stop instead of crashing.
+            Err(Stop::Cancelled) => Err(DecisionError::Cancelled),
         };
     }
 
@@ -260,8 +389,9 @@ fn drive_ctx<S: TreeSearch>(
         match search.expand(node, &mut children, ctx) {
             Ok(true) => return Ok(true),
             Ok(false) => frontier.extend(children.drain(..)),
-            Err(Stop::Budget) => return Err(BudgetExceeded),
-            Err(Stop::Cancelled) => unreachable!("cancellation starts with the workers"),
+            Err(Stop::Fail(e)) => return Err(e),
+            // See the single-threaded arm: cancellation starts with the workers.
+            Err(Stop::Cancelled) => return Err(DecisionError::Cancelled),
         }
     }
 
@@ -271,43 +401,77 @@ fn drive_ctx<S: TreeSearch>(
     enum Outcome {
         Found,
         Exhausted,
-        OutOfBudget,
+        Stopped(DecisionError),
         Cancelled,
+        Panicked(String),
     }
     let outcomes: Vec<Outcome> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..cfg.threads)
             .map(|_| {
                 let queue = &queue;
                 scope.spawn(move || loop {
-                    let node = queue.lock().expect("frontier queue poisoned").pop_back();
+                    let node = lock_unpoisoned(queue).pop_back();
                     let Some(node) = node else {
                         return Outcome::Exhausted;
                     };
-                    match search.dfs(node, ctx) {
-                        Ok(true) => {
+                    // The scoped-worker isolation boundary: a panicking search fails
+                    // this request only.  The frontier lock is never held across
+                    // `dfs`, so nothing can be poisoned; siblings are cancelled —
+                    // with one subtree unexplored no definite answer is possible.
+                    match catch_unwind(AssertUnwindSafe(|| search.dfs(node, ctx))) {
+                        Ok(Ok(true)) => {
                             ctx.cancel.store(true, Ordering::Relaxed);
                             return Outcome::Found;
                         }
-                        Ok(false) => continue,
-                        Err(Stop::Budget) => return Outcome::OutOfBudget,
-                        Err(Stop::Cancelled) => return Outcome::Cancelled,
+                        Ok(Ok(false)) => continue,
+                        Ok(Err(Stop::Fail(e))) => return Outcome::Stopped(e),
+                        Ok(Err(Stop::Cancelled)) => return Outcome::Cancelled,
+                        Err(payload) => {
+                            ctx.cancel.store(true, Ordering::Relaxed);
+                            return Outcome::Panicked(panic_message(payload.as_ref()));
+                        }
                     }
                 })
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|payload| Outcome::Panicked(panic_message(payload.as_ref())))
+            })
             .collect()
     });
 
-    if outcomes.contains(&Outcome::Found) {
-        Ok(true)
-    } else if outcomes.contains(&Outcome::OutOfBudget) {
-        Err(BudgetExceeded)
-    } else {
-        Ok(false)
+    // A found witness is definite and beats every failure; a panic means an
+    // unexplored subtree, which taints any "exhausted" claim; among the cooperative
+    // stops, deadline/cancellation name the request-level cause more precisely than
+    // the default budget exhaustion.
+    let mut panicked: Option<String> = None;
+    let mut stopped: Option<DecisionError> = None;
+    for outcome in outcomes {
+        match outcome {
+            Outcome::Found => return Ok(true),
+            Outcome::Panicked(msg) => {
+                if panicked.is_none() {
+                    panicked = Some(msg);
+                }
+            }
+            Outcome::Stopped(e) => {
+                if matches!(stopped, None | Some(DecisionError::BudgetExceeded)) {
+                    stopped = Some(e);
+                }
+            }
+            Outcome::Exhausted | Outcome::Cancelled => {}
+        }
     }
+    if let Some(msg) = panicked {
+        return Err(DecisionError::WorkerPanicked(msg));
+    }
+    if let Some(e) = stopped {
+        return Err(e);
+    }
+    Ok(false)
 }
 
 /// Assert that the row instantiates to exactly `fact` and that its local condition holds.
@@ -389,10 +553,32 @@ pub struct Engine {
     /// verdict while a rebuilt (dirty) group misses and is re-searched.  Only definite
     /// answers are stored — a budget-exceeded search is never memoized.  Certified
     /// decides store their evidence beside the verdict ([`MemoEntry`]), so a replayed
-    /// group answer stays auditable.
-    decision_memo: Mutex<HashMap<MemoKey, MemoEntry>>,
+    /// group answer stays auditable.  Bounded by [`EngineConfig::memo_capacity`] with
+    /// second-chance eviction ([`MemoTable`]).
+    decision_memo: Mutex<MemoTable>,
     memo_hits: AtomicU64,
     memo_misses: AtomicU64,
+}
+
+/// The bounded decision memo: entries plus the clock (second-chance) eviction state.
+///
+/// Eviction policy: every insert that pushes `entries` past
+/// [`EngineConfig::memo_capacity`] sweeps the clock hand — a referenced entry (hit
+/// since the hand last passed) gets its bit cleared and one more lap, an unreferenced
+/// one evicts, certificate and all.  While `pins > 0` (a
+/// [`crate::batch::Session::redecide_all`] replay in flight) nothing evicts; the
+/// unpin re-enforces the bound.  Correctness does not depend on the policy at all:
+/// an evicted entry is simply recomputed on the next miss, and only definite answers
+/// are ever stored, so the recomputed verdict is identical.
+#[derive(Debug, Default)]
+struct MemoTable {
+    entries: HashMap<MemoKey, MemoEntry>,
+    /// The clock hand's queue: keys in insertion/second-chance order.  May hold stale
+    /// keys after [`Engine::retire_database`] sweeps `entries`; the eviction loop
+    /// skips them.
+    clock: VecDeque<MemoKey>,
+    evictions: u64,
+    pins: u32,
 }
 
 /// A decision-memo key.  Every component is held *structurally* — the request instance
@@ -400,7 +586,7 @@ pub struct Engine {
 /// collide into one entry (the same "distinct keys can never collide" rule the
 /// base-store cache follows); hashing is still one fingerprint word per database plus
 /// the instance walk.
-#[derive(PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 struct MemoKey {
     op: MemoOp,
     /// The (group) database the primitive is asked of.
@@ -419,6 +605,8 @@ struct MemoKey {
 struct MemoEntry {
     answer: bool,
     certificate: Option<Certificate>,
+    /// Second-chance bit: set on every memo hit, cleared when the clock hand passes.
+    referenced: bool,
 }
 
 /// The per-group decision primitives the engine memoizes.  Each is a deterministic
@@ -451,6 +639,9 @@ pub struct MemoStats {
     pub misses: u64,
     /// Entries currently stored.
     pub entries: usize,
+    /// Entries evicted by the capacity bound ([`EngineConfig::memo_capacity`]) since
+    /// the engine was built.
+    pub evictions: u64,
 }
 
 impl Engine {
@@ -460,7 +651,7 @@ impl Engine {
             cfg,
             sat_cache: SatCache::new(),
             base_stores: Mutex::new(HashMap::new()),
-            decision_memo: Mutex::new(HashMap::new()),
+            decision_memo: Mutex::new(MemoTable::default()),
             memo_hits: AtomicU64::new(0),
             memo_misses: AtomicU64::new(0),
         }
@@ -475,8 +666,8 @@ impl Engine {
         db: &CDatabase,
         request: &Instance,
         rhs: Option<&CDatabase>,
-        compute: impl FnOnce() -> Result<bool, BudgetExceeded>,
-    ) -> Result<bool, BudgetExceeded> {
+        compute: impl FnOnce() -> Result<bool, DecisionError>,
+    ) -> Result<bool, DecisionError> {
         let key = MemoKey {
             op,
             db: db.clone(),
@@ -484,25 +675,34 @@ impl Engine {
             rhs: rhs.cloned(),
         };
         {
-            let memo = self.decision_memo.lock().expect("decision memo poisoned");
-            if let Some(entry) = memo.get(&key) {
+            let mut memo = lock_unpoisoned(&self.decision_memo);
+            if let Some(entry) = memo.entries.get_mut(&key) {
+                entry.referenced = true;
                 self.memo_hits.fetch_add(1, Ordering::Relaxed);
                 return Ok(entry.answer);
             }
         }
         // Compute outside the lock: a slow group search must not block unrelated
-        // lookups.  A concurrent duplicate compute is benign (the verdict is
-        // deterministic, first insert wins).
-        let verdict = compute()?;
+        // lookups, and — the per-group isolation boundary — a panicking group search
+        // can poison nothing here.  The panic becomes this group's `WorkerPanicked`;
+        // sibling groups and requests proceed.  A concurrent duplicate compute is
+        // benign (the verdict is deterministic, first insert wins).
+        let verdict = catch_unwind(AssertUnwindSafe(compute))
+            .unwrap_or_else(|p| Err(DecisionError::WorkerPanicked(panic_message(p.as_ref()))))?;
         self.memo_misses.fetch_add(1, Ordering::Relaxed);
-        self.decision_memo
-            .lock()
-            .expect("decision memo poisoned")
-            .entry(key)
-            .or_insert(MemoEntry {
-                answer: verdict,
-                certificate: None,
-            });
+        let mut memo = lock_unpoisoned(&self.decision_memo);
+        if !memo.entries.contains_key(&key) {
+            memo.entries.insert(
+                key.clone(),
+                MemoEntry {
+                    answer: verdict,
+                    certificate: None,
+                    referenced: false,
+                },
+            );
+            memo.clock.push_back(key);
+            self.enforce_memo_capacity(&mut memo);
+        }
         Ok(verdict)
     }
 
@@ -517,8 +717,8 @@ impl Engine {
         db: &CDatabase,
         request: &Instance,
         rhs: Option<&CDatabase>,
-        compute: impl FnOnce() -> Result<(bool, Option<Certificate>), BudgetExceeded>,
-    ) -> Result<(bool, Option<Certificate>), BudgetExceeded> {
+        compute: impl FnOnce() -> Result<(bool, Option<Certificate>), DecisionError>,
+    ) -> Result<(bool, Option<Certificate>), DecisionError> {
         let key = MemoKey {
             op,
             db: db.clone(),
@@ -526,36 +726,95 @@ impl Engine {
             rhs: rhs.cloned(),
         };
         {
-            let memo = self.decision_memo.lock().expect("decision memo poisoned");
-            if let Some(entry) = memo.get(&key) {
+            let mut memo = lock_unpoisoned(&self.decision_memo);
+            if let Some(entry) = memo.entries.get_mut(&key) {
                 if entry.certificate.is_some() {
+                    entry.referenced = true;
                     self.memo_hits.fetch_add(1, Ordering::Relaxed);
                     return Ok((entry.answer, entry.certificate.clone()));
                 }
             }
         }
-        let (answer, certificate) = compute()?;
+        // Same out-of-lock compute + per-group panic boundary as `memo_decide`.
+        let result = catch_unwind(AssertUnwindSafe(compute))
+            .unwrap_or_else(|p| Err(DecisionError::WorkerPanicked(panic_message(p.as_ref()))));
+        let (answer, certificate) = result?;
         self.memo_misses.fetch_add(1, Ordering::Relaxed);
-        self.decision_memo
-            .lock()
-            .expect("decision memo poisoned")
-            .insert(
-                key,
-                MemoEntry {
-                    answer,
-                    certificate: certificate.clone(),
-                },
-            );
+        let mut memo = lock_unpoisoned(&self.decision_memo);
+        let upgrade = memo.entries.contains_key(&key);
+        memo.entries.insert(
+            key.clone(),
+            MemoEntry {
+                answer,
+                certificate: certificate.clone(),
+                referenced: false,
+            },
+        );
+        if !upgrade {
+            memo.clock.push_back(key);
+            self.enforce_memo_capacity(&mut memo);
+        }
         Ok((answer, certificate))
+    }
+
+    /// The capacity the memo is held to right now: the configured bound, or 1 under an
+    /// injected eviction storm ([`FaultPlan::eviction_storm`]).
+    fn effective_memo_capacity(&self) -> Option<usize> {
+        if self.cfg.faults.as_ref().is_some_and(|f| f.eviction_storm) {
+            return Some(1);
+        }
+        self.cfg.memo_capacity.map(|c| c.max(1))
+    }
+
+    /// The second-chance sweep (see [`MemoTable`]).  No-op while the memo is pinned or
+    /// unbounded.
+    fn enforce_memo_capacity(&self, memo: &mut MemoTable) {
+        let Some(cap) = self.effective_memo_capacity() else {
+            return;
+        };
+        if memo.pins > 0 {
+            return;
+        }
+        // After one full lap every survivor's referenced bit is cleared, so the hand
+        // finds an eviction victim within 2·len steps — the loop is bounded.
+        let mut steps = memo.clock.len().saturating_mul(2);
+        while memo.entries.len() > cap && steps > 0 {
+            steps -= 1;
+            let Some(key) = memo.clock.pop_front() else {
+                break;
+            };
+            match memo.entries.get_mut(&key) {
+                // Stale hand position: the entry was retired with its database.
+                None => continue,
+                Some(entry) if entry.referenced => {
+                    entry.referenced = false;
+                    memo.clock.push_back(key);
+                }
+                Some(_) => {
+                    memo.entries.remove(&key);
+                    memo.evictions += 1;
+                }
+            }
+        }
+    }
+
+    /// Pin the decision memo: nothing evicts while any pin is alive.  Held by
+    /// [`crate::batch::Session::redecide_all`] around the replay batch, so eviction
+    /// can never race an in-flight replay; dropping the last pin re-enforces the
+    /// capacity bound.
+    pub(crate) fn pin_memo(&self) -> MemoPin<'_> {
+        lock_unpoisoned(&self.decision_memo).pins += 1;
+        MemoPin { engine: self }
     }
 
     /// Current decision-memo counters.
     pub fn memo_stats(&self) -> MemoStats {
-        let memo = self.decision_memo.lock().expect("decision memo poisoned");
+        let memo = lock_unpoisoned(&self.decision_memo);
         MemoStats {
             hits: self.memo_hits.load(Ordering::Relaxed),
             misses: self.memo_misses.load(Ordering::Relaxed),
-            entries: memo.len(),
+            entries: memo.entries.len(),
+            evictions: memo.evictions,
         }
     }
 
@@ -564,14 +823,54 @@ impl Engine {
     /// `batch`'s re-decision front door) for the previous database value and for the
     /// dissolved shard groups after a delta, so retired versions do not accumulate.
     pub fn retire_database(&self, db: &CDatabase) {
-        self.base_stores
-            .lock()
-            .expect("base-store cache poisoned")
-            .remove(db);
-        self.decision_memo
-            .lock()
-            .expect("decision memo poisoned")
+        lock_unpoisoned(&self.base_stores).remove(db);
+        let mut memo = lock_unpoisoned(&self.decision_memo);
+        memo.entries
             .retain(|key, _| key.db != *db && key.rhs.as_ref() != Some(db));
+        let MemoTable { entries, clock, .. } = &mut *memo;
+        clock.retain(|key| entries.contains_key(key));
+    }
+
+    /// Purge the hash-consed condition-satisfiability entries that belonged to
+    /// `retired` and are **not** shared with `live`.  The complement of
+    /// [`Engine::retire_database`] for the [`SatCache`]: conditions are shared across
+    /// database versions (most rows survive a small delta), so a retire must be
+    /// keep-aware — dropping everything `retired` ever interned would also purge the
+    /// live database's entries.  Called by [`crate::batch::Session::redecide_all`]
+    /// when a delta replaces the database value.
+    pub fn retire_conditions(&self, retired: &CDatabase, live: &CDatabase) {
+        fn conditions(db: &CDatabase) -> HashSet<Conjunction> {
+            let mut set = HashSet::new();
+            for table in db.tables() {
+                set.insert(table.global_condition().clone());
+                for row in table.tuples() {
+                    set.insert(row.condition.clone());
+                }
+            }
+            set
+        }
+        let mut dead = conditions(retired);
+        for cond in conditions(live) {
+            dead.remove(&cond);
+        }
+        if dead.is_empty() {
+            return;
+        }
+        self.sat_cache.retain(|cond| !dead.contains(cond));
+    }
+
+    /// Replace the per-request budget.  Crate-internal: the retry front door
+    /// ([`crate::batch::Session::decide_all_with_retry`]) escalates it between passes —
+    /// sound because budget-exceeded outcomes are never memoized, so no cached verdict
+    /// can disagree with a bigger-budget re-run.
+    pub(crate) fn set_budget(&mut self, budget: Budget) {
+        self.cfg.budget = budget;
+    }
+
+    /// A fresh search context for one request: the configured budget plus the
+    /// slow-path limits, with the deadline resolved to an absolute instant *now*.
+    pub(crate) fn ctx(&self) -> Ctx {
+        Ctx::new(self.cfg.budget).with_limits(self.cfg.limits())
     }
 
     /// The configuration the engine was built with.
@@ -589,7 +888,7 @@ impl Engine {
     /// cached database answers with a map lookup, no store clone.
     pub fn has_satisfiable_globals(&self, db: &CDatabase) -> bool {
         {
-            let cache = self.base_stores.lock().expect("base-store cache poisoned");
+            let cache = lock_unpoisoned(&self.base_stores);
             if let Some(store) = cache.get(db) {
                 return store.is_some();
             }
@@ -602,7 +901,7 @@ impl Engine {
     /// happens once per distinct database per engine; callers get a cheap clone.
     pub fn base_store(&self, db: &CDatabase) -> Option<ConstraintSet> {
         {
-            let cache = self.base_stores.lock().expect("base-store cache poisoned");
+            let cache = lock_unpoisoned(&self.base_stores);
             if let Some(store) = cache.get(db) {
                 return store.clone();
             }
@@ -629,7 +928,7 @@ impl Engine {
             }
             ok.then_some(store)
         };
-        let mut cache = self.base_stores.lock().expect("base-store cache poisoned");
+        let mut cache = lock_unpoisoned(&self.base_stores);
         cache.entry(db.clone()).or_insert(built).clone()
     }
 
@@ -642,8 +941,8 @@ impl Engine {
         &self,
         db: &CDatabase,
         facts: &Instance,
-    ) -> Result<bool, BudgetExceeded> {
-        self.covering_ctx(db, facts, &Ctx::new(self.cfg.budget))
+    ) -> Result<bool, DecisionError> {
+        self.covering_ctx(db, facts, &self.ctx())
     }
 
     pub(crate) fn covering_ctx(
@@ -651,7 +950,7 @@ impl Engine {
         db: &CDatabase,
         facts: &Instance,
         ctx: &Ctx,
-    ) -> Result<bool, BudgetExceeded> {
+    ) -> Result<bool, DecisionError> {
         for (name, rel) in facts.iter() {
             if rel.is_empty() {
                 continue;
@@ -694,8 +993,8 @@ impl Engine {
         &self,
         db: &CDatabase,
         facts: &Instance,
-    ) -> Result<bool, BudgetExceeded> {
-        self.missing_any_ctx(db, facts, &Ctx::new(self.cfg.budget))
+    ) -> Result<bool, DecisionError> {
+        self.missing_any_ctx(db, facts, &self.ctx())
     }
 
     pub(crate) fn missing_any_ctx(
@@ -703,7 +1002,7 @@ impl Engine {
         db: &CDatabase,
         facts: &Instance,
         ctx: &Ctx,
-    ) -> Result<bool, BudgetExceeded> {
+    ) -> Result<bool, DecisionError> {
         let mut work: Vec<(&CTable, Vec<Sym>)> = Vec::new();
         for (name, rel) in facts.iter() {
             for fact in rel.iter() {
@@ -746,7 +1045,7 @@ impl Engine {
         db: &CDatabase,
         relation: &str,
         fact: &Tuple,
-    ) -> Result<bool, BudgetExceeded> {
+    ) -> Result<bool, DecisionError> {
         self.exists_world_missing_any_fact(db, &single_fact_instance(relation, fact))
     }
 
@@ -757,8 +1056,8 @@ impl Engine {
         &self,
         db: &CDatabase,
         instance: &Instance,
-    ) -> Result<bool, BudgetExceeded> {
-        self.fact_outside_ctx(db, instance, &Ctx::new(self.cfg.budget))
+    ) -> Result<bool, DecisionError> {
+        self.fact_outside_ctx(db, instance, &self.ctx())
     }
 
     pub(crate) fn fact_outside_ctx(
@@ -766,7 +1065,7 @@ impl Engine {
         db: &CDatabase,
         instance: &Instance,
         ctx: &Ctx,
-    ) -> Result<bool, BudgetExceeded> {
+    ) -> Result<bool, DecisionError> {
         let Some(base) = self.base_store(db) else {
             return Ok(false);
         };
@@ -826,11 +1125,11 @@ impl Engine {
         &self,
         db: &CDatabase,
         facts: &Instance,
-    ) -> Result<bool, BudgetExceeded> {
+    ) -> Result<bool, DecisionError> {
         let Some(parts) = split_by_group(db, facts) else {
             return Ok(false);
         };
-        let ctx = Ctx::new(self.cfg.budget);
+        let ctx = self.ctx();
         for (group, part) in db.shard_groups().iter().zip(&parts) {
             // A group with no facts still gates the conjunction: its globals must be
             // satisfiable (the joint base store asserts them too), which is exactly what
@@ -862,8 +1161,8 @@ impl Engine {
         &self,
         db: &CDatabase,
         facts: &Instance,
-    ) -> Result<bool, BudgetExceeded> {
-        self.missing_any_per_shard_ctx(db, facts, &Ctx::new(self.cfg.budget))
+    ) -> Result<bool, DecisionError> {
+        self.missing_any_per_shard_ctx(db, facts, &self.ctx())
     }
 
     pub(crate) fn missing_any_per_shard_ctx(
@@ -871,7 +1170,7 @@ impl Engine {
         db: &CDatabase,
         facts: &Instance,
         ctx: &Ctx,
-    ) -> Result<bool, BudgetExceeded> {
+    ) -> Result<bool, DecisionError> {
         let group_of = db.shard_group_index();
         let mut parts: Vec<Instance> = vec![Instance::new(); db.shard_groups().len()];
         let mut any_fact = false;
@@ -923,8 +1222,8 @@ impl Engine {
         &self,
         db: &CDatabase,
         instance: &Instance,
-    ) -> Result<bool, BudgetExceeded> {
-        self.fact_outside_per_shard_ctx(db, instance, &Ctx::new(self.cfg.budget))
+    ) -> Result<bool, DecisionError> {
+        self.fact_outside_per_shard_ctx(db, instance, &self.ctx())
     }
 
     pub(crate) fn fact_outside_per_shard_ctx(
@@ -932,7 +1231,7 @@ impl Engine {
         db: &CDatabase,
         instance: &Instance,
         ctx: &Ctx,
-    ) -> Result<bool, BudgetExceeded> {
+    ) -> Result<bool, DecisionError> {
         // Empty representation (some group's globals unsatisfiable ⇒ the joint globals
         // are): no world exists, hence no world with an extra fact — the outcome the
         // joint search's missing base store yields.
@@ -983,7 +1282,7 @@ impl Engine {
         vars: &[Variable],
         delta: &BTreeSet<Constant>,
         visit: F,
-    ) -> Result<Option<R>, BudgetExceeded>
+    ) -> Result<Option<R>, DecisionError>
     where
         R: Send,
         F: Fn(&Valuation) -> Option<R> + Sync,
@@ -1003,10 +1302,29 @@ impl Engine {
         };
         let found = drive(&search, root, &self.cfg)?;
         Ok(if found {
-            search.witness.into_inner().expect("witness mutex poisoned")
+            search
+                .witness
+                .into_inner()
+                .unwrap_or_else(PoisonError::into_inner)
         } else {
             None
         })
+    }
+}
+
+/// RAII guard of [`Engine::pin_memo`]: decision-memo eviction is disabled until every
+/// pin is dropped.
+pub(crate) struct MemoPin<'a> {
+    engine: &'a Engine,
+}
+
+impl Drop for MemoPin<'_> {
+    fn drop(&mut self) {
+        let mut memo = lock_unpoisoned(&self.engine.decision_memo);
+        memo.pins = memo.pins.saturating_sub(1);
+        if memo.pins == 0 {
+            self.engine.enforce_memo_capacity(&mut memo);
+        }
     }
 }
 
@@ -1377,7 +1695,7 @@ where
         let valuation =
             Valuation::from_pairs(self.vars.iter().copied().zip(assignment.iter().copied()));
         if let Some(r) = (self.visit)(&valuation) {
-            let mut witness = self.witness.lock().expect("witness mutex poisoned");
+            let mut witness = lock_unpoisoned(&self.witness);
             witness.get_or_insert(r);
             return Ok(true);
         }
@@ -1580,7 +1898,7 @@ mod tests {
                     .find_canonical_valuation(Symbols::global(), &vars, &delta, |_| None::<()>);
                 assert_eq!(
                     r.err(),
-                    Some(BudgetExceeded),
+                    Some(DecisionError::BudgetExceeded),
                     "no witness + tree larger than budget ⇒ always BudgetExceeded ({threads} threads)"
                 );
             }

@@ -14,7 +14,7 @@
 //!   bounds prescribe.
 
 use crate::certify;
-use crate::common::{evaluation_delta, Budget, BudgetCounter, BudgetExceeded, Strategy};
+use crate::common::{evaluation_delta, Budget, BudgetCounter, DecisionError, Strategy};
 use crate::engine::{Engine, EngineConfig};
 use pw_condition::{Atom, ConstraintSet, Term};
 use pw_core::{CDatabase, CTable, Certificate, View};
@@ -25,7 +25,7 @@ use std::collections::BTreeSet;
 /// Decide `MEMB(-)`: is `instance` in `rep(db)`?  Dispatches to the matching algorithm for
 /// Codd-table databases, to the shard-group decomposition when the coupling graph splits,
 /// and to the joint backtracking procedure otherwise.
-pub fn decide(db: &CDatabase, instance: &Instance, budget: Budget) -> Result<bool, BudgetExceeded> {
+pub fn decide(db: &CDatabase, instance: &Instance, budget: Budget) -> Result<bool, DecisionError> {
     match strategy(db) {
         Strategy::CoddMatching => Ok(codd_matching(db, instance)),
         Strategy::PerShard { .. } => per_shard(db, instance, budget),
@@ -45,7 +45,7 @@ pub(crate) fn decide_joint(
     db: &CDatabase,
     instance: &Instance,
     budget: Budget,
-) -> Result<bool, BudgetExceeded> {
+) -> Result<bool, DecisionError> {
     match strategy_with(db, false) {
         Strategy::CoddMatching => Ok(codd_matching(db, instance)),
         _ => backtracking(db, instance, budget),
@@ -79,7 +79,7 @@ pub fn per_shard(
     db: &CDatabase,
     instance: &Instance,
     budget: Budget,
-) -> Result<bool, BudgetExceeded> {
+) -> Result<bool, DecisionError> {
     // An unknown or arity-mismatched relation is not a member of anything — the same
     // outcome `schema_compatible` gives the joint searches.
     let Some(parts) = crate::engine::split_by_group(db, instance) else {
@@ -101,11 +101,11 @@ pub(crate) fn per_shard_with(
     db: &CDatabase,
     instance: &Instance,
     engine: &Engine,
-) -> Result<bool, BudgetExceeded> {
+) -> Result<bool, DecisionError> {
     let Some(parts) = crate::engine::split_by_group(db, instance) else {
         return Ok(false);
     };
-    let mut counter = engine.config().budget.counter();
+    let mut counter = engine.config().counter();
     for (group, part) in db.shard_groups().iter().zip(&parts) {
         let sub = group.database();
         let ok = engine.memo_decide(crate::engine::MemoOp::Member, sub, part, None, || {
@@ -124,7 +124,7 @@ fn per_shard_group(
     sub: &CDatabase,
     part: &Instance,
     counter: &mut BudgetCounter,
-) -> Result<bool, BudgetExceeded> {
+) -> Result<bool, DecisionError> {
     if sub.is_decoupled_codd() {
         Ok(codd_matching(sub, part))
     } else {
@@ -218,7 +218,7 @@ pub fn backtracking(
     db: &CDatabase,
     instance: &Instance,
     budget: Budget,
-) -> Result<bool, BudgetExceeded> {
+) -> Result<bool, DecisionError> {
     let mut counter = budget.counter();
     backtracking_counted(db, instance, &mut counter)
 }
@@ -229,7 +229,7 @@ fn backtracking_counted(
     db: &CDatabase,
     instance: &Instance,
     counter: &mut BudgetCounter,
-) -> Result<bool, BudgetExceeded> {
+) -> Result<bool, DecisionError> {
     if !schema_compatible(db, instance) {
         return Ok(false);
     }
@@ -291,7 +291,7 @@ fn backtracking_counted(
         depth: usize,
         store: &mut ConstraintSet,
         counter: &mut BudgetCounter,
-    ) -> Result<bool, BudgetExceeded> {
+    ) -> Result<bool, DecisionError> {
         let (rows, fact_lists, total_facts) = (&shape.rows, &shape.fact_lists, shape.total_facts);
         counter.tick()?;
         if depth == rows.len() {
@@ -382,7 +382,7 @@ pub fn view_membership(
     view: &View,
     instance: &Instance,
     budget: Budget,
-) -> Result<bool, BudgetExceeded> {
+) -> Result<bool, DecisionError> {
     view_membership_with(
         view,
         instance,
@@ -404,7 +404,7 @@ pub fn view_membership_with(
     view: &View,
     instance: &Instance,
     engine: &Engine,
-) -> (Result<bool, BudgetExceeded>, Strategy) {
+) -> (Result<bool, DecisionError>, Strategy) {
     match view.to_ctables() {
         Some(Ok(db)) => {
             let split = engine.config().per_shard;
@@ -453,7 +453,7 @@ pub(crate) fn view_membership_certified(
     view: &View,
     instance: &Instance,
     engine: &Engine,
-) -> (Result<bool, BudgetExceeded>, Strategy, Option<Certificate>) {
+) -> (Result<bool, DecisionError>, Strategy, Option<Certificate>) {
     if !engine.config().certify {
         let (answer, strategy) = view_membership_with(view, instance, engine);
         return (answer, strategy, None);
@@ -491,7 +491,7 @@ pub(crate) fn view_membership_certified(
                     }
                 }
                 _ => {
-                    let mut counter = engine.config().budget.counter();
+                    let mut counter = engine.config().counter();
                     match certify::member_witness(&db, instance, &mut counter) {
                         Ok(Some(w)) => (Ok(true), yes(w)),
                         Ok(None) => (Ok(false), Some(certify::no_world_cert(&view.db))),
@@ -542,7 +542,7 @@ pub(crate) fn certified_per_shard_member(
     db: &CDatabase,
     instance: &Instance,
     engine: &Engine,
-) -> Result<(bool, Option<certify::Binding>), BudgetExceeded> {
+) -> Result<(bool, Option<certify::Binding>), DecisionError> {
     certify::per_shard_witness(
         db,
         instance,
@@ -584,12 +584,12 @@ pub fn by_enumeration(
     db: &CDatabase,
     instance: &Instance,
     budget: usize,
-) -> Result<bool, BudgetExceeded> {
+) -> Result<bool, DecisionError> {
     let extra: BTreeSet<_> = instance.active_domain();
     let worlds = pw_core::rep::PossibleWorlds::new(db)
         .with_extra_constants(extra)
         .enumerate(budget)
-        .map_err(|_| BudgetExceeded)?;
+        .map_err(|_| DecisionError::BudgetExceeded)?;
     Ok(worlds.iter().any(|w| w.same_facts(instance)))
 }
 
@@ -843,7 +843,10 @@ mod tests {
     #[test]
     fn budget_exceeded_is_reported() {
         let (db, i0) = fig3();
-        assert_eq!(backtracking(&db, &i0, Budget(2)), Err(BudgetExceeded));
+        assert_eq!(
+            backtracking(&db, &i0, Budget(2)),
+            Err(DecisionError::BudgetExceeded)
+        );
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //!   Codd-tables, Theorem 5.2(2,3)).
 
 use crate::certify;
-use crate::common::{evaluation_delta, Budget, BudgetExceeded, Strategy};
+use crate::common::{evaluation_delta, Budget, DecisionError, Strategy};
 use crate::engine::{Engine, EngineConfig};
 use crate::search::exists_world_covering;
 use pw_core::algebra::AlgebraError;
@@ -24,7 +24,7 @@ use pw_solvers::matching::{maximum_matching, BipartiteGraph};
 /// The same entry point serves the bounded and unbounded problems; the distinction in the
 /// paper is about what is considered part of the input (`k` fixed vs. unbounded), not about
 /// the question itself.
-pub fn decide(view: &View, facts: &Instance, budget: Budget) -> Result<bool, BudgetExceeded> {
+pub fn decide(view: &View, facts: &Instance, budget: Budget) -> Result<bool, DecisionError> {
     decide_with(view, facts, &Engine::new(EngineConfig::sequential(budget))).0
 }
 
@@ -39,7 +39,7 @@ pub fn decide_with(
     view: &View,
     facts: &Instance,
     engine: &Engine,
-) -> (Result<bool, BudgetExceeded>, Strategy) {
+) -> (Result<bool, DecisionError>, Strategy) {
     let (strategy, converted) = plan(view, engine.config().per_shard);
     let answer = match strategy {
         Strategy::CoddMatching => Ok(codd_matching(&view.db, facts)),
@@ -68,7 +68,7 @@ pub(crate) fn decide_certified(
     view: &View,
     facts: &Instance,
     engine: &Engine,
-) -> (Result<bool, BudgetExceeded>, Strategy, Option<Certificate>) {
+) -> (Result<bool, DecisionError>, Strategy, Option<Certificate>) {
     if !engine.config().certify {
         let (answer, strategy) = decide_with(view, facts, engine);
         return (answer, strategy, None);
@@ -109,7 +109,7 @@ pub(crate) fn decide_certified(
         Strategy::CTableAlgebra | Strategy::Backtracking => {
             match converted.expect("planned strategies carry their conversion") {
                 Ok(db) => {
-                    let mut counter = engine.config().budget.counter();
+                    let mut counter = engine.config().counter();
                     match certify::cover_witness(&db, facts, &mut counter) {
                         Ok(Some(w)) => (Ok(true), strategy, yes(w)),
                         Ok(None) => (Ok(false), strategy, no()),
@@ -222,7 +222,7 @@ pub fn codd_matching(db: &CDatabase, facts: &Instance) -> bool {
 /// The bounded/general search on conditional tables: find rows producing exactly the facts
 /// of `P` under a consistent valuation (Theorem 5.2(1) after c-table conversion; the same
 /// search is the NP procedure for e-/i-/g-/c-tables).
-pub fn row_cover(db: &CDatabase, facts: &Instance, budget: Budget) -> Result<bool, BudgetExceeded> {
+pub fn row_cover(db: &CDatabase, facts: &Instance, budget: Budget) -> Result<bool, DecisionError> {
     let mut counter = budget.counter();
     exists_world_covering(db, facts, &mut counter)
 }
@@ -233,7 +233,7 @@ pub fn by_enumeration_with(
     view: &View,
     facts: &Instance,
     engine: &Engine,
-) -> Result<bool, BudgetExceeded> {
+) -> Result<bool, DecisionError> {
     let vars: Vec<_> = view.db.variables().into_iter().collect();
     let mut delta = evaluation_delta(&view.db, facts.active_domain());
     delta.extend(view.query.constants());
@@ -250,7 +250,7 @@ pub fn by_enumeration(
     view: &View,
     facts: &Instance,
     budget: Budget,
-) -> Result<bool, BudgetExceeded> {
+) -> Result<bool, DecisionError> {
     by_enumeration_with(view, facts, &Engine::new(EngineConfig::sequential(budget)))
 }
 

@@ -19,7 +19,7 @@
 //! searches are exponential in the worst case, which is unavoidable — the corresponding
 //! decision problems are NP-/coNP-complete.
 
-use crate::common::{Budget, BudgetCounter, BudgetExceeded};
+use crate::common::{Budget, BudgetCounter, DecisionError};
 use crate::engine::{Ctx, Engine, EngineConfig};
 use pw_core::CDatabase;
 use pw_relational::{Instance, Tuple};
@@ -29,11 +29,11 @@ use pw_relational::{Instance, Tuple};
 /// complement) keep their historical shared-budget semantics.
 fn run_with_counter(
     counter: &mut BudgetCounter,
-    f: impl FnOnce(&Engine, &Ctx) -> Result<bool, BudgetExceeded>,
-) -> Result<bool, BudgetExceeded> {
+    f: impl FnOnce(&Engine, &Ctx) -> Result<bool, DecisionError>,
+) -> Result<bool, DecisionError> {
     let budget = Budget(counter.remaining());
     let engine = Engine::new(EngineConfig::sequential(budget));
-    let ctx = Ctx::new(budget);
+    let ctx = Ctx::new(budget).with_limits(counter.limits().clone());
     let result = f(&engine, &ctx);
     counter.set_remaining(ctx.budget_remaining());
     result
@@ -47,7 +47,7 @@ pub fn exists_world_covering(
     db: &CDatabase,
     facts: &Instance,
     counter: &mut BudgetCounter,
-) -> Result<bool, BudgetExceeded> {
+) -> Result<bool, DecisionError> {
     run_with_counter(counter, |engine, ctx| engine.covering_ctx(db, facts, ctx))
 }
 
@@ -62,7 +62,7 @@ pub fn exists_world_missing_fact(
     relation: &str,
     fact: &Tuple,
     counter: &mut BudgetCounter,
-) -> Result<bool, BudgetExceeded> {
+) -> Result<bool, DecisionError> {
     let mut single = Instance::new();
     let mut rel = pw_relational::Relation::empty(fact.arity());
     rel.insert(fact.clone()).expect("arity matches");
@@ -78,7 +78,7 @@ pub fn exists_world_with_fact_outside(
     db: &CDatabase,
     instance: &Instance,
     counter: &mut BudgetCounter,
-) -> Result<bool, BudgetExceeded> {
+) -> Result<bool, DecisionError> {
     run_with_counter(counter, |engine, ctx| {
         engine.fact_outside_ctx(db, instance, ctx)
     })

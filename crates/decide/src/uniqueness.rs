@@ -13,7 +13,7 @@
 
 use crate::certify;
 use crate::common::{
-    evaluation_delta, freeze_database, normalize_database, Budget, BudgetExceeded, Strategy,
+    evaluation_delta, freeze_database, normalize_database, Budget, DecisionError, Strategy,
 };
 use crate::engine::{Engine, EngineConfig, MemoOp};
 use crate::membership;
@@ -26,7 +26,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Decide `UNIQ(q₀)` for a view and an instance, dispatching to the paper's polynomial
 /// algorithms when they apply.
-pub fn decide(view: &View, instance: &Instance, budget: Budget) -> Result<bool, BudgetExceeded> {
+pub fn decide(view: &View, instance: &Instance, budget: Budget) -> Result<bool, DecisionError> {
     decide_with(
         view,
         instance,
@@ -46,7 +46,7 @@ pub fn decide_with(
     view: &View,
     instance: &Instance,
     engine: &Engine,
-) -> (Result<bool, BudgetExceeded>, Strategy) {
+) -> (Result<bool, DecisionError>, Strategy) {
     let (strategy, converted) = plan(view, engine.config().per_shard);
     let answer = match strategy {
         Strategy::GTableNormalization => Ok(gtable_uniqueness(&view.db, instance)),
@@ -77,7 +77,7 @@ pub(crate) fn decide_certified(
     view: &View,
     instance: &Instance,
     engine: &Engine,
-) -> (Result<bool, BudgetExceeded>, Strategy, Option<Certificate>) {
+) -> (Result<bool, DecisionError>, Strategy, Option<Certificate>) {
     if !engine.config().certify {
         let (answer, strategy) = decide_with(view, instance, engine);
         return (answer, strategy, None);
@@ -157,7 +157,7 @@ fn certified_joint(
     instance: &Instance,
     engine: &Engine,
     strategy: Strategy,
-) -> (Result<bool, BudgetExceeded>, Strategy, Option<Certificate>) {
+) -> (Result<bool, DecisionError>, Strategy, Option<Certificate>) {
     if !engine.has_satisfiable_globals(db) {
         let cert = (!view.db.has_satisfiable_globals()).then_some(Certificate::EmptyRep);
         return (Ok(false), strategy, cert);
@@ -170,7 +170,7 @@ fn certified_joint(
         }
         Err(e) => return (Err(e), strategy, None),
     }
-    let mut counter = engine.config().budget.counter();
+    let mut counter = engine.config().counter();
     match certify::escape_witness(db, instance, &mut counter) {
         Ok(Some(w)) => return (Ok(false), strategy, differing_world(view, w, instance)),
         Ok(None) => {}
@@ -193,7 +193,7 @@ fn certified_per_shard(
     instance: &Instance,
     engine: &Engine,
     strategy: Strategy,
-) -> (Result<bool, BudgetExceeded>, Strategy, Option<Certificate>) {
+) -> (Result<bool, DecisionError>, Strategy, Option<Certificate>) {
     if db
         .shard_groups()
         .iter()
@@ -209,7 +209,7 @@ fn certified_per_shard(
         }
         Err(e) => return (Err(e), strategy, None),
     }
-    let mut counter = engine.config().budget.counter();
+    let mut counter = engine.config().counter();
     // Escaping row, group by group (mirror of `fact_outside_per_shard_ctx`).
     for (g_idx, group) in db.shard_groups().iter().enumerate() {
         let gdb = group.database();
@@ -505,7 +505,7 @@ pub fn complement_search(
     db: &CDatabase,
     instance: &Instance,
     budget: Budget,
-) -> Result<bool, BudgetExceeded> {
+) -> Result<bool, DecisionError> {
     complement_search_with(db, instance, &Engine::new(EngineConfig::sequential(budget)))
 }
 
@@ -514,7 +514,7 @@ pub fn complement_search_with(
     db: &CDatabase,
     instance: &Instance,
     engine: &Engine,
-) -> Result<bool, BudgetExceeded> {
+) -> Result<bool, DecisionError> {
     if !engine.has_satisfiable_globals(db) {
         return Ok(false);
     }
@@ -545,7 +545,7 @@ pub fn complement_search_per_shard(
     db: &CDatabase,
     instance: &Instance,
     engine: &Engine,
-) -> Result<bool, BudgetExceeded> {
+) -> Result<bool, DecisionError> {
     if db
         .shard_groups()
         .iter()
@@ -573,7 +573,7 @@ pub fn by_enumeration_with(
     view: &View,
     instance: &Instance,
     engine: &Engine,
-) -> Result<bool, BudgetExceeded> {
+) -> Result<bool, DecisionError> {
     let vars: Vec<_> = view.db.variables().into_iter().collect();
     let mut delta = evaluation_delta(&view.db, instance.active_domain());
     delta.extend(view.query.constants());
@@ -594,7 +594,7 @@ pub fn by_enumeration(
     view: &View,
     instance: &Instance,
     budget: Budget,
-) -> Result<bool, BudgetExceeded> {
+) -> Result<bool, DecisionError> {
     by_enumeration_with(
         view,
         instance,

@@ -78,7 +78,7 @@ pub use pw_workloads as workloads;
 /// };
 /// let outcome = &decide::Session::certifying(&decide::EngineConfig::default(), 1)
 ///     .decide_all(std::slice::from_ref(&request))[0];
-/// let claim = check_claim(&request, outcome.answer.unwrap());
+/// let claim = check_claim(&request, *outcome.answer.as_ref().unwrap());
 /// check::verify(&claim, outcome.certificate.as_ref().unwrap()).unwrap();
 /// ```
 pub fn check_claim<'a>(request: &'a decide::DecisionRequest, answer: bool) -> check::Claim<'a> {
@@ -102,7 +102,7 @@ pub mod prelude {
         CTable, CTuple, TableClass, Valuation, View,
     };
     pub use pw_decide::{certainty, containment, membership, possibility, uniqueness};
-    pub use pw_decide::{Budget, BudgetExceeded, Strategy};
+    pub use pw_decide::{Budget, BudgetExceeded, CancelToken, DecisionError, FaultPlan, Strategy};
     pub use pw_query::{
         qatom, ConjunctiveQuery, DatalogProgram, DlAtom, DlRule, FoQuery, Formula, QTerm, Query,
         QueryClass, QueryDef, RaExpr, Ucq,

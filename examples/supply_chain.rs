@@ -115,15 +115,15 @@ fn main() {
 
     let outcomes = decide_all(&requests);
     for ((label, _, _), pair) in questions.iter().zip(outcomes.chunks(2)) {
-        let possible = pair[0].answer.unwrap();
-        let certain = pair[1].answer.unwrap();
+        let possible = *pair[0].answer.as_ref().unwrap();
+        let certain = *pair[1].answer.as_ref().unwrap();
         println!("{label:<55} possible: {possible:<5}  certain: {certain}");
     }
     let link_pair = &outcomes[outcomes.len() - 2..];
     println!(
         "\nDirect link p1 → p3:   possible: {}   certain: {}   [strategy: {}]",
-        link_pair[0].answer.unwrap(),
-        link_pair[1].answer.unwrap(),
+        *link_pair[0].answer.as_ref().unwrap(),
+        *link_pair[1].answer.as_ref().unwrap(),
         link_pair[1].strategy,
     );
 

@@ -224,7 +224,7 @@ fn private_dictionary_decoupled_database_decides_per_shard() {
             &joint,
         );
         assert_eq!(
-            p_ans.unwrap(),
+            p_ans.clone().unwrap(),
             g_ans.unwrap(),
             "private vs global on {instance}"
         );
@@ -257,7 +257,7 @@ fn private_dictionary_decoupled_database_decides_per_shard() {
             ),
         ] {
             assert_eq!(
-                p_pair.0.unwrap(),
+                p_pair.0.clone().unwrap(),
                 g_pair.0.unwrap(),
                 "{label} private vs global"
             );
@@ -329,8 +329,8 @@ fn private_dictionary_batch_matches_global_twin() {
         assert_eq!(global_outcomes.len(), private_outcomes.len());
         for (i, (g, p)) in global_outcomes.iter().zip(&private_outcomes).enumerate() {
             assert_eq!(
-                p.answer.unwrap(),
-                g.answer.unwrap(),
+                *p.answer.as_ref().unwrap(),
+                *g.answer.as_ref().unwrap(),
                 "request {i} with {threads} threads"
             );
             assert_eq!(

@@ -62,8 +62,11 @@ fn requests_for(db: &CDatabase, member: &Instance, other: &Instance) -> Vec<Deci
 
 fn answers(
     outcomes: &[possible_worlds::decide::DecisionOutcome],
-) -> Vec<(Result<bool, BudgetExceeded>, Strategy)> {
-    outcomes.iter().map(|o| (o.answer, o.strategy)).collect()
+) -> Vec<(Result<bool, DecisionError>, Strategy)> {
+    outcomes
+        .iter()
+        .map(|o| (o.answer.clone(), o.strategy))
+        .collect()
 }
 
 #[test]
@@ -239,7 +242,7 @@ fn memo_replayed_answers_stay_certified_across_deltas() {
                  outcomes: &[possible_worlds::decide::DecisionOutcome],
                  when: &str| {
         for (request, outcome) in requests.iter().zip(outcomes) {
-            let answer = outcome.answer.expect("the budget is ample");
+            let answer = *outcome.answer.as_ref().expect("the budget is ample");
             let certificate = outcome
                 .certificate
                 .as_ref()

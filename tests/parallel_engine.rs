@@ -139,7 +139,10 @@ fn batch_matches_single_shot_on_random_workloads() {
     for threads in [1, 2, 8] {
         let cfg = EngineConfig::with_threads(threads, budget);
         let outcomes = batch::decide_all_with(&requests, &cfg);
-        let answers: Vec<bool> = outcomes.iter().map(|o| o.answer.unwrap()).collect();
+        let answers: Vec<bool> = outcomes
+            .iter()
+            .map(|o| *o.answer.as_ref().unwrap())
+            .collect();
         assert_eq!(answers, expected, "batch answers with {threads} threads");
     }
 }
@@ -174,7 +177,7 @@ fn budget_exceeded_is_deterministic_under_parallelism() {
             let starved = Engine::new(EngineConfig::with_threads(threads, Budget(500)));
             assert_eq!(
                 possibility::decide_with(&view, &facts, &starved).0,
-                Err(BudgetExceeded),
+                Err(DecisionError::BudgetExceeded),
                 "starved run must always exhaust ({threads} threads, repetition {repetition})"
             );
             let ample = Engine::new(EngineConfig::with_threads(threads, Budget(50_000_000)));
@@ -404,7 +407,7 @@ fn per_shard_budget_exhaustion_is_deterministic() {
             assert_eq!(strategy, Strategy::PerShard { groups: 2 });
             assert_eq!(
                 answer,
-                Err(BudgetExceeded),
+                Err(DecisionError::BudgetExceeded),
                 "starved per-shard run must exhaust ({threads} threads, rep {repetition})"
             );
             let ample = Engine::new(EngineConfig::with_threads(threads, Budget(50_000_000)));

@@ -19,8 +19,13 @@
 //!    certified answers matched the plain ones and `pw_check` accepted every
 //!    certificate — and a certified/plain overhead at or below the row's embedded
 //!    `ceiling` (`1.5` in the committed full run, relaxed in smoke runs).
-//! 4. **Shape check of fresh smoke runs.**  The smoke reports passed as positional
-//!    arguments (produced by `bench-pr2/3/4/5/6 --smoke` earlier in the job) must be
+//! 4. **Robustness guard.**  Reports carrying a `robustness_guard` table (the
+//!    `bench-pr7` serving-hardening harness) must show `answers_match: true` on every
+//!    row — the armed session's answers and strategies are bit-identical to the plain
+//!    session's — and a hardened/plain overhead at or below the row's embedded
+//!    `ceiling` (`1.05` in the committed full run, relaxed in smoke runs).
+//! 5. **Shape check of fresh smoke runs.**  The smoke reports passed as positional
+//!    arguments (produced by `bench-pr2/3/4/5/6/7 --smoke` earlier in the job) must be
 //!    well-formed: the right `bench` tag, `smoke: true`, at least one result row, and
 //!    every row carrying the `problem`/`workload`/`mode`/`wall_ms`/`answers` fields with
 //!    a known mode.
@@ -65,6 +70,7 @@ fn check_committed(path: &Path, min_speedup: f64, failures: &mut Vec<String>) {
     }
     check_incremental(path, &raw, failures);
     check_certify(path, &raw, failures);
+    check_robustness(path, &raw, failures);
     if !raw.contains("\"speedup_vs_baseline\"") {
         failures.push(format!(
             "{}: committed report has no speedup_vs_baseline table (lost its baseline?)",
@@ -241,6 +247,67 @@ fn check_certify(path: &Path, raw: &str, failures: &mut Vec<String>) {
     }
 }
 
+/// The robustness guard (reports with a `robustness_guard` table — the
+/// serving-hardening harness): every row must show `answers_match: true` (the armed
+/// session's answers and strategies are bit-identical to the plain session's) and an
+/// armed/plain overhead at or below the row's own embedded ceiling.
+fn check_robustness(path: &Path, raw: &str, failures: &mut Vec<String>) {
+    if !raw.contains("\"robustness_guard\"") {
+        return;
+    }
+    let mut in_table = false;
+    let mut rows = 0usize;
+    let failures_before = failures.len();
+    for line in raw.lines() {
+        if line.trim_start().starts_with("\"robustness_guard\"") {
+            in_table = true;
+            continue;
+        }
+        if !in_table {
+            continue;
+        }
+        let trimmed = line.trim();
+        if trimmed.starts_with(']') {
+            break;
+        }
+        let (Some(overhead), Some(ceiling)) = (
+            num_field(trimmed, "overhead"),
+            num_field(trimmed, "ceiling"),
+        ) else {
+            continue;
+        };
+        rows += 1;
+        let label = format!(
+            "{} / {}",
+            str_field(trimmed, "problem").unwrap_or_default(),
+            str_field(trimmed, "workload").unwrap_or_default(),
+        );
+        if !trimmed.contains("\"answers_match\": true") {
+            failures.push(format!(
+                "{}: {label}: armed answers diverged from the plain session",
+                path.display()
+            ));
+        }
+        if overhead > ceiling + 1e-9 {
+            failures.push(format!(
+                "{}: {label}: hardening overhead {overhead}x above its ceiling {ceiling}x",
+                path.display()
+            ));
+        }
+    }
+    if rows == 0 {
+        failures.push(format!(
+            "{}: robustness_guard table has no rows",
+            path.display()
+        ));
+    } else if failures.len() == failures_before {
+        println!(
+            "ok: {} ({rows} robustness rows: answers match, overheads below ceilings)",
+            path.display()
+        );
+    }
+}
+
 /// The smoke-report shape check.
 fn check_smoke(path: &Path, failures: &mut Vec<String>) {
     let raw = match std::fs::read_to_string(path) {
@@ -265,6 +332,7 @@ fn check_smoke(path: &Path, failures: &mut Vec<String>) {
     }
     check_incremental(path, &raw, failures);
     check_certify(path, &raw, failures);
+    check_robustness(path, &raw, failures);
     let mut rows = 0usize;
     for line in raw.lines() {
         let trimmed = line.trim();
@@ -292,6 +360,7 @@ fn check_smoke(path: &Path, failures: &mut Vec<String>) {
                     | Some("incremental")
                     | Some("plain")
                     | Some("certified")
+                    | Some("hardened")
             );
         if !shape_ok {
             failures.push(format!(
