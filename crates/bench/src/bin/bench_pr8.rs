@@ -1,0 +1,597 @@
+//! `bench-pr8` — the work-stealing scheduler benchmark: the same decisions under the
+//! static frontier split and under dynamic work stealing, emitted as machine-readable
+//! JSON.
+//!
+//! PR 8 replaces the engine's carve-once frontier (phase-1 BFS into a shared queue)
+//! with per-worker deques, steal-half victim raids and subtree re-splitting, and turns
+//! the sequential per-group backtracking path into a search-tree participant.  The
+//! design promise is two-sided:
+//!
+//! * **Skewed trees speed up.**  The `pw_workloads::skewed` families hide all their
+//!   work in one deep subtree behind a wide shallow fan, which degenerates the static
+//!   split to one busy worker; re-splitting must recover multi-core scaling (the
+//!   committed floor is 4× at 8 threads on the skewed membership/possibility rows).
+//! * **Everything else is unchanged.**  On the balanced existing families the stealing
+//!   scheduler must stay within noise of the static split (floor 0.9×), and on *every*
+//!   row the answers and strategies must be bit-identical — the scheduler moves
+//!   subtrees between workers, it never changes what is explored.
+//!
+//! Each guard row times one (problem, workload) batch under both schedulers (same
+//! 8-thread configuration, same seed, `without_work_stealing()` pinning the old path)
+//! and audits answer/strategy equality; the `stealing_guard` table (consumed by
+//! `tools/check_bench.rs` in CI) embeds each row's floor.  The balanced families are
+//! aggregated per workload across all five problems — their individual decides are
+//! micro-second polynomial paths where a wall-clock ratio is noise, while the suite
+//! sum is a stable parity measurement.
+//!
+//! Usage:
+//!   cargo run --release --bin bench-pr8 -- [--smoke] [--sweeps N] [--out FILE]
+//!
+//! `--smoke` shrinks the skewed families and iteration counts so CI can check the
+//! harness and the JSON shape in seconds, relaxes the floors (micro-second decides on
+//! a cold CI machine are noisy, and a tiny skewed tree has nothing worth stealing),
+//! and prints the work-stealing `EngineStats` counters from one live skewed decide.
+
+use pw_core::{CDatabase, View};
+use pw_decide::batch::{decide_all_with, DecisionRequest};
+use pw_decide::{membership, possibility, Budget, DecisionOutcome, Engine, EngineConfig};
+use pw_relational::Instance;
+use pw_workloads::{
+    coupled_heavy_membership, decoupled_multirelation, member_instance, non_member_instance,
+    random_codd_table, random_ctable, skewed_membership, skewed_possibility, SkewedParams,
+    TableParams,
+};
+use std::time::Instant;
+
+/// One measured row of the report.
+struct Measurement {
+    problem: &'static str,
+    workload: &'static str,
+    mode: &'static str,
+    /// Mean wall time of one `decide_all_with` over the row's requests.
+    wall_ms: f64,
+    /// Aggregated answers, e.g. `"true:1, false:1, exhausted:0"`.
+    answers: Vec<String>,
+}
+
+/// One stealing-guard row: the static/stealing pair plus the CI floor.
+struct GuardRow {
+    problem: &'static str,
+    workload: &'static str,
+    static_ms: f64,
+    stealing_ms: f64,
+    /// What `static_ms`/`stealing_ms` measure: `"wall"` on the balanced parity rows
+    /// (total work must not regress), `"critical_path"` on the skewed rows — the
+    /// busiest single worker's on-CPU time, i.e. the wall clock the schedule achieves
+    /// on hardware with a free core per worker.  A wall-clock floor of 4× at 8
+    /// threads is unmeasurable on a host the OS gives fewer cores; the critical path
+    /// is the same quantity made host-independent (see `EngineStats::busy_max_ns`).
+    metric: &'static str,
+    /// Minimum allowed static/stealing speedup (4.0 on the committed skewed rows,
+    /// 0.9 parity on the balanced rows, relaxed in smoke runs).
+    floor: f64,
+    /// Stealing answers and strategies are bit-identical to the static ones.
+    answers_match: bool,
+}
+
+/// One (problem, workload, batch) cell of the suite.
+struct Cell {
+    problem: &'static str,
+    workload: &'static str,
+    requests: Vec<DecisionRequest>,
+}
+
+/// The skewed cells: one request per batch, so the full thread count works inside a
+/// single condition-coupled group — exactly the intra-request regime the scheduler
+/// change targets.
+fn skewed_cells(params: &SkewedParams) -> Vec<Cell> {
+    let (db, instance) = skewed_membership(params);
+    let member = Cell {
+        problem: "membership",
+        workload: "skewed",
+        requests: vec![DecisionRequest::Membership {
+            view: View::identity(db),
+            instance,
+        }],
+    };
+    let (db, facts) = skewed_possibility(params);
+    let poss = Cell {
+        problem: "possibility",
+        workload: "skewed",
+        requests: vec![DecisionRequest::Possibility {
+            view: View::identity(db),
+            facts,
+        }],
+    };
+    let (db, instance) = coupled_heavy_membership(params);
+    let coupled = Cell {
+        problem: "membership",
+        workload: "coupled_heavy",
+        requests: vec![DecisionRequest::Membership {
+            view: View::identity(db),
+            instance,
+        }],
+    };
+    vec![member, poss, coupled]
+}
+
+/// The balanced parity cells: the bench-pr7 workload families across all five
+/// problems, one cell per (problem, workload) pair.
+fn parity_cells(smoke: bool) -> Vec<Cell> {
+    let codd = TableParams {
+        rows: if smoke { 8 } else { 256 },
+        arity: 2,
+        constants: 4,
+        null_density: 0.4,
+        seed: 2077,
+    };
+    let ctable = TableParams {
+        rows: if smoke { 8 } else { 10 },
+        ..codd
+    };
+    let shard = TableParams {
+        rows: if smoke { 4 } else { 8 },
+        ..codd
+    };
+    let families: Vec<(&'static str, CDatabase, TableParams)> = vec![
+        (
+            "codd",
+            CDatabase::single(random_codd_table("R", &codd)),
+            codd,
+        ),
+        (
+            "ctable",
+            CDatabase::single(random_ctable("R", &ctable)),
+            ctable,
+        ),
+        (
+            "sharded",
+            decoupled_multirelation(if smoke { 3 } else { 4 }, &shard),
+            shard,
+        ),
+    ];
+    let mut cells = Vec::new();
+    for (label, db, params) in families {
+        let member = member_instance(&db, &params);
+        let non_member = non_member_instance(&db, &params);
+        let mut pattern = Instance::new();
+        for (name, rel) in member.iter() {
+            let mut p = pw_relational::Relation::empty(rel.arity());
+            for fact in rel.iter().take(2) {
+                p.insert(fact.clone()).expect("arity preserved");
+            }
+            pattern.insert_relation(name.clone(), p);
+        }
+        let view = View::identity(db);
+        cells.push(Cell {
+            problem: "membership",
+            workload: label,
+            requests: vec![
+                DecisionRequest::Membership {
+                    view: view.clone(),
+                    instance: member.clone(),
+                },
+                DecisionRequest::Membership {
+                    view: view.clone(),
+                    instance: non_member,
+                },
+            ],
+        });
+        cells.push(Cell {
+            problem: "possibility",
+            workload: label,
+            requests: vec![DecisionRequest::Possibility {
+                view: view.clone(),
+                facts: pattern.clone(),
+            }],
+        });
+        cells.push(Cell {
+            problem: "certainty",
+            workload: label,
+            requests: vec![
+                DecisionRequest::Certainty {
+                    view: view.clone(),
+                    facts: Instance::new(),
+                },
+                DecisionRequest::Certainty {
+                    view: view.clone(),
+                    facts: pattern,
+                },
+            ],
+        });
+        cells.push(Cell {
+            problem: "uniqueness",
+            workload: label,
+            requests: vec![DecisionRequest::Uniqueness {
+                view: view.clone(),
+                instance: member,
+            }],
+        });
+        cells.push(Cell {
+            problem: "containment",
+            workload: label,
+            requests: vec![DecisionRequest::Containment {
+                left: view.clone(),
+                right: view,
+            }],
+        });
+    }
+    cells
+}
+
+struct PairResult {
+    static_ms: f64,
+    stealing_ms: f64,
+    stealing_answers: Vec<DecisionOutcome>,
+    answers_match: bool,
+}
+
+/// Time one batch `iters` times and return (mean ms per batch, last outcomes).
+fn time_batch(
+    requests: &[DecisionRequest],
+    cfg: &EngineConfig,
+    iters: usize,
+) -> (f64, Vec<DecisionOutcome>) {
+    let start = Instant::now();
+    let mut last = Vec::new();
+    for _ in 0..iters {
+        last = decide_all_with(requests, cfg);
+    }
+    (start.elapsed().as_secs_f64() * 1e3 / iters as f64, last)
+}
+
+fn run_pair(cell: &Cell, cfg: &EngineConfig, max_iters: usize) -> PairResult {
+    let static_cfg = cfg.clone().without_work_stealing();
+    // Calibrate the repeat count off one static batch: micro-second batches repeat up
+    // to `max_iters` times for a stable mean, while a skewed batch that already costs
+    // hundreds of milliseconds is its own stable measurement and runs once or twice.
+    let calibration = Instant::now();
+    decide_all_with(&cell.requests, &static_cfg);
+    let batch_ms = calibration.elapsed().as_secs_f64() * 1e3;
+    let max_iters = max_iters.max(1);
+    let iters = ((20.0 / batch_ms.max(1e-6)) as usize).clamp(1, max_iters);
+    let (static_ms, static_out) = time_batch(&cell.requests, &static_cfg, iters);
+    let (stealing_ms, stealing_out) = time_batch(&cell.requests, cfg, iters);
+
+    let answers_match = static_out.len() == stealing_out.len()
+        && static_out
+            .iter()
+            .zip(&stealing_out)
+            .all(|(s, d)| s.answer == d.answer && s.strategy == d.strategy);
+    PairResult {
+        static_ms,
+        stealing_ms,
+        stealing_answers: stealing_out,
+        answers_match,
+    }
+}
+
+fn render_answers(outcomes: &[DecisionOutcome]) -> Vec<String> {
+    let (mut t, mut f, mut x) = (0usize, 0usize, 0usize);
+    for o in outcomes {
+        match o.answer {
+            Ok(true) => t += 1,
+            Ok(false) => f += 1,
+            Err(_) => x += 1,
+        }
+    }
+    vec![format!("true:{t}, false:{f}, exhausted:{x}")]
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn render_json(
+    measurements: &[Measurement],
+    guard: &[GuardRow],
+    threads: usize,
+    iters: usize,
+    smoke: bool,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"BENCH_PR8\",\n");
+    out.push_str("  \"description\": \"work-stealing scheduler vs the static frontier split: on skewed single-group trees the schedules' critical paths (busiest worker's on-CPU time = achievable wall clock at one core per worker) must show re-splitting recovering parallelism, balanced families must hold wall-clock parity, answers and strategies audited bit-identical (see crates/bench/src/bin/bench_pr8.rs)\",\n");
+    out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str(&format!("  \"iterations\": {iters},\n"));
+    out.push_str(&format!("  \"smoke\": {smoke},\n"));
+    out.push_str("  \"results\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        let answers: Vec<String> = m
+            .answers
+            .iter()
+            .map(|a| format!("\"{}\"", json_escape(a)))
+            .collect();
+        out.push_str(&format!(
+            "    {{\"problem\": \"{}\", \"workload\": \"{}\", \"mode\": \"{}\", \"wall_ms\": {:.3}, \"answers\": [{}]}}{}\n",
+            m.problem,
+            m.workload,
+            m.mode,
+            m.wall_ms,
+            answers.join(", "),
+            if i + 1 == measurements.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ],\n");
+    // The CI guard table: static/stealing speedup ≥ floor per row, and the stealing
+    // run's answers and strategies were audited bit-identical to the static run's.
+    out.push_str("  \"stealing_guard\": [\n");
+    for (i, r) in guard.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"problem\": \"{}\", \"workload\": \"{}\", \"metric\": \"{}\", \"static_ms\": {:.3}, \"stealing_ms\": {:.3}, \"speedup\": {:.2}, \"floor\": {}, \"answers_match\": {}}}{}\n",
+            r.problem,
+            r.workload,
+            r.metric,
+            r.static_ms,
+            r.stealing_ms,
+            r.static_ms / r.stealing_ms.max(1e-6),
+            r.floor,
+            r.answers_match,
+            if i + 1 == guard.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ],\n");
+    // The standard committed-report table (`check-bench` floor 0.9): the static split
+    // is the embedded baseline, the stealing scheduler is the current engine.
+    out.push_str("  \"speedup_vs_baseline\": [\n");
+    for (i, r) in guard.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"problem\": \"{}\", \"workload\": \"{}\", \"mode\": \"stealing\", \"baseline_ms\": {:.3}, \"current_ms\": {:.3}, \"speedup\": {:.2}}}{}\n",
+            r.problem,
+            r.workload,
+            r.static_ms,
+            r.stealing_ms,
+            r.static_ms / r.stealing_ms.max(1e-6),
+            if i + 1 == guard.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// One direct (non-batched) skewed decide on a fresh engine, returning the schedule's
+/// critical path — the busiest worker's busy time — along with the verdict.  A fresh
+/// engine per call keeps the decision memo cold and the busy counters scoped to
+/// exactly this decide.
+fn skew_decide(
+    problem: &'static str,
+    params: &SkewedParams,
+    cfg: &EngineConfig,
+) -> (
+    f64,
+    Result<bool, pw_decide::DecisionError>,
+    pw_decide::Strategy,
+    Engine,
+) {
+    let engine = Engine::new(cfg.clone());
+    let (answer, strategy) = match problem {
+        "membership" => {
+            let (db, instance) = skewed_membership(params);
+            membership::view_membership_with(&View::identity(db), &instance, &engine)
+        }
+        "possibility" => {
+            let (db, facts) = skewed_possibility(params);
+            possibility::decide_with(&View::identity(db), &facts, &engine)
+        }
+        other => unreachable!("no skewed family for {other}"),
+    };
+    let cp_ms = engine.stats().busy_max_ns as f64 / 1e6;
+    (cp_ms, answer, strategy, engine)
+}
+
+/// Run one live skewed membership decide on a fresh 8-thread engine and print its
+/// [`pw_decide::EngineStats`] counters — the smoke job's proof that the scheduler actually
+/// steals and re-splits rather than silently falling back to one worker.
+fn print_stats(params: &SkewedParams, cfg: &EngineConfig) {
+    let (_, answer, strategy, engine) = skew_decide("membership", params, cfg);
+    let stats = engine.stats();
+    eprintln!(
+        "engine stats after one skewed membership decide (answer {answer:?}, strategy {strategy:?}):"
+    );
+    eprintln!(
+        "  steals_attempted: {}\n  steals_succeeded: {}\n  resplits: {}\n  idle_polls: {}\n  peak_queue: {}",
+        stats.steals_attempted,
+        stats.steals_succeeded,
+        stats.resplits,
+        stats.idle_polls,
+        stats.peak_queue,
+    );
+    eprintln!(
+        "  busy_total: {:.3} ms over all workers, critical path {:.3} ms (balance {:.2}x)",
+        stats.busy_total_ns as f64 / 1e6,
+        stats.busy_max_ns as f64 / 1e6,
+        stats.busy_total_ns as f64 / stats.busy_max_ns.max(1) as f64,
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let flag_value = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let out_path = flag_value("--out").unwrap_or_else(|| "BENCH_PR8.json".to_owned());
+    let sweeps: usize = flag_value("--sweeps")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if smoke { 1 } else { 3 })
+        .max(1);
+    let iters = if smoke { 2 } else { 20 };
+    let threads = 8;
+    let cfg = EngineConfig::with_threads(threads, Budget(4_000_000_000));
+    // Smoke trees are tiny (nothing worth stealing) and CI machines are noisy, so the
+    // smoke floors only catch catastrophic collapse; the committed run carries the
+    // real 4× skew acceptance and the 0.9× parity floor.
+    let (skew_floor, parity_floor) = if smoke { (0.1, 0.1) } else { (4.0, 0.9) };
+    let skew_params = if smoke {
+        SkewedParams {
+            selectors: 12,
+            heavy: 8,
+            edge_density: 0.1,
+            seed: 3,
+        }
+    } else {
+        SkewedParams::default()
+    };
+
+    // `--stats-only`: print the scheduler counters for one live skewed decide at the
+    // selected scale and exit — the calibration/diagnosis entry point.  `--threads N`
+    // and `--static` vary the probed configuration.
+    if args.iter().any(|a| a == "--stats-only") {
+        let threads: usize = flag_value("--threads")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(threads);
+        let mut cfg = EngineConfig::with_threads(threads, Budget(4_000_000_000));
+        if args.iter().any(|a| a == "--static") {
+            cfg = cfg.without_work_stealing();
+        }
+        let start = Instant::now();
+        print_stats(&skew_params, &cfg);
+        eprintln!("wall: {:.3} s", start.elapsed().as_secs_f64());
+        return;
+    }
+
+    let skewed = skewed_cells(&skew_params);
+    let parity = parity_cells(smoke);
+
+    let mut measurements: Vec<Measurement> = Vec::new();
+    let mut guard: Vec<GuardRow> = Vec::new();
+
+    let run_cell = |cell: &Cell| -> PairResult {
+        // Median speedup across the sweeps: a single descheduled sample must not
+        // decide the committed number in either direction — but an answer mismatch
+        // in *any* sweep always dominates.
+        let mut results: Vec<PairResult> = (0..sweeps)
+            .map(|sweep| {
+                let r = run_pair(cell, &cfg, iters);
+                eprintln!(
+                    "sweep {}/{sweeps}: {:<12} {:<13} static {:>9.3} ms  stealing {:>9.3} ms  ({:.2}x, answers_match: {})",
+                    sweep + 1,
+                    cell.problem,
+                    cell.workload,
+                    r.static_ms,
+                    r.stealing_ms,
+                    r.static_ms / r.stealing_ms.max(1e-6),
+                    r.answers_match,
+                );
+                r
+            })
+            .collect();
+        let all_match = results.iter().all(|r| r.answers_match);
+        results.sort_by(|a, b| {
+            let sa = a.static_ms / a.stealing_ms.max(1e-6);
+            let sb = b.static_ms / b.stealing_ms.max(1e-6);
+            sa.total_cmp(&sb)
+        });
+        let mut r = results.swap_remove(results.len() / 2);
+        r.answers_match = all_match;
+        r
+    };
+
+    // The skewed rows: individually guarded, the 4× claim lives here.  Wall time
+    // (total work) is measured for the results table and the parity-style
+    // `coupled_heavy` guard; the "skewed" guard rows compare the two schedules'
+    // critical paths — on a host with a free core per worker the critical path *is*
+    // the wall clock, and it is measurable honestly even where this harness runs on
+    // fewer cores.
+    for cell in &skewed {
+        let r = run_cell(cell);
+        measurements.push(Measurement {
+            problem: cell.problem,
+            workload: cell.workload,
+            mode: "static",
+            wall_ms: r.static_ms,
+            answers: render_answers(&r.stealing_answers),
+        });
+        measurements.push(Measurement {
+            problem: cell.problem,
+            workload: cell.workload,
+            mode: "stealing",
+            wall_ms: r.stealing_ms,
+            answers: render_answers(&r.stealing_answers),
+        });
+        if cell.workload == "skewed" {
+            let static_cfg = cfg.clone().without_work_stealing();
+            let (static_cp, a0, s0, _) = skew_decide(cell.problem, &skew_params, &static_cfg);
+            let (stealing_cp, a1, s1, _) = skew_decide(cell.problem, &skew_params, &cfg);
+            eprintln!(
+                "critical path: {:<12} {:<13} static {:>9.3} ms  stealing {:>9.3} ms  ({:.2}x)",
+                cell.problem,
+                cell.workload,
+                static_cp,
+                stealing_cp,
+                static_cp / stealing_cp.max(1e-6),
+            );
+            guard.push(GuardRow {
+                problem: cell.problem,
+                workload: cell.workload,
+                static_ms: static_cp,
+                stealing_ms: stealing_cp,
+                metric: "critical_path",
+                floor: skew_floor,
+                answers_match: r.answers_match && a0 == a1 && s0 == s1,
+            });
+        } else {
+            guard.push(GuardRow {
+                problem: cell.problem,
+                workload: cell.workload,
+                static_ms: r.static_ms,
+                stealing_ms: r.stealing_ms,
+                metric: "wall",
+                floor: parity_floor,
+                answers_match: r.answers_match,
+            });
+        }
+    }
+
+    // The balanced rows: per-cell measurements stay visible in `results`, the guard
+    // aggregates each workload family across all five problems — a micro-second
+    // polynomial decide has a noisy individual ratio, the family sum is stable.
+    let mut family_sums: Vec<(&'static str, f64, f64, bool)> = Vec::new();
+    for cell in &parity {
+        let r = run_cell(cell);
+        measurements.push(Measurement {
+            problem: cell.problem,
+            workload: cell.workload,
+            mode: "static",
+            wall_ms: r.static_ms,
+            answers: render_answers(&r.stealing_answers),
+        });
+        measurements.push(Measurement {
+            problem: cell.problem,
+            workload: cell.workload,
+            mode: "stealing",
+            wall_ms: r.stealing_ms,
+            answers: render_answers(&r.stealing_answers),
+        });
+        match family_sums.iter_mut().find(|(l, ..)| *l == cell.workload) {
+            Some((_, s, d, m)) => {
+                *s += r.static_ms;
+                *d += r.stealing_ms;
+                *m &= r.answers_match;
+            }
+            None => family_sums.push((cell.workload, r.static_ms, r.stealing_ms, r.answers_match)),
+        }
+    }
+    for (label, static_ms, stealing_ms, answers_match) in family_sums {
+        guard.push(GuardRow {
+            problem: "all",
+            workload: label,
+            static_ms,
+            stealing_ms,
+            metric: "wall",
+            floor: parity_floor,
+            answers_match,
+        });
+    }
+
+    if smoke {
+        print_stats(&skew_params, &cfg);
+    }
+
+    let json = render_json(&measurements, &guard, threads, iters, smoke);
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    eprintln!("wrote {out_path}");
+}

@@ -31,6 +31,9 @@ pub fn decide(view: &View, facts: &Instance, budget: Budget) -> Result<bool, Dec
 /// [`decide`] on an explicit [`Engine`]: the general (coNP) paths run on the engine's
 /// worker pool — the per-fact complement searches are independent subtrees, so a
 /// `CERT(*, q)` request parallelizes across facts as well as within each search.
+/// Within each search the workers balance by work stealing (subtree re-splitting keeps
+/// a skewed complement tree divisible); the static frontier split survives behind
+/// [`EngineConfig::without_work_stealing`](crate::EngineConfig::without_work_stealing).
 ///
 /// Returns the answer *next to* the [`Strategy`] that produced (or attempted) it, so the
 /// strategy survives a budget-exceeded search; the dispatch (and the view→c-table

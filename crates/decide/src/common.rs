@@ -202,6 +202,15 @@ pub struct FaultPlan {
     /// Clamp the decision memo to capacity 1, evicting on every insert — an eviction
     /// storm that makes every replay a recompute.
     pub eviction_storm: bool,
+    /// Inject one forced steal into the work-stealing scheduler once this many budget
+    /// units are spent: the first worker to cross the threshold raids a victim deque
+    /// before touching its own, exercising the steal path even on workloads too small
+    /// to starve a worker naturally.  Fires once per search.
+    pub steal_at_tick: Option<u64>,
+    /// Inject one forced subtree re-split once this many budget units are spent: the
+    /// next shed poll past the threshold reports thieves waiting, so the running
+    /// worker publishes its unexplored sibling subtrees.  Fires once per search.
+    pub split_at_tick: Option<u64>,
 }
 
 impl FaultPlan {
@@ -241,6 +250,18 @@ impl FaultPlan {
             return Err(DecisionError::DeadlineExceeded);
         }
         Ok(())
+    }
+
+    /// Has the forced-steal threshold been crossed?  The scheduler latches the first
+    /// positive answer so the injection fires exactly once per search.
+    pub(crate) fn wants_steal(&self, spent: u64) -> bool {
+        self.steal_at_tick.is_some_and(|t| spent >= t)
+    }
+
+    /// Has the forced-split threshold been crossed?  Latched by the scheduler exactly
+    /// like [`FaultPlan::wants_steal`].
+    pub(crate) fn wants_split(&self, spent: u64) -> bool {
+        self.split_at_tick.is_some_and(|t| spent >= t)
     }
 }
 

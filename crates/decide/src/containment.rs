@@ -29,7 +29,10 @@ pub fn decide(view0: &View, view: &View, budget: Budget) -> Result<bool, Decisio
 /// [`decide`] on an explicit [`Engine`]: the ∀ half of the Π₂ᵖ procedure (the enumeration
 /// of the left view's canonical valuations) runs on the engine's worker pool; each
 /// worker's ∃ half (the membership call on the right) stays sequential, so the engine's
-/// threads are never oversubscribed.
+/// threads are never oversubscribed.  The ∀ enumeration is scheduled by work stealing
+/// by default (a lopsided valuation tree re-splits under starving thieves); the static
+/// frontier split survives behind
+/// [`EngineConfig::without_work_stealing`](crate::EngineConfig::without_work_stealing).
 ///
 /// Returns the answer *next to* the [`Strategy`] that produced (or attempted) it, so the
 /// strategy survives a budget-exceeded search.

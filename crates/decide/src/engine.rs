@@ -7,12 +7,20 @@
 //!
 //! * **search nodes** carry a cheaply-forkable [`ConstraintSet`] (undo-trail based
 //!   checkpoint/rollback inside a worker, a real clone only when a node crosses threads);
-//! * an explicit **frontier**: the search tree is expanded breadth-first until there are
-//!   enough independent subtrees to keep every worker busy (`threads ×
-//!   frontier_per_thread`), then workers drain the frontier from a shared queue and solve
-//!   each subtree depth-first — a static approximation of work stealing that needs no
-//!   unsafe code and no extra dependencies (the container has no crates.io access, so
-//!   `rayon` is out of reach; `std::thread::scope` carries the load);
+//! * a **work-stealing scheduler** (the default): every worker owns a LIFO deque of
+//!   unstarted subtree roots, solves its own newest node depth-first, and — when its
+//!   deque runs dry — steals the *oldest* half of a victim's deque (FIFO steal-half:
+//!   the shallowest checkpoints are the biggest subtrees), probing victims in an order
+//!   drawn from a seeded per-run RNG so runs stay reproducible.  When every deque is
+//!   empty but subtrees are still in flight, the busy workers *re-split*: the
+//!   depth-first recursion polls a starvation flag and, when thieves are waiting,
+//!   re-expands its shallowest live checkpoint — publishing the unexplored sibling
+//!   subtrees onto the worker's deque instead of keeping them implicit on the call
+//!   stack.  No unsafe code and no extra dependencies (the container has no crates.io
+//!   access, so `rayon` is out of reach; `std::thread::scope` plus `Mutex<VecDeque>`
+//!   deques carry the load).  The PR 1–7 static scheduler (breadth-first frontier of
+//!   `threads × frontier_per_thread` roots drained from one shared queue) is kept
+//!   behind [`EngineConfig::without_work_stealing`] as the equivalence oracle;
 //! * an **atomic shared budget** ([`SharedBudget`]) charged by all workers, so a budget
 //!   means the same total node count whether the search runs on 1 thread or 16;
 //! * **early-exit cancellation**: the first witness flips a flag that stops every other
@@ -81,10 +89,23 @@ pub struct EngineConfig {
     pub threads: usize,
     /// Total node budget, shared by all workers.
     pub budget: Budget,
-    /// Frontier size per worker before the parallel phase starts.  Larger values give
-    /// better load balance on skewed trees at the cost of more upfront breadth-first
-    /// expansion; 8 is a good default.
+    /// Frontier size per worker of the **static fallback scheduler**
+    /// ([`EngineConfig::without_work_stealing`]): the search tree is expanded
+    /// breadth-first until `threads × frontier_per_thread` subtree roots exist, then
+    /// workers drain them from one shared queue.  Ignored by the default work-stealing
+    /// scheduler, which balances load dynamically (steal-half plus subtree
+    /// re-splitting) instead of guessing a cut depth up front.
     pub frontier_per_thread: usize,
+    /// Dynamic work stealing (the default).  Disable with
+    /// [`EngineConfig::without_work_stealing`] to pin the static frontier-split
+    /// scheduler — answers, strategies and certificates are bit-identical either way
+    /// (both schedulers explore the same tree and charge the same budget ticks); the
+    /// flag exists so equivalence tests can cross-check the two paths.
+    pub work_stealing: bool,
+    /// Seed of the per-run victim-selection RNG of the work-stealing scheduler.  Each
+    /// worker derives its probe order from `steal_seed` and its worker index
+    /// (splitmix64), so a fixed seed makes the victim sequence reproducible run to run.
+    pub steal_seed: u64,
     /// Wall-clock deadline per search, resolved to an absolute instant when each search
     /// (phase) starts and polled on the amortized limit check (~every 1024 ticks), so
     /// the hot loop stays branch-cheap.  A request is a small constant number of search
@@ -125,6 +146,8 @@ impl EngineConfig {
             threads: 1,
             budget,
             frontier_per_thread: 8,
+            work_stealing: true,
+            steal_seed: 0,
             per_shard: true,
             certify: false,
             deadline: None,
@@ -146,6 +169,8 @@ impl EngineConfig {
             threads: threads.max(1),
             budget,
             frontier_per_thread: 8,
+            work_stealing: true,
+            steal_seed: 0,
             per_shard: true,
             certify: false,
             deadline: None,
@@ -153,6 +178,21 @@ impl EngineConfig {
             memo_capacity: None,
             faults: None,
         }
+    }
+
+    /// Pin the static frontier-split scheduler of PR 1–7 (breadth-first frontier, one
+    /// shared queue, no stealing).  Answers are bit-identical to the work-stealing
+    /// default; equivalence tests run both and compare.
+    pub fn without_work_stealing(mut self) -> Self {
+        self.work_stealing = false;
+        self
+    }
+
+    /// Seed the victim-selection RNG of the work-stealing scheduler (see
+    /// [`EngineConfig::steal_seed`]).
+    pub fn with_steal_seed(mut self, seed: u64) -> Self {
+        self.steal_seed = seed;
+        self
     }
 
     /// Disable the shard-group decomposition: every decision runs the joint search even
@@ -256,11 +296,17 @@ impl SharedBudget {
     pub fn remaining(&self) -> u64 {
         self.remaining.load(Ordering::Relaxed)
     }
+
+    /// Units spent so far across all workers (a relaxed snapshot — exact enough for
+    /// the scheduler's fault-injection thresholds, which only need "at or after").
+    pub fn spent(&self) -> u64 {
+        self.initial.saturating_sub(self.remaining())
+    }
 }
 
 /// Why a worker stopped early.
 #[derive(Clone, Debug, PartialEq, Eq)]
-enum Stop {
+pub(crate) enum Stop {
     /// The search cannot continue — budget, deadline, external cancellation or an
     /// injected fault.  Carried up as the request's [`DecisionError`].
     Fail(DecisionError),
@@ -313,6 +359,11 @@ impl Ctx {
         self.budget.remaining()
     }
 
+    /// Budget units spent so far (relaxed snapshot; see [`SharedBudget::spent`]).
+    fn spent(&self) -> u64 {
+        self.budget.spent()
+    }
+
     /// Charge one unit and poll for cancellation; the wall-clock deadline, the
     /// external [`CancelToken`] and the fault plan are polled on the amortized slow
     /// path only (every [`LIMIT_CHECK_MASK`]` + 1` global ticks — the shared budget's
@@ -332,9 +383,10 @@ impl Ctx {
     }
 }
 
-/// A search tree the engine can drive: breadth-first expansion for the frontier phase,
-/// depth-first completion for the worker phase.
-trait TreeSearch: Sync {
+/// A search tree the engine can drive: breadth-first expansion for the static
+/// scheduler's frontier phase, depth-first completion for the workers of either
+/// scheduler.
+pub(crate) trait TreeSearch: Sync {
     /// A search node: owns its constraint store / assignment, independent of siblings.
     type Node: Send;
 
@@ -344,27 +396,136 @@ trait TreeSearch: Sync {
 
     /// Solve the subtree rooted at `node` to completion.
     fn dfs(&self, node: Self::Node, ctx: &Ctx) -> Result<bool, Stop>;
+
+    /// [`TreeSearch::dfs`] with cooperative subtree re-splitting: while solving the
+    /// subtree, poll `shed` and — when thieves are starving — publish unexplored
+    /// sibling subtrees through [`Shed::offer`] instead of keeping them implicit on
+    /// the call stack.  Answers must equal `dfs`'s exactly; shedding only moves
+    /// subtrees, it never changes the explored set or the budget ticks they charge.
+    /// The default never sheds (sound, but starves thieves — the concrete searches
+    /// below all override it).
+    fn dfs_shed(
+        &self,
+        node: Self::Node,
+        ctx: &Ctx,
+        shed: &dyn Shed<Self::Node>,
+    ) -> Result<bool, Stop> {
+        let _ = shed;
+        self.dfs(node, ctx)
+    }
 }
 
-/// Drive a [`TreeSearch`] from `root` under `cfg`: does a world/valuation accepted by the
-/// search exist?
-fn drive<S: TreeSearch>(
-    search: &S,
-    root: S::Node,
-    cfg: &EngineConfig,
-) -> Result<bool, DecisionError> {
-    let ctx = Ctx::new(cfg.budget).with_limits(cfg.limits());
-    drive_ctx(search, root, cfg, &ctx)
+/// The work-shedding half of the stealing protocol, handed to [`TreeSearch::dfs_shed`].
+///
+/// `wants_work` is a relaxed load (cheap enough to poll at every node); `offer` hands
+/// split-off subtree roots to the scheduler, which queues them on the shedding worker's
+/// own deque — thieves then steal them FIFO, shallowest (largest) first.
+pub(crate) trait Shed<N>: Sync {
+    /// Is some worker starving (or a forced-split fault pending)?
+    fn wants_work(&self) -> bool;
+    /// Publish split-off subtrees for idle workers to steal.  `nodes` must be fully
+    /// independent of the caller's remaining local state (own store clone each).
+    fn offer(&self, nodes: Vec<N>);
 }
 
-/// [`drive`] against an externally owned context, so several searches can share one budget
-/// pool (the legacy `search.rs` entry points thread a single [`crate::common::BudgetCounter`]
-/// through consecutive searches this way).
-fn drive_ctx<S: TreeSearch>(
+/// Scheduler observability counters, accumulated with relaxed atomics so the hot paths
+/// pay one `fetch_add` per *event* (steal, re-split, idle poll, subtree completion),
+/// never per node.
+#[derive(Debug, Default)]
+pub(crate) struct EngineStatsCounters {
+    steals_attempted: AtomicU64,
+    steals_succeeded: AtomicU64,
+    resplits: AtomicU64,
+    idle_polls: AtomicU64,
+    peak_queue: AtomicU64,
+    busy_total_ns: AtomicU64,
+    busy_max_ns: AtomicU64,
+}
+
+impl EngineStatsCounters {
+    fn note_queue_len(&self, len: usize) {
+        self.peak_queue.fetch_max(len as u64, Ordering::Relaxed);
+    }
+
+    /// Record one worker's total busy time over a parallel search.
+    fn note_worker_busy(&self, ns: u64) {
+        self.busy_total_ns.fetch_add(ns, Ordering::Relaxed);
+        self.busy_max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+}
+
+/// Cumulative on-CPU nanoseconds of the calling thread, from the Linux scheduler's
+/// own accounting.  `None` off Linux (or with schedstats compiled out) — the busy
+/// clock then falls back to wall time, which is just as accurate whenever the host
+/// is not oversubscribed.
+fn thread_runtime_ns() -> Option<u64> {
+    let raw = std::fs::read_to_string("/proc/thread-self/schedstat").ok()?;
+    raw.split_whitespace().next()?.parse().ok()
+}
+
+/// A per-worker busy clock charging only the time spent solving subtrees (steal hunts
+/// and idle polls are overhead, not load).  Prefers true on-CPU time so the
+/// load-balance counters stay meaningful on timeshared or single-core hosts, where a
+/// subtree's wall span includes other workers' slices.
+struct BusyClock {
+    cpu_start: Option<u64>,
+    wall_start: Instant,
+}
+
+impl BusyClock {
+    fn start() -> Self {
+        BusyClock {
+            cpu_start: thread_runtime_ns(),
+            wall_start: Instant::now(),
+        }
+    }
+
+    fn elapsed_ns(&self) -> u64 {
+        match (self.cpu_start, thread_runtime_ns()) {
+            (Some(start), Some(now)) => now.saturating_sub(start),
+            _ => u64::try_from(self.wall_start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        }
+    }
+}
+
+/// A point-in-time snapshot of the work-stealing scheduler's counters
+/// ([`Engine::stats`]), accumulated across every search the engine has driven.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Steal hunts started by dry workers (each hunt probes every victim once).
+    pub steals_attempted: u64,
+    /// Hunts that came back with at least one node.
+    pub steals_succeeded: u64,
+    /// Subtree re-splits: a busy worker re-expanded a live checkpoint and published
+    /// the unexplored sibling subtrees for thieves.
+    pub resplits: u64,
+    /// Idle polls: a dry worker found every deque empty and yielded (work was still
+    /// in flight, so it could not exit).
+    pub idle_polls: u64,
+    /// Deepest any worker deque ever got (a proxy for the static scheduler's frontier
+    /// depth: how much splittable work was exposed at the busiest moment).
+    pub peak_queue: u64,
+    /// Nanoseconds all workers together spent solving subtrees (on-CPU time where the
+    /// host exposes it, wall time otherwise), across every parallel search driven.
+    pub busy_total_ns: u64,
+    /// The busiest single worker's subtree-solving nanoseconds in any one search — the
+    /// schedule's critical path.  On hardware with a free core per worker, a parallel
+    /// search's wall clock converges to this; `busy_total_ns / busy_max_ns` is the
+    /// scheduler's achievable speedup independent of how loaded the measuring host is.
+    pub busy_max_ns: u64,
+}
+
+/// Drive a [`TreeSearch`] against an externally owned context, so several searches can
+/// share one budget pool (the legacy `search.rs` entry points thread a single
+/// [`crate::common::BudgetCounter`] through consecutive searches this way).  Dispatches
+/// on the configuration: sequential, work-stealing (the default parallel path) or the
+/// static frontier split ([`EngineConfig::without_work_stealing`]).
+pub(crate) fn drive_ctx<S: TreeSearch>(
     search: &S,
     root: S::Node,
     cfg: &EngineConfig,
     ctx: &Ctx,
+    stats: &EngineStatsCounters,
 ) -> Result<bool, DecisionError> {
     if cfg.threads <= 1 {
         return match search.dfs(root, ctx) {
@@ -375,7 +536,24 @@ fn drive_ctx<S: TreeSearch>(
             Err(Stop::Cancelled) => Err(DecisionError::Cancelled),
         };
     }
+    if cfg.work_stealing {
+        return drive_stealing(search, root, cfg, ctx, stats);
+    }
+    drive_static(search, root, cfg, ctx, stats)
+}
 
+/// The PR 1–7 static scheduler, kept verbatim behind
+/// [`EngineConfig::without_work_stealing`] as the equivalence oracle for the stealing
+/// path: carve a breadth-first frontier once, then drain it from one shared queue.
+/// (Verbatim up to the load-balance bookkeeping: its workers feed the same per-worker
+/// busy clock as the stealing workers, so the two schedules can be compared.)
+fn drive_static<S: TreeSearch>(
+    search: &S,
+    root: S::Node,
+    cfg: &EngineConfig,
+    ctx: &Ctx,
+    stats: &EngineStatsCounters,
+) -> Result<bool, DecisionError> {
     // Phase 1: breadth-first expansion until the frontier can feed every worker.
     let target = cfg.threads * cfg.frontier_per_thread.max(1);
     let mut frontier: VecDeque<S::Node> = VecDeque::from_iter([root]);
@@ -397,40 +575,41 @@ fn drive_ctx<S: TreeSearch>(
 
     // Phase 2: workers drain the frontier; LIFO pop keeps sibling subtrees together.
     let queue: Mutex<VecDeque<S::Node>> = Mutex::new(frontier);
-    #[derive(PartialEq)]
-    enum Outcome {
-        Found,
-        Exhausted,
-        Stopped(DecisionError),
-        Cancelled,
-        Panicked(String),
-    }
     let outcomes: Vec<Outcome> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..cfg.threads)
             .map(|_| {
                 let queue = &queue;
-                scope.spawn(move || loop {
-                    let node = lock_unpoisoned(queue).pop_back();
-                    let Some(node) = node else {
-                        return Outcome::Exhausted;
+                scope.spawn(move || {
+                    let mut busy_ns = 0u64;
+                    let outcome = loop {
+                        let node = lock_unpoisoned(queue).pop_back();
+                        let Some(node) = node else {
+                            break Outcome::Exhausted;
+                        };
+                        // The scoped-worker isolation boundary: a panicking search
+                        // fails this request only.  The frontier lock is never held
+                        // across `dfs`, so nothing can be poisoned; siblings are
+                        // cancelled — with one subtree unexplored no definite answer
+                        // is possible.
+                        let clock = BusyClock::start();
+                        let result = catch_unwind(AssertUnwindSafe(|| search.dfs(node, ctx)));
+                        busy_ns += clock.elapsed_ns();
+                        match result {
+                            Ok(Ok(true)) => {
+                                ctx.cancel.store(true, Ordering::Relaxed);
+                                break Outcome::Found;
+                            }
+                            Ok(Ok(false)) => continue,
+                            Ok(Err(Stop::Fail(e))) => break Outcome::Stopped(e),
+                            Ok(Err(Stop::Cancelled)) => break Outcome::Cancelled,
+                            Err(payload) => {
+                                ctx.cancel.store(true, Ordering::Relaxed);
+                                break Outcome::Panicked(panic_message(payload.as_ref()));
+                            }
+                        }
                     };
-                    // The scoped-worker isolation boundary: a panicking search fails
-                    // this request only.  The frontier lock is never held across
-                    // `dfs`, so nothing can be poisoned; siblings are cancelled —
-                    // with one subtree unexplored no definite answer is possible.
-                    match catch_unwind(AssertUnwindSafe(|| search.dfs(node, ctx))) {
-                        Ok(Ok(true)) => {
-                            ctx.cancel.store(true, Ordering::Relaxed);
-                            return Outcome::Found;
-                        }
-                        Ok(Ok(false)) => continue,
-                        Ok(Err(Stop::Fail(e))) => return Outcome::Stopped(e),
-                        Ok(Err(Stop::Cancelled)) => return Outcome::Cancelled,
-                        Err(payload) => {
-                            ctx.cancel.store(true, Ordering::Relaxed);
-                            return Outcome::Panicked(panic_message(payload.as_ref()));
-                        }
-                    }
+                    stats.note_worker_busy(busy_ns);
+                    outcome
                 })
             })
             .collect();
@@ -443,10 +622,25 @@ fn drive_ctx<S: TreeSearch>(
             .collect()
     });
 
-    // A found witness is definite and beats every failure; a panic means an
-    // unexplored subtree, which taints any "exhausted" claim; among the cooperative
-    // stops, deadline/cancellation name the request-level cause more precisely than
-    // the default budget exhaustion.
+    aggregate_outcomes(outcomes)
+}
+
+/// How one worker of a parallel search finished.
+#[derive(PartialEq)]
+enum Outcome {
+    Found,
+    Exhausted,
+    Stopped(DecisionError),
+    Cancelled,
+    Panicked(String),
+}
+
+/// Merge per-worker outcomes into the search verdict.  A found witness is definite and
+/// beats every failure; a panic means an unexplored subtree, which taints any
+/// "exhausted" claim; among the cooperative stops, deadline/cancellation name the
+/// request-level cause more precisely than the default budget exhaustion.  Shared by
+/// both schedulers so the termination protocol cannot drift between them.
+fn aggregate_outcomes(outcomes: Vec<Outcome>) -> Result<bool, DecisionError> {
     let mut panicked: Option<String> = None;
     let mut stopped: Option<DecisionError> = None;
     for outcome in outcomes {
@@ -472,6 +666,302 @@ fn drive_ctx<S: TreeSearch>(
         return Err(e);
     }
     Ok(false)
+}
+
+/// A tiny splitmix64 stream for victim selection: statistically fine for load
+/// balancing, deterministic per (seed, worker) so runs are reproducible, and free of
+/// any crates.io dependency.
+struct StealRng(u64);
+
+impl StealRng {
+    fn new(seed: u64, worker: u64) -> Self {
+        StealRng(seed ^ (worker + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// One worker's deque plus a lock-free mirror of its length, so the re-split throttle
+/// in [`WorkerShed::wants_work`] — polled at every search node — never takes the lock.
+struct WorkerQueue<N> {
+    nodes: Mutex<VecDeque<N>>,
+    /// Kept equal to `nodes.len()` by every push/pop/drain (all of which hold the
+    /// lock); readers tolerate the relaxed staleness.
+    len: AtomicU64,
+}
+
+impl<N> WorkerQueue<N> {
+    fn empty() -> Self {
+        WorkerQueue {
+            nodes: Mutex::new(VecDeque::new()),
+            len: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Shared state of one work-stealing search: the per-worker deques plus the
+/// termination and starvation counters.
+struct Scheduler<'a, N> {
+    /// One deque per worker.  The owner pushes and pops at the back (LIFO keeps it on
+    /// its newest, deepest subtree); thieves take from the front (FIFO: the shallowest
+    /// checkpoints are the biggest subtrees).
+    deques: Vec<WorkerQueue<N>>,
+    /// Queued nodes plus in-flight subtrees.  Zero means the whole tree is done:
+    /// incremented *before* a node becomes visible in any deque, decremented after
+    /// its subtree is fully solved, so a dry spell with work still in flight can
+    /// never be mistaken for exhaustion.
+    pending: AtomicU64,
+    /// Workers currently hunting for work.  Non-zero is the re-split signal the
+    /// depth-first recursions poll through [`Shed::wants_work`].
+    hungry: AtomicU64,
+    stats: &'a EngineStatsCounters,
+    faults: Option<Arc<FaultPlan>>,
+    /// One-shot latches for the injected steal/split faults.
+    steal_fault_fired: AtomicBool,
+    split_fault_fired: AtomicBool,
+}
+
+impl<N: Send> Scheduler<'_, N> {
+    /// Should a forced-steal fault fire now?  Latches so it fires at most once.
+    fn forced_steal(&self, spent: u64) -> bool {
+        let Some(faults) = &self.faults else {
+            return false;
+        };
+        faults.wants_steal(spent)
+            && self
+                .steal_fault_fired
+                .compare_exchange(false, true, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+    }
+
+    /// Should a forced-split fault fire now?  Latches like [`Scheduler::forced_steal`].
+    fn forced_split(&self, spent: u64) -> bool {
+        let Some(faults) = &self.faults else {
+            return false;
+        };
+        faults.wants_split(spent)
+            && self
+                .split_fault_fired
+                .compare_exchange(false, true, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+    }
+
+    /// One steal hunt: probe every other worker once, in an order derived from the
+    /// seeded RNG, and take the front (oldest, shallowest) half of the first non-empty
+    /// deque found — the remainder of the haul queues on the thief's own deque and the
+    /// first stolen node is returned for immediate processing.
+    fn steal(&self, thief: usize, rng: &mut StealRng) -> Option<N> {
+        self.stats.steals_attempted.fetch_add(1, Ordering::Relaxed);
+        let n = self.deques.len();
+        let start = (rng.next() % n as u64) as usize;
+        for i in 0..n {
+            let victim = (start + i) % n;
+            if victim == thief {
+                continue;
+            }
+            let mut haul: VecDeque<N> = {
+                let mut vq = lock_unpoisoned(&self.deques[victim].nodes);
+                if vq.is_empty() {
+                    continue;
+                }
+                let take = vq.len().div_ceil(2);
+                let haul = vq.drain(..take).collect();
+                self.deques[victim]
+                    .len
+                    .store(vq.len() as u64, Ordering::Relaxed);
+                haul
+            };
+            let first = haul.pop_front().expect("took at least one node");
+            if !haul.is_empty() {
+                let mut mine = lock_unpoisoned(&self.deques[thief].nodes);
+                mine.extend(haul);
+                self.deques[thief]
+                    .len
+                    .store(mine.len() as u64, Ordering::Relaxed);
+                self.stats.note_queue_len(mine.len());
+            }
+            self.stats.steals_succeeded.fetch_add(1, Ordering::Relaxed);
+            return Some(first);
+        }
+        None
+    }
+}
+
+/// The per-worker face of the scheduler handed to [`TreeSearch::dfs_shed`].
+struct WorkerShed<'a, 'b, N> {
+    sched: &'a Scheduler<'b, N>,
+    worker: usize,
+    ctx: &'a Ctx,
+}
+
+impl<N: Send> Shed<N> for WorkerShed<'_, '_, N> {
+    /// Re-split only while thieves are starving *and* the worker's own deque does not
+    /// already hold enough queued subtrees to feed them: without the second condition
+    /// a lone busy worker re-splits at every poll for as long as anyone is hungry,
+    /// paying a store clone per published subtree that nobody is fast enough to
+    /// claim.  Both loads are relaxed — a stale read only shifts the split by a node.
+    fn wants_work(&self) -> bool {
+        if self.sched.forced_split(self.ctx.spent()) {
+            return true;
+        }
+        let hungry = self.sched.hungry.load(Ordering::Relaxed);
+        hungry > 0 && self.sched.deques[self.worker].len.load(Ordering::Relaxed) < hungry
+    }
+
+    fn offer(&self, nodes: Vec<N>) {
+        self.sched.stats.resplits.fetch_add(1, Ordering::Relaxed);
+        // Count the nodes before publishing them (see `Scheduler::pending`).
+        self.sched
+            .pending
+            .fetch_add(nodes.len() as u64, Ordering::Release);
+        let own = &self.sched.deques[self.worker];
+        let mut deque = lock_unpoisoned(&own.nodes);
+        deque.extend(nodes);
+        own.len.store(deque.len() as u64, Ordering::Relaxed);
+        self.sched.stats.note_queue_len(deque.len());
+    }
+}
+
+/// The dynamic work-stealing scheduler (the parallel default).  The root seeds worker
+/// 0's deque; every worker then loops pop-own-back → steal → idle-poll, solving each
+/// acquired subtree depth-first with [`TreeSearch::dfs_shed`] so a starving thief can
+/// pull the victim's shallowest unexplored checkpoints out of its recursion.  The
+/// first-witness/termination protocol is the static scheduler's exactly: witnesses
+/// flip the shared cancel flag, panics are caught per worker, and the per-worker
+/// outcomes merge through [`aggregate_outcomes`].
+fn drive_stealing<S: TreeSearch>(
+    search: &S,
+    root: S::Node,
+    cfg: &EngineConfig,
+    ctx: &Ctx,
+    stats: &EngineStatsCounters,
+) -> Result<bool, DecisionError> {
+    let sched: Scheduler<'_, S::Node> = Scheduler {
+        deques: (0..cfg.threads).map(|_| WorkerQueue::empty()).collect(),
+        pending: AtomicU64::new(1),
+        hungry: AtomicU64::new(0),
+        stats,
+        faults: cfg.faults.clone(),
+        steal_fault_fired: AtomicBool::new(false),
+        split_fault_fired: AtomicBool::new(false),
+    };
+    lock_unpoisoned(&sched.deques[0].nodes).push_back(root);
+    sched.deques[0].len.store(1, Ordering::Relaxed);
+    let outcomes: Vec<Outcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.threads)
+            .map(|w| {
+                let sched = &sched;
+                scope.spawn(move || stealing_worker(search, sched, w, cfg, ctx))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|payload| Outcome::Panicked(panic_message(payload.as_ref())))
+            })
+            .collect()
+    });
+    aggregate_outcomes(outcomes)
+}
+
+/// One worker of the stealing scheduler.
+fn stealing_worker<S: TreeSearch>(
+    search: &S,
+    sched: &Scheduler<'_, S::Node>,
+    worker: usize,
+    cfg: &EngineConfig,
+    ctx: &Ctx,
+) -> Outcome {
+    let mut busy_ns = 0u64;
+    let outcome = stealing_worker_run(search, sched, worker, cfg, ctx, &mut busy_ns);
+    sched.stats.note_worker_busy(busy_ns);
+    outcome
+}
+
+/// The worker loop of [`stealing_worker`]; `busy_ns` accumulates the time spent inside
+/// `dfs_shed` (solving subtrees), which is the worker's contribution to the schedule's
+/// load-balance counters — steal hunts and idle polls are overhead, not load.
+fn stealing_worker_run<S: TreeSearch>(
+    search: &S,
+    sched: &Scheduler<'_, S::Node>,
+    worker: usize,
+    cfg: &EngineConfig,
+    ctx: &Ctx,
+    busy_ns: &mut u64,
+) -> Outcome {
+    let mut rng = StealRng::new(cfg.steal_seed, worker as u64);
+    let shed = WorkerShed { sched, worker, ctx };
+    // While `starving` the worker is counted in `sched.hungry`, which is what makes
+    // busy workers start shedding; the flag clears as soon as a node is acquired.
+    let mut starving = false;
+    let leave = |starving: bool, outcome: Outcome| {
+        if starving {
+            sched.hungry.fetch_sub(1, Ordering::Relaxed);
+        }
+        outcome
+    };
+    loop {
+        if ctx.cancel.load(Ordering::Relaxed) {
+            return leave(starving, Outcome::Cancelled);
+        }
+        // Injected fault: raid a victim before touching the own deque, so the steal
+        // path is exercised even when local work never runs out.
+        let forced = sched
+            .forced_steal(ctx.spent())
+            .then(|| sched.steal(worker, &mut rng))
+            .flatten();
+        let node = forced
+            .or_else(|| {
+                let own = &sched.deques[worker];
+                let mut deque = lock_unpoisoned(&own.nodes);
+                let node = deque.pop_back();
+                own.len.store(deque.len() as u64, Ordering::Relaxed);
+                node
+            })
+            .or_else(|| sched.steal(worker, &mut rng));
+        let Some(node) = node else {
+            if sched.pending.load(Ordering::Acquire) == 0 {
+                return leave(starving, Outcome::Exhausted);
+            }
+            if !starving {
+                sched.hungry.fetch_add(1, Ordering::Relaxed);
+                starving = true;
+            }
+            sched.stats.idle_polls.fetch_add(1, Ordering::Relaxed);
+            std::thread::yield_now();
+            continue;
+        };
+        if starving {
+            sched.hungry.fetch_sub(1, Ordering::Relaxed);
+            starving = false;
+        }
+        // The same isolation boundary as the static scheduler: a panicking search
+        // fails this request only, and no deque lock is ever held across `dfs_shed`.
+        let clock = BusyClock::start();
+        let result = catch_unwind(AssertUnwindSafe(|| search.dfs_shed(node, ctx, &shed)));
+        *busy_ns += clock.elapsed_ns();
+        sched.pending.fetch_sub(1, Ordering::Release);
+        match result {
+            Ok(Ok(true)) => {
+                ctx.cancel.store(true, Ordering::Relaxed);
+                return Outcome::Found;
+            }
+            Ok(Ok(false)) => continue,
+            Ok(Err(Stop::Fail(e))) => return Outcome::Stopped(e),
+            Ok(Err(Stop::Cancelled)) => return Outcome::Cancelled,
+            Err(payload) => {
+                ctx.cancel.store(true, Ordering::Relaxed);
+                return Outcome::Panicked(panic_message(payload.as_ref()));
+            }
+        }
+    }
 }
 
 /// Assert that the row instantiates to exactly `fact` and that its local condition holds.
@@ -558,6 +1048,9 @@ pub struct Engine {
     decision_memo: Mutex<MemoTable>,
     memo_hits: AtomicU64,
     memo_misses: AtomicU64,
+    /// Work-stealing scheduler counters, accumulated across every search this engine
+    /// drives; snapshot via [`Engine::stats`].
+    stats: EngineStatsCounters,
 }
 
 /// The bounded decision memo: entries plus the clock (second-chance) eviction state.
@@ -654,6 +1147,22 @@ impl Engine {
             decision_memo: Mutex::new(MemoTable::default()),
             memo_hits: AtomicU64::new(0),
             memo_misses: AtomicU64::new(0),
+            stats: EngineStatsCounters::default(),
+        }
+    }
+
+    /// A snapshot of the work-stealing scheduler's counters, accumulated across every
+    /// search this engine has driven (sibling of [`Engine::memo_stats`]).  All zeros
+    /// under the sequential or static-split configurations.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            steals_attempted: self.stats.steals_attempted.load(Ordering::Relaxed),
+            steals_succeeded: self.stats.steals_succeeded.load(Ordering::Relaxed),
+            resplits: self.stats.resplits.load(Ordering::Relaxed),
+            idle_polls: self.stats.idle_polls.load(Ordering::Relaxed),
+            peak_queue: self.stats.peak_queue.load(Ordering::Relaxed),
+            busy_total_ns: self.stats.busy_total_ns.load(Ordering::Relaxed),
+            busy_max_ns: self.stats.busy_max_ns.load(Ordering::Relaxed),
         }
     }
 
@@ -979,7 +1488,7 @@ impl Engine {
                 used: None,
             },
         };
-        drive_ctx(&Choices(&search), root, &self.cfg, ctx)
+        drive_ctx(&Choices(&search), root, &self.cfg, ctx, &self.stats)
     }
 
     /// Is there a valuation under which **some** fact of `facts` is produced by no row of
@@ -1036,7 +1545,7 @@ impl Engine {
                 })
             },
         };
-        drive_ctx(&forest, ForestNode::Roots, &self.cfg, ctx)
+        drive_ctx(&forest, ForestNode::Roots, &self.cfg, ctx, &self.stats)
     }
 
     /// Single-fact convenience wrapper for [`Engine::exists_world_missing_any_fact`].
@@ -1098,7 +1607,20 @@ impl Engine {
                     })
             },
         };
-        drive_ctx(&forest, ForestNode::Roots, &self.cfg, ctx)
+        drive_ctx(&forest, ForestNode::Roots, &self.cfg, ctx, &self.stats)
+    }
+
+    /// Drive a caller-defined [`ChoiceSearch`] through the engine's scheduler against an
+    /// externally owned context.  This is how `membership::backtracking` joins the
+    /// parallel engine: the membership module defines the branches, the engine supplies
+    /// scheduling, budget, limits and stats.
+    pub(crate) fn drive_choices<S: ChoiceSearch>(
+        &self,
+        search: &S,
+        root: ChoiceNode<S::Meta>,
+        ctx: &Ctx,
+    ) -> Result<bool, DecisionError> {
+        drive_ctx(&Choices(search), root, &self.cfg, ctx, &self.stats)
     }
 
     // -- shard-group (per-shard) variants ------------------------------------------------
@@ -1300,7 +1822,7 @@ impl Engine {
             assignment: Vec::new(),
             fresh_used: 0,
         };
-        let found = drive(&search, root, &self.cfg)?;
+        let found = drive_ctx(&search, root, &self.cfg, &self.ctx(), &self.stats)?;
         Ok(if found {
             search
                 .witness
@@ -1339,7 +1861,7 @@ impl Drop for MemoPin<'_> {
 /// (The canonical-valuation enumerator is the one search not expressed this way: its
 /// state is a plain assignment vector, not a constraint store, and its two phases already
 /// share a single choice generator, `EnumSearch::choices`.)
-trait ChoiceSearch: Sync {
+pub(crate) trait ChoiceSearch: Sync {
     /// The store-independent part of a node (depth, indices, bookkeeping).
     type Meta: Send + Clone;
 
@@ -1359,9 +1881,9 @@ trait ChoiceSearch: Sync {
     ) -> Option<Self::Meta>;
 }
 
-struct ChoiceNode<M> {
-    store: ConstraintSet,
-    meta: M,
+pub(crate) struct ChoiceNode<M> {
+    pub(crate) store: ConstraintSet,
+    pub(crate) meta: M,
 }
 
 /// Adapter driving a [`ChoiceSearch`] as a [`TreeSearch`].
@@ -1377,6 +1899,55 @@ impl<S: ChoiceSearch> Choices<'_, S> {
             let cp = store.checkpoint();
             if let Some(child) = self.0.try_branch(store, meta, k) {
                 if self.rec(store, &child, ctx)? {
+                    return Ok(true);
+                }
+            }
+            store.rollback(cp);
+        }
+        Ok(false)
+    }
+
+    /// [`Choices::rec`] with re-splitting: same node set, same tick per node.  The fast
+    /// path is the checkpoint/rollback loop above; only when a thief is starving does a
+    /// node materialize its viable children as independent store clones, keep the first
+    /// and shed the rest.  Every viable child is ticked exactly once at entry on either
+    /// path, so budget accounting cannot tell the two apart.
+    fn rec_shed(
+        &self,
+        store: &mut ConstraintSet,
+        meta: &S::Meta,
+        ctx: &Ctx,
+        shed: &dyn Shed<ChoiceNode<S::Meta>>,
+    ) -> Result<bool, Stop> {
+        ctx.tick()?;
+        if self.0.is_leaf(meta) {
+            return Ok(true);
+        }
+        let n = self.0.branch_count(meta);
+        if n > 1 && shed.wants_work() {
+            let mut kids = Vec::new();
+            for k in 0..n {
+                let mut child_store = store.clone();
+                if let Some(child_meta) = self.0.try_branch(&mut child_store, meta, k) {
+                    kids.push(ChoiceNode {
+                        store: child_store,
+                        meta: child_meta,
+                    });
+                }
+            }
+            if kids.is_empty() {
+                return Ok(false);
+            }
+            let mut first = kids.remove(0);
+            if !kids.is_empty() {
+                shed.offer(kids);
+            }
+            return self.rec_shed(&mut first.store, &first.meta, ctx, shed);
+        }
+        for k in 0..n {
+            let cp = store.checkpoint();
+            if let Some(child) = self.0.try_branch(store, meta, k) {
+                if self.rec_shed(store, &child, ctx, shed)? {
                     return Ok(true);
                 }
             }
@@ -1405,6 +1976,15 @@ impl<S: ChoiceSearch> TreeSearch for Choices<'_, S> {
 
     fn dfs(&self, mut node: Self::Node, ctx: &Ctx) -> Result<bool, Stop> {
         self.rec(&mut node.store, &node.meta, ctx)
+    }
+
+    fn dfs_shed(
+        &self,
+        mut node: Self::Node,
+        ctx: &Ctx,
+        shed: &dyn Shed<Self::Node>,
+    ) -> Result<bool, Stop> {
+        self.rec_shed(&mut node.store, &node.meta, ctx, shed)
     }
 }
 
@@ -1650,6 +2230,61 @@ where
             ForestNode::Inner(n) => self.inner.dfs(n, ctx),
         }
     }
+
+    fn dfs_shed(
+        &self,
+        node: Self::Node,
+        ctx: &Ctx,
+        shed: &dyn Shed<Self::Node>,
+    ) -> Result<bool, Stop> {
+        let wrap = WrapShed { outer: shed };
+        match node {
+            ForestNode::Roots => {
+                for k in 0..self.root_count {
+                    // A starving thief takes all the later roots in one haul; each is a
+                    // whole independent subtree, the best split available here.
+                    if k + 1 < self.root_count && shed.wants_work() {
+                        let rest: Vec<_> = (k + 1..self.root_count)
+                            .filter_map(|j| (self.make_root)(j))
+                            .map(ForestNode::Inner)
+                            .collect();
+                        if !rest.is_empty() {
+                            shed.offer(rest);
+                        }
+                        let Some(root) = (self.make_root)(k) else {
+                            return Ok(false);
+                        };
+                        return self.inner.dfs_shed(root, ctx, &wrap);
+                    }
+                    let Some(root) = (self.make_root)(k) else {
+                        continue;
+                    };
+                    if self.inner.dfs_shed(root, ctx, &wrap)? {
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
+            }
+            ForestNode::Inner(n) => self.inner.dfs_shed(n, ctx, &wrap),
+        }
+    }
+}
+
+/// Adapter letting a forest's inner search shed through the forest-level [`Shed`]: the
+/// inner subtree roots it publishes are wrapped back into [`ForestNode::Inner`].
+struct WrapShed<'a, N> {
+    outer: &'a dyn Shed<ForestNode<N>>,
+}
+
+impl<N: Send> Shed<N> for WrapShed<'_, N> {
+    fn wants_work(&self) -> bool {
+        self.outer.wants_work()
+    }
+
+    fn offer(&self, nodes: Vec<N>) {
+        self.outer
+            .offer(nodes.into_iter().map(ForestNode::Inner).collect());
+    }
 }
 
 // -- canonical-valuation enumeration ----------------------------------------------------
@@ -1721,6 +2356,48 @@ where
         }
         Ok(false)
     }
+
+    /// [`EnumSearch::dfs_rec`] with re-splitting.  Only leaves tick (matching `dfs_rec`
+    /// and `expand`), so moving interior nodes between workers is invisible to the
+    /// budget; an assignment prefix is a flat `Vec<Sym>`, so splitting is a memcpy.
+    fn rec_shed(
+        &self,
+        assignment: &mut Vec<Sym>,
+        fresh_used: usize,
+        ctx: &Ctx,
+        shed: &dyn Shed<EnumNode>,
+    ) -> Result<bool, Stop> {
+        if assignment.len() == self.vars.len() {
+            return self.visit_leaf(assignment, ctx);
+        }
+        if shed.wants_work() {
+            let mut kids: Vec<EnumNode> = self
+                .choices(fresh_used)
+                .map(|(value, new_used)| {
+                    let mut forked = assignment.clone();
+                    forked.push(value);
+                    EnumNode {
+                        assignment: forked,
+                        fresh_used: new_used,
+                    }
+                })
+                .collect();
+            if kids.len() > 1 {
+                let mut first = kids.remove(0);
+                shed.offer(kids);
+                return self.rec_shed(&mut first.assignment, first.fresh_used, ctx, shed);
+            }
+        }
+        for (value, new_used) in self.choices(fresh_used) {
+            assignment.push(value);
+            let found = self.rec_shed(assignment, new_used, ctx, shed)?;
+            assignment.pop();
+            if found {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
 }
 
 impl<R, F> TreeSearch for EnumSearch<'_, R, F>
@@ -1747,6 +2424,15 @@ where
 
     fn dfs(&self, mut node: EnumNode, ctx: &Ctx) -> Result<bool, Stop> {
         self.dfs_rec(&mut node.assignment, node.fresh_used, ctx)
+    }
+
+    fn dfs_shed(
+        &self,
+        mut node: EnumNode,
+        ctx: &Ctx,
+        shed: &dyn Shed<EnumNode>,
+    ) -> Result<bool, Stop> {
+        self.rec_shed(&mut node.assignment, node.fresh_used, ctx, shed)
     }
 }
 

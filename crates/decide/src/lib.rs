@@ -53,5 +53,5 @@ pub use batch::{
     Session,
 };
 pub use common::{Budget, BudgetExceeded, CancelToken, DecisionError, FaultPlan, Strategy};
-pub use engine::{Engine, EngineConfig, MemoOp, MemoStats, SharedBudget};
+pub use engine::{Engine, EngineConfig, EngineStats, MemoOp, MemoStats, SharedBudget};
 pub use pw_core::{Certificate, PairCert};

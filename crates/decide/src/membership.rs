@@ -15,12 +15,13 @@
 
 use crate::certify;
 use crate::common::{evaluation_delta, Budget, BudgetCounter, DecisionError, Strategy};
-use crate::engine::{Engine, EngineConfig};
+use crate::engine::{ChoiceNode, ChoiceSearch, Ctx, Engine, EngineConfig};
 use pw_condition::{Atom, ConstraintSet, Term};
 use pw_core::{CDatabase, CTable, Certificate, View};
 use pw_relational::{Instance, Sym};
 use pw_solvers::matching::{maximum_matching, BipartiteGraph};
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// Decide `MEMB(-)`: is `instance` in `rep(db)`?  Dispatches to the matching algorithm for
 /// Codd-table databases, to the shard-group decomposition when the coupling graph splits,
@@ -40,15 +41,16 @@ pub fn strategy(db: &CDatabase) -> Strategy {
 
 /// [`decide`] with the shard-group decomposition forced off — the joint dispatch the
 /// callers that must mirror the pre-decomposition behaviour (e.g. the joint uniqueness
-/// complement) rely on.
-pub(crate) fn decide_joint(
+/// complement) rely on.  The backtracking arm runs on the engine's scheduler, so the
+/// joint complement parallelizes within its single tree.
+pub(crate) fn decide_joint_with(
     db: &CDatabase,
     instance: &Instance,
-    budget: Budget,
+    engine: &Engine,
 ) -> Result<bool, DecisionError> {
     match strategy_with(db, false) {
         Strategy::CoddMatching => Ok(codd_matching(db, instance)),
-        _ => backtracking(db, instance, budget),
+        _ => backtracking_with(db, instance, engine),
     }
 }
 
@@ -105,11 +107,17 @@ pub(crate) fn per_shard_with(
     let Some(parts) = crate::engine::split_by_group(db, instance) else {
         return Ok(false);
     };
-    let mut counter = engine.config().counter();
+    let ctx = engine.ctx();
     for (group, part) in db.shard_groups().iter().zip(&parts) {
         let sub = group.database();
         let ok = engine.memo_decide(crate::engine::MemoOp::Member, sub, part, None, || {
-            per_shard_group(sub, part, &mut counter)
+            if sub.is_decoupled_codd() {
+                Ok(codd_matching(sub, part))
+            } else {
+                // One budget pool across the conjunction, a fresh cancellation scope per
+                // group: a witness in one group must not stop the next group's search.
+                backtracking_engine(sub, part, engine, &ctx.fork())
+            }
         })?;
         if !ok {
             return Ok(false);
@@ -372,6 +380,190 @@ fn backtracking_counted(
     search(&shape, &mut coverage, 0, 0, &mut store, counter)
 }
 
+// -- the engine-scheduled backtracking path ---------------------------------------------
+
+/// A row of the flattened row list, as in [`backtracking_counted`].
+struct MemberRow<'a> {
+    table: &'a CTable,
+    row_idx: usize,
+    /// Position of `table` in the database, i.e. the fact-list slot.
+    t_idx: usize,
+}
+
+/// One covered fact along a search path.  A persistent (Arc-linked) list replaces the
+/// mutable `coverage` count matrix of the sequential search: forking a node for a thief
+/// is O(1), and the "is this fact already covered?" scan is O(depth) — the same cost
+/// profile as [`crate::engine`]'s `UsedRow` list in the covering search.
+struct Covered {
+    t_idx: usize,
+    f_idx: usize,
+    prev: Option<Arc<Covered>>,
+}
+
+#[derive(Clone)]
+struct MemberMeta {
+    depth: usize,
+    /// Distinct facts covered along this path (maintained incrementally, so the leaf
+    /// test is O(1)).
+    covered: usize,
+    trail: Option<Arc<Covered>>,
+}
+
+/// [`backtracking`] expressed as a [`ChoiceSearch`], so the engine's work-stealing
+/// scheduler can parallelize a *single* condition-coupled group.  The branch order is
+/// exactly [`backtracking_counted`]'s — per row, the Option-1 fact branches first, then
+/// the Option-2 absence branches — and both ticks and pruning fire at the same nodes, so
+/// the two implementations are indistinguishable to the budget and return identical
+/// answers.
+struct MemberSearch<'a> {
+    rows: Vec<MemberRow<'a>>,
+    /// Interned instance facts per table position.
+    fact_lists: Vec<Vec<Vec<Sym>>>,
+    total_facts: usize,
+}
+
+impl MemberSearch<'_> {
+    fn already_covered(&self, trail: &Option<Arc<Covered>>, t_idx: usize, f_idx: usize) -> bool {
+        let mut cursor = trail;
+        while let Some(entry) = cursor {
+            if entry.t_idx == t_idx && entry.f_idx == f_idx {
+                return true;
+            }
+            cursor = &entry.prev;
+        }
+        false
+    }
+}
+
+impl ChoiceSearch for MemberSearch<'_> {
+    type Meta = MemberMeta;
+
+    fn is_leaf(&self, meta: &MemberMeta) -> bool {
+        meta.depth == self.rows.len() && meta.covered == self.total_facts
+    }
+
+    fn branch_count(&self, meta: &MemberMeta) -> usize {
+        if meta.depth == self.rows.len() {
+            // Exhausted the rows without covering every fact: a rejecting leaf.
+            return 0;
+        }
+        // Pruning: each remaining row covers at most one uncovered fact.
+        if self.total_facts - meta.covered > self.rows.len() - meta.depth {
+            return 0;
+        }
+        let row_ref = &self.rows[meta.depth];
+        let row = &row_ref.table.tuples()[row_ref.row_idx];
+        self.fact_lists[row_ref.t_idx].len() + row.condition.len()
+    }
+
+    fn try_branch(
+        &self,
+        store: &mut ConstraintSet,
+        meta: &MemberMeta,
+        k: usize,
+    ) -> Option<MemberMeta> {
+        let row_ref = &self.rows[meta.depth];
+        let row = &row_ref.table.tuples()[row_ref.row_idx];
+        let t_idx = row_ref.t_idx;
+        let facts = &self.fact_lists[t_idx];
+        if let Some(fact) = facts.get(k) {
+            // Option 1: map the row onto fact `k` of its relation.
+            if !store.assert_conjunction(&row.condition) {
+                return None;
+            }
+            for (&term, &value) in row.terms.iter().zip(fact.iter()) {
+                if !store.assert_eq(term, Term::Const(value)) {
+                    return None;
+                }
+            }
+            let newly = !self.already_covered(&meta.trail, t_idx, k);
+            Some(MemberMeta {
+                depth: meta.depth + 1,
+                covered: meta.covered + usize::from(newly),
+                trail: Some(Arc::new(Covered {
+                    t_idx,
+                    f_idx: k,
+                    prev: meta.trail.clone(),
+                })),
+            })
+        } else {
+            // Option 2: the row is absent — falsify one atom of its local condition.
+            let atom = row.condition.atoms()[k - facts.len()];
+            let negated_ok = match atom {
+                Atom::Eq(a, b) => store.assert_neq(a, b),
+                Atom::Neq(a, b) => store.assert_eq(a, b),
+            };
+            negated_ok.then(|| MemberMeta {
+                depth: meta.depth + 1,
+                covered: meta.covered,
+                trail: meta.trail.clone(),
+            })
+        }
+    }
+}
+
+/// [`backtracking`] driven by the engine's scheduler (work-stealing by default): the
+/// joint NP search for one condition-coupled database, parallel within the single tree.
+pub(crate) fn backtracking_with(
+    db: &CDatabase,
+    instance: &Instance,
+    engine: &Engine,
+) -> Result<bool, DecisionError> {
+    backtracking_engine(db, instance, engine, &engine.ctx())
+}
+
+/// [`backtracking_with`] against an externally owned context, so the per-shard
+/// conjunction can drain one budget pool across consecutive group searches.
+fn backtracking_engine(
+    db: &CDatabase,
+    instance: &Instance,
+    engine: &Engine,
+    ctx: &Ctx,
+) -> Result<bool, DecisionError> {
+    if !schema_compatible(db, instance) {
+        return Ok(false);
+    }
+    let Some(store) = engine.base_store(db) else {
+        return Ok(false);
+    };
+    let mut rows: Vec<MemberRow<'_>> = Vec::new();
+    for (t_idx, table) in db.tables().iter().enumerate() {
+        for row_idx in 0..table.len() {
+            rows.push(MemberRow {
+                table,
+                row_idx,
+                t_idx,
+            });
+        }
+    }
+    let fact_lists: Vec<Vec<Vec<Sym>>> = db
+        .tables()
+        .iter()
+        .map(|table| {
+            instance
+                .relation_or_empty(table.name(), table.arity())
+                .iter()
+                .map(|f| crate::engine::intern_fact(db, f))
+                .collect()
+        })
+        .collect();
+    let total_facts = fact_lists.iter().map(Vec::len).sum();
+    let search = MemberSearch {
+        rows,
+        fact_lists,
+        total_facts,
+    };
+    let root = ChoiceNode {
+        store,
+        meta: MemberMeta {
+            depth: 0,
+            covered: 0,
+            trail: None,
+        },
+    };
+    engine.drive_choices(&search, root, ctx)
+}
+
 /// `MEMB(q)` for a view.
 ///
 /// If every output of the query is UCQ-shaped the view is converted to an equivalent
@@ -392,9 +584,10 @@ pub fn view_membership(
 }
 
 /// [`view_membership`] on an explicit [`Engine`]: the generic fallback (canonical
-/// valuation enumeration) runs on the engine's worker pool.  The identity and
-/// UCQ-convertible paths are a single NP backtracking call and stay sequential — inside a
-/// batch they already run concurrently with the other requests.
+/// valuation enumeration) runs on the engine's worker pool, and the identity and
+/// UCQ-convertible paths drive the NP backtracking search through the engine's
+/// work-stealing scheduler (`backtracking_with`) — a single condition-coupled group
+/// parallelizes within its one search tree.
 ///
 /// Returns the answer *next to* the [`Strategy`] that produced (or attempted) it, so the
 /// strategy survives a budget-exceeded search — the batched front door labels failures
@@ -421,7 +614,7 @@ pub fn view_membership_with(
             let answer = match chosen {
                 Strategy::CoddMatching => Ok(codd_matching(&db, instance)),
                 Strategy::PerShard { .. } => per_shard_with(&db, instance, engine),
-                _ => backtracking(&db, instance, engine.config().budget),
+                _ => backtracking_with(&db, instance, engine),
             };
             (answer, chosen)
         }

@@ -29,7 +29,11 @@ pub fn decide(view: &View, facts: &Instance, budget: Budget) -> Result<bool, Dec
 }
 
 /// [`decide`] on an explicit [`Engine`]: the general (NP) paths run on the engine's worker
-/// pool with its shared budget, caches and early-exit cancellation.
+/// pool with its shared budget, caches and early-exit cancellation.  Parallel searches
+/// are scheduled by work stealing by default — the covering search is a search-tree
+/// participant (`engine::TreeSearch`), so a skewed tree re-splits under a
+/// starving thief — with the static frontier split pinned behind
+/// [`EngineConfig::without_work_stealing`](crate::EngineConfig::without_work_stealing).
 ///
 /// Returns the answer *next to* the [`Strategy`] that produced (or attempted) it, so the
 /// strategy survives a budget-exceeded search; the dispatch (and in particular the

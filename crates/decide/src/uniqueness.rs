@@ -162,7 +162,7 @@ fn certified_joint(
         let cert = (!view.db.has_satisfiable_globals()).then_some(Certificate::EmptyRep);
         return (Ok(false), strategy, cert);
     }
-    match membership::decide_joint(db, instance, engine.config().budget) {
+    match membership::decide_joint_with(db, instance, engine) {
         Ok(true) => {}
         Ok(false) => {
             // I is not even a member: *every* world differs from it.
@@ -518,7 +518,7 @@ pub fn complement_search_with(
     if !engine.has_satisfiable_globals(db) {
         return Ok(false);
     }
-    if !membership::decide_joint(db, instance, engine.config().budget)? {
+    if !membership::decide_joint_with(db, instance, engine)? {
         return Ok(false);
     }
     // Both halves of the complement charge one shared budget pool, exactly like the

@@ -14,7 +14,10 @@
 //!   to one entry) still satisfies `redecide_all == fresh decide_all`, with every
 //!   certificate accepted by the independent `pw_check` checker;
 //! * [`Session::decide_all_with_retry`] turns budget-exceeded into the same answer
-//!   *and certificate* an unconstrained run produces, then restores the budget.
+//!   *and certificate* an unconstrained run produces, then restores the budget;
+//! * injected steals and subtree re-splits land on the work-stealing scheduler
+//!   (observable in [`Engine::stats`]) without changing answers, and a panic inside a
+//!   stolen subtree is contained to `WorkerPanicked`.
 
 use possible_worlds::core::{CDatabase, View};
 use possible_worlds::decide::batch::{decide_all_with, DecisionRequest, Session};
@@ -269,6 +272,108 @@ fn retry_escalates_budget_and_matches_the_unconstrained_run() {
 
 fn decoupled_db(seed: u64) -> CDatabase {
     possible_worlds::workloads::decoupled_multirelation(4, &params(seed))
+}
+
+// ---------------------------------------------------------------------------------------
+// Work-stealing scheduler faults: forced steals, forced re-splits, and a panic inside a
+// stolen subtree.  The skewed single-group family keeps one worker busy long enough for
+// the injections to land on a live scheduler.
+// ---------------------------------------------------------------------------------------
+
+fn skewed_case() -> (View, Instance, bool) {
+    let p = possible_worlds::workloads::SkewedParams {
+        selectors: 12,
+        heavy: 8,
+        edge_density: 0.1,
+        seed: 3,
+    };
+    let (db, instance) = possible_worlds::workloads::skewed_membership(&p);
+    (View::identity(db), instance, false)
+}
+
+/// A forced steal at a chosen tick lands (the counters record a successful raid) and
+/// never changes the answer, across repetitions.
+#[test]
+fn injected_steal_is_observable_and_sound() {
+    let (view, instance, expected) = skewed_case();
+    for repetition in 0..2 {
+        let engine = Engine::new(
+            EngineConfig::with_threads(4, Budget(1_000_000_000)).with_faults(Arc::new(FaultPlan {
+                steal_at_tick: Some(64),
+                ..FaultPlan::seeded(5)
+            })),
+        );
+        let (answer, _) =
+            possible_worlds::decide::membership::view_membership_with(&view, &instance, &engine);
+        assert_eq!(answer, Ok(expected), "rep {repetition}");
+        let stats = engine.stats();
+        assert!(
+            stats.steals_succeeded > 0,
+            "the forced steal never landed (rep {repetition}): {stats:?}"
+        );
+    }
+}
+
+/// A forced re-split at a chosen tick makes the running worker publish sibling
+/// subtrees (the resplit counter moves) without changing the answer.
+#[test]
+fn injected_split_is_observable_and_sound() {
+    let (view, instance, expected) = skewed_case();
+    for repetition in 0..2 {
+        let engine = Engine::new(
+            EngineConfig::with_threads(4, Budget(1_000_000_000)).with_faults(Arc::new(FaultPlan {
+                split_at_tick: Some(64),
+                ..FaultPlan::seeded(5)
+            })),
+        );
+        let (answer, _) =
+            possible_worlds::decide::membership::view_membership_with(&view, &instance, &engine);
+        assert_eq!(answer, Ok(expected), "rep {repetition}");
+        let stats = engine.stats();
+        assert!(
+            stats.resplits > 0,
+            "the forced split never fired (rep {repetition}): {stats:?}"
+        );
+    }
+}
+
+/// A panic deep inside the search — necessarily inside a stolen or re-split subtree
+/// once the forced steal and split have scattered the tree across workers — is
+/// contained by the scheduler's panic isolation and surfaces as `WorkerPanicked`, on
+/// every repetition, with the engine usable afterwards.
+#[test]
+fn panic_in_a_stolen_subtree_is_contained() {
+    let (view, instance, expected) = skewed_case();
+    for repetition in 0..2 {
+        let engine = Engine::new(
+            EngineConfig::with_threads(4, Budget(1_000_000_000)).with_faults(Arc::new(FaultPlan {
+                steal_at_tick: Some(64),
+                split_at_tick: Some(64),
+                // The first amortized slow-path check past the steal/split injections
+                // (the skewed search at test size spends only a few thousand ticks).
+                panic_at_tick: Some(1_024),
+                ..FaultPlan::seeded(7)
+            })),
+        );
+        let (answer, _) =
+            possible_worlds::decide::membership::view_membership_with(&view, &instance, &engine);
+        assert!(
+            matches!(answer, Err(DecisionError::WorkerPanicked(_))),
+            "rep {repetition}: expected WorkerPanicked, got {answer:?}"
+        );
+    }
+    // The same engine configuration without the panic still decides correctly — the
+    // injections alone never corrupt the scheduler.
+    let engine = Engine::new(
+        EngineConfig::with_threads(4, Budget(1_000_000_000)).with_faults(Arc::new(FaultPlan {
+            steal_at_tick: Some(64),
+            split_at_tick: Some(64),
+            ..FaultPlan::seeded(7)
+        })),
+    );
+    let (answer, _) =
+        possible_worlds::decide::membership::view_membership_with(&view, &instance, &engine);
+    assert_eq!(answer, Ok(expected));
 }
 
 /// The acceptance-criteria eviction test: a memo capped at 1/4 of the working set

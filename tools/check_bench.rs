@@ -24,8 +24,14 @@
 //!    row — the armed session's answers and strategies are bit-identical to the plain
 //!    session's — and a hardened/plain overhead at or below the row's embedded
 //!    `ceiling` (`1.05` in the committed full run, relaxed in smoke runs).
-//! 5. **Shape check of fresh smoke runs.**  The smoke reports passed as positional
-//!    arguments (produced by `bench-pr2/3/4/5/6/7 --smoke` earlier in the job) must be
+//! 5. **Stealing guard.**  Reports carrying a `stealing_guard` table (the `bench-pr8`
+//!    work-stealing harness) must show `answers_match: true` on every row — the
+//!    stealing scheduler's answers and strategies are bit-identical to the static
+//!    split's — and a static/stealing speedup at or above the row's embedded `floor`
+//!    (`4` on the committed skewed critical-path rows, `0.9` wall-clock parity on the
+//!    balanced families, relaxed in smoke runs).
+//! 6. **Shape check of fresh smoke runs.**  The smoke reports passed as positional
+//!    arguments (produced by `bench-pr2/3/4/5/6/7/8 --smoke` earlier in the job) must be
 //!    well-formed: the right `bench` tag, `smoke: true`, at least one result row, and
 //!    every row carrying the `problem`/`workload`/`mode`/`wall_ms`/`answers` fields with
 //!    a known mode.
@@ -71,6 +77,7 @@ fn check_committed(path: &Path, min_speedup: f64, failures: &mut Vec<String>) {
     check_incremental(path, &raw, failures);
     check_certify(path, &raw, failures);
     check_robustness(path, &raw, failures);
+    check_stealing(path, &raw, failures);
     if !raw.contains("\"speedup_vs_baseline\"") {
         failures.push(format!(
             "{}: committed report has no speedup_vs_baseline table (lost its baseline?)",
@@ -308,6 +315,70 @@ fn check_robustness(path: &Path, raw: &str, failures: &mut Vec<String>) {
     }
 }
 
+/// The stealing guard (reports with a `stealing_guard` table — the work-stealing
+/// scheduler harness): every row must show `answers_match: true` (the stealing
+/// scheduler's answers and strategies are bit-identical to the static split's) and a
+/// static/stealing speedup at or above the row's own embedded floor.  Each row names
+/// its `metric`: `critical_path` rows compare the two schedules' busiest-worker times
+/// (the wall clock achievable at one core per worker), `wall` rows compare measured
+/// wall clocks.
+fn check_stealing(path: &Path, raw: &str, failures: &mut Vec<String>) {
+    if !raw.contains("\"stealing_guard\"") {
+        return;
+    }
+    let mut in_table = false;
+    let mut rows = 0usize;
+    let failures_before = failures.len();
+    for line in raw.lines() {
+        if line.trim_start().starts_with("\"stealing_guard\"") {
+            in_table = true;
+            continue;
+        }
+        if !in_table {
+            continue;
+        }
+        let trimmed = line.trim();
+        if trimmed.starts_with(']') {
+            break;
+        }
+        let (Some(speedup), Some(floor)) =
+            (num_field(trimmed, "speedup"), num_field(trimmed, "floor"))
+        else {
+            continue;
+        };
+        rows += 1;
+        let label = format!(
+            "{} / {} ({})",
+            str_field(trimmed, "problem").unwrap_or_default(),
+            str_field(trimmed, "workload").unwrap_or_default(),
+            str_field(trimmed, "metric").unwrap_or_default(),
+        );
+        if !trimmed.contains("\"answers_match\": true") {
+            failures.push(format!(
+                "{}: {label}: stealing answers diverge from the static split",
+                path.display()
+            ));
+        }
+        if speedup < floor - 1e-9 {
+            failures.push(format!(
+                "{}: {label}: stealing speedup {speedup}x below its floor {floor}x",
+                path.display()
+            ));
+        }
+    }
+    if rows == 0 {
+        failures.push(format!(
+            "{}: stealing_guard table has no rows",
+            path.display()
+        ));
+    } else if failures.len() == failures_before {
+        println!(
+            "ok: {} ({rows} stealing rows: answers match, speedups above floors)",
+            path.display()
+        );
+    }
+}
+
 /// The smoke-report shape check.
 fn check_smoke(path: &Path, failures: &mut Vec<String>) {
     let raw = match std::fs::read_to_string(path) {
@@ -333,6 +404,7 @@ fn check_smoke(path: &Path, failures: &mut Vec<String>) {
     check_incremental(path, &raw, failures);
     check_certify(path, &raw, failures);
     check_robustness(path, &raw, failures);
+    check_stealing(path, &raw, failures);
     let mut rows = 0usize;
     for line in raw.lines() {
         let trimmed = line.trim();
@@ -361,6 +433,8 @@ fn check_smoke(path: &Path, failures: &mut Vec<String>) {
                     | Some("plain")
                     | Some("certified")
                     | Some("hardened")
+                    | Some("static")
+                    | Some("stealing")
             );
         if !shape_ok {
             failures.push(format!(
