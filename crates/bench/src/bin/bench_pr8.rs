@@ -365,7 +365,7 @@ fn skew_decide(
     Engine,
 ) {
     let engine = Engine::new(cfg.clone());
-    let (answer, strategy) = match problem {
+    let decision = match problem {
         "membership" => {
             let (db, instance) = skewed_membership(params);
             membership::view_membership_with(&View::identity(db), &instance, &engine)
@@ -377,7 +377,7 @@ fn skew_decide(
         other => unreachable!("no skewed family for {other}"),
     };
     let cp_ms = engine.stats().busy_max_ns as f64 / 1e6;
-    (cp_ms, answer, strategy, engine)
+    (cp_ms, decision.answer, decision.strategy, engine)
 }
 
 /// Run one live skewed membership decide on a fresh 8-thread engine and print its

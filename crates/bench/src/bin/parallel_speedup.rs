@@ -75,7 +75,9 @@ fn exhaustive_refutation(rows: usize) {
         .map(|threads| {
             let engine = Engine::new(EngineConfig::with_threads(threads, BUDGET));
             let start = Instant::now();
-            let answer = possibility::decide_with(&view, &facts, &engine).0.unwrap();
+            let answer = possibility::decide_with(&view, &facts, &engine)
+                .answer
+                .unwrap();
             (threads, start.elapsed(), answer)
         })
         .collect();
@@ -128,7 +130,9 @@ fn certainty_forest(chaff: usize, facts_n: usize) {
         .map(|threads| {
             let engine = Engine::new(EngineConfig::with_threads(threads, BUDGET));
             let start = Instant::now();
-            let answer = certainty::decide_with(&view, &facts, &engine).0.unwrap();
+            let answer = certainty::decide_with(&view, &facts, &engine)
+                .answer
+                .unwrap();
             (threads, start.elapsed(), answer)
         })
         .collect();

@@ -20,10 +20,10 @@
 //! Answers are positionally aligned with the input slice and independent of the worker
 //! scheduling (see the determinism notes in [`crate::engine`]).
 
-use crate::common::{Budget, DecisionError, Strategy};
+use crate::common::{Budget, Decision, DecisionError, Strategy};
 use crate::engine::{lock_unpoisoned, panic_message, Engine, EngineConfig};
 use crate::{certainty, containment, membership, possibility, uniqueness};
-use pw_core::{CDatabase, Certificate, DbDelta, Delta, DeltaError, View};
+use pw_core::{CDatabase, DbDelta, Delta, DeltaError, View};
 use pw_relational::Instance;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -98,15 +98,12 @@ impl DecisionRequest {
         db.shard_groups().len().max(1)
     }
 
-    /// Decide the request; the answer arrives next to the [`Strategy`] the dispatcher
-    /// chose, so the view→c-table conversion behind the dispatch tables runs once per
-    /// request — for successes *and* for budget-exceeded failures alike.  The third
-    /// component is the [`Certificate`] when the engine runs with
-    /// [`EngineConfig::certify`] on, `None` otherwise.
-    fn decide(
-        &self,
-        engine: &Engine,
-    ) -> (Result<bool, DecisionError>, Strategy, Option<Certificate>) {
+    /// Decide the request; the [`Decision`] carries the answer next to the [`Strategy`]
+    /// the dispatcher chose, so the view→c-table conversion behind the dispatch tables
+    /// runs once per request — for successes *and* for budget-exceeded failures alike.
+    /// Its certificate is populated when the engine runs with [`EngineConfig::certify`]
+    /// on, `None` otherwise.
+    fn decide(&self, engine: &Engine) -> Decision {
         match self {
             DecisionRequest::Membership { view, instance } => {
                 membership::view_membership_certified(view, instance, engine)
@@ -125,36 +122,13 @@ impl DecisionRequest {
             }
         }
     }
-
-    /// Decide and package as a [`DecisionOutcome`].  The strategy comes from the same
-    /// `decide_with` call that produced (or attempted) the answer — a budget-exceeded
-    /// failure is labelled without re-deriving the plan.
-    fn outcome(&self, engine: &Engine) -> DecisionOutcome {
-        let (answer, strategy, certificate) = self.decide(engine);
-        DecisionOutcome {
-            answer,
-            strategy,
-            certificate,
-        }
-    }
 }
 
-/// The answer to one [`DecisionRequest`].
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct DecisionOutcome {
-    /// The decision, or the [`DecisionError`] that stopped the search: budget or
-    /// wall-clock exhaustion, cooperative cancellation, or a worker panic isolated to
-    /// this request.
-    pub answer: Result<bool, DecisionError>,
-    /// Which of the paper's algorithms decided (or attempted) the request.
-    pub strategy: Strategy,
-    /// Evidence for the answer, when the session certifies ([`Session::certifying`] /
-    /// [`EngineConfig::certified`]): a value the independent checker `pw_check` can
-    /// verify in polynomial time without trusting this crate.  `None` when certification
-    /// is off, and in the rare corners where no short certificate exists (e.g. a
-    /// budget-exceeded answer).
-    pub certificate: Option<Certificate>,
-}
+/// The answer to one [`DecisionRequest`]: the same [`Decision`] struct every
+/// single-shot `decide_with`/`decide_certified` path returns.  The batched front door
+/// adds nothing on top — one shape flows from the per-problem deciders through the
+/// batch API to the wire layer.
+pub type DecisionOutcome = Decision;
 
 /// Decide every request with all available cores and the default [`Budget`].
 pub fn decide_all(requests: &[DecisionRequest]) -> Vec<DecisionOutcome> {
@@ -279,6 +253,24 @@ impl Session {
         outcomes
     }
 
+    /// [`Session::decide_all`] under a per-batch wall-clock deadline: every request's
+    /// search resolves `deadline` to an absolute instant when it starts, and a search
+    /// that outlives it reports [`DecisionError::DeadlineExceeded`].  The session's
+    /// configured deadline is restored afterwards, so interleaved un-deadlined batches
+    /// are unaffected.  Sound for a memoizing session: only definite verdicts enter the
+    /// decision memo, so a deadline-exceeded outcome can never replay later.
+    pub fn decide_all_within(
+        &mut self,
+        requests: &[DecisionRequest],
+        deadline: std::time::Duration,
+    ) -> Vec<DecisionOutcome> {
+        let configured = self.engine.config().deadline;
+        self.engine.set_deadline(Some(deadline));
+        let outcomes = run_batch(requests, &self.engine, self.workers);
+        self.engine.set_deadline(configured);
+        outcomes
+    }
+
     /// Apply `delta` to `prev` and re-decide `requests` against the mutated database.
     ///
     /// Every request whose view is phrased against `prev` is re-bound to the new
@@ -397,7 +389,7 @@ fn guarded_outcome(request: &DecisionRequest, engine: &Engine, index: usize) -> 
                 );
             }
         }
-        request.outcome(engine)
+        request.decide(engine)
     }))
     .unwrap_or_else(|payload| {
         let message = panic_message(payload.as_ref());
@@ -405,11 +397,7 @@ fn guarded_outcome(request: &DecisionRequest, engine: &Engine, index: usize) -> 
         // just panicked on, so it gets its own boundary.
         let strategy =
             catch_unwind(AssertUnwindSafe(|| request.strategy())).unwrap_or(Strategy::Backtracking);
-        DecisionOutcome {
-            answer: Err(DecisionError::WorkerPanicked(message)),
-            strategy,
-            certificate: None,
-        }
+        Decision::of(Err(DecisionError::WorkerPanicked(message)), strategy)
     })
 }
 
@@ -433,11 +421,13 @@ fn run_batch(
 
     // Queue order: group-weighted work items descending (LPT scheduling).  A request
     // that fans out across many shard groups is the longest job in the batch; starting
-    // it first keeps the tail of the batch from serialising behind it.  Outcomes stay
-    // positionally aligned — only the execution order changes, and answers are
+    // it first keeps the tail of the batch from serialising behind it.  Ties break by
+    // request index so the queue order — and therefore worker assignment — is a pure
+    // function of the batch, not of sort internals.  Outcomes stay positionally
+    // aligned — only the execution order changes, and answers are
     // schedule-independent (see the engine's determinism notes).
     let mut order: Vec<usize> = (0..requests.len()).collect();
-    order.sort_by_key(|&i| std::cmp::Reverse(requests[i].work_items()));
+    order.sort_unstable_by_key(|&i| (std::cmp::Reverse(requests[i].work_items()), i));
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<DecisionOutcome>>> =
         requests.iter().map(|_| Mutex::new(None)).collect();

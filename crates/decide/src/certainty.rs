@@ -15,7 +15,8 @@
 
 use crate::certify;
 use crate::common::{
-    evaluation_delta, freeze_database, normalize_database, Budget, DecisionError, Strategy,
+    evaluation_delta, freeze_database, normalize_database, Budget, Decision, DecisionError,
+    Strategy,
 };
 use crate::engine::{Engine, EngineConfig, MemoOp};
 use pw_core::algebra::AlgebraError;
@@ -25,7 +26,7 @@ use pw_relational::Instance;
 
 /// Decide `CERT(·, q)`: is every fact of `facts` true in every world of the view?
 pub fn decide(view: &View, facts: &Instance, budget: Budget) -> Result<bool, DecisionError> {
-    decide_with(view, facts, &Engine::new(EngineConfig::sequential(budget))).0
+    decide_with(view, facts, &Engine::new(EngineConfig::sequential(budget))).answer
 }
 
 /// [`decide`] on an explicit [`Engine`]: the general (coNP) paths run on the engine's
@@ -35,14 +36,10 @@ pub fn decide(view: &View, facts: &Instance, budget: Budget) -> Result<bool, Dec
 /// a skewed complement tree divisible); the static frontier split survives behind
 /// [`EngineConfig::without_work_stealing`](crate::EngineConfig::without_work_stealing).
 ///
-/// Returns the answer *next to* the [`Strategy`] that produced (or attempted) it, so the
-/// strategy survives a budget-exceeded search; the dispatch (and the view→c-table
-/// conversion behind it) runs exactly once per call.
-pub fn decide_with(
-    view: &View,
-    facts: &Instance,
-    engine: &Engine,
-) -> (Result<bool, DecisionError>, Strategy) {
+/// Returns a [`Decision`] carrying the answer next to the [`Strategy`] that produced
+/// (or attempted) it, so the strategy survives a budget-exceeded search; the dispatch
+/// (and the view→c-table conversion behind it) runs exactly once per call.
+pub fn decide_with(view: &View, facts: &Instance, engine: &Engine) -> Decision {
     let (strategy, converted) = plan(view, engine.config().per_shard);
     let answer = match strategy {
         Strategy::NaiveEvaluation => {
@@ -62,7 +59,7 @@ pub fn decide_with(
         }
         _ => by_enumeration_with(view, facts, engine),
     };
-    (answer, strategy)
+    Decision::of(answer, strategy)
 }
 
 /// [`decide_with`] plus certificate extraction: a *yes* carries
@@ -70,14 +67,9 @@ pub fn decide_with(
 /// evaluation), [`Certificate::EmptyRep`], or rests on [`Certificate::Exhaustive`]; a
 /// *no* carries a [`Certificate::CounterWorld`] — a valuation whose world misses one of
 /// the facts.
-pub(crate) fn decide_certified(
-    view: &View,
-    facts: &Instance,
-    engine: &Engine,
-) -> (Result<bool, DecisionError>, Strategy, Option<Certificate>) {
+pub(crate) fn decide_certified(view: &View, facts: &Instance, engine: &Engine) -> Decision {
     if !engine.config().certify {
-        let (answer, strategy) = decide_with(view, facts, engine);
-        return (answer, strategy, None);
+        return decide_with(view, facts, engine);
     }
     let (strategy, converted) = plan(view, engine.config().per_shard);
     match strategy {
@@ -85,11 +77,11 @@ pub(crate) fn decide_certified(
             let answer =
                 naive_gtable(view, facts).expect("strategy selection guarantees applicability");
             if answer {
-                (Ok(true), strategy, Some(Certificate::CertainByFreeze))
+                Decision::certified(Ok(true), strategy, Some(Certificate::CertainByFreeze))
             } else if !view.db.has_satisfiable_globals() {
                 // Unreachable with a `false` naive answer (the empty rep is vacuously
                 // certain) — defensive ordering only.
-                (Ok(false), strategy, None)
+                Decision::of(Ok(false), strategy)
             } else {
                 // A naive `false` means some fact is non-ground or absent from the
                 // frozen world's answer; the freeze avoids the facts' active domain, so
@@ -103,34 +95,42 @@ pub(crate) fn decide_certified(
                     })
                     .map(Certificate::counter_world)
                     .or_else(|| enumeration_counter_world(view, facts, engine));
-                (Ok(false), strategy, cert)
+                Decision::certified(Ok(false), strategy, cert)
             }
         }
         Strategy::PerShard { .. } => {
             match converted.expect("planned strategies carry their conversion") {
                 Ok(db) => certified_per_shard(view, &db, facts, engine, strategy),
-                Err(_) => (Ok(false), strategy, None),
+                Err(_) => Decision::of(Ok(false), strategy),
             }
         }
         Strategy::Backtracking => {
             match converted.expect("planned strategies carry their conversion") {
                 Ok(db) => {
                     if !engine.has_satisfiable_globals(&db) {
-                        return (Ok(true), strategy, Some(empty_rep_or_exhaustive(view)));
+                        return Decision::certified(
+                            Ok(true),
+                            strategy,
+                            Some(empty_rep_or_exhaustive(view)),
+                        );
                     }
                     let mut counter = engine.config().counter();
                     match certify::missing_witness(&db, facts, &mut counter) {
-                        Ok(Some(w)) => (Ok(false), strategy, counter_world(view, w, facts)),
-                        Ok(None) => (Ok(true), strategy, Some(Certificate::Exhaustive)),
-                        Err(e) => (Err(e), strategy, None),
+                        Ok(Some(w)) => {
+                            Decision::certified(Ok(false), strategy, counter_world(view, w, facts))
+                        }
+                        Ok(None) => {
+                            Decision::certified(Ok(true), strategy, Some(Certificate::Exhaustive))
+                        }
+                        Err(e) => Decision::of(Err(e), strategy),
                     }
                 }
-                Err(_) => (Ok(false), strategy, None),
+                Err(_) => Decision::of(Ok(false), strategy),
             }
         }
         _ => {
             if !view.db.has_satisfiable_globals() {
-                return (Ok(true), strategy, Some(Certificate::EmptyRep));
+                return Decision::certified(Ok(true), strategy, Some(Certificate::EmptyRep));
             }
             let vars: Vec<_> = view.db.variables().into_iter().collect();
             let mut delta = evaluation_delta(&view.db, facts.active_domain());
@@ -142,9 +142,11 @@ pub(crate) fn decide_certified(
                     (!facts.is_subinstance_of(&output)).then(|| valuation.clone())
                 });
             match counterexample {
-                Ok(Some(v)) => (Ok(false), strategy, Some(Certificate::counter_world(v))),
-                Ok(None) => (Ok(true), strategy, Some(Certificate::Exhaustive)),
-                Err(e) => (Err(e), strategy, None),
+                Ok(Some(v)) => {
+                    Decision::certified(Ok(false), strategy, Some(Certificate::counter_world(v)))
+                }
+                Ok(None) => Decision::certified(Ok(true), strategy, Some(Certificate::Exhaustive)),
+                Err(e) => Decision::of(Err(e), strategy),
             }
         }
     }
@@ -160,13 +162,13 @@ fn certified_per_shard(
     facts: &Instance,
     engine: &Engine,
     strategy: Strategy,
-) -> (Result<bool, DecisionError>, Strategy, Option<Certificate>) {
+) -> Decision {
     if db
         .shard_groups()
         .iter()
         .any(|g| !engine.has_satisfiable_globals(g.database()))
     {
-        return (Ok(true), strategy, Some(empty_rep_or_exhaustive(view)));
+        return Decision::certified(Ok(true), strategy, Some(empty_rep_or_exhaustive(view)));
     }
     // Mirror of `missing_any_per_shard_ctx`: split the facts by owning group.
     let group_of = db.shard_group_index();
@@ -185,12 +187,12 @@ fn certified_per_shard(
             _ => {
                 let cert = certify::base_completion(&view.db, &certify::avoid_set(&view.db, facts))
                     .map(|w| Certificate::counter_world(certify::valuation(w)));
-                return (Ok(false), strategy, cert);
+                return Decision::certified(Ok(false), strategy, cert);
             }
         }
     }
     if !any_fact {
-        return (Ok(true), strategy, Some(Certificate::Exhaustive));
+        return Decision::certified(Ok(true), strategy, Some(Certificate::Exhaustive));
     }
     let mut counter = engine.config().counter();
     for (g_idx, (group, part)) in db.shard_groups().iter().zip(&parts).enumerate() {
@@ -216,13 +218,13 @@ fn certified_per_shard(
                     }
                     _ => None,
                 };
-                return (Ok(false), strategy, stitched);
+                return Decision::certified(Ok(false), strategy, stitched);
             }
             Ok((false, _)) => {}
-            Err(e) => return (Err(e), strategy, None),
+            Err(e) => return Decision::of(Err(e), strategy),
         }
     }
-    (Ok(true), strategy, Some(Certificate::Exhaustive))
+    Decision::certified(Ok(true), strategy, Some(Certificate::Exhaustive))
 }
 
 /// Package a binding over the converted database as a counter-world of the *view*: fill

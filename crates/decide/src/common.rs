@@ -2,7 +2,7 @@
 //! the canonical valuation enumerator behind the generic exponential fallbacks.
 
 use pw_condition::Variable;
-use pw_core::{CDatabase, Valuation};
+use pw_core::{CDatabase, Certificate, Valuation};
 use pw_relational::domain::fresh_constants;
 use pw_relational::Constant;
 use std::collections::BTreeSet;
@@ -59,6 +59,66 @@ impl fmt::Display for Strategy {
             Strategy::WorldEnumeration => "world-enumeration",
         };
         write!(f, "{s}")
+    }
+}
+
+/// The uniform answer of every decision path: what was decided, by which of the paper's
+/// algorithms, and (optionally) the evidence.
+///
+/// Every `decide_with`/`decide_certified` entry point across the five problems returns
+/// this one struct — the batched front door ([`crate::batch`]) and the wire layer
+/// (`pw-serve`) consume it without knowing which problem produced it, and growing the
+/// answer (planner cost, timing) is one field here instead of a workspace-wide
+/// positional-tuple rewrite.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Decision {
+    /// The verdict, or the [`DecisionError`] that stopped the search: budget or
+    /// wall-clock exhaustion, cooperative cancellation, or a worker panic isolated to
+    /// this request.
+    pub answer: Result<bool, DecisionError>,
+    /// Which of the paper's algorithms decided (or attempted) the request.  Filled in
+    /// for failures too, so a budget-exceeded search is labelled without re-deriving
+    /// the plan.
+    pub strategy: Strategy,
+    /// Evidence for the answer, when the engine runs with
+    /// [`crate::EngineConfig::certify`] on: a value the independent checker `pw_check`
+    /// verifies in polynomial time without trusting this crate.  `None` when
+    /// certification is off, and in the rare corners where no short certificate exists
+    /// (e.g. a budget-exceeded answer).
+    pub certificate: Option<Certificate>,
+}
+
+impl Decision {
+    /// An uncertified decision (certificate [`None`]).
+    pub fn of(answer: Result<bool, DecisionError>, strategy: Strategy) -> Self {
+        Decision {
+            answer,
+            strategy,
+            certificate: None,
+        }
+    }
+
+    /// A decision carrying (optional) evidence.
+    pub fn certified(
+        answer: Result<bool, DecisionError>,
+        strategy: Strategy,
+        certificate: Option<Certificate>,
+    ) -> Self {
+        Decision {
+            answer,
+            strategy,
+            certificate,
+        }
+    }
+
+    /// The definite verdict, if the search produced one.
+    pub fn verdict(&self) -> Option<bool> {
+        self.answer.as_ref().ok().copied()
+    }
+
+    /// Did the search fail (budget, deadline, cancellation, panic)?
+    pub fn is_err(&self) -> bool {
+        self.answer.is_err()
     }
 }
 

@@ -13,7 +13,8 @@
 
 use crate::certify;
 use crate::common::{
-    evaluation_delta, freeze_database, normalize_database, Budget, DecisionError, Strategy,
+    evaluation_delta, freeze_database, normalize_database, Budget, Decision, DecisionError,
+    Strategy,
 };
 use crate::engine::{Engine, EngineConfig};
 use crate::membership;
@@ -23,7 +24,7 @@ use std::sync::Mutex;
 
 /// Decide `CONT(q₀, q)`: `rep(view0) ⊆ rep(view)`.
 pub fn decide(view0: &View, view: &View, budget: Budget) -> Result<bool, DecisionError> {
-    decide_with(view0, view, &Engine::new(EngineConfig::sequential(budget))).0
+    decide_with(view0, view, &Engine::new(EngineConfig::sequential(budget))).answer
 }
 
 /// [`decide`] on an explicit [`Engine`]: the ∀ half of the Π₂ᵖ procedure (the enumeration
@@ -34,20 +35,16 @@ pub fn decide(view0: &View, view: &View, budget: Budget) -> Result<bool, Decisio
 /// frontier split survives behind
 /// [`EngineConfig::without_work_stealing`](crate::EngineConfig::without_work_stealing).
 ///
-/// Returns the answer *next to* the [`Strategy`] that produced (or attempted) it, so the
-/// strategy survives a budget-exceeded search.
-pub fn decide_with(
-    view0: &View,
-    view: &View,
-    engine: &Engine,
-) -> (Result<bool, DecisionError>, Strategy) {
+/// Returns a [`Decision`] carrying the answer next to the [`Strategy`] that produced
+/// (or attempted) it, so the strategy survives a budget-exceeded search.
+pub fn decide_with(view0: &View, view: &View, engine: &Engine) -> Decision {
     let strategy = strategy_with(view0, view, engine.config().per_shard);
     let answer = match strategy {
         Strategy::Freeze => freeze(&view0.db, &view.db, engine.config().budget),
         Strategy::PerShard { .. } => per_shard(view0, view, engine),
         _ => forall_exists_with(view0, view, engine),
     };
-    (answer, strategy)
+    Decision::of(answer, strategy)
 }
 
 /// The strategy [`decide`] will use for a pair of views (mirrors the upper-bound regions of
@@ -63,14 +60,9 @@ pub fn strategy(view0: &View, view: &View) -> Strategy {
 /// valuation inducing a world of the left side that escapes the right (the checker
 /// verifies the constructive left half; the non-membership half is the documented
 /// trusted seam).
-pub(crate) fn decide_certified(
-    view0: &View,
-    view: &View,
-    engine: &Engine,
-) -> (Result<bool, DecisionError>, Strategy, Option<Certificate>) {
+pub(crate) fn decide_certified(view0: &View, view: &View, engine: &Engine) -> Decision {
     if !engine.config().certify {
-        let (answer, strategy) = decide_with(view0, view, engine);
-        return (answer, strategy, None);
+        return decide_with(view0, view, engine);
     }
     let strategy = strategy_with(view0, view, engine.config().per_shard);
     match strategy {
@@ -83,14 +75,9 @@ pub(crate) fn decide_certified(
 /// Certified twin of [`freeze`]: the same normalize → freeze → membership pipeline, with
 /// the inner membership extracting the witness valuation the checker replays (it
 /// recomputes K₀ itself, so the certificate carries only the right-side valuation).
-fn certified_freeze(
-    view0: &View,
-    view: &View,
-    engine: &Engine,
-    strategy: Strategy,
-) -> (Result<bool, DecisionError>, Strategy, Option<Certificate>) {
+fn certified_freeze(view0: &View, view: &View, engine: &Engine, strategy: Strategy) -> Decision {
     let Some(normalized) = normalize_database(&view0.db) else {
-        return (Ok(true), strategy, Some(Certificate::EmptyRep));
+        return Decision::certified(Ok(true), strategy, Some(Certificate::EmptyRep));
     };
     let (k0, _fresh) = freeze_database(&normalized, &view.db.constants());
     let witness = if view.db.is_decoupled_codd() {
@@ -107,7 +94,7 @@ fn certified_freeze(
             Ok((true, None)) => {
                 // Replayed without a usable witness shape — the answer stands, the
                 // certificate does not.
-                return (Ok(true), strategy, None);
+                return Decision::of(Ok(true), strategy);
             }
             Ok((false, _)) => Ok(None),
             Err(e) => Err(e),
@@ -117,7 +104,7 @@ fn certified_freeze(
         certify::member_witness(&view.db, &k0, &mut counter)
     };
     match witness {
-        Ok(Some(w)) => (
+        Ok(Some(w)) => Decision::certified(
             Ok(true),
             strategy,
             Some(Certificate::FrozenMembership {
@@ -131,9 +118,9 @@ fn certified_freeze(
             avoid.extend(view.db.constants());
             let cert = certify::base_completion(&view0.db, &avoid)
                 .map(|w| Certificate::counter_world(certify::valuation(w)));
-            (Ok(false), strategy, cert)
+            Decision::certified(Ok(false), strategy, cert)
         }
-        Err(e) => (Err(e), strategy, None),
+        Err(e) => Decision::of(Err(e), strategy),
     }
 }
 
@@ -141,14 +128,9 @@ fn certified_freeze(
 /// certificate-aware memo (same `MemoOp::Containment` keys), with the per-pair
 /// certificates assembled into a [`Certificate::Decomposition`] on *yes* and a failing
 /// pair's counter-world stitched with the other left groups' base completions on *no*.
-fn certified_per_shard(
-    view0: &View,
-    view: &View,
-    engine: &Engine,
-    strategy: Strategy,
-) -> (Result<bool, DecisionError>, Strategy, Option<Certificate>) {
+fn certified_per_shard(view0: &View, view: &View, engine: &Engine, strategy: Strategy) -> Decision {
     if !view0.db.has_satisfiable_globals() {
-        return (Ok(true), strategy, Some(Certificate::EmptyRep));
+        return Decision::certified(Ok(true), strategy, Some(Certificate::EmptyRep));
     }
     use std::collections::BTreeSet;
     let names = |g: &pw_core::ShardGroup| -> BTreeSet<String> {
@@ -178,12 +160,12 @@ fn certified_per_shard(
             &empty,
             Some(rdb),
             || {
-                let (answer, _, cert) = decide_certified(
+                let decision = decide_certified(
                     &View::identity(ldb.clone()),
                     &View::identity(rdb.clone()),
                     engine,
                 );
-                answer.map(|a| (a, cert))
+                decision.answer.map(|a| (a, decision.certificate))
             },
         );
         match outcome {
@@ -204,13 +186,13 @@ fn certified_per_shard(
                     }
                     _ => None,
                 };
-                return (Ok(false), strategy, stitched);
+                return Decision::certified(Ok(false), strategy, stitched);
             }
-            Err(e) => return (Err(e), strategy, None),
+            Err(e) => return Decision::of(Err(e), strategy),
         }
     }
     let cert = all_certified.then_some(Certificate::Decomposition { pairs });
-    (Ok(true), strategy, cert)
+    Decision::certified(Ok(true), strategy, cert)
 }
 
 /// Certified twin of [`forall_exists_with`]: the enumeration captures the failing left
@@ -220,9 +202,9 @@ fn certified_forall_exists(
     view: &View,
     engine: &Engine,
     strategy: Strategy,
-) -> (Result<bool, DecisionError>, Strategy, Option<Certificate>) {
+) -> Decision {
     if !view0.db.has_satisfiable_globals() {
-        return (Ok(true), strategy, Some(Certificate::EmptyRep));
+        return Decision::certified(Ok(true), strategy, Some(Certificate::EmptyRep));
     }
     let vars: Vec<_> = view0.db.variables().into_iter().collect();
     let mut delta = evaluation_delta(&view0.db, view.db.constants());
@@ -247,11 +229,13 @@ fn certified_forall_exists(
             }
         });
     match counterexample {
-        Err(e) => (Err(e), strategy, None),
-        Ok(Some(v)) => (Ok(false), strategy, Some(Certificate::counter_world(v))),
+        Err(e) => Decision::of(Err(e), strategy),
+        Ok(Some(v)) => {
+            Decision::certified(Ok(false), strategy, Some(Certificate::counter_world(v)))
+        }
         Ok(None) => match crate::engine::lock_unpoisoned(&inner_failure).take() {
-            Some(err) => (Err(err), strategy, None),
-            None => (Ok(true), strategy, Some(Certificate::Exhaustive)),
+            Some(err) => Decision::of(Err(err), strategy),
+            None => Decision::certified(Ok(true), strategy, Some(Certificate::Exhaustive)),
         },
     }
 }
@@ -339,7 +323,7 @@ fn per_shard(view0: &View, view: &View, engine: &Engine) -> Result<bool, Decisio
                     &View::identity(rdb.clone()),
                     engine,
                 )
-                .0
+                .answer
             },
         )?;
         if !answer {

@@ -1376,6 +1376,15 @@ impl Engine {
         self.cfg.budget = budget;
     }
 
+    /// Replace the per-search wall-clock deadline.  Crate-internal: the deadline-scoped
+    /// batch front door ([`crate::batch::Session::decide_all_within`]) installs a
+    /// per-batch deadline and restores the configured one afterwards — sound because
+    /// the deadline resolves to an absolute instant at each search's start, and
+    /// deadline-exceeded outcomes are never memoized.
+    pub(crate) fn set_deadline(&mut self, deadline: Option<std::time::Duration>) {
+        self.cfg.deadline = deadline;
+    }
+
     /// A fresh search context for one request: the configured budget plus the
     /// slow-path limits, with the deadline resolved to an absolute instant *now*.
     pub(crate) fn ctx(&self) -> Ctx {

@@ -52,6 +52,8 @@ pub use batch::{
     decide_all, decide_all_with, redecide_all, DecisionOutcome, DecisionRequest, Redecision,
     Session,
 };
-pub use common::{Budget, BudgetExceeded, CancelToken, DecisionError, FaultPlan, Strategy};
+pub use common::{
+    Budget, BudgetExceeded, CancelToken, Decision, DecisionError, FaultPlan, Strategy,
+};
 pub use engine::{Engine, EngineConfig, EngineStats, MemoOp, MemoStats, SharedBudget};
 pub use pw_core::{Certificate, PairCert};

@@ -14,7 +14,7 @@
 //!   bounds prescribe.
 
 use crate::certify;
-use crate::common::{evaluation_delta, Budget, BudgetCounter, DecisionError, Strategy};
+use crate::common::{evaluation_delta, Budget, BudgetCounter, Decision, DecisionError, Strategy};
 use crate::engine::{ChoiceNode, ChoiceSearch, Ctx, Engine, EngineConfig};
 use pw_condition::{Atom, ConstraintSet, Term};
 use pw_core::{CDatabase, CTable, Certificate, View};
@@ -580,7 +580,7 @@ pub fn view_membership(
         instance,
         &Engine::new(EngineConfig::sequential(budget)),
     )
-    .0
+    .answer
 }
 
 /// [`view_membership`] on an explicit [`Engine`]: the generic fallback (canonical
@@ -589,15 +589,11 @@ pub fn view_membership(
 /// work-stealing scheduler (`backtracking_with`) — a single condition-coupled group
 /// parallelizes within its one search tree.
 ///
-/// Returns the answer *next to* the [`Strategy`] that produced (or attempted) it, so the
-/// strategy survives a budget-exceeded search — the batched front door labels failures
-/// without re-deriving the plan.  The view→c-table conversion behind the dispatch runs
-/// exactly once per call.
-pub fn view_membership_with(
-    view: &View,
-    instance: &Instance,
-    engine: &Engine,
-) -> (Result<bool, DecisionError>, Strategy) {
+/// Returns a [`Decision`] carrying the answer next to the [`Strategy`] that produced
+/// (or attempted) it, so the strategy survives a budget-exceeded search — the batched
+/// front door labels failures without re-deriving the plan.  The view→c-table
+/// conversion behind the dispatch runs exactly once per call.
+pub fn view_membership_with(view: &View, instance: &Instance, engine: &Engine) -> Decision {
     match view.to_ctables() {
         Some(Ok(db)) => {
             let split = engine.config().per_shard;
@@ -616,9 +612,9 @@ pub fn view_membership_with(
                 Strategy::PerShard { .. } => per_shard_with(&db, instance, engine),
                 _ => backtracking_with(&db, instance, engine),
             };
-            (answer, chosen)
+            Decision::of(answer, chosen)
         }
-        Some(Err(_)) => (Ok(false), Strategy::Backtracking),
+        Some(Err(_)) => Decision::of(Ok(false), Strategy::Backtracking),
         None => {
             let vars: Vec<_> = view.db.variables().into_iter().collect();
             let mut delta = evaluation_delta(&view.db, instance.active_domain());
@@ -629,7 +625,7 @@ pub fn view_membership_with(
                     let output = view.query.eval(&world);
                     output.same_facts(instance).then_some(())
                 });
-            (found.map(|f| f.is_some()), Strategy::WorldEnumeration)
+            Decision::of(found.map(|f| f.is_some()), Strategy::WorldEnumeration)
         }
     }
 }
@@ -646,10 +642,9 @@ pub(crate) fn view_membership_certified(
     view: &View,
     instance: &Instance,
     engine: &Engine,
-) -> (Result<bool, DecisionError>, Strategy, Option<Certificate>) {
+) -> Decision {
     if !engine.config().certify {
-        let (answer, strategy) = view_membership_with(view, instance, engine);
-        return (answer, strategy, None);
+        return view_membership_with(view, instance, engine);
     }
     match view.to_ctables() {
         Some(Ok(db)) => {
@@ -692,11 +687,11 @@ pub(crate) fn view_membership_certified(
                     }
                 }
             };
-            (answer, chosen, cert)
+            Decision::certified(answer, chosen, cert)
         }
         // Conversion error: some output relation is structurally unproducible; no world
         // matches, and the checker accepts the verdict on the exhaustiveness claim.
-        Some(Err(_)) => (
+        Some(Err(_)) => Decision::certified(
             Ok(false),
             Strategy::Backtracking,
             Some(Certificate::Exhaustive),
@@ -712,17 +707,17 @@ pub(crate) fn view_membership_certified(
                     output.same_facts(instance).then(|| valuation.clone())
                 });
             match found {
-                Ok(Some(v)) => (
+                Ok(Some(v)) => Decision::certified(
                     Ok(true),
                     Strategy::WorldEnumeration,
                     Some(Certificate::witness(v)),
                 ),
-                Ok(None) => (
+                Ok(None) => Decision::certified(
                     Ok(false),
                     Strategy::WorldEnumeration,
                     Some(certify::no_world_cert(&view.db)),
                 ),
-                Err(e) => (Err(e), Strategy::WorldEnumeration, None),
+                Err(e) => Decision::of(Err(e), Strategy::WorldEnumeration),
             }
         }
     }

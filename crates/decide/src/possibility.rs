@@ -12,7 +12,7 @@
 //!   Codd-tables, Theorem 5.2(2,3)).
 
 use crate::certify;
-use crate::common::{evaluation_delta, Budget, DecisionError, Strategy};
+use crate::common::{evaluation_delta, Budget, Decision, DecisionError, Strategy};
 use crate::engine::{Engine, EngineConfig};
 use crate::search::exists_world_covering;
 use pw_core::algebra::AlgebraError;
@@ -25,7 +25,7 @@ use pw_solvers::matching::{maximum_matching, BipartiteGraph};
 /// paper is about what is considered part of the input (`k` fixed vs. unbounded), not about
 /// the question itself.
 pub fn decide(view: &View, facts: &Instance, budget: Budget) -> Result<bool, DecisionError> {
-    decide_with(view, facts, &Engine::new(EngineConfig::sequential(budget))).0
+    decide_with(view, facts, &Engine::new(EngineConfig::sequential(budget))).answer
 }
 
 /// [`decide`] on an explicit [`Engine`]: the general (NP) paths run on the engine's worker
@@ -35,15 +35,12 @@ pub fn decide(view: &View, facts: &Instance, budget: Budget) -> Result<bool, Dec
 /// starving thief — with the static frontier split pinned behind
 /// [`EngineConfig::without_work_stealing`](crate::EngineConfig::without_work_stealing).
 ///
-/// Returns the answer *next to* the [`Strategy`] that produced (or attempted) it, so the
-/// strategy survives a budget-exceeded search; the dispatch (and in particular the
-/// view→c-table conversion behind it) is paid exactly once per call — the batched front
-/// door relies on this instead of re-deriving the strategy separately.
-pub fn decide_with(
-    view: &View,
-    facts: &Instance,
-    engine: &Engine,
-) -> (Result<bool, DecisionError>, Strategy) {
+/// Returns a [`Decision`] carrying the answer next to the [`Strategy`] that produced
+/// (or attempted) it, so the strategy survives a budget-exceeded search; the dispatch
+/// (and in particular the view→c-table conversion behind it) is paid exactly once per
+/// call — the batched front door relies on this instead of re-deriving the strategy
+/// separately.
+pub fn decide_with(view: &View, facts: &Instance, engine: &Engine) -> Decision {
     let (strategy, converted) = plan(view, engine.config().per_shard);
     let answer = match strategy {
         Strategy::CoddMatching => Ok(codd_matching(&view.db, facts)),
@@ -61,21 +58,16 @@ pub fn decide_with(
         }
         _ => by_enumeration_with(view, facts, engine),
     };
-    (answer, strategy)
+    Decision::of(answer, strategy)
 }
 
 /// [`decide_with`] plus certificate extraction: a *yes* carries a witness valuation
 /// under which `facts ⊆ q(world)` (extracted over the converted database and filled to a
 /// total valuation of `view.db` — `q(σ(view.db)) = σ(converted)` for every total σ); a
 /// *no* carries [`Certificate::EmptyRep`] or rests on [`Certificate::Exhaustive`].
-pub(crate) fn decide_certified(
-    view: &View,
-    facts: &Instance,
-    engine: &Engine,
-) -> (Result<bool, DecisionError>, Strategy, Option<Certificate>) {
+pub(crate) fn decide_certified(view: &View, facts: &Instance, engine: &Engine) -> Decision {
     if !engine.config().certify {
-        let (answer, strategy) = decide_with(view, facts, engine);
-        return (answer, strategy, None);
+        return decide_with(view, facts, engine);
     }
     let (strategy, converted) = plan(view, engine.config().per_shard);
     let avoid = certify::avoid_set(&view.db, facts);
@@ -87,8 +79,8 @@ pub(crate) fn decide_certified(
     let no = || Some(certify::no_world_cert(&view.db));
     match strategy {
         Strategy::CoddMatching => match certify::codd_cover_witness(&view.db, facts) {
-            Some(w) => (Ok(true), strategy, yes(w)),
-            None => (Ok(false), strategy, no()),
+            Some(w) => Decision::certified(Ok(true), strategy, yes(w)),
+            None => Decision::certified(Ok(false), strategy, no()),
         },
         Strategy::PerShard { .. } => {
             match converted.expect("planned strategies carry their conversion") {
@@ -101,13 +93,13 @@ pub(crate) fn decide_certified(
                         certify::cover_witness,
                     );
                     match outcome {
-                        Ok((true, Some(w))) => (Ok(true), strategy, yes(w)),
-                        Ok((true, None)) => (Ok(true), strategy, None),
-                        Ok((false, _)) => (Ok(false), strategy, no()),
-                        Err(e) => (Err(e), strategy, None),
+                        Ok((true, Some(w))) => Decision::certified(Ok(true), strategy, yes(w)),
+                        Ok((true, None)) => Decision::of(Ok(true), strategy),
+                        Ok((false, _)) => Decision::certified(Ok(false), strategy, no()),
+                        Err(e) => Decision::of(Err(e), strategy),
                     }
                 }
-                Err(_) => (Ok(false), strategy, Some(Certificate::Exhaustive)),
+                Err(_) => Decision::certified(Ok(false), strategy, Some(Certificate::Exhaustive)),
             }
         }
         Strategy::CTableAlgebra | Strategy::Backtracking => {
@@ -115,12 +107,12 @@ pub(crate) fn decide_certified(
                 Ok(db) => {
                     let mut counter = engine.config().counter();
                     match certify::cover_witness(&db, facts, &mut counter) {
-                        Ok(Some(w)) => (Ok(true), strategy, yes(w)),
-                        Ok(None) => (Ok(false), strategy, no()),
-                        Err(e) => (Err(e), strategy, None),
+                        Ok(Some(w)) => Decision::certified(Ok(true), strategy, yes(w)),
+                        Ok(None) => Decision::certified(Ok(false), strategy, no()),
+                        Err(e) => Decision::of(Err(e), strategy),
                     }
                 }
-                Err(_) => (Ok(false), strategy, Some(Certificate::Exhaustive)),
+                Err(_) => Decision::certified(Ok(false), strategy, Some(Certificate::Exhaustive)),
             }
         }
         _ => {
@@ -134,9 +126,11 @@ pub(crate) fn decide_certified(
                     facts.is_subinstance_of(&output).then(|| valuation.clone())
                 });
             match found {
-                Ok(Some(v)) => (Ok(true), strategy, Some(Certificate::witness(v))),
-                Ok(None) => (Ok(false), strategy, no()),
-                Err(e) => (Err(e), strategy, None),
+                Ok(Some(v)) => {
+                    Decision::certified(Ok(true), strategy, Some(Certificate::witness(v)))
+                }
+                Ok(None) => Decision::certified(Ok(false), strategy, no()),
+                Err(e) => Decision::of(Err(e), strategy),
             }
         }
     }

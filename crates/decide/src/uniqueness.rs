@@ -13,7 +13,8 @@
 
 use crate::certify;
 use crate::common::{
-    evaluation_delta, freeze_database, normalize_database, Budget, DecisionError, Strategy,
+    evaluation_delta, freeze_database, normalize_database, Budget, Decision, DecisionError,
+    Strategy,
 };
 use crate::engine::{Engine, EngineConfig, MemoOp};
 use crate::membership;
@@ -32,21 +33,17 @@ pub fn decide(view: &View, instance: &Instance, budget: Budget) -> Result<bool, 
         instance,
         &Engine::new(EngineConfig::sequential(budget)),
     )
-    .0
+    .answer
 }
 
 /// [`decide`] on an explicit [`Engine`]: the two halves of the coNP complement (a world
 /// with an extra fact / a world missing a fact) and all their per-row and per-fact
 /// subtrees run on the engine's worker pool.
 ///
-/// Returns the answer *next to* the [`Strategy`] that produced (or attempted) it, so the
-/// strategy survives a budget-exceeded search; the dispatch (and the view→c-table
-/// conversion behind it) runs exactly once per call.
-pub fn decide_with(
-    view: &View,
-    instance: &Instance,
-    engine: &Engine,
-) -> (Result<bool, DecisionError>, Strategy) {
+/// Returns a [`Decision`] carrying the answer next to the [`Strategy`] that produced
+/// (or attempted) it, so the strategy survives a budget-exceeded search; the dispatch
+/// (and the view→c-table conversion behind it) runs exactly once per call.
+pub fn decide_with(view: &View, instance: &Instance, engine: &Engine) -> Decision {
     let (strategy, converted) = plan(view, engine.config().per_shard);
     let answer = match strategy {
         Strategy::GTableNormalization => Ok(gtable_uniqueness(&view.db, instance)),
@@ -66,29 +63,24 @@ pub fn decide_with(
         }
         _ => by_enumeration_with(view, instance, engine),
     };
-    (answer, strategy)
+    Decision::of(answer, strategy)
 }
 
 /// [`decide_with`] plus certificate extraction: a *yes* rests on the exhaustive
 /// complement ([`Certificate::Exhaustive`] — uniqueness has no small positive witness);
 /// a *no* carries [`Certificate::EmptyRep`] (no world at all) or a
 /// [`Certificate::CounterWorld`] — a valuation whose world differs from the instance.
-pub(crate) fn decide_certified(
-    view: &View,
-    instance: &Instance,
-    engine: &Engine,
-) -> (Result<bool, DecisionError>, Strategy, Option<Certificate>) {
+pub(crate) fn decide_certified(view: &View, instance: &Instance, engine: &Engine) -> Decision {
     if !engine.config().certify {
-        let (answer, strategy) = decide_with(view, instance, engine);
-        return (answer, strategy, None);
+        return decide_with(view, instance, engine);
     }
     let (strategy, converted) = plan(view, engine.config().per_shard);
     match strategy {
         Strategy::GTableNormalization => {
             if gtable_uniqueness(&view.db, instance) {
-                (Ok(true), strategy, Some(Certificate::Exhaustive))
+                Decision::certified(Ok(true), strategy, Some(Certificate::Exhaustive))
             } else {
-                (
+                Decision::certified(
                     Ok(false),
                     strategy,
                     no_uniqueness_cert(view, instance, engine),
@@ -99,9 +91,9 @@ pub(crate) fn decide_certified(
             let answer = pos_exist_etable(&view.query, &view.db, instance)
                 .expect("strategy selection guarantees applicability");
             if answer {
-                (Ok(true), strategy, Some(Certificate::Exhaustive))
+                Decision::certified(Ok(true), strategy, Some(Certificate::Exhaustive))
             } else {
-                (
+                Decision::certified(
                     Ok(false),
                     strategy,
                     no_uniqueness_cert(view, instance, engine),
@@ -111,13 +103,13 @@ pub(crate) fn decide_certified(
         Strategy::PerShard { .. } => {
             match converted.expect("planned strategies carry their conversion") {
                 Ok(db) => certified_per_shard(view, &db, instance, engine, strategy),
-                Err(_) => (Ok(false), strategy, None),
+                Err(_) => Decision::of(Ok(false), strategy),
             }
         }
         Strategy::Backtracking => {
             match converted.expect("planned strategies carry their conversion") {
                 Ok(db) => certified_joint(view, &db, instance, engine, strategy),
-                Err(_) => (Ok(false), strategy, None),
+                Err(_) => Decision::of(Ok(false), strategy),
             }
         }
         _ => {
@@ -132,15 +124,17 @@ pub(crate) fn decide_certified(
                     (!output.same_facts(instance)).then(|| valuation.clone())
                 });
             match differing {
-                Err(e) => (Err(e), strategy, None),
-                Ok(Some(v)) => (Ok(false), strategy, Some(Certificate::counter_world(v))),
+                Err(e) => Decision::of(Err(e), strategy),
+                Ok(Some(v)) => {
+                    Decision::certified(Ok(false), strategy, Some(Certificate::counter_world(v)))
+                }
                 Ok(None) if found_world.load(Ordering::Relaxed) => {
-                    (Ok(true), strategy, Some(Certificate::Exhaustive))
+                    Decision::certified(Ok(true), strategy, Some(Certificate::Exhaustive))
                 }
                 Ok(None) => {
                     let cert =
                         (!view.db.has_satisfiable_globals()).then_some(Certificate::EmptyRep);
-                    (Ok(false), strategy, cert)
+                    Decision::certified(Ok(false), strategy, cert)
                 }
             }
         }
@@ -157,29 +151,31 @@ fn certified_joint(
     instance: &Instance,
     engine: &Engine,
     strategy: Strategy,
-) -> (Result<bool, DecisionError>, Strategy, Option<Certificate>) {
+) -> Decision {
     if !engine.has_satisfiable_globals(db) {
         let cert = (!view.db.has_satisfiable_globals()).then_some(Certificate::EmptyRep);
-        return (Ok(false), strategy, cert);
+        return Decision::certified(Ok(false), strategy, cert);
     }
     match membership::decide_joint_with(db, instance, engine) {
         Ok(true) => {}
         Ok(false) => {
             // I is not even a member: *every* world differs from it.
-            return (Ok(false), strategy, any_world_counter(view, instance));
+            return Decision::certified(Ok(false), strategy, any_world_counter(view, instance));
         }
-        Err(e) => return (Err(e), strategy, None),
+        Err(e) => return Decision::of(Err(e), strategy),
     }
     let mut counter = engine.config().counter();
     match certify::escape_witness(db, instance, &mut counter) {
-        Ok(Some(w)) => return (Ok(false), strategy, differing_world(view, w, instance)),
+        Ok(Some(w)) => {
+            return Decision::certified(Ok(false), strategy, differing_world(view, w, instance))
+        }
         Ok(None) => {}
-        Err(e) => return (Err(e), strategy, None),
+        Err(e) => return Decision::of(Err(e), strategy),
     }
     match certify::missing_witness(db, instance, &mut counter) {
-        Ok(Some(w)) => (Ok(false), strategy, differing_world(view, w, instance)),
-        Ok(None) => (Ok(true), strategy, Some(Certificate::Exhaustive)),
-        Err(e) => (Err(e), strategy, None),
+        Ok(Some(w)) => Decision::certified(Ok(false), strategy, differing_world(view, w, instance)),
+        Ok(None) => Decision::certified(Ok(true), strategy, Some(Certificate::Exhaustive)),
+        Err(e) => Decision::of(Err(e), strategy),
     }
 }
 
@@ -193,21 +189,21 @@ fn certified_per_shard(
     instance: &Instance,
     engine: &Engine,
     strategy: Strategy,
-) -> (Result<bool, DecisionError>, Strategy, Option<Certificate>) {
+) -> Decision {
     if db
         .shard_groups()
         .iter()
         .any(|g| !engine.has_satisfiable_globals(g.database()))
     {
         let cert = (!view.db.has_satisfiable_globals()).then_some(Certificate::EmptyRep);
-        return (Ok(false), strategy, cert);
+        return Decision::certified(Ok(false), strategy, cert);
     }
     match membership::certified_per_shard_member(db, instance, engine) {
         Ok((true, _)) => {}
         Ok((false, _)) => {
-            return (Ok(false), strategy, any_world_counter(view, instance));
+            return Decision::certified(Ok(false), strategy, any_world_counter(view, instance));
         }
-        Err(e) => return (Err(e), strategy, None),
+        Err(e) => return Decision::of(Err(e), strategy),
     }
     let mut counter = engine.config().counter();
     // Escaping row, group by group (mirror of `fact_outside_per_shard_ctx`).
@@ -232,10 +228,14 @@ fn certified_per_shard(
         });
         match outcome {
             Ok((true, cert)) => {
-                return (Ok(false), strategy, stitch(view, db, g_idx, cert, instance))
+                return Decision::certified(
+                    Ok(false),
+                    strategy,
+                    stitch(view, db, g_idx, cert, instance),
+                )
             }
             Ok((false, _)) => {}
-            Err(e) => return (Err(e), strategy, None),
+            Err(e) => return Decision::of(Err(e), strategy),
         }
     }
     // Missing fact, group by group (mirror of `missing_any_per_shard_ctx`).
@@ -252,7 +252,9 @@ fn certified_per_shard(
                 any_fact = true;
             }
             // Unreachable after a successful membership — defensive mirror.
-            _ => return (Ok(false), strategy, any_world_counter(view, instance)),
+            _ => {
+                return Decision::certified(Ok(false), strategy, any_world_counter(view, instance))
+            }
         }
     }
     if any_fact {
@@ -272,14 +274,18 @@ fn certified_per_shard(
             });
             match outcome {
                 Ok((true, cert)) => {
-                    return (Ok(false), strategy, stitch(view, db, g_idx, cert, instance))
+                    return Decision::certified(
+                        Ok(false),
+                        strategy,
+                        stitch(view, db, g_idx, cert, instance),
+                    )
                 }
                 Ok((false, _)) => {}
-                Err(e) => return (Err(e), strategy, None),
+                Err(e) => return Decision::of(Err(e), strategy),
             }
         }
     }
-    (Ok(true), strategy, Some(Certificate::Exhaustive))
+    Decision::certified(Ok(true), strategy, Some(Certificate::Exhaustive))
 }
 
 /// Stitch a group's counter-world certificate into a counter-world of the whole view.

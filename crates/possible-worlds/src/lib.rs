@@ -102,7 +102,9 @@ pub mod prelude {
         CTable, CTuple, TableClass, Valuation, View,
     };
     pub use pw_decide::{certainty, containment, membership, possibility, uniqueness};
-    pub use pw_decide::{Budget, BudgetExceeded, CancelToken, DecisionError, FaultPlan, Strategy};
+    pub use pw_decide::{
+        Budget, BudgetExceeded, CancelToken, Decision, DecisionError, FaultPlan, Strategy,
+    };
     pub use pw_query::{
         qatom, ConjunctiveQuery, DatalogProgram, DlAtom, DlRule, FoQuery, Formula, QTerm, Query,
         QueryClass, QueryDef, RaExpr, Ucq,

@@ -1,0 +1,171 @@
+//! `serve-smoke`: the CI service-smoke client.
+//!
+//! Drives one full register → decide → delta → stats cycle against a running
+//! `pw-serve`, asserts every response, then posts `/v1/shutdown` so the server (run
+//! as a separate process by CI) can be waited on for a clean exit.
+//!
+//! ```text
+//! serve-smoke 127.0.0.1:7171     # drive an already-running server
+//! serve-smoke                    # start an in-process server on a free port
+//! ```
+//!
+//! Exits 0 on success, 1 with a message on the first failed assertion.
+
+use pw_serve::client;
+use pw_serve::json::Json;
+use pw_serve::{Server, ServerConfig};
+use std::net::SocketAddr;
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    match arg {
+        Some(addr) => {
+            let addr: SocketAddr = addr.parse().unwrap_or_else(|_| {
+                eprintln!("{addr:?} is not an ADDR:PORT");
+                std::process::exit(2);
+            });
+            run(addr);
+        }
+        None => {
+            let server = Server::start(ServerConfig::default()).unwrap_or_else(|e| {
+                eprintln!("failed to start in-process server: {e}");
+                std::process::exit(1);
+            });
+            let addr = server.local_addr();
+            run(addr);
+            server.join();
+        }
+    }
+    println!("serve-smoke: all checks passed");
+}
+
+fn check(name: &str, ok: bool, detail: &dyn std::fmt::Display) {
+    if !ok {
+        eprintln!("serve-smoke: FAILED {name}: {detail}");
+        std::process::exit(1);
+    }
+    println!("serve-smoke: ok {name}");
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, Json) {
+    let response = client::request(addr, "POST", path, &[], body).unwrap_or_else(|e| {
+        eprintln!("serve-smoke: FAILED {path}: {e}");
+        std::process::exit(1);
+    });
+    let json = response.json().unwrap_or_else(|e| {
+        eprintln!("serve-smoke: FAILED {path}: non-JSON body: {e}");
+        std::process::exit(1);
+    });
+    (response.status, json)
+}
+
+fn run(addr: SocketAddr) {
+    // Liveness.
+    let health = client::get(addr, "/healthz").expect("healthz reachable");
+    check("healthz", health.status == 200, &health.body);
+
+    // Register: R(a) where row (2) is conditional on x = 0.
+    let (status, registered) = post(
+        addr,
+        "/v1/databases",
+        r#"{"schema_version":1,"database":{"tables":[
+            {"name":"R","arity":1,"global_condition":[],"rows":[
+                {"terms":[1]},
+                {"terms":[2],"condition":[{"op":"eq","left":{"var":0},"right":0}]}
+            ]}
+        ]}}"#,
+    );
+    check("register", status == 201, &registered.to_string());
+    let id = registered.get("id").and_then(Json::as_u64).unwrap_or(0);
+    check("register-id", id > 0, &registered.to_string());
+
+    // Decide all five problems (containment against the same database).
+    let decide_body = format!(
+        r#"{{"schema_version":1,"standing":true,"requests":[
+            {{"problem":"possibility","facts":{{"R":{{"arity":1,"rows":[[1],[2]]}}}}}},
+            {{"problem":"certainty","facts":{{"R":{{"arity":1,"rows":[[1]]}}}}}},
+            {{"problem":"membership","instance":{{"R":{{"arity":1,"rows":[[1]]}}}}}},
+            {{"problem":"uniqueness","instance":{{"R":{{"arity":1,"rows":[[1]]}}}}}},
+            {{"problem":"containment","right":{id}}}
+        ]}}"#
+    );
+    let (status, decided) = post(addr, &format!("/v1/databases/{id}/decide"), &decide_body);
+    check("decide", status == 200, &decided.to_string());
+    let answers: Vec<Option<bool>> = decided
+        .get("outcomes")
+        .and_then(Json::as_array)
+        .map(|o| {
+            o.iter()
+                .map(|d| d.get("answer").and_then(Json::as_bool))
+                .collect()
+        })
+        .unwrap_or_default();
+    check(
+        "decide-answers",
+        answers
+            == vec![
+                Some(true),  // (1),(2) jointly possible (x = 0)
+                Some(true),  // (1) certain
+                Some(true),  // {(1)} is a possible world (x ≠ 0)
+                Some(false), // …but not the unique one
+                Some(true),  // every view contains itself
+            ],
+        &decided.to_string(),
+    );
+
+    // Delta: force x = 0, making row (2) unconditional; the standing requests
+    // re-decide — now {(1)} is no longer even a member.
+    let (status, deltaed) = post(
+        addr,
+        &format!("/v1/databases/{id}/delta"),
+        r#"{"schema_version":1,"delta":{"ops":[
+            {"op":"conjoin","table":"R","row":1,"condition":[{"op":"eq","left":{"var":0},"right":0}]},
+            {"op":"insert","table":"R","row":{"terms":[3]}}
+        ]}}"#,
+    );
+    check("delta", status == 200, &deltaed.to_string());
+    let redecided: Vec<Option<bool>> = deltaed
+        .get("outcomes")
+        .and_then(Json::as_array)
+        .map(|o| {
+            o.iter()
+                .map(|d| d.get("answer").and_then(Json::as_bool))
+                .collect()
+        })
+        .unwrap_or_default();
+    check(
+        "delta-redecide",
+        redecided.len() == 5 && redecided[2] == Some(false),
+        &deltaed.to_string(),
+    );
+
+    // Stats are live.
+    let stats = client::get(addr, &format!("/v1/databases/{id}/stats")).expect("stats reachable");
+    let stats_json = stats.json().expect("stats is JSON");
+    check(
+        "stats",
+        stats.status == 200
+            && stats_json.get("memo").is_some()
+            && stats_json.get("engine").is_some()
+            && stats_json.get("standing_requests").and_then(Json::as_i64) == Some(5),
+        &stats.body,
+    );
+
+    // Typed errors: malformed JSON and an unknown database.
+    let (status, error) = post(addr, "/v1/databases", "{not json");
+    check(
+        "malformed-400",
+        status == 400 && error.get("error").is_some(),
+        &error.to_string(),
+    );
+    let missing = client::get(addr, "/v1/databases/999999/stats").expect("missing id reachable");
+    check("missing-404", missing.status == 404, &missing.body);
+
+    // Graceful shutdown.
+    let (status, drained) = post(addr, "/v1/shutdown", r#"{"schema_version":1}"#);
+    check(
+        "shutdown",
+        status == 200 && drained.get("status").and_then(Json::as_str) == Some("draining"),
+        &drained.to_string(),
+    );
+}

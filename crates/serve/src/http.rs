@@ -1,0 +1,279 @@
+//! A deliberately small HTTP/1.1 layer over [`std::net::TcpStream`].
+//!
+//! The service needs exactly one conversation shape — read one request, write one
+//! response, close — so that is all this module implements: no keep-alive, no chunked
+//! transfer coding, no pipelining.  What it *is* careful about is hostile input:
+//!
+//! * the request head is capped at [`MAX_HEAD_BYTES`] and the body at the caller's
+//!   limit — an over-long body is refused with `413` *before* it is read;
+//! * a `Transfer-Encoding` the layer does not speak is refused with `501`;
+//! * socket read/write timeouts are installed by the server before parsing, so a
+//!   client that stalls mid-request is dropped with `408` instead of pinning a worker;
+//! * every failure is a typed [`HttpError`] with the status and machine-readable
+//!   `code` the JSON error body carries — parsing never panics.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on the request head (request line + headers).
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// One parsed request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// The method, uppercased by the client per HTTP (`GET`, `POST`, …).
+    pub method: String,
+    /// The path component of the request target (any `?query` is split off and kept
+    /// in [`Request::query`]).
+    pub path: String,
+    /// The raw query string (without the `?`), empty when absent.
+    pub query: String,
+    /// Header `(name, value)` pairs; names are lowercased at parse time.
+    pub headers: Vec<(String, String)>,
+    /// The request body (exactly `Content-Length` bytes).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first header named `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A refused request: the HTTP status to answer with, a stable machine-readable code
+/// for the JSON error body, and a human-readable message.
+#[derive(Clone, Debug)]
+pub struct HttpError {
+    /// HTTP status code (`400`, `408`, `413`, …).
+    pub status: u16,
+    /// Stable error code for the JSON body (`"bad-request"`, `"payload-too-large"`, …).
+    pub code: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl HttpError {
+    /// A `400 Bad Request`.
+    pub fn bad_request(message: impl Into<String>) -> HttpError {
+        HttpError {
+            status: 400,
+            code: "bad-request",
+            message: message.into(),
+        }
+    }
+}
+
+/// The reason phrase for the handful of statuses the service emits.
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        _ => "Response",
+    }
+}
+
+/// Read and parse one request from `stream`.  `max_body` caps the declared
+/// `Content-Length`; the head is capped at [`MAX_HEAD_BYTES`].
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, HttpError> {
+    let head = read_head(stream)?;
+    let head_text = String::from_utf8(head)
+        .map_err(|_| HttpError::bad_request("request head is not valid UTF-8"))?;
+    let mut lines = head_text.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or_else(|| HttpError::bad_request("empty request"))?;
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or_else(|| HttpError::bad_request("missing method"))?
+        .to_string();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::bad_request("missing request target"))?;
+    match parts.next() {
+        Some("HTTP/1.1" | "HTTP/1.0") => {}
+        _ => return Err(HttpError::bad_request("expected HTTP/1.0 or HTTP/1.1")),
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::bad_request(format!("malformed header line {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    if let Some(te) = headers.iter().find(|(n, _)| n == "transfer-encoding") {
+        return Err(HttpError {
+            status: 501,
+            code: "unsupported-transfer-encoding",
+            message: format!("transfer-encoding {:?} is not supported", te.1),
+        });
+    }
+
+    let content_length = match headers.iter().find(|(n, _)| n == "content-length") {
+        Some((_, v)) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::bad_request("content-length is not an integer"))?,
+        None => 0,
+    };
+    if content_length > max_body {
+        return Err(HttpError {
+            status: 413,
+            code: "payload-too-large",
+            message: format!("body of {content_length} bytes exceeds the {max_body}-byte limit"),
+        });
+    }
+
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body).map_err(read_error)?;
+
+    Ok(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    })
+}
+
+/// Read bytes until the `\r\n\r\n` head terminator, never more than
+/// [`MAX_HEAD_BYTES`].  One byte at a time so not a single body byte is consumed past
+/// the terminator; heads are well under a kilobyte, so the syscall count is irrelevant
+/// next to a decision procedure.
+fn read_head(stream: &mut TcpStream) -> Result<Vec<u8>, HttpError> {
+    let mut head = Vec::with_capacity(512);
+    let mut byte = [0u8; 1];
+    loop {
+        let n = stream.read(&mut byte).map_err(read_error)?;
+        if n == 0 {
+            return Err(HttpError::bad_request("connection closed mid-request"));
+        }
+        head.push(byte[0]);
+        if head.ends_with(b"\r\n\r\n") {
+            head.truncate(head.len() - 4);
+            return Ok(head);
+        }
+        if head.len() > MAX_HEAD_BYTES {
+            return Err(HttpError {
+                status: 431,
+                code: "headers-too-large",
+                message: format!("request head exceeds {MAX_HEAD_BYTES} bytes"),
+            });
+        }
+    }
+}
+
+fn read_error(e: io::Error) -> HttpError {
+    match e.kind() {
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => HttpError {
+            status: 408,
+            code: "request-timeout",
+            message: "timed out reading the request".to_string(),
+        },
+        _ => HttpError::bad_request(format!("failed to read request: {e}")),
+    }
+}
+
+/// Write one response and flush.  `extra_headers` are emitted verbatim after the
+/// standard set; the connection is always marked `close`.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    extra_headers: &[(&str, String)],
+    body: &[u8],
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n",
+        status_text(status),
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+    use std::time::Duration;
+
+    fn round_trip(raw: &[u8]) -> Result<Request, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let writer = std::thread::spawn(move || {
+            let mut c = TcpStream::connect(addr).unwrap();
+            c.write_all(&raw).unwrap();
+            c
+        });
+        let (mut server_side, _) = listener.accept().unwrap();
+        server_side
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .unwrap();
+        let parsed = read_request(&mut server_side, 1024);
+        drop(writer.join().unwrap());
+        parsed
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let request = round_trip(
+            b"POST /v1/databases?x=1 HTTP/1.1\r\nHost: h\r\nContent-Length: 4\r\n\r\nabcd",
+        )
+        .unwrap();
+        assert_eq!(request.method, "POST");
+        assert_eq!(request.path, "/v1/databases");
+        assert_eq!(request.query, "x=1");
+        assert_eq!(request.header("host"), Some("h"));
+        assert_eq!(request.body, b"abcd");
+    }
+
+    #[test]
+    fn refuses_oversized_bodies_without_reading_them() {
+        let err = round_trip(b"POST / HTTP/1.1\r\nContent-Length: 4096\r\n\r\n").unwrap_err();
+        assert_eq!(err.status, 413);
+        assert_eq!(err.code, "payload-too-large");
+    }
+
+    #[test]
+    fn refuses_chunked_transfer() {
+        let err = round_trip(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n").unwrap_err();
+        assert_eq!(err.status, 501);
+    }
+
+    #[test]
+    fn malformed_request_line_is_a_400() {
+        let err = round_trip(b"GARBAGE\r\n\r\n").unwrap_err();
+        assert_eq!(err.status, 400);
+    }
+}

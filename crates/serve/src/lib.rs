@@ -1,0 +1,36 @@
+//! # `pw-serve` — the decision engine as a service
+//!
+//! A dependency-free HTTP/1.1 server (std [`std::net::TcpListener`] plus a small
+//! fixed thread pool) that owns one [`pw_decide::Session`] per registered c-database
+//! and exposes the batched decision API over a versioned JSON wire protocol:
+//!
+//! | method & path | purpose |
+//! |---|---|
+//! | `POST /v1/databases` | register a c-database, get an integer handle |
+//! | `POST /v1/databases/{id}/decide` | decide a batch of requests (all five problems) |
+//! | `POST /v1/databases/{id}/delta` | apply a [`pw_core::Delta`], re-decide the standing requests |
+//! | `GET /v1/databases/{id}/stats` | engine + decision-memo counters |
+//! | `POST /v1/shutdown` | graceful drain |
+//! | `GET /healthz` | liveness |
+//!
+//! The wire schema (`schema_version` 1) is documented with worked examples in
+//! `docs/BOOK.md` §16.  Serving-grade behaviour is part of the contract, not an
+//! afterthought: bounded admission (`429`/`503` with `Retry-After`, never an
+//! unbounded queue), per-request deadlines (`x-deadline-ms`) mapped onto the
+//! engine's deadline, socket timeouts, size- and depth-limited parsing (`400`, never
+//! a panic), and graceful shutdown that drains in-flight batches.
+//!
+//! The crate splits along trust boundaries: [`json`] (untrusted bytes → checked
+//! tree), [`wire`] (checked tree ↔ library types), [`http`] (socket ↔ request), and
+//! [`server`] (admission, sessions, routing).
+
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod json;
+pub mod server;
+pub mod wire;
+
+pub use json::{Json, JsonError};
+pub use server::{client, Server, ServerConfig};
+pub use wire::{WireError, SCHEMA_VERSION};

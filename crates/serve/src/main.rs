@@ -1,0 +1,88 @@
+//! `pw-serve`: run the decision service from the command line.
+//!
+//! ```text
+//! pw-serve [--addr 127.0.0.1:7171] [--workers 4] [--queue-depth 64]
+//!          [--budget 1000000] [--session-threads 2] [--max-body-bytes 1048576]
+//!          [--read-timeout-ms 10000] [--write-timeout-ms 10000]
+//! ```
+//!
+//! The process runs until `POST /v1/shutdown`, then drains in-flight connections and
+//! exits 0.  See `docs/BOOK.md` §16 for the wire protocol and README for a curl
+//! walkthrough.
+
+use pw_serve::{Server, ServerConfig};
+use std::time::Duration;
+
+fn main() {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:7171".to_string(),
+        ..ServerConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        if flag == "--help" || flag == "-h" {
+            print!("{}", USAGE);
+            return;
+        }
+        let Some(value) = args.next() else {
+            eprintln!("missing value for {flag}\n{USAGE}");
+            std::process::exit(2);
+        };
+        let parsed: Result<(), String> = match flag.as_str() {
+            "--addr" => {
+                config.addr = value.clone();
+                Ok(())
+            }
+            "--workers" => parse(&value).map(|v| config.workers = v),
+            "--queue-depth" => parse(&value).map(|v| config.queue_depth = v),
+            "--budget" => parse(&value).map(|v| config.budget = v),
+            "--session-threads" => parse(&value).map(|v| config.session_threads = v),
+            "--max-body-bytes" => parse(&value).map(|v| config.max_body_bytes = v),
+            "--read-timeout-ms" => {
+                parse(&value).map(|v| config.read_timeout = Duration::from_millis(v))
+            }
+            "--write-timeout-ms" => {
+                parse(&value).map(|v| config.write_timeout = Duration::from_millis(v))
+            }
+            "--lame-duck-ms" => parse(&value).map(|v| config.lame_duck = Duration::from_millis(v)),
+            other => Err(format!("unknown flag {other}")),
+        };
+        if let Err(message) = parsed {
+            eprintln!("{flag} {value}: {message}\n{USAGE}");
+            std::process::exit(2);
+        }
+    }
+
+    let server = match Server::start(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("failed to start: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("pw-serve listening on http://{}", server.local_addr());
+    server.join();
+    println!("pw-serve drained and stopped");
+}
+
+fn parse<T: std::str::FromStr>(value: &str) -> Result<T, String> {
+    value
+        .parse::<T>()
+        .map_err(|_| "expected a number".to_string())
+}
+
+const USAGE: &str = "\
+pw-serve: HTTP service for the possible-worlds decision engine
+
+  --addr ADDR             listen address (default 127.0.0.1:7171; port 0 = pick free)
+  --workers N             worker threads (default 4)
+  --queue-depth N         admission queue depth before shedding 429 (default 64)
+  --budget N              per-request search budget (default 1000000)
+  --session-threads N     engine threads per database session (default 2)
+  --max-body-bytes N      request body cap (default 1 MiB)
+  --read-timeout-ms N     socket read timeout (default 10000)
+  --write-timeout-ms N    socket write timeout (default 10000)
+  --lame-duck-ms N        503-shedding window during shutdown (default 500)
+
+Stop with: curl -X POST http://ADDR/v1/shutdown -d '{\"schema_version\":1}'
+";

@@ -1,0 +1,676 @@
+//! The service: a bounded-admission HTTP front end over [`pw_decide::Session`]s.
+//!
+//! ## Shape
+//!
+//! One OS thread accepts connections; a small fixed pool of worker threads serves
+//! them, one request per connection.  Admission is a bounded queue
+//! ([`std::sync::mpsc::sync_channel`]) between the two: when every worker is busy and
+//! the queue is full, the accept thread *sheds* the connection with `429 Too Many
+//! Requests` and a `Retry-After` header instead of queueing it unboundedly — latency
+//! under overload is a refusal, never a hang.  During shutdown the same path sheds
+//! with `503 Service Unavailable` while the workers drain the connections already
+//! admitted.
+//!
+//! ## State
+//!
+//! Each registered c-database gets a `DbEntry`: its current [`CDatabase`] value, a
+//! long-lived [`Session`] (so repeated and incremental decisions hit the engine's
+//! caches), and the *standing* requests that `POST …/delta` re-decides after every
+//! mutation.  Lock order is `op → registry → db → session → standing` — `op` is the
+//! per-database outer lock serializing decide/delta cycles, the inner locks are held
+//! briefly and never while acquiring a peer's.
+//!
+//! ## Robustness
+//!
+//! Sockets carry read/write timeouts, bodies and heads are size-capped before
+//! parsing, malformed JSON or wire values answer `400` with a typed error body, and a
+//! panic inside a handler is caught at the worker boundary and answered with `500` —
+//! the worker survives.
+
+use crate::http::{read_request, write_response, Request};
+use crate::json::Json;
+use crate::wire;
+use pw_core::CDatabase;
+use pw_decide::{Budget, EngineConfig, Session};
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tuning knobs of a [`Server`].  [`ServerConfig::default`] is sized for a smoke test
+/// or a small deployment; every field has a `pw-serve` command-line flag.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Listen address, e.g. `127.0.0.1:0` (port 0 picks a free port).
+    pub addr: String,
+    /// Worker threads serving admitted connections.
+    pub workers: usize,
+    /// Admitted-but-unserved connections the queue holds before shedding with `429`.
+    pub queue_depth: usize,
+    /// Request body cap in bytes; larger bodies are refused with `413`.
+    pub max_body_bytes: usize,
+    /// Socket read timeout (a stalled client is answered `408` and dropped).
+    pub read_timeout: Duration,
+    /// Socket write timeout.
+    pub write_timeout: Duration,
+    /// Per-request search budget of every database session.
+    pub budget: u64,
+    /// Engine threads per database session.
+    pub session_threads: usize,
+    /// Lame-duck window after shutdown starts: connections arriving within it are
+    /// refused with a typed `503` + `Retry-After` instead of a connection reset.
+    pub lame_duck: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_depth: 64,
+            max_body_bytes: 1 << 20,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            budget: 1_000_000,
+            session_threads: 2,
+            lame_duck: Duration::from_millis(500),
+        }
+    }
+}
+
+/// One registered database: its current value, its long-lived session, and the
+/// standing requests replayed after every delta.  `standing` holds the *wire* request
+/// objects, re-decoded against the current database value each time — a decoded
+/// [`pw_decide::DecisionRequest`] pins the database version it was decoded against,
+/// and the wire form is the cheap, always-current spelling.
+struct DbEntry {
+    /// Outer lock serializing decide/delta cycles on this database.
+    op: Mutex<()>,
+    db: Mutex<CDatabase>,
+    session: Mutex<Session>,
+    standing: Mutex<Vec<Json>>,
+}
+
+struct Shared {
+    config: ServerConfig,
+    addr: SocketAddr,
+    stopping: AtomicBool,
+    next_id: AtomicU64,
+    registry: Mutex<HashMap<u64, Arc<DbEntry>>>,
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A running server.  Dropping the handle does *not* stop it; POST `/v1/shutdown` (or
+/// [`Server::shutdown`]) initiates a graceful drain, and [`Server::join`] waits for
+/// it to finish.
+pub struct Server {
+    shared: Arc<Shared>,
+    accept: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `config.addr` and start the accept and worker threads.
+    pub fn start(config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            addr,
+            stopping: AtomicBool::new(false),
+            next_id: AtomicU64::new(0),
+            registry: Mutex::new(HashMap::new()),
+            config,
+        });
+
+        let (tx, rx) = sync_channel::<TcpStream>(shared.config.queue_depth);
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..shared.config.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let rx = Arc::clone(&rx);
+                std::thread::spawn(move || worker_loop(&shared, &rx))
+            })
+            .collect();
+
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::spawn(move || {
+            // `tx` moves in here; when this loop exits the sender drops, the channel
+            // disconnects, and the workers exit once the queue is drained — that drop
+            // *is* the graceful-drain mechanism.
+            for conn in listener.incoming() {
+                let Ok(stream) = conn else { continue };
+                if accept_shared.stopping.load(Ordering::SeqCst) {
+                    shed(
+                        &accept_shared,
+                        stream,
+                        503,
+                        "shutting-down",
+                        "server is shutting down",
+                    );
+                    break;
+                }
+                match tx.try_send(stream) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(stream)) => {
+                        shed(
+                            &accept_shared,
+                            stream,
+                            429,
+                            "overloaded",
+                            "admission queue is full, retry later",
+                        );
+                    }
+                    Err(TrySendError::Disconnected(_)) => break,
+                }
+            }
+            // Lame duck: for a short window, clients racing the shutdown still get a
+            // typed 503 + Retry-After instead of a connection reset.
+            let _ = listener.set_nonblocking(true);
+            let gone = std::time::Instant::now() + accept_shared.config.lame_duck;
+            while std::time::Instant::now() < gone {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        shed(
+                            &accept_shared,
+                            stream,
+                            503,
+                            "shutting-down",
+                            "server is shutting down",
+                        );
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                }
+            }
+        });
+
+        Ok(Server {
+            shared,
+            accept,
+            workers,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Initiate a graceful shutdown: stop admitting, drain admitted connections.
+    /// Equivalent to `POST /v1/shutdown`.
+    pub fn shutdown(&self) {
+        request_shutdown(&self.shared);
+    }
+
+    /// Wait until the accept thread and every worker have exited (i.e. the drain is
+    /// complete).
+    pub fn join(self) {
+        let _ = self.accept.join();
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Flag the stop and poke the blocking `accept` with a throwaway connection so it
+/// observes the flag now rather than at the next organic arrival.
+fn request_shutdown(shared: &Shared) {
+    if !shared.stopping.swap(true, Ordering::SeqCst) {
+        let _ = TcpStream::connect(shared.addr);
+    }
+}
+
+/// Refuse a connection that was never admitted.  Runs on its own thread so a slow
+/// peer cannot stall the accept loop; drains whatever request bytes the client
+/// already sent (so the refusal is not lost to a connection reset), then answers
+/// `status` with `Retry-After`.
+fn shed(
+    shared: &Arc<Shared>,
+    mut stream: TcpStream,
+    status: u16,
+    code: &'static str,
+    message: &str,
+) {
+    let body = error_body(code, message);
+    let write_timeout = shared.config.write_timeout;
+    std::thread::spawn(move || {
+        // Accepted during a nonblocking lame-duck accept, the socket may need
+        // resetting to blocking before the timed reads below behave.
+        let _ = stream.set_nonblocking(false);
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+        let _ = stream.set_write_timeout(Some(write_timeout));
+        let mut sink = [0u8; 4096];
+        for _ in 0..64 {
+            match stream.read(&mut sink) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {}
+            }
+        }
+        let _ = write_response(
+            &mut stream,
+            status,
+            &[("retry-after", "1".to_string())],
+            body.as_bytes(),
+        );
+    });
+}
+
+fn worker_loop(shared: &Arc<Shared>, rx: &Mutex<Receiver<TcpStream>>) {
+    loop {
+        let next = lock(rx).recv();
+        let Ok(mut stream) = next else { return };
+        let outcome = catch_unwind(AssertUnwindSafe(|| serve_connection(shared, &mut stream)));
+        if outcome.is_err() {
+            // The handler panicked; the connection may not have been answered yet.
+            let _ = write_response(
+                &mut stream,
+                500,
+                &[],
+                error_body("internal", "request handler panicked").as_bytes(),
+            );
+        }
+    }
+}
+
+fn serve_connection(shared: &Shared, stream: &mut TcpStream) {
+    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+    let (status, extra, body) = match read_request(stream, shared.config.max_body_bytes) {
+        Ok(request) => handle(shared, &request),
+        Err(e) => (e.status, Vec::new(), error_body(e.code, &e.message)),
+    };
+    let _ = write_response(stream, status, &extra, body.as_bytes());
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    // Drain any unread bytes so closing does not reset the connection under the
+    // response we just wrote.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut sink = [0u8; 1024];
+    while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
+}
+
+type Reply = (u16, Vec<(&'static str, String)>, String);
+
+fn ok_reply(status: u16, body: Json) -> Reply {
+    (status, Vec::new(), body.to_string())
+}
+
+fn error_reply(status: u16, code: &str, message: &str) -> Reply {
+    (status, Vec::new(), error_body(code, message))
+}
+
+fn error_body(code: &str, message: &str) -> String {
+    Json::Object(vec![
+        ("schema_version".into(), Json::Int(wire::SCHEMA_VERSION)),
+        (
+            "error".into(),
+            Json::Object(vec![
+                ("code".into(), Json::str(code)),
+                ("message".into(), Json::str(message)),
+            ]),
+        ),
+    ])
+    .to_string()
+}
+
+fn handle(shared: &Shared, request: &Request) -> Reply {
+    let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (request.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => {
+            ok_reply(200, Json::Object(vec![("status".into(), Json::str("ok"))]))
+        }
+        ("POST", ["v1", "shutdown"]) => {
+            request_shutdown(shared);
+            ok_reply(
+                200,
+                Json::Object(vec![
+                    ("schema_version".into(), Json::Int(wire::SCHEMA_VERSION)),
+                    ("status".into(), Json::str("draining")),
+                ]),
+            )
+        }
+        ("POST", ["v1", "databases"]) => with_body(request, |body| register(shared, body)),
+        ("POST", ["v1", "databases", id, "decide"]) => match parse_id(id) {
+            Some(id) => with_body(request, |body| decide(shared, id, request, body)),
+            None => bad_id(id),
+        },
+        ("POST", ["v1", "databases", id, "delta"]) => match parse_id(id) {
+            Some(id) => with_body(request, |body| delta(shared, id, body)),
+            None => bad_id(id),
+        },
+        ("GET", ["v1", "databases", id, "stats"]) => match parse_id(id) {
+            Some(id) => stats(shared, id),
+            None => bad_id(id),
+        },
+        (_, ["healthz"]) | (_, ["v1", "shutdown" | "databases", ..]) => (
+            405,
+            Vec::new(),
+            error_body(
+                "method-not-allowed",
+                &format!("{} is not supported on {}", request.method, request.path),
+            ),
+        ),
+        _ => error_reply(404, "not-found", &format!("no route for {}", request.path)),
+    }
+}
+
+fn parse_id(text: &str) -> Option<u64> {
+    text.parse::<u64>().ok()
+}
+
+fn bad_id(text: &str) -> Reply {
+    error_reply(
+        400,
+        "bad-request",
+        &format!("{text:?} is not a database id"),
+    )
+}
+
+/// Parse the body as JSON (the HTTP layer already enforced the byte cap), check the
+/// schema version, and hand the tree to `f`.
+fn with_body(request: &Request, f: impl FnOnce(&Json) -> Reply) -> Reply {
+    let text = match std::str::from_utf8(&request.body) {
+        Ok(t) => t,
+        Err(_) => return error_reply(400, "bad-request", "body is not valid UTF-8"),
+    };
+    let body = match Json::parse(text) {
+        Ok(b) => b,
+        Err(e) => return error_reply(400, "bad-request", &e.to_string()),
+    };
+    if let Err(e) = wire::check_schema_version(&body) {
+        return error_reply(400, "bad-request", &e.0);
+    }
+    f(&body)
+}
+
+fn entry_of(shared: &Shared, id: u64) -> Option<Arc<DbEntry>> {
+    lock(&shared.registry).get(&id).cloned()
+}
+
+/// The containment right-hand-side resolver: brief registry + db locks, no other lock
+/// held while a peer's is taken (see the module-level lock order).
+fn db_of(shared: &Shared, id: u64) -> Option<CDatabase> {
+    let entry = entry_of(shared, id)?;
+    let db = lock(&entry.db).clone();
+    Some(db)
+}
+
+fn register(shared: &Shared, body: &Json) -> Reply {
+    let Some(db_json) = body.get("database") else {
+        return error_reply(400, "bad-request", "missing field 'database'");
+    };
+    let db = match wire::decode_cdatabase(db_json) {
+        Ok(db) => db,
+        Err(e) => return error_reply(400, "bad-request", &e.0),
+    };
+    let certify = body.get("certify").and_then(Json::as_bool).unwrap_or(false);
+    let mut cfg = EngineConfig::with_threads(
+        shared.config.session_threads.max(1),
+        Budget(shared.config.budget),
+    );
+    cfg.certify = certify;
+    let session = Session::new(&cfg);
+    let tables = db.table_count();
+    let id = shared.next_id.fetch_add(1, Ordering::SeqCst) + 1;
+    lock(&shared.registry).insert(
+        id,
+        Arc::new(DbEntry {
+            op: Mutex::new(()),
+            db: Mutex::new(db),
+            session: Mutex::new(session),
+            standing: Mutex::new(Vec::new()),
+        }),
+    );
+    ok_reply(
+        201,
+        Json::Object(vec![
+            ("schema_version".into(), Json::Int(wire::SCHEMA_VERSION)),
+            ("id".into(), Json::Int(id as i64)),
+            ("tables".into(), Json::Int(tables as i64)),
+        ]),
+    )
+}
+
+/// The per-request deadline: the `x-deadline-ms` header wins, then a `deadline_ms`
+/// body field; absent both, the session's configured (un)limits apply.
+fn deadline_of(request: &Request, body: &Json) -> Result<Option<Duration>, String> {
+    let text = request
+        .header("x-deadline-ms")
+        .map(str::to_string)
+        .or_else(|| body.get("deadline_ms").map(|j| j.to_string()));
+    match text {
+        None => Ok(None),
+        Some(t) => match t.trim().parse::<u64>() {
+            Ok(ms) if ms > 0 => Ok(Some(Duration::from_millis(ms))),
+            _ => Err(format!(
+                "deadline {t:?} is not a positive integer of milliseconds"
+            )),
+        },
+    }
+}
+
+fn decide(shared: &Shared, id: u64, request: &Request, body: &Json) -> Reply {
+    let Some(entry) = entry_of(shared, id) else {
+        return error_reply(404, "not-found", &format!("no database with id {id}"));
+    };
+    let deadline = match deadline_of(request, body) {
+        Ok(d) => d,
+        Err(message) => return error_reply(400, "bad-request", &message),
+    };
+    let Some(requests_json) = body.get("requests").and_then(Json::as_array) else {
+        return error_reply(400, "bad-request", "missing array field 'requests'");
+    };
+    let standing = body
+        .get("standing")
+        .and_then(Json::as_bool)
+        .unwrap_or(false);
+
+    let _op = lock(&entry.op);
+    let db = lock(&entry.db).clone();
+    let mut requests = Vec::with_capacity(requests_json.len());
+    let resolve = |rid: u64| db_of(shared, rid);
+    for (i, rj) in requests_json.iter().enumerate() {
+        match wire::decode_request(rj, &db, &resolve) {
+            Ok(r) => requests.push(r),
+            Err(e) => {
+                return error_reply(400, "bad-request", &format!("requests[{i}]: {e}"));
+            }
+        }
+    }
+    let outcomes = match deadline {
+        Some(d) => lock(&entry.session).decide_all_within(&requests, d),
+        None => lock(&entry.session).decide_all(&requests),
+    };
+    if standing {
+        *lock(&entry.standing) = requests_json.to_vec();
+    }
+    ok_reply(
+        200,
+        Json::Object(vec![
+            ("schema_version".into(), Json::Int(wire::SCHEMA_VERSION)),
+            (
+                "outcomes".into(),
+                Json::Array(outcomes.iter().map(wire::encode_decision).collect()),
+            ),
+        ]),
+    )
+}
+
+fn delta(shared: &Shared, id: u64, body: &Json) -> Reply {
+    let Some(entry) = entry_of(shared, id) else {
+        return error_reply(404, "not-found", &format!("no database with id {id}"));
+    };
+    let Some(delta_json) = body.get("delta") else {
+        return error_reply(400, "bad-request", "missing field 'delta'");
+    };
+    let delta = match wire::decode_delta(delta_json) {
+        Ok(d) => d,
+        Err(e) => return error_reply(400, "bad-request", &e.0),
+    };
+
+    let _op = lock(&entry.op);
+    let prev = lock(&entry.db).clone();
+    let standing_json = lock(&entry.standing).clone();
+    let mut standing = Vec::with_capacity(standing_json.len());
+    let resolve = |rid: u64| db_of(shared, rid);
+    for (i, rj) in standing_json.iter().enumerate() {
+        match wire::decode_request(rj, &prev, &resolve) {
+            Ok(r) => standing.push(r),
+            Err(e) => {
+                return error_reply(
+                    500,
+                    "internal",
+                    &format!("standing request {i} no longer decodes: {e}"),
+                );
+            }
+        }
+    }
+    let redecision = match lock(&entry.session).redecide_all(&prev, &delta, &standing) {
+        Ok(r) => r,
+        Err(e) => return error_reply(400, "bad-delta", &e.to_string()),
+    };
+    *lock(&entry.db) = redecision.db;
+    ok_reply(
+        200,
+        Json::Object(vec![
+            ("schema_version".into(), Json::Int(wire::SCHEMA_VERSION)),
+            ("noop".into(), Json::Bool(redecision.change.is_noop())),
+            (
+                "outcomes".into(),
+                Json::Array(
+                    redecision
+                        .outcomes
+                        .iter()
+                        .map(wire::encode_decision)
+                        .collect(),
+                ),
+            ),
+        ]),
+    )
+}
+
+fn stats(shared: &Shared, id: u64) -> Reply {
+    let Some(entry) = entry_of(shared, id) else {
+        return error_reply(404, "not-found", &format!("no database with id {id}"));
+    };
+    let (engine_stats, memo_stats) = {
+        let session = lock(&entry.session);
+        (session.engine().stats(), session.engine().memo_stats())
+    };
+    let standing = lock(&entry.standing).len();
+    ok_reply(
+        200,
+        Json::Object(vec![
+            ("schema_version".into(), Json::Int(wire::SCHEMA_VERSION)),
+            ("engine".into(), wire::encode_engine_stats(&engine_stats)),
+            ("memo".into(), wire::encode_memo_stats(&memo_stats)),
+            ("standing_requests".into(), Json::Int(standing as i64)),
+        ]),
+    )
+}
+
+/// A tiny blocking HTTP client for the smoke binary and the loopback tests: one
+/// request, one response, connection closed.  Not a general client — it reads the
+/// whole response into memory and follows nothing.
+pub mod client {
+    use super::*;
+
+    /// A parsed response.
+    #[derive(Clone, Debug)]
+    pub struct Response {
+        /// HTTP status code.
+        pub status: u16,
+        /// Lowercased header `(name, value)` pairs.
+        pub headers: Vec<(String, String)>,
+        /// The body as text.
+        pub body: String,
+    }
+
+    impl Response {
+        /// The first header named `name` (lowercase), if present.
+        pub fn header(&self, name: &str) -> Option<&str> {
+            self.headers
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| v.as_str())
+        }
+
+        /// Parse the body as JSON.
+        pub fn json(&self) -> Result<Json, crate::json::JsonError> {
+            Json::parse(&self.body)
+        }
+    }
+
+    /// Send one request and read the response to EOF.
+    pub fn request(
+        addr: SocketAddr,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &str,
+    ) -> io::Result<Response> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+        let mut head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\nconnection: close\r\n",
+            body.len()
+        );
+        for (name, value) in headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(body.as_bytes())?;
+        stream.flush()?;
+        let mut raw = Vec::new();
+        stream.read_to_end(&mut raw)?;
+        parse_response(&raw)
+    }
+
+    /// POST a JSON body.
+    pub fn post_json(addr: SocketAddr, path: &str, body: &Json) -> io::Result<Response> {
+        request(addr, "POST", path, &[], &body.to_string())
+    }
+
+    /// GET a path.
+    pub fn get(addr: SocketAddr, path: &str) -> io::Result<Response> {
+        request(addr, "GET", path, &[], "")
+    }
+
+    fn parse_response(raw: &[u8]) -> io::Result<Response> {
+        let text = String::from_utf8_lossy(raw);
+        let (head, body) = text
+            .split_once("\r\n\r\n")
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no header terminator"))?;
+        let mut lines = head.split("\r\n");
+        let status_line = lines
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty response"))?;
+        let status = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse::<u16>().ok())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no status code"))?;
+        let headers = lines
+            .filter_map(|line| {
+                line.split_once(':')
+                    .map(|(n, v)| (n.trim().to_ascii_lowercase(), v.trim().to_string()))
+            })
+            .collect();
+        Ok(Response {
+            status,
+            headers,
+            body: body.to_string(),
+        })
+    }
+}

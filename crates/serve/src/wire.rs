@@ -1,0 +1,686 @@
+//! Wire DTOs: the versioned JSON encoding of the library types the service speaks.
+//!
+//! The `/v1` schema (documented with worked examples in `docs/BOOK.md` §16) is a thin,
+//! explicit mapping — no reflection, no derived serializers:
+//!
+//! * **constants** are the JSON scalars they already are: `1`, `"alice"`, `true`;
+//! * **terms** are a constant scalar or `{"var": n}` — the two shapes are disjoint, so
+//!   the encoding is bijective;
+//! * **atoms** are `{"op": "eq"|"neq", "left": t, "right": t}` and **conditions** are
+//!   arrays of atoms (the empty array is *true*);
+//! * **c-tables** are `{"name", "arity", "global_condition", "rows"}` with rows
+//!   `{"terms": [...], "condition": [...]}` (condition omitted ⇒ true), and a
+//!   **c-database** is `{"tables": [...]}`;
+//! * **decision requests** name their problem and phrase views as the *identity* of a
+//!   registered database (richer query programs are a reserved extension, see BOOK.md);
+//! * **decisions** come back as `{"answer", "strategy", "certificate"}` on success and
+//!   `{"error": {"code", "message"}, "strategy"}` on a typed [`DecisionError`].
+//!
+//! Decoders exist only for what clients send (databases, instances, deltas, requests);
+//! answers, certificates and statistics are encode-only.  Every decoder returns a
+//! [`WireError`] — mapped to HTTP 400 by the server — and never panics on hostile
+//! trees.
+
+use crate::json::Json;
+use pw_condition::{Atom, Conjunction, Term, Variable};
+use pw_core::{CDatabase, CTable, CTuple, Certificate, Delta, DeltaOp, PairCert, Valuation, View};
+use pw_decide::{Decision, DecisionError, DecisionRequest, EngineStats, MemoStats, Strategy};
+use pw_relational::{Constant, Instance, Relation, Tuple};
+use std::fmt;
+
+/// The wire schema version this build speaks.  Every request and response body carries
+/// it as `schema_version`; a request with a different version is rejected up front so
+/// clients fail loudly instead of mis-parsing.
+pub const SCHEMA_VERSION: i64 = 1;
+
+/// A malformed wire value: the path-flavoured message becomes the `message` of the
+/// HTTP 400 error body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireError(pub String);
+
+impl WireError {
+    fn new(message: impl Into<String>) -> WireError {
+        WireError(message.into())
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Check the `schema_version` member of a request body (missing ⇒ error, mismatched ⇒
+/// error naming both versions).
+pub fn check_schema_version(body: &Json) -> Result<(), WireError> {
+    match body.get("schema_version").and_then(Json::as_i64) {
+        Some(SCHEMA_VERSION) => Ok(()),
+        Some(v) => Err(WireError::new(format!(
+            "unsupported schema_version {v} (this server speaks {SCHEMA_VERSION})"
+        ))),
+        None => Err(WireError::new(
+            "missing integer field 'schema_version' (expected 1)",
+        )),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Constants, terms, atoms, conditions
+// ---------------------------------------------------------------------------
+
+/// A constant as the JSON scalar it is.
+pub fn encode_constant(c: &Constant) -> Json {
+    match c {
+        Constant::Int(i) => Json::Int(*i),
+        Constant::Str(s) => Json::str(s.as_ref()),
+        Constant::Bool(b) => Json::Bool(*b),
+    }
+}
+
+/// Decode a JSON scalar into a constant.
+pub fn decode_constant(j: &Json) -> Result<Constant, WireError> {
+    match j {
+        Json::Int(i) => Ok(Constant::Int(*i)),
+        Json::Str(s) => Ok(Constant::str(s.as_str())),
+        Json::Bool(b) => Ok(Constant::Bool(*b)),
+        other => Err(WireError::new(format!(
+            "expected a constant (integer, string or boolean), got {other}"
+        ))),
+    }
+}
+
+/// A term: `{"var": n}` for a variable, the constant scalar otherwise.
+pub fn encode_term(t: Term) -> Json {
+    match t {
+        Term::Var(v) => Json::Object(vec![("var".into(), Json::Int(i64::from(v.0)))]),
+        Term::Const(_) => encode_constant(&t.as_const().expect("interned constant resolves")),
+    }
+}
+
+/// Decode a term (the inverse of [`encode_term`]); constants are interned globally.
+pub fn decode_term(j: &Json) -> Result<Term, WireError> {
+    if let Some(var) = j.get("var") {
+        let n = var
+            .as_u64()
+            .and_then(|n| u32::try_from(n).ok())
+            .ok_or_else(|| WireError::new("'var' must be an integer in 0..2^32"))?;
+        return Ok(Term::Var(Variable(n)));
+    }
+    decode_constant(j).map(Term::constant)
+}
+
+/// An atom: `{"op": "eq"|"neq", "left": term, "right": term}`.
+pub fn encode_atom(a: Atom) -> Json {
+    let op = if a.is_equality() { "eq" } else { "neq" };
+    let (left, right) = a.terms();
+    Json::Object(vec![
+        ("op".into(), Json::str(op)),
+        ("left".into(), encode_term(left)),
+        ("right".into(), encode_term(right)),
+    ])
+}
+
+/// Decode an atom (the inverse of [`encode_atom`]).
+pub fn decode_atom(j: &Json) -> Result<Atom, WireError> {
+    let op = j
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or_else(|| WireError::new("atom needs a string field 'op' (\"eq\" or \"neq\")"))?;
+    let left = decode_term(
+        j.get("left")
+            .ok_or_else(|| WireError::new("atom needs a field 'left'"))?,
+    )?;
+    let right = decode_term(
+        j.get("right")
+            .ok_or_else(|| WireError::new("atom needs a field 'right'"))?,
+    )?;
+    match op {
+        "eq" => Ok(Atom::eq(left, right)),
+        "neq" => Ok(Atom::neq(left, right)),
+        other => Err(WireError::new(format!(
+            "unknown atom op {other:?} (expected \"eq\" or \"neq\")"
+        ))),
+    }
+}
+
+/// A condition as an array of atoms; the empty array is *true*.
+pub fn encode_conjunction(c: &Conjunction) -> Json {
+    Json::Array(c.atoms().iter().map(|&a| encode_atom(a)).collect())
+}
+
+/// Decode a condition (the inverse of [`encode_conjunction`]).
+pub fn decode_conjunction(j: &Json) -> Result<Conjunction, WireError> {
+    let items = j
+        .as_array()
+        .ok_or_else(|| WireError::new("a condition must be an array of atoms"))?;
+    let atoms: Result<Vec<Atom>, WireError> = items.iter().map(decode_atom).collect();
+    Ok(Conjunction::new(atoms?))
+}
+
+// ---------------------------------------------------------------------------
+// Rows, tables, databases, instances, deltas
+// ---------------------------------------------------------------------------
+
+/// A row: `{"terms": [...], "condition": [...]}`; an always-true condition is omitted.
+pub fn encode_row(row: &CTuple) -> Json {
+    let mut members = vec![(
+        "terms".into(),
+        Json::Array(row.terms.iter().map(|&t| encode_term(t)).collect()),
+    )];
+    if !row.condition.is_empty() {
+        members.push(("condition".into(), encode_conjunction(&row.condition)));
+    }
+    Json::Object(members)
+}
+
+/// Decode a row (the inverse of [`encode_row`]); a missing condition means *true*.
+pub fn decode_row(j: &Json) -> Result<CTuple, WireError> {
+    let terms = j
+        .get("terms")
+        .and_then(Json::as_array)
+        .ok_or_else(|| WireError::new("a row needs an array field 'terms'"))?;
+    let terms: Result<Vec<Term>, WireError> = terms.iter().map(decode_term).collect();
+    let condition = match j.get("condition") {
+        Some(c) => decode_conjunction(c)?,
+        None => Conjunction::truth(),
+    };
+    Ok(CTuple::with_condition(terms?, condition))
+}
+
+/// A c-table: `{"name", "arity", "global_condition", "rows"}`.
+pub fn encode_table(t: &CTable) -> Json {
+    Json::Object(vec![
+        ("name".into(), Json::str(t.name())),
+        ("arity".into(), Json::Int(t.arity() as i64)),
+        (
+            "global_condition".into(),
+            encode_conjunction(t.global_condition()),
+        ),
+        (
+            "rows".into(),
+            Json::Array(t.tuples().iter().map(encode_row).collect()),
+        ),
+    ])
+}
+
+/// Decode a c-table; arity mismatches surface as [`WireError`]s.
+pub fn decode_table(j: &Json) -> Result<CTable, WireError> {
+    let name = j
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or_else(|| WireError::new("a table needs a string field 'name'"))?;
+    let arity = j
+        .get("arity")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| WireError::new("a table needs a non-negative integer field 'arity'"))?;
+    let global = match j.get("global_condition") {
+        Some(c) => decode_conjunction(c)?,
+        None => Conjunction::truth(),
+    };
+    let rows = match j.get("rows") {
+        Some(r) => r
+            .as_array()
+            .ok_or_else(|| WireError::new("'rows' must be an array"))?,
+        None => &[],
+    };
+    let rows: Result<Vec<CTuple>, WireError> = rows.iter().map(decode_row).collect();
+    CTable::new(name, arity as usize, global, rows?)
+        .map_err(|e| WireError::new(format!("invalid table {name:?}: {e}")))
+}
+
+/// A c-database: `{"tables": [...]}`.
+pub fn encode_cdatabase(db: &CDatabase) -> Json {
+    Json::Object(vec![(
+        "tables".into(),
+        Json::Array(db.tables().iter().map(encode_table).collect()),
+    )])
+}
+
+/// Decode a c-database (the inverse of [`encode_cdatabase`]).
+pub fn decode_cdatabase(j: &Json) -> Result<CDatabase, WireError> {
+    let tables = j
+        .get("tables")
+        .and_then(Json::as_array)
+        .ok_or_else(|| WireError::new("a database needs an array field 'tables'"))?;
+    let tables: Result<Vec<CTable>, WireError> = tables.iter().map(decode_table).collect();
+    Ok(CDatabase::new(tables?))
+}
+
+/// A complete instance: `{"R": {"arity": 2, "rows": [[1,"a"], ...]}, ...}` — an object
+/// mapping relation names to constant rows (explicit arity so empty relations survive).
+pub fn encode_instance(instance: &Instance) -> Json {
+    let members = instance
+        .iter()
+        .map(|(name, rel)| {
+            let rows = rel
+                .iter()
+                .map(|t| Json::Array(t.iter().map(encode_constant).collect()))
+                .collect();
+            (
+                name.clone(),
+                Json::Object(vec![
+                    ("arity".into(), Json::Int(rel.arity() as i64)),
+                    ("rows".into(), Json::Array(rows)),
+                ]),
+            )
+        })
+        .collect();
+    Json::Object(members)
+}
+
+/// Decode an instance (the inverse of [`encode_instance`]).
+pub fn decode_instance(j: &Json) -> Result<Instance, WireError> {
+    let members = j
+        .as_object()
+        .ok_or_else(|| WireError::new("an instance must be an object of relations"))?;
+    let mut instance = Instance::new();
+    for (name, rel) in members {
+        let arity = rel.get("arity").and_then(Json::as_u64).ok_or_else(|| {
+            WireError::new(format!(
+                "relation {name:?} needs a non-negative integer field 'arity'"
+            ))
+        })?;
+        let mut relation = Relation::empty(arity as usize);
+        let rows = rel.get("rows").and_then(Json::as_array).ok_or_else(|| {
+            WireError::new(format!("relation {name:?} needs an array field 'rows'"))
+        })?;
+        for row in rows {
+            let cells = row
+                .as_array()
+                .ok_or_else(|| WireError::new(format!("rows of {name:?} must be arrays")))?;
+            let cells: Result<Vec<Constant>, WireError> =
+                cells.iter().map(decode_constant).collect();
+            relation
+                .insert(Tuple::new(cells?))
+                .map_err(|e| WireError::new(format!("bad row in {name:?}: {e}")))?;
+        }
+        instance.insert_relation(name.clone(), relation);
+    }
+    Ok(instance)
+}
+
+/// A delta: `{"ops": [{"op": "insert"|"retract"|"conjoin", ...}, ...]}`.
+pub fn encode_delta(delta: &Delta) -> Json {
+    let ops = delta
+        .ops()
+        .iter()
+        .map(|op| match op {
+            DeltaOp::Insert { table, row } => Json::Object(vec![
+                ("op".into(), Json::str("insert")),
+                ("table".into(), Json::str(table.as_str())),
+                ("row".into(), encode_row(row)),
+            ]),
+            DeltaOp::Retract { table, row } => Json::Object(vec![
+                ("op".into(), Json::str("retract")),
+                ("table".into(), Json::str(table.as_str())),
+                ("row".into(), Json::Int(*row as i64)),
+            ]),
+            DeltaOp::Conjoin {
+                table,
+                row,
+                condition,
+            } => Json::Object(vec![
+                ("op".into(), Json::str("conjoin")),
+                ("table".into(), Json::str(table.as_str())),
+                ("row".into(), Json::Int(*row as i64)),
+                ("condition".into(), encode_conjunction(condition)),
+            ]),
+        })
+        .collect();
+    Json::Object(vec![("ops".into(), Json::Array(ops))])
+}
+
+/// Decode a delta (the inverse of [`encode_delta`]).
+pub fn decode_delta(j: &Json) -> Result<Delta, WireError> {
+    let ops = j
+        .get("ops")
+        .and_then(Json::as_array)
+        .ok_or_else(|| WireError::new("a delta needs an array field 'ops'"))?;
+    let mut delta = Delta::new();
+    for op in ops {
+        let kind = op
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or_else(|| WireError::new("a delta op needs a string field 'op'"))?;
+        let table = op
+            .get("table")
+            .and_then(Json::as_str)
+            .ok_or_else(|| WireError::new("a delta op needs a string field 'table'"))?
+            .to_string();
+        match kind {
+            "insert" => {
+                let row = decode_row(
+                    op.get("row")
+                        .ok_or_else(|| WireError::new("'insert' needs a row object in 'row'"))?,
+                )?;
+                delta.push(DeltaOp::Insert { table, row });
+            }
+            "retract" => {
+                let row = op.get("row").and_then(Json::as_u64).ok_or_else(|| {
+                    WireError::new("'retract' needs an integer row index in 'row'")
+                })?;
+                delta.push(DeltaOp::Retract {
+                    table,
+                    row: row as usize,
+                });
+            }
+            "conjoin" => {
+                let row = op.get("row").and_then(Json::as_u64).ok_or_else(|| {
+                    WireError::new("'conjoin' needs an integer row index in 'row'")
+                })?;
+                let condition = decode_conjunction(
+                    op.get("condition")
+                        .ok_or_else(|| WireError::new("'conjoin' needs a field 'condition'"))?,
+                )?;
+                delta.push(DeltaOp::Conjoin {
+                    table,
+                    row: row as usize,
+                    condition,
+                });
+            }
+            other => {
+                return Err(WireError::new(format!(
+                    "unknown delta op {other:?} (expected \"insert\", \"retract\" or \"conjoin\")"
+                )))
+            }
+        }
+    }
+    Ok(delta)
+}
+
+// ---------------------------------------------------------------------------
+// Decision requests
+// ---------------------------------------------------------------------------
+
+/// Decode one decision request phrased against `db` (the registered database the URL
+/// names).  Containment's right-hand side is another registered database, resolved
+/// through `lookup` by its integer id.
+pub fn decode_request(
+    j: &Json,
+    db: &CDatabase,
+    lookup: &dyn Fn(u64) -> Option<CDatabase>,
+) -> Result<DecisionRequest, WireError> {
+    let problem = j
+        .get("problem")
+        .and_then(Json::as_str)
+        .ok_or_else(|| WireError::new("a request needs a string field 'problem'"))?;
+    let view = || View::identity(db.clone());
+    let instance = |field: &str| -> Result<Instance, WireError> {
+        decode_instance(j.get(field).ok_or_else(|| {
+            WireError::new(format!(
+                "problem {problem:?} needs an instance in '{field}'"
+            ))
+        })?)
+    };
+    match problem {
+        "membership" => Ok(DecisionRequest::Membership {
+            view: view(),
+            instance: instance("instance")?,
+        }),
+        "uniqueness" => Ok(DecisionRequest::Uniqueness {
+            view: view(),
+            instance: instance("instance")?,
+        }),
+        "possibility" => Ok(DecisionRequest::Possibility {
+            view: view(),
+            facts: instance("facts")?,
+        }),
+        "certainty" => Ok(DecisionRequest::Certainty {
+            view: view(),
+            facts: instance("facts")?,
+        }),
+        "containment" => {
+            let right_id = j.get("right").and_then(Json::as_u64).ok_or_else(|| {
+                WireError::new("'containment' needs a registered database id in 'right'")
+            })?;
+            let right = lookup(right_id).ok_or_else(|| {
+                WireError::new(format!("no registered database with id {right_id}"))
+            })?;
+            Ok(DecisionRequest::Containment {
+                left: view(),
+                right: View::identity(right),
+            })
+        }
+        other => Err(WireError::new(format!(
+            "unknown problem {other:?} (expected \"membership\", \"uniqueness\", \
+             \"containment\", \"possibility\" or \"certainty\")"
+        ))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Decisions, certificates, statistics (encode-only)
+// ---------------------------------------------------------------------------
+
+/// The stable wire code of a [`DecisionError`] (the `code` of a per-request error).
+pub fn error_code(e: &DecisionError) -> &'static str {
+    match e {
+        DecisionError::BudgetExceeded => "budget-exceeded",
+        DecisionError::DeadlineExceeded => "deadline-exceeded",
+        DecisionError::Cancelled => "cancelled",
+        DecisionError::WorkerPanicked(_) => "worker-panicked",
+    }
+}
+
+/// A decision: `{"answer", "strategy", "certificate"}` on success,
+/// `{"error": {"code", "message"}, "strategy"}` on a typed error.
+pub fn encode_decision(d: &Decision) -> Json {
+    let mut members = Vec::new();
+    match &d.answer {
+        Ok(answer) => members.push(("answer".into(), Json::Bool(*answer))),
+        Err(e) => members.push((
+            "error".into(),
+            Json::Object(vec![
+                ("code".into(), Json::str(error_code(e))),
+                ("message".into(), Json::str(e.to_string())),
+            ]),
+        )),
+    }
+    members.push(("strategy".into(), encode_strategy(d.strategy)));
+    members.push((
+        "certificate".into(),
+        match &d.certificate {
+            Some(c) => encode_certificate(c),
+            None => Json::Null,
+        },
+    ));
+    Json::Object(members)
+}
+
+/// A strategy as its display name; the per-shard fan-out carries its group count:
+/// `{"per-shard": {"groups": n}}`.
+pub fn encode_strategy(s: Strategy) -> Json {
+    match s {
+        Strategy::PerShard { groups } => Json::Object(vec![(
+            "per-shard".into(),
+            Json::Object(vec![("groups".into(), Json::Int(groups as i64))]),
+        )]),
+        other => Json::str(other.to_string()),
+    }
+}
+
+fn encode_valuation(v: &Valuation) -> Json {
+    let pairs = v
+        .iter()
+        .map(|(var, _)| {
+            Json::Object(vec![
+                ("var".into(), Json::Int(i64::from(var.0))),
+                (
+                    "value".into(),
+                    match v.get(var) {
+                        Some(c) => encode_constant(&c),
+                        None => Json::Null,
+                    },
+                ),
+            ])
+        })
+        .collect();
+    Json::Array(pairs)
+}
+
+/// A certificate, tagged by [`Certificate::kind`] and encoded recursively.
+pub fn encode_certificate(c: &Certificate) -> Json {
+    let mut members = vec![("kind".into(), Json::str(c.kind()))];
+    match c {
+        Certificate::Witness { valuation } | Certificate::CounterWorld { valuation } => {
+            members.push(("valuation".into(), encode_valuation(valuation)));
+        }
+        Certificate::EmptyRep | Certificate::CertainByFreeze | Certificate::Exhaustive => {}
+        Certificate::FrozenMembership { witness } => {
+            members.push(("witness".into(), encode_certificate(witness)));
+        }
+        Certificate::Decomposition { pairs } => {
+            let pairs = pairs
+                .iter()
+                .map(
+                    |PairCert {
+                         relations,
+                         certificate,
+                     }| {
+                        Json::Object(vec![
+                            (
+                                "relations".into(),
+                                Json::Array(relations.iter().map(Json::str).collect()),
+                            ),
+                            ("certificate".into(), encode_certificate(certificate)),
+                        ])
+                    },
+                )
+                .collect();
+            members.push(("pairs".into(), Json::Array(pairs)));
+        }
+    }
+    Json::Object(members)
+}
+
+/// Engine counters for the stats endpoint.
+pub fn encode_engine_stats(s: &EngineStats) -> Json {
+    Json::Object(vec![
+        (
+            "steals_attempted".into(),
+            Json::Int(s.steals_attempted as i64),
+        ),
+        (
+            "steals_succeeded".into(),
+            Json::Int(s.steals_succeeded as i64),
+        ),
+        ("resplits".into(), Json::Int(s.resplits as i64)),
+        ("idle_polls".into(), Json::Int(s.idle_polls as i64)),
+        ("peak_queue".into(), Json::Int(s.peak_queue as i64)),
+        ("busy_total_ns".into(), Json::Int(s.busy_total_ns as i64)),
+        ("busy_max_ns".into(), Json::Int(s.busy_max_ns as i64)),
+    ])
+}
+
+/// Decision-memo counters for the stats endpoint.
+pub fn encode_memo_stats(s: &MemoStats) -> Json {
+    Json::Object(vec![
+        ("hits".into(), Json::Int(s.hits as i64)),
+        ("misses".into(), Json::Int(s.misses as i64)),
+        ("entries".into(), Json::Int(s.entries as i64)),
+        ("evictions".into(), Json::Int(s.evictions as i64)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pw_condition::VarGen;
+
+    fn demo_db() -> CDatabase {
+        let mut g = VarGen::new();
+        let x = g.fresh();
+        let y = g.fresh();
+        CDatabase::new([
+            CTable::new(
+                "R",
+                2,
+                Conjunction::new([Atom::neq(x, y)]),
+                [
+                    CTuple::of_terms([Term::constant(1), Term::Var(x)]),
+                    CTuple::with_condition(
+                        [Term::Var(y), Term::constant("name")],
+                        Conjunction::new([Atom::eq(y, 7)]),
+                    ),
+                ],
+            )
+            .unwrap(),
+            CTable::new(
+                "S",
+                1,
+                Conjunction::truth(),
+                [CTuple::of_terms([Term::constant(true)])],
+            )
+            .unwrap(),
+        ])
+    }
+
+    #[test]
+    fn database_round_trips_bit_identically() {
+        let db = demo_db();
+        let encoded = encode_cdatabase(&db);
+        let text = encoded.to_string();
+        let reparsed = Json::parse(&text).unwrap();
+        assert_eq!(reparsed, encoded);
+        let decoded = decode_cdatabase(&reparsed).unwrap();
+        assert_eq!(encode_cdatabase(&decoded), encoded);
+    }
+
+    #[test]
+    fn delta_round_trips_bit_identically() {
+        let mut g = VarGen::new();
+        let z = g.fresh();
+        let delta = Delta::new()
+            .insert("R", CTuple::of_terms([Term::constant(9), Term::Var(z)]))
+            .retract("R", 0)
+            .conjoin("R", 0, Conjunction::new([Atom::eq(z, 3)]));
+        let encoded = encode_delta(&delta);
+        let reparsed = Json::parse(&encoded.to_string()).unwrap();
+        assert_eq!(reparsed, encoded);
+        assert_eq!(encode_delta(&decode_delta(&reparsed).unwrap()), encoded);
+    }
+
+    #[test]
+    fn requests_decode_against_registered_databases() {
+        let db = demo_db();
+        let body = Json::parse(r#"{"problem":"containment","right":4}"#).unwrap();
+        let lookup = |id: u64| if id == 4 { Some(demo_db()) } else { None };
+        let request = decode_request(&body, &db, &lookup).unwrap();
+        assert!(matches!(request, DecisionRequest::Containment { .. }));
+        let missing = Json::parse(r#"{"problem":"containment","right":5}"#).unwrap();
+        assert!(decode_request(&missing, &db, &lookup).is_err());
+    }
+
+    #[test]
+    fn decision_errors_have_stable_codes() {
+        let d = Decision::of(Err(DecisionError::DeadlineExceeded), Strategy::Backtracking);
+        let j = encode_decision(&d);
+        assert_eq!(
+            j.get("error").unwrap().get("code").unwrap().as_str(),
+            Some("deadline-exceeded")
+        );
+        assert_eq!(j.get("strategy").unwrap().as_str(), Some("backtracking"));
+    }
+
+    #[test]
+    fn hostile_trees_error_without_panicking() {
+        let db = demo_db();
+        let lookup = |_: u64| None;
+        for text in [
+            "{}",
+            r#"{"problem":"osmosis"}"#,
+            r#"{"problem":"membership"}"#,
+            r#"{"problem":"membership","instance":{"R":{"rows":[[1]]}}}"#,
+            r#"{"problem":"membership","instance":{"R":{"arity":2,"rows":[[1]]}}}"#,
+        ] {
+            let j = Json::parse(text).unwrap();
+            assert!(decode_request(&j, &db, &lookup).is_err(), "{text}");
+        }
+        assert!(decode_cdatabase(&Json::parse(r#"{"tables":[{"name":"R"}]}"#).unwrap()).is_err());
+        assert!(
+            decode_delta(&Json::parse(r#"{"ops":[{"op":"warp","table":"R"}]}"#).unwrap()).is_err()
+        );
+    }
+}

@@ -1,0 +1,269 @@
+//! Property tests for the wire codec (seeded proptest shim, no network):
+//!
+//! * random JSON trees survive serialize → parse bit-identically;
+//! * random c-databases, instances, deltas and decision requests survive
+//!   encode → serialize → parse → decode → encode with the *same* JSON tree — the
+//!   loopback guarantee the server's bit-identical contract rests on;
+//! * the parser rejects oversized, over-deep and malformed input with a typed error,
+//!   never a panic.
+
+use proptest::prelude::*;
+use pw_condition::{Atom, Conjunction, Term, Variable};
+use pw_core::{CDatabase, CTable, CTuple, Delta, DeltaOp};
+use pw_relational::{Constant, Instance, Relation, Tuple};
+use pw_serve::json::{Json, MAX_DEPTH};
+use pw_serve::wire;
+
+// ---------------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------------
+
+fn constant_strategy() -> impl proptest::strategy::Strategy<Value = Constant> {
+    (0..3usize, -4..9i64, any::<bool>()).prop_map(|(kind, i, b)| match kind {
+        0 => Constant::from(i),
+        1 => Constant::from(b),
+        _ => Constant::from(format!("s{i}\n\"{b}\"")),
+    })
+}
+
+fn term_strategy() -> impl proptest::strategy::Strategy<Value = Term> {
+    (any::<bool>(), 0..6u32, constant_strategy()).prop_map(|(is_var, v, c)| {
+        if is_var {
+            Term::Var(Variable(v))
+        } else {
+            Term::constant(c)
+        }
+    })
+}
+
+fn conjunction_strategy() -> impl proptest::strategy::Strategy<Value = Conjunction> {
+    let atom = (term_strategy(), term_strategy(), any::<bool>()).prop_map(|(l, r, eq)| {
+        if eq {
+            Atom::Eq(l, r)
+        } else {
+            Atom::Neq(l, r)
+        }
+    });
+    proptest::collection::vec(atom, 0..3).prop_map(Conjunction::new)
+}
+
+fn table_strategy(name: &'static str) -> impl proptest::strategy::Strategy<Value = CTable> {
+    let row = (
+        proptest::collection::vec(term_strategy(), 2..3),
+        conjunction_strategy(),
+    )
+        .prop_map(|(terms, condition)| CTuple::with_condition(terms, condition));
+    (proptest::collection::vec(row, 0..4), conjunction_strategy()).prop_map(
+        move |(rows, global)| {
+            CTable::new(name, 2, global, rows).expect("all generated rows have arity 2")
+        },
+    )
+}
+
+fn database_strategy() -> impl proptest::strategy::Strategy<Value = CDatabase> {
+    (table_strategy("R"), table_strategy("S"), any::<bool>()).prop_map(|(r, s, both)| {
+        if both {
+            CDatabase::new([r, s])
+        } else {
+            CDatabase::single(r)
+        }
+    })
+}
+
+fn instance_strategy() -> impl proptest::strategy::Strategy<Value = Instance> {
+    let row = proptest::collection::vec(constant_strategy(), 2..3);
+    proptest::collection::vec(row, 0..4).prop_map(|rows| {
+        let mut rel = Relation::empty(2);
+        for row in rows {
+            rel.insert(Tuple::new(row))
+                .expect("arity 2 by construction");
+        }
+        Instance::single("R", rel)
+    })
+}
+
+fn delta_strategy() -> impl proptest::strategy::Strategy<Value = Delta> {
+    let op = (
+        0..3usize,
+        0..4usize,
+        proptest::collection::vec(term_strategy(), 2..3),
+        conjunction_strategy(),
+    )
+        .prop_map(|(kind, row, terms, condition)| match kind {
+            0 => DeltaOp::Insert {
+                table: "R".to_string(),
+                row: CTuple::with_condition(terms, condition),
+            },
+            1 => DeltaOp::Retract {
+                table: "R".to_string(),
+                row,
+            },
+            _ => DeltaOp::Conjoin {
+                table: "R".to_string(),
+                row,
+                condition,
+            },
+        });
+    proptest::collection::vec(op, 0..5).prop_map(|ops| ops.into_iter().collect())
+}
+
+/// A random JSON tree of bounded depth, exercising every variant.
+fn json_strategy(depth: usize) -> impl proptest::strategy::Strategy<Value = Json> {
+    let leaf = (0..5usize, -9000..9000i64, any::<bool>()).prop_map(|(kind, i, b)| match kind {
+        0 => Json::Null,
+        1 => Json::Bool(b),
+        2 => Json::Int(i),
+        3 => Json::Float((i as f64) / 8.0),
+        _ => Json::str(format!("k{i}\t\"\\😀")),
+    });
+    proptest::collection::vec(leaf, 1..6).prop_map(move |leaves| {
+        // Fold the generated leaves into nested arrays/objects so structure varies
+        // with the drawn values while staying well under the depth limit.
+        let mut value = Json::Array(leaves.clone());
+        for (i, leaf) in leaves.into_iter().enumerate().take(depth) {
+            value = if i % 2 == 0 {
+                Json::Object(vec![(format!("level{i}"), value), ("leaf".into(), leaf)])
+            } else {
+                Json::Array(vec![value, leaf])
+            };
+        }
+        value
+    })
+}
+
+fn reserialize(j: &Json) -> Json {
+    Json::parse(&j.to_string()).expect("serializer output reparses")
+}
+
+// ---------------------------------------------------------------------------
+// Round trips
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn json_trees_round_trip_bit_identically(j in json_strategy(6)) {
+        prop_assert_eq!(reserialize(&j), j);
+    }
+
+    #[test]
+    fn databases_round_trip_bit_identically(db in database_strategy()) {
+        let encoded = wire::encode_cdatabase(&db);
+        let reparsed = reserialize(&encoded);
+        prop_assert_eq!(&reparsed, &encoded);
+        let decoded = wire::decode_cdatabase(&reparsed).expect("round-tripped database decodes");
+        prop_assert_eq!(wire::encode_cdatabase(&decoded), encoded);
+    }
+
+    #[test]
+    fn deltas_round_trip_bit_identically(delta in delta_strategy()) {
+        let encoded = wire::encode_delta(&delta);
+        let reparsed = reserialize(&encoded);
+        prop_assert_eq!(&reparsed, &encoded);
+        let decoded = wire::decode_delta(&reparsed).expect("round-tripped delta decodes");
+        prop_assert_eq!(wire::encode_delta(&decoded), encoded);
+    }
+
+    #[test]
+    fn instances_round_trip_bit_identically(instance in instance_strategy()) {
+        let encoded = wire::encode_instance(&instance);
+        let reparsed = reserialize(&encoded);
+        prop_assert_eq!(&reparsed, &encoded);
+        let decoded = wire::decode_instance(&reparsed).expect("round-tripped instance decodes");
+        prop_assert_eq!(wire::encode_instance(&decoded), encoded);
+    }
+
+    #[test]
+    fn requests_round_trip_through_decode(
+        (db, instance, kind) in (database_strategy(), instance_strategy(), 0..5usize)
+    ) {
+        // Build the wire form of a request, parse it back, decode it against the
+        // database, and check the decoded request re-encodes its payload identically.
+        let (problem, field) = match kind {
+            0 => ("membership", "instance"),
+            1 => ("uniqueness", "instance"),
+            2 => ("possibility", "facts"),
+            3 => ("certainty", "facts"),
+            _ => ("containment", "right"),
+        };
+        let payload = if problem == "containment" {
+            Json::Int(7)
+        } else {
+            wire::encode_instance(&instance)
+        };
+        let request_json = Json::Object(vec![
+            ("problem".to_string(), Json::str(problem)),
+            (field.to_string(), payload),
+        ]);
+        let reparsed = reserialize(&request_json);
+        prop_assert_eq!(&reparsed, &request_json);
+        let lookup = |id: u64| if id == 7 { Some(db.clone()) } else { None };
+        let decoded = wire::decode_request(&reparsed, &db, &lookup).expect("request decodes");
+        use pw_decide::DecisionRequest as DR;
+        let reencoded_payload = match &decoded {
+            DR::Membership { instance, .. } | DR::Uniqueness { instance, .. } =>
+                wire::encode_instance(instance),
+            DR::Possibility { facts, .. } | DR::Certainty { facts, .. } =>
+                wire::encode_instance(facts),
+            DR::Containment { .. } => Json::Int(7),
+        };
+        prop_assert_eq!(reencoded_payload, reparsed.get(field).unwrap().clone());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rejection: oversized, over-deep, malformed — typed errors, no panics
+// ---------------------------------------------------------------------------
+
+#[test]
+fn parser_rejects_oversized_input() {
+    let big = format!("\"{}\"", "x".repeat(1 << 10));
+    let err = Json::parse_with_limits(&big, MAX_DEPTH, 256).unwrap_err();
+    assert!(err.to_string().contains("limit"), "{err}");
+}
+
+#[test]
+fn parser_rejects_deep_nesting_without_overflowing() {
+    // Far deeper than any stack could recurse if the limit were missing.
+    let depth = 200_000;
+    let deep = "[".repeat(depth) + &"]".repeat(depth);
+    assert!(Json::parse(&deep).is_err());
+    let deep_objects = "{\"a\":".repeat(1_000) + "1" + &"}".repeat(1_000);
+    assert!(Json::parse(&deep_objects).is_err());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn mutated_text_never_panics_the_parser(
+        (j, cut, junk) in (json_strategy(4), 1..40usize, 0..128u8)
+    ) {
+        // Truncate the valid serialization at a random point and splice a random
+        // byte: the parser must return (Ok or Err), never panic.
+        let text = j.to_string();
+        let cut = cut.min(text.len());
+        let truncated = &text.as_bytes()[..text.len() - cut];
+        if let Ok(s) = std::str::from_utf8(truncated) {
+            let _ = Json::parse(s);
+        }
+        let mut mutated = truncated.to_vec();
+        mutated.push(junk.max(1));
+        if let Ok(s) = String::from_utf8(mutated) {
+            let _ = Json::parse(&s);
+        }
+    }
+
+    #[test]
+    fn hostile_trees_never_panic_the_decoders(j in json_strategy(4)) {
+        // Whatever tree the fuzzer builds, every decoder answers Ok or Err.
+        let _ = wire::decode_cdatabase(&j);
+        let _ = wire::decode_delta(&j);
+        let _ = wire::decode_instance(&j);
+        let _ = wire::decode_conjunction(&j);
+        let _ = wire::decode_term(&j);
+        let db = CDatabase::new(Vec::<CTable>::new());
+        let _ = wire::decode_request(&j, &db, &|_| None);
+    }
+}

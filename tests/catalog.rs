@@ -124,20 +124,25 @@ fn private_dictionary_database_runs_all_five_problems_end_to_end() {
 
             for instance in [&member, &non_member] {
                 let ctx = format!("{class} seed {seed} on {instance}");
-                let (g_memb, g_strategy) =
-                    possible_worlds::decide::membership::view_membership_with(
-                        &global_view,
-                        instance,
-                        &engine,
-                    );
-                let (p_memb, p_strategy) =
-                    possible_worlds::decide::membership::view_membership_with(
-                        &private_view,
-                        instance,
-                        &engine,
-                    );
-                assert_eq!(p_memb.unwrap(), g_memb.unwrap(), "membership {ctx}");
-                assert_eq!(p_strategy, g_strategy, "membership strategy {ctx}");
+                let g_memb = possible_worlds::decide::membership::view_membership_with(
+                    &global_view,
+                    instance,
+                    &engine,
+                );
+                let p_memb = possible_worlds::decide::membership::view_membership_with(
+                    &private_view,
+                    instance,
+                    &engine,
+                );
+                assert_eq!(
+                    p_memb.answer.unwrap(),
+                    g_memb.answer.unwrap(),
+                    "membership {ctx}"
+                );
+                assert_eq!(
+                    p_memb.strategy, g_memb.strategy,
+                    "membership strategy {ctx}"
+                );
 
                 for (label, global_pair, private_pair) in [
                     (
@@ -157,22 +162,28 @@ fn private_dictionary_database_runs_all_five_problems_end_to_end() {
                     ),
                 ] {
                     assert_eq!(
-                        private_pair.0.unwrap(),
-                        global_pair.0.unwrap(),
+                        private_pair.answer.unwrap(),
+                        global_pair.answer.unwrap(),
                         "{label} {ctx}"
                     );
-                    assert_eq!(private_pair.1, global_pair.1, "{label} strategy {ctx}");
+                    assert_eq!(
+                        private_pair.strategy, global_pair.strategy,
+                        "{label} strategy {ctx}"
+                    );
                 }
             }
 
             // Containment: reflexive on the private view, and across id spaces (the two
             // sides only ever exchange `Constant`-level worlds at the boundary).
-            let (refl, _) = containment::decide_with(&private_view, &private_view, &engine);
-            assert!(refl.unwrap(), "rep ⊆ rep must hold ({class} seed {seed})");
-            let (p_in_g, _) = containment::decide_with(&private_view, &global_view, &engine);
-            let (g_in_p, _) = containment::decide_with(&global_view, &private_view, &engine);
+            let refl = containment::decide_with(&private_view, &private_view, &engine);
             assert!(
-                p_in_g.unwrap() && g_in_p.unwrap(),
+                refl.answer.unwrap(),
+                "rep ⊆ rep must hold ({class} seed {seed})"
+            );
+            let p_in_g = containment::decide_with(&private_view, &global_view, &engine);
+            let g_in_p = containment::decide_with(&global_view, &private_view, &engine);
+            assert!(
+                p_in_g.answer.unwrap() && g_in_p.answer.unwrap(),
                 "twins represent the same worlds across id spaces ({class} seed {seed})"
             );
         }
@@ -208,33 +219,33 @@ fn private_dictionary_decoupled_database_decides_per_shard() {
     let global_view = View::identity(global_db);
     let private_view = View::identity(private_db);
     for instance in [&member, &non_member] {
-        let (g_ans, g_strat) = possible_worlds::decide::membership::view_membership_with(
+        let g_memb = possible_worlds::decide::membership::view_membership_with(
             &global_view,
             instance,
             &per_shard,
         );
-        let (p_ans, p_strat) = possible_worlds::decide::membership::view_membership_with(
+        let p_memb = possible_worlds::decide::membership::view_membership_with(
             &private_view,
             instance,
             &per_shard,
         );
-        let (j_ans, _) = possible_worlds::decide::membership::view_membership_with(
+        let j_memb = possible_worlds::decide::membership::view_membership_with(
             &private_view,
             instance,
             &joint,
         );
         assert_eq!(
-            p_ans.clone().unwrap(),
-            g_ans.unwrap(),
+            p_memb.answer.clone().unwrap(),
+            g_memb.answer.unwrap(),
             "private vs global on {instance}"
         );
         assert_eq!(
-            p_ans.unwrap(),
-            j_ans.unwrap(),
+            p_memb.answer.unwrap(),
+            j_memb.answer.unwrap(),
             "per-shard vs joint on {instance}"
         );
-        assert_eq!(p_strat, Strategy::PerShard { groups: 4 });
-        assert_eq!(p_strat, g_strat);
+        assert_eq!(p_memb.strategy, Strategy::PerShard { groups: 4 });
+        assert_eq!(p_memb.strategy, g_memb.strategy);
 
         for (label, g_pair, p_pair, j_pair) in [
             (
@@ -257,25 +268,28 @@ fn private_dictionary_decoupled_database_decides_per_shard() {
             ),
         ] {
             assert_eq!(
-                p_pair.0.clone().unwrap(),
-                g_pair.0.unwrap(),
+                p_pair.answer.clone().unwrap(),
+                g_pair.answer.unwrap(),
                 "{label} private vs global"
             );
             assert_eq!(
-                p_pair.0.unwrap(),
-                j_pair.0.unwrap(),
+                p_pair.answer.unwrap(),
+                j_pair.answer.unwrap(),
                 "{label} per-shard vs joint"
             );
-            assert_eq!(p_pair.1, g_pair.1, "{label} strategy private vs global");
+            assert_eq!(
+                p_pair.strategy, g_pair.strategy,
+                "{label} strategy private vs global"
+            );
         }
     }
     // Containment across id spaces stays per-shard on aligned partitions.
-    let (refl, strat) = containment::decide_with(&private_view, &private_view, &per_shard);
-    assert!(refl.unwrap());
-    assert_eq!(strat, Strategy::PerShard { groups: 4 });
-    let (cross, _) = containment::decide_with(&private_view, &global_view, &per_shard);
+    let refl = containment::decide_with(&private_view, &private_view, &per_shard);
+    assert!(refl.answer.unwrap());
+    assert_eq!(refl.strategy, Strategy::PerShard { groups: 4 });
+    let cross = containment::decide_with(&private_view, &global_view, &per_shard);
     assert!(
-        cross.unwrap(),
+        cross.answer.unwrap(),
         "twins represent the same worlds across id spaces"
     );
 }

@@ -185,9 +185,9 @@ fn deadline_exceeded_returns_within_twice_the_deadline() {
     let deadline = Duration::from_millis(150);
     let engine = Engine::new(EngineConfig::sequential(Budget(1 << 40)).with_deadline(deadline));
     let start = Instant::now();
-    let (answer, _) = possibility::decide_with(&view, &facts, &engine);
+    let decision = possibility::decide_with(&view, &facts, &engine);
     let elapsed = start.elapsed();
-    assert_eq!(answer, Err(DecisionError::DeadlineExceeded));
+    assert_eq!(decision.answer, Err(DecisionError::DeadlineExceeded));
     assert!(
         elapsed < deadline * 2,
         "deadline-exceeded took {elapsed:?}, over 2x the {deadline:?} deadline"
@@ -207,7 +207,7 @@ fn injected_exhaustion_is_deterministic() {
                 EngineConfig::with_threads(threads, Budget(1 << 40)).with_faults(budget_plan),
             );
             assert_eq!(
-                possibility::decide_with(&view, &facts, &engine).0,
+                possibility::decide_with(&view, &facts, &engine).answer,
                 Err(DecisionError::BudgetExceeded),
                 "injected budget exhaustion ({threads} threads, rep {repetition})"
             );
@@ -219,7 +219,7 @@ fn injected_exhaustion_is_deterministic() {
                 EngineConfig::with_threads(threads, Budget(1 << 40)).with_faults(deadline_plan),
             );
             assert_eq!(
-                possibility::decide_with(&view, &facts, &engine).0,
+                possibility::decide_with(&view, &facts, &engine).answer,
                 Err(DecisionError::DeadlineExceeded),
                 "injected deadline exhaustion ({threads} threads, rep {repetition})"
             );
@@ -234,8 +234,8 @@ fn cancellation_stops_the_search() {
     token.cancel();
     let engine =
         Engine::new(EngineConfig::sequential(Budget(1 << 40)).with_cancel(Arc::clone(&token)));
-    let (answer, _) = possibility::decide_with(&view, &facts, &engine);
-    assert_eq!(answer, Err(DecisionError::Cancelled));
+    let decision = possibility::decide_with(&view, &facts, &engine);
+    assert_eq!(decision.answer, Err(DecisionError::Cancelled));
 }
 
 #[test]
@@ -303,9 +303,9 @@ fn injected_steal_is_observable_and_sound() {
                 ..FaultPlan::seeded(5)
             })),
         );
-        let (answer, _) =
+        let decision =
             possible_worlds::decide::membership::view_membership_with(&view, &instance, &engine);
-        assert_eq!(answer, Ok(expected), "rep {repetition}");
+        assert_eq!(decision.answer, Ok(expected), "rep {repetition}");
         let stats = engine.stats();
         assert!(
             stats.steals_succeeded > 0,
@@ -326,9 +326,9 @@ fn injected_split_is_observable_and_sound() {
                 ..FaultPlan::seeded(5)
             })),
         );
-        let (answer, _) =
+        let decision =
             possible_worlds::decide::membership::view_membership_with(&view, &instance, &engine);
-        assert_eq!(answer, Ok(expected), "rep {repetition}");
+        assert_eq!(decision.answer, Ok(expected), "rep {repetition}");
         let stats = engine.stats();
         assert!(
             stats.resplits > 0,
@@ -355,11 +355,12 @@ fn panic_in_a_stolen_subtree_is_contained() {
                 ..FaultPlan::seeded(7)
             })),
         );
-        let (answer, _) =
+        let decision =
             possible_worlds::decide::membership::view_membership_with(&view, &instance, &engine);
         assert!(
-            matches!(answer, Err(DecisionError::WorkerPanicked(_))),
-            "rep {repetition}: expected WorkerPanicked, got {answer:?}"
+            matches!(decision.answer, Err(DecisionError::WorkerPanicked(_))),
+            "rep {repetition}: expected WorkerPanicked, got {:?}",
+            decision.answer
         );
     }
     // The same engine configuration without the panic still decides correctly — the
@@ -371,9 +372,9 @@ fn panic_in_a_stolen_subtree_is_contained() {
             ..FaultPlan::seeded(7)
         })),
     );
-    let (answer, _) =
+    let decision =
         possible_worlds::decide::membership::view_membership_with(&view, &instance, &engine);
-    assert_eq!(answer, Ok(expected));
+    assert_eq!(decision.answer, Ok(expected));
 }
 
 /// The acceptance-criteria eviction test: a memo capped at 1/4 of the working set

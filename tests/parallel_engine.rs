@@ -64,25 +64,29 @@ fn parallel_and_sequential_decisions_agree_on_random_workloads() {
                     let ctx = format!("{class} seed {seed} threads {threads} on {instance}");
                     assert_eq!(
                         membership::view_membership_with(&view, instance, &engine)
-                            .0
+                            .answer
                             .unwrap(),
                         seq_memb,
                         "membership {ctx}"
                     );
                     assert_eq!(
-                        uniqueness::decide_with(&view, instance, &engine).0.unwrap(),
+                        uniqueness::decide_with(&view, instance, &engine)
+                            .answer
+                            .unwrap(),
                         seq_uniq,
                         "uniqueness {ctx}"
                     );
                     assert_eq!(
                         possibility::decide_with(&view, instance, &engine)
-                            .0
+                            .answer
                             .unwrap(),
                         seq_poss,
                         "possibility {ctx}"
                     );
                     assert_eq!(
-                        certainty::decide_with(&view, instance, &engine).0.unwrap(),
+                        certainty::decide_with(&view, instance, &engine)
+                            .answer
+                            .unwrap(),
                         seq_cert,
                         "certainty {ctx}"
                     );
@@ -98,7 +102,7 @@ fn parallel_and_sequential_decisions_agree_on_random_workloads() {
                 let engine = Engine::new(EngineConfig::with_threads(threads, budget));
                 assert_eq!(
                     containment::decide_with(&view, &other_view, &engine)
-                        .0
+                        .answer
                         .unwrap(),
                     seq_cont,
                     "containment {class} seed {seed} threads {threads}"
@@ -176,13 +180,13 @@ fn budget_exceeded_is_deterministic_under_parallelism() {
         for repetition in 0..3 {
             let starved = Engine::new(EngineConfig::with_threads(threads, Budget(500)));
             assert_eq!(
-                possibility::decide_with(&view, &facts, &starved).0,
+                possibility::decide_with(&view, &facts, &starved).answer,
                 Err(DecisionError::BudgetExceeded),
                 "starved run must always exhaust ({threads} threads, repetition {repetition})"
             );
             let ample = Engine::new(EngineConfig::with_threads(threads, Budget(50_000_000)));
             assert_eq!(
-                possibility::decide_with(&view, &facts, &ample).0,
+                possibility::decide_with(&view, &facts, &ample).answer,
                 Ok(false),
                 "ample run must always complete ({threads} threads, repetition {repetition})"
             );
@@ -210,7 +214,7 @@ fn first_witness_early_exit_is_sound() {
     for threads in [1, 2, 8] {
         let engine = Engine::new(EngineConfig::with_threads(threads, Budget(50_000_000)));
         assert_eq!(
-            possibility::decide_with(&view, &facts, &engine).0,
+            possibility::decide_with(&view, &facts, &engine).answer,
             Ok(true),
             "witness found with {threads} threads"
         );
@@ -288,12 +292,15 @@ fn per_shard_matches_joint_on_decoupled_workloads() {
 
             for instance in [&member, &non_member] {
                 let ctx = format!("seed {seed} on {instance}");
-                let (p_memb, p_strat) =
-                    membership::view_membership_with(&view, instance, &per_shard);
-                let (j_memb, j_strat) = membership::view_membership_with(&view, instance, &joint);
-                assert_eq!(p_memb.unwrap(), j_memb.unwrap(), "membership {ctx}");
-                assert_eq!(p_strat, Strategy::PerShard { groups: relations });
-                assert_eq!(j_strat, Strategy::Backtracking);
+                let p_memb = membership::view_membership_with(&view, instance, &per_shard);
+                let j_memb = membership::view_membership_with(&view, instance, &joint);
+                assert_eq!(
+                    p_memb.answer.unwrap(),
+                    j_memb.answer.unwrap(),
+                    "membership {ctx}"
+                );
+                assert_eq!(p_memb.strategy, Strategy::PerShard { groups: relations });
+                assert_eq!(j_memb.strategy, Strategy::Backtracking);
 
                 for (label, expect_per_shard, p_pair, j_pair) in [
                     (
@@ -315,14 +322,21 @@ fn per_shard_matches_joint_on_decoupled_workloads() {
                         uniqueness::decide_with(&view, instance, &joint),
                     ),
                 ] {
-                    assert_eq!(p_pair.0.unwrap(), j_pair.0.unwrap(), "{label} {ctx}");
+                    assert_eq!(
+                        p_pair.answer.unwrap(),
+                        j_pair.answer.unwrap(),
+                        "{label} {ctx}"
+                    );
                     if expect_per_shard {
                         assert_eq!(
-                            p_pair.1,
+                            p_pair.strategy,
                             Strategy::PerShard { groups: relations },
                             "{label} strategy {ctx}"
                         );
-                        assert_ne!(j_pair.1, p_pair.1, "{label} joint strategy {ctx}");
+                        assert_ne!(
+                            j_pair.strategy, p_pair.strategy,
+                            "{label} joint strategy {ctx}"
+                        );
                     }
                 }
             }
@@ -330,19 +344,19 @@ fn per_shard_matches_joint_on_decoupled_workloads() {
             // Containment: reflexive (aligned partitions) and against a differently
             // seeded twin with the same relation names (also aligned).
             let other = View::identity(decoupled_all_classes(relations, seed + 7));
-            let (p_refl, p_strat) = containment::decide_with(&view, &view, &per_shard);
-            let (j_refl, j_strat) = containment::decide_with(&view, &view, &joint);
+            let p_refl = containment::decide_with(&view, &view, &per_shard);
+            let j_refl = containment::decide_with(&view, &view, &joint);
             assert!(
-                p_refl.unwrap() && j_refl.unwrap(),
+                p_refl.answer.unwrap() && j_refl.answer.unwrap(),
                 "rep ⊆ rep (seed {seed})"
             );
-            assert_eq!(p_strat, Strategy::PerShard { groups: relations });
-            assert_eq!(j_strat, Strategy::WorldEnumeration);
-            let (p_cont, _) = containment::decide_with(&view, &other, &per_shard);
-            let (j_cont, _) = containment::decide_with(&view, &other, &joint);
+            assert_eq!(p_refl.strategy, Strategy::PerShard { groups: relations });
+            assert_eq!(j_refl.strategy, Strategy::WorldEnumeration);
+            let p_cont = containment::decide_with(&view, &other, &per_shard);
+            let j_cont = containment::decide_with(&view, &other, &joint);
             assert_eq!(
-                p_cont.unwrap(),
-                j_cont.unwrap(),
+                p_cont.answer.unwrap(),
+                j_cont.answer.unwrap(),
                 "containment twin (seed {seed})"
             );
         }
@@ -361,19 +375,21 @@ fn coupled_databases_fall_back_to_the_joint_search() {
     assert_eq!(coupled.shard_groups().len(), 1);
     let engine = Engine::new(EngineConfig::with_threads(2, budget));
     let member = member_instance(&decoupled, &params);
-    let (answer, strategy) =
+    let joint =
         membership::view_membership_with(&View::identity(coupled.clone()), &member, &engine);
-    assert_eq!(strategy, Strategy::Backtracking, "coupled ⇒ joint fallback");
+    assert_eq!(
+        joint.strategy,
+        Strategy::Backtracking,
+        "coupled ⇒ joint fallback"
+    );
     // The coupling switch is semantically inert, so the decoupled per-shard answer
     // agrees with the coupled joint answer.
-    let (decoupled_answer, decoupled_strategy) =
-        membership::view_membership_with(&View::identity(decoupled), &member, &engine);
-    assert_eq!(decoupled_strategy, Strategy::PerShard { groups: 4 });
-    assert_eq!(answer.unwrap(), decoupled_answer.unwrap());
-    let (poss, poss_strategy) =
-        possibility::decide_with(&View::identity(coupled), &member, &engine);
-    assert!(!matches!(poss_strategy, Strategy::PerShard { .. }));
-    poss.unwrap();
+    let sharded = membership::view_membership_with(&View::identity(decoupled), &member, &engine);
+    assert_eq!(sharded.strategy, Strategy::PerShard { groups: 4 });
+    assert_eq!(joint.answer.unwrap(), sharded.answer.unwrap());
+    let poss = possibility::decide_with(&View::identity(coupled), &member, &engine);
+    assert!(!matches!(poss.strategy, Strategy::PerShard { .. }));
+    poss.answer.unwrap();
 }
 
 /// Budget exhaustion stays deterministic under the per-shard decomposition: a decoupled
@@ -403,21 +419,21 @@ fn per_shard_budget_exhaustion_is_deterministic() {
     for threads in [1, 2, 8] {
         for repetition in 0..3 {
             let starved = Engine::new(EngineConfig::with_threads(threads, Budget(500)));
-            let (answer, strategy) = possibility::decide_with(&view, &facts, &starved);
-            assert_eq!(strategy, Strategy::PerShard { groups: 2 });
+            let starved_run = possibility::decide_with(&view, &facts, &starved);
+            assert_eq!(starved_run.strategy, Strategy::PerShard { groups: 2 });
             assert_eq!(
-                answer,
+                starved_run.answer,
                 Err(DecisionError::BudgetExceeded),
                 "starved per-shard run must exhaust ({threads} threads, rep {repetition})"
             );
             let ample = Engine::new(EngineConfig::with_threads(threads, Budget(50_000_000)));
-            let (answer, _) = possibility::decide_with(&view, &facts, &ample);
+            let ample_run = possibility::decide_with(&view, &facts, &ample);
             let joint = Engine::new(
                 EngineConfig::with_threads(threads, Budget(50_000_000)).without_per_shard(),
             );
-            let (joint_answer, _) = possibility::decide_with(&view, &facts, &joint);
-            assert_eq!(answer, Ok(false), "ample per-shard completes");
-            assert_eq!(joint_answer, Ok(false), "joint agrees");
+            let joint_run = possibility::decide_with(&view, &facts, &joint);
+            assert_eq!(ample_run.answer, Ok(false), "ample per-shard completes");
+            assert_eq!(joint_run.answer, Ok(false), "joint agrees");
         }
     }
 }

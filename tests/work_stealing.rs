@@ -102,14 +102,20 @@ fn stealing_matches_static_on_skewed_workloads() {
                 let static_split = Engine::new(
                     EngineConfig::with_threads(threads, budget).without_work_stealing(),
                 );
-                let (s_ans, s_strat) =
-                    membership::view_membership_with(&view, &instance, &stealing);
-                let (t_ans, t_strat) =
-                    membership::view_membership_with(&view, &instance, &static_split);
+                let stolen = membership::view_membership_with(&view, &instance, &stealing);
+                let split = membership::view_membership_with(&view, &instance, &static_split);
                 let ctx = format!("{family}/{variant} with {threads} threads");
-                assert_eq!(s_ans.unwrap(), sequential, "stealing vs sequential, {ctx}");
-                assert_eq!(t_ans.unwrap(), sequential, "static vs sequential, {ctx}");
-                assert_eq!(s_strat, t_strat, "strategy, {ctx}");
+                assert_eq!(
+                    stolen.answer.unwrap(),
+                    sequential,
+                    "stealing vs sequential, {ctx}"
+                );
+                assert_eq!(
+                    split.answer.unwrap(),
+                    sequential,
+                    "static vs sequential, {ctx}"
+                );
+                assert_eq!(stolen.strategy, split.strategy, "strategy, {ctx}");
             }
         }
     }
@@ -125,12 +131,20 @@ fn stealing_matches_static_on_skewed_workloads() {
             let stealing = Engine::new(EngineConfig::with_threads(threads, budget));
             let static_split =
                 Engine::new(EngineConfig::with_threads(threads, budget).without_work_stealing());
-            let (s_ans, s_strat) = possibility::decide_with(&view, &facts, &stealing);
-            let (t_ans, t_strat) = possibility::decide_with(&view, &facts, &static_split);
+            let stolen = possibility::decide_with(&view, &facts, &stealing);
+            let split = possibility::decide_with(&view, &facts, &static_split);
             let ctx = format!("skewed_possibility/{variant} with {threads} threads");
-            assert_eq!(s_ans.unwrap(), sequential, "stealing vs sequential, {ctx}");
-            assert_eq!(t_ans.unwrap(), sequential, "static vs sequential, {ctx}");
-            assert_eq!(s_strat, t_strat, "strategy, {ctx}");
+            assert_eq!(
+                stolen.answer.unwrap(),
+                sequential,
+                "stealing vs sequential, {ctx}"
+            );
+            assert_eq!(
+                split.answer.unwrap(),
+                sequential,
+                "static vs sequential, {ctx}"
+            );
+            assert_eq!(stolen.strategy, split.strategy, "strategy, {ctx}");
         }
     }
 }
@@ -184,13 +198,13 @@ fn budget_exhaustion_is_deterministic_under_stealing() {
         for repetition in 0..3 {
             let starved = Engine::new(EngineConfig::with_threads(threads, Budget(500)));
             assert_eq!(
-                possibility::decide_with(&view, &facts, &starved).0,
+                possibility::decide_with(&view, &facts, &starved).answer,
                 Err(DecisionError::BudgetExceeded),
                 "starved stealing run must exhaust ({threads} threads, rep {repetition})"
             );
             let ample = Engine::new(EngineConfig::with_threads(threads, Budget(50_000_000)));
             assert_eq!(
-                possibility::decide_with(&view, &facts, &ample).0,
+                possibility::decide_with(&view, &facts, &ample).answer,
                 Ok(false),
                 "ample stealing run must complete ({threads} threads, rep {repetition})"
             );
@@ -206,8 +220,8 @@ fn stealing_counters_populate_on_a_skewed_search() {
     let (db, instance) = skewed_membership(&small_skew());
     let view = View::identity(db);
     let engine = Engine::new(EngineConfig::with_threads(8, Budget(1_000_000_000)));
-    let (answer, _) = membership::view_membership_with(&view, &instance, &engine);
-    assert_eq!(answer, Ok(false));
+    let decision = membership::view_membership_with(&view, &instance, &engine);
+    assert_eq!(decision.answer, Ok(false));
     let stats = engine.stats();
     assert!(
         stats.steals_attempted >= stats.steals_succeeded,
@@ -230,8 +244,8 @@ fn stealing_counters_populate_on_a_skewed_search() {
     // The pinned static path must leave the stealing-only counters at zero.
     let static_engine =
         Engine::new(EngineConfig::with_threads(8, Budget(1_000_000_000)).without_work_stealing());
-    let (answer, _) = membership::view_membership_with(&view, &instance, &static_engine);
-    assert_eq!(answer, Ok(false));
+    let decision = membership::view_membership_with(&view, &instance, &static_engine);
+    assert_eq!(decision.answer, Ok(false));
     let stats = static_engine.stats();
     assert_eq!(stats.steals_attempted, 0, "static path must not steal");
     assert_eq!(stats.resplits, 0, "static path must not re-split");
