@@ -50,6 +50,7 @@ pub mod simplify;
 pub mod table;
 pub mod valuation;
 pub mod view;
+pub mod window;
 
 pub use certificate::{Certificate, PairCert};
 pub use database::{CDatabase, ShardGroup};
@@ -59,3 +60,4 @@ pub use simplify::{simplify_database, simplify_table};
 pub use table::{CTable, CTuple, TableClass, TableError};
 pub use valuation::Valuation;
 pub use view::View;
+pub use window::{DeltaWindow, WindowKind};

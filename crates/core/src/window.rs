@@ -1,0 +1,517 @@
+//! Delta windows: batching mutation streams with compaction before [`CDatabase::apply`].
+//!
+//! A standing-query service (see `pw_decide::batch::Session::push_delta`) pays a fixed
+//! cost per *applied* delta: cache retirement, the coupling-graph walk, and a re-decision
+//! of every affected request.  When mutations arrive faster than verdicts need to be
+//! refreshed, a [`DeltaWindow`] amortizes that cost: deltas are buffered and emitted in
+//! batches, and the batch is **compacted** first — an inserted row retracted inside the
+//! same window cancels to nothing, repeated conjoins on one row fold into a single op,
+//! and retractions of pre-window rows are re-addressed so the emitted [`Delta`] applies
+//! in one pass.  A window whose ops cancel entirely emits an empty delta, which
+//! [`CDatabase::apply`] recognizes as a no-op — the decision layer does zero work.
+//!
+//! # Compaction rule
+//!
+//! The emitted delta must produce, per table, exactly the row vector (order included)
+//! that applying the buffered deltas sequentially would have produced.  Compaction
+//! replays the buffered ops against a virtual slot list per table — base rows (present
+//! when the window opened) and inserted rows — then emits, per table, in this order:
+//!
+//! 1. one [`DeltaOp::Conjoin`] per surviving base row with accumulated atoms, at the
+//!    row's *original* position (valid because no rows have been removed yet);
+//! 2. [`DeltaOp::Retract`]s of removed base rows in *descending* original position
+//!    (each index still valid because higher rows go first);
+//! 3. [`DeltaOp::Insert`]s of surviving inserted rows, in insertion order, with their
+//!    accumulated conditions folded in.
+//!
+//! Base rows keep their relative order and inserted rows append at the end in both the
+//! sequential and the compacted execution, so the results coincide.  Since
+//! [`pw_condition::Conjunction::and`] concatenates atoms, folding consecutive conjoins
+//! into one op conjoins the same atoms in the same order.
+//!
+//! # Validation
+//!
+//! Ops are validated **at push time** against the window's virtual row counts (the
+//! database's counts when the window opened, advanced through every buffered op), so a
+//! bad delta is rejected atomically with the usual [`DeltaError`]s and the buffer stays
+//! intact.  A validated buffer compacts infallibly.
+
+use crate::delta::{Delta, DeltaError, DeltaOp};
+use crate::table::CTuple;
+use crate::CDatabase;
+use pw_condition::Conjunction;
+use std::collections::BTreeMap;
+
+/// The windowing policy, counted in pushed deltas.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WindowKind {
+    /// Buffer `size` deltas, then emit them as one compacted delta and start over.
+    Tumbling {
+        /// Deltas per emitted batch (≥ 1).
+        size: usize,
+    },
+    /// Keep at most `size` deltas buffered; once full, emit the oldest `slide` of them
+    /// as one compacted delta and keep the remaining `size - slide` buffered (each
+    /// pushed delta is emitted exactly once — the overlap only delays emission so that
+    /// nearby deltas can cancel).
+    Sliding {
+        /// Buffer capacity (≥ 1).
+        size: usize,
+        /// Deltas emitted per slide (1 ..= size).
+        slide: usize,
+    },
+}
+
+impl WindowKind {
+    fn capacity(&self) -> usize {
+        match *self {
+            WindowKind::Tumbling { size } => size,
+            WindowKind::Sliding { size, .. } => size,
+        }
+    }
+
+    fn emit_len(&self) -> usize {
+        match *self {
+            WindowKind::Tumbling { size } => size,
+            WindowKind::Sliding { slide, .. } => slide,
+        }
+    }
+}
+
+/// A window over a [`Delta`] stream for one [`CDatabase`], compacting each emitted
+/// batch.  The window tracks the database's row counts; feed every emitted delta to
+/// [`CDatabase::apply`] (in emission order) to keep the two in sync.
+#[derive(Clone, Debug)]
+pub struct DeltaWindow {
+    kind: WindowKind,
+    buffer: Vec<Delta>,
+    /// Row count per relation at the *start* of the buffer (i.e. after every delta
+    /// emitted so far, before any buffered one).
+    base_lens: BTreeMap<String, usize>,
+    /// Row count per relation after every buffered delta — the state pushes validate
+    /// against.
+    virtual_lens: BTreeMap<String, usize>,
+}
+
+impl DeltaWindow {
+    /// A tumbling window of `size` deltas (clamped to ≥ 1) over `db`'s current state.
+    pub fn tumbling(db: &CDatabase, size: usize) -> Self {
+        Self::new(db, WindowKind::Tumbling { size: size.max(1) })
+    }
+
+    /// A sliding window of capacity `size` emitting `slide` deltas per slide (both
+    /// clamped into range) over `db`'s current state.
+    pub fn sliding(db: &CDatabase, size: usize, slide: usize) -> Self {
+        let size = size.max(1);
+        Self::new(
+            db,
+            WindowKind::Sliding {
+                size,
+                slide: slide.clamp(1, size),
+            },
+        )
+    }
+
+    /// A window with an explicit [`WindowKind`] (sizes already validated by the
+    /// constructors above; out-of-range values are clamped the same way).
+    pub fn new(db: &CDatabase, kind: WindowKind) -> Self {
+        let kind = match kind {
+            WindowKind::Tumbling { size } => WindowKind::Tumbling { size: size.max(1) },
+            WindowKind::Sliding { size, slide } => {
+                let size = size.max(1);
+                WindowKind::Sliding {
+                    size,
+                    slide: slide.clamp(1, size),
+                }
+            }
+        };
+        let lens: BTreeMap<String, usize> = db
+            .tables()
+            .iter()
+            .map(|t| (t.name().to_owned(), t.len()))
+            .collect();
+        DeltaWindow {
+            kind,
+            buffer: Vec::new(),
+            base_lens: lens.clone(),
+            virtual_lens: lens,
+        }
+    }
+
+    /// The windowing policy.
+    pub fn kind(&self) -> WindowKind {
+        self.kind
+    }
+
+    /// Buffered deltas not yet emitted.
+    pub fn pending(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Push one delta.  Returns `Ok(Some(compacted))` when the push closes a batch —
+    /// apply the compacted delta to the database — and `Ok(None)` while buffering.
+    /// An invalid delta (unknown relation, out-of-range row, arity mismatch is left to
+    /// `apply`) is rejected whole and the buffer is unchanged.
+    pub fn push(&mut self, delta: Delta) -> Result<Option<Delta>, DeltaError> {
+        self.validate(&delta)?;
+        self.buffer.push(delta);
+        if self.buffer.len() >= self.kind.capacity() {
+            let emit = self.kind.emit_len().min(self.buffer.len());
+            Ok(Some(self.compact_prefix(emit)))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Emit everything still buffered as one compacted delta (`None` if the buffer is
+    /// empty).  Use on shutdown, or to force timely verdicts on a quiescent stream.
+    pub fn flush(&mut self) -> Option<Delta> {
+        if self.buffer.is_empty() {
+            None
+        } else {
+            Some(self.compact_prefix(self.buffer.len()))
+        }
+    }
+
+    /// Validate `delta` against the virtual row counts and, on success, advance them.
+    fn validate(&mut self, delta: &Delta) -> Result<(), DeltaError> {
+        // Two passes so rejection leaves the counts untouched (atomicity).
+        let mut scratch: BTreeMap<&str, usize> = BTreeMap::new();
+        for op in delta.ops() {
+            let (table, len) = match op {
+                DeltaOp::Insert { table, .. }
+                | DeltaOp::Retract { table, .. }
+                | DeltaOp::Conjoin { table, .. } => {
+                    let len = match scratch.get(table.as_str()) {
+                        Some(&len) => len,
+                        None => *self
+                            .virtual_lens
+                            .get(table)
+                            .ok_or_else(|| DeltaError::UnknownRelation(table.clone()))?,
+                    };
+                    (table, len)
+                }
+            };
+            let next = match op {
+                DeltaOp::Insert { .. } => len + 1,
+                DeltaOp::Retract { row, .. } | DeltaOp::Conjoin { row, .. } => {
+                    if *row >= len {
+                        return Err(DeltaError::RowOutOfRange {
+                            table: table.clone(),
+                            row: *row,
+                            len,
+                        });
+                    }
+                    match op {
+                        DeltaOp::Retract { .. } => len - 1,
+                        _ => len,
+                    }
+                }
+            };
+            scratch.insert(table.as_str(), next);
+        }
+        let committed: Vec<(String, usize)> = scratch
+            .into_iter()
+            .map(|(t, len)| (t.to_owned(), len))
+            .collect();
+        for (table, len) in committed {
+            self.virtual_lens.insert(table, len);
+        }
+        Ok(())
+    }
+
+    /// Compact the oldest `count` buffered deltas into one, removing them from the
+    /// buffer and advancing the base row counts.  The buffer prefix has been validated,
+    /// so replay cannot fail.
+    fn compact_prefix(&mut self, count: usize) -> Delta {
+        let batch: Vec<Delta> = self.buffer.drain(..count).collect();
+        let mut tables: BTreeMap<String, TableReplay> = BTreeMap::new();
+        for delta in &batch {
+            for op in delta.ops() {
+                match op {
+                    DeltaOp::Insert { table, row } => {
+                        self.replay_entry(&mut tables, table).insert(row.clone());
+                    }
+                    DeltaOp::Retract { table, row } => {
+                        self.replay_entry(&mut tables, table).retract(*row);
+                    }
+                    DeltaOp::Conjoin {
+                        table,
+                        row,
+                        condition,
+                    } => {
+                        self.replay_entry(&mut tables, table)
+                            .conjoin(*row, condition);
+                    }
+                }
+            }
+        }
+        let mut compacted = Delta::new();
+        for (name, replay) in tables {
+            let new_len = replay.len();
+            replay.emit(&name, &mut compacted);
+            self.base_lens.insert(name, new_len);
+        }
+        compacted
+    }
+
+    fn replay_entry<'a>(
+        &self,
+        tables: &'a mut BTreeMap<String, TableReplay>,
+        name: &str,
+    ) -> &'a mut TableReplay {
+        if !tables.contains_key(name) {
+            let len = *self
+                .base_lens
+                .get(name)
+                .expect("validated delta names a known relation");
+            tables.insert(name.to_owned(), TableReplay::open(len));
+        }
+        tables.get_mut(name).expect("just inserted")
+    }
+}
+
+/// One row's identity during replay: either a row that existed when the batch opened
+/// (addressed by its original position) or a row inserted inside the batch.
+enum Slot {
+    Base {
+        original: usize,
+        conjoined: Conjunction,
+    },
+    Inserted(CTuple),
+}
+
+/// The virtual row list of one table while a batch replays through it.  The invariant
+/// that inserts append and retracts preserve order means base slots always precede
+/// inserted slots.
+struct TableReplay {
+    slots: Vec<Slot>,
+    retracted: Vec<usize>,
+}
+
+impl TableReplay {
+    fn open(len: usize) -> Self {
+        TableReplay {
+            slots: (0..len)
+                .map(|original| Slot::Base {
+                    original,
+                    conjoined: Conjunction::truth(),
+                })
+                .collect(),
+            retracted: Vec::new(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn insert(&mut self, row: CTuple) {
+        self.slots.push(Slot::Inserted(row));
+    }
+
+    fn retract(&mut self, row: usize) {
+        match self.slots.remove(row) {
+            // A base row: the emitted delta must retract it (any conjoins accumulated
+            // on it die with it).
+            Slot::Base { original, .. } => self.retracted.push(original),
+            // An in-window insert: the pair cancels — nothing is emitted.
+            Slot::Inserted(_) => {}
+        }
+    }
+
+    fn conjoin(&mut self, row: usize, condition: &Conjunction) {
+        match &mut self.slots[row] {
+            Slot::Base { conjoined, .. } => *conjoined = conjoined.and(condition),
+            Slot::Inserted(tuple) => tuple.condition = tuple.condition.and(condition),
+        }
+    }
+
+    fn emit(self, name: &str, delta: &mut Delta) {
+        // 1. Conjoins on surviving base rows, at original positions (nothing removed
+        //    yet at apply time).
+        for slot in &self.slots {
+            if let Slot::Base {
+                original,
+                conjoined,
+            } = slot
+            {
+                if !conjoined.is_empty() {
+                    delta.push(DeltaOp::Conjoin {
+                        table: name.to_owned(),
+                        row: *original,
+                        condition: conjoined.clone(),
+                    });
+                }
+            }
+        }
+        // 2. Retracts of removed base rows, descending so earlier indices stay valid.
+        let mut retracted = self.retracted;
+        retracted.sort_unstable_by(|a, b| b.cmp(a));
+        for original in retracted {
+            delta.push(DeltaOp::Retract {
+                table: name.to_owned(),
+                row: original,
+            });
+        }
+        // 3. Surviving inserts, in insertion order, conditions folded in.
+        for slot in self.slots {
+            if let Slot::Inserted(row) = slot {
+                delta.push(DeltaOp::Insert {
+                    table: name.to_owned(),
+                    row,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::CTable;
+    use pw_condition::{Atom, Term, VarGen};
+
+    fn demo() -> CDatabase {
+        let mut g = VarGen::new();
+        let (x, y) = (g.fresh(), g.fresh());
+        CDatabase::new([
+            CTable::codd("R", 1, [vec![Term::Var(x)], vec![Term::constant(1)]]).unwrap(),
+            CTable::codd("S", 1, [vec![Term::Var(y)]]).unwrap(),
+        ])
+    }
+
+    fn apply_all(db: &CDatabase, deltas: &[Delta]) -> CDatabase {
+        deltas
+            .iter()
+            .fold(db.clone(), |acc, d| acc.apply(d).expect("delta applies").0)
+    }
+
+    #[test]
+    fn tumbling_window_buffers_then_emits_an_equivalent_batch() {
+        let db = demo();
+        let deltas = vec![
+            Delta::new().insert("R", CTuple::of_terms([Term::constant(7)])),
+            Delta::new().retract("S", 0),
+            Delta::new().conjoin("R", 0, Conjunction::single(Atom::neq(Term::constant(3), 4))),
+        ];
+        let mut window = DeltaWindow::tumbling(&db, 3);
+        assert!(window.push(deltas[0].clone()).unwrap().is_none());
+        assert!(window.push(deltas[1].clone()).unwrap().is_none());
+        assert_eq!(window.pending(), 2);
+        let emitted = window
+            .push(deltas[2].clone())
+            .unwrap()
+            .expect("third push closes the window");
+        assert_eq!(window.pending(), 0);
+        let (via_window, _) = db.apply(&emitted).unwrap();
+        assert_eq!(via_window, apply_all(&db, &deltas));
+    }
+
+    #[test]
+    fn an_insert_retract_pair_cancels_to_a_noop() {
+        let db = demo();
+        let mut window = DeltaWindow::tumbling(&db, 2);
+        // R has 2 rows; the insert lands at position 2 and is retracted unseen.
+        assert!(window
+            .push(Delta::new().insert("R", CTuple::of_terms([Term::constant(9)])))
+            .unwrap()
+            .is_none());
+        let emitted = window
+            .push(Delta::new().retract("R", 2))
+            .unwrap()
+            .expect("window closes");
+        assert!(emitted.is_empty(), "cancelled pair emits nothing");
+        let (next, change) = db.apply(&emitted).unwrap();
+        assert!(change.is_noop());
+        assert_eq!(next, db);
+    }
+
+    #[test]
+    fn compaction_readdresses_retracts_and_folds_conjoins() {
+        let db = demo();
+        let atom = |c: i64, k: i64| Conjunction::single(Atom::neq(Term::constant(c), k));
+        // Within one window: conjoin R[1] twice, retract R[0] (shifting R[1] to R[0]),
+        // insert a row, conjoin the inserted row.
+        let deltas = vec![
+            Delta::new().conjoin("R", 1, atom(5, 6)),
+            Delta::new().retract("R", 0).conjoin("R", 0, atom(7, 8)),
+            Delta::new()
+                .insert("R", CTuple::of_terms([Term::constant(2)]))
+                .conjoin("R", 1, atom(9, 10)),
+        ];
+        let mut window = DeltaWindow::tumbling(&db, 3);
+        let mut emitted = None;
+        for d in &deltas {
+            emitted = window.push(d.clone()).unwrap();
+        }
+        let emitted = emitted.expect("window closed");
+        let (via_window, _) = db.apply(&emitted).unwrap();
+        assert_eq!(via_window, apply_all(&db, &deltas));
+    }
+
+    #[test]
+    fn sliding_window_emits_the_oldest_slide_and_keeps_the_overlap() {
+        let db = demo();
+        let mut window = DeltaWindow::sliding(&db, 3, 2);
+        let deltas: Vec<Delta> = (0..5)
+            .map(|i| Delta::new().insert("S", CTuple::of_terms([Term::constant(i)])))
+            .collect();
+        let mut emissions = Vec::new();
+        for d in &deltas {
+            if let Some(e) = window.push(d.clone()).unwrap() {
+                emissions.push(e);
+            }
+        }
+        // Pushes 3 and 5 fill the capacity-3 buffer: two emissions of two deltas each,
+        // one delta left pending.
+        assert_eq!(emissions.len(), 2);
+        assert_eq!(window.pending(), 1);
+        let tail = window.flush().expect("one pending delta");
+        assert!(window.flush().is_none());
+        emissions.push(tail);
+        let mut via_window = db.clone();
+        for e in &emissions {
+            via_window = via_window.apply(e).unwrap().0;
+        }
+        assert_eq!(via_window, apply_all(&db, &deltas));
+    }
+
+    #[test]
+    fn pushes_validate_against_the_virtual_state_atomically() {
+        let db = demo();
+        let mut window = DeltaWindow::tumbling(&db, 10);
+        // S has 1 row; retract it (virtually) ...
+        assert!(window.push(Delta::new().retract("S", 0)).unwrap().is_none());
+        // ... so a second retraction is out of range *for the virtual state*.
+        assert_eq!(
+            window.push(Delta::new().retract("S", 0)).unwrap_err(),
+            DeltaError::RowOutOfRange {
+                table: "S".into(),
+                row: 0,
+                len: 0,
+            }
+        );
+        assert_eq!(
+            window.push(Delta::new().retract("Nope", 0)).unwrap_err(),
+            DeltaError::UnknownRelation("Nope".into())
+        );
+        // A partially-valid delta is rejected whole: the insert must not count.
+        let mixed = Delta::new()
+            .insert("S", CTuple::of_terms([Term::constant(1)]))
+            .retract("Nope", 0);
+        assert!(window.push(mixed).is_err());
+        assert_eq!(window.pending(), 1, "rejected deltas are not buffered");
+        // The virtual state is untouched by the rejections: inserting one row into S
+        // then retracting position 0 is valid again.
+        assert!(window
+            .push(Delta::new().insert("S", CTuple::of_terms([Term::constant(2)])))
+            .unwrap()
+            .is_none());
+        assert!(window.push(Delta::new().retract("S", 0)).unwrap().is_none());
+        // Flush applies cleanly.
+        let emitted = window.flush().expect("three pending deltas");
+        let (next, _) = db.apply(&emitted).unwrap();
+        assert_eq!(next.table("S").unwrap().len(), 0);
+    }
+}

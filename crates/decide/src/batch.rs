@@ -165,6 +165,79 @@ pub struct Redecision {
 pub struct Session {
     engine: Engine,
     workers: usize,
+    standing: Option<StandingSet>,
+}
+
+/// A verdict flip observed by [`Session::push_delta`]: standing request `request_id`
+/// answered `old` before the delta and `new` after it.  Both sides are full
+/// [`Decision`]s, so the notification carries the new strategy and (in a certifying
+/// session) the new certificate alongside the flipped answer.
+#[derive(Clone, Debug)]
+pub struct VerdictFlip {
+    /// The id [`Session::register_standing`] returned for the flipped request.
+    pub request_id: u64,
+    /// The verdict before the delta.
+    pub old: Decision,
+    /// The verdict after the delta.
+    pub new: Decision,
+}
+
+/// What one [`Session::push_delta`] call did: the mutated database, the shape of the
+/// change, the verdict flips, and how much of the standing set the subscription index
+/// let the session skip.
+#[derive(Clone, Debug)]
+pub struct StandingUpdate {
+    /// The database after the delta (the standing set's new binding).
+    pub db: CDatabase,
+    /// Which tables and shard groups the delta changed (see [`pw_core::DbDelta`]).
+    pub change: DbDelta,
+    /// One event per standing request whose *answer* changed.  Re-decisions that
+    /// confirm the old answer are not reported.
+    pub flips: Vec<VerdictFlip>,
+    /// Standing requests re-decided because a dirty group could affect them.
+    pub redecided: usize,
+    /// Standing requests skipped outright — they did not even consult the memo.
+    pub skipped: usize,
+}
+
+/// Which shard groups can change a standing request's verdict.
+///
+/// The subscription index maps a [`DbDelta`]'s dirty groups to the standing requests
+/// that must be re-decided.  For an identity view, possibility and certainty decompose
+/// per shard group over the relations their facts mention — `POSS` holds iff every
+/// group covers its slice of the facts, `CERT` iff every group certainly does — so a
+/// delta whose dirty groups don't own any mentioned relation cannot flip the verdict.
+/// Membership, uniqueness and containment compare whole worlds; any group can flip
+/// them, so they stay on every delta's re-decision list.
+#[derive(Clone, Debug)]
+enum Deps {
+    /// Re-decide on every applied delta.
+    AllGroups,
+    /// Re-decide only when a dirty group owns one of these table positions (positions
+    /// are stable: deltas cannot add or remove tables, and group membership is looked
+    /// up against the *new* coupling graph on every delta — so a coupling delta that
+    /// merges groups widens the entry's reach automatically).
+    Tables(Vec<usize>),
+}
+
+#[derive(Clone, Debug)]
+struct StandingEntry {
+    id: u64,
+    /// The request as registered (views bound to the registration-time database).
+    request: DecisionRequest,
+    /// Does the request's view (or containment left) track the standing database?
+    rebind_left: bool,
+    /// Does the containment right-hand view track the standing database?
+    rebind_right: bool,
+    deps: Deps,
+    last: Decision,
+}
+
+#[derive(Debug)]
+struct StandingSet {
+    db: CDatabase,
+    next_id: u64,
+    entries: Vec<StandingEntry>,
 }
 
 impl Session {
@@ -184,6 +257,7 @@ impl Session {
         Session {
             engine: Engine::new(inner_cfg),
             workers,
+            standing: None,
         }
     }
 
@@ -319,6 +393,249 @@ impl Session {
             change,
             outcomes,
         })
+    }
+
+    /// Register `requests` as **standing queries** over `db` and decide their
+    /// baselines.  Returns one id per request (aligned positionally) and the baseline
+    /// outcomes; subsequent [`Session::push_delta`] calls re-decide only the registered
+    /// requests a delta can affect and report [`VerdictFlip`]s for answers that
+    /// changed.
+    ///
+    /// The first registration binds the session's standing set to `db`; later
+    /// registrations join the live set — if the set's database has since moved on via
+    /// deltas, requests phrased against the stale `db` are re-bound to the current
+    /// value before their baselines are decided.
+    pub fn register_standing(
+        &mut self,
+        db: &CDatabase,
+        requests: &[DecisionRequest],
+    ) -> (Vec<u64>, Vec<DecisionOutcome>) {
+        if self.standing.is_none() {
+            self.standing = Some(StandingSet {
+                db: db.clone(),
+                next_id: 1,
+                entries: Vec::new(),
+            });
+        }
+        let set = self.standing.as_mut().expect("just initialized");
+        let mut ids = Vec::with_capacity(requests.len());
+        let mut flags = Vec::with_capacity(requests.len());
+        let mut bound = Vec::with_capacity(requests.len());
+        for request in requests {
+            let (left_view, right_view) = match request {
+                DecisionRequest::Containment { left, right } => (left, Some(right)),
+                DecisionRequest::Membership { view, .. }
+                | DecisionRequest::Uniqueness { view, .. }
+                | DecisionRequest::Possibility { view, .. }
+                | DecisionRequest::Certainty { view, .. } => (view, None),
+            };
+            let rebind_left = left_view.db == *db;
+            let rebind_right = right_view.is_some_and(|v| v.db == *db);
+            flags.push((rebind_left, rebind_right));
+            bound.push(rebind_standing(request, rebind_left, rebind_right, &set.db));
+        }
+        let replay_pin = self.engine.pin_memo();
+        let baselines = run_batch(&bound, &self.engine, self.workers);
+        drop(replay_pin);
+        for ((request, &(rebind_left, rebind_right)), last) in
+            requests.iter().zip(&flags).zip(&baselines)
+        {
+            let id = set.next_id;
+            set.next_id += 1;
+            ids.push(id);
+            set.entries.push(StandingEntry {
+                id,
+                deps: deps_of(request, db),
+                request: request.clone(),
+                rebind_left,
+                rebind_right,
+                last: last.clone(),
+            });
+        }
+        (ids, baselines)
+    }
+
+    /// Apply `delta` to the standing set's database and re-decide **only the standing
+    /// requests the delta can affect**, reporting a [`VerdictFlip`] for each one whose
+    /// answer changed.
+    ///
+    /// This is [`Session::redecide_all`] specialised for subscriptions: where
+    /// `redecide_all` replays every request (clean groups from the memo, dirty groups
+    /// re-searched), `push_delta` consults the subscription index first — a standing
+    /// request none of whose dependency groups are dirty is *skipped outright*, paying
+    /// neither the memo probes nor the dirty-group re-search.  Affected requests are
+    /// re-decided exactly like `redecide_all` would, so their answers (strategies,
+    /// certificates) are bit-identical to a full replay.
+    ///
+    /// # Panics
+    ///
+    /// If no standing set exists — call [`Session::register_standing`] first.
+    pub fn push_delta(&mut self, delta: &Delta) -> Result<StandingUpdate, DeltaError> {
+        let set = self
+            .standing
+            .as_mut()
+            .expect("push_delta requires a prior register_standing");
+        let prev = set.db.clone();
+        let (db, change) = prev.apply(delta)?;
+        if change.is_noop() {
+            set.db = db.clone();
+            return Ok(StandingUpdate {
+                db,
+                change,
+                flips: Vec::new(),
+                redecided: 0,
+                skipped: set.entries.len(),
+            });
+        }
+        // Retire dissolved caches exactly as redecide_all does.
+        for old in prev.shard_groups() {
+            let survives = db
+                .shard_groups()
+                .iter()
+                .any(|new| new.database() == old.database());
+            if !survives {
+                self.engine.retire_database(old.database());
+            }
+        }
+        self.engine.retire_database(&prev);
+        self.engine.retire_conditions(&prev, &db);
+
+        // The subscription index: dirty groups → affected standing requests.  Group
+        // ownership is resolved against the *new* graph, so merges widen entries'
+        // reach on the delta that merges them.
+        let group_of = db.shard_group_index();
+        let dirty: std::collections::BTreeSet<usize> =
+            change.dirty_groups.iter().copied().collect();
+        let affected: Vec<usize> = set
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(_, entry)| match &entry.deps {
+                Deps::AllGroups => true,
+                Deps::Tables(positions) => positions
+                    .iter()
+                    .any(|&p| group_of.get(p).is_some_and(|g| dirty.contains(g))),
+            })
+            .map(|(i, _)| i)
+            .collect();
+
+        let rebound: Vec<DecisionRequest> = affected
+            .iter()
+            .map(|&i| {
+                let entry = &set.entries[i];
+                rebind_standing(&entry.request, entry.rebind_left, entry.rebind_right, &db)
+            })
+            .collect();
+        let replay_pin = self.engine.pin_memo();
+        let outcomes = run_batch(&rebound, &self.engine, self.workers);
+        drop(replay_pin);
+
+        let mut flips = Vec::new();
+        for (&i, outcome) in affected.iter().zip(outcomes) {
+            let entry = &mut set.entries[i];
+            if entry.last.answer != outcome.answer {
+                flips.push(VerdictFlip {
+                    request_id: entry.id,
+                    old: entry.last.clone(),
+                    new: outcome.clone(),
+                });
+            }
+            entry.last = outcome;
+        }
+        let skipped = set.entries.len() - affected.len();
+        set.db = db.clone();
+        Ok(StandingUpdate {
+            db,
+            change,
+            flips,
+            redecided: affected.len(),
+            skipped,
+        })
+    }
+
+    /// The database the standing set is currently bound to, if one is registered.
+    pub fn standing_db(&self) -> Option<&CDatabase> {
+        self.standing.as_ref().map(|set| &set.db)
+    }
+
+    /// Number of registered standing requests.
+    pub fn standing_len(&self) -> usize {
+        self.standing.as_ref().map_or(0, |set| set.entries.len())
+    }
+
+    /// The current verdict of standing request `id`, if registered.
+    pub fn standing_outcome(&self, id: u64) -> Option<&DecisionOutcome> {
+        self.standing
+            .as_ref()?
+            .entries
+            .iter()
+            .find(|entry| entry.id == id)
+            .map(|entry| &entry.last)
+    }
+}
+
+/// Which groups can flip `request`'s verdict (see [`Deps`]).  Localization applies only
+/// to possibility/certainty over an *identity* view of the standing database itself;
+/// anything else conservatively depends on every group.  Facts in relations the
+/// database does not store are omitted: no delta can change their (constant)
+/// contribution, because deltas cannot add relations.
+fn deps_of(request: &DecisionRequest, db: &CDatabase) -> Deps {
+    let (view, facts) = match request {
+        DecisionRequest::Possibility { view, facts }
+        | DecisionRequest::Certainty { view, facts } => (view, facts),
+        _ => return Deps::AllGroups,
+    };
+    if !view.query.is_identity() || view.db != *db {
+        return Deps::AllGroups;
+    }
+    let mut positions: Vec<usize> = facts
+        .iter()
+        .filter(|(_, relation)| !relation.is_empty())
+        .filter_map(|(name, _)| db.table_position(name))
+        .collect();
+    positions.sort_unstable();
+    positions.dedup();
+    Deps::Tables(positions)
+}
+
+/// Rebind the views flagged as tracking the standing database to `db`,
+/// unconditionally.  Unlike [`rebind_request`] this does not compare against the
+/// previous database value: an entry skipped across several deltas is still bound to
+/// an older version, and must jump straight to the current one.
+fn rebind_standing(
+    request: &DecisionRequest,
+    rebind_left: bool,
+    rebind_right: bool,
+    db: &CDatabase,
+) -> DecisionRequest {
+    let rebind = |view: &View, flag: bool| -> View {
+        if flag {
+            View::new(view.query.clone(), db.clone())
+        } else {
+            view.clone()
+        }
+    };
+    match request {
+        DecisionRequest::Membership { view, instance } => DecisionRequest::Membership {
+            view: rebind(view, rebind_left),
+            instance: instance.clone(),
+        },
+        DecisionRequest::Uniqueness { view, instance } => DecisionRequest::Uniqueness {
+            view: rebind(view, rebind_left),
+            instance: instance.clone(),
+        },
+        DecisionRequest::Containment { left, right } => DecisionRequest::Containment {
+            left: rebind(left, rebind_left),
+            right: rebind(right, rebind_right),
+        },
+        DecisionRequest::Possibility { view, facts } => DecisionRequest::Possibility {
+            view: rebind(view, rebind_left),
+            facts: facts.clone(),
+        },
+        DecisionRequest::Certainty { view, facts } => DecisionRequest::Certainty {
+            view: rebind(view, rebind_left),
+            facts: facts.clone(),
+        },
     }
 }
 
@@ -550,5 +867,65 @@ mod tests {
     #[test]
     fn empty_batch_is_fine() {
         assert!(decide_all(&[]).is_empty());
+    }
+
+    /// Two decoupled relations, a certainty request localized to each: a delta touching
+    /// only one relation re-decides one request and skips the other, and a flip is
+    /// reported exactly when the answer changes.
+    #[test]
+    fn push_delta_skips_unaffected_standing_requests_and_reports_flips() {
+        let db = CDatabase::new([
+            CTable::codd("A", 1, [vec![Term::constant(1)]]).unwrap(),
+            CTable::codd("B", 1, [vec![Term::constant(2)]]).unwrap(),
+        ]);
+        let view = View::identity(db.clone());
+        let requests = vec![
+            DecisionRequest::Certainty {
+                view: view.clone(),
+                facts: Instance::single("A", rel![[1]]),
+            },
+            DecisionRequest::Certainty {
+                view,
+                facts: Instance::single("B", rel![[2]]),
+            },
+        ];
+        let mut session = Session::sized(&EngineConfig::sequential(Budget(1_000_000)), 2);
+        let (ids, baselines) = session.register_standing(&db, &requests);
+        assert_eq!(ids, vec![1, 2]);
+        assert_eq!(baselines.len(), 2);
+        assert!(baselines.iter().all(|b| b.answer == Ok(true)));
+
+        // Retract A's only row: the A-certainty flips true→false, the B-certainty is
+        // skipped without consulting anything.
+        let update = session
+            .push_delta(&Delta::new().retract("A", 0))
+            .expect("delta applies");
+        assert_eq!((update.redecided, update.skipped), (1, 1));
+        assert_eq!(update.flips.len(), 1);
+        assert_eq!(update.flips[0].request_id, ids[0]);
+        assert_eq!(update.flips[0].old.answer, Ok(true));
+        assert_eq!(update.flips[0].new.answer, Ok(false));
+        assert_eq!(session.standing_outcome(ids[0]).unwrap().answer, Ok(false));
+        assert_eq!(session.standing_outcome(ids[1]).unwrap().answer, Ok(true));
+
+        // Re-insert it: flips back.  The B entry — skipped across both deltas — still
+        // answers correctly when its own relation finally changes.
+        let update = session
+            .push_delta(&Delta::new().insert("A", CTuple::of_terms([Term::constant(1)])))
+            .expect("delta applies");
+        assert_eq!(update.flips.len(), 1);
+        assert_eq!(update.flips[0].new.answer, Ok(true));
+        let update = session
+            .push_delta(&Delta::new().retract("B", 0))
+            .expect("delta applies");
+        assert_eq!((update.redecided, update.skipped), (1, 1));
+        assert_eq!(update.flips[0].request_id, ids[1]);
+        assert_eq!(update.flips[0].new.answer, Ok(false));
+
+        // A no-op delta skips everything.
+        let update = session.push_delta(&Delta::new()).expect("empty delta");
+        assert!(update.change.is_noop());
+        assert_eq!((update.redecided, update.skipped), (0, 2));
+        assert!(update.flips.is_empty());
     }
 }

@@ -4,27 +4,47 @@
 //! `pw-serve`, asserts every response, then posts `/v1/shutdown` so the server (run
 //! as a separate process by CI) can be waited on for a clean exit.
 //!
+//! With `--stream`, drives the standing-query surface instead: register → subscribe
+//! (with a tumbling delta window) → push deltas → long-poll verdict flips →
+//! flush → stats → shutdown.  A library-side mirror ([`Session::push_delta`] fed by
+//! an identical [`DeltaWindow`]) runs the same stream in-process, and every baseline,
+//! flip and long-polled event from the wire must be **bit-identical** to the mirror's.
+//!
 //! ```text
-//! serve-smoke 127.0.0.1:7171     # drive an already-running server
-//! serve-smoke                    # start an in-process server on a free port
+//! serve-smoke 127.0.0.1:7171            # drive an already-running server
+//! serve-smoke                           # start an in-process server on a free port
+//! serve-smoke --stream 127.0.0.1:7272   # standing-query smoke against a server
+//! serve-smoke --stream                  # the same, in-process
 //! ```
 //!
 //! Exits 0 on success, 1 with a message on the first failed assertion.
 
+use pw_condition::{Atom, Conjunction, Term, VarGen};
+use pw_core::{CDatabase, CTable, CTuple, Delta, DeltaWindow, View};
+use pw_decide::{Budget, DecisionRequest, EngineConfig, Session};
+use pw_relational::{rel, Instance};
 use pw_serve::client;
 use pw_serve::json::Json;
-use pw_serve::{Server, ServerConfig};
+use pw_serve::{wire, Server, ServerConfig};
 use std::net::SocketAddr;
 
 fn main() {
-    let arg = std::env::args().nth(1);
-    match arg {
+    let mut stream = false;
+    let mut addr_arg: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--stream" => stream = true,
+            other => addr_arg = Some(other.to_string()),
+        }
+    }
+    let drive: fn(SocketAddr) = if stream { run_stream } else { run };
+    match addr_arg {
         Some(addr) => {
             let addr: SocketAddr = addr.parse().unwrap_or_else(|_| {
                 eprintln!("{addr:?} is not an ADDR:PORT");
                 std::process::exit(2);
             });
-            run(addr);
+            drive(addr);
         }
         None => {
             let server = Server::start(ServerConfig::default()).unwrap_or_else(|e| {
@@ -32,7 +52,7 @@ fn main() {
                 std::process::exit(1);
             });
             let addr = server.local_addr();
-            run(addr);
+            drive(addr);
             server.join();
         }
     }
@@ -165,6 +185,293 @@ fn run(addr: SocketAddr) {
     let (status, drained) = post(addr, "/v1/shutdown", r#"{"schema_version":1}"#);
     check(
         "shutdown",
+        status == 200 && drained.get("status").and_then(Json::as_str) == Some("draining"),
+        &drained.to_string(),
+    );
+}
+
+/// The stream database: two decoupled relations, each with a ground *anchor* row
+/// (certain iff present — the flip lever), a ground *keeper* row, and a null row under
+/// an inert condition (so re-deciding a shard is real search work).
+fn stream_db(vars: &mut VarGen) -> CDatabase {
+    let tables: Vec<CTable> = [("A", 100), ("B", 200)]
+        .into_iter()
+        .map(|(name, anchor)| {
+            let null = vars.fresh();
+            CTable::new(
+                name,
+                1,
+                Conjunction::truth(),
+                vec![
+                    CTuple::of_terms([Term::constant(anchor)]),
+                    CTuple::of_terms([Term::constant(anchor * 10)]),
+                    CTuple::with_condition(
+                        [Term::Var(null)],
+                        Conjunction::single(Atom::neq(null, -1)),
+                    ),
+                ],
+            )
+            .expect("stream table is well formed")
+        })
+        .collect();
+    CDatabase::new(tables)
+}
+
+/// The standing requests, in both library form and the wire spelling the subscribe
+/// body carries — decoded server-side against the same database, they are identical.
+fn stream_requests(db: &CDatabase) -> (Vec<DecisionRequest>, Json) {
+    let view = || View::identity(db.clone());
+    let requests = vec![
+        DecisionRequest::Certainty {
+            view: view(),
+            facts: Instance::single("A", rel![[100]]),
+        },
+        DecisionRequest::Possibility {
+            view: view(),
+            facts: Instance::single("A", rel![[100]]),
+        },
+        DecisionRequest::Certainty {
+            view: view(),
+            facts: Instance::single("B", rel![[200]]),
+        },
+    ];
+    let wire_requests = Json::parse(
+        r#"[
+            {"problem":"certainty","facts":{"A":{"arity":1,"rows":[[100]]}}},
+            {"problem":"possibility","facts":{"A":{"arity":1,"rows":[[100]]}}},
+            {"problem":"certainty","facts":{"B":{"arity":1,"rows":[[200]]}}}
+        ]"#,
+    )
+    .expect("request specs parse");
+    (requests, wire_requests)
+}
+
+/// Encode an array of library decisions the way the server does.
+fn encode_outcomes(outcomes: &[pw_decide::DecisionOutcome]) -> String {
+    Json::Array(outcomes.iter().map(wire::encode_decision).collect()).to_string()
+}
+
+fn run_stream(addr: SocketAddr) {
+    let health = client::get(addr, "/healthz").expect("healthz reachable");
+    check("healthz", health.status == 200, &health.body);
+
+    // The library-side mirror: the same database, requests, window and session
+    // configuration as the server — its flips are the ground truth the wire events
+    // must reproduce bit for bit.
+    let defaults = ServerConfig::default();
+    let mut vars = VarGen::new();
+    let db = stream_db(&mut vars);
+    let (requests, wire_requests) = stream_requests(&db);
+    let cfg = EngineConfig::with_threads(defaults.session_threads.max(1), Budget(defaults.budget));
+    let mut mirror = Session::new(&cfg);
+    let (mirror_ids, mirror_baselines) = mirror.register_standing(&db, &requests);
+    let mut mirror_window = DeltaWindow::tumbling(&db, 2);
+
+    // Register the same database over the wire.
+    let register_body = Json::Object(vec![
+        ("schema_version".into(), Json::Int(1)),
+        ("database".into(), wire::encode_cdatabase(&db)),
+    ]);
+    let (status, registered) = post(addr, "/v1/databases", &register_body.to_string());
+    check("stream-register", status == 201, &registered.to_string());
+    let id = registered.get("id").and_then(Json::as_u64).unwrap_or(0);
+    check("stream-register-id", id > 0, &registered.to_string());
+
+    // Subscribe with a tumbling window of two deltas.
+    let subscribe_body = Json::Object(vec![
+        ("schema_version".into(), Json::Int(1)),
+        ("database".into(), Json::Int(id as i64)),
+        ("requests".into(), wire_requests),
+        (
+            "window".into(),
+            Json::parse(r#"{"kind":"tumbling","size":2}"#).expect("window spec parses"),
+        ),
+    ]);
+    let (status, subscribed) = post(addr, "/v1/subscriptions", &subscribe_body.to_string());
+    check("subscribe", status == 201, &subscribed.to_string());
+    let sub_id = subscribed.get("id").and_then(Json::as_u64).unwrap_or(0);
+    check("subscribe-id", sub_id > 0, &subscribed.to_string());
+    check(
+        "subscribe-request-ids",
+        subscribed
+            .get("request_ids")
+            .and_then(Json::as_array)
+            .map(|ids| {
+                ids.iter().map(|j| j.as_u64()).collect::<Vec<_>>()
+                    == mirror_ids.iter().map(|&i| Some(i)).collect::<Vec<_>>()
+            })
+            .unwrap_or(false),
+        &subscribed.to_string(),
+    );
+    check(
+        "subscribe-baseline-bit-identical",
+        subscribed
+            .get("baseline")
+            .map(|b| b.to_string() == encode_outcomes(&mirror_baselines))
+            .unwrap_or(false),
+        &subscribed.to_string(),
+    );
+
+    // The raw delta stream: two tumbling batches, then one flushed singleton.
+    //   d1 retract A's anchor   }→ emits: certainty(A) flips true→false
+    //   d2 insert a null into B }
+    //   d3 re-insert A's anchor }→ emits: certainty(A) flips back, certainty(B)
+    //   d4 retract B's anchor   }   flips true→false
+    //   d5 insert a null into A  → buffered, then flushed: no flips, A re-decided
+    let stream: Vec<Delta> = vec![
+        Delta::new().retract("A", 0),
+        Delta::new().insert("B", CTuple::of_terms([Term::Var(vars.fresh())])),
+        Delta::new().insert("A", CTuple::of_terms([Term::constant(100)])),
+        Delta::new().retract("B", 0),
+        Delta::new().insert("A", CTuple::of_terms([Term::Var(vars.fresh())])),
+    ];
+
+    let mut expected_events: Vec<String> = Vec::new();
+    let mut next_seq = 1u64;
+    for (tick, delta) in stream.iter().enumerate() {
+        let body = Json::Object(vec![
+            ("schema_version".into(), Json::Int(1)),
+            ("delta".into(), wire::encode_delta(delta)),
+        ]);
+        let (status, reply) = post(
+            addr,
+            &format!("/v1/databases/{id}/delta"),
+            &body.to_string(),
+        );
+        check(&format!("delta-{tick}"), status == 200, &reply.to_string());
+        let compacted = mirror_window
+            .push(delta.clone())
+            .expect("stream deltas validate");
+        match compacted {
+            None => {
+                check(
+                    &format!("delta-{tick}-buffered"),
+                    reply.get("buffered").and_then(Json::as_bool) == Some(true)
+                        && reply.get("pending").and_then(Json::as_u64) == Some(1),
+                    &reply.to_string(),
+                );
+            }
+            Some(compacted) => {
+                let update = mirror
+                    .push_delta(&compacted)
+                    .expect("compacted deltas apply");
+                let expected_flips: Vec<Json> = update
+                    .flips
+                    .iter()
+                    .map(|f| {
+                        let event = wire::encode_flip(next_seq, f);
+                        expected_events.push(event.to_string());
+                        next_seq += 1;
+                        event
+                    })
+                    .collect();
+                check(
+                    &format!("delta-{tick}-flips-bit-identical"),
+                    reply.get("buffered").and_then(Json::as_bool) == Some(false)
+                        && reply.get("flips").map(|f| f.to_string())
+                            == Some(Json::Array(expected_flips).to_string())
+                        && reply.get("redecided").and_then(Json::as_u64)
+                            == Some(update.redecided as u64)
+                        && reply.get("skipped").and_then(Json::as_u64)
+                            == Some(update.skipped as u64),
+                    &reply.to_string(),
+                );
+            }
+        }
+    }
+    check(
+        "stream-flip-count",
+        expected_events.len() == 3,
+        &expected_events.len(),
+    );
+
+    // Long-poll the flips: all three events, in order, bit-identical to the mirror's.
+    let polled = client::get(
+        addr,
+        &format!("/v1/subscriptions/{sub_id}/flips?timeout_ms=2000&max=10"),
+    )
+    .expect("flips reachable");
+    let polled_json = polled.json().expect("flips is JSON");
+    let events: Vec<String> = polled_json
+        .get("events")
+        .and_then(Json::as_array)
+        .map(|e| e.iter().map(Json::to_string).collect())
+        .unwrap_or_default();
+    check(
+        "flips-bit-identical",
+        polled.status == 200
+            && events == expected_events
+            && polled_json.get("dropped").and_then(Json::as_u64) == Some(0)
+            && polled_json.get("pending").and_then(Json::as_u64) == Some(0),
+        &polled.body,
+    );
+
+    // Flush the buffered fifth delta: a real change, no flips.
+    let (status, flushed) = post(
+        addr,
+        &format!("/v1/databases/{id}/delta"),
+        r#"{"schema_version":1,"flush":true}"#,
+    );
+    let flush_compacted = mirror_window.flush().expect("one delta is buffered");
+    let flush_update = mirror
+        .push_delta(&flush_compacted)
+        .expect("flushed delta applies");
+    check(
+        "flush",
+        status == 200
+            && flushed.get("buffered").and_then(Json::as_bool) == Some(false)
+            && flushed.get("noop").and_then(Json::as_bool) == Some(false)
+            && flushed
+                .get("flips")
+                .and_then(Json::as_array)
+                .map(|f| f.len())
+                == Some(0)
+            && flushed.get("redecided").and_then(Json::as_u64)
+                == Some(flush_update.redecided as u64)
+            && flushed.get("skipped").and_then(Json::as_u64) == Some(flush_update.skipped as u64),
+        &flushed.to_string(),
+    );
+
+    // An empty poll drains nothing and reports nothing lost.
+    let drained =
+        client::get(addr, &format!("/v1/subscriptions/{sub_id}/flips")).expect("flips reachable");
+    let drained_json = drained.json().expect("flips is JSON");
+    check(
+        "flips-drained",
+        drained.status == 200
+            && drained_json
+                .get("events")
+                .and_then(Json::as_array)
+                .map(|e| e.len())
+                == Some(0)
+            && drained_json.get("dropped").and_then(Json::as_u64) == Some(0),
+        &drained.body,
+    );
+
+    // Stats reflect the stream: one subscription, five deltas received, three
+    // batches applied, three flips, an idle tumbling window.
+    let stats = client::get(addr, &format!("/v1/databases/{id}/stats")).expect("stats reachable");
+    let stats_json = stats.json().expect("stats is JSON");
+    check(
+        "stream-stats",
+        stats.status == 200
+            && stats_json.get("subscriptions").and_then(Json::as_u64) == Some(1)
+            && stats_json.get("subscribed_requests").and_then(Json::as_u64) == Some(3)
+            && stats_json.get("deltas_received").and_then(Json::as_u64) == Some(5)
+            && stats_json.get("deltas_applied").and_then(Json::as_u64) == Some(3)
+            && stats_json.get("flips_emitted").and_then(Json::as_u64) == Some(3)
+            && stats_json.get("window_pending").and_then(Json::as_u64) == Some(0)
+            && stats_json
+                .get("window")
+                .map(|w| w.to_string() == wire::encode_window(mirror_window.kind()).to_string())
+                .unwrap_or(false),
+        &stats.body,
+    );
+
+    // Graceful shutdown.
+    let (status, drained) = post(addr, "/v1/shutdown", r#"{"schema_version":1}"#);
+    check(
+        "stream-shutdown",
         status == 200 && drained.get("status").and_then(Json::as_str) == Some("draining"),
         &drained.to_string(),
     );

@@ -8,13 +8,16 @@
 //! |---|---|
 //! | `POST /v1/databases` | register a c-database, get an integer handle |
 //! | `POST /v1/databases/{id}/decide` | decide a batch of requests (all five problems) |
-//! | `POST /v1/databases/{id}/delta` | apply a [`pw_core::Delta`], re-decide the standing requests |
-//! | `GET /v1/databases/{id}/stats` | engine + decision-memo counters |
+//! | `POST /v1/databases/{id}/delta` | apply a [`pw_core::Delta`] (optionally through a delta window), re-decide the standing requests, fan verdict flips out to subscriptions |
+//! | `GET /v1/databases/{id}/stats` | engine + decision-memo + subscription counters |
+//! | `POST /v1/subscriptions` | open a verdict-flip subscription (standing requests + optional tumbling/sliding window) |
+//! | `GET /v1/subscriptions/{id}/flips` | long-poll the subscription's flip events |
 //! | `POST /v1/shutdown` | graceful drain |
 //! | `GET /healthz` | liveness |
 //!
 //! The wire schema (`schema_version` 1) is documented with worked examples in
-//! `docs/BOOK.md` §16.  Serving-grade behaviour is part of the contract, not an
+//! `docs/BOOK.md` §16 (core protocol) and §17 (standing queries and verdict-flip
+//! streams).  Serving-grade behaviour is part of the contract, not an
 //! afterthought: bounded admission (`429`/`503` with `Retry-After`, never an
 //! unbounded queue), per-request deadlines (`x-deadline-ms`) mapped onto the
 //! engine's deadline, socket timeouts, size- and depth-limited parsing (`400`, never

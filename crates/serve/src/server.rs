@@ -16,9 +16,21 @@
 //! Each registered c-database gets a `DbEntry`: its current [`CDatabase`] value, a
 //! long-lived [`Session`] (so repeated and incremental decisions hit the engine's
 //! caches), and the *standing* requests that `POST …/delta` re-decides after every
-//! mutation.  Lock order is `op → registry → db → session → standing` — `op` is the
-//! per-database outer lock serializing decide/delta cycles, the inner locks are held
-//! briefly and never while acquiring a peer's.
+//! mutation.  Lock order is `op → registry → subscriptions → db → session → standing
+//! → window → routes → flip queue` — `op` is the per-database outer lock serializing
+//! decide/delta cycles, the inner locks are held briefly and never while acquiring a
+//! peer's.
+//!
+//! ## Standing queries
+//!
+//! `POST /v1/subscriptions` registers decision requests as **standing queries** on a
+//! database's session ([`pw_decide::Session`]'s subscription index), optionally
+//! configuring a [`DeltaWindow`] over the database's mutation stream.  Each applied
+//! delta then runs `Session::push_delta`, and the verdict flips fan out to the
+//! subscriptions' bounded flip queues; `GET /v1/subscriptions/{id}/flips` long-polls
+//! those queues.  A full queue drops its *oldest* events and counts them in `dropped`
+//! — a slow consumer learns how much it missed, and the newest flips (the current
+//! verdicts) always survive.
 //!
 //! ## Robustness
 //!
@@ -30,17 +42,17 @@
 use crate::http::{read_request, write_response, Request};
 use crate::json::Json;
 use crate::wire;
-use pw_core::CDatabase;
-use pw_decide::{Budget, EngineConfig, Session};
-use std::collections::HashMap;
+use pw_core::{CDatabase, Delta, DeltaWindow};
+use pw_decide::{Budget, EngineConfig, Session, VerdictFlip};
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Tuning knobs of a [`Server`].  [`ServerConfig::default`] is sized for a smoke test
 /// or a small deployment; every field has a `pw-serve` command-line flag.
@@ -94,6 +106,52 @@ struct DbEntry {
     db: Mutex<CDatabase>,
     session: Mutex<Session>,
     standing: Mutex<Vec<Json>>,
+    /// The delta window governing this database's mutation stream, when a
+    /// subscription configured one: deltas buffer here and apply compacted.
+    window: Mutex<Option<DeltaWindow>>,
+    /// Verdict-flip routing: standing request id → the subscription to notify.
+    routes: Mutex<HashMap<u64, Arc<Subscription>>>,
+    deltas_received: AtomicU64,
+    deltas_applied: AtomicU64,
+    flips_emitted: AtomicU64,
+}
+
+/// Events a slow long-poller can lag behind before the oldest are dropped (and
+/// counted in the response's `dropped` field).
+const FLIP_QUEUE_CAP: usize = 1024;
+
+/// One standing-query subscription: which database feeds it, which standing request
+/// ids it covers, and the bounded queue its flip events wait in until a long-poll
+/// drains them.
+struct Subscription {
+    db_id: u64,
+    request_ids: Vec<u64>,
+    queue: Mutex<FlipQueue>,
+    /// Signalled when events arrive; `flips` long-polls wait on it.
+    ready: Condvar,
+}
+
+struct FlipQueue {
+    events: VecDeque<Json>,
+    next_seq: u64,
+    dropped: u64,
+}
+
+impl Subscription {
+    /// Enqueue one flip event under the subscription's own sequence numbering,
+    /// dropping the oldest beyond the cap, and wake the long-pollers.
+    fn push_flip(&self, flip: &VerdictFlip) {
+        let mut queue = lock(&self.queue);
+        let seq = queue.next_seq;
+        queue.next_seq += 1;
+        let event = wire::encode_flip(seq, flip);
+        if queue.events.len() >= FLIP_QUEUE_CAP {
+            queue.events.pop_front();
+            queue.dropped += 1;
+        }
+        queue.events.push_back(event);
+        self.ready.notify_all();
+    }
 }
 
 struct Shared {
@@ -101,7 +159,9 @@ struct Shared {
     addr: SocketAddr,
     stopping: AtomicBool,
     next_id: AtomicU64,
+    next_sub_id: AtomicU64,
     registry: Mutex<HashMap<u64, Arc<DbEntry>>>,
+    subscriptions: Mutex<HashMap<u64, Arc<Subscription>>>,
 }
 
 fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
@@ -126,7 +186,9 @@ impl Server {
             addr,
             stopping: AtomicBool::new(false),
             next_id: AtomicU64::new(0),
+            next_sub_id: AtomicU64::new(0),
             registry: Mutex::new(HashMap::new()),
+            subscriptions: Mutex::new(HashMap::new()),
             config,
         });
 
@@ -348,7 +410,16 @@ fn handle(shared: &Shared, request: &Request) -> Reply {
             Some(id) => stats(shared, id),
             None => bad_id(id),
         },
-        (_, ["healthz"]) | (_, ["v1", "shutdown" | "databases", ..]) => (
+        ("POST", ["v1", "subscriptions"]) => with_body(request, |body| subscribe(shared, body)),
+        ("GET", ["v1", "subscriptions", sid, "flips"]) => match parse_id(sid) {
+            Some(sid) => flips(shared, sid, request),
+            None => error_reply(
+                400,
+                "bad-request",
+                &format!("{sid:?} is not a subscription id"),
+            ),
+        },
+        (_, ["healthz"]) | (_, ["v1", "shutdown" | "databases" | "subscriptions", ..]) => (
             405,
             Vec::new(),
             error_body(
@@ -425,6 +496,11 @@ fn register(shared: &Shared, body: &Json) -> Reply {
             db: Mutex::new(db),
             session: Mutex::new(session),
             standing: Mutex::new(Vec::new()),
+            window: Mutex::new(None),
+            routes: Mutex::new(HashMap::new()),
+            deltas_received: AtomicU64::new(0),
+            deltas_applied: AtomicU64::new(0),
+            flips_emitted: AtomicU64::new(0),
         }),
     );
     ok_reply(
@@ -506,15 +582,50 @@ fn delta(shared: &Shared, id: u64, body: &Json) -> Reply {
     let Some(entry) = entry_of(shared, id) else {
         return error_reply(404, "not-found", &format!("no database with id {id}"));
     };
-    let Some(delta_json) = body.get("delta") else {
-        return error_reply(400, "bad-request", "missing field 'delta'");
-    };
-    let delta = match wire::decode_delta(delta_json) {
-        Ok(d) => d,
-        Err(e) => return error_reply(400, "bad-request", &e.0),
+    let flush = body.get("flush").and_then(Json::as_bool).unwrap_or(false);
+    let incoming = match body.get("delta") {
+        Some(j) => match wire::decode_delta(j) {
+            Ok(d) => Some(d),
+            Err(e) => return error_reply(400, "bad-request", &e.0),
+        },
+        None if flush => None,
+        None => return error_reply(400, "bad-request", "missing field 'delta'"),
     };
 
     let _op = lock(&entry.op);
+    if incoming.is_some() {
+        entry.deltas_received.fetch_add(1, Ordering::SeqCst);
+    }
+    // Window gate: with a window configured, deltas buffer until the window emits a
+    // compacted batch (on its own cadence, or forced now by `"flush": true`).
+    let applied: Delta = {
+        let mut slot = lock(&entry.window);
+        match (slot.as_mut(), incoming) {
+            (None, Some(delta)) => delta,
+            (None, None) => {
+                return error_reply(400, "bad-request", "'flush' requires a delta window")
+            }
+            (Some(window), incoming) => {
+                let emitted = match incoming {
+                    Some(delta) => match window.push(delta) {
+                        Ok(emitted) => emitted,
+                        Err(e) => return error_reply(400, "bad-delta", &e.to_string()),
+                    },
+                    None => None,
+                };
+                let emitted = match emitted {
+                    Some(d) => Some(d),
+                    None if flush => window.flush(),
+                    None => None,
+                };
+                match emitted {
+                    Some(d) => d,
+                    None => return ok_reply(200, buffered_reply(window.pending())),
+                }
+            }
+        }
+    };
+
     let prev = lock(&entry.db).clone();
     let standing_json = lock(&entry.standing).clone();
     let mut standing = Vec::with_capacity(standing_json.len());
@@ -531,16 +642,54 @@ fn delta(shared: &Shared, id: u64, body: &Json) -> Reply {
             }
         }
     }
-    let redecision = match lock(&entry.session).redecide_all(&prev, &delta, &standing) {
+    let mut session = lock(&entry.session);
+    let redecision = match session.redecide_all(&prev, &applied, &standing) {
         Ok(r) => r,
-        Err(e) => return error_reply(400, "bad-delta", &e.to_string()),
+        Err(e) => {
+            drop(session);
+            // A window validated this delta before emitting it, so `apply` accepting
+            // it is the expected case; on the unexpected rejection, rebase the window
+            // over the unchanged database so the two cannot drift apart.
+            let mut slot = lock(&entry.window);
+            if let Some(window) = slot.as_ref() {
+                *slot = Some(DeltaWindow::new(&prev, window.kind()));
+            }
+            return error_reply(400, "bad-delta", &e.to_string());
+        }
     };
+    // The subscription path: re-decide only the standing requests this delta can
+    // affect.  `redecide_all` just accepted the same delta, so rejection here is
+    // unreachable; `.ok()` keeps the legacy reply intact regardless.
+    let update = if session.standing_db().is_some() {
+        session.push_delta(&applied).ok()
+    } else {
+        None
+    };
+    drop(session);
     *lock(&entry.db) = redecision.db;
+    entry.deltas_applied.fetch_add(1, Ordering::SeqCst);
+
+    let (flips, redecided, skipped) = match &update {
+        Some(u) => (u.flips.as_slice(), u.redecided, u.skipped),
+        None => (&[] as &[VerdictFlip], 0, 0),
+    };
+    let seq_base = entry
+        .flips_emitted
+        .fetch_add(flips.len() as u64, Ordering::SeqCst);
+    if !flips.is_empty() {
+        let routes = lock(&entry.routes);
+        for flip in flips {
+            if let Some(sub) = routes.get(&flip.request_id) {
+                sub.push_flip(flip);
+            }
+        }
+    }
     ok_reply(
         200,
         Json::Object(vec![
             ("schema_version".into(), Json::Int(wire::SCHEMA_VERSION)),
             ("noop".into(), Json::Bool(redecision.change.is_noop())),
+            ("buffered".into(), Json::Bool(false)),
             (
                 "outcomes".into(),
                 Json::Array(
@@ -551,6 +700,213 @@ fn delta(shared: &Shared, id: u64, body: &Json) -> Reply {
                         .collect(),
                 ),
             ),
+            (
+                "flips".into(),
+                Json::Array(
+                    flips
+                        .iter()
+                        .enumerate()
+                        .map(|(i, f)| wire::encode_flip(seq_base + i as u64 + 1, f))
+                        .collect(),
+                ),
+            ),
+            ("redecided".into(), Json::Int(redecided as i64)),
+            ("skipped".into(), Json::Int(skipped as i64)),
+        ]),
+    )
+}
+
+/// The `POST …/delta` reply while a window is buffering: nothing applied yet.
+fn buffered_reply(pending: usize) -> Json {
+    Json::Object(vec![
+        ("schema_version".into(), Json::Int(wire::SCHEMA_VERSION)),
+        ("noop".into(), Json::Bool(true)),
+        ("buffered".into(), Json::Bool(true)),
+        ("pending".into(), Json::Int(pending as i64)),
+        ("outcomes".into(), Json::Array(Vec::new())),
+        ("flips".into(), Json::Array(Vec::new())),
+        ("redecided".into(), Json::Int(0)),
+        ("skipped".into(), Json::Int(0)),
+    ])
+}
+
+/// `POST /v1/subscriptions` — register standing queries over a database and open a
+/// flip subscription, optionally configuring a delta window on the database's
+/// mutation stream.
+fn subscribe(shared: &Shared, body: &Json) -> Reply {
+    let Some(db_id) = body.get("database").and_then(Json::as_u64) else {
+        return error_reply(400, "bad-request", "missing integer field 'database'");
+    };
+    let Some(entry) = entry_of(shared, db_id) else {
+        return error_reply(404, "not-found", &format!("no database with id {db_id}"));
+    };
+    let Some(requests_json) = body.get("requests").and_then(Json::as_array) else {
+        return error_reply(400, "bad-request", "missing array field 'requests'");
+    };
+    if requests_json.is_empty() {
+        return error_reply(400, "bad-request", "'requests' must not be empty");
+    }
+    let window = match body.get("window") {
+        None => None,
+        Some(wj) => match wire::decode_window(wj) {
+            Ok(kind) => Some(kind),
+            Err(e) => return error_reply(400, "bad-request", &e.0),
+        },
+    };
+
+    let _op = lock(&entry.op);
+    let db = lock(&entry.db).clone();
+    let resolve = |rid: u64| db_of(shared, rid);
+    let mut requests = Vec::with_capacity(requests_json.len());
+    for (i, rj) in requests_json.iter().enumerate() {
+        match wire::decode_request(rj, &db, &resolve) {
+            Ok(r) => requests.push(r),
+            Err(e) => {
+                return error_reply(400, "bad-request", &format!("requests[{i}]: {e}"));
+            }
+        }
+    }
+    if let Some(kind) = window {
+        // Replacing a window is only safe while it holds nothing: buffered deltas are
+        // phrased against the virtual row counts and would be lost wholesale.
+        let mut slot = lock(&entry.window);
+        match slot.as_ref() {
+            Some(active) if active.pending() > 0 => {
+                return error_reply(
+                    409,
+                    "window-busy",
+                    &format!(
+                        "the active delta window holds {} buffered deltas; flush before reconfiguring",
+                        active.pending()
+                    ),
+                );
+            }
+            _ => *slot = Some(DeltaWindow::new(&db, kind)),
+        }
+    }
+    let (ids, baselines) = lock(&entry.session).register_standing(&db, &requests);
+    let sub_id = shared.next_sub_id.fetch_add(1, Ordering::SeqCst) + 1;
+    let sub = Arc::new(Subscription {
+        db_id,
+        request_ids: ids.clone(),
+        queue: Mutex::new(FlipQueue {
+            events: VecDeque::new(),
+            next_seq: 1,
+            dropped: 0,
+        }),
+        ready: Condvar::new(),
+    });
+    lock(&shared.subscriptions).insert(sub_id, Arc::clone(&sub));
+    {
+        let mut routes = lock(&entry.routes);
+        for &rid in &ids {
+            routes.insert(rid, Arc::clone(&sub));
+        }
+    }
+    ok_reply(
+        201,
+        Json::Object(vec![
+            ("schema_version".into(), Json::Int(wire::SCHEMA_VERSION)),
+            ("id".into(), Json::Int(sub_id as i64)),
+            ("database".into(), Json::Int(db_id as i64)),
+            (
+                "request_ids".into(),
+                Json::Array(ids.iter().map(|&rid| Json::Int(rid as i64)).collect()),
+            ),
+            (
+                "baseline".into(),
+                Json::Array(baselines.iter().map(wire::encode_decision).collect()),
+            ),
+            (
+                "window".into(),
+                match window {
+                    Some(kind) => wire::encode_window(kind),
+                    None => Json::Null,
+                },
+            ),
+        ]),
+    )
+}
+
+/// `GET /v1/subscriptions/{id}/flips` — long-poll the subscription's flip queue.
+/// Query parameters: `timeout_ms` (0–10000, default 0 = answer immediately) and
+/// `max` (1–256 events per response, default 64).
+fn flips(shared: &Shared, sid: u64, request: &Request) -> Reply {
+    let Some(sub) = lock(&shared.subscriptions).get(&sid).cloned() else {
+        return error_reply(404, "not-found", &format!("no subscription with id {sid}"));
+    };
+    let mut timeout_ms: u64 = 0;
+    let mut max: usize = 64;
+    for pair in request.query.split('&').filter(|s| !s.is_empty()) {
+        let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+        match key {
+            "timeout_ms" => match value.parse::<u64>() {
+                Ok(ms) => timeout_ms = ms.min(10_000),
+                Err(_) => {
+                    return error_reply(
+                        400,
+                        "bad-request",
+                        &format!("timeout_ms {value:?} is not an integer"),
+                    )
+                }
+            },
+            "max" => match value.parse::<usize>() {
+                Ok(m) if m >= 1 => max = m.min(256),
+                _ => {
+                    return error_reply(
+                        400,
+                        "bad-request",
+                        &format!("max {value:?} is not a positive integer"),
+                    )
+                }
+            },
+            _ => {
+                return error_reply(
+                    400,
+                    "bad-request",
+                    &format!("unknown query parameter {key:?}"),
+                )
+            }
+        }
+    }
+    let deadline = Instant::now() + Duration::from_millis(timeout_ms);
+    let mut queue = lock(&sub.queue);
+    // Wait in short slices so shutdown is observed promptly even mid-poll.
+    while queue.events.is_empty() && !shared.stopping.load(Ordering::SeqCst) {
+        let now = Instant::now();
+        if now >= deadline {
+            break;
+        }
+        let slice = (deadline - now).min(Duration::from_millis(250));
+        queue = sub
+            .ready
+            .wait_timeout(queue, slice)
+            .unwrap_or_else(PoisonError::into_inner)
+            .0;
+    }
+    let take = queue.events.len().min(max);
+    let events: Vec<Json> = queue.events.drain(..take).collect();
+    let dropped = queue.dropped;
+    queue.dropped = 0;
+    let pending = queue.events.len();
+    drop(queue);
+    ok_reply(
+        200,
+        Json::Object(vec![
+            ("schema_version".into(), Json::Int(wire::SCHEMA_VERSION)),
+            ("id".into(), Json::Int(sid as i64)),
+            (
+                "request_ids".into(),
+                Json::Array(
+                    sub.request_ids
+                        .iter()
+                        .map(|&rid| Json::Int(rid as i64))
+                        .collect(),
+                ),
+            ),
+            ("events".into(), Json::Array(events)),
+            ("dropped".into(), Json::Int(dropped as i64)),
+            ("pending".into(), Json::Int(pending as i64)),
         ]),
     )
 }
@@ -564,6 +920,18 @@ fn stats(shared: &Shared, id: u64) -> Reply {
         (session.engine().stats(), session.engine().memo_stats())
     };
     let standing = lock(&entry.standing).len();
+    let subscribed = lock(&entry.session).standing_len();
+    let subscriptions = lock(&shared.subscriptions)
+        .values()
+        .filter(|s| s.db_id == id)
+        .count();
+    let (window_pending, window_spec) = {
+        let slot = lock(&entry.window);
+        match slot.as_ref() {
+            Some(w) => (w.pending() as i64, wire::encode_window(w.kind())),
+            None => (0, Json::Null),
+        }
+    };
     ok_reply(
         200,
         Json::Object(vec![
@@ -571,6 +939,22 @@ fn stats(shared: &Shared, id: u64) -> Reply {
             ("engine".into(), wire::encode_engine_stats(&engine_stats)),
             ("memo".into(), wire::encode_memo_stats(&memo_stats)),
             ("standing_requests".into(), Json::Int(standing as i64)),
+            ("subscribed_requests".into(), Json::Int(subscribed as i64)),
+            ("subscriptions".into(), Json::Int(subscriptions as i64)),
+            (
+                "deltas_received".into(),
+                Json::Int(entry.deltas_received.load(Ordering::SeqCst) as i64),
+            ),
+            (
+                "deltas_applied".into(),
+                Json::Int(entry.deltas_applied.load(Ordering::SeqCst) as i64),
+            ),
+            (
+                "flips_emitted".into(),
+                Json::Int(entry.flips_emitted.load(Ordering::SeqCst) as i64),
+            ),
+            ("window_pending".into(), Json::Int(window_pending)),
+            ("window".into(), window_spec),
         ]),
     )
 }

@@ -23,8 +23,12 @@
 
 use crate::json::Json;
 use pw_condition::{Atom, Conjunction, Term, Variable};
-use pw_core::{CDatabase, CTable, CTuple, Certificate, Delta, DeltaOp, PairCert, Valuation, View};
-use pw_decide::{Decision, DecisionError, DecisionRequest, EngineStats, MemoStats, Strategy};
+use pw_core::{
+    CDatabase, CTable, CTuple, Certificate, Delta, DeltaOp, PairCert, Valuation, View, WindowKind,
+};
+use pw_decide::{
+    Decision, DecisionError, DecisionRequest, EngineStats, MemoStats, Strategy, VerdictFlip,
+};
 use pw_relational::{Constant, Instance, Relation, Tuple};
 use std::fmt;
 
@@ -388,6 +392,69 @@ pub fn decode_delta(j: &Json) -> Result<Delta, WireError> {
         }
     }
     Ok(delta)
+}
+
+// ---------------------------------------------------------------------------
+// Delta windows and verdict flips (the subscription endpoints)
+// ---------------------------------------------------------------------------
+
+/// Decode a window spec: `{"kind": "tumbling", "size": N}` or
+/// `{"kind": "sliding", "size": N, "slide": M}` (`slide` defaults to 1; must satisfy
+/// `1 ≤ slide ≤ size`).
+pub fn decode_window(j: &Json) -> Result<WindowKind, WireError> {
+    let kind = j
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or_else(|| WireError::new("a window needs a string field 'kind'"))?;
+    let size = j
+        .get("size")
+        .and_then(Json::as_u64)
+        .filter(|&s| s >= 1)
+        .ok_or_else(|| WireError::new("a window needs an integer field 'size' ≥ 1"))?
+        as usize;
+    match kind {
+        "tumbling" => Ok(WindowKind::Tumbling { size }),
+        "sliding" => {
+            let slide = j.get("slide").and_then(Json::as_u64).unwrap_or(1) as usize;
+            if slide < 1 || slide > size {
+                return Err(WireError::new(format!(
+                    "window slide {slide} must satisfy 1 ≤ slide ≤ size ({size})"
+                )));
+            }
+            Ok(WindowKind::Sliding { size, slide })
+        }
+        other => Err(WireError::new(format!(
+            "unknown window kind {other:?} (expected \"tumbling\" or \"sliding\")"
+        ))),
+    }
+}
+
+/// Encode a window spec (the `/stats` mirror of [`decode_window`]).
+pub fn encode_window(kind: WindowKind) -> Json {
+    match kind {
+        WindowKind::Tumbling { size } => Json::Object(vec![
+            ("kind".into(), Json::str("tumbling")),
+            ("size".into(), Json::Int(size as i64)),
+        ]),
+        WindowKind::Sliding { size, slide } => Json::Object(vec![
+            ("kind".into(), Json::str("sliding")),
+            ("size".into(), Json::Int(size as i64)),
+            ("slide".into(), Json::Int(slide as i64)),
+        ]),
+    }
+}
+
+/// Encode one verdict-flip event as delivered by `GET /v1/subscriptions/{id}/flips`:
+/// the per-subscription sequence number, the flipped request's id, and the decisions
+/// on both sides of the flip ([`encode_decision`] shapes, certificates included when
+/// the session certifies).
+pub fn encode_flip(seq: u64, flip: &VerdictFlip) -> Json {
+    Json::Object(vec![
+        ("seq".into(), Json::Int(seq as i64)),
+        ("request_id".into(), Json::Int(flip.request_id as i64)),
+        ("old".into(), encode_decision(&flip.old)),
+        ("new".into(), encode_decision(&flip.new)),
+    ])
 }
 
 // ---------------------------------------------------------------------------

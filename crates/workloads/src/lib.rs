@@ -22,6 +22,7 @@ pub mod formulas;
 pub mod graphs;
 pub mod mutations;
 pub mod skewed;
+pub mod streams;
 pub mod strings;
 pub mod tables;
 
@@ -32,6 +33,9 @@ pub use mutations::{
     coupling_delta, mutation_stream, single_shard_delta, stable_delta_stream, MutationStream,
 };
 pub use skewed::{coupled_heavy_membership, skewed_membership, skewed_possibility, SkewedParams};
+pub use streams::{
+    flip_heavy_stream, flip_sparse_stream, StreamProblem, StreamRequest, StreamWorkload,
+};
 pub use strings::{stringify_constant, stringify_database, stringify_instance, stringify_table};
 pub use tables::{
     member_instance, non_member_instance, random_codd_table, random_ctable, random_etable,

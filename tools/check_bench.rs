@@ -30,11 +30,16 @@
 //!    split's — and a static/stealing speedup at or above the row's embedded `floor`
 //!    (`4` on the committed skewed critical-path rows, `0.9` wall-clock parity on the
 //!    balanced families, relaxed in smoke runs).
-//! 6. **Shape check of fresh smoke runs.**  The smoke reports passed as positional
-//!    arguments (produced by `bench-pr2/3/4/5/6/7/8 --smoke` earlier in the job) must be
-//!    well-formed: the right `bench` tag, `smoke: true`, at least one result row, and
-//!    every row carrying the `problem`/`workload`/`mode`/`wall_ms`/`answers` fields with
-//!    a known mode.
+//! 6. **Stream guard.**  Reports carrying a `stream_guard` table (the `bench-stream`
+//!    standing-query harness) must show `answers_match: true` on every row — the
+//!    subscription path's verdict flips and standing verdicts are bit-identical to the
+//!    replay-everything baseline's — and a redecide/push speedup at or above the row's
+//!    embedded `floor` (`10` on the committed flip-sparse rows, `0.9` in smoke runs).
+//! 7. **Shape check of fresh smoke runs.**  The smoke reports passed as positional
+//!    arguments (produced by `bench-pr2/3/4/5/6/7/8 --smoke` and `bench-stream --smoke`
+//!    earlier in the job) must be well-formed: the right `bench` tag, `smoke: true`, at
+//!    least one result row, and every row carrying the
+//!    `problem`/`workload`/`mode`/`wall_ms`/`answers` fields with a known mode.
 //!
 //! Usage:
 //!   check-bench [--root DIR] [--min-speedup X] [SMOKE_REPORT.json ...]
@@ -78,6 +83,7 @@ fn check_committed(path: &Path, min_speedup: f64, failures: &mut Vec<String>) {
     check_certify(path, &raw, failures);
     check_robustness(path, &raw, failures);
     check_stealing(path, &raw, failures);
+    check_stream(path, &raw, failures);
     if !raw.contains("\"speedup_vs_baseline\"") {
         failures.push(format!(
             "{}: committed report has no speedup_vs_baseline table (lost its baseline?)",
@@ -379,6 +385,67 @@ fn check_stealing(path: &Path, raw: &str, failures: &mut Vec<String>) {
     }
 }
 
+/// The stream guard (reports with a `stream_guard` table — the standing-query
+/// subscription harness): every row must show `answers_match: true` (the subscription
+/// path's verdict flips and standing verdicts are bit-identical to the
+/// replay-everything baseline's) and a redecide/push speedup at or above the row's own
+/// embedded floor.
+fn check_stream(path: &Path, raw: &str, failures: &mut Vec<String>) {
+    if !raw.contains("\"stream_guard\"") {
+        return;
+    }
+    let mut in_table = false;
+    let mut rows = 0usize;
+    let failures_before = failures.len();
+    for line in raw.lines() {
+        if line.trim_start().starts_with("\"stream_guard\"") {
+            in_table = true;
+            continue;
+        }
+        if !in_table {
+            continue;
+        }
+        let trimmed = line.trim();
+        if trimmed.starts_with(']') {
+            break;
+        }
+        let (Some(speedup), Some(floor)) =
+            (num_field(trimmed, "speedup"), num_field(trimmed, "floor"))
+        else {
+            continue;
+        };
+        rows += 1;
+        let label = format!(
+            "{} / {}",
+            str_field(trimmed, "problem").unwrap_or_default(),
+            str_field(trimmed, "workload").unwrap_or_default(),
+        );
+        if !trimmed.contains("\"answers_match\": true") {
+            failures.push(format!(
+                "{}: {label}: subscription flips diverge from the replay baseline",
+                path.display()
+            ));
+        }
+        if speedup < floor - 1e-9 {
+            failures.push(format!(
+                "{}: {label}: stream speedup {speedup}x below its floor {floor}x",
+                path.display()
+            ));
+        }
+    }
+    if rows == 0 {
+        failures.push(format!(
+            "{}: stream_guard table has no rows",
+            path.display()
+        ));
+    } else if failures.len() == failures_before {
+        println!(
+            "ok: {} ({rows} stream rows: flips match, speedups above floors)",
+            path.display()
+        );
+    }
+}
+
 /// The smoke-report shape check.
 fn check_smoke(path: &Path, failures: &mut Vec<String>) {
     let raw = match std::fs::read_to_string(path) {
@@ -405,6 +472,7 @@ fn check_smoke(path: &Path, failures: &mut Vec<String>) {
     check_certify(path, &raw, failures);
     check_robustness(path, &raw, failures);
     check_stealing(path, &raw, failures);
+    check_stream(path, &raw, failures);
     let mut rows = 0usize;
     for line in raw.lines() {
         let trimmed = line.trim();
@@ -435,6 +503,8 @@ fn check_smoke(path: &Path, failures: &mut Vec<String>) {
                     | Some("hardened")
                     | Some("static")
                     | Some("stealing")
+                    | Some("push")
+                    | Some("redecide")
             );
         if !shape_ok {
             failures.push(format!(
